@@ -1,0 +1,58 @@
+//! Criterion micro-benchmarks for the infrastructure itself: end-to-end
+//! compilation latency per flow and simulator execution throughput.
+//! (These complement the paper-reproduction tables, which measure the
+//! *generated code*; here we measure the *compiler* and *simulator*.)
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mlb_core::{compile, Flow, PipelineOptions};
+use mlb_ir::Context;
+use mlb_kernels::{Instance, Kind, Precision, Shape};
+use mlb_sim::Machine;
+
+fn bench_compile(c: &mut Criterion) {
+    let instance = Instance::new(Kind::MatMul, Shape::nmk(1, 5, 200), Precision::F64);
+    let mut group = c.benchmark_group("compile-matmul");
+    group.bench_function("full-pipeline", |b| {
+        b.iter(|| {
+            let mut ctx = Context::new();
+            let module = instance.build_module(&mut ctx);
+            compile(&mut ctx, module, Flow::Ours(PipelineOptions::full())).unwrap()
+        })
+    });
+    group.bench_function("baseline-pipeline", |b| {
+        b.iter(|| {
+            let mut ctx = Context::new();
+            let module = instance.build_module(&mut ctx);
+            compile(&mut ctx, module, Flow::Ours(PipelineOptions::baseline())).unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let instance = Instance::new(Kind::MatMul, Shape::nmk(1, 5, 200), Precision::F64);
+    let mut ctx = Context::new();
+    let module = instance.build_module(&mut ctx);
+    let compiled = compile(&mut ctx, module, Flow::Ours(PipelineOptions::full())).unwrap();
+    let program = mlb_sim::assemble(&compiled.assembly).unwrap();
+    c.bench_function("simulate-matmul-1x5x200", |b| {
+        b.iter(|| {
+            let mut machine = Machine::new();
+            machine.write_f64_slice(mlb_isa::TCDM_BASE, &[1.0; 256]);
+            machine
+                .call(
+                    &program,
+                    "matmul",
+                    &[
+                        mlb_isa::TCDM_BASE,
+                        mlb_isa::TCDM_BASE + 2048,
+                        mlb_isa::TCDM_BASE + 16384,
+                    ],
+                )
+                .unwrap()
+        })
+    });
+}
+
+criterion_group!(benches, bench_compile, bench_simulator);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Table 1: the evaluated DNN micro-kernel suite — characteristics,
+//! input shapes and FLOP formulas.
+
+use mlb_bench::print_table;
+use mlb_kernels::{Instance, Kind, Precision, Shape};
+
+fn main() {
+    let rows: Vec<Vec<String>> = Kind::all()
+        .into_iter()
+        .map(|kind| {
+            let (shape, shapes_text, flops_text) = match kind {
+                Kind::MatMul | Kind::MatMulT => {
+                    (Shape::nmk(4, 16, 8), "NK, KM".to_string(), "2NMK".to_string())
+                }
+                Kind::Conv3x3 => {
+                    (Shape::nm(4, 4), "(N+2)(M+2), 3x3".to_string(), "18NM".to_string())
+                }
+                Kind::MaxPool3x3 | Kind::SumPool3x3 => {
+                    (Shape::nm(4, 4), "(N+2)(M+2)".to_string(), "9NM".to_string())
+                }
+                Kind::Fill => (Shape::nm(4, 4), "NM".to_string(), "0".to_string()),
+                _ => (Shape::nm(4, 4), "NM (x2 inputs)".to_string(), "NM".to_string()),
+            };
+            let example = Instance::new(kind, shape, Precision::F64);
+            vec![
+                kind.to_string(),
+                kind.characteristics().to_string(),
+                shapes_text,
+                flops_text,
+                format!("{} (at {})", example.flops(), example),
+            ]
+        })
+        .collect();
+    print_table(
+        "Table 1: kernel suite",
+        &["Kernel", "Characteristics", "Input shapes", "FLOPs", "Example FLOP count"],
+        &rows,
+    );
+}

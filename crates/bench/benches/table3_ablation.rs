@@ -1,0 +1,54 @@
+//! Table 3: incremental impact of each pipeline optimization on the
+//! MatMul kernel with 1x200 and 200x5 64-bit inputs.
+//!
+//! Paper trajectory: loads 3000 -> 1000 -> 5 -> 5 -> 0 -> 0; stores
+//! 1005 -> 1000 -> 5 -> 5 -> 0 -> 0; occupancy 2.49% -> 90.67%.
+
+use mlb_bench::{pct, print_table, run};
+use mlb_core::{Flow, PipelineOptions};
+use mlb_kernels::{Instance, Kind, Precision, Shape};
+
+fn main() {
+    let instance = Instance::new(Kind::MatMul, Shape::nmk(1, 5, 200), Precision::F64);
+    let mut rows = Vec::new();
+    for (label, opts) in PipelineOptions::ablation_ladder() {
+        let outcome = run(&instance, Flow::Ours(opts));
+        let c = &outcome.counters;
+        let (_, stats) = &outcome.compilation.functions[0];
+        // Static frep instructions in the emitted assembly (the paper
+        // counts assembly operations; loads/stores/fmadd are dynamic).
+        let static_frep =
+            outcome.compilation.assembly.matches("frep.o").count();
+        rows.push(vec![
+            label.to_string(),
+            format!("{}/20", stats.num_fp()),
+            format!("{}/15", stats.num_int()),
+            c.loads().to_string(),
+            c.stores().to_string(),
+            c.fmadd.to_string(),
+            static_frep.to_string(),
+            c.cycles.to_string(),
+            pct(c.fpu_utilization()),
+        ]);
+    }
+    print_table(
+        "Table 3: MatMul (1x200 x 200x5, f64) optimization ladder",
+        &[
+            "Optimizations",
+            "FP regs",
+            "Int regs",
+            "Loads",
+            "Stores",
+            "FMAdd",
+            "FRep",
+            "Cycles",
+            "Occupancy %",
+        ],
+        &rows,
+    );
+    println!(
+        "Paper reference (same kernel): 3/20+13/15 regs, 3000/1005 loads/stores,\n\
+         40161 cycles, 2.49% at the baseline; 8/20+7/15, 0/0, 1115 cycles, 90.67%\n\
+         with the full pipeline."
+    );
+}

@@ -1,0 +1,60 @@
+//! Table 4: how the backend's implementation features map onto the core
+//! IR concepts (qualitative; printed with the implementing modules of
+//! this repository for cross-reference).
+
+use mlb_bench::print_table;
+
+fn main() {
+    let rows = vec![
+        vec![
+            "Instructions (standard and Snitch)".into(),
+            "Operations".into(),
+            "mlb-riscv::rv, mlb-riscv::rv_snitch".into(),
+        ],
+        vec![
+            "Instruction operands".into(),
+            "SSA values".into(),
+            "mlb-ir::context (typed values)".into(),
+        ],
+        vec![
+            "Registers (standard and Snitch SSRs)".into(),
+            "Attributes / types".into(),
+            "mlb-ir::types (register types), mlb-isa::regs".into(),
+        ],
+        vec![
+            "Scoping (instruction semantics)".into(),
+            "Blocks and regions".into(),
+            "mlb-ir::context (regions), rv_scf / frep bodies".into(),
+        ],
+        vec![
+            "Snitch FREP and branch instructions".into(),
+            "Control flow dialects".into(),
+            "mlb-riscv::rv_cf, mlb-riscv::rv_snitch::frep_outer".into(),
+        ],
+        vec![
+            "Snitch semantics".into(),
+            "Custom dialects".into(),
+            "mlb-riscv::snitch_stream, mlb-dialects::memref_stream".into(),
+        ],
+        vec![
+            "Target code generation".into(),
+            "Progressive lowering".into(),
+            "mlb-core::pipeline (pass ladder)".into(),
+        ],
+        vec![
+            "Register allocation".into(),
+            "Progressive lowering".into(),
+            "mlb-core::regalloc (structured, spill-free)".into(),
+        ],
+        vec![
+            "Target-specific optimizations".into(),
+            "Progressive lowering".into(),
+            "mlb-core::passes (streams, frep, fuse-fill, unroll-and-jam)".into(),
+        ],
+    ];
+    print_table(
+        "Table 4: implementation features vs IR concepts",
+        &["Implementation feature", "Concept", "Module in this repository"],
+        &rows,
+    );
+}

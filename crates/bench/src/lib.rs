@@ -1,0 +1,45 @@
+//! Shared helpers for the paper-reproduction benchmark targets.
+//!
+//! Each `benches/` target regenerates one table or figure of the paper's
+//! evaluation (Section 4); see `DESIGN.md` for the experiment index and
+//! `EXPERIMENTS.md` for paper-vs-measured numbers.
+
+use mlb_core::Flow;
+use mlb_kernels::{compile_and_run, Instance, RunOutcome};
+
+/// Deterministic seed shared by all benchmark runs.
+pub const SEED: u64 = 0x5eed_cafe;
+
+/// Runs one instance under one flow, panicking with context on failure
+/// (benchmarks must not silently skip points).
+pub fn run(instance: &Instance, flow: Flow) -> RunOutcome {
+    compile_and_run(instance, flow, SEED)
+        .unwrap_or_else(|e| panic!("{instance} under {flow:?}: {e}"))
+}
+
+/// Formats a ratio as a percentage with one decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}", 100.0 * x)
+}
+
+/// Prints a markdown table: header row plus rows.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n## {title}\n");
+    println!("| {} |", header.join(" | "));
+    println!("|{}|", header.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+    for row in rows {
+        println!("| {} |", row.join(" | "));
+    }
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.9067), "90.7");
+        assert_eq!(pct(0.0), "0.0");
+    }
+}

@@ -1,0 +1,19 @@
+#![warn(missing_docs)]
+
+//! The multi-level compiler backend for Snitch (the paper's primary
+//! contribution).
+//!
+//! - [`passes`] — the progressive lowering and scheduling passes
+//!   (Sections 3.2 and 3.4).
+//! - [`regalloc`] — the spill-free multi-level register allocator
+//!   (Section 3.3).
+//! - [`pipeline`] — assembled compiler flows: the multi-level backend
+//!   with the Table 3 ablation knobs, plus the MLIR-like and Clang-like
+//!   comparison flows of the evaluation (Section 4.1).
+
+pub mod passes;
+pub mod pipeline;
+pub mod regalloc;
+
+pub use pipeline::{compile, full_registry, Compilation, Flow, PipelineOptions};
+pub use regalloc::{allocate_function, RegAllocError, RegStats};

@@ -1,0 +1,294 @@
+//! Canonicalization: constant folding, algebraic simplification and
+//! single-iteration loop elimination at the `arith`/`scf` level.
+//!
+//! The paper notes that after unroll-and-jam the now single-iteration
+//! outermost loop is removed, "reducing the number of dimensions in the
+//! accelerator setup" (Section 4.4) — that cleanup happens here.
+
+use mlb_dialects::{arith, scf};
+use mlb_ir::{
+    apply_patterns_greedily, Attribute, Context, DialectRegistry, OpId, Pass, PassError,
+    RewritePattern,
+};
+
+/// The pass object.
+#[derive(Debug, Default)]
+pub struct Canonicalize;
+
+impl Pass for Canonicalize {
+    fn name(&self) -> &'static str {
+        "canonicalize"
+    }
+
+    fn run(
+        &self,
+        ctx: &mut Context,
+        registry: &DialectRegistry,
+        root: OpId,
+    ) -> Result<(), PassError> {
+        apply_patterns_greedily(
+            ctx,
+            registry,
+            root,
+            &[&FoldIntBinary, &SimplifyIdentity, &InlineSingleIterationLoop],
+        );
+        // Local CSE: address computations for a load/store pair of the
+        // same element are syntactically identical after folding.
+        let mut blocks = vec![];
+        let mut stack = vec![root];
+        while let Some(op) = stack.pop() {
+            for &region in &ctx.op(op).regions.clone() {
+                for &block in ctx.region_blocks(region).to_vec().iter() {
+                    blocks.push(block);
+                    stack.extend(ctx.block_ops(block).iter().copied());
+                }
+            }
+        }
+        for block in blocks {
+            local_cse(ctx, registry, block);
+        }
+        Ok(())
+    }
+}
+
+/// Merges structurally identical pure operations within a block.
+fn local_cse(ctx: &mut Context, registry: &DialectRegistry, block: mlb_ir::BlockId) {
+    let mut seen: std::collections::HashMap<
+        (String, Vec<mlb_ir::ValueId>, String),
+        mlb_ir::ValueId,
+    > = std::collections::HashMap::new();
+    for op in ctx.block_ops(block).to_vec() {
+        if !ctx.is_alive(op) || !registry.is_pure(&ctx.op(op).name) {
+            continue;
+        }
+        if ctx.op(op).results.len() != 1 || !ctx.op(op).regions.is_empty() {
+            continue;
+        }
+        let key = (
+            ctx.op(op).name.clone(),
+            ctx.op(op).operands.clone(),
+            format!("{:?}", ctx.op(op).attrs),
+        );
+        let result = ctx.op(op).results[0];
+        match seen.get(&key) {
+            Some(&canonical) => {
+                ctx.replace_all_uses(result, canonical);
+                ctx.erase_op(op);
+            }
+            None => {
+                seen.insert(key, result);
+            }
+        }
+    }
+}
+
+fn const_int(ctx: &Context, v: mlb_ir::ValueId) -> Option<i64> {
+    arith::constant_value(ctx, v).and_then(Attribute::as_int)
+}
+
+/// Folds integer/index arithmetic on two constants.
+struct FoldIntBinary;
+
+impl RewritePattern for FoldIntBinary {
+    fn name(&self) -> &'static str {
+        "fold-int-binary"
+    }
+
+    fn match_and_rewrite(&self, ctx: &mut Context, _r: &DialectRegistry, op: OpId) -> bool {
+        let name = ctx.op(op).name.clone();
+        if !arith::INT_BINARY_OPS.contains(&name.as_str()) {
+            return false;
+        }
+        let (a, b) = (ctx.op(op).operands[0], ctx.op(op).operands[1]);
+        let (Some(ca), Some(cb)) = (const_int(ctx, a), const_int(ctx, b)) else {
+            return false;
+        };
+        let value = match name.as_str() {
+            arith::ADDI => ca + cb,
+            arith::SUBI => ca - cb,
+            arith::MULI => ca * cb,
+            _ => return false,
+        };
+        let ty = ctx.value_type(ctx.op(op).results[0]).clone();
+        let folded = ctx.insert_op_before(
+            op,
+            mlb_ir::OpSpec::new(arith::CONSTANT)
+                .attr("value", Attribute::Int(value))
+                .results(vec![ty]),
+        );
+        let new = ctx.op(folded).results[0];
+        let old = ctx.op(op).results[0];
+        ctx.replace_all_uses(old, new);
+        ctx.erase_op(op);
+        true
+    }
+}
+
+/// `x + 0 = x`, `x * 1 = x`, `x * 0 = 0`.
+struct SimplifyIdentity;
+
+impl RewritePattern for SimplifyIdentity {
+    fn name(&self) -> &'static str {
+        "simplify-identity"
+    }
+
+    fn match_and_rewrite(&self, ctx: &mut Context, _r: &DialectRegistry, op: OpId) -> bool {
+        let name = ctx.op(op).name.clone();
+        if name != arith::ADDI && name != arith::MULI {
+            return false;
+        }
+        let (a, b) = (ctx.op(op).operands[0], ctx.op(op).operands[1]);
+        let ca = const_int(ctx, a);
+        let cb = const_int(ctx, b);
+        let old = ctx.op(op).results[0];
+        let replacement = match (name.as_str(), ca, cb) {
+            (arith::ADDI, Some(0), _) => Some(b),
+            (arith::ADDI, _, Some(0)) => Some(a),
+            (arith::MULI, Some(1), _) => Some(b),
+            (arith::MULI, _, Some(1)) => Some(a),
+            (arith::MULI, Some(0), _) => Some(a), // a is the zero constant
+            (arith::MULI, _, Some(0)) => Some(b),
+            _ => None,
+        };
+        let Some(new) = replacement else { return false };
+        ctx.replace_all_uses(old, new);
+        ctx.erase_op(op);
+        true
+    }
+}
+
+/// Inlines `scf.for` loops with a constant single-iteration trip count.
+struct InlineSingleIterationLoop;
+
+impl RewritePattern for InlineSingleIterationLoop {
+    fn name(&self) -> &'static str {
+        "inline-single-iteration-loop"
+    }
+
+    fn match_and_rewrite(&self, ctx: &mut Context, _r: &DialectRegistry, op: OpId) -> bool {
+        let Some(for_op) = scf::ForOp::new(ctx, op) else { return false };
+        let lb = const_int(ctx, for_op.lower_bound(ctx));
+        let ub = const_int(ctx, for_op.upper_bound(ctx));
+        let step = const_int(ctx, for_op.step(ctx));
+        let (Some(lb), Some(ub), Some(step)) = (lb, ub, step) else { return false };
+        if step <= 0 || ub <= lb || (ub - lb + step - 1) / step != 1 {
+            return false;
+        }
+        // Inline the single iteration: iv -> lb value, iter args -> inits.
+        let mut map = std::collections::HashMap::new();
+        map.insert(for_op.induction_var(ctx), for_op.lower_bound(ctx));
+        let inits = for_op.iter_inits(ctx).to_vec();
+        for (arg, init) in for_op.iter_args(ctx).to_vec().into_iter().zip(inits) {
+            map.insert(arg, init);
+        }
+        let body = for_op.body(ctx);
+        let body_ops = ctx.block_ops(body).to_vec();
+        for &bop in &body_ops[..body_ops.len() - 1] {
+            let cloned = ctx.clone_op_into(bop, ctx.op(op).parent.unwrap(), &mut map);
+            ctx.move_op_before(cloned, op);
+        }
+        let yield_op = ctx.terminator(body);
+        let yields: Vec<mlb_ir::ValueId> =
+            ctx.op(yield_op).operands.iter().map(|v| *map.get(v).unwrap_or(v)).collect();
+        let results = ctx.op(op).results.clone();
+        for (result, value) in results.into_iter().zip(yields) {
+            ctx.replace_all_uses(result, value);
+        }
+        ctx.erase_op(op);
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlb_dialects::{builtin, func};
+    use mlb_ir::Type;
+
+    fn registry() -> DialectRegistry {
+        let mut r = DialectRegistry::new();
+        mlb_dialects::register_all(&mut r);
+        r
+    }
+
+    #[test]
+    fn constants_fold() {
+        let mut ctx = Context::new();
+        let r = registry();
+        let (m, top) = builtin::build_module(&mut ctx);
+        let (_f, entry) = func::build_func(&mut ctx, top, "f", vec![], vec![Type::Index]);
+        let a = arith::constant_index(&mut ctx, entry, 6);
+        let b = arith::constant_index(&mut ctx, entry, 7);
+        let p = arith::binary(&mut ctx, entry, arith::MULI, a, b);
+        let q = arith::binary(&mut ctx, entry, arith::ADDI, p, a);
+        func::build_return(&mut ctx, entry, vec![q]);
+        Canonicalize.run(&mut ctx, &r, m).unwrap();
+        r.verify(&ctx, m).unwrap();
+        // Everything folds into one constant 48 (dead constants removed).
+        let consts = ctx.walk_named(m, arith::CONSTANT);
+        assert_eq!(consts.len(), 1);
+        assert_eq!(ctx.op(consts[0]).attr("value"), Some(&Attribute::Int(48)));
+        assert!(ctx.walk_named(m, arith::MULI).is_empty());
+    }
+
+    #[test]
+    fn identities_simplify() {
+        let mut ctx = Context::new();
+        let r = registry();
+        let (m, top) = builtin::build_module(&mut ctx);
+        let (_f, entry) = func::build_func(&mut ctx, top, "f", vec![Type::Index], vec![Type::Index]);
+        let x = ctx.block_args(entry)[0];
+        let zero = arith::constant_index(&mut ctx, entry, 0);
+        let one = arith::constant_index(&mut ctx, entry, 1);
+        let a = arith::binary(&mut ctx, entry, arith::ADDI, x, zero);
+        let b = arith::binary(&mut ctx, entry, arith::MULI, a, one);
+        func::build_return(&mut ctx, entry, vec![b]);
+        Canonicalize.run(&mut ctx, &r, m).unwrap();
+        r.verify(&ctx, m).unwrap();
+        // The return operand is the argument itself.
+        let ret = ctx.walk_named(m, func::RETURN)[0];
+        assert_eq!(ctx.op(ret).operands, vec![x]);
+        assert!(ctx.walk_named(m, arith::ADDI).is_empty());
+        assert!(ctx.walk_named(m, arith::MULI).is_empty());
+    }
+
+    #[test]
+    fn single_iteration_loop_inlines() {
+        let mut ctx = Context::new();
+        let r = registry();
+        let (m, top) = builtin::build_module(&mut ctx);
+        let (_f, entry) = func::build_func(&mut ctx, top, "f", vec![Type::F64], vec![Type::F64]);
+        let x = ctx.block_args(entry)[0];
+        let lb = arith::constant_index(&mut ctx, entry, 0);
+        let ub = arith::constant_index(&mut ctx, entry, 1);
+        let step = arith::constant_index(&mut ctx, entry, 1);
+        let loop_op =
+            scf::build_for(&mut ctx, entry, lb, ub, step, vec![x], |ctx, body, _iv, args| {
+                vec![arith::binary(ctx, body, arith::ADDF, args[0], args[0])]
+            });
+        let result = ctx.op(loop_op.0).results[0];
+        func::build_return(&mut ctx, entry, vec![result]);
+        Canonicalize.run(&mut ctx, &r, m).unwrap();
+        r.verify(&ctx, m).unwrap();
+        assert!(ctx.walk_named(m, scf::FOR).is_empty());
+        // The addf survives, now directly on the argument.
+        let adds = ctx.walk_named(m, arith::ADDF);
+        assert_eq!(adds.len(), 1);
+        assert_eq!(ctx.op(adds[0]).operands, vec![x, x]);
+    }
+
+    #[test]
+    fn multi_iteration_loop_is_kept() {
+        let mut ctx = Context::new();
+        let r = registry();
+        let (m, top) = builtin::build_module(&mut ctx);
+        let (_f, entry) = func::build_func(&mut ctx, top, "f", vec![], vec![]);
+        let lb = arith::constant_index(&mut ctx, entry, 0);
+        let ub = arith::constant_index(&mut ctx, entry, 4);
+        let step = arith::constant_index(&mut ctx, entry, 1);
+        scf::build_for(&mut ctx, entry, lb, ub, step, vec![], |_, _, _, _| vec![]);
+        func::build_return(&mut ctx, entry, vec![]);
+        Canonicalize.run(&mut ctx, &r, m).unwrap();
+        assert_eq!(ctx.walk_named(m, scf::FOR).len(), 1);
+    }
+}

@@ -1,0 +1,174 @@
+//! `convert-linalg-to-memref-stream`: rewrites `linalg.generic` and
+//! `linalg.fill` into `memref_stream.generic` with explicit iteration
+//! bounds (Section 3.4) — the entry of the micro-kernel scheduling
+//! pipeline.
+
+use mlb_dialects::{linalg, memref_stream, structured};
+use mlb_ir::{
+    AffineMap, Attribute, Context, DialectRegistry, IteratorType, OpId, Pass, PassError,
+};
+
+/// The pass object.
+#[derive(Debug, Default)]
+pub struct ConvertLinalgToMemrefStream;
+
+impl Pass for ConvertLinalgToMemrefStream {
+    fn name(&self) -> &'static str {
+        "convert-linalg-to-memref-stream"
+    }
+
+    fn run(
+        &self,
+        ctx: &mut Context,
+        _registry: &DialectRegistry,
+        root: OpId,
+    ) -> Result<(), PassError> {
+        for op in ctx.walk_named(root, linalg::FILL) {
+            convert_fill(ctx, op)?;
+        }
+        for op in ctx.walk_named(root, linalg::GENERIC) {
+            convert_generic(ctx, op, self.name())?;
+        }
+        Ok(())
+    }
+}
+
+/// `linalg.fill(value, target)` becomes a parallel `memref_stream.generic`
+/// over the target with an identity map, yielding the fill value.
+fn convert_fill(ctx: &mut Context, op: OpId) -> Result<(), PassError> {
+    let value = ctx.op(op).operands[0];
+    let target = ctx.op(op).operands[1];
+    let shape = match ctx.value_type(target) {
+        mlb_ir::Type::MemRef(m) => m.shape.clone(),
+        _ => unreachable!("verified fill"),
+    };
+    let rank = shape.len();
+    let spec = mlb_ir::OpSpec::new(memref_stream::GENERIC)
+        .operands(vec![target])
+        .attr(
+            structured::INDEXING_MAPS,
+            Attribute::Array(vec![Attribute::Map(AffineMap::identity(rank))]),
+        )
+        .attr(
+            structured::ITERATOR_TYPES,
+            Attribute::Iterators(vec![IteratorType::Parallel; rank]),
+        )
+        .attr(structured::NUM_INPUTS, Attribute::Int(0))
+        .attr(structured::BOUNDS, Attribute::DenseI64(shape))
+        .regions(1);
+    let new = ctx.insert_op_before(op, spec);
+    let elem = mlb_dialects::structured::body_element_type(ctx, target);
+    let body = ctx.create_block(ctx.op(new).regions[0], vec![elem]);
+    ctx.append_op(body, mlb_ir::OpSpec::new(memref_stream::YIELD).operands(vec![value]));
+    ctx.erase_op(op);
+    Ok(())
+}
+
+fn convert_generic(ctx: &mut Context, op: OpId, pass: &str) -> Result<(), PassError> {
+    let g = linalg::GenericOp(op);
+    let bounds = g.bounds(ctx).ok_or_else(|| {
+        PassError::new(pass, "cannot infer iteration bounds; add an explicit `bounds` attribute")
+    })?;
+    let mut attrs = ctx.op(op).attrs.clone();
+    attrs.insert(structured::BOUNDS.to_string(), Attribute::DenseI64(bounds));
+    let spec = mlb_ir::OpSpec {
+        name: memref_stream::GENERIC.to_string(),
+        operands: ctx.op(op).operands.clone(),
+        result_types: vec![],
+        attrs,
+        num_regions: 1,
+        successors: vec![],
+    };
+    let new = ctx.insert_op_before(op, spec);
+    let old_body = g.body(ctx);
+    let arg_types: Vec<mlb_ir::Type> =
+        ctx.block_args(old_body).iter().map(|&a| ctx.value_type(a).clone()).collect();
+    let new_body = ctx.create_block(ctx.op(new).regions[0], arg_types);
+    let mut map = std::collections::HashMap::new();
+    for (i, &a) in ctx.block_args(old_body).to_vec().iter().enumerate() {
+        map.insert(a, ctx.block_args(new_body)[i]);
+    }
+    ctx.clone_block_ops(old_body, new_body, &mut map, true);
+    // Replace the linalg.yield terminator with the memref_stream one.
+    let old_yield = ctx.terminator(old_body);
+    let yields: Vec<mlb_ir::ValueId> = ctx
+        .op(old_yield)
+        .operands
+        .iter()
+        .map(|v| *map.get(v).unwrap_or(v))
+        .collect();
+    ctx.append_op(new_body, mlb_ir::OpSpec::new(memref_stream::YIELD).operands(yields));
+    ctx.erase_op(op);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlb_dialects::{arith, builtin, func};
+    use mlb_ir::Type;
+
+    fn registry() -> DialectRegistry {
+        let mut r = DialectRegistry::new();
+        mlb_dialects::register_all(&mut r);
+        r
+    }
+
+    #[test]
+    fn fill_becomes_parallel_generic() {
+        let mut ctx = Context::new();
+        let r = registry();
+        let (m, top) = builtin::build_module(&mut ctx);
+        let buf = Type::memref(vec![4, 8], Type::F64);
+        let (_f, entry) = func::build_func(&mut ctx, top, "z", vec![buf], vec![]);
+        let target = ctx.block_args(entry)[0];
+        let zero = arith::constant_float(&mut ctx, entry, 0.0, Type::F64);
+        linalg::build_fill(&mut ctx, entry, zero, target);
+        func::build_return(&mut ctx, entry, vec![]);
+
+        ConvertLinalgToMemrefStream.run(&mut ctx, &r, m).unwrap();
+        r.verify(&ctx, m).unwrap();
+        let generics = ctx.walk_named(m, memref_stream::GENERIC);
+        assert_eq!(generics.len(), 1);
+        let s = memref_stream::StreamGenericOp(generics[0]);
+        assert_eq!(s.bounds(&ctx), vec![4, 8]);
+        assert_eq!(s.generic().num_inputs(&ctx), 0);
+        assert!(ctx.walk_named(m, linalg::FILL).is_empty());
+    }
+
+    #[test]
+    fn generic_gains_explicit_bounds() {
+        let mut ctx = Context::new();
+        let r = registry();
+        let (m, top) = builtin::build_module(&mut ctx);
+        let buf = Type::memref(vec![4, 8], Type::F64);
+        let (_f, entry) =
+            func::build_func(&mut ctx, top, "sum", vec![buf.clone(), buf.clone(), buf], vec![]);
+        let x = ctx.block_args(entry)[0];
+        let y = ctx.block_args(entry)[1];
+        let z = ctx.block_args(entry)[2];
+        let id = AffineMap::identity(2);
+        linalg::build_generic(
+            &mut ctx,
+            entry,
+            vec![x, y],
+            vec![z],
+            vec![id.clone(), id.clone(), id],
+            vec![IteratorType::Parallel, IteratorType::Parallel],
+            None,
+            |ctx, body, args| vec![arith::binary(ctx, body, arith::ADDF, args[0], args[1])],
+        );
+        func::build_return(&mut ctx, entry, vec![]);
+
+        ConvertLinalgToMemrefStream.run(&mut ctx, &r, m).unwrap();
+        r.verify(&ctx, m).unwrap();
+        let generics = ctx.walk_named(m, memref_stream::GENERIC);
+        assert_eq!(generics.len(), 1);
+        let s = memref_stream::StreamGenericOp(generics[0]);
+        assert_eq!(s.bounds(&ctx), vec![4, 8]);
+        // Body carried over: one addf yielding.
+        let body = s.generic().body(&ctx);
+        assert_eq!(ctx.block_ops(body).len(), 2);
+        assert!(ctx.walk_named(m, linalg::GENERIC).is_empty());
+    }
+}

@@ -1,0 +1,646 @@
+//! `convert-to-rv`: the dialect conversion from the target-agnostic
+//! `func`/`scf`/`arith`/`memref`/`memref_stream` level down to the
+//! RISC-V dialects (`rv_func`, `rv_scf`, `rv`, `snitch_stream`).
+//!
+//! Types convert as: `index`/`iN` → `!rv.reg`, floats → `!rv.freg`,
+//! `memref` → `!rv.reg` (the base pointer). Streaming regions convert
+//! their affine [`StridePattern`]s into hardware [`StreamPattern`]s,
+//! applying the paper's pattern optimizations (Section 3.2): unit
+//! dimensions vanish, contiguous dimensions collapse, and a zero-stride
+//! innermost dimension becomes the SSR repeat counter.
+
+use std::collections::HashMap;
+
+use mlb_dialects::{arith, func, memref, memref_stream, scf};
+use mlb_ir::{
+    Attribute, BlockId, Context, DialectRegistry, OpId, Pass, PassError, StreamPattern,
+    StridePattern, Type, ValueId,
+};
+use mlb_isa::SSR_MAX_DIMS;
+use mlb_riscv::{rv, rv_func, rv_scf, snitch_stream};
+
+/// The pass object. `pattern_opts` controls the Section 3.2 stream
+/// pattern optimizations (contiguous-dimension collapse and the
+/// zero-stride repeat counter); disabling them is only useful for the
+/// design-choice ablation benches.
+#[derive(Debug, Clone, Copy)]
+pub struct ConvertToRv {
+    /// Apply the stream-pattern optimizations (default true).
+    pub pattern_opts: bool,
+}
+
+impl Default for ConvertToRv {
+    fn default() -> ConvertToRv {
+        ConvertToRv { pattern_opts: true }
+    }
+}
+
+impl Pass for ConvertToRv {
+    fn name(&self) -> &'static str {
+        "convert-to-rv"
+    }
+
+    fn run(
+        &self,
+        ctx: &mut Context,
+        _registry: &DialectRegistry,
+        root: OpId,
+    ) -> Result<(), PassError> {
+        let top = ctx.sole_block(ctx.op(root).regions[0]);
+        let funcs = ctx.walk_named(root, func::FUNC);
+        for old in funcs {
+            convert_function(ctx, top, old, self.pattern_opts)
+                .map_err(|m| PassError::new(self.name(), m))?;
+            ctx.erase_op(old);
+        }
+        Ok(())
+    }
+}
+
+fn convert_function(
+    ctx: &mut Context,
+    top: BlockId,
+    old: OpId,
+    pattern_opts: bool,
+) -> Result<(), String> {
+    let name = func::symbol_name(ctx, old).ok_or("function without a name")?.to_string();
+    let old_entry = func::entry_block(ctx, old);
+    let args: Vec<ValueId> = ctx.block_args(old_entry).to_vec();
+    let abi: Vec<rv_func::AbiArg> = args
+        .iter()
+        .map(|&a| match ctx.value_type(a) {
+            Type::F32 | Type::F64 => rv_func::AbiArg::Fp,
+            _ => rv_func::AbiArg::Int,
+        })
+        .collect();
+    let (new_func, new_entry) = rv_func::build_func(ctx, top, &name, &abi);
+    ctx.move_op_before(new_func, old);
+    let mut conv = Converter { map: HashMap::new(), pattern_opts };
+    for (i, &a) in args.iter().enumerate() {
+        conv.map.insert(a, ctx.block_args(new_entry)[i]);
+    }
+    conv.convert_block(ctx, old_entry, new_entry)
+}
+
+struct Converter {
+    map: HashMap<ValueId, ValueId>,
+    pattern_opts: bool,
+}
+
+impl Converter {
+    fn get(&self, v: ValueId) -> Result<ValueId, String> {
+        self.map.get(&v).copied().ok_or_else(|| "use of unconverted value".to_string())
+    }
+
+    fn convert_block(&mut self, ctx: &mut Context, old: BlockId, new: BlockId) -> Result<(), String> {
+        for op in ctx.block_ops(old).to_vec() {
+            self.convert_op(ctx, op, new)?;
+        }
+        Ok(())
+    }
+
+    fn convert_op(&mut self, ctx: &mut Context, op: OpId, block: BlockId) -> Result<(), String> {
+        let name = ctx.op(op).name.clone();
+        match name.as_str() {
+            arith::CONSTANT => {
+                let result = ctx.op(op).results[0];
+                let value = ctx.op(op).attr("value").cloned().ok_or("constant without value")?;
+                let new = match (value, ctx.value_type(result).clone()) {
+                    (Attribute::Int(0), _) => {
+                        rv::get_register(ctx, block, Type::IntRegister(Some(mlb_isa::IntReg::ZERO)))
+                    }
+                    (Attribute::Int(v), _) => rv::li(ctx, block, v),
+                    (Attribute::Float(v), ty) => self.materialize_float(ctx, block, v, &ty)?,
+                    _ => return Err("unsupported constant".to_string()),
+                };
+                self.map.insert(result, new);
+            }
+            _ if arith::FLOAT_BINARY_OPS.contains(&name.as_str()) => {
+                let o = ctx.op(op).clone();
+                let width = ctx.value_type(o.results[0]).clone();
+                let rv_name = float_op_name(&name, &width)?;
+                let a = self.get(o.operands[0])?;
+                let b = self.get(o.operands[1])?;
+                let new = rv::fp_binary(ctx, block, rv_name, a, b);
+                self.map.insert(o.results[0], new);
+            }
+            _ if arith::INT_BINARY_OPS.contains(&name.as_str()) => {
+                let o = ctx.op(op).clone();
+                let const_of = |ctx: &Context, v: ValueId| {
+                    arith::constant_value(ctx, v).and_then(Attribute::as_int)
+                };
+                let (ca, cb) = (const_of(ctx, o.operands[0]), const_of(ctx, o.operands[1]));
+                // Immediate forms where the ISA provides them.
+                let new = match (name.as_str(), ca, cb) {
+                    (arith::ADDI, _, Some(c)) if in_imm12(c) => {
+                        let a = self.get(o.operands[0])?;
+                        rv::int_imm(ctx, block, rv::ADDI, a, c)
+                    }
+                    (arith::ADDI, Some(c), _) if in_imm12(c) => {
+                        let b = self.get(o.operands[1])?;
+                        rv::int_imm(ctx, block, rv::ADDI, b, c)
+                    }
+                    (arith::SUBI, _, Some(c)) if in_imm12(-c) => {
+                        let a = self.get(o.operands[0])?;
+                        rv::int_imm(ctx, block, rv::ADDI, a, -c)
+                    }
+                    (arith::MULI, _, Some(c)) if c > 0 && c.count_ones() == 1 => {
+                        let a = self.get(o.operands[0])?;
+                        rv::int_imm(ctx, block, rv::SLLI, a, c.trailing_zeros() as i64)
+                    }
+                    (arith::MULI, Some(c), _) if c > 0 && c.count_ones() == 1 => {
+                        let b = self.get(o.operands[1])?;
+                        rv::int_imm(ctx, block, rv::SLLI, b, c.trailing_zeros() as i64)
+                    }
+                    // Small-popcount constants become shift-add chains,
+                    // avoiding a `li` that would stay live across the
+                    // whole loop nest (LLVM does the same).
+                    (arith::MULI, _, Some(c)) if c > 0 && c.count_ones() <= 4 => {
+                        let a = self.get(o.operands[0])?;
+                        shift_add_multiply(ctx, block, a, c)
+                    }
+                    (arith::MULI, Some(c), _) if c > 0 && c.count_ones() <= 4 => {
+                        let b = self.get(o.operands[1])?;
+                        shift_add_multiply(ctx, block, b, c)
+                    }
+                    _ => {
+                        let rv_name = match name.as_str() {
+                            arith::ADDI => rv::ADD,
+                            arith::SUBI => rv::SUB,
+                            arith::MULI => rv::MUL,
+                            _ => unreachable!(),
+                        };
+                        let a = self.get(o.operands[0])?;
+                        let b = self.get(o.operands[1])?;
+                        rv::int_binary(ctx, block, rv_name, a, b)
+                    }
+                };
+                self.map.insert(o.results[0], new);
+            }
+            func::RETURN => {
+                if !ctx.op(op).operands.is_empty() {
+                    return Err("kernels return through memory, not values".to_string());
+                }
+                rv_func::build_ret(ctx, block);
+            }
+            scf::FOR => {
+                self.convert_for(ctx, op, block)?;
+            }
+            memref::LOAD => {
+                let o = ctx.op(op).clone();
+                let (base, imm) = self.address(ctx, block, o.operands[0], &o.operands[1..])?;
+                let elem = ctx.value_type(o.results[0]).clone();
+                let op_name = if elem == Type::F32 { rv::FLW } else { rv::FLD };
+                let new = rv::fp_load(ctx, block, op_name, base, imm);
+                self.map.insert(o.results[0], new);
+            }
+            memref::STORE => {
+                let o = ctx.op(op).clone();
+                let value = self.get(o.operands[0])?;
+                let (base, imm) = self.address(ctx, block, o.operands[1], &o.operands[2..])?;
+                let elem = ctx.value_type(o.operands[0]).clone();
+                let op_name = if elem == Type::F32 { rv::FSW } else { rv::FSD };
+                rv::fp_store(ctx, block, op_name, value, base, imm);
+            }
+            memref_stream::STREAMING_REGION => {
+                self.convert_streaming_region(ctx, op, block)?;
+            }
+            memref_stream::READ => {
+                let o = ctx.op(op).clone();
+                let stream = self.get(o.operands[0])?;
+                self.map.insert(o.results[0], stream);
+            }
+            memref_stream::WRITE => {
+                let o = ctx.op(op).clone();
+                let value = self.get(o.operands[0])?;
+                let stream = self.get(o.operands[1])?;
+                snitch_stream::build_write(ctx, block, value, stream);
+            }
+            other => return Err(format!("no conversion for operation `{other}`")),
+        }
+        Ok(())
+    }
+
+    fn materialize_float(
+        &mut self,
+        ctx: &mut Context,
+        block: BlockId,
+        v: f64,
+        ty: &Type,
+    ) -> Result<ValueId, String> {
+        if v.fract() != 0.0 || v.abs() > i32::MAX as f64 {
+            return Err(format!(
+                "only integral float constants are materializable without a constant pool (got {v})"
+            ));
+        }
+        let int = if v == 0.0 {
+            rv::get_register(ctx, block, Type::IntRegister(Some(mlb_isa::IntReg::ZERO)))
+        } else {
+            rv::li(ctx, block, v as i64)
+        };
+        let cvt = if *ty == Type::F32 { rv::FCVT_S_W } else { rv::FCVT_D_W };
+        let op = ctx.append_op(
+            block,
+            mlb_ir::OpSpec::new(cvt).operands(vec![int]).results(vec![rv::freg()]),
+        );
+        Ok(ctx.op(op).results[0])
+    }
+
+    /// Computes the base register and constant byte offset for a memref
+    /// access, folding constant indices into the immediate.
+    fn address(
+        &mut self,
+        ctx: &mut Context,
+        block: BlockId,
+        memref_value: ValueId,
+        indices: &[ValueId],
+    ) -> Result<(ValueId, i64), String> {
+        let Type::MemRef(m) = ctx.value_type(memref_value).clone() else {
+            return Err("address of non-memref".to_string());
+        };
+        let esz = m.element.size_in_bytes() as i64;
+        let strides = m.element_strides();
+        let mut base = self.get(memref_value)?;
+        let mut imm = 0i64;
+        for (&index, &stride) in indices.iter().zip(&strides) {
+            let byte_stride = stride * esz;
+            if let Some(c) = arith::constant_value(ctx, index).and_then(Attribute::as_int) {
+                imm += c * byte_stride;
+                continue;
+            }
+            let idx = self.get(index)?;
+            let term = if byte_stride.count_ones() == 1 {
+                rv::int_imm(ctx, block, rv::SLLI, idx, byte_stride.trailing_zeros() as i64)
+            } else if byte_stride > 0 && byte_stride.count_ones() <= 4 {
+                shift_add_multiply(ctx, block, idx, byte_stride)
+            } else {
+                let c = rv::li(ctx, block, byte_stride);
+                rv::int_binary(ctx, block, rv::MUL, idx, c)
+            };
+            base = rv::int_binary(ctx, block, rv::ADD, base, term);
+        }
+        Ok((base, imm))
+    }
+
+    fn convert_for(&mut self, ctx: &mut Context, op: OpId, block: BlockId) -> Result<(), String> {
+        let for_op = scf::ForOp(op);
+        let lb = self.get(for_op.lower_bound(ctx))?;
+        let ub = self.get(for_op.upper_bound(ctx))?;
+        let step = self.get(for_op.step(ctx))?;
+        let inits = for_op
+            .iter_inits(ctx)
+            .to_vec()
+            .into_iter()
+            .map(|v| self.get(v))
+            .collect::<Result<Vec<_>, _>>()?;
+        let result_types: Vec<Type> = inits.iter().map(|&v| ctx.value_type(v).clone()).collect();
+        let mut operands = vec![lb, ub, step];
+        operands.extend(inits);
+        let new = ctx.append_op(
+            block,
+            mlb_ir::OpSpec::new(rv_scf::FOR)
+                .operands(operands)
+                .results(result_types.clone())
+                .regions(1),
+        );
+        let mut arg_types = vec![Type::IntRegister(None)];
+        arg_types.extend(result_types);
+        let new_body = ctx.create_block(ctx.op(new).regions[0], arg_types);
+        let old_body = for_op.body(ctx);
+        // Map induction variable and iteration args.
+        for (i, &a) in ctx.block_args(old_body).to_vec().iter().enumerate() {
+            self.map.insert(a, ctx.block_args(new_body)[i]);
+        }
+        // Convert body ops except the terminator, then the yield.
+        let body_ops = ctx.block_ops(old_body).to_vec();
+        for &bop in &body_ops[..body_ops.len() - 1] {
+            self.convert_op(ctx, bop, new_body)?;
+        }
+        let yield_op = ctx.terminator(old_body);
+        let yields = ctx
+            .op(yield_op)
+            .operands
+            .to_vec()
+            .into_iter()
+            .map(|v| self.get(v))
+            .collect::<Result<Vec<_>, _>>()?;
+        ctx.append_op(new_body, mlb_ir::OpSpec::new(rv_scf::YIELD).operands(yields));
+        for (i, &r) in ctx.op(op).results.to_vec().iter().enumerate() {
+            self.map.insert(r, ctx.op(new).results[i]);
+        }
+        Ok(())
+    }
+
+    fn convert_streaming_region(
+        &mut self,
+        ctx: &mut Context,
+        op: OpId,
+        block: BlockId,
+    ) -> Result<(), String> {
+        let region = memref_stream::StreamingRegionOp(op);
+        let num_inputs = region.num_inputs(ctx);
+        let memrefs = region.memrefs(ctx).to_vec();
+        let offsets = region.offsets(ctx).map(<[ValueId]>::to_vec);
+        let patterns = region.patterns(ctx);
+
+        // Base pointers, with element offsets folded in.
+        let mut bases = Vec::new();
+        for (i, &mr) in memrefs.iter().enumerate() {
+            let Type::MemRef(m) = ctx.value_type(mr).clone() else {
+                return Err("streamed operand is not a memref".to_string());
+            };
+            let esz = m.element.size_in_bytes() as i64;
+            let mut base = self.get(mr)?;
+            if let Some(offsets) = &offsets {
+                let off = offsets[i];
+                let is_zero =
+                    arith::constant_value(ctx, off).and_then(Attribute::as_int) == Some(0);
+                if !is_zero {
+                    let off_reg = self.get(off)?;
+                    let bytes = if esz.count_ones() == 1 {
+                        rv::int_imm(ctx, block, rv::SLLI, off_reg, esz.trailing_zeros() as i64)
+                    } else {
+                        let c = rv::li(ctx, block, esz);
+                        rv::int_binary(ctx, block, rv::MUL, off_reg, c)
+                    };
+                    base = rv::int_binary(ctx, block, rv::ADD, base, bytes);
+                }
+            }
+            bases.push(base);
+        }
+
+        // Hardware patterns plus any constant map offsets, folded into
+        // the base pointers below.
+        let hw = memrefs
+            .iter()
+            .zip(&patterns)
+            .map(|(&mr, p)| {
+                let Type::MemRef(m) = ctx.value_type(mr).clone() else {
+                    return Err("streamed operand is not a memref".to_string());
+                };
+                hardware_pattern_with(p, &m, self.pattern_opts)
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let hw_patterns: Vec<StreamPattern> = hw.iter().map(|(p, _)| p.clone()).collect();
+        for (i, (_, byte_off)) in hw.iter().enumerate() {
+            if *byte_off != 0 {
+                let adjusted = rv::int_imm(ctx, block, rv::ADDI, bases[i], *byte_off);
+                bases[i] = adjusted;
+            }
+        }
+
+        let input_ptrs = bases[..num_inputs].to_vec();
+        let output_ptrs = bases[num_inputs..].to_vec();
+        let old_body = region.body(ctx);
+        let old_args = ctx.block_args(old_body).to_vec();
+        let mut inner_err = Ok(());
+        let new_region = snitch_stream::build_streaming_region(
+            ctx,
+            block,
+            input_ptrs,
+            output_ptrs,
+            hw_patterns,
+            |ctx, body, streams| {
+                for (i, &a) in old_args.iter().enumerate() {
+                    self.map.insert(a, streams[i]);
+                }
+                inner_err = self.convert_block(ctx, old_body, body);
+            },
+        );
+        let _ = new_region;
+        inner_err
+    }
+}
+
+fn float_op_name(name: &str, ty: &Type) -> Result<&'static str, String> {
+    // `ty` is the *pre-conversion* float type of the result.
+    let f32_t = matches!(ty, Type::F32);
+    match (name, f32_t) {
+        (arith::ADDF, false) => Ok(rv::FADD_D),
+        (arith::SUBF, false) => Ok(rv::FSUB_D),
+        (arith::MULF, false) => Ok(rv::FMUL_D),
+        (arith::DIVF, false) => Ok(rv::FDIV_D),
+        (arith::MAXIMUMF, false) => Ok(rv::FMAX_D),
+        (arith::ADDF, true) => Ok(rv::FADD_S),
+        (arith::SUBF, true) => Ok(rv::FSUB_S),
+        (arith::MULF, true) => Ok(rv::FMUL_S),
+        (arith::MAXIMUMF, true) => Ok(rv::FMAX_S),
+        (other, _) => Err(format!("no RISC-V lowering for `{other}` at this type")),
+    }
+}
+
+/// Converts an affine [`StridePattern`] into the hardware
+/// [`StreamPattern`] plus the constant byte offset of the map (added to
+/// the base pointer by the caller), applying the Section 3.2
+/// optimizations.
+///
+/// # Errors
+///
+/// Fails if the pattern is non-linear or needs more than
+/// [`SSR_MAX_DIMS`] hardware dimensions after simplification.
+pub fn hardware_pattern(
+    pattern: &StridePattern,
+    memref_ty: &mlb_ir::MemRefType,
+) -> Result<(StreamPattern, i64), String> {
+    hardware_pattern_with(pattern, memref_ty, true)
+}
+
+/// [`hardware_pattern`] with the Section 3.2 optimizations toggleable.
+///
+/// # Errors
+///
+/// Same as [`hardware_pattern`].
+pub fn hardware_pattern_with(
+    pattern: &StridePattern,
+    memref_ty: &mlb_ir::MemRefType,
+    optimize: bool,
+) -> Result<(StreamPattern, i64), String> {
+    if !pattern.index_map.is_linear() {
+        return Err("stream access pattern must be linear".to_string());
+    }
+    let esz = memref_ty.element.size_in_bytes() as i64;
+    let mem_strides = memref_ty.element_strides();
+    // Constant term of the map: the byte offset of iteration (0, .., 0).
+    let at_zero = pattern.index_map.eval(&vec![0; pattern.ub.len()], &[]);
+    let base_offset: i64 =
+        at_zero.iter().zip(&mem_strides).map(|(i, s)| i * s).sum::<i64>() * esz;
+    let n = pattern.ub.len();
+    // Innermost-first logical (ub, byte stride) pairs.
+    let mut dims: Vec<(i64, i64)> = (0..n)
+        .rev()
+        .map(|d| {
+            let coeffs = pattern.index_map.dim_coefficients(d);
+            let stride: i64 =
+                coeffs.iter().zip(&mem_strides).map(|(c, s)| c * s).sum::<i64>() * esz;
+            (pattern.ub[d], stride)
+        })
+        .collect();
+
+    // Unit dimensions are no-ops.
+    dims.retain(|&(b, _)| b != 1);
+    // Zero-stride innermost dimensions become the repeat counter
+    // ("a stride of 0 in the last dimension represents a repeated memory
+    // access to the same location").
+    let mut repeat: i64 = 1;
+    if optimize {
+        while let Some(&(b, 0)) = dims.first() {
+            repeat *= b;
+            dims.remove(0);
+        }
+        // Contiguous adjacent dimensions collapse ("detect and remove
+        // contiguous accesses").
+        let mut i = 0;
+        while i + 1 < dims.len() {
+            let (b0, s0) = dims[i];
+            let (b1, s1) = dims[i + 1];
+            if s1 == s0 * b0 {
+                dims[i] = (b0 * b1, s0);
+                dims.remove(i + 1);
+            } else {
+                i += 1;
+            }
+        }
+    }
+    if dims.is_empty() {
+        dims.push((1, 0));
+    }
+    if dims.len() > SSR_MAX_DIMS {
+        return Err(format!(
+            "access pattern needs {} dimensions; the SSRs support {SSR_MAX_DIMS}",
+            dims.len()
+        ));
+    }
+    let (ub, strides): (Vec<i64>, Vec<i64>) = dims.into_iter().unzip();
+    Ok((StreamPattern::from_logical(ub, strides, repeat - 1), base_offset))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlb_ir::{AffineExpr, AffineMap, MemRefType};
+
+    #[test]
+    fn contiguous_matrix_walk_collapses_to_one_dim() {
+        // B(200x5) walked column-inner then row: (k, n) over [200, 5]
+        // with map (d0, d1) -> (d0, d1): innermost stride 8, outer 40 ==
+        // 5*8: fully contiguous -> one dimension of 1000 elements.
+        let m = MemRefType::new(vec![200, 5], Type::F64);
+        let p = StridePattern::new(vec![200, 5], AffineMap::identity(2));
+        let (hw, off) = hardware_pattern(&p, &m).unwrap();
+        assert_eq!(off, 0);
+        assert_eq!(hw.ub, vec![1000]);
+        assert_eq!(hw.strides, vec![8]);
+        assert_eq!(hw.repeat, 0);
+    }
+
+    #[test]
+    fn zero_stride_innermost_becomes_repeat() {
+        // X(200) with map (d0, d1) -> (d0) over bounds [200, 5]: the
+        // innermost (d1) does not move: each element delivered 5 times.
+        let m = MemRefType::new(vec![200], Type::F64);
+        let map = AffineMap::new(2, 0, vec![AffineExpr::dim(0)]);
+        let p = StridePattern::new(vec![200, 5], map);
+        let (hw, _off) = hardware_pattern(&p, &m).unwrap();
+        assert_eq!(hw.ub, vec![200]);
+        assert_eq!(hw.strides, vec![8]);
+        assert_eq!(hw.repeat, 4);
+    }
+
+    #[test]
+    fn unit_dims_are_dropped() {
+        let m = MemRefType::new(vec![1, 16], Type::F64);
+        let p = StridePattern::new(vec![1, 16], AffineMap::identity(2));
+        let (hw, _off) = hardware_pattern(&p, &m).unwrap();
+        assert_eq!(hw.ub, vec![16]);
+        assert_eq!(hw.strides, vec![8]);
+    }
+
+    #[test]
+    fn conv_window_pattern_has_hardware_strides() {
+        // X((H+2)x(W+2)) accessed at (h + kh, 4*wo + wi + kw) over
+        // iteration dims [wo, kh, kw, wi] (the region sits inside the h
+        // loop, which was zeroed out of the map).
+        let h_plus = 6i64;
+        let w_plus = 6i64;
+        let m = MemRefType::new(vec![h_plus, w_plus], Type::F64);
+        let map = AffineMap::new(
+            4,
+            0,
+            vec![
+                AffineExpr::dim(1), // kh
+                AffineExpr::dim(0)
+                    .mul_const(4)
+                    .add(AffineExpr::dim(3))
+                    .add(AffineExpr::dim(2)),
+            ],
+        );
+        let p = StridePattern::new(vec![1, 3, 3, 4], map);
+        let (hw, _off) = hardware_pattern(&p, &m).unwrap();
+        // Innermost first: wi (4 x 8B), kw (3 x 8B), kh (3 x 48B), wo
+        // dropped (bound 1).
+        assert_eq!(hw.ub, vec![4, 3, 3]);
+        assert_eq!(hw.rank(), 3);
+        // Cross-check the generated addresses against the affine map.
+        let offsets = hw.offsets();
+        let mut k = 0;
+        for kh in 0..3 {
+            for kw in 0..3 {
+                for wi in 0..4 {
+                    let expect = (kh * w_plus + wi + kw) * 8;
+                    assert_eq!(offsets[k], expect, "at kh={kh} kw={kw} wi={wi}");
+                    k += 1;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn too_many_dims_is_an_error() {
+        let m = MemRefType::new(vec![2, 3, 5, 7, 11], Type::F64);
+        let p = StridePattern::new(vec![2, 3, 5, 7, 11], AffineMap::identity(5));
+        // Strides: innermost 8 contiguous all the way up -> collapses to
+        // one dim, so use a transposed map to defeat collapsing.
+        let map = AffineMap::new(
+            5,
+            0,
+            vec![
+                AffineExpr::dim(4),
+                AffineExpr::dim(2),
+                AffineExpr::dim(0),
+                AffineExpr::dim(3),
+                AffineExpr::dim(1),
+            ],
+        );
+        let p2 = StridePattern::new(vec![2, 3, 5, 7, 11], map);
+        assert!(hardware_pattern(&p, &m).is_ok());
+        assert!(hardware_pattern(&p2, &m).is_err());
+    }
+}
+
+/// Whether `c` fits a 12-bit signed RISC-V immediate.
+fn in_imm12(c: i64) -> bool {
+    (-2048..2048).contains(&c)
+}
+
+/// `x * c` for a positive constant, as one shift per set bit combined
+/// with adds.
+fn shift_add_multiply(
+    ctx: &mut Context,
+    block: BlockId,
+    x: ValueId,
+    c: i64,
+) -> ValueId {
+    debug_assert!(c > 0);
+    let mut acc: Option<ValueId> = None;
+    for bit in 0..63 {
+        if c & (1 << bit) == 0 {
+            continue;
+        }
+        let term = if bit == 0 { x } else { rv::int_imm(ctx, block, rv::SLLI, x, bit) };
+        acc = Some(match acc {
+            None => term,
+            Some(a) => rv::int_binary(ctx, block, rv::ADD, a, term),
+        });
+    }
+    acc.expect("at least one bit set")
+}

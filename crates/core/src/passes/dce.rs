@@ -1,0 +1,59 @@
+//! A standalone dead-code-elimination pass, run late in the pipeline to
+//! clean up values orphaned by FREP conversion and streaming lowering
+//! (loop bounds of converted loops, staging constants).
+//!
+//! Must run before register allocation: pinned results are never erased,
+//! but plain dead values would otherwise waste registers.
+
+use mlb_ir::{eliminate_dead_code, Context, DialectRegistry, OpId, Pass, PassError};
+
+/// The pass object.
+#[derive(Debug, Default)]
+pub struct DeadCodeElimination;
+
+impl Pass for DeadCodeElimination {
+    fn name(&self) -> &'static str {
+        "dce"
+    }
+
+    fn run(
+        &self,
+        ctx: &mut Context,
+        registry: &DialectRegistry,
+        root: OpId,
+    ) -> Result<(), PassError> {
+        eliminate_dead_code(ctx, registry, root);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlb_ir::{OpSpec, Type};
+    use mlb_riscv::{rv, rv_func};
+
+    #[test]
+    fn dead_li_is_removed_but_pinned_fpu_op_is_kept() {
+        let mut ctx = Context::new();
+        let mut registry = DialectRegistry::new();
+        registry.register(mlb_ir::OpInfo::new("builtin.module"));
+        mlb_riscv::register_all(&mut registry);
+        let m = ctx.create_detached_op(OpSpec::new("builtin.module").regions(1));
+        let top = ctx.create_block(ctx.op(m).regions[0], vec![]);
+        let (_f, entry) = rv_func::build_func(&mut ctx, top, "f", &[]);
+        let _dead = rv::li(&mut ctx, entry, 42);
+        let ft0 = rv::get_register(&mut ctx, entry, Type::FpRegister(Some(mlb_isa::FpReg::ft(0))));
+        // An unused result pinned to ft2: a stream write in disguise.
+        let pinned = ctx.append_op(
+            entry,
+            OpSpec::new(rv::FADD_D)
+                .operands(vec![ft0, ft0])
+                .results(vec![Type::FpRegister(Some(mlb_isa::FpReg::ft(2)))]),
+        );
+        rv_func::build_ret(&mut ctx, entry);
+        DeadCodeElimination.run(&mut ctx, &registry, m).unwrap();
+        assert!(ctx.walk_named(m, rv::LI).is_empty());
+        assert!(ctx.is_alive(pinned));
+    }
+}

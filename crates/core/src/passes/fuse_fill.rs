@@ -1,0 +1,203 @@
+//! `memref-stream-fuse-fill`: fuses the zero- (or constant-)
+//! initialization of an output buffer into the consuming reduction
+//! generic (Table 3, "Fuse Fill").
+//!
+//! After fusion the reduction can ignore the previous contents of its
+//! result buffer: the accumulators start from the fused initial value
+//! instead of being loaded, making the output write-only and therefore
+//! streamable (Section 4.4).
+
+use mlb_dialects::memref_stream;
+use mlb_ir::{Attribute, Context, DialectRegistry, IteratorType, OpId, Pass, PassError};
+
+/// The pass object.
+#[derive(Debug, Default)]
+pub struct MemrefStreamFuseFill;
+
+impl Pass for MemrefStreamFuseFill {
+    fn name(&self) -> &'static str {
+        "memref-stream-fuse-fill"
+    }
+
+    fn run(
+        &self,
+        ctx: &mut Context,
+        _registry: &DialectRegistry,
+        root: OpId,
+    ) -> Result<(), PassError> {
+        // Find (fill-generic, reduction-generic) pairs over the same
+        // output inside the same block, with the fill directly preceding.
+        let candidates = ctx.walk_named(root, memref_stream::GENERIC);
+        for op in candidates {
+            if !ctx.is_alive(op) {
+                continue;
+            }
+            try_fuse(ctx, op);
+        }
+        Ok(())
+    }
+}
+
+/// Whether `op` is a pure fill: a parallel generic with no inputs whose
+/// body just yields a value defined outside the body.
+fn fill_value(ctx: &Context, op: OpId) -> Option<mlb_ir::ValueId> {
+    let s = memref_stream::StreamGenericOp(op);
+    if s.generic().num_inputs(ctx) != 0 || s.num_inits(ctx) != 0 {
+        return None;
+    }
+    if !s.generic().iterator_types(ctx).iter().all(|&it| it == IteratorType::Parallel) {
+        return None;
+    }
+    let body = s.generic().body(ctx);
+    let ops = ctx.block_ops(body);
+    if ops.len() != 1 {
+        return None;
+    }
+    let yielded = ctx.op(ops[0]).operands[0];
+    // The value must come from outside the body (a constant or argument).
+    match ctx.value_kind(yielded) {
+        mlb_ir::ValueKind::BlockArg { block, .. } if block == body => None,
+        _ => Some(yielded),
+    }
+}
+
+fn try_fuse(ctx: &mut Context, consumer: OpId) {
+    let s = memref_stream::StreamGenericOp(consumer);
+    if s.num_inits(ctx) != 0 {
+        return;
+    }
+    // Only reductions benefit; the init seeds the accumulators.
+    let has_reduction = s
+        .generic()
+        .iterator_types(ctx)
+        .iter()
+        .any(|&it| it == IteratorType::Reduction);
+    if !has_reduction {
+        return;
+    }
+    let outputs: Vec<_> = s.outputs(ctx).to_vec();
+    if outputs.len() != 1 {
+        return;
+    }
+    // The directly preceding op in the same block must fill this output.
+    let pos = ctx.op_position(consumer);
+    if pos == 0 {
+        return;
+    }
+    let block = ctx.op(consumer).parent.expect("attached");
+    let prev = ctx.block_ops(block)[pos - 1];
+    if ctx.op(prev).name != memref_stream::GENERIC {
+        return;
+    }
+    let prev_s = memref_stream::StreamGenericOp(prev);
+    if prev_s.outputs(ctx) != [outputs[0]] {
+        return;
+    }
+    let Some(value) = fill_value(ctx, prev) else { return };
+
+    // Fuse: append the init operand and erase the fill.
+    ctx.op_mut(consumer).operands.push(value);
+    ctx.op_mut(consumer)
+        .attrs
+        .insert(memref_stream::NUM_INITS.to_string(), Attribute::Int(1));
+    ctx.erase_op(prev);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::passes::convert_linalg::ConvertLinalgToMemrefStream;
+    use mlb_dialects::{arith, builtin, func, linalg};
+    use mlb_ir::{AffineExpr, AffineMap, Type};
+
+    fn registry() -> DialectRegistry {
+        let mut r = DialectRegistry::new();
+        mlb_dialects::register_all(&mut r);
+        r
+    }
+
+    /// Builds fill + matvec-style reduction over the same output.
+    fn build_module(ctx: &mut Context) -> OpId {
+        let (m, top) = builtin::build_module(ctx);
+        let a_ty = Type::memref(vec![4, 8], Type::F64);
+        let x_ty = Type::memref(vec![8], Type::F64);
+        let z_ty = Type::memref(vec![4], Type::F64);
+        let (_f, entry) = func::build_func(ctx, top, "matvec", vec![a_ty, x_ty, z_ty], vec![]);
+        let a = ctx.block_args(entry)[0];
+        let x = ctx.block_args(entry)[1];
+        let z = ctx.block_args(entry)[2];
+        let zero = arith::constant_float(ctx, entry, 0.0, Type::F64);
+        linalg::build_fill(ctx, entry, zero, z);
+        let a_map = AffineMap::identity(2);
+        let x_map = AffineMap::new(2, 0, vec![AffineExpr::dim(1)]);
+        let z_map = AffineMap::new(2, 0, vec![AffineExpr::dim(0)]);
+        linalg::build_generic(
+            ctx,
+            entry,
+            vec![a, x],
+            vec![z],
+            vec![a_map, x_map, z_map],
+            vec![mlb_ir::IteratorType::Parallel, mlb_ir::IteratorType::Reduction],
+            None,
+            |ctx, body, args| {
+                let p = arith::binary(ctx, body, arith::MULF, args[0], args[1]);
+                vec![arith::binary(ctx, body, arith::ADDF, p, args[2])]
+            },
+        );
+        func::build_return(ctx, entry, vec![]);
+        m
+    }
+
+    #[test]
+    fn fill_fuses_into_reduction() {
+        let mut ctx = Context::new();
+        let r = registry();
+        let m = build_module(&mut ctx);
+        ConvertLinalgToMemrefStream.run(&mut ctx, &r, m).unwrap();
+        assert_eq!(ctx.walk_named(m, memref_stream::GENERIC).len(), 2);
+
+        MemrefStreamFuseFill.run(&mut ctx, &r, m).unwrap();
+        r.verify(&ctx, m).unwrap();
+        let generics = ctx.walk_named(m, memref_stream::GENERIC);
+        assert_eq!(generics.len(), 1, "fill generic should be erased");
+        let s = memref_stream::StreamGenericOp(generics[0]);
+        assert_eq!(s.num_inits(&ctx), 1);
+        assert_eq!(s.inits(&ctx).len(), 1);
+        assert_eq!(s.outputs(&ctx).len(), 1);
+        // The init is the zero constant.
+        assert_eq!(
+            mlb_dialects::arith::constant_value(&ctx, s.inits(&ctx)[0])
+                .and_then(Attribute::as_float),
+            Some(0.0)
+        );
+    }
+
+    #[test]
+    fn parallel_consumer_is_not_fused() {
+        let mut ctx = Context::new();
+        let r = registry();
+        let (m, top) = builtin::build_module(&mut ctx);
+        let buf = Type::memref(vec![4], Type::F64);
+        let (_f, entry) = func::build_func(&mut ctx, top, "f", vec![buf.clone(), buf], vec![]);
+        let x = ctx.block_args(entry)[0];
+        let z = ctx.block_args(entry)[1];
+        let zero = arith::constant_float(&mut ctx, entry, 0.0, Type::F64);
+        linalg::build_fill(&mut ctx, entry, zero, z);
+        let id = AffineMap::identity(1);
+        linalg::build_generic(
+            &mut ctx,
+            entry,
+            vec![x],
+            vec![z],
+            vec![id.clone(), id],
+            vec![mlb_ir::IteratorType::Parallel],
+            None,
+            |ctx, body, args| vec![arith::binary(ctx, body, arith::ADDF, args[0], args[0])],
+        );
+        func::build_return(&mut ctx, entry, vec![]);
+        ConvertLinalgToMemrefStream.run(&mut ctx, &r, m).unwrap();
+        MemrefStreamFuseFill.run(&mut ctx, &r, m).unwrap();
+        // Both generics survive: the consumer is parallel (overwrites).
+        assert_eq!(ctx.walk_named(m, memref_stream::GENERIC).len(), 2);
+    }
+}

@@ -1,0 +1,445 @@
+//! `rv-loop-opt`: loop-invariant code motion and induction-variable
+//! strength reduction on `rv_scf` loops.
+//!
+//! These are the standard optimizations the LLVM backend applies to the
+//! comparison flows of the evaluation (Section 4.4): without them the
+//! naive per-iteration address arithmetic would make the MLIR-like and
+//! Clang-like flows unrealistically slow. They are deliberately *not*
+//! part of the multi-level flow's own pipeline — there the streams
+//! eliminate address arithmetic altogether.
+
+use mlb_ir::{Attribute, Context, DialectRegistry, OpId, Pass, PassError, Type, ValueId};
+use mlb_riscv::{rv, rv_scf};
+
+/// The pass object.
+#[derive(Debug, Default)]
+pub struct RvLoopOptimize;
+
+impl Pass for RvLoopOptimize {
+    fn name(&self) -> &'static str {
+        "rv-loop-opt"
+    }
+
+    fn run(
+        &self,
+        ctx: &mut Context,
+        _registry: &DialectRegistry,
+        root: OpId,
+    ) -> Result<(), PassError> {
+        // Innermost-first so hoisted code can keep moving outwards.
+        let mut loops = ctx.walk_named(root, rv_scf::FOR);
+        loops.reverse();
+        for op in loops {
+            if ctx.is_alive(op) {
+                hoist_invariants(ctx, op);
+            }
+        }
+        // Merge the duplicates the hoisting surfaced *before* strength
+        // reduction, so equal bases share one carried pointer.
+        for block in all_blocks(ctx, root) {
+            local_cse(ctx, block);
+        }
+        // Strength reduction only targets innermost loops: carried
+        // pointers in every level of a deep nest would exceed the
+        // spill-free register budget.
+        for op in ctx.walk_named(root, rv_scf::FOR) {
+            if !ctx.is_alive(op) {
+                continue;
+            }
+            let body = rv_scf::RvForOp(op).body(ctx);
+            let innermost =
+                ctx.block_ops(body).iter().all(|&o| ctx.op(o).name != rv_scf::FOR);
+            if innermost {
+                strength_reduce(ctx, op);
+            }
+        }
+        // A final cleanup round.
+        for block in all_blocks(ctx, root) {
+            local_cse(ctx, block);
+        }
+        Ok(())
+    }
+}
+
+/// Every block nested under `root`'s functions.
+fn all_blocks(ctx: &Context, root: OpId) -> Vec<mlb_ir::BlockId> {
+    let mut blocks = Vec::new();
+    for func in ctx.walk_named(root, mlb_riscv::rv_func::FUNC) {
+        let mut stack = vec![func];
+        while let Some(op) = stack.pop() {
+            for &region in &ctx.op(op).regions.clone() {
+                for &block in ctx.region_blocks(region).to_vec().iter() {
+                    blocks.push(block);
+                    stack.extend(ctx.block_ops(block).iter().copied());
+                }
+            }
+        }
+    }
+    blocks
+}
+
+/// Common-subexpression elimination within one block for pure integer
+/// computations (`li`, `mv`, `add`, `sub`, `mul`, `addi`, `slli`).
+fn local_cse(ctx: &mut Context, block: mlb_ir::BlockId) {
+    let mut seen: std::collections::HashMap<(String, Vec<ValueId>, String), ValueId> =
+        std::collections::HashMap::new();
+    for op in ctx.block_ops(block).to_vec() {
+        if !ctx.is_alive(op) {
+            continue;
+        }
+        let name = ctx.op(op).name.clone();
+        if !matches!(
+            name.as_str(),
+            rv::LI | rv::MV | rv::ADD | rv::SUB | rv::MUL | rv::ADDI | rv::SLLI
+        ) {
+            continue;
+        }
+        // Pinned results carry extra semantics: leave them alone.
+        let result = ctx.op(op).results[0];
+        if ctx.value_type(result).is_allocated_register() {
+            continue;
+        }
+        let key = (
+            name,
+            ctx.op(op).operands.clone(),
+            format!("{:?}", ctx.op(op).attrs),
+        );
+        match seen.get(&key) {
+            Some(&canonical) => {
+                ctx.replace_all_uses(result, canonical);
+                ctx.erase_op(op);
+            }
+            None => {
+                seen.insert(key, result);
+            }
+        }
+    }
+}
+
+/// Whether `v` is defined outside the region(s) of `loop_op`.
+fn defined_outside(ctx: &Context, loop_op: OpId, v: ValueId) -> bool {
+    let inner: std::collections::BTreeSet<OpId> = ctx.walk(loop_op).into_iter().collect();
+    match ctx.value_kind(v) {
+        mlb_ir::ValueKind::OpResult { op, .. } => !inner.contains(&op),
+        mlb_ir::ValueKind::BlockArg { block, .. } => {
+            // Block args of blocks nested in the loop are inside.
+            let mut nested = false;
+            for &o in &ctx.walk(loop_op) {
+                for &r in &ctx.op(o).regions {
+                    if ctx.region_blocks(r).contains(&block) {
+                        nested = true;
+                    }
+                }
+            }
+            for &r in &ctx.op(loop_op).regions {
+                if ctx.region_blocks(r).contains(&block) {
+                    nested = true;
+                }
+            }
+            !nested
+        }
+    }
+}
+
+/// Moves pure body operations whose operands are all loop-invariant out
+/// in front of the loop.
+fn hoist_invariants(ctx: &mut Context, loop_op: OpId) {
+    let body = rv_scf::RvForOp(loop_op).body(ctx);
+    loop {
+        let mut changed = false;
+        for op in ctx.block_ops(body).to_vec() {
+            let name = ctx.op(op).name.clone();
+            let hoistable = matches!(
+                name.as_str(),
+                rv::LI | rv::MV | rv::ADD | rv::SUB | rv::MUL | rv::ADDI | rv::SLLI
+            );
+            if !hoistable {
+                continue;
+            }
+            let invariant = ctx
+                .op(op)
+                .operands
+                .to_vec()
+                .into_iter()
+                .all(|v| defined_outside(ctx, loop_op, v));
+            if invariant {
+                ctx.move_op_before(op, loop_op);
+                changed = true;
+            }
+        }
+        if !changed {
+            return;
+        }
+    }
+}
+
+/// Rewrites `add(base, slli(iv, k))` / `add(base, mul(iv, li c))`
+/// addressing (with loop-invariant `base` and the loop's own IV) into a
+/// loop-carried pointer that advances by a constant per iteration.
+fn strength_reduce(ctx: &mut Context, mut loop_op: OpId) {
+    let for_op = rv_scf::RvForOp(loop_op);
+    let Some(step) = rv::constant_int_value(ctx, for_op.step(ctx)) else { return };
+    let Some(lb) = rv::constant_int_value(ctx, for_op.lower_bound(ctx)) else { return };
+    if lb != 0 {
+        return;
+    }
+    let iv = for_op.induction_var(ctx);
+    let body = for_op.body(ctx);
+    // One carried pointer per (base, scale): unrolled bodies compute the
+    // same base address several times with different folded immediates.
+    let mut pointers: std::collections::HashMap<(ValueId, i64), ValueId> =
+        std::collections::HashMap::new();
+
+    for op in ctx.block_ops(body).to_vec() {
+        if !ctx.is_alive(op) || ctx.op(op).name != rv::ADD || ctx.op(op).parent != Some(body) {
+            continue;
+        }
+        let (a, b) = (ctx.op(op).operands[0], ctx.op(op).operands[1]);
+        // Identify base (invariant) and scaled-IV side: `slli(iv, k)`,
+        // `mul(iv, c)`, the unrolled-body form `slli(addi(iv, j), k)`
+        // whose constant part folds into the memory-access immediates,
+        // and the window form `slli(add(iv, w), k)` with loop-invariant
+        // `w`, whose contribution joins the pointer's initial value.
+        let scaled = |ctx: &Context, v: ValueId| -> Option<(i64, i64, Option<ValueId>)> {
+            let def = ctx.defining_op(v)?;
+            if ctx.op(def).parent != Some(body) || ctx.uses(v).len() != 1 {
+                return None;
+            }
+            // iv, iv + const, or iv + invariant.
+            let iv_plus = |ctx: &Context, x: ValueId| -> Option<(i64, Option<ValueId>)> {
+                if x == iv {
+                    return Some((0, None));
+                }
+                let d = ctx.defining_op(x)?;
+                match ctx.op(d).name.as_str() {
+                    rv::ADDI if ctx.op(d).operands[0] == iv => {
+                        let c = ctx.op(d).attr("imm").and_then(Attribute::as_int)?;
+                        Some((c, None))
+                    }
+                    rv::ADD => {
+                        let (p, q) = (ctx.op(d).operands[0], ctx.op(d).operands[1]);
+                        if p == iv && defined_outside(ctx, loop_op, q) {
+                            Some((0, Some(q)))
+                        } else if q == iv && defined_outside(ctx, loop_op, p) {
+                            Some((0, Some(p)))
+                        } else {
+                            None
+                        }
+                    }
+                    _ => None,
+                }
+            };
+            match ctx.op(def).name.as_str() {
+                rv::SLLI => {
+                    let (j, dynv) = iv_plus(ctx, ctx.op(def).operands[0])?;
+                    let k = ctx.op(def).attr("imm").and_then(Attribute::as_int)?;
+                    Some((1 << k, j << k, dynv))
+                }
+                rv::MUL => {
+                    let (x, y) = (ctx.op(def).operands[0], ctx.op(def).operands[1]);
+                    if let Some((j, dynv)) = iv_plus(ctx, x) {
+                        rv::constant_int_value(ctx, y).map(|c| (c, j * c, dynv))
+                    } else if let Some((j, dynv)) = iv_plus(ctx, y) {
+                        rv::constant_int_value(ctx, x).map(|c| (c, j * c, dynv))
+                    } else {
+                        None
+                    }
+                }
+                _ => None,
+            }
+        };
+        let (base, scale, offset, dynv, scaled_def) = if defined_outside(ctx, loop_op, a) {
+            match scaled(ctx, b) {
+                Some((s, off, dynv)) => (a, s, off, dynv, ctx.defining_op(b).unwrap()),
+                None => continue,
+            }
+        } else if defined_outside(ctx, loop_op, b) {
+            match scaled(ctx, a) {
+                Some((s, off, dynv)) => (b, s, off, dynv, ctx.defining_op(a).unwrap()),
+                None => continue,
+            }
+        } else {
+            continue;
+        };
+        // A dynamic invariant offset folds into the pointer's initial
+        // value, computed once in front of the loop. Only powers of two
+        // keep this profitable (shift + add).
+        let base = match dynv {
+            None => base,
+            Some(w) if scale.count_ones() == 1 => {
+                let shifted = ctx.insert_op_before(
+                    loop_op,
+                    mlb_ir::OpSpec::new(rv::SLLI)
+                        .operands(vec![w])
+                        .attr("imm", Attribute::Int(scale.trailing_zeros() as i64))
+                        .results(vec![Type::IntRegister(None)]),
+                );
+                let sv = ctx.op(shifted).results[0];
+                let adjusted = ctx.insert_op_before(
+                    loop_op,
+                    mlb_ir::OpSpec::new(rv::ADD)
+                        .operands(vec![base, sv])
+                        .results(vec![Type::IntRegister(None)]),
+                );
+                ctx.op(adjusted).results[0]
+            }
+            Some(_) => continue,
+        };
+        let uses = ctx.uses(ctx.op(op).results[0]);
+        if uses.is_empty() {
+            continue;
+        }
+        // A constant offset must fold into the users' immediates: every
+        // use must be the base operand of a memory access.
+        if offset != 0 {
+            let all_memory = uses.iter().all(|&(user, idx)| {
+                let name = ctx.op(user).name.as_str();
+                (rv::is_load(name) && idx == 0)
+                    || (name == rv::SW && idx == 1)
+                    || (rv::FP_STORES.contains(&name) && idx == 1)
+            });
+            if !all_memory {
+                continue;
+            }
+            for &(user, _) in &uses {
+                let imm = ctx.op(user).attr("imm").and_then(Attribute::as_int).unwrap_or(0);
+                ctx.op_mut(user).attrs.insert("imm".into(), Attribute::Int(imm + offset));
+            }
+        }
+
+        // Thread a pointer through the loop: init = base (lb = 0), the
+        // body uses a new block argument, and the yield advances it by
+        // `scale * step` per iteration. Identical (base, scale) pairs
+        // share one pointer.
+        let arg = match pointers.get(&(base, scale)) {
+            Some(&arg) => arg,
+            None => {
+                ctx.op_mut(loop_op).operands.push(base);
+                let arg = ctx.add_block_arg(body, Type::IntRegister(None));
+                let yield_op = ctx.terminator(body);
+                let next = ctx.insert_op_before(
+                    yield_op,
+                    mlb_ir::OpSpec::new(rv::ADDI)
+                        .operands(vec![arg])
+                        .attr("imm", Attribute::Int(scale * step))
+                        .results(vec![Type::IntRegister(None)]),
+                );
+                let next_val = ctx.op(next).results[0];
+                ctx.op_mut(yield_op).operands.push(next_val);
+                // The loop op needs a matching (unused) result.
+                loop_op = push_loop_result(ctx, loop_op);
+                pointers.insert((base, scale), arg);
+                arg
+            }
+        };
+
+        // Replace the address computation with the carried pointer.
+        let old = ctx.op(op).results[0];
+        ctx.replace_all_uses(old, arg);
+        ctx.erase_op(op);
+        if !ctx.has_uses(ctx.op(scaled_def).results[0]) {
+            ctx.erase_op(scaled_def);
+        }
+    }
+}
+
+/// Rebuilds `loop_op` with one extra integer-register result (matching a
+/// freshly added iteration value) and returns the new operation.
+fn push_loop_result(ctx: &mut Context, loop_op: OpId) -> OpId {
+    let old = ctx.op(loop_op).clone();
+    let mut result_types: Vec<Type> =
+        old.results.iter().map(|&r| ctx.value_type(r).clone()).collect();
+    result_types.push(Type::IntRegister(None));
+    let spec = mlb_ir::OpSpec {
+        name: old.name.clone(),
+        operands: old.operands.clone(),
+        result_types,
+        attrs: old.attrs.clone(),
+        num_regions: 0,
+        successors: vec![],
+    };
+    let new = ctx.insert_op_before(loop_op, spec);
+    // Transfer the body region wholesale.
+    let new_region = ctx.add_region(new);
+    for block in ctx.region_blocks(old.regions[0]).to_vec() {
+        ctx.move_block_to_region(block, new_region);
+    }
+    for (i, &r) in old.results.iter().enumerate() {
+        let nr = ctx.op(new).results[i];
+        ctx.replace_all_uses(r, nr);
+    }
+    ctx.erase_op(loop_op);
+    new
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Context, DialectRegistry, OpId, mlb_ir::BlockId) {
+        let mut ctx = Context::new();
+        let mut r = DialectRegistry::new();
+        r.register(mlb_ir::OpInfo::new("builtin.module"));
+        mlb_riscv::register_all(&mut r);
+        let m = ctx.create_detached_op(mlb_ir::OpSpec::new("builtin.module").regions(1));
+        let top = ctx.create_block(ctx.op(m).regions[0], vec![]);
+        (ctx, r, m, top)
+    }
+
+    #[test]
+    fn invariant_address_parts_hoist() {
+        let (mut ctx, r, m, top) = setup();
+        let (_f, entry) =
+            mlb_riscv::rv_func::build_func(&mut ctx, top, "f", &[mlb_riscv::rv_func::AbiArg::Int]);
+        let base = ctx.block_args(entry)[0];
+        let lb = rv::li(&mut ctx, entry, 0);
+        let ub = rv::li(&mut ctx, entry, 8);
+        let step = rv::li(&mut ctx, entry, 1);
+        rv_scf::build_for(&mut ctx, entry, lb, ub, step, vec![], |ctx, body, _iv, _| {
+            // Loop-invariant: base + 64.
+            let off = rv::li(ctx, body, 64);
+            let addr = rv::int_binary(ctx, body, rv::ADD, base, off);
+            let v = rv::fp_load(ctx, body, rv::FLD, addr, 0);
+            rv::fp_store(ctx, body, rv::FSD, v, addr, 8);
+            vec![]
+        });
+        mlb_riscv::rv_func::build_ret(&mut ctx, entry);
+        RvLoopOptimize.run(&mut ctx, &r, m).unwrap();
+        r.verify(&ctx, m).unwrap();
+        let loop_op = ctx.walk_named(m, rv_scf::FOR)[0];
+        let body = rv_scf::RvForOp(loop_op).body(&ctx);
+        // Only the load, store and yield remain in the body.
+        assert_eq!(ctx.block_ops(body).len(), 3, "{}", mlb_ir::print_op(&ctx, m));
+    }
+
+    #[test]
+    fn scaled_iv_addressing_becomes_carried_pointer() {
+        let (mut ctx, r, m, top) = setup();
+        let (_f, entry) =
+            mlb_riscv::rv_func::build_func(&mut ctx, top, "f", &[mlb_riscv::rv_func::AbiArg::Int]);
+        let base = ctx.block_args(entry)[0];
+        let lb = rv::li(&mut ctx, entry, 0);
+        let ub = rv::li(&mut ctx, entry, 8);
+        let step = rv::li(&mut ctx, entry, 1);
+        rv_scf::build_for(&mut ctx, entry, lb, ub, step, vec![], |ctx, body, iv, _| {
+            let off = rv::int_imm(ctx, body, rv::SLLI, iv, 3);
+            let addr = rv::int_binary(ctx, body, rv::ADD, base, off);
+            let v = rv::fp_load(ctx, body, rv::FLD, addr, 0);
+            rv::fp_store(ctx, body, rv::FSD, v, addr, 1024);
+            vec![]
+        });
+        mlb_riscv::rv_func::build_ret(&mut ctx, entry);
+        RvLoopOptimize.run(&mut ctx, &r, m).unwrap();
+        r.verify(&ctx, m).unwrap();
+        let loop_op = ctx.walk_named(m, rv_scf::FOR)[0];
+        let f = rv_scf::RvForOp(loop_op);
+        // The loop now carries the pointer.
+        assert_eq!(f.iter_args(&ctx).len(), 1);
+        let body = f.body(&ctx);
+        // slli and add are gone; an addi advances the pointer.
+        let names: Vec<String> =
+            ctx.block_ops(body).iter().map(|&o| ctx.op(o).name.clone()).collect();
+        assert!(!names.contains(&rv::SLLI.to_string()), "{names:?}");
+        assert!(names.contains(&rv::ADDI.to_string()));
+    }
+}

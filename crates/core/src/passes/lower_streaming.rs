@@ -1,0 +1,250 @@
+//! `lower-snitch-stream`: expands `snitch_stream.streaming_region` into
+//! the explicit SSR configuration sequence — `scfgwi` writes for bounds,
+//! strides, repetition and base pointers — bracketed by SSR enable and
+//! disable, with the region body inlined in between (Section 3.2,
+//! Figure 6).
+//!
+//! This runs *before* register allocation: the inlined body keeps using
+//! `rv.get_register`-pinned `ft0`–`ft2` values, which is exactly how the
+//! allocator learns to exclude the stream registers (pass 1).
+
+use std::collections::HashMap;
+
+use mlb_ir::{Attribute, Context, DialectRegistry, OpId, Pass, PassError, Type};
+use mlb_isa::{SsrCfgReg, SsrDataMover};
+use mlb_riscv::{rv, rv_snitch, snitch_stream};
+
+/// The pass object.
+#[derive(Debug, Default)]
+pub struct LowerSnitchStream;
+
+impl Pass for LowerSnitchStream {
+    fn name(&self) -> &'static str {
+        "lower-snitch-stream"
+    }
+
+    fn run(
+        &self,
+        ctx: &mut Context,
+        _registry: &DialectRegistry,
+        root: OpId,
+    ) -> Result<(), PassError> {
+        // Track, per function, which data movers have a lingering nonzero
+        // repeat so later regions reset it only when needed.
+        let mut dirty_repeat: HashMap<(OpId, usize), bool> = HashMap::new();
+        for op in ctx.walk_named(root, snitch_stream::STREAMING_REGION) {
+            let func = enclosing_function(ctx, op);
+            lower_region(ctx, op, func, &mut dirty_repeat);
+        }
+        Ok(())
+    }
+}
+
+fn enclosing_function(ctx: &Context, mut op: OpId) -> OpId {
+    while let Some(parent) = ctx.parent_op(op) {
+        if ctx.op(parent).name == mlb_riscv::rv_func::FUNC {
+            return parent;
+        }
+        op = parent;
+    }
+    op
+}
+
+fn lower_region(
+    ctx: &mut Context,
+    op: OpId,
+    func: OpId,
+    dirty_repeat: &mut HashMap<(OpId, usize), bool>,
+) {
+    let region = snitch_stream::StreamingRegionOp(op);
+    let num_inputs = region.num_inputs(ctx);
+    let patterns = region.patterns(ctx);
+    let bases = region.base_pointers(ctx).to_vec();
+
+    let li_before = |ctx: &mut Context, imm: i64| {
+        let li = ctx.insert_op_before(
+            op,
+            mlb_ir::OpSpec::new(rv::LI).attr("imm", Attribute::Int(imm)).results(vec![rv::reg()]),
+        );
+        ctx.op(li).results[0]
+    };
+
+    for (i, pattern) in patterns.iter().enumerate() {
+        let dm = SsrDataMover::new(i as u8);
+        // Bounds and strides per dimension (innermost first).
+        for (d, (&ub, &stride)) in pattern.ub.iter().zip(&pattern.strides).enumerate() {
+            let b = li_before(ctx, ub - 1);
+            let bop = ctx.insert_op_before(
+                op,
+                mlb_ir::OpSpec::new(rv_snitch::SCFGWI)
+                    .operands(vec![b])
+                    .attr("imm", Attribute::Int(SsrCfgReg::Bound(d as u8).scfg_imm(dm) as i64)),
+            );
+            let _ = bop;
+            let s = li_before(ctx, stride);
+            ctx.insert_op_before(
+                op,
+                mlb_ir::OpSpec::new(rv_snitch::SCFGWI)
+                    .operands(vec![s])
+                    .attr("imm", Attribute::Int(SsrCfgReg::Stride(d as u8).scfg_imm(dm) as i64)),
+            );
+        }
+        // Repetition counter: written when nonzero, and reset when a
+        // previous region in the same function left it dirty.
+        let dirty = dirty_repeat.entry((func, i)).or_insert(false);
+        if pattern.repeat > 0 || *dirty {
+            let rep = li_before(ctx, pattern.repeat);
+            ctx.insert_op_before(
+                op,
+                mlb_ir::OpSpec::new(rv_snitch::SCFGWI)
+                    .operands(vec![rep])
+                    .attr("imm", Attribute::Int(SsrCfgReg::Repeat.scfg_imm(dm) as i64)),
+            );
+            *dirty = pattern.repeat > 0;
+        }
+        // Arming write: the base pointer into rptr/wptr of the highest
+        // dimension.
+        let top_dim = (pattern.rank() - 1) as u8;
+        let cfg = if i < num_inputs { SsrCfgReg::RPtr(top_dim) } else { SsrCfgReg::WPtr(top_dim) };
+        ctx.insert_op_before(
+            op,
+            mlb_ir::OpSpec::new(rv_snitch::SCFGWI)
+                .operands(vec![bases[i]])
+                .attr("imm", Attribute::Int(cfg.scfg_imm(dm) as i64)),
+        );
+    }
+
+    ctx.insert_op_before(op, mlb_ir::OpSpec::new(rv_snitch::SSR_ENABLE));
+
+    // Replace the stream block arguments with pinned registers and
+    // inline the body.
+    let body = region.body(ctx);
+    for (i, &arg) in ctx.block_args(body).to_vec().iter().enumerate() {
+        let pinned = ctx.insert_op_before(
+            op,
+            mlb_ir::OpSpec::new(rv::GET_REGISTER)
+                .results(vec![Type::FpRegister(Some(mlb_isa::FpReg::ft(i as u8)))]),
+        );
+        let new = ctx.op(pinned).results[0];
+        ctx.replace_all_uses(arg, new);
+    }
+    for bop in ctx.block_ops(body).to_vec() {
+        ctx.move_op_before(bop, op);
+    }
+
+    ctx.insert_op_before(op, mlb_ir::OpSpec::new(rv_snitch::SSR_DISABLE));
+    ctx.erase_op(op);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlb_ir::{OpSpec, StreamPattern};
+    use mlb_isa::IntReg;
+    use mlb_riscv::rv_func;
+
+    fn setup() -> (Context, DialectRegistry, OpId, mlb_ir::BlockId) {
+        let mut ctx = Context::new();
+        let mut r = DialectRegistry::new();
+        r.register(mlb_ir::OpInfo::new("builtin.module"));
+        mlb_riscv::register_all(&mut r);
+        let m = ctx.create_detached_op(OpSpec::new("builtin.module").regions(1));
+        let top = ctx.create_block(ctx.op(m).regions[0], vec![]);
+        (ctx, r, m, top)
+    }
+
+    #[test]
+    fn region_expands_to_config_sequence() {
+        let (mut ctx, r, m, top) = setup();
+        let (_f, entry) = rv_func::build_func(&mut ctx, top, "k", &[rv_func::AbiArg::Int, rv_func::AbiArg::Int]);
+        let x = ctx.block_args(entry)[0];
+        let z = ctx.block_args(entry)[1];
+        let read = StreamPattern::new(vec![16], vec![8], 0);
+        let write = StreamPattern::new(vec![16], vec![8], 0);
+        snitch_stream::build_streaming_region(
+            &mut ctx,
+            entry,
+            vec![x],
+            vec![z],
+            vec![read, write],
+            |ctx, body, streams| {
+                let v = rv::fp_binary(ctx, body, rv::FMAX_D, streams[0], streams[0]);
+                snitch_stream::build_write(ctx, body, v, streams[1]);
+            },
+        );
+        rv_func::build_ret(&mut ctx, entry);
+
+        LowerSnitchStream.run(&mut ctx, &r, m).unwrap();
+        r.verify(&ctx, m).unwrap();
+        assert!(ctx.walk_named(m, snitch_stream::STREAMING_REGION).is_empty());
+        // Per stream: bound + stride writes + arming write = 3 scfgwi.
+        let cfg = ctx.walk_named(m, rv_snitch::SCFGWI);
+        assert_eq!(cfg.len(), 6);
+        assert_eq!(ctx.walk_named(m, rv_snitch::SSR_ENABLE).len(), 1);
+        assert_eq!(ctx.walk_named(m, rv_snitch::SSR_DISABLE).len(), 1);
+        // The body survived inline, now using pinned stream registers.
+        let body_ops = ctx.walk_named(m, rv::FMAX_D);
+        assert_eq!(body_ops.len(), 1);
+        let operand = ctx.op(body_ops[0]).operands[0];
+        assert_eq!(*ctx.value_type(operand), Type::FpRegister(Some(mlb_isa::FpReg::ft(0))));
+        // Ordering: enable before the body op, disable after.
+        let ops = ctx.block_ops(entry).to_vec();
+        let pos = |name: &str| ops.iter().position(|&o| ctx.op(o).name == name).unwrap();
+        assert!(pos(rv_snitch::SSR_ENABLE) < pos(rv::FMAX_D));
+        assert!(pos(rv::FMAX_D) < pos(rv_snitch::SSR_DISABLE));
+    }
+
+    #[test]
+    fn repeat_written_when_nonzero_and_reset_after() {
+        let (mut ctx, r, m, top) = setup();
+        let (_f, entry) = rv_func::build_func(&mut ctx, top, "k", &[rv_func::AbiArg::Int]);
+        let x = ctx.block_args(entry)[0];
+        let with_repeat = StreamPattern::new(vec![8], vec![8], 4);
+        let without = StreamPattern::new(vec![8], vec![8], 0);
+        snitch_stream::build_streaming_region(
+            &mut ctx,
+            entry,
+            vec![x],
+            vec![],
+            vec![with_repeat],
+            |_, _, _| {},
+        );
+        snitch_stream::build_streaming_region(
+            &mut ctx,
+            entry,
+            vec![x],
+            vec![],
+            vec![without],
+            |_, _, _| {},
+        );
+        rv_func::build_ret(&mut ctx, entry);
+        LowerSnitchStream.run(&mut ctx, &r, m).unwrap();
+        r.verify(&ctx, m).unwrap();
+        // Repeat writes: one for the first region (value 4) and one reset
+        // (value 0) for the second.
+        let repeat_imm = SsrCfgReg::Repeat.scfg_imm(SsrDataMover::new(0)) as i64;
+        let repeat_writes: Vec<OpId> = ctx
+            .walk_named(m, rv_snitch::SCFGWI)
+            .into_iter()
+            .filter(|&o| ctx.op(o).attr("imm") == Some(&Attribute::Int(repeat_imm)))
+            .collect();
+        assert_eq!(repeat_writes.len(), 2);
+    }
+
+    #[test]
+    fn zero_register_not_clobbered() {
+        // The arming write uses the base pointer register directly.
+        let (mut ctx, r, m, top) = setup();
+        let (_f, entry) = rv_func::build_func(&mut ctx, top, "k", &[]);
+        let base = rv::get_register(&mut ctx, entry, Type::IntRegister(Some(IntReg::a(0))));
+        let p = StreamPattern::new(vec![4], vec![8], 0);
+        snitch_stream::build_streaming_region(&mut ctx, entry, vec![base], vec![], vec![p], |_, _, _| {});
+        rv_func::build_ret(&mut ctx, entry);
+        LowerSnitchStream.run(&mut ctx, &r, m).unwrap();
+        let arming = ctx
+            .walk_named(m, rv_snitch::SCFGWI)
+            .into_iter()
+            .find(|&o| ctx.op(o).operands == vec![base]);
+        assert!(arming.is_some());
+    }
+}

@@ -1,0 +1,928 @@
+//! `convert-memref-stream-to-loops`: lowers each `memref_stream.generic`
+//! to an `scf` loop nest, materializing streaming regions around the
+//! deepest loop level at which every access pattern fits the SSR
+//! hardware (at most [`mlb_isa::SSR_MAX_DIMS`] dimensions after
+//! simplification).
+//!
+//! The schedule is fully determined before this pass runs (Section 3.4):
+//! fuse-fill decided the accumulator seeds, scalar replacement decided
+//! that results live in registers across the reduction loops, and
+//! unroll-and-jam fixed the interleaved innermost dimension. This pass
+//! only materializes loops, stream reads/writes and explicit memory
+//! operations from that schedule.
+
+use std::collections::HashMap;
+
+use mlb_dialects::{arith, memref, memref_stream, scf};
+use mlb_ir::{
+    AffineExpr, AffineMap, Attribute, BlockId, Context, DialectRegistry, IteratorType, OpId,
+    Pass, PassError, StridePattern, Type, ValueId,
+};
+use mlb_isa::SSR_MAX_DIMS;
+
+use crate::passes::scalar_replacement::is_scalar_replaced;
+
+/// The pass object. With `streams` disabled every access is an explicit
+/// load or store on the base RISC-V ISA (the Table 3 baseline).
+#[derive(Debug, Clone)]
+pub struct ConvertMemrefStreamToLoops {
+    /// Whether to use stream semantic registers for affine accesses.
+    pub streams: bool,
+}
+
+impl Default for ConvertMemrefStreamToLoops {
+    fn default() -> ConvertMemrefStreamToLoops {
+        ConvertMemrefStreamToLoops { streams: true }
+    }
+}
+
+impl Pass for ConvertMemrefStreamToLoops {
+    fn name(&self) -> &'static str {
+        "convert-memref-stream-to-loops"
+    }
+
+    fn run(
+        &self,
+        ctx: &mut Context,
+        _registry: &DialectRegistry,
+        root: OpId,
+    ) -> Result<(), PassError> {
+        for op in ctx.walk_named(root, memref_stream::GENERIC) {
+            if !ctx.is_alive(op) {
+                continue;
+            }
+            lower_generic(ctx, op, self.streams).map_err(|m| PassError::new(self.name(), m))?;
+        }
+        Ok(())
+    }
+}
+
+/// Everything known about one operand of the generic being lowered.
+#[derive(Debug, Clone)]
+struct OperandPlan {
+    value: ValueId,
+    map: AffineMap,
+    is_output: bool,
+    /// Stream block-argument value once the region is built.
+    stream: Option<ValueId>,
+    streamed: bool,
+}
+
+fn lower_generic(ctx: &mut Context, op: OpId, streams: bool) -> Result<(), String> {
+    let s = memref_stream::StreamGenericOp(op);
+    let bounds = s.bounds(ctx);
+    let iterators = s.generic().iterator_types(ctx);
+    let maps = s.generic().indexing_maps(ctx);
+    let num_inputs = s.generic().num_inputs(ctx);
+    let outputs: Vec<ValueId> = s.outputs(ctx).to_vec();
+    let inits: Vec<ValueId> = s.inits(ctx).to_vec();
+    let scalar = is_scalar_replaced(ctx, op);
+    let fused = !inits.is_empty();
+    let factor = s.interleave_factor(ctx);
+    let body_block = s.generic().body(ctx);
+
+    let inter_dims: Vec<usize> = (0..iterators.len())
+        .filter(|&d| iterators[d] == IteratorType::Interleaved)
+        .collect();
+    if inter_dims.len() > 1 {
+        return Err("at most one interleaved dimension is supported".to_string());
+    }
+    if maps.iter().any(|m| !m.is_linear()) {
+        return Err(
+            "non-linear (floordiv/mod) access maps are not supported by the lowering"
+                .to_string(),
+        );
+    }
+    let loop_dims: Vec<usize> = (0..iterators.len())
+        .filter(|&d| iterators[d] != IteratorType::Interleaved)
+        .collect();
+    let first_red = loop_dims
+        .iter()
+        .position(|&d| iterators[d] == IteratorType::Reduction)
+        .unwrap_or(loop_dims.len());
+    let has_red = first_red < loop_dims.len();
+    if has_red && !loop_dims[first_red..].iter().all(|&d| iterators[d] == IteratorType::Reduction)
+    {
+        return Err("reduction dimensions must be innermost".to_string());
+    }
+
+    // Which output argument positions does the body actually read?
+    let body_args = ctx.block_args(body_block).to_vec();
+    let out_arg_read: Vec<bool> = (0..outputs.len())
+        .map(|o| {
+            (0..factor).any(|j| {
+                let arg = body_args[(num_inputs + o) * factor + j];
+                ctx.walk(op).iter().any(|&inner| ctx.op(inner).operands.contains(&arg))
+            })
+        })
+        .collect();
+
+    // Plan operand streaming.
+    let mut plans: Vec<OperandPlan> = Vec::new();
+    let mut read_streams = 0usize;
+    for (i, &value) in ctx.op(op).operands[..num_inputs + outputs.len()].iter().enumerate() {
+        let is_output = i >= num_inputs;
+        let map = maps[i].clone();
+        let mut streamed = streams && map.is_linear();
+        if is_output {
+            // Outputs stream only when the memory is write-only: a
+            // parallel overwrite that never reads the previous value, or
+            // a register-accumulated reduction whose seed comes from a
+            // fused fill (the body reading the *accumulator* argument is
+            // fine — that value lives in a register).
+            let read = out_arg_read[i - num_inputs];
+            streamed &= if has_red { scalar && fused } else { !read };
+        } else {
+            streamed &= read_streams < 2;
+            if streamed {
+                read_streams += 1;
+            }
+        }
+        plans.push(OperandPlan { value, map, is_output, stream: None, streamed });
+    }
+
+    // Dimensions each streamed operand's pattern must cover, in iteration
+    // order: the loop dims after `depth`, plus the interleaved dim; for
+    // scalar-replaced outputs the reduction dims are excluded (the write
+    // happens once per non-reduction point).
+    let pattern_dims = |plan: &OperandPlan, depth: usize| -> Vec<usize> {
+        let mut dims: Vec<usize> = loop_dims[depth..]
+            .iter()
+            .copied()
+            .filter(|&d| !(plan.is_output && scalar && iterators[d] == IteratorType::Reduction))
+            .collect();
+        dims.extend(inter_dims.iter().copied());
+        dims
+    };
+    // Choose the outermost placement depth at which all streamed patterns
+    // fit the hardware.
+    let max_depth = first_red;
+    let mut depth = 0;
+    loop {
+        let fits = plans.iter().filter(|p| p.streamed).all(|p| {
+            let dims = pattern_dims(p, depth);
+            let elem_size = element_size(ctx, p.value);
+            hardware_rank(ctx, p, &dims, &bounds, elem_size) <= SSR_MAX_DIMS
+        });
+        if fits || depth >= max_depth {
+            break;
+        }
+        depth += 1;
+    }
+    // Anything still not fitting falls back to explicit memory access.
+    for p in &mut plans {
+        if p.streamed {
+            let dims = pattern_dims(p, depth);
+            let elem_size = element_size(ctx, p.value);
+            if hardware_rank(ctx, p, &dims, &bounds, elem_size) > SSR_MAX_DIMS {
+                p.streamed = false;
+            }
+        }
+    }
+    let any_streamed = plans.iter().any(|p| p.streamed);
+
+    // ----- materialize ------------------------------------------------------
+
+    // New IR is appended to the parent block; the generic and everything
+    // after it (typically the function terminator) are detached first and
+    // the tail re-attached at the end, so plain appends stay in order.
+    let parent = ctx.op(op).parent.expect("generic must be attached");
+    let pos = ctx.op_position(op);
+    let tail: Vec<OpId> = ctx.block_ops(parent)[pos + 1..].to_vec();
+    ctx.detach_op(op);
+    for &t in &tail {
+        ctx.detach_op(t);
+    }
+    let cursor = Cursor { anchor: op };
+
+    let zero = cursor.constant_index(ctx, parent, 0);
+    let one = cursor.constant_index(ctx, parent, 1);
+
+    // dim index values available so far (outer loops).
+    let mut dim_values: Vec<Option<ValueId>> = vec![None; iterators.len()];
+
+    let mut nest = NestCtxAlias {
+        plans: &mut plans,
+        bounds: &bounds,
+        iterators: &iterators,
+        loop_dims: &loop_dims,
+        inter_dims: &inter_dims,
+        first_red,
+        depth,
+        factor,
+        scalar,
+        has_red,
+        num_inputs,
+        outputs: &outputs,
+        inits: &inits,
+        body_block,
+        body_args: &body_args,
+        out_arg_read: &out_arg_read,
+        zero,
+        one,
+        any_streamed,
+    };
+
+    let result = build_outer(ctx, &cursor, parent, &mut nest, &mut dim_values, 0);
+    for &t in &tail {
+        ctx.move_op_to_end(t, parent);
+    }
+    ctx.erase_op(op);
+    result
+}
+
+/// Insertion helper: appends new ops immediately before the anchor op
+/// while the anchor is still attached, or at block end otherwise.
+struct Cursor {
+    anchor: OpId,
+}
+
+impl Cursor {
+    fn insert(&self, ctx: &mut Context, block: BlockId, spec: mlb_ir::OpSpec) -> OpId {
+        // The generic op is detached during lowering, so appending is
+        // always correct; the anchor is kept only for diagnostics.
+        let _ = self.anchor;
+        ctx.append_op(block, spec)
+    }
+
+    fn constant_index(&self, ctx: &mut Context, block: BlockId, v: i64) -> ValueId {
+        let op = self.insert(
+            ctx,
+            block,
+            mlb_ir::OpSpec::new(arith::CONSTANT)
+                .attr("value", Attribute::Int(v))
+                .results(vec![Type::Index]),
+        );
+        ctx.op(op).results[0]
+    }
+}
+
+fn element_size(ctx: &Context, memref: ValueId) -> i64 {
+    match ctx.value_type(memref) {
+        Type::MemRef(m) => m.element.size_in_bytes() as i64,
+        _ => 8,
+    }
+}
+
+/// Computes the post-simplification hardware rank of a pattern over
+/// `dims` (iteration order) — used only for placement decisions; the
+/// actual simplification happens in `convert-to-rv`.
+fn hardware_rank(
+    ctx: &Context,
+    plan: &OperandPlan,
+    dims: &[usize],
+    bounds: &[i64],
+    elem_size: i64,
+) -> usize {
+    let Type::MemRef(m) = ctx.value_type(plan.value) else { return usize::MAX };
+    let strides = m.element_strides();
+    // Logical byte stride per iteration dim, innermost first.
+    let mut ub: Vec<i64> = Vec::new();
+    let mut st: Vec<i64> = Vec::new();
+    for &d in dims.iter().rev() {
+        let coeffs = plan.map.dim_coefficients(d);
+        let stride: i64 =
+            coeffs.iter().zip(&strides).map(|(c, s)| c * s).sum::<i64>() * elem_size;
+        ub.push(bounds[d]);
+        st.push(stride);
+    }
+    simplified_rank(&ub, &st)
+}
+
+/// Rank after dropping unit dims, folding innermost zero strides into the
+/// repeat counter and collapsing contiguous dims (Section 3.2).
+pub fn simplified_rank(ub: &[i64], strides: &[i64]) -> usize {
+    let mut dims: Vec<(i64, i64)> = ub
+        .iter()
+        .zip(strides)
+        .filter(|(&b, _)| b != 1)
+        .map(|(&b, &s)| (b, s))
+        .collect();
+    // Innermost zero strides become the repeat counter.
+    while let Some(&(_, 0)) = dims.first() {
+        dims.remove(0);
+    }
+    // Collapse contiguous adjacent dims.
+    let mut i = 0;
+    while i + 1 < dims.len() {
+        let (b0, s0) = dims[i];
+        let (b1, s1) = dims[i + 1];
+        if s1 == s0 * b0 {
+            dims[i] = (b0 * b1, s0);
+            dims.remove(i + 1);
+        } else {
+            i += 1;
+        }
+    }
+    dims.len().max(1)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn build_outer(
+    ctx: &mut Context,
+    cursor: &Cursor,
+    block: BlockId,
+    nest: &mut NestCtxAlias<'_>,
+    dim_values: &mut Vec<Option<ValueId>>,
+    level: usize,
+) -> Result<(), String> {
+    if level < nest.depth {
+        let d = nest.loop_dims[level];
+        let ub = cursor.constant_index(ctx, block, nest.bounds[d]);
+        let (zero, one) = (nest.zero, nest.one);
+        let mut result = Ok(());
+        scf::build_for(ctx, block, zero, ub, one, vec![], |ctx, body, iv, _| {
+            dim_values[d] = Some(iv);
+            let inner_cursor = Cursor { anchor: cursor.anchor };
+            // Inside a fresh loop body the anchor is not in this block,
+            // so the cursor appends — which is what we want.
+            result = build_outer(ctx, &inner_cursor, body, nest, dim_values, level + 1);
+            dim_values[d] = None;
+            vec![]
+        });
+        return result;
+    }
+
+    // Region placement point: create the streaming region (if any
+    // operand streams), then the remaining loops inside it.
+    if nest.any_streamed {
+        build_streaming_region(ctx, cursor, block, nest, dim_values)
+    } else {
+        build_mid(ctx, cursor, block, nest, dim_values)
+    }
+}
+
+// The borrow-heavy nest context: declared here to keep `lower_generic`
+// readable.
+use nest_ctx::NestCtxAlias;
+mod nest_ctx {
+    use super::*;
+
+    pub struct NestCtxAlias<'a> {
+        pub plans: &'a mut Vec<OperandPlan>,
+        pub bounds: &'a [i64],
+        pub iterators: &'a [IteratorType],
+        pub loop_dims: &'a [usize],
+        pub inter_dims: &'a [usize],
+        pub first_red: usize,
+        pub depth: usize,
+        pub factor: usize,
+        pub scalar: bool,
+        pub has_red: bool,
+        pub num_inputs: usize,
+        pub outputs: &'a [ValueId],
+        pub inits: &'a [ValueId],
+        pub body_block: BlockId,
+        pub body_args: &'a [ValueId],
+        pub out_arg_read: &'a [bool],
+        pub zero: ValueId,
+        pub one: ValueId,
+        pub any_streamed: bool,
+    }
+}
+
+fn build_streaming_region(
+    ctx: &mut Context,
+    cursor: &Cursor,
+    block: BlockId,
+    nest: &mut NestCtxAlias<'_>,
+    dim_values: &mut Vec<Option<ValueId>>,
+) -> Result<(), String> {
+    // Gather streamed memrefs, patterns, and offsets.
+    let mut in_memrefs = Vec::new();
+    let mut out_memrefs = Vec::new();
+    let mut patterns = Vec::new();
+    let mut offsets = Vec::new();
+    let mut stream_slots: Vec<usize> = Vec::new(); // plan index per stream
+    for pass in 0..2 {
+        for (pi, plan) in nest.plans.iter().enumerate() {
+            if !plan.streamed || (plan.is_output as usize) != pass {
+                continue;
+            }
+            let dims: Vec<usize> = nest.loop_dims[nest.depth..]
+                .iter()
+                .copied()
+                .filter(|&d| {
+                    !(plan.is_output
+                        && nest.scalar
+                        && nest.iterators[d] == IteratorType::Reduction)
+                })
+                .chain(nest.inter_dims.iter().copied())
+                .collect();
+            // Pattern map: original map with outer dims zeroed and the
+            // remaining dims renumbered.
+            let selector = AffineMap::new(
+                dims.len(),
+                0,
+                {
+                    let mut subs = vec![AffineExpr::Const(0); nest.iterators.len()];
+                    for (k, &d) in dims.iter().enumerate() {
+                        subs[d] = AffineExpr::Dim(k);
+                    }
+                    subs
+                },
+            );
+            let map = plan.map.compose(&selector);
+            let ub: Vec<i64> = dims.iter().map(|&d| nest.bounds[d]).collect();
+            patterns.push(StridePattern::new(ub, map));
+            if plan.is_output {
+                out_memrefs.push(plan.value);
+            } else {
+                in_memrefs.push(plan.value);
+            }
+            stream_slots.push(pi);
+            // Offset in elements from the outer loop IVs.
+            let outer_indices = emit_map_indices(
+                ctx,
+                cursor,
+                block,
+                &plan.map,
+                &(0..nest.iterators.len())
+                    .map(|d| {
+                        if nest.loop_dims[..nest.depth].contains(&d) {
+                            dim_values[d]
+                        } else {
+                            None
+                        }
+                    })
+                    .collect::<Vec<_>>(),
+                nest.zero,
+            );
+            let Type::MemRef(m) = ctx.value_type(plan.value).clone() else {
+                return Err("streamed operand is not a memref".into());
+            };
+            let strides = m.element_strides();
+            let mut offset = nest.zero;
+            for (idx, stride) in outer_indices.iter().zip(&strides) {
+                let c = cursor.constant_index(ctx, block, *stride);
+                let term = emit_binary(ctx, cursor, block, arith::MULI, *idx, c, Type::Index);
+                offset = emit_binary(ctx, cursor, block, arith::ADDI, offset, term, Type::Index);
+            }
+            offsets.push(offset);
+        }
+    }
+
+    let num_region_inputs = in_memrefs.len();
+    let mut operands = in_memrefs;
+    operands.extend(out_memrefs);
+    operands.extend(offsets);
+    let region_op = cursor.insert(
+        ctx,
+        block,
+        mlb_ir::OpSpec::new(memref_stream::STREAMING_REGION)
+            .operands(operands)
+            .attr(mlb_dialects::structured::NUM_INPUTS, Attribute::Int(num_region_inputs as i64))
+            .attr(
+                memref_stream::PATTERNS,
+                Attribute::Array(patterns.into_iter().map(Attribute::StridePattern).collect()),
+            )
+            .regions(1),
+    );
+    let arg_types: Vec<Type> = stream_slots
+        .iter()
+        .map(|&pi| {
+            let plan = &nest.plans[pi];
+            let elem = mlb_dialects::structured::body_element_type(ctx, plan.value);
+            if plan.is_output {
+                Type::WritableStream(Box::new(elem))
+            } else {
+                Type::ReadableStream(Box::new(elem))
+            }
+        })
+        .collect();
+    let region_body = ctx.create_block(ctx.op(region_op).regions[0], arg_types);
+    for (k, &pi) in stream_slots.iter().enumerate() {
+        nest.plans[pi].stream = Some(ctx.block_args(region_body)[k]);
+    }
+    let inner_cursor = Cursor { anchor: cursor.anchor };
+    build_mid(ctx, &inner_cursor, region_body, nest, dim_values)
+}
+
+/// Builds the loops between the streaming region and the reduction nest,
+/// then the computation itself.
+fn build_mid(
+    ctx: &mut Context,
+    cursor: &Cursor,
+    block: BlockId,
+    nest: &mut NestCtxAlias<'_>,
+    dim_values: &mut Vec<Option<ValueId>>,
+) -> Result<(), String> {
+    build_mid_level(ctx, cursor, block, nest, dim_values, nest.depth)
+}
+
+fn build_mid_level(
+    ctx: &mut Context,
+    cursor: &Cursor,
+    block: BlockId,
+    nest: &mut NestCtxAlias<'_>,
+    dim_values: &mut Vec<Option<ValueId>>,
+    level: usize,
+) -> Result<(), String> {
+    let stop = if nest.scalar && nest.has_red { nest.first_red } else { nest.loop_dims.len() };
+    if level < stop {
+        let d = nest.loop_dims[level];
+        let lb = nest.zero;
+        let step = nest.one;
+        let ub = cursor.constant_index(ctx, block, nest.bounds[d]);
+        let mut result = Ok(());
+        scf::build_for(ctx, block, lb, ub, step, vec![], |ctx, body, iv, _| {
+            dim_values[d] = Some(iv);
+            let inner = Cursor { anchor: cursor.anchor };
+            result = build_mid_level(ctx, &inner, body, nest, dim_values, level + 1);
+            dim_values[d] = None;
+            vec![]
+        });
+        return result;
+    }
+
+    if nest.scalar && nest.has_red {
+        build_reduction(ctx, cursor, block, nest, dim_values)
+    } else {
+        // Every iteration point loads, computes and stores.
+        emit_point(ctx, cursor, block, nest, dim_values, None)
+    }
+}
+
+/// Builds the accumulator-carrying reduction loop nest.
+fn build_reduction(
+    ctx: &mut Context,
+    cursor: &Cursor,
+    block: BlockId,
+    nest: &mut NestCtxAlias<'_>,
+    dim_values: &mut Vec<Option<ValueId>>,
+) -> Result<(), String> {
+    // Initial accumulator values, one per (output, copy).
+    let mut accs: Vec<ValueId> = Vec::new();
+    for (o, &output) in nest.outputs.iter().enumerate() {
+        for j in 0..nest.factor {
+            let init = if let Some(&init) = nest.inits.first() {
+                // Fused fill: clone the constant per accumulator so each
+                // register chain seeds independently.
+                let def = ctx
+                    .defining_op(init)
+                    .filter(|&d| ctx.op(d).name == arith::CONSTANT)
+                    .ok_or("fused init must be an arith.constant")?;
+                let mut map = HashMap::new();
+                let cloned = ctx.clone_op_into(def, block, &mut map);
+                ctx.op(cloned).results[0]
+            } else {
+                // Load the previous contents as the seed.
+                let plan = nest.plans[nest.num_inputs + o].clone();
+                let indices =
+                    point_indices(ctx, cursor, block, nest, &plan.map, dim_values, j);
+                emit_load(ctx, cursor, block, output, indices)
+            };
+            accs.push(init);
+        }
+    }
+
+    // Nest of reduction loops (all carrying the accumulators). When no
+    // remaining operand addresses memory through the reduction indices
+    // (streams handle all the walking), the whole reduction nest merges
+    // into a single counted loop — turning e.g. the two 3-iteration
+    // window loops of a convolution into one 9-iteration hardware loop.
+    let red_dims: Vec<usize> = nest.loop_dims[nest.first_red..].to_vec();
+    let ivs_unused = nest.plans.iter().all(|p| {
+        p.streamed
+            || red_dims
+                .iter()
+                .all(|&d| p.map.is_linear() && p.map.dim_coefficients(d).iter().all(|&c| c == 0))
+    });
+    let finals = if ivs_unused && red_dims.len() > 1 {
+        let merged: i64 = red_dims.iter().map(|&d| nest.bounds[d]).product();
+        let lb = nest.zero;
+        let step = nest.one;
+        let ub = cursor.constant_index(ctx, block, merged);
+        let mut inner_result = Ok(());
+        let for_op = scf::build_for(ctx, block, lb, ub, step, accs, |ctx, body, _iv, iter_args| {
+            let inner = Cursor { anchor: cursor.anchor };
+            if let Err(e) = emit_point(ctx, &inner, body, nest, dim_values, Some(iter_args)) {
+                inner_result = Err(e);
+            }
+            take_pending(nest)
+        });
+        inner_result?;
+        ctx.op(for_op.0).results.clone()
+    } else {
+        build_red_level(ctx, cursor, block, nest, dim_values, &red_dims, accs)?
+    };
+
+    // Write the final accumulators once per point.
+    for (o, &output) in nest.outputs.iter().enumerate() {
+        let plan = nest.plans[nest.num_inputs + o].clone();
+        for j in 0..nest.factor {
+            let value = finals[o * nest.factor + j];
+            if plan.streamed {
+                let stream = plan.stream.expect("stream arg");
+                cursor.insert(
+                    ctx,
+                    block,
+                    mlb_ir::OpSpec::new(memref_stream::WRITE).operands(vec![value, stream]),
+                );
+            } else {
+                let indices = point_indices(ctx, cursor, block, nest, &plan.map, dim_values, j);
+                emit_store(ctx, cursor, block, value, output, indices);
+            }
+        }
+    }
+    Ok(())
+}
+
+fn build_red_level(
+    ctx: &mut Context,
+    cursor: &Cursor,
+    block: BlockId,
+    nest: &mut NestCtxAlias<'_>,
+    dim_values: &mut Vec<Option<ValueId>>,
+    red_dims: &[usize],
+    accs: Vec<ValueId>,
+) -> Result<Vec<ValueId>, String> {
+    let Some((&d, rest)) = red_dims.split_first() else {
+        unreachable!("reduction nest always has at least one dim");
+    };
+    let lb = nest.zero;
+    let step = nest.one;
+    let ub = cursor.constant_index(ctx, block, nest.bounds[d]);
+    let mut result: Result<(), String> = Ok(());
+    let for_op = scf::build_for(ctx, block, lb, ub, step, accs, |ctx, body, iv, iter_args| {
+        dim_values[d] = Some(iv);
+        let inner = Cursor { anchor: cursor.anchor };
+        let yields = if rest.is_empty() {
+            let mut out = Vec::new();
+            match emit_point(ctx, &inner, body, nest, dim_values, Some(iter_args)) {
+                Ok(()) => {}
+                Err(e) => {
+                    result = Err(e);
+                }
+            }
+            // emit_point (accumulating form) records the next accumulator
+            // values in nest via return channel below; we instead call a
+            // dedicated accumulate variant:
+            out.extend(take_pending(nest));
+            out
+        } else {
+            match build_red_level(ctx, &inner, body, nest, dim_values, rest, iter_args.to_vec()) {
+                Ok(v) => v,
+                Err(e) => {
+                    result = Err(e);
+                    iter_args.to_vec()
+                }
+            }
+        };
+        dim_values[d] = None;
+        yields
+    });
+    result?;
+    Ok(ctx.op(for_op.0).results.clone())
+}
+
+// Accumulator hand-off between emit_point and build_red_level.
+thread_local! {
+    static PENDING: std::cell::RefCell<Vec<ValueId>> = const { std::cell::RefCell::new(Vec::new()) };
+}
+
+fn take_pending(_nest: &NestCtxAlias<'_>) -> Vec<ValueId> {
+    PENDING.with(|p| std::mem::take(&mut *p.borrow_mut()))
+}
+
+fn set_pending(values: Vec<ValueId>) {
+    PENDING.with(|p| *p.borrow_mut() = values);
+}
+
+/// Emits one iteration point: input reads/loads, the inlined body, and
+/// either accumulator updates (`iter_args` given) or output stores.
+fn emit_point(
+    ctx: &mut Context,
+    cursor: &Cursor,
+    block: BlockId,
+    nest: &mut NestCtxAlias<'_>,
+    dim_values: &mut Vec<Option<ValueId>>,
+    iter_args: Option<&[ValueId]>,
+) -> Result<(), String> {
+    let f = nest.factor;
+    let mut mapping: HashMap<ValueId, ValueId> = HashMap::new();
+
+    // Inputs: stream pops must occur in interleave order per stream.
+    for i in 0..nest.num_inputs {
+        let plan = nest.plans[i].clone();
+        for j in 0..f {
+            let value = if plan.streamed {
+                let stream = plan.stream.expect("stream arg");
+                let elem = mlb_dialects::structured::body_element_type(ctx, plan.value);
+                let read = cursor.insert(
+                    ctx,
+                    block,
+                    mlb_ir::OpSpec::new(memref_stream::READ)
+                        .operands(vec![stream])
+                        .results(vec![elem]),
+                );
+                ctx.op(read).results[0]
+            } else {
+                let indices = point_indices(ctx, cursor, block, nest, &plan.map, dim_values, j);
+                emit_load(ctx, cursor, block, plan.value, indices)
+            };
+            mapping.insert(nest.body_args[i * f + j], value);
+        }
+    }
+    // Output arguments: accumulators or loaded previous values.
+    for (o, &output) in nest.outputs.iter().enumerate() {
+        let plan = nest.plans[nest.num_inputs + o].clone();
+        for j in 0..f {
+            let arg = nest.body_args[(nest.num_inputs + o) * f + j];
+            if let Some(iter_args) = iter_args {
+                mapping.insert(arg, iter_args[o * f + j]);
+            } else if nest.out_arg_read[o] {
+                let indices = point_indices(ctx, cursor, block, nest, &plan.map, dim_values, j);
+                let value = emit_load(ctx, cursor, block, output, indices);
+                mapping.insert(arg, value);
+            }
+        }
+    }
+
+    // Inline the body computation.
+    let body_ops: Vec<OpId> = ctx.block_ops(nest.body_block).to_vec();
+    for &bop in &body_ops[..body_ops.len() - 1] {
+        ctx.clone_op_into(bop, block, &mut mapping);
+    }
+    let yield_op = ctx.terminator(nest.body_block);
+    let yielded: Vec<ValueId> = ctx
+        .op(yield_op)
+        .operands
+        .iter()
+        .map(|v| *mapping.get(v).unwrap_or(v))
+        .collect();
+
+    if iter_args.is_some() {
+        set_pending(yielded);
+        return Ok(());
+    }
+
+    // Direct write-out per point.
+    for (o, &output) in nest.outputs.iter().enumerate() {
+        let plan = nest.plans[nest.num_inputs + o].clone();
+        for j in 0..f {
+            let value = yielded[o * f + j];
+            if plan.streamed {
+                let stream = plan.stream.expect("stream arg");
+                cursor.insert(
+                    ctx,
+                    block,
+                    mlb_ir::OpSpec::new(memref_stream::WRITE).operands(vec![value, stream]),
+                );
+            } else {
+                let indices = point_indices(ctx, cursor, block, nest, &plan.map, dim_values, j);
+                emit_store(ctx, cursor, block, value, output, indices);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Index values for one operand at the current point, with the
+/// interleaved dimension fixed to copy `j`.
+fn point_indices(
+    ctx: &mut Context,
+    cursor: &Cursor,
+    block: BlockId,
+    nest: &NestCtxAlias<'_>,
+    map: &AffineMap,
+    dim_values: &[Option<ValueId>],
+    j: usize,
+) -> Vec<ValueId> {
+    let mut values: Vec<Option<ValueId>> = dim_values.to_vec();
+    for &d in nest.inter_dims {
+        values[d] = Some(cursor.constant_index(ctx, block, j as i64));
+    }
+    emit_map_indices(ctx, cursor, block, map, &values, nest.zero)
+}
+
+/// Materializes each result of `map` as an index value.
+fn emit_map_indices(
+    ctx: &mut Context,
+    cursor: &Cursor,
+    block: BlockId,
+    map: &AffineMap,
+    dim_values: &[Option<ValueId>],
+    zero: ValueId,
+) -> Vec<ValueId> {
+    map.results
+        .iter()
+        .map(|e| emit_expr(ctx, cursor, block, e, dim_values, zero))
+        .collect()
+}
+
+fn emit_expr(
+    ctx: &mut Context,
+    cursor: &Cursor,
+    block: BlockId,
+    expr: &AffineExpr,
+    dim_values: &[Option<ValueId>],
+    zero: ValueId,
+) -> ValueId {
+    match expr {
+        AffineExpr::Const(c) => cursor.constant_index(ctx, block, *c),
+        AffineExpr::Dim(d) => dim_values[*d].unwrap_or(zero),
+        AffineExpr::Sym(_) => zero,
+        AffineExpr::Add(a, b) => {
+            let va = emit_expr(ctx, cursor, block, a, dim_values, zero);
+            let vb = emit_expr(ctx, cursor, block, b, dim_values, zero);
+            emit_binary(ctx, cursor, block, arith::ADDI, va, vb, Type::Index)
+        }
+        AffineExpr::Mul(a, b) => {
+            let va = emit_expr(ctx, cursor, block, a, dim_values, zero);
+            let vb = emit_expr(ctx, cursor, block, b, dim_values, zero);
+            emit_binary(ctx, cursor, block, arith::MULI, va, vb, Type::Index)
+        }
+        AffineExpr::FloorDiv(..) | AffineExpr::Mod(..) => {
+            unreachable!("non-linear maps are rejected before lowering")
+        }
+    }
+}
+
+fn emit_binary(
+    ctx: &mut Context,
+    cursor: &Cursor,
+    block: BlockId,
+    name: &str,
+    a: ValueId,
+    b: ValueId,
+    ty: Type,
+) -> ValueId {
+    let op = cursor.insert(
+        ctx,
+        block,
+        mlb_ir::OpSpec::new(name).operands(vec![a, b]).results(vec![ty]),
+    );
+    ctx.op(op).results[0]
+}
+
+fn emit_load(
+    ctx: &mut Context,
+    cursor: &Cursor,
+    block: BlockId,
+    memref_value: ValueId,
+    indices: Vec<ValueId>,
+) -> ValueId {
+    let elem = match ctx.value_type(memref_value) {
+        Type::MemRef(m) => (*m.element).clone(),
+        _ => unreachable!("load from non-memref"),
+    };
+    let mut operands = vec![memref_value];
+    operands.extend(indices);
+    let op = cursor.insert(
+        ctx,
+        block,
+        mlb_ir::OpSpec::new(memref::LOAD).operands(operands).results(vec![elem]),
+    );
+    ctx.op(op).results[0]
+}
+
+fn emit_store(
+    ctx: &mut Context,
+    cursor: &Cursor,
+    block: BlockId,
+    value: ValueId,
+    memref_value: ValueId,
+    indices: Vec<ValueId>,
+) {
+    let mut operands = vec![value, memref_value];
+    operands.extend(indices);
+    cursor.insert(ctx, block, mlb_ir::OpSpec::new(memref::STORE).operands(operands));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::simplified_rank;
+
+    #[test]
+    fn unit_dims_do_not_count() {
+        assert_eq!(simplified_rank(&[1, 1, 4], &[0, 0, 8]), 1);
+        assert_eq!(simplified_rank(&[1], &[0]), 1);
+    }
+
+    #[test]
+    fn innermost_zero_strides_become_repeat() {
+        // [5 x stride 0, 200 x stride 8]: the zero-stride innermost dim
+        // folds into the repeat counter.
+        assert_eq!(simplified_rank(&[5, 200], &[0, 8]), 1);
+        // A zero stride in the middle cannot fold.
+        assert_eq!(simplified_rank(&[4, 5, 3], &[8, 0, 64]), 3);
+    }
+
+    #[test]
+    fn contiguous_dims_collapse() {
+        // inner 5 x 8B then outer stride 40 == 5*8: one dimension.
+        assert_eq!(simplified_rank(&[5, 200], &[8, 40]), 1);
+        // Non-contiguous outer stride stays.
+        assert_eq!(simplified_rank(&[5, 200], &[8, 48]), 2);
+        // Chains collapse transitively.
+        assert_eq!(simplified_rank(&[2, 4, 8], &[8, 16, 64]), 1);
+    }
+
+    #[test]
+    fn window_patterns_keep_their_rank() {
+        // Conv window [wi(4):8, kw(3):8, kh(3):R] — wi/kw do not collapse
+        // because 8 != 8*4.
+        assert_eq!(simplified_rank(&[4, 3, 3], &[8, 8, 384]), 3);
+    }
+}

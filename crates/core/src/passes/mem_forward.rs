@@ -1,0 +1,242 @@
+//! `rv-mem-forward`: block-local store-to-load forwarding and dead-store
+//! elimination.
+//!
+//! This mirrors LLVM's scalar promotion of memory accumulators: after a
+//! fixed-trip reduction loop is fully unrolled, the accumulator's
+//! load/store pairs against one address collapse into register dataflow,
+//! which is how the Clang flow reaches its best utilization on the
+//! pooling kernels (Section 4.4: "Max Pool benefits the most due to
+//! unrolling of some loops and rescheduling loads").
+//!
+//! Aliasing: addresses are keyed by `(base value, immediate)`; bases are
+//! traced to their root pointer (a function argument, one per `memref`
+//! operand). Distinct roots never alias — the same assumption MLIR makes
+//! for distinct `memref` arguments. Accesses with the same root but
+//! different `(base, imm)` keys are conservatively treated as aliasing.
+
+use std::collections::HashMap;
+
+use mlb_ir::{Attribute, Context, DialectRegistry, OpId, Pass, PassError, ValueId};
+use mlb_riscv::{rv, rv_func};
+
+/// The pass object.
+#[derive(Debug, Default)]
+pub struct RvMemForward;
+
+impl Pass for RvMemForward {
+    fn name(&self) -> &'static str {
+        "rv-mem-forward"
+    }
+
+    fn run(
+        &self,
+        ctx: &mut Context,
+        _registry: &DialectRegistry,
+        root: OpId,
+    ) -> Result<(), PassError> {
+        let mut blocks = Vec::new();
+        for func in ctx.walk_named(root, rv_func::FUNC) {
+            let mut stack = vec![func];
+            while let Some(op) = stack.pop() {
+                for &region in &ctx.op(op).regions.clone() {
+                    for &block in ctx.region_blocks(region).to_vec().iter() {
+                        blocks.push(block);
+                        stack.extend(ctx.block_ops(block).iter().copied());
+                    }
+                }
+            }
+        }
+        for block in blocks {
+            forward_block(ctx, block);
+        }
+        Ok(())
+    }
+}
+
+/// Traces an address value to its root pointer.
+fn root_of(ctx: &Context, mut v: ValueId) -> ValueId {
+    loop {
+        let Some(def) = ctx.defining_op(v) else { return v };
+        let op = ctx.op(def);
+        match op.name.as_str() {
+            rv::ADDI | rv::MV => v = op.operands[0],
+            rv::ADD => {
+                // Prefer the pointer-looking side: an operand that is
+                // itself rooted in a block argument.
+                let a = root_of_shallow(ctx, op.operands[0]);
+                if matches!(ctx.value_kind(a), mlb_ir::ValueKind::BlockArg { .. }) {
+                    v = op.operands[0];
+                } else {
+                    v = op.operands[1];
+                }
+            }
+            _ => return v,
+        }
+    }
+}
+
+fn root_of_shallow(ctx: &Context, mut v: ValueId) -> ValueId {
+    for _ in 0..64 {
+        let Some(def) = ctx.defining_op(v) else { return v };
+        let op = ctx.op(def);
+        match op.name.as_str() {
+            rv::ADDI | rv::MV | rv::ADD => v = op.operands[0],
+            _ => return v,
+        }
+    }
+    v
+}
+
+fn imm_of(ctx: &Context, op: OpId) -> i64 {
+    ctx.op(op).attr("imm").and_then(Attribute::as_int).unwrap_or(0)
+}
+
+fn forward_block(ctx: &mut Context, block: mlb_ir::BlockId) {
+    // Known memory contents: (base, imm) -> value in register.
+    let mut known: HashMap<(ValueId, i64), ValueId> = HashMap::new();
+    // Pending (possibly dead) store per exact location.
+    let mut pending_store: HashMap<(ValueId, i64), OpId> = HashMap::new();
+
+    for op in ctx.block_ops(block).to_vec() {
+        if !ctx.is_alive(op) {
+            continue;
+        }
+        let name = ctx.op(op).name.clone();
+        match name.as_str() {
+            rv::FLD | rv::FLW | rv::LW => {
+                let base = ctx.op(op).operands[0];
+                let key = (base, imm_of(ctx, op));
+                if let Some(&value) = known.get(&key) {
+                    // Forward: types must agree (fld forwarded from fsd).
+                    let result = ctx.op(op).results[0];
+                    if !ctx.value_type(result).is_allocated_register() {
+                        ctx.replace_all_uses(result, value);
+                        ctx.erase_op(op);
+                        continue;
+                    }
+                }
+                // A read of this root keeps earlier stores alive.
+                let r = root_of(ctx, base);
+                pending_store.retain(|&(b, _), _| root_of(ctx, b) != r);
+            }
+            rv::FSD | rv::FSW | rv::SW => {
+                let value = ctx.op(op).operands[0];
+                let base = ctx.op(op).operands[1];
+                let key = (base, imm_of(ctx, op));
+                let r = root_of(ctx, base);
+                // The previous store to exactly this location is dead if
+                // nothing read the root since.
+                if let Some(prev) = pending_store.remove(&key) {
+                    if ctx.is_alive(prev) {
+                        ctx.erase_op(prev);
+                    }
+                }
+                // Same-root entries with a different key may alias.
+                known.retain(|&(b, i), _| (b, i) == key || root_of(ctx, b) != r);
+                pending_store.retain(|&(b, i), _| (b, i) == key || root_of(ctx, b) != r);
+                known.insert(key, value);
+                pending_store.insert(key, op);
+            }
+            // Region ops (loops) and anything with stream side effects
+            // clobber all memory knowledge.
+            _ if !ctx.op(op).regions.is_empty()
+                || name.starts_with("rv_snitch.")
+                || name.starts_with("snitch_stream.") =>
+            {
+                known.clear();
+                pending_store.clear();
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlb_ir::OpSpec;
+
+    fn setup() -> (Context, DialectRegistry, OpId, mlb_ir::BlockId) {
+        let mut ctx = Context::new();
+        let mut r = DialectRegistry::new();
+        r.register(mlb_ir::OpInfo::new("builtin.module"));
+        mlb_riscv::register_all(&mut r);
+        let m = ctx.create_detached_op(OpSpec::new("builtin.module").regions(1));
+        let top = ctx.create_block(ctx.op(m).regions[0], vec![]);
+        (ctx, r, m, top)
+    }
+
+    #[test]
+    fn accumulator_promotes_to_register() {
+        // store v0 -> [z]; x1 = load [z]; v1 = fmax(x1, w); store v1 -> [z]
+        // becomes a pure register chain with one final store.
+        let (mut ctx, r, m, top) = setup();
+        let (_f, entry) = rv_func::build_func(
+            &mut ctx,
+            top,
+            "f",
+            &[rv_func::AbiArg::Int, rv_func::AbiArg::Int],
+        );
+        let x = ctx.block_args(entry)[0];
+        let z = ctx.block_args(entry)[1];
+        let v0 = rv::fp_load(&mut ctx, entry, rv::FLD, x, 0);
+        rv::fp_store(&mut ctx, entry, rv::FSD, v0, z, 0);
+        let loaded = rv::fp_load(&mut ctx, entry, rv::FLD, z, 0);
+        let w = rv::fp_load(&mut ctx, entry, rv::FLD, x, 8);
+        let v1 = rv::fp_binary(&mut ctx, entry, rv::FMAX_D, loaded, w);
+        rv::fp_store(&mut ctx, entry, rv::FSD, v1, z, 0);
+        rv_func::build_ret(&mut ctx, entry);
+
+        RvMemForward.run(&mut ctx, &r, m).unwrap();
+        r.verify(&ctx, m).unwrap();
+        // One load from z forwarded away; first store to z dead.
+        let stores: Vec<OpId> = ctx.walk_named(m, rv::FSD);
+        assert_eq!(stores.len(), 1);
+        let max = ctx.walk_named(m, rv::FMAX_D)[0];
+        assert_eq!(ctx.op(max).operands[0], v0, "load must forward the stored value");
+    }
+
+    #[test]
+    fn different_roots_do_not_interfere() {
+        let (mut ctx, r, m, top) = setup();
+        let (_f, entry) = rv_func::build_func(
+            &mut ctx,
+            top,
+            "f",
+            &[rv_func::AbiArg::Int, rv_func::AbiArg::Int],
+        );
+        let a = ctx.block_args(entry)[0];
+        let b = ctx.block_args(entry)[1];
+        let v = rv::fp_load(&mut ctx, entry, rv::FLD, a, 0);
+        rv::fp_store(&mut ctx, entry, rv::FSD, v, a, 0);
+        // A store to b must not kill the knowledge about a.
+        rv::fp_store(&mut ctx, entry, rv::FSD, v, b, 0);
+        let reloaded = rv::fp_load(&mut ctx, entry, rv::FLD, a, 0);
+        rv::fp_store(&mut ctx, entry, rv::FSD, reloaded, b, 8);
+        rv_func::build_ret(&mut ctx, entry);
+        RvMemForward.run(&mut ctx, &r, m).unwrap();
+        // The reload of a forwards to v.
+        let last_store = *ctx.walk_named(m, rv::FSD).last().unwrap();
+        assert_eq!(ctx.op(last_store).operands[0], v);
+    }
+
+    #[test]
+    fn same_root_unknown_offset_invalidates() {
+        let (mut ctx, r, m, top) = setup();
+        let (_f, entry) =
+            rv_func::build_func(&mut ctx, top, "f", &[rv_func::AbiArg::Int]);
+        let a = ctx.block_args(entry)[0];
+        let p = rv::int_imm(&mut ctx, entry, rv::ADDI, a, 16);
+        let v = rv::fp_load(&mut ctx, entry, rv::FLD, a, 0);
+        rv::fp_store(&mut ctx, entry, rv::FSD, v, a, 16);
+        // Store through a different base value with the same root: the
+        // cached entry must die, so this load stays.
+        rv::fp_store(&mut ctx, entry, rv::FSD, v, p, 0);
+        let reload = rv::fp_load(&mut ctx, entry, rv::FLD, a, 16);
+        rv::fp_store(&mut ctx, entry, rv::FSD, reload, a, 24);
+        rv_func::build_ret(&mut ctx, entry);
+        RvMemForward.run(&mut ctx, &r, m).unwrap();
+        // Both loads survive (no unsafe forwarding).
+        assert_eq!(ctx.walk_named(m, rv::FLD).len(), 2);
+    }
+}

@@ -1,0 +1,18 @@
+//! The progressive lowering passes of the multi-level backend
+//! (Section 3.4, Figure 5).
+
+pub mod canonicalize;
+pub mod convert_linalg;
+pub mod dce;
+pub mod convert_to_rv;
+pub mod fuse_fill;
+pub mod loop_opt;
+pub mod lower_streaming;
+pub mod mem_forward;
+pub mod lower_to_loops;
+pub mod peephole;
+pub mod rv_scf_to_cf;
+pub mod rv_scf_to_frep;
+pub mod scalar_replacement;
+pub mod seq_unroll;
+pub mod unroll_and_jam;

@@ -1,0 +1,213 @@
+//! RISC-V-level peephole rewrites: fused multiply-add selection and
+//! stream-write elision.
+//!
+//! These are the "simple peephole rewrites for custom optimizations"
+//! enabled by the declarative instruction representation (Section 3.2).
+
+use mlb_ir::{
+    apply_patterns_greedily, Context, DialectRegistry, OpId, Pass, PassError, RewritePattern,
+    Type,
+};
+use mlb_riscv::{rv, snitch_stream};
+
+/// The pass object.
+#[derive(Debug, Default)]
+pub struct RvPeephole;
+
+impl Pass for RvPeephole {
+    fn name(&self) -> &'static str {
+        "rv-peephole"
+    }
+
+    fn run(
+        &self,
+        ctx: &mut Context,
+        registry: &DialectRegistry,
+        root: OpId,
+    ) -> Result<(), PassError> {
+        apply_patterns_greedily(ctx, registry, root, &[&FuseFmadd, &ElideStreamWrite]);
+        Ok(())
+    }
+}
+
+/// `fadd(fmul(a, b), c)` (or with swapped addends) where the product has
+/// a single use becomes `fmadd a, b, c`.
+struct FuseFmadd;
+
+impl RewritePattern for FuseFmadd {
+    fn name(&self) -> &'static str {
+        "fuse-fmadd"
+    }
+
+    fn match_and_rewrite(&self, ctx: &mut Context, _r: &DialectRegistry, op: OpId) -> bool {
+        let (mul_name, fused_name) = match ctx.op(op).name.as_str() {
+            rv::FADD_D => (rv::FMUL_D, rv::FMADD_D),
+            rv::FADD_S => (rv::FMUL_S, rv::FMADD_S),
+            _ => return false,
+        };
+        let (lhs, rhs) = (ctx.op(op).operands[0], ctx.op(op).operands[1]);
+        let pick = |ctx: &Context, v: mlb_ir::ValueId| -> Option<OpId> {
+            let def = ctx.defining_op(v)?;
+            (ctx.op(def).name == mul_name && ctx.uses(v).len() == 1).then_some(def)
+        };
+        let (mul, addend) = if let Some(def) = pick(ctx, lhs) {
+            (def, rhs)
+        } else if let Some(def) = pick(ctx, rhs) {
+            (def, lhs)
+        } else {
+            return false;
+        };
+        // The product must not already be pinned to a register (e.g. a
+        // stream destination) — the fused op replaces it entirely.
+        let mul_result = ctx.op(mul).results[0];
+        if ctx.value_type(mul_result).is_allocated_register() {
+            return false;
+        }
+        let (a, b) = (ctx.op(mul).operands[0], ctx.op(mul).operands[1]);
+        let result_ty = ctx.value_type(ctx.op(op).results[0]).clone();
+        let fused = ctx.insert_op_before(
+            op,
+            mlb_ir::OpSpec::new(fused_name).operands(vec![a, b, addend]).results(vec![result_ty]),
+        );
+        let new = ctx.op(fused).results[0];
+        let old = ctx.op(op).results[0];
+        ctx.replace_all_uses(old, new);
+        ctx.erase_op(op);
+        ctx.erase_op(mul);
+        true
+    }
+}
+
+/// `snitch_stream.write(v, ftN)` where `v` is produced by an FPU
+/// instruction in the same block with no other use: retarget the producer
+/// straight at the stream register and drop the move.
+struct ElideStreamWrite;
+
+impl RewritePattern for ElideStreamWrite {
+    fn name(&self) -> &'static str {
+        "elide-stream-write"
+    }
+
+    fn match_and_rewrite(&self, ctx: &mut Context, _r: &DialectRegistry, op: OpId) -> bool {
+        if ctx.op(op).name != snitch_stream::WRITE {
+            return false;
+        }
+        let value = ctx.op(op).operands[0];
+        let stream = ctx.op(op).operands[1];
+        let Some(def) = ctx.defining_op(value) else { return false };
+        if !rv::is_fpu_op(&ctx.op(def).name) || ctx.op(def).name == snitch_stream::WRITE {
+            return false;
+        }
+        if ctx.op(def).parent != ctx.op(op).parent {
+            return false;
+        }
+        if ctx.uses(value).len() != 1 {
+            return false;
+        }
+        if ctx.value_type(value).is_allocated_register() {
+            return false;
+        }
+        let Type::FpRegister(Some(reg)) = ctx.value_type(stream).clone() else {
+            return false;
+        };
+        ctx.set_value_type(value, Type::FpRegister(Some(reg)));
+        ctx.erase_op(op);
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlb_ir::OpSpec;
+    use mlb_isa::FpReg;
+    use mlb_riscv::rv_func;
+
+    fn setup() -> (Context, DialectRegistry, OpId, mlb_ir::BlockId) {
+        let mut ctx = Context::new();
+        let mut r = DialectRegistry::new();
+        r.register(mlb_ir::OpInfo::new("builtin.module"));
+        mlb_riscv::register_all(&mut r);
+        let m = ctx.create_detached_op(OpSpec::new("builtin.module").regions(1));
+        let top = ctx.create_block(ctx.op(m).regions[0], vec![]);
+        (ctx, r, m, top)
+    }
+
+    #[test]
+    fn fmadd_fuses_single_use_product() {
+        let (mut ctx, r, m, top) = setup();
+        let (_f, entry) = rv_func::build_func(&mut ctx, top, "f", &[rv_func::AbiArg::Int]);
+        let base = ctx.block_args(entry)[0];
+        let a = rv::fp_load(&mut ctx, entry, rv::FLD, base, 0);
+        let b = rv::fp_load(&mut ctx, entry, rv::FLD, base, 8);
+        let c = rv::fp_load(&mut ctx, entry, rv::FLD, base, 16);
+        let p = rv::fp_binary(&mut ctx, entry, rv::FMUL_D, a, b);
+        let s = rv::fp_binary(&mut ctx, entry, rv::FADD_D, c, p);
+        rv::fp_store(&mut ctx, entry, rv::FSD, s, base, 24);
+        rv_func::build_ret(&mut ctx, entry);
+
+        RvPeephole.run(&mut ctx, &r, m).unwrap();
+        r.verify(&ctx, m).unwrap();
+        assert!(ctx.walk_named(m, rv::FMUL_D).is_empty());
+        assert!(ctx.walk_named(m, rv::FADD_D).is_empty());
+        let fused = ctx.walk_named(m, rv::FMADD_D);
+        assert_eq!(fused.len(), 1);
+        assert_eq!(ctx.op(fused[0]).operands, vec![a, b, c]);
+    }
+
+    #[test]
+    fn fmadd_does_not_fuse_multi_use_product() {
+        let (mut ctx, r, m, top) = setup();
+        let (_f, entry) = rv_func::build_func(&mut ctx, top, "f", &[rv_func::AbiArg::Int]);
+        let base = ctx.block_args(entry)[0];
+        let a = rv::fp_load(&mut ctx, entry, rv::FLD, base, 0);
+        let p = rv::fp_binary(&mut ctx, entry, rv::FMUL_D, a, a);
+        let s = rv::fp_binary(&mut ctx, entry, rv::FADD_D, p, a);
+        rv::fp_store(&mut ctx, entry, rv::FSD, p, base, 8);
+        rv::fp_store(&mut ctx, entry, rv::FSD, s, base, 16);
+        rv_func::build_ret(&mut ctx, entry);
+        RvPeephole.run(&mut ctx, &r, m).unwrap();
+        assert_eq!(ctx.walk_named(m, rv::FMUL_D).len(), 1);
+    }
+
+    #[test]
+    fn stream_write_elides_into_producer() {
+        let (mut ctx, r, m, top) = setup();
+        let (_f, entry) = rv_func::build_func(&mut ctx, top, "f", &[]);
+        let ft0 = rv::get_register(&mut ctx, entry, Type::FpRegister(Some(FpReg::ft(0))));
+        let ft1 = rv::get_register(&mut ctx, entry, Type::FpRegister(Some(FpReg::ft(1))));
+        let sum = rv::fp_binary(&mut ctx, entry, rv::FADD_D, ft0, ft0);
+        snitch_stream::build_write(&mut ctx, entry, sum, ft1);
+        rv_func::build_ret(&mut ctx, entry);
+        RvPeephole.run(&mut ctx, &r, m).unwrap();
+        r.verify(&ctx, m).unwrap();
+        assert!(ctx.walk_named(m, snitch_stream::WRITE).is_empty());
+        assert_eq!(*ctx.value_type(sum), Type::FpRegister(Some(FpReg::ft(1))));
+    }
+
+    #[test]
+    fn stream_write_of_loop_result_is_kept() {
+        let (mut ctx, r, m, top) = setup();
+        let (_f, entry) = rv_func::build_func(&mut ctx, top, "f", &[]);
+        let ft1 = rv::get_register(&mut ctx, entry, Type::FpRegister(Some(FpReg::ft(1))));
+        let lb = rv::li(&mut ctx, entry, 0);
+        let ub = rv::li(&mut ctx, entry, 4);
+        let step = rv::li(&mut ctx, entry, 1);
+        let init = rv::fp_binary(&mut ctx, entry, rv::FADD_D, ft1, ft1);
+        let loop_op = mlb_riscv::rv_scf::build_for(
+            &mut ctx,
+            entry,
+            lb,
+            ub,
+            step,
+            vec![init],
+            |ctx, body, _iv, args| vec![rv::fp_binary(ctx, body, rv::FADD_D, args[0], args[0])],
+        );
+        let acc = ctx.op(loop_op.0).results[0];
+        snitch_stream::build_write(&mut ctx, entry, acc, ft1);
+        rv_func::build_ret(&mut ctx, entry);
+        RvPeephole.run(&mut ctx, &r, m).unwrap();
+        // The accumulator comes from a loop, not an FPU op: keep the move.
+        assert_eq!(ctx.walk_named(m, snitch_stream::WRITE).len(), 1);
+    }
+}

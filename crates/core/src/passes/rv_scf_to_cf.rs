@@ -1,0 +1,350 @@
+//! `rv-scf-to-cf`: lowers structured `rv_scf.for` loops to basic blocks
+//! and `rv_cf` branches. Runs *after* register allocation — structure is
+//! kept as long as it is useful (Section 3.3) and discarded only for
+//! final assembly emission.
+//!
+//! The allocator guarantees that an iteration chain (init operand, block
+//! argument, yielded value, loop result) shares one register, so the
+//! lowering needs no parallel-copy sequences: entering the loop is a
+//! register move of the induction variable, the back edge is an `add`
+//! plus branch, and the loop results are simply the iteration registers.
+
+use mlb_ir::{Attribute, Context, DialectRegistry, OpId, Pass, PassError};
+use mlb_riscv::{rv, rv_cf, rv_func, rv_scf};
+
+/// The pass object.
+#[derive(Debug, Default)]
+pub struct RvScfToCf;
+
+impl Pass for RvScfToCf {
+    fn name(&self) -> &'static str {
+        "rv-scf-to-cf"
+    }
+
+    fn run(
+        &self,
+        ctx: &mut Context,
+        _registry: &DialectRegistry,
+        root: OpId,
+    ) -> Result<(), PassError> {
+        for func in ctx.walk_named(root, rv_func::FUNC) {
+            loop {
+                // Repeatedly flatten a loop whose parent block lives
+                // directly in the function region (outermost first).
+                let region = ctx.op(func).regions[0];
+                let candidate = ctx
+                    .region_blocks(region)
+                    .to_vec()
+                    .into_iter()
+                    .flat_map(|b| ctx.block_ops(b).to_vec())
+                    .find(|&o| ctx.op(o).name == rv_scf::FOR);
+                match candidate {
+                    Some(op) => {
+                        flatten(ctx, op).map_err(|m| PassError::new(self.name(), m))?
+                    }
+                    None => break,
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+fn li_value(ctx: &Context, v: mlb_ir::ValueId) -> Option<i64> {
+    rv::constant_int_value(ctx, v)
+}
+
+/// Erases the defining `rv.li`/`rv.get_register` of `v` when it has no
+/// remaining uses (bounds folded into the lowered control flow).
+fn erase_if_dead_constant(ctx: &mut Context, v: mlb_ir::ValueId) {
+    if ctx.has_uses(v) {
+        return;
+    }
+    if let Some(def) = ctx.defining_op(v) {
+        let name = &ctx.op(def).name;
+        if name == rv::LI || name == rv::GET_REGISTER {
+            ctx.erase_op(def);
+        }
+    }
+}
+
+fn flatten(ctx: &mut Context, op: OpId) -> Result<(), String> {
+    let for_op = rv_scf::RvForOp(op);
+    let pre_block = ctx.op(op).parent.ok_or("loop is detached")?;
+    let region = ctx.block_parent(pre_block);
+    let lb = for_op.lower_bound(ctx);
+    let ub = for_op.upper_bound(ctx);
+    let step = for_op.step(ctx);
+    let iv = for_op.induction_var(ctx);
+    let iv_ty = ctx.value_type(iv).clone();
+    if !iv_ty.is_allocated_register() {
+        return Err("lower loops only after register allocation".to_string());
+    }
+    let body_block = for_op.body(ctx);
+    let iter_args = for_op.iter_args(ctx).to_vec();
+    let results = ctx.op(op).results.clone();
+    let loop_pos = ctx.op_position(op);
+
+    // Exit block: everything after the loop moves there.
+    let exit_block = ctx.create_block(region, vec![]);
+    let tail: Vec<OpId> = ctx.block_ops(pre_block)[loop_pos + 1..].to_vec();
+    for t in tail {
+        ctx.move_op_to_end(t, exit_block);
+    }
+
+    // Loop results: re-materialize the iteration registers in the exit
+    // block (the chain register holds the final value there).
+    for (&result, &arg) in results.iter().zip(&iter_args) {
+        if ctx.has_uses(result) {
+            let ty = ctx.value_type(arg).clone();
+            let pinned = ctx.create_detached_op(
+                mlb_ir::OpSpec::new(rv::GET_REGISTER).results(vec![ty]),
+            );
+            // Insert at the top of the exit block.
+            match ctx.block_ops(exit_block).first().copied() {
+                Some(first) => ctx.move_op_before(pinned, first),
+                None => ctx.move_op_to_end(pinned, exit_block),
+            }
+            let new = ctx.op(pinned).results[0];
+            ctx.replace_all_uses(result, new);
+        }
+    }
+
+    // Countdown form: an unused induction variable with normalized
+    // bounds counts down from the upper bound to zero, so the bound
+    // register dies at loop entry (saving one live-through register).
+    let iv_dead = !ctx.has_uses(iv)
+        && li_value(ctx, lb) == Some(0)
+        && li_value(ctx, step) == Some(1);
+
+    // Pre-header: transfer any iteration value whose init was not
+    // unified into the chain register (shared inits), then materialize
+    // the induction register from the lower bound (folding constants).
+    let inits: Vec<mlb_ir::ValueId> = for_op.iter_inits(ctx).to_vec();
+    for (&init, &arg) in inits.iter().zip(&iter_args) {
+        let init_ty = ctx.value_type(init).clone();
+        let arg_ty = ctx.value_type(arg).clone();
+        if init_ty != arg_ty {
+            let mv_name = if matches!(arg_ty, mlb_ir::Type::FpRegister(_)) {
+                rv::FMV_D
+            } else {
+                rv::MV
+            };
+            ctx.append_op(
+                pre_block,
+                mlb_ir::OpSpec::new(mv_name).operands(vec![init]).results(vec![arg_ty]),
+            );
+        }
+    }
+    let iv_entry = if iv_dead {
+        // Counter starts at the trip count.
+        match li_value(ctx, ub) {
+            Some(c) => {
+                let li = ctx.append_op(
+                    pre_block,
+                    mlb_ir::OpSpec::new(rv::LI)
+                        .attr("imm", Attribute::Int(c))
+                        .results(vec![iv_ty.clone()]),
+                );
+                ctx.op(li).results[0]
+            }
+            None => {
+                let mv = ctx.append_op(
+                    pre_block,
+                    mlb_ir::OpSpec::new(rv::MV).operands(vec![ub]).results(vec![iv_ty.clone()]),
+                );
+                ctx.op(mv).results[0]
+            }
+        }
+    } else { match li_value(ctx, lb) {
+        Some(c) => {
+            let li = ctx.append_op(
+                pre_block,
+                mlb_ir::OpSpec::new(rv::LI)
+                    .attr("imm", Attribute::Int(c))
+                    .results(vec![iv_ty.clone()]),
+            );
+            ctx.op(li).results[0]
+        }
+        None => {
+            let mv = ctx.append_op(
+                pre_block,
+                mlb_ir::OpSpec::new(rv::MV).operands(vec![lb]).results(vec![iv_ty.clone()]),
+            );
+            ctx.op(mv).results[0]
+        }
+    } };
+    // Trip guard unless the bounds are provably nonempty constants.
+    let needs_guard = match (li_value(ctx, lb), li_value(ctx, ub)) {
+        (Some(l), Some(u)) => l >= u,
+        _ => true,
+    };
+    // Move the body block into the function region right after the
+    // pre-header.
+    ctx.move_block_after(body_block, pre_block);
+    ctx.move_block_after(exit_block, body_block);
+    if iv_dead {
+        if needs_guard {
+            // Loop while the counter is positive.
+            let zero_reg = ctx.append_op(
+                pre_block,
+                mlb_ir::OpSpec::new(rv::GET_REGISTER)
+                    .results(vec![mlb_ir::Type::IntRegister(Some(mlb_isa::IntReg::ZERO))]),
+            );
+            let zero_v = ctx.op(zero_reg).results[0];
+            rv_cf::build_branch(ctx, pre_block, rv_cf::BGE, zero_v, iv_entry, exit_block, body_block);
+        } else {
+            rv_cf::build_j(ctx, pre_block, body_block);
+        }
+    } else if needs_guard {
+        rv_cf::build_branch(ctx, pre_block, rv_cf::BGE, iv_entry, ub, exit_block, body_block);
+    } else {
+        rv_cf::build_j(ctx, pre_block, body_block);
+    }
+
+    // Latch: replace the yield with the increment (immediate form for
+    // constant steps) and the back-edge branch. Countdown loops
+    // decrement and compare against the hard-wired zero.
+    let yield_op = ctx.terminator(body_block);
+    ctx.erase_op(yield_op);
+    if iv_dead {
+        let next = ctx.append_op(
+            body_block,
+            mlb_ir::OpSpec::new(rv::ADDI)
+                .operands(vec![iv])
+                .attr("imm", Attribute::Int(-1))
+                .results(vec![iv_ty]),
+        );
+        let iv_next = ctx.op(next).results[0];
+        let zero_reg = ctx.append_op(
+            body_block,
+            mlb_ir::OpSpec::new(rv::GET_REGISTER)
+                .results(vec![mlb_ir::Type::IntRegister(Some(mlb_isa::IntReg::ZERO))]),
+        );
+        let zero_v = ctx.op(zero_reg).results[0];
+        // Keep the get_register ahead of the branch terminator.
+        ctx.move_op_before(zero_reg, next);
+        rv_cf::build_branch(ctx, body_block, rv_cf::BLT, zero_v, iv_next, body_block, exit_block);
+        ctx.erase_op(op);
+        erase_if_dead_constant(ctx, lb);
+        erase_if_dead_constant(ctx, step);
+        erase_if_dead_constant(ctx, ub);
+        return Ok(());
+    }
+    let next = match li_value(ctx, step) {
+        Some(c) => ctx.append_op(
+            body_block,
+            mlb_ir::OpSpec::new(rv::ADDI)
+                .operands(vec![iv])
+                .attr("imm", Attribute::Int(c))
+                .results(vec![iv_ty]),
+        ),
+        None => ctx.append_op(
+            body_block,
+            mlb_ir::OpSpec::new(rv::ADD).operands(vec![iv, step]).results(vec![iv_ty]),
+        ),
+    };
+    let iv_next = ctx.op(next).results[0];
+    rv_cf::build_branch(ctx, body_block, rv_cf::BLT, iv_next, ub, body_block, exit_block);
+
+    ctx.erase_op(op);
+    // Bounds folded away may leave their defining constants dead.
+    erase_if_dead_constant(ctx, lb);
+    erase_if_dead_constant(ctx, step);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regalloc::allocate_function;
+    use mlb_ir::OpSpec;
+    use mlb_riscv::emit_module;
+
+    fn setup() -> (Context, DialectRegistry, OpId, mlb_ir::BlockId) {
+        let mut ctx = Context::new();
+        let mut r = DialectRegistry::new();
+        r.register(mlb_ir::OpInfo::new("builtin.module"));
+        mlb_riscv::register_all(&mut r);
+        let m = ctx.create_detached_op(OpSpec::new("builtin.module").regions(1));
+        let top = ctx.create_block(ctx.op(m).regions[0], vec![]);
+        (ctx, r, m, top)
+    }
+
+    #[test]
+    fn loop_flattens_and_runs() {
+        // Sum the integers 0..10 into a register... via FP: accumulate
+        // 1.0 per iteration, then store.
+        let (mut ctx, r, m, top) = setup();
+        let (func, entry) = rv_func::build_func(&mut ctx, top, "k", &[rv_func::AbiArg::Int]);
+        let out = ctx.block_args(entry)[0];
+        let lb = rv::li(&mut ctx, entry, 0);
+        let ub = rv::li(&mut ctx, entry, 10);
+        let step = rv::li(&mut ctx, entry, 1);
+        let one_i = rv::li(&mut ctx, entry, 1);
+        let one = {
+            let o = ctx.append_op(
+                entry,
+                OpSpec::new(rv::FCVT_D_W).operands(vec![one_i]).results(vec![rv::freg()]),
+            );
+            ctx.op(o).results[0]
+        };
+        let init = rv::fp_binary(&mut ctx, entry, rv::FSUB_D, one, one);
+        let loop_op = rv_scf::build_for(&mut ctx, entry, lb, ub, step, vec![init], |ctx, body, _iv, args| {
+            vec![rv::fp_binary(ctx, body, rv::FADD_D, args[0], one)]
+        });
+        let total = ctx.op(loop_op.0).results[0];
+        rv::fp_store(&mut ctx, entry, rv::FSD, total, out, 0);
+        rv_func::build_ret(&mut ctx, entry);
+
+        allocate_function(&mut ctx, func).unwrap();
+        RvScfToCf.run(&mut ctx, &r, m).unwrap();
+        r.verify(&ctx, m).unwrap();
+        assert!(ctx.walk_named(m, rv_scf::FOR).is_empty());
+
+        // Emit and execute on the simulator.
+        let asm = emit_module(&ctx, m).unwrap();
+        let prog = mlb_sim::assemble(&asm).unwrap();
+        let mut machine = mlb_sim::Machine::new();
+        machine.call(&prog, "k", &[mlb_isa::TCDM_BASE]).unwrap();
+        assert_eq!(machine.read_f64_slice(mlb_isa::TCDM_BASE, 1), vec![10.0]);
+    }
+
+    #[test]
+    fn nested_loops_flatten_and_run() {
+        let (mut ctx, r, m, top) = setup();
+        let (func, entry) = rv_func::build_func(&mut ctx, top, "k", &[rv_func::AbiArg::Int]);
+        let out = ctx.block_args(entry)[0];
+        let lb = rv::li(&mut ctx, entry, 0);
+        let ub = rv::li(&mut ctx, entry, 3);
+        let step = rv::li(&mut ctx, entry, 1);
+        let one_i = rv::li(&mut ctx, entry, 1);
+        let one = {
+            let o = ctx.append_op(
+                entry,
+                OpSpec::new(rv::FCVT_D_W).operands(vec![one_i]).results(vec![rv::freg()]),
+            );
+            ctx.op(o).results[0]
+        };
+        let init = rv::fp_binary(&mut ctx, entry, rv::FSUB_D, one, one);
+        let outer = rv_scf::build_for(&mut ctx, entry, lb, ub, step, vec![init], |ctx, body, _iv, args| {
+            let inner = rv_scf::build_for(ctx, body, lb, ub, step, vec![args[0]], |ctx, ib, _iv, iargs| {
+                vec![rv::fp_binary(ctx, ib, rv::FADD_D, iargs[0], one)]
+            });
+            vec![ctx.op(inner.0).results[0]]
+        });
+        let total = ctx.op(outer.0).results[0];
+        rv::fp_store(&mut ctx, entry, rv::FSD, total, out, 0);
+        rv_func::build_ret(&mut ctx, entry);
+
+        allocate_function(&mut ctx, func).unwrap();
+        RvScfToCf.run(&mut ctx, &r, m).unwrap();
+        r.verify(&ctx, m).unwrap();
+        let asm = emit_module(&ctx, m).unwrap();
+        let prog = mlb_sim::assemble(&asm).unwrap();
+        let mut machine = mlb_sim::Machine::new();
+        machine.call(&prog, "k", &[mlb_isa::TCDM_BASE]).unwrap();
+        // 3 x 3 iterations of +1.0.
+        assert_eq!(machine.read_f64_slice(mlb_isa::TCDM_BASE, 1), vec![9.0]);
+    }
+}

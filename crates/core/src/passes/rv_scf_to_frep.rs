@@ -1,0 +1,239 @@
+//! `rv-scf-to-frep`: converts eligible `rv_scf.for` loops into
+//! `rv_snitch.frep_outer` hardware loops (Table 3, "FRep").
+//!
+//! A loop is eligible when its body consists exclusively of FPU
+//! instructions, its loop-carried values are FP registers, and its
+//! induction variable is unused (streams handle all addressing). The
+//! hardware loop removes the per-iteration control flow entirely and
+//! decouples the FPU from the integer core (Section 2.4).
+
+use mlb_ir::{Attribute, Context, DialectRegistry, OpId, Pass, PassError, Type};
+use mlb_riscv::{rv, rv_scf, rv_snitch};
+
+/// The pass object.
+#[derive(Debug, Default)]
+pub struct RvScfToFrep;
+
+impl Pass for RvScfToFrep {
+    fn name(&self) -> &'static str {
+        "rv-scf-to-frep"
+    }
+
+    fn run(
+        &self,
+        ctx: &mut Context,
+        _registry: &DialectRegistry,
+        root: OpId,
+    ) -> Result<(), PassError> {
+        for op in ctx.walk_named(root, rv_scf::FOR) {
+            if ctx.is_alive(op) {
+                try_convert(ctx, op);
+            }
+        }
+        Ok(())
+    }
+}
+
+fn li_value(ctx: &Context, v: mlb_ir::ValueId) -> Option<i64> {
+    rv::constant_int_value(ctx, v)
+}
+
+fn try_convert(ctx: &mut Context, op: OpId) -> bool {
+    let for_op = rv_scf::RvForOp(op);
+    // Normalized bounds only: lb = 0, step = 1.
+    if li_value(ctx, for_op.lower_bound(ctx)) != Some(0)
+        || li_value(ctx, for_op.step(ctx)) != Some(1)
+    {
+        return false;
+    }
+    let body = for_op.body(ctx);
+    let ops = ctx.block_ops(body).to_vec();
+    // Body: only FPU instructions plus the terminator, and within the
+    // sequencer's buffer capacity.
+    if ops.len() - 1 > mlb_isa::FREP_MAX_SEQUENCE {
+        return false;
+    }
+    for &bop in &ops[..ops.len() - 1] {
+        if !rv::is_fpu_op(&ctx.op(bop).name) {
+            return false;
+        }
+    }
+    // Induction variable unused; carried values all FP.
+    let iv = for_op.induction_var(ctx);
+    if ctx.has_uses(iv) {
+        return false;
+    }
+    let inits = for_op.iter_inits(ctx).to_vec();
+    if inits.iter().any(|&v| !matches!(ctx.value_type(v), Type::FpRegister(_))) {
+        return false;
+    }
+
+    // frep.o executes (count_register + 1) times: materialize ub - 1.
+    let ub = for_op.upper_bound(ctx);
+    let count = if let Some(c) = li_value(ctx, ub) {
+        if c < 1 {
+            return false;
+        }
+        let li = ctx.insert_op_before(
+            op,
+            mlb_ir::OpSpec::new(rv::LI).attr("imm", Attribute::Int(c - 1)).results(vec![rv::reg()]),
+        );
+        ctx.op(li).results[0]
+    } else {
+        let addi = ctx.insert_op_before(
+            op,
+            mlb_ir::OpSpec::new(rv::ADDI)
+                .operands(vec![ub])
+                .attr("imm", Attribute::Int(-1))
+                .results(vec![rv::reg()]),
+        );
+        ctx.op(addi).results[0]
+    };
+
+    // Build the frep with the same iteration chain.
+    let result_types: Vec<Type> = inits.iter().map(|&v| ctx.value_type(v).clone()).collect();
+    let mut operands = vec![count];
+    operands.extend(inits);
+    let frep = ctx.insert_op_before(
+        op,
+        mlb_ir::OpSpec::new(rv_snitch::FREP_OUTER)
+            .operands(operands)
+            .results(result_types.clone())
+            .regions(1),
+    );
+    let new_body = ctx.create_block(ctx.op(frep).regions[0], result_types);
+    // Re-home the loop body ops, rewiring iter args (the IV is dead).
+    let old_iter_args = for_op.iter_args(ctx).to_vec();
+    for (i, &old_arg) in old_iter_args.iter().enumerate() {
+        let new_arg = ctx.block_args(new_body)[i];
+        ctx.replace_all_uses(old_arg, new_arg);
+    }
+    for &bop in &ops {
+        ctx.move_op_to_end(bop, new_body);
+    }
+    // Replace results and erase the empty loop shell.
+    for (i, &result) in ctx.op(op).results.to_vec().iter().enumerate() {
+        let new_result = ctx.op(frep).results[i];
+        ctx.replace_all_uses(result, new_result);
+    }
+    ctx.erase_op(op);
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlb_ir::OpSpec;
+    use mlb_isa::FpReg;
+    use mlb_riscv::rv_func;
+
+    fn setup() -> (Context, DialectRegistry, OpId, mlb_ir::BlockId) {
+        let mut ctx = Context::new();
+        let mut r = DialectRegistry::new();
+        r.register(mlb_ir::OpInfo::new("builtin.module"));
+        mlb_riscv::register_all(&mut r);
+        let m = ctx.create_detached_op(OpSpec::new("builtin.module").regions(1));
+        let top = ctx.create_block(ctx.op(m).regions[0], vec![]);
+        (ctx, r, m, top)
+    }
+
+    fn fp_loop(
+        ctx: &mut Context,
+        entry: mlb_ir::BlockId,
+        trip: i64,
+    ) -> (mlb_riscv::rv_scf::RvForOp, mlb_ir::ValueId) {
+        let lb = rv::li(ctx, entry, 0);
+        let ub = rv::li(ctx, entry, trip);
+        let step = rv::li(ctx, entry, 1);
+        let ft0 = rv::get_register(ctx, entry, Type::FpRegister(Some(FpReg::ft(0))));
+        let init = rv::fp_binary(ctx, entry, rv::FSUB_D, ft0, ft0);
+        let loop_op = mlb_riscv::rv_scf::build_for(
+            ctx,
+            entry,
+            lb,
+            ub,
+            step,
+            vec![init],
+            |ctx, body, _iv, args| vec![rv::fp_ternary(ctx, body, rv::FMADD_D, ft0, ft0, args[0])],
+        );
+        let result = ctx.op(loop_op.0).results[0];
+        (loop_op, result)
+    }
+
+    #[test]
+    fn all_fpu_loop_becomes_frep() {
+        let (mut ctx, r, m, top) = setup();
+        let (_f, entry) = rv_func::build_func(&mut ctx, top, "f", &[]);
+        let (_loop, result) = fp_loop(&mut ctx, entry, 200);
+        let _keep = rv::fp_binary(&mut ctx, entry, rv::FADD_D, result, result);
+        rv_func::build_ret(&mut ctx, entry);
+
+        RvScfToFrep.run(&mut ctx, &r, m).unwrap();
+        r.verify(&ctx, m).unwrap();
+        assert!(ctx.walk_named(m, rv_scf::FOR).is_empty());
+        let freps = ctx.walk_named(m, rv_snitch::FREP_OUTER);
+        assert_eq!(freps.len(), 1);
+        let frep = rv_snitch::FrepOp(freps[0]);
+        assert_eq!(frep.num_instructions(&ctx), 1);
+        // The count register holds trip - 1 = 199.
+        let count_def = ctx.defining_op(frep.count(&ctx)).unwrap();
+        assert_eq!(ctx.op(count_def).attr("imm"), Some(&Attribute::Int(199)));
+    }
+
+    #[test]
+    fn loop_with_integer_body_is_kept() {
+        let (mut ctx, r, m, top) = setup();
+        let (_f, entry) = rv_func::build_func(&mut ctx, top, "f", &[]);
+        let lb = rv::li(&mut ctx, entry, 0);
+        let ub = rv::li(&mut ctx, entry, 4);
+        let step = rv::li(&mut ctx, entry, 1);
+        mlb_riscv::rv_scf::build_for(&mut ctx, entry, lb, ub, step, vec![], |ctx, body, _iv, _| {
+            let t = rv::li(ctx, body, 3);
+            let _ = rv::int_binary(ctx, body, rv::ADD, t, t);
+            vec![]
+        });
+        rv_func::build_ret(&mut ctx, entry);
+        RvScfToFrep.run(&mut ctx, &r, m).unwrap();
+        assert_eq!(ctx.walk_named(m, rv_scf::FOR).len(), 1);
+        assert!(ctx.walk_named(m, rv_snitch::FREP_OUTER).is_empty());
+    }
+
+    #[test]
+    fn loop_using_induction_variable_is_kept() {
+        let (mut ctx, r, m, top) = setup();
+        let (_f, entry) = rv_func::build_func(&mut ctx, top, "f", &[]);
+        let lb = rv::li(&mut ctx, entry, 0);
+        let ub = rv::li(&mut ctx, entry, 4);
+        let step = rv::li(&mut ctx, entry, 1);
+        let ft0 = rv::get_register(&mut ctx, entry, Type::FpRegister(Some(FpReg::ft(0))));
+        mlb_riscv::rv_scf::build_for(&mut ctx, entry, lb, ub, step, vec![], |ctx, body, iv, _| {
+            // The IV is used by an integer op: not frep-able anyway, but
+            // also exercises the IV check with an FPU-only body below.
+            let _ = rv::int_imm(ctx, body, rv::ADDI, iv, 1);
+            let _ = rv::fp_binary(ctx, body, rv::FADD_D, ft0, ft0);
+            vec![]
+        });
+        rv_func::build_ret(&mut ctx, entry);
+        RvScfToFrep.run(&mut ctx, &r, m).unwrap();
+        assert_eq!(ctx.walk_named(m, rv_scf::FOR).len(), 1);
+    }
+
+    #[test]
+    fn oversized_body_is_kept() {
+        let (mut ctx, r, m, top) = setup();
+        let (_f, entry) = rv_func::build_func(&mut ctx, top, "f", &[]);
+        let lb = rv::li(&mut ctx, entry, 0);
+        let ub = rv::li(&mut ctx, entry, 4);
+        let step = rv::li(&mut ctx, entry, 1);
+        let ft0 = rv::get_register(&mut ctx, entry, Type::FpRegister(Some(FpReg::ft(0))));
+        mlb_riscv::rv_scf::build_for(&mut ctx, entry, lb, ub, step, vec![], |ctx, body, _iv, _| {
+            for _ in 0..mlb_isa::FREP_MAX_SEQUENCE + 1 {
+                let _ = rv::fp_binary(ctx, body, rv::FADD_D, ft0, ft0);
+            }
+            vec![]
+        });
+        rv_func::build_ret(&mut ctx, entry);
+        RvScfToFrep.run(&mut ctx, &r, m).unwrap();
+        assert_eq!(ctx.walk_named(m, rv_scf::FOR).len(), 1);
+    }
+}

@@ -1,0 +1,185 @@
+//! `memref-stream-scalar-replacement`: marks reduction generics whose
+//! results can accumulate in registers instead of memory (Table 3,
+//! "Scalar Replacement").
+//!
+//! The paper "excludes the reduction indices from the iteration space
+//! specifications of the results, guiding our lowering to loops to use
+//! local values for accumulation" (Section 3.4). In this implementation
+//! the exclusion is recorded as the `scalar_replaced` unit attribute,
+//! which `convert-memref-stream-to-loops` consumes: with the attribute,
+//! each result element is held in a loop-carried SSA value across the
+//! reduction loops and written once; without it, every iteration point
+//! loads, updates and stores the result element.
+
+use mlb_dialects::memref_stream;
+use mlb_ir::{Attribute, Context, DialectRegistry, IteratorType, OpId, Pass, PassError};
+
+/// Attribute marking a generic as register-accumulating.
+pub const SCALAR_REPLACED: &str = "scalar_replaced";
+
+/// The pass object.
+#[derive(Debug, Default)]
+pub struct MemrefStreamScalarReplacement;
+
+impl Pass for MemrefStreamScalarReplacement {
+    fn name(&self) -> &'static str {
+        "memref-stream-scalar-replacement"
+    }
+
+    fn run(
+        &self,
+        ctx: &mut Context,
+        _registry: &DialectRegistry,
+        root: OpId,
+    ) -> Result<(), PassError> {
+        for op in ctx.walk_named(root, memref_stream::GENERIC) {
+            if can_scalar_replace(ctx, op) {
+                ctx.op_mut(op).attrs.insert(SCALAR_REPLACED.to_string(), Attribute::Unit);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Whether `op` is marked as scalar-replaced.
+pub fn is_scalar_replaced(ctx: &Context, op: OpId) -> bool {
+    ctx.op(op).attr(SCALAR_REPLACED).is_some()
+}
+
+/// Accumulating in registers requires (i) a reduction, (ii) output maps
+/// independent of every reduction dimension (each result element belongs
+/// to exactly one non-reduction point), and (iii) reduction dimensions
+/// forming the innermost non-interleaved loops so the accumulator scope
+/// is well defined.
+fn can_scalar_replace(ctx: &Context, op: OpId) -> bool {
+    let s = memref_stream::StreamGenericOp(op);
+    let iterators = s.generic().iterator_types(ctx);
+    if !iterators.iter().any(|&it| it == IteratorType::Reduction) {
+        return false;
+    }
+    // (iii) reductions contiguous and last among the loop dimensions.
+    let loop_iters: Vec<IteratorType> = iterators
+        .iter()
+        .copied()
+        .filter(|&it| it != IteratorType::Interleaved)
+        .collect();
+    let first_red = loop_iters.iter().position(|&it| it == IteratorType::Reduction).unwrap();
+    if !loop_iters[first_red..].iter().all(|&it| it == IteratorType::Reduction) {
+        return false;
+    }
+    // (ii) output maps must not use reduction dimensions.
+    let maps = s.generic().indexing_maps(ctx);
+    let num_inputs = s.generic().num_inputs(ctx);
+    let num_outputs = s.outputs(ctx).len();
+    for map in &maps[num_inputs..num_inputs + num_outputs] {
+        if !map.is_linear() {
+            return false;
+        }
+        for (d, it) in iterators.iter().enumerate() {
+            if *it == IteratorType::Reduction && map.dim_coefficients(d).iter().any(|&c| c != 0) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::passes::convert_linalg::ConvertLinalgToMemrefStream;
+    use mlb_dialects::{arith, builtin, func, linalg};
+    use mlb_ir::{AffineExpr, AffineMap, Type};
+
+    fn registry() -> DialectRegistry {
+        let mut r = DialectRegistry::new();
+        mlb_dialects::register_all(&mut r);
+        r
+    }
+
+    #[test]
+    fn reduction_with_independent_output_is_marked() {
+        let mut ctx = Context::new();
+        let r = registry();
+        let (m, top) = builtin::build_module(&mut ctx);
+        let a_ty = Type::memref(vec![4, 8], Type::F64);
+        let z_ty = Type::memref(vec![4], Type::F64);
+        let (_f, entry) = func::build_func(&mut ctx, top, "rowsum", vec![a_ty, z_ty], vec![]);
+        let a = ctx.block_args(entry)[0];
+        let z = ctx.block_args(entry)[1];
+        let a_map = AffineMap::identity(2);
+        let z_map = AffineMap::new(2, 0, vec![AffineExpr::dim(0)]);
+        linalg::build_generic(
+            &mut ctx,
+            entry,
+            vec![a],
+            vec![z],
+            vec![a_map, z_map],
+            vec![IteratorType::Parallel, IteratorType::Reduction],
+            None,
+            |ctx, body, args| vec![arith::binary(ctx, body, arith::ADDF, args[0], args[1])],
+        );
+        func::build_return(&mut ctx, entry, vec![]);
+        ConvertLinalgToMemrefStream.run(&mut ctx, &r, m).unwrap();
+        MemrefStreamScalarReplacement.run(&mut ctx, &r, m).unwrap();
+        let g = ctx.walk_named(m, memref_stream::GENERIC)[0];
+        assert!(is_scalar_replaced(&ctx, g));
+    }
+
+    #[test]
+    fn parallel_generic_is_not_marked() {
+        let mut ctx = Context::new();
+        let r = registry();
+        let (m, top) = builtin::build_module(&mut ctx);
+        let buf = Type::memref(vec![4], Type::F64);
+        let (_f, entry) = func::build_func(&mut ctx, top, "relu", vec![buf.clone(), buf], vec![]);
+        let x = ctx.block_args(entry)[0];
+        let z = ctx.block_args(entry)[1];
+        let id = AffineMap::identity(1);
+        linalg::build_generic(
+            &mut ctx,
+            entry,
+            vec![x],
+            vec![z],
+            vec![id.clone(), id],
+            vec![IteratorType::Parallel],
+            None,
+            |ctx, body, args| vec![arith::binary(ctx, body, arith::ADDF, args[0], args[0])],
+        );
+        func::build_return(&mut ctx, entry, vec![]);
+        ConvertLinalgToMemrefStream.run(&mut ctx, &r, m).unwrap();
+        MemrefStreamScalarReplacement.run(&mut ctx, &r, m).unwrap();
+        let g = ctx.walk_named(m, memref_stream::GENERIC)[0];
+        assert!(!is_scalar_replaced(&ctx, g));
+    }
+
+    #[test]
+    fn reduction_carried_output_is_not_marked() {
+        // Output indexed by the reduction dimension (a running prefix
+        // sum): each iteration writes a different element, so registers
+        // cannot hold "the" accumulator.
+        let mut ctx = Context::new();
+        let r = registry();
+        let (m, top) = builtin::build_module(&mut ctx);
+        let buf = Type::memref(vec![8], Type::F64);
+        let (_f, entry) = func::build_func(&mut ctx, top, "scan", vec![buf.clone(), buf], vec![]);
+        let x = ctx.block_args(entry)[0];
+        let z = ctx.block_args(entry)[1];
+        let id = AffineMap::identity(1);
+        linalg::build_generic(
+            &mut ctx,
+            entry,
+            vec![x],
+            vec![z],
+            vec![id.clone(), id],
+            vec![IteratorType::Reduction],
+            None,
+            |ctx, body, args| vec![arith::binary(ctx, body, arith::ADDF, args[0], args[1])],
+        );
+        func::build_return(&mut ctx, entry, vec![]);
+        ConvertLinalgToMemrefStream.run(&mut ctx, &r, m).unwrap();
+        MemrefStreamScalarReplacement.run(&mut ctx, &r, m).unwrap();
+        let g = ctx.walk_named(m, memref_stream::GENERIC)[0];
+        assert!(!is_scalar_replaced(&ctx, g));
+    }
+}

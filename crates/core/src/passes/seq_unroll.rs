@@ -1,0 +1,208 @@
+//! `sequential-unroll`: LLVM-style sequential unrolling of innermost
+//! loops, used by the Clang-like comparison flow. Unlike unroll-and-jam
+//! this happens *after* lowering to loops and keeps the iterations'
+//! dependency chains intact — it removes branch overhead but cannot hide
+//! FPU latency, which is why the comparison flows plateau (Section 4.4).
+
+use mlb_dialects::{arith, scf};
+use mlb_ir::{Attribute, Context, DialectRegistry, OpId, Pass, PassError, ValueId};
+
+/// The pass object.
+#[derive(Debug, Clone)]
+pub struct SequentialUnroll {
+    /// Replication factor.
+    pub factor: i64,
+}
+
+impl Default for SequentialUnroll {
+    fn default() -> SequentialUnroll {
+        SequentialUnroll { factor: 4 }
+    }
+}
+
+impl Pass for SequentialUnroll {
+    fn name(&self) -> &'static str {
+        "sequential-unroll"
+    }
+
+    fn run(
+        &self,
+        ctx: &mut Context,
+        _registry: &DialectRegistry,
+        root: OpId,
+    ) -> Result<(), PassError> {
+        for op in ctx.walk_named(root, scf::FOR) {
+            if ctx.is_alive(op) {
+                try_unroll(ctx, op, self.factor);
+            }
+        }
+        Ok(())
+    }
+}
+
+fn const_of(ctx: &Context, v: ValueId) -> Option<i64> {
+    arith::constant_value(ctx, v).and_then(Attribute::as_int)
+}
+
+fn try_unroll(ctx: &mut Context, op: OpId, factor: i64) -> bool {
+    let for_op = scf::ForOp(op);
+    // Innermost loops only, no loop-carried state beyond what unrolling
+    // can rethread, constant bounds with a divisible trip count.
+    let body = for_op.body(ctx);
+    if ctx.block_ops(body).iter().any(|&o| !ctx.op(o).regions.is_empty()) {
+        return false;
+    }
+    let (Some(lb), Some(ub), Some(step)) = (
+        const_of(ctx, for_op.lower_bound(ctx)),
+        const_of(ctx, for_op.upper_bound(ctx)),
+        const_of(ctx, for_op.step(ctx)),
+    ) else {
+        return false;
+    };
+    if step != 1 {
+        return false;
+    }
+    let trip = ub - lb;
+    // Small fixed-trip loops unroll fully (LLVM does the same for the
+    // 3x3 pooling windows); otherwise the trip must divide evenly.
+    let factor = if trip > 0 && trip <= factor { trip } else { factor };
+    if trip < factor || trip % factor != 0 {
+        return false;
+    }
+
+    // New loop with step = factor and a body that repeats the original
+    // computation `factor` times at iv + k.
+    let inits = for_op.iter_inits(ctx).to_vec();
+    let parent = ctx.op(op).parent.expect("attached");
+    let step_c = {
+        let c = ctx.insert_op_before(
+            op,
+            mlb_ir::OpSpec::new(arith::CONSTANT)
+                .attr("value", Attribute::Int(factor))
+                .results(vec![mlb_ir::Type::Index]),
+        );
+        ctx.op(c).results[0]
+    };
+    let old_yield = ctx.terminator(body);
+    let old_yield_operands = ctx.op(old_yield).operands.clone();
+    let old_iv = for_op.induction_var(ctx);
+    let old_iter_args = for_op.iter_args(ctx).to_vec();
+    let body_ops: Vec<OpId> = {
+        let ops = ctx.block_ops(body).to_vec();
+        ops[..ops.len() - 1].to_vec()
+    };
+
+    let new_loop = scf::build_for(
+        ctx,
+        parent,
+        for_op.lower_bound(ctx),
+        for_op.upper_bound(ctx),
+        step_c,
+        inits,
+        |ctx, new_body, iv, iter_args| {
+            let mut carried: Vec<ValueId> = iter_args.to_vec();
+            for k in 0..factor {
+                let mut map = std::collections::HashMap::new();
+                let iv_k = if k == 0 {
+                    iv
+                } else {
+                    let c = ctx.append_op(
+                        new_body,
+                        mlb_ir::OpSpec::new(arith::CONSTANT)
+                            .attr("value", Attribute::Int(k))
+                            .results(vec![mlb_ir::Type::Index]),
+                    );
+                    let cv = ctx.op(c).results[0];
+                    arith::binary(ctx, new_body, arith::ADDI, iv, cv)
+                };
+                map.insert(old_iv, iv_k);
+                for (arg, value) in old_iter_args.iter().zip(&carried) {
+                    map.insert(*arg, *value);
+                }
+                for &bop in &body_ops {
+                    ctx.clone_op_into(bop, new_body, &mut map);
+                }
+                carried = old_yield_operands
+                    .iter()
+                    .map(|v| *map.get(v).unwrap_or(v))
+                    .collect();
+            }
+            carried
+        },
+    );
+    // Rewire results and move the new loop into the old one's position.
+    for (i, &result) in ctx.op(op).results.to_vec().iter().enumerate() {
+        let new = ctx.op(new_loop.0).results[i];
+        ctx.replace_all_uses(result, new);
+    }
+    ctx.move_op_before(new_loop.0, op);
+    ctx.erase_op(op);
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlb_dialects::{builtin, func, memref};
+    use mlb_ir::Type;
+
+    fn registry() -> DialectRegistry {
+        let mut r = DialectRegistry::new();
+        mlb_dialects::register_all(&mut r);
+        r
+    }
+
+    #[test]
+    fn divisible_loop_unrolls_by_four() {
+        let mut ctx = Context::new();
+        let r = registry();
+        let (m, top) = builtin::build_module(&mut ctx);
+        let buf = Type::memref(vec![16], Type::F64);
+        let (_f, entry) = func::build_func(&mut ctx, top, "f", vec![buf], vec![]);
+        let x = ctx.block_args(entry)[0];
+        let lb = arith::constant_index(&mut ctx, entry, 0);
+        let ub = arith::constant_index(&mut ctx, entry, 16);
+        let step = arith::constant_index(&mut ctx, entry, 1);
+        scf::build_for(&mut ctx, entry, lb, ub, step, vec![], |ctx, body, iv, _| {
+            let v = memref::build_load(ctx, body, x, vec![iv]);
+            let d = arith::binary(ctx, body, arith::ADDF, v, v);
+            memref::build_store(ctx, body, d, x, vec![iv]);
+            vec![]
+        });
+        func::build_return(&mut ctx, entry, vec![]);
+
+        SequentialUnroll::default().run(&mut ctx, &r, m).unwrap();
+        r.verify(&ctx, m).unwrap();
+        let loops = ctx.walk_named(m, scf::FOR);
+        assert_eq!(loops.len(), 1);
+        // 4 loads in the body now.
+        let body = scf::ForOp(loops[0]).body(&ctx);
+        let loads = ctx
+            .block_ops(body)
+            .iter()
+            .filter(|&&o| ctx.op(o).name == memref::LOAD)
+            .count();
+        assert_eq!(loads, 4);
+    }
+
+    #[test]
+    fn indivisible_loop_is_kept() {
+        let mut ctx = Context::new();
+        let r = registry();
+        let (m, top) = builtin::build_module(&mut ctx);
+        let (_f, entry) = func::build_func(&mut ctx, top, "f", vec![], vec![]);
+        let lb = arith::constant_index(&mut ctx, entry, 0);
+        let ub = arith::constant_index(&mut ctx, entry, 7);
+        let step = arith::constant_index(&mut ctx, entry, 1);
+        scf::build_for(&mut ctx, entry, lb, ub, step, vec![], |_, _, _, _| vec![]);
+        func::build_return(&mut ctx, entry, vec![]);
+        SequentialUnroll::default().run(&mut ctx, &r, m).unwrap();
+        let loops = ctx.walk_named(m, scf::FOR);
+        assert_eq!(loops.len(), 1);
+        assert_eq!(
+            const_of(&ctx, scf::ForOp(loops[0]).step(&ctx)),
+            Some(1),
+            "loop must not be rewritten"
+        );
+    }
+}

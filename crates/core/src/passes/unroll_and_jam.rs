@@ -1,0 +1,356 @@
+//! `memref-stream-unroll-and-jam`: interleaves several iterations of a
+//! parallel dimension in the generic body (Section 3.4, Figure 7),
+//! trading code size and register pressure for independent FPU
+//! instruction chains that hide the 3-stage pipeline latency.
+//!
+//! The unroll factor is selected automatically from the dimension bound
+//! and the FPU pipeline depth ([`choose_unroll_factor`]). The chosen
+//! dimension is split into an outer loop dimension and an `interleaved`
+//! dimension placed innermost; reduction dimensions are moved between
+//! them so accumulators keep a well-defined scope.
+
+use std::collections::HashMap;
+
+use mlb_dialects::{memref_stream, structured};
+use mlb_ir::{
+    AffineExpr, AffineMap, Attribute, Context, DialectRegistry, IteratorType, OpId, Pass,
+    PassError, Type, ValueId,
+};
+use mlb_isa::FPU_PIPELINE_DEPTH;
+
+/// The pass object. `factor_override` forces a specific interleave
+/// factor (used by the design-choice ablation benches); `None` selects
+/// automatically from the FPU pipeline depth.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct MemrefStreamUnrollAndJam {
+    /// Forced unroll factor, when set and dividing the bound.
+    pub factor_override: Option<i64>,
+}
+
+impl Pass for MemrefStreamUnrollAndJam {
+    fn name(&self) -> &'static str {
+        "memref-stream-unroll-and-jam"
+    }
+
+    fn run(
+        &self,
+        ctx: &mut Context,
+        _registry: &DialectRegistry,
+        root: OpId,
+    ) -> Result<(), PassError> {
+        for op in ctx.walk_named(root, memref_stream::GENERIC) {
+            if !ctx.is_alive(op) {
+                continue;
+            }
+            apply(ctx, op, self.factor_override);
+        }
+        Ok(())
+    }
+}
+
+/// Selects the unroll factor for a parallel dimension of size `bound`.
+///
+/// The FPU pipeline has [`FPU_PIPELINE_DEPTH`] stages, so at least
+/// `depth + 1` independent chains are needed to avoid stalls. Preference
+/// order: the smallest divisor of `bound` that is at least `depth + 1`
+/// and at most 8, otherwise the largest divisor larger than 1 (up to 8),
+/// otherwise 1 (no unrolling possible).
+///
+/// ```
+/// use mlb_core::passes::unroll_and_jam::choose_unroll_factor;
+/// assert_eq!(choose_unroll_factor(5), 5);
+/// assert_eq!(choose_unroll_factor(200), 4);
+/// assert_eq!(choose_unroll_factor(16), 4);
+/// assert_eq!(choose_unroll_factor(9), 3);
+/// assert_eq!(choose_unroll_factor(1), 1);
+/// ```
+pub fn choose_unroll_factor(bound: i64) -> i64 {
+    let min = FPU_PIPELINE_DEPTH as i64 + 1;
+    let divisors: Vec<i64> = (2..=8).filter(|d| bound % d == 0 && *d <= bound).collect();
+    if let Some(&f) = divisors.iter().find(|&&d| d >= min) {
+        return f;
+    }
+    divisors.last().copied().unwrap_or(1)
+}
+
+fn apply(ctx: &mut Context, op: OpId, factor_override: Option<i64>) {
+    let s = memref_stream::StreamGenericOp(op);
+    let iterators = s.generic().iterator_types(ctx);
+    let bounds = s.bounds(ctx);
+    // Only reduction kernels suffer RAW stalls worth unrolling for, and
+    // one interleaved dimension at a time is supported.
+    if !iterators.iter().any(|&it| it == IteratorType::Reduction)
+        || iterators.iter().any(|&it| it == IteratorType::Interleaved)
+    {
+        return;
+    }
+    // The last parallel dimension is the natural interleave candidate:
+    // its stride in the output is innermost.
+    let Some(dim) = iterators.iter().rposition(|&it| it == IteratorType::Parallel) else {
+        return;
+    };
+    let factor = match factor_override {
+        Some(f) if f >= 1 && bounds[dim] % f == 0 => f,
+        _ => choose_unroll_factor(bounds[dim]),
+    };
+    if factor <= 1 {
+        return;
+    }
+
+    let n = iterators.len();
+    // New dimension order: parallel dims (with the split dim's outer
+    // part in place, dropped when fully unrolled), then reductions, then
+    // the interleaved inner part.
+    let full = factor == bounds[dim];
+    let mut new_bounds = Vec::new();
+    let mut new_iters = Vec::new();
+    // old dim -> expression over new dims.
+    let mut subs: Vec<AffineExpr> = vec![AffineExpr::Const(0); n];
+    for (d, &it) in iterators.iter().enumerate() {
+        if it != IteratorType::Parallel {
+            continue;
+        }
+        if d == dim {
+            if !full {
+                subs[d] = AffineExpr::Dim(new_bounds.len()); // placeholder, fixed below
+                new_bounds.push(bounds[d] / factor);
+                new_iters.push(IteratorType::Parallel);
+            }
+        } else {
+            subs[d] = AffineExpr::Dim(new_bounds.len());
+            new_bounds.push(bounds[d]);
+            new_iters.push(IteratorType::Parallel);
+        }
+    }
+    let outer_index = if full {
+        None
+    } else {
+        // Position assigned above is correct only if no reductions were
+        // interleaved before it; recompute by scanning.
+        let mut idx = 0;
+        let mut found = None;
+        for (d, &it) in iterators.iter().enumerate() {
+            if it == IteratorType::Parallel {
+                if d == dim {
+                    found = Some(idx);
+                }
+                idx += 1;
+            }
+        }
+        found
+    };
+    for (d, &it) in iterators.iter().enumerate() {
+        if it == IteratorType::Reduction {
+            subs[d] = AffineExpr::Dim(new_bounds.len());
+            new_bounds.push(bounds[d]);
+            new_iters.push(IteratorType::Reduction);
+        }
+    }
+    let inner_index = new_bounds.len();
+    new_bounds.push(factor);
+    new_iters.push(IteratorType::Interleaved);
+    // The split dimension maps to outer * factor + inner.
+    subs[dim] = match outer_index {
+        Some(o) => AffineExpr::Dim(o).mul_const(factor).add(AffineExpr::Dim(inner_index)),
+        None => AffineExpr::Dim(inner_index),
+    };
+
+    // Rewrite the indexing maps over the new dimension space.
+    let old_maps = s.generic().indexing_maps(ctx);
+    let selector = AffineMap::new(new_bounds.len(), 0, subs);
+    let new_maps: Vec<AffineMap> = old_maps.iter().map(|m| m.compose(&selector)).collect();
+
+    // Build the replacement op with a body replicated `factor` times.
+    let old = ctx.op(op).clone();
+    let mut attrs = old.attrs.clone();
+    attrs.insert(
+        structured::INDEXING_MAPS.to_string(),
+        Attribute::Array(new_maps.into_iter().map(Attribute::Map).collect()),
+    );
+    attrs.insert(structured::ITERATOR_TYPES.to_string(), Attribute::Iterators(new_iters));
+    attrs.insert(structured::BOUNDS.to_string(), Attribute::DenseI64(new_bounds));
+    let spec = mlb_ir::OpSpec {
+        name: memref_stream::GENERIC.to_string(),
+        operands: old.operands.clone(),
+        result_types: vec![],
+        attrs,
+        num_regions: 1,
+        successors: vec![],
+    };
+    let new = ctx.insert_op_before(op, spec);
+
+    let old_body = s.generic().body(ctx);
+    let old_args = ctx.block_args(old_body).to_vec();
+    let num_operands = old_args.len(); // one per non-init operand before unrolling
+    let f = factor as usize;
+    // New args: for operand i, copies j=0..f at index i*f + j.
+    let arg_types: Vec<Type> = old_args
+        .iter()
+        .flat_map(|&a| std::iter::repeat_n(ctx.value_type(a).clone(), f))
+        .collect();
+    let new_body = ctx.create_block(ctx.op(new).regions[0], arg_types);
+    let old_yield = ctx.terminator(old_body);
+    let old_yield_operands = ctx.op(old_yield).operands.clone();
+    let mut new_yields: Vec<Vec<ValueId>> = vec![Vec::new(); old_yield_operands.len()];
+    for j in 0..f {
+        let mut map: HashMap<ValueId, ValueId> = HashMap::new();
+        for (i, &a) in old_args.iter().enumerate() {
+            map.insert(a, ctx.block_args(new_body)[i * f + j]);
+        }
+        ctx.clone_block_ops(old_body, new_body, &mut map, true);
+        for (k, v) in old_yield_operands.iter().enumerate() {
+            new_yields[k].push(*map.get(v).unwrap_or(v));
+        }
+    }
+    // Yield groups copies per output: out0 j0..j(f-1), out1 j0.. etc.
+    let yields: Vec<ValueId> = new_yields.into_iter().flatten().collect();
+    ctx.append_op(new_body, mlb_ir::OpSpec::new(memref_stream::YIELD).operands(yields));
+    let _ = num_operands;
+    ctx.erase_op(op);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::passes::convert_linalg::ConvertLinalgToMemrefStream;
+    use mlb_dialects::{arith, builtin, func, linalg};
+
+    fn registry() -> DialectRegistry {
+        let mut r = DialectRegistry::new();
+        mlb_dialects::register_all(&mut r);
+        r
+    }
+
+    /// MatMul(M=1, N, K) with the classic [M, N, K] iteration order.
+    fn build_matmul(ctx: &mut Context, m_: i64, n: i64, k: i64) -> OpId {
+        let (module, top) = builtin::build_module(ctx);
+        let a_ty = Type::memref(vec![m_, k], Type::F64);
+        let b_ty = Type::memref(vec![k, n], Type::F64);
+        let c_ty = Type::memref(vec![m_, n], Type::F64);
+        let (_f, entry) = func::build_func(ctx, top, "matmul", vec![a_ty, b_ty, c_ty], vec![]);
+        let a = ctx.block_args(entry)[0];
+        let b = ctx.block_args(entry)[1];
+        let c = ctx.block_args(entry)[2];
+        let a_map = AffineMap::projection(3, &[0, 2]);
+        let b_map = AffineMap::projection(3, &[2, 1]);
+        let c_map = AffineMap::projection(3, &[0, 1]);
+        linalg::build_generic(
+            ctx,
+            entry,
+            vec![a, b],
+            vec![c],
+            vec![a_map, b_map, c_map],
+            vec![IteratorType::Parallel, IteratorType::Parallel, IteratorType::Reduction],
+            None,
+            |ctx, body, args| {
+                let p = arith::binary(ctx, body, arith::MULF, args[0], args[1]);
+                vec![arith::binary(ctx, body, arith::ADDF, p, args[2])]
+            },
+        );
+        func::build_return(ctx, entry, vec![]);
+        module
+    }
+
+    #[test]
+    fn factor_selection() {
+        assert_eq!(choose_unroll_factor(4), 4);
+        assert_eq!(choose_unroll_factor(5), 5);
+        assert_eq!(choose_unroll_factor(8), 4);
+        assert_eq!(choose_unroll_factor(200), 4);
+        assert_eq!(choose_unroll_factor(6), 6);
+        assert_eq!(choose_unroll_factor(7), 7);
+        assert_eq!(choose_unroll_factor(9), 3);
+        assert_eq!(choose_unroll_factor(2), 2);
+        assert_eq!(choose_unroll_factor(1), 1);
+        assert_eq!(choose_unroll_factor(11), 1);
+    }
+
+    #[test]
+    fn matmul_fully_interleaves_small_n() {
+        let mut ctx = Context::new();
+        let r = registry();
+        let m = build_matmul(&mut ctx, 1, 5, 200);
+        ConvertLinalgToMemrefStream.run(&mut ctx, &r, m).unwrap();
+        MemrefStreamUnrollAndJam::default().run(&mut ctx, &r, m).unwrap();
+        r.verify(&ctx, m).unwrap();
+        let g = ctx.walk_named(m, memref_stream::GENERIC)[0];
+        let s = memref_stream::StreamGenericOp(g);
+        // Figure 7: bounds [1, 200, 5], iterators [parallel, reduction,
+        // interleaved].
+        assert_eq!(s.bounds(&ctx), vec![1, 200, 5]);
+        assert_eq!(
+            s.generic().iterator_types(&ctx),
+            vec![IteratorType::Parallel, IteratorType::Reduction, IteratorType::Interleaved]
+        );
+        assert_eq!(s.interleave_factor(&ctx), 5);
+        // Body: 5 muls + 5 adds, with 15 block arguments (3 operands x 5).
+        let body = s.generic().body(&ctx);
+        assert_eq!(ctx.block_args(body).len(), 15);
+        assert_eq!(ctx.block_ops(body).len(), 11);
+        // The B map sends (d0, d1, d2) to (d1, d2): row = reduction dim,
+        // column = interleaved dim.
+        let maps = s.generic().indexing_maps(&ctx);
+        assert_eq!(maps[1].eval(&[0, 7, 3], &[]), vec![7, 3]);
+        // The A map depends only on the reduction dim.
+        assert_eq!(maps[0].eval(&[0, 7, 3], &[]), vec![0, 7]);
+        // The C map: column = d0 * 5? no outer part here: (d0, d2).
+        assert_eq!(maps[2].eval(&[0, 7, 3], &[]), vec![0, 3]);
+    }
+
+    #[test]
+    fn matmul_keeps_outer_part_for_large_n() {
+        let mut ctx = Context::new();
+        let r = registry();
+        let m = build_matmul(&mut ctx, 2, 16, 8);
+        ConvertLinalgToMemrefStream.run(&mut ctx, &r, m).unwrap();
+        MemrefStreamUnrollAndJam::default().run(&mut ctx, &r, m).unwrap();
+        r.verify(&ctx, m).unwrap();
+        let g = ctx.walk_named(m, memref_stream::GENERIC)[0];
+        let s = memref_stream::StreamGenericOp(g);
+        // [M, No, K, Ni] = [2, 4, 8, 4].
+        assert_eq!(s.bounds(&ctx), vec![2, 4, 8, 4]);
+        assert_eq!(
+            s.generic().iterator_types(&ctx),
+            vec![
+                IteratorType::Parallel,
+                IteratorType::Parallel,
+                IteratorType::Reduction,
+                IteratorType::Interleaved
+            ]
+        );
+        // B map: (m, no, k, ni) -> (k, no * 4 + ni).
+        let maps = s.generic().indexing_maps(&ctx);
+        assert_eq!(maps[1].eval(&[0, 2, 5, 3], &[]), vec![5, 11]);
+        // C map: (m, no, k, ni) -> (m, no * 4 + ni).
+        assert_eq!(maps[2].eval(&[1, 2, 5, 3], &[]), vec![1, 11]);
+    }
+
+    #[test]
+    fn parallel_only_generic_is_untouched() {
+        let mut ctx = Context::new();
+        let r = registry();
+        let (m, top) = builtin::build_module(&mut ctx);
+        let buf = Type::memref(vec![16], Type::F64);
+        let (_f, entry) = func::build_func(&mut ctx, top, "relu", vec![buf.clone(), buf], vec![]);
+        let x = ctx.block_args(entry)[0];
+        let z = ctx.block_args(entry)[1];
+        let id = AffineMap::identity(1);
+        linalg::build_generic(
+            &mut ctx,
+            entry,
+            vec![x],
+            vec![z],
+            vec![id.clone(), id],
+            vec![IteratorType::Parallel],
+            None,
+            |ctx, body, args| vec![arith::binary(ctx, body, arith::ADDF, args[0], args[0])],
+        );
+        func::build_return(&mut ctx, entry, vec![]);
+        ConvertLinalgToMemrefStream.run(&mut ctx, &r, m).unwrap();
+        MemrefStreamUnrollAndJam::default().run(&mut ctx, &r, m).unwrap();
+        let g = ctx.walk_named(m, memref_stream::GENERIC)[0];
+        let s = memref_stream::StreamGenericOp(g);
+        assert_eq!(s.interleave_factor(&ctx), 1);
+        assert_eq!(s.bounds(&ctx), vec![16]);
+    }
+}

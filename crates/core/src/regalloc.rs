@@ -1,0 +1,706 @@
+//! The multi-level, spill-free register allocator (Section 3.3).
+//!
+//! Registers are allocated in three linear passes over the structured IR
+//! of one `rv_func.func`:
+//!
+//! 1. **Exclusion** — every register already pinned in the IR (ABI
+//!    argument registers, `rv.get_register` results, the SSR data
+//!    registers claimed by streaming code) is removed from the pools of
+//!    15 caller-saved integer and 20 caller-saved FP registers. This is
+//!    deliberately defensive: it lets partially-allocated code be
+//!    processed generically without live-range analysis of the
+//!    pre-allocated values.
+//! 2. **Live-through collection** — for every structured loop
+//!    (`rv_scf.for`, `rv_snitch.frep_outer`), the values defined outside
+//!    the loop but used inside are recorded; their live ranges must
+//!    extend over the whole loop because the body may execute many times.
+//! 3. **Backward allocation** — a single backward walk assigns a
+//!    register to each value at its last use and releases it at its
+//!    definition. SSA with regions guarantees the walk respects use-def
+//!    order, so whole function bodies allocate in one pass. Loops
+//!    allocate their iteration chain (init operand, block argument,
+//!    yielded value, loop result) to one register first, then the
+//!    live-through values, then recurse into the body.
+//!
+//! There is no spilling: exhausting a pool is a hard error
+//! ([`RegAllocError`]), which the evaluation shows never happens for the
+//! paper's kernel suite (Table 2).
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use mlb_ir::{Context, OpId, Type, ValueId};
+use mlb_isa::{FpReg, IntReg};
+use mlb_riscv::{rv_scf, rv_snitch};
+
+/// Error produced when allocation would require spilling.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegAllocError {
+    /// Which register class ran out.
+    pub class: RegClass,
+    /// Name of the operation being allocated when the pool drained.
+    pub op_name: String,
+}
+
+impl fmt::Display for RegAllocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "out of {} registers while allocating `{}`: spilling would be required",
+            match self.class {
+                RegClass::Int => "integer",
+                RegClass::Fp => "floating-point",
+            },
+            self.op_name
+        )
+    }
+}
+
+impl std::error::Error for RegAllocError {}
+
+/// A register class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RegClass {
+    /// Integer (`x`) registers.
+    Int,
+    /// Floating-point (`f`) registers.
+    Fp,
+}
+
+/// Statistics reported after allocating one function (Table 2).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RegStats {
+    /// Distinct integer registers appearing in the allocated function.
+    pub int_used: BTreeSet<IntReg>,
+    /// Distinct FP registers appearing in the allocated function.
+    pub fp_used: BTreeSet<FpReg>,
+}
+
+impl RegStats {
+    /// Number of distinct integer registers used.
+    pub fn num_int(&self) -> usize {
+        self.int_used.len()
+    }
+
+    /// Number of distinct FP registers used.
+    pub fn num_fp(&self) -> usize {
+        self.fp_used.len()
+    }
+}
+
+/// Allocates every register-typed value in `func` (an `rv_func.func`)
+/// in place, refining `!rv.reg` types into `!rv.reg<...>`.
+///
+/// # Errors
+///
+/// Returns [`RegAllocError`] if a register pool is exhausted — the
+/// allocator never spills.
+pub fn allocate_function(ctx: &mut Context, func: OpId) -> Result<RegStats, RegAllocError> {
+    let mut alloc = Allocator::new(ctx, func);
+    let body_blocks: Vec<_> = ctx.region_blocks(ctx.op(func).regions[0]).to_vec();
+    assert_eq!(body_blocks.len(), 1, "allocate before control-flow lowering");
+    alloc.process_block(ctx, body_blocks[0])?;
+    // Leftovers: values whose last use the walk never saw (dead results
+    // processed top-down, e.g. unused loop results) keep whatever they
+    // were given; anything still unallocated is a bug in the walk.
+    Ok(collect_stats(ctx, func))
+}
+
+/// Collects the distinct registers used under `func`.
+pub fn collect_stats(ctx: &Context, func: OpId) -> RegStats {
+    let mut stats = RegStats::default();
+    let mut record = |ty: &Type| match ty {
+        Type::IntRegister(Some(r)) => {
+            if r.index() != 0 {
+                stats.int_used.insert(*r);
+            }
+        }
+        Type::FpRegister(Some(r)) => {
+            stats.fp_used.insert(*r);
+        }
+        _ => {}
+    };
+    let mut ops = vec![func];
+    ops.extend(ctx.walk(func));
+    for op in ops {
+        for &v in &ctx.op(op).results {
+            record(ctx.value_type(v));
+        }
+        for &region in &ctx.op(op).regions {
+            for &block in ctx.region_blocks(region) {
+                for &arg in ctx.block_args(block) {
+                    record(ctx.value_type(arg));
+                }
+            }
+        }
+    }
+    stats
+}
+
+struct Allocator {
+    free_int: Vec<IntReg>,
+    free_fp: Vec<FpReg>,
+    /// Registers excluded in pass 1; they never re-enter the pools, even
+    /// when the backward walk crosses their defining operation.
+    pinned: RegStats,
+    /// Registers owned by enclosing loops (iteration chains, induction
+    /// variables): they must not be released while the loop body is
+    /// being processed, even when the walk crosses a defining operation.
+    locked_int: Vec<IntReg>,
+    locked_fp: Vec<FpReg>,
+}
+
+impl Allocator {
+    /// Pass 1: build the pools, excluding pre-allocated registers.
+    fn new(ctx: &Context, func: OpId) -> Allocator {
+        let used = collect_stats(ctx, func);
+        let free_int = IntReg::allocatable()
+            .into_iter()
+            .filter(|r| !used.int_used.contains(r))
+            .rev()
+            .collect();
+        let free_fp = FpReg::allocatable()
+            .into_iter()
+            .filter(|r| !used.fp_used.contains(r))
+            .rev()
+            .collect();
+        Allocator { free_int, free_fp, pinned: used, locked_int: Vec::new(), locked_fp: Vec::new() }
+    }
+
+    fn take_specific(&mut self, ty: &Type) {
+        match ty {
+            Type::IntRegister(Some(r)) => self.free_int.retain(|x| x != r),
+            Type::FpRegister(Some(r)) => self.free_fp.retain(|x| x != r),
+            _ => {}
+        }
+    }
+
+    fn allocate_value(&mut self, ctx: &mut Context, v: ValueId, op_name: &str) -> Result<(), RegAllocError> {
+        match ctx.value_type(v).clone() {
+            Type::IntRegister(None) => {
+                let r = self.free_int.pop().ok_or_else(|| RegAllocError {
+                    class: RegClass::Int,
+                    op_name: op_name.to_string(),
+                })?;
+                ctx.set_value_type(v, Type::IntRegister(Some(r)));
+                Ok(())
+            }
+            Type::FpRegister(None) => {
+                let r = self.free_fp.pop().ok_or_else(|| RegAllocError {
+                    class: RegClass::Fp,
+                    op_name: op_name.to_string(),
+                })?;
+                ctx.set_value_type(v, Type::FpRegister(Some(r)));
+                Ok(())
+            }
+            _ => Ok(()),
+        }
+    }
+
+    /// Releases the register of `v` back to the pool if it came from it.
+    fn free_value(&mut self, ctx: &Context, v: ValueId) {
+        match ctx.value_type(v) {
+            Type::IntRegister(Some(r)) => {
+                if IntReg::allocatable().contains(r)
+                    && !self.pinned.int_used.contains(r)
+                    && !self.locked_int.contains(r)
+                    && !self.free_int.contains(r)
+                {
+                    self.free_int.push(*r);
+                }
+            }
+            Type::FpRegister(Some(r)) => {
+                if FpReg::allocatable().contains(r)
+                    && !self.pinned.fp_used.contains(r)
+                    && !self.locked_fp.contains(r)
+                    && !self.free_fp.contains(r)
+                {
+                    self.free_fp.push(*r);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Pass 3: backward walk over one block.
+    fn process_block(&mut self, ctx: &mut Context, block: mlb_ir::BlockId) -> Result<(), RegAllocError> {
+        let ops: Vec<OpId> = ctx.block_ops(block).to_vec();
+        for &op in ops.iter().rev() {
+            let name = ctx.op(op).name.clone();
+            if name == rv_scf::FOR || name == rv_snitch::FREP_OUTER {
+                self.process_loop(ctx, op)?;
+                continue;
+            }
+            // Two-address constraints: the accumulator operand of the
+            // packed MAC/SUM instructions shares the result register.
+            let results = ctx.op(op).results.clone();
+            for &r in &results {
+                // A result never used later still occupies a register at
+                // the instruction itself.
+                self.allocate_value(ctx, r, &name)?;
+            }
+            let mut transferred = false;
+            if name == rv_snitch::VFMAC_S || name == rv_snitch::VFSUM_S {
+                let acc_index = ctx.op(op).operands.len() - 1;
+                let acc = ctx.op(op).operands[acc_index];
+                if *ctx.value_type(acc) == Type::FpRegister(None) {
+                    let result_ty = ctx.value_type(results[0]).clone();
+                    self.take_specific(&result_ty);
+                    ctx.set_value_type(acc, result_ty);
+                    // Ownership moved to the accumulator operand; the
+                    // register is released at the operand's definition,
+                    // not here.
+                    transferred = true;
+                }
+            }
+            // Definition point: release the result registers (unless the
+            // register now belongs to the in-place accumulator).
+            for (i, &r) in results.iter().enumerate() {
+                if transferred && i == 0 {
+                    continue;
+                }
+                self.free_value(ctx, r);
+            }
+            // Uses: allocate operands on first (backward) encounter.
+            let operands = ctx.op(op).operands.clone();
+            for &o in &operands {
+                self.allocate_value(ctx, o, &name)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Allocates a structured loop (`rv_scf.for` or `frep_outer`).
+    fn process_loop(&mut self, ctx: &mut Context, op: OpId) -> Result<(), RegAllocError> {
+        let name = ctx.op(op).name.clone();
+        let is_frep = name == rv_snitch::FREP_OUTER;
+        let body = ctx.sole_block(ctx.op(op).regions[0]);
+        let num_fixed = if is_frep { 1 } else { 3 }; // count vs lb/ub/step
+        let inits: Vec<ValueId> = ctx.op(op).operands[num_fixed..].to_vec();
+        let results: Vec<ValueId> = ctx.op(op).results.clone();
+        let args: Vec<ValueId> = if is_frep {
+            ctx.block_args(body).to_vec()
+        } else {
+            ctx.block_args(body)[1..].to_vec()
+        };
+        let yield_op = ctx.terminator(body);
+        let yields: Vec<ValueId> = ctx.op(yield_op).operands.clone();
+
+        // Step 1: unify the iteration chains so that the register of the
+        // value before, during and after the loop matches (Figure 6, D).
+        // The init operand joins the chain only when this loop is its
+        // sole user — otherwise the loop body would clobber a register
+        // that is still live (e.g. an outer loop's carried pointer), and
+        // control-flow lowering instead emits a move at loop entry.
+        let mut deferred_inits: Vec<ValueId> = Vec::new();
+        for i in 0..inits.len() {
+            // The init may join the chain only when this loop is its sole
+            // user, it is a distinct value, and it is defined in the
+            // loop's own block: a chain aliasing a value from an
+            // enclosing region would clobber it when the enclosing loop
+            // re-executes this one.
+            let init_uses = ctx.uses(inits[i]);
+            let same_block = match ctx.value_kind(inits[i]) {
+                mlb_ir::ValueKind::OpResult { op: def, .. } => {
+                    ctx.op(def).parent == ctx.op(op).parent
+                }
+                mlb_ir::ValueKind::BlockArg { .. } => false,
+            };
+            let init_private = init_uses.len() == 1
+                && init_uses[0].0 == op
+                && inits[i] != args[i]
+                && same_block;
+            let chain: Vec<ValueId> = if init_private {
+                vec![inits[i], args[i], yields[i], results[i]]
+            } else {
+                deferred_inits.push(inits[i]);
+                vec![args[i], yields[i], results[i]]
+            };
+            let existing = chain.iter().find_map(|&v| {
+                if ctx.value_type(v).is_allocated_register() {
+                    Some(ctx.value_type(v).clone())
+                } else {
+                    None
+                }
+            });
+            let ty = match existing {
+                Some(ty) => ty,
+                None => {
+                    self.allocate_value(ctx, results[i], &name)?;
+                    ctx.value_type(results[i]).clone()
+                }
+            };
+            self.take_specific(&ty);
+            for &v in &chain {
+                let current = ctx.value_type(v).clone();
+                if !current.is_allocated_register() {
+                    ctx.set_value_type(v, ty.clone());
+                }
+            }
+        }
+
+        // The induction variable occupies its register for the entire
+        // loop, even when unused (the lowered counter lives there).
+        let iv = if is_frep { None } else { Some(ctx.block_args(body)[0]) };
+        if let Some(iv) = iv {
+            self.allocate_value(ctx, iv, &name)?;
+        }
+
+        // Step 2: values defined outside the loop but used inside must
+        // outlive the whole loop body.
+        let live_through = live_through_values(ctx, op);
+        for v in &live_through {
+            self.allocate_value(ctx, *v, &name)?;
+        }
+        // Loop bound operands read on every lowered iteration (the upper
+        // bound, and a non-constant step) stay live through the body. A
+        // constant step folds into the latch `addi`, and the lower bound
+        // is consumed before the first iteration, so neither needs a
+        // reserved register across the body.
+        let fixed: Vec<ValueId> = ctx.op(op).operands[..num_fixed].to_vec();
+        let mut deferred: Vec<ValueId> = Vec::new();
+        if is_frep {
+            // frep: the count register is read once at issue.
+            deferred.push(fixed[0]);
+        } else {
+            deferred.push(fixed[0]); // lb
+            // When the induction variable is unused by the body, the
+            // lowering counts the induction register down from the upper
+            // bound, so the bound itself dies at loop entry.
+            let iv_dead = !ctx.has_uses(ctx.block_args(body)[0]);
+            let lb_zero =
+                mlb_riscv::rv::constant_int_value(ctx, fixed[0]) == Some(0);
+            let step_one =
+                mlb_riscv::rv::constant_int_value(ctx, fixed[2]) == Some(1);
+            if iv_dead && lb_zero && step_one {
+                deferred.push(fixed[1]);
+            } else {
+                self.allocate_value(ctx, fixed[1], &name)?; // ub
+            }
+            if step_one || mlb_riscv::rv::constant_int_value(ctx, fixed[2]).is_some() {
+                deferred.push(fixed[2]);
+            } else {
+                self.allocate_value(ctx, fixed[2], &name)?;
+            }
+        }
+
+        // Lock the chain and induction registers for the duration of the
+        // body walk: values defined inside the body must never reuse
+        // them (the block argument stays live until the loop ends).
+        let locked_int_mark = self.locked_int.len();
+        let locked_fp_mark = self.locked_fp.len();
+        for &arg in args.iter().chain(iv.as_ref()) {
+            match ctx.value_type(arg) {
+                Type::IntRegister(Some(r)) => self.locked_int.push(*r),
+                Type::FpRegister(Some(r)) => self.locked_fp.push(*r),
+                _ => {}
+            }
+        }
+
+        // Step 3: recurse into the body.
+        self.process_block(ctx, body)?;
+
+        self.locked_int.truncate(locked_int_mark);
+        self.locked_fp.truncate(locked_fp_mark);
+        // Non-private chains release here: the register is dead before
+        // the loop (the entry move fills it).
+        for i in 0..inits.len() {
+            if deferred_inits.contains(&inits[i]) {
+                self.free_value(ctx, args[i]);
+            }
+        }
+
+        // Deferred bound operands and shared init values behave like
+        // plain uses at the loop's position (they die when the loop
+        // starts executing — a move transfers them into the chain).
+        for v in deferred {
+            if !folds_away(ctx, v) {
+                self.allocate_value(ctx, v, &name)?;
+            }
+        }
+        for v in deferred_inits {
+            self.allocate_value(ctx, v, &name)?;
+        }
+
+        // The loop is fully processed: release the registers owned by the
+        // loop itself. Iteration-chain registers transfer to the init
+        // values (released at the init definitions); the IV is loop-local.
+        if let Some(iv) = iv {
+            self.free_value(ctx, iv);
+        }
+        // Results were "definitions" from the enclosing block's point of
+        // view, but their registers stay claimed by the iteration chain
+        // until the inits die; nothing more to free here.
+        Ok(())
+    }
+}
+
+/// Whether `v` is a constant that the control-flow lowering folds into
+/// immediates everywhere it is used, so it never needs a register: a
+/// `li`/`zero` constant used only as a foldable bound operand of
+/// structured loops (lower bound; constant step; upper bound of a
+/// countdown loop).
+pub fn folds_away(ctx: &Context, v: ValueId) -> bool {
+    if mlb_riscv::rv::constant_int_value(ctx, v).is_none() {
+        return false;
+    }
+    let uses = ctx.uses(v);
+    if uses.is_empty() {
+        return false;
+    }
+    uses.iter().all(|&(user, slot)| {
+        if ctx.op(user).name != rv_scf::FOR {
+            return false;
+        }
+        let f = rv_scf::RvForOp(user);
+        match slot {
+            0 => true, // lower bound: folded into the counter init
+            2 => true, // constant step: folded into the latch addi
+            1 => {
+                // upper bound: folded only in countdown form.
+                let body = f.body(ctx);
+                !ctx.has_uses(ctx.block_args(body)[0])
+                    && mlb_riscv::rv::constant_int_value(ctx, f.lower_bound(ctx)) == Some(0)
+                    && mlb_riscv::rv::constant_int_value(ctx, f.step(ctx)) == Some(1)
+            }
+            _ => false,
+        }
+    })
+}
+
+/// Values defined outside `loop_op` but used inside it (pass 2).
+pub fn live_through_values(ctx: &Context, loop_op: OpId) -> Vec<ValueId> {
+    let inner_ops: BTreeSet<OpId> = ctx.walk(loop_op).into_iter().collect();
+    let inner_blocks: BTreeSet<mlb_ir::BlockId> = {
+        let mut set = BTreeSet::new();
+        let mut stack = vec![loop_op];
+        while let Some(op) = stack.pop() {
+            for &region in &ctx.op(op).regions {
+                for &block in ctx.region_blocks(region) {
+                    set.insert(block);
+                    for &o in ctx.block_ops(block) {
+                        stack.push(o);
+                    }
+                }
+            }
+        }
+        set
+    };
+    let mut seen = BTreeSet::new();
+    let mut out = Vec::new();
+    for &op in &inner_ops {
+        for &v in &ctx.op(op).operands {
+            let defined_inside = match ctx.value_kind(v) {
+                mlb_ir::ValueKind::OpResult { op: def, .. } => inner_ops.contains(&def),
+                mlb_ir::ValueKind::BlockArg { block, .. } => inner_blocks.contains(&block),
+            };
+            if !defined_inside && seen.insert(v) && !folds_away(ctx, v) {
+                out.push(v);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlb_ir::{DialectRegistry, OpSpec};
+    use mlb_riscv::{rv, rv_func};
+
+    fn setup() -> (Context, DialectRegistry, OpId, mlb_ir::BlockId) {
+        let mut ctx = Context::new();
+        let mut registry = DialectRegistry::new();
+        registry.register(mlb_ir::OpInfo::new("builtin.module"));
+        mlb_riscv::register_all(&mut registry);
+        let module = ctx.create_detached_op(OpSpec::new("builtin.module").regions(1));
+        let top = ctx.create_block(ctx.op(module).regions[0], vec![]);
+        (ctx, registry, module, top)
+    }
+
+    #[test]
+    fn straight_line_allocation_reuses_registers() {
+        let (mut ctx, registry, module, top) = setup();
+        let (func, entry) = rv_func::build_func(&mut ctx, top, "f", &[rv_func::AbiArg::Int]);
+        let base = ctx.block_args(entry)[0];
+        // Two independent load-compute-store pairs should reuse registers.
+        let a = rv::fp_load(&mut ctx, entry, rv::FLD, base, 0);
+        let b = rv::fp_binary(&mut ctx, entry, rv::FADD_D, a, a);
+        rv::fp_store(&mut ctx, entry, rv::FSD, b, base, 0);
+        let c = rv::fp_load(&mut ctx, entry, rv::FLD, base, 8);
+        let d = rv::fp_binary(&mut ctx, entry, rv::FADD_D, c, c);
+        rv::fp_store(&mut ctx, entry, rv::FSD, d, base, 8);
+        rv_func::build_ret(&mut ctx, entry);
+
+        let stats = allocate_function(&mut ctx, func).unwrap();
+        registry.verify(&ctx, module).unwrap();
+        // a0 plus at most 2 FP registers (a/b can share with c/d).
+        assert_eq!(stats.num_int(), 1);
+        assert!(stats.num_fp() <= 2, "used {:?}", stats.fp_used);
+        assert!(ctx.value_type(a).is_allocated_register());
+        assert!(ctx.value_type(d).is_allocated_register());
+    }
+
+    #[test]
+    fn values_alive_across_ops_get_distinct_registers() {
+        let (mut ctx, _registry, _module, top) = setup();
+        let (func, entry) = rv_func::build_func(&mut ctx, top, "f", &[]);
+        let a = rv::li(&mut ctx, entry, 1);
+        let b = rv::li(&mut ctx, entry, 2);
+        let c = rv::li(&mut ctx, entry, 3);
+        let ab = rv::int_binary(&mut ctx, entry, rv::ADD, a, b);
+        let abc = rv::int_binary(&mut ctx, entry, rv::ADD, ab, c);
+        let _ = rv::int_binary(&mut ctx, entry, rv::ADD, abc, a);
+        rv_func::build_ret(&mut ctx, entry);
+        allocate_function(&mut ctx, func).unwrap();
+        // a, b and c are simultaneously live: all distinct.
+        let ra = ctx.value_type(a).clone();
+        let rb = ctx.value_type(b).clone();
+        let rc = ctx.value_type(c).clone();
+        assert_ne!(ra, rb);
+        assert_ne!(rb, rc);
+        assert_ne!(ra, rc);
+    }
+
+    #[test]
+    fn loop_iteration_chain_shares_one_register() {
+        let (mut ctx, registry, module, top) = setup();
+        let (func, entry) = rv_func::build_func(&mut ctx, top, "f", &[]);
+        let lb = rv::li(&mut ctx, entry, 0);
+        let ub = rv::li(&mut ctx, entry, 8);
+        let step = rv::li(&mut ctx, entry, 1);
+        let zero = rv::get_register(&mut ctx, entry, Type::FpRegister(Some(FpReg::fa(0))));
+        let init = rv::fp_binary(&mut ctx, entry, rv::FADD_D, zero, zero);
+        let f = rv_scf::build_for(&mut ctx, entry, lb, ub, step, vec![init], |ctx, body, _iv, args| {
+            vec![rv::fp_binary(ctx, body, rv::FADD_D, args[0], args[0])]
+        });
+        let result = ctx.op(f.0).results[0];
+        let _use = rv::fp_binary(&mut ctx, entry, rv::FADD_D, result, result);
+        rv_func::build_ret(&mut ctx, entry);
+
+        allocate_function(&mut ctx, func).unwrap();
+        registry.verify(&ctx, module).unwrap();
+        let chain_reg = ctx.value_type(init).clone();
+        assert!(chain_reg.is_allocated_register());
+        assert_eq!(*ctx.value_type(f.iter_args(&ctx)[0]), chain_reg);
+        assert_eq!(*ctx.value_type(result), chain_reg);
+        let yielded = ctx.op(f.yield_op(&ctx)).operands[0];
+        assert_eq!(*ctx.value_type(yielded), chain_reg);
+    }
+
+    #[test]
+    fn live_through_values_keep_registers_across_loop() {
+        let (mut ctx, _registry, _module, top) = setup();
+        let (func, entry) = rv_func::build_func(&mut ctx, top, "f", &[rv_func::AbiArg::Int]);
+        let base = ctx.block_args(entry)[0];
+        let lb = rv::li(&mut ctx, entry, 0);
+        let ub = rv::li(&mut ctx, entry, 4);
+        let step = rv::li(&mut ctx, entry, 1);
+        // `scale` is defined before the loop and used inside every
+        // iteration: it must not share a register with body temporaries.
+        let scale = rv::fp_load(&mut ctx, entry, rv::FLD, base, 0);
+        let mut body_temp = None;
+        rv_scf::build_for(&mut ctx, entry, lb, ub, step, vec![], |ctx, body, _iv, _| {
+            let x = rv::fp_load(ctx, body, rv::FLD, base, 8);
+            let y = rv::fp_binary(ctx, body, rv::FMUL_D, x, scale);
+            rv::fp_store(ctx, body, rv::FSD, y, base, 8);
+            body_temp = Some(y);
+            vec![]
+        });
+        rv_func::build_ret(&mut ctx, entry);
+        allocate_function(&mut ctx, func).unwrap();
+        let scale_reg = ctx.value_type(scale).clone();
+        let temp_reg = ctx.value_type(body_temp.unwrap()).clone();
+        assert_ne!(scale_reg, temp_reg);
+    }
+
+    #[test]
+    fn nested_loops_allocate_recursively() {
+        let (mut ctx, registry, module, top) = setup();
+        let (func, entry) = rv_func::build_func(&mut ctx, top, "f", &[]);
+        let lb = rv::li(&mut ctx, entry, 0);
+        let ub = rv::li(&mut ctx, entry, 4);
+        let step = rv::li(&mut ctx, entry, 1);
+        rv_scf::build_for(&mut ctx, entry, lb, ub, step, vec![], |ctx, body, _iv, _| {
+            rv_scf::build_for(ctx, body, lb, ub, step, vec![], |ctx, inner, _iv, _| {
+                let t = rv::li(ctx, inner, 7);
+                let _ = rv::int_binary(ctx, inner, rv::ADD, t, t);
+                vec![]
+            });
+            vec![]
+        });
+        rv_func::build_ret(&mut ctx, entry);
+        let stats = allocate_function(&mut ctx, func).unwrap();
+        registry.verify(&ctx, module).unwrap();
+        // lb/ub/step + 2 IVs + 1 temp, all within the 15-register pool.
+        assert!(stats.num_int() <= 7, "{:?}", stats.int_used);
+    }
+
+    #[test]
+    fn frep_carried_values_unify() {
+        let (mut ctx, _registry, _module, top) = setup();
+        let (func, entry) = rv_func::build_func(&mut ctx, top, "f", &[]);
+        let count = rv::li(&mut ctx, entry, 99);
+        let ft0 = rv::get_register(&mut ctx, entry, Type::FpRegister(Some(FpReg::ft(0))));
+        let init = rv::fp_binary(&mut ctx, entry, rv::FADD_D, ft0, ft0);
+        let frep = rv_snitch::build_frep(&mut ctx, entry, count, vec![init], |ctx, body, args| {
+            vec![rv::fp_ternary(ctx, body, rv::FMADD_D, ft0, ft0, args[0])]
+        });
+        rv_func::build_ret(&mut ctx, entry);
+        allocate_function(&mut ctx, func).unwrap();
+        let chain = ctx.value_type(init).clone();
+        assert!(chain.is_allocated_register());
+        assert_eq!(*ctx.value_type(frep.iter_args(&ctx)[0]), chain);
+        assert_eq!(*ctx.value_type(ctx.op(frep.0).results[0]), chain);
+        // ft0 was pre-allocated and must remain excluded.
+        assert_ne!(chain, Type::FpRegister(Some(FpReg::ft(0))));
+    }
+
+    #[test]
+    fn vfmac_accumulator_is_allocated_in_place() {
+        let (mut ctx, _registry, _module, top) = setup();
+        let (func, entry) = rv_func::build_func(&mut ctx, top, "f", &[rv_func::AbiArg::Int]);
+        let base = ctx.block_args(entry)[0];
+        let a = rv::fp_load(&mut ctx, entry, rv::FLD, base, 0);
+        let b = rv::fp_load(&mut ctx, entry, rv::FLD, base, 8);
+        let acc = rv::fp_load(&mut ctx, entry, rv::FLD, base, 16);
+        let mac = rv::fp_ternary(&mut ctx, entry, rv_snitch::VFMAC_S, a, b, acc);
+        rv::fp_store(&mut ctx, entry, rv::FSD, mac, base, 16);
+        rv_func::build_ret(&mut ctx, entry);
+        allocate_function(&mut ctx, func).unwrap();
+        assert_eq!(ctx.value_type(acc), ctx.value_type(mac));
+    }
+
+    #[test]
+    fn exhaustion_is_a_clean_error() {
+        let (mut ctx, _registry, _module, top) = setup();
+        let (func, entry) = rv_func::build_func(&mut ctx, top, "f", &[]);
+        // 25 simultaneously live FP values cannot fit in 20 registers.
+        let base = rv::li(&mut ctx, entry, 0);
+        let seeds: Vec<ValueId> =
+            (0..25).map(|i| rv::fp_load(&mut ctx, entry, rv::FLD, base, i * 8)).collect();
+        let mut acc = seeds[0];
+        for &s in &seeds[1..] {
+            acc = rv::fp_binary(&mut ctx, entry, rv::FADD_D, acc, s);
+        }
+        // Keep all seeds live to the end.
+        for &s in &seeds {
+            let _ = rv::fp_binary(&mut ctx, entry, rv::FADD_D, s, s);
+        }
+        rv_func::build_ret(&mut ctx, entry);
+        let err = allocate_function(&mut ctx, func).unwrap_err();
+        assert_eq!(err.class, RegClass::Fp);
+        assert!(err.to_string().contains("spilling"));
+    }
+
+    #[test]
+    fn table2_style_stats_count_distinct_registers() {
+        let (mut ctx, _registry, _module, top) = setup();
+        let (func, entry) =
+            rv_func::build_func(&mut ctx, top, "fill", &[rv_func::AbiArg::Int, rv_func::AbiArg::Fp]);
+        rv_func::build_ret(&mut ctx, entry);
+        let stats = allocate_function(&mut ctx, func).unwrap();
+        assert_eq!(stats.num_int(), 1); // a0
+        assert_eq!(stats.num_fp(), 1); // fa0
+    }
+}

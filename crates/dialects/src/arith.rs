@@ -1,0 +1,200 @@
+//! The `arith` dialect: scalar arithmetic on SSA values.
+
+use mlb_ir::{
+    Attribute, BlockId, Context, DialectRegistry, OpId, OpInfo, OpSpec, Type, ValueId, VerifyError,
+};
+
+/// `arith.constant`: materializes a compile-time constant (`value` attr).
+pub const CONSTANT: &str = "arith.constant";
+/// `arith.addf`: floating-point addition.
+pub const ADDF: &str = "arith.addf";
+/// `arith.subf`: floating-point subtraction.
+pub const SUBF: &str = "arith.subf";
+/// `arith.mulf`: floating-point multiplication.
+pub const MULF: &str = "arith.mulf";
+/// `arith.divf`: floating-point division.
+pub const DIVF: &str = "arith.divf";
+/// `arith.maximumf`: floating-point maximum (used by ReLU and Max Pool).
+pub const MAXIMUMF: &str = "arith.maximumf";
+/// `arith.addi`: integer/index addition.
+pub const ADDI: &str = "arith.addi";
+/// `arith.subi`: integer/index subtraction.
+pub const SUBI: &str = "arith.subi";
+/// `arith.muli`: integer/index multiplication.
+pub const MULI: &str = "arith.muli";
+
+/// The floating-point binary operations.
+pub const FLOAT_BINARY_OPS: [&str; 5] = [ADDF, SUBF, MULF, DIVF, MAXIMUMF];
+/// The integer binary operations.
+pub const INT_BINARY_OPS: [&str; 3] = [ADDI, SUBI, MULI];
+
+/// Registers the `arith` dialect.
+pub fn register(registry: &mut DialectRegistry) {
+    registry.register(OpInfo::new(CONSTANT).pure().with_verify(verify_constant));
+    for name in FLOAT_BINARY_OPS {
+        registry.register(OpInfo::new(name).pure().with_verify(verify_float_binary));
+    }
+    for name in INT_BINARY_OPS {
+        registry.register(OpInfo::new(name).pure().with_verify(verify_int_binary));
+    }
+}
+
+fn verify_binary_shape(ctx: &Context, op: OpId) -> Result<(Type, Type, Type), VerifyError> {
+    let o = ctx.op(op);
+    if o.operands.len() != 2 || o.results.len() != 1 {
+        return Err(VerifyError::new(ctx, op, "expected two operands and one result"));
+    }
+    Ok((
+        ctx.value_type(o.operands[0]).clone(),
+        ctx.value_type(o.operands[1]).clone(),
+        ctx.value_type(o.results[0]).clone(),
+    ))
+}
+
+fn verify_float_binary(ctx: &Context, op: OpId) -> Result<(), VerifyError> {
+    let (a, b, r) = verify_binary_shape(ctx, op)?;
+    if a != b || b != r {
+        return Err(VerifyError::new(ctx, op, "operand and result types must match"));
+    }
+    if !a.is_float() {
+        return Err(VerifyError::new(ctx, op, "expected floating-point operands"));
+    }
+    Ok(())
+}
+
+fn verify_int_binary(ctx: &Context, op: OpId) -> Result<(), VerifyError> {
+    let (a, b, r) = verify_binary_shape(ctx, op)?;
+    if a != b || b != r {
+        return Err(VerifyError::new(ctx, op, "operand and result types must match"));
+    }
+    if !matches!(a, Type::Integer(_) | Type::Index) {
+        return Err(VerifyError::new(ctx, op, "expected integer or index operands"));
+    }
+    Ok(())
+}
+
+fn verify_constant(ctx: &Context, op: OpId) -> Result<(), VerifyError> {
+    let o = ctx.op(op);
+    if !o.operands.is_empty() || o.results.len() != 1 {
+        return Err(VerifyError::new(ctx, op, "expected no operands and one result"));
+    }
+    let ty = ctx.value_type(o.results[0]);
+    match o.attr("value") {
+        Some(Attribute::Float(_)) if ty.is_float() => Ok(()),
+        Some(Attribute::Int(_)) if matches!(ty, Type::Integer(_) | Type::Index) => Ok(()),
+        Some(_) => Err(VerifyError::new(ctx, op, "`value` attribute does not match result type")),
+        None => Err(VerifyError::new(ctx, op, "missing `value` attribute")),
+    }
+}
+
+/// Builds a floating-point constant.
+pub fn constant_float(ctx: &mut Context, block: BlockId, value: f64, ty: Type) -> ValueId {
+    assert!(ty.is_float(), "constant_float requires a float type");
+    let op = ctx.append_op(
+        block,
+        OpSpec::new(CONSTANT).attr("value", Attribute::Float(value)).results(vec![ty]),
+    );
+    ctx.op(op).results[0]
+}
+
+/// Builds an index-typed constant.
+pub fn constant_index(ctx: &mut Context, block: BlockId, value: i64) -> ValueId {
+    let op = ctx.append_op(
+        block,
+        OpSpec::new(CONSTANT).attr("value", Attribute::Int(value)).results(vec![Type::Index]),
+    );
+    ctx.op(op).results[0]
+}
+
+/// Builds a binary operation `name` on `lhs`/`rhs` of the same type.
+pub fn binary(
+    ctx: &mut Context,
+    block: BlockId,
+    name: &str,
+    lhs: ValueId,
+    rhs: ValueId,
+) -> ValueId {
+    let ty = ctx.value_type(lhs).clone();
+    let op = ctx.append_op(block, OpSpec::new(name).operands(vec![lhs, rhs]).results(vec![ty]));
+    ctx.op(op).results[0]
+}
+
+/// The constant value of an `arith.constant` defining `value`, if any.
+pub fn constant_value(ctx: &Context, value: ValueId) -> Option<&Attribute> {
+    let op = ctx.defining_op(value)?;
+    if ctx.op(op).name == CONSTANT {
+        ctx.op(op).attr("value")
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builtin;
+
+    fn setup() -> (Context, DialectRegistry, OpId, BlockId) {
+        let mut ctx = Context::new();
+        let mut r = DialectRegistry::new();
+        builtin::register(&mut r);
+        register(&mut r);
+        let (m, b) = builtin::build_module(&mut ctx);
+        (ctx, r, m, b)
+    }
+
+    #[test]
+    fn build_constants_and_binary() {
+        let (mut ctx, r, m, b) = setup();
+        let one = constant_float(&mut ctx, b, 1.0, Type::F64);
+        let two = constant_float(&mut ctx, b, 2.0, Type::F64);
+        let _sum = binary(&mut ctx, b, ADDF, one, two);
+        let i = constant_index(&mut ctx, b, 5);
+        let _prod = binary(&mut ctx, b, MULI, i, i);
+        assert!(r.verify(&ctx, m).is_ok());
+    }
+
+    #[test]
+    fn constant_value_lookup() {
+        let (mut ctx, _r, _m, b) = setup();
+        let c = constant_float(&mut ctx, b, 2.5, Type::F64);
+        assert_eq!(constant_value(&ctx, c).and_then(Attribute::as_float), Some(2.5));
+        let i = constant_index(&mut ctx, b, 7);
+        assert_eq!(constant_value(&ctx, i).and_then(Attribute::as_int), Some(7));
+        let s = binary(&mut ctx, b, ADDF, c, c);
+        assert_eq!(constant_value(&ctx, s), None);
+    }
+
+    #[test]
+    fn verify_rejects_mixed_types() {
+        let (mut ctx, r, m, b) = setup();
+        let f = constant_float(&mut ctx, b, 1.0, Type::F64);
+        let i = constant_index(&mut ctx, b, 1);
+        ctx.append_op(
+            b,
+            OpSpec::new(ADDF).operands(vec![f, i]).results(vec![Type::F64]),
+        );
+        assert!(r.verify(&ctx, m).is_err());
+    }
+
+    #[test]
+    fn verify_rejects_int_op_on_floats() {
+        let (mut ctx, r, m, b) = setup();
+        let f = constant_float(&mut ctx, b, 1.0, Type::F64);
+        ctx.append_op(
+            b,
+            OpSpec::new(ADDI).operands(vec![f, f]).results(vec![Type::F64]),
+        );
+        assert!(r.verify(&ctx, m).is_err());
+    }
+
+    #[test]
+    fn verify_rejects_bad_constant_attr() {
+        let (mut ctx, r, m, b) = setup();
+        ctx.append_op(
+            b,
+            OpSpec::new(CONSTANT).attr("value", Attribute::Int(1)).results(vec![Type::F64]),
+        );
+        assert!(r.verify(&ctx, m).is_err());
+    }
+}

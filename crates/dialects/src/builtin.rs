@@ -1,0 +1,56 @@
+//! The `builtin` dialect: the top-level module container.
+
+use mlb_ir::{BlockId, Context, DialectRegistry, OpId, OpInfo, OpSpec, VerifyError};
+
+/// `builtin.module`: the top-level single-region container.
+pub const MODULE: &str = "builtin.module";
+
+/// Registers the `builtin` dialect.
+pub fn register(registry: &mut DialectRegistry) {
+    registry.register(OpInfo::new(MODULE).with_verify(verify_module));
+}
+
+fn verify_module(ctx: &Context, op: OpId) -> Result<(), VerifyError> {
+    let o = ctx.op(op);
+    if o.regions.len() != 1 {
+        return Err(VerifyError::new(ctx, op, "module must have exactly one region"));
+    }
+    if !o.operands.is_empty() || !o.results.is_empty() {
+        return Err(VerifyError::new(ctx, op, "module takes no operands and produces no results"));
+    }
+    Ok(())
+}
+
+/// Creates an empty `builtin.module`, returning the op and its body block.
+pub fn build_module(ctx: &mut Context) -> (OpId, BlockId) {
+    let module = ctx.create_detached_op(OpSpec::new(MODULE).regions(1));
+    let body = ctx.create_block(ctx.op(module).regions[0], vec![]);
+    (module, body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_verify() {
+        let mut ctx = Context::new();
+        let mut r = DialectRegistry::new();
+        register(&mut r);
+        let (module, body) = build_module(&mut ctx);
+        assert!(r.verify(&ctx, module).is_ok());
+        assert!(ctx.block_ops(body).is_empty());
+    }
+
+    #[test]
+    fn verify_rejects_extra_results() {
+        let mut ctx = Context::new();
+        let mut r = DialectRegistry::new();
+        register(&mut r);
+        let bad = ctx.create_detached_op(
+            OpSpec::new(MODULE).regions(1).results(vec![mlb_ir::Type::F64]),
+        );
+        ctx.create_block(ctx.op(bad).regions[0], vec![]);
+        assert!(r.verify(&ctx, bad).is_err());
+    }
+}

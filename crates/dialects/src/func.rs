@@ -1,0 +1,164 @@
+//! The `func` dialect: functions passing arguments by value or reference.
+//!
+//! Kernels are `func.func` operations whose `memref` arguments model
+//! pass-by-reference buffers (Section 2.1, Figure 2).
+
+use mlb_ir::{
+    Attribute, BlockId, Context, DialectRegistry, OpId, OpInfo, OpSpec, Type, ValueId, VerifyError,
+};
+
+/// `func.func`: a function definition with `sym_name` and `function_type`.
+pub const FUNC: &str = "func.func";
+/// `func.return`: terminator returning the function results.
+pub const RETURN: &str = "func.return";
+
+/// Registers the `func` dialect.
+pub fn register(registry: &mut DialectRegistry) {
+    registry.register(OpInfo::new(FUNC).with_verify(verify_func));
+    registry.register(OpInfo::new(RETURN).terminator().with_verify(verify_return));
+}
+
+fn verify_func(ctx: &Context, op: OpId) -> Result<(), VerifyError> {
+    let o = ctx.op(op);
+    if o.regions.len() != 1 {
+        return Err(VerifyError::new(ctx, op, "function must have exactly one region"));
+    }
+    let Some(Attribute::Symbol(_)) = o.attr("sym_name") else {
+        return Err(VerifyError::new(ctx, op, "missing `sym_name` symbol attribute"));
+    };
+    let Some(Attribute::Type(Type::Function(sig))) = o.attr("function_type") else {
+        return Err(VerifyError::new(ctx, op, "missing `function_type` attribute"));
+    };
+    let blocks = ctx.region_blocks(o.regions[0]);
+    if blocks.is_empty() {
+        return Err(VerifyError::new(ctx, op, "function body must have an entry block"));
+    }
+    let entry_args = ctx.block_args(blocks[0]);
+    if entry_args.len() != sig.inputs.len() {
+        return Err(VerifyError::new(ctx, op, "entry block arity differs from function type"));
+    }
+    for (arg, ty) in entry_args.iter().zip(&sig.inputs) {
+        if ctx.value_type(*arg) != ty {
+            return Err(VerifyError::new(ctx, op, "entry block argument type mismatch"));
+        }
+    }
+    Ok(())
+}
+
+fn verify_return(ctx: &Context, op: OpId) -> Result<(), VerifyError> {
+    // The enclosing function's signature must match the returned values.
+    let Some(parent) = ctx.parent_op(op) else {
+        return Err(VerifyError::new(ctx, op, "return outside of a function"));
+    };
+    if ctx.op(parent).name != FUNC {
+        // Returns may appear inside other function-like ops (rv_func);
+        // those dialects register their own return op, so reaching here
+        // with a different parent is an error.
+        return Err(VerifyError::new(ctx, op, "func.return must be directly inside func.func"));
+    }
+    let Some(Attribute::Type(Type::Function(sig))) = ctx.op(parent).attr("function_type") else {
+        return Ok(());
+    };
+    let o = ctx.op(op);
+    if o.operands.len() != sig.results.len() {
+        return Err(VerifyError::new(ctx, op, "operand count differs from function result count"));
+    }
+    for (v, ty) in o.operands.iter().zip(&sig.results) {
+        if ctx.value_type(*v) != ty {
+            return Err(VerifyError::new(ctx, op, "returned value type mismatch"));
+        }
+    }
+    Ok(())
+}
+
+/// Creates a `func.func` named `name` in `parent`, returning the function
+/// op and its entry block (whose arguments match `inputs`).
+pub fn build_func(
+    ctx: &mut Context,
+    parent: BlockId,
+    name: &str,
+    inputs: Vec<Type>,
+    results: Vec<Type>,
+) -> (OpId, BlockId) {
+    let func = ctx.append_op(
+        parent,
+        OpSpec::new(FUNC)
+            .attr("sym_name", Attribute::Symbol(name.to_string()))
+            .attr("function_type", Attribute::Type(Type::function(inputs.clone(), results)))
+            .regions(1),
+    );
+    let entry = ctx.create_block(ctx.op(func).regions[0], inputs);
+    (func, entry)
+}
+
+/// Appends a `func.return` of `values` to `block`.
+pub fn build_return(ctx: &mut Context, block: BlockId, values: Vec<ValueId>) -> OpId {
+    ctx.append_op(block, OpSpec::new(RETURN).operands(values))
+}
+
+/// The symbol name of a `func.func` (or compatible) operation.
+pub fn symbol_name(ctx: &Context, func: OpId) -> Option<&str> {
+    ctx.op(func).attr("sym_name")?.as_symbol()
+}
+
+/// The entry block of a function-like operation with one region.
+pub fn entry_block(ctx: &Context, func: OpId) -> BlockId {
+    ctx.region_blocks(ctx.op(func).regions[0])[0]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{arith, builtin};
+
+    fn setup() -> (Context, DialectRegistry, OpId, BlockId) {
+        let mut ctx = Context::new();
+        let mut r = DialectRegistry::new();
+        builtin::register(&mut r);
+        arith::register(&mut r);
+        register(&mut r);
+        let (m, b) = builtin::build_module(&mut ctx);
+        (ctx, r, m, b)
+    }
+
+    #[test]
+    fn build_identity_function() {
+        let (mut ctx, r, m, b) = setup();
+        let (f, entry) = build_func(&mut ctx, b, "id", vec![Type::F64], vec![Type::F64]);
+        let arg = ctx.block_args(entry)[0];
+        build_return(&mut ctx, entry, vec![arg]);
+        assert!(r.verify(&ctx, m).is_ok());
+        assert_eq!(symbol_name(&ctx, f), Some("id"));
+        assert_eq!(entry_block(&ctx, f), entry);
+    }
+
+    #[test]
+    fn verify_rejects_bad_return_arity() {
+        let (mut ctx, r, m, b) = setup();
+        let (_f, entry) = build_func(&mut ctx, b, "f", vec![Type::F64], vec![Type::F64]);
+        build_return(&mut ctx, entry, vec![]);
+        assert!(r.verify(&ctx, m).is_err());
+    }
+
+    #[test]
+    fn verify_rejects_wrong_return_type() {
+        let (mut ctx, r, m, b) = setup();
+        let (_f, entry) = build_func(&mut ctx, b, "f", vec![], vec![Type::F64]);
+        let i = arith::constant_index(&mut ctx, entry, 0);
+        build_return(&mut ctx, entry, vec![i]);
+        assert!(r.verify(&ctx, m).is_err());
+    }
+
+    #[test]
+    fn verify_rejects_missing_symbol() {
+        let (mut ctx, r, m, b) = setup();
+        let bad = ctx.append_op(
+            b,
+            OpSpec::new(FUNC)
+                .attr("function_type", Attribute::Type(Type::function(vec![], vec![])))
+                .regions(1),
+        );
+        ctx.create_block(ctx.op(bad).regions[0], vec![]);
+        assert!(r.verify(&ctx, m).is_err());
+    }
+}

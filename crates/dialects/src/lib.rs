@@ -1,0 +1,47 @@
+#![warn(missing_docs)]
+
+//! Upstream-style MLIR dialects: `builtin`, `arith`, `func`, `scf`,
+//! `memref`, `linalg`, and the bridging `memref_stream` dialect.
+//!
+//! These dialects model the input abstractions of the multi-level backend
+//! (Section 2 of the paper): kernels enter as `linalg.generic` operations
+//! over `memref` operands, are scheduled and streamified at the
+//! `memref_stream` level (Section 3.4, Figure 7), and only then lowered to
+//! the RISC-V dialects of `mlb-riscv`.
+
+pub mod arith;
+pub mod builtin;
+pub mod func;
+pub mod linalg;
+pub mod memref;
+pub mod memref_stream;
+pub mod scf;
+pub mod structured;
+
+use mlb_ir::DialectRegistry;
+
+/// Registers every dialect in this crate.
+pub fn register_all(registry: &mut DialectRegistry) {
+    builtin::register(registry);
+    arith::register(registry);
+    func::register(registry);
+    scf::register(registry);
+    memref::register(registry);
+    linalg::register(registry);
+    memref_stream::register(registry);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_all_is_nonempty_and_conflict_free() {
+        let mut r = DialectRegistry::new();
+        register_all(&mut r);
+        assert!(r.len() > 20);
+        assert!(r.info("arith.mulf").is_some());
+        assert!(r.info("linalg.generic").is_some());
+        assert!(r.info("memref_stream.streaming_region").is_some());
+    }
+}

@@ -1,0 +1,243 @@
+//! The `linalg` dialect: high-level linear algebra on shaped operands.
+//!
+//! `linalg.generic` concisely captures a computation via (i) explicit
+//! iterator types, (ii) affine maps between iteration space and operand
+//! data, (iii) an iteration space defined by the operands, and (iv) a body
+//! lambda (Section 2.2). It is the entry point of the micro-kernel
+//! compiler.
+
+use mlb_ir::{
+    AffineMap, Attribute, BlockId, Context, DialectRegistry, IteratorType, OpId, OpInfo, OpSpec,
+    Type, ValueId, VerifyError,
+};
+
+pub use crate::structured::GenericOp;
+use crate::structured::{self, body_element_type};
+
+/// `linalg.generic`: the versatile structured computation op.
+pub const GENERIC: &str = "linalg.generic";
+/// `linalg.yield`: body terminator carrying per-iteration results.
+pub const YIELD: &str = "linalg.yield";
+/// `linalg.fill`: fills a memref with a scalar. Operands: `scalar, memref`.
+pub const FILL: &str = "linalg.fill";
+
+/// Registers the `linalg` dialect.
+pub fn register(registry: &mut DialectRegistry) {
+    registry.register(OpInfo::new(GENERIC).with_verify(verify_generic));
+    registry.register(OpInfo::new(YIELD).terminator().with_verify(verify_yield));
+    registry.register(OpInfo::new(FILL).with_verify(verify_fill));
+}
+
+fn verify_generic(ctx: &Context, op: OpId) -> Result<(), VerifyError> {
+    structured::verify_generic(ctx, op)?;
+    let g = GenericOp(op);
+    // Body takes one scalar per operand.
+    let body = g.body(ctx);
+    let operands = &ctx.op(op).operands;
+    if ctx.block_args(body).len() != operands.len() {
+        return Err(VerifyError::new(ctx, op, "body must take one argument per operand"));
+    }
+    for (&arg, &operand) in ctx.block_args(body).iter().zip(operands.iter()) {
+        if *ctx.value_type(arg) != body_element_type(ctx, operand) {
+            return Err(VerifyError::new(ctx, op, "body argument type mismatch"));
+        }
+    }
+    Ok(())
+}
+
+fn verify_yield(ctx: &Context, op: OpId) -> Result<(), VerifyError> {
+    let Some(parent) = ctx.parent_op(op) else {
+        return Err(VerifyError::new(ctx, op, "yield outside of any op"));
+    };
+    if ctx.op(parent).name != GENERIC {
+        return Err(VerifyError::new(ctx, op, "linalg.yield must be inside linalg.generic"));
+    }
+    let g = GenericOp(parent);
+    let num_outputs = ctx.op(parent).operands.len() - g.num_inputs(ctx);
+    if ctx.op(op).operands.len() != num_outputs {
+        return Err(VerifyError::new(ctx, op, "yield arity differs from output count"));
+    }
+    Ok(())
+}
+
+fn verify_fill(ctx: &Context, op: OpId) -> Result<(), VerifyError> {
+    let o = ctx.op(op);
+    if o.operands.len() != 2 || !o.results.is_empty() {
+        return Err(VerifyError::new(ctx, op, "fill takes a scalar and a memref"));
+    }
+    let Type::MemRef(m) = ctx.value_type(o.operands[1]) else {
+        return Err(VerifyError::new(ctx, op, "second operand must be a memref"));
+    };
+    if ctx.value_type(o.operands[0]) != m.element.as_ref() {
+        return Err(VerifyError::new(ctx, op, "fill value type differs from element type"));
+    }
+    Ok(())
+}
+
+/// Builds a `linalg.generic`. The body callback receives the body block
+/// and the scalar block arguments (inputs then outputs) and returns the
+/// yielded values (one per output).
+#[allow(clippy::too_many_arguments)]
+pub fn build_generic(
+    ctx: &mut Context,
+    block: BlockId,
+    inputs: Vec<ValueId>,
+    outputs: Vec<ValueId>,
+    indexing_maps: Vec<AffineMap>,
+    iterator_types: Vec<IteratorType>,
+    explicit_bounds: Option<Vec<i64>>,
+    body: impl FnOnce(&mut Context, BlockId, &[ValueId]) -> Vec<ValueId>,
+) -> GenericOp {
+    let num_inputs = inputs.len();
+    let mut operands = inputs;
+    operands.extend(outputs);
+    let mut spec = OpSpec::new(GENERIC)
+        .operands(operands.clone())
+        .attr(
+            structured::INDEXING_MAPS,
+            Attribute::Array(indexing_maps.into_iter().map(Attribute::Map).collect()),
+        )
+        .attr(structured::ITERATOR_TYPES, Attribute::Iterators(iterator_types))
+        .attr(structured::NUM_INPUTS, Attribute::Int(num_inputs as i64))
+        .regions(1);
+    if let Some(bounds) = explicit_bounds {
+        spec = spec.attr(structured::BOUNDS, Attribute::DenseI64(bounds));
+    }
+    let op = ctx.append_op(block, spec);
+    let arg_types: Vec<Type> = operands.iter().map(|&v| body_element_type(ctx, v)).collect();
+    let body_block = ctx.create_block(ctx.op(op).regions[0], arg_types);
+    let args = ctx.block_args(body_block).to_vec();
+    let yields = body(ctx, body_block, &args);
+    ctx.append_op(body_block, OpSpec::new(YIELD).operands(yields));
+    GenericOp(op)
+}
+
+/// Builds a `linalg.fill` writing `value` to every element of `target`.
+pub fn build_fill(ctx: &mut Context, block: BlockId, value: ValueId, target: ValueId) -> OpId {
+    ctx.append_op(block, OpSpec::new(FILL).operands(vec![value, target]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{arith, builtin, func};
+    use mlb_ir::AffineExpr;
+
+    fn setup() -> (Context, DialectRegistry, OpId, BlockId) {
+        let mut ctx = Context::new();
+        let mut r = DialectRegistry::new();
+        builtin::register(&mut r);
+        arith::register(&mut r);
+        func::register(&mut r);
+        register(&mut r);
+        let (m, b) = builtin::build_module(&mut ctx);
+        (ctx, r, m, b)
+    }
+
+    /// Builds the elementwise-sum kernel `Z[i,j] = X[i,j] + Y[i,j]`.
+    fn build_sum(ctx: &mut Context, b: BlockId, n: i64, m: i64) -> (OpId, GenericOp) {
+        let buf = Type::memref(vec![n, m], Type::F64);
+        let (f, entry) =
+            func::build_func(ctx, b, "sum", vec![buf.clone(), buf.clone(), buf], vec![]);
+        let x = ctx.block_args(entry)[0];
+        let y = ctx.block_args(entry)[1];
+        let z = ctx.block_args(entry)[2];
+        let id = AffineMap::identity(2);
+        let g = build_generic(
+            ctx,
+            entry,
+            vec![x, y],
+            vec![z],
+            vec![id.clone(), id.clone(), id],
+            vec![IteratorType::Parallel, IteratorType::Parallel],
+            None,
+            |ctx, body, args| vec![arith::binary(ctx, body, arith::ADDF, args[0], args[1])],
+        );
+        func::build_return(ctx, entry, vec![]);
+        (f, g)
+    }
+
+    #[test]
+    fn build_sum_kernel_verifies() {
+        let (mut ctx, r, m, b) = setup();
+        let (_f, g) = build_sum(&mut ctx, b, 4, 8);
+        assert!(r.verify(&ctx, m).is_ok(), "{:?}", r.verify(&ctx, m));
+        assert_eq!(g.num_inputs(&ctx), 2);
+        assert_eq!(g.inputs(&ctx).len(), 2);
+        assert_eq!(g.outputs(&ctx).len(), 1);
+        assert_eq!(g.iterator_types(&ctx).len(), 2);
+        assert_eq!(g.bounds(&ctx), Some(vec![4, 8]));
+    }
+
+    #[test]
+    fn bounds_inference_fails_for_window_dims_without_attr() {
+        let (mut ctx, r, m, b) = setup();
+        // Conv-style access: input map (d0 + d1), output map (d0) — the
+        // window dimension d1 never appears bare, so inference must fail.
+        let in_ty = Type::memref(vec![6], Type::F64);
+        let out_ty = Type::memref(vec![4], Type::F64);
+        let (_f, entry) = func::build_func(&mut ctx, b, "c", vec![in_ty, out_ty], vec![]);
+        let x = ctx.block_args(entry)[0];
+        let z = ctx.block_args(entry)[1];
+        let in_map =
+            AffineMap::new(2, 0, vec![AffineExpr::dim(0).add(AffineExpr::dim(1))]);
+        let out_map = AffineMap::projection(2, &[0]);
+        let g = build_generic(
+            &mut ctx,
+            entry,
+            vec![x],
+            vec![z],
+            vec![in_map, out_map],
+            vec![IteratorType::Parallel, IteratorType::Reduction],
+            None,
+            |ctx, body, args| {
+                vec![arith::binary(ctx, body, arith::ADDF, args[0], args[1])]
+            },
+        );
+        func::build_return(&mut ctx, entry, vec![]);
+        assert!(r.verify(&ctx, m).is_ok());
+        assert_eq!(g.bounds(&ctx), None);
+
+        // With an explicit bounds attribute the bounds resolve.
+        ctx.op_mut(g.0)
+            .attrs
+            .insert(structured::BOUNDS.into(), Attribute::DenseI64(vec![4, 3]));
+        assert_eq!(g.bounds(&ctx), Some(vec![4, 3]));
+    }
+
+    #[test]
+    fn fill_builds_and_verifies() {
+        let (mut ctx, r, m, b) = setup();
+        let buf_ty = Type::memref(vec![5], Type::F64);
+        let (_f, entry) = func::build_func(&mut ctx, b, "z", vec![buf_ty], vec![]);
+        let buf = ctx.block_args(entry)[0];
+        let zero = arith::constant_float(&mut ctx, entry, 0.0, Type::F64);
+        build_fill(&mut ctx, entry, zero, buf);
+        func::build_return(&mut ctx, entry, vec![]);
+        assert!(r.verify(&ctx, m).is_ok());
+    }
+
+    #[test]
+    fn verify_rejects_map_dim_mismatch() {
+        let (mut ctx, r, m, b) = setup();
+        let (_, g) = build_sum(&mut ctx, b, 4, 4);
+        // Corrupt: replace iterator types with a single entry.
+        ctx.op_mut(g.0).attrs.insert(
+            structured::ITERATOR_TYPES.into(),
+            Attribute::Iterators(vec![IteratorType::Parallel]),
+        );
+        assert!(r.verify(&ctx, m).is_err());
+    }
+
+    #[test]
+    fn verify_rejects_fill_type_mismatch() {
+        let (mut ctx, r, m, b) = setup();
+        let buf_ty = Type::memref(vec![5], Type::F64);
+        let (_f, entry) = func::build_func(&mut ctx, b, "z", vec![buf_ty], vec![]);
+        let buf = ctx.block_args(entry)[0];
+        let zero = arith::constant_float(&mut ctx, entry, 0.0, Type::F32);
+        ctx.append_op(entry, OpSpec::new(FILL).operands(vec![zero, buf]));
+        func::build_return(&mut ctx, entry, vec![]);
+        assert!(r.verify(&ctx, m).is_err());
+    }
+}

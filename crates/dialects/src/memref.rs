@@ -1,0 +1,161 @@
+//! The `memref` dialect: loads and stores on shaped buffers.
+
+use mlb_ir::{
+    BlockId, Context, DialectRegistry, OpId, OpInfo, OpSpec, Type, ValueId, VerifyError,
+};
+
+/// `memref.load`: reads one element. Operands: `memref, indices...`.
+pub const LOAD: &str = "memref.load";
+/// `memref.store`: writes one element. Operands: `value, memref, indices...`.
+pub const STORE: &str = "memref.store";
+
+/// Registers the `memref` dialect.
+pub fn register(registry: &mut DialectRegistry) {
+    registry.register(OpInfo::new(LOAD).with_verify(verify_load));
+    registry.register(OpInfo::new(STORE).with_verify(verify_store));
+}
+
+fn memref_of(ctx: &Context, op: OpId, v: ValueId) -> Result<mlb_ir::MemRefType, VerifyError> {
+    match ctx.value_type(v) {
+        Type::MemRef(m) => Ok(m.clone()),
+        other => Err(VerifyError::new(ctx, op, format!("expected memref operand, got {other}"))),
+    }
+}
+
+fn verify_indices(
+    ctx: &Context,
+    op: OpId,
+    m: &mlb_ir::MemRefType,
+    indices: &[ValueId],
+) -> Result<(), VerifyError> {
+    if indices.len() != m.shape.len() {
+        return Err(VerifyError::new(
+            ctx,
+            op,
+            format!("expected {} indices, got {}", m.shape.len(), indices.len()),
+        ));
+    }
+    for &i in indices {
+        if *ctx.value_type(i) != Type::Index {
+            return Err(VerifyError::new(ctx, op, "indices must have index type"));
+        }
+    }
+    Ok(())
+}
+
+fn verify_load(ctx: &Context, op: OpId) -> Result<(), VerifyError> {
+    let o = ctx.op(op);
+    if o.operands.is_empty() || o.results.len() != 1 {
+        return Err(VerifyError::new(ctx, op, "load takes a memref plus indices, one result"));
+    }
+    let m = memref_of(ctx, op, o.operands[0])?;
+    verify_indices(ctx, op, &m, &o.operands[1..])?;
+    if ctx.value_type(o.results[0]) != m.element.as_ref() {
+        return Err(VerifyError::new(ctx, op, "result type differs from element type"));
+    }
+    Ok(())
+}
+
+fn verify_store(ctx: &Context, op: OpId) -> Result<(), VerifyError> {
+    let o = ctx.op(op);
+    if o.operands.len() < 2 || !o.results.is_empty() {
+        return Err(VerifyError::new(ctx, op, "store takes value, memref plus indices, no results"));
+    }
+    let m = memref_of(ctx, op, o.operands[1])?;
+    verify_indices(ctx, op, &m, &o.operands[2..])?;
+    if ctx.value_type(o.operands[0]) != m.element.as_ref() {
+        return Err(VerifyError::new(ctx, op, "stored value type differs from element type"));
+    }
+    Ok(())
+}
+
+/// Builds a `memref.load`.
+pub fn build_load(
+    ctx: &mut Context,
+    block: BlockId,
+    memref: ValueId,
+    indices: Vec<ValueId>,
+) -> ValueId {
+    let elem = match ctx.value_type(memref) {
+        Type::MemRef(m) => (*m.element).clone(),
+        other => panic!("build_load on non-memref type {other}"),
+    };
+    let mut operands = vec![memref];
+    operands.extend(indices);
+    let op = ctx.append_op(block, OpSpec::new(LOAD).operands(operands).results(vec![elem]));
+    ctx.op(op).results[0]
+}
+
+/// Builds a `memref.store`.
+pub fn build_store(
+    ctx: &mut Context,
+    block: BlockId,
+    value: ValueId,
+    memref: ValueId,
+    indices: Vec<ValueId>,
+) -> OpId {
+    let mut operands = vec![value, memref];
+    operands.extend(indices);
+    ctx.append_op(block, OpSpec::new(STORE).operands(operands))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{arith, builtin, func};
+
+    fn setup() -> (Context, DialectRegistry, OpId, BlockId) {
+        let mut ctx = Context::new();
+        let mut r = DialectRegistry::new();
+        builtin::register(&mut r);
+        arith::register(&mut r);
+        func::register(&mut r);
+        register(&mut r);
+        let (m, b) = builtin::build_module(&mut ctx);
+        (ctx, r, m, b)
+    }
+
+    #[test]
+    fn load_store_round() {
+        let (mut ctx, r, m, b) = setup();
+        let buf_ty = Type::memref(vec![4, 8], Type::F64);
+        let (_f, entry) = func::build_func(&mut ctx, b, "k", vec![buf_ty], vec![]);
+        let buf = ctx.block_args(entry)[0];
+        let i = arith::constant_index(&mut ctx, entry, 1);
+        let j = arith::constant_index(&mut ctx, entry, 2);
+        let v = build_load(&mut ctx, entry, buf, vec![i, j]);
+        build_store(&mut ctx, entry, v, buf, vec![j, i]);
+        func::build_return(&mut ctx, entry, vec![]);
+        assert!(r.verify(&ctx, m).is_ok());
+    }
+
+    #[test]
+    fn verify_rejects_wrong_index_count() {
+        let (mut ctx, r, m, b) = setup();
+        let buf_ty = Type::memref(vec![4, 8], Type::F64);
+        let (_f, entry) = func::build_func(&mut ctx, b, "k", vec![buf_ty], vec![]);
+        let buf = ctx.block_args(entry)[0];
+        let i = arith::constant_index(&mut ctx, entry, 1);
+        ctx.append_op(
+            entry,
+            OpSpec::new(LOAD).operands(vec![buf, i]).results(vec![Type::F64]),
+        );
+        func::build_return(&mut ctx, entry, vec![]);
+        assert!(r.verify(&ctx, m).is_err());
+    }
+
+    #[test]
+    fn verify_rejects_non_index_indices() {
+        let (mut ctx, r, m, b) = setup();
+        let buf_ty = Type::memref(vec![4], Type::F64);
+        let (_f, entry) = func::build_func(&mut ctx, b, "k", vec![buf_ty], vec![]);
+        let buf = ctx.block_args(entry)[0];
+        let f = arith::constant_float(&mut ctx, entry, 0.0, Type::F64);
+        ctx.append_op(
+            entry,
+            OpSpec::new(LOAD).operands(vec![buf, f]).results(vec![Type::F64]),
+        );
+        func::build_return(&mut ctx, entry, vec![]);
+        assert!(r.verify(&ctx, m).is_err());
+    }
+}

@@ -1,0 +1,513 @@
+//! The `memref_stream` dialect: the bridge between `linalg` abstractions
+//! and the Snitch streaming hardware (Section 3.4, Figure 7).
+//!
+//! `memref_stream.generic` mirrors `linalg.generic` but makes the
+//! iteration bounds explicit, decoupling the op from operand shapes so it
+//! can compute on *streams* as well as memrefs. The scheduling passes
+//! (fuse-fill, scalar replacement, unroll-and-jam) all happen at this
+//! level, *before* data access is separated from execution.
+//!
+//! `memref_stream.streaming_region` encapsulates a stream configuration
+//! (one [`mlb_ir::StridePattern`] per operand) and a region in which the
+//! operands are accessed as streams.
+
+use mlb_ir::{
+    Attribute, BlockId, Context, DialectRegistry, IteratorType, OpId, OpInfo, OpSpec,
+    StridePattern, Type, ValueId, VerifyError,
+};
+
+pub use crate::structured::GenericOp;
+use crate::structured::{self, body_element_type};
+
+/// `memref_stream.generic`: structured computation with explicit bounds.
+pub const GENERIC: &str = "memref_stream.generic";
+/// `memref_stream.yield`: generic body terminator.
+pub const YIELD: &str = "memref_stream.yield";
+/// `memref_stream.streaming_region`: scopes a stream configuration.
+pub const STREAMING_REGION: &str = "memref_stream.streaming_region";
+/// `memref_stream.read`: pops the next element from a readable stream.
+pub const READ: &str = "memref_stream.read";
+/// `memref_stream.write`: pushes a value to a writable stream.
+pub const WRITE: &str = "memref_stream.write";
+
+/// Attribute key for the stream patterns of a streaming region.
+pub const PATTERNS: &str = "patterns";
+/// Attribute key for the number of loop-carried initial values appended to
+/// the operand list by the fuse-fill pass.
+pub const NUM_INITS: &str = "num_inits";
+
+/// Registers the `memref_stream` dialect.
+pub fn register(registry: &mut DialectRegistry) {
+    registry.register(OpInfo::new(GENERIC).with_verify(verify_generic));
+    registry.register(OpInfo::new(YIELD).terminator().with_verify(verify_yield));
+    registry.register(OpInfo::new(STREAMING_REGION).with_verify(verify_streaming_region));
+    registry.register(OpInfo::new(READ).with_verify(verify_read));
+    registry.register(OpInfo::new(WRITE).with_verify(verify_write));
+}
+
+/// Extended accessors for `memref_stream.generic`.
+#[derive(Debug, Clone, Copy)]
+pub struct StreamGenericOp(pub OpId);
+
+impl StreamGenericOp {
+    /// The shared structured-op view.
+    pub fn generic(self) -> GenericOp {
+        GenericOp(self.0)
+    }
+
+    /// Number of fused initial values (0 when fill is not fused).
+    pub fn num_inits(self, ctx: &Context) -> usize {
+        ctx.op(self.0).attr(NUM_INITS).and_then(Attribute::as_int).unwrap_or(0) as usize
+    }
+
+    /// The fused initial values (empty when fill is not fused).
+    pub fn inits<'c>(self, ctx: &'c Context) -> &'c [ValueId] {
+        let operands = &ctx.op(self.0).operands;
+        &operands[operands.len() - self.num_inits(ctx)..]
+    }
+
+    /// The output operands (operands between inputs and inits).
+    pub fn outputs<'c>(self, ctx: &'c Context) -> &'c [ValueId] {
+        let operands = &ctx.op(self.0).operands;
+        let ni = self.generic().num_inputs(ctx);
+        &operands[ni..operands.len() - self.num_inits(ctx)]
+    }
+
+    /// The explicit iteration bounds.
+    pub fn bounds(self, ctx: &Context) -> Vec<i64> {
+        self.generic().bounds(ctx).expect("memref_stream.generic requires explicit bounds")
+    }
+
+    /// The body interleave factor: the product of the bounds of all
+    /// `interleaved` iteration dimensions (1 when none). Each operand
+    /// contributes this many block arguments to the body.
+    pub fn interleave_factor(self, ctx: &Context) -> usize {
+        let bounds = self.bounds(ctx);
+        self.generic()
+            .iterator_types(ctx)
+            .iter()
+            .zip(&bounds)
+            .filter(|(it, _)| **it == IteratorType::Interleaved)
+            .map(|(_, b)| *b as usize)
+            .product::<usize>()
+            .max(1)
+    }
+}
+
+fn verify_generic(ctx: &Context, op: OpId) -> Result<(), VerifyError> {
+    structured::verify_generic(ctx, op)?;
+    let o = ctx.op(op);
+    if o.attr(structured::BOUNDS).is_none() {
+        return Err(VerifyError::new(ctx, op, "memref_stream.generic requires explicit bounds"));
+    }
+    let s = StreamGenericOp(op);
+    let num_inits = s.num_inits(ctx);
+    if num_inits > o.operands.len() {
+        return Err(VerifyError::new(ctx, op, "`num_inits` exceeds operand count"));
+    }
+    let maps = ctx.op(op).attr(structured::INDEXING_MAPS).and_then(Attribute::as_array).unwrap();
+    if maps.len() + num_inits != o.operands.len() {
+        return Err(VerifyError::new(
+            ctx,
+            op,
+            "indexing maps must cover exactly the non-init operands",
+        ));
+    }
+    let factor = s.interleave_factor(ctx);
+    let body = s.generic().body(ctx);
+    let expected_args = (o.operands.len() - num_inits) * factor;
+    if ctx.block_args(body).len() != expected_args {
+        return Err(VerifyError::new(
+            ctx,
+            op,
+            format!(
+                "body must take {expected_args} arguments ({} operands x interleave factor {factor})",
+                o.operands.len() - num_inits
+            ),
+        ));
+    }
+    Ok(())
+}
+
+fn verify_yield(ctx: &Context, op: OpId) -> Result<(), VerifyError> {
+    let Some(parent) = ctx.parent_op(op) else {
+        return Err(VerifyError::new(ctx, op, "yield outside of any op"));
+    };
+    if ctx.op(parent).name != GENERIC {
+        return Err(VerifyError::new(ctx, op, "memref_stream.yield must be inside generic"));
+    }
+    let s = StreamGenericOp(parent);
+    let expected = s.outputs(ctx).len() * s.interleave_factor(ctx);
+    if ctx.op(op).operands.len() != expected {
+        return Err(VerifyError::new(
+            ctx,
+            op,
+            format!("yield must carry {expected} values (outputs x interleave factor)"),
+        ));
+    }
+    Ok(())
+}
+
+/// Typed view over a `memref_stream.streaming_region`.
+#[derive(Debug, Clone, Copy)]
+pub struct StreamingRegionOp(pub OpId);
+
+impl StreamingRegionOp {
+    /// Wraps `op`, checking the name.
+    pub fn new(ctx: &Context, op: OpId) -> Option<StreamingRegionOp> {
+        (ctx.op(op).name == STREAMING_REGION).then_some(StreamingRegionOp(op))
+    }
+
+    /// Number of input (read) streams.
+    pub fn num_inputs(self, ctx: &Context) -> usize {
+        ctx.op(self.0)
+            .attr(structured::NUM_INPUTS)
+            .and_then(Attribute::as_int)
+            .expect("streaming_region missing num_inputs") as usize
+    }
+
+    /// Number of streamed memrefs (= number of patterns).
+    pub fn num_streams(self, ctx: &Context) -> usize {
+        ctx.op(self.0)
+            .attr(PATTERNS)
+            .and_then(Attribute::as_array)
+            .map(|a| a.len())
+            .unwrap_or(0)
+    }
+
+    /// The streamed memref operands.
+    pub fn memrefs<'c>(self, ctx: &'c Context) -> &'c [ValueId] {
+        &ctx.op(self.0).operands[..self.num_streams(ctx)]
+    }
+
+    /// The per-memref element offsets, when the region carries them.
+    pub fn offsets<'c>(self, ctx: &'c Context) -> Option<&'c [ValueId]> {
+        let p = self.num_streams(ctx);
+        let operands = &ctx.op(self.0).operands;
+        (operands.len() == 2 * p && p > 0).then(|| &operands[p..])
+    }
+
+    /// The input memref operands.
+    pub fn inputs<'c>(self, ctx: &'c Context) -> &'c [ValueId] {
+        &self.memrefs(ctx)[..self.num_inputs(ctx)]
+    }
+
+    /// The output memref operands.
+    pub fn outputs<'c>(self, ctx: &'c Context) -> &'c [ValueId] {
+        &self.memrefs(ctx)[self.num_inputs(ctx)..]
+    }
+
+    /// The access pattern for each operand.
+    pub fn patterns(self, ctx: &Context) -> Vec<StridePattern> {
+        ctx.op(self.0)
+            .attr(PATTERNS)
+            .and_then(Attribute::as_array)
+            .expect("streaming_region missing patterns")
+            .iter()
+            .map(|a| a.as_stride_pattern().expect("pattern entry").clone())
+            .collect()
+    }
+
+    /// The single body block (arguments are the streams).
+    pub fn body(self, ctx: &Context) -> BlockId {
+        ctx.sole_block(ctx.op(self.0).regions[0])
+    }
+}
+
+fn verify_streaming_region(ctx: &Context, op: OpId) -> Result<(), VerifyError> {
+    let o = ctx.op(op);
+    if o.regions.len() != 1 {
+        return Err(VerifyError::new(ctx, op, "streaming_region must have exactly one region"));
+    }
+    let Some(num_inputs) = o.attr(structured::NUM_INPUTS).and_then(Attribute::as_int) else {
+        return Err(VerifyError::new(ctx, op, "missing `num_inputs` attribute"));
+    };
+    let Some(patterns) = o.attr(PATTERNS).and_then(Attribute::as_array) else {
+        return Err(VerifyError::new(ctx, op, "missing `patterns` attribute"));
+    };
+    // Operands are either `P` memrefs, or `P` memrefs followed by `P`
+    // index offsets (in elements) when the region sits inside outer loops
+    // whose contribution to the base address is dynamic.
+    let p_count = patterns.len();
+    let has_offsets = o.operands.len() == 2 * p_count && p_count > 0;
+    if o.operands.len() != p_count && !has_offsets {
+        return Err(VerifyError::new(ctx, op, "one pattern per streamed memref required"));
+    }
+    for p in patterns {
+        if p.as_stride_pattern().is_none() {
+            return Err(VerifyError::new(ctx, op, "`patterns` entries must be stride patterns"));
+        }
+    }
+    for &v in &o.operands[..p_count] {
+        if !matches!(ctx.value_type(v), Type::MemRef(_)) {
+            return Err(VerifyError::new(ctx, op, "operands must be memrefs"));
+        }
+    }
+    if has_offsets {
+        for &v in &o.operands[p_count..] {
+            if *ctx.value_type(v) != Type::Index {
+                return Err(VerifyError::new(ctx, op, "offsets must have index type"));
+            }
+        }
+    }
+    let body = ctx.sole_block(o.regions[0]);
+    let args = ctx.block_args(body);
+    if args.len() != p_count {
+        return Err(VerifyError::new(ctx, op, "body must take one stream per streamed memref"));
+    }
+    for (i, (&arg, &operand)) in args.iter().zip(o.operands.iter()).enumerate() {
+        let elem = body_element_type(ctx, operand);
+        let expected = if (i as i64) < num_inputs {
+            Type::ReadableStream(Box::new(elem))
+        } else {
+            Type::WritableStream(Box::new(elem))
+        };
+        if *ctx.value_type(arg) != expected {
+            return Err(VerifyError::new(
+                ctx,
+                op,
+                format!("stream argument {i} must have type {expected}"),
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn verify_read(ctx: &Context, op: OpId) -> Result<(), VerifyError> {
+    let o = ctx.op(op);
+    if o.operands.len() != 1 || o.results.len() != 1 {
+        return Err(VerifyError::new(ctx, op, "read takes one stream, produces one element"));
+    }
+    match ctx.value_type(o.operands[0]) {
+        Type::ReadableStream(t) if t.as_ref() == ctx.value_type(o.results[0]) => Ok(()),
+        Type::ReadableStream(_) => {
+            Err(VerifyError::new(ctx, op, "result type differs from stream element type"))
+        }
+        _ => Err(VerifyError::new(ctx, op, "operand must be a readable stream")),
+    }
+}
+
+fn verify_write(ctx: &Context, op: OpId) -> Result<(), VerifyError> {
+    let o = ctx.op(op);
+    if o.operands.len() != 2 || !o.results.is_empty() {
+        return Err(VerifyError::new(ctx, op, "write takes a value and a stream"));
+    }
+    match ctx.value_type(o.operands[1]) {
+        Type::WritableStream(t) if t.as_ref() == ctx.value_type(o.operands[0]) => Ok(()),
+        Type::WritableStream(_) => {
+            Err(VerifyError::new(ctx, op, "value type differs from stream element type"))
+        }
+        _ => Err(VerifyError::new(ctx, op, "second operand must be a writable stream")),
+    }
+}
+
+/// Builds a `memref_stream.streaming_region`. The body callback receives
+/// the body block and the stream block arguments (readable inputs then
+/// writable outputs).
+pub fn build_streaming_region(
+    ctx: &mut Context,
+    block: BlockId,
+    inputs: Vec<ValueId>,
+    outputs: Vec<ValueId>,
+    patterns: Vec<StridePattern>,
+    body: impl FnOnce(&mut Context, BlockId, &[ValueId]),
+) -> StreamingRegionOp {
+    let num_inputs = inputs.len();
+    let mut operands = inputs;
+    operands.extend(outputs);
+    let op = ctx.append_op(
+        block,
+        OpSpec::new(STREAMING_REGION)
+            .operands(operands.clone())
+            .attr(structured::NUM_INPUTS, Attribute::Int(num_inputs as i64))
+            .attr(
+                PATTERNS,
+                Attribute::Array(patterns.into_iter().map(Attribute::StridePattern).collect()),
+            )
+            .regions(1),
+    );
+    let arg_types: Vec<Type> = operands
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| {
+            let elem = body_element_type(ctx, v);
+            if i < num_inputs {
+                Type::ReadableStream(Box::new(elem))
+            } else {
+                Type::WritableStream(Box::new(elem))
+            }
+        })
+        .collect();
+    let body_block = ctx.create_block(ctx.op(op).regions[0], arg_types);
+    let streams = ctx.block_args(body_block).to_vec();
+    body(ctx, body_block, &streams);
+    StreamingRegionOp(op)
+}
+
+/// Builds a `memref_stream.read` from a readable stream.
+pub fn build_read(ctx: &mut Context, block: BlockId, stream: ValueId) -> ValueId {
+    let elem = match ctx.value_type(stream) {
+        Type::ReadableStream(t) => (**t).clone(),
+        other => panic!("build_read on non-readable type {other}"),
+    };
+    let op = ctx.append_op(block, OpSpec::new(READ).operands(vec![stream]).results(vec![elem]));
+    ctx.op(op).results[0]
+}
+
+/// Builds a `memref_stream.write` to a writable stream.
+pub fn build_write(ctx: &mut Context, block: BlockId, value: ValueId, stream: ValueId) -> OpId {
+    ctx.append_op(block, OpSpec::new(WRITE).operands(vec![value, stream]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{arith, builtin, func};
+    use mlb_ir::AffineMap;
+
+    fn setup() -> (Context, DialectRegistry, OpId, BlockId) {
+        let mut ctx = Context::new();
+        let mut r = DialectRegistry::new();
+        builtin::register(&mut r);
+        arith::register(&mut r);
+        func::register(&mut r);
+        register(&mut r);
+        let (m, b) = builtin::build_module(&mut ctx);
+        (ctx, r, m, b)
+    }
+
+    #[test]
+    fn streaming_region_with_reads_and_writes() {
+        let (mut ctx, r, m, b) = setup();
+        let buf = Type::memref(vec![8], Type::F64);
+        let (_f, entry) =
+            func::build_func(&mut ctx, b, "relu", vec![buf.clone(), buf], vec![]);
+        let x = ctx.block_args(entry)[0];
+        let z = ctx.block_args(entry)[1];
+        let pattern = StridePattern::new(vec![8], AffineMap::identity(1));
+        build_streaming_region(
+            &mut ctx,
+            entry,
+            vec![x],
+            vec![z],
+            vec![pattern.clone(), pattern],
+            |ctx, body, streams| {
+                let v = build_read(ctx, body, streams[0]);
+                build_write(ctx, body, v, streams[1]);
+            },
+        );
+        func::build_return(&mut ctx, entry, vec![]);
+        assert!(r.verify(&ctx, m).is_ok(), "{:?}", r.verify(&ctx, m));
+    }
+
+    #[test]
+    fn streaming_region_accessors() {
+        let (mut ctx, _r, _m, b) = setup();
+        let buf = Type::memref(vec![4], Type::F64);
+        let (_f, entry) = func::build_func(&mut ctx, b, "k", vec![buf.clone(), buf], vec![]);
+        let x = ctx.block_args(entry)[0];
+        let z = ctx.block_args(entry)[1];
+        let p = StridePattern::new(vec![4], AffineMap::identity(1));
+        let sr = build_streaming_region(
+            &mut ctx,
+            entry,
+            vec![x],
+            vec![z],
+            vec![p.clone(), p],
+            |_, _, _| {},
+        );
+        assert_eq!(sr.num_inputs(&ctx), 1);
+        assert_eq!(sr.inputs(&ctx), &[x]);
+        assert_eq!(sr.outputs(&ctx), &[z]);
+        assert_eq!(sr.patterns(&ctx).len(), 2);
+        assert_eq!(
+            *ctx.value_type(ctx.block_args(sr.body(&ctx))[0]),
+            Type::ReadableStream(Box::new(Type::F64))
+        );
+        assert_eq!(
+            *ctx.value_type(ctx.block_args(sr.body(&ctx))[1]),
+            Type::WritableStream(Box::new(Type::F64))
+        );
+    }
+
+    #[test]
+    fn verify_rejects_read_from_writable() {
+        let (mut ctx, r, m, b) = setup();
+        let buf = Type::memref(vec![4], Type::F64);
+        let (_f, entry) = func::build_func(&mut ctx, b, "k", vec![buf], vec![]);
+        let z = ctx.block_args(entry)[0];
+        let p = StridePattern::new(vec![4], AffineMap::identity(1));
+        build_streaming_region(&mut ctx, entry, vec![], vec![z], vec![p], |ctx, body, streams| {
+            ctx.append_op(
+                body,
+                OpSpec::new(READ).operands(vec![streams[0]]).results(vec![Type::F64]),
+            );
+        });
+        func::build_return(&mut ctx, entry, vec![]);
+        assert!(r.verify(&ctx, m).is_err());
+    }
+
+    #[test]
+    fn verify_rejects_pattern_count_mismatch() {
+        let (mut ctx, r, m, b) = setup();
+        let buf = Type::memref(vec![4], Type::F64);
+        let (_f, entry) = func::build_func(&mut ctx, b, "k", vec![buf], vec![]);
+        let z = ctx.block_args(entry)[0];
+        let op = ctx.append_op(
+            entry,
+            OpSpec::new(STREAMING_REGION)
+                .operands(vec![z])
+                .attr(structured::NUM_INPUTS, Attribute::Int(0))
+                .attr(PATTERNS, Attribute::Array(vec![]))
+                .regions(1),
+        );
+        ctx.create_block(
+            ctx.op(op).regions[0],
+            vec![Type::WritableStream(Box::new(Type::F64))],
+        );
+        func::build_return(&mut ctx, entry, vec![]);
+        assert!(r.verify(&ctx, m).is_err());
+    }
+
+    #[test]
+    fn generic_requires_bounds() {
+        let (mut ctx, r, m, b) = setup();
+        let buf = Type::memref(vec![4], Type::F64);
+        let (_f, entry) = func::build_func(&mut ctx, b, "k", vec![buf.clone(), buf], vec![]);
+        let x = ctx.block_args(entry)[0];
+        let z = ctx.block_args(entry)[1];
+        let id = AffineMap::identity(1);
+        let g = ctx.append_op(
+            entry,
+            OpSpec::new(GENERIC)
+                .operands(vec![x, z])
+                .attr(
+                    structured::INDEXING_MAPS,
+                    Attribute::Array(vec![
+                        Attribute::Map(id.clone()),
+                        Attribute::Map(id),
+                    ]),
+                )
+                .attr(
+                    structured::ITERATOR_TYPES,
+                    Attribute::Iterators(vec![mlb_ir::IteratorType::Parallel]),
+                )
+                .attr(structured::NUM_INPUTS, Attribute::Int(1))
+                .regions(1),
+        );
+        let body = ctx.create_block(ctx.op(g).regions[0], vec![Type::F64, Type::F64]);
+        let arg = ctx.block_args(body)[0];
+        ctx.append_op(body, OpSpec::new(YIELD).operands(vec![arg]));
+        func::build_return(&mut ctx, entry, vec![]);
+        let err = r.verify(&ctx, m).unwrap_err();
+        assert!(err.message.contains("bounds"), "{err}");
+
+        // Adding bounds fixes it.
+        ctx.op_mut(g).attrs.insert(structured::BOUNDS.into(), Attribute::DenseI64(vec![4]));
+        assert!(r.verify(&ctx, m).is_ok(), "{:?}", r.verify(&ctx, m));
+        let s = StreamGenericOp(g);
+        assert_eq!(s.interleave_factor(&ctx), 1);
+        assert_eq!(s.num_inits(&ctx), 0);
+        assert_eq!(s.bounds(&ctx), vec![4]);
+    }
+}

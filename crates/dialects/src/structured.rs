@@ -1,0 +1,165 @@
+//! Shared machinery for structured ("generic") operations.
+//!
+//! `linalg.generic` and `memref_stream.generic` share their anatomy: a set
+//! of input and output operands, one affine indexing map per operand, an
+//! iterator type per iteration dimension, and a single-block body computing
+//! one iteration point (Section 2.2). This module hosts the accessors and
+//! verification common to both.
+
+use mlb_ir::{
+    AffineExpr, Attribute, BlockId, Context, IteratorType, OpId, Type, ValueId, VerifyError,
+};
+
+/// Attribute key holding the indexing maps.
+pub const INDEXING_MAPS: &str = "indexing_maps";
+/// Attribute key holding the iterator types.
+pub const ITERATOR_TYPES: &str = "iterator_types";
+/// Attribute key holding the number of inputs.
+pub const NUM_INPUTS: &str = "num_inputs";
+/// Attribute key holding explicit iteration bounds (`memref_stream` only,
+/// optionally present on `linalg.generic` when inference is ambiguous).
+pub const BOUNDS: &str = "bounds";
+
+/// Typed view over a structured generic op (either dialect).
+#[derive(Debug, Clone, Copy)]
+pub struct GenericOp(pub OpId);
+
+impl GenericOp {
+    /// Number of input operands.
+    pub fn num_inputs(self, ctx: &Context) -> usize {
+        ctx.op(self.0)
+            .attr(NUM_INPUTS)
+            .and_then(Attribute::as_int)
+            .expect("generic op missing num_inputs") as usize
+    }
+
+    /// The input operands.
+    pub fn inputs<'c>(self, ctx: &'c Context) -> &'c [ValueId] {
+        &ctx.op(self.0).operands[..self.num_inputs(ctx)]
+    }
+
+    /// The output operands.
+    pub fn outputs<'c>(self, ctx: &'c Context) -> &'c [ValueId] {
+        &ctx.op(self.0).operands[self.num_inputs(ctx)..]
+    }
+
+    /// The indexing maps, one per operand (inputs then outputs).
+    pub fn indexing_maps(self, ctx: &Context) -> Vec<mlb_ir::AffineMap> {
+        ctx.op(self.0)
+            .attr(INDEXING_MAPS)
+            .and_then(Attribute::as_array)
+            .expect("generic op missing indexing_maps")
+            .iter()
+            .map(|a| a.as_map().expect("indexing_maps entry is not a map").clone())
+            .collect()
+    }
+
+    /// The iterator types, one per iteration dimension.
+    pub fn iterator_types(self, ctx: &Context) -> Vec<IteratorType> {
+        ctx.op(self.0)
+            .attr(ITERATOR_TYPES)
+            .and_then(Attribute::as_iterators)
+            .expect("generic op missing iterator_types")
+            .to_vec()
+    }
+
+    /// The single body block.
+    pub fn body(self, ctx: &Context) -> BlockId {
+        ctx.sole_block(ctx.op(self.0).regions[0])
+    }
+
+    /// The iteration-space bounds: the explicit `bounds` attribute if
+    /// present, otherwise inferred from operand shapes where a dimension
+    /// appears as a bare map result.
+    pub fn bounds(self, ctx: &Context) -> Option<Vec<i64>> {
+        if let Some(b) = ctx.op(self.0).attr(BOUNDS).and_then(Attribute::as_dense_i64) {
+            return Some(b.to_vec());
+        }
+        let maps = self.indexing_maps(ctx);
+        let num_dims = self.iterator_types(ctx).len();
+        let mut bounds = vec![None; num_dims];
+        for (operand, map) in ctx.op(self.0).operands.iter().zip(&maps) {
+            let Type::MemRef(m) = ctx.value_type(*operand) else { continue };
+            for (result_idx, expr) in map.results.iter().enumerate() {
+                if let AffineExpr::Dim(d) = expr {
+                    let size = m.shape.get(result_idx).copied()?;
+                    match bounds[*d] {
+                        None => bounds[*d] = Some(size),
+                        Some(prev) if prev != size => return None,
+                        Some(_) => {}
+                    }
+                }
+            }
+        }
+        bounds.into_iter().collect()
+    }
+}
+
+/// Verifies the shared anatomy of a structured generic op.
+pub fn verify_generic(ctx: &Context, op: OpId) -> Result<(), VerifyError> {
+    let o = ctx.op(op);
+    if o.regions.len() != 1 {
+        return Err(VerifyError::new(ctx, op, "generic must have exactly one region"));
+    }
+    let Some(num_inputs) = o.attr(NUM_INPUTS).and_then(Attribute::as_int) else {
+        return Err(VerifyError::new(ctx, op, "missing `num_inputs` attribute"));
+    };
+    let num_inputs = num_inputs as usize;
+    if num_inputs > o.operands.len() {
+        return Err(VerifyError::new(ctx, op, "`num_inputs` exceeds operand count"));
+    }
+    let Some(maps) = o.attr(INDEXING_MAPS).and_then(Attribute::as_array) else {
+        return Err(VerifyError::new(ctx, op, "missing `indexing_maps` attribute"));
+    };
+    // Fused initial values (memref_stream fuse-fill) trail the operand
+    // list and carry no indexing map.
+    let num_inits = o.attr("num_inits").and_then(Attribute::as_int).unwrap_or(0) as usize;
+    if maps.len() + num_inits != o.operands.len() {
+        return Err(VerifyError::new(ctx, op, "one indexing map per non-init operand required"));
+    }
+    let Some(iterators) = o.attr(ITERATOR_TYPES).and_then(Attribute::as_iterators) else {
+        return Err(VerifyError::new(ctx, op, "missing `iterator_types` attribute"));
+    };
+    for (i, m) in maps.iter().enumerate() {
+        let Some(map) = m.as_map() else {
+            return Err(VerifyError::new(ctx, op, format!("indexing map {i} is not an affine map")));
+        };
+        if map.num_dims != iterators.len() {
+            return Err(VerifyError::new(
+                ctx,
+                op,
+                format!(
+                    "indexing map {i} has {} dims but there are {} iterator types",
+                    map.num_dims,
+                    iterators.len()
+                ),
+            ));
+        }
+    }
+    if let Some(bounds) = o.attr(BOUNDS) {
+        let Some(bounds) = bounds.as_dense_i64() else {
+            return Err(VerifyError::new(ctx, op, "`bounds` must be a dense integer array"));
+        };
+        if bounds.len() != iterators.len() {
+            return Err(VerifyError::new(ctx, op, "one bound per iteration dimension required"));
+        }
+        if bounds.iter().any(|&b| b <= 0) {
+            return Err(VerifyError::new(ctx, op, "bounds must be positive"));
+        }
+    }
+    let blocks = ctx.region_blocks(o.regions[0]);
+    if blocks.len() != 1 {
+        return Err(VerifyError::new(ctx, op, "generic body must be a single block"));
+    }
+    Ok(())
+}
+
+/// Scalar element type of an operand as seen by the body: element type for
+/// memrefs and streams, the type itself for scalars.
+pub fn body_element_type(ctx: &Context, v: ValueId) -> Type {
+    match ctx.value_type(v) {
+        Type::MemRef(m) => (*m.element).clone(),
+        Type::ReadableStream(t) | Type::WritableStream(t) => (**t).clone(),
+        other => other.clone(),
+    }
+}

@@ -1,0 +1,382 @@
+//! Affine expressions and maps.
+//!
+//! `linalg.generic` and `memref_stream.generic` describe the relationship
+//! between the iteration space and operand data with affine maps
+//! (Section 2.2). The backend evaluates and differentiates these maps to
+//! derive the stream stride patterns programmed into the SSR address
+//! generators (Section 3.2).
+
+use std::fmt;
+
+/// An affine expression over dimension and symbol variables.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum AffineExpr {
+    /// The `d<n>`-th dimension variable.
+    Dim(usize),
+    /// The `s<n>`-th symbol variable.
+    Sym(usize),
+    /// An integer constant.
+    Const(i64),
+    /// Sum of two expressions.
+    Add(Box<AffineExpr>, Box<AffineExpr>),
+    /// Product of two expressions (at least one side must be constant for
+    /// the expression to remain affine; this is checked by [`AffineExpr::is_affine`]).
+    Mul(Box<AffineExpr>, Box<AffineExpr>),
+    /// Floor division by a constant.
+    FloorDiv(Box<AffineExpr>, i64),
+    /// Euclidean remainder by a constant.
+    Mod(Box<AffineExpr>, i64),
+}
+
+impl AffineExpr {
+    /// `d<n>` dimension variable.
+    pub fn dim(n: usize) -> AffineExpr {
+        AffineExpr::Dim(n)
+    }
+
+    /// Integer constant.
+    pub fn constant(c: i64) -> AffineExpr {
+        AffineExpr::Const(c)
+    }
+
+    /// `self + rhs`.
+    pub fn add(self, rhs: AffineExpr) -> AffineExpr {
+        AffineExpr::Add(Box::new(self), Box::new(rhs))
+    }
+
+    /// `self * c`.
+    pub fn mul_const(self, c: i64) -> AffineExpr {
+        AffineExpr::Mul(Box::new(self), Box::new(AffineExpr::Const(c)))
+    }
+
+    /// Evaluates the expression with the given dimension and symbol values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a dimension/symbol index is out of range or on division by
+    /// a non-positive constant.
+    pub fn eval(&self, dims: &[i64], syms: &[i64]) -> i64 {
+        match self {
+            AffineExpr::Dim(n) => dims[*n],
+            AffineExpr::Sym(n) => syms[*n],
+            AffineExpr::Const(c) => *c,
+            AffineExpr::Add(a, b) => a.eval(dims, syms) + b.eval(dims, syms),
+            AffineExpr::Mul(a, b) => a.eval(dims, syms) * b.eval(dims, syms),
+            AffineExpr::FloorDiv(a, c) => {
+                assert!(*c > 0, "floordiv by non-positive constant");
+                a.eval(dims, syms).div_euclid(*c)
+            }
+            AffineExpr::Mod(a, c) => {
+                assert!(*c > 0, "mod by non-positive constant");
+                a.eval(dims, syms).rem_euclid(*c)
+            }
+        }
+    }
+
+    /// Whether the expression is affine: products require a constant side
+    /// and div/mod require constant divisors (enforced structurally).
+    pub fn is_affine(&self) -> bool {
+        match self {
+            AffineExpr::Dim(_) | AffineExpr::Sym(_) | AffineExpr::Const(_) => true,
+            AffineExpr::Add(a, b) => a.is_affine() && b.is_affine(),
+            AffineExpr::Mul(a, b) => {
+                (matches!(**a, AffineExpr::Const(_)) || matches!(**b, AffineExpr::Const(_)))
+                    && a.is_affine()
+                    && b.is_affine()
+            }
+            AffineExpr::FloorDiv(a, _) | AffineExpr::Mod(a, _) => a.is_affine(),
+        }
+    }
+
+    /// Whether the expression is a pure linear combination of dims plus a
+    /// constant (no div/mod, no symbols). Linear expressions have exact
+    /// per-dimension strides.
+    pub fn is_linear_in_dims(&self) -> bool {
+        match self {
+            AffineExpr::Dim(_) | AffineExpr::Const(_) => true,
+            AffineExpr::Sym(_) => false,
+            AffineExpr::Add(a, b) => a.is_linear_in_dims() && b.is_linear_in_dims(),
+            AffineExpr::Mul(a, b) => {
+                (matches!(**a, AffineExpr::Const(_)) && b.is_linear_in_dims())
+                    || (matches!(**b, AffineExpr::Const(_)) && a.is_linear_in_dims())
+            }
+            _ => false,
+        }
+    }
+
+    /// The largest dimension index used, plus one (0 if none).
+    pub fn num_dims_used(&self) -> usize {
+        match self {
+            AffineExpr::Dim(n) => n + 1,
+            AffineExpr::Sym(_) | AffineExpr::Const(_) => 0,
+            AffineExpr::Add(a, b) | AffineExpr::Mul(a, b) => {
+                a.num_dims_used().max(b.num_dims_used())
+            }
+            AffineExpr::FloorDiv(a, _) | AffineExpr::Mod(a, _) => a.num_dims_used(),
+        }
+    }
+}
+
+impl fmt::Display for AffineExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AffineExpr::Dim(n) => write!(f, "d{n}"),
+            AffineExpr::Sym(n) => write!(f, "s{n}"),
+            AffineExpr::Const(c) => write!(f, "{c}"),
+            AffineExpr::Add(a, b) => write!(f, "({a} + {b})"),
+            AffineExpr::Mul(a, b) => write!(f, "({a} * {b})"),
+            AffineExpr::FloorDiv(a, c) => write!(f, "({a} floordiv {c})"),
+            AffineExpr::Mod(a, c) => write!(f, "({a} mod {c})"),
+        }
+    }
+}
+
+/// An affine map `(d0, …, dN-1)[s0, …] -> (e0, …, eM-1)`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct AffineMap {
+    /// Number of dimension variables.
+    pub num_dims: usize,
+    /// Number of symbol variables.
+    pub num_syms: usize,
+    /// Result expressions.
+    pub results: Vec<AffineExpr>,
+}
+
+impl AffineMap {
+    /// Creates a map, validating that every result is affine and in range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a result expression is not affine or refers to an
+    /// out-of-range dimension.
+    pub fn new(num_dims: usize, num_syms: usize, results: Vec<AffineExpr>) -> AffineMap {
+        for e in &results {
+            assert!(e.is_affine(), "non-affine map result: {e}");
+            assert!(
+                e.num_dims_used() <= num_dims,
+                "map result {e} uses out-of-range dimension (num_dims = {num_dims})"
+            );
+        }
+        AffineMap { num_dims, num_syms, results }
+    }
+
+    /// The identity map on `n` dimensions.
+    ///
+    /// ```
+    /// use mlb_ir::affine::AffineMap;
+    /// let id = AffineMap::identity(3);
+    /// assert_eq!(id.eval(&[4, 5, 6], &[]), vec![4, 5, 6]);
+    /// ```
+    pub fn identity(n: usize) -> AffineMap {
+        AffineMap::new(n, 0, (0..n).map(AffineExpr::Dim).collect())
+    }
+
+    /// A map from `num_dims` dimensions selecting the given dimensions.
+    pub fn projection(num_dims: usize, dims: &[usize]) -> AffineMap {
+        AffineMap::new(num_dims, 0, dims.iter().map(|&d| AffineExpr::Dim(d)).collect())
+    }
+
+    /// A map with no results (used for zero-rank outputs).
+    pub fn empty(num_dims: usize) -> AffineMap {
+        AffineMap::new(num_dims, 0, vec![])
+    }
+
+    /// Evaluates all results.
+    pub fn eval(&self, dims: &[i64], syms: &[i64]) -> Vec<i64> {
+        assert_eq!(dims.len(), self.num_dims, "wrong number of dims");
+        assert_eq!(syms.len(), self.num_syms, "wrong number of symbols");
+        self.results.iter().map(|e| e.eval(dims, syms)).collect()
+    }
+
+    /// Whether all results are linear in the dimensions.
+    pub fn is_linear(&self) -> bool {
+        self.results.iter().all(AffineExpr::is_linear_in_dims)
+    }
+
+    /// For a linear map, the coefficient of dimension `d` in each result,
+    /// computed by finite differences (exact for linear maps).
+    pub fn dim_coefficients(&self, d: usize) -> Vec<i64> {
+        assert!(self.is_linear(), "dim_coefficients requires a linear map");
+        let zeros = vec![0i64; self.num_dims];
+        let mut unit = zeros.clone();
+        unit[d] = 1;
+        let at_zero = self.eval(&zeros, &[]);
+        let at_unit = self.eval(&unit, &[]);
+        at_unit.iter().zip(&at_zero).map(|(a, b)| a - b).collect()
+    }
+
+    /// Composes `self` after `inner`: `(self ∘ inner)(d) = self(inner(d))`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inner` produces a different number of results than
+    /// `self` has dimensions, or if either map uses symbols.
+    pub fn compose(&self, inner: &AffineMap) -> AffineMap {
+        assert_eq!(self.num_dims, inner.results.len());
+        assert_eq!(self.num_syms, 0);
+        assert_eq!(inner.num_syms, 0);
+        let results = self
+            .results
+            .iter()
+            .map(|e| substitute_dims(e, &inner.results))
+            .collect();
+        AffineMap::new(inner.num_dims, 0, results)
+    }
+}
+
+fn substitute_dims(expr: &AffineExpr, subs: &[AffineExpr]) -> AffineExpr {
+    match expr {
+        AffineExpr::Dim(n) => subs[*n].clone(),
+        AffineExpr::Sym(n) => AffineExpr::Sym(*n),
+        AffineExpr::Const(c) => AffineExpr::Const(*c),
+        AffineExpr::Add(a, b) => AffineExpr::Add(
+            Box::new(substitute_dims(a, subs)),
+            Box::new(substitute_dims(b, subs)),
+        ),
+        AffineExpr::Mul(a, b) => AffineExpr::Mul(
+            Box::new(substitute_dims(a, subs)),
+            Box::new(substitute_dims(b, subs)),
+        ),
+        AffineExpr::FloorDiv(a, c) => AffineExpr::FloorDiv(Box::new(substitute_dims(a, subs)), *c),
+        AffineExpr::Mod(a, c) => AffineExpr::Mod(Box::new(substitute_dims(a, subs)), *c),
+    }
+}
+
+impl fmt::Display for AffineMap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("(")?;
+        for i in 0..self.num_dims {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "d{i}")?;
+        }
+        f.write_str(")")?;
+        if self.num_syms > 0 {
+            f.write_str("[")?;
+            for i in 0..self.num_syms {
+                if i > 0 {
+                    f.write_str(", ")?;
+                }
+                write!(f, "s{i}")?;
+            }
+            f.write_str("]")?;
+        }
+        f.write_str(" -> (")?;
+        for (i, e) in self.results.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{e}")?;
+        }
+        f.write_str(")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_simple() {
+        // (d0, d1, d2) -> (d0 * 5 + d2, d1)  — the MatMul map in Fig. 7.
+        let m = AffineMap::new(
+            3,
+            0,
+            vec![
+                AffineExpr::dim(0).mul_const(5).add(AffineExpr::dim(2)),
+                AffineExpr::dim(1),
+            ],
+        );
+        assert_eq!(m.eval(&[2, 7, 3], &[]), vec![13, 7]);
+    }
+
+    #[test]
+    fn identity_and_projection() {
+        assert_eq!(AffineMap::identity(2).eval(&[3, 4], &[]), vec![3, 4]);
+        let p = AffineMap::projection(3, &[1]);
+        assert_eq!(p.eval(&[10, 20, 30], &[]), vec![20]);
+    }
+
+    #[test]
+    fn dim_coefficients_of_linear_map() {
+        let m = AffineMap::new(
+            3,
+            0,
+            vec![
+                AffineExpr::dim(0).mul_const(5).add(AffineExpr::dim(2)),
+                AffineExpr::dim(1),
+            ],
+        );
+        assert_eq!(m.dim_coefficients(0), vec![5, 0]);
+        assert_eq!(m.dim_coefficients(1), vec![0, 1]);
+        assert_eq!(m.dim_coefficients(2), vec![1, 0]);
+    }
+
+    #[test]
+    fn floordiv_and_mod_eval() {
+        let e = AffineExpr::FloorDiv(Box::new(AffineExpr::dim(0)), 3);
+        assert_eq!(e.eval(&[7], &[]), 2);
+        assert_eq!(e.eval(&[-1], &[]), -1);
+        let e = AffineExpr::Mod(Box::new(AffineExpr::dim(0)), 3);
+        assert_eq!(e.eval(&[7], &[]), 1);
+        assert_eq!(e.eval(&[-1], &[]), 2);
+    }
+
+    #[test]
+    fn non_affine_rejected() {
+        let e = AffineExpr::Mul(Box::new(AffineExpr::dim(0)), Box::new(AffineExpr::dim(1)));
+        assert!(!e.is_affine());
+    }
+
+    #[test]
+    #[should_panic]
+    fn map_with_non_affine_result_panics() {
+        let e = AffineExpr::Mul(Box::new(AffineExpr::dim(0)), Box::new(AffineExpr::dim(1)));
+        let _ = AffineMap::new(2, 0, vec![e]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_dim_panics() {
+        let _ = AffineMap::new(1, 0, vec![AffineExpr::dim(1)]);
+    }
+
+    #[test]
+    fn compose_maps() {
+        // outer: (d0, d1) -> (d0 + d1); inner: (d0, d1, d2) -> (d0*2, d2)
+        let outer = AffineMap::new(2, 0, vec![AffineExpr::dim(0).add(AffineExpr::dim(1))]);
+        let inner = AffineMap::new(
+            3,
+            0,
+            vec![AffineExpr::dim(0).mul_const(2), AffineExpr::dim(2)],
+        );
+        let composed = outer.compose(&inner);
+        assert_eq!(composed.num_dims, 3);
+        assert_eq!(composed.eval(&[3, 100, 4], &[]), vec![10]);
+    }
+
+    #[test]
+    fn display() {
+        let m = AffineMap::new(
+            3,
+            0,
+            vec![
+                AffineExpr::dim(0).mul_const(5).add(AffineExpr::dim(2)),
+                AffineExpr::dim(1),
+            ],
+        );
+        assert_eq!(m.to_string(), "(d0, d1, d2) -> (((d0 * 5) + d2), d1)");
+    }
+
+    #[test]
+    fn linearity() {
+        assert!(AffineMap::identity(2).is_linear());
+        let m = AffineMap::new(
+            1,
+            0,
+            vec![AffineExpr::Mod(Box::new(AffineExpr::dim(0)), 2)],
+        );
+        assert!(!m.is_linear());
+    }
+}

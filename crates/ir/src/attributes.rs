@@ -1,0 +1,441 @@
+//! Compile-time attribute values attached to operations.
+//!
+//! Attributes are a key–value map of compile-time constants on each
+//! operation. As in MLIR/xDSL, dialect-specific attribute kinds (affine
+//! maps, iterator types, stream stride patterns) are part of the attribute
+//! vocabulary; in this Rust implementation the vocabulary is a closed enum
+//! shared by all dialects.
+
+use std::fmt;
+
+use crate::affine::AffineMap;
+use crate::types::Type;
+
+/// Iterator kinds of a `linalg.generic`/`memref_stream.generic` dimension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IteratorType {
+    /// Iterations are independent.
+    Parallel,
+    /// Iterations combine into an accumulator.
+    Reduction,
+    /// Produced by unroll-and-jam: a parallel dimension whose iterations
+    /// are interleaved in the loop body (Figure 7).
+    Interleaved,
+}
+
+impl fmt::Display for IteratorType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            IteratorType::Parallel => "parallel",
+            IteratorType::Reduction => "reduction",
+            IteratorType::Interleaved => "interleaved",
+        })
+    }
+}
+
+/// A `memref_stream`-level access pattern: iteration-space upper bounds and
+/// the affine map from iteration indices to element indices (Figure 7).
+///
+/// Bounds are in iteration order, *outermost first*.
+#[derive(Debug, Clone, PartialEq, Hash, Eq)]
+pub struct StridePattern {
+    /// Iteration-space upper bounds, outermost first.
+    pub ub: Vec<i64>,
+    /// Map from iteration indices to operand element indices.
+    pub index_map: AffineMap,
+}
+
+impl StridePattern {
+    /// Creates a pattern, checking that the map has one dim per bound.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index_map.num_dims != ub.len()`.
+    pub fn new(ub: Vec<i64>, index_map: AffineMap) -> StridePattern {
+        assert_eq!(
+            index_map.num_dims,
+            ub.len(),
+            "stride pattern map must have one dimension per bound"
+        );
+        StridePattern { ub, index_map }
+    }
+}
+
+impl fmt::Display for StridePattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#memref_stream.stride_pattern<ub = {:?}, index_map = {}>", self.ub, self.index_map)
+    }
+}
+
+/// A `snitch_stream`-level access pattern in *hardware* terms: loop bounds
+/// and byte strides per dimension, plus an innermost repetition count.
+///
+/// Dimension 0 is the **innermost** loop, matching the SSR configuration
+/// register file. Strides are the raw address deltas applied when a
+/// dimension increments, i.e. already compensated for inner-dimension
+/// wrap-around the way the hardware expects.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct StreamPattern {
+    /// Iteration counts per dimension, innermost first. Never empty.
+    pub ub: Vec<i64>,
+    /// Byte-address delta applied when the corresponding dimension
+    /// increments (hardware semantics, see above).
+    pub strides: Vec<i64>,
+    /// Each element is delivered `repeat + 1` times (SSR repeat register).
+    pub repeat: i64,
+}
+
+impl StreamPattern {
+    /// Creates a hardware stream pattern.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ub` and `strides` differ in length, are empty, or if any
+    /// bound or the repeat count is not positive / non-negative.
+    pub fn new(ub: Vec<i64>, strides: Vec<i64>, repeat: i64) -> StreamPattern {
+        assert_eq!(ub.len(), strides.len(), "bounds and strides must pair up");
+        assert!(!ub.is_empty(), "stream pattern needs at least one dimension");
+        assert!(ub.iter().all(|&b| b > 0), "stream bounds must be positive");
+        assert!(repeat >= 0, "repeat count must be non-negative");
+        StreamPattern { ub, strides, repeat }
+    }
+
+    /// Builds the hardware pattern from *logical* bounds and byte strides
+    /// (innermost first), compensating strides for inner wrap-around.
+    ///
+    /// In logical terms the address for indices `i0..iN` (i0 innermost) is
+    /// `sum(i_d * logical_stride_d)`; hardware instead adds `strides[d]`
+    /// once whenever dimension `d` increments, so
+    /// `hw[d] = logical[d] - sum_{k<d} (ub[k]-1) * logical[k]`.
+    pub fn from_logical(ub: Vec<i64>, logical_strides: Vec<i64>, repeat: i64) -> StreamPattern {
+        assert_eq!(ub.len(), logical_strides.len());
+        let mut hw = logical_strides.clone();
+        for d in 1..hw.len() {
+            let inner_span: i64 = (0..d).map(|k| (ub[k] - 1) * logical_strides[k]).sum();
+            hw[d] = logical_strides[d] - inner_span;
+        }
+        StreamPattern::new(ub, hw, repeat)
+    }
+
+    /// Total number of elements delivered by the stream (including repeats).
+    pub fn num_elements(&self) -> i64 {
+        self.ub.iter().product::<i64>() * (self.repeat + 1)
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.ub.len()
+    }
+
+    /// The sequence of byte offsets the hardware address generator emits,
+    /// starting from offset 0 (repeats included). Used by tests and the
+    /// simulator cross-check.
+    pub fn offsets(&self) -> Vec<i64> {
+        let rank = self.rank();
+        let mut idx = vec![0i64; rank];
+        let mut addr = 0i64;
+        let mut out = Vec::with_capacity(self.num_elements() as usize);
+        loop {
+            for _ in 0..=self.repeat {
+                out.push(addr);
+            }
+            // Increment the multi-dimensional counter, innermost first,
+            // applying the hardware stride of the dimension that steps.
+            let mut d = 0;
+            loop {
+                if d == rank {
+                    return out;
+                }
+                if idx[d] + 1 < self.ub[d] {
+                    idx[d] += 1;
+                    addr += self.strides[d];
+                    break;
+                }
+                idx[d] = 0;
+                d += 1;
+            }
+        }
+    }
+}
+
+impl fmt::Display for StreamPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "#snitch_stream.pattern<ub = {:?}, strides = {:?}, repeat = {}>",
+            self.ub, self.strides, self.repeat
+        )
+    }
+}
+
+/// A compile-time constant attached to an operation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Attribute {
+    /// Presence-only marker.
+    Unit,
+    /// Boolean.
+    Bool(bool),
+    /// 64-bit integer.
+    Int(i64),
+    /// Double-precision float.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// A type used as an attribute (e.g. function signatures).
+    Type(Type),
+    /// Reference to a symbol, printed `@name`.
+    Symbol(String),
+    /// Ordered list of attributes.
+    Array(Vec<Attribute>),
+    /// Dense list of integers.
+    DenseI64(Vec<i64>),
+    /// Affine map.
+    Map(AffineMap),
+    /// Iterator types of a structured op.
+    Iterators(Vec<IteratorType>),
+    /// `memref_stream` access pattern.
+    StridePattern(StridePattern),
+    /// `snitch_stream` hardware access pattern.
+    StreamPattern(StreamPattern),
+}
+
+impl Attribute {
+    /// The integer payload, if this is an [`Attribute::Int`].
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Attribute::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The float payload, if this is an [`Attribute::Float`].
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Attribute::Float(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is an [`Attribute::Str`].
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Attribute::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The symbol payload, if this is an [`Attribute::Symbol`].
+    pub fn as_symbol(&self) -> Option<&str> {
+        match self {
+            Attribute::Symbol(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The type payload, if this is an [`Attribute::Type`].
+    pub fn as_type(&self) -> Option<&Type> {
+        match self {
+            Attribute::Type(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// The array payload, if this is an [`Attribute::Array`].
+    pub fn as_array(&self) -> Option<&[Attribute]> {
+        match self {
+            Attribute::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The dense-integer payload, if this is an [`Attribute::DenseI64`].
+    pub fn as_dense_i64(&self) -> Option<&[i64]> {
+        match self {
+            Attribute::DenseI64(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The affine-map payload, if this is an [`Attribute::Map`].
+    pub fn as_map(&self) -> Option<&AffineMap> {
+        match self {
+            Attribute::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The iterator-types payload, if this is an [`Attribute::Iterators`].
+    pub fn as_iterators(&self) -> Option<&[IteratorType]> {
+        match self {
+            Attribute::Iterators(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The stride-pattern payload, if present.
+    pub fn as_stride_pattern(&self) -> Option<&StridePattern> {
+        match self {
+            Attribute::StridePattern(p) => Some(p),
+            _ => None,
+        }
+    }
+
+    /// The hardware stream-pattern payload, if present.
+    pub fn as_stream_pattern(&self) -> Option<&StreamPattern> {
+        match self {
+            Attribute::StreamPattern(p) => Some(p),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Attribute {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Attribute::Unit => f.write_str("unit"),
+            Attribute::Bool(b) => write!(f, "{b}"),
+            Attribute::Int(v) => write!(f, "{v}"),
+            Attribute::Float(v) => {
+                if v.fract() == 0.0 && v.is_finite() {
+                    write!(f, "{v:.1}")
+                } else {
+                    write!(f, "{v}")
+                }
+            }
+            Attribute::Str(s) => write!(f, "{s:?}"),
+            Attribute::Type(t) => write!(f, "{t}"),
+            Attribute::Symbol(s) => write!(f, "@{s}"),
+            Attribute::Array(items) => {
+                f.write_str("[")?;
+                for (i, a) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                f.write_str("]")
+            }
+            Attribute::DenseI64(v) => {
+                f.write_str("dense<[")?;
+                for (i, x) in v.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{x}")?;
+                }
+                f.write_str("]>")
+            }
+            Attribute::Map(m) => write!(f, "affine_map<{m}>"),
+            Attribute::Iterators(its) => {
+                f.write_str("iterators<")?;
+                for (i, it) in its.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{it}")?;
+                }
+                f.write_str(">")
+            }
+            Attribute::StridePattern(p) => write!(f, "{p}"),
+            Attribute::StreamPattern(p) => write!(f, "{p}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::affine::AffineExpr;
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Attribute::Int(5).as_int(), Some(5));
+        assert_eq!(Attribute::Int(5).as_float(), None);
+        assert_eq!(Attribute::Str("x".into()).as_str(), Some("x"));
+        assert_eq!(Attribute::Symbol("f".into()).as_symbol(), Some("f"));
+        assert_eq!(Attribute::DenseI64(vec![1, 2]).as_dense_i64(), Some(&[1i64, 2][..]));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Attribute::Float(1.0).to_string(), "1.0");
+        assert_eq!(Attribute::Float(0.5).to_string(), "0.5");
+        assert_eq!(Attribute::Symbol("main".into()).to_string(), "@main");
+        assert_eq!(
+            Attribute::Iterators(vec![IteratorType::Parallel, IteratorType::Reduction])
+                .to_string(),
+            "iterators<parallel, reduction>"
+        );
+        assert_eq!(Attribute::DenseI64(vec![1, 200, 5]).to_string(), "dense<[1, 200, 5]>");
+    }
+
+    #[test]
+    fn stream_pattern_offsets_1d() {
+        // 4 contiguous f64 elements.
+        let p = StreamPattern::new(vec![4], vec![8], 0);
+        assert_eq!(p.offsets(), vec![0, 8, 16, 24]);
+        assert_eq!(p.num_elements(), 4);
+    }
+
+    #[test]
+    fn stream_pattern_offsets_repeat() {
+        let p = StreamPattern::new(vec![2], vec![8], 2);
+        assert_eq!(p.offsets(), vec![0, 0, 0, 8, 8, 8]);
+        assert_eq!(p.num_elements(), 6);
+    }
+
+    #[test]
+    fn stream_pattern_hardware_stride_compensation() {
+        // Logical: walk a 3x2 row-major f64 matrix column-by-column:
+        // inner dim rows (stride 16 bytes? no:) — walk rows inner (stride 2*8=16),
+        // columns outer (stride 8).
+        let p = StreamPattern::from_logical(vec![3, 2], vec![16, 8], 0);
+        // Offsets: (r,c) visited r inner: 0,16,32, then col 1: 8,24,40.
+        assert_eq!(p.offsets(), vec![0, 16, 32, 8, 24, 40]);
+        // Hardware stride for dim 1 compensates the 2*16 inner walk: 8-32 = -24.
+        assert_eq!(p.strides, vec![16, -24]);
+    }
+
+    #[test]
+    fn from_logical_matches_direct_dot_product() {
+        let ub = vec![3, 4, 2];
+        let logical = vec![8, 24, 96];
+        let p = StreamPattern::from_logical(ub.clone(), logical.clone(), 0);
+        let offsets = p.offsets();
+        let mut i = 0;
+        for d2 in 0..ub[2] {
+            for d1 in 0..ub[1] {
+                for d0 in 0..ub[0] {
+                    let expect = d0 * logical[0] + d1 * logical[1] + d2 * logical[2];
+                    assert_eq!(offsets[i], expect);
+                    i += 1;
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_strides_panic() {
+        let _ = StreamPattern::new(vec![2, 3], vec![8], 0);
+    }
+
+    #[test]
+    fn stride_pattern_validated() {
+        let p = StridePattern::new(vec![4, 5], AffineMap::identity(2));
+        assert_eq!(p.ub, vec![4, 5]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn stride_pattern_dim_mismatch_panics() {
+        let _ = StridePattern::new(vec![4], AffineMap::identity(2));
+    }
+
+    #[test]
+    fn stride_pattern_display() {
+        let m = AffineMap::new(2, 0, vec![AffineExpr::dim(1)]);
+        let p = StridePattern::new(vec![2, 3], m);
+        assert!(p.to_string().contains("ub = [2, 3]"));
+    }
+}

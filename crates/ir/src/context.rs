@@ -1,0 +1,871 @@
+//! IR storage: operations, blocks, regions and values.
+//!
+//! The [`Context`] owns every IR entity in index-addressed arenas. Entities
+//! are referred to by lightweight copyable ids ([`OpId`], [`BlockId`],
+//! [`RegionId`], [`ValueId`]), which keeps the deeply-recursive region
+//! structure of MLIR-style IR simple to mutate from Rust.
+//!
+//! The structural invariants are the usual SSA-with-regions ones
+//! (Section 2.1 of the paper): an operation has ordered operands and
+//! results, an attribute dictionary, a list of regions and a list of
+//! successor blocks; a region is a list of blocks; a block is a list of
+//! operations plus block arguments; every value is defined either by an
+//! operation result or a block argument.
+
+use std::collections::BTreeMap;
+
+use crate::attributes::Attribute;
+use crate::types::Type;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(u32);
+
+        impl $name {
+            /// The raw arena index.
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifies an operation in a [`Context`].
+    OpId
+);
+id_type!(
+    /// Identifies a basic block in a [`Context`].
+    BlockId
+);
+id_type!(
+    /// Identifies a region in a [`Context`].
+    RegionId
+);
+id_type!(
+    /// Identifies an SSA value in a [`Context`].
+    ValueId
+);
+
+/// Where a value comes from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ValueKind {
+    /// The `index`-th result of operation `op`.
+    OpResult {
+        /// Defining operation.
+        op: OpId,
+        /// Result position.
+        index: usize,
+    },
+    /// The `index`-th argument of block `block`.
+    BlockArg {
+        /// Owning block.
+        block: BlockId,
+        /// Argument position.
+        index: usize,
+    },
+}
+
+#[derive(Debug, Clone)]
+struct ValueData {
+    kind: ValueKind,
+    ty: Type,
+}
+
+/// An operation: the uniform unit of computation at every abstraction level,
+/// from `linalg.generic` down to individual `rv` assembly instructions.
+#[derive(Debug, Clone)]
+pub struct Operation {
+    /// Fully-qualified name, e.g. `"arith.mulf"` or `"rv.fmadd.d"`.
+    pub name: String,
+    /// SSA operands.
+    pub operands: Vec<ValueId>,
+    /// SSA results.
+    pub results: Vec<ValueId>,
+    /// Compile-time constant attributes.
+    pub attrs: BTreeMap<String, Attribute>,
+    /// Nested regions.
+    pub regions: Vec<RegionId>,
+    /// Successor blocks (unstructured control flow only).
+    pub successors: Vec<BlockId>,
+    /// The block this operation currently lives in, if attached.
+    pub parent: Option<BlockId>,
+}
+
+impl Operation {
+    /// The dialect prefix of the operation name (`"arith"` for
+    /// `"arith.mulf"`).
+    pub fn dialect(&self) -> &str {
+        self.name.split('.').next().unwrap_or("")
+    }
+
+    /// Looks up an attribute by name.
+    pub fn attr(&self, key: &str) -> Option<&Attribute> {
+        self.attrs.get(key)
+    }
+}
+
+#[derive(Debug, Clone)]
+struct BlockData {
+    args: Vec<ValueId>,
+    ops: Vec<OpId>,
+    parent: RegionId,
+}
+
+#[derive(Debug, Clone)]
+struct RegionData {
+    blocks: Vec<BlockId>,
+    parent: OpId,
+}
+
+/// A specification for creating an operation.
+///
+/// ```
+/// use mlb_ir::{Context, OpSpec, Type, Attribute};
+/// let mut ctx = Context::new();
+/// let module = ctx.create_detached_op(OpSpec::new("builtin.module").regions(1));
+/// let body = ctx.create_block(ctx.op(module).regions[0], vec![]);
+/// let op = ctx.append_op(
+///     body,
+///     OpSpec::new("arith.constant")
+///         .attr("value", Attribute::Float(1.0))
+///         .results(vec![Type::F64]),
+/// );
+/// assert_eq!(ctx.op(op).name, "arith.constant");
+/// ```
+#[derive(Debug, Clone)]
+pub struct OpSpec {
+    /// Operation name.
+    pub name: String,
+    /// Operand values.
+    pub operands: Vec<ValueId>,
+    /// Types of the results to create.
+    pub result_types: Vec<Type>,
+    /// Attribute dictionary.
+    pub attrs: BTreeMap<String, Attribute>,
+    /// Number of (initially empty) regions.
+    pub num_regions: usize,
+    /// Successor blocks.
+    pub successors: Vec<BlockId>,
+}
+
+impl OpSpec {
+    /// Starts a specification for the operation `name`.
+    pub fn new(name: impl Into<String>) -> OpSpec {
+        OpSpec {
+            name: name.into(),
+            operands: Vec::new(),
+            result_types: Vec::new(),
+            attrs: BTreeMap::new(),
+            num_regions: 0,
+            successors: Vec::new(),
+        }
+    }
+
+    /// Sets the operands.
+    pub fn operands(mut self, operands: Vec<ValueId>) -> OpSpec {
+        self.operands = operands;
+        self
+    }
+
+    /// Sets the result types.
+    pub fn results(mut self, result_types: Vec<Type>) -> OpSpec {
+        self.result_types = result_types;
+        self
+    }
+
+    /// Adds an attribute.
+    pub fn attr(mut self, key: impl Into<String>, value: Attribute) -> OpSpec {
+        self.attrs.insert(key.into(), value);
+        self
+    }
+
+    /// Sets the number of regions to create.
+    pub fn regions(mut self, n: usize) -> OpSpec {
+        self.num_regions = n;
+        self
+    }
+
+    /// Sets the successor blocks.
+    pub fn successors(mut self, successors: Vec<BlockId>) -> OpSpec {
+        self.successors = successors;
+        self
+    }
+}
+
+/// Owns all IR entities and provides structural mutation.
+///
+/// `Clone` snapshots the whole IR — used by drivers that need to retry a
+/// pipeline with different options (ids remain valid in the clone).
+#[derive(Debug, Default, Clone)]
+pub struct Context {
+    ops: Vec<Option<Operation>>,
+    blocks: Vec<Option<BlockData>>,
+    regions: Vec<Option<RegionData>>,
+    values: Vec<ValueData>,
+}
+
+impl Context {
+    /// Creates an empty context.
+    pub fn new() -> Context {
+        Context::default()
+    }
+
+    // ----- accessors -------------------------------------------------------
+
+    /// The operation with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operation has been erased.
+    pub fn op(&self, id: OpId) -> &Operation {
+        self.ops[id.index()].as_ref().expect("operation was erased")
+    }
+
+    /// Mutable access to an operation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operation has been erased.
+    pub fn op_mut(&mut self, id: OpId) -> &mut Operation {
+        self.ops[id.index()].as_mut().expect("operation was erased")
+    }
+
+    /// Whether the operation still exists (has not been erased).
+    pub fn is_alive(&self, id: OpId) -> bool {
+        self.ops[id.index()].is_some()
+    }
+
+    /// The type of a value.
+    pub fn value_type(&self, v: ValueId) -> &Type {
+        &self.values[v.index()].ty
+    }
+
+    /// Replaces the type of a value in place.
+    ///
+    /// Register allocation uses this to refine unallocated register types
+    /// into allocated ones.
+    pub fn set_value_type(&mut self, v: ValueId, ty: Type) {
+        self.values[v.index()].ty = ty;
+    }
+
+    /// How the value is defined.
+    pub fn value_kind(&self, v: ValueId) -> ValueKind {
+        self.values[v.index()].kind
+    }
+
+    /// The operation defining this value, if it is an op result.
+    pub fn defining_op(&self, v: ValueId) -> Option<OpId> {
+        match self.value_kind(v) {
+            ValueKind::OpResult { op, .. } => Some(op),
+            ValueKind::BlockArg { .. } => None,
+        }
+    }
+
+    /// The operations of a block, in order.
+    pub fn block_ops(&self, b: BlockId) -> &[OpId] {
+        &self.block(b).ops
+    }
+
+    /// The arguments of a block.
+    pub fn block_args(&self, b: BlockId) -> &[ValueId] {
+        &self.block(b).args
+    }
+
+    /// The region owning a block.
+    pub fn block_parent(&self, b: BlockId) -> RegionId {
+        self.block(b).parent
+    }
+
+    /// The blocks of a region, in order.
+    pub fn region_blocks(&self, r: RegionId) -> &[BlockId] {
+        &self.region(r).blocks
+    }
+
+    /// The operation owning a region.
+    pub fn region_parent(&self, r: RegionId) -> OpId {
+        self.region(r).parent
+    }
+
+    /// The single block of a region.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the region does not have exactly one block.
+    pub fn sole_block(&self, r: RegionId) -> BlockId {
+        let blocks = self.region_blocks(r);
+        assert_eq!(blocks.len(), 1, "expected a single-block region");
+        blocks[0]
+    }
+
+    /// The operation enclosing this operation, if any.
+    pub fn parent_op(&self, op: OpId) -> Option<OpId> {
+        let block = self.op(op).parent?;
+        Some(self.region_parent(self.block_parent(block)))
+    }
+
+    /// The terminator (last operation) of a block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block is empty.
+    pub fn terminator(&self, b: BlockId) -> OpId {
+        *self.block_ops(b).last().expect("block has no terminator")
+    }
+
+    fn block(&self, b: BlockId) -> &BlockData {
+        self.blocks[b.index()].as_ref().expect("block was erased")
+    }
+
+    fn block_mut(&mut self, b: BlockId) -> &mut BlockData {
+        self.blocks[b.index()].as_mut().expect("block was erased")
+    }
+
+    fn region(&self, r: RegionId) -> &RegionData {
+        self.regions[r.index()].as_ref().expect("region was erased")
+    }
+
+    // ----- creation --------------------------------------------------------
+
+    /// Creates an operation that is not attached to any block (used for
+    /// top-level module ops).
+    pub fn create_detached_op(&mut self, spec: OpSpec) -> OpId {
+        let id = OpId(self.ops.len() as u32);
+        let mut op = Operation {
+            name: spec.name,
+            operands: spec.operands,
+            results: Vec::with_capacity(spec.result_types.len()),
+            attrs: spec.attrs,
+            regions: Vec::with_capacity(spec.num_regions),
+            successors: spec.successors,
+            parent: None,
+        };
+        for (index, ty) in spec.result_types.into_iter().enumerate() {
+            let v = ValueId(self.values.len() as u32);
+            self.values.push(ValueData { kind: ValueKind::OpResult { op: id, index }, ty });
+            op.results.push(v);
+        }
+        for _ in 0..spec.num_regions {
+            let r = RegionId(self.regions.len() as u32);
+            self.regions.push(Some(RegionData { blocks: Vec::new(), parent: id }));
+            op.regions.push(r);
+        }
+        self.ops.push(Some(op));
+        id
+    }
+
+    /// Appends a new (empty) region to an operation.
+    pub fn add_region(&mut self, op: OpId) -> RegionId {
+        let r = RegionId(self.regions.len() as u32);
+        self.regions.push(Some(RegionData { blocks: Vec::new(), parent: op }));
+        self.op_mut(op).regions.push(r);
+        r
+    }
+
+    /// Creates a block with the given argument types at the end of `region`.
+    pub fn create_block(&mut self, region: RegionId, arg_types: Vec<Type>) -> BlockId {
+        let id = BlockId(self.blocks.len() as u32);
+        let mut args = Vec::with_capacity(arg_types.len());
+        for (index, ty) in arg_types.into_iter().enumerate() {
+            let v = ValueId(self.values.len() as u32);
+            self.values.push(ValueData { kind: ValueKind::BlockArg { block: id, index }, ty });
+            args.push(v);
+        }
+        self.blocks.push(Some(BlockData { args, ops: Vec::new(), parent: region }));
+        self.regions[region.index()]
+            .as_mut()
+            .expect("region was erased")
+            .blocks
+            .push(id);
+        id
+    }
+
+    /// Appends a new block argument to an existing block.
+    pub fn add_block_arg(&mut self, block: BlockId, ty: Type) -> ValueId {
+        let index = self.block(block).args.len();
+        let v = ValueId(self.values.len() as u32);
+        self.values.push(ValueData { kind: ValueKind::BlockArg { block, index }, ty });
+        self.block_mut(block).args.push(v);
+        v
+    }
+
+    /// Creates an operation and appends it to `block`.
+    pub fn append_op(&mut self, block: BlockId, spec: OpSpec) -> OpId {
+        let id = self.create_detached_op(spec);
+        self.op_mut(id).parent = Some(block);
+        self.block_mut(block).ops.push(id);
+        id
+    }
+
+    /// Creates an operation and inserts it before `before` in its block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `before` is detached.
+    pub fn insert_op_before(&mut self, before: OpId, spec: OpSpec) -> OpId {
+        let block = self.op(before).parent.expect("insertion anchor is detached");
+        let pos = self.op_position(before);
+        let id = self.create_detached_op(spec);
+        self.op_mut(id).parent = Some(block);
+        self.block_mut(block).ops.insert(pos, id);
+        id
+    }
+
+    /// The position of an operation inside its parent block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operation is detached.
+    pub fn op_position(&self, op: OpId) -> usize {
+        let block = self.op(op).parent.expect("operation is detached");
+        self.block(block)
+            .ops
+            .iter()
+            .position(|&o| o == op)
+            .expect("operation not found in its parent block")
+    }
+
+    // ----- mutation --------------------------------------------------------
+
+    /// Detaches an operation from its parent block without erasing it.
+    pub fn detach_op(&mut self, op: OpId) {
+        if let Some(block) = self.op(op).parent {
+            let pos = self.op_position(op);
+            self.block_mut(block).ops.remove(pos);
+            self.op_mut(op).parent = None;
+        }
+    }
+
+    /// Moves an operation (and everything nested in it) before `before`.
+    pub fn move_op_before(&mut self, op: OpId, before: OpId) {
+        self.detach_op(op);
+        let block = self.op(before).parent.expect("anchor is detached");
+        let pos = self.op_position(before);
+        self.op_mut(op).parent = Some(block);
+        self.block_mut(block).ops.insert(pos, op);
+    }
+
+    /// Moves an operation to the end of `block`.
+    pub fn move_op_to_end(&mut self, op: OpId, block: BlockId) {
+        self.detach_op(op);
+        self.op_mut(op).parent = Some(block);
+        self.block_mut(block).ops.push(op);
+    }
+
+    /// Detaches `block` from its region and appends it to `region`.
+    ///
+    /// Used by control-flow lowering to hoist structured-loop bodies into
+    /// the flat block list of a function.
+    pub fn move_block_to_region(&mut self, block: BlockId, region: RegionId) {
+        let old_region = self.block(block).parent;
+        let old = self.regions[old_region.index()].as_mut().expect("region was erased");
+        old.blocks.retain(|&b| b != block);
+        self.block_mut(block).parent = region;
+        self.regions[region.index()].as_mut().expect("region was erased").blocks.push(block);
+    }
+
+    /// Inserts an (already created, detached) block after `after` within
+    /// its region.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `after` is not in the same region as `block`.
+    pub fn move_block_after(&mut self, block: BlockId, after: BlockId) {
+        let region = self.block(after).parent;
+        self.move_block_to_region(block, region);
+        let blocks = &mut self.regions[region.index()].as_mut().expect("region").blocks;
+        blocks.retain(|&b| b != block);
+        let pos = blocks.iter().position(|&b| b == after).expect("anchor block not in region");
+        blocks.insert(pos + 1, block);
+    }
+
+    /// Clones the operations of `from` (excluding any trailing terminator
+    /// if `skip_terminator`) into `to`, rewriting operand references
+    /// through `value_map` and recording result mappings there. Nested
+    /// regions are cloned recursively.
+    pub fn clone_block_ops(
+        &mut self,
+        from: BlockId,
+        to: BlockId,
+        value_map: &mut std::collections::HashMap<ValueId, ValueId>,
+        skip_terminator: bool,
+    ) {
+        let ops: Vec<OpId> = self.block_ops(from).to_vec();
+        let count = if skip_terminator { ops.len().saturating_sub(1) } else { ops.len() };
+        for &op in &ops[..count] {
+            self.clone_op_into(op, to, value_map);
+        }
+    }
+
+    /// Clones one operation (with nested regions) at the end of `block`.
+    pub fn clone_op_into(
+        &mut self,
+        op: OpId,
+        block: BlockId,
+        value_map: &mut std::collections::HashMap<ValueId, ValueId>,
+    ) -> OpId {
+        let old = self.op(op).clone();
+        let operands: Vec<ValueId> =
+            old.operands.iter().map(|v| *value_map.get(v).unwrap_or(v)).collect();
+        let result_types: Vec<Type> =
+            old.results.iter().map(|&r| self.value_type(r).clone()).collect();
+        let spec = OpSpec {
+            name: old.name.clone(),
+            operands,
+            result_types,
+            attrs: old.attrs.clone(),
+            num_regions: old.regions.len(),
+            successors: old.successors.clone(),
+        };
+        let new = self.append_op(block, spec);
+        for (i, &r) in old.results.iter().enumerate() {
+            let nr = self.op(new).results[i];
+            value_map.insert(r, nr);
+        }
+        for (ri, &old_region) in old.regions.iter().enumerate() {
+            let new_region = self.op(new).regions[ri];
+            for &old_block in &self.region_blocks(old_region).to_vec() {
+                let arg_types: Vec<Type> = self
+                    .block_args(old_block)
+                    .iter()
+                    .map(|&a| self.value_type(a).clone())
+                    .collect();
+                let new_block = self.create_block(new_region, arg_types);
+                for (ai, &a) in self.block_args(old_block).to_vec().iter().enumerate() {
+                    let na = self.block_args(new_block)[ai];
+                    value_map.insert(a, na);
+                }
+                self.clone_block_ops(old_block, new_block, value_map, false);
+            }
+        }
+        new
+    }
+
+    /// Erases an operation and all nested regions, blocks and operations.
+    ///
+    /// The caller is responsible for ensuring no remaining operation uses
+    /// the results (checked by [`Context::verify_structure`] and debug
+    /// assertions in tests, not here, to allow bulk teardown in any order).
+    pub fn erase_op(&mut self, op: OpId) {
+        self.detach_op(op);
+        let regions = self.op(op).regions.clone();
+        for r in regions {
+            let blocks = self.region(r).blocks.clone();
+            for b in blocks {
+                let ops = self.block(b).ops.clone();
+                for o in ops {
+                    // Nested ops: detach cheaply by clearing, then recurse.
+                    self.op_mut(o).parent = None;
+                    self.erase_op(o);
+                }
+                self.blocks[b.index()] = None;
+            }
+            self.regions[r.index()] = None;
+        }
+        self.ops[op.index()] = None;
+    }
+
+    /// Replaces every use of `old` with `new` in all live operations.
+    pub fn replace_all_uses(&mut self, old: ValueId, new: ValueId) {
+        for slot in self.ops.iter_mut().flatten() {
+            for operand in &mut slot.operands {
+                if *operand == old {
+                    *operand = new;
+                }
+            }
+        }
+    }
+
+    /// All `(operation, operand_index)` pairs currently using `value`.
+    pub fn uses(&self, value: ValueId) -> Vec<(OpId, usize)> {
+        let mut out = Vec::new();
+        for (i, slot) in self.ops.iter().enumerate() {
+            if let Some(op) = slot {
+                for (j, &operand) in op.operands.iter().enumerate() {
+                    if operand == value {
+                        out.push((OpId(i as u32), j));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Whether `value` has any use.
+    pub fn has_uses(&self, value: ValueId) -> bool {
+        self.ops
+            .iter()
+            .flatten()
+            .any(|op| op.operands.contains(&value))
+    }
+
+    // ----- traversal -------------------------------------------------------
+
+    /// All operations nested in `root` (excluding `root`), pre-order.
+    pub fn walk(&self, root: OpId) -> Vec<OpId> {
+        let mut out = Vec::new();
+        self.walk_into(root, &mut out);
+        out
+    }
+
+    fn walk_into(&self, root: OpId, out: &mut Vec<OpId>) {
+        for &r in &self.op(root).regions {
+            for &b in self.region_blocks(r) {
+                for &o in self.block_ops(b) {
+                    out.push(o);
+                    self.walk_into(o, out);
+                }
+            }
+        }
+    }
+
+    /// All operations nested in `root` whose name is `name`, pre-order.
+    pub fn walk_named(&self, root: OpId, name: &str) -> Vec<OpId> {
+        self.walk(root)
+            .into_iter()
+            .filter(|&o| self.op(o).name == name)
+            .collect()
+    }
+
+    /// Checks structural invariants under `root`:
+    /// every operand is a live value defined by a live entity, parent links
+    /// are consistent, and result/argument back-references hold.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first violation.
+    pub fn verify_structure(&self, root: OpId) -> Result<(), String> {
+        let mut all = vec![root];
+        all.extend(self.walk(root));
+        for &op_id in &all {
+            let op = self.op(op_id);
+            for (i, &v) in op.operands.iter().enumerate() {
+                match self.value_kind(v) {
+                    ValueKind::OpResult { op: def, .. } => {
+                        if !self.is_alive(def) {
+                            return Err(format!(
+                                "operand {i} of {} uses a value from an erased op",
+                                op.name
+                            ));
+                        }
+                    }
+                    ValueKind::BlockArg { block, .. } => {
+                        if self.blocks[block.index()].is_none() {
+                            return Err(format!(
+                                "operand {i} of {} uses an argument of an erased block",
+                                op.name
+                            ));
+                        }
+                    }
+                }
+            }
+            for (index, &v) in op.results.iter().enumerate() {
+                if self.value_kind(v) != (ValueKind::OpResult { op: op_id, index }) {
+                    return Err(format!("result {index} of {} has a bad back-reference", op.name));
+                }
+            }
+            for &r in &op.regions {
+                if self.region_parent(r) != op_id {
+                    return Err(format!("region of {} has a bad parent link", op.name));
+                }
+                for &b in self.region_blocks(r) {
+                    if self.block_parent(b) != r {
+                        return Err(format!("block in {} has a bad parent link", op.name));
+                    }
+                    for &o in self.block_ops(b) {
+                        if self.op(o).parent != Some(b) {
+                            return Err(format!(
+                                "op {} has a bad parent link",
+                                self.op(o).name
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_module(ctx: &mut Context) -> (OpId, BlockId) {
+        let module = ctx.create_detached_op(OpSpec::new("builtin.module").regions(1));
+        let body = ctx.create_block(ctx.op(module).regions[0], vec![]);
+        (module, body)
+    }
+
+    #[test]
+    fn create_and_query() {
+        let mut ctx = Context::new();
+        let (module, body) = small_module(&mut ctx);
+        let c = ctx.append_op(
+            body,
+            OpSpec::new("arith.constant")
+                .attr("value", Attribute::Float(2.0))
+                .results(vec![Type::F64]),
+        );
+        let v = ctx.op(c).results[0];
+        let m = ctx.append_op(
+            body,
+            OpSpec::new("arith.mulf").operands(vec![v, v]).results(vec![Type::F64]),
+        );
+        assert_eq!(ctx.block_ops(body), &[c, m]);
+        assert_eq!(ctx.op(m).operands, vec![v, v]);
+        assert_eq!(*ctx.value_type(v), Type::F64);
+        assert_eq!(ctx.defining_op(v), Some(c));
+        assert_eq!(ctx.parent_op(c), Some(module));
+        assert!(ctx.verify_structure(module).is_ok());
+    }
+
+    #[test]
+    fn uses_and_replace_all_uses() {
+        let mut ctx = Context::new();
+        let (_, body) = small_module(&mut ctx);
+        let c1 = ctx.append_op(body, OpSpec::new("arith.constant").results(vec![Type::F64]));
+        let c2 = ctx.append_op(body, OpSpec::new("arith.constant").results(vec![Type::F64]));
+        let v1 = ctx.op(c1).results[0];
+        let v2 = ctx.op(c2).results[0];
+        let add = ctx.append_op(
+            body,
+            OpSpec::new("arith.addf").operands(vec![v1, v1]).results(vec![Type::F64]),
+        );
+        assert_eq!(ctx.uses(v1).len(), 2);
+        assert!(!ctx.has_uses(v2));
+        ctx.replace_all_uses(v1, v2);
+        assert_eq!(ctx.op(add).operands, vec![v2, v2]);
+        assert!(!ctx.has_uses(v1));
+    }
+
+    #[test]
+    fn erase_nested() {
+        let mut ctx = Context::new();
+        let (module, body) = small_module(&mut ctx);
+        let func = ctx.append_op(body, OpSpec::new("func.func").regions(1));
+        let fbody = ctx.create_block(ctx.op(func).regions[0], vec![Type::F64]);
+        let arg = ctx.block_args(fbody)[0];
+        let _ret = ctx.append_op(fbody, OpSpec::new("func.return").operands(vec![arg]));
+        ctx.erase_op(func);
+        assert!(!ctx.is_alive(func));
+        assert!(ctx.block_ops(body).is_empty());
+        assert!(ctx.verify_structure(module).is_ok());
+    }
+
+    #[test]
+    fn insertion_and_movement() {
+        let mut ctx = Context::new();
+        let (_, body) = small_module(&mut ctx);
+        let a = ctx.append_op(body, OpSpec::new("t.a"));
+        let c = ctx.append_op(body, OpSpec::new("t.c"));
+        let b = ctx.insert_op_before(c, OpSpec::new("t.b"));
+        assert_eq!(
+            ctx.block_ops(body).iter().map(|&o| ctx.op(o).name.clone()).collect::<Vec<_>>(),
+            ["t.a", "t.b", "t.c"]
+        );
+        ctx.move_op_before(c, a);
+        assert_eq!(
+            ctx.block_ops(body).iter().map(|&o| ctx.op(o).name.clone()).collect::<Vec<_>>(),
+            ["t.c", "t.a", "t.b"]
+        );
+        ctx.move_op_to_end(c, body);
+        assert_eq!(
+            ctx.block_ops(body).iter().map(|&o| ctx.op(o).name.clone()).collect::<Vec<_>>(),
+            ["t.a", "t.b", "t.c"]
+        );
+        assert_eq!(ctx.op_position(b), 1);
+    }
+
+    #[test]
+    fn walk_is_preorder() {
+        let mut ctx = Context::new();
+        let (module, body) = small_module(&mut ctx);
+        let outer = ctx.append_op(body, OpSpec::new("scf.for").regions(1));
+        let obody = ctx.create_block(ctx.op(outer).regions[0], vec![Type::Index]);
+        let inner = ctx.append_op(obody, OpSpec::new("scf.for").regions(1));
+        let ibody = ctx.create_block(ctx.op(inner).regions[0], vec![Type::Index]);
+        let leaf = ctx.append_op(ibody, OpSpec::new("arith.addf"));
+        let after = ctx.append_op(body, OpSpec::new("func.return"));
+        assert_eq!(ctx.walk(module), vec![outer, inner, leaf, after]);
+        assert_eq!(ctx.walk_named(module, "scf.for"), vec![outer, inner]);
+    }
+
+    #[test]
+    fn structure_verifier_catches_dangling_operand() {
+        let mut ctx = Context::new();
+        let (module, body) = small_module(&mut ctx);
+        let c = ctx.append_op(body, OpSpec::new("arith.constant").results(vec![Type::F64]));
+        let v = ctx.op(c).results[0];
+        let _user =
+            ctx.append_op(body, OpSpec::new("arith.negf").operands(vec![v]).results(vec![Type::F64]));
+        ctx.erase_op(c);
+        let err = ctx.verify_structure(module).unwrap_err();
+        assert!(err.contains("erased op"), "{err}");
+    }
+
+    #[test]
+    fn block_arg_addition() {
+        let mut ctx = Context::new();
+        let (_, body) = small_module(&mut ctx);
+        let f = ctx.append_op(body, OpSpec::new("func.func").regions(1));
+        let fb = ctx.create_block(ctx.op(f).regions[0], vec![Type::F64]);
+        let extra = ctx.add_block_arg(fb, Type::Index);
+        assert_eq!(ctx.block_args(fb).len(), 2);
+        assert_eq!(*ctx.value_type(extra), Type::Index);
+        assert_eq!(
+            ctx.value_kind(extra),
+            ValueKind::BlockArg { block: fb, index: 1 }
+        );
+    }
+
+    #[test]
+    fn clone_op_with_region() {
+        let mut ctx = Context::new();
+        let (_, body) = small_module(&mut ctx);
+        let c = ctx.append_op(body, OpSpec::new("arith.constant").results(vec![Type::F64]));
+        let v = ctx.op(c).results[0];
+        let outer = ctx.append_op(
+            body,
+            OpSpec::new("scf.for").operands(vec![v]).regions(1),
+        );
+        let inner_block = ctx.create_block(ctx.op(outer).regions[0], vec![Type::Index]);
+        let arg = ctx.block_args(inner_block)[0];
+        ctx.append_op(body, OpSpec::new("t.end"));
+        ctx.append_op(inner_block, OpSpec::new("t.use").operands(vec![arg, v]));
+
+        let mut map = std::collections::HashMap::new();
+        let cloned = ctx.clone_op_into(outer, body, &mut map);
+        let cloned_block = ctx.sole_block(ctx.op(cloned).regions[0]);
+        let cloned_use = ctx.block_ops(cloned_block)[0];
+        // The arg reference was remapped; the outer reference kept.
+        assert_eq!(ctx.op(cloned_use).operands[0], ctx.block_args(cloned_block)[0]);
+        assert_eq!(ctx.op(cloned_use).operands[1], v);
+    }
+
+    #[test]
+    fn move_block_between_regions() {
+        let mut ctx = Context::new();
+        let (_, body) = small_module(&mut ctx);
+        let f = ctx.append_op(body, OpSpec::new("func.func").regions(1));
+        let region = ctx.op(f).regions[0];
+        let b0 = ctx.create_block(region, vec![]);
+        let loop_op = ctx.append_op(b0, OpSpec::new("scf.for").regions(1));
+        let inner = ctx.create_block(ctx.op(loop_op).regions[0], vec![]);
+        ctx.move_block_after(inner, b0);
+        assert_eq!(ctx.region_blocks(region), &[b0, inner]);
+        assert!(ctx.region_blocks(ctx.op(loop_op).regions[0]).is_empty());
+        assert_eq!(ctx.block_parent(inner), region);
+    }
+
+    #[test]
+    fn terminator_accessor() {
+        let mut ctx = Context::new();
+        let (_, body) = small_module(&mut ctx);
+        let _a = ctx.append_op(body, OpSpec::new("t.a"));
+        let b = ctx.append_op(body, OpSpec::new("t.b"));
+        assert_eq!(ctx.terminator(body), b);
+    }
+}

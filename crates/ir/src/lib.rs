@@ -1,0 +1,61 @@
+#![warn(missing_docs)]
+
+//! SSA-with-regions compiler IR infrastructure.
+//!
+//! This crate plays the role xDSL/MLIR play in the paper: it provides the
+//! static single assignment (SSA) intermediate representation with regions
+//! (Section 2.1) on which all dialects, the register allocator and the
+//! progressive lowering pipeline are built.
+//!
+//! # Overview
+//!
+//! - [`Context`] owns all IR entities (operations, blocks, regions,
+//!   values) behind copyable ids.
+//! - [`Type`] and [`Attribute`] form the type and attribute vocabulary,
+//!   spanning high-level types (`memref`), stream types and the register
+//!   types that bridge SSA semantics and physical registers.
+//! - [`DialectRegistry`] records per-operation traits and verifiers; each
+//!   dialect crate contributes registrations.
+//! - [`printer`]/[`parser`] round-trip the IR through an MLIR-style
+//!   generic textual form.
+//! - [`rewrite`] provides greedy pattern application and DCE; [`pass`]
+//!   provides the pass manager used to assemble lowering pipelines.
+//!
+//! # Example
+//!
+//! ```
+//! use mlb_ir::{Context, OpSpec, Type, Attribute};
+//!
+//! let mut ctx = Context::new();
+//! let module = ctx.create_detached_op(OpSpec::new("builtin.module").regions(1));
+//! let body = ctx.create_block(ctx.op(module).regions[0], vec![]);
+//! let cst = ctx.append_op(
+//!     body,
+//!     OpSpec::new("arith.constant")
+//!         .attr("value", Attribute::Float(1.0))
+//!         .results(vec![Type::F64]),
+//! );
+//! let text = mlb_ir::print_op(&ctx, module);
+//! assert!(text.contains("arith.constant"));
+//! # let _ = cst;
+//! ```
+
+pub mod affine;
+pub mod attributes;
+pub mod context;
+pub mod parser;
+pub mod pass;
+pub mod printer;
+pub mod registry;
+pub mod rewrite;
+pub mod types;
+
+pub use affine::{AffineExpr, AffineMap};
+pub use attributes::{Attribute, IteratorType, StreamPattern, StridePattern};
+pub use context::{BlockId, Context, OpId, OpSpec, Operation, RegionId, ValueId, ValueKind};
+pub use parser::{parse_module, ParseError};
+pub use pass::{Pass, PassError, PassManager};
+pub use printer::print_op;
+pub use registry::{DialectRegistry, OpInfo, VerifyError};
+pub use rewrite::{apply_patterns_greedily, eliminate_dead_code, RewritePattern};
+pub use types::{FunctionType, MemRefType, Type};

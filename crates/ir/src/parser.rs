@@ -1,0 +1,1082 @@
+//! Parser for the generic textual form produced by [`crate::printer`].
+//!
+//! The parser accepts exactly the grammar the printer emits, which is
+//! enough to round-trip any module (exercised by property tests) and to
+//! write IR fixtures by hand in tests.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::affine::{AffineExpr, AffineMap};
+use crate::attributes::{Attribute, IteratorType, StreamPattern, StridePattern};
+use crate::context::{BlockId, Context, OpId, OpSpec, ValueId};
+use crate::types::Type;
+
+/// Error produced when parsing textual IR.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset in the input where the error occurred.
+    pub offset: usize,
+    /// Description of what went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses a single top-level operation (usually `builtin.module`) from
+/// `input` into `ctx`.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] describing the first syntax problem.
+pub fn parse_module(ctx: &mut Context, input: &str) -> Result<OpId, ParseError> {
+    let tokens = tokenize(input)?;
+    let mut p = Parser {
+        ctx,
+        tokens,
+        pos: 0,
+        values: HashMap::new(),
+        blocks: HashMap::new(),
+    };
+    let op = p.parse_op(None)?;
+    p.expect_eof()?;
+    Ok(op)
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Punct(char),
+    Arrow, // ->
+}
+
+#[derive(Debug, Clone)]
+struct SpannedTok {
+    tok: Tok,
+    offset: usize,
+}
+
+fn tokenize(input: &str) -> Result<Vec<SpannedTok>, ParseError> {
+    let bytes = input.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '"' => {
+                let start = i;
+                i += 1;
+                let mut s = String::new();
+                while i < bytes.len() && bytes[i] != b'"' {
+                    if bytes[i] == b'\\' && i + 1 < bytes.len() {
+                        i += 1;
+                    }
+                    s.push(bytes[i] as char);
+                    i += 1;
+                }
+                if i >= bytes.len() {
+                    return Err(ParseError { offset: start, message: "unterminated string".into() });
+                }
+                i += 1;
+                toks.push(SpannedTok { tok: Tok::Str(s), offset: start });
+            }
+            '-' if bytes.get(i + 1) == Some(&b'>') => {
+                toks.push(SpannedTok { tok: Tok::Arrow, offset: i });
+                i += 2;
+            }
+            '-' | '0'..='9' => {
+                let start = i;
+                if c == '-' {
+                    i += 1;
+                    if i >= bytes.len() || !bytes[i].is_ascii_digit() {
+                        toks.push(SpannedTok { tok: Tok::Punct('-'), offset: start });
+                        continue;
+                    }
+                }
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let mut is_float = false;
+                if i < bytes.len() && bytes[i] == b'.' && bytes.get(i + 1).is_some_and(u8::is_ascii_digit)
+                {
+                    is_float = true;
+                    i += 1;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                if i < bytes.len() && (bytes[i] == b'e' || bytes[i] == b'E') {
+                    is_float = true;
+                    i += 1;
+                    if i < bytes.len() && (bytes[i] == b'+' || bytes[i] == b'-') {
+                        i += 1;
+                    }
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                let text = &input[start..i];
+                let tok = if is_float {
+                    Tok::Float(text.parse().map_err(|_| ParseError {
+                        offset: start,
+                        message: format!("bad float literal `{text}`"),
+                    })?)
+                } else {
+                    Tok::Int(text.parse().map_err(|_| ParseError {
+                        offset: start,
+                        message: format!("bad integer literal `{text}`"),
+                    })?)
+                };
+                toks.push(SpannedTok { tok, offset: start });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric()
+                        || bytes[i] == b'_'
+                        || bytes[i] == b'.')
+                {
+                    i += 1;
+                }
+                toks.push(SpannedTok { tok: Tok::Ident(input[start..i].to_string()), offset: start });
+            }
+            '%' | '^' | '@' | '(' | ')' | '[' | ']' | '{' | '}' | '<' | '>' | ',' | '=' | ':'
+            | '!' | '#' | '*' | '+' => {
+                toks.push(SpannedTok { tok: Tok::Punct(c), offset: i });
+                i += 1;
+            }
+            other => {
+                return Err(ParseError { offset: i, message: format!("unexpected character `{other}`") })
+            }
+        }
+    }
+    Ok(toks)
+}
+
+struct Parser<'c> {
+    ctx: &'c mut Context,
+    tokens: Vec<SpannedTok>,
+    pos: usize,
+    values: HashMap<String, ValueId>,
+    blocks: HashMap<String, BlockId>,
+}
+
+impl<'c> Parser<'c> {
+    fn peek(&self) -> Option<&Tok> {
+        self.tokens.get(self.pos).map(|t| &t.tok)
+    }
+
+    fn offset(&self) -> usize {
+        self.tokens.get(self.pos).map(|t| t.offset).unwrap_or(usize::MAX)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.tokens.get(self.pos).map(|t| t.tok.clone());
+        self.pos += 1;
+        t
+    }
+
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        ParseError { offset: self.offset(), message: message.into() }
+    }
+
+    fn expect_punct(&mut self, c: char) -> Result<(), ParseError> {
+        match self.bump() {
+            Some(Tok::Punct(p)) if p == c => Ok(()),
+            other => Err(ParseError {
+                offset: self.tokens.get(self.pos - 1).map(|t| t.offset).unwrap_or(usize::MAX),
+                message: format!("expected `{c}`, found {other:?}"),
+            }),
+        }
+    }
+
+    fn eat_punct(&mut self, c: char) -> bool {
+        if self.peek() == Some(&Tok::Punct(c)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, ParseError> {
+        match self.bump() {
+            Some(Tok::Ident(s)) => Ok(s),
+            other => Err(self.error(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn expect_int(&mut self) -> Result<i64, ParseError> {
+        match self.bump() {
+            Some(Tok::Int(v)) => Ok(v),
+            other => Err(self.error(format!("expected integer, found {other:?}"))),
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), ParseError> {
+        let id = self.expect_ident()?;
+        if id == kw {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected `{kw}`, found `{id}`")))
+        }
+    }
+
+    fn expect_eof(&mut self) -> Result<(), ParseError> {
+        if self.pos < self.tokens.len() {
+            Err(self.error("trailing input after top-level operation"))
+        } else {
+            Ok(())
+        }
+    }
+
+    // %name — returns the textual name.
+    fn parse_value_ref(&mut self) -> Result<String, ParseError> {
+        self.expect_punct('%')?;
+        match self.bump() {
+            Some(Tok::Int(v)) => Ok(v.to_string()),
+            Some(Tok::Ident(s)) => Ok(s),
+            other => Err(self.error(format!("expected value name, found {other:?}"))),
+        }
+    }
+
+    fn parse_block_ref(&mut self) -> Result<String, ParseError> {
+        self.expect_punct('^')?;
+        self.expect_ident()
+    }
+
+    fn lookup_value(&self, name: &str) -> Result<ValueId, ParseError> {
+        self.values.get(name).copied().ok_or_else(|| ParseError {
+            offset: self.offset(),
+            message: format!("use of undefined value %{name}"),
+        })
+    }
+
+    /// op ::= (res (`,` res)* `=`)? strname `(` operands `)` succ? regions? attrs? `:` fntype
+    fn parse_op(&mut self, parent: Option<BlockId>) -> Result<OpId, ParseError> {
+        // Results.
+        let mut result_names = Vec::new();
+        if self.peek() == Some(&Tok::Punct('%')) {
+            loop {
+                result_names.push(self.parse_value_ref()?);
+                if !self.eat_punct(',') {
+                    break;
+                }
+            }
+            self.expect_punct('=')?;
+        }
+        let name = match self.bump() {
+            Some(Tok::Str(s)) => s,
+            other => return Err(self.error(format!("expected quoted op name, found {other:?}"))),
+        };
+        self.expect_punct('(')?;
+        let mut operand_names = Vec::new();
+        if self.peek() != Some(&Tok::Punct(')')) {
+            loop {
+                operand_names.push(self.parse_value_ref()?);
+                if !self.eat_punct(',') {
+                    break;
+                }
+            }
+        }
+        self.expect_punct(')')?;
+
+        // Successors.
+        let mut successor_names = Vec::new();
+        if self.eat_punct('[') {
+            loop {
+                successor_names.push(self.parse_block_ref()?);
+                if !self.eat_punct(',') {
+                    break;
+                }
+            }
+            self.expect_punct(']')?;
+        }
+
+        // Regions (collected as token ranges, parsed after op creation).
+        let mut region_ranges: Vec<(usize, usize)> = Vec::new();
+        if self.peek() == Some(&Tok::Punct('(')) {
+            // Lookahead: region list starts with `({`.
+            if matches!(self.tokens.get(self.pos + 1).map(|t| &t.tok), Some(Tok::Punct('{'))) {
+                self.expect_punct('(')?;
+                loop {
+                    let start = self.pos;
+                    self.skip_balanced_braces()?;
+                    region_ranges.push((start, self.pos));
+                    if !self.eat_punct(',') {
+                        break;
+                    }
+                }
+                self.expect_punct(')')?;
+            }
+        }
+
+        // Attributes.
+        let mut attrs = std::collections::BTreeMap::new();
+        if self.eat_punct('{') {
+            if self.peek() != Some(&Tok::Punct('}')) {
+                loop {
+                    let key = self.expect_ident()?;
+                    self.expect_punct('=')?;
+                    let value = self.parse_attribute()?;
+                    attrs.insert(key, value);
+                    if !self.eat_punct(',') {
+                        break;
+                    }
+                }
+            }
+            self.expect_punct('}')?;
+        }
+
+        // Function type.
+        self.expect_punct(':')?;
+        self.expect_punct('(')?;
+        let mut operand_types = Vec::new();
+        if self.peek() != Some(&Tok::Punct(')')) {
+            loop {
+                operand_types.push(self.parse_type()?);
+                if !self.eat_punct(',') {
+                    break;
+                }
+            }
+        }
+        self.expect_punct(')')?;
+        match self.bump() {
+            Some(Tok::Arrow) => {}
+            other => return Err(self.error(format!("expected `->`, found {other:?}"))),
+        }
+        self.expect_punct('(')?;
+        let mut result_types = Vec::new();
+        if self.peek() != Some(&Tok::Punct(')')) {
+            loop {
+                result_types.push(self.parse_type()?);
+                if !self.eat_punct(',') {
+                    break;
+                }
+            }
+        }
+        self.expect_punct(')')?;
+
+        if result_types.len() != result_names.len() {
+            return Err(self.error(format!(
+                "operation `{name}` declares {} results but {} result types",
+                result_names.len(),
+                result_types.len()
+            )));
+        }
+        if operand_types.len() != operand_names.len() {
+            return Err(self.error(format!(
+                "operation `{name}` has {} operands but {} operand types",
+                operand_names.len(),
+                operand_types.len()
+            )));
+        }
+
+        let operands = operand_names
+            .iter()
+            .map(|n| self.lookup_value(n))
+            .collect::<Result<Vec<_>, _>>()?;
+        let successors = successor_names
+            .iter()
+            .map(|n| {
+                self.blocks.get(n).copied().ok_or_else(|| ParseError {
+                    offset: self.offset(),
+                    message: format!("use of undefined block ^{n}"),
+                })
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+
+        let spec = OpSpec {
+            name,
+            operands,
+            result_types,
+            attrs,
+            num_regions: region_ranges.len(),
+            successors,
+        };
+        let op = match parent {
+            Some(block) => self.ctx.append_op(block, spec),
+            None => self.ctx.create_detached_op(spec),
+        };
+        for (i, &r) in self.ctx.op(op).results.clone().iter().enumerate() {
+            self.values.insert(result_names[i].clone(), r);
+        }
+
+        // Parse regions now that results are bound.
+        let end = self.pos;
+        for (ri, &(start, stop)) in region_ranges.iter().enumerate() {
+            self.pos = start;
+            let region = self.ctx.op(op).regions[ri];
+            self.parse_region(region, stop)?;
+        }
+        self.pos = end;
+        Ok(op)
+    }
+
+    /// Skips a `{ ... }` group, balancing braces.
+    fn skip_balanced_braces(&mut self) -> Result<(), ParseError> {
+        self.expect_punct('{')?;
+        let mut depth = 1usize;
+        while depth > 0 {
+            match self.bump() {
+                Some(Tok::Punct('{')) => depth += 1,
+                Some(Tok::Punct('}')) => depth -= 1,
+                Some(_) => {}
+                None => return Err(self.error("unbalanced `{` in region")),
+            }
+        }
+        Ok(())
+    }
+
+    /// region ::= `{` block+ `}` — two passes: create blocks, then fill.
+    fn parse_region(&mut self, region: crate::context::RegionId, stop: usize) -> Result<(), ParseError> {
+        self.expect_punct('{')?;
+        // Pass 1: scan for top-level block headers (`^name (args)? :`) at
+        // depth 0 and create the blocks so successors can resolve.
+        let scan_start = self.pos;
+        let mut depth = 0usize;
+        let mut headers: Vec<(String, Vec<Type>)> = Vec::new();
+        while self.pos < stop - 1 {
+            match self.peek() {
+                Some(Tok::Punct('{')) => {
+                    depth += 1;
+                    self.pos += 1;
+                }
+                Some(Tok::Punct('}')) => {
+                    if depth == 0 {
+                        break;
+                    }
+                    depth -= 1;
+                    self.pos += 1;
+                }
+                Some(Tok::Punct('^')) if depth == 0 => {
+                    // Could be a block header or a successor list entry.
+                    // Successor entries only occur inside `[`..`]`, which we
+                    // skip below, so this is a header.
+                    let name = {
+                        self.pos += 1;
+                        self.expect_ident()?
+                    };
+                    let mut args = Vec::new();
+                    if self.eat_punct('(') {
+                        loop {
+                            let _ = self.parse_value_ref()?;
+                            self.expect_punct(':')?;
+                            args.push(self.parse_type()?);
+                            if !self.eat_punct(',') {
+                                break;
+                            }
+                        }
+                        self.expect_punct(')')?;
+                    }
+                    self.expect_punct(':')?;
+                    headers.push((name, args));
+                }
+                Some(Tok::Punct('[')) => {
+                    // Skip successor lists so `^` inside is not a header.
+                    self.pos += 1;
+                    while self.peek() != Some(&Tok::Punct(']')) {
+                        if self.bump().is_none() {
+                            return Err(self.error("unterminated successor list"));
+                        }
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => self.pos += 1,
+                None => return Err(self.error("unterminated region")),
+            }
+        }
+        for (name, arg_types) in &headers {
+            let block = self.ctx.create_block(region, arg_types.clone());
+            self.blocks.insert(name.clone(), block);
+        }
+
+        // Pass 2: parse for real.
+        self.pos = scan_start;
+        let mut current = 0usize;
+        while self.peek() != Some(&Tok::Punct('}')) {
+            if self.peek() == Some(&Tok::Punct('^')) {
+                let name = {
+                    self.pos += 1;
+                    self.expect_ident()?
+                };
+                let block = self.blocks[&name];
+                if self.eat_punct('(') {
+                    let mut idx = 0;
+                    loop {
+                        let arg_name = self.parse_value_ref()?;
+                        self.expect_punct(':')?;
+                        let _ = self.parse_type()?;
+                        self.values.insert(arg_name, self.ctx.block_args(block)[idx]);
+                        idx += 1;
+                        if !self.eat_punct(',') {
+                            break;
+                        }
+                    }
+                    self.expect_punct(')')?;
+                }
+                self.expect_punct(':')?;
+                current = self.ctx.region_blocks(region).iter().position(|&b| b == block).unwrap();
+                continue;
+            }
+            let blocks = self.ctx.region_blocks(region).to_vec();
+            let block = *blocks.get(current).ok_or_else(|| self.error("operation outside any block"))?;
+            self.parse_op(Some(block))?;
+        }
+        self.expect_punct('}')?;
+        Ok(())
+    }
+
+    fn parse_type(&mut self) -> Result<Type, ParseError> {
+        match self.bump() {
+            Some(Tok::Ident(id)) => match id.as_str() {
+                "index" => Ok(Type::Index),
+                "f32" => Ok(Type::F32),
+                "f64" => Ok(Type::F64),
+                "none" => Ok(Type::None),
+                "memref" => {
+                    self.expect_punct('<')?;
+                    let mut shape = Vec::new();
+                    // `memref<4x8xf64>` tokenizes as Int(4), Ident("x8xf64"):
+                    // only the first dimension is a standalone token; the
+                    // remaining `x`-separated chain lives in one identifier.
+                    let element = if let Some(Tok::Int(_)) = self.peek() {
+                        shape.push(self.expect_int()?);
+                        let chain = match self.bump() {
+                            Some(Tok::Ident(s)) if s.starts_with('x') => s,
+                            other => {
+                                return Err(
+                                    self.error(format!("bad memref shape, found {other:?}"))
+                                )
+                            }
+                        };
+                        let mut rest = chain.as_str();
+                        loop {
+                            rest = rest.strip_prefix('x').ok_or_else(|| {
+                                self.error(format!("bad memref shape chain `{chain}`"))
+                            })?;
+                            let digits: String =
+                                rest.chars().take_while(char::is_ascii_digit).collect();
+                            // A leading `i` type like `i32` also starts after
+                            // digits-free prefix; digits followed by `x` mean a
+                            // dimension, otherwise it is the element type
+                            // (e.g. `f64`, `i32`, `index`).
+                            if !digits.is_empty() && rest[digits.len()..].starts_with('x') {
+                                shape.push(digits.parse().unwrap());
+                                rest = &rest[digits.len()..];
+                            } else {
+                                break self.type_from_ident(rest)?;
+                            }
+                        }
+                    } else {
+                        self.parse_type()?
+                    };
+                    self.expect_punct('>')?;
+                    Ok(Type::memref(shape, element))
+                }
+                other if other.starts_with('i') && other[1..].chars().all(|c| c.is_ascii_digit()) && other.len() > 1 => {
+                    Ok(Type::Integer(other[1..].parse().unwrap()))
+                }
+                other => Err(self.error(format!("unknown type `{other}`"))),
+            },
+            Some(Tok::Punct('!')) => {
+                let name = self.expect_ident()?;
+                match name.as_str() {
+                    "rv.reg" => {
+                        if self.eat_punct('<') {
+                            let reg = self.expect_ident()?;
+                            self.expect_punct('>')?;
+                            let reg = reg.parse().map_err(|e| self.error(format!("{e}")))?;
+                            Ok(Type::IntRegister(Some(reg)))
+                        } else {
+                            Ok(Type::IntRegister(None))
+                        }
+                    }
+                    "rv.freg" => {
+                        if self.eat_punct('<') {
+                            let reg = self.expect_ident()?;
+                            self.expect_punct('>')?;
+                            let reg = reg.parse().map_err(|e| self.error(format!("{e}")))?;
+                            Ok(Type::FpRegister(Some(reg)))
+                        } else {
+                            Ok(Type::FpRegister(None))
+                        }
+                    }
+                    "memref_stream.readable" => {
+                        self.expect_punct('<')?;
+                        let t = self.parse_type()?;
+                        self.expect_punct('>')?;
+                        Ok(Type::ReadableStream(Box::new(t)))
+                    }
+                    "memref_stream.writable" => {
+                        self.expect_punct('<')?;
+                        let t = self.parse_type()?;
+                        self.expect_punct('>')?;
+                        Ok(Type::WritableStream(Box::new(t)))
+                    }
+                    other => Err(self.error(format!("unknown dialect type `!{other}`"))),
+                }
+            }
+            Some(Tok::Punct('(')) => {
+                // Function type: (tys) -> (tys)
+                let mut inputs = Vec::new();
+                if self.peek() != Some(&Tok::Punct(')')) {
+                    loop {
+                        inputs.push(self.parse_type()?);
+                        if !self.eat_punct(',') {
+                            break;
+                        }
+                    }
+                }
+                self.expect_punct(')')?;
+                match self.bump() {
+                    Some(Tok::Arrow) => {}
+                    other => return Err(self.error(format!("expected `->`, found {other:?}"))),
+                }
+                self.expect_punct('(')?;
+                let mut results = Vec::new();
+                if self.peek() != Some(&Tok::Punct(')')) {
+                    loop {
+                        results.push(self.parse_type()?);
+                        if !self.eat_punct(',') {
+                            break;
+                        }
+                    }
+                }
+                self.expect_punct(')')?;
+                Ok(Type::function(inputs, results))
+            }
+            other => Err(self.error(format!("expected type, found {other:?}"))),
+        }
+    }
+
+    /// Parses a type from an identifier that has already been consumed
+    /// (used for memref element types merged into `x` chains).
+    fn type_from_ident(&mut self, id: &str) -> Result<Type, ParseError> {
+        match id {
+            "f32" => Ok(Type::F32),
+            "f64" => Ok(Type::F64),
+            "index" => Ok(Type::Index),
+            other if other.starts_with('i') && other.len() > 1 && other[1..].chars().all(|c| c.is_ascii_digit()) => {
+                Ok(Type::Integer(other[1..].parse().unwrap()))
+            }
+            other => Err(self.error(format!("unknown memref element type `{other}`"))),
+        }
+    }
+
+    fn parse_attribute(&mut self) -> Result<Attribute, ParseError> {
+        match self.peek().cloned() {
+            Some(Tok::Int(v)) => {
+                self.pos += 1;
+                Ok(Attribute::Int(v))
+            }
+            Some(Tok::Float(v)) => {
+                self.pos += 1;
+                Ok(Attribute::Float(v))
+            }
+            Some(Tok::Str(s)) => {
+                self.pos += 1;
+                Ok(Attribute::Str(s))
+            }
+            Some(Tok::Punct('@')) => {
+                self.pos += 1;
+                Ok(Attribute::Symbol(self.expect_ident()?))
+            }
+            Some(Tok::Punct('[')) => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                if self.peek() != Some(&Tok::Punct(']')) {
+                    loop {
+                        items.push(self.parse_attribute()?);
+                        if !self.eat_punct(',') {
+                            break;
+                        }
+                    }
+                }
+                self.expect_punct(']')?;
+                Ok(Attribute::Array(items))
+            }
+            Some(Tok::Punct('(')) => Ok(Attribute::Type(self.parse_type()?)),
+            Some(Tok::Punct('!')) => Ok(Attribute::Type(self.parse_type()?)),
+            Some(Tok::Punct('#')) => {
+                self.pos += 1;
+                let name = self.expect_ident()?;
+                match name.as_str() {
+                    "memref_stream.stride_pattern" => {
+                        self.expect_punct('<')?;
+                        self.expect_keyword("ub")?;
+                        self.expect_punct('=')?;
+                        let ub = self.parse_int_list()?;
+                        self.expect_punct(',')?;
+                        self.expect_keyword("index_map")?;
+                        self.expect_punct('=')?;
+                        self.expect_keyword("affine_map")?;
+                        self.expect_punct('<')?;
+                        let map = self.parse_affine_map()?;
+                        self.expect_punct('>')?;
+                        self.expect_punct('>')?;
+                        Ok(Attribute::StridePattern(StridePattern::new(ub, map)))
+                    }
+                    "snitch_stream.pattern" => {
+                        self.expect_punct('<')?;
+                        self.expect_keyword("ub")?;
+                        self.expect_punct('=')?;
+                        let ub = self.parse_int_list()?;
+                        self.expect_punct(',')?;
+                        self.expect_keyword("strides")?;
+                        self.expect_punct('=')?;
+                        let strides = self.parse_int_list()?;
+                        self.expect_punct(',')?;
+                        self.expect_keyword("repeat")?;
+                        self.expect_punct('=')?;
+                        let repeat = self.expect_int()?;
+                        self.expect_punct('>')?;
+                        Ok(Attribute::StreamPattern(StreamPattern::new(ub, strides, repeat)))
+                    }
+                    other => Err(self.error(format!("unknown attribute `#{other}`"))),
+                }
+            }
+            Some(Tok::Ident(id)) => match id.as_str() {
+                "unit" => {
+                    self.pos += 1;
+                    Ok(Attribute::Unit)
+                }
+                "true" => {
+                    self.pos += 1;
+                    Ok(Attribute::Bool(true))
+                }
+                "false" => {
+                    self.pos += 1;
+                    Ok(Attribute::Bool(false))
+                }
+                "dense" => {
+                    self.pos += 1;
+                    self.expect_punct('<')?;
+                    let v = self.parse_int_list()?;
+                    self.expect_punct('>')?;
+                    Ok(Attribute::DenseI64(v))
+                }
+                "affine_map" => {
+                    self.pos += 1;
+                    self.expect_punct('<')?;
+                    let m = self.parse_affine_map()?;
+                    self.expect_punct('>')?;
+                    Ok(Attribute::Map(m))
+                }
+                "iterators" => {
+                    self.pos += 1;
+                    self.expect_punct('<')?;
+                    let mut its = Vec::new();
+                    loop {
+                        let id = self.expect_ident()?;
+                        its.push(match id.as_str() {
+                            "parallel" => IteratorType::Parallel,
+                            "reduction" => IteratorType::Reduction,
+                            "interleaved" => IteratorType::Interleaved,
+                            other => {
+                                return Err(self.error(format!("unknown iterator type `{other}`")))
+                            }
+                        });
+                        if !self.eat_punct(',') {
+                            break;
+                        }
+                    }
+                    self.expect_punct('>')?;
+                    Ok(Attribute::Iterators(its))
+                }
+                // A bare type used as an attribute.
+                _ => Ok(Attribute::Type(self.parse_type()?)),
+            },
+            other => Err(self.error(format!("expected attribute, found {other:?}"))),
+        }
+    }
+
+    fn parse_int_list(&mut self) -> Result<Vec<i64>, ParseError> {
+        self.expect_punct('[')?;
+        let mut out = Vec::new();
+        if self.peek() != Some(&Tok::Punct(']')) {
+            loop {
+                out.push(self.expect_int()?);
+                if !self.eat_punct(',') {
+                    break;
+                }
+            }
+        }
+        self.expect_punct(']')?;
+        Ok(out)
+    }
+
+    /// affine-map ::= `(` dims `)` (`[` syms `]`)? `->` `(` exprs `)`
+    fn parse_affine_map(&mut self) -> Result<AffineMap, ParseError> {
+        self.expect_punct('(')?;
+        let mut num_dims = 0;
+        if self.peek() != Some(&Tok::Punct(')')) {
+            loop {
+                let _ = self.expect_ident()?;
+                num_dims += 1;
+                if !self.eat_punct(',') {
+                    break;
+                }
+            }
+        }
+        self.expect_punct(')')?;
+        let mut num_syms = 0;
+        if self.eat_punct('[') {
+            if self.peek() != Some(&Tok::Punct(']')) {
+                loop {
+                    let _ = self.expect_ident()?;
+                    num_syms += 1;
+                    if !self.eat_punct(',') {
+                        break;
+                    }
+                }
+            }
+            self.expect_punct(']')?;
+        }
+        match self.bump() {
+            Some(Tok::Arrow) => {}
+            other => return Err(self.error(format!("expected `->` in affine map, found {other:?}"))),
+        }
+        self.expect_punct('(')?;
+        let mut results = Vec::new();
+        if self.peek() != Some(&Tok::Punct(')')) {
+            loop {
+                results.push(self.parse_affine_expr()?);
+                if !self.eat_punct(',') {
+                    break;
+                }
+            }
+        }
+        self.expect_punct(')')?;
+        Ok(AffineMap::new(num_dims, num_syms, results))
+    }
+
+    /// expr ::= term ((`+`|`-`) term)*  — `-` handled as negative constants.
+    fn parse_affine_expr(&mut self) -> Result<AffineExpr, ParseError> {
+        let mut lhs = self.parse_affine_term()?;
+        loop {
+            if self.eat_punct('+') {
+                let rhs = self.parse_affine_term()?;
+                lhs = AffineExpr::Add(Box::new(lhs), Box::new(rhs));
+            } else {
+                break;
+            }
+        }
+        Ok(lhs)
+    }
+
+    /// term ::= factor ((`*`|`floordiv`|`mod`) factor)*
+    fn parse_affine_term(&mut self) -> Result<AffineExpr, ParseError> {
+        let mut lhs = self.parse_affine_factor()?;
+        loop {
+            if self.eat_punct('*') {
+                let rhs = self.parse_affine_factor()?;
+                lhs = AffineExpr::Mul(Box::new(lhs), Box::new(rhs));
+            } else if self.peek() == Some(&Tok::Ident("floordiv".into())) {
+                self.pos += 1;
+                let c = self.expect_int()?;
+                lhs = AffineExpr::FloorDiv(Box::new(lhs), c);
+            } else if self.peek() == Some(&Tok::Ident("mod".into())) {
+                self.pos += 1;
+                let c = self.expect_int()?;
+                lhs = AffineExpr::Mod(Box::new(lhs), c);
+            } else {
+                break;
+            }
+        }
+        Ok(lhs)
+    }
+
+    fn parse_affine_factor(&mut self) -> Result<AffineExpr, ParseError> {
+        match self.bump() {
+            Some(Tok::Punct('(')) => {
+                let e = self.parse_affine_expr()?;
+                self.expect_punct(')')?;
+                Ok(e)
+            }
+            Some(Tok::Int(v)) => Ok(AffineExpr::Const(v)),
+            Some(Tok::Ident(id)) => {
+                if let Some(n) = id.strip_prefix('d').and_then(|s| s.parse::<usize>().ok()) {
+                    Ok(AffineExpr::Dim(n))
+                } else if let Some(n) = id.strip_prefix('s').and_then(|s| s.parse::<usize>().ok()) {
+                    Ok(AffineExpr::Sym(n))
+                } else {
+                    Err(self.error(format!("unknown affine variable `{id}`")))
+                }
+            }
+            other => Err(self.error(format!("expected affine expression, found {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::printer::print_op;
+
+    fn round_trip(input: &str) -> String {
+        let mut ctx = Context::new();
+        let op = parse_module(&mut ctx, input).expect("parse failed");
+        print_op(&ctx, op)
+    }
+
+    #[test]
+    fn parse_simple_module() {
+        let text = r#"
+"builtin.module"() ({
+^bb0:
+  %0 = "arith.constant"() {value = 2.5} : () -> (f64)
+  %1 = "arith.mulf"(%0, %0) : (f64, f64) -> (f64)
+}) : () -> ()
+"#;
+        let mut ctx = Context::new();
+        let m = parse_module(&mut ctx, text).unwrap();
+        assert_eq!(ctx.op(m).name, "builtin.module");
+        let ops = ctx.walk(m);
+        assert_eq!(ops.len(), 2);
+        assert_eq!(ctx.op(ops[1]).name, "arith.mulf");
+        assert_eq!(ctx.op(ops[1]).operands.len(), 2);
+    }
+
+    #[test]
+    fn print_parse_fixpoint() {
+        let text = r#"
+"builtin.module"() ({
+^bb0:
+  "func.func"() ({
+  ^bb1(%0: memref<4x8xf64>, %1: f64):
+    %2 = "arith.constant"() {value = 1.0} : () -> (f64)
+    %3 = "arith.addf"(%1, %2) : (f64, f64) -> (f64)
+    "func.return"(%3) : (f64) -> ()
+  }) {sym_name = @f, function_type = (memref<4x8xf64>, f64) -> (f64)} : () -> ()
+}) : () -> ()
+"#;
+        let once = round_trip(text);
+        let twice = round_trip(&once);
+        assert_eq!(once, twice);
+        assert!(once.contains("memref<4x8xf64>"));
+        assert!(once.contains("@f"));
+    }
+
+    #[test]
+    fn parse_successors_and_multiple_blocks() {
+        let text = r#"
+"func.func"() ({
+^bb0(%0: !rv.reg<a0>):
+  "rv_cf.j"()[^bb1] : () -> ()
+^bb1:
+  "rv_cf.j"()[^bb0] : () -> ()
+}) : () -> ()
+"#;
+        let mut ctx = Context::new();
+        let f = parse_module(&mut ctx, text).unwrap();
+        let region = ctx.op(f).regions[0];
+        let blocks = ctx.region_blocks(region).to_vec();
+        assert_eq!(blocks.len(), 2);
+        let j0 = ctx.block_ops(blocks[0])[0];
+        assert_eq!(ctx.op(j0).successors, vec![blocks[1]]);
+        let j1 = ctx.block_ops(blocks[1])[0];
+        assert_eq!(ctx.op(j1).successors, vec![blocks[0]]);
+    }
+
+    #[test]
+    fn parse_register_and_stream_types() {
+        let text = r#"
+"test.op"() ({
+^bb0(%0: !rv.reg, %1: !rv.freg<ft3>, %2: !memref_stream.readable<f64>):
+  "test.done"() : () -> ()
+}) : () -> ()
+"#;
+        let mut ctx = Context::new();
+        let op = parse_module(&mut ctx, text).unwrap();
+        let block = ctx.sole_block(ctx.op(op).regions[0]);
+        let args = ctx.block_args(block);
+        assert_eq!(*ctx.value_type(args[0]), Type::IntRegister(None));
+        assert_eq!(
+            *ctx.value_type(args[1]),
+            Type::FpRegister(Some(mlb_isa::FpReg::ft(3)))
+        );
+        assert_eq!(*ctx.value_type(args[2]), Type::ReadableStream(Box::new(Type::F64)));
+    }
+
+    #[test]
+    fn parse_rich_attributes() {
+        let text = r#"
+"test.op"() {
+  bounds = dense<[1, 200, 5]>,
+  map = affine_map<(d0, d1, d2) -> (((d0 * 5) + d2), d1)>,
+  its = iterators<parallel, reduction, interleaved>,
+  pat = #snitch_stream.pattern<ub = [5, 200], strides = [8, -32], repeat = 0>,
+  sp = #memref_stream.stride_pattern<ub = [2, 3], index_map = affine_map<(d0, d1) -> (d1)>>,
+  flag = true,
+  n = -7,
+  name = "hello"
+} : () -> ()
+"#;
+        let mut ctx = Context::new();
+        let op = parse_module(&mut ctx, text).unwrap();
+        let op = ctx.op(op);
+        assert_eq!(op.attr("bounds").unwrap().as_dense_i64().unwrap(), &[1, 200, 5]);
+        let map = op.attr("map").unwrap().as_map().unwrap();
+        assert_eq!(map.eval(&[2, 7, 3], &[]), vec![13, 7]);
+        assert_eq!(op.attr("its").unwrap().as_iterators().unwrap().len(), 3);
+        let pat = op.attr("pat").unwrap().as_stream_pattern().unwrap();
+        assert_eq!(pat.strides, vec![8, -32]);
+        assert_eq!(op.attr("n").unwrap().as_int(), Some(-7));
+        assert_eq!(op.attr("name").unwrap().as_str(), Some("hello"));
+        assert_eq!(op.attr("flag"), Some(&Attribute::Bool(true)));
+        let sp = op.attr("sp").unwrap().as_stride_pattern().unwrap();
+        assert_eq!(sp.ub, vec![2, 3]);
+    }
+
+    #[test]
+    fn error_on_undefined_value() {
+        let text = r#""test.op"(%9) : (f64) -> ()"#;
+        let mut ctx = Context::new();
+        let err = parse_module(&mut ctx, text).unwrap_err();
+        assert!(err.message.contains("undefined value"), "{err}");
+    }
+
+    #[test]
+    fn error_on_type_arity_mismatch() {
+        let text = r#"
+"builtin.module"() ({
+^bb0:
+  %0 = "arith.constant"() : () -> ()
+}) : () -> ()
+"#;
+        let mut ctx = Context::new();
+        let err = parse_module(&mut ctx, text).unwrap_err();
+        assert!(err.message.contains("result"), "{err}");
+    }
+
+    #[test]
+    fn error_on_trailing_input() {
+        let text = r#""test.op"() : () -> () "test.other"() : () -> ()"#;
+        let mut ctx = Context::new();
+        let err = parse_module(&mut ctx, text).unwrap_err();
+        assert!(err.message.contains("trailing"), "{err}");
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let text = "// a comment\n\"test.op\"() : () -> () // trailing\n";
+        let mut ctx = Context::new();
+        assert!(parse_module(&mut ctx, text).is_ok());
+    }
+}

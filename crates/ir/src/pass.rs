@@ -1,0 +1,224 @@
+//! Pass infrastructure.
+//!
+//! A [`Pass`] is a whole-module transformation; a [`PassManager`] runs a
+//! sequence of passes, optionally verifying the IR after each one — the
+//! "small, self-contained passes" structure that makes the lowering
+//! pipeline "easier to introspect, develop and maintain" (Section 3.4).
+
+use std::fmt;
+
+use crate::context::{Context, OpId};
+use crate::registry::{DialectRegistry, VerifyError};
+
+/// Error produced when a pass fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PassError {
+    /// Name of the failing pass.
+    pub pass: String,
+    /// Description of the failure.
+    pub message: String,
+}
+
+impl PassError {
+    /// Creates a pass error.
+    pub fn new(pass: impl Into<String>, message: impl Into<String>) -> PassError {
+        PassError { pass: pass.into(), message: message.into() }
+    }
+}
+
+impl fmt::Display for PassError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pass `{}` failed: {}", self.pass, self.message)
+    }
+}
+
+impl std::error::Error for PassError {}
+
+impl From<VerifyError> for PassError {
+    fn from(e: VerifyError) -> PassError {
+        PassError::new("verify", e.to_string())
+    }
+}
+
+/// A module-level IR transformation.
+pub trait Pass {
+    /// The pass name used in diagnostics and pipeline dumps.
+    fn name(&self) -> &'static str;
+
+    /// Transforms the module rooted at `root`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PassError`] when the input is outside the pass's
+    /// supported domain (e.g. register exhaustion in the spill-free
+    /// allocator).
+    fn run(&self, ctx: &mut Context, registry: &DialectRegistry, root: OpId)
+        -> Result<(), PassError>;
+}
+
+/// Runs a sequence of passes.
+pub struct PassManager {
+    passes: Vec<Box<dyn Pass>>,
+    verify_each: bool,
+    dump_each: bool,
+}
+
+impl fmt::Debug for PassManager {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PassManager")
+            .field("passes", &self.passes.iter().map(|p| p.name()).collect::<Vec<_>>())
+            .field("verify_each", &self.verify_each)
+            .finish()
+    }
+}
+
+impl Default for PassManager {
+    fn default() -> PassManager {
+        PassManager::new()
+    }
+}
+
+impl PassManager {
+    /// Creates an empty pass manager with per-pass verification enabled.
+    pub fn new() -> PassManager {
+        PassManager { passes: Vec::new(), verify_each: true, dump_each: false }
+    }
+
+    /// Appends a pass to the pipeline.
+    pub fn add(&mut self, pass: impl Pass + 'static) -> &mut PassManager {
+        self.passes.push(Box::new(pass));
+        self
+    }
+
+    /// Enables or disables verification after each pass.
+    pub fn verify_each(&mut self, enabled: bool) -> &mut PassManager {
+        self.verify_each = enabled;
+        self
+    }
+
+    /// Enables printing the IR to stderr after each pass (debugging aid).
+    pub fn dump_each(&mut self, enabled: bool) -> &mut PassManager {
+        self.dump_each = enabled;
+        self
+    }
+
+    /// Names of the registered passes, in execution order.
+    pub fn pass_names(&self) -> Vec<&'static str> {
+        self.passes.iter().map(|p| p.name()).collect()
+    }
+
+    /// Runs all passes in order.
+    ///
+    /// # Errors
+    ///
+    /// Stops at the first failing pass or verification error, identifying
+    /// the pass in the returned [`PassError`].
+    pub fn run(
+        &self,
+        ctx: &mut Context,
+        registry: &DialectRegistry,
+        root: OpId,
+    ) -> Result<(), PassError> {
+        for pass in &self.passes {
+            pass.run(ctx, registry, root)?;
+            if self.dump_each {
+                eprintln!("// after {}:\n{}", pass.name(), crate::printer::print_op(ctx, root));
+            }
+            if self.verify_each {
+                registry.verify(ctx, root).map_err(|e| {
+                    PassError::new(pass.name(), format!("verification failed after pass: {e}"))
+                })?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::OpSpec;
+    use crate::registry::OpInfo;
+
+    struct RenamePass {
+        from: &'static str,
+        to: &'static str,
+    }
+
+    impl Pass for RenamePass {
+        fn name(&self) -> &'static str {
+            "rename"
+        }
+        fn run(
+            &self,
+            ctx: &mut Context,
+            _registry: &DialectRegistry,
+            root: OpId,
+        ) -> Result<(), PassError> {
+            for op in ctx.walk(root) {
+                if ctx.op(op).name == self.from {
+                    ctx.op_mut(op).name = self.to.to_string();
+                }
+            }
+            Ok(())
+        }
+    }
+
+    struct FailingPass;
+    impl Pass for FailingPass {
+        fn name(&self) -> &'static str {
+            "always-fails"
+        }
+        fn run(
+            &self,
+            _ctx: &mut Context,
+            _registry: &DialectRegistry,
+            _root: OpId,
+        ) -> Result<(), PassError> {
+            Err(PassError::new(self.name(), "boom"))
+        }
+    }
+
+    fn setup() -> (Context, DialectRegistry, OpId) {
+        let mut ctx = Context::new();
+        let mut registry = DialectRegistry::new();
+        registry.register(OpInfo::new("t.module"));
+        registry.register(OpInfo::new("t.a"));
+        registry.register(OpInfo::new("t.b"));
+        let m = ctx.create_detached_op(OpSpec::new("t.module").regions(1));
+        let b = ctx.create_block(ctx.op(m).regions[0], vec![]);
+        ctx.append_op(b, OpSpec::new("t.a"));
+        (ctx, registry, m)
+    }
+
+    #[test]
+    fn passes_run_in_order() {
+        let (mut ctx, registry, m) = setup();
+        let mut pm = PassManager::new();
+        pm.add(RenamePass { from: "t.a", to: "t.b" });
+        pm.run(&mut ctx, &registry, m).unwrap();
+        assert_eq!(ctx.walk_named(m, "t.b").len(), 1);
+        assert_eq!(pm.pass_names(), ["rename"]);
+    }
+
+    #[test]
+    fn verification_catches_bad_pass_output() {
+        let (mut ctx, registry, m) = setup();
+        let mut pm = PassManager::new();
+        // Renames to an unregistered name: verification must fail.
+        pm.add(RenamePass { from: "t.a", to: "t.unregistered" });
+        let err = pm.run(&mut ctx, &registry, m).unwrap_err();
+        assert_eq!(err.pass, "rename");
+        assert!(err.message.contains("not registered"));
+    }
+
+    #[test]
+    fn failing_pass_reports_name() {
+        let (mut ctx, registry, m) = setup();
+        let mut pm = PassManager::new();
+        pm.add(FailingPass);
+        let err = pm.run(&mut ctx, &registry, m).unwrap_err();
+        assert_eq!(err.pass, "always-fails");
+        assert_eq!(err.to_string(), "pass `always-fails` failed: boom");
+    }
+}

@@ -1,0 +1,184 @@
+//! Textual IR output in MLIR-style generic form.
+//!
+//! Every operation prints as
+//! `%r0, %r1 = "dialect.op"(%a, %b)[^succ] ({ regions }) {attrs} : (tys) -> (tys)`,
+//! with blocks introduced by `^bbN(%arg: type, ...):`. The format is
+//! self-contained and round-trips through [`crate::parser::parse_module`],
+//! which the property tests exercise.
+
+use std::collections::HashMap;
+use std::fmt::Write;
+
+use crate::context::{BlockId, Context, OpId, ValueId};
+
+/// Prints `root` (and everything nested) in generic textual form.
+pub fn print_op(ctx: &Context, root: OpId) -> String {
+    let mut p = Printer::new(ctx);
+    p.number_op(root);
+    let mut out = String::new();
+    p.print_op(&mut out, root, 0);
+    out
+}
+
+struct Printer<'c> {
+    ctx: &'c Context,
+    value_names: HashMap<ValueId, usize>,
+    block_names: HashMap<BlockId, usize>,
+}
+
+impl<'c> Printer<'c> {
+    fn new(ctx: &'c Context) -> Printer<'c> {
+        Printer { ctx, value_names: HashMap::new(), block_names: HashMap::new() }
+    }
+
+    /// Assigns sequential names to all values and blocks in definition
+    /// order so references are stable and forward-readable.
+    fn number_op(&mut self, op: OpId) {
+        for &r in &self.ctx.op(op).results {
+            let n = self.value_names.len();
+            self.value_names.insert(r, n);
+        }
+        for &region in &self.ctx.op(op).regions {
+            for &block in self.ctx.region_blocks(region) {
+                let bn = self.block_names.len();
+                self.block_names.insert(block, bn);
+                for &arg in self.ctx.block_args(block) {
+                    let n = self.value_names.len();
+                    self.value_names.insert(arg, n);
+                }
+                for &nested in self.ctx.block_ops(block) {
+                    self.number_op(nested);
+                }
+            }
+        }
+    }
+
+    fn value_name(&self, v: ValueId) -> String {
+        match self.value_names.get(&v) {
+            Some(n) => format!("%{n}"),
+            None => "%<dangling>".to_string(),
+        }
+    }
+
+    fn block_name(&self, b: BlockId) -> String {
+        match self.block_names.get(&b) {
+            Some(n) => format!("^bb{n}"),
+            None => "^<dangling>".to_string(),
+        }
+    }
+
+    fn print_op(&self, out: &mut String, op_id: OpId, indent: usize) {
+        let op = self.ctx.op(op_id);
+        let pad = "  ".repeat(indent);
+        out.push_str(&pad);
+        if !op.results.is_empty() {
+            let names: Vec<String> = op.results.iter().map(|&r| self.value_name(r)).collect();
+            let _ = write!(out, "{} = ", names.join(", "));
+        }
+        let _ = write!(out, "\"{}\"(", op.name);
+        let operands: Vec<String> = op.operands.iter().map(|&o| self.value_name(o)).collect();
+        out.push_str(&operands.join(", "));
+        out.push(')');
+        if !op.successors.is_empty() {
+            out.push('[');
+            let succs: Vec<String> = op.successors.iter().map(|&s| self.block_name(s)).collect();
+            out.push_str(&succs.join(", "));
+            out.push(']');
+        }
+        if !op.regions.is_empty() {
+            out.push_str(" (");
+            for (i, &region) in op.regions.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str("{\n");
+                for &block in self.ctx.region_blocks(region) {
+                    let _ = write!(out, "{pad}{}", self.block_name(block));
+                    let args = self.ctx.block_args(block);
+                    if !args.is_empty() {
+                        out.push('(');
+                        for (j, &arg) in args.iter().enumerate() {
+                            if j > 0 {
+                                out.push_str(", ");
+                            }
+                            let _ = write!(
+                                out,
+                                "{}: {}",
+                                self.value_name(arg),
+                                self.ctx.value_type(arg)
+                            );
+                        }
+                        out.push(')');
+                    }
+                    out.push_str(":\n");
+                    for &nested in self.ctx.block_ops(block) {
+                        self.print_op(out, nested, indent + 1);
+                    }
+                }
+                let _ = write!(out, "{pad}}}");
+            }
+            out.push(')');
+        }
+        if !op.attrs.is_empty() {
+            out.push_str(" {");
+            for (i, (k, v)) in op.attrs.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "{k} = {v}");
+            }
+            out.push('}');
+        }
+        out.push_str(" : (");
+        let in_tys: Vec<String> =
+            op.operands.iter().map(|&o| self.ctx.value_type(o).to_string()).collect();
+        out.push_str(&in_tys.join(", "));
+        out.push_str(") -> (");
+        let out_tys: Vec<String> =
+            op.results.iter().map(|&r| self.ctx.value_type(r).to_string()).collect();
+        out.push_str(&out_tys.join(", "));
+        out.push_str(")\n");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attributes::Attribute;
+    use crate::context::OpSpec;
+    use crate::types::Type;
+
+    #[test]
+    fn prints_flat_op() {
+        let mut ctx = Context::new();
+        let m = ctx.create_detached_op(OpSpec::new("builtin.module").regions(1));
+        let b = ctx.create_block(ctx.op(m).regions[0], vec![]);
+        let c = ctx.append_op(
+            b,
+            OpSpec::new("arith.constant")
+                .attr("value", Attribute::Float(2.5))
+                .results(vec![Type::F64]),
+        );
+        let v = ctx.op(c).results[0];
+        ctx.append_op(b, OpSpec::new("arith.mulf").operands(vec![v, v]).results(vec![Type::F64]));
+        let text = print_op(&ctx, m);
+        assert!(text.contains("\"builtin.module\"() ({"));
+        assert!(text.contains("%0 = \"arith.constant\"() {value = 2.5} : () -> (f64)"));
+        assert!(text.contains("%1 = \"arith.mulf\"(%0, %0) : (f64, f64) -> (f64)"));
+    }
+
+    #[test]
+    fn prints_block_args_and_successors() {
+        let mut ctx = Context::new();
+        let f = ctx.create_detached_op(OpSpec::new("func.func").regions(1));
+        let region = ctx.op(f).regions[0];
+        let entry = ctx.create_block(region, vec![Type::F64]);
+        let exit = ctx.create_block(region, vec![]);
+        ctx.append_op(entry, OpSpec::new("rv_cf.j").successors(vec![exit]));
+        ctx.append_op(exit, OpSpec::new("rv.ret"));
+        let text = print_op(&ctx, f);
+        assert!(text.contains("^bb0(%0: f64):"), "{text}");
+        assert!(text.contains("\"rv_cf.j\"()[^bb1]"), "{text}");
+        assert!(text.contains("^bb1:"), "{text}");
+    }
+}

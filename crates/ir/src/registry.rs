@@ -1,0 +1,260 @@
+//! Dialect and operation registry.
+//!
+//! Each dialect registers [`OpInfo`] records describing its operations:
+//! structural traits (terminator, purity) and a verification callback. The
+//! registry is what makes the backend *extensible*: adding an accelerator
+//! dialect (Section 3.2) is registering more records, never touching the
+//! core.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::context::{Context, OpId};
+
+/// Error produced by operation verification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyError {
+    /// The offending operation's name.
+    pub op_name: String,
+    /// Description of the violation.
+    pub message: String,
+}
+
+impl VerifyError {
+    /// Creates a verification error for the given operation.
+    pub fn new(ctx: &Context, op: OpId, message: impl Into<String>) -> VerifyError {
+        VerifyError { op_name: ctx.op(op).name.clone(), message: message.into() }
+    }
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.op_name, self.message)
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Verification callback for one operation kind.
+pub type VerifyFn = fn(&Context, OpId) -> Result<(), VerifyError>;
+
+/// Static description of one operation kind.
+#[derive(Debug, Clone)]
+pub struct OpInfo {
+    /// Fully-qualified operation name.
+    pub name: &'static str,
+    /// Whether this operation must terminate its block.
+    pub is_terminator: bool,
+    /// Whether the operation is side-effect free (erasable when unused).
+    pub pure: bool,
+    /// Per-operation structural verification.
+    pub verify: VerifyFn,
+}
+
+impl OpInfo {
+    /// Creates an [`OpInfo`] with no traits and a vacuous verifier.
+    pub fn new(name: &'static str) -> OpInfo {
+        OpInfo { name, is_terminator: false, pure: false, verify: |_, _| Ok(()) }
+    }
+
+    /// Marks the operation as a block terminator.
+    pub fn terminator(mut self) -> OpInfo {
+        self.is_terminator = true;
+        self
+    }
+
+    /// Marks the operation as side-effect free.
+    pub fn pure(mut self) -> OpInfo {
+        self.pure = true;
+        self
+    }
+
+    /// Sets the verification callback.
+    pub fn with_verify(mut self, verify: VerifyFn) -> OpInfo {
+        self.verify = verify;
+        self
+    }
+}
+
+/// Maps operation names to their [`OpInfo`].
+#[derive(Debug, Default)]
+pub struct DialectRegistry {
+    ops: HashMap<&'static str, OpInfo>,
+}
+
+impl DialectRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> DialectRegistry {
+        DialectRegistry::default()
+    }
+
+    /// Registers an operation kind.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operation name is already registered.
+    pub fn register(&mut self, info: OpInfo) {
+        let prev = self.ops.insert(info.name, info);
+        if let Some(prev) = prev {
+            panic!("operation {} registered twice", prev.name);
+        }
+    }
+
+    /// Looks up an operation kind.
+    pub fn info(&self, name: &str) -> Option<&OpInfo> {
+        self.ops.get(name)
+    }
+
+    /// Whether the operation with this name is registered and pure.
+    pub fn is_pure(&self, name: &str) -> bool {
+        self.info(name).map(|i| i.pure).unwrap_or(false)
+    }
+
+    /// Whether the operation with this name is a terminator.
+    pub fn is_terminator(&self, name: &str) -> bool {
+        self.info(name).map(|i| i.is_terminator).unwrap_or(false)
+    }
+
+    /// Number of registered operation kinds.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Verifies `root` and every operation nested in it.
+    ///
+    /// Checks, in order: context structural invariants, that every op is
+    /// registered, that non-empty blocks end (only) in terminators, and each
+    /// op's own verifier.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation found.
+    pub fn verify(&self, ctx: &Context, root: OpId) -> Result<(), VerifyError> {
+        ctx.verify_structure(root).map_err(|message| VerifyError {
+            op_name: ctx.op(root).name.clone(),
+            message,
+        })?;
+        let mut all = vec![root];
+        all.extend(ctx.walk(root));
+        for &op_id in &all {
+            let op = ctx.op(op_id);
+            let info = self.info(&op.name).ok_or_else(|| VerifyError {
+                op_name: op.name.clone(),
+                message: "operation is not registered with any dialect".to_string(),
+            })?;
+            (info.verify)(ctx, op_id)?;
+            // Terminator placement.
+            for &region in &op.regions {
+                for &block in ctx.region_blocks(region) {
+                    let ops = ctx.block_ops(block);
+                    for (i, &nested) in ops.iter().enumerate() {
+                        let is_last = i + 1 == ops.len();
+                        let name = &ctx.op(nested).name;
+                        if self.is_terminator(name) && !is_last {
+                            return Err(VerifyError {
+                                op_name: name.clone(),
+                                message: "terminator is not the last operation in its block"
+                                    .to_string(),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::OpSpec;
+    use crate::types::Type;
+
+    fn test_registry() -> DialectRegistry {
+        let mut r = DialectRegistry::new();
+        r.register(OpInfo::new("t.module"));
+        r.register(OpInfo::new("t.pure").pure());
+        r.register(OpInfo::new("t.term").terminator());
+        r.register(OpInfo::new("t.needs_operand").with_verify(|ctx, op| {
+            if ctx.op(op).operands.is_empty() {
+                Err(VerifyError::new(ctx, op, "expected at least one operand"))
+            } else {
+                Ok(())
+            }
+        }));
+        r
+    }
+
+    #[test]
+    fn traits() {
+        let r = test_registry();
+        assert!(r.is_pure("t.pure"));
+        assert!(!r.is_pure("t.term"));
+        assert!(r.is_terminator("t.term"));
+        assert!(!r.is_terminator("t.unknown"));
+        assert_eq!(r.len(), 4);
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn duplicate_registration_panics() {
+        let mut r = test_registry();
+        r.register(OpInfo::new("t.pure"));
+    }
+
+    #[test]
+    fn verify_unregistered_op_fails() {
+        let r = test_registry();
+        let mut ctx = Context::new();
+        let m = ctx.create_detached_op(OpSpec::new("t.module").regions(1));
+        let b = ctx.create_block(ctx.op(m).regions[0], vec![]);
+        ctx.append_op(b, OpSpec::new("t.bogus"));
+        let err = r.verify(&ctx, m).unwrap_err();
+        assert!(err.message.contains("not registered"));
+    }
+
+    #[test]
+    fn verify_misplaced_terminator_fails() {
+        let r = test_registry();
+        let mut ctx = Context::new();
+        let m = ctx.create_detached_op(OpSpec::new("t.module").regions(1));
+        let b = ctx.create_block(ctx.op(m).regions[0], vec![]);
+        ctx.append_op(b, OpSpec::new("t.term"));
+        ctx.append_op(b, OpSpec::new("t.pure"));
+        let err = r.verify(&ctx, m).unwrap_err();
+        assert!(err.message.contains("terminator"), "{err}");
+    }
+
+    #[test]
+    fn verify_runs_op_verifier() {
+        let r = test_registry();
+        let mut ctx = Context::new();
+        let m = ctx.create_detached_op(OpSpec::new("t.module").regions(1));
+        let b = ctx.create_block(ctx.op(m).regions[0], vec![]);
+        ctx.append_op(b, OpSpec::new("t.needs_operand"));
+        let err = r.verify(&ctx, m).unwrap_err();
+        assert_eq!(err.op_name, "t.needs_operand");
+
+        // Fix it up and verify again.
+        let mut ctx = Context::new();
+        let m = ctx.create_detached_op(OpSpec::new("t.module").regions(1));
+        let b = ctx.create_block(ctx.op(m).regions[0], vec![]);
+        let c = ctx.append_op(b, OpSpec::new("t.pure").results(vec![Type::F64]));
+        let v = ctx.op(c).results[0];
+        ctx.append_op(b, OpSpec::new("t.needs_operand").operands(vec![v]));
+        assert!(r.verify(&ctx, m).is_ok());
+    }
+
+    #[test]
+    fn error_display() {
+        let e = VerifyError { op_name: "t.x".into(), message: "boom".into() };
+        assert_eq!(e.to_string(), "t.x: boom");
+    }
+}

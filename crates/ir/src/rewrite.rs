@@ -1,0 +1,199 @@
+//! Greedy rewrite-pattern application and dead-code elimination.
+//!
+//! The paper's "small, self-contained passes" (Section 3.4) are expressed
+//! as [`RewritePattern`]s applied to a fixpoint by
+//! [`apply_patterns_greedily`], the same work-horse as MLIR's greedy
+//! pattern driver.
+
+use crate::context::{Context, OpId};
+use crate::registry::DialectRegistry;
+
+/// A local rewrite anchored on a single operation.
+pub trait RewritePattern {
+    /// Diagnostic name of the pattern.
+    fn name(&self) -> &'static str;
+
+    /// Attempts to match `op` and rewrite the IR around it.
+    ///
+    /// Returns `true` if the IR changed. After a change the driver
+    /// re-walks the IR, so patterns may erase `op` or its neighbours
+    /// freely — they must simply not touch already-erased operations.
+    fn match_and_rewrite(
+        &self,
+        ctx: &mut Context,
+        registry: &DialectRegistry,
+        op: OpId,
+    ) -> bool;
+}
+
+/// Applies `patterns` to every operation under `root` until fixpoint,
+/// interleaving dead-code elimination sweeps. Returns the total number of
+/// successful pattern applications.
+///
+/// # Panics
+///
+/// Panics if the rewrite does not converge within an iteration budget
+/// (which indicates a pattern that keeps "changing" without progress).
+pub fn apply_patterns_greedily(
+    ctx: &mut Context,
+    registry: &DialectRegistry,
+    root: OpId,
+    patterns: &[&dyn RewritePattern],
+) -> usize {
+    let mut total = 0;
+    for _ in 0..1000 {
+        let mut changed = false;
+        let worklist = ctx.walk(root);
+        for op in worklist {
+            if !ctx.is_alive(op) {
+                continue;
+            }
+            for pattern in patterns {
+                if !ctx.is_alive(op) {
+                    break;
+                }
+                if pattern.match_and_rewrite(ctx, registry, op) {
+                    changed = true;
+                    total += 1;
+                }
+            }
+        }
+        changed |= eliminate_dead_code(ctx, registry, root) > 0;
+        if !changed {
+            return total;
+        }
+    }
+    panic!("rewrite driver did not converge after 1000 iterations");
+}
+
+/// Erases pure operations whose results are all unused, bottom-up, until
+/// fixpoint. Returns the number of erased operations.
+pub fn eliminate_dead_code(ctx: &mut Context, registry: &DialectRegistry, root: OpId) -> usize {
+    let mut erased = 0;
+    loop {
+        let mut changed = false;
+        // Post-order (reverse pre-order works for straight-line regions):
+        // erase users before producers.
+        let mut ops = ctx.walk(root);
+        ops.reverse();
+        for op in ops {
+            if !ctx.is_alive(op) {
+                continue;
+            }
+            if !registry.is_pure(&ctx.op(op).name) {
+                continue;
+            }
+            let results = ctx.op(op).results.clone();
+            // A result pinned to a physical register has out-of-band
+            // semantics (e.g. an FPU op targeting a stream register
+            // writes memory through the SSR): never erase those.
+            if results.iter().any(|&r| ctx.value_type(r).is_allocated_register()) {
+                continue;
+            }
+            if results.iter().all(|&r| !ctx.has_uses(r)) {
+                ctx.erase_op(op);
+                erased += 1;
+                changed = true;
+            }
+        }
+        if !changed {
+            return erased;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attributes::Attribute;
+    use crate::context::OpSpec;
+    use crate::registry::OpInfo;
+    use crate::types::Type;
+
+    fn registry() -> DialectRegistry {
+        let mut r = DialectRegistry::new();
+        r.register(OpInfo::new("t.module"));
+        r.register(OpInfo::new("t.const").pure());
+        r.register(OpInfo::new("t.add").pure());
+        r.register(OpInfo::new("t.double").pure());
+        r.register(OpInfo::new("t.use"));
+        r
+    }
+
+    fn module(ctx: &mut Context) -> (OpId, crate::context::BlockId) {
+        let m = ctx.create_detached_op(OpSpec::new("t.module").regions(1));
+        let b = ctx.create_block(ctx.op(m).regions[0], vec![]);
+        (m, b)
+    }
+
+    /// Rewrites `t.double(x)` into `t.add(x, x)`.
+    struct DoubleToAdd;
+    impl RewritePattern for DoubleToAdd {
+        fn name(&self) -> &'static str {
+            "double-to-add"
+        }
+        fn match_and_rewrite(
+            &self,
+            ctx: &mut Context,
+            _registry: &DialectRegistry,
+            op: OpId,
+        ) -> bool {
+            if ctx.op(op).name != "t.double" {
+                return false;
+            }
+            let x = ctx.op(op).operands[0];
+            let add = ctx.insert_op_before(
+                op,
+                OpSpec::new("t.add").operands(vec![x, x]).results(vec![Type::F64]),
+            );
+            let new = ctx.op(add).results[0];
+            let old = ctx.op(op).results[0];
+            ctx.replace_all_uses(old, new);
+            ctx.erase_op(op);
+            true
+        }
+    }
+
+    #[test]
+    fn pattern_applies_and_converges() {
+        let mut ctx = Context::new();
+        let (m, b) = module(&mut ctx);
+        let c = ctx.append_op(b, OpSpec::new("t.const").results(vec![Type::F64]));
+        let v = ctx.op(c).results[0];
+        let d = ctx.append_op(b, OpSpec::new("t.double").operands(vec![v]).results(vec![Type::F64]));
+        let dv = ctx.op(d).results[0];
+        ctx.append_op(b, OpSpec::new("t.use").operands(vec![dv]));
+
+        let n = apply_patterns_greedily(&mut ctx, &registry(), m, &[&DoubleToAdd]);
+        assert_eq!(n, 1);
+        let names: Vec<String> =
+            ctx.block_ops(b).iter().map(|&o| ctx.op(o).name.clone()).collect();
+        assert_eq!(names, ["t.const", "t.add", "t.use"]);
+        assert!(ctx.verify_structure(m).is_ok());
+    }
+
+    #[test]
+    fn dce_removes_unused_pure_chain() {
+        let mut ctx = Context::new();
+        let (m, b) = module(&mut ctx);
+        let c = ctx.append_op(b, OpSpec::new("t.const").results(vec![Type::F64]));
+        let v = ctx.op(c).results[0];
+        ctx.append_op(b, OpSpec::new("t.add").operands(vec![v, v]).results(vec![Type::F64]));
+        // The add result is unused; the const feeds only the add.
+        let erased = eliminate_dead_code(&mut ctx, &registry(), m);
+        assert_eq!(erased, 2);
+        assert!(ctx.block_ops(b).is_empty());
+    }
+
+    #[test]
+    fn dce_keeps_impure_and_used_ops() {
+        let mut ctx = Context::new();
+        let (m, b) = module(&mut ctx);
+        let c = ctx.append_op(b, OpSpec::new("t.const").results(vec![Type::F64]));
+        let v = ctx.op(c).results[0];
+        ctx.append_op(b, OpSpec::new("t.use").operands(vec![v]));
+        let erased = eliminate_dead_code(&mut ctx, &registry(), m);
+        assert_eq!(erased, 0);
+        assert_eq!(ctx.block_ops(b).len(), 2);
+    }
+}

@@ -1,0 +1,245 @@
+//! The type system of the IR.
+//!
+//! Mirroring the paper's design, the type system spans *all* abstraction
+//! levels: high-level value types (`f64`, `memref<5x200xf64>`), stream types
+//! produced by `memref_stream.streaming_region`, and the register types of
+//! the `rv` dialects that bridge SSA semantics and physical registers
+//! (Section 3.1, Figure 6). A register type is either *unallocated*
+//! (`!rv.reg`) or carries a concrete register (`!rv.reg<a0>`); register
+//! allocation is the in-place refinement of the former into the latter.
+
+use std::fmt;
+
+use mlb_isa::{FpReg, IntReg};
+
+/// A shaped reference to a memory buffer, e.g. `memref<5x200xf64>`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct MemRefType {
+    /// Dimension sizes, outermost first. All shapes are static.
+    pub shape: Vec<i64>,
+    /// Element type.
+    pub element: Box<Type>,
+}
+
+impl MemRefType {
+    /// Creates a memref type with the given shape and element type.
+    pub fn new(shape: Vec<i64>, element: Type) -> MemRefType {
+        MemRefType { shape, element: Box::new(element) }
+    }
+
+    /// Total number of elements.
+    pub fn num_elements(&self) -> i64 {
+        self.shape.iter().product()
+    }
+
+    /// Row-major strides in *elements*, innermost stride 1.
+    ///
+    /// ```
+    /// use mlb_ir::types::{MemRefType, Type};
+    /// let t = MemRefType::new(vec![5, 200], Type::F64);
+    /// assert_eq!(t.element_strides(), vec![200, 1]);
+    /// ```
+    pub fn element_strides(&self) -> Vec<i64> {
+        let mut strides = vec![1; self.shape.len()];
+        for i in (0..self.shape.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.shape[i + 1];
+        }
+        strides
+    }
+
+    /// Size of the buffer in bytes.
+    pub fn size_in_bytes(&self) -> i64 {
+        self.num_elements() * self.element.size_in_bytes() as i64
+    }
+}
+
+/// A function signature type.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct FunctionType {
+    /// Parameter types.
+    pub inputs: Vec<Type>,
+    /// Result types.
+    pub results: Vec<Type>,
+}
+
+/// A type in the IR.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Type {
+    /// Arbitrary-width signless integer, e.g. `i32`.
+    Integer(u32),
+    /// Platform index type.
+    Index,
+    /// IEEE-754 single precision.
+    F32,
+    /// IEEE-754 double precision.
+    F64,
+    /// Shaped buffer reference.
+    MemRef(MemRefType),
+    /// Function signature.
+    Function(FunctionType),
+    /// An integer register of the `rv` dialect, possibly unallocated.
+    IntRegister(Option<IntReg>),
+    /// A floating-point register of the `rv` dialect, possibly unallocated.
+    FpRegister(Option<FpReg>),
+    /// A readable stream of elements, `!memref_stream.readable<f64>`.
+    ReadableStream(Box<Type>),
+    /// A writable stream of elements, `!memref_stream.writable<f64>`.
+    WritableStream(Box<Type>),
+    /// The absence of a value (used by ops with no meaningful result).
+    None,
+}
+
+impl Type {
+    /// Convenience constructor for `memref<...>`.
+    pub fn memref(shape: Vec<i64>, element: Type) -> Type {
+        Type::MemRef(MemRefType::new(shape, element))
+    }
+
+    /// Convenience constructor for function types.
+    pub fn function(inputs: Vec<Type>, results: Vec<Type>) -> Type {
+        Type::Function(FunctionType { inputs, results })
+    }
+
+    /// The `i32` type.
+    pub fn i32() -> Type {
+        Type::Integer(32)
+    }
+
+    /// The `i1` (boolean) type.
+    pub fn i1() -> Type {
+        Type::Integer(1)
+    }
+
+    /// Whether this is a floating-point scalar type.
+    pub fn is_float(&self) -> bool {
+        matches!(self, Type::F32 | Type::F64)
+    }
+
+    /// Whether this is an (possibly unallocated) register type.
+    pub fn is_register(&self) -> bool {
+        matches!(self, Type::IntRegister(_) | Type::FpRegister(_))
+    }
+
+    /// Whether this register type has been assigned a physical register.
+    pub fn is_allocated_register(&self) -> bool {
+        matches!(self, Type::IntRegister(Some(_)) | Type::FpRegister(Some(_)))
+    }
+
+    /// Size of a value of this type in bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics for types without a data layout (functions, streams, `None`).
+    pub fn size_in_bytes(&self) -> usize {
+        match self {
+            Type::Integer(bits) => (*bits as usize).div_ceil(8),
+            Type::Index => 4,
+            Type::F32 => 4,
+            Type::F64 => 8,
+            Type::MemRef(m) => m.size_in_bytes() as usize,
+            other => panic!("type {other} has no data layout"),
+        }
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Type::Integer(w) => write!(f, "i{w}"),
+            Type::Index => f.write_str("index"),
+            Type::F32 => f.write_str("f32"),
+            Type::F64 => f.write_str("f64"),
+            Type::MemRef(m) => {
+                f.write_str("memref<")?;
+                for d in &m.shape {
+                    write!(f, "{d}x")?;
+                }
+                write!(f, "{}>", m.element)
+            }
+            Type::Function(ft) => {
+                f.write_str("(")?;
+                for (i, t) in ft.inputs.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{t}")?;
+                }
+                f.write_str(") -> (")?;
+                for (i, t) in ft.results.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{t}")?;
+                }
+                f.write_str(")")
+            }
+            Type::IntRegister(None) => f.write_str("!rv.reg"),
+            Type::IntRegister(Some(r)) => write!(f, "!rv.reg<{r}>"),
+            Type::FpRegister(None) => f.write_str("!rv.freg"),
+            Type::FpRegister(Some(r)) => write!(f, "!rv.freg<{r}>"),
+            Type::ReadableStream(t) => write!(f, "!memref_stream.readable<{t}>"),
+            Type::WritableStream(t) => write!(f, "!memref_stream.writable<{t}>"),
+            Type::None => f.write_str("none"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Type::Integer(32).to_string(), "i32");
+        assert_eq!(Type::F64.to_string(), "f64");
+        assert_eq!(Type::memref(vec![5, 200], Type::F64).to_string(), "memref<5x200xf64>");
+        assert_eq!(Type::IntRegister(None).to_string(), "!rv.reg");
+        assert_eq!(
+            Type::IntRegister(Some(IntReg::a(0))).to_string(),
+            "!rv.reg<a0>"
+        );
+        assert_eq!(
+            Type::FpRegister(Some(FpReg::ft(3))).to_string(),
+            "!rv.freg<ft3>"
+        );
+        assert_eq!(
+            Type::ReadableStream(Box::new(Type::F64)).to_string(),
+            "!memref_stream.readable<f64>"
+        );
+        assert_eq!(
+            Type::function(vec![Type::F64, Type::F32], vec![Type::Index]).to_string(),
+            "(f64, f32) -> (index)"
+        );
+    }
+
+    #[test]
+    fn memref_strides_row_major() {
+        let t = MemRefType::new(vec![2, 3, 4], Type::F64);
+        assert_eq!(t.element_strides(), vec![12, 4, 1]);
+        assert_eq!(t.num_elements(), 24);
+        assert_eq!(t.size_in_bytes(), 24 * 8);
+    }
+
+    #[test]
+    fn scalar_memref() {
+        let t = MemRefType::new(vec![], Type::F32);
+        assert_eq!(t.element_strides(), Vec::<i64>::new());
+        assert_eq!(t.num_elements(), 1);
+    }
+
+    #[test]
+    fn size_in_bytes() {
+        assert_eq!(Type::F32.size_in_bytes(), 4);
+        assert_eq!(Type::F64.size_in_bytes(), 8);
+        assert_eq!(Type::Integer(1).size_in_bytes(), 1);
+        assert_eq!(Type::Index.size_in_bytes(), 4);
+    }
+
+    #[test]
+    fn register_predicates() {
+        assert!(Type::IntRegister(None).is_register());
+        assert!(!Type::IntRegister(None).is_allocated_register());
+        assert!(Type::FpRegister(Some(FpReg::fa(0))).is_allocated_register());
+        assert!(!Type::F64.is_register());
+    }
+}

@@ -1,0 +1,62 @@
+#![warn(missing_docs)]
+
+//! RISC-V ISA and Snitch extension definitions shared across the backend.
+//!
+//! This crate is the lowest layer of the workspace: it defines the integer
+//! and floating-point register files with their ABI names, the allocatable
+//! (caller-saved) register pools used by the spill-free register allocator,
+//! and the constants of the Snitch stream semantic register (SSR) and
+//! floating-point repetition (FREP) ISA extensions.
+//!
+//! Everything else — the IR register types, the `rv` dialects, the assembly
+//! emitter and the simulator — agrees on these definitions, so a register
+//! allocated by the backend is, by construction, the register the simulator
+//! reads and writes.
+
+pub mod regs;
+pub mod ssr;
+
+pub use regs::{FpReg, IntReg, RegParseError};
+pub use ssr::{SsrCfgReg, SsrDataMover, FREP_MAX_SEQUENCE, NUM_SSR_DATA_MOVERS, SSR_MAX_DIMS};
+
+/// The control and status register (CSR) that gates stream semantics.
+///
+/// Setting bit 0 turns SSR mode on: reads of `ft0`/`ft1` pop from the read
+/// streams and writes to `ft2` push to the write stream.
+pub const CSR_SSR: u16 = 0x7C0;
+
+/// Machine cycle counter CSR, used by kernels and the harness for timing.
+pub const CSR_MCYCLE: u16 = 0xB00;
+
+/// Size of the tightly-coupled data memory (TCDM) in bytes (128 KiB).
+///
+/// The paper selects kernel shapes so that all operands fit in the TCDM;
+/// the simulator models it as single-cycle scratchpad memory.
+pub const TCDM_SIZE: usize = 128 * 1024;
+
+/// Base address of the TCDM in the simulated address space.
+pub const TCDM_BASE: u32 = 0x1000_0000;
+
+/// Depth of the floating-point unit pipeline in stages.
+///
+/// All FPU operations on Snitch have a three-stage pipeline; a dependent
+/// instruction issued back-to-back therefore stalls. The unroll-and-jam
+/// factor is chosen so at least [`FPU_PIPELINE_DEPTH`] + 1 independent
+/// instructions are in flight (Section 3.4 of the paper).
+pub const FPU_PIPELINE_DEPTH: u32 = 3;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tcdm_is_128_kib() {
+        assert_eq!(TCDM_SIZE, 131072);
+    }
+
+    #[test]
+    fn fpu_depth_matches_paper() {
+        // "the FPU has three stages for all operations"
+        assert_eq!(FPU_PIPELINE_DEPTH, 3);
+    }
+}

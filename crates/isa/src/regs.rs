@@ -1,0 +1,331 @@
+//! The RISC-V integer and floating-point register files.
+//!
+//! Registers are identified by their hardware index (`x0`–`x31`,
+//! `f0`–`f31`) but printed and parsed using their standard ABI names
+//! (`zero`, `ra`, `sp`, …, `a0`, `t0`, `fa0`, `ft0`, …), which is what the
+//! assembly emitter produces and the simulator's assembler consumes.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// ABI names of the 32 integer registers, indexed by hardware number.
+const INT_ABI_NAMES: [&str; 32] = [
+    "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2", "s0", "s1", "a0", "a1", "a2", "a3", "a4",
+    "a5", "a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "s10", "s11", "t3", "t4",
+    "t5", "t6",
+];
+
+/// ABI names of the 32 floating-point registers, indexed by hardware number.
+const FP_ABI_NAMES: [&str; 32] = [
+    "ft0", "ft1", "ft2", "ft3", "ft4", "ft5", "ft6", "ft7", "fs0", "fs1", "fa0", "fa1", "fa2",
+    "fa3", "fa4", "fa5", "fa6", "fa7", "fs2", "fs3", "fs4", "fs5", "fs6", "fs7", "fs8", "fs9",
+    "fs10", "fs11", "ft8", "ft9", "ft10", "ft11",
+];
+
+/// Error returned when parsing a register from an unknown name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegParseError {
+    name: String,
+}
+
+impl fmt::Display for RegParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown register name `{}`", self.name)
+    }
+}
+
+impl std::error::Error for RegParseError {}
+
+/// An integer (`x`) register, identified by hardware index.
+///
+/// ```
+/// use mlb_isa::IntReg;
+/// let a0: IntReg = "a0".parse()?;
+/// assert_eq!(a0.index(), 10);
+/// assert_eq!(a0.to_string(), "a0");
+/// # Ok::<(), mlb_isa::RegParseError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct IntReg(u8);
+
+impl IntReg {
+    /// The hard-wired zero register `x0`.
+    pub const ZERO: IntReg = IntReg(0);
+    /// The return-address register `x1`.
+    pub const RA: IntReg = IntReg(1);
+    /// The stack pointer `x2`.
+    pub const SP: IntReg = IntReg(2);
+
+    /// Creates a register from its hardware index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 32`.
+    pub fn new(index: u8) -> IntReg {
+        assert!(index < 32, "integer register index {index} out of range");
+        IntReg(index)
+    }
+
+    /// The argument register `a<n>` (`a0`–`a7`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= 8`.
+    pub fn a(n: u8) -> IntReg {
+        assert!(n < 8, "argument register a{n} does not exist");
+        IntReg(10 + n)
+    }
+
+    /// The temporary register `t<n>` (`t0`–`t6`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= 7`.
+    pub fn t(n: u8) -> IntReg {
+        assert!(n < 7, "temporary register t{n} does not exist");
+        if n < 3 {
+            IntReg(5 + n)
+        } else {
+            IntReg(28 + n - 3)
+        }
+    }
+
+    /// The hardware index (0–31).
+    pub fn index(self) -> u8 {
+        self.0
+    }
+
+    /// The standard ABI name, e.g. `"a0"`.
+    pub fn abi_name(self) -> &'static str {
+        INT_ABI_NAMES[self.0 as usize]
+    }
+
+    /// The 15 caller-saved registers available to the spill-free allocator:
+    /// `a0`–`a7` and `t0`–`t6` (Section 3.3 of the paper).
+    ///
+    /// Argument registers come last so that temporaries are preferred and
+    /// incoming argument registers stay untouched for as long as possible.
+    pub fn allocatable() -> Vec<IntReg> {
+        let mut pool: Vec<IntReg> = (0..7).map(IntReg::t).collect();
+        pool.extend((0..8).map(IntReg::a));
+        pool
+    }
+}
+
+impl fmt::Display for IntReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.abi_name())
+    }
+}
+
+impl FromStr for IntReg {
+    type Err = RegParseError;
+
+    fn from_str(s: &str) -> Result<IntReg, RegParseError> {
+        if let Some(pos) = INT_ABI_NAMES.iter().position(|&n| n == s) {
+            return Ok(IntReg(pos as u8));
+        }
+        // Also accept the raw x<n> spelling.
+        if let Some(num) = s.strip_prefix('x') {
+            if let Ok(n) = num.parse::<u8>() {
+                if n < 32 {
+                    return Ok(IntReg(n));
+                }
+            }
+        }
+        // `fp` is an alias for `s0`.
+        if s == "fp" {
+            return Ok(IntReg(8));
+        }
+        Err(RegParseError { name: s.to_string() })
+    }
+}
+
+/// A floating-point (`f`) register, identified by hardware index.
+///
+/// ```
+/// use mlb_isa::FpReg;
+/// let ft3: FpReg = "ft3".parse()?;
+/// assert_eq!(ft3.index(), 3);
+/// assert!(!ft3.is_ssr());
+/// assert!(FpReg::ft(0).is_ssr());
+/// # Ok::<(), mlb_isa::RegParseError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FpReg(u8);
+
+impl FpReg {
+    /// Creates a register from its hardware index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 32`.
+    pub fn new(index: u8) -> FpReg {
+        assert!(index < 32, "fp register index {index} out of range");
+        FpReg(index)
+    }
+
+    /// The argument register `fa<n>` (`fa0`–`fa7`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= 8`.
+    pub fn fa(n: u8) -> FpReg {
+        assert!(n < 8, "argument register fa{n} does not exist");
+        FpReg(10 + n)
+    }
+
+    /// The temporary register `ft<n>` (`ft0`–`ft11`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= 12`.
+    pub fn ft(n: u8) -> FpReg {
+        assert!(n < 12, "temporary register ft{n} does not exist");
+        if n < 8 {
+            FpReg(n)
+        } else {
+            FpReg(28 + n - 8)
+        }
+    }
+
+    /// The hardware index (0–31).
+    pub fn index(self) -> u8 {
+        self.0
+    }
+
+    /// The standard ABI name, e.g. `"ft0"`.
+    pub fn abi_name(self) -> &'static str {
+        FP_ABI_NAMES[self.0 as usize]
+    }
+
+    /// Whether this register is claimed by a stream data mover while
+    /// streaming is enabled (`ft0`, `ft1`, `ft2`).
+    pub fn is_ssr(self) -> bool {
+        self.0 < super::ssr::NUM_SSR_DATA_MOVERS as u8
+    }
+
+    /// The 20 caller-saved registers available to the spill-free allocator:
+    /// `fa0`–`fa7` and `ft0`–`ft11` (Section 3.3 of the paper).
+    ///
+    /// Higher `ft` temporaries come first; the SSR data registers
+    /// `ft0`–`ft2` come last so that code inside streaming regions (which
+    /// must exclude them) and code outside behave as uniformly as possible.
+    pub fn allocatable() -> Vec<FpReg> {
+        let mut pool: Vec<FpReg> = (3..12).rev().map(FpReg::ft).collect();
+        pool.extend((0..8).map(FpReg::fa));
+        pool.extend((0..3).map(FpReg::ft));
+        pool
+    }
+}
+
+impl fmt::Display for FpReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.abi_name())
+    }
+}
+
+impl FromStr for FpReg {
+    type Err = RegParseError;
+
+    fn from_str(s: &str) -> Result<FpReg, RegParseError> {
+        if let Some(pos) = FP_ABI_NAMES.iter().position(|&n| n == s) {
+            return Ok(FpReg(pos as u8));
+        }
+        if let Some(num) = s.strip_prefix('f') {
+            if let Ok(n) = num.parse::<u8>() {
+                if n < 32 {
+                    return Ok(FpReg(n));
+                }
+            }
+        }
+        Err(RegParseError { name: s.to_string() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_abi_names_round_trip() {
+        for i in 0..32 {
+            let r = IntReg::new(i);
+            assert_eq!(r.abi_name().parse::<IntReg>().unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn fp_abi_names_round_trip() {
+        for i in 0..32 {
+            let r = FpReg::new(i);
+            assert_eq!(r.abi_name().parse::<FpReg>().unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn x_spelling_parses() {
+        assert_eq!("x10".parse::<IntReg>().unwrap(), IntReg::a(0));
+        assert_eq!("x0".parse::<IntReg>().unwrap(), IntReg::ZERO);
+        assert_eq!("f0".parse::<FpReg>().unwrap(), FpReg::ft(0));
+    }
+
+    #[test]
+    fn unknown_names_rejected() {
+        assert!("q7".parse::<IntReg>().is_err());
+        assert!("x32".parse::<IntReg>().is_err());
+        assert!("f32".parse::<FpReg>().is_err());
+        assert!("fq1".parse::<FpReg>().is_err());
+    }
+
+    #[test]
+    fn t_registers_are_split() {
+        assert_eq!(IntReg::t(0).index(), 5);
+        assert_eq!(IntReg::t(2).index(), 7);
+        assert_eq!(IntReg::t(3).index(), 28);
+        assert_eq!(IntReg::t(6).index(), 31);
+    }
+
+    #[test]
+    fn ft_registers_are_split() {
+        assert_eq!(FpReg::ft(0).index(), 0);
+        assert_eq!(FpReg::ft(7).index(), 7);
+        assert_eq!(FpReg::ft(8).index(), 28);
+        assert_eq!(FpReg::ft(11).index(), 31);
+    }
+
+    #[test]
+    fn allocatable_pool_sizes_match_paper() {
+        // "15 integer (a and t) and 20 FP registers (fa and ft)"
+        assert_eq!(IntReg::allocatable().len(), 15);
+        assert_eq!(FpReg::allocatable().len(), 20);
+    }
+
+    #[test]
+    fn allocatable_pools_have_no_duplicates() {
+        let ints = IntReg::allocatable();
+        let mut dedup = ints.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), ints.len());
+
+        let fps = FpReg::allocatable();
+        let mut dedup = fps.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), fps.len());
+    }
+
+    #[test]
+    fn ssr_registers_are_ft0_to_ft2() {
+        let ssrs: Vec<FpReg> = (0..32).map(FpReg::new).filter(|r| r.is_ssr()).collect();
+        assert_eq!(ssrs, vec![FpReg::ft(0), FpReg::ft(1), FpReg::ft(2)]);
+    }
+
+    #[test]
+    fn display_uses_abi_name() {
+        assert_eq!(IntReg::a(3).to_string(), "a3");
+        assert_eq!(FpReg::fa(1).to_string(), "fa1");
+        assert_eq!(IntReg::ZERO.to_string(), "zero");
+    }
+}

@@ -1,0 +1,176 @@
+//! Constants of the Snitch stream semantic register (SSR) and FREP
+//! extensions.
+//!
+//! An SSR *data mover* is a hardware address generator bound to one of the
+//! registers `ft0`–`ft2`. While streaming is enabled, reads of a read-stream
+//! register pop the next element of an affine access pattern from memory and
+//! writes to a write-stream register push to one. The access pattern is a
+//! nested loop of up to [`SSR_MAX_DIMS`] dimensions, programmed through a
+//! small configuration register file per data mover via the `scfgwi`
+//! instruction.
+
+/// Number of SSR data movers (and thus streamable registers `ft0..ft2`).
+pub const NUM_SSR_DATA_MOVERS: usize = 3;
+
+/// Maximum number of nested loop dimensions an SSR can generate.
+pub const SSR_MAX_DIMS: usize = 4;
+
+/// Maximum number of instructions an FREP hardware loop can buffer.
+pub const FREP_MAX_SEQUENCE: usize = 16;
+
+/// Identifies one of the three SSR data movers.
+///
+/// Data movers 0 and 1 are conventionally used for read streams (mapped to
+/// `ft0` and `ft1`), data mover 2 for the write stream (mapped to `ft2`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SsrDataMover(u8);
+
+impl SsrDataMover {
+    /// Creates a data-mover id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= NUM_SSR_DATA_MOVERS`.
+    pub fn new(index: u8) -> SsrDataMover {
+        assert!(
+            (index as usize) < NUM_SSR_DATA_MOVERS,
+            "SSR data mover {index} out of range"
+        );
+        SsrDataMover(index)
+    }
+
+    /// The data-mover index (0–2).
+    pub fn index(self) -> u8 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for SsrDataMover {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "dm{}", self.0)
+    }
+}
+
+/// The per-data-mover configuration register file addressed by `scfgwi`.
+///
+/// The `scfgwi rs1, imm` instruction writes `rs1` to the configuration word
+/// selected by `imm = reg << 5 | dm`. Writing a read pointer (`RPtr*`) or
+/// write pointer (`WPtr*`) register arms the stream with the corresponding
+/// number of dimensions and sets its base address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SsrCfgReg {
+    /// Status word (also used to reset the job).
+    Status,
+    /// Innermost-element repetition count minus one: each streamed element
+    /// is delivered `repeat + 1` times. This implements the paper's
+    /// "stride of 0 in the last dimension" optimization without re-reading
+    /// memory (Section 3.2).
+    Repeat,
+    /// Loop bound (iterations minus one) for dimension `d` (0 = innermost).
+    Bound(u8),
+    /// Address stride in bytes applied when dimension `d` increments.
+    ///
+    /// Hardware strides are *deltas*: the stride of dimension `d` must
+    /// compensate for the wrap-around of all inner dimensions. The backend
+    /// performs that compensation when lowering `snitch_stream` patterns.
+    Stride(u8),
+    /// Read-stream base pointer; writing arms a read job with `d + 1` dims.
+    RPtr(u8),
+    /// Write-stream base pointer; writing arms a write job with `d + 1` dims.
+    WPtr(u8),
+}
+
+impl SsrCfgReg {
+    /// Encodes the register as the word index used in the `scfgwi` immediate.
+    pub fn encode(self) -> u16 {
+        match self {
+            SsrCfgReg::Status => 0,
+            SsrCfgReg::Repeat => 1,
+            SsrCfgReg::Bound(d) => {
+                assert!((d as usize) < SSR_MAX_DIMS);
+                2 + d as u16
+            }
+            SsrCfgReg::Stride(d) => {
+                assert!((d as usize) < SSR_MAX_DIMS);
+                6 + d as u16
+            }
+            SsrCfgReg::RPtr(d) => {
+                assert!((d as usize) < SSR_MAX_DIMS);
+                24 + d as u16
+            }
+            SsrCfgReg::WPtr(d) => {
+                assert!((d as usize) < SSR_MAX_DIMS);
+                28 + d as u16
+            }
+        }
+    }
+
+    /// Decodes a word index back into a configuration register.
+    pub fn decode(word: u16) -> Option<SsrCfgReg> {
+        match word {
+            0 => Some(SsrCfgReg::Status),
+            1 => Some(SsrCfgReg::Repeat),
+            2..=5 => Some(SsrCfgReg::Bound((word - 2) as u8)),
+            6..=9 => Some(SsrCfgReg::Stride((word - 6) as u8)),
+            24..=27 => Some(SsrCfgReg::RPtr((word - 24) as u8)),
+            28..=31 => Some(SsrCfgReg::WPtr((word - 28) as u8)),
+            _ => None,
+        }
+    }
+
+    /// Builds the full `scfgwi` immediate for this register and data mover.
+    pub fn scfg_imm(self, dm: SsrDataMover) -> u16 {
+        (self.encode() << 5) | dm.index() as u16
+    }
+
+    /// Splits an `scfgwi` immediate into the register and data mover.
+    pub fn from_scfg_imm(imm: u16) -> Option<(SsrCfgReg, SsrDataMover)> {
+        let dm = (imm & 0x1F) as u8;
+        if dm as usize >= NUM_SSR_DATA_MOVERS {
+            return None;
+        }
+        Some((SsrCfgReg::decode(imm >> 5)?, SsrDataMover::new(dm)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cfg_reg_encoding_round_trips() {
+        let regs = [
+            SsrCfgReg::Status,
+            SsrCfgReg::Repeat,
+            SsrCfgReg::Bound(0),
+            SsrCfgReg::Bound(3),
+            SsrCfgReg::Stride(0),
+            SsrCfgReg::Stride(3),
+            SsrCfgReg::RPtr(0),
+            SsrCfgReg::RPtr(3),
+            SsrCfgReg::WPtr(0),
+            SsrCfgReg::WPtr(3),
+        ];
+        for r in regs {
+            assert_eq!(SsrCfgReg::decode(r.encode()), Some(r));
+            for dm in 0..NUM_SSR_DATA_MOVERS as u8 {
+                let dm = SsrDataMover::new(dm);
+                assert_eq!(SsrCfgReg::from_scfg_imm(r.scfg_imm(dm)), Some((r, dm)));
+            }
+        }
+    }
+
+    #[test]
+    fn bad_immediates_rejected() {
+        // Data mover 5 does not exist.
+        assert_eq!(SsrCfgReg::from_scfg_imm((2 << 5) | 5), None);
+        // Word 12 is not a defined configuration register.
+        assert_eq!(SsrCfgReg::decode(12), None);
+    }
+
+    #[test]
+    #[should_panic]
+    fn oversized_dim_panics() {
+        let _ = SsrCfgReg::Bound(4).encode();
+    }
+}

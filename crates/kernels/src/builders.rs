@@ -1,0 +1,247 @@
+//! `linalg`-level IR builders for the kernel suite.
+//!
+//! Each builder creates one `func.func` containing the kernel as
+//! `linalg` operations — the input of the micro-kernel compiler
+//! (Section 4.1: kernels enter as `linalg.generic`, reductions preceded
+//! by a `linalg.fill` zeroing the output, "the form used by most MLIR
+//! DNN frontends").
+
+use mlb_dialects::{arith, builtin, func, linalg};
+use mlb_ir::{AffineExpr, AffineMap, Context, IteratorType, OpId, Type};
+
+use crate::suite::{Instance, Kind, Precision, Shape};
+
+/// Initial value used when fusing/filling max-pool outputs: an integral
+/// constant (materializable without a constant pool) far below any input.
+pub const MAX_POOL_INIT: f64 = -1.0e9;
+
+impl Instance {
+    /// Builds a module containing this kernel at the `linalg` level.
+    pub fn build_module(&self, ctx: &mut Context) -> OpId {
+        let (module, top) = builtin::build_module(ctx);
+        let elem = match self.precision {
+            Precision::F64 => Type::F64,
+            Precision::F32 => Type::F32,
+        };
+        let Shape { n, m, k } = self.shape;
+        match self.kind {
+            Kind::Fill => {
+                let z_ty = Type::memref(vec![n, m], elem.clone());
+                let (_f, entry) =
+                    func::build_func(ctx, top, &self.symbol(), vec![elem, z_ty], vec![]);
+                let value = ctx.block_args(entry)[0];
+                let z = ctx.block_args(entry)[1];
+                linalg::build_fill(ctx, entry, value, z);
+                func::build_return(ctx, entry, vec![]);
+            }
+            Kind::Sum => {
+                let buf = Type::memref(vec![n, m], elem);
+                let (_f, entry) = func::build_func(
+                    ctx,
+                    top,
+                    &self.symbol(),
+                    vec![buf.clone(), buf.clone(), buf],
+                    vec![],
+                );
+                let x = ctx.block_args(entry)[0];
+                let y = ctx.block_args(entry)[1];
+                let z = ctx.block_args(entry)[2];
+                let id = AffineMap::identity(2);
+                linalg::build_generic(
+                    ctx,
+                    entry,
+                    vec![x, y],
+                    vec![z],
+                    vec![id.clone(), id.clone(), id],
+                    vec![IteratorType::Parallel, IteratorType::Parallel],
+                    None,
+                    |ctx, body, args| {
+                        vec![arith::binary(ctx, body, arith::ADDF, args[0], args[1])]
+                    },
+                );
+                func::build_return(ctx, entry, vec![]);
+            }
+            Kind::Relu => {
+                let buf = Type::memref(vec![n, m], elem.clone());
+                let (_f, entry) =
+                    func::build_func(ctx, top, &self.symbol(), vec![buf.clone(), buf], vec![]);
+                let x = ctx.block_args(entry)[0];
+                let z = ctx.block_args(entry)[1];
+                let zero = arith::constant_float(ctx, entry, 0.0, elem);
+                let id = AffineMap::identity(2);
+                linalg::build_generic(
+                    ctx,
+                    entry,
+                    vec![x],
+                    vec![z],
+                    vec![id.clone(), id],
+                    vec![IteratorType::Parallel, IteratorType::Parallel],
+                    None,
+                    |ctx, body, args| {
+                        vec![arith::binary(ctx, body, arith::MAXIMUMF, args[0], zero)]
+                    },
+                );
+                func::build_return(ctx, entry, vec![]);
+            }
+            Kind::Conv3x3 => {
+                let x_ty = Type::memref(vec![n + 2, m + 2], elem.clone());
+                let w_ty = Type::memref(vec![3, 3], elem.clone());
+                let z_ty = Type::memref(vec![n, m], elem.clone());
+                let (_f, entry) =
+                    func::build_func(ctx, top, &self.symbol(), vec![x_ty, w_ty, z_ty], vec![]);
+                let x = ctx.block_args(entry)[0];
+                let w = ctx.block_args(entry)[1];
+                let z = ctx.block_args(entry)[2];
+                let zero = arith::constant_float(ctx, entry, 0.0, elem);
+                linalg::build_fill(ctx, entry, zero, z);
+                // dims: (row, col, kh, kw)
+                let x_map = AffineMap::new(
+                    4,
+                    0,
+                    vec![
+                        AffineExpr::dim(0).add(AffineExpr::dim(2)),
+                        AffineExpr::dim(1).add(AffineExpr::dim(3)),
+                    ],
+                );
+                let w_map = AffineMap::projection(4, &[2, 3]);
+                let z_map = AffineMap::projection(4, &[0, 1]);
+                linalg::build_generic(
+                    ctx,
+                    entry,
+                    vec![x, w],
+                    vec![z],
+                    vec![x_map, w_map, z_map],
+                    vec![
+                        IteratorType::Parallel,
+                        IteratorType::Parallel,
+                        IteratorType::Reduction,
+                        IteratorType::Reduction,
+                    ],
+                    None,
+                    |ctx, body, args| {
+                        let p = arith::binary(ctx, body, arith::MULF, args[0], args[1]);
+                        vec![arith::binary(ctx, body, arith::ADDF, p, args[2])]
+                    },
+                );
+                func::build_return(ctx, entry, vec![]);
+            }
+            Kind::MaxPool3x3 | Kind::SumPool3x3 => {
+                let x_ty = Type::memref(vec![n + 2, m + 2], elem.clone());
+                let z_ty = Type::memref(vec![n, m], elem.clone());
+                let (_f, entry) =
+                    func::build_func(ctx, top, &self.symbol(), vec![x_ty, z_ty], vec![]);
+                let x = ctx.block_args(entry)[0];
+                let z = ctx.block_args(entry)[1];
+                let init = if self.kind == Kind::MaxPool3x3 { MAX_POOL_INIT } else { 0.0 };
+                let init_v = arith::constant_float(ctx, entry, init, elem);
+                linalg::build_fill(ctx, entry, init_v, z);
+                let x_map = AffineMap::new(
+                    4,
+                    0,
+                    vec![
+                        AffineExpr::dim(0).add(AffineExpr::dim(2)),
+                        AffineExpr::dim(1).add(AffineExpr::dim(3)),
+                    ],
+                );
+                let z_map = AffineMap::projection(4, &[0, 1]);
+                let combine =
+                    if self.kind == Kind::MaxPool3x3 { arith::MAXIMUMF } else { arith::ADDF };
+                linalg::build_generic(
+                    ctx,
+                    entry,
+                    vec![x],
+                    vec![z],
+                    vec![x_map, z_map],
+                    vec![
+                        IteratorType::Parallel,
+                        IteratorType::Parallel,
+                        IteratorType::Reduction,
+                        IteratorType::Reduction,
+                    ],
+                    Some(vec![n, m, 3, 3]),
+                    |ctx, body, args| vec![arith::binary(ctx, body, combine, args[0], args[1])],
+                );
+                func::build_return(ctx, entry, vec![]);
+            }
+            Kind::MatMul | Kind::MatMulT => {
+                let a_ty = Type::memref(vec![n, k], elem.clone());
+                let b_ty = if self.kind == Kind::MatMul {
+                    Type::memref(vec![k, m], elem.clone())
+                } else {
+                    Type::memref(vec![m, k], elem.clone())
+                };
+                let c_ty = Type::memref(vec![n, m], elem.clone());
+                let (_f, entry) =
+                    func::build_func(ctx, top, &self.symbol(), vec![a_ty, b_ty, c_ty], vec![]);
+                let a = ctx.block_args(entry)[0];
+                let b = ctx.block_args(entry)[1];
+                let c = ctx.block_args(entry)[2];
+                let zero = arith::constant_float(ctx, entry, 0.0, elem);
+                linalg::build_fill(ctx, entry, zero, c);
+                // dims: (row, col, k)
+                let a_map = AffineMap::projection(3, &[0, 2]);
+                let b_map = if self.kind == Kind::MatMul {
+                    AffineMap::projection(3, &[2, 1])
+                } else {
+                    AffineMap::projection(3, &[1, 2])
+                };
+                let c_map = AffineMap::projection(3, &[0, 1]);
+                linalg::build_generic(
+                    ctx,
+                    entry,
+                    vec![a, b],
+                    vec![c],
+                    vec![a_map, b_map, c_map],
+                    vec![
+                        IteratorType::Parallel,
+                        IteratorType::Parallel,
+                        IteratorType::Reduction,
+                    ],
+                    None,
+                    |ctx, body, args| {
+                        let p = arith::binary(ctx, body, arith::MULF, args[0], args[1]);
+                        vec![arith::binary(ctx, body, arith::ADDF, p, args[2])]
+                    },
+                );
+                func::build_return(ctx, entry, vec![]);
+            }
+        }
+        module
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlb_core::full_registry;
+
+    #[test]
+    fn every_kernel_builds_and_verifies() {
+        let registry = full_registry();
+        for kind in Kind::all() {
+            let shape = match kind {
+                Kind::MatMul | Kind::MatMulT => Shape::nmk(2, 4, 8),
+                _ => Shape::nm(4, 4),
+            };
+            let instance = Instance::new(kind, shape, Precision::F64);
+            let mut ctx = Context::new();
+            let module = instance.build_module(&mut ctx);
+            registry.verify(&ctx, module).unwrap_or_else(|e| panic!("{kind}: {e}"));
+        }
+    }
+
+    #[test]
+    fn f32_variants_build() {
+        let registry = full_registry();
+        for kind in [Kind::Sum, Kind::Relu, Kind::MatMulT] {
+            let shape = match kind {
+                Kind::MatMulT => Shape::nmk(2, 4, 8),
+                _ => Shape::nm(4, 8),
+            };
+            let instance = Instance::new(kind, shape, Precision::F32);
+            let mut ctx = Context::new();
+            let module = instance.build_module(&mut ctx);
+            registry.verify(&ctx, module).unwrap_or_else(|e| panic!("{kind}: {e}"));
+        }
+    }
+}

@@ -1,0 +1,409 @@
+//! Hand-written low-level kernels (Section 4.2, RQ1).
+//!
+//! These kernels are written directly in the `rv`, `rv_snitch` and
+//! `snitch_stream` dialects "in a partially register-allocated form":
+//! stream registers and ABI registers are pinned, everything else is left
+//! to the allocator. They use the Snitch packed-SIMD instructions on
+//! 32-bit data, which the high-level pipeline does not generate — this is
+//! exactly the expert-tuned code the paper uses to answer whether the
+//! assembly-level dialects are expressive enough for peak performance.
+
+use mlb_core::regalloc::allocate_function;
+use mlb_core::Compilation;
+use mlb_ir::{Context, OpId, PassError, StreamPattern, Type};
+use mlb_riscv::{rv, rv_func, rv_scf, rv_snitch, snitch_stream};
+
+use crate::suite::{Instance, Kind, Precision, Shape};
+
+/// Which handwritten kernels exist (the Figure 9 set).
+pub fn supported(kind: Kind) -> bool {
+    matches!(kind, Kind::Sum | Kind::Relu | Kind::MatMulT)
+}
+
+/// Builds, allocates and emits the handwritten variant of `instance`.
+///
+/// # Errors
+///
+/// Fails when the instance has no handwritten form ([`supported`]) or on
+/// allocation/lowering errors.
+///
+/// # Panics
+///
+/// Panics if the shape violates the kernel's layout requirements (packed
+/// SIMD needs even element counts).
+pub fn build_handwritten(instance: &Instance) -> Result<Compilation, PassError> {
+    assert_eq!(
+        instance.precision,
+        Precision::F32,
+        "handwritten kernels use packed 32-bit SIMD"
+    );
+    let mut ctx = Context::new();
+    let module = match instance.kind {
+        Kind::Sum => build_sum(&mut ctx, instance.shape),
+        Kind::Relu => build_relu(&mut ctx, instance.shape),
+        Kind::MatMulT => build_matmult(&mut ctx, instance.shape),
+        other => {
+            return Err(PassError::new(
+                "handwritten",
+                format!("no handwritten variant of {other}"),
+            ))
+        }
+    };
+    finalize(&mut ctx, module)
+}
+
+/// Allocates registers, lowers control flow and emits assembly for a
+/// module written at the `rv` level.
+pub fn finalize(ctx: &mut Context, module: OpId) -> Result<Compilation, PassError> {
+    let registry = mlb_core::full_registry();
+    let mut pre = mlb_ir::PassManager::new();
+    pre.add(mlb_core::passes::lower_streaming::LowerSnitchStream);
+    pre.run(ctx, &registry, module)?;
+    let mut functions = Vec::new();
+    for func in ctx.walk_named(module, rv_func::FUNC) {
+        allocate_function(ctx, func)
+            .map_err(|e| PassError::new("allocate-registers", e.to_string()))?;
+        let name = rv_func::symbol_name(ctx, func).unwrap_or("?").to_string();
+        functions.push((name, mlb_core::regalloc::collect_stats(ctx, func)));
+    }
+    registry.verify(ctx, module)?;
+    let mut pm = mlb_ir::PassManager::new();
+    pm.add(mlb_core::passes::rv_scf_to_cf::RvScfToCf);
+    pm.run(ctx, &registry, module)?;
+    let assembly = mlb_riscv::emit_module(ctx, module)
+        .map_err(|e| PassError::new("emit-assembly", e.to_string()))?;
+    Ok(Compilation {
+        assembly,
+        functions,
+        passes: vec!["handwritten", "lower-snitch-stream", "allocate-registers", "rv-scf-to-cf"],
+    })
+}
+
+/// Runs a handwritten kernel on random data and verifies against the
+/// matching reference (packed accumulation order for MatMulT).
+///
+/// # Errors
+///
+/// Any build, assembly, simulation or verification failure.
+pub fn run_handwritten(
+    instance: &Instance,
+    seed: u64,
+) -> Result<crate::harness::RunOutcome, crate::harness::HarnessError> {
+    use crate::harness::HarnessError;
+    use mlb_isa::TCDM_BASE;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    let compilation = build_handwritten(instance).map_err(HarnessError::Compile)?;
+    let program =
+        mlb_sim::assemble(&compilation.assembly).map_err(HarnessError::Assemble)?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let sizes = instance.buffer_sizes();
+    let num_inputs = sizes.len() - 1;
+    let mut machine = mlb_sim::Machine::new();
+    let mut addrs = Vec::new();
+    let mut cursor = TCDM_BASE;
+    for &size in &sizes {
+        addrs.push(cursor);
+        cursor += (size as u32 * 4).next_multiple_of(8);
+    }
+    let inputs: Vec<Vec<f32>> = sizes[..num_inputs]
+        .iter()
+        .map(|&s| (0..s).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
+        .collect();
+    for (input, &addr) in inputs.iter().zip(&addrs) {
+        machine.write_f32_slice(addr, input);
+    }
+    let expected: Vec<f32> = match instance.kind {
+        Kind::MatMulT => packed_matmult_reference(
+            &inputs[0],
+            &inputs[1],
+            instance.shape.n as usize,
+            instance.shape.m as usize,
+            instance.shape.k as usize,
+        ),
+        _ => crate::reference::reference(instance, &inputs, 0.0f32),
+    };
+    let symbol = format!("{}_hw", instance.symbol());
+    let counters =
+        machine.call(&program, &symbol, &addrs).map_err(HarnessError::Sim)?;
+    let out = machine.read_f32_slice(addrs[num_inputs], sizes[num_inputs]);
+    for (index, (&g, &e)) in out.iter().zip(&expected).enumerate() {
+        if g.to_bits() != e.to_bits() {
+            return Err(HarnessError::Mismatch {
+                index,
+                got: f64::from(g),
+                expected: f64::from(e),
+            });
+        }
+    }
+    Ok(crate::harness::RunOutcome {
+        counters,
+        compilation,
+        output: out.into_iter().map(f64::from).collect(),
+    })
+}
+
+/// Reference matching the packed kernel's accumulation order: fused
+/// multiply-adds per lane over even/odd `k`, then `(0 + lane0) + lane1`.
+pub fn packed_matmult_reference(a: &[f32], b: &[f32], n: usize, m: usize, k: usize) -> Vec<f32> {
+    let mut out = Vec::with_capacity(n * m);
+    for r in 0..n {
+        for c in 0..m {
+            let mut lane0 = 0.0f32;
+            let mut lane1 = 0.0f32;
+            for chunk in 0..k / 2 {
+                lane0 = a[r * k + 2 * chunk].mul_add(b[c * k + 2 * chunk], lane0);
+                lane1 = a[r * k + 2 * chunk + 1].mul_add(b[c * k + 2 * chunk + 1], lane1);
+            }
+            out.push(0.0f32 + lane0 + lane1);
+        }
+    }
+    out
+}
+
+fn module_top(ctx: &mut Context) -> (OpId, mlb_ir::BlockId) {
+    let m = ctx.create_detached_op(mlb_ir::OpSpec::new("builtin.module").regions(1));
+    let top = ctx.create_block(ctx.op(m).regions[0], vec![]);
+    (m, top)
+}
+
+/// Packed f32 Sum: `Z = X + Y` over `n*m` singles processed two per
+/// `vfadd.s`, all three operands streamed, the whole body one `frep`.
+fn build_sum(ctx: &mut Context, shape: Shape) -> OpId {
+    let elems = shape.n * shape.m;
+    assert!(elems % 2 == 0, "packed kernel needs an even element count");
+    let chunks = elems / 2;
+    let (module, top) = module_top(ctx);
+    let (_f, entry) = ctx_build_func(ctx, top, "sum_hw", 3);
+    let x = ctx.block_args(entry)[0];
+    let y = ctx.block_args(entry)[1];
+    let z = ctx.block_args(entry)[2];
+    let pattern = StreamPattern::new(vec![chunks], vec![8], 0);
+    let count = rv::li(ctx, entry, chunks - 1);
+    snitch_stream::build_streaming_region(
+        ctx,
+        entry,
+        vec![x, y],
+        vec![z],
+        vec![pattern.clone(), pattern.clone(), pattern],
+        |ctx, body, streams| {
+            let (ft0, ft1, ft2_ty) =
+                (streams[0], streams[1], ctx.value_type(streams[2]).clone());
+            rv_snitch::build_frep(ctx, body, count, vec![], |ctx, fbody, _| {
+                // The result register is the write stream: each vfadd
+                // pushes one packed pair to Z.
+                ctx.append_op(
+                    fbody,
+                    mlb_ir::OpSpec::new(rv_snitch::VFADD_S)
+                        .operands(vec![ft0, ft1])
+                        .results(vec![ft2_ty.clone()]),
+                );
+                vec![]
+            });
+        },
+    );
+    rv_func::build_ret(ctx, entry);
+    module
+}
+
+/// Packed f32 ReLU: `Z = max(X, 0)` two lanes at a time.
+fn build_relu(ctx: &mut Context, shape: Shape) -> OpId {
+    let elems = shape.n * shape.m;
+    assert!(elems % 2 == 0, "packed kernel needs an even element count");
+    let chunks = elems / 2;
+    let (module, top) = module_top(ctx);
+    let (_f, entry) = ctx_build_func(ctx, top, "relu_hw", 2);
+    let x = ctx.block_args(entry)[0];
+    let z = ctx.block_args(entry)[1];
+    // Packed zero: both lanes 0.0f32.
+    let zero_i = rv::get_register(ctx, entry, Type::IntRegister(Some(mlb_isa::IntReg::ZERO)));
+    let zero_s = {
+        let op = ctx.append_op(
+            entry,
+            mlb_ir::OpSpec::new(rv::FCVT_S_W).operands(vec![zero_i]).results(vec![rv::freg()]),
+        );
+        ctx.op(op).results[0]
+    };
+    let packed_zero = rv::fp_binary(ctx, entry, rv_snitch::VFCPKA_S_S, zero_s, zero_s);
+    let count = rv::li(ctx, entry, chunks - 1);
+    let pattern = StreamPattern::new(vec![chunks], vec![8], 0);
+    snitch_stream::build_streaming_region(
+        ctx,
+        entry,
+        vec![x],
+        vec![z],
+        vec![pattern.clone(), pattern],
+        |ctx, body, streams| {
+            let ft0 = streams[0];
+            let ft1_ty = ctx.value_type(streams[1]).clone();
+            rv_snitch::build_frep(ctx, body, count, vec![], |ctx, fbody, _| {
+                ctx.append_op(
+                    fbody,
+                    mlb_ir::OpSpec::new(rv_snitch::VFMAX_S)
+                        .operands(vec![ft0, packed_zero])
+                        .results(vec![ft1_ty.clone()]),
+                );
+                vec![]
+            });
+        },
+    );
+    rv_func::build_ret(ctx, entry);
+    module
+}
+
+/// Packed f32 MatMulT: `C(n x m) = A(n x k) * B(m x k)^T`, dot products
+/// over packed pairs with `vfmac.s`, four result columns interleaved
+/// (Section 4.3: 4 reduction + 4 result + 1 zero + 2 streaming
+/// registers).
+fn build_matmult(ctx: &mut Context, shape: Shape) -> OpId {
+    let Shape { n, m, k } = shape;
+    assert!(k % 2 == 0, "packed dot products need an even inner dimension");
+    assert!(m % 4 == 0, "the kernel interleaves four result columns");
+    let chunks = k / 2;
+    let (module, top) = module_top(ctx);
+    let (_f, entry) = ctx_build_func(ctx, top, "matmult_hw", 3);
+    let a = ctx.block_args(entry)[0];
+    let b = ctx.block_args(entry)[1];
+    let c = ctx.block_args(entry)[2];
+
+    // Stream A: per (row, tile): the row's chunks, each delivered four
+    // times (one per interleaved column) via the repeat register.
+    let a_pattern = StreamPattern::from_logical(
+        vec![chunks, m / 4, n],
+        vec![8, 0, k * 4],
+        3,
+    );
+    // Stream B: per chunk, the four tile rows' chunks; then chunks; then
+    // tiles; repeated for every A row (stride 0).
+    let b_pattern = StreamPattern::from_logical(
+        vec![4, chunks, m / 4, n],
+        vec![k * 4, 8, 4 * k * 4, 0],
+        0,
+    );
+    let zero_i = rv::get_register(ctx, entry, Type::IntRegister(Some(mlb_isa::IntReg::ZERO)));
+    let zero_s = {
+        let op = ctx.append_op(
+            entry,
+            mlb_ir::OpSpec::new(rv::FCVT_S_W).operands(vec![zero_i]).results(vec![rv::freg()]),
+        );
+        ctx.op(op).results[0]
+    };
+    let count = rv::li(ctx, entry, chunks - 1);
+    let lb = rv::get_register(ctx, entry, Type::IntRegister(Some(mlb_isa::IntReg::ZERO)));
+    let one = rv::li(ctx, entry, 1);
+    let n_reg = rv::li(ctx, entry, n);
+    let tiles = rv::li(ctx, entry, m / 4);
+
+    snitch_stream::build_streaming_region(
+        ctx,
+        entry,
+        vec![a, b],
+        vec![],
+        vec![a_pattern, b_pattern],
+        |ctx, body, streams| {
+            let (ft0, ft1) = (streams[0], streams[1]);
+            // Row loop carries the output pointer for C.
+            rv_scf::build_for(ctx, body, lb, n_reg, one, vec![c], |ctx, row_body, _riv, row_args| {
+                let c_row = row_args[0];
+                let tile_loop = rv_scf::build_for(
+                    ctx,
+                    row_body,
+                    lb,
+                    tiles,
+                    one,
+                    vec![c_row],
+                    |ctx, tile_body, _tiv, tile_args| {
+                        let c_ptr = tile_args[0];
+                        // Fresh packed-zero accumulators per tile.
+                        let accs: Vec<_> = (0..4)
+                            .map(|_| {
+                                rv::fp_binary(ctx, tile_body, rv_snitch::VFCPKA_S_S, zero_s, zero_s)
+                            })
+                            .collect();
+                        let frep =
+                            rv_snitch::build_frep(ctx, tile_body, count, accs, |ctx, fbody, args| {
+                                args.iter()
+                                    .map(|&acc| {
+                                        rv::fp_ternary(ctx, fbody, rv_snitch::VFMAC_S, ft0, ft1, acc)
+                                    })
+                                    .collect()
+                            });
+                        // Horizontal sums into scalar results, stored to C.
+                        let frep_results = ctx.op(frep.0).results.clone();
+                        for (j, &packed) in frep_results.iter().enumerate() {
+                            let seed = rv::fp_binary(
+                                ctx,
+                                tile_body,
+                                rv_snitch::VFCPKA_S_S,
+                                zero_s,
+                                zero_s,
+                            );
+                            let sum =
+                                rv::fp_binary(ctx, tile_body, rv_snitch::VFSUM_S, packed, seed);
+                            rv::fp_store(ctx, tile_body, rv::FSW, sum, c_ptr, (j as i64) * 4);
+                        }
+                        vec![rv::int_imm(ctx, tile_body, rv::ADDI, c_ptr, 16)]
+                    },
+                );
+                // After all tiles the pointer has advanced one full row.
+                vec![ctx.op(tile_loop.0).results[0]]
+            });
+        },
+    );
+    rv_func::build_ret(ctx, entry);
+    module
+}
+
+fn ctx_build_func(
+    ctx: &mut Context,
+    top: mlb_ir::BlockId,
+    name: &str,
+    num_ptr_args: usize,
+) -> (OpId, mlb_ir::BlockId) {
+    let abi = vec![rv_func::AbiArg::Int; num_ptr_args];
+    rv_func::build_func(ctx, top, name, &abi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handwritten_sum_is_correct_and_fast() {
+        let i = Instance::new(Kind::Sum, Shape::nm(8, 16), Precision::F32);
+        let outcome = run_handwritten(&i, 9).unwrap();
+        // Packed SIMD: two FLOPs per cycle peak; utilization near 1.
+        assert!(outcome.utilization() > 0.8, "util = {}", outcome.utilization());
+        assert!(outcome.counters.throughput() > 1.5);
+    }
+
+    #[test]
+    fn handwritten_relu_is_correct() {
+        let i = Instance::new(Kind::Relu, Shape::nm(8, 16), Precision::F32);
+        let outcome = run_handwritten(&i, 10).unwrap();
+        assert!(outcome.utilization() > 0.8, "util = {}", outcome.utilization());
+    }
+
+    #[test]
+    fn handwritten_matmult_is_correct() {
+        let i = Instance::new(Kind::MatMulT, Shape::nmk(4, 16, 16), Precision::F32);
+        let compiled = build_handwritten(&i).unwrap();
+        let (_, stats) = &compiled.functions[0];
+        // Paper (Table 2): 11 FP and 12 integer registers for MatMulT.
+        assert!(stats.num_fp() <= 12, "FP registers: {:?}", stats.fp_used);
+        assert!(stats.num_int() <= 13, "int registers: {:?}", stats.int_used);
+        let outcome = run_handwritten(&i, 11).unwrap();
+        assert!(
+            outcome.counters.throughput() > 1.5,
+            "throughput = {}",
+            outcome.counters.throughput()
+        );
+    }
+
+    #[test]
+    fn unsupported_kind_is_rejected() {
+        let i = Instance::new(Kind::Fill, Shape::nm(4, 4), Precision::F32);
+        assert!(build_handwritten(&i).is_err());
+    }
+}

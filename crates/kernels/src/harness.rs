@@ -1,0 +1,210 @@
+//! Compile-and-simulate harness: builds a kernel, compiles it with a
+//! chosen flow, places randomized operands in the TCDM, runs the Snitch
+//! simulator, and checks the output against the host reference.
+
+use std::fmt;
+
+use mlb_core::{compile, Compilation, Flow};
+use mlb_ir::Context;
+use mlb_isa::{FpReg, TCDM_BASE};
+use mlb_sim::{assemble, Machine, PerfCounters};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::reference::reference;
+use crate::suite::{Instance, Kind, Precision};
+
+/// Error produced by the harness.
+#[derive(Debug)]
+pub enum HarnessError {
+    /// Compilation failed.
+    Compile(mlb_ir::PassError),
+    /// The generated assembly did not assemble.
+    Assemble(mlb_sim::AsmError),
+    /// The simulation faulted.
+    Sim(mlb_sim::SimError),
+    /// The output differed from the reference.
+    Mismatch {
+        /// First differing element.
+        index: usize,
+        /// Value the kernel produced.
+        got: f64,
+        /// Value the reference produced.
+        expected: f64,
+    },
+}
+
+impl fmt::Display for HarnessError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HarnessError::Compile(e) => write!(f, "compile: {e}"),
+            HarnessError::Assemble(e) => write!(f, "assemble: {e}"),
+            HarnessError::Sim(e) => write!(f, "simulate: {e}"),
+            HarnessError::Mismatch { index, got, expected } => {
+                write!(f, "output mismatch at {index}: got {got}, expected {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HarnessError {}
+
+/// Everything measured in one verified kernel run.
+#[derive(Debug)]
+pub struct RunOutcome {
+    /// Performance counters of the kernel call.
+    pub counters: PerfCounters,
+    /// Compilation artifacts (assembly, register statistics, passes).
+    pub compilation: Compilation,
+    /// The verified kernel output (widened to `f64` for f32 kernels).
+    pub output: Vec<f64>,
+}
+
+impl RunOutcome {
+    /// FPU utilization of the run.
+    pub fn utilization(&self) -> f64 {
+        self.counters.fpu_utilization()
+    }
+}
+
+/// The scalar argument value used for Fill runs.
+pub const FILL_VALUE: f64 = 2.5;
+
+/// Compiles `instance` with `flow`, runs it on random inputs derived
+/// from `seed`, verifies the result bit-for-bit against the reference,
+/// and returns the measurements.
+///
+/// # Errors
+///
+/// Any compilation, assembly, simulation or verification failure.
+pub fn compile_and_run(
+    instance: &Instance,
+    flow: Flow,
+    seed: u64,
+) -> Result<RunOutcome, HarnessError> {
+    let mut ctx = Context::new();
+    let module = instance.build_module(&mut ctx);
+    let compilation = compile(&mut ctx, module, flow).map_err(HarnessError::Compile)?;
+    run_compiled(instance, compilation, seed)
+}
+
+/// Runs an already-compiled kernel (see [`compile_and_run`]).
+///
+/// # Errors
+///
+/// Any assembly, simulation or verification failure.
+pub fn run_compiled(
+    instance: &Instance,
+    compilation: Compilation,
+    seed: u64,
+) -> Result<RunOutcome, HarnessError> {
+    let program = assemble(&compilation.assembly).map_err(HarnessError::Assemble)?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let sizes = instance.buffer_sizes();
+    let esz = (instance.precision.bits() / 8) as u32;
+    let mut machine = Machine::new();
+
+    // Place buffers back to back, 8-byte aligned.
+    let mut addrs = Vec::new();
+    let mut cursor = TCDM_BASE;
+    for &size in &sizes {
+        addrs.push(cursor);
+        cursor += (size as u32 * esz).next_multiple_of(8);
+    }
+    let num_inputs = sizes.len() - 1;
+    let out_addr = addrs[num_inputs];
+    let out_len = sizes[num_inputs];
+
+    // Randomized inputs in [-1, 1); weights for pooling stay the same.
+    let (output, counters) = match instance.precision {
+        Precision::F64 => {
+            let inputs: Vec<Vec<f64>> = sizes[..num_inputs]
+                .iter()
+                .map(|&s| (0..s).map(|_| rng.gen_range(-1.0..1.0)).collect())
+                .collect();
+            for (input, &addr) in inputs.iter().zip(&addrs) {
+                machine.write_f64_slice(addr, input);
+            }
+            let expected = reference(instance, &inputs, FILL_VALUE);
+            if instance.kind == Kind::Fill {
+                machine.set_f_bits(FpReg::fa(0), FILL_VALUE.to_bits());
+            }
+            let int_args: Vec<u32> = addrs.clone();
+            let counters =
+                machine.call(&program, &instance.symbol(), &int_args).map_err(HarnessError::Sim)?;
+            let output = machine.read_f64_slice(out_addr, out_len);
+            verify_f64(&output, &expected)?;
+            (output, counters)
+        }
+        Precision::F32 => {
+            let inputs: Vec<Vec<f32>> = sizes[..num_inputs]
+                .iter()
+                .map(|&s| (0..s).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
+                .collect();
+            for (input, &addr) in inputs.iter().zip(&addrs) {
+                machine.write_f32_slice(addr, input);
+            }
+            let expected = reference(instance, &inputs, FILL_VALUE as f32);
+            if instance.kind == Kind::Fill {
+                machine.set_f_bits(FpReg::fa(0), ((FILL_VALUE as f32).to_bits() as u64) | 0xFFFF_FFFF_0000_0000);
+            }
+            let int_args: Vec<u32> = addrs.clone();
+            let counters =
+                machine.call(&program, &instance.symbol(), &int_args).map_err(HarnessError::Sim)?;
+            let output = machine.read_f32_slice(out_addr, out_len);
+            verify_f32(&output, &expected)?;
+            (output.into_iter().map(f64::from).collect(), counters)
+        }
+    };
+    Ok(RunOutcome { counters, compilation, output })
+}
+
+fn verify_f64(got: &[f64], expected: &[f64]) -> Result<(), HarnessError> {
+    for (index, (&g, &e)) in got.iter().zip(expected).enumerate() {
+        if g.to_bits() != e.to_bits() {
+            return Err(HarnessError::Mismatch { index, got: g, expected: e });
+        }
+    }
+    Ok(())
+}
+
+fn verify_f32(got: &[f32], expected: &[f32]) -> Result<(), HarnessError> {
+    for (index, (&g, &e)) in got.iter().zip(expected).enumerate() {
+        if g.to_bits() != e.to_bits() {
+            return Err(HarnessError::Mismatch {
+                index,
+                got: f64::from(g),
+                expected: f64::from(e),
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suite::Shape;
+    use mlb_core::PipelineOptions;
+
+    #[test]
+    fn sum_runs_under_all_flows() {
+        let i = Instance::new(Kind::Sum, Shape::nm(4, 8), Precision::F64);
+        for flow in [
+            Flow::Ours(PipelineOptions::full()),
+            Flow::Ours(PipelineOptions::baseline()),
+            Flow::MlirLike,
+            Flow::ClangLike,
+        ] {
+            let outcome = compile_and_run(&i, flow, 7).unwrap_or_else(|e| panic!("{flow:?}: {e}"));
+            assert_eq!(outcome.output.len(), 32);
+        }
+    }
+
+    #[test]
+    fn fill_passes_the_scalar_argument() {
+        let i = Instance::new(Kind::Fill, Shape::nm(4, 4), Precision::F64);
+        let outcome = compile_and_run(&i, Flow::Ours(PipelineOptions::full()), 3).unwrap();
+        assert_eq!(outcome.output, vec![FILL_VALUE; 16]);
+    }
+}

@@ -1,0 +1,17 @@
+#![warn(missing_docs)]
+
+//! The micro-kernel suite of the paper's evaluation (Table 1), with
+//! `linalg`-level builders, bit-exact host references, hand-written
+//! low-level kernel variants (Section 4.2), and a compile-and-simulate
+//! harness.
+
+pub mod builders;
+pub mod handwritten;
+pub mod harness;
+pub mod reference;
+pub mod suite;
+
+pub use handwritten::{build_handwritten, run_handwritten};
+pub use harness::{compile_and_run, run_compiled, HarnessError, RunOutcome, FILL_VALUE};
+pub use reference::{reference, Scalar};
+pub use suite::{Instance, Kind, Precision, Shape};

@@ -1,0 +1,209 @@
+//! Host reference implementations used to validate compiled kernels.
+//!
+//! References follow exactly the operation order and rounding of the
+//! generated code (fused multiply-add included), so f64 results compare
+//! bit-for-bit and f32 results compare bit-for-bit per lane.
+
+use crate::builders::MAX_POOL_INIT;
+use crate::suite::{Instance, Kind, Shape};
+
+/// Scalar abstraction so the reference runs at either precision.
+pub trait Scalar: Copy + PartialEq + std::fmt::Debug {
+    /// Additive identity.
+    fn zero() -> Self;
+    /// `self + rhs`.
+    fn add(self, rhs: Self) -> Self;
+    /// `self * rhs`.
+    fn mul(self, rhs: Self) -> Self;
+    /// Fused `self * a + b` with single rounding (matches `fmadd`).
+    fn mul_add(self, a: Self, b: Self) -> Self;
+    /// IEEE maximum.
+    fn max(self, rhs: Self) -> Self;
+    /// Conversion from `f64` (used for init constants).
+    fn from_f64(v: f64) -> Self;
+}
+
+impl Scalar for f64 {
+    fn zero() -> f64 {
+        0.0
+    }
+    fn add(self, rhs: f64) -> f64 {
+        self + rhs
+    }
+    fn mul(self, rhs: f64) -> f64 {
+        self * rhs
+    }
+    fn mul_add(self, a: f64, b: f64) -> f64 {
+        f64::mul_add(self, a, b)
+    }
+    fn max(self, rhs: f64) -> f64 {
+        f64::max(self, rhs)
+    }
+    fn from_f64(v: f64) -> f64 {
+        v
+    }
+}
+
+impl Scalar for f32 {
+    fn zero() -> f32 {
+        0.0
+    }
+    fn add(self, rhs: f32) -> f32 {
+        self + rhs
+    }
+    fn mul(self, rhs: f32) -> f32 {
+        self * rhs
+    }
+    fn mul_add(self, a: f32, b: f32) -> f32 {
+        f32::mul_add(self, a, b)
+    }
+    fn max(self, rhs: f32) -> f32 {
+        f32::max(self, rhs)
+    }
+    fn from_f64(v: f64) -> f32 {
+        v as f32
+    }
+}
+
+/// Computes the expected output of `instance` for `inputs` (in the
+/// argument order of [`Instance::buffer_sizes`], without the output) and
+/// the scalar argument (only used by Fill).
+///
+/// # Panics
+///
+/// Panics if the input lengths do not match the instance shape.
+pub fn reference<T: Scalar>(instance: &Instance, inputs: &[Vec<T>], scalar: T) -> Vec<T> {
+    let Shape { n, m, k } = instance.shape;
+    let (n, m, k) = (n as usize, m as usize, k as usize);
+    let sizes = instance.buffer_sizes();
+    for (input, &size) in inputs.iter().zip(&sizes) {
+        assert_eq!(input.len(), size, "input buffer size mismatch");
+    }
+    match instance.kind {
+        Kind::Fill => vec![scalar; n * m],
+        Kind::Sum => {
+            inputs[0].iter().zip(&inputs[1]).map(|(&a, &b)| a.add(b)).collect()
+        }
+        Kind::Relu => inputs[0].iter().map(|&a| a.max(T::zero())).collect(),
+        Kind::Conv3x3 => {
+            let x = &inputs[0];
+            let w = &inputs[1];
+            let width = m + 2;
+            let mut out = Vec::with_capacity(n * m);
+            for r in 0..n {
+                for c in 0..m {
+                    let mut acc = T::zero();
+                    for kh in 0..3 {
+                        for kw in 0..3 {
+                            // fmadd: x * w + acc, single rounding.
+                            acc = x[(r + kh) * width + c + kw].mul_add(w[kh * 3 + kw], acc);
+                        }
+                    }
+                    out.push(acc);
+                }
+            }
+            out
+        }
+        Kind::MaxPool3x3 | Kind::SumPool3x3 => {
+            let x = &inputs[0];
+            let width = m + 2;
+            let is_max = instance.kind == Kind::MaxPool3x3;
+            let mut out = Vec::with_capacity(n * m);
+            for r in 0..n {
+                for c in 0..m {
+                    let mut acc =
+                        if is_max { T::from_f64(MAX_POOL_INIT) } else { T::zero() };
+                    for kh in 0..3 {
+                        for kw in 0..3 {
+                            let v = x[(r + kh) * width + c + kw];
+                            acc = if is_max { acc.max(v) } else { v.add(acc) };
+                        }
+                    }
+                    out.push(acc);
+                }
+            }
+            out
+        }
+        Kind::MatMul | Kind::MatMulT => {
+            let a = &inputs[0];
+            let b = &inputs[1];
+            let mut out = Vec::with_capacity(n * m);
+            for r in 0..n {
+                for c in 0..m {
+                    let mut acc = T::zero();
+                    for kk in 0..k {
+                        let bv = if instance.kind == Kind::MatMul {
+                            b[kk * m + c]
+                        } else {
+                            b[c * k + kk]
+                        };
+                        acc = a[r * k + kk].mul_add(bv, acc);
+                    }
+                    out.push(acc);
+                }
+            }
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suite::Precision;
+
+    #[test]
+    fn sum_reference() {
+        let i = Instance::new(Kind::Sum, Shape::nm(2, 2), Precision::F64);
+        let out = reference(&i, &[vec![1.0, 2.0, 3.0, 4.0], vec![10.0, 20.0, 30.0, 40.0]], 0.0);
+        assert_eq!(out, vec![11.0, 22.0, 33.0, 44.0]);
+    }
+
+    #[test]
+    fn relu_reference() {
+        let i = Instance::new(Kind::Relu, Shape::nm(1, 4), Precision::F64);
+        let out = reference(&i, &[vec![-1.0, 2.0, -3.0, 4.0]], 0.0);
+        assert_eq!(out, vec![0.0, 2.0, 0.0, 4.0]);
+    }
+
+    #[test]
+    fn conv_reference_identity_kernel() {
+        // A kernel with a single 1.0 at the center copies the interior.
+        let i = Instance::new(Kind::Conv3x3, Shape::nm(2, 2), Precision::F64);
+        let x: Vec<f64> = (0..16).map(f64::from).collect();
+        let mut w = vec![0.0; 9];
+        w[4] = 1.0;
+        let out = reference(&i, &[x.clone(), w], 0.0);
+        // Interior elements of the 4x4 input: rows 1..3, cols 1..3.
+        assert_eq!(out, vec![x[5], x[6], x[9], x[10]]);
+    }
+
+    #[test]
+    fn pool_references() {
+        let i = Instance::new(Kind::MaxPool3x3, Shape::nm(1, 1), Precision::F64);
+        let x: Vec<f64> = (0..9).map(f64::from).collect();
+        assert_eq!(reference(&i, &[x.clone()], 0.0), vec![8.0]);
+        let i = Instance::new(Kind::SumPool3x3, Shape::nm(1, 1), Precision::F64);
+        assert_eq!(reference(&i, &[x], 0.0), vec![36.0]);
+    }
+
+    #[test]
+    fn matmul_and_transposed_agree() {
+        let i = Instance::new(Kind::MatMul, Shape::nmk(2, 2, 3), Precision::F64);
+        let a = vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]; // 2x3
+        let b = vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]; // 3x2
+        let c = reference(&i, &[a.clone(), b.clone()], 0.0);
+        assert_eq!(c, vec![58.0, 64.0, 139.0, 154.0]);
+
+        // Transpose b (3x2 -> 2x3) and use MatMulT.
+        let bt = vec![7.0, 9.0, 11.0, 8.0, 10.0, 12.0];
+        let it = Instance::new(Kind::MatMulT, Shape::nmk(2, 2, 3), Precision::F64);
+        assert_eq!(reference(&it, &[a, bt], 0.0), c);
+    }
+
+    #[test]
+    fn fill_reference_uses_scalar() {
+        let i = Instance::new(Kind::Fill, Shape::nm(2, 3), Precision::F64);
+        assert_eq!(reference::<f64>(&i, &[], 2.5), vec![2.5; 6]);
+    }
+}

@@ -1,0 +1,254 @@
+//! The kernel suite of Table 1: representative DNN micro-kernels from
+//! NSNet2 and AlexNet, grouped by computational and memory-access traits.
+
+use std::fmt;
+
+/// Numeric precision of a kernel instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Precision {
+    /// 64-bit IEEE-754.
+    F64,
+    /// 32-bit IEEE-754.
+    F32,
+}
+
+impl Precision {
+    /// Bits per element.
+    pub fn bits(self) -> u32 {
+        match self {
+            Precision::F64 => 64,
+            Precision::F32 => 32,
+        }
+    }
+}
+
+/// The kernels of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Kind {
+    /// Element-wise fill of a buffer with a scalar (memory-bound,
+    /// parallel, linear access).
+    Fill,
+    /// Element-wise sum of two buffers (memory-bound, parallel).
+    Sum,
+    /// Element-wise rectified linear unit (parallel).
+    Relu,
+    /// 3×3 convolution (non-affine-looking window access, fixed-size
+    /// reduction).
+    Conv3x3,
+    /// 3×3 max pooling (sparse access, fixed-size reduction).
+    MaxPool3x3,
+    /// 3×3 sum pooling (sparse access, fixed-size reduction).
+    SumPool3x3,
+    /// Matrix multiplication (nested loops, reduction).
+    MatMul,
+    /// Matrix multiplication with a transposed second operand.
+    MatMulT,
+}
+
+impl Kind {
+    /// All kernels, in Table 1 order.
+    pub fn all() -> [Kind; 8] {
+        [
+            Kind::Fill,
+            Kind::Sum,
+            Kind::Relu,
+            Kind::Conv3x3,
+            Kind::MaxPool3x3,
+            Kind::SumPool3x3,
+            Kind::MatMul,
+            Kind::MatMulT,
+        ]
+    }
+
+    /// The Table 1 "Characteristics" column.
+    pub fn characteristics(self) -> &'static str {
+        match self {
+            Kind::Fill => "element-wise, linear access, memory-bound, parallel",
+            Kind::Sum => "element-wise, linear access, memory-bound, parallel",
+            Kind::Relu => "element-wise, non-linear access, parallel",
+            Kind::Conv3x3 => "non-affine access, fixed-size reduction",
+            Kind::MaxPool3x3 | Kind::SumPool3x3 => "sparse access, fixed-size reduction",
+            Kind::MatMul | Kind::MatMulT => "nested loops, reduction",
+        }
+    }
+
+    /// Whether the kernel contains a reduction.
+    pub fn has_reduction(self) -> bool {
+        matches!(
+            self,
+            Kind::Conv3x3 | Kind::MaxPool3x3 | Kind::SumPool3x3 | Kind::MatMul | Kind::MatMulT
+        )
+    }
+}
+
+impl fmt::Display for Kind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Kind::Fill => "Fill",
+            Kind::Sum => "Sum",
+            Kind::Relu => "ReLU",
+            Kind::Conv3x3 => "Conv 3x3",
+            Kind::MaxPool3x3 => "Max Pool 3x3",
+            Kind::SumPool3x3 => "Sum Pool 3x3",
+            Kind::MatMul => "MatMul",
+            Kind::MatMulT => "MatMulT",
+        })
+    }
+}
+
+/// Shape parameters. Meaning per kernel: element-wise and pooling
+/// kernels use `n × m` outputs; matrix kernels compute `C(n×m) =
+/// A(n×k) · B(k×m)` (`B(m×k)` for [`Kind::MatMulT`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Shape {
+    /// Rows of the output.
+    pub n: i64,
+    /// Columns of the output.
+    pub m: i64,
+    /// Reduction extent for matrix kernels (unused otherwise).
+    pub k: i64,
+}
+
+impl Shape {
+    /// An `n × m` shape (element-wise and pooling kernels).
+    pub fn nm(n: i64, m: i64) -> Shape {
+        Shape { n, m, k: 0 }
+    }
+
+    /// An `n × m × k` matrix shape.
+    pub fn nmk(n: i64, m: i64, k: i64) -> Shape {
+        Shape { n, m, k }
+    }
+}
+
+/// One concrete kernel instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Instance {
+    /// Which kernel.
+    pub kind: Kind,
+    /// Its shape.
+    pub shape: Shape,
+    /// Its element precision.
+    pub precision: Precision,
+}
+
+impl Instance {
+    /// Creates an instance.
+    pub fn new(kind: Kind, shape: Shape, precision: Precision) -> Instance {
+        Instance { kind, shape, precision }
+    }
+
+    /// The kernel symbol name in the generated assembly.
+    pub fn symbol(&self) -> String {
+        match self.kind {
+            Kind::Fill => "fill".into(),
+            Kind::Sum => "sum".into(),
+            Kind::Relu => "relu".into(),
+            Kind::Conv3x3 => "conv3x3".into(),
+            Kind::MaxPool3x3 => "maxpool3x3".into(),
+            Kind::SumPool3x3 => "sumpool3x3".into(),
+            Kind::MatMul => "matmul".into(),
+            Kind::MatMulT => "matmult".into(),
+        }
+    }
+
+    /// Useful floating-point operations (Table 1 "FLOPs" column).
+    pub fn flops(&self) -> u64 {
+        let Shape { n, m, k } = self.shape;
+        let (n, m, k) = (n as u64, m as u64, k as u64);
+        match self.kind {
+            Kind::Fill => 0,
+            Kind::Sum | Kind::Relu => n * m,
+            Kind::Conv3x3 => 18 * n * m,
+            Kind::MaxPool3x3 | Kind::SumPool3x3 => 9 * n * m,
+            Kind::MatMul | Kind::MatMulT => 2 * n * m * k,
+        }
+    }
+
+    /// Lower bound on cycles for this computation on Snitch: the FPU
+    /// retires one instruction per cycle, two FLOPs when fused (and per
+    /// lane when packed).
+    pub fn min_cycles(&self) -> u64 {
+        let lanes = match self.precision {
+            Precision::F64 => 1,
+            Precision::F32 => 2,
+        };
+        match self.kind {
+            // One fill write per element, one lane-wide op per cycle.
+            Kind::Fill => (self.shape.n * self.shape.m) as u64 / lanes,
+            // Element-wise: one op per element.
+            Kind::Sum | Kind::Relu => self.flops() / lanes,
+            // Pools: one max/add per window element.
+            Kind::MaxPool3x3 | Kind::SumPool3x3 => self.flops() / lanes,
+            // FMA-based kernels: two FLOPs per instruction.
+            Kind::Conv3x3 | Kind::MatMul | Kind::MatMulT => self.flops() / (2 * lanes),
+        }
+    }
+
+    /// Buffer element counts in argument order (inputs then output).
+    pub fn buffer_sizes(&self) -> Vec<usize> {
+        let Shape { n, m, k } = self.shape;
+        let (n, m, k) = (n as usize, m as usize, k as usize);
+        match self.kind {
+            Kind::Fill => vec![n * m],
+            Kind::Sum => vec![n * m, n * m, n * m],
+            Kind::Relu => vec![n * m, n * m],
+            Kind::Conv3x3 => vec![(n + 2) * (m + 2), 9, n * m],
+            Kind::MaxPool3x3 | Kind::SumPool3x3 => vec![(n + 2) * (m + 2), n * m],
+            Kind::MatMul => vec![n * k, k * m, n * m],
+            Kind::MatMulT => vec![n * k, m * k, n * m],
+        }
+    }
+}
+
+impl fmt::Display for Instance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let Shape { n, m, k } = self.shape;
+        if self.kind == Kind::MatMul || self.kind == Kind::MatMulT {
+            write!(f, "{} {}x{}x{} f{}", self.kind, n, m, k, self.precision.bits())
+        } else {
+            write!(f, "{} {}x{} f{}", self.kind, n, m, self.precision.bits())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_flop_formulas() {
+        let s = Shape::nm(4, 8);
+        assert_eq!(Instance::new(Kind::Sum, s, Precision::F64).flops(), 32);
+        assert_eq!(Instance::new(Kind::Relu, s, Precision::F64).flops(), 32);
+        assert_eq!(Instance::new(Kind::Conv3x3, s, Precision::F64).flops(), 18 * 32);
+        assert_eq!(Instance::new(Kind::MaxPool3x3, s, Precision::F64).flops(), 9 * 32);
+        let mm = Instance::new(Kind::MatMul, Shape::nmk(1, 5, 200), Precision::F64);
+        assert_eq!(mm.flops(), 2000);
+        assert_eq!(mm.min_cycles(), 1000);
+    }
+
+    #[test]
+    fn buffer_sizes_cover_padding() {
+        let conv = Instance::new(Kind::Conv3x3, Shape::nm(4, 4), Precision::F64);
+        assert_eq!(conv.buffer_sizes(), vec![36, 9, 16]);
+        let mmt = Instance::new(Kind::MatMulT, Shape::nmk(4, 16, 16), Precision::F32);
+        assert_eq!(mmt.buffer_sizes(), vec![64, 256, 64]);
+    }
+
+    #[test]
+    fn display_names() {
+        let i = Instance::new(Kind::MatMul, Shape::nmk(1, 5, 200), Precision::F64);
+        assert_eq!(i.to_string(), "MatMul 1x5x200 f64");
+        let i = Instance::new(Kind::Relu, Shape::nm(4, 8), Precision::F32);
+        assert_eq!(i.to_string(), "ReLU 4x8 f32");
+    }
+
+    #[test]
+    fn packed_min_cycles_halve() {
+        let f64s = Instance::new(Kind::Sum, Shape::nm(4, 8), Precision::F64);
+        let f32s = Instance::new(Kind::Sum, Shape::nm(4, 8), Precision::F32);
+        assert_eq!(f64s.min_cycles(), 32);
+        assert_eq!(f32s.min_cycles(), 16);
+    }
+}

@@ -1,0 +1,459 @@
+//! Assembly emission.
+//!
+//! Prints a fully register-allocated, control-flow-lowered module as
+//! RISC-V assembly text. The IR is walked in order and each operation
+//! prints according to its own convention (Section 3.1: "assembly is
+//! printed using an interface-based design").
+//!
+//! Accepted operations: everything in `rv`, `rv_cf` branches between the
+//! blocks of an `rv_func.func` body, and `rv_snitch.frep_outer` regions
+//! (hardware loops print inline). Structured `rv_scf` loops and
+//! `snitch_stream.streaming_region`s must have been lowered before
+//! emission.
+
+use std::fmt;
+use std::fmt::Write;
+
+use mlb_ir::{Attribute, BlockId, Context, OpId, Type, ValueId};
+
+use crate::{rv, rv_cf, rv_func, rv_snitch, snitch_stream};
+
+/// Error produced during assembly emission.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EmitError {
+    /// Description of what could not be emitted.
+    pub message: String,
+}
+
+impl fmt::Display for EmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "emit error: {}", self.message)
+    }
+}
+
+impl std::error::Error for EmitError {}
+
+fn err(message: impl Into<String>) -> EmitError {
+    EmitError { message: message.into() }
+}
+
+/// Emits a whole module (every `rv_func.func` in it) as assembly text.
+///
+/// # Errors
+///
+/// Fails on unallocated registers or operations that have no assembly
+/// form (structured loops, streaming regions).
+pub fn emit_module(ctx: &Context, module: OpId) -> Result<String, EmitError> {
+    let mut out = String::new();
+    out.push_str(".text\n");
+    for &block in ctx.region_blocks(ctx.op(module).regions[0]) {
+        for &op in ctx.block_ops(block) {
+            if ctx.op(op).name == rv_func::FUNC {
+                emit_function(ctx, op, &mut out)?;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Emits a single `rv_func.func`.
+pub fn emit_function(ctx: &Context, func: OpId, out: &mut String) -> Result<(), EmitError> {
+    let name = rv_func::symbol_name(ctx, func)
+        .ok_or_else(|| err("function without a symbol name"))?
+        .to_string();
+    let _ = writeln!(out, ".globl {name}");
+    let _ = writeln!(out, "{name}:");
+    let blocks: Vec<BlockId> = ctx.region_blocks(ctx.op(func).regions[0]).to_vec();
+    let label = |b: BlockId| -> String {
+        let idx = blocks.iter().position(|&x| x == b).expect("successor outside function");
+        format!(".L{name}_{idx}")
+    };
+    for (i, &block) in blocks.iter().enumerate() {
+        if i > 0 {
+            let _ = writeln!(out, "{}:", label(block));
+        }
+        let next = blocks.get(i + 1).copied();
+        for &op in ctx.block_ops(block) {
+            emit_op(ctx, op, out, &label, next)?;
+        }
+    }
+    Ok(())
+}
+
+fn int_reg_of(ctx: &Context, v: ValueId) -> Result<&'static str, EmitError> {
+    match ctx.value_type(v) {
+        Type::IntRegister(Some(r)) => Ok(r.abi_name()),
+        other => Err(err(format!("expected allocated integer register, got {other}"))),
+    }
+}
+
+fn fp_reg_of(ctx: &Context, v: ValueId) -> Result<&'static str, EmitError> {
+    match ctx.value_type(v) {
+        Type::FpRegister(Some(r)) => Ok(r.abi_name()),
+        other => Err(err(format!("expected allocated FP register, got {other}"))),
+    }
+}
+
+fn imm_of(ctx: &Context, op: OpId) -> Result<i64, EmitError> {
+    ctx.op(op)
+        .attr("imm")
+        .and_then(Attribute::as_int)
+        .ok_or_else(|| err(format!("{} missing imm", ctx.op(op).name)))
+}
+
+fn emit_op(
+    ctx: &Context,
+    op: OpId,
+    out: &mut String,
+    label: &dyn Fn(BlockId) -> String,
+    fallthrough: Option<BlockId>,
+) -> Result<(), EmitError> {
+    let o = ctx.op(op);
+    let name = o.name.as_str();
+    let mn = rv::mnemonic(name);
+    match name {
+        rv::GET_REGISTER => {} // SSA bridge only; nothing to print.
+        rv::LI => {
+            let _ = writeln!(out, "    li {}, {}", int_reg_of(ctx, o.results[0])?, imm_of(ctx, op)?);
+        }
+        rv::MV => {
+            let rd = int_reg_of(ctx, o.results[0])?;
+            let rs = int_reg_of(ctx, o.operands[0])?;
+            if rd != rs {
+                let _ = writeln!(out, "    mv {rd}, {rs}");
+            }
+        }
+        rv::FMV_D => {
+            let rd = fp_reg_of(ctx, o.results[0])?;
+            let rs = fp_reg_of(ctx, o.operands[0])?;
+            if rd != rs {
+                let _ = writeln!(out, "    fmv.d {rd}, {rs}");
+            }
+        }
+        _ if rv::INT_BINARY.contains(&name) => {
+            let _ = writeln!(
+                out,
+                "    {mn} {}, {}, {}",
+                int_reg_of(ctx, o.results[0])?,
+                int_reg_of(ctx, o.operands[0])?,
+                int_reg_of(ctx, o.operands[1])?
+            );
+        }
+        _ if rv::INT_IMM.contains(&name) => {
+            let _ = writeln!(
+                out,
+                "    {mn} {}, {}, {}",
+                int_reg_of(ctx, o.results[0])?,
+                int_reg_of(ctx, o.operands[0])?,
+                imm_of(ctx, op)?
+            );
+        }
+        rv::LW => {
+            let _ = writeln!(
+                out,
+                "    lw {}, {}({})",
+                int_reg_of(ctx, o.results[0])?,
+                imm_of(ctx, op)?,
+                int_reg_of(ctx, o.operands[0])?
+            );
+        }
+        rv::SW => {
+            let _ = writeln!(
+                out,
+                "    sw {}, {}({})",
+                int_reg_of(ctx, o.operands[0])?,
+                imm_of(ctx, op)?,
+                int_reg_of(ctx, o.operands[1])?
+            );
+        }
+        _ if rv::FP_LOADS.contains(&name) => {
+            let _ = writeln!(
+                out,
+                "    {mn} {}, {}({})",
+                fp_reg_of(ctx, o.results[0])?,
+                imm_of(ctx, op)?,
+                int_reg_of(ctx, o.operands[0])?
+            );
+        }
+        _ if rv::FP_STORES.contains(&name) => {
+            let _ = writeln!(
+                out,
+                "    {mn} {}, {}({})",
+                fp_reg_of(ctx, o.operands[0])?,
+                imm_of(ctx, op)?,
+                int_reg_of(ctx, o.operands[1])?
+            );
+        }
+        _ if rv::FP_BINARY.contains(&name) || rv_snitch::SIMD_BINARY.contains(&name) => {
+            let _ = writeln!(
+                out,
+                "    {mn} {}, {}, {}",
+                fp_reg_of(ctx, o.results[0])?,
+                fp_reg_of(ctx, o.operands[0])?,
+                fp_reg_of(ctx, o.operands[1])?
+            );
+        }
+        _ if rv::FP_TERNARY.contains(&name) => {
+            let _ = writeln!(
+                out,
+                "    {mn} {}, {}, {}, {}",
+                fp_reg_of(ctx, o.results[0])?,
+                fp_reg_of(ctx, o.operands[0])?,
+                fp_reg_of(ctx, o.operands[1])?,
+                fp_reg_of(ctx, o.operands[2])?
+            );
+        }
+        rv_snitch::VFMAC_S => {
+            // vfmac.s rd, rs1, rs2 — rd is both source and destination;
+            // the allocator guarantees operand 2 and the result share a
+            // register.
+            let rd = fp_reg_of(ctx, o.results[0])?;
+            let acc = fp_reg_of(ctx, o.operands[2])?;
+            if rd != acc {
+                return Err(err("vfmac.s accumulator not allocated in place"));
+            }
+            let _ = writeln!(
+                out,
+                "    vfmac.s {rd}, {}, {}",
+                fp_reg_of(ctx, o.operands[0])?,
+                fp_reg_of(ctx, o.operands[1])?
+            );
+        }
+        rv_snitch::VFSUM_S => {
+            let rd = fp_reg_of(ctx, o.results[0])?;
+            let acc = fp_reg_of(ctx, o.operands[1])?;
+            if rd != acc {
+                return Err(err("vfsum.s accumulator not allocated in place"));
+            }
+            let _ = writeln!(out, "    vfsum.s {rd}, {}", fp_reg_of(ctx, o.operands[0])?);
+        }
+        rv_snitch::VFCPKA_S_S => {
+            let _ = writeln!(
+                out,
+                "    vfcpka.s.s {}, {}, {}",
+                fp_reg_of(ctx, o.results[0])?,
+                fp_reg_of(ctx, o.operands[0])?,
+                fp_reg_of(ctx, o.operands[1])?
+            );
+        }
+        rv::FCVT_D_W | rv::FCVT_S_W => {
+            let _ = writeln!(
+                out,
+                "    {mn} {}, {}",
+                fp_reg_of(ctx, o.results[0])?,
+                int_reg_of(ctx, o.operands[0])?
+            );
+        }
+        rv::CSRRSI | rv::CSRRCI => {
+            let csr = o.attr("csr").and_then(Attribute::as_int).ok_or_else(|| err("missing csr"))?;
+            let _ = writeln!(out, "    {mn} zero, {csr:#x}, {}", imm_of(ctx, op)?);
+        }
+        rv_snitch::SSR_ENABLE => {
+            let _ = writeln!(out, "    csrrsi zero, {:#x}, 1", mlb_isa::CSR_SSR);
+        }
+        rv_snitch::SSR_DISABLE => {
+            let _ = writeln!(out, "    csrrci zero, {:#x}, 1", mlb_isa::CSR_SSR);
+        }
+        rv_snitch::SCFGWI => {
+            let _ = writeln!(
+                out,
+                "    scfgwi {}, {}",
+                int_reg_of(ctx, o.operands[0])?,
+                imm_of(ctx, op)?
+            );
+        }
+        rv_snitch::FREP_OUTER => {
+            let frep = rv_snitch::FrepOp(op);
+            let count = int_reg_of(ctx, frep.count(ctx))?;
+            let n = frep.num_instructions(ctx);
+            // Shared init values that were not unified into the carried
+            // register chain transfer on entry.
+            let args: Vec<ValueId> = frep.iter_args(ctx).to_vec();
+            for (&init, &arg) in frep.iter_inits(ctx).iter().zip(&args) {
+                let rd = fp_reg_of(ctx, arg)?;
+                let rs = fp_reg_of(ctx, init)?;
+                if rd != rs {
+                    let _ = writeln!(out, "    fmv.d {rd}, {rs}");
+                }
+            }
+            let _ = writeln!(out, "    frep.o {count}, {n}, 0, 0");
+            let body = frep.body(ctx);
+            let ops = ctx.block_ops(body);
+            for &inner in &ops[..ops.len() - 1] {
+                emit_op(ctx, inner, out, label, None)?;
+            }
+        }
+        crate::rv_scf::YIELD => {} // Carried registers already match.
+        snitch_stream::WRITE => {
+            let rd = fp_reg_of(ctx, o.operands[1])?;
+            let rs = fp_reg_of(ctx, o.operands[0])?;
+            if rd != rs {
+                let _ = writeln!(out, "    fmv.d {rd}, {rs}");
+            }
+        }
+        rv_func::RET => {
+            let _ = writeln!(out, "    ret");
+        }
+        rv_cf::J => {
+            let target = o.successors[0];
+            if fallthrough != Some(target) {
+                let _ = writeln!(out, "    j {}", label(target));
+            }
+        }
+        _ if rv_cf::CONDITIONAL_BRANCHES.contains(&name) => {
+            let taken = o.successors[0];
+            let other = o.successors[1];
+            let _ = writeln!(
+                out,
+                "    {mn} {}, {}, {}",
+                int_reg_of(ctx, o.operands[0])?,
+                int_reg_of(ctx, o.operands[1])?,
+                label(taken)
+            );
+            if fallthrough != Some(other) {
+                let _ = writeln!(out, "    j {}", label(other));
+            }
+        }
+        other => return Err(err(format!("operation {other} has no assembly form"))),
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{rv, rv_func};
+    use mlb_ir::OpSpec;
+    use mlb_isa::{FpReg, IntReg};
+
+    fn alloc_fp(ctx: &mut Context, v: ValueId, r: FpReg) {
+        ctx.set_value_type(v, Type::FpRegister(Some(r)));
+    }
+
+    fn alloc_int(ctx: &mut Context, v: ValueId, r: IntReg) {
+        ctx.set_value_type(v, Type::IntRegister(Some(r)));
+    }
+
+    #[test]
+    fn emit_simple_function() {
+        let mut ctx = Context::new();
+        let module = ctx.create_detached_op(OpSpec::new("builtin.module").regions(1));
+        let top = ctx.create_block(ctx.op(module).regions[0], vec![]);
+        let (_f, entry) = rv_func::build_func(&mut ctx, top, "axpy", &[rv_func::AbiArg::Int]);
+        let base = ctx.block_args(entry)[0];
+        let x = rv::fp_load(&mut ctx, entry, rv::FLD, base, 0);
+        let y = rv::fp_load(&mut ctx, entry, rv::FLD, base, 8);
+        let s = rv::fp_ternary(&mut ctx, entry, rv::FMADD_D, x, y, y);
+        rv::fp_store(&mut ctx, entry, rv::FSD, s, base, 16);
+        rv_func::build_ret(&mut ctx, entry);
+        alloc_fp(&mut ctx, x, FpReg::ft(3));
+        alloc_fp(&mut ctx, y, FpReg::ft(4));
+        alloc_fp(&mut ctx, s, FpReg::ft(5));
+        let asm = emit_module(&ctx, module).unwrap();
+        let expected = "\
+.text
+.globl axpy
+axpy:
+    fld ft3, 0(a0)
+    fld ft4, 8(a0)
+    fmadd.d ft5, ft3, ft4, ft4
+    fsd ft5, 16(a0)
+    ret
+";
+        assert_eq!(asm, expected);
+    }
+
+    #[test]
+    fn emit_branches_with_labels() {
+        let mut ctx = Context::new();
+        let module = ctx.create_detached_op(OpSpec::new("builtin.module").regions(1));
+        let top = ctx.create_block(ctx.op(module).regions[0], vec![]);
+        let (f, entry) = rv_func::build_func(&mut ctx, top, "loop", &[rv_func::AbiArg::Int]);
+        let region = ctx.op(f).regions[0];
+        let body = ctx.create_block(region, vec![]);
+        let exit = ctx.create_block(region, vec![]);
+        let n = ctx.block_args(entry)[0];
+        let i = rv::li(&mut ctx, entry, 0);
+        alloc_int(&mut ctx, i, IntReg::t(0));
+        crate::rv_cf::build_j(&mut ctx, entry, body);
+        let i2 = rv::int_imm(&mut ctx, body, rv::ADDI, i, 1);
+        alloc_int(&mut ctx, i2, IntReg::t(0));
+        crate::rv_cf::build_branch(&mut ctx, body, crate::rv_cf::BLT, i2, n, body, exit);
+        rv_func::build_ret(&mut ctx, exit);
+        let asm = emit_module(&ctx, module).unwrap();
+        let expected = "\
+.text
+.globl loop
+loop:
+    li t0, 0
+.Lloop_1:
+    addi t0, t0, 1
+    blt t0, a0, .Lloop_1
+.Lloop_2:
+    ret
+";
+        assert_eq!(asm, expected);
+    }
+
+    #[test]
+    fn emit_frep_inline() {
+        let mut ctx = Context::new();
+        let module = ctx.create_detached_op(OpSpec::new("builtin.module").regions(1));
+        let top = ctx.create_block(ctx.op(module).regions[0], vec![]);
+        let (_f, entry) = rv_func::build_func(&mut ctx, top, "dot", &[]);
+        let count = rv::li(&mut ctx, entry, 200);
+        alloc_int(&mut ctx, count, IntReg::t(0));
+        let ft0 = rv::get_register(&mut ctx, entry, Type::FpRegister(Some(FpReg::ft(0))));
+        let ft1 = rv::get_register(&mut ctx, entry, Type::FpRegister(Some(FpReg::ft(1))));
+        let acc0 = rv::get_register(&mut ctx, entry, Type::FpRegister(Some(FpReg::ft(3))));
+        let frep = crate::rv_snitch::build_frep(
+            &mut ctx,
+            entry,
+            count,
+            vec![acc0],
+            |ctx, body, args| vec![rv::fp_ternary(ctx, body, rv::FMADD_D, ft0, ft1, args[0])],
+        );
+        // Allocate the carried value chain to ft3 throughout.
+        let arg = frep.iter_args(&ctx)[0];
+        alloc_fp(&mut ctx, arg, FpReg::ft(3));
+        let yielded = ctx.op(frep.yield_op(&ctx)).operands[0];
+        alloc_fp(&mut ctx, yielded, FpReg::ft(3));
+        let res = ctx.op(frep.0).results[0];
+        alloc_fp(&mut ctx, res, FpReg::ft(3));
+        rv_func::build_ret(&mut ctx, entry);
+        let asm = emit_module(&ctx, module).unwrap();
+        assert!(asm.contains("frep.o t0, 1, 0, 0"), "{asm}");
+        assert!(asm.contains("fmadd.d ft3, ft0, ft1, ft3"), "{asm}");
+    }
+
+    #[test]
+    fn unallocated_register_is_an_error() {
+        let mut ctx = Context::new();
+        let module = ctx.create_detached_op(OpSpec::new("builtin.module").regions(1));
+        let top = ctx.create_block(ctx.op(module).regions[0], vec![]);
+        let (_f, entry) = rv_func::build_func(&mut ctx, top, "f", &[]);
+        let _x = rv::li(&mut ctx, entry, 3); // left unallocated
+        rv_func::build_ret(&mut ctx, entry);
+        let e = emit_module(&ctx, module).unwrap_err();
+        assert!(e.message.contains("allocated"), "{e}");
+    }
+
+    #[test]
+    fn redundant_moves_are_elided() {
+        let mut ctx = Context::new();
+        let module = ctx.create_detached_op(OpSpec::new("builtin.module").regions(1));
+        let top = ctx.create_block(ctx.op(module).regions[0], vec![]);
+        let (_f, entry) = rv_func::build_func(&mut ctx, top, "f", &[rv_func::AbiArg::Int]);
+        let a = ctx.block_args(entry)[0];
+        let op = ctx.append_op(
+            entry,
+            OpSpec::new(rv::MV)
+                .operands(vec![a])
+                .results(vec![Type::IntRegister(Some(IntReg::a(0)))]),
+        );
+        let _ = op;
+        rv_func::build_ret(&mut ctx, entry);
+        let asm = emit_module(&ctx, module).unwrap();
+        assert!(!asm.contains("mv"), "{asm}");
+    }
+}

@@ -1,0 +1,56 @@
+#![warn(missing_docs)]
+
+//! RISC-V and Snitch target dialects plus assembly emission.
+//!
+//! This crate is the target half of the multi-level backend
+//! (Sections 3.1–3.2 of the paper): a family of SSA-based IRs modelling
+//! the RISC-V ISA and the Snitch accelerator extensions at several
+//! abstraction levels, and the printer that turns fully-lowered IR into
+//! assembly text.
+//!
+//! | dialect | models |
+//! |---|---|
+//! | [`rv`] | base ISA instructions; registers as value types |
+//! | [`rv_cf`] | unstructured control flow (jumps/branches) |
+//! | [`rv_scf`] | structured `for` loops over register values |
+//! | [`rv_func`] | functions under the RISC-V calling convention |
+//! | [`rv_snitch`] | FREP hardware loops, SSR config, packed SIMD |
+//! | [`snitch_stream`] | hardware-level streaming regions |
+
+pub mod emit;
+pub mod rv;
+pub mod rv_cf;
+pub mod rv_func;
+pub mod rv_scf;
+pub mod rv_snitch;
+pub mod snitch_stream;
+
+use mlb_ir::DialectRegistry;
+
+/// Registers every dialect in this crate.
+pub fn register_all(registry: &mut DialectRegistry) {
+    rv::register(registry);
+    rv_cf::register(registry);
+    rv_func::register(registry);
+    rv_scf::register(registry);
+    rv_snitch::register(registry);
+    snitch_stream::register(registry);
+}
+
+pub use emit::{emit_module, EmitError};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_all_is_conflict_free() {
+        let mut r = DialectRegistry::new();
+        register_all(&mut r);
+        assert!(r.info("rv.fmadd.d").is_some());
+        assert!(r.info("rv_snitch.frep_outer").is_some());
+        assert!(r.info("snitch_stream.streaming_region").is_some());
+        assert!(r.is_terminator("rv_cf.j"));
+        assert!(r.is_terminator("rv_func.ret"));
+    }
+}

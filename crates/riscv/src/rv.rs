@@ -1,0 +1,497 @@
+//! The `rv` dialect: RISC-V assembly instructions as SSA operations.
+//!
+//! Each operation denotes one assembly instruction; source and destination
+//! registers correspond to operands and results (Section 3.1, Figure 6).
+//! Values carry register *types* ([`mlb_ir::Type::IntRegister`] /
+//! [`mlb_ir::Type::FpRegister`]), either unallocated (`!rv.reg`) or pinned
+//! to a physical register (`!rv.reg<a0>`); register allocation refines the
+//! former into the latter in place.
+//!
+//! The assembly mnemonic of every instruction op is its name without the
+//! dialect prefix (`rv.fmadd.d` prints as `fmadd.d`).
+
+use mlb_ir::{
+    Attribute, BlockId, Context, DialectRegistry, OpId, OpInfo, OpSpec, Type, ValueId, VerifyError,
+};
+
+// ----- integer computational instructions -----------------------------------
+
+/// `rv.add`: integer addition.
+pub const ADD: &str = "rv.add";
+/// `rv.sub`: integer subtraction.
+pub const SUB: &str = "rv.sub";
+/// `rv.mul`: integer multiplication (M extension).
+pub const MUL: &str = "rv.mul";
+/// `rv.addi`: add immediate (`imm` attribute).
+pub const ADDI: &str = "rv.addi";
+/// `rv.slli`: shift left logical immediate (`imm` attribute).
+pub const SLLI: &str = "rv.slli";
+/// `rv.li`: load immediate pseudo-instruction (`imm` attribute).
+pub const LI: &str = "rv.li";
+/// `rv.mv`: register move pseudo-instruction.
+pub const MV: &str = "rv.mv";
+
+// ----- memory instructions ---------------------------------------------------
+
+/// `rv.lw`: load 32-bit word. Operands: base; `imm` attribute.
+pub const LW: &str = "rv.lw";
+/// `rv.sw`: store 32-bit word. Operands: value, base; `imm` attribute.
+pub const SW: &str = "rv.sw";
+/// `rv.fld`: load double to FP register.
+pub const FLD: &str = "rv.fld";
+/// `rv.fsd`: store double from FP register.
+pub const FSD: &str = "rv.fsd";
+/// `rv.flw`: load single to FP register.
+pub const FLW: &str = "rv.flw";
+/// `rv.fsw`: store single from FP register.
+pub const FSW: &str = "rv.fsw";
+
+// ----- floating-point computational instructions -----------------------------
+
+/// `rv.fadd.d`: double-precision addition.
+pub const FADD_D: &str = "rv.fadd.d";
+/// `rv.fsub.d`: double-precision subtraction.
+pub const FSUB_D: &str = "rv.fsub.d";
+/// `rv.fmul.d`: double-precision multiplication.
+pub const FMUL_D: &str = "rv.fmul.d";
+/// `rv.fdiv.d`: double-precision division.
+pub const FDIV_D: &str = "rv.fdiv.d";
+/// `rv.fmax.d`: double-precision maximum.
+pub const FMAX_D: &str = "rv.fmax.d";
+/// `rv.fmadd.d`: double-precision fused multiply-add (2 FLOPs).
+pub const FMADD_D: &str = "rv.fmadd.d";
+/// `rv.fadd.s`: single-precision addition.
+pub const FADD_S: &str = "rv.fadd.s";
+/// `rv.fsub.s`: single-precision subtraction.
+pub const FSUB_S: &str = "rv.fsub.s";
+/// `rv.fmul.s`: single-precision multiplication.
+pub const FMUL_S: &str = "rv.fmul.s";
+/// `rv.fmax.s`: single-precision maximum.
+pub const FMAX_S: &str = "rv.fmax.s";
+/// `rv.fmadd.s`: single-precision fused multiply-add.
+pub const FMADD_S: &str = "rv.fmadd.s";
+/// `rv.fmv.d`: FP register move (prints `fmv.d`).
+pub const FMV_D: &str = "rv.fmv.d";
+/// `rv.fcvt.d.w`: convert integer register to double.
+pub const FCVT_D_W: &str = "rv.fcvt.d.w";
+/// `rv.fcvt.s.w`: convert integer register to single.
+pub const FCVT_S_W: &str = "rv.fcvt.s.w";
+
+// ----- system ----------------------------------------------------------------
+
+/// `rv.csrrsi`: CSR set-bits immediate (`csr`, `imm` attributes).
+pub const CSRRSI: &str = "rv.csrrsi";
+/// `rv.csrrci`: CSR clear-bits immediate (`csr`, `imm` attributes).
+pub const CSRRCI: &str = "rv.csrrci";
+
+// ----- SSA bridging (not printed) ---------------------------------------------
+
+/// `rv.get_register`: materializes an SSA value for a pre-assigned
+/// register (e.g. an ABI argument register). Not printed in assembly.
+pub const GET_REGISTER: &str = "rv.get_register";
+
+/// Two-FP-source, one-FP-destination instructions.
+pub const FP_BINARY: [&str; 9] =
+    [FADD_D, FSUB_D, FMUL_D, FDIV_D, FMAX_D, FADD_S, FSUB_S, FMUL_S, FMAX_S];
+/// Three-FP-source fused instructions.
+pub const FP_TERNARY: [&str; 2] = [FMADD_D, FMADD_S];
+/// Integer register-register instructions.
+pub const INT_BINARY: [&str; 3] = [ADD, SUB, MUL];
+/// Integer register-immediate instructions.
+pub const INT_IMM: [&str; 2] = [ADDI, SLLI];
+/// FP load instructions.
+pub const FP_LOADS: [&str; 2] = [FLD, FLW];
+/// FP store instructions.
+pub const FP_STORES: [&str; 2] = [FSD, FSW];
+
+/// Whether `name` is an instruction executed by the FPU (arithmetic on FP
+/// registers, excluding loads/stores). Used by FREP conversion and the
+/// utilization model.
+pub fn is_fpu_op(name: &str) -> bool {
+    FP_BINARY.contains(&name)
+        || FP_TERNARY.contains(&name)
+        || name == FMV_D
+        || name == FCVT_D_W
+        || name == FCVT_S_W
+        || name.starts_with("rv_snitch.v")
+        // A stream write prints as `fmv.d` into the stream register.
+        || name == "snitch_stream.write"
+}
+
+/// Whether `name` is a memory load.
+pub fn is_load(name: &str) -> bool {
+    name == LW || FP_LOADS.contains(&name)
+}
+
+/// Whether `name` is a memory store.
+pub fn is_store(name: &str) -> bool {
+    name == SW || FP_STORES.contains(&name)
+}
+
+/// The assembly mnemonic for an `rv`/`rv_snitch` instruction op name.
+pub fn mnemonic(name: &str) -> &str {
+    name.split_once('.').map(|(_, m)| m).unwrap_or(name)
+}
+
+/// Shorthand for the unallocated integer register type.
+pub fn reg() -> Type {
+    Type::IntRegister(None)
+}
+
+/// The compile-time integer value of `v`, when it comes from `rv.li` or
+/// from `rv.get_register` of the hard-wired `zero` register.
+pub fn constant_int_value(ctx: &Context, v: ValueId) -> Option<i64> {
+    let def = ctx.defining_op(v)?;
+    let op = ctx.op(def);
+    match op.name.as_str() {
+        LI => op.attr("imm").and_then(Attribute::as_int),
+        GET_REGISTER => {
+            if *ctx.value_type(v) == Type::IntRegister(Some(mlb_isa::IntReg::ZERO)) {
+                Some(0)
+            } else {
+                None
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Shorthand for the unallocated FP register type.
+pub fn freg() -> Type {
+    Type::FpRegister(None)
+}
+
+/// Registers the `rv` dialect.
+pub fn register(registry: &mut DialectRegistry) {
+    for name in INT_BINARY {
+        registry.register(OpInfo::new(name).pure().with_verify(verify_int_binary));
+    }
+    for name in INT_IMM {
+        registry.register(OpInfo::new(name).pure().with_verify(verify_int_unary_imm));
+    }
+    registry.register(OpInfo::new(LI).pure().with_verify(verify_li));
+    registry.register(OpInfo::new(MV).pure().with_verify(verify_mv));
+    registry.register(OpInfo::new(LW).with_verify(verify_load_int));
+    registry.register(OpInfo::new(SW).with_verify(verify_store_int));
+    for name in FP_LOADS {
+        registry.register(OpInfo::new(name).with_verify(verify_load_fp));
+    }
+    for name in FP_STORES {
+        registry.register(OpInfo::new(name).with_verify(verify_store_fp));
+    }
+    for name in FP_BINARY {
+        registry.register(OpInfo::new(name).pure().with_verify(verify_fp_binary));
+    }
+    for name in FP_TERNARY {
+        registry.register(OpInfo::new(name).pure().with_verify(verify_fp_ternary));
+    }
+    registry.register(OpInfo::new(FMV_D).pure().with_verify(verify_fmv));
+    registry.register(OpInfo::new(FCVT_D_W).pure().with_verify(verify_fcvt));
+    registry.register(OpInfo::new(FCVT_S_W).pure().with_verify(verify_fcvt));
+    registry.register(OpInfo::new(CSRRSI).with_verify(verify_csr));
+    registry.register(OpInfo::new(CSRRCI).with_verify(verify_csr));
+    registry.register(OpInfo::new(GET_REGISTER).with_verify(verify_get_register));
+}
+
+fn is_int_reg(ty: &Type) -> bool {
+    matches!(ty, Type::IntRegister(_))
+}
+
+fn is_fp_reg(ty: &Type) -> bool {
+    matches!(ty, Type::FpRegister(_))
+}
+
+fn check_shape(
+    ctx: &Context,
+    op: OpId,
+    operands: &[fn(&Type) -> bool],
+    results: &[fn(&Type) -> bool],
+) -> Result<(), VerifyError> {
+    let o = ctx.op(op);
+    if o.operands.len() != operands.len() {
+        return Err(VerifyError::new(
+            ctx,
+            op,
+            format!("expected {} operands, got {}", operands.len(), o.operands.len()),
+        ));
+    }
+    if o.results.len() != results.len() {
+        return Err(VerifyError::new(
+            ctx,
+            op,
+            format!("expected {} results, got {}", results.len(), o.results.len()),
+        ));
+    }
+    for (i, (&v, check)) in o.operands.iter().zip(operands).enumerate() {
+        if !check(ctx.value_type(v)) {
+            return Err(VerifyError::new(ctx, op, format!("operand {i} has wrong register class")));
+        }
+    }
+    for (i, (&v, check)) in o.results.iter().zip(results).enumerate() {
+        if !check(ctx.value_type(v)) {
+            return Err(VerifyError::new(ctx, op, format!("result {i} has wrong register class")));
+        }
+    }
+    Ok(())
+}
+
+fn require_imm(ctx: &Context, op: OpId) -> Result<(), VerifyError> {
+    match ctx.op(op).attr("imm") {
+        Some(Attribute::Int(_)) => Ok(()),
+        _ => Err(VerifyError::new(ctx, op, "missing integer `imm` attribute")),
+    }
+}
+
+fn verify_int_binary(ctx: &Context, op: OpId) -> Result<(), VerifyError> {
+    check_shape(ctx, op, &[is_int_reg, is_int_reg], &[is_int_reg])
+}
+
+fn verify_int_unary_imm(ctx: &Context, op: OpId) -> Result<(), VerifyError> {
+    check_shape(ctx, op, &[is_int_reg], &[is_int_reg])?;
+    require_imm(ctx, op)
+}
+
+fn verify_li(ctx: &Context, op: OpId) -> Result<(), VerifyError> {
+    check_shape(ctx, op, &[], &[is_int_reg])?;
+    require_imm(ctx, op)
+}
+
+fn verify_mv(ctx: &Context, op: OpId) -> Result<(), VerifyError> {
+    check_shape(ctx, op, &[is_int_reg], &[is_int_reg])
+}
+
+fn verify_load_int(ctx: &Context, op: OpId) -> Result<(), VerifyError> {
+    check_shape(ctx, op, &[is_int_reg], &[is_int_reg])?;
+    require_imm(ctx, op)
+}
+
+fn verify_store_int(ctx: &Context, op: OpId) -> Result<(), VerifyError> {
+    check_shape(ctx, op, &[is_int_reg, is_int_reg], &[])?;
+    require_imm(ctx, op)
+}
+
+fn verify_load_fp(ctx: &Context, op: OpId) -> Result<(), VerifyError> {
+    check_shape(ctx, op, &[is_int_reg], &[is_fp_reg])?;
+    require_imm(ctx, op)
+}
+
+fn verify_store_fp(ctx: &Context, op: OpId) -> Result<(), VerifyError> {
+    check_shape(ctx, op, &[is_fp_reg, is_int_reg], &[])?;
+    require_imm(ctx, op)
+}
+
+fn verify_fp_binary(ctx: &Context, op: OpId) -> Result<(), VerifyError> {
+    check_shape(ctx, op, &[is_fp_reg, is_fp_reg], &[is_fp_reg])
+}
+
+fn verify_fp_ternary(ctx: &Context, op: OpId) -> Result<(), VerifyError> {
+    check_shape(ctx, op, &[is_fp_reg, is_fp_reg, is_fp_reg], &[is_fp_reg])
+}
+
+fn verify_fmv(ctx: &Context, op: OpId) -> Result<(), VerifyError> {
+    check_shape(ctx, op, &[is_fp_reg], &[is_fp_reg])
+}
+
+fn verify_fcvt(ctx: &Context, op: OpId) -> Result<(), VerifyError> {
+    check_shape(ctx, op, &[is_int_reg], &[is_fp_reg])
+}
+
+fn verify_csr(ctx: &Context, op: OpId) -> Result<(), VerifyError> {
+    check_shape(ctx, op, &[], &[])?;
+    match (ctx.op(op).attr("csr"), ctx.op(op).attr("imm")) {
+        (Some(Attribute::Int(_)), Some(Attribute::Int(_))) => Ok(()),
+        _ => Err(VerifyError::new(ctx, op, "missing `csr`/`imm` integer attributes")),
+    }
+}
+
+fn verify_get_register(ctx: &Context, op: OpId) -> Result<(), VerifyError> {
+    let o = ctx.op(op);
+    if !o.operands.is_empty() || o.results.len() != 1 {
+        return Err(VerifyError::new(ctx, op, "expected no operands and one result"));
+    }
+    if !ctx.value_type(o.results[0]).is_allocated_register() {
+        return Err(VerifyError::new(ctx, op, "result must be an allocated register"));
+    }
+    Ok(())
+}
+
+// ----- builders --------------------------------------------------------------
+
+/// Builds an integer register-register instruction.
+pub fn int_binary(ctx: &mut Context, block: BlockId, name: &str, a: ValueId, b: ValueId) -> ValueId {
+    let op = ctx.append_op(block, OpSpec::new(name).operands(vec![a, b]).results(vec![reg()]));
+    ctx.op(op).results[0]
+}
+
+/// Builds an integer register-immediate instruction.
+pub fn int_imm(ctx: &mut Context, block: BlockId, name: &str, a: ValueId, imm: i64) -> ValueId {
+    let op = ctx.append_op(
+        block,
+        OpSpec::new(name).operands(vec![a]).attr("imm", Attribute::Int(imm)).results(vec![reg()]),
+    );
+    ctx.op(op).results[0]
+}
+
+/// Builds `rv.li` (load immediate).
+pub fn li(ctx: &mut Context, block: BlockId, imm: i64) -> ValueId {
+    let op =
+        ctx.append_op(block, OpSpec::new(LI).attr("imm", Attribute::Int(imm)).results(vec![reg()]));
+    ctx.op(op).results[0]
+}
+
+/// Builds an FP binary instruction.
+pub fn fp_binary(ctx: &mut Context, block: BlockId, name: &str, a: ValueId, b: ValueId) -> ValueId {
+    let op = ctx.append_op(block, OpSpec::new(name).operands(vec![a, b]).results(vec![freg()]));
+    ctx.op(op).results[0]
+}
+
+/// Builds an FP fused ternary instruction (`rd = a * b + c`).
+pub fn fp_ternary(
+    ctx: &mut Context,
+    block: BlockId,
+    name: &str,
+    a: ValueId,
+    b: ValueId,
+    c: ValueId,
+) -> ValueId {
+    let op = ctx.append_op(block, OpSpec::new(name).operands(vec![a, b, c]).results(vec![freg()]));
+    ctx.op(op).results[0]
+}
+
+/// Builds an FP load (`name` is [`FLD`] or [`FLW`]).
+pub fn fp_load(ctx: &mut Context, block: BlockId, name: &str, base: ValueId, imm: i64) -> ValueId {
+    let op = ctx.append_op(
+        block,
+        OpSpec::new(name).operands(vec![base]).attr("imm", Attribute::Int(imm)).results(vec![freg()]),
+    );
+    ctx.op(op).results[0]
+}
+
+/// Builds an FP store (`name` is [`FSD`] or [`FSW`]).
+pub fn fp_store(
+    ctx: &mut Context,
+    block: BlockId,
+    name: &str,
+    value: ValueId,
+    base: ValueId,
+    imm: i64,
+) -> OpId {
+    ctx.append_op(
+        block,
+        OpSpec::new(name).operands(vec![value, base]).attr("imm", Attribute::Int(imm)),
+    )
+}
+
+/// Builds `rv.get_register` for a pre-assigned register type.
+///
+/// # Panics
+///
+/// Panics if `ty` is not an allocated register type.
+pub fn get_register(ctx: &mut Context, block: BlockId, ty: Type) -> ValueId {
+    assert!(ty.is_allocated_register(), "get_register requires an allocated register type");
+    let op = ctx.append_op(block, OpSpec::new(GET_REGISTER).results(vec![ty]));
+    ctx.op(op).results[0]
+}
+
+/// Builds a CSR immediate instruction ([`CSRRSI`] or [`CSRRCI`]).
+pub fn csr_imm(ctx: &mut Context, block: BlockId, name: &str, csr: u16, imm: i64) -> OpId {
+    ctx.append_op(
+        block,
+        OpSpec::new(name).attr("csr", Attribute::Int(csr as i64)).attr("imm", Attribute::Int(imm)),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlb_isa::{FpReg, IntReg};
+
+    fn setup() -> (Context, DialectRegistry, OpId, BlockId) {
+        let mut ctx = Context::new();
+        let mut r = DialectRegistry::new();
+        r.register(OpInfo::new("test.wrap"));
+        register(&mut r);
+        let m = ctx.create_detached_op(OpSpec::new("test.wrap").regions(1));
+        let b = ctx.create_block(ctx.op(m).regions[0], vec![]);
+        (ctx, r, m, b)
+    }
+
+    #[test]
+    fn mnemonics_strip_dialect() {
+        assert_eq!(mnemonic(FMADD_D), "fmadd.d");
+        assert_eq!(mnemonic(ADD), "add");
+        assert_eq!(mnemonic("rv_snitch.vfmac.s"), "vfmac.s");
+    }
+
+    #[test]
+    fn classification() {
+        assert!(is_fpu_op(FMADD_D));
+        assert!(is_fpu_op(FMV_D));
+        assert!(is_fpu_op("rv_snitch.vfadd.s"));
+        assert!(!is_fpu_op(FLD));
+        assert!(!is_fpu_op(ADD));
+        assert!(is_load(FLD) && is_load(LW) && !is_load(SW));
+        assert!(is_store(FSD) && is_store(SW) && !is_store(FLD));
+    }
+
+    #[test]
+    fn build_and_verify_arithmetic() {
+        let (mut ctx, r, m, b) = setup();
+        let x = li(&mut ctx, b, 5);
+        let y = int_imm(&mut ctx, b, ADDI, x, 3);
+        let _z = int_binary(&mut ctx, b, MUL, x, y);
+        let a = get_register(&mut ctx, b, Type::FpRegister(Some(FpReg::fa(0))));
+        let p = fp_binary(&mut ctx, b, FMUL_D, a, a);
+        let _q = fp_ternary(&mut ctx, b, FMADD_D, a, a, p);
+        assert!(r.verify(&ctx, m).is_ok(), "{:?}", r.verify(&ctx, m));
+    }
+
+    #[test]
+    fn build_and_verify_memory() {
+        let (mut ctx, r, m, b) = setup();
+        let base = get_register(&mut ctx, b, Type::IntRegister(Some(IntReg::a(0))));
+        let v = fp_load(&mut ctx, b, FLD, base, 8);
+        fp_store(&mut ctx, b, FSD, v, base, 16);
+        let w = {
+            let op = ctx.append_op(
+                b,
+                OpSpec::new(LW).operands(vec![base]).attr("imm", Attribute::Int(0)).results(vec![reg()]),
+            );
+            ctx.op(op).results[0]
+        };
+        ctx.append_op(b, OpSpec::new(SW).operands(vec![w, base]).attr("imm", Attribute::Int(4)));
+        assert!(r.verify(&ctx, m).is_ok(), "{:?}", r.verify(&ctx, m));
+    }
+
+    #[test]
+    fn verify_rejects_class_mismatch() {
+        let (mut ctx, r, m, b) = setup();
+        let x = li(&mut ctx, b, 1);
+        // fadd.d on integer registers must fail.
+        ctx.append_op(b, OpSpec::new(FADD_D).operands(vec![x, x]).results(vec![freg()]));
+        assert!(r.verify(&ctx, m).is_err());
+    }
+
+    #[test]
+    fn verify_rejects_missing_imm() {
+        let (mut ctx, r, m, b) = setup();
+        let x = li(&mut ctx, b, 1);
+        ctx.append_op(b, OpSpec::new(ADDI).operands(vec![x]).results(vec![reg()]));
+        assert!(r.verify(&ctx, m).is_err());
+    }
+
+    #[test]
+    fn verify_rejects_unallocated_get_register() {
+        let (mut ctx, r, m, b) = setup();
+        ctx.append_op(b, OpSpec::new(GET_REGISTER).results(vec![reg()]));
+        assert!(r.verify(&ctx, m).is_err());
+    }
+
+    #[test]
+    fn csr_ops_verify() {
+        let (mut ctx, r, m, b) = setup();
+        csr_imm(&mut ctx, b, CSRRSI, mlb_isa::CSR_SSR, 1);
+        csr_imm(&mut ctx, b, CSRRCI, mlb_isa::CSR_SSR, 1);
+        assert!(r.verify(&ctx, m).is_ok());
+    }
+}

@@ -1,0 +1,118 @@
+//! The `rv_cf` dialect: unstructured control flow (jumps and branches)
+//! between basic blocks, the final control-flow form before assembly
+//! emission (Section 3.1).
+
+use mlb_ir::{
+    BlockId, Context, DialectRegistry, OpId, OpInfo, OpSpec, Type, ValueId, VerifyError,
+};
+
+/// `rv_cf.j`: unconditional jump. One successor.
+pub const J: &str = "rv_cf.j";
+/// `rv_cf.blt`: branch if `rs1 < rs2` (signed). Successors: taken, else.
+pub const BLT: &str = "rv_cf.blt";
+/// `rv_cf.bge`: branch if `rs1 >= rs2` (signed). Successors: taken, else.
+pub const BGE: &str = "rv_cf.bge";
+/// `rv_cf.bne`: branch if `rs1 != rs2`. Successors: taken, else.
+pub const BNE: &str = "rv_cf.bne";
+/// `rv_cf.beq`: branch if `rs1 == rs2`. Successors: taken, else.
+pub const BEQ: &str = "rv_cf.beq";
+
+/// The conditional branch operations.
+pub const CONDITIONAL_BRANCHES: [&str; 4] = [BLT, BGE, BNE, BEQ];
+
+/// Registers the `rv_cf` dialect.
+pub fn register(registry: &mut DialectRegistry) {
+    registry.register(OpInfo::new(J).terminator().with_verify(verify_j));
+    for name in CONDITIONAL_BRANCHES {
+        registry.register(OpInfo::new(name).terminator().with_verify(verify_branch));
+    }
+}
+
+fn verify_j(ctx: &Context, op: OpId) -> Result<(), VerifyError> {
+    let o = ctx.op(op);
+    if o.successors.len() != 1 {
+        return Err(VerifyError::new(ctx, op, "jump must have exactly one successor"));
+    }
+    if !o.operands.is_empty() {
+        return Err(VerifyError::new(ctx, op, "jump carries no operands"));
+    }
+    Ok(())
+}
+
+fn verify_branch(ctx: &Context, op: OpId) -> Result<(), VerifyError> {
+    let o = ctx.op(op);
+    if o.successors.len() != 2 {
+        return Err(VerifyError::new(ctx, op, "branch must have taken and fallthrough successors"));
+    }
+    if o.operands.len() != 2 {
+        return Err(VerifyError::new(ctx, op, "branch compares exactly two registers"));
+    }
+    for &v in &o.operands {
+        if !matches!(ctx.value_type(v), Type::IntRegister(_)) {
+            return Err(VerifyError::new(ctx, op, "branch operands must be integer registers"));
+        }
+    }
+    Ok(())
+}
+
+/// Appends an unconditional jump to `target`.
+pub fn build_j(ctx: &mut Context, block: BlockId, target: BlockId) -> OpId {
+    ctx.append_op(block, OpSpec::new(J).successors(vec![target]))
+}
+
+/// Appends a conditional branch comparing `rs1` and `rs2`.
+pub fn build_branch(
+    ctx: &mut Context,
+    block: BlockId,
+    name: &str,
+    rs1: ValueId,
+    rs2: ValueId,
+    taken: BlockId,
+    fallthrough: BlockId,
+) -> OpId {
+    ctx.append_op(
+        block,
+        OpSpec::new(name).operands(vec![rs1, rs2]).successors(vec![taken, fallthrough]),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rv;
+
+    #[test]
+    fn build_two_block_loop() {
+        let mut ctx = Context::new();
+        let mut r = DialectRegistry::new();
+        r.register(OpInfo::new("test.wrap"));
+        rv::register(&mut r);
+        register(&mut r);
+        let m = ctx.create_detached_op(OpSpec::new("test.wrap").regions(1));
+        let region = ctx.op(m).regions[0];
+        let entry = ctx.create_block(region, vec![]);
+        let body = ctx.create_block(region, vec![]);
+        let exit = ctx.create_block(region, vec![]);
+        let i = rv::li(&mut ctx, entry, 0);
+        let n = rv::li(&mut ctx, entry, 8);
+        build_j(&mut ctx, entry, body);
+        build_branch(&mut ctx, body, BLT, i, n, body, exit);
+        ctx.append_op(exit, OpSpec::new("rv.li").attr("imm", mlb_ir::Attribute::Int(0)).results(vec![rv::reg()]));
+        assert!(r.verify(&ctx, m).is_ok(), "{:?}", r.verify(&ctx, m));
+    }
+
+    #[test]
+    fn verify_rejects_branch_with_one_successor() {
+        let mut ctx = Context::new();
+        let mut r = DialectRegistry::new();
+        r.register(OpInfo::new("test.wrap"));
+        rv::register(&mut r);
+        register(&mut r);
+        let m = ctx.create_detached_op(OpSpec::new("test.wrap").regions(1));
+        let region = ctx.op(m).regions[0];
+        let entry = ctx.create_block(region, vec![]);
+        let i = rv::li(&mut ctx, entry, 0);
+        ctx.append_op(entry, OpSpec::new(BLT).operands(vec![i, i]).successors(vec![entry]));
+        assert!(r.verify(&ctx, m).is_err());
+    }
+}

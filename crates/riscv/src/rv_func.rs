@@ -1,0 +1,198 @@
+//! The `rv_func` dialect: functions under the RISC-V calling convention.
+//!
+//! `rv_func.func` encodes the ABI constraint that arguments arrive in `a`
+//! registers (Figure 6, step 3): its entry block arguments are required to
+//! be *allocated* register types `a0`, `a1`, … / `fa0`, `fa1`, ….
+
+use mlb_ir::{
+    Attribute, BlockId, Context, DialectRegistry, OpId, OpInfo, OpSpec, Type, ValueId, VerifyError,
+};
+use mlb_isa::{FpReg, IntReg};
+
+/// `rv_func.func`: a function with register-typed arguments.
+pub const FUNC: &str = "rv_func.func";
+/// `rv_func.ret`: return terminator (prints `ret`).
+pub const RET: &str = "rv_func.ret";
+
+/// Registers the `rv_func` dialect.
+pub fn register(registry: &mut DialectRegistry) {
+    registry.register(OpInfo::new(FUNC).with_verify(verify_func));
+    registry.register(OpInfo::new(RET).terminator().with_verify(verify_ret));
+}
+
+fn verify_func(ctx: &Context, op: OpId) -> Result<(), VerifyError> {
+    let o = ctx.op(op);
+    if o.regions.len() != 1 {
+        return Err(VerifyError::new(ctx, op, "function must have exactly one region"));
+    }
+    let Some(Attribute::Symbol(_)) = o.attr("sym_name") else {
+        return Err(VerifyError::new(ctx, op, "missing `sym_name` symbol attribute"));
+    };
+    let blocks = ctx.region_blocks(o.regions[0]);
+    if blocks.is_empty() {
+        return Err(VerifyError::new(ctx, op, "function body must have an entry block"));
+    }
+    // ABI: integer args in a0.., FP args in fa0.., in order of appearance.
+    let mut next_int = 0u8;
+    let mut next_fp = 0u8;
+    for (i, &arg) in ctx.block_args(blocks[0]).iter().enumerate() {
+        match ctx.value_type(arg) {
+            Type::IntRegister(Some(r)) => {
+                if *r != IntReg::a(next_int) {
+                    return Err(VerifyError::new(
+                        ctx,
+                        op,
+                        format!("argument {i} must be in {}", IntReg::a(next_int)),
+                    ));
+                }
+                next_int += 1;
+            }
+            Type::FpRegister(Some(r)) => {
+                if *r != FpReg::fa(next_fp) {
+                    return Err(VerifyError::new(
+                        ctx,
+                        op,
+                        format!("argument {i} must be in {}", FpReg::fa(next_fp)),
+                    ));
+                }
+                next_fp += 1;
+            }
+            other => {
+                return Err(VerifyError::new(
+                    ctx,
+                    op,
+                    format!("argument {i} must be an allocated register, got {other}"),
+                ))
+            }
+        }
+    }
+    Ok(())
+}
+
+fn verify_ret(ctx: &Context, op: OpId) -> Result<(), VerifyError> {
+    let o = ctx.op(op);
+    if !o.operands.is_empty() || !o.results.is_empty() {
+        // Results live in a0/fa0 by convention; the op itself carries none.
+        return Err(VerifyError::new(ctx, op, "ret carries no explicit operands"));
+    }
+    Ok(())
+}
+
+/// Argument classes for [`build_func`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AbiArg {
+    /// An integer-register argument (pointers, sizes).
+    Int,
+    /// A floating-point-register argument.
+    Fp,
+}
+
+/// Creates an `rv_func.func` named `name` whose entry block arguments are
+/// pinned to the ABI argument registers in order.
+pub fn build_func(
+    ctx: &mut Context,
+    parent: BlockId,
+    name: &str,
+    args: &[AbiArg],
+) -> (OpId, BlockId) {
+    let mut next_int = 0u8;
+    let mut next_fp = 0u8;
+    let arg_types: Vec<Type> = args
+        .iter()
+        .map(|a| match a {
+            AbiArg::Int => {
+                let r = IntReg::a(next_int);
+                next_int += 1;
+                Type::IntRegister(Some(r))
+            }
+            AbiArg::Fp => {
+                let r = FpReg::fa(next_fp);
+                next_fp += 1;
+                Type::FpRegister(Some(r))
+            }
+        })
+        .collect();
+    let func = ctx.append_op(
+        parent,
+        OpSpec::new(FUNC).attr("sym_name", Attribute::Symbol(name.to_string())).regions(1),
+    );
+    let entry = ctx.create_block(ctx.op(func).regions[0], arg_types);
+    (func, entry)
+}
+
+/// Appends the `rv_func.ret` terminator.
+pub fn build_ret(ctx: &mut Context, block: BlockId) -> OpId {
+    ctx.append_op(block, OpSpec::new(RET))
+}
+
+/// The entry block of an `rv_func.func`.
+pub fn entry_block(ctx: &Context, func: OpId) -> BlockId {
+    ctx.region_blocks(ctx.op(func).regions[0])[0]
+}
+
+/// The symbol name of an `rv_func.func`.
+pub fn symbol_name(ctx: &Context, func: OpId) -> Option<&str> {
+    ctx.op(func).attr("sym_name")?.as_symbol()
+}
+
+/// The argument values of the function entry block.
+pub fn arguments<'c>(ctx: &'c Context, func: OpId) -> &'c [ValueId] {
+    ctx.block_args(entry_block(ctx, func))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Context, DialectRegistry, OpId, BlockId) {
+        let mut ctx = Context::new();
+        let mut r = DialectRegistry::new();
+        r.register(OpInfo::new("test.wrap"));
+        register(&mut r);
+        let m = ctx.create_detached_op(OpSpec::new("test.wrap").regions(1));
+        let b = ctx.create_block(ctx.op(m).regions[0], vec![]);
+        (ctx, r, m, b)
+    }
+
+    #[test]
+    fn abi_args_are_assigned_in_order() {
+        let (mut ctx, r, m, b) = setup();
+        let (f, entry) =
+            build_func(&mut ctx, b, "k", &[AbiArg::Int, AbiArg::Fp, AbiArg::Int, AbiArg::Fp]);
+        build_ret(&mut ctx, entry);
+        assert!(r.verify(&ctx, m).is_ok(), "{:?}", r.verify(&ctx, m));
+        let args = arguments(&ctx, f);
+        assert_eq!(*ctx.value_type(args[0]), Type::IntRegister(Some(IntReg::a(0))));
+        assert_eq!(*ctx.value_type(args[1]), Type::FpRegister(Some(FpReg::fa(0))));
+        assert_eq!(*ctx.value_type(args[2]), Type::IntRegister(Some(IntReg::a(1))));
+        assert_eq!(*ctx.value_type(args[3]), Type::FpRegister(Some(FpReg::fa(1))));
+        assert_eq!(symbol_name(&ctx, f), Some("k"));
+    }
+
+    #[test]
+    fn verify_rejects_out_of_order_args() {
+        let (mut ctx, r, m, b) = setup();
+        let func = ctx.append_op(
+            b,
+            OpSpec::new(FUNC).attr("sym_name", Attribute::Symbol("bad".into())).regions(1),
+        );
+        let entry = ctx.create_block(
+            ctx.op(func).regions[0],
+            vec![Type::IntRegister(Some(IntReg::a(1)))],
+        );
+        build_ret(&mut ctx, entry);
+        assert!(r.verify(&ctx, m).is_err());
+    }
+
+    #[test]
+    fn verify_rejects_unallocated_args() {
+        let (mut ctx, r, m, b) = setup();
+        let func = ctx.append_op(
+            b,
+            OpSpec::new(FUNC).attr("sym_name", Attribute::Symbol("bad".into())).regions(1),
+        );
+        let entry = ctx.create_block(ctx.op(func).regions[0], vec![Type::IntRegister(None)]);
+        build_ret(&mut ctx, entry);
+        assert!(r.verify(&ctx, m).is_err());
+    }
+}

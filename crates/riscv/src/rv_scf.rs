@@ -1,0 +1,213 @@
+//! The `rv_scf` dialect: structured control flow over register values.
+//!
+//! `rv_scf.for` mirrors `scf.for` but its bounds and iteration values are
+//! register-typed, "easing optimizations and live range construction
+//! during register allocation" (Section 3.1). It is lowered to `rv_cf`
+//! branches only after registers have been allocated.
+
+use mlb_ir::{
+    BlockId, Context, DialectRegistry, OpId, OpInfo, OpSpec, Type, ValueId, VerifyError,
+};
+
+/// `rv_scf.for`: counted loop over registers. Operands: `lb, ub, step,
+/// init...`; body args: `iv, iter...`; results mirror the iter values.
+pub const FOR: &str = "rv_scf.for";
+/// `rv_scf.yield`: body terminator.
+pub const YIELD: &str = "rv_scf.yield";
+
+/// Registers the `rv_scf` dialect.
+pub fn register(registry: &mut DialectRegistry) {
+    registry.register(OpInfo::new(FOR).with_verify(verify_for));
+    registry.register(OpInfo::new(YIELD).terminator().with_verify(verify_yield));
+}
+
+fn verify_for(ctx: &Context, op: OpId) -> Result<(), VerifyError> {
+    let o = ctx.op(op);
+    if o.regions.len() != 1 {
+        return Err(VerifyError::new(ctx, op, "for must have exactly one region"));
+    }
+    if o.operands.len() < 3 {
+        return Err(VerifyError::new(ctx, op, "for needs lb, ub and step operands"));
+    }
+    for i in 0..3 {
+        if !matches!(ctx.value_type(o.operands[i]), Type::IntRegister(_)) {
+            return Err(VerifyError::new(ctx, op, "loop bounds must be integer registers"));
+        }
+    }
+    let num_iter = o.operands.len() - 3;
+    if o.results.len() != num_iter {
+        return Err(VerifyError::new(ctx, op, "result count differs from iter-arg count"));
+    }
+    let blocks = ctx.region_blocks(o.regions[0]);
+    if blocks.len() != 1 {
+        return Err(VerifyError::new(ctx, op, "for body must be a single block"));
+    }
+    let args = ctx.block_args(blocks[0]);
+    if args.len() != num_iter + 1 {
+        return Err(VerifyError::new(ctx, op, "body must take iv plus iter args"));
+    }
+    if !matches!(ctx.value_type(args[0]), Type::IntRegister(_)) {
+        return Err(VerifyError::new(ctx, op, "induction variable must be an integer register"));
+    }
+    for i in 0..num_iter {
+        let init = ctx.value_type(o.operands[3 + i]);
+        let arg = ctx.value_type(args[1 + i]);
+        let res = ctx.value_type(o.results[i]);
+        if !init.is_register() || !arg.is_register() || !res.is_register() {
+            return Err(VerifyError::new(ctx, op, "iteration values must be registers"));
+        }
+        let same_class = matches!(
+            (init, arg, res),
+            (Type::IntRegister(_), Type::IntRegister(_), Type::IntRegister(_))
+                | (Type::FpRegister(_), Type::FpRegister(_), Type::FpRegister(_))
+        );
+        if !same_class {
+            return Err(VerifyError::new(ctx, op, "iteration value register classes must match"));
+        }
+    }
+    Ok(())
+}
+
+fn verify_yield(ctx: &Context, op: OpId) -> Result<(), VerifyError> {
+    let Some(parent) = ctx.parent_op(op) else {
+        return Err(VerifyError::new(ctx, op, "yield outside of any op"));
+    };
+    let pname = &ctx.op(parent).name;
+    if pname != FOR && pname != crate::rv_snitch::FREP_OUTER {
+        return Err(VerifyError::new(ctx, op, "rv_scf.yield must be inside rv_scf.for or frep"));
+    }
+    if ctx.op(op).operands.len() != ctx.op(parent).results.len() {
+        return Err(VerifyError::new(ctx, op, "yield arity differs from loop results"));
+    }
+    Ok(())
+}
+
+/// Typed view over an `rv_scf.for` operation.
+#[derive(Debug, Clone, Copy)]
+pub struct RvForOp(pub OpId);
+
+impl RvForOp {
+    /// Wraps `op`, checking the name.
+    pub fn new(ctx: &Context, op: OpId) -> Option<RvForOp> {
+        (ctx.op(op).name == FOR).then_some(RvForOp(op))
+    }
+
+    /// The lower bound register value.
+    pub fn lower_bound(self, ctx: &Context) -> ValueId {
+        ctx.op(self.0).operands[0]
+    }
+
+    /// The upper bound register value.
+    pub fn upper_bound(self, ctx: &Context) -> ValueId {
+        ctx.op(self.0).operands[1]
+    }
+
+    /// The step register value.
+    pub fn step(self, ctx: &Context) -> ValueId {
+        ctx.op(self.0).operands[2]
+    }
+
+    /// The loop-carried initial values.
+    pub fn iter_inits<'c>(self, ctx: &'c Context) -> &'c [ValueId] {
+        &ctx.op(self.0).operands[3..]
+    }
+
+    /// The single body block.
+    pub fn body(self, ctx: &Context) -> BlockId {
+        ctx.sole_block(ctx.op(self.0).regions[0])
+    }
+
+    /// The induction variable block argument.
+    pub fn induction_var(self, ctx: &Context) -> ValueId {
+        ctx.block_args(self.body(ctx))[0]
+    }
+
+    /// The loop-carried block arguments.
+    pub fn iter_args<'c>(self, ctx: &'c Context) -> &'c [ValueId] {
+        &ctx.block_args(self.body(ctx))[1..]
+    }
+
+    /// The body terminator.
+    pub fn yield_op(self, ctx: &Context) -> OpId {
+        ctx.terminator(self.body(ctx))
+    }
+}
+
+/// Builds an `rv_scf.for` loop; `body` returns the yielded values.
+pub fn build_for(
+    ctx: &mut Context,
+    block: BlockId,
+    lb: ValueId,
+    ub: ValueId,
+    step: ValueId,
+    inits: Vec<ValueId>,
+    body: impl FnOnce(&mut Context, BlockId, ValueId, &[ValueId]) -> Vec<ValueId>,
+) -> RvForOp {
+    let result_types: Vec<Type> = inits.iter().map(|&v| ctx.value_type(v).clone()).collect();
+    let mut operands = vec![lb, ub, step];
+    operands.extend(inits);
+    let op = ctx.append_op(
+        block,
+        OpSpec::new(FOR).operands(operands).results(result_types.clone()).regions(1),
+    );
+    let mut arg_types = vec![Type::IntRegister(None)];
+    arg_types.extend(result_types);
+    let body_block = ctx.create_block(ctx.op(op).regions[0], arg_types);
+    let iv = ctx.block_args(body_block)[0];
+    let iter_args = ctx.block_args(body_block)[1..].to_vec();
+    let yields = body(ctx, body_block, iv, &iter_args);
+    ctx.append_op(body_block, OpSpec::new(YIELD).operands(yields));
+    RvForOp(op)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rv;
+
+    fn setup() -> (Context, DialectRegistry, OpId, BlockId) {
+        let mut ctx = Context::new();
+        let mut r = DialectRegistry::new();
+        r.register(OpInfo::new("test.wrap"));
+        rv::register(&mut r);
+        crate::rv_snitch::register(&mut r);
+        register(&mut r);
+        let m = ctx.create_detached_op(OpSpec::new("test.wrap").regions(1));
+        let b = ctx.create_block(ctx.op(m).regions[0], vec![]);
+        (ctx, r, m, b)
+    }
+
+    #[test]
+    fn build_register_loop() {
+        let (mut ctx, r, m, b) = setup();
+        let lb = rv::li(&mut ctx, b, 0);
+        let ub = rv::li(&mut ctx, b, 8);
+        let step = rv::li(&mut ctx, b, 1);
+        let init = rv::li(&mut ctx, b, 0);
+        let f = build_for(&mut ctx, b, lb, ub, step, vec![init], |ctx, body, _iv, args| {
+            vec![rv::int_imm(ctx, body, rv::ADDI, args[0], 2)]
+        });
+        assert!(r.verify(&ctx, m).is_ok(), "{:?}", r.verify(&ctx, m));
+        assert_eq!(f.iter_args(&ctx).len(), 1);
+        assert_eq!(f.iter_inits(&ctx).len(), 1);
+        assert_eq!(*ctx.value_type(f.induction_var(&ctx)), Type::IntRegister(None));
+    }
+
+    #[test]
+    fn verify_rejects_non_register_bounds() {
+        let (mut ctx, r, m, b) = setup();
+        let bad = {
+            let op = ctx.append_op(
+                b,
+                OpSpec::new("rv.li")
+                    .attr("imm", mlb_ir::Attribute::Int(0))
+                    .results(vec![Type::Index]),
+            );
+            ctx.op(op).results[0]
+        };
+        let op = ctx.append_op(b, OpSpec::new(FOR).operands(vec![bad, bad, bad]).regions(1));
+        let body = ctx.create_block(ctx.op(op).regions[0], vec![Type::IntRegister(None)]);
+        ctx.append_op(body, OpSpec::new(YIELD));
+        assert!(r.verify(&ctx, m).is_err());
+    }
+}

@@ -1,0 +1,314 @@
+//! The `rv_snitch` dialect: Snitch ISA extension instructions
+//! (Section 3.2) — the FREP hardware loop, SSR configuration and packed
+//! SIMD instructions.
+
+use mlb_ir::{
+    Attribute, BlockId, Context, DialectRegistry, OpId, OpInfo, OpSpec, Type, ValueId, VerifyError,
+};
+
+/// `rv_snitch.frep_outer`: the `frep.o` hardware loop. Operand 0 is the
+/// iteration-count register (executes `count` times); remaining operands
+/// are loop-carried FP initial values mirrored by the results. The body
+/// region takes one FP block argument per carried value (no induction
+/// variable — the sequencer replays the instruction buffer).
+pub const FREP_OUTER: &str = "rv_snitch.frep_outer";
+/// `rv_snitch.scfgwi`: write a stream configuration word. Operand: value
+/// register; `imm` attribute selects data mover and config register.
+pub const SCFGWI: &str = "rv_snitch.scfgwi";
+/// `rv_snitch.ssr_enable`: turn on stream semantics (csrrsi on 0x7C0).
+pub const SSR_ENABLE: &str = "rv_snitch.ssr_enable";
+/// `rv_snitch.ssr_disable`: turn off stream semantics (csrrci on 0x7C0).
+pub const SSR_DISABLE: &str = "rv_snitch.ssr_disable";
+/// `rv_snitch.vfadd.s`: packed SIMD lane-wise single addition.
+pub const VFADD_S: &str = "rv_snitch.vfadd.s";
+/// `rv_snitch.vfmul.s`: packed SIMD lane-wise single multiplication.
+pub const VFMUL_S: &str = "rv_snitch.vfmul.s";
+/// `rv_snitch.vfmax.s`: packed SIMD lane-wise single maximum.
+pub const VFMAX_S: &str = "rv_snitch.vfmax.s";
+/// `rv_snitch.vfmac.s`: packed SIMD lane-wise multiply-accumulate
+/// (`rd.lane[i] += rs1.lane[i] * rs2.lane[i]`). Operands: rs1, rs2, rd-in.
+pub const VFMAC_S: &str = "rv_snitch.vfmac.s";
+/// `rv_snitch.vfsum.s`: packed SIMD reduction
+/// (`rd.lane[0] += rs1.lane[0] + rs1.lane[1]`). Operands: rs1, rd-in.
+pub const VFSUM_S: &str = "rv_snitch.vfsum.s";
+/// `rv_snitch.vfcpka.s.s`: packs two singles into the two lanes of `rd`.
+pub const VFCPKA_S_S: &str = "rv_snitch.vfcpka.s.s";
+
+/// Packed SIMD lane-wise binary instructions.
+pub const SIMD_BINARY: [&str; 3] = [VFADD_S, VFMUL_S, VFMAX_S];
+
+/// Registers the `rv_snitch` dialect.
+pub fn register(registry: &mut DialectRegistry) {
+    registry.register(OpInfo::new(FREP_OUTER).with_verify(verify_frep));
+    registry.register(OpInfo::new(SCFGWI).with_verify(verify_scfgwi));
+    registry.register(OpInfo::new(SSR_ENABLE).with_verify(verify_ssr_toggle));
+    registry.register(OpInfo::new(SSR_DISABLE).with_verify(verify_ssr_toggle));
+    for name in SIMD_BINARY {
+        registry.register(OpInfo::new(name).pure().with_verify(verify_fp_binary));
+    }
+    registry.register(OpInfo::new(VFMAC_S).pure().with_verify(verify_fp_ternary));
+    registry.register(OpInfo::new(VFSUM_S).pure().with_verify(verify_fp_binary));
+    registry.register(OpInfo::new(VFCPKA_S_S).pure().with_verify(verify_fp_binary));
+}
+
+fn is_fp_reg(ctx: &Context, v: ValueId) -> bool {
+    matches!(ctx.value_type(v), Type::FpRegister(_))
+}
+
+fn verify_fp_binary(ctx: &Context, op: OpId) -> Result<(), VerifyError> {
+    let o = ctx.op(op);
+    if o.operands.len() != 2 || o.results.len() != 1 {
+        return Err(VerifyError::new(ctx, op, "expected two operands and one result"));
+    }
+    if !o.operands.iter().all(|&v| is_fp_reg(ctx, v)) || !is_fp_reg(ctx, o.results[0]) {
+        return Err(VerifyError::new(ctx, op, "expected FP register operands and result"));
+    }
+    Ok(())
+}
+
+fn verify_fp_ternary(ctx: &Context, op: OpId) -> Result<(), VerifyError> {
+    let o = ctx.op(op);
+    if o.operands.len() != 3 || o.results.len() != 1 {
+        return Err(VerifyError::new(ctx, op, "expected three operands and one result"));
+    }
+    if !o.operands.iter().all(|&v| is_fp_reg(ctx, v)) || !is_fp_reg(ctx, o.results[0]) {
+        return Err(VerifyError::new(ctx, op, "expected FP register operands and result"));
+    }
+    Ok(())
+}
+
+fn verify_scfgwi(ctx: &Context, op: OpId) -> Result<(), VerifyError> {
+    let o = ctx.op(op);
+    if o.operands.len() != 1 || !o.results.is_empty() {
+        return Err(VerifyError::new(ctx, op, "scfgwi takes one value register"));
+    }
+    if !matches!(ctx.value_type(o.operands[0]), Type::IntRegister(_)) {
+        return Err(VerifyError::new(ctx, op, "scfgwi value must be an integer register"));
+    }
+    match o.attr("imm") {
+        Some(Attribute::Int(imm)) => {
+            if mlb_isa::SsrCfgReg::from_scfg_imm(*imm as u16).is_none() {
+                return Err(VerifyError::new(ctx, op, "invalid scfgwi immediate"));
+            }
+            Ok(())
+        }
+        _ => Err(VerifyError::new(ctx, op, "missing integer `imm` attribute")),
+    }
+}
+
+fn verify_ssr_toggle(ctx: &Context, op: OpId) -> Result<(), VerifyError> {
+    let o = ctx.op(op);
+    if !o.operands.is_empty() || !o.results.is_empty() {
+        return Err(VerifyError::new(ctx, op, "SSR toggles take no operands"));
+    }
+    Ok(())
+}
+
+fn verify_frep(ctx: &Context, op: OpId) -> Result<(), VerifyError> {
+    let o = ctx.op(op);
+    if o.regions.len() != 1 {
+        return Err(VerifyError::new(ctx, op, "frep must have exactly one region"));
+    }
+    if o.operands.is_empty() {
+        return Err(VerifyError::new(ctx, op, "frep needs an iteration count operand"));
+    }
+    if !matches!(ctx.value_type(o.operands[0]), Type::IntRegister(_)) {
+        return Err(VerifyError::new(ctx, op, "iteration count must be an integer register"));
+    }
+    let carried = &o.operands[1..];
+    if o.results.len() != carried.len() {
+        return Err(VerifyError::new(ctx, op, "result count differs from carried value count"));
+    }
+    for &v in carried {
+        if !is_fp_reg(ctx, v) {
+            return Err(VerifyError::new(ctx, op, "carried values must be FP registers"));
+        }
+    }
+    let blocks = ctx.region_blocks(o.regions[0]);
+    if blocks.len() != 1 {
+        return Err(VerifyError::new(ctx, op, "frep body must be a single block"));
+    }
+    let args = ctx.block_args(blocks[0]);
+    if args.len() != carried.len() {
+        return Err(VerifyError::new(ctx, op, "body takes one argument per carried value"));
+    }
+    // The body may only contain FPU instructions (plus its terminator):
+    // the sequencer replays the buffer without the integer core.
+    let ops = ctx.block_ops(blocks[0]);
+    for (i, &nested) in ops.iter().enumerate() {
+        let name = ctx.op(nested).name.clone();
+        let is_last = i + 1 == ops.len();
+        if is_last && name == crate::rv_scf::YIELD {
+            continue;
+        }
+        if !crate::rv::is_fpu_op(&name) {
+            return Err(VerifyError::new(
+                ctx,
+                op,
+                format!("frep body may only contain FPU instructions, found {name}"),
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Typed view over an `rv_snitch.frep_outer` operation.
+#[derive(Debug, Clone, Copy)]
+pub struct FrepOp(pub OpId);
+
+impl FrepOp {
+    /// Wraps `op`, checking the name.
+    pub fn new(ctx: &Context, op: OpId) -> Option<FrepOp> {
+        (ctx.op(op).name == FREP_OUTER).then_some(FrepOp(op))
+    }
+
+    /// The iteration count register (loop executes this many times).
+    pub fn count(self, ctx: &Context) -> ValueId {
+        ctx.op(self.0).operands[0]
+    }
+
+    /// The loop-carried initial values.
+    pub fn iter_inits<'c>(self, ctx: &'c Context) -> &'c [ValueId] {
+        &ctx.op(self.0).operands[1..]
+    }
+
+    /// The single body block.
+    pub fn body(self, ctx: &Context) -> BlockId {
+        ctx.sole_block(ctx.op(self.0).regions[0])
+    }
+
+    /// The loop-carried block arguments.
+    pub fn iter_args<'c>(self, ctx: &'c Context) -> &'c [ValueId] {
+        ctx.block_args(self.body(ctx))
+    }
+
+    /// The body terminator (an `rv_scf.yield`).
+    pub fn yield_op(self, ctx: &Context) -> OpId {
+        ctx.terminator(self.body(ctx))
+    }
+
+    /// Number of FPU instructions in the body (the `frep.o` length field).
+    pub fn num_instructions(self, ctx: &Context) -> usize {
+        ctx.block_ops(self.body(ctx)).len() - 1
+    }
+}
+
+/// Builds an `rv_snitch.frep_outer`; `body` returns the yielded values.
+pub fn build_frep(
+    ctx: &mut Context,
+    block: BlockId,
+    count: ValueId,
+    inits: Vec<ValueId>,
+    body: impl FnOnce(&mut Context, BlockId, &[ValueId]) -> Vec<ValueId>,
+) -> FrepOp {
+    let result_types: Vec<Type> = inits.iter().map(|&v| ctx.value_type(v).clone()).collect();
+    let mut operands = vec![count];
+    operands.extend(inits);
+    let op = ctx.append_op(
+        block,
+        OpSpec::new(FREP_OUTER).operands(operands).results(result_types.clone()).regions(1),
+    );
+    let body_block = ctx.create_block(ctx.op(op).regions[0], result_types);
+    let args = ctx.block_args(body_block).to_vec();
+    let yields = body(ctx, body_block, &args);
+    ctx.append_op(body_block, OpSpec::new(crate::rv_scf::YIELD).operands(yields));
+    FrepOp(op)
+}
+
+/// Builds an `rv_snitch.scfgwi` writing `value` to the configuration word
+/// of (`reg`, `dm`).
+pub fn build_scfgwi(
+    ctx: &mut Context,
+    block: BlockId,
+    value: ValueId,
+    reg: mlb_isa::SsrCfgReg,
+    dm: mlb_isa::SsrDataMover,
+) -> OpId {
+    ctx.append_op(
+        block,
+        OpSpec::new(SCFGWI)
+            .operands(vec![value])
+            .attr("imm", Attribute::Int(reg.scfg_imm(dm) as i64)),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rv;
+    use mlb_isa::{SsrCfgReg, SsrDataMover};
+
+    fn setup() -> (Context, DialectRegistry, OpId, BlockId) {
+        let mut ctx = Context::new();
+        let mut r = DialectRegistry::new();
+        r.register(OpInfo::new("test.wrap"));
+        rv::register(&mut r);
+        crate::rv_scf::register(&mut r);
+        register(&mut r);
+        let m = ctx.create_detached_op(OpSpec::new("test.wrap").regions(1));
+        let b = ctx.create_block(ctx.op(m).regions[0], vec![]);
+        (ctx, r, m, b)
+    }
+
+    #[test]
+    fn build_frep_dot_product_body() {
+        let (mut ctx, r, m, b) = setup();
+        let count = rv::li(&mut ctx, b, 200);
+        let ft0 = rv::get_register(&mut ctx, b, Type::FpRegister(Some(mlb_isa::FpReg::ft(0))));
+        let ft1 = rv::get_register(&mut ctx, b, Type::FpRegister(Some(mlb_isa::FpReg::ft(1))));
+        let zero = rv::fp_binary(&mut ctx, b, rv::FSUB_D, ft0, ft0);
+        let frep = build_frep(&mut ctx, b, count, vec![zero], |ctx, body, args| {
+            vec![rv::fp_ternary(ctx, body, rv::FMADD_D, ft0, ft1, args[0])]
+        });
+        assert!(r.verify(&ctx, m).is_ok(), "{:?}", r.verify(&ctx, m));
+        assert_eq!(frep.num_instructions(&ctx), 1);
+        assert_eq!(frep.count(&ctx), count);
+        assert_eq!(frep.iter_inits(&ctx).len(), 1);
+        assert_eq!(frep.iter_args(&ctx).len(), 1);
+    }
+
+    #[test]
+    fn frep_rejects_integer_ops_in_body() {
+        let (mut ctx, r, m, b) = setup();
+        let count = rv::li(&mut ctx, b, 4);
+        build_frep(&mut ctx, b, count, vec![], |ctx, body, _| {
+            // An integer instruction is not allowed inside frep.
+            let op = ctx.append_op(
+                body,
+                OpSpec::new(rv::LI).attr("imm", Attribute::Int(0)).results(vec![rv::reg()]),
+            );
+            let _ = ctx.op(op).results[0];
+            vec![]
+        });
+        let err = r.verify(&ctx, m).unwrap_err();
+        assert!(err.message.contains("FPU instructions"), "{err}");
+    }
+
+    #[test]
+    fn scfgwi_builds_and_validates_imm() {
+        let (mut ctx, r, m, b) = setup();
+        let v = rv::li(&mut ctx, b, 199);
+        build_scfgwi(&mut ctx, b, v, SsrCfgReg::Bound(0), SsrDataMover::new(0));
+        ctx.append_op(b, OpSpec::new(SSR_ENABLE));
+        ctx.append_op(b, OpSpec::new(SSR_DISABLE));
+        assert!(r.verify(&ctx, m).is_ok(), "{:?}", r.verify(&ctx, m));
+
+        // Invalid immediate (data mover 7) is rejected.
+        ctx.append_op(
+            b,
+            OpSpec::new(SCFGWI).operands(vec![v]).attr("imm", Attribute::Int((2 << 5) | 7)),
+        );
+        assert!(r.verify(&ctx, m).is_err());
+    }
+
+    #[test]
+    fn simd_ops_verify() {
+        let (mut ctx, r, m, b) = setup();
+        let a = rv::get_register(&mut ctx, b, Type::FpRegister(Some(mlb_isa::FpReg::ft(3))));
+        let prod = rv::fp_binary(&mut ctx, b, VFMUL_S, a, a);
+        let acc = rv::fp_ternary(&mut ctx, b, VFMAC_S, a, a, prod);
+        let _sum = rv::fp_binary(&mut ctx, b, VFSUM_S, acc, a);
+        let _packed = rv::fp_binary(&mut ctx, b, VFCPKA_S_S, a, a);
+        assert!(r.verify(&ctx, m).is_ok(), "{:?}", r.verify(&ctx, m));
+    }
+}

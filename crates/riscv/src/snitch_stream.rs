@@ -1,0 +1,271 @@
+//! The `snitch_stream` dialect: hardware-level streaming regions
+//! (Section 3.2, Figure 6 step c).
+//!
+//! `snitch_stream.streaming_region` encapsulates a concrete SSR
+//! configuration — one [`mlb_ir::StreamPattern`] (bounds, byte strides and
+//! repetition, in hardware terms) per operand — together with the region
+//! in which streaming is enabled. Its block arguments are the stream
+//! registers `ft0`–`ft2`: reads of a read-stream argument pop elements,
+//! and the write-stream argument is written by using it as an
+//! instruction destination via `snitch_stream.write`.
+
+use mlb_ir::{
+    Attribute, BlockId, Context, DialectRegistry, OpId, OpInfo, OpSpec, StreamPattern, Type,
+    ValueId, VerifyError,
+};
+use mlb_isa::FpReg;
+
+/// `snitch_stream.streaming_region`: scopes an armed SSR configuration.
+pub const STREAMING_REGION: &str = "snitch_stream.streaming_region";
+/// `snitch_stream.write`: pushes an FP register value into the write
+/// stream (prints as `fmv.d ft2, rs`, elided when the producing
+/// instruction can target `ft2` directly).
+pub const WRITE: &str = "snitch_stream.write";
+
+/// Attribute key for the hardware stream patterns.
+pub const PATTERNS: &str = "patterns";
+/// Attribute key for the number of read streams.
+pub const NUM_INPUTS: &str = "num_inputs";
+
+/// Registers the `snitch_stream` dialect.
+pub fn register(registry: &mut DialectRegistry) {
+    registry.register(OpInfo::new(STREAMING_REGION).with_verify(verify_streaming_region));
+    registry.register(OpInfo::new(WRITE).with_verify(verify_write));
+}
+
+fn verify_streaming_region(ctx: &Context, op: OpId) -> Result<(), VerifyError> {
+    let o = ctx.op(op);
+    if o.regions.len() != 1 {
+        return Err(VerifyError::new(ctx, op, "streaming_region must have exactly one region"));
+    }
+    let Some(num_inputs) = o.attr(NUM_INPUTS).and_then(Attribute::as_int) else {
+        return Err(VerifyError::new(ctx, op, "missing `num_inputs` attribute"));
+    };
+    if o.operands.len() > mlb_isa::NUM_SSR_DATA_MOVERS {
+        return Err(VerifyError::new(
+            ctx,
+            op,
+            format!("at most {} streams are supported", mlb_isa::NUM_SSR_DATA_MOVERS),
+        ));
+    }
+    if num_inputs as usize > o.operands.len() {
+        return Err(VerifyError::new(ctx, op, "`num_inputs` exceeds operand count"));
+    }
+    let Some(patterns) = o.attr(PATTERNS).and_then(Attribute::as_array) else {
+        return Err(VerifyError::new(ctx, op, "missing `patterns` attribute"));
+    };
+    if patterns.len() != o.operands.len() {
+        return Err(VerifyError::new(ctx, op, "one pattern per operand required"));
+    }
+    for (i, p) in patterns.iter().enumerate() {
+        let Some(p) = p.as_stream_pattern() else {
+            return Err(VerifyError::new(ctx, op, "pattern entries must be stream patterns"));
+        };
+        if p.rank() > mlb_isa::SSR_MAX_DIMS {
+            return Err(VerifyError::new(
+                ctx,
+                op,
+                format!("pattern {i} exceeds {} dimensions", mlb_isa::SSR_MAX_DIMS),
+            ));
+        }
+    }
+    for &v in &o.operands {
+        if !matches!(ctx.value_type(v), Type::IntRegister(_)) {
+            return Err(VerifyError::new(ctx, op, "base pointers must be integer registers"));
+        }
+    }
+    // Block arguments are the stream registers ft0..ftN in order.
+    let body = ctx.sole_block(o.regions[0]);
+    let args = ctx.block_args(body);
+    if args.len() != o.operands.len() {
+        return Err(VerifyError::new(ctx, op, "body takes one stream register per operand"));
+    }
+    for (i, &arg) in args.iter().enumerate() {
+        let expected = Type::FpRegister(Some(FpReg::ft(i as u8)));
+        if *ctx.value_type(arg) != expected {
+            return Err(VerifyError::new(
+                ctx,
+                op,
+                format!("stream argument {i} must have type {expected}"),
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn verify_write(ctx: &Context, op: OpId) -> Result<(), VerifyError> {
+    let o = ctx.op(op);
+    if o.operands.len() != 2 || !o.results.is_empty() {
+        return Err(VerifyError::new(ctx, op, "write takes a value and a stream register"));
+    }
+    for &v in &o.operands {
+        if !matches!(ctx.value_type(v), Type::FpRegister(_)) {
+            return Err(VerifyError::new(ctx, op, "write operands must be FP registers"));
+        }
+    }
+    Ok(())
+}
+
+/// Typed view over a `snitch_stream.streaming_region`.
+#[derive(Debug, Clone, Copy)]
+pub struct StreamingRegionOp(pub OpId);
+
+impl StreamingRegionOp {
+    /// Wraps `op`, checking the name.
+    pub fn new(ctx: &Context, op: OpId) -> Option<StreamingRegionOp> {
+        (ctx.op(op).name == STREAMING_REGION).then_some(StreamingRegionOp(op))
+    }
+
+    /// Number of read streams.
+    pub fn num_inputs(self, ctx: &Context) -> usize {
+        ctx.op(self.0).attr(NUM_INPUTS).and_then(Attribute::as_int).unwrap_or(0) as usize
+    }
+
+    /// The hardware access pattern per operand.
+    pub fn patterns(self, ctx: &Context) -> Vec<StreamPattern> {
+        ctx.op(self.0)
+            .attr(PATTERNS)
+            .and_then(Attribute::as_array)
+            .expect("streaming_region missing patterns")
+            .iter()
+            .map(|a| a.as_stream_pattern().expect("pattern entry").clone())
+            .collect()
+    }
+
+    /// The base-pointer operands.
+    pub fn base_pointers<'c>(self, ctx: &'c Context) -> &'c [ValueId] {
+        &ctx.op(self.0).operands
+    }
+
+    /// The single body block.
+    pub fn body(self, ctx: &Context) -> BlockId {
+        ctx.sole_block(ctx.op(self.0).regions[0])
+    }
+}
+
+/// Builds a `snitch_stream.streaming_region`. The body callback receives
+/// the body block and the stream register arguments (`ft0..`).
+pub fn build_streaming_region(
+    ctx: &mut Context,
+    block: BlockId,
+    input_ptrs: Vec<ValueId>,
+    output_ptrs: Vec<ValueId>,
+    patterns: Vec<StreamPattern>,
+    body: impl FnOnce(&mut Context, BlockId, &[ValueId]),
+) -> StreamingRegionOp {
+    let num_inputs = input_ptrs.len();
+    let mut operands = input_ptrs;
+    operands.extend(output_ptrs);
+    assert!(
+        operands.len() <= mlb_isa::NUM_SSR_DATA_MOVERS,
+        "at most {} streams",
+        mlb_isa::NUM_SSR_DATA_MOVERS
+    );
+    let op = ctx.append_op(
+        block,
+        OpSpec::new(STREAMING_REGION)
+            .operands(operands.clone())
+            .attr(NUM_INPUTS, Attribute::Int(num_inputs as i64))
+            .attr(
+                PATTERNS,
+                Attribute::Array(patterns.into_iter().map(Attribute::StreamPattern).collect()),
+            )
+            .regions(1),
+    );
+    let arg_types: Vec<Type> = (0..operands.len())
+        .map(|i| Type::FpRegister(Some(FpReg::ft(i as u8))))
+        .collect();
+    let body_block = ctx.create_block(ctx.op(op).regions[0], arg_types);
+    let streams = ctx.block_args(body_block).to_vec();
+    body(ctx, body_block, &streams);
+    StreamingRegionOp(op)
+}
+
+/// Builds a `snitch_stream.write` of `value` into `stream`.
+pub fn build_write(ctx: &mut Context, block: BlockId, value: ValueId, stream: ValueId) -> OpId {
+    ctx.append_op(block, OpSpec::new(WRITE).operands(vec![value, stream]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rv;
+    use mlb_isa::IntReg;
+
+    fn setup() -> (Context, DialectRegistry, OpId, BlockId) {
+        let mut ctx = Context::new();
+        let mut r = DialectRegistry::new();
+        r.register(OpInfo::new("test.wrap"));
+        rv::register(&mut r);
+        register(&mut r);
+        let m = ctx.create_detached_op(OpSpec::new("test.wrap").regions(1));
+        let b = ctx.create_block(ctx.op(m).regions[0], vec![]);
+        (ctx, r, m, b)
+    }
+
+    #[test]
+    fn build_relu_style_region() {
+        let (mut ctx, r, m, b) = setup();
+        let x = rv::get_register(&mut ctx, b, Type::IntRegister(Some(IntReg::a(0))));
+        let z = rv::get_register(&mut ctx, b, Type::IntRegister(Some(IntReg::a(1))));
+        let p = StreamPattern::new(vec![32], vec![8], 0);
+        let sr = build_streaming_region(
+            &mut ctx,
+            b,
+            vec![x],
+            vec![z],
+            vec![p.clone(), p],
+            |ctx, body, streams| {
+                let zero = rv::fp_binary(ctx, body, rv::FSUB_D, streams[0], streams[0]);
+                let v = rv::fp_binary(ctx, body, rv::FMAX_D, streams[0], zero);
+                build_write(ctx, body, v, streams[1]);
+            },
+        );
+        assert!(r.verify(&ctx, m).is_ok(), "{:?}", r.verify(&ctx, m));
+        assert_eq!(sr.num_inputs(&ctx), 1);
+        assert_eq!(sr.patterns(&ctx).len(), 2);
+        assert_eq!(sr.base_pointers(&ctx).len(), 2);
+        assert_eq!(
+            *ctx.value_type(ctx.block_args(sr.body(&ctx))[1]),
+            Type::FpRegister(Some(FpReg::ft(1)))
+        );
+    }
+
+    #[test]
+    fn verify_rejects_too_many_streams() {
+        let (mut ctx, r, m, b) = setup();
+        let ptr = rv::get_register(&mut ctx, b, Type::IntRegister(Some(IntReg::a(0))));
+        let p = StreamPattern::new(vec![4], vec![8], 0);
+        let op = ctx.append_op(
+            b,
+            OpSpec::new(STREAMING_REGION)
+                .operands(vec![ptr, ptr, ptr, ptr])
+                .attr(NUM_INPUTS, Attribute::Int(4))
+                .attr(
+                    PATTERNS,
+                    Attribute::Array(vec![Attribute::StreamPattern(p); 4]),
+                )
+                .regions(1),
+        );
+        let args = (0..4).map(|i| Type::FpRegister(Some(FpReg::new(i)))).collect();
+        ctx.create_block(ctx.op(op).regions[0], args);
+        assert!(r.verify(&ctx, m).is_err());
+    }
+
+    #[test]
+    fn verify_rejects_too_many_dims() {
+        let (mut ctx, r, m, b) = setup();
+        let ptr = rv::get_register(&mut ctx, b, Type::IntRegister(Some(IntReg::a(0))));
+        let p = StreamPattern::new(vec![2; 5], vec![8; 5], 0);
+        let op = ctx.append_op(
+            b,
+            OpSpec::new(STREAMING_REGION)
+                .operands(vec![ptr])
+                .attr(NUM_INPUTS, Attribute::Int(1))
+                .attr(PATTERNS, Attribute::Array(vec![Attribute::StreamPattern(p)]))
+                .regions(1),
+        );
+        ctx.create_block(ctx.op(op).regions[0], vec![Type::FpRegister(Some(FpReg::ft(0)))]);
+        assert!(r.verify(&ctx, m).is_err());
+    }
+}

@@ -1,0 +1,413 @@
+//! Two-pass textual assembler for the RV32IMAFD subset plus Snitch
+//! extensions emitted by the backend.
+//!
+//! Accepts exactly the at&t-free, GNU-flavoured syntax the backend's
+//! emitter produces: one instruction per line, `label:` definitions,
+//! `.text`/`.globl` directives, and `#`/`//` comments.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use mlb_isa::{FpReg, IntReg};
+
+use crate::instr::{BranchCond, FpBinOp, FpWidth, Instr, IntImmOp, IntOp, Program};
+
+/// Error produced while assembling.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based source line number.
+    pub line: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "assembly error on line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+/// Assembles `source` into a [`Program`].
+///
+/// # Errors
+///
+/// Returns an [`AsmError`] identifying the offending source line.
+pub fn assemble(source: &str) -> Result<Program, AsmError> {
+    // Pass 1: collect label addresses.
+    let mut symbols = HashMap::new();
+    let mut index = 0usize;
+    for (lineno, raw) in source.lines().enumerate() {
+        let line = strip_comment(raw).trim();
+        if line.is_empty() || line.starts_with('.') && !line.ends_with(':') {
+            continue;
+        }
+        if let Some(label) = line.strip_suffix(':') {
+            let prev = symbols.insert(label.trim().to_string(), index);
+            if prev.is_some() {
+                return Err(AsmError {
+                    line: lineno + 1,
+                    message: format!("label `{}` defined twice", label.trim()),
+                });
+            }
+        } else {
+            index += 1;
+        }
+    }
+
+    // Pass 2: parse instructions.
+    let mut instrs = Vec::with_capacity(index);
+    for (lineno, raw) in source.lines().enumerate() {
+        let line = strip_comment(raw).trim();
+        if line.is_empty()
+            || line.ends_with(':')
+            || line.starts_with('.') && !line.ends_with(':')
+        {
+            continue;
+        }
+        let instr = parse_instr(line, &symbols)
+            .map_err(|message| AsmError { line: lineno + 1, message })?;
+        instrs.push(instr);
+    }
+    Ok(Program { instrs, symbols })
+}
+
+fn strip_comment(line: &str) -> &str {
+    let line = line.split('#').next().unwrap_or(line);
+    line.split("//").next().unwrap_or(line)
+}
+
+fn parse_int_reg(s: &str) -> Result<IntReg, String> {
+    s.trim().parse().map_err(|e| format!("{e}"))
+}
+
+fn parse_fp_reg(s: &str) -> Result<FpReg, String> {
+    s.trim().parse().map_err(|e| format!("{e}"))
+}
+
+fn parse_imm(s: &str) -> Result<i64, String> {
+    let s = s.trim();
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        i64::from_str_radix(hex, 16).map_err(|_| format!("bad hex immediate `{s}`"))
+    } else if let Some(hex) = s.strip_prefix("-0x") {
+        i64::from_str_radix(hex, 16).map(|v| -v).map_err(|_| format!("bad hex immediate `{s}`"))
+    } else {
+        s.parse().map_err(|_| format!("bad immediate `{s}`"))
+    }
+}
+
+/// Parses `imm(base)` into its parts.
+fn parse_mem(s: &str) -> Result<(i64, IntReg), String> {
+    let s = s.trim();
+    let open = s.find('(').ok_or_else(|| format!("expected imm(reg), got `{s}`"))?;
+    let close = s.rfind(')').ok_or_else(|| format!("expected imm(reg), got `{s}`"))?;
+    let imm = if open == 0 { 0 } else { parse_imm(&s[..open])? };
+    let base = parse_int_reg(&s[open + 1..close])?;
+    Ok((imm, base))
+}
+
+fn parse_target(s: &str, symbols: &HashMap<String, usize>) -> Result<usize, String> {
+    symbols.get(s.trim()).copied().ok_or_else(|| format!("unknown label `{}`", s.trim()))
+}
+
+fn parse_instr(line: &str, symbols: &HashMap<String, usize>) -> Result<Instr, String> {
+    let (mn, rest) = line.split_once(char::is_whitespace).unwrap_or((line, ""));
+    let ops: Vec<&str> = if rest.trim().is_empty() {
+        Vec::new()
+    } else {
+        rest.split(',').map(str::trim).collect()
+    };
+    let need = |n: usize| -> Result<(), String> {
+        if ops.len() == n {
+            Ok(())
+        } else {
+            Err(format!("`{mn}` expects {n} operands, got {}", ops.len()))
+        }
+    };
+    let int_bin = |op: IntOp, ops: &[&str]| -> Result<Instr, String> {
+        Ok(Instr::IntOp { op, rd: parse_int_reg(ops[0])?, rs1: parse_int_reg(ops[1])?, rs2: parse_int_reg(ops[2])? })
+    };
+    let int_imm = |op: IntImmOp, ops: &[&str]| -> Result<Instr, String> {
+        Ok(Instr::IntImm { op, rd: parse_int_reg(ops[0])?, rs1: parse_int_reg(ops[1])?, imm: parse_imm(ops[2])? })
+    };
+    let fp_bin = |op: FpBinOp, ops: &[&str]| -> Result<Instr, String> {
+        Ok(Instr::FpBin { op, rd: parse_fp_reg(ops[0])?, rs1: parse_fp_reg(ops[1])?, rs2: parse_fp_reg(ops[2])? })
+    };
+    let branch = |cond: BranchCond, ops: &[&str]| -> Result<Instr, String> {
+        Ok(Instr::Branch {
+            cond,
+            rs1: parse_int_reg(ops[0])?,
+            rs2: parse_int_reg(ops[1])?,
+            target: parse_target(ops[2], symbols)?,
+        })
+    };
+    match mn {
+        "li" => {
+            need(2)?;
+            Ok(Instr::Li { rd: parse_int_reg(ops[0])?, imm: parse_imm(ops[1])? })
+        }
+        "mv" => {
+            need(2)?;
+            Ok(Instr::Mv { rd: parse_int_reg(ops[0])?, rs: parse_int_reg(ops[1])? })
+        }
+        "add" => {
+            need(3)?;
+            int_bin(IntOp::Add, &ops)
+        }
+        "sub" => {
+            need(3)?;
+            int_bin(IntOp::Sub, &ops)
+        }
+        "mul" => {
+            need(3)?;
+            int_bin(IntOp::Mul, &ops)
+        }
+        "addi" => {
+            need(3)?;
+            int_imm(IntImmOp::Addi, &ops)
+        }
+        "slli" => {
+            need(3)?;
+            int_imm(IntImmOp::Slli, &ops)
+        }
+        "lw" => {
+            need(2)?;
+            let (imm, base) = parse_mem(ops[1])?;
+            Ok(Instr::Lw { rd: parse_int_reg(ops[0])?, base, imm })
+        }
+        "sw" => {
+            need(2)?;
+            let (imm, base) = parse_mem(ops[1])?;
+            Ok(Instr::Sw { rs2: parse_int_reg(ops[0])?, base, imm })
+        }
+        "fld" | "flw" => {
+            need(2)?;
+            let width = if mn == "fld" { FpWidth::Double } else { FpWidth::Single };
+            let (imm, base) = parse_mem(ops[1])?;
+            Ok(Instr::FpLoad { width, rd: parse_fp_reg(ops[0])?, base, imm })
+        }
+        "fsd" | "fsw" => {
+            need(2)?;
+            let width = if mn == "fsd" { FpWidth::Double } else { FpWidth::Single };
+            let (imm, base) = parse_mem(ops[1])?;
+            Ok(Instr::FpStore { width, rs2: parse_fp_reg(ops[0])?, base, imm })
+        }
+        "fadd.d" => {
+            need(3)?;
+            fp_bin(FpBinOp::FaddD, &ops)
+        }
+        "fsub.d" => {
+            need(3)?;
+            fp_bin(FpBinOp::FsubD, &ops)
+        }
+        "fmul.d" => {
+            need(3)?;
+            fp_bin(FpBinOp::FmulD, &ops)
+        }
+        "fdiv.d" => {
+            need(3)?;
+            fp_bin(FpBinOp::FdivD, &ops)
+        }
+        "fmax.d" => {
+            need(3)?;
+            fp_bin(FpBinOp::FmaxD, &ops)
+        }
+        "fadd.s" => {
+            need(3)?;
+            fp_bin(FpBinOp::FaddS, &ops)
+        }
+        "fsub.s" => {
+            need(3)?;
+            fp_bin(FpBinOp::FsubS, &ops)
+        }
+        "fmul.s" => {
+            need(3)?;
+            fp_bin(FpBinOp::FmulS, &ops)
+        }
+        "fmax.s" => {
+            need(3)?;
+            fp_bin(FpBinOp::FmaxS, &ops)
+        }
+        "vfadd.s" => {
+            need(3)?;
+            fp_bin(FpBinOp::VfaddS, &ops)
+        }
+        "vfmul.s" => {
+            need(3)?;
+            fp_bin(FpBinOp::VfmulS, &ops)
+        }
+        "vfmax.s" => {
+            need(3)?;
+            fp_bin(FpBinOp::VfmaxS, &ops)
+        }
+        "vfcpka.s.s" => {
+            need(3)?;
+            fp_bin(FpBinOp::VfcpkaSS, &ops)
+        }
+        "fmadd.d" | "fmadd.s" => {
+            need(4)?;
+            let width = if mn == "fmadd.d" { FpWidth::Double } else { FpWidth::Single };
+            Ok(Instr::Fmadd {
+                width,
+                rd: parse_fp_reg(ops[0])?,
+                rs1: parse_fp_reg(ops[1])?,
+                rs2: parse_fp_reg(ops[2])?,
+                rs3: parse_fp_reg(ops[3])?,
+            })
+        }
+        "fmv.d" => {
+            need(2)?;
+            Ok(Instr::FmvD { rd: parse_fp_reg(ops[0])?, rs: parse_fp_reg(ops[1])? })
+        }
+        "vfmac.s" => {
+            need(3)?;
+            Ok(Instr::VfmacS { rd: parse_fp_reg(ops[0])?, rs1: parse_fp_reg(ops[1])?, rs2: parse_fp_reg(ops[2])? })
+        }
+        "vfsum.s" => {
+            need(2)?;
+            Ok(Instr::VfsumS { rd: parse_fp_reg(ops[0])?, rs1: parse_fp_reg(ops[1])? })
+        }
+        "fcvt.d.w" | "fcvt.s.w" => {
+            need(2)?;
+            let width = if mn == "fcvt.d.w" { FpWidth::Double } else { FpWidth::Single };
+            Ok(Instr::Fcvt { width, rd: parse_fp_reg(ops[0])?, rs: parse_int_reg(ops[1])? })
+        }
+        "csrrsi" | "csrrci" => {
+            need(3)?;
+            // csrrsi zero, csr, imm
+            let csr = parse_imm(ops[1])? as u16;
+            let imm = parse_imm(ops[2])? as u32;
+            if mn == "csrrsi" {
+                Ok(Instr::Csrrsi { csr, imm })
+            } else {
+                Ok(Instr::Csrrci { csr, imm })
+            }
+        }
+        "scfgwi" => {
+            need(2)?;
+            Ok(Instr::Scfgwi { rs1: parse_int_reg(ops[0])?, imm: parse_imm(ops[1])? as u16 })
+        }
+        "frep.o" => {
+            need(4)?;
+            Ok(Instr::FrepO { rs1: parse_int_reg(ops[0])?, n_instr: parse_imm(ops[1])? as u32 })
+        }
+        "blt" => {
+            need(3)?;
+            branch(BranchCond::Lt, &ops)
+        }
+        "bge" => {
+            need(3)?;
+            branch(BranchCond::Ge, &ops)
+        }
+        "bne" => {
+            need(3)?;
+            branch(BranchCond::Ne, &ops)
+        }
+        "beq" => {
+            need(3)?;
+            branch(BranchCond::Eq, &ops)
+        }
+        "j" => {
+            need(1)?;
+            Ok(Instr::J { target: parse_target(ops[0], symbols)? })
+        }
+        "ret" => {
+            need(0)?;
+            Ok(Instr::Ret)
+        }
+        other => Err(format!("unknown mnemonic `{other}`")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assembles_basic_program() {
+        let src = "\
+.text
+.globl f
+f:
+    li t0, 5        # a comment
+    addi t0, t0, -1
+    blt zero, t0, f
+    ret
+";
+        let p = assemble(src).unwrap();
+        assert_eq!(p.instrs.len(), 4);
+        assert_eq!(p.symbols["f"], 0);
+        assert_eq!(p.instrs[0], Instr::Li { rd: IntReg::t(0), imm: 5 });
+        assert_eq!(
+            p.instrs[2],
+            Instr::Branch { cond: BranchCond::Lt, rs1: IntReg::ZERO, rs2: IntReg::t(0), target: 0 }
+        );
+    }
+
+    #[test]
+    fn assembles_memory_and_fp() {
+        let src = "\
+k:
+    fld ft0, 8(a0)
+    fmadd.d ft3, ft0, ft0, ft3
+    fsd ft3, (a1)
+    vfmac.s ft4, ft0, ft1
+    vfsum.s ft5, ft4
+    scfgwi t1, 64
+    csrrsi zero, 0x7c0, 1
+    frep.o t0, 2, 0, 0
+    ret
+";
+        let p = assemble(src).unwrap();
+        assert_eq!(
+            p.instrs[0],
+            Instr::FpLoad { width: FpWidth::Double, rd: FpReg::ft(0), base: IntReg::a(0), imm: 8 }
+        );
+        assert_eq!(
+            p.instrs[2],
+            Instr::FpStore { width: FpWidth::Double, rs2: FpReg::ft(3), base: IntReg::a(1), imm: 0 }
+        );
+        assert_eq!(p.instrs[5], Instr::Scfgwi { rs1: IntReg::t(1), imm: 64 });
+        assert_eq!(p.instrs[6], Instr::Csrrsi { csr: 0x7c0, imm: 1 });
+        assert_eq!(p.instrs[7], Instr::FrepO { rs1: IntReg::t(0), n_instr: 2 });
+    }
+
+    #[test]
+    fn forward_labels_resolve() {
+        let src = "\
+start:
+    j end
+    li a0, 1
+end:
+    ret
+";
+        let p = assemble(src).unwrap();
+        assert_eq!(p.instrs[0], Instr::J { target: 2 });
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = assemble("  li t0, 1\n  bogus t1\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("bogus"));
+    }
+
+    #[test]
+    fn duplicate_labels_rejected() {
+        let err = assemble("a:\n  ret\na:\n  ret\n").unwrap_err();
+        assert!(err.message.contains("defined twice"));
+    }
+
+    #[test]
+    fn unknown_label_rejected() {
+        let err = assemble("  j nowhere\n").unwrap_err();
+        assert!(err.message.contains("nowhere"));
+    }
+
+    #[test]
+    fn wrong_arity_rejected() {
+        let err = assemble("  add t0, t1\n").unwrap_err();
+        assert!(err.message.contains("expects 3"));
+    }
+}

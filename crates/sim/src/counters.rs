@@ -1,0 +1,99 @@
+//! Performance counters, mirroring the measurement methodology of the
+//! paper (Section 4.1): cycle count, throughput (FLOPs/cycle) and FPU
+//! utilization, plus instruction-mix counters used by the ablation table.
+
+/// Counters collected during one simulation run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PerfCounters {
+    /// Total execution latency in cycles (kernel entry to `ret`,
+    /// including accelerator setup and draining the FPU pipeline).
+    pub cycles: u64,
+    /// Dynamically executed instructions (FREP repetitions included).
+    pub instructions: u64,
+    /// Cycles the FPU issue slot was busy with arithmetic instructions.
+    pub fpu_busy_cycles: u64,
+    /// Floating-point operations performed (FMA counts 2, packed SIMD
+    /// counts per lane).
+    pub flops: u64,
+    /// Explicit integer loads (`lw`).
+    pub int_loads: u64,
+    /// Explicit integer stores (`sw`).
+    pub int_stores: u64,
+    /// Explicit FP loads (`fld`/`flw`).
+    pub fp_loads: u64,
+    /// Explicit FP stores (`fsd`/`fsw`).
+    pub fp_stores: u64,
+    /// `fmadd` instructions executed.
+    pub fmadd: u64,
+    /// `frep.o` instructions executed (static occurrences at runtime).
+    pub frep: u64,
+    /// Taken branches and jumps.
+    pub taken_branches: u64,
+    /// Stream configuration writes (`scfgwi`).
+    pub scfgwi: u64,
+    /// Elements popped from read streams.
+    pub ssr_reads: u64,
+    /// Elements pushed to write streams.
+    pub ssr_writes: u64,
+}
+
+impl PerfCounters {
+    /// Explicit memory loads of any kind.
+    pub fn loads(&self) -> u64 {
+        self.int_loads + self.fp_loads
+    }
+
+    /// Explicit memory stores of any kind.
+    pub fn stores(&self) -> u64 {
+        self.int_stores + self.fp_stores
+    }
+
+    /// FPU utilization: the fraction of cycles the FPU executed
+    /// arithmetic instructions.
+    pub fn fpu_utilization(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.fpu_busy_cycles as f64 / self.cycles as f64
+        }
+    }
+
+    /// Throughput in FLOPs per cycle.
+    pub fn throughput(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.flops as f64 / self.cycles as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_metrics() {
+        let c = PerfCounters {
+            cycles: 200,
+            fpu_busy_cycles: 100,
+            flops: 300,
+            int_loads: 2,
+            fp_loads: 3,
+            int_stores: 1,
+            fp_stores: 4,
+            ..PerfCounters::default()
+        };
+        assert!((c.fpu_utilization() - 0.5).abs() < 1e-12);
+        assert!((c.throughput() - 1.5).abs() < 1e-12);
+        assert_eq!(c.loads(), 5);
+        assert_eq!(c.stores(), 5);
+    }
+
+    #[test]
+    fn zero_cycles_is_safe() {
+        let c = PerfCounters::default();
+        assert_eq!(c.fpu_utilization(), 0.0);
+        assert_eq!(c.throughput(), 0.0);
+    }
+}

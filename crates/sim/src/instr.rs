@@ -1,0 +1,218 @@
+//! Decoded instruction representation.
+//!
+//! The simulator executes the textual assembly produced by the backend
+//! (or written by hand), parsed by [`crate::asm`] into this decoded form.
+//! Branch targets are resolved to instruction indices at assembly time.
+
+use mlb_isa::{FpReg, IntReg};
+
+/// Integer register-register operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IntOp {
+    /// `add`
+    Add,
+    /// `sub`
+    Sub,
+    /// `mul`
+    Mul,
+}
+
+/// Integer register-immediate operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IntImmOp {
+    /// `addi`
+    Addi,
+    /// `slli`
+    Slli,
+}
+
+/// Floating-point binary operations (one FPU issue slot each).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FpBinOp {
+    /// `fadd.d`
+    FaddD,
+    /// `fsub.d`
+    FsubD,
+    /// `fmul.d`
+    FmulD,
+    /// `fdiv.d`
+    FdivD,
+    /// `fmax.d`
+    FmaxD,
+    /// `fadd.s`
+    FaddS,
+    /// `fsub.s`
+    FsubS,
+    /// `fmul.s`
+    FmulS,
+    /// `fmax.s`
+    FmaxS,
+    /// `vfadd.s` (packed, 2 lanes)
+    VfaddS,
+    /// `vfmul.s` (packed, 2 lanes)
+    VfmulS,
+    /// `vfmax.s` (packed, 2 lanes)
+    VfmaxS,
+    /// `vfcpka.s.s` (pack two singles)
+    VfcpkaSS,
+}
+
+impl FpBinOp {
+    /// FLOPs this instruction performs.
+    pub fn flops(self) -> u64 {
+        match self {
+            FpBinOp::FaddD
+            | FpBinOp::FsubD
+            | FpBinOp::FmulD
+            | FpBinOp::FdivD
+            | FpBinOp::FmaxD
+            | FpBinOp::FaddS
+            | FpBinOp::FsubS
+            | FpBinOp::FmulS
+            | FpBinOp::FmaxS => 1,
+            FpBinOp::VfaddS | FpBinOp::VfmulS | FpBinOp::VfmaxS => 2,
+            FpBinOp::VfcpkaSS => 0,
+        }
+    }
+}
+
+/// Branch conditions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BranchCond {
+    /// `blt` (signed)
+    Lt,
+    /// `bge` (signed)
+    Ge,
+    /// `bne`
+    Ne,
+    /// `beq`
+    Eq,
+}
+
+/// FP memory access width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FpWidth {
+    /// 32-bit (`flw`/`fsw`)
+    Single,
+    /// 64-bit (`fld`/`fsd`)
+    Double,
+}
+
+/// A decoded instruction.
+///
+/// Variant fields follow the standard RISC-V operand names: `rd` is the
+/// destination register, `rs1`/`rs2`/`rs3` are sources, `base` + `imm`
+/// form a memory address, and `target` is a resolved instruction index.
+#[allow(missing_docs)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Instr {
+    /// `li rd, imm`
+    Li { rd: IntReg, imm: i64 },
+    /// `mv rd, rs`
+    Mv { rd: IntReg, rs: IntReg },
+    /// `add/sub/mul rd, rs1, rs2`
+    IntOp { op: IntOp, rd: IntReg, rs1: IntReg, rs2: IntReg },
+    /// `addi/slli rd, rs1, imm`
+    IntImm { op: IntImmOp, rd: IntReg, rs1: IntReg, imm: i64 },
+    /// `lw rd, imm(base)`
+    Lw { rd: IntReg, base: IntReg, imm: i64 },
+    /// `sw rs2, imm(base)`
+    Sw { rs2: IntReg, base: IntReg, imm: i64 },
+    /// `fld/flw rd, imm(base)`
+    FpLoad { width: FpWidth, rd: FpReg, base: IntReg, imm: i64 },
+    /// `fsd/fsw rs2, imm(base)`
+    FpStore { width: FpWidth, rs2: FpReg, base: IntReg, imm: i64 },
+    /// FP binary arithmetic
+    FpBin { op: FpBinOp, rd: FpReg, rs1: FpReg, rs2: FpReg },
+    /// `fmadd.d/fmadd.s rd, rs1, rs2, rs3` (`rd = rs1 * rs2 + rs3`)
+    Fmadd { width: FpWidth, rd: FpReg, rs1: FpReg, rs2: FpReg, rs3: FpReg },
+    /// `fmv.d rd, rs`
+    FmvD { rd: FpReg, rs: FpReg },
+    /// `vfmac.s rd, rs1, rs2` (`rd.lane[i] += rs1.lane[i] * rs2.lane[i]`)
+    VfmacS { rd: FpReg, rs1: FpReg, rs2: FpReg },
+    /// `vfsum.s rd, rs1` (`rd.lane[0] += rs1.lane[0] + rs1.lane[1]`)
+    VfsumS { rd: FpReg, rs1: FpReg },
+    /// `fcvt.d.w rd, rs` / `fcvt.s.w rd, rs`
+    Fcvt { width: FpWidth, rd: FpReg, rs: IntReg },
+    /// `csrrsi zero, csr, imm`
+    Csrrsi { csr: u16, imm: u32 },
+    /// `csrrci zero, csr, imm`
+    Csrrci { csr: u16, imm: u32 },
+    /// `scfgwi rs1, imm`
+    Scfgwi { rs1: IntReg, imm: u16 },
+    /// `frep.o rs1, n_instr, stagger_max, stagger_mask` — repeats the
+    /// following `n_instr` instructions `x[rs1] + 1` times.
+    FrepO { rs1: IntReg, n_instr: u32 },
+    /// Conditional branch to an instruction index.
+    Branch { cond: BranchCond, rs1: IntReg, rs2: IntReg, target: usize },
+    /// Unconditional jump to an instruction index.
+    J { target: usize },
+    /// Return from the kernel.
+    Ret,
+}
+
+impl Instr {
+    /// Whether this instruction is issued to the FPU (arithmetic on FP
+    /// registers; loads/stores go through the integer-core LSU).
+    pub fn is_fpu(&self) -> bool {
+        matches!(
+            self,
+            Instr::FpBin { .. }
+                | Instr::Fmadd { .. }
+                | Instr::FmvD { .. }
+                | Instr::VfmacS { .. }
+                | Instr::VfsumS { .. }
+                | Instr::Fcvt { .. }
+        )
+    }
+
+    /// FLOPs performed by this instruction.
+    pub fn flops(&self) -> u64 {
+        match self {
+            Instr::FpBin { op, .. } => op.flops(),
+            Instr::Fmadd { width: FpWidth::Double, .. } => 2,
+            Instr::Fmadd { width: FpWidth::Single, .. } => 2,
+            Instr::VfmacS { .. } => 4,
+            Instr::VfsumS { .. } => 2,
+            _ => 0,
+        }
+    }
+}
+
+/// A program: instructions plus symbol table.
+#[derive(Debug, Clone, Default)]
+pub struct Program {
+    /// Decoded instructions in order.
+    pub instrs: Vec<Instr>,
+    /// Symbol name to instruction index.
+    pub symbols: std::collections::HashMap<String, usize>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fpu_classification() {
+        let ft0 = FpReg::ft(0);
+        let a0 = IntReg::a(0);
+        assert!(Instr::FpBin { op: FpBinOp::FaddD, rd: ft0, rs1: ft0, rs2: ft0 }.is_fpu());
+        assert!(Instr::FmvD { rd: ft0, rs: ft0 }.is_fpu());
+        assert!(!Instr::FpLoad { width: FpWidth::Double, rd: ft0, base: a0, imm: 0 }.is_fpu());
+        assert!(!Instr::Li { rd: a0, imm: 0 }.is_fpu());
+    }
+
+    #[test]
+    fn flop_counts() {
+        let ft0 = FpReg::ft(0);
+        assert_eq!(
+            Instr::Fmadd { width: FpWidth::Double, rd: ft0, rs1: ft0, rs2: ft0, rs3: ft0 }.flops(),
+            2
+        );
+        assert_eq!(Instr::VfmacS { rd: ft0, rs1: ft0, rs2: ft0 }.flops(), 4);
+        assert_eq!(Instr::VfsumS { rd: ft0, rs1: ft0 }.flops(), 2);
+        assert_eq!(Instr::FpBin { op: FpBinOp::VfaddS, rd: ft0, rs1: ft0, rs2: ft0 }.flops(), 2);
+        assert_eq!(Instr::FpBin { op: FpBinOp::VfcpkaSS, rd: ft0, rs1: ft0, rs2: ft0 }.flops(), 0);
+        assert_eq!(Instr::FmvD { rd: ft0, rs: ft0 }.flops(), 0);
+    }
+}

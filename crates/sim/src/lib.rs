@@ -1,0 +1,43 @@
+#![warn(missing_docs)]
+
+//! Cycle-approximate simulator for the Snitch RISC-V core.
+//!
+//! This crate plays the role of the Verilator RTL simulation in the
+//! paper's evaluation (Section 4.1): it executes the assembly produced by
+//! the backend on an instruction-level model of the Snitch
+//! microarchitecture — in-order single-issue integer core, 3-stage FPU
+//! behind a sequencer (pseudo-dual-issue under FREP), three SSR data
+//! movers, and a 128 KiB single-cycle TCDM — and reports the paper's
+//! metrics: cycle count, FLOPs/cycle throughput and FPU utilization.
+//!
+//! Absolute cycle counts are not RTL-exact, but the first-order effects
+//! the paper measures (explicit memory operations, loop overheads,
+//! FPU RAW stalls, accelerator setup costs) are all modelled.
+//!
+//! # Example
+//!
+//! ```
+//! use mlb_sim::{assemble, Machine};
+//! use mlb_isa::TCDM_BASE;
+//!
+//! let program = assemble(
+//!     "double:\n    fld ft0, (a0)\n    fadd.d ft1, ft0, ft0\n    fsd ft1, 8(a0)\n    ret\n",
+//! )?;
+//! let mut machine = Machine::new();
+//! machine.write_f64_slice(TCDM_BASE, &[21.0, 0.0]);
+//! let counters = machine.call(&program, "double", &[TCDM_BASE])?;
+//! assert_eq!(machine.read_f64_slice(TCDM_BASE + 8, 1), vec![42.0]);
+//! assert_eq!(counters.flops, 1);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod asm;
+pub mod counters;
+pub mod instr;
+pub mod machine;
+pub mod ssr;
+
+pub use asm::{assemble, AsmError};
+pub use counters::PerfCounters;
+pub use instr::{Instr, Program};
+pub use machine::{Machine, SimError};

@@ -1,0 +1,910 @@
+//! The Snitch core model: functional execution plus a cycle-approximate
+//! timing model.
+//!
+//! # Microarchitecture model
+//!
+//! Two units with their own timelines, coupled by a register scoreboard:
+//!
+//! - the **integer core** executes one instruction per cycle in order
+//!   (loads have a 2-cycle use latency, `mul` 3, taken control transfers
+//!   pay a redirect penalty);
+//! - the **FPU** accepts one arithmetic instruction per cycle from the
+//!   sequencer FIFO and has a 3-stage pipeline: a dependent consumer
+//!   stalls until `issue + 3` ([`mlb_isa::FPU_PIPELINE_DEPTH`]).
+//!
+//! FP instructions are *dispatched* by the integer core (one cycle each),
+//! which makes plain scalar code single-issue. Inside an `frep.o`
+//! hardware loop the sequencer replays the buffered instructions without
+//! the integer core, making the core pseudo-dual-issue (Section 2.4).
+//! Stream semantic registers turn `ft0`–`ft2` accesses into implicit
+//! memory traffic served by the data movers in [`crate::ssr`].
+
+use mlb_isa::{FpReg, IntReg, SsrCfgReg, CSR_SSR, FPU_PIPELINE_DEPTH, TCDM_BASE, TCDM_SIZE};
+
+use crate::counters::PerfCounters;
+use crate::instr::{BranchCond, FpBinOp, FpWidth, Instr, IntImmOp, IntOp, Program};
+use crate::ssr::{DataMover, SsrDirection};
+
+/// Use latency of integer loads.
+const LOAD_LATENCY: u64 = 2;
+/// Use latency of integer multiplication.
+const MUL_LATENCY: u64 = 3;
+/// Extra cycles lost on a taken control transfer.
+const BRANCH_PENALTY: u64 = 2;
+/// Occupancy of the (unpipelined) FP divider.
+const FDIV_OCCUPANCY: u64 = 11;
+
+/// Error produced during simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimError {
+    /// Index of the instruction that failed, if known.
+    pub pc: Option<usize>,
+    /// Description of the failure.
+    pub message: String,
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.pc {
+            Some(pc) => write!(f, "simulation error at instruction {pc}: {}", self.message),
+            None => write!(f, "simulation error: {}", self.message),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// The simulated Snitch core with its TCDM.
+#[derive(Debug, Clone)]
+pub struct Machine {
+    x: [u32; 32],
+    f: [u64; 32],
+    mem: Vec<u8>,
+    movers: [DataMover; 3],
+    ssr_enabled: bool,
+    counters: PerfCounters,
+    // Timing state.
+    int_time: u64,
+    fpu_time: u64,
+    int_ready: [u64; 32],
+    fp_ready: [u64; 32],
+    max_completion: u64,
+    /// Dynamic instruction budget to catch runaway loops.
+    budget: u64,
+}
+
+impl Default for Machine {
+    fn default() -> Machine {
+        Machine::new()
+    }
+}
+
+impl Machine {
+    /// Creates a machine with a zeroed TCDM.
+    pub fn new() -> Machine {
+        Machine {
+            x: [0; 32],
+            f: [0; 32],
+            mem: vec![0; TCDM_SIZE],
+            movers: [DataMover::default(), DataMover::default(), DataMover::default()],
+            ssr_enabled: false,
+            counters: PerfCounters::default(),
+            int_time: 0,
+            fpu_time: 0,
+            int_ready: [0; 32],
+            fp_ready: [0; 32],
+            max_completion: 0,
+            budget: 200_000_000,
+        }
+    }
+
+    /// The performance counters accumulated so far.
+    pub fn counters(&self) -> &PerfCounters {
+        &self.counters
+    }
+
+    /// Sets the dynamic-instruction budget (runaway-loop guard).
+    pub fn set_instruction_budget(&mut self, budget: u64) {
+        self.budget = budget;
+    }
+
+    // ----- architectural state access ---------------------------------------
+
+    /// Reads an integer register.
+    pub fn x(&self, r: IntReg) -> u32 {
+        if r.index() == 0 {
+            0
+        } else {
+            self.x[r.index() as usize]
+        }
+    }
+
+    /// Writes an integer register (writes to `zero` are ignored).
+    pub fn set_x(&mut self, r: IntReg, value: u32) {
+        if r.index() != 0 {
+            self.x[r.index() as usize] = value;
+        }
+    }
+
+    /// Reads the raw bits of an FP register.
+    pub fn f_bits(&self, r: FpReg) -> u64 {
+        self.f[r.index() as usize]
+    }
+
+    /// Writes the raw bits of an FP register.
+    pub fn set_f_bits(&mut self, r: FpReg, value: u64) {
+        self.f[r.index() as usize] = value;
+    }
+
+    // ----- memory access -----------------------------------------------------
+
+    fn mem_index(&self, addr: u32, size: usize) -> Result<usize, String> {
+        let offset = addr.wrapping_sub(TCDM_BASE) as usize;
+        if addr < TCDM_BASE || offset + size > TCDM_SIZE {
+            return Err(format!("address {addr:#x} outside TCDM"));
+        }
+        if addr as usize % size != 0 {
+            return Err(format!("misaligned {size}-byte access at {addr:#x}"));
+        }
+        Ok(offset)
+    }
+
+    /// Reads a little-endian value of `SIZE` bytes at `addr`.
+    fn read_bytes<const SIZE: usize>(&self, addr: u32) -> Result<[u8; SIZE], String> {
+        let i = self.mem_index(addr, SIZE)?;
+        let mut out = [0u8; SIZE];
+        out.copy_from_slice(&self.mem[i..i + SIZE]);
+        Ok(out)
+    }
+
+    fn write_bytes(&mut self, addr: u32, bytes: &[u8]) -> Result<(), String> {
+        let i = self.mem_index(addr, bytes.len())?;
+        self.mem[i..i + bytes.len()].copy_from_slice(bytes);
+        Ok(())
+    }
+
+    /// Reads a `u32` from TCDM.
+    pub fn read_u32(&self, addr: u32) -> Result<u32, SimError> {
+        self.read_bytes::<4>(addr).map(u32::from_le_bytes).map_err(|m| SimError { pc: None, message: m })
+    }
+
+    /// Reads a `u64` from TCDM.
+    pub fn read_u64(&self, addr: u32) -> Result<u64, SimError> {
+        self.read_bytes::<8>(addr).map(u64::from_le_bytes).map_err(|m| SimError { pc: None, message: m })
+    }
+
+    /// Writes an `f64` slice into TCDM at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the destination range is outside the TCDM.
+    pub fn write_f64_slice(&mut self, addr: u32, values: &[f64]) {
+        for (i, v) in values.iter().enumerate() {
+            self.write_bytes(addr + (i * 8) as u32, &v.to_le_bytes()).expect("TCDM write");
+        }
+    }
+
+    /// Reads an `f64` slice from TCDM at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the source range is outside the TCDM.
+    pub fn read_f64_slice(&self, addr: u32, len: usize) -> Vec<f64> {
+        (0..len)
+            .map(|i| f64::from_le_bytes(self.read_bytes::<8>(addr + (i * 8) as u32).expect("TCDM read")))
+            .collect()
+    }
+
+    /// Writes an `f32` slice into TCDM at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the destination range is outside the TCDM.
+    pub fn write_f32_slice(&mut self, addr: u32, values: &[f32]) {
+        for (i, v) in values.iter().enumerate() {
+            self.write_bytes(addr + (i * 4) as u32, &v.to_le_bytes()).expect("TCDM write");
+        }
+    }
+
+    /// Reads an `f32` slice from TCDM at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the source range is outside the TCDM.
+    pub fn read_f32_slice(&self, addr: u32, len: usize) -> Vec<f32> {
+        (0..len)
+            .map(|i| f32::from_le_bytes(self.read_bytes::<4>(addr + (i * 4) as u32).expect("TCDM read")))
+            .collect()
+    }
+
+    // ----- execution ----------------------------------------------------------
+
+    /// Calls the function at symbol `entry` with the given integer
+    /// arguments in `a0..`, running until its `ret`. Returns the counters
+    /// for this call (also accumulated into [`Machine::counters`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates memory faults, SSR misuse, and budget exhaustion.
+    pub fn call(
+        &mut self,
+        program: &Program,
+        entry: &str,
+        args: &[u32],
+    ) -> Result<PerfCounters, SimError> {
+        let start = *program.symbols.get(entry).ok_or_else(|| SimError {
+            pc: None,
+            message: format!("unknown entry symbol `{entry}`"),
+        })?;
+        assert!(args.len() <= 8, "at most 8 integer arguments");
+        for (i, &a) in args.iter().enumerate() {
+            self.set_x(IntReg::a(i as u8), a);
+        }
+        // Fresh timing epoch for this call.
+        self.int_time = 0;
+        self.fpu_time = 0;
+        self.int_ready = [0; 32];
+        self.fp_ready = [0; 32];
+        self.max_completion = 0;
+        let before = self.counters;
+        self.run(program, start)?;
+        let cycles = self.int_time.max(self.fpu_time).max(self.max_completion);
+        self.counters.cycles += cycles;
+        let mut delta = self.counters;
+        delta.cycles -= before.cycles;
+        delta.instructions -= before.instructions;
+        delta.fpu_busy_cycles -= before.fpu_busy_cycles;
+        delta.flops -= before.flops;
+        delta.int_loads -= before.int_loads;
+        delta.int_stores -= before.int_stores;
+        delta.fp_loads -= before.fp_loads;
+        delta.fp_stores -= before.fp_stores;
+        delta.fmadd -= before.fmadd;
+        delta.frep -= before.frep;
+        delta.taken_branches -= before.taken_branches;
+        delta.scfgwi -= before.scfgwi;
+        delta.ssr_reads -= before.ssr_reads;
+        delta.ssr_writes -= before.ssr_writes;
+        Ok(delta)
+    }
+
+    fn run(&mut self, program: &Program, start: usize) -> Result<(), SimError> {
+        let mut pc = start;
+        let mut executed: u64 = 0;
+        loop {
+            let instr = *program.instrs.get(pc).ok_or_else(|| SimError {
+                pc: Some(pc),
+                message: "program counter ran off the end".to_string(),
+            })?;
+            executed += 1;
+            if executed > self.budget {
+                return Err(SimError { pc: Some(pc), message: "instruction budget exhausted".into() });
+            }
+            match instr {
+                Instr::Ret => {
+                    self.int_time += 1;
+                    self.counters.instructions += 1;
+                    return Ok(());
+                }
+                Instr::J { target } => {
+                    self.int_time += 1 + BRANCH_PENALTY;
+                    self.counters.instructions += 1;
+                    self.counters.taken_branches += 1;
+                    pc = target;
+                }
+                Instr::Branch { cond, rs1, rs2, target } => {
+                    let t = self
+                        .int_time
+                        .max(self.int_ready[rs1.index() as usize])
+                        .max(self.int_ready[rs2.index() as usize]);
+                    self.int_time = t + 1;
+                    self.counters.instructions += 1;
+                    let a = self.x(rs1) as i32;
+                    let b = self.x(rs2) as i32;
+                    let taken = match cond {
+                        BranchCond::Lt => a < b,
+                        BranchCond::Ge => a >= b,
+                        BranchCond::Ne => a != b,
+                        BranchCond::Eq => a == b,
+                    };
+                    if taken {
+                        self.int_time += BRANCH_PENALTY;
+                        self.counters.taken_branches += 1;
+                        pc = target;
+                    } else {
+                        pc += 1;
+                    }
+                }
+                Instr::FrepO { rs1, n_instr } => {
+                    let t = self.int_time.max(self.int_ready[rs1.index() as usize]);
+                    self.int_time = t + 1;
+                    self.counters.instructions += 1;
+                    self.counters.frep += 1;
+                    let reps = self.x(rs1) as u64 + 1;
+                    let n = n_instr as usize;
+                    if pc + n >= program.instrs.len() {
+                        return Err(SimError {
+                            pc: Some(pc),
+                            message: "frep body runs off the end of the program".into(),
+                        });
+                    }
+                    for _ in 0..reps {
+                        for i in 1..=n {
+                            let body = program.instrs[pc + i];
+                            if !body.is_fpu() {
+                                return Err(SimError {
+                                    pc: Some(pc + i),
+                                    message: "frep body contains a non-FPU instruction".into(),
+                                });
+                            }
+                            executed += 1;
+                            self.exec_straight(body, true).map_err(|message| SimError {
+                                pc: Some(pc + i),
+                                message,
+                            })?;
+                        }
+                        if executed > self.budget {
+                            return Err(SimError {
+                                pc: Some(pc),
+                                message: "instruction budget exhausted".into(),
+                            });
+                        }
+                    }
+                    pc += n + 1;
+                }
+                other => {
+                    self.exec_straight(other, false)
+                        .map_err(|message| SimError { pc: Some(pc), message })?;
+                    pc += 1;
+                }
+            }
+        }
+    }
+
+    /// Reads an FP source operand, popping from its stream when streaming.
+    /// Returns (bits, ready_time).
+    fn read_fp_operand(&mut self, r: FpReg) -> Result<(u64, u64), String> {
+        if self.ssr_enabled && r.is_ssr() && self.movers[r.index() as usize].is_active() {
+            let dm = r.index() as usize;
+            if self.movers[dm].direction() == Some(SsrDirection::Read) {
+                let addr = self.movers[dm].next_addr(SsrDirection::Read)?;
+                self.counters.ssr_reads += 1;
+                // The SSR data path is 64 bits wide: 8-byte-aligned
+                // elements are fetched whole (f64 or two packed f32
+                // lanes); a 4-byte-aligned element is fetched alone into
+                // the low lane (scalar f32 streaming with stride 4).
+                let value = if addr % 8 == 0 {
+                    u64::from_le_bytes(self.read_bytes::<8>(addr)?)
+                } else {
+                    u32::from_le_bytes(self.read_bytes::<4>(addr)?) as u64
+                };
+                return Ok((value, 0));
+            }
+        }
+        Ok((self.f[r.index() as usize], self.fp_ready[r.index() as usize]))
+    }
+
+    /// Writes an FP destination, pushing to its stream when streaming.
+    fn write_fp_result(&mut self, r: FpReg, bits: u64, ready: u64) -> Result<(), String> {
+        if self.ssr_enabled && r.is_ssr() && self.movers[r.index() as usize].is_active() {
+            let dm = r.index() as usize;
+            if self.movers[dm].direction() == Some(SsrDirection::Write) {
+                let addr = self.movers[dm].next_addr(SsrDirection::Write)?;
+                self.counters.ssr_writes += 1;
+                if addr % 8 == 0 {
+                    self.write_bytes(addr, &bits.to_le_bytes())?;
+                } else {
+                    self.write_bytes(addr, &(bits as u32).to_le_bytes())?;
+                }
+                self.max_completion = self.max_completion.max(ready);
+                return Ok(());
+            }
+        }
+        self.f[r.index() as usize] = bits;
+        self.fp_ready[r.index() as usize] = ready;
+        self.max_completion = self.max_completion.max(ready);
+        Ok(())
+    }
+
+    /// Executes one non-control-flow instruction, updating state, timing
+    /// and counters. `in_frep` suppresses the integer-core dispatch cost.
+    fn exec_straight(&mut self, instr: Instr, in_frep: bool) -> Result<(), String> {
+        self.counters.instructions += 1;
+        match instr {
+            Instr::Li { rd, imm } => {
+                let t = self.int_time;
+                self.int_time = t + 1;
+                self.set_x(rd, imm as u32);
+                self.int_ready[rd.index() as usize] = t + 1;
+            }
+            Instr::Mv { rd, rs } => {
+                let t = self.int_time.max(self.int_ready[rs.index() as usize]);
+                self.int_time = t + 1;
+                self.set_x(rd, self.x(rs));
+                self.int_ready[rd.index() as usize] = t + 1;
+            }
+            Instr::IntOp { op, rd, rs1, rs2 } => {
+                let t = self
+                    .int_time
+                    .max(self.int_ready[rs1.index() as usize])
+                    .max(self.int_ready[rs2.index() as usize]);
+                self.int_time = t + 1;
+                let a = self.x(rs1);
+                let b = self.x(rs2);
+                let (value, latency) = match op {
+                    IntOp::Add => (a.wrapping_add(b), 1),
+                    IntOp::Sub => (a.wrapping_sub(b), 1),
+                    IntOp::Mul => (a.wrapping_mul(b), MUL_LATENCY),
+                };
+                self.set_x(rd, value);
+                self.int_ready[rd.index() as usize] = t + latency;
+            }
+            Instr::IntImm { op, rd, rs1, imm } => {
+                let t = self.int_time.max(self.int_ready[rs1.index() as usize]);
+                self.int_time = t + 1;
+                let a = self.x(rs1);
+                let value = match op {
+                    IntImmOp::Addi => a.wrapping_add(imm as u32),
+                    IntImmOp::Slli => a.wrapping_shl(imm as u32),
+                };
+                self.set_x(rd, value);
+                self.int_ready[rd.index() as usize] = t + 1;
+            }
+            Instr::Lw { rd, base, imm } => {
+                let t = self.int_time.max(self.int_ready[base.index() as usize]);
+                self.int_time = t + 1;
+                let addr = self.x(base).wrapping_add(imm as u32);
+                let value = u32::from_le_bytes(self.read_bytes::<4>(addr)?);
+                self.set_x(rd, value);
+                self.int_ready[rd.index() as usize] = t + LOAD_LATENCY;
+                self.counters.int_loads += 1;
+            }
+            Instr::Sw { rs2, base, imm } => {
+                let t = self
+                    .int_time
+                    .max(self.int_ready[base.index() as usize])
+                    .max(self.int_ready[rs2.index() as usize]);
+                self.int_time = t + 1;
+                let addr = self.x(base).wrapping_add(imm as u32);
+                self.write_bytes(addr, &self.x(rs2).to_le_bytes())?;
+                self.counters.int_stores += 1;
+            }
+            Instr::FpLoad { width, rd, base, imm } => {
+                let t = self.int_time.max(self.int_ready[base.index() as usize]);
+                self.int_time = t + 1;
+                let addr = self.x(base).wrapping_add(imm as u32);
+                let bits = match width {
+                    FpWidth::Double => u64::from_le_bytes(self.read_bytes::<8>(addr)?),
+                    FpWidth::Single => {
+                        u32::from_le_bytes(self.read_bytes::<4>(addr)?) as u64 | 0xFFFF_FFFF_0000_0000
+                    }
+                };
+                self.f[rd.index() as usize] = bits;
+                self.fp_ready[rd.index() as usize] = t + LOAD_LATENCY;
+                self.counters.fp_loads += 1;
+            }
+            Instr::FpStore { width, rs2, base, imm } => {
+                let t = self
+                    .int_time
+                    .max(self.int_ready[base.index() as usize])
+                    .max(self.fp_ready[rs2.index() as usize]);
+                self.int_time = t + 1;
+                let addr = self.x(base).wrapping_add(imm as u32);
+                let bits = self.f[rs2.index() as usize];
+                match width {
+                    FpWidth::Double => self.write_bytes(addr, &bits.to_le_bytes())?,
+                    FpWidth::Single => self.write_bytes(addr, &(bits as u32).to_le_bytes())?,
+                }
+                self.counters.fp_stores += 1;
+            }
+            Instr::Csrrsi { csr, imm } => {
+                self.int_time += 1;
+                if csr == CSR_SSR && imm & 1 == 1 {
+                    self.ssr_enabled = true;
+                }
+            }
+            Instr::Csrrci { csr, imm } => {
+                self.int_time += 1;
+                if csr == CSR_SSR && imm & 1 == 1 {
+                    self.ssr_enabled = false;
+                }
+            }
+            Instr::Scfgwi { rs1, imm } => {
+                let t = self.int_time.max(self.int_ready[rs1.index() as usize]);
+                self.int_time = t + 1;
+                let (reg, dm) = SsrCfgReg::from_scfg_imm(imm)
+                    .ok_or_else(|| format!("invalid scfgwi immediate {imm}"))?;
+                let value = self.x(rs1);
+                self.movers[dm.index() as usize].configure(reg, value);
+                self.counters.scfgwi += 1;
+            }
+            // ----- FPU instructions -------------------------------------
+            Instr::FpBin { .. }
+            | Instr::Fmadd { .. }
+            | Instr::FmvD { .. }
+            | Instr::VfmacS { .. }
+            | Instr::VfsumS { .. }
+            | Instr::Fcvt { .. } => {
+                self.exec_fpu(instr, in_frep)?;
+            }
+            Instr::Ret | Instr::J { .. } | Instr::Branch { .. } | Instr::FrepO { .. } => {
+                unreachable!("control flow handled by the driver loop")
+            }
+        }
+        self.max_completion = self.max_completion.max(self.int_time);
+        Ok(())
+    }
+
+    fn exec_fpu(&mut self, instr: Instr, in_frep: bool) -> Result<(), String> {
+        // Dispatch: the integer core spends a cycle feeding the FPU unless
+        // the sequencer replays the instruction inside an frep.
+        let dispatch = if in_frep {
+            0
+        } else {
+            let t = self.int_time;
+            self.int_time = t + 1;
+            t
+        };
+        let (result_reg, bits, operands_ready, occupancy, flops) = match instr {
+            Instr::FpBin { op, rd, rs1, rs2 } => {
+                let (a, t1) = self.read_fp_operand(rs1)?;
+                let (b, t2) = self.read_fp_operand(rs2)?;
+                let bits = eval_fp_bin(op, a, b);
+                let occ = if op == FpBinOp::FdivD { FDIV_OCCUPANCY } else { 1 };
+                (rd, bits, t1.max(t2), occ, op.flops())
+            }
+            Instr::Fmadd { width, rd, rs1, rs2, rs3 } => {
+                let (a, t1) = self.read_fp_operand(rs1)?;
+                let (b, t2) = self.read_fp_operand(rs2)?;
+                let (c, t3) = self.read_fp_operand(rs3)?;
+                let bits = match width {
+                    FpWidth::Double => {
+                        f64::to_bits(f64::from_bits(a).mul_add(f64::from_bits(b), f64::from_bits(c)))
+                    }
+                    FpWidth::Single => f32::to_bits(f32::from_bits(a as u32)
+                        .mul_add(f32::from_bits(b as u32), f32::from_bits(c as u32)))
+                        as u64,
+                };
+                self.counters.fmadd += 1;
+                (rd, bits, t1.max(t2).max(t3), 1, 2)
+            }
+            Instr::FmvD { rd, rs } => {
+                let (a, t1) = self.read_fp_operand(rs)?;
+                (rd, a, t1, 1, 0)
+            }
+            Instr::VfmacS { rd, rs1, rs2 } => {
+                let (a, t1) = self.read_fp_operand(rs1)?;
+                let (b, t2) = self.read_fp_operand(rs2)?;
+                // The accumulator is read as a plain register (it is the
+                // destination; stream destinations cannot accumulate).
+                let acc = self.f[rd.index() as usize];
+                let t3 = self.fp_ready[rd.index() as usize];
+                let lo = f32::from_bits(a as u32)
+                    .mul_add(f32::from_bits(b as u32), f32::from_bits(acc as u32));
+                let hi = f32::from_bits((a >> 32) as u32)
+                    .mul_add(f32::from_bits((b >> 32) as u32), f32::from_bits((acc >> 32) as u32));
+                let bits = (lo.to_bits() as u64) | ((hi.to_bits() as u64) << 32);
+                (rd, bits, t1.max(t2).max(t3), 1, 4)
+            }
+            Instr::VfsumS { rd, rs1 } => {
+                let (a, t1) = self.read_fp_operand(rs1)?;
+                let acc = self.f[rd.index() as usize];
+                let t2 = self.fp_ready[rd.index() as usize];
+                let sum =
+                    f32::from_bits(acc as u32) + f32::from_bits(a as u32) + f32::from_bits((a >> 32) as u32);
+                let bits = (acc & 0xFFFF_FFFF_0000_0000) | sum.to_bits() as u64;
+                (rd, bits, t1.max(t2), 1, 2)
+            }
+            Instr::Fcvt { width, rd, rs } => {
+                let t1 = self.int_ready[rs.index() as usize];
+                let v = self.x(rs) as i32;
+                let bits = match width {
+                    FpWidth::Double => (v as f64).to_bits(),
+                    FpWidth::Single => (v as f32).to_bits() as u64 | 0xFFFF_FFFF_0000_0000,
+                };
+                (rd, bits, t1, 1, 0)
+            }
+            _ => unreachable!("non-FPU instruction in exec_fpu"),
+        };
+        let issue = self.fpu_time.max(dispatch).max(operands_ready);
+        self.fpu_time = issue + occupancy;
+        self.counters.fpu_busy_cycles += occupancy;
+        self.counters.flops += flops;
+        let ready = issue + u64::from(FPU_PIPELINE_DEPTH);
+        self.write_fp_result(result_reg, bits, ready)?;
+        Ok(())
+    }
+}
+
+fn eval_fp_bin(op: FpBinOp, a: u64, b: u64) -> u64 {
+    let d = |x: u64| f64::from_bits(x);
+    let s = |x: u64| f32::from_bits(x as u32);
+    let lane1 = |x: u64| f32::from_bits((x >> 32) as u32);
+    let pack = |lo: f32, hi: f32| (lo.to_bits() as u64) | ((hi.to_bits() as u64) << 32);
+    let scalar_s = |v: f32| v.to_bits() as u64 | 0xFFFF_FFFF_0000_0000;
+    match op {
+        FpBinOp::FaddD => (d(a) + d(b)).to_bits(),
+        FpBinOp::FsubD => (d(a) - d(b)).to_bits(),
+        FpBinOp::FmulD => (d(a) * d(b)).to_bits(),
+        FpBinOp::FdivD => (d(a) / d(b)).to_bits(),
+        FpBinOp::FmaxD => d(a).max(d(b)).to_bits(),
+        FpBinOp::FaddS => scalar_s(s(a) + s(b)),
+        FpBinOp::FsubS => scalar_s(s(a) - s(b)),
+        FpBinOp::FmulS => scalar_s(s(a) * s(b)),
+        FpBinOp::FmaxS => scalar_s(s(a).max(s(b))),
+        FpBinOp::VfaddS => pack(s(a) + s(b), lane1(a) + lane1(b)),
+        FpBinOp::VfmulS => pack(s(a) * s(b), lane1(a) * lane1(b)),
+        FpBinOp::VfmaxS => pack(s(a).max(s(b)), lane1(a).max(lane1(b))),
+        FpBinOp::VfcpkaSS => pack(s(a), s(b)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+
+    fn run(src: &str, entry: &str, args: &[u32], setup: impl FnOnce(&mut Machine)) -> (Machine, PerfCounters) {
+        let prog = assemble(src).unwrap();
+        let mut m = Machine::new();
+        setup(&mut m);
+        let c = m.call(&prog, entry, args).unwrap();
+        (m, c)
+    }
+
+    #[test]
+    fn integer_arithmetic_works() {
+        let src = "\
+f:
+    li t0, 6
+    li t1, 7
+    mul t2, t0, t1
+    addi t2, t2, 8
+    slli t2, t2, 1
+    sub t2, t2, t0
+    ret
+";
+        let (m, c) = run(src, "f", &[], |_| {});
+        assert_eq!(m.x(IntReg::t(2)), (6 * 7 + 8) * 2 - 6);
+        assert!(c.cycles >= 6);
+    }
+
+    #[test]
+    fn fp_scalar_pipeline() {
+        let src = "\
+f:
+    fld ft0, (a0)
+    fld ft1, 8(a0)
+    fmul.d ft2, ft0, ft1
+    fadd.d ft3, ft2, ft0
+    fsd ft3, 16(a0)
+    ret
+";
+        let (m, c) = run(src, "f", &[TCDM_BASE], |m| {
+            m.write_f64_slice(TCDM_BASE, &[3.0, 4.0, 0.0]);
+        });
+        assert_eq!(m.read_f64_slice(TCDM_BASE + 16, 1), vec![15.0]);
+        assert_eq!(c.fp_loads, 2);
+        assert_eq!(c.fp_stores, 1);
+        assert_eq!(c.flops, 2);
+        // The dependent chain pays the FPU latency twice.
+        assert!(c.cycles >= 8, "cycles = {}", c.cycles);
+    }
+
+    #[test]
+    fn loop_sums_memory() {
+        // Sum 8 doubles the scalar way.
+        let src = "\
+sum:
+    li t0, 0
+    li t1, 8
+    fld ft1, (a0)
+    fsub.d ft0, ft1, ft1
+loop:
+    fld ft1, (a0)
+    fadd.d ft0, ft0, ft1
+    addi a0, a0, 8
+    addi t0, t0, 1
+    blt t0, t1, loop
+    fsd ft0, (a1)
+    ret
+";
+        let data: Vec<f64> = (1..=8).map(f64::from).collect();
+        let out = TCDM_BASE + 1024;
+        let (m, c) = run(src, "sum", &[TCDM_BASE, out], |m| {
+            m.write_f64_slice(TCDM_BASE, &data);
+        });
+        assert_eq!(m.read_f64_slice(out, 1), vec![36.0]);
+        assert_eq!(c.fp_loads, 9);
+        assert_eq!(c.taken_branches, 7);
+    }
+
+    #[test]
+    fn frep_repeats_fpu_instructions() {
+        let src = "\
+f:
+    li t0, 9
+    fld ft3, (a0)
+    fld ft4, 8(a0)
+    frep.o t0, 1, 0, 0
+    fadd.d ft3, ft3, ft4
+    fsd ft3, 16(a0)
+    ret
+";
+        let (m, c) = run(src, "f", &[TCDM_BASE], |m| {
+            m.write_f64_slice(TCDM_BASE, &[0.0, 2.0, 0.0]);
+        });
+        // 10 iterations of ft3 += 2.0.
+        assert_eq!(m.read_f64_slice(TCDM_BASE + 16, 1), vec![20.0]);
+        assert_eq!(c.frep, 1);
+        assert_eq!(c.flops, 10);
+    }
+
+    #[test]
+    fn frep_rejects_integer_body() {
+        let src = "\
+f:
+    li t0, 1
+    frep.o t0, 1, 0, 0
+    addi t1, t1, 1
+    ret
+";
+        let prog = assemble(src).unwrap();
+        let mut m = Machine::new();
+        let err = m.call(&prog, "f", &[]).unwrap_err();
+        assert!(err.message.contains("non-FPU"), "{err}");
+    }
+
+    #[test]
+    fn ssr_streams_feed_fpu() {
+        // z[i] = x[i] + y[i] over 4 doubles, with both reads and the
+        // write all streamed; the body is a single frep'd fadd.
+        let x = TCDM_BASE;
+        let y = TCDM_BASE + 64;
+        let z = TCDM_BASE + 128;
+        let src = format!(
+            "\
+vecadd:
+    li t1, 3
+    scfgwi t1, {b0_dm0}     # bound dim0, dm0
+    scfgwi t1, {b0_dm1}
+    scfgwi t1, {b0_dm2}
+    li t1, 8
+    scfgwi t1, {s0_dm0}     # stride dim0
+    scfgwi t1, {s0_dm1}
+    scfgwi t1, {s0_dm2}
+    li t1, {x}
+    scfgwi t1, {rptr_dm0}
+    li t1, {y}
+    scfgwi t1, {rptr_dm1}
+    li t1, {z}
+    scfgwi t1, {wptr_dm2}
+    csrrsi zero, 0x7c0, 1
+    li t0, 3
+    frep.o t0, 1, 0, 0
+    fadd.d ft2, ft0, ft1
+    csrrci zero, 0x7c0, 1
+    ret
+",
+            b0_dm0 = SsrCfgReg::Bound(0).scfg_imm(mlb_isa::SsrDataMover::new(0)),
+            b0_dm1 = SsrCfgReg::Bound(0).scfg_imm(mlb_isa::SsrDataMover::new(1)),
+            b0_dm2 = SsrCfgReg::Bound(0).scfg_imm(mlb_isa::SsrDataMover::new(2)),
+            s0_dm0 = SsrCfgReg::Stride(0).scfg_imm(mlb_isa::SsrDataMover::new(0)),
+            s0_dm1 = SsrCfgReg::Stride(0).scfg_imm(mlb_isa::SsrDataMover::new(1)),
+            s0_dm2 = SsrCfgReg::Stride(0).scfg_imm(mlb_isa::SsrDataMover::new(2)),
+            rptr_dm0 = SsrCfgReg::RPtr(0).scfg_imm(mlb_isa::SsrDataMover::new(0)),
+            rptr_dm1 = SsrCfgReg::RPtr(0).scfg_imm(mlb_isa::SsrDataMover::new(1)),
+            wptr_dm2 = SsrCfgReg::WPtr(0).scfg_imm(mlb_isa::SsrDataMover::new(2)),
+            x = x,
+            y = y,
+            z = z,
+        );
+        let (m, c) = run(&src, "vecadd", &[], |m| {
+            m.write_f64_slice(x, &[1.0, 2.0, 3.0, 4.0]);
+            m.write_f64_slice(y, &[10.0, 20.0, 30.0, 40.0]);
+        });
+        assert_eq!(m.read_f64_slice(z, 4), vec![11.0, 22.0, 33.0, 44.0]);
+        assert_eq!(c.ssr_reads, 8);
+        assert_eq!(c.ssr_writes, 4);
+        assert_eq!(c.fp_loads, 0);
+        assert_eq!(c.fp_stores, 0);
+        assert_eq!(c.flops, 4);
+    }
+
+    #[test]
+    fn ssr_overread_is_an_error() {
+        let src = format!(
+            "\
+f:
+    li t1, 0
+    scfgwi t1, {b0}
+    li t1, 8
+    scfgwi t1, {s0}
+    li t1, {base}
+    scfgwi t1, {rptr}
+    csrrsi zero, 0x7c0, 1
+    fadd.d ft3, ft0, ft0
+    ret
+",
+            b0 = SsrCfgReg::Bound(0).scfg_imm(mlb_isa::SsrDataMover::new(0)),
+            s0 = SsrCfgReg::Stride(0).scfg_imm(mlb_isa::SsrDataMover::new(0)),
+            rptr = SsrCfgReg::RPtr(0).scfg_imm(mlb_isa::SsrDataMover::new(0)),
+            base = TCDM_BASE,
+        );
+        // A 1-element stream read twice by one fadd: second pop must fail.
+        let prog = assemble(&src).unwrap();
+        let mut m = Machine::new();
+        let err = m.call(&prog, "f", &[]).unwrap_err();
+        assert!(err.message.contains("beyond the end"), "{err}");
+    }
+
+    #[test]
+    fn packed_simd_semantics() {
+        let src = "\
+f:
+    fld ft3, (a0)
+    fld ft4, 8(a0)
+    vfadd.s ft5, ft3, ft4
+    fsd ft5, 16(a0)
+    vfmac.s ft6, ft3, ft4
+    vfsum.s ft7, ft6
+    fsd ft7, 24(a0)
+    ret
+";
+        let (m, _c) = run(src, "f", &[TCDM_BASE], |m| {
+            m.write_f32_slice(TCDM_BASE, &[1.0, 2.0, 10.0, 20.0]);
+            // Zero the accumulators' storage.
+            m.write_f64_slice(TCDM_BASE + 16, &[0.0, 0.0]);
+        });
+        assert_eq!(m.read_f32_slice(TCDM_BASE + 16, 2), vec![11.0, 22.0]);
+        // vfmac into zeroed ft6: lanes = [10, 40]; vfsum into zeroed ft7:
+        // lane0 = 50.
+        assert_eq!(m.read_f32_slice(TCDM_BASE + 24, 1), vec![50.0]);
+    }
+
+    #[test]
+    fn out_of_bounds_memory_faults() {
+        let src = "\
+f:
+    lw t0, (a0)
+    ret
+";
+        let prog = assemble(src).unwrap();
+        let mut m = Machine::new();
+        let err = m.call(&prog, "f", &[0x100]).unwrap_err();
+        assert!(err.message.contains("TCDM"), "{err}");
+    }
+
+    #[test]
+    fn budget_guards_infinite_loops() {
+        let src = "\
+f:
+    j f
+";
+        let prog = assemble(src).unwrap();
+        let mut m = Machine::new();
+        m.set_instruction_budget(1000);
+        let err = m.call(&prog, "f", &[]).unwrap_err();
+        assert!(err.message.contains("budget"), "{err}");
+    }
+
+    #[test]
+    fn frep_overlaps_integer_work() {
+        // The same FP work with and without frep: with frep the integer
+        // core does not dispatch each iteration, so the independent-chain
+        // version is at least as fast and the FPU stays busier.
+        let with_frep = "\
+f:
+    li t0, 99
+    frep.o t0, 1, 0, 0
+    fadd.d ft3, ft4, ft5
+    ret
+";
+        let without = format!("f:\n{}    ret\n", "    fadd.d ft3, ft4, ft5\n".repeat(100));
+        let (_m1, c1) = run(with_frep, "f", &[], |_| {});
+        let (_m2, c2) = run(&without, "f", &[], |_| {});
+        assert_eq!(c1.flops, c2.flops);
+        assert!(c1.cycles <= c2.cycles, "frep {} vs scalar {}", c1.cycles, c2.cycles);
+        assert!(c1.fpu_utilization() > 0.9, "util = {}", c1.fpu_utilization());
+    }
+}

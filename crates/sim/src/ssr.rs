@@ -1,0 +1,204 @@
+//! Stream semantic register (SSR) data movers.
+//!
+//! Each data mover is a hardware address generator over a nested loop of
+//! up to four dimensions with byte strides and an innermost repetition
+//! count, exactly as programmed through `scfgwi` (see [`mlb_isa::ssr`]).
+//! Reading the mapped register pops the next element of a read job;
+//! writing it pushes to a write job.
+
+use mlb_isa::{SsrCfgReg, SSR_MAX_DIMS};
+
+/// Direction of an armed stream job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SsrDirection {
+    /// Stream reads memory into the register.
+    Read,
+    /// Stream writes register values to memory.
+    Write,
+}
+
+/// One SSR data mover.
+#[derive(Debug, Clone)]
+pub struct DataMover {
+    bounds: [u32; SSR_MAX_DIMS],
+    strides: [i64; SSR_MAX_DIMS],
+    repeat: u32,
+    /// Armed job, if any.
+    job: Option<Job>,
+}
+
+#[derive(Debug, Clone)]
+struct Job {
+    direction: SsrDirection,
+    dims: usize,
+    addr: i64,
+    idx: [u32; SSR_MAX_DIMS],
+    rep: u32,
+    done: bool,
+    /// Loop configuration captured when the job was armed.
+    bounds: [u32; SSR_MAX_DIMS],
+    strides: [i64; SSR_MAX_DIMS],
+    repeat: u32,
+}
+
+impl Default for DataMover {
+    fn default() -> DataMover {
+        DataMover { bounds: [0; SSR_MAX_DIMS], strides: [0; SSR_MAX_DIMS], repeat: 0, job: None }
+    }
+}
+
+impl DataMover {
+    /// Applies an `scfgwi` write to this data mover.
+    pub fn configure(&mut self, reg: SsrCfgReg, value: u32) {
+        match reg {
+            SsrCfgReg::Status => self.job = None,
+            SsrCfgReg::Repeat => self.repeat = value,
+            SsrCfgReg::Bound(d) => self.bounds[d as usize] = value,
+            SsrCfgReg::Stride(d) => self.strides[d as usize] = value as i32 as i64,
+            SsrCfgReg::RPtr(d) => self.arm(SsrDirection::Read, d as usize + 1, value),
+            SsrCfgReg::WPtr(d) => self.arm(SsrDirection::Write, d as usize + 1, value),
+        }
+    }
+
+    fn arm(&mut self, direction: SsrDirection, dims: usize, base: u32) {
+        self.job = Some(Job {
+            direction,
+            dims,
+            addr: base as i64,
+            idx: [0; SSR_MAX_DIMS],
+            rep: 0,
+            done: false,
+            bounds: self.bounds,
+            strides: self.strides,
+            repeat: self.repeat,
+        });
+    }
+
+    /// The direction of the armed job, if any.
+    pub fn direction(&self) -> Option<SsrDirection> {
+        self.job.as_ref().map(|j| j.direction)
+    }
+
+    /// Whether a job is armed (even if already exhausted — an exhausted
+    /// stream must fault on further access, not fall back to the plain
+    /// register).
+    pub fn is_active(&self) -> bool {
+        self.job.is_some()
+    }
+
+    /// Pops the next address of the job.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` if no job is armed, the job is exhausted, or the
+    /// direction does not match.
+    pub fn next_addr(&mut self, direction: SsrDirection) -> Result<u32, String> {
+        let job = self.job.as_mut().ok_or("SSR access with no armed job")?;
+        if job.direction != direction {
+            return Err(format!("SSR {direction:?} access on a {:?} job", job.direction));
+        }
+        if job.done {
+            return Err("SSR access beyond the end of the stream".to_string());
+        }
+        let addr = job.addr;
+        // Advance: innermost repetition first, then the dimension counters.
+        if job.rep < job.repeat {
+            job.rep += 1;
+        } else {
+            job.rep = 0;
+            let mut d = 0;
+            loop {
+                if d == job.dims {
+                    job.done = true;
+                    break;
+                }
+                // `bounds[d]` holds iterations - 1, as programmed.
+                if job.idx[d] < job.bounds[d] {
+                    job.idx[d] += 1;
+                    job.addr += job.strides[d];
+                    break;
+                }
+                job.idx[d] = 0;
+                d += 1;
+            }
+        }
+        u32::try_from(addr).map_err(|_| "SSR address out of range".to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mover_1d(n: u32, stride: i64, repeat: u32, base: u32) -> DataMover {
+        let mut m = DataMover::default();
+        m.configure(SsrCfgReg::Bound(0), n - 1);
+        m.configure(SsrCfgReg::Stride(0), stride as u32);
+        m.configure(SsrCfgReg::Repeat, repeat);
+        m.configure(SsrCfgReg::RPtr(0), base);
+        m
+    }
+
+    #[test]
+    fn one_dimensional_walk() {
+        let mut m = mover_1d(4, 8, 0, 1000);
+        let addrs: Vec<u32> =
+            (0..4).map(|_| m.next_addr(SsrDirection::Read).unwrap()).collect();
+        assert_eq!(addrs, vec![1000, 1008, 1016, 1024]);
+        assert!(m.next_addr(SsrDirection::Read).is_err());
+    }
+
+    #[test]
+    fn repeat_delivers_elements_multiple_times() {
+        let mut m = mover_1d(2, 8, 2, 0);
+        let addrs: Vec<u32> =
+            (0..6).map(|_| m.next_addr(SsrDirection::Read).unwrap()).collect();
+        assert_eq!(addrs, vec![0, 0, 0, 8, 8, 8]);
+        assert!(m.next_addr(SsrDirection::Read).is_err());
+    }
+
+    #[test]
+    fn two_dimensional_walk_with_negative_stride() {
+        let mut m = DataMover::default();
+        m.configure(SsrCfgReg::Bound(0), 2); // 3 iterations
+        m.configure(SsrCfgReg::Bound(1), 1); // 2 iterations
+        m.configure(SsrCfgReg::Stride(0), 16);
+        m.configure(SsrCfgReg::Stride(1), (-24i64) as u32);
+        m.configure(SsrCfgReg::WPtr(1), 100);
+        let addrs: Vec<u32> =
+            (0..6).map(|_| m.next_addr(SsrDirection::Write).unwrap()).collect();
+        assert_eq!(addrs, vec![100, 116, 132, 108, 124, 140]);
+    }
+
+    #[test]
+    fn matches_stream_pattern_offsets() {
+        // Cross-check against the compiler-side pattern model.
+        let pattern = mlb_ir::StreamPattern::from_logical(vec![3, 4], vec![8, 40], 1);
+        let mut m = DataMover::default();
+        for (d, (&ub, &st)) in pattern.ub.iter().zip(&pattern.strides).enumerate() {
+            m.configure(SsrCfgReg::Bound(d as u8), ub as u32 - 1);
+            m.configure(SsrCfgReg::Stride(d as u8), st as u32);
+        }
+        m.configure(SsrCfgReg::Repeat, pattern.repeat as u32);
+        m.configure(SsrCfgReg::RPtr(pattern.rank() as u8 - 1), 0);
+        for expect in pattern.offsets() {
+            assert_eq!(m.next_addr(SsrDirection::Read).unwrap() as i64, expect);
+        }
+        assert!(m.next_addr(SsrDirection::Read).is_err());
+    }
+
+    #[test]
+    fn direction_mismatch_is_an_error() {
+        let mut m = mover_1d(4, 8, 0, 0);
+        assert!(m.next_addr(SsrDirection::Write).is_err());
+    }
+
+    #[test]
+    fn status_write_disarms() {
+        let mut m = mover_1d(4, 8, 0, 0);
+        assert!(m.is_active());
+        m.configure(SsrCfgReg::Status, 0);
+        assert!(!m.is_active());
+        assert!(m.next_addr(SsrDirection::Read).is_err());
+    }
+}

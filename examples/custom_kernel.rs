@@ -1,0 +1,79 @@
+//! Bring your own kernel: define a computation the suite does not ship —
+//! a fused scale-and-accumulate `Z[i,j] = X[i,j] * Y[i,j] + Z0[i,j]` —
+//! at the `linalg` level and let the backend generate streamed, FREP'd
+//! Snitch assembly for it.
+//!
+//! ```sh
+//! cargo run --release --example custom_kernel
+//! ```
+
+use mlb_core::{compile, Flow, PipelineOptions};
+use mlb_dialects::{arith, builtin, func, linalg};
+use mlb_ir::{AffineMap, Context, IteratorType, Type};
+use mlb_isa::TCDM_BASE;
+use mlb_sim::{assemble, Machine};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let (n, m) = (8i64, 16i64);
+    let mut ctx = Context::new();
+    let (module, top) = builtin::build_module(&mut ctx);
+    let buf = Type::memref(vec![n, m], Type::F64);
+    let (_f, entry) = func::build_func(
+        &mut ctx,
+        top,
+        "fma_ew",
+        vec![buf.clone(), buf.clone(), buf.clone(), buf],
+        vec![],
+    );
+    let x = ctx.block_args(entry)[0];
+    let y = ctx.block_args(entry)[1];
+    let z0 = ctx.block_args(entry)[2];
+    let z = ctx.block_args(entry)[3];
+    let id = AffineMap::identity(2);
+    linalg::build_generic(
+        &mut ctx,
+        entry,
+        vec![x, y, z0],
+        vec![z],
+        vec![id.clone(), id.clone(), id.clone(), id],
+        vec![IteratorType::Parallel, IteratorType::Parallel],
+        None,
+        |ctx, body, args| {
+            let prod = arith::binary(ctx, body, arith::MULF, args[0], args[1]);
+            vec![arith::binary(ctx, body, arith::ADDF, prod, args[2])]
+        },
+    );
+    func::build_return(&mut ctx, entry, vec![]);
+
+    let compiled = compile(&mut ctx, module, Flow::Ours(PipelineOptions::full()))?;
+    println!("{}", compiled.assembly);
+
+    // Note: three inputs exceed the two read-stream data movers, so the
+    // backend streams X and Y and keeps Z0 as explicit (but cheap,
+    // strength-reduced) loads — inspect the assembly above to see the
+    // mixed access strategy.
+    let program = assemble(&compiled.assembly)?;
+    let mut machine = Machine::new();
+    let len = (n * m) as usize;
+    let bytes = (len * 8) as u32;
+    let (xa, ya, z0a, za) =
+        (TCDM_BASE, TCDM_BASE + bytes, TCDM_BASE + 2 * bytes, TCDM_BASE + 3 * bytes);
+    let xs: Vec<f64> = (0..len).map(|i| i as f64).collect();
+    let ys = vec![2.0; len];
+    let z0s = vec![100.0; len];
+    machine.write_f64_slice(xa, &xs);
+    machine.write_f64_slice(ya, &ys);
+    machine.write_f64_slice(z0a, &z0s);
+    let counters = machine.call(&program, "fma_ew", &[xa, ya, z0a, za])?;
+    let out = machine.read_f64_slice(za, len);
+    assert_eq!(out[7], 7.0 * 2.0 + 100.0);
+    println!(
+        "fused multiply-add per element: {} cycles for {} elements \
+         ({:.2} FLOPs/cycle, FPU utilization {:.1}%)",
+        counters.cycles,
+        len,
+        counters.throughput(),
+        100.0 * counters.fpu_utilization()
+    );
+    Ok(())
+}

@@ -1,0 +1,66 @@
+//! A tour of the multi-level backend's abstractions: print the IR of one
+//! kernel after each stage of the progressive lowering (Figure 5 of the
+//! paper), from `linalg.generic` down to allocated RISC-V dialects and
+//! final assembly.
+//!
+//! ```sh
+//! cargo run --release --example progressive_lowering
+//! ```
+
+use mlb_core::passes::{
+    canonicalize::Canonicalize, convert_linalg::ConvertLinalgToMemrefStream,
+    convert_to_rv::ConvertToRv, dce::DeadCodeElimination, fuse_fill::MemrefStreamFuseFill,
+    lower_streaming::LowerSnitchStream, lower_to_loops::ConvertMemrefStreamToLoops,
+    peephole::RvPeephole, rv_scf_to_cf::RvScfToCf, rv_scf_to_frep::RvScfToFrep,
+    scalar_replacement::MemrefStreamScalarReplacement, unroll_and_jam::MemrefStreamUnrollAndJam,
+};
+use mlb_core::{full_registry, regalloc};
+use mlb_ir::{print_op, Context, Pass};
+use mlb_kernels::{Instance, Kind, Precision, Shape};
+use mlb_riscv::rv_func;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let instance = Instance::new(Kind::MatMul, Shape::nmk(1, 5, 40), Precision::F64);
+    let mut ctx = Context::new();
+    let module = instance.build_module(&mut ctx);
+    let registry = full_registry();
+
+    let stage = |title: &str, ctx: &Context, module| {
+        println!("////////// {title} //////////");
+        println!("{}", print_op(ctx, module));
+    };
+
+    stage("1. linalg level (input)", &ctx, module);
+
+    ConvertLinalgToMemrefStream.run(&mut ctx, &registry, module)?;
+    MemrefStreamFuseFill.run(&mut ctx, &registry, module)?;
+    MemrefStreamScalarReplacement.run(&mut ctx, &registry, module)?;
+    MemrefStreamUnrollAndJam::default().run(&mut ctx, &registry, module)?;
+    stage("2. memref_stream level (scheduled: fused fill, unroll-and-jam)", &ctx, module);
+
+    ConvertMemrefStreamToLoops { streams: true }.run(&mut ctx, &registry, module)?;
+    Canonicalize.run(&mut ctx, &registry, module)?;
+    stage("3. scf loops inside a streaming region", &ctx, module);
+
+    ConvertToRv::default().run(&mut ctx, &registry, module)?;
+    RvPeephole.run(&mut ctx, &registry, module)?;
+    RvScfToFrep.run(&mut ctx, &registry, module)?;
+    LowerSnitchStream.run(&mut ctx, &registry, module)?;
+    DeadCodeElimination.run(&mut ctx, &registry, module)?;
+    stage("4. rv dialects with FREP and SSR configuration (unallocated)", &ctx, module);
+
+    for func in ctx.walk_named(module, rv_func::FUNC) {
+        let stats = regalloc::allocate_function(&mut ctx, func)?;
+        println!(
+            "// allocated spill-free: {} FP, {} integer registers\n",
+            stats.num_fp(),
+            stats.num_int()
+        );
+    }
+    stage("5. after spill-free register allocation", &ctx, module);
+
+    RvScfToCf.run(&mut ctx, &registry, module)?;
+    let asm = mlb_riscv::emit_module(&ctx, module)?;
+    println!("////////// 6. final assembly //////////\n{asm}");
+    Ok(())
+}

@@ -1,0 +1,105 @@
+//! `mlbc` — the micro-kernel compiler driver.
+//!
+//! Compiles a module written in the generic textual IR format (see
+//! `mlb_ir::parser`) down to Snitch assembly, optionally dumping the IR
+//! instead, and optionally executing the result on the bundled
+//! simulator.
+//!
+//! ```sh
+//! mlbc kernel.mlir                        # assembly on stdout
+//! mlbc kernel.mlir --flow clang           # comparison flow
+//! mlbc kernel.mlir --no-unroll-and-jam    # ablation knobs (Table 3)
+//! mlbc kernel.mlir --emit ir              # parse + verify + reprint
+//! ```
+
+use std::io::Read;
+use std::process::ExitCode;
+
+use mlb_core::{compile, full_registry, Flow, PipelineOptions};
+use mlb_ir::{parse_module, print_op, Context};
+
+const USAGE: &str = "\
+usage: mlbc <input.mlir | -> [options]
+
+options:
+  --emit asm|ir       output assembly (default) or the parsed IR
+  --flow ours|mlir|clang
+                      compilation flow (default: ours)
+  --no-streams        disable stream semantic registers
+  --no-scalar-replacement
+  --no-frep           disable hardware loops
+  --no-fuse-fill      keep output initialization separate
+  --no-unroll-and-jam
+  --help              this text
+";
+
+fn main() -> ExitCode {
+    match run(std::env::args().skip(1).collect()) {
+        Ok(output) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(message) => {
+            eprintln!("mlbc: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: Vec<String>) -> Result<String, String> {
+    let mut input: Option<String> = None;
+    let mut emit_ir = false;
+    let mut flow_name = "ours".to_string();
+    let mut opts = PipelineOptions::full();
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--help" | "-h" => return Ok(USAGE.to_string()),
+            "--emit" => {
+                let what = iter.next().ok_or("--emit needs a value")?;
+                emit_ir = match what.as_str() {
+                    "ir" => true,
+                    "asm" => false,
+                    other => return Err(format!("unknown --emit kind `{other}`")),
+                };
+            }
+            "--flow" => {
+                flow_name = iter.next().ok_or("--flow needs a value")?;
+            }
+            "--no-streams" => opts.streams = false,
+            "--no-scalar-replacement" => opts.scalar_replacement = false,
+            "--no-frep" => opts.frep = false,
+            "--no-fuse-fill" => opts.fuse_fill = false,
+            "--no-unroll-and-jam" => opts.unroll_and_jam = false,
+            other if input.is_none() && !other.starts_with('-') || other == "-" => {
+                input = Some(other.to_string());
+            }
+            other => return Err(format!("unknown option `{other}`\n{USAGE}")),
+        }
+    }
+    let input = input.ok_or_else(|| format!("no input file\n{USAGE}"))?;
+    let source = if input == "-" {
+        let mut text = String::new();
+        std::io::stdin().read_to_string(&mut text).map_err(|e| e.to_string())?;
+        text
+    } else {
+        std::fs::read_to_string(&input).map_err(|e| format!("{input}: {e}"))?
+    };
+
+    let mut ctx = Context::new();
+    let module = parse_module(&mut ctx, &source).map_err(|e| e.to_string())?;
+    let registry = full_registry();
+    registry.verify(&ctx, module).map_err(|e| format!("verification: {e}"))?;
+
+    if emit_ir {
+        return Ok(print_op(&ctx, module));
+    }
+    let flow = match flow_name.as_str() {
+        "ours" => Flow::Ours(opts),
+        "mlir" => Flow::MlirLike,
+        "clang" => Flow::ClangLike,
+        other => return Err(format!("unknown flow `{other}`")),
+    };
+    let compiled = compile(&mut ctx, module, flow).map_err(|e| e.to_string())?;
+    Ok(compiled.assembly)
+}

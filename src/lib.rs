@@ -1,0 +1,12 @@
+//! Umbrella crate: re-exports the multi-level compiler backend stack.
+//!
+//! See the workspace README for the project overview and DESIGN.md for
+//! the paper-reproduction design.
+
+pub use mlb_core as backend;
+pub use mlb_dialects as dialects;
+pub use mlb_ir as ir;
+pub use mlb_isa as isa;
+pub use mlb_kernels as kernels;
+pub use mlb_riscv as riscv;
+pub use mlb_sim as sim;

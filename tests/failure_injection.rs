@@ -1,0 +1,141 @@
+//! Failure injection: every layer must reject invalid input with a
+//! descriptive error instead of miscompiling or panicking.
+
+use mlb_core::{compile, full_registry, Flow, PipelineOptions};
+use mlb_dialects::{arith, builtin, func, linalg};
+use mlb_ir::{parse_module, AffineMap, Context, IteratorType, Type};
+use mlb_isa::TCDM_BASE;
+use mlb_sim::{assemble, Machine};
+
+/// The verifier rejects a generic op whose map arity disagrees with its
+/// iterator count (IR-level failure).
+#[test]
+fn verifier_rejects_malformed_generic() {
+    let mut ctx = Context::new();
+    let (module, top) = builtin::build_module(&mut ctx);
+    let buf = Type::memref(vec![4], Type::F64);
+    let (_f, entry) = func::build_func(&mut ctx, top, "bad", vec![buf.clone(), buf], vec![]);
+    let x = ctx.block_args(entry)[0];
+    let z = ctx.block_args(entry)[1];
+    let g = linalg::build_generic(
+        &mut ctx,
+        entry,
+        vec![x],
+        vec![z],
+        vec![AffineMap::identity(1), AffineMap::identity(1)],
+        vec![IteratorType::Parallel],
+        None,
+        |ctx, body, args| vec![arith::binary(ctx, body, arith::ADDF, args[0], args[0])],
+    );
+    func::build_return(&mut ctx, entry, vec![]);
+    assert!(full_registry().verify(&ctx, module).is_ok());
+    // Corrupt: a 2-dim map against 1 iterator.
+    ctx.op_mut(g.0).attrs.insert(
+        "indexing_maps".into(),
+        mlb_ir::Attribute::Array(vec![
+            mlb_ir::Attribute::Map(AffineMap::identity(2)),
+            mlb_ir::Attribute::Map(AffineMap::identity(1)),
+        ]),
+    );
+    let err = full_registry().verify(&ctx, module).unwrap_err();
+    assert!(err.to_string().contains("dims"), "{err}");
+}
+
+/// Non-integral float constants cannot be materialized without a
+/// constant pool: the conversion pass reports it, the driver surfaces it.
+#[test]
+fn pipeline_rejects_non_integral_float_constants() {
+    let mut ctx = Context::new();
+    let (module, top) = builtin::build_module(&mut ctx);
+    let buf = Type::memref(vec![4], Type::F64);
+    let (_f, entry) = func::build_func(&mut ctx, top, "k", vec![buf.clone(), buf], vec![]);
+    let x = ctx.block_args(entry)[0];
+    let z = ctx.block_args(entry)[1];
+    let c = arith::constant_float(&mut ctx, entry, 0.3, Type::F64);
+    let id = AffineMap::identity(1);
+    linalg::build_generic(
+        &mut ctx,
+        entry,
+        vec![x],
+        vec![z],
+        vec![id.clone(), id],
+        vec![IteratorType::Parallel],
+        None,
+        |ctx, body, args| vec![arith::binary(ctx, body, arith::MULF, args[0], c)],
+    );
+    func::build_return(&mut ctx, entry, vec![]);
+    let err = compile(&mut ctx, module, Flow::Ours(PipelineOptions::full())).unwrap_err();
+    assert_eq!(err.pass, "convert-to-rv");
+    assert!(err.message.contains("integral"), "{err}");
+}
+
+/// The simulator faults cleanly on out-of-TCDM and misaligned accesses.
+#[test]
+fn simulator_faults_are_descriptive() {
+    let program = assemble("f:\n    fld ft0, (a0)\n    ret\n").unwrap();
+    let mut machine = Machine::new();
+    let err = machine.call(&program, "f", &[0x10]).unwrap_err();
+    assert!(err.to_string().contains("TCDM"), "{err}");
+
+    let mut machine = Machine::new();
+    let err = machine.call(&program, "f", &[TCDM_BASE + 4]).unwrap_err();
+    assert!(err.to_string().contains("misaligned"), "{err}");
+}
+
+/// Calling an unknown symbol is an error, not a hang.
+#[test]
+fn unknown_entry_symbol() {
+    let program = assemble("f:\n    ret\n").unwrap();
+    let mut machine = Machine::new();
+    let err = machine.call(&program, "nope", &[]).unwrap_err();
+    assert!(err.to_string().contains("nope"), "{err}");
+}
+
+/// The assembler pinpoints bad lines; the parser pinpoints bad offsets.
+#[test]
+fn frontend_errors_carry_locations() {
+    let err = assemble("f:\n    fld ft0, (a0)\n    frobnicate x1\n").unwrap_err();
+    assert_eq!(err.line, 3);
+
+    let mut ctx = Context::new();
+    let err = parse_module(&mut ctx, "\"a.b\"() : () -> (\u{1F980})").unwrap_err();
+    assert!(err.offset > 0);
+}
+
+/// A structured loop must not reach assembly emission: the emitter
+/// refuses rather than printing garbage.
+#[test]
+fn emitter_rejects_unlowered_structures() {
+    use mlb_riscv::{rv, rv_func, rv_scf};
+    let mut ctx = Context::new();
+    let module = ctx.create_detached_op(mlb_ir::OpSpec::new("builtin.module").regions(1));
+    let top = ctx.create_block(ctx.op(module).regions[0], vec![]);
+    let (_f, entry) = rv_func::build_func(&mut ctx, top, "k", &[]);
+    let z = rv::li(&mut ctx, entry, 0);
+    let n = rv::li(&mut ctx, entry, 4);
+    ctx.set_value_type(z, Type::IntRegister(Some(mlb_isa::IntReg::t(0))));
+    ctx.set_value_type(n, Type::IntRegister(Some(mlb_isa::IntReg::t(1))));
+    rv_scf::build_for(&mut ctx, entry, z, n, z, vec![], |_, _, _, _| vec![]);
+    rv_func::build_ret(&mut ctx, entry);
+    let err = mlb_riscv::emit_module(&ctx, module).unwrap_err();
+    assert!(err.to_string().contains("no assembly form"), "{err}");
+}
+
+/// Register exhaustion surfaces as a named pass failure through the
+/// public driver (with the flow's fallback where one exists).
+#[test]
+fn register_exhaustion_is_reported_by_pass_name() {
+    use mlb_riscv::{rv, rv_func};
+    let mut ctx = Context::new();
+    let module = ctx.create_detached_op(mlb_ir::OpSpec::new("builtin.module").regions(1));
+    let top = ctx.create_block(ctx.op(module).regions[0], vec![]);
+    let (func, entry) = rv_func::build_func(&mut ctx, top, "k", &[rv_func::AbiArg::Int]);
+    let base = ctx.block_args(entry)[0];
+    let vs: Vec<_> = (0..25).map(|i| rv::fp_load(&mut ctx, entry, rv::FLD, base, i * 8)).collect();
+    for &v in &vs {
+        let _ = rv::fp_binary(&mut ctx, entry, rv::FADD_D, v, v);
+    }
+    rv_func::build_ret(&mut ctx, entry);
+    let err = mlb_core::allocate_function(&mut ctx, func).unwrap_err();
+    assert!(err.to_string().contains("spilling would be required"));
+}

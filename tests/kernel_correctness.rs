@@ -1,0 +1,94 @@
+//! End-to-end correctness: every kernel of the suite, compiled with
+//! every flow (including each rung of the Table 3 ablation ladder), must
+//! produce bit-exact results on the Snitch simulator.
+
+use mlb_core::{Flow, PipelineOptions};
+use mlb_kernels::{compile_and_run, Instance, Kind, Precision, Shape};
+
+fn shapes_for(kind: Kind) -> Vec<Shape> {
+    match kind {
+        Kind::MatMul => vec![Shape::nmk(1, 5, 8), Shape::nmk(2, 8, 12), Shape::nmk(4, 16, 8)],
+        Kind::MatMulT => vec![Shape::nmk(2, 4, 8), Shape::nmk(4, 16, 16)],
+        _ => vec![Shape::nm(4, 4), Shape::nm(4, 12), Shape::nm(8, 8)],
+    }
+}
+
+fn check(instance: Instance, flow: Flow) {
+    match compile_and_run(&instance, flow, 0xC0FFEE) {
+        Ok(outcome) => {
+            assert!(outcome.counters.cycles > 0);
+            assert_eq!(outcome.output.len(), *instance.buffer_sizes().last().unwrap());
+        }
+        Err(e) => panic!("{instance} under {flow:?}: {e}"),
+    }
+}
+
+#[test]
+fn all_kernels_full_pipeline() {
+    for kind in Kind::all() {
+        for shape in shapes_for(kind) {
+            check(Instance::new(kind, shape, Precision::F64), Flow::Ours(PipelineOptions::full()));
+        }
+    }
+}
+
+#[test]
+fn all_kernels_baseline_pipeline() {
+    for kind in Kind::all() {
+        for shape in shapes_for(kind) {
+            check(
+                Instance::new(kind, shape, Precision::F64),
+                Flow::Ours(PipelineOptions::baseline()),
+            );
+        }
+    }
+}
+
+#[test]
+fn all_kernels_mlir_like_flow() {
+    for kind in Kind::all() {
+        for shape in shapes_for(kind) {
+            check(Instance::new(kind, shape, Precision::F64), Flow::MlirLike);
+        }
+    }
+}
+
+#[test]
+fn all_kernels_clang_like_flow() {
+    for kind in Kind::all() {
+        for shape in shapes_for(kind) {
+            check(Instance::new(kind, shape, Precision::F64), Flow::ClangLike);
+        }
+    }
+}
+
+#[test]
+fn matmul_ablation_ladder_is_correct_at_every_rung() {
+    let instance = Instance::new(Kind::MatMul, Shape::nmk(1, 5, 40), Precision::F64);
+    for (label, opts) in PipelineOptions::ablation_ladder() {
+        match compile_and_run(&instance, Flow::Ours(opts), 42) {
+            Ok(_) => {}
+            Err(e) => panic!("ablation rung `{label}`: {e}"),
+        }
+    }
+}
+
+#[test]
+fn f32_kernels_full_pipeline() {
+    for (kind, shape) in [
+        (Kind::Sum, Shape::nm(4, 8)),
+        (Kind::Relu, Shape::nm(4, 8)),
+        (Kind::MatMulT, Shape::nmk(4, 16, 16)),
+    ] {
+        check(Instance::new(kind, shape, Precision::F32), Flow::Ours(PipelineOptions::full()));
+    }
+}
+
+#[test]
+fn repeated_runs_are_deterministic() {
+    let instance = Instance::new(Kind::Conv3x3, Shape::nm(4, 4), Precision::F64);
+    let a = compile_and_run(&instance, Flow::Ours(PipelineOptions::full()), 1).unwrap();
+    let b = compile_and_run(&instance, Flow::Ours(PipelineOptions::full()), 1).unwrap();
+    assert_eq!(a.counters, b.counters, "bare-metal platform must be deterministic");
+    assert_eq!(a.output, b.output);
+}

@@ -1,0 +1,159 @@
+//! The paper's headline quantitative claims, as regression tests.
+//!
+//! These assert the *shape* of each result (who wins, instruction-mix
+//! counts, monotonicity), not RTL-exact cycle numbers — see
+//! EXPERIMENTS.md for the rationale.
+
+use mlb_core::{Flow, PipelineOptions};
+use mlb_kernels::{
+    compile_and_run, run_handwritten, Instance, Kind, Precision, Shape,
+};
+
+fn full() -> Flow {
+    Flow::Ours(PipelineOptions::full())
+}
+
+/// Table 3: the instruction-mix trajectory matches the paper exactly.
+#[test]
+fn table3_instruction_mix_matches_paper_exactly() {
+    let instance = Instance::new(Kind::MatMul, Shape::nmk(1, 5, 200), Precision::F64);
+    let ladder = PipelineOptions::ablation_ladder();
+    // (loads, stores, fmadd, static frep) per rung, from the paper.
+    let expected = [
+        (3000, 1005, 1000, 0),
+        (1000, 1000, 1000, 0),
+        (5, 5, 1000, 0),
+        (5, 5, 1000, 2),
+        (0, 0, 1000, 1),
+        (0, 0, 1000, 1),
+    ];
+    let mut occupancies = Vec::new();
+    for ((label, opts), (loads, stores, fmadd, frep)) in ladder.into_iter().zip(expected) {
+        let outcome = compile_and_run(&instance, Flow::Ours(opts), 3).unwrap();
+        let c = &outcome.counters;
+        assert_eq!(c.loads(), loads, "loads at rung `{label}`");
+        assert_eq!(c.stores(), stores, "stores at rung `{label}`");
+        assert_eq!(c.fmadd, fmadd, "fmadd at rung `{label}`");
+        let static_frep = outcome.compilation.assembly.matches("frep.o").count();
+        assert_eq!(static_frep, frep, "frep at rung `{label}`");
+        occupancies.push(c.fpu_utilization());
+    }
+    // Occupancy rises from a few percent to >90% (paper: 2.49 -> 90.67).
+    assert!(occupancies[0] < 0.10, "baseline occupancy {}", occupancies[0]);
+    assert!(occupancies[5] > 0.90, "full-pipeline occupancy {}", occupancies[5]);
+    // The full pipeline is more than an order of magnitude faster.
+    let base = compile_and_run(&instance, Flow::Ours(PipelineOptions::baseline()), 3).unwrap();
+    let fast = compile_and_run(&instance, full(), 3).unwrap();
+    assert!(base.counters.cycles > 10 * fast.counters.cycles);
+}
+
+/// Figure 9: hand-written Sum/ReLU exceed 90% utilization and their
+/// cycle overhead is constant across sizes.
+#[test]
+fn figure9_handwritten_overhead_is_size_independent() {
+    for kind in [Kind::Sum, Kind::Relu] {
+        let mut overheads = Vec::new();
+        for m in [32, 64, 128] {
+            let instance = Instance::new(kind, Shape::nm(8, m), Precision::F32);
+            let outcome = run_handwritten(&instance, 5).unwrap();
+            assert!(
+                outcome.utilization() > 0.90,
+                "{instance} utilization {}",
+                outcome.utilization()
+            );
+            overheads.push(outcome.counters.cycles - instance.min_cycles());
+        }
+        assert!(
+            overheads.windows(2).all(|w| w[0] == w[1]),
+            "{kind} overheads not constant: {overheads:?}"
+        );
+    }
+}
+
+/// Figure 9: MatMulT sustains packed throughput near 2 FLOPs/cycle or
+/// better (the paper reports 2.45 on its shapes) while Sum/ReLU sit at
+/// the packed streaming limit of ~2.
+#[test]
+fn figure9_matmult_packed_throughput() {
+    let instance = Instance::new(Kind::MatMulT, Shape::nmk(4, 16, 64), Precision::F32);
+    let outcome = run_handwritten(&instance, 5).unwrap();
+    assert!(
+        outcome.counters.throughput() > 2.4,
+        "throughput {}",
+        outcome.counters.throughput()
+    );
+}
+
+/// Figure 10: the multi-level flow dominates both comparison flows on
+/// every kernel, and parallel kernels approach peak as width grows.
+#[test]
+fn figure10_ordering_and_scaling() {
+    for kind in [Kind::Sum, Kind::Relu, Kind::Conv3x3, Kind::MaxPool3x3] {
+        let instance = Instance::new(kind, Shape::nm(4, 16), Precision::F64);
+        let ours = compile_and_run(&instance, full(), 9).unwrap().utilization();
+        let mlir = compile_and_run(&instance, Flow::MlirLike, 9).unwrap().utilization();
+        let clang = compile_and_run(&instance, Flow::ClangLike, 9).unwrap().utilization();
+        assert!(
+            ours > 3.0 * mlir.max(clang),
+            "{kind}: ours {ours} vs mlir {mlir} / clang {clang}"
+        );
+    }
+    // Monotone scaling toward peak for a parallel kernel.
+    let mut last = 0.0;
+    for m in [8, 16, 32, 64] {
+        let instance = Instance::new(Kind::Sum, Shape::nm(4, m), Precision::F64);
+        let util = compile_and_run(&instance, full(), 9).unwrap().utilization();
+        assert!(util >= last, "utilization must not drop with size");
+        last = util;
+    }
+    assert!(last > 0.95, "Sum at width 64: {last}");
+}
+
+/// Figure 11: >= 90% of peak for large shapes; small shapes stay below
+/// 80% because setup dominates; throughput is monotone in both dims.
+#[test]
+fn figure11_throughput_regimes() {
+    let t = |n: i64, k: i64| {
+        let instance = Instance::new(Kind::MatMul, Shape::nmk(1, n, k), Precision::F64);
+        compile_and_run(&instance, full(), 11).unwrap().counters.throughput()
+    };
+    assert!(t(16, 128) >= 1.80, "large shape: {}", t(16, 128));
+    assert!(t(2, 8) < 1.60, "small shape: {}", t(2, 8));
+    assert!(t(4, 64) > t(4, 16));
+    assert!(t(16, 64) > t(4, 64) * 0.95);
+}
+
+/// Table 2: the whole suite allocates spill-free within the pools, with
+/// several registers spare (compilation fails loudly otherwise, so
+/// success *is* the claim; we additionally check the margins).
+#[test]
+fn table2_registers_within_pools_with_margin() {
+    for kind in Kind::all() {
+        if kind == Kind::MatMulT {
+            continue; // covered by the handwritten variant below
+        }
+        let shape = match kind {
+            Kind::MatMul => Shape::nmk(4, 16, 8),
+            _ => Shape::nm(4, 4),
+        };
+        let instance = Instance::new(kind, shape, Precision::F64);
+        let outcome = compile_and_run(&instance, full(), 13).unwrap();
+        let (_, stats) = &outcome.compilation.functions[0];
+        assert!(stats.num_fp() <= 10, "{kind}: {:?}", stats.fp_used);
+        assert!(stats.num_int() <= 10, "{kind}: {:?}", stats.int_used);
+    }
+    let mmt = Instance::new(Kind::MatMulT, Shape::nmk(4, 16, 16), Precision::F32);
+    let outcome = run_handwritten(&mmt, 13).unwrap();
+    let (_, stats) = &outcome.compilation.functions[0];
+    assert!(stats.num_fp() <= 12 && stats.num_int() <= 13);
+}
+
+/// Headline: up to 90% FPU utilization from a high-level DSL (abstract),
+/// and 95% for hand-written kernels (Section 4 intro).
+#[test]
+fn headline_utilizations() {
+    let sum = Instance::new(Kind::Sum, Shape::nm(8, 64), Precision::F64);
+    assert!(compile_and_run(&sum, full(), 17).unwrap().utilization() > 0.90);
+    let hw = Instance::new(Kind::Sum, Shape::nm(8, 64), Precision::F32);
+    assert!(run_handwritten(&hw, 17).unwrap().utilization() > 0.95);
+}

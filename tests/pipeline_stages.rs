@@ -1,0 +1,125 @@
+//! Structural expectations at every stage of the progressive lowering
+//! (Figure 5): each abstraction appears when it should and disappears
+//! when consumed.
+
+use mlb_core::passes::{
+    canonicalize::Canonicalize, convert_linalg::ConvertLinalgToMemrefStream,
+    convert_to_rv::ConvertToRv, dce::DeadCodeElimination, fuse_fill::MemrefStreamFuseFill,
+    lower_streaming::LowerSnitchStream, lower_to_loops::ConvertMemrefStreamToLoops,
+    peephole::RvPeephole, rv_scf_to_cf::RvScfToCf, rv_scf_to_frep::RvScfToFrep,
+    scalar_replacement::MemrefStreamScalarReplacement, unroll_and_jam::MemrefStreamUnrollAndJam,
+};
+use mlb_core::{full_registry, regalloc};
+use mlb_ir::{Context, Pass};
+use mlb_kernels::{Instance, Kind, Precision, Shape};
+
+#[test]
+fn matmul_ir_structure_at_every_stage() {
+    let instance = Instance::new(Kind::MatMul, Shape::nmk(1, 5, 40), Precision::F64);
+    let mut ctx = Context::new();
+    let module = instance.build_module(&mut ctx);
+    let registry = full_registry();
+
+    // Stage 0: linalg input — a fill plus a generic.
+    assert_eq!(ctx.walk_named(module, "linalg.fill").len(), 1);
+    assert_eq!(ctx.walk_named(module, "linalg.generic").len(), 1);
+
+    ConvertLinalgToMemrefStream.run(&mut ctx, &registry, module).unwrap();
+    registry.verify(&ctx, module).unwrap();
+    assert!(ctx.walk_named(module, "linalg.generic").is_empty());
+    assert_eq!(ctx.walk_named(module, "memref_stream.generic").len(), 2);
+
+    MemrefStreamFuseFill.run(&mut ctx, &registry, module).unwrap();
+    // The fill generic fused into the matmul generic.
+    assert_eq!(ctx.walk_named(module, "memref_stream.generic").len(), 1);
+
+    MemrefStreamScalarReplacement.run(&mut ctx, &registry, module).unwrap();
+    MemrefStreamUnrollAndJam::default().run(&mut ctx, &registry, module).unwrap();
+    registry.verify(&ctx, module).unwrap();
+    let g = ctx.walk_named(module, "memref_stream.generic")[0];
+    let s = mlb_dialects::memref_stream::StreamGenericOp(g);
+    // Fully-interleaved N: bounds [1, 40, 5] as in Figure 7.
+    assert_eq!(s.bounds(&ctx), vec![1, 40, 5]);
+    assert_eq!(s.interleave_factor(&ctx), 5);
+    assert_eq!(s.num_inits(&ctx), 1);
+
+    ConvertMemrefStreamToLoops { streams: true }.run(&mut ctx, &registry, module).unwrap();
+    Canonicalize.run(&mut ctx, &registry, module).unwrap();
+    registry.verify(&ctx, module).unwrap();
+    assert!(ctx.walk_named(module, "memref_stream.generic").is_empty());
+    assert_eq!(
+        ctx.walk_named(module, "memref_stream.streaming_region").len(),
+        1,
+        "one streaming region wrapping the computation"
+    );
+    // The single-iteration M loop was canonicalized away: only the
+    // reduction loop remains.
+    assert_eq!(ctx.walk_named(module, "scf.for").len(), 1);
+    // Reads: 2 streams x 5 interleaved copies.
+    assert_eq!(ctx.walk_named(module, "memref_stream.read").len(), 10);
+    assert_eq!(ctx.walk_named(module, "memref_stream.write").len(), 5);
+
+    ConvertToRv::default().run(&mut ctx, &registry, module).unwrap();
+    RvPeephole.run(&mut ctx, &registry, module).unwrap();
+    registry.verify(&ctx, module).unwrap();
+    assert!(ctx.walk_named(module, "scf.for").is_empty());
+    assert_eq!(ctx.walk_named(module, "rv_scf.for").len(), 1);
+    assert_eq!(ctx.walk_named(module, "snitch_stream.streaming_region").len(), 1);
+    // The multiply-adds fused: five per body.
+    assert_eq!(ctx.walk_named(module, "rv.fmadd.d").len(), 5);
+    assert!(ctx.walk_named(module, "rv.fmul.d").is_empty());
+
+    RvScfToFrep.run(&mut ctx, &registry, module).unwrap();
+    registry.verify(&ctx, module).unwrap();
+    assert!(ctx.walk_named(module, "rv_scf.for").is_empty());
+    assert_eq!(ctx.walk_named(module, "rv_snitch.frep_outer").len(), 1);
+
+    LowerSnitchStream.run(&mut ctx, &registry, module).unwrap();
+    DeadCodeElimination.run(&mut ctx, &registry, module).unwrap();
+    registry.verify(&ctx, module).unwrap();
+    assert!(ctx.walk_named(module, "snitch_stream.streaming_region").is_empty());
+    assert!(!ctx.walk_named(module, "rv_snitch.scfgwi").is_empty());
+    assert_eq!(ctx.walk_named(module, "rv_snitch.ssr_enable").len(), 1);
+    assert_eq!(ctx.walk_named(module, "rv_snitch.ssr_disable").len(), 1);
+
+    for func in ctx.walk_named(module, "rv_func.func") {
+        let stats = regalloc::allocate_function(&mut ctx, func).unwrap();
+        assert!(stats.num_fp() <= 20 && stats.num_int() <= 15);
+    }
+    registry.verify(&ctx, module).unwrap();
+
+    RvScfToCf.run(&mut ctx, &registry, module).unwrap();
+    registry.verify(&ctx, module).unwrap();
+    let asm = mlb_riscv::emit_module(&ctx, module).unwrap();
+    assert!(asm.contains("frep.o"));
+    assert!(asm.contains("fmadd.d"));
+    assert!(!asm.contains("fld"), "all data must flow through streams:\n{asm}");
+}
+
+#[test]
+fn streaming_region_placement_depth_for_conv() {
+    // Conv's 5-dimensional access cannot fit the 4 SSR dimensions at the
+    // top level: the region must sit inside the outermost (row) loop.
+    let instance = Instance::new(Kind::Conv3x3, Shape::nm(8, 8), Precision::F64);
+    let mut ctx = Context::new();
+    let module = instance.build_module(&mut ctx);
+    let registry = full_registry();
+    ConvertLinalgToMemrefStream.run(&mut ctx, &registry, module).unwrap();
+    MemrefStreamFuseFill.run(&mut ctx, &registry, module).unwrap();
+    MemrefStreamScalarReplacement.run(&mut ctx, &registry, module).unwrap();
+    MemrefStreamUnrollAndJam::default().run(&mut ctx, &registry, module).unwrap();
+    ConvertMemrefStreamToLoops { streams: true }.run(&mut ctx, &registry, module).unwrap();
+    registry.verify(&ctx, module).unwrap();
+
+    let regions = ctx.walk_named(module, "memref_stream.streaming_region");
+    // The fill fused into the convolution, so a single region remains.
+    assert_eq!(regions.len(), 1, "fused fill leaves one region");
+    // The conv streaming region is nested inside an scf.for (the row
+    // loop), and carries offset operands for the row-dependent bases.
+    let conv_region = regions[0];
+    let parent = ctx.parent_op(conv_region).unwrap();
+    assert_eq!(ctx.op(parent).name, "scf.for");
+    let r = mlb_dialects::memref_stream::StreamingRegionOp(conv_region);
+    assert!(r.offsets(&ctx).is_some(), "row offset operands expected");
+    assert_eq!(r.num_streams(&ctx), 3); // image in, weights in, out
+}

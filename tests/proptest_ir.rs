@@ -1,0 +1,137 @@
+//! Property tests for the IR infrastructure: the generic textual form
+//! round-trips (print → parse → print is a fixpoint), and structural
+//! invariants survive random construction.
+
+use mlb_ir::{
+    parse_module, print_op, Attribute, Context, OpSpec, Type,
+};
+use proptest::prelude::*;
+
+/// A recipe for one random straight-line operation.
+#[derive(Debug, Clone)]
+struct OpRecipe {
+    /// Selects among a few op shapes.
+    shape: u8,
+    /// Operand picks (indices into already-defined values, modulo).
+    picks: [usize; 3],
+    /// An integer attribute payload.
+    payload: i64,
+}
+
+fn recipe() -> impl Strategy<Value = OpRecipe> {
+    (0u8..5, [any::<usize>(), any::<usize>(), any::<usize>()], -1000i64..1000)
+        .prop_map(|(shape, picks, payload)| OpRecipe { shape, picks, payload })
+}
+
+/// Builds a random (but valid) module from recipes.
+fn build_module(recipes: &[OpRecipe]) -> (Context, mlb_ir::OpId) {
+    let mut ctx = Context::new();
+    let module = ctx.create_detached_op(OpSpec::new("builtin.module").regions(1));
+    let top = ctx.create_block(ctx.op(module).regions[0], vec![]);
+    let func = ctx.append_op(
+        top,
+        OpSpec::new("func.func")
+            .attr("sym_name", Attribute::Symbol("random".into()))
+            .regions(1),
+    );
+    let entry =
+        ctx.create_block(ctx.op(func).regions[0], vec![Type::F64, Type::Index, Type::F32]);
+    let mut f64s: Vec<mlb_ir::ValueId> = vec![ctx.block_args(entry)[0]];
+    let mut idxs: Vec<mlb_ir::ValueId> = vec![ctx.block_args(entry)[1]];
+    for r in recipes {
+        match r.shape {
+            0 => {
+                let op = ctx.append_op(
+                    entry,
+                    OpSpec::new("arith.constant")
+                        .attr("value", Attribute::Float(r.payload as f64))
+                        .results(vec![Type::F64]),
+                );
+                f64s.push(ctx.op(op).results[0]);
+            }
+            1 => {
+                let a = f64s[r.picks[0] % f64s.len()];
+                let b = f64s[r.picks[1] % f64s.len()];
+                let op = ctx.append_op(
+                    entry,
+                    OpSpec::new("arith.addf").operands(vec![a, b]).results(vec![Type::F64]),
+                );
+                f64s.push(ctx.op(op).results[0]);
+            }
+            2 => {
+                let a = idxs[r.picks[0] % idxs.len()];
+                let b = idxs[r.picks[1] % idxs.len()];
+                let op = ctx.append_op(
+                    entry,
+                    OpSpec::new("arith.muli")
+                        .operands(vec![a, b])
+                        .attr("tag", Attribute::Int(r.payload))
+                        .results(vec![Type::Index]),
+                );
+                idxs.push(ctx.op(op).results[0]);
+            }
+            3 => {
+                let op = ctx.append_op(
+                    entry,
+                    OpSpec::new("arith.constant")
+                        .attr("value", Attribute::Int(r.payload))
+                        .results(vec![Type::Index]),
+                );
+                idxs.push(ctx.op(op).results[0]);
+            }
+            _ => {
+                let a = f64s[r.picks[0] % f64s.len()];
+                ctx.append_op(
+                    entry,
+                    OpSpec::new("test.sink")
+                        .operands(vec![a])
+                        .attr("label", Attribute::Str(format!("s{}", r.payload))),
+                );
+            }
+        }
+    }
+    ctx.append_op(entry, OpSpec::new("func.return"));
+    (ctx, module)
+}
+
+proptest! {
+    /// print → parse → print is a fixpoint, and parsing preserves the
+    /// operation count and structure.
+    #[test]
+    fn print_parse_roundtrip(recipes in prop::collection::vec(recipe(), 0..40)) {
+        let (ctx, module) = build_module(&recipes);
+        let once = print_op(&ctx, module);
+
+        let mut ctx2 = Context::new();
+        let reparsed = parse_module(&mut ctx2, &once)
+            .unwrap_or_else(|e| panic!("reparse failed: {e}\n{once}"));
+        let twice = print_op(&ctx2, reparsed);
+        prop_assert_eq!(&once, &twice);
+
+        prop_assert_eq!(ctx.walk(module).len(), ctx2.walk(reparsed).len());
+        prop_assert!(ctx2.verify_structure(reparsed).is_ok());
+    }
+
+    /// Erasing any single (unused-result) operation keeps the module
+    /// structurally valid.
+    #[test]
+    fn erase_keeps_structure(
+        recipes in prop::collection::vec(recipe(), 1..30),
+        victim in any::<usize>(),
+    ) {
+        let (mut ctx, module) = build_module(&recipes);
+        let ops = ctx.walk(module);
+        let victim = ops[victim % ops.len()];
+        // Only erase ops whose results are unused (as DCE would).
+        let erasable = ctx
+            .op(victim)
+            .results
+            .clone()
+            .iter()
+            .all(|&r| !ctx.has_uses(r));
+        if erasable && ctx.op(victim).regions.is_empty() {
+            ctx.erase_op(victim);
+            prop_assert!(ctx.verify_structure(module).is_ok());
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! End-to-end property tests: random kernel shapes compiled through the
+//! full pipeline (and the baselines) must verify bit-exactly against the
+//! host reference on the simulator — the harness already performs the
+//! comparison, so any divergence fails the property.
+
+use mlb_core::{Flow, PipelineOptions};
+use mlb_kernels::{compile_and_run, Instance, Kind, Precision, Shape};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn sum_any_shape_full_pipeline(n in 1i64..6, m in 1i64..20, seed in any::<u64>()) {
+        let instance = Instance::new(Kind::Sum, Shape::nm(n, m), Precision::F64);
+        compile_and_run(&instance, Flow::Ours(PipelineOptions::full()), seed)
+            .unwrap_or_else(|e| panic!("{instance}: {e}"));
+    }
+
+    #[test]
+    fn matmul_any_shape_full_pipeline(
+        n in 1i64..4,
+        m in 1i64..10,
+        k in 1i64..24,
+        seed in any::<u64>(),
+    ) {
+        let instance = Instance::new(Kind::MatMul, Shape::nmk(n, m, k), Precision::F64);
+        compile_and_run(&instance, Flow::Ours(PipelineOptions::full()), seed)
+            .unwrap_or_else(|e| panic!("{instance}: {e}"));
+    }
+
+    #[test]
+    fn conv_any_shape_full_pipeline(n in 1i64..5, m in 1i64..10, seed in any::<u64>()) {
+        let instance = Instance::new(Kind::Conv3x3, Shape::nm(n, m), Precision::F64);
+        compile_and_run(&instance, Flow::Ours(PipelineOptions::full()), seed)
+            .unwrap_or_else(|e| panic!("{instance}: {e}"));
+    }
+
+    #[test]
+    fn maxpool_any_shape_any_rung(
+        n in 1i64..5,
+        m in 1i64..8,
+        rung in 0usize..6,
+        seed in any::<u64>(),
+    ) {
+        let instance = Instance::new(Kind::MaxPool3x3, Shape::nm(n, m), Precision::F64);
+        let (label, opts) = PipelineOptions::ablation_ladder()[rung];
+        compile_and_run(&instance, Flow::Ours(opts), seed)
+            .unwrap_or_else(|e| panic!("{instance} at rung `{label}`: {e}"));
+    }
+
+    #[test]
+    fn relu_f32_any_shape(n in 1i64..6, m in 1i64..16, seed in any::<u64>()) {
+        let instance = Instance::new(Kind::Relu, Shape::nm(n, m), Precision::F32);
+        compile_and_run(&instance, Flow::Ours(PipelineOptions::full()), seed)
+            .unwrap_or_else(|e| panic!("{instance}: {e}"));
+    }
+}

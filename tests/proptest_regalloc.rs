@@ -1,0 +1,122 @@
+//! Property tests for the spill-free register allocator: on random
+//! straight-line programs (and simple loops), no two simultaneously-live
+//! values ever share a register.
+
+use mlb_core::regalloc::allocate_function;
+use mlb_ir::{Context, OpSpec, Type, ValueId};
+use mlb_riscv::{rv, rv_func};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct Step {
+    kind: u8,
+    picks: [usize; 3],
+}
+
+fn step() -> impl Strategy<Value = Step> {
+    (0u8..4, [any::<usize>(), any::<usize>(), any::<usize>()])
+        .prop_map(|(kind, picks)| Step { kind, picks })
+}
+
+/// Live range of every FP value in a single block: definition index to
+/// last-use index.
+fn fp_live_ranges(ctx: &Context, block: mlb_ir::BlockId) -> Vec<(ValueId, usize, usize)> {
+    let ops = ctx.block_ops(block);
+    let mut ranges: Vec<(ValueId, usize, usize)> = Vec::new();
+    for (i, &op) in ops.iter().enumerate() {
+        for &r in &ctx.op(op).results {
+            if matches!(ctx.value_type(r), Type::FpRegister(_)) {
+                ranges.push((r, i, i));
+            }
+        }
+        for &o in &ctx.op(op).operands {
+            if let Some(entry) = ranges.iter_mut().find(|(v, _, _)| *v == o) {
+                entry.2 = i;
+            }
+        }
+    }
+    ranges
+}
+
+proptest! {
+    /// After allocation, FP values with overlapping live ranges carry
+    /// distinct physical registers (the central allocator invariant).
+    #[test]
+    fn no_live_overlap_shares_a_register(steps in prop::collection::vec(step(), 1..40)) {
+        let mut ctx = Context::new();
+        let module = ctx.create_detached_op(OpSpec::new("builtin.module").regions(1));
+        let top = ctx.create_block(ctx.op(module).regions[0], vec![]);
+        let (func, entry) =
+            rv_func::build_func(&mut ctx, top, "f", &[rv_func::AbiArg::Int]);
+        let base = ctx.block_args(entry)[0];
+        let seed = rv::fp_load(&mut ctx, entry, rv::FLD, base, 0);
+        let mut values = vec![seed];
+        for s in &steps {
+            let a = values[s.picks[0] % values.len()];
+            let b = values[s.picks[1] % values.len()];
+            let v = match s.kind {
+                0 => rv::fp_binary(&mut ctx, entry, rv::FADD_D, a, b),
+                1 => rv::fp_binary(&mut ctx, entry, rv::FMUL_D, a, b),
+                2 => {
+                    let c = values[s.picks[2] % values.len()];
+                    rv::fp_ternary(&mut ctx, entry, rv::FMADD_D, a, b, c)
+                }
+                _ => rv::fp_load(&mut ctx, entry, rv::FLD, base, (s.picks[2] % 64) as i64 * 8),
+            };
+            values.push(v);
+        }
+        // Keep the last value alive to the end.
+        let last = *values.last().unwrap();
+        rv::fp_store(&mut ctx, entry, rv::FSD, last, base, 0);
+        rv_func::build_ret(&mut ctx, entry);
+
+        match allocate_function(&mut ctx, func) {
+            Ok(_) => {}
+            // Exhaustion is allowed (spill-free allocators refuse); the
+            // invariant only concerns successful allocations.
+            Err(_) => return Ok(()),
+        }
+
+        let ranges = fp_live_ranges(&ctx, entry);
+        for (i, &(v1, d1, u1)) in ranges.iter().enumerate() {
+            for &(v2, d2, u2) in &ranges[i + 1..] {
+                // Overlap in the open interior: a def at another value's
+                // last use is fine (read happens before write).
+                let overlap = d1 < u2 && d2 < u1;
+                if overlap {
+                    prop_assert_ne!(
+                        ctx.value_type(v1),
+                        ctx.value_type(v2),
+                        "values with overlapping ranges ({},{}) vs ({},{}) share a register",
+                        d1, u1, d2, u2
+                    );
+                }
+            }
+        }
+    }
+
+    /// Allocation is deterministic: equal inputs give equal assignments.
+    #[test]
+    fn allocation_is_deterministic(steps in prop::collection::vec(step(), 1..20)) {
+        let build = |steps: &[Step]| {
+            let mut ctx = Context::new();
+            let module = ctx.create_detached_op(OpSpec::new("builtin.module").regions(1));
+            let top = ctx.create_block(ctx.op(module).regions[0], vec![]);
+            let (func, entry) =
+                rv_func::build_func(&mut ctx, top, "f", &[rv_func::AbiArg::Int]);
+            let base = ctx.block_args(entry)[0];
+            let mut values = vec![rv::fp_load(&mut ctx, entry, rv::FLD, base, 0)];
+            for s in steps {
+                let a = values[s.picks[0] % values.len()];
+                let b = values[s.picks[1] % values.len()];
+                values.push(rv::fp_binary(&mut ctx, entry, rv::FADD_D, a, b));
+            }
+            let last = *values.last().unwrap();
+            rv::fp_store(&mut ctx, entry, rv::FSD, last, base, 0);
+            rv_func::build_ret(&mut ctx, entry);
+            let stats = allocate_function(&mut ctx, func).unwrap();
+            (stats.fp_used, stats.int_used)
+        };
+        prop_assert_eq!(build(&steps), build(&steps));
+    }
+}

@@ -1,0 +1,172 @@
+//! Timing-model tests for the Snitch simulator: the microarchitectural
+//! effects the paper's evaluation depends on must be visible in the
+//! cycle counts (Section 2.4 / 4.1).
+
+use mlb_isa::TCDM_BASE;
+use mlb_sim::{assemble, Machine};
+
+fn cycles(src: &str) -> u64 {
+    let program = assemble(src).unwrap();
+    let mut machine = Machine::new();
+    machine.write_f64_slice(TCDM_BASE, &[1.0; 64]);
+    machine.call(&program, "f", &[TCDM_BASE]).unwrap().cycles
+}
+
+/// A dependent FP chain pays the 3-stage pipeline latency per link; an
+/// independent sequence issues one per cycle.
+#[test]
+fn fpu_raw_stalls_cost_three_cycles() {
+    let dependent = "\
+f:
+    fld ft3, (a0)
+    fadd.d ft3, ft3, ft3
+    fadd.d ft3, ft3, ft3
+    fadd.d ft3, ft3, ft3
+    fadd.d ft3, ft3, ft3
+    ret
+";
+    let independent = "\
+f:
+    fld ft3, (a0)
+    fadd.d ft4, ft3, ft3
+    fadd.d ft5, ft3, ft3
+    fadd.d ft6, ft3, ft3
+    fadd.d ft7, ft3, ft3
+    ret
+";
+    let dep = cycles(dependent);
+    let ind = cycles(independent);
+    assert!(dep >= ind + 2 * 3, "dependent {dep} vs independent {ind}");
+}
+
+/// Under FREP the integer core runs ahead of the FPU (pseudo-dual
+/// issue): integer work after `frep.o` is free.
+#[test]
+fn frep_overlaps_integer_work() {
+    let with_int_work = "\
+f:
+    li t0, 49
+    frep.o t0, 1, 0, 0
+    fadd.d ft4, ft3, ft3
+    li t1, 1
+    li t2, 2
+    li t3, 3
+    li t4, 4
+    li t5, 5
+    ret
+";
+    let without = "\
+f:
+    li t0, 49
+    frep.o t0, 1, 0, 0
+    fadd.d ft4, ft3, ft3
+    ret
+";
+    let a = cycles(with_int_work);
+    let b = cycles(without);
+    assert!(a <= b + 1, "integer work under frep must be hidden: {a} vs {b}");
+}
+
+/// The same work dispatched by the integer core (no frep) is bounded by
+/// the core's single-issue rate once other instructions compete.
+#[test]
+fn scalar_dispatch_is_single_issue() {
+    // Alternating integer + FP work: each pair costs at least 2 issue
+    // slots, so 20 pairs cannot finish in fewer than 40 cycles.
+    let mut src = String::from("f:\n");
+    for i in 0..20 {
+        src.push_str(&format!("    addi t1, t1, {i}\n"));
+        src.push_str("    fadd.d ft4, ft3, ft3\n");
+    }
+    src.push_str("    ret\n");
+    assert!(cycles(&src) >= 40);
+}
+
+/// The unpipelined divider blocks the FPU for its full occupancy.
+#[test]
+fn fdiv_occupies_the_fpu() {
+    let divs = "\
+f:
+    fld ft3, (a0)
+    fdiv.d ft4, ft3, ft3
+    fdiv.d ft5, ft3, ft3
+    ret
+";
+    let adds = "\
+f:
+    fld ft3, (a0)
+    fadd.d ft4, ft3, ft3
+    fadd.d ft5, ft3, ft3
+    ret
+";
+    assert!(cycles(divs) >= cycles(adds) + 15);
+}
+
+/// Taken branches pay a redirect penalty: a counted loop of N iterations
+/// costs at least N * (body + penalty).
+#[test]
+fn taken_branches_pay_a_penalty() {
+    let src = "\
+f:
+    li t0, 0
+    li t1, 100
+loop:
+    addi t0, t0, 1
+    blt t0, t1, loop
+    ret
+";
+    // 100 iterations x (2 instructions + 2 penalty) is the floor.
+    assert!(cycles(src) >= 100 * 4 - 8);
+}
+
+/// Disabling SSRs restores plain register semantics for ft0-ft2.
+#[test]
+fn ssr_disable_restores_register_reads() {
+    let src = format!(
+        "\
+f:
+    li t1, 0
+    scfgwi t1, {b0}
+    li t1, 8
+    scfgwi t1, {s0}
+    li t1, {base}
+    scfgwi t1, {rptr}
+    csrrsi zero, 0x7c0, 1
+    fadd.d ft3, ft0, ft4
+    csrrci zero, 0x7c0, 1
+    fadd.d ft5, ft0, ft0
+    fsd ft5, 32(a0)
+    ret
+",
+        b0 = mlb_isa::SsrCfgReg::Bound(0).scfg_imm(mlb_isa::SsrDataMover::new(0)),
+        s0 = mlb_isa::SsrCfgReg::Stride(0).scfg_imm(mlb_isa::SsrDataMover::new(0)),
+        rptr = mlb_isa::SsrCfgReg::RPtr(0).scfg_imm(mlb_isa::SsrDataMover::new(0)),
+        base = TCDM_BASE,
+    );
+    let program = assemble(&src).unwrap();
+    let mut machine = Machine::new();
+    machine.write_f64_slice(TCDM_BASE, &[7.0; 8]);
+    // Preload ft0's architectural value: after disable it must be read
+    // as a plain register again (the stream pop wrote nothing to it).
+    machine.set_f_bits(mlb_isa::FpReg::ft(0), 2.5f64.to_bits());
+    machine.call(&program, "f", &[TCDM_BASE]).unwrap();
+    assert_eq!(machine.read_f64_slice(TCDM_BASE + 32, 1), vec![5.0]);
+}
+
+/// Cycle counts are exactly reproducible (bare-metal determinism).
+#[test]
+fn timing_is_deterministic() {
+    let src = "\
+f:
+    li t0, 9
+    fld ft3, (a0)
+    frep.o t0, 1, 0, 0
+    fmul.d ft3, ft3, ft3
+    fsd ft3, 8(a0)
+    ret
+";
+    let a = cycles(src);
+    for _ in 0..5 {
+        assert_eq!(cycles(src), a);
+    }
+}
