@@ -47,8 +47,7 @@ fn main() {
         };
         let instance = Instance::new(kind, shape, Precision::F64);
         for optimize in [true, false] {
-            let opts =
-                PipelineOptions { stream_pattern_opts: optimize, ..PipelineOptions::full() };
+            let opts = PipelineOptions { stream_pattern_opts: optimize, ..PipelineOptions::full() };
             let outcome = run(&instance, Flow::Ours(opts));
             rows.push(vec![
                 instance.to_string(),

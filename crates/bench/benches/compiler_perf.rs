@@ -43,11 +43,7 @@ fn bench_simulator(c: &mut Criterion) {
                 .call(
                     &program,
                     "matmul",
-                    &[
-                        mlb_isa::TCDM_BASE,
-                        mlb_isa::TCDM_BASE + 2048,
-                        mlb_isa::TCDM_BASE + 16384,
-                    ],
+                    &[mlb_isa::TCDM_BASE, mlb_isa::TCDM_BASE + 2048, mlb_isa::TCDM_BASE + 16384],
                 )
                 .unwrap()
         })

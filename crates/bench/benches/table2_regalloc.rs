@@ -37,7 +37,12 @@ fn main() {
         rows.push(vec![
             kind.to_string(),
             precision.bits().to_string(),
-            format!("{}x{}{}", shape.n, shape.m, if shape.k > 0 { format!("x{}", shape.k) } else { String::new() }),
+            format!(
+                "{}x{}{}",
+                shape.n,
+                shape.m,
+                if shape.k > 0 { format!("x{}", shape.k) } else { String::new() }
+            ),
             format!("{}/20", stats.num_fp()),
             format!("{}/15", stats.num_int()),
             "no".to_string(),

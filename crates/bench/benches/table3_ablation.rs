@@ -17,8 +17,7 @@ fn main() {
         let (_, stats) = &outcome.compilation.functions[0];
         // Static frep instructions in the emitted assembly (the paper
         // counts assembly operations; loads/stores/fmadd are dynamic).
-        let static_frep =
-            outcome.compilation.assembly.matches("frep.o").count();
+        let static_frep = outcome.compilation.assembly.matches("frep.o").count();
         rows.push(vec![
             label.to_string(),
             format!("{}/20", stats.num_fp()),

@@ -15,5 +15,7 @@ pub mod passes;
 pub mod pipeline;
 pub mod regalloc;
 
-pub use pipeline::{compile, full_registry, Compilation, Flow, PipelineOptions};
+pub use pipeline::{
+    compile, compile_with_observer, full_registry, Compilation, Flow, PipelineOptions,
+};
 pub use regalloc::{allocate_function, RegAllocError, RegStats};

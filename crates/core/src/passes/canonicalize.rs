@@ -236,7 +236,8 @@ mod tests {
         let mut ctx = Context::new();
         let r = registry();
         let (m, top) = builtin::build_module(&mut ctx);
-        let (_f, entry) = func::build_func(&mut ctx, top, "f", vec![Type::Index], vec![Type::Index]);
+        let (_f, entry) =
+            func::build_func(&mut ctx, top, "f", vec![Type::Index], vec![Type::Index]);
         let x = ctx.block_args(entry)[0];
         let zero = arith::constant_index(&mut ctx, entry, 0);
         let one = arith::constant_index(&mut ctx, entry, 1);

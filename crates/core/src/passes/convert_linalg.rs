@@ -4,9 +4,7 @@
 //! pipeline.
 
 use mlb_dialects::{linalg, memref_stream, structured};
-use mlb_ir::{
-    AffineMap, Attribute, Context, DialectRegistry, IteratorType, OpId, Pass, PassError,
-};
+use mlb_ir::{AffineMap, Attribute, Context, DialectRegistry, IteratorType, OpId, Pass, PassError};
 
 /// The pass object.
 #[derive(Debug, Default)]
@@ -49,10 +47,7 @@ fn convert_fill(ctx: &mut Context, op: OpId) -> Result<(), PassError> {
             structured::INDEXING_MAPS,
             Attribute::Array(vec![Attribute::Map(AffineMap::identity(rank))]),
         )
-        .attr(
-            structured::ITERATOR_TYPES,
-            Attribute::Iterators(vec![IteratorType::Parallel; rank]),
-        )
+        .attr(structured::ITERATOR_TYPES, Attribute::Iterators(vec![IteratorType::Parallel; rank]))
         .attr(structured::NUM_INPUTS, Attribute::Int(0))
         .attr(structured::BOUNDS, Attribute::DenseI64(shape))
         .regions(1);
@@ -91,12 +86,8 @@ fn convert_generic(ctx: &mut Context, op: OpId, pass: &str) -> Result<(), PassEr
     ctx.clone_block_ops(old_body, new_body, &mut map, true);
     // Replace the linalg.yield terminator with the memref_stream one.
     let old_yield = ctx.terminator(old_body);
-    let yields: Vec<mlb_ir::ValueId> = ctx
-        .op(old_yield)
-        .operands
-        .iter()
-        .map(|v| *map.get(v).unwrap_or(v))
-        .collect();
+    let yields: Vec<mlb_ir::ValueId> =
+        ctx.op(old_yield).operands.iter().map(|v| *map.get(v).unwrap_or(v)).collect();
     ctx.append_op(new_body, mlb_ir::OpSpec::new(memref_stream::YIELD).operands(yields));
     ctx.erase_op(op);
     Ok(())

@@ -92,7 +92,12 @@ impl Converter {
         self.map.get(&v).copied().ok_or_else(|| "use of unconverted value".to_string())
     }
 
-    fn convert_block(&mut self, ctx: &mut Context, old: BlockId, new: BlockId) -> Result<(), String> {
+    fn convert_block(
+        &mut self,
+        ctx: &mut Context,
+        old: BlockId,
+        new: BlockId,
+    ) -> Result<(), String> {
         for op in ctx.block_ops(old).to_vec() {
             self.convert_op(ctx, op, new)?;
         }
@@ -320,9 +325,8 @@ impl Converter {
         let yields = ctx
             .op(yield_op)
             .operands
-            .to_vec()
-            .into_iter()
-            .map(|v| self.get(v))
+            .iter()
+            .map(|&v| self.get(v))
             .collect::<Result<Vec<_>, _>>()?;
         ctx.append_op(new_body, mlb_ir::OpSpec::new(rv_scf::YIELD).operands(yields));
         for (i, &r) in ctx.op(op).results.to_vec().iter().enumerate() {
@@ -462,8 +466,7 @@ pub fn hardware_pattern_with(
     let mem_strides = memref_ty.element_strides();
     // Constant term of the map: the byte offset of iteration (0, .., 0).
     let at_zero = pattern.index_map.eval(&vec![0; pattern.ub.len()], &[]);
-    let base_offset: i64 =
-        at_zero.iter().zip(&mem_strides).map(|(i, s)| i * s).sum::<i64>() * esz;
+    let base_offset: i64 = at_zero.iter().zip(&mem_strides).map(|(i, s)| i * s).sum::<i64>() * esz;
     let n = pattern.ub.len();
     // Innermost-first logical (ub, byte stride) pairs.
     let mut dims: Vec<(i64, i64)> = (0..n)
@@ -512,6 +515,29 @@ pub fn hardware_pattern_with(
     }
     let (ub, strides): (Vec<i64>, Vec<i64>) = dims.into_iter().unzip();
     Ok((StreamPattern::from_logical(ub, strides, repeat - 1), base_offset))
+}
+
+/// Whether `c` fits a 12-bit signed RISC-V immediate.
+fn in_imm12(c: i64) -> bool {
+    (-2048..2048).contains(&c)
+}
+
+/// `x * c` for a positive constant, as one shift per set bit combined
+/// with adds.
+fn shift_add_multiply(ctx: &mut Context, block: BlockId, x: ValueId, c: i64) -> ValueId {
+    debug_assert!(c > 0);
+    let mut acc: Option<ValueId> = None;
+    for bit in 0..63 {
+        if c & (1 << bit) == 0 {
+            continue;
+        }
+        let term = if bit == 0 { x } else { rv::int_imm(ctx, block, rv::SLLI, x, bit) };
+        acc = Some(match acc {
+            None => term,
+            Some(a) => rv::int_binary(ctx, block, rv::ADD, a, term),
+        });
+    }
+    acc.expect("at least one bit set")
 }
 
 #[cfg(test)]
@@ -568,10 +594,7 @@ mod tests {
             0,
             vec![
                 AffineExpr::dim(1), // kh
-                AffineExpr::dim(0)
-                    .mul_const(4)
-                    .add(AffineExpr::dim(3))
-                    .add(AffineExpr::dim(2)),
+                AffineExpr::dim(0).mul_const(4).add(AffineExpr::dim(3)).add(AffineExpr::dim(2)),
             ],
         );
         let p = StridePattern::new(vec![1, 3, 3, 4], map);
@@ -615,32 +638,4 @@ mod tests {
         assert!(hardware_pattern(&p, &m).is_ok());
         assert!(hardware_pattern(&p2, &m).is_err());
     }
-}
-
-/// Whether `c` fits a 12-bit signed RISC-V immediate.
-fn in_imm12(c: i64) -> bool {
-    (-2048..2048).contains(&c)
-}
-
-/// `x * c` for a positive constant, as one shift per set bit combined
-/// with adds.
-fn shift_add_multiply(
-    ctx: &mut Context,
-    block: BlockId,
-    x: ValueId,
-    c: i64,
-) -> ValueId {
-    debug_assert!(c > 0);
-    let mut acc: Option<ValueId> = None;
-    for bit in 0..63 {
-        if c & (1 << bit) == 0 {
-            continue;
-        }
-        let term = if bit == 0 { x } else { rv::int_imm(ctx, block, rv::SLLI, x, bit) };
-        acc = Some(match acc {
-            None => term,
-            Some(a) => rv::int_binary(ctx, block, rv::ADD, a, term),
-        });
-    }
-    acc.expect("at least one bit set")
 }

@@ -67,11 +67,7 @@ fn try_fuse(ctx: &mut Context, consumer: OpId) {
         return;
     }
     // Only reductions benefit; the init seeds the accumulators.
-    let has_reduction = s
-        .generic()
-        .iterator_types(ctx)
-        .iter()
-        .any(|&it| it == IteratorType::Reduction);
+    let has_reduction = s.generic().iterator_types(ctx).contains(&IteratorType::Reduction);
     if !has_reduction {
         return;
     }
@@ -97,9 +93,7 @@ fn try_fuse(ctx: &mut Context, consumer: OpId) {
 
     // Fuse: append the init operand and erase the fill.
     ctx.op_mut(consumer).operands.push(value);
-    ctx.op_mut(consumer)
-        .attrs
-        .insert(memref_stream::NUM_INITS.to_string(), Attribute::Int(1));
+    ctx.op_mut(consumer).attrs.insert(memref_stream::NUM_INITS.to_string(), Attribute::Int(1));
     ctx.erase_op(prev);
 }
 

@@ -47,8 +47,7 @@ impl Pass for RvLoopOptimize {
                 continue;
             }
             let body = rv_scf::RvForOp(op).body(ctx);
-            let innermost =
-                ctx.block_ops(body).iter().all(|&o| ctx.op(o).name != rv_scf::FOR);
+            let innermost = ctx.block_ops(body).iter().all(|&o| ctx.op(o).name != rv_scf::FOR);
             if innermost {
                 strength_reduce(ctx, op);
             }
@@ -99,11 +98,7 @@ fn local_cse(ctx: &mut Context, block: mlb_ir::BlockId) {
         if ctx.value_type(result).is_allocated_register() {
             continue;
         }
-        let key = (
-            name,
-            ctx.op(op).operands.clone(),
-            format!("{:?}", ctx.op(op).attrs),
-        );
+        let key = (name, ctx.op(op).operands.clone(), format!("{:?}", ctx.op(op).attrs));
         match seen.get(&key) {
             Some(&canonical) => {
                 ctx.replace_all_uses(result, canonical);
@@ -156,12 +151,7 @@ fn hoist_invariants(ctx: &mut Context, loop_op: OpId) {
             if !hoistable {
                 continue;
             }
-            let invariant = ctx
-                .op(op)
-                .operands
-                .to_vec()
-                .into_iter()
-                .all(|v| defined_outside(ctx, loop_op, v));
+            let invariant = ctx.op(op).operands.iter().all(|&v| defined_outside(ctx, loop_op, v));
             if invariant {
                 ctx.move_op_before(op, loop_op);
                 changed = true;

@@ -156,7 +156,8 @@ mod tests {
     #[test]
     fn region_expands_to_config_sequence() {
         let (mut ctx, r, m, top) = setup();
-        let (_f, entry) = rv_func::build_func(&mut ctx, top, "k", &[rv_func::AbiArg::Int, rv_func::AbiArg::Int]);
+        let (_f, entry) =
+            rv_func::build_func(&mut ctx, top, "k", &[rv_func::AbiArg::Int, rv_func::AbiArg::Int]);
         let x = ctx.block_args(entry)[0];
         let z = ctx.block_args(entry)[1];
         let read = StreamPattern::new(vec![16], vec![8], 0);
@@ -238,7 +239,14 @@ mod tests {
         let (_f, entry) = rv_func::build_func(&mut ctx, top, "k", &[]);
         let base = rv::get_register(&mut ctx, entry, Type::IntRegister(Some(IntReg::a(0))));
         let p = StreamPattern::new(vec![4], vec![8], 0);
-        snitch_stream::build_streaming_region(&mut ctx, entry, vec![base], vec![], vec![p], |_, _, _| {});
+        snitch_stream::build_streaming_region(
+            &mut ctx,
+            entry,
+            vec![base],
+            vec![],
+            vec![p],
+            |_, _, _| {},
+        );
         rv_func::build_ret(&mut ctx, entry);
         LowerSnitchStream.run(&mut ctx, &r, m).unwrap();
         let arming = ctx

@@ -15,8 +15,8 @@ use std::collections::HashMap;
 
 use mlb_dialects::{arith, memref, memref_stream, scf};
 use mlb_ir::{
-    AffineExpr, AffineMap, Attribute, BlockId, Context, DialectRegistry, IteratorType, OpId,
-    Pass, PassError, StridePattern, Type, ValueId,
+    AffineExpr, AffineMap, Attribute, BlockId, Context, DialectRegistry, IteratorType, OpId, Pass,
+    PassError, StridePattern, Type, ValueId,
 };
 use mlb_isa::SSR_MAX_DIMS;
 
@@ -81,28 +81,24 @@ fn lower_generic(ctx: &mut Context, op: OpId, streams: bool) -> Result<(), Strin
     let factor = s.interleave_factor(ctx);
     let body_block = s.generic().body(ctx);
 
-    let inter_dims: Vec<usize> = (0..iterators.len())
-        .filter(|&d| iterators[d] == IteratorType::Interleaved)
-        .collect();
+    let inter_dims: Vec<usize> =
+        (0..iterators.len()).filter(|&d| iterators[d] == IteratorType::Interleaved).collect();
     if inter_dims.len() > 1 {
         return Err("at most one interleaved dimension is supported".to_string());
     }
     if maps.iter().any(|m| !m.is_linear()) {
         return Err(
-            "non-linear (floordiv/mod) access maps are not supported by the lowering"
-                .to_string(),
+            "non-linear (floordiv/mod) access maps are not supported by the lowering".to_string()
         );
     }
-    let loop_dims: Vec<usize> = (0..iterators.len())
-        .filter(|&d| iterators[d] != IteratorType::Interleaved)
-        .collect();
+    let loop_dims: Vec<usize> =
+        (0..iterators.len()).filter(|&d| iterators[d] != IteratorType::Interleaved).collect();
     let first_red = loop_dims
         .iter()
         .position(|&d| iterators[d] == IteratorType::Reduction)
         .unwrap_or(loop_dims.len());
     let has_red = first_red < loop_dims.len();
-    if has_red && !loop_dims[first_red..].iter().all(|&d| iterators[d] == IteratorType::Reduction)
-    {
+    if has_red && !loop_dims[first_red..].iter().all(|&d| iterators[d] == IteratorType::Reduction) {
         return Err("reduction dimensions must be innermost".to_string());
     }
 
@@ -281,8 +277,7 @@ fn hardware_rank(
     let mut st: Vec<i64> = Vec::new();
     for &d in dims.iter().rev() {
         let coeffs = plan.map.dim_coefficients(d);
-        let stride: i64 =
-            coeffs.iter().zip(&strides).map(|(c, s)| c * s).sum::<i64>() * elem_size;
+        let stride: i64 = coeffs.iter().zip(&strides).map(|(c, s)| c * s).sum::<i64>() * elem_size;
         ub.push(bounds[d]);
         st.push(stride);
     }
@@ -292,12 +287,8 @@ fn hardware_rank(
 /// Rank after dropping unit dims, folding innermost zero strides into the
 /// repeat counter and collapsing contiguous dims (Section 3.2).
 pub fn simplified_rank(ub: &[i64], strides: &[i64]) -> usize {
-    let mut dims: Vec<(i64, i64)> = ub
-        .iter()
-        .zip(strides)
-        .filter(|(&b, _)| b != 1)
-        .map(|(&b, &s)| (b, s))
-        .collect();
+    let mut dims: Vec<(i64, i64)> =
+        ub.iter().zip(strides).filter(|(&b, _)| b != 1).map(|(&b, &s)| (b, s)).collect();
     // Innermost zero strides become the repeat counter.
     while let Some(&(_, 0)) = dims.first() {
         dims.remove(0);
@@ -323,7 +314,7 @@ fn build_outer(
     cursor: &Cursor,
     block: BlockId,
     nest: &mut NestCtxAlias<'_>,
-    dim_values: &mut Vec<Option<ValueId>>,
+    dim_values: &mut [Option<ValueId>],
     level: usize,
 ) -> Result<(), String> {
     if level < nest.depth {
@@ -386,7 +377,7 @@ fn build_streaming_region(
     cursor: &Cursor,
     block: BlockId,
     nest: &mut NestCtxAlias<'_>,
-    dim_values: &mut Vec<Option<ValueId>>,
+    dim_values: &mut [Option<ValueId>],
 ) -> Result<(), String> {
     // Gather streamed memrefs, patterns, and offsets.
     let mut in_memrefs = Vec::new();
@@ -403,25 +394,19 @@ fn build_streaming_region(
                 .iter()
                 .copied()
                 .filter(|&d| {
-                    !(plan.is_output
-                        && nest.scalar
-                        && nest.iterators[d] == IteratorType::Reduction)
+                    !(plan.is_output && nest.scalar && nest.iterators[d] == IteratorType::Reduction)
                 })
                 .chain(nest.inter_dims.iter().copied())
                 .collect();
             // Pattern map: original map with outer dims zeroed and the
             // remaining dims renumbered.
-            let selector = AffineMap::new(
-                dims.len(),
-                0,
-                {
-                    let mut subs = vec![AffineExpr::Const(0); nest.iterators.len()];
-                    for (k, &d) in dims.iter().enumerate() {
-                        subs[d] = AffineExpr::Dim(k);
-                    }
-                    subs
-                },
-            );
+            let selector = AffineMap::new(dims.len(), 0, {
+                let mut subs = vec![AffineExpr::Const(0); nest.iterators.len()];
+                for (k, &d) in dims.iter().enumerate() {
+                    subs[d] = AffineExpr::Dim(k);
+                }
+                subs
+            });
             let map = plan.map.compose(&selector);
             let ub: Vec<i64> = dims.iter().map(|&d| nest.bounds[d]).collect();
             patterns.push(StridePattern::new(ub, map));
@@ -505,7 +490,7 @@ fn build_mid(
     cursor: &Cursor,
     block: BlockId,
     nest: &mut NestCtxAlias<'_>,
-    dim_values: &mut Vec<Option<ValueId>>,
+    dim_values: &mut [Option<ValueId>],
 ) -> Result<(), String> {
     build_mid_level(ctx, cursor, block, nest, dim_values, nest.depth)
 }
@@ -515,7 +500,7 @@ fn build_mid_level(
     cursor: &Cursor,
     block: BlockId,
     nest: &mut NestCtxAlias<'_>,
-    dim_values: &mut Vec<Option<ValueId>>,
+    dim_values: &mut [Option<ValueId>],
     level: usize,
 ) -> Result<(), String> {
     let stop = if nest.scalar && nest.has_red { nest.first_red } else { nest.loop_dims.len() };
@@ -549,7 +534,7 @@ fn build_reduction(
     cursor: &Cursor,
     block: BlockId,
     nest: &mut NestCtxAlias<'_>,
-    dim_values: &mut Vec<Option<ValueId>>,
+    dim_values: &mut [Option<ValueId>],
 ) -> Result<(), String> {
     // Initial accumulator values, one per (output, copy).
     let mut accs: Vec<ValueId> = Vec::new();
@@ -568,8 +553,7 @@ fn build_reduction(
             } else {
                 // Load the previous contents as the seed.
                 let plan = nest.plans[nest.num_inputs + o].clone();
-                let indices =
-                    point_indices(ctx, cursor, block, nest, &plan.map, dim_values, j);
+                let indices = point_indices(ctx, cursor, block, nest, &plan.map, dim_values, j);
                 emit_load(ctx, cursor, block, output, indices)
             };
             accs.push(init);
@@ -633,7 +617,7 @@ fn build_red_level(
     cursor: &Cursor,
     block: BlockId,
     nest: &mut NestCtxAlias<'_>,
-    dim_values: &mut Vec<Option<ValueId>>,
+    dim_values: &mut [Option<ValueId>],
     red_dims: &[usize],
     accs: Vec<ValueId>,
 ) -> Result<Vec<ValueId>, String> {
@@ -696,7 +680,7 @@ fn emit_point(
     cursor: &Cursor,
     block: BlockId,
     nest: &mut NestCtxAlias<'_>,
-    dim_values: &mut Vec<Option<ValueId>>,
+    dim_values: &mut [Option<ValueId>],
     iter_args: Option<&[ValueId]>,
 ) -> Result<(), String> {
     let f = nest.factor;
@@ -745,12 +729,8 @@ fn emit_point(
         ctx.clone_op_into(bop, block, &mut mapping);
     }
     let yield_op = ctx.terminator(nest.body_block);
-    let yielded: Vec<ValueId> = ctx
-        .op(yield_op)
-        .operands
-        .iter()
-        .map(|v| *mapping.get(v).unwrap_or(v))
-        .collect();
+    let yielded: Vec<ValueId> =
+        ctx.op(yield_op).operands.iter().map(|v| *mapping.get(v).unwrap_or(v)).collect();
 
     if iter_args.is_some() {
         set_pending(yielded);
@@ -805,10 +785,7 @@ fn emit_map_indices(
     dim_values: &[Option<ValueId>],
     zero: ValueId,
 ) -> Vec<ValueId> {
-    map.results
-        .iter()
-        .map(|e| emit_expr(ctx, cursor, block, e, dim_values, zero))
-        .collect()
+    map.results.iter().map(|e| emit_expr(ctx, cursor, block, e, dim_values, zero)).collect()
 }
 
 fn emit_expr(
@@ -848,11 +825,8 @@ fn emit_binary(
     b: ValueId,
     ty: Type,
 ) -> ValueId {
-    let op = cursor.insert(
-        ctx,
-        block,
-        mlb_ir::OpSpec::new(name).operands(vec![a, b]).results(vec![ty]),
-    );
+    let op =
+        cursor.insert(ctx, block, mlb_ir::OpSpec::new(name).operands(vec![a, b]).results(vec![ty]));
     ctx.op(op).results[0]
 }
 

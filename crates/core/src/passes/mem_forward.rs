@@ -171,12 +171,8 @@ mod tests {
         // store v0 -> [z]; x1 = load [z]; v1 = fmax(x1, w); store v1 -> [z]
         // becomes a pure register chain with one final store.
         let (mut ctx, r, m, top) = setup();
-        let (_f, entry) = rv_func::build_func(
-            &mut ctx,
-            top,
-            "f",
-            &[rv_func::AbiArg::Int, rv_func::AbiArg::Int],
-        );
+        let (_f, entry) =
+            rv_func::build_func(&mut ctx, top, "f", &[rv_func::AbiArg::Int, rv_func::AbiArg::Int]);
         let x = ctx.block_args(entry)[0];
         let z = ctx.block_args(entry)[1];
         let v0 = rv::fp_load(&mut ctx, entry, rv::FLD, x, 0);
@@ -199,12 +195,8 @@ mod tests {
     #[test]
     fn different_roots_do_not_interfere() {
         let (mut ctx, r, m, top) = setup();
-        let (_f, entry) = rv_func::build_func(
-            &mut ctx,
-            top,
-            "f",
-            &[rv_func::AbiArg::Int, rv_func::AbiArg::Int],
-        );
+        let (_f, entry) =
+            rv_func::build_func(&mut ctx, top, "f", &[rv_func::AbiArg::Int, rv_func::AbiArg::Int]);
         let a = ctx.block_args(entry)[0];
         let b = ctx.block_args(entry)[1];
         let v = rv::fp_load(&mut ctx, entry, rv::FLD, a, 0);
@@ -223,8 +215,7 @@ mod tests {
     #[test]
     fn same_root_unknown_offset_invalidates() {
         let (mut ctx, r, m, top) = setup();
-        let (_f, entry) =
-            rv_func::build_func(&mut ctx, top, "f", &[rv_func::AbiArg::Int]);
+        let (_f, entry) = rv_func::build_func(&mut ctx, top, "f", &[rv_func::AbiArg::Int]);
         let a = ctx.block_args(entry)[0];
         let p = rv::int_imm(&mut ctx, entry, rv::ADDI, a, 16);
         let v = rv::fp_load(&mut ctx, entry, rv::FLD, a, 0);

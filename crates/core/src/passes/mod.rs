@@ -3,13 +3,13 @@
 
 pub mod canonicalize;
 pub mod convert_linalg;
-pub mod dce;
 pub mod convert_to_rv;
+pub mod dce;
 pub mod fuse_fill;
 pub mod loop_opt;
 pub mod lower_streaming;
-pub mod mem_forward;
 pub mod lower_to_loops;
+pub mod mem_forward;
 pub mod peephole;
 pub mod rv_scf_to_cf;
 pub mod rv_scf_to_frep;

@@ -5,8 +5,7 @@
 //! enabled by the declarative instruction representation (Section 3.2).
 
 use mlb_ir::{
-    apply_patterns_greedily, Context, DialectRegistry, OpId, Pass, PassError, RewritePattern,
-    Type,
+    apply_patterns_greedily, Context, DialectRegistry, OpId, Pass, PassError, RewritePattern, Type,
 };
 use mlb_riscv::{rv, snitch_stream};
 

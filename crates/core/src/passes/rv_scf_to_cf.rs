@@ -39,9 +39,7 @@ impl Pass for RvScfToCf {
                     .flat_map(|b| ctx.block_ops(b).to_vec())
                     .find(|&o| ctx.op(o).name == rv_scf::FOR);
                 match candidate {
-                    Some(op) => {
-                        flatten(ctx, op).map_err(|m| PassError::new(self.name(), m))?
-                    }
+                    Some(op) => flatten(ctx, op).map_err(|m| PassError::new(self.name(), m))?,
                     None => break,
                 }
             }
@@ -97,9 +95,8 @@ fn flatten(ctx: &mut Context, op: OpId) -> Result<(), String> {
     for (&result, &arg) in results.iter().zip(&iter_args) {
         if ctx.has_uses(result) {
             let ty = ctx.value_type(arg).clone();
-            let pinned = ctx.create_detached_op(
-                mlb_ir::OpSpec::new(rv::GET_REGISTER).results(vec![ty]),
-            );
+            let pinned =
+                ctx.create_detached_op(mlb_ir::OpSpec::new(rv::GET_REGISTER).results(vec![ty]));
             // Insert at the top of the exit block.
             match ctx.block_ops(exit_block).first().copied() {
                 Some(first) => ctx.move_op_before(pinned, first),
@@ -113,9 +110,8 @@ fn flatten(ctx: &mut Context, op: OpId) -> Result<(), String> {
     // Countdown form: an unused induction variable with normalized
     // bounds counts down from the upper bound to zero, so the bound
     // register dies at loop entry (saving one live-through register).
-    let iv_dead = !ctx.has_uses(iv)
-        && li_value(ctx, lb) == Some(0)
-        && li_value(ctx, step) == Some(1);
+    let iv_dead =
+        !ctx.has_uses(iv) && li_value(ctx, lb) == Some(0) && li_value(ctx, step) == Some(1);
 
     // Pre-header: transfer any iteration value whose init was not
     // unified into the chain register (shared inits), then materialize
@@ -125,11 +121,8 @@ fn flatten(ctx: &mut Context, op: OpId) -> Result<(), String> {
         let init_ty = ctx.value_type(init).clone();
         let arg_ty = ctx.value_type(arg).clone();
         if init_ty != arg_ty {
-            let mv_name = if matches!(arg_ty, mlb_ir::Type::FpRegister(_)) {
-                rv::FMV_D
-            } else {
-                rv::MV
-            };
+            let mv_name =
+                if matches!(arg_ty, mlb_ir::Type::FpRegister(_)) { rv::FMV_D } else { rv::MV };
             ctx.append_op(
                 pre_block,
                 mlb_ir::OpSpec::new(mv_name).operands(vec![init]).results(vec![arg_ty]),
@@ -156,24 +149,26 @@ fn flatten(ctx: &mut Context, op: OpId) -> Result<(), String> {
                 ctx.op(mv).results[0]
             }
         }
-    } else { match li_value(ctx, lb) {
-        Some(c) => {
-            let li = ctx.append_op(
-                pre_block,
-                mlb_ir::OpSpec::new(rv::LI)
-                    .attr("imm", Attribute::Int(c))
-                    .results(vec![iv_ty.clone()]),
-            );
-            ctx.op(li).results[0]
+    } else {
+        match li_value(ctx, lb) {
+            Some(c) => {
+                let li = ctx.append_op(
+                    pre_block,
+                    mlb_ir::OpSpec::new(rv::LI)
+                        .attr("imm", Attribute::Int(c))
+                        .results(vec![iv_ty.clone()]),
+                );
+                ctx.op(li).results[0]
+            }
+            None => {
+                let mv = ctx.append_op(
+                    pre_block,
+                    mlb_ir::OpSpec::new(rv::MV).operands(vec![lb]).results(vec![iv_ty.clone()]),
+                );
+                ctx.op(mv).results[0]
+            }
         }
-        None => {
-            let mv = ctx.append_op(
-                pre_block,
-                mlb_ir::OpSpec::new(rv::MV).operands(vec![lb]).results(vec![iv_ty.clone()]),
-            );
-            ctx.op(mv).results[0]
-        }
-    } };
+    };
     // Trip guard unless the bounds are provably nonempty constants.
     let needs_guard = match (li_value(ctx, lb), li_value(ctx, ub)) {
         (Some(l), Some(u)) => l >= u,
@@ -192,7 +187,15 @@ fn flatten(ctx: &mut Context, op: OpId) -> Result<(), String> {
                     .results(vec![mlb_ir::Type::IntRegister(Some(mlb_isa::IntReg::ZERO))]),
             );
             let zero_v = ctx.op(zero_reg).results[0];
-            rv_cf::build_branch(ctx, pre_block, rv_cf::BGE, zero_v, iv_entry, exit_block, body_block);
+            rv_cf::build_branch(
+                ctx,
+                pre_block,
+                rv_cf::BGE,
+                zero_v,
+                iv_entry,
+                exit_block,
+                body_block,
+            );
         } else {
             rv_cf::build_j(ctx, pre_block, body_block);
         }
@@ -290,9 +293,10 @@ mod tests {
             ctx.op(o).results[0]
         };
         let init = rv::fp_binary(&mut ctx, entry, rv::FSUB_D, one, one);
-        let loop_op = rv_scf::build_for(&mut ctx, entry, lb, ub, step, vec![init], |ctx, body, _iv, args| {
-            vec![rv::fp_binary(ctx, body, rv::FADD_D, args[0], one)]
-        });
+        let loop_op =
+            rv_scf::build_for(&mut ctx, entry, lb, ub, step, vec![init], |ctx, body, _iv, args| {
+                vec![rv::fp_binary(ctx, body, rv::FADD_D, args[0], one)]
+            });
         let total = ctx.op(loop_op.0).results[0];
         rv::fp_store(&mut ctx, entry, rv::FSD, total, out, 0);
         rv_func::build_ret(&mut ctx, entry);
@@ -327,12 +331,19 @@ mod tests {
             ctx.op(o).results[0]
         };
         let init = rv::fp_binary(&mut ctx, entry, rv::FSUB_D, one, one);
-        let outer = rv_scf::build_for(&mut ctx, entry, lb, ub, step, vec![init], |ctx, body, _iv, args| {
-            let inner = rv_scf::build_for(ctx, body, lb, ub, step, vec![args[0]], |ctx, ib, _iv, iargs| {
-                vec![rv::fp_binary(ctx, ib, rv::FADD_D, iargs[0], one)]
+        let outer =
+            rv_scf::build_for(&mut ctx, entry, lb, ub, step, vec![init], |ctx, body, _iv, args| {
+                let inner = rv_scf::build_for(
+                    ctx,
+                    body,
+                    lb,
+                    ub,
+                    step,
+                    vec![args[0]],
+                    |ctx, ib, _iv, iargs| vec![rv::fp_binary(ctx, ib, rv::FADD_D, iargs[0], one)],
+                );
+                vec![ctx.op(inner.0).results[0]]
             });
-            vec![ctx.op(inner.0).results[0]]
-        });
         let total = ctx.op(outer.0).results[0];
         rv::fp_store(&mut ctx, entry, rv::FSD, total, out, 0);
         rv_func::build_ret(&mut ctx, entry);

@@ -54,15 +54,12 @@ pub fn is_scalar_replaced(ctx: &Context, op: OpId) -> bool {
 fn can_scalar_replace(ctx: &Context, op: OpId) -> bool {
     let s = memref_stream::StreamGenericOp(op);
     let iterators = s.generic().iterator_types(ctx);
-    if !iterators.iter().any(|&it| it == IteratorType::Reduction) {
+    if !iterators.contains(&IteratorType::Reduction) {
         return false;
     }
     // (iii) reductions contiguous and last among the loop dimensions.
-    let loop_iters: Vec<IteratorType> = iterators
-        .iter()
-        .copied()
-        .filter(|&it| it != IteratorType::Interleaved)
-        .collect();
+    let loop_iters: Vec<IteratorType> =
+        iterators.iter().copied().filter(|&it| it != IteratorType::Interleaved).collect();
     let first_red = loop_iters.iter().position(|&it| it == IteratorType::Reduction).unwrap();
     if !loop_iters[first_red..].iter().all(|&it| it == IteratorType::Reduction) {
         return false;

@@ -122,10 +122,7 @@ fn try_unroll(ctx: &mut Context, op: OpId, factor: i64) -> bool {
                 for &bop in &body_ops {
                     ctx.clone_op_into(bop, new_body, &mut map);
                 }
-                carried = old_yield_operands
-                    .iter()
-                    .map(|v| *map.get(v).unwrap_or(v))
-                    .collect();
+                carried = old_yield_operands.iter().map(|v| *map.get(v).unwrap_or(v)).collect();
             }
             carried
         },
@@ -177,11 +174,7 @@ mod tests {
         assert_eq!(loops.len(), 1);
         // 4 loads in the body now.
         let body = scf::ForOp(loops[0]).body(&ctx);
-        let loads = ctx
-            .block_ops(body)
-            .iter()
-            .filter(|&&o| ctx.op(o).name == memref::LOAD)
-            .count();
+        let loads = ctx.block_ops(body).iter().filter(|&&o| ctx.op(o).name == memref::LOAD).count();
         assert_eq!(loads, 4);
     }
 

@@ -79,8 +79,8 @@ fn apply(ctx: &mut Context, op: OpId, factor_override: Option<i64>) {
     let bounds = s.bounds(ctx);
     // Only reduction kernels suffer RAW stalls worth unrolling for, and
     // one interleaved dimension at a time is supported.
-    if !iterators.iter().any(|&it| it == IteratorType::Reduction)
-        || iterators.iter().any(|&it| it == IteratorType::Interleaved)
+    if !iterators.contains(&IteratorType::Reduction)
+        || iterators.contains(&IteratorType::Interleaved)
     {
         return;
     }
@@ -184,10 +184,8 @@ fn apply(ctx: &mut Context, op: OpId, factor_override: Option<i64>) {
     let num_operands = old_args.len(); // one per non-init operand before unrolling
     let f = factor as usize;
     // New args: for operand i, copies j=0..f at index i*f + j.
-    let arg_types: Vec<Type> = old_args
-        .iter()
-        .flat_map(|&a| std::iter::repeat_n(ctx.value_type(a).clone(), f))
-        .collect();
+    let arg_types: Vec<Type> =
+        old_args.iter().flat_map(|&a| std::iter::repeat_n(ctx.value_type(a).clone(), f)).collect();
     let new_body = ctx.create_block(ctx.op(new).regions[0], arg_types);
     let old_yield = ctx.terminator(old_body);
     let old_yield_operands = ctx.op(old_yield).operands.clone();

@@ -9,13 +9,15 @@
 //! loop compilation — both restricted to the base RISC-V ISA (no
 //! compiler targets the Snitch extensions, Section 4.1).
 
-use mlb_ir::{Context, DialectRegistry, OpId, Pass, PassError, PassManager};
+use mlb_ir::{
+    Context, DialectRegistry, NoopObserver, OpId, Pass, PassError, PassManager, PipelineObserver,
+};
 use mlb_riscv::rv_func;
 
 use crate::passes::canonicalize::Canonicalize;
-use crate::passes::dce::DeadCodeElimination;
 use crate::passes::convert_linalg::ConvertLinalgToMemrefStream;
 use crate::passes::convert_to_rv::ConvertToRv;
+use crate::passes::dce::DeadCodeElimination;
 use crate::passes::fuse_fill::MemrefStreamFuseFill;
 use crate::passes::lower_streaming::LowerSnitchStream;
 use crate::passes::lower_to_loops::ConvertMemrefStreamToLoops;
@@ -163,20 +165,42 @@ pub fn full_registry() -> DialectRegistry {
 ///
 /// Returns the failing pass and reason (verification failures included).
 pub fn compile(ctx: &mut Context, module: OpId, flow: Flow) -> Result<Compilation, PassError> {
+    compile_with_observer(ctx, module, flow, &mut NoopObserver)
+}
+
+/// [`compile`], reporting a [`mlb_ir::PassEvent`] per executed pass to
+/// `observer` (timing, op/block deltas, rewrite counters, optional IR
+/// snapshots) — the hook behind `mlbc --pass-timing` and
+/// `--print-ir-after-all`.
+///
+/// The Clang-like flow may retry without unrolling when register
+/// allocation fails; the observer then sees the abandoned attempt's
+/// events followed by the retry's (`PassEvent::index` restarts at 0).
+/// The control-flow lowering tail pipeline likewise restarts the index.
+///
+/// # Errors
+///
+/// Same conditions as [`compile`].
+pub fn compile_with_observer(
+    ctx: &mut Context,
+    module: OpId,
+    flow: Flow,
+    observer: &mut dyn PipelineObserver,
+) -> Result<Compilation, PassError> {
     // The Clang-like flow unrolls aggressively; where LLVM would spill,
     // the spill-free allocator refuses, and the flow falls back to the
     // non-unrolled schedule (what -O2 does under pressure).
     if flow == Flow::ClangLike {
         let backup = ctx.clone();
-        match compile_once(ctx, module, flow, true) {
+        match compile_once(ctx, module, flow, true, observer) {
             Err(e) if e.pass == "allocate-registers" => {
                 *ctx = backup;
-                return compile_once(ctx, module, flow, false);
+                return compile_once(ctx, module, flow, false, observer);
             }
             other => return other,
         }
     }
-    compile_once(ctx, module, flow, false)
+    compile_once(ctx, module, flow, false, observer)
 }
 
 fn compile_once(
@@ -184,6 +208,7 @@ fn compile_once(
     module: OpId,
     flow: Flow,
     clang_unroll: bool,
+    observer: &mut dyn PipelineObserver,
 ) -> Result<Compilation, PassError> {
     let registry = full_registry();
     let mut pm = PassManager::new();
@@ -235,7 +260,7 @@ fn compile_once(
     }
     pm.add(AllocateRegisters);
     let passes_head = pm.pass_names();
-    pm.run(ctx, &registry, module)?;
+    pm.run_observed(ctx, &registry, module, observer)?;
 
     // Register statistics are gathered on the structured, allocated IR
     // (before control-flow lowering), as in Table 2.
@@ -249,7 +274,7 @@ fn compile_once(
     pm_tail.add(RvScfToCf);
     let mut passes = passes_head;
     passes.extend(pm_tail.pass_names());
-    pm_tail.run(ctx, &registry, module)?;
+    pm_tail.run_observed(ctx, &registry, module, observer)?;
 
     let assembly = mlb_riscv::emit_module(ctx, module)
         .map_err(|e| PassError::new("emit-assembly", e.to_string()))?;
@@ -358,11 +383,6 @@ mod tests {
     fn full_pipeline_beats_baseline() {
         let (_z, full, _) = run_sum(Flow::Ours(PipelineOptions::full()), 64);
         let (_z, base, _) = run_sum(Flow::Ours(PipelineOptions::baseline()), 64);
-        assert!(
-            full.cycles * 2 < base.cycles,
-            "full {} vs baseline {}",
-            full.cycles,
-            base.cycles
-        );
+        assert!(full.cycles * 2 < base.cycles, "full {} vs baseline {}", full.cycles, base.cycles);
     }
 }

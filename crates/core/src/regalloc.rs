@@ -110,10 +110,8 @@ pub fn allocate_function(ctx: &mut Context, func: OpId) -> Result<RegStats, RegA
 pub fn collect_stats(ctx: &Context, func: OpId) -> RegStats {
     let mut stats = RegStats::default();
     let mut record = |ty: &Type| match ty {
-        Type::IntRegister(Some(r)) => {
-            if r.index() != 0 {
-                stats.int_used.insert(*r);
-            }
+        Type::IntRegister(Some(r)) if r.index() != 0 => {
+            stats.int_used.insert(*r);
         }
         Type::FpRegister(Some(r)) => {
             stats.fp_used.insert(*r);
@@ -159,11 +157,8 @@ impl Allocator {
             .filter(|r| !used.int_used.contains(r))
             .rev()
             .collect();
-        let free_fp = FpReg::allocatable()
-            .into_iter()
-            .filter(|r| !used.fp_used.contains(r))
-            .rev()
-            .collect();
+        let free_fp =
+            FpReg::allocatable().into_iter().filter(|r| !used.fp_used.contains(r)).rev().collect();
         Allocator { free_int, free_fp, pinned: used, locked_int: Vec::new(), locked_fp: Vec::new() }
     }
 
@@ -175,7 +170,12 @@ impl Allocator {
         }
     }
 
-    fn allocate_value(&mut self, ctx: &mut Context, v: ValueId, op_name: &str) -> Result<(), RegAllocError> {
+    fn allocate_value(
+        &mut self,
+        ctx: &mut Context,
+        v: ValueId,
+        op_name: &str,
+    ) -> Result<(), RegAllocError> {
         match ctx.value_type(v).clone() {
             Type::IntRegister(None) => {
                 let r = self.free_int.pop().ok_or_else(|| RegAllocError {
@@ -200,30 +200,32 @@ impl Allocator {
     /// Releases the register of `v` back to the pool if it came from it.
     fn free_value(&mut self, ctx: &Context, v: ValueId) {
         match ctx.value_type(v) {
-            Type::IntRegister(Some(r)) => {
+            Type::IntRegister(Some(r))
                 if IntReg::allocatable().contains(r)
                     && !self.pinned.int_used.contains(r)
                     && !self.locked_int.contains(r)
-                    && !self.free_int.contains(r)
-                {
-                    self.free_int.push(*r);
-                }
+                    && !self.free_int.contains(r) =>
+            {
+                self.free_int.push(*r);
             }
-            Type::FpRegister(Some(r)) => {
+            Type::FpRegister(Some(r))
                 if FpReg::allocatable().contains(r)
                     && !self.pinned.fp_used.contains(r)
                     && !self.locked_fp.contains(r)
-                    && !self.free_fp.contains(r)
-                {
-                    self.free_fp.push(*r);
-                }
+                    && !self.free_fp.contains(r) =>
+            {
+                self.free_fp.push(*r);
             }
             _ => {}
         }
     }
 
     /// Pass 3: backward walk over one block.
-    fn process_block(&mut self, ctx: &mut Context, block: mlb_ir::BlockId) -> Result<(), RegAllocError> {
+    fn process_block(
+        &mut self,
+        ctx: &mut Context,
+        block: mlb_ir::BlockId,
+    ) -> Result<(), RegAllocError> {
         let ops: Vec<OpId> = ctx.block_ops(block).to_vec();
         for &op in ops.iter().rev() {
             let name = ctx.op(op).name.clone();
@@ -306,10 +308,8 @@ impl Allocator {
                 }
                 mlb_ir::ValueKind::BlockArg { .. } => false,
             };
-            let init_private = init_uses.len() == 1
-                && init_uses[0].0 == op
-                && inits[i] != args[i]
-                && same_block;
+            let init_private =
+                init_uses.len() == 1 && init_uses[0].0 == op && inits[i] != args[i] && same_block;
             let chain: Vec<ValueId> = if init_private {
                 vec![inits[i], args[i], yields[i], results[i]]
             } else {
@@ -364,14 +364,12 @@ impl Allocator {
             deferred.push(fixed[0]);
         } else {
             deferred.push(fixed[0]); // lb
-            // When the induction variable is unused by the body, the
-            // lowering counts the induction register down from the upper
-            // bound, so the bound itself dies at loop entry.
+                                     // When the induction variable is unused by the body, the
+                                     // lowering counts the induction register down from the upper
+                                     // bound, so the bound itself dies at loop entry.
             let iv_dead = !ctx.has_uses(ctx.block_args(body)[0]);
-            let lb_zero =
-                mlb_riscv::rv::constant_int_value(ctx, fixed[0]) == Some(0);
-            let step_one =
-                mlb_riscv::rv::constant_int_value(ctx, fixed[2]) == Some(1);
+            let lb_zero = mlb_riscv::rv::constant_int_value(ctx, fixed[0]) == Some(0);
+            let step_one = mlb_riscv::rv::constant_int_value(ctx, fixed[2]) == Some(1);
             if iv_dead && lb_zero && step_one {
                 deferred.push(fixed[1]);
             } else {
@@ -571,9 +569,10 @@ mod tests {
         let step = rv::li(&mut ctx, entry, 1);
         let zero = rv::get_register(&mut ctx, entry, Type::FpRegister(Some(FpReg::fa(0))));
         let init = rv::fp_binary(&mut ctx, entry, rv::FADD_D, zero, zero);
-        let f = rv_scf::build_for(&mut ctx, entry, lb, ub, step, vec![init], |ctx, body, _iv, args| {
-            vec![rv::fp_binary(ctx, body, rv::FADD_D, args[0], args[0])]
-        });
+        let f =
+            rv_scf::build_for(&mut ctx, entry, lb, ub, step, vec![init], |ctx, body, _iv, args| {
+                vec![rv::fp_binary(ctx, body, rv::FADD_D, args[0], args[0])]
+            });
         let result = ctx.op(f.0).results[0];
         let _use = rv::fp_binary(&mut ctx, entry, rv::FADD_D, result, result);
         rv_func::build_ret(&mut ctx, entry);
@@ -696,8 +695,12 @@ mod tests {
     #[test]
     fn table2_style_stats_count_distinct_registers() {
         let (mut ctx, _registry, _module, top) = setup();
-        let (func, entry) =
-            rv_func::build_func(&mut ctx, top, "fill", &[rv_func::AbiArg::Int, rv_func::AbiArg::Fp]);
+        let (func, entry) = rv_func::build_func(
+            &mut ctx,
+            top,
+            "fill",
+            &[rv_func::AbiArg::Int, rv_func::AbiArg::Fp],
+        );
         rv_func::build_ret(&mut ctx, entry);
         let stats = allocate_function(&mut ctx, func).unwrap();
         assert_eq!(stats.num_int(), 1); // a0

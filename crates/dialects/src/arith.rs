@@ -170,10 +170,7 @@ mod tests {
         let (mut ctx, r, m, b) = setup();
         let f = constant_float(&mut ctx, b, 1.0, Type::F64);
         let i = constant_index(&mut ctx, b, 1);
-        ctx.append_op(
-            b,
-            OpSpec::new(ADDF).operands(vec![f, i]).results(vec![Type::F64]),
-        );
+        ctx.append_op(b, OpSpec::new(ADDF).operands(vec![f, i]).results(vec![Type::F64]));
         assert!(r.verify(&ctx, m).is_err());
     }
 
@@ -181,10 +178,7 @@ mod tests {
     fn verify_rejects_int_op_on_floats() {
         let (mut ctx, r, m, b) = setup();
         let f = constant_float(&mut ctx, b, 1.0, Type::F64);
-        ctx.append_op(
-            b,
-            OpSpec::new(ADDI).operands(vec![f, f]).results(vec![Type::F64]),
-        );
+        ctx.append_op(b, OpSpec::new(ADDI).operands(vec![f, f]).results(vec![Type::F64]));
         assert!(r.verify(&ctx, m).is_err());
     }
 

@@ -47,9 +47,8 @@ mod tests {
         let mut ctx = Context::new();
         let mut r = DialectRegistry::new();
         register(&mut r);
-        let bad = ctx.create_detached_op(
-            OpSpec::new(MODULE).regions(1).results(vec![mlb_ir::Type::F64]),
-        );
+        let bad =
+            ctx.create_detached_op(OpSpec::new(MODULE).regions(1).results(vec![mlb_ir::Type::F64]));
         ctx.create_block(ctx.op(bad).regions[0], vec![]);
         assert!(r.verify(&ctx, bad).is_err());
     }

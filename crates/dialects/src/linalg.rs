@@ -179,8 +179,7 @@ mod tests {
         let (_f, entry) = func::build_func(&mut ctx, b, "c", vec![in_ty, out_ty], vec![]);
         let x = ctx.block_args(entry)[0];
         let z = ctx.block_args(entry)[1];
-        let in_map =
-            AffineMap::new(2, 0, vec![AffineExpr::dim(0).add(AffineExpr::dim(1))]);
+        let in_map = AffineMap::new(2, 0, vec![AffineExpr::dim(0).add(AffineExpr::dim(1))]);
         let out_map = AffineMap::projection(2, &[0]);
         let g = build_generic(
             &mut ctx,
@@ -190,18 +189,14 @@ mod tests {
             vec![in_map, out_map],
             vec![IteratorType::Parallel, IteratorType::Reduction],
             None,
-            |ctx, body, args| {
-                vec![arith::binary(ctx, body, arith::ADDF, args[0], args[1])]
-            },
+            |ctx, body, args| vec![arith::binary(ctx, body, arith::ADDF, args[0], args[1])],
         );
         func::build_return(&mut ctx, entry, vec![]);
         assert!(r.verify(&ctx, m).is_ok());
         assert_eq!(g.bounds(&ctx), None);
 
         // With an explicit bounds attribute the bounds resolve.
-        ctx.op_mut(g.0)
-            .attrs
-            .insert(structured::BOUNDS.into(), Attribute::DenseI64(vec![4, 3]));
+        ctx.op_mut(g.0).attrs.insert(structured::BOUNDS.into(), Attribute::DenseI64(vec![4, 3]));
         assert_eq!(g.bounds(&ctx), Some(vec![4, 3]));
     }
 

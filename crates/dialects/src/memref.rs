@@ -1,8 +1,6 @@
 //! The `memref` dialect: loads and stores on shaped buffers.
 
-use mlb_ir::{
-    BlockId, Context, DialectRegistry, OpId, OpInfo, OpSpec, Type, ValueId, VerifyError,
-};
+use mlb_ir::{BlockId, Context, DialectRegistry, OpId, OpInfo, OpSpec, Type, ValueId, VerifyError};
 
 /// `memref.load`: reads one element. Operands: `memref, indices...`.
 pub const LOAD: &str = "memref.load";
@@ -59,7 +57,11 @@ fn verify_load(ctx: &Context, op: OpId) -> Result<(), VerifyError> {
 fn verify_store(ctx: &Context, op: OpId) -> Result<(), VerifyError> {
     let o = ctx.op(op);
     if o.operands.len() < 2 || !o.results.is_empty() {
-        return Err(VerifyError::new(ctx, op, "store takes value, memref plus indices, no results"));
+        return Err(VerifyError::new(
+            ctx,
+            op,
+            "store takes value, memref plus indices, no results",
+        ));
     }
     let m = memref_of(ctx, op, o.operands[1])?;
     verify_indices(ctx, op, &m, &o.operands[2..])?;
@@ -136,10 +138,7 @@ mod tests {
         let (_f, entry) = func::build_func(&mut ctx, b, "k", vec![buf_ty], vec![]);
         let buf = ctx.block_args(entry)[0];
         let i = arith::constant_index(&mut ctx, entry, 1);
-        ctx.append_op(
-            entry,
-            OpSpec::new(LOAD).operands(vec![buf, i]).results(vec![Type::F64]),
-        );
+        ctx.append_op(entry, OpSpec::new(LOAD).operands(vec![buf, i]).results(vec![Type::F64]));
         func::build_return(&mut ctx, entry, vec![]);
         assert!(r.verify(&ctx, m).is_err());
     }
@@ -151,10 +150,7 @@ mod tests {
         let (_f, entry) = func::build_func(&mut ctx, b, "k", vec![buf_ty], vec![]);
         let buf = ctx.block_args(entry)[0];
         let f = arith::constant_float(&mut ctx, entry, 0.0, Type::F64);
-        ctx.append_op(
-            entry,
-            OpSpec::new(LOAD).operands(vec![buf, f]).results(vec![Type::F64]),
-        );
+        ctx.append_op(entry, OpSpec::new(LOAD).operands(vec![buf, f]).results(vec![Type::F64]));
         func::build_return(&mut ctx, entry, vec![]);
         assert!(r.verify(&ctx, m).is_err());
     }

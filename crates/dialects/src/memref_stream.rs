@@ -61,13 +61,13 @@ impl StreamGenericOp {
     }
 
     /// The fused initial values (empty when fill is not fused).
-    pub fn inits<'c>(self, ctx: &'c Context) -> &'c [ValueId] {
+    pub fn inits(self, ctx: &Context) -> &[ValueId] {
         let operands = &ctx.op(self.0).operands;
         &operands[operands.len() - self.num_inits(ctx)..]
     }
 
     /// The output operands (operands between inputs and inits).
-    pub fn outputs<'c>(self, ctx: &'c Context) -> &'c [ValueId] {
+    pub fn outputs(self, ctx: &Context) -> &[ValueId] {
         let operands = &ctx.op(self.0).operands;
         let ni = self.generic().num_inputs(ctx);
         &operands[ni..operands.len() - self.num_inits(ctx)]
@@ -168,32 +168,28 @@ impl StreamingRegionOp {
 
     /// Number of streamed memrefs (= number of patterns).
     pub fn num_streams(self, ctx: &Context) -> usize {
-        ctx.op(self.0)
-            .attr(PATTERNS)
-            .and_then(Attribute::as_array)
-            .map(|a| a.len())
-            .unwrap_or(0)
+        ctx.op(self.0).attr(PATTERNS).and_then(Attribute::as_array).map(|a| a.len()).unwrap_or(0)
     }
 
     /// The streamed memref operands.
-    pub fn memrefs<'c>(self, ctx: &'c Context) -> &'c [ValueId] {
+    pub fn memrefs(self, ctx: &Context) -> &[ValueId] {
         &ctx.op(self.0).operands[..self.num_streams(ctx)]
     }
 
     /// The per-memref element offsets, when the region carries them.
-    pub fn offsets<'c>(self, ctx: &'c Context) -> Option<&'c [ValueId]> {
+    pub fn offsets(self, ctx: &Context) -> Option<&[ValueId]> {
         let p = self.num_streams(ctx);
         let operands = &ctx.op(self.0).operands;
         (operands.len() == 2 * p && p > 0).then(|| &operands[p..])
     }
 
     /// The input memref operands.
-    pub fn inputs<'c>(self, ctx: &'c Context) -> &'c [ValueId] {
+    pub fn inputs(self, ctx: &Context) -> &[ValueId] {
         &self.memrefs(ctx)[..self.num_inputs(ctx)]
     }
 
     /// The output memref operands.
-    pub fn outputs<'c>(self, ctx: &'c Context) -> &'c [ValueId] {
+    pub fn outputs(self, ctx: &Context) -> &[ValueId] {
         &self.memrefs(ctx)[self.num_inputs(ctx)..]
     }
 
@@ -380,8 +376,7 @@ mod tests {
     fn streaming_region_with_reads_and_writes() {
         let (mut ctx, r, m, b) = setup();
         let buf = Type::memref(vec![8], Type::F64);
-        let (_f, entry) =
-            func::build_func(&mut ctx, b, "relu", vec![buf.clone(), buf], vec![]);
+        let (_f, entry) = func::build_func(&mut ctx, b, "relu", vec![buf.clone(), buf], vec![]);
         let x = ctx.block_args(entry)[0];
         let z = ctx.block_args(entry)[1];
         let pattern = StridePattern::new(vec![8], AffineMap::identity(1));
@@ -461,10 +456,7 @@ mod tests {
                 .attr(PATTERNS, Attribute::Array(vec![]))
                 .regions(1),
         );
-        ctx.create_block(
-            ctx.op(op).regions[0],
-            vec![Type::WritableStream(Box::new(Type::F64))],
-        );
+        ctx.create_block(ctx.op(op).regions[0], vec![Type::WritableStream(Box::new(Type::F64))]);
         func::build_return(&mut ctx, entry, vec![]);
         assert!(r.verify(&ctx, m).is_err());
     }
@@ -483,10 +475,7 @@ mod tests {
                 .operands(vec![x, z])
                 .attr(
                     structured::INDEXING_MAPS,
-                    Attribute::Array(vec![
-                        Attribute::Map(id.clone()),
-                        Attribute::Map(id),
-                    ]),
+                    Attribute::Array(vec![Attribute::Map(id.clone()), Attribute::Map(id)]),
                 )
                 .attr(
                     structured::ITERATOR_TYPES,

@@ -5,9 +5,7 @@
 //! (Section 3.3): live ranges fall out of region nesting instead of basic
 //! block analysis.
 
-use mlb_ir::{
-    BlockId, Context, DialectRegistry, OpId, OpInfo, OpSpec, Type, ValueId, VerifyError,
-};
+use mlb_ir::{BlockId, Context, DialectRegistry, OpId, OpInfo, OpSpec, Type, ValueId, VerifyError};
 
 /// `scf.for`: counted loop. Operands: `lb, ub, step, init...`; region block
 /// args: `iv, iter...`; results: final iteration values.
@@ -39,7 +37,11 @@ fn verify_for(ctx: &Context, op: OpId) -> Result<(), VerifyError> {
     }
     let args = ctx.block_args(blocks[0]);
     if args.len() != num_iter + 1 {
-        return Err(VerifyError::new(ctx, op, "body must take the induction variable plus iter args"));
+        return Err(VerifyError::new(
+            ctx,
+            op,
+            "body must take the induction variable plus iter args",
+        ));
     }
     for i in 0..num_iter {
         let init_ty = ctx.value_type(o.operands[3 + i]);
@@ -95,7 +97,7 @@ impl ForOp {
     }
 
     /// The loop-carried initial values.
-    pub fn iter_inits<'c>(self, ctx: &'c Context) -> &'c [ValueId] {
+    pub fn iter_inits(self, ctx: &Context) -> &[ValueId] {
         &ctx.op(self.0).operands[3..]
     }
 
@@ -110,7 +112,7 @@ impl ForOp {
     }
 
     /// The loop-carried block arguments (excluding the induction variable).
-    pub fn iter_args<'c>(self, ctx: &'c Context) -> &'c [ValueId] {
+    pub fn iter_args(self, ctx: &Context) -> &[ValueId] {
         &ctx.block_args(self.body(ctx))[1..]
     }
 

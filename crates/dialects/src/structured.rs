@@ -34,12 +34,12 @@ impl GenericOp {
     }
 
     /// The input operands.
-    pub fn inputs<'c>(self, ctx: &'c Context) -> &'c [ValueId] {
+    pub fn inputs(self, ctx: &Context) -> &[ValueId] {
         &ctx.op(self.0).operands[..self.num_inputs(ctx)]
     }
 
     /// The output operands.
-    pub fn outputs<'c>(self, ctx: &'c Context) -> &'c [ValueId] {
+    pub fn outputs(self, ctx: &Context) -> &[ValueId] {
         &ctx.op(self.0).operands[self.num_inputs(ctx)..]
     }
 
@@ -122,7 +122,11 @@ pub fn verify_generic(ctx: &Context, op: OpId) -> Result<(), VerifyError> {
     };
     for (i, m) in maps.iter().enumerate() {
         let Some(map) = m.as_map() else {
-            return Err(VerifyError::new(ctx, op, format!("indexing map {i} is not an affine map")));
+            return Err(VerifyError::new(
+                ctx,
+                op,
+                format!("indexing map {i} is not an affine map"),
+            ));
         };
         if map.num_dims != iterators.len() {
             return Err(VerifyError::new(

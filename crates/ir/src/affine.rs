@@ -40,6 +40,7 @@ impl AffineExpr {
     }
 
     /// `self + rhs`.
+    #[allow(clippy::should_implement_trait)]
     pub fn add(self, rhs: AffineExpr) -> AffineExpr {
         AffineExpr::Add(Box::new(self), Box::new(rhs))
     }
@@ -215,11 +216,7 @@ impl AffineMap {
         assert_eq!(self.num_dims, inner.results.len());
         assert_eq!(self.num_syms, 0);
         assert_eq!(inner.num_syms, 0);
-        let results = self
-            .results
-            .iter()
-            .map(|e| substitute_dims(e, &inner.results))
-            .collect();
+        let results = self.results.iter().map(|e| substitute_dims(e, &inner.results)).collect();
         AffineMap::new(inner.num_dims, 0, results)
     }
 }
@@ -229,14 +226,12 @@ fn substitute_dims(expr: &AffineExpr, subs: &[AffineExpr]) -> AffineExpr {
         AffineExpr::Dim(n) => subs[*n].clone(),
         AffineExpr::Sym(n) => AffineExpr::Sym(*n),
         AffineExpr::Const(c) => AffineExpr::Const(*c),
-        AffineExpr::Add(a, b) => AffineExpr::Add(
-            Box::new(substitute_dims(a, subs)),
-            Box::new(substitute_dims(b, subs)),
-        ),
-        AffineExpr::Mul(a, b) => AffineExpr::Mul(
-            Box::new(substitute_dims(a, subs)),
-            Box::new(substitute_dims(b, subs)),
-        ),
+        AffineExpr::Add(a, b) => {
+            AffineExpr::Add(Box::new(substitute_dims(a, subs)), Box::new(substitute_dims(b, subs)))
+        }
+        AffineExpr::Mul(a, b) => {
+            AffineExpr::Mul(Box::new(substitute_dims(a, subs)), Box::new(substitute_dims(b, subs)))
+        }
         AffineExpr::FloorDiv(a, c) => AffineExpr::FloorDiv(Box::new(substitute_dims(a, subs)), *c),
         AffineExpr::Mod(a, c) => AffineExpr::Mod(Box::new(substitute_dims(a, subs)), *c),
     }
@@ -283,10 +278,7 @@ mod tests {
         let m = AffineMap::new(
             3,
             0,
-            vec![
-                AffineExpr::dim(0).mul_const(5).add(AffineExpr::dim(2)),
-                AffineExpr::dim(1),
-            ],
+            vec![AffineExpr::dim(0).mul_const(5).add(AffineExpr::dim(2)), AffineExpr::dim(1)],
         );
         assert_eq!(m.eval(&[2, 7, 3], &[]), vec![13, 7]);
     }
@@ -303,10 +295,7 @@ mod tests {
         let m = AffineMap::new(
             3,
             0,
-            vec![
-                AffineExpr::dim(0).mul_const(5).add(AffineExpr::dim(2)),
-                AffineExpr::dim(1),
-            ],
+            vec![AffineExpr::dim(0).mul_const(5).add(AffineExpr::dim(2)), AffineExpr::dim(1)],
         );
         assert_eq!(m.dim_coefficients(0), vec![5, 0]);
         assert_eq!(m.dim_coefficients(1), vec![0, 1]);
@@ -346,11 +335,7 @@ mod tests {
     fn compose_maps() {
         // outer: (d0, d1) -> (d0 + d1); inner: (d0, d1, d2) -> (d0*2, d2)
         let outer = AffineMap::new(2, 0, vec![AffineExpr::dim(0).add(AffineExpr::dim(1))]);
-        let inner = AffineMap::new(
-            3,
-            0,
-            vec![AffineExpr::dim(0).mul_const(2), AffineExpr::dim(2)],
-        );
+        let inner = AffineMap::new(3, 0, vec![AffineExpr::dim(0).mul_const(2), AffineExpr::dim(2)]);
         let composed = outer.compose(&inner);
         assert_eq!(composed.num_dims, 3);
         assert_eq!(composed.eval(&[3, 100, 4], &[]), vec![10]);
@@ -361,10 +346,7 @@ mod tests {
         let m = AffineMap::new(
             3,
             0,
-            vec![
-                AffineExpr::dim(0).mul_const(5).add(AffineExpr::dim(2)),
-                AffineExpr::dim(1),
-            ],
+            vec![AffineExpr::dim(0).mul_const(5).add(AffineExpr::dim(2)), AffineExpr::dim(1)],
         );
         assert_eq!(m.to_string(), "(d0, d1, d2) -> (((d0 * 5) + d2), d1)");
     }
@@ -372,11 +354,7 @@ mod tests {
     #[test]
     fn linearity() {
         assert!(AffineMap::identity(2).is_linear());
-        let m = AffineMap::new(
-            1,
-            0,
-            vec![AffineExpr::Mod(Box::new(AffineExpr::dim(0)), 2)],
-        );
+        let m = AffineMap::new(1, 0, vec![AffineExpr::Mod(Box::new(AffineExpr::dim(0)), 2)]);
         assert!(!m.is_linear());
     }
 }

@@ -63,7 +63,13 @@ impl StridePattern {
 
 impl fmt::Display for StridePattern {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "#memref_stream.stride_pattern<ub = {:?}, index_map = {}>", self.ub, self.index_map)
+        // The `affine_map<...>` wrapper matches what the parser expects,
+        // keeping the attribute print/parse round-trippable.
+        write!(
+            f,
+            "#memref_stream.stride_pattern<ub = {:?}, index_map = affine_map<{}>>",
+            self.ub, self.index_map
+        )
     }
 }
 
@@ -362,8 +368,7 @@ mod tests {
         assert_eq!(Attribute::Float(0.5).to_string(), "0.5");
         assert_eq!(Attribute::Symbol("main".into()).to_string(), "@main");
         assert_eq!(
-            Attribute::Iterators(vec![IteratorType::Parallel, IteratorType::Reduction])
-                .to_string(),
+            Attribute::Iterators(vec![IteratorType::Parallel, IteratorType::Reduction]).to_string(),
             "iterators<parallel, reduction>"
         );
         assert_eq!(Attribute::DenseI64(vec![1, 200, 5]).to_string(), "dense<[1, 200, 5]>");
@@ -437,5 +442,6 @@ mod tests {
         let m = AffineMap::new(2, 0, vec![AffineExpr::dim(1)]);
         let p = StridePattern::new(vec![2, 3], m);
         assert!(p.to_string().contains("ub = [2, 3]"));
+        assert!(p.to_string().contains("index_map = affine_map<"));
     }
 }

@@ -195,6 +195,31 @@ impl OpSpec {
     }
 }
 
+/// Cumulative counters of the rewrite infrastructure.
+///
+/// Maintained by [`crate::rewrite::apply_patterns_greedily`] and
+/// [`crate::rewrite::eliminate_dead_code`]; monotonically increasing over
+/// the life of a [`Context`]. Pipeline instrumentation snapshots them
+/// before and after a pass and reports the difference (see
+/// [`crate::observe::PassEvent`]).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct RewriteStats {
+    /// Successful [`crate::rewrite::RewritePattern`] applications.
+    pub pattern_applications: u64,
+    /// Operations erased by dead-code elimination sweeps.
+    pub dce_erased: u64,
+}
+
+impl RewriteStats {
+    /// Counter-wise difference `self - earlier`.
+    pub fn delta_since(&self, earlier: RewriteStats) -> RewriteStats {
+        RewriteStats {
+            pattern_applications: self.pattern_applications - earlier.pattern_applications,
+            dce_erased: self.dce_erased - earlier.dce_erased,
+        }
+    }
+}
+
 /// Owns all IR entities and provides structural mutation.
 ///
 /// `Clone` snapshots the whole IR — used by drivers that need to retry a
@@ -205,12 +230,18 @@ pub struct Context {
     blocks: Vec<Option<BlockData>>,
     regions: Vec<Option<RegionData>>,
     values: Vec<ValueData>,
+    pub(crate) rewrite_stats: RewriteStats,
 }
 
 impl Context {
     /// Creates an empty context.
     pub fn new() -> Context {
         Context::default()
+    }
+
+    /// The cumulative rewrite-driver counters (see [`RewriteStats`]).
+    pub fn rewrite_stats(&self) -> RewriteStats {
+        self.rewrite_stats
     }
 
     // ----- accessors -------------------------------------------------------
@@ -374,11 +405,7 @@ impl Context {
             args.push(v);
         }
         self.blocks.push(Some(BlockData { args, ops: Vec::new(), parent: region }));
-        self.regions[region.index()]
-            .as_mut()
-            .expect("region was erased")
-            .blocks
-            .push(id);
+        self.regions[region.index()].as_mut().expect("region was erased").blocks.push(id);
         id
     }
 
@@ -595,10 +622,7 @@ impl Context {
 
     /// Whether `value` has any use.
     pub fn has_uses(&self, value: ValueId) -> bool {
-        self.ops
-            .iter()
-            .flatten()
-            .any(|op| op.operands.contains(&value))
+        self.ops.iter().flatten().any(|op| op.operands.contains(&value))
     }
 
     // ----- traversal -------------------------------------------------------
@@ -623,10 +647,7 @@ impl Context {
 
     /// All operations nested in `root` whose name is `name`, pre-order.
     pub fn walk_named(&self, root: OpId, name: &str) -> Vec<OpId> {
-        self.walk(root)
-            .into_iter()
-            .filter(|&o| self.op(o).name == name)
-            .collect()
+        self.walk(root).into_iter().filter(|&o| self.op(o).name == name).collect()
     }
 
     /// Checks structural invariants under `root`:
@@ -676,10 +697,7 @@ impl Context {
                     }
                     for &o in self.block_ops(b) {
                         if self.op(o).parent != Some(b) {
-                            return Err(format!(
-                                "op {} has a bad parent link",
-                                self.op(o).name
-                            ));
+                            return Err(format!("op {} has a bad parent link", self.op(o).name));
                         }
                     }
                 }
@@ -799,8 +817,8 @@ mod tests {
         let (module, body) = small_module(&mut ctx);
         let c = ctx.append_op(body, OpSpec::new("arith.constant").results(vec![Type::F64]));
         let v = ctx.op(c).results[0];
-        let _user =
-            ctx.append_op(body, OpSpec::new("arith.negf").operands(vec![v]).results(vec![Type::F64]));
+        let _user = ctx
+            .append_op(body, OpSpec::new("arith.negf").operands(vec![v]).results(vec![Type::F64]));
         ctx.erase_op(c);
         let err = ctx.verify_structure(module).unwrap_err();
         assert!(err.contains("erased op"), "{err}");
@@ -815,10 +833,7 @@ mod tests {
         let extra = ctx.add_block_arg(fb, Type::Index);
         assert_eq!(ctx.block_args(fb).len(), 2);
         assert_eq!(*ctx.value_type(extra), Type::Index);
-        assert_eq!(
-            ctx.value_kind(extra),
-            ValueKind::BlockArg { block: fb, index: 1 }
-        );
+        assert_eq!(ctx.value_kind(extra), ValueKind::BlockArg { block: fb, index: 1 });
     }
 
     #[test]
@@ -827,10 +842,7 @@ mod tests {
         let (_, body) = small_module(&mut ctx);
         let c = ctx.append_op(body, OpSpec::new("arith.constant").results(vec![Type::F64]));
         let v = ctx.op(c).results[0];
-        let outer = ctx.append_op(
-            body,
-            OpSpec::new("scf.for").operands(vec![v]).regions(1),
-        );
+        let outer = ctx.append_op(body, OpSpec::new("scf.for").operands(vec![v]).regions(1));
         let inner_block = ctx.create_block(ctx.op(outer).regions[0], vec![Type::Index]);
         let arg = ctx.block_args(inner_block)[0];
         ctx.append_op(body, OpSpec::new("t.end"));

@@ -43,6 +43,7 @@
 pub mod affine;
 pub mod attributes;
 pub mod context;
+pub mod observe;
 pub mod parser;
 pub mod pass;
 pub mod printer;
@@ -52,7 +53,10 @@ pub mod types;
 
 pub use affine::{AffineExpr, AffineMap};
 pub use attributes::{Attribute, IteratorType, StreamPattern, StridePattern};
-pub use context::{BlockId, Context, OpId, OpSpec, Operation, RegionId, ValueId, ValueKind};
+pub use context::{
+    BlockId, Context, OpId, OpSpec, Operation, RegionId, RewriteStats, ValueId, ValueKind,
+};
+pub use observe::{IrSnapshotMode, NoopObserver, PassEvent, PipelineObserver, PipelineRecorder};
 pub use parser::{parse_module, ParseError};
 pub use pass::{Pass, PassError, PassManager};
 pub use printer::print_op;

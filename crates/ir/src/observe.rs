@@ -1,0 +1,142 @@
+//! Pipeline observability: per-pass timing, size deltas and IR snapshots.
+//!
+//! A [`PipelineObserver`] hooks into [`PassManager::run_observed`]
+//! (see [`crate::pass`]) and receives one [`PassEvent`] per executed
+//! pass: wall-clock time, operation/block-count deltas, the rewrite
+//! counters accumulated during the pass and — depending on the
+//! observer's [`IrSnapshotMode`] — the printed IR after the pass. This
+//! mirrors MLIR's `-mlir-timing` / `--print-ir-after-all`
+//! instrumentation and backs the `mlbc --pass-timing` /
+//! `--print-ir-after-all` / `--print-ir-after-change` flags.
+//!
+//! The default observer path costs nothing beyond two `walk`s per pass:
+//! IR is only printed when a snapshot mode other than
+//! [`IrSnapshotMode::None`] asks for it.
+
+use crate::context::{Context, OpId, RewriteStats};
+
+/// Whether (and when) the IR is printed after each pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IrSnapshotMode {
+    /// Never print; `PassEvent::changed` and `ir_after` stay `None`.
+    #[default]
+    None,
+    /// Print after every pass, keep the text only when the pass changed
+    /// the IR (MLIR's `--print-ir-after-change`).
+    OnChange,
+    /// Keep the printed IR after every pass (`--print-ir-after-all`).
+    All,
+}
+
+/// What one pass did, as observed by the pass manager.
+#[derive(Debug, Clone)]
+pub struct PassEvent {
+    /// Position of the pass in its pipeline (0-based; restarts when a
+    /// driver runs a second pipeline over the same module).
+    pub index: usize,
+    /// The pass name ([`crate::pass::Pass::name`]).
+    pub pass: &'static str,
+    /// Wall-clock time spent inside the pass, in nanoseconds.
+    pub nanos: u128,
+    /// Operations under (and including) the root before the pass.
+    pub ops_before: usize,
+    /// Operations under (and including) the root after the pass.
+    pub ops_after: usize,
+    /// Blocks under the root before the pass.
+    pub blocks_before: usize,
+    /// Blocks under the root after the pass.
+    pub blocks_after: usize,
+    /// Rewrite-driver activity during this pass (pattern applications
+    /// and DCE erasures; see [`RewriteStats`]).
+    pub rewrites: RewriteStats,
+    /// Whether the printed IR changed across the pass. `None` when the
+    /// snapshot mode is [`IrSnapshotMode::None`] (change detection
+    /// requires printing).
+    pub changed: Option<bool>,
+    /// The IR after the pass, when the snapshot mode keeps it.
+    pub ir_after: Option<String>,
+}
+
+/// Observer of a pass pipeline execution.
+pub trait PipelineObserver {
+    /// How much IR printing the observer wants (consulted once per
+    /// pipeline run, before the first pass).
+    fn snapshot_mode(&self) -> IrSnapshotMode {
+        IrSnapshotMode::None
+    }
+
+    /// Called after each pass that ran successfully.
+    fn on_pass(&mut self, event: PassEvent);
+}
+
+/// Observer that ignores everything (the plain `PassManager::run` path).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopObserver;
+
+impl PipelineObserver for NoopObserver {
+    fn on_pass(&mut self, _event: PassEvent) {}
+}
+
+/// Observer that records every [`PassEvent`] in order.
+///
+/// Drivers that retry a pipeline (e.g. the Clang-like flow falling back
+/// to a non-unrolled schedule) surface the abandoned attempt's events
+/// too; `PassEvent::index` restarting at 0 marks each pipeline start.
+#[derive(Debug, Default)]
+pub struct PipelineRecorder {
+    mode: IrSnapshotMode,
+    /// The recorded events, in execution order.
+    pub events: Vec<PassEvent>,
+}
+
+impl PipelineRecorder {
+    /// Creates a recorder with the given snapshot mode.
+    pub fn new(mode: IrSnapshotMode) -> PipelineRecorder {
+        PipelineRecorder { mode, events: Vec::new() }
+    }
+
+    /// Total wall-clock nanoseconds across all recorded passes.
+    pub fn total_nanos(&self) -> u128 {
+        self.events.iter().map(|e| e.nanos).sum()
+    }
+}
+
+impl PipelineObserver for PipelineRecorder {
+    fn snapshot_mode(&self) -> IrSnapshotMode {
+        self.mode
+    }
+
+    fn on_pass(&mut self, event: PassEvent) {
+        self.events.push(event);
+    }
+}
+
+/// Counts the operations under and including `root`.
+pub fn count_ops(ctx: &Context, root: OpId) -> usize {
+    ctx.walk(root).len() + 1
+}
+
+/// Counts the blocks in all regions under (and including) `root`.
+pub fn count_blocks(ctx: &Context, root: OpId) -> usize {
+    let mut ops = vec![root];
+    ops.extend(ctx.walk(root));
+    ops.iter().flat_map(|&op| &ctx.op(op).regions).map(|&r| ctx.region_blocks(r).len()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::OpSpec;
+
+    #[test]
+    fn counts_cover_nested_regions() {
+        let mut ctx = Context::new();
+        let m = ctx.create_detached_op(OpSpec::new("t.module").regions(1));
+        let b = ctx.create_block(ctx.op(m).regions[0], vec![]);
+        let inner = ctx.append_op(b, OpSpec::new("t.loop").regions(1));
+        let ib = ctx.create_block(ctx.op(inner).regions[0], vec![]);
+        ctx.append_op(ib, OpSpec::new("t.body"));
+        assert_eq!(count_ops(&ctx, m), 3);
+        assert_eq!(count_blocks(&ctx, m), 2);
+    }
+}

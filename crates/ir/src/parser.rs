@@ -37,13 +37,7 @@ impl std::error::Error for ParseError {}
 /// Returns a [`ParseError`] describing the first syntax problem.
 pub fn parse_module(ctx: &mut Context, input: &str) -> Result<OpId, ParseError> {
     let tokens = tokenize(input)?;
-    let mut p = Parser {
-        ctx,
-        tokens,
-        pos: 0,
-        values: HashMap::new(),
-        blocks: HashMap::new(),
-    };
+    let mut p = Parser { ctx, tokens, pos: 0, values: HashMap::new(), blocks: HashMap::new() };
     let op = p.parse_op(None)?;
     p.expect_eof()?;
     Ok(op)
@@ -90,7 +84,10 @@ fn tokenize(input: &str) -> Result<Vec<SpannedTok>, ParseError> {
                     i += 1;
                 }
                 if i >= bytes.len() {
-                    return Err(ParseError { offset: start, message: "unterminated string".into() });
+                    return Err(ParseError {
+                        offset: start,
+                        message: "unterminated string".into(),
+                    });
                 }
                 i += 1;
                 toks.push(SpannedTok { tok: Tok::Str(s), offset: start });
@@ -112,7 +109,9 @@ fn tokenize(input: &str) -> Result<Vec<SpannedTok>, ParseError> {
                     i += 1;
                 }
                 let mut is_float = false;
-                if i < bytes.len() && bytes[i] == b'.' && bytes.get(i + 1).is_some_and(u8::is_ascii_digit)
+                if i < bytes.len()
+                    && bytes[i] == b'.'
+                    && bytes.get(i + 1).is_some_and(u8::is_ascii_digit)
                 {
                     is_float = true;
                     i += 1;
@@ -153,7 +152,10 @@ fn tokenize(input: &str) -> Result<Vec<SpannedTok>, ParseError> {
                 {
                     i += 1;
                 }
-                toks.push(SpannedTok { tok: Tok::Ident(input[start..i].to_string()), offset: start });
+                toks.push(SpannedTok {
+                    tok: Tok::Ident(input[start..i].to_string()),
+                    offset: start,
+                });
             }
             '%' | '^' | '@' | '(' | ')' | '[' | ']' | '{' | '}' | '<' | '>' | ',' | '=' | ':'
             | '!' | '#' | '*' | '+' => {
@@ -161,7 +163,10 @@ fn tokenize(input: &str) -> Result<Vec<SpannedTok>, ParseError> {
                 i += 1;
             }
             other => {
-                return Err(ParseError { offset: i, message: format!("unexpected character `{other}`") })
+                return Err(ParseError {
+                    offset: i,
+                    message: format!("unexpected character `{other}`"),
+                })
             }
         }
     }
@@ -387,10 +392,8 @@ impl<'c> Parser<'c> {
             )));
         }
 
-        let operands = operand_names
-            .iter()
-            .map(|n| self.lookup_value(n))
-            .collect::<Result<Vec<_>, _>>()?;
+        let operands =
+            operand_names.iter().map(|n| self.lookup_value(n)).collect::<Result<Vec<_>, _>>()?;
         let successors = successor_names
             .iter()
             .map(|n| {
@@ -444,7 +447,11 @@ impl<'c> Parser<'c> {
     }
 
     /// region ::= `{` block+ `}` — two passes: create blocks, then fill.
-    fn parse_region(&mut self, region: crate::context::RegionId, stop: usize) -> Result<(), ParseError> {
+    fn parse_region(
+        &mut self,
+        region: crate::context::RegionId,
+        stop: usize,
+    ) -> Result<(), ParseError> {
         self.expect_punct('{')?;
         // Pass 1: scan for top-level block headers (`^name (args)? :`) at
         // depth 0 and create the blocks so successors can resolve.
@@ -535,7 +542,8 @@ impl<'c> Parser<'c> {
                 continue;
             }
             let blocks = self.ctx.region_blocks(region).to_vec();
-            let block = *blocks.get(current).ok_or_else(|| self.error("operation outside any block"))?;
+            let block =
+                *blocks.get(current).ok_or_else(|| self.error("operation outside any block"))?;
             self.parse_op(Some(block))?;
         }
         self.expect_punct('}')?;
@@ -560,9 +568,7 @@ impl<'c> Parser<'c> {
                         let chain = match self.bump() {
                             Some(Tok::Ident(s)) if s.starts_with('x') => s,
                             other => {
-                                return Err(
-                                    self.error(format!("bad memref shape, found {other:?}"))
-                                )
+                                return Err(self.error(format!("bad memref shape, found {other:?}")))
                             }
                         };
                         let mut rest = chain.as_str();
@@ -589,7 +595,11 @@ impl<'c> Parser<'c> {
                     self.expect_punct('>')?;
                     Ok(Type::memref(shape, element))
                 }
-                other if other.starts_with('i') && other[1..].chars().all(|c| c.is_ascii_digit()) && other.len() > 1 => {
+                other
+                    if other.starts_with('i')
+                        && other[1..].chars().all(|c| c.is_ascii_digit())
+                        && other.len() > 1 =>
+                {
                     Ok(Type::Integer(other[1..].parse().unwrap()))
                 }
                 other => Err(self.error(format!("unknown type `{other}`"))),
@@ -672,7 +682,11 @@ impl<'c> Parser<'c> {
             "f32" => Ok(Type::F32),
             "f64" => Ok(Type::F64),
             "index" => Ok(Type::Index),
-            other if other.starts_with('i') && other.len() > 1 && other[1..].chars().all(|c| c.is_ascii_digit()) => {
+            other
+                if other.starts_with('i')
+                    && other.len() > 1
+                    && other[1..].chars().all(|c| c.is_ascii_digit()) =>
+            {
                 Ok(Type::Integer(other[1..].parse().unwrap()))
             }
             other => Err(self.error(format!("unknown memref element type `{other}`"))),
@@ -850,7 +864,9 @@ impl<'c> Parser<'c> {
         }
         match self.bump() {
             Some(Tok::Arrow) => {}
-            other => return Err(self.error(format!("expected `->` in affine map, found {other:?}"))),
+            other => {
+                return Err(self.error(format!("expected `->` in affine map, found {other:?}")))
+            }
         }
         self.expect_punct('(')?;
         let mut results = Vec::new();
@@ -1007,10 +1023,7 @@ mod tests {
         let block = ctx.sole_block(ctx.op(op).regions[0]);
         let args = ctx.block_args(block);
         assert_eq!(*ctx.value_type(args[0]), Type::IntRegister(None));
-        assert_eq!(
-            *ctx.value_type(args[1]),
-            Type::FpRegister(Some(mlb_isa::FpReg::ft(3)))
-        );
+        assert_eq!(*ctx.value_type(args[1]), Type::FpRegister(Some(mlb_isa::FpReg::ft(3))));
         assert_eq!(*ctx.value_type(args[2]), Type::ReadableStream(Box::new(Type::F64)));
     }
 

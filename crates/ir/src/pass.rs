@@ -6,8 +6,12 @@
 //! pipeline "easier to introspect, develop and maintain" (Section 3.4).
 
 use std::fmt;
+use std::time::Instant;
 
 use crate::context::{Context, OpId};
+use crate::observe::{
+    count_blocks, count_ops, IrSnapshotMode, NoopObserver, PassEvent, PipelineObserver,
+};
 use crate::registry::{DialectRegistry, VerifyError};
 
 /// Error produced when a pass fails.
@@ -52,8 +56,12 @@ pub trait Pass {
     /// Returns a [`PassError`] when the input is outside the pass's
     /// supported domain (e.g. register exhaustion in the spill-free
     /// allocator).
-    fn run(&self, ctx: &mut Context, registry: &DialectRegistry, root: OpId)
-        -> Result<(), PassError>;
+    fn run(
+        &self,
+        ctx: &mut Context,
+        registry: &DialectRegistry,
+        root: OpId,
+    ) -> Result<(), PassError>;
 }
 
 /// Runs a sequence of passes.
@@ -119,8 +127,40 @@ impl PassManager {
         registry: &DialectRegistry,
         root: OpId,
     ) -> Result<(), PassError> {
-        for pass in &self.passes {
+        self.run_observed(ctx, registry, root, &mut NoopObserver)
+    }
+
+    /// Runs all passes in order, reporting a [`PassEvent`] per pass to
+    /// `observer` (timing, size deltas, rewrite counters, and IR
+    /// snapshots when the observer's [`IrSnapshotMode`] asks for them).
+    ///
+    /// # Errors
+    ///
+    /// Stops at the first failing pass or verification error, identifying
+    /// the pass in the returned [`PassError`]. Events for passes that ran
+    /// before the failure have already been delivered.
+    pub fn run_observed(
+        &self,
+        ctx: &mut Context,
+        registry: &DialectRegistry,
+        root: OpId,
+        observer: &mut dyn PipelineObserver,
+    ) -> Result<(), PassError> {
+        let mode = observer.snapshot_mode();
+        // Change detection compares printed IR; the previous pass's
+        // snapshot doubles as this pass's "before", so each pass prints
+        // at most once.
+        let mut prev_print: Option<String> = match mode {
+            IrSnapshotMode::None => None,
+            _ => Some(crate::printer::print_op(ctx, root)),
+        };
+        for (index, pass) in self.passes.iter().enumerate() {
+            let ops_before = count_ops(ctx, root);
+            let blocks_before = count_blocks(ctx, root);
+            let rewrites_before = ctx.rewrite_stats();
+            let start = Instant::now();
             pass.run(ctx, registry, root)?;
+            let nanos = start.elapsed().as_nanos();
             if self.dump_each {
                 eprintln!("// after {}:\n{}", pass.name(), crate::printer::print_op(ctx, root));
             }
@@ -129,6 +169,29 @@ impl PassManager {
                     PassError::new(pass.name(), format!("verification failed after pass: {e}"))
                 })?;
             }
+            let (changed, ir_after) = match mode {
+                IrSnapshotMode::None => (None, None),
+                _ => {
+                    let printed = crate::printer::print_op(ctx, root);
+                    let changed = prev_print.as_deref() != Some(printed.as_str());
+                    let keep = mode == IrSnapshotMode::All || changed;
+                    let ir_after = keep.then(|| printed.clone());
+                    prev_print = Some(printed);
+                    (Some(changed), ir_after)
+                }
+            };
+            observer.on_pass(PassEvent {
+                index,
+                pass: pass.name(),
+                nanos,
+                ops_before,
+                ops_after: count_ops(ctx, root),
+                blocks_before,
+                blocks_after: count_blocks(ctx, root),
+                rewrites: ctx.rewrite_stats().delta_since(rewrites_before),
+                changed,
+                ir_after,
+            });
         }
         Ok(())
     }
@@ -210,6 +273,41 @@ mod tests {
         let err = pm.run(&mut ctx, &registry, m).unwrap_err();
         assert_eq!(err.pass, "rename");
         assert!(err.message.contains("not registered"));
+    }
+
+    #[test]
+    fn recorder_sees_timing_and_deltas() {
+        use crate::observe::{IrSnapshotMode, PipelineRecorder};
+        let (mut ctx, registry, m) = setup();
+        let mut pm = PassManager::new();
+        pm.add(RenamePass { from: "t.a", to: "t.b" });
+        pm.add(RenamePass { from: "t.missing", to: "t.b" }); // no-op pass
+        let mut rec = PipelineRecorder::new(IrSnapshotMode::OnChange);
+        pm.run_observed(&mut ctx, &registry, m, &mut rec).unwrap();
+        assert_eq!(rec.events.len(), 2);
+        let first = &rec.events[0];
+        assert_eq!(first.pass, "rename");
+        assert_eq!(first.index, 0);
+        assert_eq!(first.ops_before, 2);
+        assert_eq!(first.ops_after, 2);
+        assert_eq!(first.changed, Some(true));
+        assert!(first.ir_after.as_deref().unwrap().contains("t.b"));
+        let second = &rec.events[1];
+        assert_eq!(second.index, 1);
+        assert_eq!(second.changed, Some(false));
+        assert!(second.ir_after.is_none(), "unchanged pass keeps no snapshot in OnChange mode");
+    }
+
+    #[test]
+    fn snapshot_mode_all_keeps_unchanged_ir() {
+        use crate::observe::{IrSnapshotMode, PipelineRecorder};
+        let (mut ctx, registry, m) = setup();
+        let mut pm = PassManager::new();
+        pm.add(RenamePass { from: "t.missing", to: "t.b" });
+        let mut rec = PipelineRecorder::new(IrSnapshotMode::All);
+        pm.run_observed(&mut ctx, &registry, m, &mut rec).unwrap();
+        assert_eq!(rec.events[0].changed, Some(false));
+        assert!(rec.events[0].ir_after.is_some());
     }
 
     #[test]

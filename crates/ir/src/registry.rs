@@ -135,10 +135,8 @@ impl DialectRegistry {
     ///
     /// Returns the first violation found.
     pub fn verify(&self, ctx: &Context, root: OpId) -> Result<(), VerifyError> {
-        ctx.verify_structure(root).map_err(|message| VerifyError {
-            op_name: ctx.op(root).name.clone(),
-            message,
-        })?;
+        ctx.verify_structure(root)
+            .map_err(|message| VerifyError { op_name: ctx.op(root).name.clone(), message })?;
         let mut all = vec![root];
         all.extend(ctx.walk(root));
         for &op_id in &all {

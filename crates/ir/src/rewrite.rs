@@ -18,12 +18,7 @@ pub trait RewritePattern {
     /// Returns `true` if the IR changed. After a change the driver
     /// re-walks the IR, so patterns may erase `op` or its neighbours
     /// freely — they must simply not touch already-erased operations.
-    fn match_and_rewrite(
-        &self,
-        ctx: &mut Context,
-        registry: &DialectRegistry,
-        op: OpId,
-    ) -> bool;
+    fn match_and_rewrite(&self, ctx: &mut Context, registry: &DialectRegistry, op: OpId) -> bool;
 }
 
 /// Applies `patterns` to every operation under `root` until fixpoint,
@@ -55,6 +50,7 @@ pub fn apply_patterns_greedily(
                 if pattern.match_and_rewrite(ctx, registry, op) {
                     changed = true;
                     total += 1;
+                    ctx.rewrite_stats.pattern_applications += 1;
                 }
             }
         }
@@ -93,6 +89,7 @@ pub fn eliminate_dead_code(ctx: &mut Context, registry: &DialectRegistry, root: 
             if results.iter().all(|&r| !ctx.has_uses(r)) {
                 ctx.erase_op(op);
                 erased += 1;
+                ctx.rewrite_stats.dce_erased += 1;
                 changed = true;
             }
         }
@@ -105,7 +102,7 @@ pub fn eliminate_dead_code(ctx: &mut Context, registry: &DialectRegistry, root: 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::attributes::Attribute;
+
     use crate::context::OpSpec;
     use crate::registry::OpInfo;
     use crate::types::Type;
@@ -160,14 +157,14 @@ mod tests {
         let (m, b) = module(&mut ctx);
         let c = ctx.append_op(b, OpSpec::new("t.const").results(vec![Type::F64]));
         let v = ctx.op(c).results[0];
-        let d = ctx.append_op(b, OpSpec::new("t.double").operands(vec![v]).results(vec![Type::F64]));
+        let d =
+            ctx.append_op(b, OpSpec::new("t.double").operands(vec![v]).results(vec![Type::F64]));
         let dv = ctx.op(d).results[0];
         ctx.append_op(b, OpSpec::new("t.use").operands(vec![dv]));
 
         let n = apply_patterns_greedily(&mut ctx, &registry(), m, &[&DoubleToAdd]);
         assert_eq!(n, 1);
-        let names: Vec<String> =
-            ctx.block_ops(b).iter().map(|&o| ctx.op(o).name.clone()).collect();
+        let names: Vec<String> = ctx.block_ops(b).iter().map(|&o| ctx.op(o).name.clone()).collect();
         assert_eq!(names, ["t.const", "t.add", "t.use"]);
         assert!(ctx.verify_structure(m).is_ok());
     }

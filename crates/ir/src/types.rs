@@ -194,14 +194,8 @@ mod tests {
         assert_eq!(Type::F64.to_string(), "f64");
         assert_eq!(Type::memref(vec![5, 200], Type::F64).to_string(), "memref<5x200xf64>");
         assert_eq!(Type::IntRegister(None).to_string(), "!rv.reg");
-        assert_eq!(
-            Type::IntRegister(Some(IntReg::a(0))).to_string(),
-            "!rv.reg<a0>"
-        );
-        assert_eq!(
-            Type::FpRegister(Some(FpReg::ft(3))).to_string(),
-            "!rv.freg<ft3>"
-        );
+        assert_eq!(Type::IntRegister(Some(IntReg::a(0))).to_string(), "!rv.reg<a0>");
+        assert_eq!(Type::FpRegister(Some(FpReg::ft(3))).to_string(), "!rv.freg<ft3>");
         assert_eq!(
             Type::ReadableStream(Box::new(Type::F64)).to_string(),
             "!memref_stream.readable<f64>"

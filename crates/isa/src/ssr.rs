@@ -32,10 +32,7 @@ impl SsrDataMover {
     ///
     /// Panics if `index >= NUM_SSR_DATA_MOVERS`.
     pub fn new(index: u8) -> SsrDataMover {
-        assert!(
-            (index as usize) < NUM_SSR_DATA_MOVERS,
-            "SSR data mover {index} out of range"
-        );
+        assert!((index as usize) < NUM_SSR_DATA_MOVERS, "SSR data mover {index} out of range");
         SsrDataMover(index)
     }
 

@@ -55,9 +55,7 @@ impl Instance {
                     vec![id.clone(), id.clone(), id],
                     vec![IteratorType::Parallel, IteratorType::Parallel],
                     None,
-                    |ctx, body, args| {
-                        vec![arith::binary(ctx, body, arith::ADDF, args[0], args[1])]
-                    },
+                    |ctx, body, args| vec![arith::binary(ctx, body, arith::ADDF, args[0], args[1])],
                 );
                 func::build_return(ctx, entry, vec![]);
             }
@@ -192,11 +190,7 @@ impl Instance {
                     vec![a, b],
                     vec![c],
                     vec![a_map, b_map, c_map],
-                    vec![
-                        IteratorType::Parallel,
-                        IteratorType::Parallel,
-                        IteratorType::Reduction,
-                    ],
+                    vec![IteratorType::Parallel, IteratorType::Parallel, IteratorType::Reduction],
                     None,
                     |ctx, body, args| {
                         let p = arith::binary(ctx, body, arith::MULF, args[0], args[1]);

@@ -32,21 +32,14 @@ pub fn supported(kind: Kind) -> bool {
 /// Panics if the shape violates the kernel's layout requirements (packed
 /// SIMD needs even element counts).
 pub fn build_handwritten(instance: &Instance) -> Result<Compilation, PassError> {
-    assert_eq!(
-        instance.precision,
-        Precision::F32,
-        "handwritten kernels use packed 32-bit SIMD"
-    );
+    assert_eq!(instance.precision, Precision::F32, "handwritten kernels use packed 32-bit SIMD");
     let mut ctx = Context::new();
     let module = match instance.kind {
         Kind::Sum => build_sum(&mut ctx, instance.shape),
         Kind::Relu => build_relu(&mut ctx, instance.shape),
         Kind::MatMulT => build_matmult(&mut ctx, instance.shape),
         other => {
-            return Err(PassError::new(
-                "handwritten",
-                format!("no handwritten variant of {other}"),
-            ))
+            return Err(PassError::new("handwritten", format!("no handwritten variant of {other}")))
         }
     };
     finalize(&mut ctx, module)
@@ -95,8 +88,7 @@ pub fn run_handwritten(
     use rand::{Rng, SeedableRng};
 
     let compilation = build_handwritten(instance).map_err(HarnessError::Compile)?;
-    let program =
-        mlb_sim::assemble(&compilation.assembly).map_err(HarnessError::Assemble)?;
+    let program = mlb_sim::assemble(&compilation.assembly).map_err(HarnessError::Assemble)?;
     let mut rng = StdRng::seed_from_u64(seed);
     let sizes = instance.buffer_sizes();
     let num_inputs = sizes.len() - 1;
@@ -125,8 +117,7 @@ pub fn run_handwritten(
         _ => crate::reference::reference(instance, &inputs, 0.0f32),
     };
     let symbol = format!("{}_hw", instance.symbol());
-    let counters =
-        machine.call(&program, &symbol, &addrs).map_err(HarnessError::Sim)?;
+    let counters = machine.call(&program, &symbol, &addrs).map_err(HarnessError::Sim)?;
     let out = machine.read_f32_slice(addrs[num_inputs], sizes[num_inputs]);
     for (index, (&g, &e)) in out.iter().zip(&expected).enumerate() {
         if g.to_bits() != e.to_bits() {
@@ -188,8 +179,7 @@ fn build_sum(ctx: &mut Context, shape: Shape) -> OpId {
         vec![z],
         vec![pattern.clone(), pattern.clone(), pattern],
         |ctx, body, streams| {
-            let (ft0, ft1, ft2_ty) =
-                (streams[0], streams[1], ctx.value_type(streams[2]).clone());
+            let (ft0, ft1, ft2_ty) = (streams[0], streams[1], ctx.value_type(streams[2]).clone());
             rv_snitch::build_frep(ctx, body, count, vec![], |ctx, fbody, _| {
                 // The result register is the write stream: each vfadd
                 // pushes one packed pair to Z.
@@ -269,18 +259,11 @@ fn build_matmult(ctx: &mut Context, shape: Shape) -> OpId {
 
     // Stream A: per (row, tile): the row's chunks, each delivered four
     // times (one per interleaved column) via the repeat register.
-    let a_pattern = StreamPattern::from_logical(
-        vec![chunks, m / 4, n],
-        vec![8, 0, k * 4],
-        3,
-    );
+    let a_pattern = StreamPattern::from_logical(vec![chunks, m / 4, n], vec![8, 0, k * 4], 3);
     // Stream B: per chunk, the four tile rows' chunks; then chunks; then
     // tiles; repeated for every A row (stride 0).
-    let b_pattern = StreamPattern::from_logical(
-        vec![4, chunks, m / 4, n],
-        vec![k * 4, 8, 4 * k * 4, 0],
-        0,
-    );
+    let b_pattern =
+        StreamPattern::from_logical(vec![4, chunks, m / 4, n], vec![k * 4, 8, 4 * k * 4, 0], 0);
     let zero_i = rv::get_register(ctx, entry, Type::IntRegister(Some(mlb_isa::IntReg::ZERO)));
     let zero_s = {
         let op = ctx.append_op(
@@ -304,51 +287,77 @@ fn build_matmult(ctx: &mut Context, shape: Shape) -> OpId {
         |ctx, body, streams| {
             let (ft0, ft1) = (streams[0], streams[1]);
             // Row loop carries the output pointer for C.
-            rv_scf::build_for(ctx, body, lb, n_reg, one, vec![c], |ctx, row_body, _riv, row_args| {
-                let c_row = row_args[0];
-                let tile_loop = rv_scf::build_for(
-                    ctx,
-                    row_body,
-                    lb,
-                    tiles,
-                    one,
-                    vec![c_row],
-                    |ctx, tile_body, _tiv, tile_args| {
-                        let c_ptr = tile_args[0];
-                        // Fresh packed-zero accumulators per tile.
-                        let accs: Vec<_> = (0..4)
-                            .map(|_| {
-                                rv::fp_binary(ctx, tile_body, rv_snitch::VFCPKA_S_S, zero_s, zero_s)
-                            })
-                            .collect();
-                        let frep =
-                            rv_snitch::build_frep(ctx, tile_body, count, accs, |ctx, fbody, args| {
-                                args.iter()
-                                    .map(|&acc| {
-                                        rv::fp_ternary(ctx, fbody, rv_snitch::VFMAC_S, ft0, ft1, acc)
-                                    })
-                                    .collect()
-                            });
-                        // Horizontal sums into scalar results, stored to C.
-                        let frep_results = ctx.op(frep.0).results.clone();
-                        for (j, &packed) in frep_results.iter().enumerate() {
-                            let seed = rv::fp_binary(
+            rv_scf::build_for(
+                ctx,
+                body,
+                lb,
+                n_reg,
+                one,
+                vec![c],
+                |ctx, row_body, _riv, row_args| {
+                    let c_row = row_args[0];
+                    let tile_loop = rv_scf::build_for(
+                        ctx,
+                        row_body,
+                        lb,
+                        tiles,
+                        one,
+                        vec![c_row],
+                        |ctx, tile_body, _tiv, tile_args| {
+                            let c_ptr = tile_args[0];
+                            // Fresh packed-zero accumulators per tile.
+                            let accs: Vec<_> = (0..4)
+                                .map(|_| {
+                                    rv::fp_binary(
+                                        ctx,
+                                        tile_body,
+                                        rv_snitch::VFCPKA_S_S,
+                                        zero_s,
+                                        zero_s,
+                                    )
+                                })
+                                .collect();
+                            let frep = rv_snitch::build_frep(
                                 ctx,
                                 tile_body,
-                                rv_snitch::VFCPKA_S_S,
-                                zero_s,
-                                zero_s,
+                                count,
+                                accs,
+                                |ctx, fbody, args| {
+                                    args.iter()
+                                        .map(|&acc| {
+                                            rv::fp_ternary(
+                                                ctx,
+                                                fbody,
+                                                rv_snitch::VFMAC_S,
+                                                ft0,
+                                                ft1,
+                                                acc,
+                                            )
+                                        })
+                                        .collect()
+                                },
                             );
-                            let sum =
-                                rv::fp_binary(ctx, tile_body, rv_snitch::VFSUM_S, packed, seed);
-                            rv::fp_store(ctx, tile_body, rv::FSW, sum, c_ptr, (j as i64) * 4);
-                        }
-                        vec![rv::int_imm(ctx, tile_body, rv::ADDI, c_ptr, 16)]
-                    },
-                );
-                // After all tiles the pointer has advanced one full row.
-                vec![ctx.op(tile_loop.0).results[0]]
-            });
+                            // Horizontal sums into scalar results, stored to C.
+                            let frep_results = ctx.op(frep.0).results.clone();
+                            for (j, &packed) in frep_results.iter().enumerate() {
+                                let seed = rv::fp_binary(
+                                    ctx,
+                                    tile_body,
+                                    rv_snitch::VFCPKA_S_S,
+                                    zero_s,
+                                    zero_s,
+                                );
+                                let sum =
+                                    rv::fp_binary(ctx, tile_body, rv_snitch::VFSUM_S, packed, seed);
+                                rv::fp_store(ctx, tile_body, rv::FSW, sum, c_ptr, (j as i64) * 4);
+                            }
+                            vec![rv::int_imm(ctx, tile_body, rv::ADDI, c_ptr, 16)]
+                        },
+                    );
+                    // After all tiles the pointer has advanced one full row.
+                    vec![ctx.op(tile_loop.0).results[0]]
+                },
+            );
         },
     );
     rv_func::build_ret(ctx, entry);

@@ -101,7 +101,7 @@ pub fn run_compiled(
     let program = assemble(&compilation.assembly).map_err(HarnessError::Assemble)?;
     let mut rng = StdRng::seed_from_u64(seed);
     let sizes = instance.buffer_sizes();
-    let esz = (instance.precision.bits() / 8) as u32;
+    let esz = instance.precision.bits() / 8;
     let mut machine = Machine::new();
 
     // Place buffers back to back, 8-byte aligned.
@@ -146,7 +146,10 @@ pub fn run_compiled(
             }
             let expected = reference(instance, &inputs, FILL_VALUE as f32);
             if instance.kind == Kind::Fill {
-                machine.set_f_bits(FpReg::fa(0), ((FILL_VALUE as f32).to_bits() as u64) | 0xFFFF_FFFF_0000_0000);
+                machine.set_f_bits(
+                    FpReg::fa(0),
+                    ((FILL_VALUE as f32).to_bits() as u64) | 0xFFFF_FFFF_0000_0000,
+                );
             }
             let int_args: Vec<u32> = addrs.clone();
             let counters =

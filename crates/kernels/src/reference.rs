@@ -81,9 +81,7 @@ pub fn reference<T: Scalar>(instance: &Instance, inputs: &[Vec<T>], scalar: T) -
     }
     match instance.kind {
         Kind::Fill => vec![scalar; n * m],
-        Kind::Sum => {
-            inputs[0].iter().zip(&inputs[1]).map(|(&a, &b)| a.add(b)).collect()
-        }
+        Kind::Sum => inputs[0].iter().zip(&inputs[1]).map(|(&a, &b)| a.add(b)).collect(),
         Kind::Relu => inputs[0].iter().map(|&a| a.max(T::zero())).collect(),
         Kind::Conv3x3 => {
             let x = &inputs[0];
@@ -111,8 +109,7 @@ pub fn reference<T: Scalar>(instance: &Instance, inputs: &[Vec<T>], scalar: T) -
             let mut out = Vec::with_capacity(n * m);
             for r in 0..n {
                 for c in 0..m {
-                    let mut acc =
-                        if is_max { T::from_f64(MAX_POOL_INIT) } else { T::zero() };
+                    let mut acc = if is_max { T::from_f64(MAX_POOL_INIT) } else { T::zero() };
                     for kh in 0..3 {
                         for kw in 0..3 {
                             let v = x[(r + kh) * width + c + kw];
@@ -182,7 +179,7 @@ mod tests {
     fn pool_references() {
         let i = Instance::new(Kind::MaxPool3x3, Shape::nm(1, 1), Precision::F64);
         let x: Vec<f64> = (0..9).map(f64::from).collect();
-        assert_eq!(reference(&i, &[x.clone()], 0.0), vec![8.0]);
+        assert_eq!(reference(&i, std::slice::from_ref(&x), 0.0), vec![8.0]);
         let i = Instance::new(Kind::SumPool3x3, Shape::nm(1, 1), Precision::F64);
         assert_eq!(reference(&i, &[x], 0.0), vec![36.0]);
     }

@@ -114,7 +114,8 @@ fn emit_op(
     match name {
         rv::GET_REGISTER => {} // SSA bridge only; nothing to print.
         rv::LI => {
-            let _ = writeln!(out, "    li {}, {}", int_reg_of(ctx, o.results[0])?, imm_of(ctx, op)?);
+            let _ =
+                writeln!(out, "    li {}, {}", int_reg_of(ctx, o.results[0])?, imm_of(ctx, op)?);
         }
         rv::MV => {
             let rd = int_reg_of(ctx, o.results[0])?;
@@ -245,7 +246,8 @@ fn emit_op(
             );
         }
         rv::CSRRSI | rv::CSRRCI => {
-            let csr = o.attr("csr").and_then(Attribute::as_int).ok_or_else(|| err("missing csr"))?;
+            let csr =
+                o.attr("csr").and_then(Attribute::as_int).ok_or_else(|| err("missing csr"))?;
             let _ = writeln!(out, "    {mn} zero, {csr:#x}, {}", imm_of(ctx, op)?);
         }
         rv_snitch::SSR_ENABLE => {
@@ -406,13 +408,10 @@ loop:
         let ft0 = rv::get_register(&mut ctx, entry, Type::FpRegister(Some(FpReg::ft(0))));
         let ft1 = rv::get_register(&mut ctx, entry, Type::FpRegister(Some(FpReg::ft(1))));
         let acc0 = rv::get_register(&mut ctx, entry, Type::FpRegister(Some(FpReg::ft(3))));
-        let frep = crate::rv_snitch::build_frep(
-            &mut ctx,
-            entry,
-            count,
-            vec![acc0],
-            |ctx, body, args| vec![rv::fp_ternary(ctx, body, rv::FMADD_D, ft0, ft1, args[0])],
-        );
+        let frep =
+            crate::rv_snitch::build_frep(&mut ctx, entry, count, vec![acc0], |ctx, body, args| {
+                vec![rv::fp_ternary(ctx, body, rv::FMADD_D, ft0, ft1, args[0])]
+            });
         // Allocate the carried value chain to ft3 throughout.
         let arg = frep.iter_args(&ctx)[0];
         alloc_fp(&mut ctx, arg, FpReg::ft(3));

@@ -318,7 +318,13 @@ fn verify_get_register(ctx: &Context, op: OpId) -> Result<(), VerifyError> {
 // ----- builders --------------------------------------------------------------
 
 /// Builds an integer register-register instruction.
-pub fn int_binary(ctx: &mut Context, block: BlockId, name: &str, a: ValueId, b: ValueId) -> ValueId {
+pub fn int_binary(
+    ctx: &mut Context,
+    block: BlockId,
+    name: &str,
+    a: ValueId,
+    b: ValueId,
+) -> ValueId {
     let op = ctx.append_op(block, OpSpec::new(name).operands(vec![a, b]).results(vec![reg()]));
     ctx.op(op).results[0]
 }
@@ -362,7 +368,10 @@ pub fn fp_ternary(
 pub fn fp_load(ctx: &mut Context, block: BlockId, name: &str, base: ValueId, imm: i64) -> ValueId {
     let op = ctx.append_op(
         block,
-        OpSpec::new(name).operands(vec![base]).attr("imm", Attribute::Int(imm)).results(vec![freg()]),
+        OpSpec::new(name)
+            .operands(vec![base])
+            .attr("imm", Attribute::Int(imm))
+            .results(vec![freg()]),
     );
     ctx.op(op).results[0]
 }
@@ -455,7 +464,10 @@ mod tests {
         let w = {
             let op = ctx.append_op(
                 b,
-                OpSpec::new(LW).operands(vec![base]).attr("imm", Attribute::Int(0)).results(vec![reg()]),
+                OpSpec::new(LW)
+                    .operands(vec![base])
+                    .attr("imm", Attribute::Int(0))
+                    .results(vec![reg()]),
             );
             ctx.op(op).results[0]
         };

@@ -2,9 +2,7 @@
 //! between basic blocks, the final control-flow form before assembly
 //! emission (Section 3.1).
 
-use mlb_ir::{
-    BlockId, Context, DialectRegistry, OpId, OpInfo, OpSpec, Type, ValueId, VerifyError,
-};
+use mlb_ir::{BlockId, Context, DialectRegistry, OpId, OpInfo, OpSpec, Type, ValueId, VerifyError};
 
 /// `rv_cf.j`: unconditional jump. One successor.
 pub const J: &str = "rv_cf.j";
@@ -97,7 +95,10 @@ mod tests {
         let n = rv::li(&mut ctx, entry, 8);
         build_j(&mut ctx, entry, body);
         build_branch(&mut ctx, body, BLT, i, n, body, exit);
-        ctx.append_op(exit, OpSpec::new("rv.li").attr("imm", mlb_ir::Attribute::Int(0)).results(vec![rv::reg()]));
+        ctx.append_op(
+            exit,
+            OpSpec::new("rv.li").attr("imm", mlb_ir::Attribute::Int(0)).results(vec![rv::reg()]),
+        );
         assert!(r.verify(&ctx, m).is_ok(), "{:?}", r.verify(&ctx, m));
     }
 

@@ -136,7 +136,7 @@ pub fn symbol_name(ctx: &Context, func: OpId) -> Option<&str> {
 }
 
 /// The argument values of the function entry block.
-pub fn arguments<'c>(ctx: &'c Context, func: OpId) -> &'c [ValueId] {
+pub fn arguments(ctx: &Context, func: OpId) -> &[ValueId] {
     ctx.block_args(entry_block(ctx, func))
 }
 
@@ -176,10 +176,8 @@ mod tests {
             b,
             OpSpec::new(FUNC).attr("sym_name", Attribute::Symbol("bad".into())).regions(1),
         );
-        let entry = ctx.create_block(
-            ctx.op(func).regions[0],
-            vec![Type::IntRegister(Some(IntReg::a(1)))],
-        );
+        let entry =
+            ctx.create_block(ctx.op(func).regions[0], vec![Type::IntRegister(Some(IntReg::a(1)))]);
         build_ret(&mut ctx, entry);
         assert!(r.verify(&ctx, m).is_err());
     }

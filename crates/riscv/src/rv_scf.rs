@@ -5,9 +5,7 @@
 //! during register allocation" (Section 3.1). It is lowered to `rv_cf`
 //! branches only after registers have been allocated.
 
-use mlb_ir::{
-    BlockId, Context, DialectRegistry, OpId, OpInfo, OpSpec, Type, ValueId, VerifyError,
-};
+use mlb_ir::{BlockId, Context, DialectRegistry, OpId, OpInfo, OpSpec, Type, ValueId, VerifyError};
 
 /// `rv_scf.for`: counted loop over registers. Operands: `lb, ub, step,
 /// init...`; body args: `iv, iter...`; results mirror the iter values.
@@ -108,7 +106,7 @@ impl RvForOp {
     }
 
     /// The loop-carried initial values.
-    pub fn iter_inits<'c>(self, ctx: &'c Context) -> &'c [ValueId] {
+    pub fn iter_inits(self, ctx: &Context) -> &[ValueId] {
         &ctx.op(self.0).operands[3..]
     }
 
@@ -123,7 +121,7 @@ impl RvForOp {
     }
 
     /// The loop-carried block arguments.
-    pub fn iter_args<'c>(self, ctx: &'c Context) -> &'c [ValueId] {
+    pub fn iter_args(self, ctx: &Context) -> &[ValueId] {
         &ctx.block_args(self.body(ctx))[1..]
     }
 

@@ -168,7 +168,7 @@ impl FrepOp {
     }
 
     /// The loop-carried initial values.
-    pub fn iter_inits<'c>(self, ctx: &'c Context) -> &'c [ValueId] {
+    pub fn iter_inits(self, ctx: &Context) -> &[ValueId] {
         &ctx.op(self.0).operands[1..]
     }
 
@@ -178,7 +178,7 @@ impl FrepOp {
     }
 
     /// The loop-carried block arguments.
-    pub fn iter_args<'c>(self, ctx: &'c Context) -> &'c [ValueId] {
+    pub fn iter_args(self, ctx: &Context) -> &[ValueId] {
         ctx.block_args(self.body(ctx))
     }
 

@@ -133,7 +133,7 @@ impl StreamingRegionOp {
     }
 
     /// The base-pointer operands.
-    pub fn base_pointers<'c>(self, ctx: &'c Context) -> &'c [ValueId] {
+    pub fn base_pointers(self, ctx: &Context) -> &[ValueId] {
         &ctx.op(self.0).operands
     }
 
@@ -172,9 +172,8 @@ pub fn build_streaming_region(
             )
             .regions(1),
     );
-    let arg_types: Vec<Type> = (0..operands.len())
-        .map(|i| Type::FpRegister(Some(FpReg::ft(i as u8))))
-        .collect();
+    let arg_types: Vec<Type> =
+        (0..operands.len()).map(|i| Type::FpRegister(Some(FpReg::ft(i as u8)))).collect();
     let body_block = ctx.create_block(ctx.op(op).regions[0], arg_types);
     let streams = ctx.block_args(body_block).to_vec();
     body(ctx, body_block, &streams);
@@ -241,10 +240,7 @@ mod tests {
             OpSpec::new(STREAMING_REGION)
                 .operands(vec![ptr, ptr, ptr, ptr])
                 .attr(NUM_INPUTS, Attribute::Int(4))
-                .attr(
-                    PATTERNS,
-                    Attribute::Array(vec![Attribute::StreamPattern(p); 4]),
-                )
+                .attr(PATTERNS, Attribute::Array(vec![Attribute::StreamPattern(p); 4]))
                 .regions(1),
         );
         let args = (0..4).map(|i| Type::FpRegister(Some(FpReg::new(i)))).collect();

@@ -60,10 +60,7 @@ pub fn assemble(source: &str) -> Result<Program, AsmError> {
     let mut instrs = Vec::with_capacity(index);
     for (lineno, raw) in source.lines().enumerate() {
         let line = strip_comment(raw).trim();
-        if line.is_empty()
-            || line.ends_with(':')
-            || line.starts_with('.') && !line.ends_with(':')
-        {
+        if line.is_empty() || line.ends_with(':') || line.starts_with('.') && !line.ends_with(':') {
             continue;
         }
         let instr = parse_instr(line, &symbols)
@@ -113,11 +110,8 @@ fn parse_target(s: &str, symbols: &HashMap<String, usize>) -> Result<usize, Stri
 
 fn parse_instr(line: &str, symbols: &HashMap<String, usize>) -> Result<Instr, String> {
     let (mn, rest) = line.split_once(char::is_whitespace).unwrap_or((line, ""));
-    let ops: Vec<&str> = if rest.trim().is_empty() {
-        Vec::new()
-    } else {
-        rest.split(',').map(str::trim).collect()
-    };
+    let ops: Vec<&str> =
+        if rest.trim().is_empty() { Vec::new() } else { rest.split(',').map(str::trim).collect() };
     let need = |n: usize| -> Result<(), String> {
         if ops.len() == n {
             Ok(())
@@ -126,13 +120,28 @@ fn parse_instr(line: &str, symbols: &HashMap<String, usize>) -> Result<Instr, St
         }
     };
     let int_bin = |op: IntOp, ops: &[&str]| -> Result<Instr, String> {
-        Ok(Instr::IntOp { op, rd: parse_int_reg(ops[0])?, rs1: parse_int_reg(ops[1])?, rs2: parse_int_reg(ops[2])? })
+        Ok(Instr::IntOp {
+            op,
+            rd: parse_int_reg(ops[0])?,
+            rs1: parse_int_reg(ops[1])?,
+            rs2: parse_int_reg(ops[2])?,
+        })
     };
     let int_imm = |op: IntImmOp, ops: &[&str]| -> Result<Instr, String> {
-        Ok(Instr::IntImm { op, rd: parse_int_reg(ops[0])?, rs1: parse_int_reg(ops[1])?, imm: parse_imm(ops[2])? })
+        Ok(Instr::IntImm {
+            op,
+            rd: parse_int_reg(ops[0])?,
+            rs1: parse_int_reg(ops[1])?,
+            imm: parse_imm(ops[2])?,
+        })
     };
     let fp_bin = |op: FpBinOp, ops: &[&str]| -> Result<Instr, String> {
-        Ok(Instr::FpBin { op, rd: parse_fp_reg(ops[0])?, rs1: parse_fp_reg(ops[1])?, rs2: parse_fp_reg(ops[2])? })
+        Ok(Instr::FpBin {
+            op,
+            rd: parse_fp_reg(ops[0])?,
+            rs1: parse_fp_reg(ops[1])?,
+            rs2: parse_fp_reg(ops[2])?,
+        })
     };
     let branch = |cond: BranchCond, ops: &[&str]| -> Result<Instr, String> {
         Ok(Instr::Branch {
@@ -262,7 +271,11 @@ fn parse_instr(line: &str, symbols: &HashMap<String, usize>) -> Result<Instr, St
         }
         "vfmac.s" => {
             need(3)?;
-            Ok(Instr::VfmacS { rd: parse_fp_reg(ops[0])?, rs1: parse_fp_reg(ops[1])?, rs2: parse_fp_reg(ops[2])? })
+            Ok(Instr::VfmacS {
+                rd: parse_fp_reg(ops[0])?,
+                rs1: parse_fp_reg(ops[1])?,
+                rs2: parse_fp_reg(ops[2])?,
+            })
         }
         "vfsum.s" => {
             need(2)?;
@@ -366,7 +379,12 @@ k:
         );
         assert_eq!(
             p.instrs[2],
-            Instr::FpStore { width: FpWidth::Double, rs2: FpReg::ft(3), base: IntReg::a(1), imm: 0 }
+            Instr::FpStore {
+                width: FpWidth::Double,
+                rs2: FpReg::ft(3),
+                base: IntReg::a(1),
+                imm: 0
+            }
         );
         assert_eq!(p.instrs[5], Instr::Scfgwi { rs1: IntReg::t(1), imm: 64 });
         assert_eq!(p.instrs[6], Instr::Csrrsi { csr: 0x7c0, imm: 1 });

@@ -35,6 +35,11 @@ pub struct PerfCounters {
     pub ssr_reads: u64,
     /// Elements pushed to write streams.
     pub ssr_writes: u64,
+    /// FPU arithmetic instructions issued (from any source).
+    pub fpu_instrs: u64,
+    /// FPU arithmetic instructions issued by the FREP sequencer (no
+    /// integer-core dispatch; subset of [`PerfCounters::fpu_instrs`]).
+    pub frep_fpu_instrs: u64,
 }
 
 impl PerfCounters {
@@ -66,6 +71,86 @@ impl PerfCounters {
             self.flops as f64 / self.cycles as f64
         }
     }
+
+    /// Counter-wise difference `self - before`.
+    ///
+    /// The exhaustive destructuring makes adding a counter field a
+    /// compile error here, so call-delta computations cannot silently
+    /// miss new counters.
+    #[must_use]
+    pub fn delta_since(&self, before: &PerfCounters) -> PerfCounters {
+        let PerfCounters {
+            cycles,
+            instructions,
+            fpu_busy_cycles,
+            flops,
+            int_loads,
+            int_stores,
+            fp_loads,
+            fp_stores,
+            fmadd,
+            frep,
+            taken_branches,
+            scfgwi,
+            ssr_reads,
+            ssr_writes,
+            fpu_instrs,
+            frep_fpu_instrs,
+        } = *before;
+        PerfCounters {
+            cycles: self.cycles - cycles,
+            instructions: self.instructions - instructions,
+            fpu_busy_cycles: self.fpu_busy_cycles - fpu_busy_cycles,
+            flops: self.flops - flops,
+            int_loads: self.int_loads - int_loads,
+            int_stores: self.int_stores - int_stores,
+            fp_loads: self.fp_loads - fp_loads,
+            fp_stores: self.fp_stores - fp_stores,
+            fmadd: self.fmadd - fmadd,
+            frep: self.frep - frep,
+            taken_branches: self.taken_branches - taken_branches,
+            scfgwi: self.scfgwi - scfgwi,
+            ssr_reads: self.ssr_reads - ssr_reads,
+            ssr_writes: self.ssr_writes - ssr_writes,
+            fpu_instrs: self.fpu_instrs - fpu_instrs,
+            frep_fpu_instrs: self.frep_fpu_instrs - frep_fpu_instrs,
+        }
+    }
+
+    /// Derives the occupancy summary for these counters.
+    pub fn occupancy(&self) -> OccupancySummary {
+        let frac = |num: u64, den: u64| if den == 0 { 0.0 } else { num as f64 / den as f64 };
+        OccupancySummary {
+            cycles: self.cycles,
+            fpu_utilization: self.fpu_utilization(),
+            flops_per_cycle: self.throughput(),
+            frep_coverage: frac(self.frep_fpu_instrs, self.fpu_instrs),
+            ssr_read_density: frac(self.ssr_reads, self.cycles),
+            ssr_write_density: frac(self.ssr_writes, self.cycles),
+        }
+    }
+}
+
+/// Execution-unit occupancy, derived from [`PerfCounters`].
+///
+/// The view `mlbc --trace-json` emits next to per-pass timings: how busy
+/// the FPU was, how much of its work the FREP sequencer issued, and how
+/// dense the SSR memory traffic was.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OccupancySummary {
+    /// Total cycles of the measured run.
+    pub cycles: u64,
+    /// Fraction of cycles the FPU issue slot was busy.
+    pub fpu_utilization: f64,
+    /// FLOPs per cycle.
+    pub flops_per_cycle: f64,
+    /// Fraction of FPU instructions issued by the FREP sequencer rather
+    /// than dispatched by the integer core.
+    pub frep_coverage: f64,
+    /// Read-stream elements popped per cycle (over all three movers).
+    pub ssr_read_density: f64,
+    /// Write-stream elements pushed per cycle (over all three movers).
+    pub ssr_write_density: f64,
 }
 
 #[cfg(test)]
@@ -95,5 +180,46 @@ mod tests {
         let c = PerfCounters::default();
         assert_eq!(c.fpu_utilization(), 0.0);
         assert_eq!(c.throughput(), 0.0);
+        let occ = c.occupancy();
+        assert_eq!(occ.fpu_utilization, 0.0);
+        assert_eq!(occ.frep_coverage, 0.0);
+        assert_eq!(occ.ssr_read_density, 0.0);
+    }
+
+    #[test]
+    fn delta_since_subtracts_every_field() {
+        let before =
+            PerfCounters { cycles: 10, ssr_reads: 4, fpu_instrs: 3, ..PerfCounters::default() };
+        let mut after = before;
+        after.cycles = 25;
+        after.ssr_reads = 9;
+        after.fpu_instrs = 7;
+        after.frep_fpu_instrs = 2;
+        let d = after.delta_since(&before);
+        assert_eq!(d.cycles, 15);
+        assert_eq!(d.ssr_reads, 5);
+        assert_eq!(d.fpu_instrs, 4);
+        assert_eq!(d.frep_fpu_instrs, 2);
+        assert_eq!(d.instructions, 0);
+    }
+
+    #[test]
+    fn occupancy_ratios() {
+        let c = PerfCounters {
+            cycles: 100,
+            fpu_busy_cycles: 80,
+            flops: 160,
+            fpu_instrs: 50,
+            frep_fpu_instrs: 40,
+            ssr_reads: 100,
+            ssr_writes: 50,
+            ..PerfCounters::default()
+        };
+        let occ = c.occupancy();
+        assert!((occ.fpu_utilization - 0.8).abs() < 1e-12);
+        assert!((occ.flops_per_cycle - 1.6).abs() < 1e-12);
+        assert!((occ.frep_coverage - 0.8).abs() < 1e-12);
+        assert!((occ.ssr_read_density - 1.0).abs() < 1e-12);
+        assert!((occ.ssr_write_density - 0.5).abs() < 1e-12);
     }
 }

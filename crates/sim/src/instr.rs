@@ -179,6 +179,102 @@ impl Instr {
     }
 }
 
+impl std::fmt::Display for FpBinOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mnemonic = match self {
+            FpBinOp::FaddD => "fadd.d",
+            FpBinOp::FsubD => "fsub.d",
+            FpBinOp::FmulD => "fmul.d",
+            FpBinOp::FdivD => "fdiv.d",
+            FpBinOp::FmaxD => "fmax.d",
+            FpBinOp::FaddS => "fadd.s",
+            FpBinOp::FsubS => "fsub.s",
+            FpBinOp::FmulS => "fmul.s",
+            FpBinOp::FmaxS => "fmax.s",
+            FpBinOp::VfaddS => "vfadd.s",
+            FpBinOp::VfmulS => "vfmul.s",
+            FpBinOp::VfmaxS => "vfmax.s",
+            FpBinOp::VfcpkaSS => "vfcpka.s.s",
+        };
+        f.write_str(mnemonic)
+    }
+}
+
+/// Disassembles the instruction in the assembler's syntax. Control-flow
+/// targets, already resolved to instruction indices, print as `@index`.
+impl std::fmt::Display for Instr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            Instr::Li { rd, imm } => write!(f, "li {rd}, {imm}"),
+            Instr::Mv { rd, rs } => write!(f, "mv {rd}, {rs}"),
+            Instr::IntOp { op, rd, rs1, rs2 } => {
+                let m = match op {
+                    IntOp::Add => "add",
+                    IntOp::Sub => "sub",
+                    IntOp::Mul => "mul",
+                };
+                write!(f, "{m} {rd}, {rs1}, {rs2}")
+            }
+            Instr::IntImm { op, rd, rs1, imm } => {
+                let m = match op {
+                    IntImmOp::Addi => "addi",
+                    IntImmOp::Slli => "slli",
+                };
+                write!(f, "{m} {rd}, {rs1}, {imm}")
+            }
+            Instr::Lw { rd, base, imm } => write!(f, "lw {rd}, {imm}({base})"),
+            Instr::Sw { rs2, base, imm } => write!(f, "sw {rs2}, {imm}({base})"),
+            Instr::FpLoad { width, rd, base, imm } => {
+                let m = match width {
+                    FpWidth::Double => "fld",
+                    FpWidth::Single => "flw",
+                };
+                write!(f, "{m} {rd}, {imm}({base})")
+            }
+            Instr::FpStore { width, rs2, base, imm } => {
+                let m = match width {
+                    FpWidth::Double => "fsd",
+                    FpWidth::Single => "fsw",
+                };
+                write!(f, "{m} {rs2}, {imm}({base})")
+            }
+            Instr::FpBin { op, rd, rs1, rs2 } => write!(f, "{op} {rd}, {rs1}, {rs2}"),
+            Instr::Fmadd { width, rd, rs1, rs2, rs3 } => {
+                let m = match width {
+                    FpWidth::Double => "fmadd.d",
+                    FpWidth::Single => "fmadd.s",
+                };
+                write!(f, "{m} {rd}, {rs1}, {rs2}, {rs3}")
+            }
+            Instr::FmvD { rd, rs } => write!(f, "fmv.d {rd}, {rs}"),
+            Instr::VfmacS { rd, rs1, rs2 } => write!(f, "vfmac.s {rd}, {rs1}, {rs2}"),
+            Instr::VfsumS { rd, rs1 } => write!(f, "vfsum.s {rd}, {rs1}"),
+            Instr::Fcvt { width, rd, rs } => {
+                let m = match width {
+                    FpWidth::Double => "fcvt.d.w",
+                    FpWidth::Single => "fcvt.s.w",
+                };
+                write!(f, "{m} {rd}, {rs}")
+            }
+            Instr::Csrrsi { csr, imm } => write!(f, "csrrsi zero, {csr:#x}, {imm}"),
+            Instr::Csrrci { csr, imm } => write!(f, "csrrci zero, {csr:#x}, {imm}"),
+            Instr::Scfgwi { rs1, imm } => write!(f, "scfgwi {rs1}, {imm}"),
+            Instr::FrepO { rs1, n_instr } => write!(f, "frep.o {rs1}, {n_instr}, 0, 0"),
+            Instr::Branch { cond, rs1, rs2, target } => {
+                let m = match cond {
+                    BranchCond::Lt => "blt",
+                    BranchCond::Ge => "bge",
+                    BranchCond::Ne => "bne",
+                    BranchCond::Eq => "beq",
+                };
+                write!(f, "{m} {rs1}, {rs2}, @{target}")
+            }
+            Instr::J { target } => write!(f, "j @{target}"),
+            Instr::Ret => f.write_str("ret"),
+        }
+    }
+}
+
 /// A program: instructions plus symbol table.
 #[derive(Debug, Clone, Default)]
 pub struct Program {
@@ -200,6 +296,37 @@ mod tests {
         assert!(Instr::FmvD { rd: ft0, rs: ft0 }.is_fpu());
         assert!(!Instr::FpLoad { width: FpWidth::Double, rd: ft0, base: a0, imm: 0 }.is_fpu());
         assert!(!Instr::Li { rd: a0, imm: 0 }.is_fpu());
+    }
+
+    #[test]
+    fn disassembly_matches_assembler_syntax() {
+        let a0 = IntReg::a(0);
+        let t0 = IntReg::t(0);
+        let ft0 = FpReg::ft(0);
+        let ft1 = FpReg::ft(1);
+        let cases = [
+            (Instr::Li { rd: t0, imm: -3 }, "li t0, -3"),
+            (Instr::Lw { rd: t0, base: a0, imm: 8 }, "lw t0, 8(a0)"),
+            (Instr::FpLoad { width: FpWidth::Double, rd: ft0, base: a0, imm: 0 }, "fld ft0, 0(a0)"),
+            (
+                Instr::FpBin { op: FpBinOp::FaddD, rd: ft1, rs1: ft0, rs2: ft0 },
+                "fadd.d ft1, ft0, ft0",
+            ),
+            (
+                Instr::Fmadd { width: FpWidth::Double, rd: ft1, rs1: ft0, rs2: ft0, rs3: ft1 },
+                "fmadd.d ft1, ft0, ft0, ft1",
+            ),
+            (Instr::FrepO { rs1: t0, n_instr: 2 }, "frep.o t0, 2, 0, 0"),
+            (Instr::Csrrsi { csr: 0x7c0, imm: 1 }, "csrrsi zero, 0x7c0, 1"),
+            (
+                Instr::Branch { cond: BranchCond::Lt, rs1: t0, rs2: a0, target: 12 },
+                "blt t0, a0, @12",
+            ),
+            (Instr::Ret, "ret"),
+        ];
+        for (instr, expect) in cases {
+            assert_eq!(instr.to_string(), expect);
+        }
     }
 
     #[test]

@@ -36,8 +36,10 @@ pub mod counters;
 pub mod instr;
 pub mod machine;
 pub mod ssr;
+pub mod trace;
 
 pub use asm::{assemble, AsmError};
-pub use counters::PerfCounters;
+pub use counters::{OccupancySummary, PerfCounters};
 pub use instr::{Instr, Program};
 pub use machine::{Machine, SimError};
+pub use trace::{StallReason, TraceEntry};

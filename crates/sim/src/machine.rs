@@ -24,6 +24,7 @@ use mlb_isa::{FpReg, IntReg, SsrCfgReg, CSR_SSR, FPU_PIPELINE_DEPTH, TCDM_BASE, 
 use crate::counters::PerfCounters;
 use crate::instr::{BranchCond, FpBinOp, FpWidth, Instr, IntImmOp, IntOp, Program};
 use crate::ssr::{DataMover, SsrDirection};
+use crate::trace::{StallReason, TraceEntry};
 
 /// Use latency of integer loads.
 const LOAD_LATENCY: u64 = 2;
@@ -71,6 +72,8 @@ pub struct Machine {
     max_completion: u64,
     /// Dynamic instruction budget to catch runaway loops.
     budget: u64,
+    /// Execution trace of the current call, when enabled.
+    trace: Option<Vec<TraceEntry>>,
 }
 
 impl Default for Machine {
@@ -95,12 +98,42 @@ impl Machine {
             fp_ready: [0; 32],
             max_completion: 0,
             budget: 200_000_000,
+            trace: None,
         }
     }
 
     /// The performance counters accumulated so far.
     pub fn counters(&self) -> &PerfCounters {
         &self.counters
+    }
+
+    /// Enables execution tracing. Each subsequent [`Machine::call`]
+    /// restarts the trace; read it with [`Machine::trace`] or drain it
+    /// with [`Machine::take_trace`].
+    pub fn enable_trace(&mut self) {
+        self.trace = Some(Vec::new());
+    }
+
+    /// The trace of the most recent call, if tracing is enabled.
+    pub fn trace(&self) -> Option<&[TraceEntry]> {
+        self.trace.as_deref()
+    }
+
+    /// Takes the recorded trace, leaving tracing enabled (empty).
+    pub fn take_trace(&mut self) -> Option<Vec<TraceEntry>> {
+        self.trace.as_mut().map(std::mem::take)
+    }
+
+    /// Cumulative (reads, writes) element counts popped by each of the
+    /// three SSR data movers (`ft0`–`ft2`).
+    pub fn ssr_pop_counts(&self) -> [(u64, u64); 3] {
+        [self.movers[0].pop_counts(), self.movers[1].pop_counts(), self.movers[2].pop_counts()]
+    }
+
+    fn record(&mut self, entry: TraceEntry) {
+        if let Some(trace) = &mut self.trace {
+            trace.push(entry);
+        }
     }
 
     /// Sets the dynamic-instruction budget (runaway-loop guard).
@@ -143,7 +176,7 @@ impl Machine {
         if addr < TCDM_BASE || offset + size > TCDM_SIZE {
             return Err(format!("address {addr:#x} outside TCDM"));
         }
-        if addr as usize % size != 0 {
+        if !(addr as usize).is_multiple_of(size) {
             return Err(format!("misaligned {size}-byte access at {addr:#x}"));
         }
         Ok(offset)
@@ -165,12 +198,16 @@ impl Machine {
 
     /// Reads a `u32` from TCDM.
     pub fn read_u32(&self, addr: u32) -> Result<u32, SimError> {
-        self.read_bytes::<4>(addr).map(u32::from_le_bytes).map_err(|m| SimError { pc: None, message: m })
+        self.read_bytes::<4>(addr)
+            .map(u32::from_le_bytes)
+            .map_err(|m| SimError { pc: None, message: m })
     }
 
     /// Reads a `u64` from TCDM.
     pub fn read_u64(&self, addr: u32) -> Result<u64, SimError> {
-        self.read_bytes::<8>(addr).map(u64::from_le_bytes).map_err(|m| SimError { pc: None, message: m })
+        self.read_bytes::<8>(addr)
+            .map(u64::from_le_bytes)
+            .map_err(|m| SimError { pc: None, message: m })
     }
 
     /// Writes an `f64` slice into TCDM at `addr`.
@@ -191,7 +228,9 @@ impl Machine {
     /// Panics if the source range is outside the TCDM.
     pub fn read_f64_slice(&self, addr: u32, len: usize) -> Vec<f64> {
         (0..len)
-            .map(|i| f64::from_le_bytes(self.read_bytes::<8>(addr + (i * 8) as u32).expect("TCDM read")))
+            .map(|i| {
+                f64::from_le_bytes(self.read_bytes::<8>(addr + (i * 8) as u32).expect("TCDM read"))
+            })
             .collect()
     }
 
@@ -213,7 +252,9 @@ impl Machine {
     /// Panics if the source range is outside the TCDM.
     pub fn read_f32_slice(&self, addr: u32, len: usize) -> Vec<f32> {
         (0..len)
-            .map(|i| f32::from_le_bytes(self.read_bytes::<4>(addr + (i * 4) as u32).expect("TCDM read")))
+            .map(|i| {
+                f32::from_le_bytes(self.read_bytes::<4>(addr + (i * 4) as u32).expect("TCDM read"))
+            })
             .collect()
     }
 
@@ -240,32 +281,20 @@ impl Machine {
         for (i, &a) in args.iter().enumerate() {
             self.set_x(IntReg::a(i as u8), a);
         }
-        // Fresh timing epoch for this call.
+        // Fresh timing epoch for this call; the trace restarts with it.
         self.int_time = 0;
         self.fpu_time = 0;
         self.int_ready = [0; 32];
         self.fp_ready = [0; 32];
         self.max_completion = 0;
+        if let Some(trace) = &mut self.trace {
+            trace.clear();
+        }
         let before = self.counters;
         self.run(program, start)?;
         let cycles = self.int_time.max(self.fpu_time).max(self.max_completion);
         self.counters.cycles += cycles;
-        let mut delta = self.counters;
-        delta.cycles -= before.cycles;
-        delta.instructions -= before.instructions;
-        delta.fpu_busy_cycles -= before.fpu_busy_cycles;
-        delta.flops -= before.flops;
-        delta.int_loads -= before.int_loads;
-        delta.int_stores -= before.int_stores;
-        delta.fp_loads -= before.fp_loads;
-        delta.fp_stores -= before.fp_stores;
-        delta.fmadd -= before.fmadd;
-        delta.frep -= before.frep;
-        delta.taken_branches -= before.taken_branches;
-        delta.scfgwi -= before.scfgwi;
-        delta.ssr_reads -= before.ssr_reads;
-        delta.ssr_writes -= before.ssr_writes;
-        Ok(delta)
+        Ok(self.counters.delta_since(&before))
     }
 
     fn run(&mut self, program: &Program, start: usize) -> Result<(), SimError> {
@@ -278,21 +307,45 @@ impl Machine {
             })?;
             executed += 1;
             if executed > self.budget {
-                return Err(SimError { pc: Some(pc), message: "instruction budget exhausted".into() });
+                return Err(SimError {
+                    pc: Some(pc),
+                    message: "instruction budget exhausted".into(),
+                });
             }
             match instr {
                 Instr::Ret => {
+                    let issue = self.int_time;
                     self.int_time += 1;
                     self.counters.instructions += 1;
+                    self.record(TraceEntry {
+                        pc,
+                        instr,
+                        in_frep: false,
+                        issue,
+                        complete: issue + 1,
+                        stall: StallReason::None,
+                        stall_cycles: 0,
+                    });
                     return Ok(());
                 }
                 Instr::J { target } => {
+                    let issue = self.int_time;
                     self.int_time += 1 + BRANCH_PENALTY;
                     self.counters.instructions += 1;
                     self.counters.taken_branches += 1;
+                    self.record(TraceEntry {
+                        pc,
+                        instr,
+                        in_frep: false,
+                        issue,
+                        complete: issue + 1 + BRANCH_PENALTY,
+                        stall: StallReason::BranchRedirect,
+                        stall_cycles: BRANCH_PENALTY,
+                    });
                     pc = target;
                 }
                 Instr::Branch { cond, rs1, rs2, target } => {
+                    let int_before = self.int_time;
                     let t = self
                         .int_time
                         .max(self.int_ready[rs1.index() as usize])
@@ -310,16 +363,41 @@ impl Machine {
                     if taken {
                         self.int_time += BRANCH_PENALTY;
                         self.counters.taken_branches += 1;
-                        pc = target;
-                    } else {
-                        pc += 1;
                     }
+                    let wait = t - int_before;
+                    let stall = if wait > 0 {
+                        StallReason::RawInt
+                    } else if taken {
+                        StallReason::BranchRedirect
+                    } else {
+                        StallReason::None
+                    };
+                    self.record(TraceEntry {
+                        pc,
+                        instr,
+                        in_frep: false,
+                        issue: t,
+                        complete: self.int_time,
+                        stall,
+                        stall_cycles: wait + if taken { BRANCH_PENALTY } else { 0 },
+                    });
+                    pc = if taken { target } else { pc + 1 };
                 }
                 Instr::FrepO { rs1, n_instr } => {
+                    let int_before = self.int_time;
                     let t = self.int_time.max(self.int_ready[rs1.index() as usize]);
                     self.int_time = t + 1;
                     self.counters.instructions += 1;
                     self.counters.frep += 1;
+                    self.record(TraceEntry {
+                        pc,
+                        instr,
+                        in_frep: false,
+                        issue: t,
+                        complete: t + 1,
+                        stall: if t > int_before { StallReason::RawInt } else { StallReason::None },
+                        stall_cycles: t - int_before,
+                    });
                     let reps = self.x(rs1) as u64 + 1;
                     let n = n_instr as usize;
                     if pc + n >= program.instrs.len() {
@@ -338,10 +416,8 @@ impl Machine {
                                 });
                             }
                             executed += 1;
-                            self.exec_straight(body, true).map_err(|message| SimError {
-                                pc: Some(pc + i),
-                                message,
-                            })?;
+                            self.exec_straight(body, true, pc + i)
+                                .map_err(|message| SimError { pc: Some(pc + i), message })?;
                         }
                         if executed > self.budget {
                             return Err(SimError {
@@ -353,7 +429,7 @@ impl Machine {
                     pc += n + 1;
                 }
                 other => {
-                    self.exec_straight(other, false)
+                    self.exec_straight(other, false, pc)
                         .map_err(|message| SimError { pc: Some(pc), message })?;
                     pc += 1;
                 }
@@ -408,8 +484,14 @@ impl Machine {
 
     /// Executes one non-control-flow instruction, updating state, timing
     /// and counters. `in_frep` suppresses the integer-core dispatch cost.
-    fn exec_straight(&mut self, instr: Instr, in_frep: bool) -> Result<(), String> {
+    fn exec_straight(&mut self, instr: Instr, in_frep: bool, pc: usize) -> Result<(), String> {
         self.counters.instructions += 1;
+        if instr.is_fpu() {
+            self.exec_fpu(instr, in_frep, pc)?;
+            self.max_completion = self.max_completion.max(self.int_time);
+            return Ok(());
+        }
+        let int_before = self.int_time;
         match instr {
             Instr::Li { rd, imm } => {
                 let t = self.int_time;
@@ -476,7 +558,8 @@ impl Machine {
                 let bits = match width {
                     FpWidth::Double => u64::from_le_bytes(self.read_bytes::<8>(addr)?),
                     FpWidth::Single => {
-                        u32::from_le_bytes(self.read_bytes::<4>(addr)?) as u64 | 0xFFFF_FFFF_0000_0000
+                        u32::from_le_bytes(self.read_bytes::<4>(addr)?) as u64
+                            | 0xFFFF_FFFF_0000_0000
                     }
                 };
                 self.f[rd.index() as usize] = bits;
@@ -518,24 +601,45 @@ impl Machine {
                 self.movers[dm.index() as usize].configure(reg, value);
                 self.counters.scfgwi += 1;
             }
-            // ----- FPU instructions -------------------------------------
             Instr::FpBin { .. }
             | Instr::Fmadd { .. }
             | Instr::FmvD { .. }
             | Instr::VfmacS { .. }
             | Instr::VfsumS { .. }
-            | Instr::Fcvt { .. } => {
-                self.exec_fpu(instr, in_frep)?;
-            }
+            | Instr::Fcvt { .. } => unreachable!("FPU instructions handled by exec_fpu"),
             Instr::Ret | Instr::J { .. } | Instr::Branch { .. } | Instr::FrepO { .. } => {
                 unreachable!("control flow handled by the driver loop")
             }
+        }
+        if self.trace.is_some() {
+            // Every integer-core arm advances `int_time` by exactly one
+            // cycle past its issue time.
+            let issue = self.int_time - 1;
+            let stall_cycles = issue - int_before;
+            let stall = if stall_cycles == 0 {
+                StallReason::None
+            } else if matches!(instr, Instr::FpStore { .. }) {
+                // Approximation: an FP store's wait is attributed to the
+                // stored value (the common case), not the base address.
+                StallReason::RawFp
+            } else {
+                StallReason::RawInt
+            };
+            self.record(TraceEntry {
+                pc,
+                instr,
+                in_frep: false,
+                issue,
+                complete: self.int_time,
+                stall,
+                stall_cycles,
+            });
         }
         self.max_completion = self.max_completion.max(self.int_time);
         Ok(())
     }
 
-    fn exec_fpu(&mut self, instr: Instr, in_frep: bool) -> Result<(), String> {
+    fn exec_fpu(&mut self, instr: Instr, in_frep: bool, pc: usize) -> Result<(), String> {
         // Dispatch: the integer core spends a cycle feeding the FPU unless
         // the sequencer replays the instruction inside an frep.
         let dispatch = if in_frep {
@@ -558,12 +662,13 @@ impl Machine {
                 let (b, t2) = self.read_fp_operand(rs2)?;
                 let (c, t3) = self.read_fp_operand(rs3)?;
                 let bits = match width {
-                    FpWidth::Double => {
-                        f64::to_bits(f64::from_bits(a).mul_add(f64::from_bits(b), f64::from_bits(c)))
-                    }
-                    FpWidth::Single => f32::to_bits(f32::from_bits(a as u32)
-                        .mul_add(f32::from_bits(b as u32), f32::from_bits(c as u32)))
-                        as u64,
+                    FpWidth::Double => f64::to_bits(
+                        f64::from_bits(a).mul_add(f64::from_bits(b), f64::from_bits(c)),
+                    ),
+                    FpWidth::Single => f32::to_bits(
+                        f32::from_bits(a as u32)
+                            .mul_add(f32::from_bits(b as u32), f32::from_bits(c as u32)),
+                    ) as u64,
                 };
                 self.counters.fmadd += 1;
                 (rd, bits, t1.max(t2).max(t3), 1, 2)
@@ -590,8 +695,9 @@ impl Machine {
                 let (a, t1) = self.read_fp_operand(rs1)?;
                 let acc = self.f[rd.index() as usize];
                 let t2 = self.fp_ready[rd.index() as usize];
-                let sum =
-                    f32::from_bits(acc as u32) + f32::from_bits(a as u32) + f32::from_bits((a >> 32) as u32);
+                let sum = f32::from_bits(acc as u32)
+                    + f32::from_bits(a as u32)
+                    + f32::from_bits((a >> 32) as u32);
                 let bits = (acc & 0xFFFF_FFFF_0000_0000) | sum.to_bits() as u64;
                 (rd, bits, t1.max(t2), 1, 2)
             }
@@ -606,11 +712,39 @@ impl Machine {
             }
             _ => unreachable!("non-FPU instruction in exec_fpu"),
         };
+        let fpu_before = self.fpu_time;
         let issue = self.fpu_time.max(dispatch).max(operands_ready);
         self.fpu_time = issue + occupancy;
         self.counters.fpu_busy_cycles += occupancy;
         self.counters.flops += flops;
+        self.counters.fpu_instrs += 1;
+        if in_frep {
+            self.counters.frep_fpu_instrs += 1;
+        }
         let ready = issue + u64::from(FPU_PIPELINE_DEPTH);
+        if self.trace.is_some() {
+            // Ideal issue: the sequencer replays back-to-back inside an
+            // frep; a dispatched instruction ideally issues the cycle the
+            // integer core hands it over.
+            let ideal = if in_frep { fpu_before } else { dispatch };
+            let stall_cycles = issue - ideal;
+            let stall = if stall_cycles == 0 {
+                StallReason::None
+            } else if operands_ready >= fpu_before.max(dispatch) {
+                StallReason::RawFp
+            } else {
+                StallReason::FpuBusy
+            };
+            self.record(TraceEntry {
+                pc,
+                instr,
+                in_frep,
+                issue,
+                complete: self.fpu_time.max(ready),
+                stall,
+                stall_cycles,
+            });
+        }
         self.write_fp_result(result_reg, bits, ready)?;
         Ok(())
     }
@@ -644,7 +778,12 @@ mod tests {
     use super::*;
     use crate::asm::assemble;
 
-    fn run(src: &str, entry: &str, args: &[u32], setup: impl FnOnce(&mut Machine)) -> (Machine, PerfCounters) {
+    fn run(
+        src: &str,
+        entry: &str,
+        args: &[u32],
+        setup: impl FnOnce(&mut Machine),
+    ) -> (Machine, PerfCounters) {
         let prog = assemble(src).unwrap();
         let mut m = Machine::new();
         setup(&mut m);
@@ -886,6 +1025,100 @@ f:
         m.set_instruction_budget(1000);
         let err = m.call(&prog, "f", &[]).unwrap_err();
         assert!(err.message.contains("budget"), "{err}");
+    }
+
+    #[test]
+    fn trace_accounts_for_every_cycle_and_instruction() {
+        let src = "\
+f:
+    fld ft0, (a0)
+    fld ft1, 8(a0)
+    fmul.d ft2, ft0, ft1
+    fadd.d ft3, ft2, ft0
+    fsd ft3, 16(a0)
+    ret
+";
+        let prog = assemble(src).unwrap();
+        let mut m = Machine::new();
+        m.enable_trace();
+        m.write_f64_slice(TCDM_BASE, &[3.0, 4.0, 0.0]);
+        let c = m.call(&prog, "f", &[TCDM_BASE]).unwrap();
+        let trace = m.trace().unwrap();
+        assert_eq!(trace.len() as u64, c.instructions);
+        let derived = trace.iter().map(|e| e.complete).max().unwrap();
+        assert_eq!(derived, c.cycles);
+        // The dependent fadd waits on fmul's pipeline latency.
+        let fadd = trace.iter().find(|e| e.instr.to_string().starts_with("fadd.d")).unwrap();
+        assert_eq!(fadd.stall, StallReason::RawFp);
+        assert!(fadd.stall_cycles > 0);
+        // The store waits on the fadd result.
+        let fsd = trace.iter().find(|e| matches!(e.instr, Instr::FpStore { .. })).unwrap();
+        assert_eq!(fsd.stall, StallReason::RawFp);
+    }
+
+    #[test]
+    fn trace_marks_frep_issued_instructions() {
+        let src = "\
+f:
+    li t0, 3
+    frep.o t0, 1, 0, 0
+    fadd.d ft3, ft4, ft5
+    ret
+";
+        let prog = assemble(src).unwrap();
+        let mut m = Machine::new();
+        m.enable_trace();
+        let c = m.call(&prog, "f", &[]).unwrap();
+        let trace = m.take_trace().unwrap();
+        assert_eq!(trace.len() as u64, c.instructions);
+        let frep_issued: Vec<_> = trace.iter().filter(|e| e.in_frep).collect();
+        assert_eq!(frep_issued.len(), 4);
+        assert_eq!(frep_issued.len() as u64, c.frep_fpu_instrs);
+        assert_eq!(c.fpu_instrs, 4);
+        // Sequencer replays issue back-to-back on the FPU timeline.
+        for pair in frep_issued.windows(2) {
+            assert_eq!(pair[1].issue, pair[0].issue + 1);
+        }
+        // The next call restarts the (drained) trace.
+        let c2 = m.call(&prog, "f", &[]).unwrap();
+        assert_eq!(m.trace().unwrap().len() as u64, c2.instructions);
+    }
+
+    #[test]
+    fn mover_pop_counts_match_counters() {
+        let src = format!(
+            "\
+f:
+    li t1, 7
+    scfgwi t1, {b0}
+    li t1, 8
+    scfgwi t1, {s0}
+    li t1, {base}
+    scfgwi t1, {rptr}
+    csrrsi zero, 0x7c0, 1
+    li t0, 3
+    frep.o t0, 1, 0, 0
+    fadd.d ft3, ft0, ft0
+    csrrci zero, 0x7c0, 1
+    ret
+",
+            b0 = SsrCfgReg::Bound(0).scfg_imm(mlb_isa::SsrDataMover::new(0)),
+            s0 = SsrCfgReg::Stride(0).scfg_imm(mlb_isa::SsrDataMover::new(0)),
+            rptr = SsrCfgReg::RPtr(0).scfg_imm(mlb_isa::SsrDataMover::new(0)),
+            base = TCDM_BASE,
+        );
+        // 4 fadds each pop ft0 twice: 8 reads from mover 0.
+        let prog = assemble(&src).unwrap();
+        let mut m = Machine::new();
+        m.write_f64_slice(TCDM_BASE, &[1.0; 8]);
+        let c = m.call(&prog, "f", &[]).unwrap();
+        let pops = m.ssr_pop_counts();
+        let total_reads: u64 = pops.iter().map(|&(r, _)| r).sum();
+        let total_writes: u64 = pops.iter().map(|&(_, w)| w).sum();
+        assert_eq!(total_reads, c.ssr_reads);
+        assert_eq!(total_writes, c.ssr_writes);
+        assert_eq!(pops[0].0, 8);
+        assert_eq!(pops[1], (0, 0));
     }
 
     #[test]

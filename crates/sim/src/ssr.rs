@@ -25,6 +25,10 @@ pub struct DataMover {
     repeat: u32,
     /// Armed job, if any.
     job: Option<Job>,
+    /// Elements popped from read jobs over the mover's lifetime.
+    reads: u64,
+    /// Elements pushed to write jobs over the mover's lifetime.
+    writes: u64,
 }
 
 #[derive(Debug, Clone)]
@@ -43,7 +47,14 @@ struct Job {
 
 impl Default for DataMover {
     fn default() -> DataMover {
-        DataMover { bounds: [0; SSR_MAX_DIMS], strides: [0; SSR_MAX_DIMS], repeat: 0, job: None }
+        DataMover {
+            bounds: [0; SSR_MAX_DIMS],
+            strides: [0; SSR_MAX_DIMS],
+            repeat: 0,
+            job: None,
+            reads: 0,
+            writes: 0,
+        }
     }
 }
 
@@ -86,6 +97,11 @@ impl DataMover {
         self.job.is_some()
     }
 
+    /// Cumulative (reads, writes) popped from this mover.
+    pub fn pop_counts(&self) -> (u64, u64) {
+        (self.reads, self.writes)
+    }
+
     /// Pops the next address of the job.
     ///
     /// # Errors
@@ -122,6 +138,10 @@ impl DataMover {
                 d += 1;
             }
         }
+        match direction {
+            SsrDirection::Read => self.reads += 1,
+            SsrDirection::Write => self.writes += 1,
+        }
         u32::try_from(addr).map_err(|_| "SSR address out of range".to_string())
     }
 }
@@ -142,8 +162,7 @@ mod tests {
     #[test]
     fn one_dimensional_walk() {
         let mut m = mover_1d(4, 8, 0, 1000);
-        let addrs: Vec<u32> =
-            (0..4).map(|_| m.next_addr(SsrDirection::Read).unwrap()).collect();
+        let addrs: Vec<u32> = (0..4).map(|_| m.next_addr(SsrDirection::Read).unwrap()).collect();
         assert_eq!(addrs, vec![1000, 1008, 1016, 1024]);
         assert!(m.next_addr(SsrDirection::Read).is_err());
     }
@@ -151,8 +170,7 @@ mod tests {
     #[test]
     fn repeat_delivers_elements_multiple_times() {
         let mut m = mover_1d(2, 8, 2, 0);
-        let addrs: Vec<u32> =
-            (0..6).map(|_| m.next_addr(SsrDirection::Read).unwrap()).collect();
+        let addrs: Vec<u32> = (0..6).map(|_| m.next_addr(SsrDirection::Read).unwrap()).collect();
         assert_eq!(addrs, vec![0, 0, 0, 8, 8, 8]);
         assert!(m.next_addr(SsrDirection::Read).is_err());
     }
@@ -165,8 +183,7 @@ mod tests {
         m.configure(SsrCfgReg::Stride(0), 16);
         m.configure(SsrCfgReg::Stride(1), (-24i64) as u32);
         m.configure(SsrCfgReg::WPtr(1), 100);
-        let addrs: Vec<u32> =
-            (0..6).map(|_| m.next_addr(SsrDirection::Write).unwrap()).collect();
+        let addrs: Vec<u32> = (0..6).map(|_| m.next_addr(SsrDirection::Write).unwrap()).collect();
         assert_eq!(addrs, vec![100, 116, 132, 108, 124, 140]);
     }
 

@@ -1,0 +1,112 @@
+//! Opt-in execution tracing.
+//!
+//! When enabled with [`crate::Machine::enable_trace`], the machine
+//! records one [`TraceEntry`] per dynamically executed instruction
+//! (FREP replays included): where it sat in the program, when it issued
+//! on its unit's timeline, when its effect completed, and why it issued
+//! later than back-to-back execution would allow ([`StallReason`]).
+//!
+//! The completion times are exact with respect to the timing model: the
+//! maximum `complete` over a call's trace equals the call's
+//! [`crate::PerfCounters::cycles`], and the trace length equals its
+//! `instructions` count — invariants pinned by `tests/sim_timing.rs`.
+
+use crate::instr::Instr;
+
+/// Why an instruction issued later than the previous one allowed.
+///
+/// Integer-core instructions ideally issue one per cycle; FPU
+/// instructions ideally issue at dispatch (or back-to-back from the
+/// sequencer inside an FREP body).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StallReason {
+    /// No stall: the instruction issued at its ideal cycle.
+    None,
+    /// Waited for an integer register written by an earlier instruction
+    /// (load-use or `mul` latency).
+    RawInt,
+    /// Waited for an FP register still in the FPU pipeline (RAW on an
+    /// FP value, including FP stores waiting on the stored value).
+    RawFp,
+    /// The FPU issue slot was still occupied (e.g. behind an `fdiv`).
+    FpuBusy,
+    /// Redirect penalty of a taken branch or jump.
+    BranchRedirect,
+    /// Reserved: SSR stream stalled on memory. The model's TCDM serves
+    /// every access in a single cycle, so this is never emitted today;
+    /// it keeps the trace schema stable for banked-memory models.
+    SsrBackpressure,
+}
+
+impl std::fmt::Display for StallReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            StallReason::None => "none",
+            StallReason::RawInt => "raw-int",
+            StallReason::RawFp => "raw-fp",
+            StallReason::FpuBusy => "fpu-busy",
+            StallReason::BranchRedirect => "branch-redirect",
+            StallReason::SsrBackpressure => "ssr-backpressure",
+        })
+    }
+}
+
+/// One dynamically executed instruction in the trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceEntry {
+    /// Instruction index in the program (the simulator's pc).
+    pub pc: usize,
+    /// The executed instruction (disassembles via `Display`).
+    pub instr: Instr,
+    /// Whether the FREP sequencer issued it (no integer-core dispatch).
+    pub in_frep: bool,
+    /// Cycle the instruction issued on its unit's timeline.
+    pub issue: u64,
+    /// Cycle its effect completed (integer core: retire; FPU: the later
+    /// of pipeline drain and issue-slot release).
+    pub complete: u64,
+    /// Why it issued later than the ideal cycle.
+    pub stall: StallReason,
+    /// How many cycles later than the ideal cycle it issued.
+    pub stall_cycles: u64,
+}
+
+impl std::fmt::Display for TraceEntry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:>8} {:>8}  {}{:<28}",
+            self.issue,
+            self.complete,
+            if self.in_frep { "frep " } else { "" },
+            self.instr,
+        )?;
+        if self.stall != StallReason::None {
+            write!(f, "  ; stall {} ({} cycles)", self.stall, self.stall_cycles)?;
+        }
+        write!(f, "  [pc {}]", self.pc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlb_isa::IntReg;
+
+    #[test]
+    fn entry_formats_stall_and_pc() {
+        let e = TraceEntry {
+            pc: 7,
+            instr: Instr::Li { rd: IntReg::t(0), imm: 1 },
+            in_frep: false,
+            issue: 10,
+            complete: 11,
+            stall: StallReason::RawInt,
+            stall_cycles: 2,
+        };
+        let text = e.to_string();
+        assert!(text.contains("li t0, 1"), "{text}");
+        assert!(text.contains("stall raw-int (2 cycles)"), "{text}");
+        assert!(text.contains("[pc 7]"), "{text}");
+    }
+}

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Full offline gate: everything CI runs, runnable on a disconnected
+# machine (all dependencies resolve to in-tree shims under shims/).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run() {
+    echo "==> $*"
+    "$@"
+}
+
+run cargo fmt --all --check
+run cargo build --release --offline
+run cargo clippy --offline --all-targets -- -D warnings
+run cargo test -q --offline
+
+echo "All checks passed."

@@ -10,13 +10,19 @@
 //! mlbc kernel.mlir --flow clang           # comparison flow
 //! mlbc kernel.mlir --no-unroll-and-jam    # ablation knobs (Table 3)
 //! mlbc kernel.mlir --emit ir              # parse + verify + reprint
+//! mlbc kernel.mlir --pass-timing          # per-pass wall time on stderr
+//! mlbc kernel.mlir --print-ir-after-all=dumps/
+//! mlbc kernel.mlir --trace-json out.json  # compile, simulate, report
 //! ```
 
 use std::io::Read;
 use std::process::ExitCode;
 
-use mlb_core::{compile, full_registry, Flow, PipelineOptions};
-use mlb_ir::{parse_module, print_op, Context};
+use mlb_core::{compile_with_observer, full_registry, Flow, PipelineOptions};
+use mlb_ir::{parse_module, print_op, Context, IrSnapshotMode, PassEvent, PipelineRecorder, Type};
+use mlb_isa::{FpReg, TCDM_BASE};
+use mlb_sim::{assemble, Machine, StallReason};
+use mlbe::json::Json;
 
 const USAGE: &str = "\
 usage: mlbc <input.mlir | -> [options]
@@ -30,6 +36,14 @@ options:
   --no-frep           disable hardware loops
   --no-fuse-fill      keep output initialization separate
   --no-unroll-and-jam
+  --pass-timing       per-pass wall time and IR size deltas on stderr
+  --print-ir-after-all[=dir]
+                      IR after every pass, to stderr or numbered files
+  --print-ir-after-change[=dir]
+                      as above, but only after passes that changed the IR
+  --trace-json <file> compile, run each kernel on the simulator with
+                      synthesized operands, and write pass timings,
+                      counters and occupancy as JSON (`-` for stdout)
   --help              this text
 ";
 
@@ -46,11 +60,21 @@ fn main() -> ExitCode {
     }
 }
 
+/// Where `--print-ir-after-*` snapshots go.
+enum IrDumpSink {
+    Stderr,
+    Dir(String),
+}
+
 fn run(args: Vec<String>) -> Result<String, String> {
     let mut input: Option<String> = None;
     let mut emit_ir = false;
     let mut flow_name = "ours".to_string();
     let mut opts = PipelineOptions::full();
+    let mut pass_timing = false;
+    let mut snapshot_mode = IrSnapshotMode::None;
+    let mut dump_sink = IrDumpSink::Stderr;
+    let mut trace_json: Option<String> = None;
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -71,6 +95,24 @@ fn run(args: Vec<String>) -> Result<String, String> {
             "--no-frep" => opts.frep = false,
             "--no-fuse-fill" => opts.fuse_fill = false,
             "--no-unroll-and-jam" => opts.unroll_and_jam = false,
+            "--pass-timing" => pass_timing = true,
+            "--trace-json" => {
+                trace_json = Some(iter.next().ok_or("--trace-json needs a file")?);
+            }
+            other if other.starts_with("--print-ir-after-") => {
+                let (mode_name, dir) = match other["--print-ir-after-".len()..].split_once('=') {
+                    Some((m, d)) => (m, Some(d)),
+                    None => (&other["--print-ir-after-".len()..], None),
+                };
+                snapshot_mode = match mode_name {
+                    "all" => IrSnapshotMode::All,
+                    "change" => IrSnapshotMode::OnChange,
+                    _ => return Err(format!("unknown option `{other}`\n{USAGE}")),
+                };
+                if let Some(dir) = dir {
+                    dump_sink = IrDumpSink::Dir(dir.to_string());
+                }
+            }
             other if input.is_none() && !other.starts_with('-') || other == "-" => {
                 input = Some(other.to_string());
             }
@@ -100,6 +142,238 @@ fn run(args: Vec<String>) -> Result<String, String> {
         "clang" => Flow::ClangLike,
         other => return Err(format!("unknown flow `{other}`")),
     };
-    let compiled = compile(&mut ctx, module, flow).map_err(|e| e.to_string())?;
+
+    // Kernel signatures, captured before lowering destroys `func.func`.
+    let kernels = kernel_signatures(&ctx, module)?;
+
+    let mut recorder = PipelineRecorder::new(snapshot_mode);
+    let compiled =
+        compile_with_observer(&mut ctx, module, flow, &mut recorder).map_err(|e| e.to_string())?;
+
+    if snapshot_mode != IrSnapshotMode::None {
+        dump_ir_snapshots(&recorder.events, &dump_sink)?;
+    }
+    if pass_timing {
+        print_pass_timing(&recorder);
+    }
+    if let Some(path) = trace_json {
+        let report = trace_report(&flow_name, &recorder, &compiled.assembly, &kernels)?;
+        let text = report.pretty();
+        if path == "-" {
+            return Ok(text);
+        }
+        std::fs::write(&path, text).map_err(|e| format!("{path}: {e}"))?;
+    }
     Ok(compiled.assembly)
+}
+
+/// A kernel signature the simulator driver can synthesize operands for.
+struct KernelSig {
+    name: String,
+    args: Vec<Type>,
+}
+
+fn kernel_signatures(ctx: &Context, module: mlb_ir::OpId) -> Result<Vec<KernelSig>, String> {
+    let mut kernels = Vec::new();
+    for func in ctx.walk_named(module, mlb_dialects::func::FUNC) {
+        let name = mlb_dialects::func::symbol_name(ctx, func)
+            .ok_or("func.func without a symbol name")?
+            .to_string();
+        let Some(mlb_ir::Attribute::Type(Type::Function(sig))) = ctx.op(func).attr("function_type")
+        else {
+            return Err(format!("function `{name}` has no function_type"));
+        };
+        kernels.push(KernelSig { name, args: sig.inputs.clone() });
+    }
+    Ok(kernels)
+}
+
+fn dump_ir_snapshots(events: &[PassEvent], sink: &IrDumpSink) -> Result<(), String> {
+    if let IrDumpSink::Dir(dir) = sink {
+        std::fs::create_dir_all(dir).map_err(|e| format!("{dir}: {e}"))?;
+    }
+    for (n, event) in events.iter().enumerate() {
+        let Some(ir) = &event.ir_after else { continue };
+        match sink {
+            IrDumpSink::Stderr => {
+                eprintln!("// -----// IR after {} //----- //\n{ir}", event.pass);
+            }
+            IrDumpSink::Dir(dir) => {
+                let path = format!("{dir}/{n:02}-{}.mlir", event.pass);
+                std::fs::write(&path, ir).map_err(|e| format!("{path}: {e}"))?;
+            }
+        }
+    }
+    Ok(())
+}
+
+fn print_pass_timing(recorder: &PipelineRecorder) {
+    let total = recorder.total_nanos().max(1);
+    eprintln!("===-------------------------------------------------------------===");
+    eprintln!("                      ... Pass execution timing ...");
+    eprintln!("  total: {:.3} ms", recorder.total_nanos() as f64 / 1e6);
+    eprintln!("===-------------------------------------------------------------===");
+    eprintln!("{:>10}  {:>6}  {:>11}  {:>9}  pass", "wall (us)", "%", "ops", "rewrites");
+    for event in &recorder.events {
+        eprintln!(
+            "{:>10.1}  {:>5.1}%  {:>5}->{:<5}  {:>9}  {}",
+            event.nanos as f64 / 1e3,
+            event.nanos as f64 * 100.0 / total as f64,
+            event.ops_before,
+            event.ops_after,
+            event.rewrites.pattern_applications,
+            event.pass,
+        );
+    }
+}
+
+fn pass_event_json(event: &PassEvent) -> Json {
+    let mut pairs = vec![
+        ("index", Json::from(event.index)),
+        ("pass", Json::from(event.pass)),
+        ("nanos", Json::from(event.nanos)),
+        ("ops_before", Json::from(event.ops_before)),
+        ("ops_after", Json::from(event.ops_after)),
+        ("blocks_before", Json::from(event.blocks_before)),
+        ("blocks_after", Json::from(event.blocks_after)),
+        ("pattern_applications", Json::from(event.rewrites.pattern_applications)),
+        ("dce_erased", Json::from(event.rewrites.dce_erased)),
+    ];
+    if let Some(changed) = event.changed {
+        pairs.push(("changed", Json::from(changed)));
+    }
+    Json::obj(pairs)
+}
+
+fn trace_report(
+    flow: &str,
+    recorder: &PipelineRecorder,
+    assembly: &str,
+    kernels: &[KernelSig],
+) -> Result<Json, String> {
+    let program = assemble(assembly).map_err(|e| format!("assembling output: {e}"))?;
+    let mut kernel_reports = Vec::new();
+    for kernel in kernels {
+        kernel_reports.push(run_kernel(&program, kernel)?);
+    }
+    Ok(Json::obj(vec![
+        ("version", Json::from(1u64)),
+        ("flow", Json::from(flow)),
+        ("total_pass_nanos", Json::from(recorder.total_nanos())),
+        ("passes", Json::Arr(recorder.events.iter().map(pass_event_json).collect())),
+        ("kernels", Json::Arr(kernel_reports)),
+    ]))
+}
+
+/// Runs one kernel with synthesized operands and reports its counters,
+/// occupancy and stall breakdown.
+fn run_kernel(program: &mlb_sim::Program, kernel: &KernelSig) -> Result<Json, String> {
+    let mut machine = Machine::new();
+    machine.enable_trace();
+    let mut int_args: Vec<u32> = Vec::new();
+    let mut cursor = TCDM_BASE;
+    let mut scalar_fp = 0u8;
+    for (i, arg) in kernel.args.iter().enumerate() {
+        match arg {
+            Type::MemRef(m) => {
+                let n = m.num_elements() as usize;
+                // Deterministic, mildly varied operand data.
+                let data: Vec<f64> =
+                    (0..n).map(|j| (j % 17) as f64 * 0.25 - 2.0 + i as f64).collect();
+                match m.element.as_ref() {
+                    Type::F64 => machine.write_f64_slice(cursor, &data),
+                    Type::F32 => {
+                        let data: Vec<f32> = data.iter().map(|&v| v as f32).collect();
+                        machine.write_f32_slice(cursor, &data);
+                    }
+                    other => {
+                        return Err(format!(
+                            "kernel `{}`: unsupported memref element type {other} for simulation",
+                            kernel.name
+                        ))
+                    }
+                }
+                int_args.push(cursor);
+                cursor += (m.size_in_bytes() as u32).next_multiple_of(8);
+            }
+            Type::F64 => {
+                machine.set_f_bits(FpReg::fa(scalar_fp), (1.5 + i as f64).to_bits());
+                scalar_fp += 1;
+            }
+            Type::F32 => {
+                let bits = (1.5f32 + i as f32).to_bits() as u64 | 0xFFFF_FFFF_0000_0000;
+                machine.set_f_bits(FpReg::fa(scalar_fp), bits);
+                scalar_fp += 1;
+            }
+            other => {
+                return Err(format!(
+                    "kernel `{}`: unsupported argument type {other} for simulation",
+                    kernel.name
+                ))
+            }
+        }
+    }
+    let counters = machine
+        .call(program, &kernel.name, &int_args)
+        .map_err(|e| format!("simulating `{}`: {e}", kernel.name))?;
+    let trace = machine.take_trace().unwrap_or_default();
+    let mut stall_kinds = [
+        (StallReason::RawInt, 0u64),
+        (StallReason::RawFp, 0),
+        (StallReason::FpuBusy, 0),
+        (StallReason::BranchRedirect, 0),
+        (StallReason::SsrBackpressure, 0),
+    ];
+    for entry in &trace {
+        for (kind, count) in &mut stall_kinds {
+            if entry.stall == *kind {
+                *count += entry.stall_cycles;
+            }
+        }
+    }
+    let occ = counters.occupancy();
+    Ok(Json::obj(vec![
+        ("name", Json::from(kernel.name.as_str())),
+        (
+            "counters",
+            Json::obj(vec![
+                ("cycles", Json::from(counters.cycles)),
+                ("instructions", Json::from(counters.instructions)),
+                ("fpu_busy_cycles", Json::from(counters.fpu_busy_cycles)),
+                ("flops", Json::from(counters.flops)),
+                ("int_loads", Json::from(counters.int_loads)),
+                ("int_stores", Json::from(counters.int_stores)),
+                ("fp_loads", Json::from(counters.fp_loads)),
+                ("fp_stores", Json::from(counters.fp_stores)),
+                ("fmadd", Json::from(counters.fmadd)),
+                ("frep", Json::from(counters.frep)),
+                ("taken_branches", Json::from(counters.taken_branches)),
+                ("scfgwi", Json::from(counters.scfgwi)),
+                ("ssr_reads", Json::from(counters.ssr_reads)),
+                ("ssr_writes", Json::from(counters.ssr_writes)),
+                ("fpu_instrs", Json::from(counters.fpu_instrs)),
+                ("frep_fpu_instrs", Json::from(counters.frep_fpu_instrs)),
+            ]),
+        ),
+        (
+            "occupancy",
+            Json::obj(vec![
+                ("fpu_utilization", Json::from(occ.fpu_utilization)),
+                ("flops_per_cycle", Json::from(occ.flops_per_cycle)),
+                ("frep_coverage", Json::from(occ.frep_coverage)),
+                ("ssr_read_density", Json::from(occ.ssr_read_density)),
+                ("ssr_write_density", Json::from(occ.ssr_write_density)),
+            ]),
+        ),
+        ("trace_length", Json::from(trace.len())),
+        (
+            "stall_cycles",
+            Json::Obj(
+                stall_kinds
+                    .iter()
+                    .map(|(kind, count)| (kind.to_string(), Json::from(*count)))
+                    .collect(),
+            ),
+        ),
+    ]))
 }

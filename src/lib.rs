@@ -3,6 +3,8 @@
 //! See the workspace README for the project overview and DESIGN.md for
 //! the paper-reproduction design.
 
+pub mod json;
+
 pub use mlb_core as backend;
 pub use mlb_dialects as dialects;
 pub use mlb_ir as ir;

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failure_injection-eafe2cdcc7de990a.d: tests/failure_injection.rs
+
+/root/repo/target/debug/deps/failure_injection-eafe2cdcc7de990a: tests/failure_injection.rs
+
+tests/failure_injection.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/kernel_correctness-11892150fb01cd92.d: tests/kernel_correctness.rs
+
+/root/repo/target/debug/deps/kernel_correctness-11892150fb01cd92: tests/kernel_correctness.rs
+
+tests/kernel_correctness.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/kernel_correctness-f07e8fcfb8d72350.d: tests/kernel_correctness.rs Cargo.toml
+
+/root/repo/target/debug/deps/libkernel_correctness-f07e8fcfb8d72350.rmeta: tests/kernel_correctness.rs Cargo.toml
+
+tests/kernel_correctness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

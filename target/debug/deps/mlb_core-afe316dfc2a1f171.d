@@ -1,0 +1,27 @@
+/root/repo/target/debug/deps/mlb_core-afe316dfc2a1f171.d: crates/core/src/lib.rs crates/core/src/passes/mod.rs crates/core/src/passes/canonicalize.rs crates/core/src/passes/convert_linalg.rs crates/core/src/passes/convert_to_rv.rs crates/core/src/passes/dce.rs crates/core/src/passes/fuse_fill.rs crates/core/src/passes/loop_opt.rs crates/core/src/passes/lower_streaming.rs crates/core/src/passes/lower_to_loops.rs crates/core/src/passes/mem_forward.rs crates/core/src/passes/peephole.rs crates/core/src/passes/rv_scf_to_cf.rs crates/core/src/passes/rv_scf_to_frep.rs crates/core/src/passes/scalar_replacement.rs crates/core/src/passes/seq_unroll.rs crates/core/src/passes/unroll_and_jam.rs crates/core/src/pipeline.rs crates/core/src/regalloc.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmlb_core-afe316dfc2a1f171.rmeta: crates/core/src/lib.rs crates/core/src/passes/mod.rs crates/core/src/passes/canonicalize.rs crates/core/src/passes/convert_linalg.rs crates/core/src/passes/convert_to_rv.rs crates/core/src/passes/dce.rs crates/core/src/passes/fuse_fill.rs crates/core/src/passes/loop_opt.rs crates/core/src/passes/lower_streaming.rs crates/core/src/passes/lower_to_loops.rs crates/core/src/passes/mem_forward.rs crates/core/src/passes/peephole.rs crates/core/src/passes/rv_scf_to_cf.rs crates/core/src/passes/rv_scf_to_frep.rs crates/core/src/passes/scalar_replacement.rs crates/core/src/passes/seq_unroll.rs crates/core/src/passes/unroll_and_jam.rs crates/core/src/pipeline.rs crates/core/src/regalloc.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/passes/mod.rs:
+crates/core/src/passes/canonicalize.rs:
+crates/core/src/passes/convert_linalg.rs:
+crates/core/src/passes/convert_to_rv.rs:
+crates/core/src/passes/dce.rs:
+crates/core/src/passes/fuse_fill.rs:
+crates/core/src/passes/loop_opt.rs:
+crates/core/src/passes/lower_streaming.rs:
+crates/core/src/passes/lower_to_loops.rs:
+crates/core/src/passes/mem_forward.rs:
+crates/core/src/passes/peephole.rs:
+crates/core/src/passes/rv_scf_to_cf.rs:
+crates/core/src/passes/rv_scf_to_frep.rs:
+crates/core/src/passes/scalar_replacement.rs:
+crates/core/src/passes/seq_unroll.rs:
+crates/core/src/passes/unroll_and_jam.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/regalloc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

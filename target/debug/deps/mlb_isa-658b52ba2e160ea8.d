@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mlb_isa-658b52ba2e160ea8.d: crates/isa/src/lib.rs crates/isa/src/regs.rs crates/isa/src/ssr.rs
+
+/root/repo/target/debug/deps/libmlb_isa-658b52ba2e160ea8.rlib: crates/isa/src/lib.rs crates/isa/src/regs.rs crates/isa/src/ssr.rs
+
+/root/repo/target/debug/deps/libmlb_isa-658b52ba2e160ea8.rmeta: crates/isa/src/lib.rs crates/isa/src/regs.rs crates/isa/src/ssr.rs
+
+crates/isa/src/lib.rs:
+crates/isa/src/regs.rs:
+crates/isa/src/ssr.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/mlb_isa-7e3ee542d54a15f9.d: crates/isa/src/lib.rs crates/isa/src/regs.rs crates/isa/src/ssr.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmlb_isa-7e3ee542d54a15f9.rmeta: crates/isa/src/lib.rs crates/isa/src/regs.rs crates/isa/src/ssr.rs Cargo.toml
+
+crates/isa/src/lib.rs:
+crates/isa/src/regs.rs:
+crates/isa/src/ssr.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

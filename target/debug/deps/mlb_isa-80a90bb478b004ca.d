@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/mlb_isa-80a90bb478b004ca.d: crates/isa/src/lib.rs crates/isa/src/regs.rs crates/isa/src/ssr.rs
+
+/root/repo/target/debug/deps/mlb_isa-80a90bb478b004ca: crates/isa/src/lib.rs crates/isa/src/regs.rs crates/isa/src/ssr.rs
+
+crates/isa/src/lib.rs:
+crates/isa/src/regs.rs:
+crates/isa/src/ssr.rs:

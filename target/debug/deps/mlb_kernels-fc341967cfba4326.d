@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/mlb_kernels-fc341967cfba4326.d: crates/kernels/src/lib.rs crates/kernels/src/builders.rs crates/kernels/src/handwritten.rs crates/kernels/src/harness.rs crates/kernels/src/reference.rs crates/kernels/src/suite.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmlb_kernels-fc341967cfba4326.rmeta: crates/kernels/src/lib.rs crates/kernels/src/builders.rs crates/kernels/src/handwritten.rs crates/kernels/src/harness.rs crates/kernels/src/reference.rs crates/kernels/src/suite.rs Cargo.toml
+
+crates/kernels/src/lib.rs:
+crates/kernels/src/builders.rs:
+crates/kernels/src/handwritten.rs:
+crates/kernels/src/harness.rs:
+crates/kernels/src/reference.rs:
+crates/kernels/src/suite.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/mlb_sim-1f3c0dad956d3035.d: crates/sim/src/lib.rs crates/sim/src/asm.rs crates/sim/src/counters.rs crates/sim/src/instr.rs crates/sim/src/machine.rs crates/sim/src/ssr.rs crates/sim/src/trace.rs
+
+/root/repo/target/debug/deps/mlb_sim-1f3c0dad956d3035: crates/sim/src/lib.rs crates/sim/src/asm.rs crates/sim/src/counters.rs crates/sim/src/instr.rs crates/sim/src/machine.rs crates/sim/src/ssr.rs crates/sim/src/trace.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/asm.rs:
+crates/sim/src/counters.rs:
+crates/sim/src/instr.rs:
+crates/sim/src/machine.rs:
+crates/sim/src/ssr.rs:
+crates/sim/src/trace.rs:

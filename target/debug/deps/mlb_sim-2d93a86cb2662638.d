@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/mlb_sim-2d93a86cb2662638.d: crates/sim/src/lib.rs crates/sim/src/asm.rs crates/sim/src/counters.rs crates/sim/src/instr.rs crates/sim/src/machine.rs crates/sim/src/ssr.rs crates/sim/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmlb_sim-2d93a86cb2662638.rmeta: crates/sim/src/lib.rs crates/sim/src/asm.rs crates/sim/src/counters.rs crates/sim/src/instr.rs crates/sim/src/machine.rs crates/sim/src/ssr.rs crates/sim/src/trace.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/asm.rs:
+crates/sim/src/counters.rs:
+crates/sim/src/instr.rs:
+crates/sim/src/machine.rs:
+crates/sim/src/ssr.rs:
+crates/sim/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/mlb_sim-733c69943a3fd8f2.d: crates/sim/src/lib.rs crates/sim/src/asm.rs crates/sim/src/counters.rs crates/sim/src/instr.rs crates/sim/src/machine.rs crates/sim/src/ssr.rs crates/sim/src/trace.rs
+
+/root/repo/target/debug/deps/libmlb_sim-733c69943a3fd8f2.rlib: crates/sim/src/lib.rs crates/sim/src/asm.rs crates/sim/src/counters.rs crates/sim/src/instr.rs crates/sim/src/machine.rs crates/sim/src/ssr.rs crates/sim/src/trace.rs
+
+/root/repo/target/debug/deps/libmlb_sim-733c69943a3fd8f2.rmeta: crates/sim/src/lib.rs crates/sim/src/asm.rs crates/sim/src/counters.rs crates/sim/src/instr.rs crates/sim/src/machine.rs crates/sim/src/ssr.rs crates/sim/src/trace.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/asm.rs:
+crates/sim/src/counters.rs:
+crates/sim/src/instr.rs:
+crates/sim/src/machine.rs:
+crates/sim/src/ssr.rs:
+crates/sim/src/trace.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mlbc-a62bb2dc261f425d.d: src/bin/mlbc.rs
+
+/root/repo/target/debug/deps/mlbc-a62bb2dc261f425d: src/bin/mlbc.rs
+
+src/bin/mlbc.rs:

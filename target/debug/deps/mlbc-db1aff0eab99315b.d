@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mlbc-db1aff0eab99315b.d: src/bin/mlbc.rs
+
+/root/repo/target/debug/deps/mlbc-db1aff0eab99315b: src/bin/mlbc.rs
+
+src/bin/mlbc.rs:

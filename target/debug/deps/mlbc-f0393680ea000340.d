@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mlbc-f0393680ea000340.d: src/bin/mlbc.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmlbc-f0393680ea000340.rmeta: src/bin/mlbc.rs Cargo.toml
+
+src/bin/mlbc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

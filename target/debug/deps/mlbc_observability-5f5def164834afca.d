@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/mlbc_observability-5f5def164834afca.d: tests/mlbc_observability.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmlbc_observability-5f5def164834afca.rmeta: tests/mlbc_observability.rs Cargo.toml
+
+tests/mlbc_observability.rs:
+Cargo.toml:
+
+# env-dep:CARGO_BIN_EXE_mlbc=placeholder:mlbc
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/mlbc_observability-d37767ed132c1c61.d: tests/mlbc_observability.rs
+
+/root/repo/target/debug/deps/mlbc_observability-d37767ed132c1c61: tests/mlbc_observability.rs
+
+tests/mlbc_observability.rs:
+
+# env-dep:CARGO_BIN_EXE_mlbc=/root/repo/target/debug/mlbc

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mlbc_textual-82762e8f71663b09.d: tests/mlbc_textual.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmlbc_textual-82762e8f71663b09.rmeta: tests/mlbc_textual.rs Cargo.toml
+
+tests/mlbc_textual.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mlbc_textual-bc419cb8b4f9cc82.d: tests/mlbc_textual.rs
+
+/root/repo/target/debug/deps/mlbc_textual-bc419cb8b4f9cc82: tests/mlbc_textual.rs
+
+tests/mlbc_textual.rs:

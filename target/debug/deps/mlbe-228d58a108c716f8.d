@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/mlbe-228d58a108c716f8.d: src/lib.rs src/json.rs
+
+/root/repo/target/debug/deps/mlbe-228d58a108c716f8: src/lib.rs src/json.rs
+
+src/lib.rs:
+src/json.rs:

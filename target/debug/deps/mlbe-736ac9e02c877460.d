@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/mlbe-736ac9e02c877460.d: src/lib.rs src/json.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmlbe-736ac9e02c877460.rmeta: src/lib.rs src/json.rs Cargo.toml
+
+src/lib.rs:
+src/json.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

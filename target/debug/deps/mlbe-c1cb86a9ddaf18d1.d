@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/mlbe-c1cb86a9ddaf18d1.d: src/lib.rs src/json.rs
+
+/root/repo/target/debug/deps/libmlbe-c1cb86a9ddaf18d1.rlib: src/lib.rs src/json.rs
+
+/root/repo/target/debug/deps/libmlbe-c1cb86a9ddaf18d1.rmeta: src/lib.rs src/json.rs
+
+src/lib.rs:
+src/json.rs:

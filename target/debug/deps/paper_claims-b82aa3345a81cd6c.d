@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-b82aa3345a81cd6c.d: tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-b82aa3345a81cd6c: tests/paper_claims.rs
+
+tests/paper_claims.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/pipeline_snapshots-70b07aa4e85c5f1e.d: tests/pipeline_snapshots.rs
+
+/root/repo/target/debug/deps/pipeline_snapshots-70b07aa4e85c5f1e: tests/pipeline_snapshots.rs
+
+tests/pipeline_snapshots.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/pipeline_snapshots-b93a8d42bca0eaba.d: tests/pipeline_snapshots.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpipeline_snapshots-b93a8d42bca0eaba.rmeta: tests/pipeline_snapshots.rs Cargo.toml
+
+tests/pipeline_snapshots.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

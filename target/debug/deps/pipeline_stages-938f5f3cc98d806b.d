@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pipeline_stages-938f5f3cc98d806b.d: tests/pipeline_stages.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpipeline_stages-938f5f3cc98d806b.rmeta: tests/pipeline_stages.rs Cargo.toml
+
+tests/pipeline_stages.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

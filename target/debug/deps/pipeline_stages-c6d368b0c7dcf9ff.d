@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline_stages-c6d368b0c7dcf9ff.d: tests/pipeline_stages.rs
+
+/root/repo/target/debug/deps/pipeline_stages-c6d368b0c7dcf9ff: tests/pipeline_stages.rs
+
+tests/pipeline_stages.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-d946a7f4784f3aa6.d: shims/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/proptest-d946a7f4784f3aa6: shims/proptest/src/lib.rs
+
+shims/proptest/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-dab7ae0162b1251d.d: shims/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-dab7ae0162b1251d.rlib: shims/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-dab7ae0162b1251d.rmeta: shims/proptest/src/lib.rs
+
+shims/proptest/src/lib.rs:

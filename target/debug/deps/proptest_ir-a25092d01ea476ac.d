@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_ir-a25092d01ea476ac.d: tests/proptest_ir.rs
+
+/root/repo/target/debug/deps/proptest_ir-a25092d01ea476ac: tests/proptest_ir.rs
+
+tests/proptest_ir.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_ir-a82ee709dea73128.d: tests/proptest_ir.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_ir-a82ee709dea73128.rmeta: tests/proptest_ir.rs Cargo.toml
+
+tests/proptest_ir.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_pipeline-d590a37833d14d14.d: tests/proptest_pipeline.rs
+
+/root/repo/target/debug/deps/proptest_pipeline-d590a37833d14d14: tests/proptest_pipeline.rs
+
+tests/proptest_pipeline.rs:

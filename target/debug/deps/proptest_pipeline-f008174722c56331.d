@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_pipeline-f008174722c56331.d: tests/proptest_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_pipeline-f008174722c56331.rmeta: tests/proptest_pipeline.rs Cargo.toml
+
+tests/proptest_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

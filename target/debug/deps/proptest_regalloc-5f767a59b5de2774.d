@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_regalloc-5f767a59b5de2774.d: tests/proptest_regalloc.rs
+
+/root/repo/target/debug/deps/proptest_regalloc-5f767a59b5de2774: tests/proptest_regalloc.rs
+
+tests/proptest_regalloc.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_regalloc-79b32a5a0c3574b7.d: tests/proptest_regalloc.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_regalloc-79b32a5a0c3574b7.rmeta: tests/proptest_regalloc.rs Cargo.toml
+
+tests/proptest_regalloc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_streams-d3264bcac4e53259.d: tests/proptest_streams.rs
+
+/root/repo/target/debug/deps/proptest_streams-d3264bcac4e53259: tests/proptest_streams.rs
+
+tests/proptest_streams.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_streams-ee1774248b236b7b.d: tests/proptest_streams.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_streams-ee1774248b236b7b.rmeta: tests/proptest_streams.rs Cargo.toml
+
+tests/proptest_streams.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

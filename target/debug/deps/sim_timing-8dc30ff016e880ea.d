@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sim_timing-8dc30ff016e880ea.d: tests/sim_timing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsim_timing-8dc30ff016e880ea.rmeta: tests/sim_timing.rs Cargo.toml
+
+tests/sim_timing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sim_timing-a1810891e588c6a4.d: tests/sim_timing.rs
+
+/root/repo/target/debug/deps/sim_timing-a1810891e588c6a4: tests/sim_timing.rs
+
+tests/sim_timing.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tmp_probe-13e635855bcc7626.d: tests/tmp_probe.rs
+
+/root/repo/target/debug/deps/tmp_probe-13e635855bcc7626: tests/tmp_probe.rs
+
+tests/tmp_probe.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/custom_kernel-36abc4341a4027b2.d: examples/custom_kernel.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcustom_kernel-36abc4341a4027b2.rmeta: examples/custom_kernel.rs Cargo.toml
+
+examples/custom_kernel.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/custom_kernel-8a3fefe519b391f6.d: examples/custom_kernel.rs
+
+/root/repo/target/debug/examples/custom_kernel-8a3fefe519b391f6: examples/custom_kernel.rs
+
+examples/custom_kernel.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/matmul_ablation-d8e1784abe64659f.d: examples/matmul_ablation.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmatmul_ablation-d8e1784abe64659f.rmeta: examples/matmul_ablation.rs Cargo.toml
+
+examples/matmul_ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

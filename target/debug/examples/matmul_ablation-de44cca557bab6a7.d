@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/matmul_ablation-de44cca557bab6a7.d: examples/matmul_ablation.rs
+
+/root/repo/target/debug/examples/matmul_ablation-de44cca557bab6a7: examples/matmul_ablation.rs
+
+examples/matmul_ablation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/progressive_lowering-0242eb8ce51f186e.d: examples/progressive_lowering.rs Cargo.toml
+
+/root/repo/target/debug/examples/libprogressive_lowering-0242eb8ce51f186e.rmeta: examples/progressive_lowering.rs Cargo.toml
+
+examples/progressive_lowering.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

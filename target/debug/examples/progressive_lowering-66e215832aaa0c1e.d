@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/progressive_lowering-66e215832aaa0c1e.d: examples/progressive_lowering.rs
+
+/root/repo/target/debug/examples/progressive_lowering-66e215832aaa0c1e: examples/progressive_lowering.rs
+
+examples/progressive_lowering.rs:

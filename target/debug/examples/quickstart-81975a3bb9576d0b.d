@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-81975a3bb9576d0b.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-81975a3bb9576d0b: examples/quickstart.rs
+
+examples/quickstart.rs:

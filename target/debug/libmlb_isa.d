@@ -1,0 +1,1 @@
+/root/repo/target/debug/libmlb_isa.rlib: /root/repo/crates/isa/src/lib.rs /root/repo/crates/isa/src/regs.rs /root/repo/crates/isa/src/ssr.rs

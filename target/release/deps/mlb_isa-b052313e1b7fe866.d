@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/mlb_isa-b052313e1b7fe866.d: crates/isa/src/lib.rs crates/isa/src/regs.rs crates/isa/src/ssr.rs
+
+/root/repo/target/release/deps/libmlb_isa-b052313e1b7fe866.rlib: crates/isa/src/lib.rs crates/isa/src/regs.rs crates/isa/src/ssr.rs
+
+/root/repo/target/release/deps/libmlb_isa-b052313e1b7fe866.rmeta: crates/isa/src/lib.rs crates/isa/src/regs.rs crates/isa/src/ssr.rs
+
+crates/isa/src/lib.rs:
+crates/isa/src/regs.rs:
+crates/isa/src/ssr.rs:

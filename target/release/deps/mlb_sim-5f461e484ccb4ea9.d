@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/mlb_sim-5f461e484ccb4ea9.d: crates/sim/src/lib.rs crates/sim/src/asm.rs crates/sim/src/counters.rs crates/sim/src/instr.rs crates/sim/src/machine.rs crates/sim/src/ssr.rs crates/sim/src/trace.rs
+
+/root/repo/target/release/deps/libmlb_sim-5f461e484ccb4ea9.rlib: crates/sim/src/lib.rs crates/sim/src/asm.rs crates/sim/src/counters.rs crates/sim/src/instr.rs crates/sim/src/machine.rs crates/sim/src/ssr.rs crates/sim/src/trace.rs
+
+/root/repo/target/release/deps/libmlb_sim-5f461e484ccb4ea9.rmeta: crates/sim/src/lib.rs crates/sim/src/asm.rs crates/sim/src/counters.rs crates/sim/src/instr.rs crates/sim/src/machine.rs crates/sim/src/ssr.rs crates/sim/src/trace.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/asm.rs:
+crates/sim/src/counters.rs:
+crates/sim/src/instr.rs:
+crates/sim/src/machine.rs:
+crates/sim/src/ssr.rs:
+crates/sim/src/trace.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/mlbc-b3e2087576f7514a.d: src/bin/mlbc.rs
+
+/root/repo/target/release/deps/mlbc-b3e2087576f7514a: src/bin/mlbc.rs
+
+src/bin/mlbc.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/mlbe-31e7f545b27ed2f1.d: src/lib.rs src/json.rs
+
+/root/repo/target/release/deps/libmlbe-31e7f545b27ed2f1.rlib: src/lib.rs src/json.rs
+
+/root/repo/target/release/deps/libmlbe-31e7f545b27ed2f1.rmeta: src/lib.rs src/json.rs
+
+src/lib.rs:
+src/json.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-4d9934ff43505820.d: shims/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-4d9934ff43505820.rlib: shims/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-4d9934ff43505820.rmeta: shims/proptest/src/lib.rs
+
+shims/proptest/src/lib.rs:

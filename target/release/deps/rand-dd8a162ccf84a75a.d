@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-dd8a162ccf84a75a.d: shims/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-dd8a162ccf84a75a.rlib: shims/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-dd8a162ccf84a75a.rmeta: shims/rand/src/lib.rs
+
+shims/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-8c72932b42ea60ce.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-8c72932b42ea60ce: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,179 @@
+//! End-to-end test of the driver's observability flags: runs the real
+//! `mlbc` binary and validates the `--trace-json` report by parsing it
+//! back with the same hand-rolled JSON module, plus the `--pass-timing`
+//! table and `--print-ir-after-*` dumps.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use mlbe::json::Json;
+
+/// ReLU over 16 doubles in the generic textual syntax.
+const RELU_MLIR: &str = r#"
+"builtin.module"() ({
+^bb0:
+  "func.func"() ({
+  ^bb1(%0: memref<16xf64>, %1: memref<16xf64>):
+    %2 = "arith.constant"() {value = 0.0} : () -> (f64)
+    "linalg.generic"(%0, %1) ({
+    ^bb2(%3: f64, %4: f64):
+      %5 = "arith.maximumf"(%3, %2) : (f64, f64) -> (f64)
+      "linalg.yield"(%5) : (f64) -> ()
+    }) {indexing_maps = [affine_map<(d0) -> (d0)>, affine_map<(d0) -> (d0)>],
+        iterator_types = iterators<parallel>,
+        num_inputs = 1} : (memref<16xf64>, memref<16xf64>) -> ()
+    "func.return"() : () -> ()
+  }) {sym_name = @relu, function_type = (memref<16xf64>, memref<16xf64>) -> ()} : () -> ()
+}) : () -> ()
+"#;
+
+/// A scratch directory unique to this test binary run.
+fn scratch(label: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mlbc-obs-{}-{label}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn write_kernel(dir: &Path) -> PathBuf {
+    let path = dir.join("relu.mlir");
+    std::fs::write(&path, RELU_MLIR).unwrap();
+    path
+}
+
+fn expect_num(obj: &Json, key: &str) -> f64 {
+    obj.get(key).and_then(Json::as_f64).unwrap_or_else(|| panic!("number `{key}` in {obj}"))
+}
+
+#[test]
+fn trace_json_report_is_valid_and_consistent() {
+    let dir = scratch("trace");
+    let kernel = write_kernel(&dir);
+    let out_path = dir.join("out.json");
+
+    let output = Command::new(env!("CARGO_BIN_EXE_mlbc"))
+        .arg(&kernel)
+        .arg("--pass-timing")
+        .args(["--trace-json", out_path.to_str().unwrap()])
+        .output()
+        .expect("mlbc runs");
+    assert!(output.status.success(), "stderr: {}", String::from_utf8_lossy(&output.stderr));
+
+    // stdout still carries the assembly.
+    let stdout = String::from_utf8(output.stdout).unwrap();
+    assert!(stdout.contains("relu:"), "assembly on stdout: {stdout}");
+    assert!(stdout.contains("ret"), "assembly on stdout: {stdout}");
+
+    // --pass-timing prints a human-readable table on stderr.
+    let stderr = String::from_utf8(output.stderr).unwrap();
+    assert!(stderr.contains("Pass execution timing"), "timing table: {stderr}");
+    assert!(stderr.contains("convert-linalg-to-memref-stream"), "timing table: {stderr}");
+
+    // The report parses back with the same JSON implementation.
+    let text = std::fs::read_to_string(&out_path).unwrap();
+    let report = Json::parse(&text).expect("valid JSON");
+
+    assert_eq!(expect_num(&report, "version"), 1.0);
+    assert_eq!(report.get("flow").and_then(Json::as_str), Some("ours"));
+
+    // Per-pass timings and op-count deltas, consistent with the total.
+    let passes = report.get("passes").and_then(Json::as_array).expect("passes array");
+    assert!(passes.len() >= 6, "a multi-stage pipeline, got {}", passes.len());
+    let mut nanos_sum = 0.0;
+    for pass in passes {
+        assert!(pass.get("pass").and_then(Json::as_str).is_some());
+        nanos_sum += expect_num(pass, "nanos");
+        let before = expect_num(pass, "ops_before");
+        let after = expect_num(pass, "ops_after");
+        assert!(before >= 1.0 && after >= 1.0);
+        expect_num(pass, "pattern_applications");
+        expect_num(pass, "dce_erased");
+    }
+    assert_eq!(nanos_sum, expect_num(&report, "total_pass_nanos"));
+    // The lowering to loops must grow the IR; at least one pass shrinks it.
+    assert!(passes.iter().any(|p| expect_num(p, "ops_after") > expect_num(p, "ops_before")));
+    assert!(passes.iter().any(|p| expect_num(p, "ops_after") < expect_num(p, "ops_before")));
+
+    // Simulated kernel counters and occupancy.
+    let kernels = report.get("kernels").and_then(Json::as_array).expect("kernels array");
+    assert_eq!(kernels.len(), 1);
+    let relu = &kernels[0];
+    assert_eq!(relu.get("name").and_then(Json::as_str), Some("relu"));
+    let counters = relu.get("counters").expect("counters object");
+    let cycles = expect_num(counters, "cycles");
+    assert!(cycles > 0.0);
+    assert!(expect_num(counters, "fpu_busy_cycles") <= cycles);
+    assert_eq!(expect_num(counters, "flops"), 16.0, "one max per element");
+    assert_eq!(expect_num(counters, "ssr_reads"), 16.0);
+    assert_eq!(expect_num(counters, "ssr_writes"), 16.0);
+    assert_eq!(expect_num(relu, "trace_length"), expect_num(counters, "instructions"));
+
+    let occupancy = relu.get("occupancy").expect("occupancy object");
+    for key in [
+        "fpu_utilization",
+        "flops_per_cycle",
+        "frep_coverage",
+        "ssr_read_density",
+        "ssr_write_density",
+    ] {
+        let v = expect_num(occupancy, key);
+        assert!((0.0..=1.0).contains(&v), "{key} = {v} out of range");
+    }
+
+    let stalls = relu.get("stall_cycles").expect("stall histogram");
+    for key in ["raw-int", "raw-fp", "fpu-busy", "branch-redirect", "ssr-backpressure"] {
+        expect_num(stalls, key);
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn print_ir_after_all_writes_numbered_dumps() {
+    let dir = scratch("dumps");
+    let kernel = write_kernel(&dir);
+    let dump_dir = dir.join("ir");
+
+    let output = Command::new(env!("CARGO_BIN_EXE_mlbc"))
+        .arg(&kernel)
+        .arg(format!("--print-ir-after-all={}", dump_dir.display()))
+        .output()
+        .expect("mlbc runs");
+    assert!(output.status.success(), "stderr: {}", String::from_utf8_lossy(&output.stderr));
+
+    let mut names: Vec<String> = std::fs::read_dir(&dump_dir)
+        .expect("dump dir created")
+        .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+        .collect();
+    names.sort();
+    assert!(names.len() >= 6, "one dump per pass, got {names:?}");
+    assert!(names[0].starts_with("00-"), "numbered in pipeline order: {names:?}");
+    assert!(names.iter().all(|n| n.ends_with(".mlir")), "{names:?}");
+    // Each dump holds printable IR rooted at the module.
+    for name in &names {
+        let text = std::fs::read_to_string(dump_dir.join(name)).unwrap();
+        assert!(text.contains("builtin.module"), "{name} is an IR dump");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn print_ir_after_change_skips_no_op_passes() {
+    let dir = scratch("change");
+    let kernel = write_kernel(&dir);
+
+    let all = Command::new(env!("CARGO_BIN_EXE_mlbc"))
+        .arg(&kernel)
+        .arg("--print-ir-after-all")
+        .output()
+        .expect("mlbc runs");
+    let changed = Command::new(env!("CARGO_BIN_EXE_mlbc"))
+        .arg(&kernel)
+        .arg("--print-ir-after-change")
+        .output()
+        .expect("mlbc runs");
+    assert!(all.status.success() && changed.status.success());
+    let count = |out: &[u8]| String::from_utf8_lossy(out).matches("IR after").count();
+    let (all, changed) = (count(&all.stderr), count(&changed.stderr));
+    assert!(changed < all, "on-change dumps ({changed}) must skip no-op passes ({all} total)");
+    assert!(changed >= 6, "the pipeline changes the IR at least 6 times, got {changed}");
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -5,9 +5,7 @@
 //! EXPERIMENTS.md for the rationale.
 
 use mlb_core::{Flow, PipelineOptions};
-use mlb_kernels::{
-    compile_and_run, run_handwritten, Instance, Kind, Precision, Shape,
-};
+use mlb_kernels::{compile_and_run, run_handwritten, Instance, Kind, Precision, Shape};
 
 fn full() -> Flow {
     Flow::Ours(PipelineOptions::full())
@@ -77,11 +75,7 @@ fn figure9_handwritten_overhead_is_size_independent() {
 fn figure9_matmult_packed_throughput() {
     let instance = Instance::new(Kind::MatMulT, Shape::nmk(4, 16, 64), Precision::F32);
     let outcome = run_handwritten(&instance, 5).unwrap();
-    assert!(
-        outcome.counters.throughput() > 2.4,
-        "throughput {}",
-        outcome.counters.throughput()
-    );
+    assert!(outcome.counters.throughput() > 2.4, "throughput {}", outcome.counters.throughput());
 }
 
 /// Figure 10: the multi-level flow dominates both comparison flows on
@@ -93,10 +87,7 @@ fn figure10_ordering_and_scaling() {
         let ours = compile_and_run(&instance, full(), 9).unwrap().utilization();
         let mlir = compile_and_run(&instance, Flow::MlirLike, 9).unwrap().utilization();
         let clang = compile_and_run(&instance, Flow::ClangLike, 9).unwrap().utilization();
-        assert!(
-            ours > 3.0 * mlir.max(clang),
-            "{kind}: ours {ours} vs mlir {mlir} / clang {clang}"
-        );
+        assert!(ours > 3.0 * mlir.max(clang), "{kind}: ours {ours} vs mlir {mlir} / clang {clang}");
     }
     // Monotone scaling toward peak for a parallel kernel.
     let mut last = 0.0;

@@ -1,0 +1,116 @@
+//! Golden snapshots of the IR after every stage of the full pipeline
+//! (Figure 5) on a small matmul.
+//!
+//! Each stage's printed IR is pinned under `tests/snapshots/`; an
+//! unintended change to any pass, the printer, or pass ordering shows
+//! up as a readable diff. Regenerate intentionally with:
+//!
+//! ```sh
+//! UPDATE_SNAPSHOTS=1 cargo test --test pipeline_snapshots
+//! ```
+//!
+//! Every snapshot is additionally re-parsed, re-verified and re-printed
+//! to pin the printer/parser round-trip at each abstraction level.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use mlb_core::{compile_with_observer, full_registry, Flow, PipelineOptions};
+use mlb_ir::{parse_module, print_op, Context, IrSnapshotMode, PipelineRecorder};
+use mlb_kernels::{Instance, Kind, Precision, Shape};
+
+fn snapshot_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests").join("snapshots")
+}
+
+/// Compiles the reference matmul, recording the IR after every pass.
+fn record_stages() -> Vec<(String, String)> {
+    let instance = Instance::new(Kind::MatMul, Shape::nmk(1, 4, 8), Precision::F64);
+    let mut ctx = Context::new();
+    let module = instance.build_module(&mut ctx);
+    let mut recorder = PipelineRecorder::new(IrSnapshotMode::All);
+    compile_with_observer(&mut ctx, module, Flow::Ours(PipelineOptions::full()), &mut recorder)
+        .expect("matmul compiles");
+    recorder
+        .events
+        .iter()
+        .enumerate()
+        .map(|(n, event)| {
+            // `event.index` restarts for the tail pipeline; number the
+            // snapshots by overall position instead.
+            let name = format!("{n:02}-{}.mlir", event.pass);
+            let ir = event.ir_after.clone().expect("snapshot mode All records every pass");
+            (name, ir)
+        })
+        .collect()
+}
+
+#[test]
+fn pipeline_stages_match_golden_snapshots() {
+    let dir = snapshot_dir();
+    let stages = record_stages();
+    assert!(stages.len() >= 6, "expected a multi-stage pipeline, got {}", stages.len());
+
+    if std::env::var("UPDATE_SNAPSHOTS").is_ok_and(|v| v == "1") {
+        std::fs::create_dir_all(&dir).unwrap();
+        // Drop snapshots of removed/renamed passes.
+        for entry in std::fs::read_dir(&dir).unwrap() {
+            std::fs::remove_file(entry.unwrap().path()).unwrap();
+        }
+        for (name, ir) in &stages {
+            std::fs::write(dir.join(name), ir).unwrap();
+        }
+        return;
+    }
+
+    let mut report = String::new();
+    for (name, ir) in &stages {
+        let path = dir.join(name);
+        match std::fs::read_to_string(&path) {
+            Ok(golden) if golden == *ir => {}
+            Ok(golden) => {
+                let _ = writeln!(report, "stage {name} drifted from its snapshot:");
+                for (g, n) in golden.lines().zip(ir.lines()) {
+                    if g != n {
+                        let _ = writeln!(report, "  - {g}\n  + {n}");
+                    }
+                }
+                let (gl, nl) = (golden.lines().count(), ir.lines().count());
+                if gl != nl {
+                    let _ = writeln!(report, "  ({gl} golden lines vs {nl} new lines)");
+                }
+            }
+            Err(_) => {
+                let _ = writeln!(report, "missing snapshot {name}");
+            }
+        }
+    }
+    // Snapshots of passes that no longer exist are also drift.
+    for entry in std::fs::read_dir(&dir).expect("snapshot dir exists") {
+        let file = entry.unwrap().file_name().to_string_lossy().into_owned();
+        if !stages.iter().any(|(name, _)| *name == file) {
+            let _ = writeln!(report, "stale snapshot {file} (pass removed or renamed?)");
+        }
+    }
+    assert!(
+        report.is_empty(),
+        "{report}\nrun `UPDATE_SNAPSHOTS=1 cargo test --test pipeline_snapshots` \
+         if the change is intentional"
+    );
+}
+
+/// Every pinned stage must survive a print -> parse -> verify -> print
+/// round trip: the textual form is a faithful serialization at every
+/// abstraction level of the pipeline.
+#[test]
+fn every_stage_round_trips_through_the_parser() {
+    let registry = full_registry();
+    for (name, ir) in record_stages() {
+        let mut ctx = Context::new();
+        let module =
+            parse_module(&mut ctx, &ir).unwrap_or_else(|e| panic!("stage {name} reparses: {e}"));
+        registry.verify(&ctx, module).unwrap_or_else(|e| panic!("stage {name} re-verifies: {e}"));
+        let reprinted = print_op(&ctx, module);
+        assert_eq!(reprinted, ir, "stage {name}: print/parse round trip is not a fixpoint");
+    }
+}

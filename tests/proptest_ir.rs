@@ -2,9 +2,7 @@
 //! round-trips (print → parse → print is a fixpoint), and structural
 //! invariants survive random construction.
 
-use mlb_ir::{
-    parse_module, print_op, Attribute, Context, OpSpec, Type,
-};
+use mlb_ir::{parse_module, print_op, Attribute, Context, OpSpec, Type};
 use proptest::prelude::*;
 
 /// A recipe for one random straight-line operation.
@@ -30,12 +28,9 @@ fn build_module(recipes: &[OpRecipe]) -> (Context, mlb_ir::OpId) {
     let top = ctx.create_block(ctx.op(module).regions[0], vec![]);
     let func = ctx.append_op(
         top,
-        OpSpec::new("func.func")
-            .attr("sym_name", Attribute::Symbol("random".into()))
-            .regions(1),
+        OpSpec::new("func.func").attr("sym_name", Attribute::Symbol("random".into())).regions(1),
     );
-    let entry =
-        ctx.create_block(ctx.op(func).regions[0], vec![Type::F64, Type::Index, Type::F32]);
+    let entry = ctx.create_block(ctx.op(func).regions[0], vec![Type::F64, Type::Index, Type::F32]);
     let mut f64s: Vec<mlb_ir::ValueId> = vec![ctx.block_args(entry)[0]];
     let mut idxs: Vec<mlb_ir::ValueId> = vec![ctx.block_args(entry)[1]];
     for r in recipes {

@@ -170,3 +170,138 @@ f:
         assert_eq!(cycles(src), a);
     }
 }
+
+// ---------------------------------------------------------------------
+// Counter invariants across the kernel suite (observability layer).
+//
+// These pin the relationships between `PerfCounters`, the per-mover SSR
+// pop counts and the execution trace that the `--trace-json` report
+// relies on: if any of them drifts, occupancy summaries silently lie.
+// ---------------------------------------------------------------------
+
+mod counter_invariants {
+    use mlb_core::{compile, Flow, PipelineOptions};
+    use mlb_ir::Context;
+    use mlb_isa::{FpReg, TCDM_BASE};
+    use mlb_kernels::{Instance, Kind, Precision, Shape, FILL_VALUE};
+    use mlb_sim::{assemble, Machine, PerfCounters, TraceEntry};
+
+    /// Compiles `instance` with the full pipeline and runs it with the
+    /// execution trace enabled, returning everything the observability
+    /// layer derives its reports from.
+    fn traced_run(instance: &Instance) -> (PerfCounters, Vec<TraceEntry>, [(u64, u64); 3]) {
+        let mut ctx = Context::new();
+        let module = instance.build_module(&mut ctx);
+        let compilation = compile(&mut ctx, module, Flow::Ours(PipelineOptions::full())).unwrap();
+        let program = assemble(&compilation.assembly).unwrap();
+
+        let mut machine = Machine::new();
+        machine.enable_trace();
+        let sizes = instance.buffer_sizes();
+        let esz = instance.precision.bits() / 8;
+        let mut addrs = Vec::new();
+        let mut cursor = TCDM_BASE;
+        for &size in &sizes {
+            addrs.push(cursor);
+            machine.write_f64_slice(cursor, &vec![1.25; size]);
+            cursor += (size as u32 * esz).next_multiple_of(8);
+        }
+        if instance.kind == Kind::Fill {
+            machine.set_f_bits(FpReg::fa(0), FILL_VALUE.to_bits());
+        }
+        let counters = machine.call(&program, &instance.symbol(), &addrs).unwrap();
+        let trace = machine.take_trace().unwrap();
+        (counters, trace, machine.ssr_pop_counts())
+    }
+
+    fn suite() -> Vec<Instance> {
+        Kind::all()
+            .into_iter()
+            .map(|kind| {
+                let shape = match kind {
+                    Kind::MatMul | Kind::MatMulT => Shape::nmk(2, 8, 16),
+                    _ => Shape::nm(4, 8),
+                };
+                Instance::new(kind, shape, Precision::F64)
+            })
+            .collect()
+    }
+
+    /// The FPU cannot be busy for more cycles than the run lasted, and
+    /// every FPU instruction occupies it for at least one cycle.
+    #[test]
+    fn fpu_busy_is_bounded_by_cycles() {
+        for instance in suite() {
+            let (c, _, _) = traced_run(&instance);
+            assert!(
+                c.fpu_busy_cycles <= c.cycles,
+                "{instance:?}: busy {} > cycles {}",
+                c.fpu_busy_cycles,
+                c.cycles
+            );
+            assert!(c.fpu_busy_cycles >= c.fpu_instrs, "{instance:?}");
+            assert!(c.frep_fpu_instrs <= c.fpu_instrs, "{instance:?}");
+        }
+    }
+
+    /// Fused multiply-adds count as two FLOPs each, so the FLOP total
+    /// is at least twice the fmadd count.
+    #[test]
+    fn flops_account_for_fused_multiply_adds() {
+        for instance in suite() {
+            let (c, _, _) = traced_run(&instance);
+            assert!(
+                c.flops >= 2 * c.fmadd,
+                "{instance:?}: flops {} < 2 * fmadd {}",
+                c.flops,
+                c.fmadd
+            );
+        }
+    }
+
+    /// The aggregate SSR counters equal the per-mover pop counts, and
+    /// the trip counts match the kernel semantics: each output element
+    /// pops its full window/reduction from every input stream and is
+    /// written exactly once.
+    #[test]
+    fn ssr_counters_match_stream_trip_counts() {
+        for instance in suite() {
+            let (c, _, movers) = traced_run(&instance);
+            let reads: u64 = movers.iter().map(|&(r, _)| r).sum();
+            let writes: u64 = movers.iter().map(|&(_, w)| w).sum();
+            assert_eq!(c.ssr_reads, reads, "{instance:?}: aggregate reads");
+            assert_eq!(c.ssr_writes, writes, "{instance:?}: aggregate writes");
+
+            let out = (instance.shape.n * instance.shape.m) as u64;
+            let k = instance.shape.k as u64;
+            let expected_reads = match instance.kind {
+                Kind::Fill => 0,
+                Kind::Relu => out,
+                Kind::Sum => 2 * out,
+                // Input window and weights, 9 elements per output each.
+                Kind::Conv3x3 => 18 * out,
+                Kind::MaxPool3x3 | Kind::SumPool3x3 => 9 * out,
+                // A row and a B column per output element.
+                Kind::MatMul | Kind::MatMulT => 2 * k * out,
+            };
+            assert_eq!(c.ssr_reads, expected_reads, "{instance:?}: input trip count");
+            assert_eq!(c.ssr_writes, out, "{instance:?}: output trip count");
+        }
+    }
+
+    /// The execution trace accounts for every cycle and instruction:
+    /// the latest completion time equals the cycle counter, and each
+    /// dynamically executed instruction (including FREP replays) has
+    /// exactly one entry.
+    #[test]
+    fn trace_reconciles_with_counters() {
+        for instance in suite() {
+            let (c, trace, _) = traced_run(&instance);
+            assert_eq!(trace.len() as u64, c.instructions, "{instance:?}: trace length");
+            let last = trace.iter().map(|e| e.complete).max().unwrap();
+            assert_eq!(last, c.cycles, "{instance:?}: trace-derived cycle total");
+            let frep_entries = trace.iter().filter(|e| e.in_frep).count() as u64;
+            assert_eq!(frep_entries, c.frep_fpu_instrs, "{instance:?}: frep entries");
+        }
+    }
+}

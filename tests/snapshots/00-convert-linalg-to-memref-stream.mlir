@@ -1,0 +1,18 @@
+"builtin.module"() ({
+^bb0:
+  "func.func"() ({
+  ^bb1(%0: memref<1x8xf64>, %1: memref<8x4xf64>, %2: memref<1x4xf64>):
+    %3 = "arith.constant"() {value = 0.0} : () -> (f64)
+    "memref_stream.generic"(%2) ({
+    ^bb2(%4: f64):
+      "memref_stream.yield"(%3) : (f64) -> ()
+    }) {bounds = dense<[1, 4]>, indexing_maps = [affine_map<(d0, d1) -> (d0, d1)>], iterator_types = iterators<parallel, parallel>, num_inputs = 0} : (memref<1x4xf64>) -> ()
+    "memref_stream.generic"(%0, %1, %2) ({
+    ^bb3(%5: f64, %6: f64, %7: f64):
+      %8 = "arith.mulf"(%5, %6) : (f64, f64) -> (f64)
+      %9 = "arith.addf"(%8, %7) : (f64, f64) -> (f64)
+      "memref_stream.yield"(%9) : (f64) -> ()
+    }) {bounds = dense<[1, 4, 8]>, indexing_maps = [affine_map<(d0, d1, d2) -> (d0, d2)>, affine_map<(d0, d1, d2) -> (d2, d1)>, affine_map<(d0, d1, d2) -> (d0, d1)>], iterator_types = iterators<parallel, parallel, reduction>, num_inputs = 2} : (memref<1x8xf64>, memref<8x4xf64>, memref<1x4xf64>) -> ()
+    "func.return"() : () -> ()
+  }) {function_type = (memref<1x8xf64>, memref<8x4xf64>, memref<1x4xf64>) -> (), sym_name = @matmul} : () -> ()
+}) : () -> ()

@@ -1,0 +1,20 @@
+"builtin.module"() ({
+^bb0:
+  "func.func"() ({
+  ^bb1(%0: memref<1x8xf64>, %1: memref<8x4xf64>, %2: memref<1x4xf64>):
+    %3 = "arith.constant"() {value = 0.0} : () -> (f64)
+    "memref_stream.generic"(%0, %1, %2, %3) ({
+    ^bb2(%4: f64, %5: f64, %6: f64, %7: f64, %8: f64, %9: f64, %10: f64, %11: f64, %12: f64, %13: f64, %14: f64, %15: f64):
+      %16 = "arith.mulf"(%4, %8) : (f64, f64) -> (f64)
+      %17 = "arith.addf"(%16, %12) : (f64, f64) -> (f64)
+      %18 = "arith.mulf"(%5, %9) : (f64, f64) -> (f64)
+      %19 = "arith.addf"(%18, %13) : (f64, f64) -> (f64)
+      %20 = "arith.mulf"(%6, %10) : (f64, f64) -> (f64)
+      %21 = "arith.addf"(%20, %14) : (f64, f64) -> (f64)
+      %22 = "arith.mulf"(%7, %11) : (f64, f64) -> (f64)
+      %23 = "arith.addf"(%22, %15) : (f64, f64) -> (f64)
+      "memref_stream.yield"(%17, %19, %21, %23) : (f64, f64, f64, f64) -> ()
+    }) {bounds = dense<[1, 8, 4]>, indexing_maps = [affine_map<(d0, d1, d2) -> (d0, d1)>, affine_map<(d0, d1, d2) -> (d1, d2)>, affine_map<(d0, d1, d2) -> (d0, d2)>], iterator_types = iterators<parallel, reduction, interleaved>, num_inits = 1, num_inputs = 2, scalar_replaced = unit} : (memref<1x8xf64>, memref<8x4xf64>, memref<1x4xf64>, f64) -> ()
+    "func.return"() : () -> ()
+  }) {function_type = (memref<1x8xf64>, memref<8x4xf64>, memref<1x4xf64>) -> (), sym_name = @matmul} : () -> ()
+}) : () -> ()

@@ -1,0 +1,38 @@
+"builtin.module"() ({
+^bb0:
+  "func.func"() ({
+  ^bb1(%0: memref<1x8xf64>, %1: memref<8x4xf64>, %2: memref<1x4xf64>):
+    %3 = "arith.constant"() {value = 0} : () -> (index)
+    %4 = "arith.constant"() {value = 1} : () -> (index)
+    "memref_stream.streaming_region"(%0, %1, %2, %3, %3, %3) ({
+    ^bb2(%5: !memref_stream.readable<f64>, %6: !memref_stream.readable<f64>, %7: !memref_stream.writable<f64>):
+      %8 = "arith.constant"() {value = 0.0} : () -> (f64)
+      %9 = "arith.constant"() {value = 8} : () -> (index)
+      %10, %11, %12, %13 = "scf.for"(%3, %9, %4, %8, %8, %8, %8) ({
+      ^bb3(%14: index, %15: f64, %16: f64, %17: f64, %18: f64):
+        %19 = "memref_stream.read"(%5) : (!memref_stream.readable<f64>) -> (f64)
+        %20 = "memref_stream.read"(%5) : (!memref_stream.readable<f64>) -> (f64)
+        %21 = "memref_stream.read"(%5) : (!memref_stream.readable<f64>) -> (f64)
+        %22 = "memref_stream.read"(%5) : (!memref_stream.readable<f64>) -> (f64)
+        %23 = "memref_stream.read"(%6) : (!memref_stream.readable<f64>) -> (f64)
+        %24 = "memref_stream.read"(%6) : (!memref_stream.readable<f64>) -> (f64)
+        %25 = "memref_stream.read"(%6) : (!memref_stream.readable<f64>) -> (f64)
+        %26 = "memref_stream.read"(%6) : (!memref_stream.readable<f64>) -> (f64)
+        %27 = "arith.mulf"(%19, %23) : (f64, f64) -> (f64)
+        %28 = "arith.addf"(%27, %15) : (f64, f64) -> (f64)
+        %29 = "arith.mulf"(%20, %24) : (f64, f64) -> (f64)
+        %30 = "arith.addf"(%29, %16) : (f64, f64) -> (f64)
+        %31 = "arith.mulf"(%21, %25) : (f64, f64) -> (f64)
+        %32 = "arith.addf"(%31, %17) : (f64, f64) -> (f64)
+        %33 = "arith.mulf"(%22, %26) : (f64, f64) -> (f64)
+        %34 = "arith.addf"(%33, %18) : (f64, f64) -> (f64)
+        "scf.yield"(%28, %30, %32, %34) : (f64, f64, f64, f64) -> ()
+      }) : (index, index, index, f64, f64, f64, f64) -> (f64, f64, f64, f64)
+      "memref_stream.write"(%10, %7) : (f64, !memref_stream.writable<f64>) -> ()
+      "memref_stream.write"(%11, %7) : (f64, !memref_stream.writable<f64>) -> ()
+      "memref_stream.write"(%12, %7) : (f64, !memref_stream.writable<f64>) -> ()
+      "memref_stream.write"(%13, %7) : (f64, !memref_stream.writable<f64>) -> ()
+    }) {num_inputs = 2, patterns = [#memref_stream.stride_pattern<ub = [1, 8, 4], index_map = affine_map<(d0, d1, d2) -> (d0, d1)>>, #memref_stream.stride_pattern<ub = [1, 8, 4], index_map = affine_map<(d0, d1, d2) -> (d1, d2)>>, #memref_stream.stride_pattern<ub = [1, 4], index_map = affine_map<(d0, d1) -> (d0, d1)>>]} : (memref<1x8xf64>, memref<8x4xf64>, memref<1x4xf64>, index, index, index) -> ()
+    "func.return"() : () -> ()
+  }) {function_type = (memref<1x8xf64>, memref<8x4xf64>, memref<1x4xf64>) -> (), sym_name = @matmul} : () -> ()
+}) : () -> ()

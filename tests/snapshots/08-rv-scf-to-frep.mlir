@@ -1,0 +1,28 @@
+"builtin.module"() ({
+^bb0:
+  "rv_func.func"() ({
+  ^bb1(%0: !rv.reg<a0>, %1: !rv.reg<a1>, %2: !rv.reg<a2>):
+    %3 = "rv.get_register"() : () -> (!rv.reg<zero>)
+    %4 = "rv.li"() {imm = 1} : () -> (!rv.reg)
+    "snitch_stream.streaming_region"(%0, %1, %2) ({
+    ^bb2(%5: !rv.freg<ft0>, %6: !rv.freg<ft1>, %7: !rv.freg<ft2>):
+      %8 = "rv.get_register"() : () -> (!rv.reg<zero>)
+      %9 = "rv.fcvt.d.w"(%8) : (!rv.reg<zero>) -> (!rv.freg)
+      %10 = "rv.li"() {imm = 8} : () -> (!rv.reg)
+      %11 = "rv.li"() {imm = 7} : () -> (!rv.reg)
+      %12, %13, %14, %15 = "rv_snitch.frep_outer"(%11, %9, %9, %9, %9) ({
+      ^bb3(%16: !rv.freg, %17: !rv.freg, %18: !rv.freg, %19: !rv.freg):
+        %20 = "rv.fmadd.d"(%5, %6, %16) : (!rv.freg<ft0>, !rv.freg<ft1>, !rv.freg) -> (!rv.freg)
+        %21 = "rv.fmadd.d"(%5, %6, %17) : (!rv.freg<ft0>, !rv.freg<ft1>, !rv.freg) -> (!rv.freg)
+        %22 = "rv.fmadd.d"(%5, %6, %18) : (!rv.freg<ft0>, !rv.freg<ft1>, !rv.freg) -> (!rv.freg)
+        %23 = "rv.fmadd.d"(%5, %6, %19) : (!rv.freg<ft0>, !rv.freg<ft1>, !rv.freg) -> (!rv.freg)
+        "rv_scf.yield"(%20, %21, %22, %23) : (!rv.freg, !rv.freg, !rv.freg, !rv.freg) -> ()
+      }) : (!rv.reg, !rv.freg, !rv.freg, !rv.freg, !rv.freg) -> (!rv.freg, !rv.freg, !rv.freg, !rv.freg)
+      "snitch_stream.write"(%12, %7) : (!rv.freg, !rv.freg<ft2>) -> ()
+      "snitch_stream.write"(%13, %7) : (!rv.freg, !rv.freg<ft2>) -> ()
+      "snitch_stream.write"(%14, %7) : (!rv.freg, !rv.freg<ft2>) -> ()
+      "snitch_stream.write"(%15, %7) : (!rv.freg, !rv.freg<ft2>) -> ()
+    }) {num_inputs = 2, patterns = [#snitch_stream.pattern<ub = [8], strides = [8], repeat = 3>, #snitch_stream.pattern<ub = [32], strides = [8], repeat = 0>, #snitch_stream.pattern<ub = [4], strides = [8], repeat = 0>]} : (!rv.reg<a0>, !rv.reg<a1>, !rv.reg<a2>) -> ()
+    "rv_func.ret"() : () -> ()
+  }) {sym_name = @matmul} : () -> ()
+}) : () -> ()
