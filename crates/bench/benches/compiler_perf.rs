@@ -38,7 +38,7 @@ fn bench_simulator(c: &mut Criterion) {
     c.bench_function("simulate-matmul-1x5x200", |b| {
         b.iter(|| {
             let mut machine = Machine::new();
-            machine.write_f64_slice(mlb_isa::TCDM_BASE, &[1.0; 256]);
+            machine.write_f64_slice(mlb_isa::TCDM_BASE, &[1.0; 256]).unwrap();
             machine
                 .call(
                     &program,

@@ -16,6 +16,7 @@ pub mod pipeline;
 pub mod regalloc;
 
 pub use pipeline::{
-    compile, compile_with_observer, full_registry, Compilation, Flow, PipelineOptions,
+    build_pipeline, compile, compile_with_observer, compile_with_stages,
+    compile_with_stages_tweaked, full_registry, Compilation, Flow, PipelineOptions, Stage,
 };
 pub use regalloc::{allocate_function, RegAllocError, RegStats};

@@ -31,7 +31,8 @@ impl Pass for Canonicalize {
             registry,
             root,
             &[&FoldIntBinary, &SimplifyIdentity, &InlineSingleIterationLoop],
-        );
+        )
+        .map_err(|e| PassError::new(self.name(), e.to_string()))?;
         // Local CSE: address computations for a load/store pair of the
         // same element are syntactically identical after folding.
         let mut blocks = vec![];

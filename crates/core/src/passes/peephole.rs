@@ -24,7 +24,8 @@ impl Pass for RvPeephole {
         registry: &DialectRegistry,
         root: OpId,
     ) -> Result<(), PassError> {
-        apply_patterns_greedily(ctx, registry, root, &[&FuseFmadd, &ElideStreamWrite]);
+        apply_patterns_greedily(ctx, registry, root, &[&FuseFmadd, &ElideStreamWrite])
+            .map_err(|e| PassError::new(self.name(), e.to_string()))?;
         Ok(())
     }
 }

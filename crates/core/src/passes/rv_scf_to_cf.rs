@@ -311,7 +311,7 @@ mod tests {
         let prog = mlb_sim::assemble(&asm).unwrap();
         let mut machine = mlb_sim::Machine::new();
         machine.call(&prog, "k", &[mlb_isa::TCDM_BASE]).unwrap();
-        assert_eq!(machine.read_f64_slice(mlb_isa::TCDM_BASE, 1), vec![10.0]);
+        assert_eq!(machine.read_f64_slice(mlb_isa::TCDM_BASE, 1).unwrap(), vec![10.0]);
     }
 
     #[test]
@@ -356,6 +356,6 @@ mod tests {
         let mut machine = mlb_sim::Machine::new();
         machine.call(&prog, "k", &[mlb_isa::TCDM_BASE]).unwrap();
         // 3 x 3 iterations of +1.0.
-        assert_eq!(machine.read_f64_slice(mlb_isa::TCDM_BASE, 1), vec![9.0]);
+        assert_eq!(machine.read_f64_slice(mlb_isa::TCDM_BASE, 1).unwrap(), vec![9.0]);
     }
 }

@@ -10,7 +10,8 @@
 //! compiler targets the Snitch extensions, Section 4.1).
 
 use mlb_ir::{
-    Context, DialectRegistry, NoopObserver, OpId, Pass, PassError, PassManager, PipelineObserver,
+    Context, DialectRegistry, NoopObserver, OpId, Pass, PassError, PassEvent, PassManager,
+    PipelineObserver,
 };
 use mlb_riscv::rv_func;
 
@@ -154,63 +155,51 @@ pub fn full_registry() -> DialectRegistry {
     registry
 }
 
-/// Compiles `module` (in `ctx`) to assembly with the chosen flow.
+/// A snapshot of the module after one pipeline stage.
 ///
-/// The input module holds `func.func` kernels over `linalg` (or already
-/// `memref_stream`) operations; afterwards the module holds the
-/// corresponding `rv_func.func` functions and the returned
-/// [`Compilation`] carries the printed assembly.
-///
-/// # Errors
-///
-/// Returns the failing pass and reason (verification failures included).
-pub fn compile(ctx: &mut Context, module: OpId, flow: Flow) -> Result<Compilation, PassError> {
-    compile_with_observer(ctx, module, flow, &mut NoopObserver)
+/// Produced by [`compile_with_stages`]: the whole [`Context`] is cloned
+/// after each pass, so the stage can later be re-executed by the IR
+/// interpreter with the exact operand layout of the simulated kernel.
+#[derive(Debug, Clone)]
+pub struct Stage {
+    /// The pass whose output this is (`"input"` for the initial module).
+    pub pass: &'static str,
+    /// The cloned IR state after the pass.
+    pub ctx: Context,
+    /// The module root inside [`Stage::ctx`].
+    pub module: OpId,
 }
 
-/// [`compile`], reporting a [`mlb_ir::PassEvent`] per executed pass to
-/// `observer` (timing, op/block deltas, rewrite counters, optional IR
-/// snapshots) — the hook behind `mlbc --pass-timing` and
-/// `--print-ir-after-all`.
-///
-/// The Clang-like flow may retry without unrolling when register
-/// allocation fails; the observer then sees the abandoned attempt's
-/// events followed by the retry's (`PassEvent::index` restarts at 0).
-/// The control-flow lowering tail pipeline likewise restarts the index.
-///
-/// # Errors
-///
-/// Same conditions as [`compile`].
-pub fn compile_with_observer(
-    ctx: &mut Context,
-    module: OpId,
-    flow: Flow,
-    observer: &mut dyn PipelineObserver,
-) -> Result<Compilation, PassError> {
-    // The Clang-like flow unrolls aggressively; where LLVM would spill,
-    // the spill-free allocator refuses, and the flow falls back to the
-    // non-unrolled schedule (what -O2 does under pressure).
-    if flow == Flow::ClangLike {
-        let backup = ctx.clone();
-        match compile_once(ctx, module, flow, true, observer) {
-            Err(e) if e.pass == "allocate-registers" => {
-                *ctx = backup;
-                return compile_once(ctx, module, flow, false, observer);
-            }
-            other => return other,
-        }
+/// Observer that clones the live IR after every pass.
+struct StageCollector {
+    stages: Vec<Stage>,
+}
+
+impl StageCollector {
+    /// Starts a collection with the pre-pipeline module as stage
+    /// `"input"`.
+    fn new(ctx: &Context, module: OpId) -> StageCollector {
+        StageCollector { stages: vec![Stage { pass: "input", ctx: ctx.clone(), module }] }
     }
-    compile_once(ctx, module, flow, false, observer)
 }
 
-fn compile_once(
-    ctx: &mut Context,
-    module: OpId,
-    flow: Flow,
-    clang_unroll: bool,
-    observer: &mut dyn PipelineObserver,
-) -> Result<Compilation, PassError> {
-    let registry = full_registry();
+impl PipelineObserver for StageCollector {
+    fn on_pass(&mut self, _event: PassEvent) {}
+
+    fn on_ir(&mut self, ctx: &Context, root: OpId, pass: &'static str, _index: usize) {
+        self.stages.push(Stage { pass, ctx: ctx.clone(), module: root });
+    }
+}
+
+/// Builds the pass pipeline of `flow` (including register allocation,
+/// excluding the final control-flow lowering tail).
+///
+/// Exposed so harnesses can inspect or splice into the exact pipeline a
+/// flow runs — e.g. the differential tester's self-test inserts a
+/// deliberately miscompiling pass here and checks the bisection blames
+/// it. `clang_unroll` selects the Clang-like flow's aggressive unrolling
+/// attempt (ignored by the other flows).
+pub fn build_pipeline(flow: Flow, clang_unroll: bool) -> PassManager {
     let mut pm = PassManager::new();
     match flow {
         Flow::Ours(opts) => {
@@ -259,6 +248,121 @@ fn compile_once(
         }
     }
     pm.add(AllocateRegisters);
+    pm
+}
+
+/// Compiles `module` (in `ctx`) to assembly with the chosen flow.
+///
+/// The input module holds `func.func` kernels over `linalg` (or already
+/// `memref_stream`) operations; afterwards the module holds the
+/// corresponding `rv_func.func` functions and the returned
+/// [`Compilation`] carries the printed assembly.
+///
+/// # Errors
+///
+/// Returns the failing pass and reason (verification failures included).
+pub fn compile(ctx: &mut Context, module: OpId, flow: Flow) -> Result<Compilation, PassError> {
+    compile_with_observer(ctx, module, flow, &mut NoopObserver)
+}
+
+/// [`compile`], reporting a [`mlb_ir::PassEvent`] per executed pass to
+/// `observer` (timing, op/block deltas, rewrite counters, optional IR
+/// snapshots) — the hook behind `mlbc --pass-timing` and
+/// `--print-ir-after-all`.
+///
+/// The Clang-like flow may retry without unrolling when register
+/// allocation fails; the observer then sees the abandoned attempt's
+/// events followed by the retry's (`PassEvent::index` restarts at 0).
+/// The control-flow lowering tail pipeline likewise restarts the index.
+///
+/// # Errors
+///
+/// Same conditions as [`compile`].
+pub fn compile_with_observer(
+    ctx: &mut Context,
+    module: OpId,
+    flow: Flow,
+    observer: &mut dyn PipelineObserver,
+) -> Result<Compilation, PassError> {
+    // The Clang-like flow unrolls aggressively; where LLVM would spill,
+    // the spill-free allocator refuses, and the flow falls back to the
+    // non-unrolled schedule (what -O2 does under pressure).
+    if flow == Flow::ClangLike {
+        let backup = ctx.clone();
+        match compile_once(ctx, module, flow, true, observer, &|_| {}) {
+            Err(e) if e.pass == "allocate-registers" => {
+                *ctx = backup;
+                return compile_once(ctx, module, flow, false, observer, &|_| {});
+            }
+            other => return other,
+        }
+    }
+    compile_once(ctx, module, flow, false, observer, &|_| {})
+}
+
+/// [`compile`], additionally returning a [`Stage`] snapshot of the
+/// module before the pipeline and after every executed pass — the input
+/// of the stage-level differential tester.
+///
+/// When the Clang-like flow retries without unrolling, only the
+/// successful attempt's stages are returned (the abandoned attempt never
+/// produced a module).
+///
+/// # Errors
+///
+/// Same conditions as [`compile`].
+pub fn compile_with_stages(
+    ctx: &mut Context,
+    module: OpId,
+    flow: Flow,
+) -> Result<(Compilation, Vec<Stage>), PassError> {
+    compile_with_stages_tweaked(ctx, module, flow, &|_| {})
+}
+
+/// [`compile_with_stages`] with a hook that may alter the pipeline
+/// before it runs (e.g. [`PassManager::insert`] a fault-injection pass).
+///
+/// The hook runs once per compilation attempt, after [`build_pipeline`];
+/// it does not see the control-flow lowering tail.
+///
+/// # Errors
+///
+/// Same conditions as [`compile`].
+pub fn compile_with_stages_tweaked(
+    ctx: &mut Context,
+    module: OpId,
+    flow: Flow,
+    tweak: &dyn Fn(&mut PassManager),
+) -> Result<(Compilation, Vec<Stage>), PassError> {
+    let mut collector = StageCollector::new(ctx, module);
+    if flow == Flow::ClangLike {
+        let backup = ctx.clone();
+        match compile_once(ctx, module, flow, true, &mut collector, tweak) {
+            Err(e) if e.pass == "allocate-registers" => {
+                *ctx = backup;
+                collector = StageCollector::new(ctx, module);
+                let compilation = compile_once(ctx, module, flow, false, &mut collector, tweak)?;
+                return Ok((compilation, collector.stages));
+            }
+            Ok(compilation) => return Ok((compilation, collector.stages)),
+            Err(e) => return Err(e),
+        }
+    }
+    let compilation = compile_once(ctx, module, flow, false, &mut collector, tweak)?;
+    Ok((compilation, collector.stages))
+}
+
+fn compile_once(
+    ctx: &mut Context,
+    module: OpId,
+    flow: Flow,
+    clang_unroll: bool,
+    observer: &mut dyn PipelineObserver,
+    tweak: &dyn Fn(&mut PassManager),
+) -> Result<Compilation, PassError> {
+    let registry = full_registry();
+    let mut pm = build_pipeline(flow, clang_unroll);
+    tweak(&mut pm);
     let passes_head = pm.pass_names();
     pm.run_observed(ctx, &registry, module, observer)?;
 
@@ -324,10 +428,10 @@ mod tests {
         let xa = TCDM_BASE;
         let ya = TCDM_BASE + (n as u32) * 8;
         let za = TCDM_BASE + 2 * (n as u32) * 8;
-        machine.write_f64_slice(xa, &x);
-        machine.write_f64_slice(ya, &y);
+        machine.write_f64_slice(xa, &x).unwrap();
+        machine.write_f64_slice(ya, &y).unwrap();
         let counters = machine.call(&prog, "vecsum", &[xa, ya, za]).expect("runs");
-        (machine.read_f64_slice(za, n as usize), counters, compiled)
+        (machine.read_f64_slice(za, n as usize).unwrap(), counters, compiled)
     }
 
     #[test]

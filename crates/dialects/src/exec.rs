@@ -1,0 +1,800 @@
+//! Execution semantics for the upstream-style dialects.
+//!
+//! Registers one interpreter [`Handler`](mlb_ir::interp::Handler) per
+//! operation so the stage-level differential-testing harness can run a
+//! module at the `linalg`, `scf`/`memref` and `memref_stream` levels of
+//! the progressive lowering. A memref-typed SSA value holds the *base
+//! byte address* of its buffer as an integer — the same TCDM addresses
+//! the simulator harness places operands at — so interpreted outputs are
+//! bit-comparable with simulated ones.
+//!
+//! The structured-op executor deliberately mirrors what
+//! `ConvertMemrefStreamToLoops` emits: iteration points are visited
+//! row-major over the non-interleaved dimensions in declared order,
+//! interleaved copies bind body arguments operand-major (copy `j` of
+//! operand `i` is `arg[i * factor + j]`), fused initial values seed the
+//! accumulator at the start of the
+//! reduction space, and outputs are written back per point. Because the
+//! reduction contributions combine in the same order either way, the
+//! results agree bit-for-bit with the lowered loop nest.
+
+use mlb_ir::{
+    Attribute, Context, ExecRegistry, Flow, InterpError, Interpreter, IteratorType, MemRefType,
+    OpId, Type, Value, ValueId,
+};
+
+use crate::structured::GenericOp;
+use crate::{arith, func, linalg, memref, memref_stream, scf, structured};
+
+/// Registers execution semantics for every op of this crate's dialects.
+pub fn register_exec(registry: &mut ExecRegistry) {
+    registry.register(func::RETURN, |_, _, _, _| Ok(Flow::Return));
+    registry.register(arith::CONSTANT, exec_constant);
+    for name in arith::FLOAT_BINARY_OPS {
+        registry.register(name, exec_float_binary);
+    }
+    for name in arith::INT_BINARY_OPS {
+        registry.register(name, exec_int_binary);
+    }
+    registry.register(scf::FOR, exec_for);
+    registry.register(scf::YIELD, exec_nop);
+    registry.register(memref::LOAD, exec_load);
+    registry.register(memref::STORE, exec_store);
+    registry.register(linalg::FILL, exec_fill);
+    registry.register(linalg::GENERIC, exec_generic);
+    registry.register(linalg::YIELD, exec_nop);
+    registry.register(memref_stream::GENERIC, exec_generic);
+    registry.register(memref_stream::YIELD, exec_nop);
+    registry.register(memref_stream::STREAMING_REGION, exec_streaming_region);
+    registry.register(memref_stream::READ, exec_read);
+    registry.register(memref_stream::WRITE, exec_write);
+}
+
+fn exec_nop(
+    _it: &mut Interpreter,
+    _ctx: &Context,
+    _reg: &ExecRegistry,
+    _op: OpId,
+) -> Result<Flow, InterpError> {
+    Ok(Flow::Continue)
+}
+
+fn exec_constant(
+    it: &mut Interpreter,
+    ctx: &Context,
+    _reg: &ExecRegistry,
+    op: OpId,
+) -> Result<Flow, InterpError> {
+    let o = ctx.op(op);
+    let result = o.results[0];
+    let value = match (o.attr("value"), ctx.value_type(result)) {
+        (Some(Attribute::Float(v)), Type::F64) => Value::F64(*v),
+        (Some(Attribute::Float(v)), Type::F32) => Value::F32(*v as f32),
+        (Some(Attribute::Int(v)), Type::Index | Type::Integer(_)) => Value::Int(*v),
+        _ => return Err(InterpError::at(op, "constant value/type mismatch")),
+    };
+    it.set(ctx, result, value).map_err(|m| InterpError::at(op, m))?;
+    Ok(Flow::Continue)
+}
+
+fn exec_float_binary(
+    it: &mut Interpreter,
+    ctx: &Context,
+    _reg: &ExecRegistry,
+    op: OpId,
+) -> Result<Flow, InterpError> {
+    let e = |m: String| InterpError::at(op, m);
+    let o = ctx.op(op);
+    let (lhs, rhs, result) = (o.operands[0], o.operands[1], o.results[0]);
+    let name = o.name.as_str();
+    let a = it.get(ctx, lhs).map_err(e)?;
+    let b = it.get(ctx, rhs).map_err(e)?;
+    let value = match ctx.value_type(result) {
+        Type::F64 => {
+            let (a, b) = (a.as_f64().map_err(e)?, b.as_f64().map_err(e)?);
+            Value::F64(match name {
+                arith::ADDF => a + b,
+                arith::SUBF => a - b,
+                arith::MULF => a * b,
+                arith::DIVF => a / b,
+                arith::MAXIMUMF => a.max(b),
+                _ => return Err(InterpError::at(op, format!("unknown float op `{name}`"))),
+            })
+        }
+        Type::F32 => {
+            let (a, b) = (a.as_f32().map_err(e)?, b.as_f32().map_err(e)?);
+            Value::F32(match name {
+                arith::ADDF => a + b,
+                arith::SUBF => a - b,
+                arith::MULF => a * b,
+                arith::DIVF => a / b,
+                arith::MAXIMUMF => a.max(b),
+                _ => return Err(InterpError::at(op, format!("unknown float op `{name}`"))),
+            })
+        }
+        other => {
+            return Err(InterpError::at(op, format!("float op on non-float type {other}")));
+        }
+    };
+    it.set(ctx, result, value).map_err(e)?;
+    Ok(Flow::Continue)
+}
+
+fn exec_int_binary(
+    it: &mut Interpreter,
+    ctx: &Context,
+    _reg: &ExecRegistry,
+    op: OpId,
+) -> Result<Flow, InterpError> {
+    let e = |m: String| InterpError::at(op, m);
+    let o = ctx.op(op);
+    let a = it.get(ctx, o.operands[0]).map_err(e)?.as_int().map_err(e)?;
+    let b = it.get(ctx, o.operands[1]).map_err(e)?.as_int().map_err(e)?;
+    let value = match o.name.as_str() {
+        arith::ADDI => a.wrapping_add(b),
+        arith::SUBI => a.wrapping_sub(b),
+        arith::MULI => a.wrapping_mul(b),
+        name => return Err(InterpError::at(op, format!("unknown int op `{name}`"))),
+    };
+    it.set(ctx, o.results[0], Value::Int(value)).map_err(e)?;
+    Ok(Flow::Continue)
+}
+
+fn exec_for(
+    it: &mut Interpreter,
+    ctx: &Context,
+    reg: &ExecRegistry,
+    op: OpId,
+) -> Result<Flow, InterpError> {
+    let e = |m: String| InterpError::at(op, m);
+    let f = scf::ForOp::new(ctx, op).ok_or_else(|| InterpError::at(op, "not an scf.for"))?;
+    let lb = it.get(ctx, f.lower_bound(ctx)).map_err(e)?.as_int().map_err(e)?;
+    let ub = it.get(ctx, f.upper_bound(ctx)).map_err(e)?.as_int().map_err(e)?;
+    let step = it.get(ctx, f.step(ctx)).map_err(e)?.as_int().map_err(e)?;
+    if step <= 0 {
+        return Err(InterpError::at(op, format!("non-positive loop step {step}")));
+    }
+    let mut iters: Vec<Value> = f
+        .iter_inits(ctx)
+        .to_vec()
+        .into_iter()
+        .map(|v| it.get(ctx, v))
+        .collect::<Result<_, _>>()
+        .map_err(e)?;
+    let body = f.body(ctx);
+    let mut iv = lb;
+    while iv < ub {
+        it.set(ctx, f.induction_var(ctx), Value::Int(iv)).map_err(e)?;
+        for (&arg, &val) in f.iter_args(ctx).to_vec().iter().zip(&iters) {
+            it.set(ctx, arg, val).map_err(e)?;
+        }
+        match reg.run_block(it, ctx, body)? {
+            Flow::Continue => {}
+            other => {
+                return Err(InterpError::at(op, format!("unexpected {other:?} in a loop body")))
+            }
+        }
+        iters = ctx
+            .op(f.yield_op(ctx))
+            .operands
+            .iter()
+            .map(|&v| it.get(ctx, v))
+            .collect::<Result<_, _>>()
+            .map_err(e)?;
+        iv += step;
+    }
+    for (&res, &val) in ctx.op(op).results.to_vec().iter().zip(&iters) {
+        it.set(ctx, res, val).map_err(e)?;
+    }
+    Ok(Flow::Continue)
+}
+
+/// The memref type of `v`, or an interpreter error.
+fn memref_type(ctx: &Context, op: OpId, v: ValueId) -> Result<MemRefType, InterpError> {
+    match ctx.value_type(v) {
+        Type::MemRef(m) => Ok(m.clone()),
+        other => Err(InterpError::at(op, format!("expected a memref operand, got {other}"))),
+    }
+}
+
+/// The byte address of element `indices` of the memref `base` value.
+fn element_addr(
+    it: &mut Interpreter,
+    ctx: &Context,
+    op: OpId,
+    memref: ValueId,
+    m: &MemRefType,
+    indices: &[i64],
+) -> Result<u32, InterpError> {
+    let e = |m: String| InterpError::at(op, m);
+    let base = it.get(ctx, memref).map_err(e)?.as_int().map_err(e)?;
+    let strides = m.element_strides();
+    let elem_off: i64 = indices.iter().zip(&strides).map(|(i, s)| i * s).sum();
+    let addr = base + elem_off * m.element.size_in_bytes() as i64;
+    u32::try_from(addr).map_err(|_| InterpError::at(op, format!("address {addr:#x} out of range")))
+}
+
+fn load_element(
+    it: &mut Interpreter,
+    op: OpId,
+    elem: &Type,
+    addr: u32,
+) -> Result<Value, InterpError> {
+    let e = |m: String| InterpError::at(op, m);
+    match elem {
+        Type::F64 => Ok(Value::F64(it.read_f64(addr).map_err(e)?)),
+        Type::F32 => Ok(Value::F32(it.read_f32(addr).map_err(e)?)),
+        other => Err(InterpError::at(op, format!("cannot load element type {other}"))),
+    }
+}
+
+fn store_element(
+    it: &mut Interpreter,
+    op: OpId,
+    elem: &Type,
+    addr: u32,
+    value: Value,
+) -> Result<(), InterpError> {
+    let e = |m: String| InterpError::at(op, m);
+    match elem {
+        Type::F64 => it.write_f64(addr, value.as_f64().map_err(e)?).map_err(e),
+        Type::F32 => it.write_f32(addr, value.as_f32().map_err(e)?).map_err(e),
+        other => Err(InterpError::at(op, format!("cannot store element type {other}"))),
+    }
+}
+
+fn exec_load(
+    it: &mut Interpreter,
+    ctx: &Context,
+    _reg: &ExecRegistry,
+    op: OpId,
+) -> Result<Flow, InterpError> {
+    let e = |m: String| InterpError::at(op, m);
+    let o = ctx.op(op);
+    let (memref, result) = (o.operands[0], o.results[0]);
+    let m = memref_type(ctx, op, memref)?;
+    let indices: Vec<i64> = o.operands[1..]
+        .iter()
+        .map(|&v| it.get(ctx, v).and_then(|x| x.as_int()))
+        .collect::<Result<_, _>>()
+        .map_err(e)?;
+    let addr = element_addr(it, ctx, op, memref, &m, &indices)?;
+    let value = load_element(it, op, &m.element, addr)?;
+    it.set(ctx, result, value).map_err(e)?;
+    Ok(Flow::Continue)
+}
+
+fn exec_store(
+    it: &mut Interpreter,
+    ctx: &Context,
+    _reg: &ExecRegistry,
+    op: OpId,
+) -> Result<Flow, InterpError> {
+    let e = |m: String| InterpError::at(op, m);
+    let o = ctx.op(op);
+    let (value, memref) = (o.operands[0], o.operands[1]);
+    let m = memref_type(ctx, op, memref)?;
+    let indices: Vec<i64> = o.operands[2..]
+        .iter()
+        .map(|&v| it.get(ctx, v).and_then(|x| x.as_int()))
+        .collect::<Result<_, _>>()
+        .map_err(e)?;
+    let addr = element_addr(it, ctx, op, memref, &m, &indices)?;
+    let v = it.get(ctx, value).map_err(e)?;
+    store_element(it, op, &m.element, addr, v)?;
+    Ok(Flow::Continue)
+}
+
+fn exec_fill(
+    it: &mut Interpreter,
+    ctx: &Context,
+    _reg: &ExecRegistry,
+    op: OpId,
+) -> Result<Flow, InterpError> {
+    let e = |m: String| InterpError::at(op, m);
+    let o = ctx.op(op);
+    let (scalar, target) = (o.operands[0], o.operands[1]);
+    let m = memref_type(ctx, op, target)?;
+    let value = it.get(ctx, scalar).map_err(e)?;
+    let base = it.get(ctx, target).map_err(e)?.as_int().map_err(e)?;
+    let esz = m.element.size_in_bytes() as i64;
+    for i in 0..m.num_elements() {
+        let addr = u32::try_from(base + i * esz)
+            .map_err(|_| InterpError::at(op, "fill address out of range"))?;
+        store_element(it, op, &m.element, addr, value)?;
+    }
+    Ok(Flow::Continue)
+}
+
+/// Calls `f` for every point of the `bounds` space in row-major order
+/// (last dimension fastest). An empty space is the single empty point.
+fn for_each_point(
+    bounds: &[i64],
+    mut f: impl FnMut(&[i64]) -> Result<(), InterpError>,
+) -> Result<(), InterpError> {
+    if bounds.iter().any(|&b| b <= 0) {
+        return Ok(());
+    }
+    let mut point = vec![0i64; bounds.len()];
+    loop {
+        f(&point)?;
+        let mut d = bounds.len();
+        loop {
+            if d == 0 {
+                return Ok(());
+            }
+            d -= 1;
+            point[d] += 1;
+            if point[d] < bounds[d] {
+                break;
+            }
+            point[d] = 0;
+        }
+    }
+}
+
+/// Executes `linalg.generic` and `memref_stream.generic` alike.
+fn exec_generic(
+    it: &mut Interpreter,
+    ctx: &Context,
+    reg: &ExecRegistry,
+    op: OpId,
+) -> Result<Flow, InterpError> {
+    let e = |m: String| InterpError::at(op, m);
+    let g = GenericOp(op);
+    let o = ctx.op(op);
+    let num_inputs = o
+        .attr(structured::NUM_INPUTS)
+        .and_then(Attribute::as_int)
+        .ok_or_else(|| InterpError::at(op, "generic is missing `num_inputs`"))?
+        as usize;
+    let num_inits =
+        o.attr(memref_stream::NUM_INITS).and_then(Attribute::as_int).unwrap_or(0) as usize;
+    let bounds = g
+        .bounds(ctx)
+        .ok_or_else(|| InterpError::at(op, "generic iteration bounds cannot be determined"))?;
+    let maps = g.indexing_maps(ctx);
+    let iterators = g.iterator_types(ctx);
+    let body = g.body(ctx);
+    let operands = o.operands.clone();
+    let mapped = operands.len() - num_inits;
+    let num_outputs = mapped - num_inputs;
+
+    // Split dimensions: interleaved ones become body-copy factors, all
+    // others are iterated in declared order (row-major).
+    let inter_dims: Vec<usize> =
+        (0..iterators.len()).filter(|&d| iterators[d] == IteratorType::Interleaved).collect();
+    if inter_dims.len() > 1 {
+        return Err(InterpError::at(op, "more than one interleaved dimension"));
+    }
+    let loop_dims: Vec<usize> =
+        (0..iterators.len()).filter(|&d| iterators[d] != IteratorType::Interleaved).collect();
+    let red_dims: Vec<usize> =
+        (0..iterators.len()).filter(|&d| iterators[d] == IteratorType::Reduction).collect();
+    let factor = inter_dims.first().map_or(1, |&d| bounds[d] as usize).max(1);
+    let loop_bounds: Vec<i64> = loop_dims.iter().map(|&d| bounds[d]).collect();
+
+    let args = ctx.block_args(body).to_vec();
+    if args.len() != mapped * factor {
+        return Err(InterpError::at(
+            op,
+            format!("generic body takes {} arguments, expected {}", args.len(), mapped * factor),
+        ));
+    }
+    let term = ctx.terminator(body);
+    let yields = ctx.op(term).operands.clone();
+    if yields.len() != num_outputs * factor {
+        return Err(InterpError::at(
+            op,
+            format!("generic yields {} values, expected {}", yields.len(), num_outputs * factor),
+        ));
+    }
+    let body_ops: Vec<OpId> = ctx.block_ops(body).iter().copied().filter(|&o| o != term).collect();
+
+    let mut full = vec![0i64; iterators.len()];
+    for_each_point(&loop_bounds, |point| {
+        for (&d, &p) in loop_dims.iter().zip(point) {
+            full[d] = p;
+        }
+        let at_red_start = red_dims.iter().all(|&d| full[d] == 0);
+        // Bind one body argument per (operand, copy): loaded elements
+        // for memrefs, the value itself for scalars, and the fused
+        // initial value at the start of the reduction space. All copies
+        // bind before the body runs once — each op of the (unrolled)
+        // body belongs to one copy and reads only that copy's arguments.
+        for j in 0..factor {
+            if let Some(&d) = inter_dims.first() {
+                full[d] = j as i64;
+            }
+            for (i, &operand) in operands[..mapped].iter().enumerate() {
+                let value = match ctx.value_type(operand) {
+                    Type::MemRef(m) => {
+                        let m = m.clone();
+                        let o_rel = i.checked_sub(num_inputs);
+                        let seeded = o_rel.is_some_and(|o_rel| o_rel < num_inits) && at_red_start;
+                        if seeded {
+                            let init = operands[mapped + o_rel.unwrap_or(0)];
+                            it.get(ctx, init).map_err(e)?
+                        } else {
+                            let idx = maps[i].eval(&full, &[]);
+                            let addr = element_addr(it, ctx, op, operand, &m, &idx)?;
+                            load_element(it, op, &m.element, addr)?
+                        }
+                    }
+                    _ => it.get(ctx, operand).map_err(e)?,
+                };
+                it.set(ctx, args[i * factor + j], value).map_err(e)?;
+            }
+        }
+        for &body_op in &body_ops {
+            match reg.run_op(it, ctx, body_op)? {
+                Flow::Continue => {}
+                other => {
+                    return Err(InterpError::at(
+                        op,
+                        format!("unexpected {other:?} in a generic body"),
+                    ))
+                }
+            }
+        }
+        for j in 0..factor {
+            if let Some(&d) = inter_dims.first() {
+                full[d] = j as i64;
+            }
+            for o_rel in 0..num_outputs {
+                let operand = operands[num_inputs + o_rel];
+                let m = memref_type(ctx, op, operand)?;
+                let idx = maps[num_inputs + o_rel].eval(&full, &[]);
+                let addr = element_addr(it, ctx, op, operand, &m, &idx)?;
+                let value = it.get(ctx, yields[o_rel * factor + j]).map_err(e)?;
+                store_element(it, op, &m.element, addr, value)?;
+            }
+        }
+        Ok(())
+    })?;
+    Ok(Flow::Continue)
+}
+
+fn exec_streaming_region(
+    it: &mut Interpreter,
+    ctx: &Context,
+    reg: &ExecRegistry,
+    op: OpId,
+) -> Result<Flow, InterpError> {
+    let e = |m: String| InterpError::at(op, m);
+    let o = ctx.op(op);
+    let num_inputs = o
+        .attr(structured::NUM_INPUTS)
+        .and_then(Attribute::as_int)
+        .ok_or_else(|| InterpError::at(op, "streaming_region is missing `num_inputs`"))?
+        as usize;
+    let patterns: Vec<_> = o
+        .attr(memref_stream::PATTERNS)
+        .and_then(Attribute::as_array)
+        .ok_or_else(|| InterpError::at(op, "streaming_region is missing `patterns`"))?
+        .iter()
+        .map(|a| {
+            a.as_stride_pattern()
+                .cloned()
+                .ok_or_else(|| InterpError::at(op, "`patterns` entry is not a stride pattern"))
+        })
+        .collect::<Result<_, _>>()?;
+    let p_count = patterns.len();
+    let operands = o.operands.clone();
+    let has_offsets = operands.len() == 2 * p_count && p_count > 0;
+    let body = ctx.sole_block(o.regions[0]);
+    let args = ctx.block_args(body).to_vec();
+    if args.len() != p_count {
+        return Err(InterpError::at(op, "streaming_region arity mismatch"));
+    }
+
+    for (k, pattern) in patterns.iter().enumerate() {
+        let memref = operands[k];
+        let m = memref_type(ctx, op, memref)?;
+        let strides = m.element_strides();
+        let esz = m.element.size_in_bytes() as i64;
+        let base = it.get(ctx, memref).map_err(e)?.as_int().map_err(e)?;
+        let offset = if has_offsets {
+            it.get(ctx, operands[p_count + k]).map_err(e)?.as_int().map_err(e)?
+        } else {
+            0
+        };
+        let mut addrs = Vec::new();
+        for_each_point(&pattern.ub, |point| {
+            let idx = pattern.index_map.eval(point, &[]);
+            let elem_off: i64 = offset + idx.iter().zip(&strides).map(|(i, s)| i * s).sum::<i64>();
+            let addr = base + elem_off * esz;
+            addrs.push(u32::try_from(addr).map_err(|_| {
+                InterpError::at(op, format!("stream address {addr:#x} out of range"))
+            })?);
+            Ok(())
+        })?;
+        let handle = it.open_stream(addrs, k >= num_inputs, *m.element == Type::F32);
+        it.set(ctx, args[k], Value::Stream(handle)).map_err(e)?;
+    }
+    match reg.run_block(it, ctx, body)? {
+        Flow::Continue => Ok(Flow::Continue),
+        other => Err(InterpError::at(op, format!("unexpected {other:?} in a streaming region"))),
+    }
+}
+
+fn exec_read(
+    it: &mut Interpreter,
+    ctx: &Context,
+    _reg: &ExecRegistry,
+    op: OpId,
+) -> Result<Flow, InterpError> {
+    let e = |m: String| InterpError::at(op, m);
+    let o = ctx.op(op);
+    let handle = it.get(ctx, o.operands[0]).map_err(e)?.as_stream().map_err(e)?;
+    let value = it.stream_pop(handle).map_err(e)?;
+    it.set(ctx, o.results[0], value).map_err(e)?;
+    Ok(Flow::Continue)
+}
+
+fn exec_write(
+    it: &mut Interpreter,
+    ctx: &Context,
+    _reg: &ExecRegistry,
+    op: OpId,
+) -> Result<Flow, InterpError> {
+    let e = |m: String| InterpError::at(op, m);
+    let o = ctx.op(op);
+    let handle = it.get(ctx, o.operands[1]).map_err(e)?.as_stream().map_err(e)?;
+    let value = it.get(ctx, o.operands[0]).map_err(e)?;
+    it.stream_push(handle, value).map_err(e)?;
+    Ok(Flow::Continue)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{builtin, func, memref_stream, scf};
+    use mlb_ir::{AffineMap, OpSpec, StridePattern};
+    use mlb_isa::TCDM_BASE;
+
+    fn setup() -> (Context, ExecRegistry, mlb_ir::BlockId) {
+        let mut ctx = Context::new();
+        let mut reg = ExecRegistry::new();
+        register_exec(&mut reg);
+        let (_m, b) = builtin::build_module(&mut ctx);
+        (ctx, reg, b)
+    }
+
+    /// Runs the body of function `f` with `args` bound to its entry block
+    /// arguments.
+    fn run_func(
+        it: &mut Interpreter,
+        ctx: &Context,
+        reg: &ExecRegistry,
+        f: mlb_ir::OpId,
+        args: &[Value],
+    ) {
+        let entry = func::entry_block(ctx, f);
+        for (&arg, &val) in ctx.block_args(entry).iter().zip(args) {
+            it.set(ctx, arg, val).unwrap();
+        }
+        assert_eq!(reg.run_block(it, ctx, entry).unwrap(), Flow::Return);
+    }
+
+    #[test]
+    fn linalg_sum_matches_elementwise_reference() {
+        let (mut ctx, reg, b) = setup();
+        let buf = Type::memref(vec![2, 3], Type::F64);
+        let (f, entry) =
+            func::build_func(&mut ctx, b, "sum", vec![buf.clone(), buf.clone(), buf], vec![]);
+        let (x, y, z) =
+            (ctx.block_args(entry)[0], ctx.block_args(entry)[1], ctx.block_args(entry)[2]);
+        let id = AffineMap::identity(2);
+        crate::linalg::build_generic(
+            &mut ctx,
+            entry,
+            vec![x, y],
+            vec![z],
+            vec![id.clone(), id.clone(), id],
+            vec![IteratorType::Parallel, IteratorType::Parallel],
+            None,
+            |ctx, body, args| vec![arith::binary(ctx, body, arith::ADDF, args[0], args[1])],
+        );
+        func::build_return(&mut ctx, entry, vec![]);
+
+        let mut it = Interpreter::new();
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let ys = [0.5, -1.5, 2.5, -3.5, 4.5, -5.5];
+        it.write_f64_slice(TCDM_BASE, &xs).unwrap();
+        it.write_f64_slice(TCDM_BASE + 48, &ys).unwrap();
+        let addrs = [
+            Value::Int(TCDM_BASE as i64),
+            Value::Int(TCDM_BASE as i64 + 48),
+            Value::Int(TCDM_BASE as i64 + 96),
+        ];
+        run_func(&mut it, &ctx, &reg, f, &addrs);
+        let out = it.read_f64_slice(TCDM_BASE + 96, 6).unwrap();
+        let expect: Vec<f64> = xs.iter().zip(&ys).map(|(a, b)| a + b).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn fused_init_seeds_the_reduction() {
+        // Z[i] = init + sum_k X[i, k] over a 2x3 input, as fuse-fill
+        // shapes it: trailing init operand, `num_inits = 1`.
+        let (mut ctx, reg, b) = setup();
+        let in_ty = Type::memref(vec![2, 3], Type::F64);
+        let out_ty = Type::memref(vec![2], Type::F64);
+        let (f, entry) = func::build_func(&mut ctx, b, "rowsum", vec![in_ty, out_ty], vec![]);
+        let (x, z) = (ctx.block_args(entry)[0], ctx.block_args(entry)[1]);
+        let init = arith::constant_float(&mut ctx, entry, 10.0, Type::F64);
+        let g = ctx.append_op(
+            entry,
+            OpSpec::new(memref_stream::GENERIC)
+                .operands(vec![x, z, init])
+                .attr(
+                    structured::INDEXING_MAPS,
+                    Attribute::Array(vec![
+                        Attribute::Map(AffineMap::identity(2)),
+                        Attribute::Map(AffineMap::projection(2, &[0])),
+                    ]),
+                )
+                .attr(
+                    structured::ITERATOR_TYPES,
+                    Attribute::Iterators(vec![IteratorType::Parallel, IteratorType::Reduction]),
+                )
+                .attr(structured::NUM_INPUTS, Attribute::Int(1))
+                .attr(structured::BOUNDS, Attribute::DenseI64(vec![2, 3]))
+                .attr(memref_stream::NUM_INITS, Attribute::Int(1))
+                .regions(1),
+        );
+        let body = ctx.create_block(ctx.op(g).regions[0], vec![Type::F64, Type::F64]);
+        let (xe, acc) = (ctx.block_args(body)[0], ctx.block_args(body)[1]);
+        let sum = arith::binary(&mut ctx, body, arith::ADDF, acc, xe);
+        ctx.append_op(body, OpSpec::new(memref_stream::YIELD).operands(vec![sum]));
+        func::build_return(&mut ctx, entry, vec![]);
+
+        let mut it = Interpreter::new();
+        it.write_f64_slice(TCDM_BASE, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        // Poison the output so a missed seeding is caught.
+        it.write_f64_slice(TCDM_BASE + 48, &[99.0, 99.0]).unwrap();
+        run_func(
+            &mut it,
+            &ctx,
+            &reg,
+            f,
+            &[Value::Int(TCDM_BASE as i64), Value::Int(TCDM_BASE as i64 + 48)],
+        );
+        assert_eq!(it.read_f64_slice(TCDM_BASE + 48, 2).unwrap(), vec![16.0, 25.0]);
+    }
+
+    #[test]
+    fn interleaved_generic_binds_all_copies_before_the_body_runs() {
+        // Z[i, j] = 2 * X[i, j] over 2x2 with the second dimension
+        // interleaved (factor 2), as unroll-and-jam shapes it. Copy 1's
+        // ops run in the same body execution as copy 0's, so every
+        // copy's arguments must be bound up front.
+        let (mut ctx, reg, b) = setup();
+        let buf = Type::memref(vec![2, 2], Type::F64);
+        let (f, entry) = func::build_func(&mut ctx, b, "dbl2", vec![buf.clone(), buf], vec![]);
+        let (x, z) = (ctx.block_args(entry)[0], ctx.block_args(entry)[1]);
+        let id = AffineMap::identity(2);
+        let g = ctx.append_op(
+            entry,
+            OpSpec::new(memref_stream::GENERIC)
+                .operands(vec![x, z])
+                .attr(
+                    structured::INDEXING_MAPS,
+                    Attribute::Array(vec![Attribute::Map(id.clone()), Attribute::Map(id)]),
+                )
+                .attr(
+                    structured::ITERATOR_TYPES,
+                    Attribute::Iterators(vec![IteratorType::Parallel, IteratorType::Interleaved]),
+                )
+                .attr(structured::NUM_INPUTS, Attribute::Int(1))
+                .attr(structured::BOUNDS, Attribute::DenseI64(vec![2, 2]))
+                .regions(1),
+        );
+        let body = ctx.create_block(ctx.op(g).regions[0], vec![Type::F64; 4]);
+        let args = ctx.block_args(body).to_vec();
+        // Deliberately compute copy 1 first: a per-copy body execution
+        // would hit copy 1's unbound arguments here.
+        let y1 = arith::binary(&mut ctx, body, arith::ADDF, args[1], args[1]);
+        let y0 = arith::binary(&mut ctx, body, arith::ADDF, args[0], args[0]);
+        ctx.append_op(body, OpSpec::new(memref_stream::YIELD).operands(vec![y0, y1]));
+        func::build_return(&mut ctx, entry, vec![]);
+
+        let mut it = Interpreter::new();
+        it.write_f64_slice(TCDM_BASE, &[1.0, 2.0, 3.0, 4.0]).unwrap();
+        run_func(
+            &mut it,
+            &ctx,
+            &reg,
+            f,
+            &[Value::Int(TCDM_BASE as i64), Value::Int(TCDM_BASE as i64 + 32)],
+        );
+        assert_eq!(it.read_f64_slice(TCDM_BASE + 32, 4).unwrap(), vec![2.0, 4.0, 6.0, 8.0]);
+    }
+
+    #[test]
+    fn scf_loop_accumulates_through_memory() {
+        let (mut ctx, reg, b) = setup();
+        let buf = Type::memref(vec![4], Type::F64);
+        let (f, entry) = func::build_func(&mut ctx, b, "acc", vec![buf.clone(), buf], vec![]);
+        let (x, z) = (ctx.block_args(entry)[0], ctx.block_args(entry)[1]);
+        let lb = arith::constant_index(&mut ctx, entry, 0);
+        let ub = arith::constant_index(&mut ctx, entry, 4);
+        let step = arith::constant_index(&mut ctx, entry, 1);
+        let zero = arith::constant_float(&mut ctx, entry, 0.0, Type::F64);
+        let loop_op =
+            scf::build_for(&mut ctx, entry, lb, ub, step, vec![zero], |ctx, body, iv, args| {
+                let v = memref::build_load(ctx, body, x, vec![iv]);
+                vec![arith::binary(ctx, body, arith::ADDF, args[0], v)]
+            });
+        let total = ctx.op(loop_op.0).results[0];
+        let i0 = arith::constant_index(&mut ctx, entry, 0);
+        memref::build_store(&mut ctx, entry, total, z, vec![i0]);
+        func::build_return(&mut ctx, entry, vec![]);
+
+        let mut it = Interpreter::new();
+        it.write_f64_slice(TCDM_BASE, &[1.0, 2.0, 3.0, 4.0]).unwrap();
+        run_func(
+            &mut it,
+            &ctx,
+            &reg,
+            f,
+            &[Value::Int(TCDM_BASE as i64), Value::Int(TCDM_BASE as i64 + 32)],
+        );
+        assert_eq!(it.read_f64(TCDM_BASE + 32).unwrap(), 10.0);
+    }
+
+    #[test]
+    fn streaming_region_pops_and_pushes_in_pattern_order() {
+        let (mut ctx, reg, b) = setup();
+        let buf = Type::memref(vec![4], Type::F64);
+        let (f, entry) = func::build_func(&mut ctx, b, "dbl", vec![buf.clone(), buf], vec![]);
+        let (x, z) = (ctx.block_args(entry)[0], ctx.block_args(entry)[1]);
+        let p = StridePattern::new(vec![4], AffineMap::identity(1));
+        memref_stream::build_streaming_region(
+            &mut ctx,
+            entry,
+            vec![x],
+            vec![z],
+            vec![p.clone(), p],
+            |ctx, body, streams| {
+                let lb = arith::constant_index(ctx, body, 0);
+                let ub = arith::constant_index(ctx, body, 4);
+                let step = arith::constant_index(ctx, body, 1);
+                scf::build_for(ctx, body, lb, ub, step, vec![], |ctx, inner, _iv, _| {
+                    let v = memref_stream::build_read(ctx, inner, streams[0]);
+                    let d = arith::binary(ctx, inner, arith::ADDF, v, v);
+                    memref_stream::build_write(ctx, inner, d, streams[1]);
+                    vec![]
+                });
+            },
+        );
+        func::build_return(&mut ctx, entry, vec![]);
+
+        let mut it = Interpreter::new();
+        it.write_f64_slice(TCDM_BASE, &[1.0, 2.0, 3.0, 4.0]).unwrap();
+        run_func(
+            &mut it,
+            &ctx,
+            &reg,
+            f,
+            &[Value::Int(TCDM_BASE as i64), Value::Int(TCDM_BASE as i64 + 32)],
+        );
+        assert_eq!(it.read_f64_slice(TCDM_BASE + 32, 4).unwrap(), vec![2.0, 4.0, 6.0, 8.0]);
+    }
+
+    #[test]
+    fn fill_writes_every_element() {
+        let (mut ctx, reg, b) = setup();
+        let buf = Type::memref(vec![2, 2], Type::F32);
+        let (f, entry) = func::build_func(&mut ctx, b, "fill", vec![buf], vec![]);
+        let z = ctx.block_args(entry)[0];
+        let c = arith::constant_float(&mut ctx, entry, 2.5, Type::F32);
+        crate::linalg::build_fill(&mut ctx, entry, c, z);
+        func::build_return(&mut ctx, entry, vec![]);
+
+        let mut it = Interpreter::new();
+        run_func(&mut it, &ctx, &reg, f, &[Value::Int(TCDM_BASE as i64)]);
+        assert_eq!(it.read_f32_slice(TCDM_BASE, 4).unwrap(), vec![2.5; 4]);
+    }
+}

@@ -11,6 +11,7 @@
 
 pub mod arith;
 pub mod builtin;
+pub mod exec;
 pub mod func;
 pub mod linalg;
 pub mod memref;
@@ -19,6 +20,8 @@ pub mod scf;
 pub mod structured;
 
 use mlb_ir::DialectRegistry;
+
+pub use exec::register_exec;
 
 /// Registers every dialect in this crate.
 pub fn register_all(registry: &mut DialectRegistry) {

@@ -1,0 +1,906 @@
+//! Dialect-aware IR interpretation.
+//!
+//! The interpreter executes a module *at any pipeline stage* — from
+//! `linalg` on memrefs down to allocated `rv` assembly ops — against a
+//! byte-addressed TCDM image, so the differential-testing harness can
+//! compare every stage of the progressive lowering against the host
+//! reference and bisect a miscompile to the first diverging pass.
+//!
+//! The design follows the dialect structure of the IR itself:
+//!
+//! - [`Interpreter`] holds the machine-independent execution state: the
+//!   SSA value store, the integer/float register files (for ops whose
+//!   results are pinned to physical registers), a TCDM memory image, the
+//!   three SSR stream movers and the `memref_stream`-level stream
+//!   cursors.
+//! - [`ExecRegistry`] maps operation names to [`Handler`] functions.
+//!   Each dialect crate registers execution semantics for its own ops,
+//!   exactly like verifier registration in
+//!   [`crate::registry::DialectRegistry`].
+//! - Handlers return a [`Flow`] so both structured regions (`scf.for`)
+//!   and unstructured control flow (`rv_cf` branches after loop
+//!   lowering) execute under the same driver.
+//!
+//! Physical-register semantics mirror the simulator bit-for-bit: reads
+//! of an SSR-mapped register (`ft0`–`ft2`) pop from an armed read
+//! stream, writes push to a write stream, and register-to-register
+//! moves between identical registers are elided just as the assembly
+//! emitter elides them.
+
+use std::collections::HashMap;
+
+use mlb_isa::{FpReg, IntReg, SsrCfgReg, NUM_SSR_DATA_MOVERS, SSR_MAX_DIMS, TCDM_BASE, TCDM_SIZE};
+
+use crate::context::{BlockId, Context, OpId, RegionId, ValueId};
+use crate::types::Type;
+
+/// A runtime value in the interpreter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Value {
+    /// An integer (index values, loop bounds, `rv.reg` contents).
+    Int(i64),
+    /// A double-precision float (high-level `f64` SSA values).
+    F64(f64),
+    /// A single-precision float (high-level `f32` SSA values).
+    F32(f32),
+    /// Raw 64-bit register contents (`rv.freg` SSA values).
+    Bits(u64),
+    /// A handle to a `memref_stream` read/write stream cursor.
+    Stream(usize),
+}
+
+impl Value {
+    /// The integer payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the value is not an integer.
+    pub fn as_int(&self) -> Result<i64, String> {
+        match self {
+            Value::Int(v) => Ok(*v),
+            other => Err(format!("expected an integer value, got {other:?}")),
+        }
+    }
+
+    /// The value as raw 64-bit FP register contents. Scalars are encoded
+    /// the way the machine holds them: `f64` as its bits, `f32` NaN-boxed
+    /// in the low 32 bits.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the value has no register representation.
+    pub fn as_bits(&self) -> Result<u64, String> {
+        match self {
+            Value::Bits(b) => Ok(*b),
+            Value::F64(v) => Ok(v.to_bits()),
+            Value::F32(v) => Ok(v.to_bits() as u64 | 0xFFFF_FFFF_0000_0000),
+            other => Err(format!("expected register bits, got {other:?}")),
+        }
+    }
+
+    /// The value as an `f64`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the value is not a double.
+    pub fn as_f64(&self) -> Result<f64, String> {
+        match self {
+            Value::F64(v) => Ok(*v),
+            Value::Bits(b) => Ok(f64::from_bits(*b)),
+            other => Err(format!("expected an f64 value, got {other:?}")),
+        }
+    }
+
+    /// The value as an `f32` (from the low 32 bits of register contents).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the value is not a single.
+    pub fn as_f32(&self) -> Result<f32, String> {
+        match self {
+            Value::F32(v) => Ok(*v),
+            Value::Bits(b) => Ok(f32::from_bits(*b as u32)),
+            other => Err(format!("expected an f32 value, got {other:?}")),
+        }
+    }
+
+    /// The stream handle payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the value is not a stream handle.
+    pub fn as_stream(&self) -> Result<usize, String> {
+        match self {
+            Value::Stream(h) => Ok(*h),
+            other => Err(format!("expected a stream handle, got {other:?}")),
+        }
+    }
+}
+
+/// Where execution goes after an operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Flow {
+    /// Fall through to the next operation in the block.
+    Continue,
+    /// Jump to the given block (unstructured control flow; values flow
+    /// through physical registers, so branches carry no arguments).
+    Branch(BlockId),
+    /// Return from the enclosing function.
+    Return,
+}
+
+/// Error produced during interpretation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InterpError {
+    /// The operation being executed when the error occurred, if known.
+    pub op: Option<OpId>,
+    /// Description of the failure.
+    pub message: String,
+}
+
+impl InterpError {
+    /// Creates an error anchored on `op`.
+    pub fn at(op: OpId, message: impl Into<String>) -> InterpError {
+        InterpError { op: Some(op), message: message.into() }
+    }
+}
+
+impl std::fmt::Display for InterpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "interpreter error: {}", self.message)
+    }
+}
+
+impl std::error::Error for InterpError {}
+
+/// Direction of an armed stream-mover job (mirrors the simulator).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamDirection {
+    /// Stream reads memory into the register.
+    Read,
+    /// Stream writes register values to memory.
+    Write,
+}
+
+#[derive(Debug, Clone)]
+struct StreamJob {
+    direction: StreamDirection,
+    dims: usize,
+    addr: i64,
+    idx: [u32; SSR_MAX_DIMS],
+    rep: u32,
+    done: bool,
+    bounds: [u32; SSR_MAX_DIMS],
+    strides: [i64; SSR_MAX_DIMS],
+    repeat: u32,
+}
+
+/// An SSR data-mover model with the exact address-generation semantics of
+/// the simulator's mover, so interpretation of `riscv`-level modules
+/// agrees with simulation on every popped address.
+#[derive(Debug, Clone, Default)]
+pub struct StreamMover {
+    bounds: [u32; SSR_MAX_DIMS],
+    strides: [i64; SSR_MAX_DIMS],
+    repeat: u32,
+    job: Option<StreamJob>,
+}
+
+impl StreamMover {
+    /// Applies an `scfgwi` write to this data mover.
+    pub fn configure(&mut self, reg: SsrCfgReg, value: u32) {
+        match reg {
+            SsrCfgReg::Status => self.job = None,
+            SsrCfgReg::Repeat => self.repeat = value,
+            SsrCfgReg::Bound(d) => self.bounds[d as usize] = value,
+            SsrCfgReg::Stride(d) => self.strides[d as usize] = value as i32 as i64,
+            SsrCfgReg::RPtr(d) => self.arm(StreamDirection::Read, d as usize + 1, value),
+            SsrCfgReg::WPtr(d) => self.arm(StreamDirection::Write, d as usize + 1, value),
+        }
+    }
+
+    fn arm(&mut self, direction: StreamDirection, dims: usize, base: u32) {
+        self.job = Some(StreamJob {
+            direction,
+            dims,
+            addr: base as i64,
+            idx: [0; SSR_MAX_DIMS],
+            rep: 0,
+            done: false,
+            bounds: self.bounds,
+            strides: self.strides,
+            repeat: self.repeat,
+        });
+    }
+
+    /// The direction of the armed job, if any.
+    pub fn direction(&self) -> Option<StreamDirection> {
+        self.job.as_ref().map(|j| j.direction)
+    }
+
+    /// Whether a job is armed (even if already exhausted).
+    pub fn is_active(&self) -> bool {
+        self.job.is_some()
+    }
+
+    /// Pops the next address of the job.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` if no job is armed, the job is exhausted, or the
+    /// direction does not match.
+    pub fn next_addr(&mut self, direction: StreamDirection) -> Result<u32, String> {
+        let job = self.job.as_mut().ok_or("SSR access with no armed job")?;
+        if job.direction != direction {
+            return Err(format!("SSR {direction:?} access on a {:?} job", job.direction));
+        }
+        if job.done {
+            return Err("SSR access beyond the end of the stream".to_string());
+        }
+        let addr = job.addr;
+        if job.rep < job.repeat {
+            job.rep += 1;
+        } else {
+            job.rep = 0;
+            let mut d = 0;
+            loop {
+                if d == job.dims {
+                    job.done = true;
+                    break;
+                }
+                if job.idx[d] < job.bounds[d] {
+                    job.idx[d] += 1;
+                    job.addr += job.strides[d];
+                    break;
+                }
+                job.idx[d] = 0;
+                d += 1;
+            }
+        }
+        u32::try_from(addr).map_err(|_| "SSR address out of range".to_string())
+    }
+}
+
+/// A `memref_stream`-level stream cursor: the pre-computed sequence of
+/// element addresses an operand's stride pattern touches.
+#[derive(Debug, Clone)]
+pub struct StreamCursor {
+    /// Element byte addresses in pattern order.
+    pub addrs: Vec<u32>,
+    /// Next position to pop/push.
+    pub pos: usize,
+    /// Whether the stream writes memory.
+    pub write: bool,
+    /// Whether elements are `f32` (else `f64`).
+    pub f32: bool,
+}
+
+/// Default instruction budget: generous for every suite kernel while
+/// still bounding a non-terminating interpretation.
+pub const DEFAULT_FUEL: u64 = 200_000_000;
+
+/// Machine-independent execution state for one module interpretation.
+#[derive(Debug, Clone)]
+pub struct Interpreter {
+    /// SSA environment for values not pinned to physical registers.
+    ssa: HashMap<ValueId, Value>,
+    /// Integer register file (for `!rv.reg<..>`-typed values).
+    pub x: [u32; 32],
+    /// FP register file as raw bits (for `!rv.freg<..>`-typed values).
+    pub f: [u64; 32],
+    /// TCDM image, addressed from [`TCDM_BASE`].
+    mem: Vec<u8>,
+    /// The three SSR data movers.
+    pub movers: [StreamMover; NUM_SSR_DATA_MOVERS],
+    /// Whether stream semantics are enabled (CSR bit set).
+    pub ssr_enabled: bool,
+    /// Open `memref_stream`-level stream cursors.
+    streams: Vec<StreamCursor>,
+    /// Remaining instruction budget.
+    pub fuel: u64,
+}
+
+impl Default for Interpreter {
+    fn default() -> Interpreter {
+        Interpreter::new()
+    }
+}
+
+impl Interpreter {
+    /// Creates an interpreter with a zeroed TCDM and full fuel.
+    pub fn new() -> Interpreter {
+        Interpreter {
+            ssa: HashMap::new(),
+            x: [0; 32],
+            f: [0; 32],
+            mem: vec![0; TCDM_SIZE],
+            movers: Default::default(),
+            ssr_enabled: false,
+            streams: Vec::new(),
+            fuel: DEFAULT_FUEL,
+        }
+    }
+
+    // ----- memory ----------------------------------------------------------
+
+    fn mem_index(&self, addr: u32, size: usize) -> Result<usize, String> {
+        let end = addr as u64 + size as u64;
+        if addr < TCDM_BASE || end > TCDM_BASE as u64 + TCDM_SIZE as u64 {
+            return Err(format!("address {addr:#x} outside TCDM"));
+        }
+        if !(addr as usize).is_multiple_of(size) {
+            return Err(format!("misaligned {size}-byte access at {addr:#x}"));
+        }
+        Ok((addr - TCDM_BASE) as usize)
+    }
+
+    /// Reads `N` bytes at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for out-of-range or misaligned addresses.
+    pub fn read_bytes<const N: usize>(&self, addr: u32) -> Result<[u8; N], String> {
+        let i = self.mem_index(addr, N)?;
+        let mut out = [0u8; N];
+        out.copy_from_slice(&self.mem[i..i + N]);
+        Ok(out)
+    }
+
+    /// Writes `N` bytes at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for out-of-range or misaligned addresses.
+    pub fn write_bytes<const N: usize>(&mut self, addr: u32, bytes: [u8; N]) -> Result<(), String> {
+        let i = self.mem_index(addr, N)?;
+        self.mem[i..i + N].copy_from_slice(&bytes);
+        Ok(())
+    }
+
+    /// Reads an `f64` at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates memory access errors.
+    pub fn read_f64(&self, addr: u32) -> Result<f64, String> {
+        Ok(f64::from_le_bytes(self.read_bytes::<8>(addr)?))
+    }
+
+    /// Writes an `f64` at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates memory access errors.
+    pub fn write_f64(&mut self, addr: u32, v: f64) -> Result<(), String> {
+        self.write_bytes(addr, v.to_le_bytes())
+    }
+
+    /// Reads an `f32` at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates memory access errors.
+    pub fn read_f32(&self, addr: u32) -> Result<f32, String> {
+        Ok(f32::from_le_bytes(self.read_bytes::<4>(addr)?))
+    }
+
+    /// Writes an `f32` at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates memory access errors.
+    pub fn write_f32(&mut self, addr: u32, v: f32) -> Result<(), String> {
+        self.write_bytes(addr, v.to_le_bytes())
+    }
+
+    /// Writes a contiguous `f64` buffer starting at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates memory access errors (checked element-wise).
+    pub fn write_f64_slice(&mut self, addr: u32, data: &[f64]) -> Result<(), String> {
+        for (i, &v) in data.iter().enumerate() {
+            let a = (addr as u64 + i as u64 * 8)
+                .try_into()
+                .map_err(|_| format!("address overflow writing f64 slice at {addr:#x}"))?;
+            self.write_f64(a, v)?;
+        }
+        Ok(())
+    }
+
+    /// Reads a contiguous `f64` buffer starting at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates memory access errors (checked element-wise).
+    pub fn read_f64_slice(&self, addr: u32, len: usize) -> Result<Vec<f64>, String> {
+        (0..len)
+            .map(|i| {
+                let a = (addr as u64 + i as u64 * 8)
+                    .try_into()
+                    .map_err(|_| format!("address overflow reading f64 slice at {addr:#x}"))?;
+                self.read_f64(a)
+            })
+            .collect()
+    }
+
+    /// Writes a contiguous `f32` buffer starting at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates memory access errors (checked element-wise).
+    pub fn write_f32_slice(&mut self, addr: u32, data: &[f32]) -> Result<(), String> {
+        for (i, &v) in data.iter().enumerate() {
+            let a = (addr as u64 + i as u64 * 4)
+                .try_into()
+                .map_err(|_| format!("address overflow writing f32 slice at {addr:#x}"))?;
+            self.write_f32(a, v)?;
+        }
+        Ok(())
+    }
+
+    /// Reads a contiguous `f32` buffer starting at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates memory access errors (checked element-wise).
+    pub fn read_f32_slice(&self, addr: u32, len: usize) -> Result<Vec<f32>, String> {
+        (0..len)
+            .map(|i| {
+                let a = (addr as u64 + i as u64 * 4)
+                    .try_into()
+                    .map_err(|_| format!("address overflow reading f32 slice at {addr:#x}"))?;
+                self.read_f32(a)
+            })
+            .collect()
+    }
+
+    // ----- register files --------------------------------------------------
+
+    /// Reads integer register `r` (`x0` is always zero).
+    pub fn get_x(&self, r: IntReg) -> u32 {
+        if r == IntReg::ZERO {
+            0
+        } else {
+            self.x[r.index() as usize]
+        }
+    }
+
+    /// Writes integer register `r` (writes to `x0` are ignored).
+    pub fn set_x(&mut self, r: IntReg, v: u32) {
+        if r != IntReg::ZERO {
+            self.x[r.index() as usize] = v;
+        }
+    }
+
+    /// Reads FP register `r`, popping from an armed read stream when
+    /// stream semantics are enabled (mirrors the simulator: an armed
+    /// *write* mover falls through to the plain register).
+    ///
+    /// # Errors
+    ///
+    /// Propagates stream and memory errors.
+    pub fn read_fp_reg(&mut self, r: FpReg) -> Result<u64, String> {
+        if self.ssr_enabled && r.is_ssr() {
+            let dm = r.index() as usize;
+            if self.movers[dm].is_active()
+                && self.movers[dm].direction() == Some(StreamDirection::Read)
+            {
+                let addr = self.movers[dm].next_addr(StreamDirection::Read)?;
+                // Double-aligned addresses stream doubles; otherwise the
+                // mover streams singles (packed SIMD / f32 kernels).
+                return if addr % 8 == 0 {
+                    Ok(u64::from_le_bytes(self.read_bytes::<8>(addr)?))
+                } else {
+                    Ok(u32::from_le_bytes(self.read_bytes::<4>(addr)?) as u64)
+                };
+            }
+        }
+        Ok(self.f[r.index() as usize])
+    }
+
+    /// Writes FP register `r`, pushing to an armed write stream when
+    /// stream semantics are enabled.
+    ///
+    /// # Errors
+    ///
+    /// Propagates stream and memory errors.
+    pub fn write_fp_reg(&mut self, r: FpReg, bits: u64) -> Result<(), String> {
+        if self.ssr_enabled && r.is_ssr() {
+            let dm = r.index() as usize;
+            if self.movers[dm].is_active()
+                && self.movers[dm].direction() == Some(StreamDirection::Write)
+            {
+                let addr = self.movers[dm].next_addr(StreamDirection::Write)?;
+                return if addr % 8 == 0 {
+                    self.write_bytes(addr, bits.to_le_bytes())
+                } else {
+                    self.write_bytes(addr, (bits as u32).to_le_bytes())
+                };
+            }
+        }
+        self.f[r.index() as usize] = bits;
+        Ok(())
+    }
+
+    // ----- SSA environment -------------------------------------------------
+
+    /// Reads the runtime value of `v`. Values typed as allocated
+    /// registers read the physical register file (with stream
+    /// semantics); everything else reads the SSA environment.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for undefined values and stream errors.
+    pub fn get(&mut self, ctx: &Context, v: ValueId) -> Result<Value, String> {
+        match ctx.value_type(v) {
+            Type::IntRegister(Some(r)) => Ok(Value::Int(self.get_x(*r) as i64)),
+            Type::FpRegister(Some(r)) => Ok(Value::Bits(self.read_fp_reg(*r)?)),
+            _ => self
+                .ssa
+                .get(&v)
+                .copied()
+                .ok_or_else(|| format!("use of undefined value of type {}", ctx.value_type(v))),
+        }
+    }
+
+    /// Writes the runtime value of `v` (physical registers included).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for representation mismatches and stream errors.
+    pub fn set(&mut self, ctx: &Context, v: ValueId, val: Value) -> Result<(), String> {
+        match ctx.value_type(v) {
+            Type::IntRegister(Some(r)) => {
+                self.set_x(*r, val.as_int()? as u32);
+                Ok(())
+            }
+            Type::FpRegister(Some(r)) => self.write_fp_reg(*r, val.as_bits()?),
+            _ => {
+                self.ssa.insert(v, val);
+                Ok(())
+            }
+        }
+    }
+
+    /// Binds `dst` to the value of `src`, eliding the copy when both are
+    /// pinned to the same physical register — exactly the moves the
+    /// assembly emitter elides, so no stream pop/push happens for them.
+    ///
+    /// # Errors
+    ///
+    /// Propagates read/write errors.
+    pub fn bind(&mut self, ctx: &Context, dst: ValueId, src: ValueId) -> Result<(), String> {
+        let dt = ctx.value_type(dst);
+        if dt.is_allocated_register() && dt == ctx.value_type(src) {
+            return Ok(());
+        }
+        let v = self.get(ctx, src)?;
+        self.set(ctx, dst, v)
+    }
+
+    // ----- memref_stream cursors -------------------------------------------
+
+    /// Opens a stream cursor over the given element addresses and returns
+    /// its handle.
+    pub fn open_stream(&mut self, addrs: Vec<u32>, write: bool, f32: bool) -> usize {
+        self.streams.push(StreamCursor { addrs, pos: 0, write, f32 });
+        self.streams.len() - 1
+    }
+
+    /// Pops the next element from a read stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on direction mismatch, exhaustion or memory
+    /// errors.
+    pub fn stream_pop(&mut self, handle: usize) -> Result<Value, String> {
+        let cursor = self.streams.get(handle).ok_or("unknown stream handle")?;
+        if cursor.write {
+            return Err("read from a writable stream".to_string());
+        }
+        if cursor.pos >= cursor.addrs.len() {
+            return Err("stream read beyond the end of its pattern".to_string());
+        }
+        let addr = cursor.addrs[cursor.pos];
+        let is_f32 = cursor.f32;
+        let v = if is_f32 {
+            Value::F32(self.read_f32(addr)?)
+        } else {
+            Value::F64(self.read_f64(addr)?)
+        };
+        self.streams[handle].pos += 1;
+        Ok(v)
+    }
+
+    /// Pushes an element to a write stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on direction mismatch, exhaustion or memory
+    /// errors.
+    pub fn stream_push(&mut self, handle: usize, val: Value) -> Result<(), String> {
+        let cursor = self.streams.get(handle).ok_or("unknown stream handle")?;
+        if !cursor.write {
+            return Err("write to a readable stream".to_string());
+        }
+        if cursor.pos >= cursor.addrs.len() {
+            return Err("stream write beyond the end of its pattern".to_string());
+        }
+        let addr = cursor.addrs[cursor.pos];
+        if cursor.f32 {
+            self.write_f32(addr, val.as_f32()?)?;
+        } else {
+            self.write_f64(addr, val.as_f64()?)?;
+        }
+        self.streams[handle].pos += 1;
+        Ok(())
+    }
+}
+
+/// Execution semantics for one operation.
+///
+/// Handlers read operands through [`Interpreter::get`], write results
+/// through [`Interpreter::set`] and recurse into nested regions via the
+/// [`ExecRegistry`].
+pub type Handler = fn(&mut Interpreter, &Context, &ExecRegistry, OpId) -> Result<Flow, InterpError>;
+
+/// Maps operation names to execution semantics, mirroring how the
+/// [`crate::registry::DialectRegistry`] maps them to verifiers.
+#[derive(Default)]
+pub struct ExecRegistry {
+    handlers: HashMap<String, Handler>,
+}
+
+impl std::fmt::Debug for ExecRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut names: Vec<&str> = self.handlers.keys().map(String::as_str).collect();
+        names.sort_unstable();
+        f.debug_struct("ExecRegistry").field("ops", &names).finish()
+    }
+}
+
+impl ExecRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> ExecRegistry {
+        ExecRegistry::default()
+    }
+
+    /// Registers execution semantics for the operation `name`.
+    pub fn register(&mut self, name: impl Into<String>, handler: Handler) {
+        self.handlers.insert(name.into(), handler);
+    }
+
+    /// Whether semantics are registered for `name`.
+    pub fn has(&self, name: &str) -> bool {
+        self.handlers.contains_key(name)
+    }
+
+    /// Executes one operation.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`InterpError`] for unregistered ops, exhausted fuel or
+    /// any failure inside the handler.
+    pub fn run_op(
+        &self,
+        it: &mut Interpreter,
+        ctx: &Context,
+        op: OpId,
+    ) -> Result<Flow, InterpError> {
+        if it.fuel == 0 {
+            return Err(InterpError::at(op, "interpreter fuel exhausted"));
+        }
+        it.fuel -= 1;
+        let name = &ctx.op(op).name;
+        match self.handlers.get(name) {
+            Some(handler) => handler(it, ctx, self, op),
+            None => {
+                Err(InterpError::at(op, format!("no execution semantics registered for `{name}`")))
+            }
+        }
+    }
+
+    /// Executes the operations of `block` in order, stopping early when
+    /// one branches or returns.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first handler error.
+    pub fn run_block(
+        &self,
+        it: &mut Interpreter,
+        ctx: &Context,
+        block: BlockId,
+    ) -> Result<Flow, InterpError> {
+        for &op in &ctx.block_ops(block).to_vec() {
+            match self.run_op(it, ctx, op)? {
+                Flow::Continue => {}
+                other => return Ok(other),
+            }
+        }
+        Ok(Flow::Continue)
+    }
+
+    /// Executes an unstructured control-flow region: starts at the first
+    /// block and follows branches until a return.
+    ///
+    /// # Errors
+    ///
+    /// Propagates handler errors; a block falling through without a
+    /// branch or return is an error.
+    pub fn run_cfg(
+        &self,
+        it: &mut Interpreter,
+        ctx: &Context,
+        region: RegionId,
+    ) -> Result<(), InterpError> {
+        let blocks = ctx.region_blocks(region);
+        let Some(&entry) = blocks.first() else {
+            return Ok(());
+        };
+        let mut current = entry;
+        loop {
+            match self.run_block(it, ctx, current)? {
+                Flow::Branch(next) => current = next,
+                Flow::Return => return Ok(()),
+                Flow::Continue => {
+                    return Err(InterpError {
+                        op: None,
+                        message: "control fell off the end of a block without a terminator branch"
+                            .to_string(),
+                    })
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::OpSpec;
+
+    #[test]
+    fn memory_round_trip_and_errors() {
+        let mut it = Interpreter::new();
+        it.write_f64(TCDM_BASE + 16, 2.5).unwrap();
+        assert_eq!(it.read_f64(TCDM_BASE + 16).unwrap(), 2.5);
+        it.write_f32(TCDM_BASE + 4, 1.5).unwrap();
+        assert_eq!(it.read_f32(TCDM_BASE + 4).unwrap(), 1.5);
+        let err = it.read_f64(TCDM_BASE - 8).unwrap_err();
+        assert!(err.contains("outside TCDM"), "{err}");
+        let err = it.read_f64(TCDM_BASE + 4).unwrap_err();
+        assert!(err.contains("misaligned"), "{err}");
+        let err = it.read_f64(TCDM_BASE + TCDM_SIZE as u32 - 4).unwrap_err();
+        assert!(err.contains("outside TCDM"), "{err}");
+    }
+
+    #[test]
+    fn slice_helpers_round_trip() {
+        let mut it = Interpreter::new();
+        it.write_f64_slice(TCDM_BASE, &[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(it.read_f64_slice(TCDM_BASE, 3).unwrap(), vec![1.0, 2.0, 3.0]);
+        it.write_f32_slice(TCDM_BASE + 64, &[4.0, 5.0]).unwrap();
+        assert_eq!(it.read_f32_slice(TCDM_BASE + 64, 2).unwrap(), vec![4.0, 5.0]);
+        assert!(it.write_f64_slice(u32::MAX - 7, &[0.0, 0.0]).is_err());
+    }
+
+    #[test]
+    fn x0_is_hardwired_zero() {
+        let mut it = Interpreter::new();
+        it.set_x(IntReg::ZERO, 42);
+        assert_eq!(it.get_x(IntReg::ZERO), 0);
+        it.set_x(IntReg::a(0), 42);
+        assert_eq!(it.get_x(IntReg::a(0)), 42);
+    }
+
+    #[test]
+    fn stream_mover_matches_pattern_offsets() {
+        let pattern = crate::StreamPattern::from_logical(vec![3, 4], vec![8, 40], 1);
+        let mut m = StreamMover::default();
+        for (d, (&ub, &st)) in pattern.ub.iter().zip(&pattern.strides).enumerate() {
+            m.configure(SsrCfgReg::Bound(d as u8), ub as u32 - 1);
+            m.configure(SsrCfgReg::Stride(d as u8), st as u32);
+        }
+        m.configure(SsrCfgReg::Repeat, pattern.repeat as u32);
+        m.configure(SsrCfgReg::RPtr(pattern.rank() as u8 - 1), 0);
+        for expect in pattern.offsets() {
+            assert_eq!(m.next_addr(StreamDirection::Read).unwrap() as i64, expect);
+        }
+        assert!(m.next_addr(StreamDirection::Read).is_err());
+    }
+
+    #[test]
+    fn fp_reads_pop_read_streams_and_writes_push() {
+        let mut it = Interpreter::new();
+        it.write_f64_slice(TCDM_BASE, &[1.0, 2.0]).unwrap();
+        it.movers[0].configure(SsrCfgReg::Bound(0), 1);
+        it.movers[0].configure(SsrCfgReg::Stride(0), 8);
+        it.movers[0].configure(SsrCfgReg::RPtr(0), TCDM_BASE);
+        it.movers[2].configure(SsrCfgReg::Bound(0), 1);
+        it.movers[2].configure(SsrCfgReg::Stride(0), 8);
+        it.movers[2].configure(SsrCfgReg::WPtr(0), TCDM_BASE + 64);
+        it.ssr_enabled = true;
+        let a = f64::from_bits(it.read_fp_reg(FpReg::ft(0)).unwrap());
+        let b = f64::from_bits(it.read_fp_reg(FpReg::ft(0)).unwrap());
+        it.write_fp_reg(FpReg::ft(2), (a + b).to_bits()).unwrap();
+        it.write_fp_reg(FpReg::ft(2), 9.0f64.to_bits()).unwrap();
+        assert_eq!(it.read_f64_slice(TCDM_BASE + 64, 2).unwrap(), vec![3.0, 9.0]);
+        // Exhausted stream faults instead of falling back to the register.
+        assert!(it.read_fp_reg(FpReg::ft(0)).is_err());
+        // Reading the *write*-armed register falls through to the file.
+        it.movers[2].configure(SsrCfgReg::WPtr(0), TCDM_BASE + 96);
+        it.f[2] = 7.0f64.to_bits();
+        assert_eq!(it.read_fp_reg(FpReg::ft(2)).unwrap(), 7.0f64.to_bits());
+        // With streaming disabled everything is a plain register.
+        it.ssr_enabled = false;
+        it.f[0] = 5.0f64.to_bits();
+        assert_eq!(it.read_fp_reg(FpReg::ft(0)).unwrap(), 5.0f64.to_bits());
+    }
+
+    #[test]
+    fn bind_elides_same_register_moves() {
+        let mut ctx = Context::new();
+        let m = ctx.create_detached_op(OpSpec::new("t.module").regions(1));
+        let b = ctx.create_block(ctx.op(m).regions[0], vec![]);
+        let reg = Type::FpRegister(Some(FpReg::ft(0)));
+        let src = ctx.append_op(b, OpSpec::new("t.a").results(vec![reg.clone()]));
+        let dst = ctx.append_op(b, OpSpec::new("t.b").results(vec![reg]));
+        let (sv, dv) = (ctx.op(src).results[0], ctx.op(dst).results[0]);
+
+        let mut it = Interpreter::new();
+        it.write_f64_slice(TCDM_BASE, &[1.0]).unwrap();
+        it.movers[0].configure(SsrCfgReg::Bound(0), 0);
+        it.movers[0].configure(SsrCfgReg::Stride(0), 8);
+        it.movers[0].configure(SsrCfgReg::RPtr(0), TCDM_BASE);
+        it.ssr_enabled = true;
+        // Same register on both sides: no move is emitted, so binding must
+        // not pop the stream.
+        it.bind(&ctx, dv, sv).unwrap();
+        assert_eq!(f64::from_bits(it.read_fp_reg(FpReg::ft(0)).unwrap()), 1.0);
+    }
+
+    #[test]
+    fn stream_cursors_pop_and_push() {
+        let mut it = Interpreter::new();
+        it.write_f64_slice(TCDM_BASE, &[1.0, 2.0]).unwrap();
+        let r = it.open_stream(vec![TCDM_BASE, TCDM_BASE + 8], false, false);
+        let w = it.open_stream(vec![TCDM_BASE + 32], true, false);
+        assert_eq!(it.stream_pop(r).unwrap(), Value::F64(1.0));
+        it.stream_push(w, Value::F64(4.0)).unwrap();
+        assert_eq!(it.read_f64(TCDM_BASE + 32).unwrap(), 4.0);
+        assert!(it.stream_push(w, Value::F64(5.0)).is_err());
+        assert!(it.stream_pop(w).is_err());
+        assert_eq!(it.stream_pop(r).unwrap(), Value::F64(2.0));
+        assert!(it.stream_pop(r).is_err());
+    }
+
+    #[test]
+    fn registry_reports_missing_semantics_and_fuel() {
+        let mut ctx = Context::new();
+        let m = ctx.create_detached_op(OpSpec::new("t.module").regions(1));
+        let b = ctx.create_block(ctx.op(m).regions[0], vec![]);
+        let op = ctx.append_op(b, OpSpec::new("t.mystery"));
+        let reg = ExecRegistry::new();
+        let mut it = Interpreter::new();
+        let err = reg.run_op(&mut it, &ctx, op).unwrap_err();
+        assert!(err.message.contains("no execution semantics"), "{err}");
+        it.fuel = 0;
+        let err = reg.run_op(&mut it, &ctx, op).unwrap_err();
+        assert!(err.message.contains("fuel"), "{err}");
+    }
+
+    #[test]
+    fn value_conversions() {
+        assert_eq!(Value::Int(3).as_int().unwrap(), 3);
+        assert_eq!(Value::F64(2.0).as_bits().unwrap(), 2.0f64.to_bits());
+        let boxed = Value::F32(1.5).as_bits().unwrap();
+        assert_eq!(boxed >> 32, 0xFFFF_FFFF);
+        assert_eq!(f32::from_bits(boxed as u32), 1.5);
+        assert_eq!(Value::Bits(2.0f64.to_bits()).as_f64().unwrap(), 2.0);
+        assert_eq!(Value::Bits(1.5f32.to_bits() as u64).as_f32().unwrap(), 1.5);
+        assert!(Value::F64(1.0).as_int().is_err());
+        assert!(Value::Int(1).as_stream().is_err());
+    }
+}

@@ -43,6 +43,7 @@
 pub mod affine;
 pub mod attributes;
 pub mod context;
+pub mod interp;
 pub mod observe;
 pub mod parser;
 pub mod pass;
@@ -56,10 +57,11 @@ pub use attributes::{Attribute, IteratorType, StreamPattern, StridePattern};
 pub use context::{
     BlockId, Context, OpId, OpSpec, Operation, RegionId, RewriteStats, ValueId, ValueKind,
 };
+pub use interp::{ExecRegistry, Flow, InterpError, Interpreter, StreamMover, Value};
 pub use observe::{IrSnapshotMode, NoopObserver, PassEvent, PipelineObserver, PipelineRecorder};
 pub use parser::{parse_module, ParseError};
 pub use pass::{Pass, PassError, PassManager};
 pub use printer::print_op;
 pub use registry::{DialectRegistry, OpInfo, VerifyError};
-pub use rewrite::{apply_patterns_greedily, eliminate_dead_code, RewritePattern};
+pub use rewrite::{apply_patterns_greedily, eliminate_dead_code, ConvergenceError, RewritePattern};
 pub use types::{FunctionType, MemRefType, Type};

@@ -67,6 +67,17 @@ pub trait PipelineObserver {
 
     /// Called after each pass that ran successfully.
     fn on_pass(&mut self, event: PassEvent);
+
+    /// Called after each pass that ran successfully, with the live IR.
+    ///
+    /// Unlike [`PassEvent::ir_after`], which carries printed text, this
+    /// hook sees the actual [`Context`] — observers that need a
+    /// structural snapshot (e.g. the stage-level differential tester,
+    /// which re-executes each stage) can clone it here. The default does
+    /// nothing, so observers that only want events pay no cost.
+    fn on_ir(&mut self, ctx: &Context, root: OpId, pass: &'static str, index: usize) {
+        let _ = (ctx, root, pass, index);
+    }
 }
 
 /// Observer that ignores everything (the plain `PassManager::run` path).

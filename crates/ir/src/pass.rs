@@ -98,6 +98,18 @@ impl PassManager {
         self
     }
 
+    /// Inserts a pass at `index` in the pipeline (clamped to the end).
+    ///
+    /// This exists for harnesses that splice diagnostic or fault-injection
+    /// passes into an already-built pipeline — e.g. the differential
+    /// tester's miscompile self-test, which plants a deliberately wrong
+    /// pass mid-pipeline and checks that the bisection blames it.
+    pub fn insert(&mut self, index: usize, pass: impl Pass + 'static) -> &mut PassManager {
+        let index = index.min(self.passes.len());
+        self.passes.insert(index, Box::new(pass));
+        self
+    }
+
     /// Enables or disables verification after each pass.
     pub fn verify_each(&mut self, enabled: bool) -> &mut PassManager {
         self.verify_each = enabled;
@@ -192,6 +204,7 @@ impl PassManager {
                 changed,
                 ir_after,
             });
+            observer.on_ir(ctx, root, pass.name(), index);
         }
         Ok(())
     }

@@ -5,6 +5,8 @@
 //! [`apply_patterns_greedily`], the same work-horse as MLIR's greedy
 //! pattern driver.
 
+use std::fmt;
+
 use crate::context::{Context, OpId};
 use crate::registry::DialectRegistry;
 
@@ -21,22 +23,56 @@ pub trait RewritePattern {
     fn match_and_rewrite(&self, ctx: &mut Context, registry: &DialectRegistry, op: OpId) -> bool;
 }
 
+/// Iteration budget of the greedy driver before it reports divergence.
+const MAX_ITERATIONS: usize = 1000;
+
+/// Error returned when the greedy driver fails to reach a fixpoint,
+/// identifying the pattern that kept "changing" without progress.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConvergenceError {
+    /// Iterations attempted before giving up.
+    pub iterations: usize,
+    /// Name of the last pattern that reported a change, if any (the
+    /// usual culprit of a rewrite ping-pong).
+    pub last_pattern: Option<&'static str>,
+    /// Name of the operation that pattern anchored on.
+    pub last_op: Option<String>,
+}
+
+impl fmt::Display for ConvergenceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rewrite driver did not converge after {} iterations", self.iterations)?;
+        match (&self.last_pattern, &self.last_op) {
+            (Some(pattern), Some(op)) => {
+                write!(f, "; last change by pattern `{pattern}` anchored on `{op}`")
+            }
+            _ => write!(f, "; only dead-code elimination kept reporting changes"),
+        }
+    }
+}
+
+impl std::error::Error for ConvergenceError {}
+
 /// Applies `patterns` to every operation under `root` until fixpoint,
 /// interleaving dead-code elimination sweeps. Returns the total number of
 /// successful pattern applications.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the rewrite does not converge within an iteration budget
-/// (which indicates a pattern that keeps "changing" without progress).
+/// Returns a [`ConvergenceError`] if the rewrite does not converge
+/// within an iteration budget (which indicates a pattern that keeps
+/// "changing" without progress), naming the last pattern that reported a
+/// change and the operation it anchored on.
 pub fn apply_patterns_greedily(
     ctx: &mut Context,
     registry: &DialectRegistry,
     root: OpId,
     patterns: &[&dyn RewritePattern],
-) -> usize {
+) -> Result<usize, ConvergenceError> {
     let mut total = 0;
-    for _ in 0..1000 {
+    let mut last_pattern: Option<&'static str> = None;
+    let mut last_op: Option<String> = None;
+    for _ in 0..MAX_ITERATIONS {
         let mut changed = false;
         let worklist = ctx.walk(root);
         for op in worklist {
@@ -51,15 +87,21 @@ pub fn apply_patterns_greedily(
                     changed = true;
                     total += 1;
                     ctx.rewrite_stats.pattern_applications += 1;
+                    last_pattern = Some(pattern.name());
+                    last_op = Some(if ctx.is_alive(op) {
+                        ctx.op(op).name.clone()
+                    } else {
+                        "<erased op>".to_string()
+                    });
                 }
             }
         }
         changed |= eliminate_dead_code(ctx, registry, root) > 0;
         if !changed {
-            return total;
+            return Ok(total);
         }
     }
-    panic!("rewrite driver did not converge after 1000 iterations");
+    Err(ConvergenceError { iterations: MAX_ITERATIONS, last_pattern, last_op })
 }
 
 /// Erases pure operations whose results are all unused, bottom-up, until
@@ -162,11 +204,44 @@ mod tests {
         let dv = ctx.op(d).results[0];
         ctx.append_op(b, OpSpec::new("t.use").operands(vec![dv]));
 
-        let n = apply_patterns_greedily(&mut ctx, &registry(), m, &[&DoubleToAdd]);
+        let n = apply_patterns_greedily(&mut ctx, &registry(), m, &[&DoubleToAdd]).unwrap();
         assert_eq!(n, 1);
         let names: Vec<String> = ctx.block_ops(b).iter().map(|&o| ctx.op(o).name.clone()).collect();
         assert_eq!(names, ["t.const", "t.add", "t.use"]);
         assert!(ctx.verify_structure(m).is_ok());
+    }
+
+    /// Claims a change on every visit of `t.use` without making progress.
+    struct PingPong;
+    impl RewritePattern for PingPong {
+        fn name(&self) -> &'static str {
+            "ping-pong"
+        }
+        fn match_and_rewrite(
+            &self,
+            ctx: &mut Context,
+            _registry: &DialectRegistry,
+            op: OpId,
+        ) -> bool {
+            ctx.op(op).name == "t.use"
+        }
+    }
+
+    #[test]
+    fn divergence_names_the_offending_pattern() {
+        let mut ctx = Context::new();
+        let (m, b) = module(&mut ctx);
+        let c = ctx.append_op(b, OpSpec::new("t.const").results(vec![Type::F64]));
+        let v = ctx.op(c).results[0];
+        ctx.append_op(b, OpSpec::new("t.use").operands(vec![v]));
+        let err = apply_patterns_greedily(&mut ctx, &registry(), m, &[&PingPong]).unwrap_err();
+        assert_eq!(err.iterations, 1000);
+        assert_eq!(err.last_pattern, Some("ping-pong"));
+        assert_eq!(err.last_op.as_deref(), Some("t.use"));
+        let msg = err.to_string();
+        assert!(msg.contains("did not converge"), "{msg}");
+        assert!(msg.contains("ping-pong"), "{msg}");
+        assert!(msg.contains("t.use"), "{msg}");
     }
 
     #[test]

@@ -1,0 +1,417 @@
+//! Stage-level differential testing: interprets the module after every
+//! pipeline pass against the host reference, bisecting a miscompile to
+//! the first pass whose output diverges.
+//!
+//! The interpreter executes each [`Stage`] snapshot with the exact TCDM
+//! operand layout the simulator harness uses ([`place_buffers`] and
+//! [`random_inputs_f64`]/[`random_inputs_f32`] with the same seed), so a
+//! divergence found here reproduces 1:1 under `mlb_sim`. Every stage
+//! must match the host reference bit-for-bit — under either
+//! multiply-accumulate rounding, since the peephole pass legitimately
+//! replaces two-rounding `mul + add` chains with single-rounding
+//! `fmadd`s partway through the pipeline.
+
+use std::fmt;
+
+use mlb_core::{compile_with_stages_tweaked, Flow, Stage};
+use mlb_ir::{
+    Context, ExecRegistry, Flow as ExecFlow, Interpreter, OpId, PassError, PassManager, Type, Value,
+};
+
+use crate::harness::{place_buffers, random_inputs_f32, random_inputs_f64, FILL_VALUE};
+use crate::reference::{reference_with, FmaMode};
+use crate::suite::{Instance, Precision};
+
+/// Builds the combined execution registry covering every dialect of the
+/// pipeline, from `linalg` down to `rv_cf`.
+pub fn exec_registry() -> ExecRegistry {
+    let mut reg = ExecRegistry::new();
+    mlb_dialects::register_exec(&mut reg);
+    mlb_riscv::register_exec(&mut reg);
+    reg
+}
+
+/// A bisected miscompile: the first pipeline stage whose interpreted
+/// output differs from the host reference.
+#[derive(Debug, Clone)]
+pub struct Divergence {
+    /// The pass whose output first diverged.
+    pub stage: String,
+    /// Its position in the checked stage sequence (0 = the input IR).
+    pub stage_index: usize,
+    /// How many stages the pipeline produced in total.
+    pub num_stages: usize,
+    /// The operand seed of the failing run.
+    pub seed: u64,
+    /// First differing output element.
+    pub index: usize,
+    /// The interpreted value at that element.
+    pub got: f64,
+    /// The (fused) host-reference value at that element.
+    pub expected: f64,
+}
+
+impl fmt::Display for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "first divergence after pass `{}` (stage {}/{}, seed {}): \
+             output[{}] = {}, reference {}",
+            self.stage,
+            self.stage_index,
+            self.num_stages.saturating_sub(1),
+            self.seed,
+            self.index,
+            self.got,
+            self.expected
+        )
+    }
+}
+
+/// Error produced by the stage-level differential tester.
+#[derive(Debug)]
+pub enum DifftestError {
+    /// The pipeline itself failed before producing all stages.
+    Compile(PassError),
+    /// The operands do not fit in the TCDM.
+    Placement(String),
+    /// A stage could not be interpreted (missing semantics, trap, fuel).
+    Interp {
+        /// The stage that failed to interpret.
+        stage: String,
+        /// Its position in the checked stage sequence.
+        stage_index: usize,
+        /// The interpreter's error message.
+        message: String,
+    },
+    /// A stage interpreted fine but disagreed with the reference.
+    Divergence(Divergence),
+}
+
+impl fmt::Display for DifftestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DifftestError::Compile(e) => write!(f, "compile: {e}"),
+            DifftestError::Placement(e) => write!(f, "place operands: {e}"),
+            DifftestError::Interp { stage, stage_index, message } => {
+                write!(f, "interpreting stage {stage_index} (after `{stage}`): {message}")
+            }
+            DifftestError::Divergence(d) => d.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for DifftestError {}
+
+/// A clean differential run: every stage matched the reference.
+#[derive(Debug)]
+pub struct DifftestOutcome {
+    /// Names of the checked stages, in pipeline order (`"input"` first).
+    pub stages: Vec<&'static str>,
+}
+
+/// The operand buffers of one differential run, at the run's precision.
+enum Operands {
+    F64(Vec<Vec<f64>>),
+    F32(Vec<Vec<f32>>),
+}
+
+/// Differentially tests one kernel instance: compiles it with `flow`,
+/// interprets the module after every pipeline pass on the seeded operand
+/// layout, and checks each stage's output bit-for-bit against the host
+/// reference.
+///
+/// # Errors
+///
+/// [`DifftestError::Divergence`] identifies the first pass whose output
+/// disagrees; the other variants are infrastructure failures.
+pub fn difftest_instance(
+    instance: &Instance,
+    flow: Flow,
+    seed: u64,
+) -> Result<DifftestOutcome, DifftestError> {
+    difftest_instance_tweaked(instance, flow, seed, &|_| {})
+}
+
+/// [`difftest_instance`] with a hook that may alter the pass pipeline
+/// before it runs — the fault-injection entry point of the harness's
+/// self-test (insert a deliberately wrong pass, check the bisection
+/// blames exactly it).
+///
+/// # Errors
+///
+/// Same conditions as [`difftest_instance`].
+pub fn difftest_instance_tweaked(
+    instance: &Instance,
+    flow: Flow,
+    seed: u64,
+    tweak: &dyn Fn(&mut PassManager),
+) -> Result<DifftestOutcome, DifftestError> {
+    let mut ctx = Context::new();
+    let module = instance.build_module(&mut ctx);
+    let (_compilation, stages) = compile_with_stages_tweaked(&mut ctx, module, flow, tweak)
+        .map_err(DifftestError::Compile)?;
+
+    let sizes = instance.buffer_sizes();
+    let esz = instance.precision.bits() / 8;
+    let addrs = place_buffers(&sizes, esz).map_err(|e| DifftestError::Placement(e.to_string()))?;
+    let num_inputs = sizes.len() - 1;
+    let out_len = sizes[num_inputs];
+    let out_addr = addrs[num_inputs];
+
+    // Host references at both multiply-accumulate roundings, as element
+    // bit patterns. `display` keeps the fused values for reporting.
+    let (operands, fused, unfused, display): (Operands, Vec<u64>, Vec<u64>, Vec<f64>);
+    match instance.precision {
+        Precision::F64 => {
+            let inputs = random_inputs_f64(&sizes[..num_inputs], seed);
+            let f = reference_with(instance, &inputs, FILL_VALUE, FmaMode::Fused);
+            let u = reference_with(instance, &inputs, FILL_VALUE, FmaMode::Unfused);
+            fused = f.iter().map(|v| v.to_bits()).collect();
+            unfused = u.iter().map(|v| v.to_bits()).collect();
+            display = f;
+            operands = Operands::F64(inputs);
+        }
+        Precision::F32 => {
+            let inputs = random_inputs_f32(&sizes[..num_inputs], seed);
+            let f = reference_with(instance, &inputs, FILL_VALUE as f32, FmaMode::Fused);
+            let u = reference_with(instance, &inputs, FILL_VALUE as f32, FmaMode::Unfused);
+            fused = f.iter().map(|v| u64::from(v.to_bits())).collect();
+            unfused = u.iter().map(|v| u64::from(v.to_bits())).collect();
+            display = f.iter().map(|&v| f64::from(v)).collect();
+            operands = Operands::F32(inputs);
+        }
+    }
+
+    let reg = exec_registry();
+    let num_stages = stages.len();
+    let mut checked = Vec::with_capacity(num_stages);
+    for (stage_index, stage) in stages.iter().enumerate() {
+        let got = run_stage(&reg, stage, instance, &addrs, &operands, out_addr, out_len).map_err(
+            |message| DifftestError::Interp { stage: stage.pass.to_string(), stage_index, message },
+        )?;
+        if got != fused && got != unfused {
+            let (index, &bits) =
+                got.iter().enumerate().find(|&(i, &b)| b != fused[i]).unwrap_or((0, &0));
+            return Err(DifftestError::Divergence(Divergence {
+                stage: stage.pass.to_string(),
+                stage_index,
+                num_stages,
+                seed,
+                index,
+                got: match instance.precision {
+                    Precision::F64 => f64::from_bits(bits),
+                    Precision::F32 => f64::from(f32::from_bits(bits as u32)),
+                },
+                expected: display[index],
+            }));
+        }
+        checked.push(stage.pass);
+    }
+    Ok(DifftestOutcome { stages: checked })
+}
+
+/// Interprets one stage snapshot and returns the output buffer as
+/// element bit patterns.
+fn run_stage(
+    reg: &ExecRegistry,
+    stage: &Stage,
+    instance: &Instance,
+    addrs: &[u32],
+    operands: &Operands,
+    out_addr: u32,
+    out_len: usize,
+) -> Result<Vec<u64>, String> {
+    let ctx = &stage.ctx;
+    let symbol = instance.symbol();
+    let func_op = find_kernel(ctx, stage.module, &symbol)
+        .ok_or_else(|| format!("no function `{symbol}` in the module"))?;
+
+    let mut it = Interpreter::new();
+    match operands {
+        Operands::F64(inputs) => {
+            for (input, &addr) in inputs.iter().zip(addrs) {
+                it.write_f64_slice(addr, input)?;
+            }
+        }
+        Operands::F32(inputs) => {
+            for (input, &addr) in inputs.iter().zip(addrs) {
+                it.write_f32_slice(addr, input)?;
+            }
+        }
+    }
+
+    bind_arguments(&mut it, ctx, func_op, instance, addrs)?;
+
+    let region = ctx.op(func_op).regions[0];
+    let blocks = ctx.region_blocks(region).to_vec();
+    if blocks.len() == 1 {
+        match reg.run_block(&mut it, ctx, blocks[0]).map_err(|e| e.to_string())? {
+            ExecFlow::Return => {}
+            other => return Err(format!("function body ended with {other:?}, not a return")),
+        }
+    } else {
+        reg.run_cfg(&mut it, ctx, region).map_err(|e| e.to_string())?;
+    }
+
+    let mut out = Vec::with_capacity(out_len);
+    match instance.precision {
+        Precision::F64 => {
+            for i in 0..out_len {
+                out.push(u64::from_le_bytes(it.read_bytes::<8>(out_addr + 8 * i as u32)?));
+            }
+        }
+        Precision::F32 => {
+            for i in 0..out_len {
+                out.push(u64::from(u32::from_le_bytes(
+                    it.read_bytes::<4>(out_addr + 4 * i as u32)?,
+                )));
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Finds the kernel function (`func.func` or `rv_func.func`) named
+/// `symbol` under `module`.
+fn find_kernel(ctx: &Context, module: OpId, symbol: &str) -> Option<OpId> {
+    for func in ctx.walk_named(module, mlb_dialects::func::FUNC) {
+        if mlb_dialects::func::symbol_name(ctx, func) == Some(symbol) {
+            return Some(func);
+        }
+    }
+    ctx.walk_named(module, mlb_riscv::rv_func::FUNC)
+        .into_iter()
+        .find(|&func| mlb_riscv::rv_func::symbol_name(ctx, func) == Some(symbol))
+}
+
+/// Binds the kernel's entry-block arguments the way the simulator
+/// harness sets up a call: buffer addresses for pointer-like arguments
+/// (in [`place_buffers`] order) and the Fill scalar for float arguments,
+/// at any pipeline level (memref/float types before register lowering,
+/// pinned or unpinned register types after).
+fn bind_arguments(
+    it: &mut Interpreter,
+    ctx: &Context,
+    func_op: OpId,
+    instance: &Instance,
+    addrs: &[u32],
+) -> Result<(), String> {
+    let entry = *ctx.region_blocks(ctx.op(func_op).regions[0]).first().ok_or("empty function")?;
+    let args = ctx.block_args(entry).to_vec();
+    let mut next_addr = addrs.iter();
+    for arg in args {
+        match ctx.value_type(arg) {
+            Type::MemRef(_) | Type::IntRegister(_) => {
+                let &addr =
+                    next_addr.next().ok_or("more pointer arguments than operand buffers")?;
+                it.set(ctx, arg, Value::Int(i64::from(addr)))?;
+            }
+            Type::F64 => it.set(ctx, arg, Value::F64(FILL_VALUE))?,
+            Type::F32 => it.set(ctx, arg, Value::F32(FILL_VALUE as f32))?,
+            Type::FpRegister(_) => {
+                let bits = match instance.precision {
+                    Precision::F64 => FILL_VALUE.to_bits(),
+                    Precision::F32 => {
+                        u64::from((FILL_VALUE as f32).to_bits()) | 0xFFFF_FFFF_0000_0000
+                    }
+                };
+                it.set(ctx, arg, Value::Bits(bits))?;
+            }
+            other => return Err(format!("unsupported kernel argument type {other}")),
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suite::{Kind, Shape};
+    use mlb_core::PipelineOptions;
+    use mlb_ir::{DialectRegistry, Pass};
+
+    #[test]
+    fn every_kernel_passes_every_stage_under_both_flows() {
+        for kind in Kind::all() {
+            let shape = match kind {
+                Kind::MatMul | Kind::MatMulT => Shape::nmk(2, 4, 3),
+                _ => Shape::nm(3, 4),
+            };
+            let instance = Instance::new(kind, shape, Precision::F64);
+            for flow in [Flow::Ours(PipelineOptions::full()), Flow::MlirLike] {
+                let outcome = difftest_instance(&instance, flow, 11)
+                    .unwrap_or_else(|e| panic!("{instance} under {flow:?}: {e}"));
+                assert!(
+                    outcome.stages.len() > 5,
+                    "{instance}: only {} stages",
+                    outcome.stages.len()
+                );
+                assert_eq!(outcome.stages[0], "input");
+            }
+        }
+    }
+
+    #[test]
+    fn f32_kernels_pass_every_stage() {
+        for kind in [Kind::Sum, Kind::Relu, Kind::MatMulT] {
+            let shape = match kind {
+                Kind::MatMulT => Shape::nmk(2, 4, 4),
+                _ => Shape::nm(4, 4),
+            };
+            let instance = Instance::new(kind, shape, Precision::F32);
+            difftest_instance(&instance, Flow::Ours(PipelineOptions::full()), 5)
+                .unwrap_or_else(|e| panic!("{instance}: {e}"));
+        }
+    }
+
+    /// A deliberately miscompiling pass: turns every `arith.addf` into a
+    /// subtraction, silently changing semantics mid-pipeline.
+    struct SabotageAddf;
+
+    impl Pass for SabotageAddf {
+        fn name(&self) -> &'static str {
+            "sabotage-addf"
+        }
+        fn run(
+            &self,
+            ctx: &mut Context,
+            _registry: &DialectRegistry,
+            root: OpId,
+        ) -> Result<(), mlb_ir::PassError> {
+            for op in ctx.walk(root) {
+                if ctx.op(op).name == mlb_dialects::arith::ADDF {
+                    ctx.op_mut(op).name = mlb_dialects::arith::SUBF.to_string();
+                }
+            }
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn injected_miscompile_is_bisected_to_its_exact_stage() {
+        // Sum has no multiply-accumulate, so fused and unfused references
+        // agree and the only way to diverge is a genuine miscompile.
+        let instance = Instance::new(Kind::Sum, Shape::nm(4, 4), Precision::F64);
+        let err =
+            difftest_instance_tweaked(&instance, Flow::Ours(PipelineOptions::full()), 3, &|pm| {
+                pm.insert(2, SabotageAddf);
+            })
+            .unwrap_err();
+        let DifftestError::Divergence(d) = err else { panic!("expected divergence, got {err}") };
+        assert_eq!(d.stage, "sabotage-addf", "{d}");
+        // Stage 0 is the input module, stages 1..3 are the passes before
+        // the sabotage; the divergence appears exactly at its output.
+        assert_eq!(d.stage_index, 3, "{d}");
+        assert_eq!(d.seed, 3);
+        assert!(d.to_string().contains("first divergence after pass `sabotage-addf`"), "{d}");
+    }
+
+    #[test]
+    fn clean_runs_report_the_stage_list() {
+        let instance = Instance::new(Kind::Fill, Shape::nm(4, 4), Precision::F64);
+        let outcome = difftest_instance(&instance, Flow::Ours(PipelineOptions::full()), 1).unwrap();
+        assert!(outcome.stages.contains(&"input"));
+        assert!(outcome.stages.iter().any(|s| s.contains("allocate")), "{:?}", outcome.stages);
+    }
+}

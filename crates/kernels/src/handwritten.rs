@@ -83,28 +83,16 @@ pub fn run_handwritten(
     seed: u64,
 ) -> Result<crate::harness::RunOutcome, crate::harness::HarnessError> {
     use crate::harness::HarnessError;
-    use mlb_isa::TCDM_BASE;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
 
     let compilation = build_handwritten(instance).map_err(HarnessError::Compile)?;
     let program = mlb_sim::assemble(&compilation.assembly).map_err(HarnessError::Assemble)?;
-    let mut rng = StdRng::seed_from_u64(seed);
     let sizes = instance.buffer_sizes();
     let num_inputs = sizes.len() - 1;
     let mut machine = mlb_sim::Machine::new();
-    let mut addrs = Vec::new();
-    let mut cursor = TCDM_BASE;
-    for &size in &sizes {
-        addrs.push(cursor);
-        cursor += (size as u32 * 4).next_multiple_of(8);
-    }
-    let inputs: Vec<Vec<f32>> = sizes[..num_inputs]
-        .iter()
-        .map(|&s| (0..s).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
-        .collect();
+    let addrs = crate::harness::place_buffers(&sizes, 4)?;
+    let inputs = crate::harness::random_inputs_f32(&sizes[..num_inputs], seed);
     for (input, &addr) in inputs.iter().zip(&addrs) {
-        machine.write_f32_slice(addr, input);
+        machine.write_f32_slice(addr, input).map_err(HarnessError::Sim)?;
     }
     let expected: Vec<f32> = match instance.kind {
         Kind::MatMulT => packed_matmult_reference(
@@ -118,7 +106,8 @@ pub fn run_handwritten(
     };
     let symbol = format!("{}_hw", instance.symbol());
     let counters = machine.call(&program, &symbol, &addrs).map_err(HarnessError::Sim)?;
-    let out = machine.read_f32_slice(addrs[num_inputs], sizes[num_inputs]);
+    let out =
+        machine.read_f32_slice(addrs[num_inputs], sizes[num_inputs]).map_err(HarnessError::Sim)?;
     for (index, (&g, &e)) in out.iter().zip(&expected).enumerate() {
         if g.to_bits() != e.to_bits() {
             return Err(HarnessError::Mismatch {

@@ -6,7 +6,7 @@ use std::fmt;
 
 use mlb_core::{compile, Compilation, Flow};
 use mlb_ir::Context;
-use mlb_isa::{FpReg, TCDM_BASE};
+use mlb_isa::{FpReg, TCDM_BASE, TCDM_SIZE};
 use mlb_sim::{assemble, Machine, PerfCounters};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -21,6 +21,8 @@ pub enum HarnessError {
     Compile(mlb_ir::PassError),
     /// The generated assembly did not assemble.
     Assemble(mlb_sim::AsmError),
+    /// The operand buffers do not fit in the TCDM.
+    Placement(String),
     /// The simulation faulted.
     Sim(mlb_sim::SimError),
     /// The output differed from the reference.
@@ -39,12 +41,64 @@ impl fmt::Display for HarnessError {
         match self {
             HarnessError::Compile(e) => write!(f, "compile: {e}"),
             HarnessError::Assemble(e) => write!(f, "assemble: {e}"),
+            HarnessError::Placement(e) => write!(f, "place operands: {e}"),
             HarnessError::Sim(e) => write!(f, "simulate: {e}"),
             HarnessError::Mismatch { index, got, expected } => {
                 write!(f, "output mismatch at {index}: got {got}, expected {expected}")
             }
         }
     }
+}
+
+/// Places buffers of `sizes` elements (`elem_bytes` each) back to back in
+/// the TCDM, 8-byte aligned, validating that the total footprint fits.
+///
+/// Both the simulator harness and the stage-level interpreter use this
+/// layout, so interpreted stages see exactly the operand addresses the
+/// simulated kernel does.
+///
+/// # Errors
+///
+/// When the address arithmetic overflows or the footprint exceeds
+/// [`TCDM_SIZE`].
+pub fn place_buffers(sizes: &[usize], elem_bytes: u32) -> Result<Vec<u32>, HarnessError> {
+    let mut addrs = Vec::with_capacity(sizes.len());
+    let mut cursor: u32 = TCDM_BASE;
+    for (i, &size) in sizes.iter().enumerate() {
+        addrs.push(cursor);
+        let bytes = (size as u64)
+            .checked_mul(u64::from(elem_bytes))
+            .and_then(|b| u32::try_from(b).ok())
+            .map(|b| b.next_multiple_of(8))
+            .and_then(|b| cursor.checked_add(b))
+            .ok_or_else(|| {
+                HarnessError::Placement(format!(
+                    "buffer {i} of {size} elements overflows the address space"
+                ))
+            })?;
+        cursor = bytes;
+    }
+    let footprint = cursor - TCDM_BASE;
+    if footprint as usize > TCDM_SIZE {
+        return Err(HarnessError::Placement(format!(
+            "operands need {footprint} bytes but the TCDM holds {TCDM_SIZE}"
+        )));
+    }
+    Ok(addrs)
+}
+
+/// The randomized f64 input buffers the harness feeds a kernel for
+/// `seed` (one buffer per entry of `sizes`, values in `[-1, 1)`).
+pub fn random_inputs_f64(sizes: &[usize], seed: u64) -> Vec<Vec<f64>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    sizes.iter().map(|&s| (0..s).map(|_| rng.gen_range(-1.0..1.0)).collect()).collect()
+}
+
+/// The randomized f32 input buffers the harness feeds a kernel for
+/// `seed` (one buffer per entry of `sizes`, values in `[-1, 1)`).
+pub fn random_inputs_f32(sizes: &[usize], seed: u64) -> Vec<Vec<f32>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    sizes.iter().map(|&s| (0..s).map(|_| rng.gen_range(-1.0f32..1.0)).collect()).collect()
 }
 
 impl std::error::Error for HarnessError {}
@@ -99,18 +153,11 @@ pub fn run_compiled(
     seed: u64,
 ) -> Result<RunOutcome, HarnessError> {
     let program = assemble(&compilation.assembly).map_err(HarnessError::Assemble)?;
-    let mut rng = StdRng::seed_from_u64(seed);
     let sizes = instance.buffer_sizes();
     let esz = instance.precision.bits() / 8;
     let mut machine = Machine::new();
 
-    // Place buffers back to back, 8-byte aligned.
-    let mut addrs = Vec::new();
-    let mut cursor = TCDM_BASE;
-    for &size in &sizes {
-        addrs.push(cursor);
-        cursor += (size as u32 * esz).next_multiple_of(8);
-    }
+    let addrs = place_buffers(&sizes, esz)?;
     let num_inputs = sizes.len() - 1;
     let out_addr = addrs[num_inputs];
     let out_len = sizes[num_inputs];
@@ -118,12 +165,9 @@ pub fn run_compiled(
     // Randomized inputs in [-1, 1); weights for pooling stay the same.
     let (output, counters) = match instance.precision {
         Precision::F64 => {
-            let inputs: Vec<Vec<f64>> = sizes[..num_inputs]
-                .iter()
-                .map(|&s| (0..s).map(|_| rng.gen_range(-1.0..1.0)).collect())
-                .collect();
+            let inputs = random_inputs_f64(&sizes[..num_inputs], seed);
             for (input, &addr) in inputs.iter().zip(&addrs) {
-                machine.write_f64_slice(addr, input);
+                machine.write_f64_slice(addr, input).map_err(HarnessError::Sim)?;
             }
             let expected = reference(instance, &inputs, FILL_VALUE);
             if instance.kind == Kind::Fill {
@@ -132,17 +176,14 @@ pub fn run_compiled(
             let int_args: Vec<u32> = addrs.clone();
             let counters =
                 machine.call(&program, &instance.symbol(), &int_args).map_err(HarnessError::Sim)?;
-            let output = machine.read_f64_slice(out_addr, out_len);
+            let output = machine.read_f64_slice(out_addr, out_len).map_err(HarnessError::Sim)?;
             verify_f64(&output, &expected)?;
             (output, counters)
         }
         Precision::F32 => {
-            let inputs: Vec<Vec<f32>> = sizes[..num_inputs]
-                .iter()
-                .map(|&s| (0..s).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
-                .collect();
+            let inputs = random_inputs_f32(&sizes[..num_inputs], seed);
             for (input, &addr) in inputs.iter().zip(&addrs) {
-                machine.write_f32_slice(addr, input);
+                machine.write_f32_slice(addr, input).map_err(HarnessError::Sim)?;
             }
             let expected = reference(instance, &inputs, FILL_VALUE as f32);
             if instance.kind == Kind::Fill {
@@ -154,7 +195,7 @@ pub fn run_compiled(
             let int_args: Vec<u32> = addrs.clone();
             let counters =
                 machine.call(&program, &instance.symbol(), &int_args).map_err(HarnessError::Sim)?;
-            let output = machine.read_f32_slice(out_addr, out_len);
+            let output = machine.read_f32_slice(out_addr, out_len).map_err(HarnessError::Sim)?;
             verify_f32(&output, &expected)?;
             (output.into_iter().map(f64::from).collect(), counters)
         }
@@ -202,6 +243,28 @@ mod tests {
             let outcome = compile_and_run(&i, flow, 7).unwrap_or_else(|e| panic!("{flow:?}: {e}"));
             assert_eq!(outcome.output.len(), 32);
         }
+    }
+
+    #[test]
+    fn oversized_operands_are_rejected_cleanly() {
+        let err = place_buffers(&[TCDM_SIZE], 8).unwrap_err();
+        assert!(matches!(err, HarnessError::Placement(_)), "{err}");
+        assert!(err.to_string().contains("TCDM"), "{err}");
+    }
+
+    #[test]
+    fn placement_overflow_is_an_error_not_a_panic() {
+        let err = place_buffers(&[usize::MAX], 8).unwrap_err();
+        assert!(matches!(err, HarnessError::Placement(_)), "{err}");
+        assert!(err.to_string().contains("overflow"), "{err}");
+    }
+
+    #[test]
+    fn placement_is_back_to_back_and_aligned() {
+        let addrs = place_buffers(&[3, 4], 8).unwrap();
+        assert_eq!(addrs, vec![TCDM_BASE, TCDM_BASE + 24]);
+        let addrs = place_buffers(&[3, 4], 4).unwrap();
+        assert_eq!(addrs, vec![TCDM_BASE, TCDM_BASE + 16]);
     }
 
     #[test]

@@ -6,12 +6,19 @@
 //! harness.
 
 pub mod builders;
+pub mod difftest;
+pub mod fuzz;
 pub mod handwritten;
 pub mod harness;
 pub mod reference;
 pub mod suite;
 
+pub use difftest::{
+    difftest_instance, difftest_instance_tweaked, exec_registry, DifftestError, DifftestOutcome,
+    Divergence,
+};
+pub use fuzz::{fuzz, FuzzFailure, SplitMix64};
 pub use handwritten::{build_handwritten, run_handwritten};
 pub use harness::{compile_and_run, run_compiled, HarnessError, RunOutcome, FILL_VALUE};
-pub use reference::{reference, Scalar};
+pub use reference::{reference, reference_with, FmaMode, Scalar};
 pub use suite::{Instance, Kind, Precision, Shape};

@@ -65,14 +65,49 @@ impl Scalar for f32 {
     }
 }
 
+/// Rounding of multiply-accumulate chains in the reference.
+///
+/// The generated code computes `x * w + acc` with two roundings until
+/// the peephole pass fuses the pair into a single-rounding `fmadd`; the
+/// stage-level differential tester therefore needs both variants. For
+/// kernels without a multiply-accumulate the two are identical.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FmaMode {
+    /// Single rounding (`fmadd`), matching fully-optimized code.
+    Fused,
+    /// Separate multiply and add roundings, matching pre-fusion stages.
+    Unfused,
+}
+
 /// Computes the expected output of `instance` for `inputs` (in the
 /// argument order of [`Instance::buffer_sizes`], without the output) and
 /// the scalar argument (only used by Fill).
+///
+/// Multiply-accumulate chains round once, as `fmadd` does; see
+/// [`reference_with`] for the pre-fusion rounding.
 ///
 /// # Panics
 ///
 /// Panics if the input lengths do not match the instance shape.
 pub fn reference<T: Scalar>(instance: &Instance, inputs: &[Vec<T>], scalar: T) -> Vec<T> {
+    reference_with(instance, inputs, scalar, FmaMode::Fused)
+}
+
+/// [`reference`] with an explicit multiply-accumulate rounding mode.
+///
+/// # Panics
+///
+/// Panics if the input lengths do not match the instance shape.
+pub fn reference_with<T: Scalar>(
+    instance: &Instance,
+    inputs: &[Vec<T>],
+    scalar: T,
+    fma: FmaMode,
+) -> Vec<T> {
+    let mac = |x: T, w: T, acc: T| match fma {
+        FmaMode::Fused => x.mul_add(w, acc),
+        FmaMode::Unfused => x.mul(w).add(acc),
+    };
     let Shape { n, m, k } = instance.shape;
     let (n, m, k) = (n as usize, m as usize, k as usize);
     let sizes = instance.buffer_sizes();
@@ -93,8 +128,7 @@ pub fn reference<T: Scalar>(instance: &Instance, inputs: &[Vec<T>], scalar: T) -
                     let mut acc = T::zero();
                     for kh in 0..3 {
                         for kw in 0..3 {
-                            // fmadd: x * w + acc, single rounding.
-                            acc = x[(r + kh) * width + c + kw].mul_add(w[kh * 3 + kw], acc);
+                            acc = mac(x[(r + kh) * width + c + kw], w[kh * 3 + kw], acc);
                         }
                     }
                     out.push(acc);
@@ -134,7 +168,7 @@ pub fn reference<T: Scalar>(instance: &Instance, inputs: &[Vec<T>], scalar: T) -
                         } else {
                             b[c * k + kk]
                         };
-                        acc = a[r * k + kk].mul_add(bv, acc);
+                        acc = mac(a[r * k + kk], bv, acc);
                     }
                     out.push(acc);
                 }

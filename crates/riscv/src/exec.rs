@@ -1,0 +1,820 @@
+//! Execution semantics for the RISC-V dialects.
+//!
+//! Registers one interpreter handler per op so the stage-level
+//! differential harness can run `riscv`-level modules — structured
+//! (`rv_scf.for`, `rv_snitch.frep_outer`, `snitch_stream`) or fully
+//! lowered to basic blocks (`rv_cf`) — with semantics that mirror the
+//! simulator bit-for-bit:
+//!
+//! - Integer values are canonicalized to their 32-bit register pattern;
+//!   comparisons are signed 32-bit, exactly like the machine's branches.
+//! - FP operands of compute ops pop from armed read streams and results
+//!   push to write streams (when SSR semantics are enabled), while
+//!   `rv.fld`/`rv.fsd` and the SIMD accumulator operands bypass streams,
+//!   just as the hardware model does.
+//! - Register-to-register moves between identical physical registers are
+//!   elided exactly where the assembly emitter elides them, so no
+//!   spurious stream pops happen.
+
+use mlb_ir::{
+    Attribute, Context, ExecRegistry, Flow, InterpError, Interpreter, OpId, Type, Value, ValueId,
+};
+use mlb_isa::{SsrCfgReg, CSR_SSR, NUM_SSR_DATA_MOVERS};
+
+use crate::rv_scf::RvForOp;
+use crate::rv_snitch::FrepOp;
+use crate::snitch_stream::StreamingRegionOp;
+use crate::{rv, rv_cf, rv_func, rv_scf, rv_snitch, snitch_stream};
+
+/// Registers execution semantics for every op of this crate's dialects.
+pub fn register_exec(registry: &mut ExecRegistry) {
+    registry.register(rv_func::RET, |_, _, _, _| Ok(Flow::Return));
+    registry.register(rv::GET_REGISTER, exec_nop);
+    registry.register(rv::LI, exec_li);
+    registry.register(rv::MV, exec_move);
+    for name in rv::INT_BINARY {
+        registry.register(name, exec_int_binary);
+    }
+    for name in rv::INT_IMM {
+        registry.register(name, exec_int_imm);
+    }
+    registry.register(rv::LW, exec_lw);
+    registry.register(rv::SW, exec_sw);
+    for name in rv::FP_LOADS {
+        registry.register(name, exec_fp_load);
+    }
+    for name in rv::FP_STORES {
+        registry.register(name, exec_fp_store);
+    }
+    for name in rv::FP_BINARY {
+        registry.register(name, exec_fp_binary);
+    }
+    for name in rv::FP_TERNARY {
+        registry.register(name, exec_fmadd);
+    }
+    registry.register(rv::FMV_D, exec_move);
+    registry.register(rv::FCVT_D_W, exec_fcvt);
+    registry.register(rv::FCVT_S_W, exec_fcvt);
+    registry.register(rv::CSRRSI, exec_csr);
+    registry.register(rv::CSRRCI, exec_csr);
+    for name in rv_snitch::SIMD_BINARY {
+        registry.register(name, exec_fp_binary);
+    }
+    registry.register(rv_snitch::VFCPKA_S_S, exec_fp_binary);
+    registry.register(rv_snitch::VFMAC_S, exec_vfmac);
+    registry.register(rv_snitch::VFSUM_S, exec_vfsum);
+    registry.register(rv_snitch::SCFGWI, exec_scfgwi);
+    registry.register(rv_snitch::SSR_ENABLE, exec_ssr_toggle);
+    registry.register(rv_snitch::SSR_DISABLE, exec_ssr_toggle);
+    registry.register(rv_snitch::FREP_OUTER, exec_frep);
+    registry.register(snitch_stream::STREAMING_REGION, exec_streaming_region);
+    registry.register(snitch_stream::WRITE, exec_stream_write);
+    registry.register(rv_scf::FOR, exec_rv_for);
+    registry.register(rv_scf::YIELD, exec_nop);
+    registry.register(rv_cf::J, exec_j);
+    for name in rv_cf::CONDITIONAL_BRANCHES {
+        registry.register(name, exec_branch);
+    }
+}
+
+fn exec_nop(
+    _it: &mut Interpreter,
+    _ctx: &Context,
+    _reg: &ExecRegistry,
+    _op: OpId,
+) -> Result<Flow, InterpError> {
+    Ok(Flow::Continue)
+}
+
+/// Canonical integer-register value: the 32-bit pattern, zero-extended.
+fn canon(v: u32) -> Value {
+    Value::Int(i64::from(v))
+}
+
+fn get_u32(it: &mut Interpreter, ctx: &Context, op: OpId, v: ValueId) -> Result<u32, InterpError> {
+    let value = it.get(ctx, v).map_err(|m| InterpError::at(op, m))?;
+    Ok(value.as_int().map_err(|m| InterpError::at(op, m))? as u32)
+}
+
+fn imm_attr(ctx: &Context, op: OpId, key: &str) -> Result<i64, InterpError> {
+    ctx.op(op)
+        .attr(key)
+        .and_then(Attribute::as_int)
+        .ok_or_else(|| InterpError::at(op, format!("missing integer `{key}` attribute")))
+}
+
+/// Reads the raw bits of an FP value, bypassing stream semantics when it
+/// is pinned to a physical register — the paths the machine reads
+/// directly from the register file (`fsd`/`fsw` sources, SIMD
+/// accumulators).
+fn fp_bits_direct(
+    it: &mut Interpreter,
+    ctx: &Context,
+    op: OpId,
+    v: ValueId,
+) -> Result<u64, InterpError> {
+    match ctx.value_type(v) {
+        Type::FpRegister(Some(r)) => Ok(it.f[r.index() as usize]),
+        _ => {
+            let value = it.get(ctx, v).map_err(|m| InterpError::at(op, m))?;
+            value.as_bits().map_err(|m| InterpError::at(op, m))
+        }
+    }
+}
+
+/// Writes raw FP bits, bypassing stream semantics when the destination is
+/// pinned (the `fld`/`flw` path: loads never push to streams).
+fn set_fp_bits_direct(
+    it: &mut Interpreter,
+    ctx: &Context,
+    op: OpId,
+    v: ValueId,
+    bits: u64,
+) -> Result<(), InterpError> {
+    match ctx.value_type(v) {
+        Type::FpRegister(Some(r)) => {
+            it.f[r.index() as usize] = bits;
+            Ok(())
+        }
+        _ => it.set(ctx, v, Value::Bits(bits)).map_err(|m| InterpError::at(op, m)),
+    }
+}
+
+fn exec_li(
+    it: &mut Interpreter,
+    ctx: &Context,
+    _reg: &ExecRegistry,
+    op: OpId,
+) -> Result<Flow, InterpError> {
+    let imm = imm_attr(ctx, op, "imm")?;
+    it.set(ctx, ctx.op(op).results[0], canon(imm as u32)).map_err(|m| InterpError::at(op, m))?;
+    Ok(Flow::Continue)
+}
+
+fn exec_move(
+    it: &mut Interpreter,
+    ctx: &Context,
+    _reg: &ExecRegistry,
+    op: OpId,
+) -> Result<Flow, InterpError> {
+    let o = ctx.op(op);
+    it.bind(ctx, o.results[0], o.operands[0]).map_err(|m| InterpError::at(op, m))?;
+    Ok(Flow::Continue)
+}
+
+fn exec_int_binary(
+    it: &mut Interpreter,
+    ctx: &Context,
+    _reg: &ExecRegistry,
+    op: OpId,
+) -> Result<Flow, InterpError> {
+    let o = ctx.op(op);
+    let (lhs, rhs, result) = (o.operands[0], o.operands[1], o.results[0]);
+    let name = o.name.clone();
+    let a = get_u32(it, ctx, op, lhs)?;
+    let b = get_u32(it, ctx, op, rhs)?;
+    let value = match name.as_str() {
+        rv::ADD => a.wrapping_add(b),
+        rv::SUB => a.wrapping_sub(b),
+        rv::MUL => a.wrapping_mul(b),
+        other => return Err(InterpError::at(op, format!("unknown int op `{other}`"))),
+    };
+    it.set(ctx, result, canon(value)).map_err(|m| InterpError::at(op, m))?;
+    Ok(Flow::Continue)
+}
+
+fn exec_int_imm(
+    it: &mut Interpreter,
+    ctx: &Context,
+    _reg: &ExecRegistry,
+    op: OpId,
+) -> Result<Flow, InterpError> {
+    let o = ctx.op(op);
+    let (src, result) = (o.operands[0], o.results[0]);
+    let name = o.name.clone();
+    let a = get_u32(it, ctx, op, src)?;
+    let imm = imm_attr(ctx, op, "imm")?;
+    let value = match name.as_str() {
+        rv::ADDI => a.wrapping_add(imm as u32),
+        rv::SLLI => a.wrapping_shl(imm as u32),
+        other => return Err(InterpError::at(op, format!("unknown int-imm op `{other}`"))),
+    };
+    it.set(ctx, result, canon(value)).map_err(|m| InterpError::at(op, m))?;
+    Ok(Flow::Continue)
+}
+
+fn exec_lw(
+    it: &mut Interpreter,
+    ctx: &Context,
+    _reg: &ExecRegistry,
+    op: OpId,
+) -> Result<Flow, InterpError> {
+    let o = ctx.op(op);
+    let (base, result) = (o.operands[0], o.results[0]);
+    let addr = get_u32(it, ctx, op, base)?.wrapping_add(imm_attr(ctx, op, "imm")? as u32);
+    let bytes = it.read_bytes::<4>(addr).map_err(|m| InterpError::at(op, m))?;
+    it.set(ctx, result, canon(u32::from_le_bytes(bytes))).map_err(|m| InterpError::at(op, m))?;
+    Ok(Flow::Continue)
+}
+
+fn exec_sw(
+    it: &mut Interpreter,
+    ctx: &Context,
+    _reg: &ExecRegistry,
+    op: OpId,
+) -> Result<Flow, InterpError> {
+    let o = ctx.op(op);
+    let (value, base) = (o.operands[0], o.operands[1]);
+    let v = get_u32(it, ctx, op, value)?;
+    let addr = get_u32(it, ctx, op, base)?.wrapping_add(imm_attr(ctx, op, "imm")? as u32);
+    it.write_bytes(addr, v.to_le_bytes()).map_err(|m| InterpError::at(op, m))?;
+    Ok(Flow::Continue)
+}
+
+fn exec_fp_load(
+    it: &mut Interpreter,
+    ctx: &Context,
+    _reg: &ExecRegistry,
+    op: OpId,
+) -> Result<Flow, InterpError> {
+    let o = ctx.op(op);
+    let (base, result) = (o.operands[0], o.results[0]);
+    let name = o.name.clone();
+    let addr = get_u32(it, ctx, op, base)?.wrapping_add(imm_attr(ctx, op, "imm")? as u32);
+    let e = |m: String| InterpError::at(op, m);
+    let bits = match name.as_str() {
+        rv::FLD => u64::from_le_bytes(it.read_bytes::<8>(addr).map_err(e)?),
+        rv::FLW => {
+            u64::from(u32::from_le_bytes(it.read_bytes::<4>(addr).map_err(e)?))
+                | 0xFFFF_FFFF_0000_0000
+        }
+        other => return Err(InterpError::at(op, format!("unknown FP load `{other}`"))),
+    };
+    set_fp_bits_direct(it, ctx, op, result, bits)?;
+    Ok(Flow::Continue)
+}
+
+fn exec_fp_store(
+    it: &mut Interpreter,
+    ctx: &Context,
+    _reg: &ExecRegistry,
+    op: OpId,
+) -> Result<Flow, InterpError> {
+    let o = ctx.op(op);
+    let (value, base) = (o.operands[0], o.operands[1]);
+    let name = o.name.clone();
+    let addr = get_u32(it, ctx, op, base)?.wrapping_add(imm_attr(ctx, op, "imm")? as u32);
+    let bits = fp_bits_direct(it, ctx, op, value)?;
+    let e = |m: String| InterpError::at(op, m);
+    match name.as_str() {
+        rv::FSD => it.write_bytes(addr, bits.to_le_bytes()).map_err(e)?,
+        rv::FSW => it.write_bytes(addr, (bits as u32).to_le_bytes()).map_err(e)?,
+        other => return Err(InterpError::at(op, format!("unknown FP store `{other}`"))),
+    }
+    Ok(Flow::Continue)
+}
+
+fn s_lane0(x: u64) -> f32 {
+    f32::from_bits(x as u32)
+}
+
+fn s_lane1(x: u64) -> f32 {
+    f32::from_bits((x >> 32) as u32)
+}
+
+fn pack(lo: f32, hi: f32) -> u64 {
+    u64::from(lo.to_bits()) | (u64::from(hi.to_bits()) << 32)
+}
+
+fn scalar_s(v: f32) -> u64 {
+    u64::from(v.to_bits()) | 0xFFFF_FFFF_0000_0000
+}
+
+fn exec_fp_binary(
+    it: &mut Interpreter,
+    ctx: &Context,
+    _reg: &ExecRegistry,
+    op: OpId,
+) -> Result<Flow, InterpError> {
+    let o = ctx.op(op);
+    let (lhs, rhs, result) = (o.operands[0], o.operands[1], o.results[0]);
+    let name = o.name.clone();
+    let e = |m: String| InterpError::at(op, m);
+    let a = it.get(ctx, lhs).map_err(e)?.as_bits().map_err(e)?;
+    let b = it.get(ctx, rhs).map_err(e)?.as_bits().map_err(e)?;
+    let d = f64::from_bits;
+    let bits = match name.as_str() {
+        rv::FADD_D => (d(a) + d(b)).to_bits(),
+        rv::FSUB_D => (d(a) - d(b)).to_bits(),
+        rv::FMUL_D => (d(a) * d(b)).to_bits(),
+        rv::FDIV_D => (d(a) / d(b)).to_bits(),
+        rv::FMAX_D => d(a).max(d(b)).to_bits(),
+        rv::FADD_S => scalar_s(s_lane0(a) + s_lane0(b)),
+        rv::FSUB_S => scalar_s(s_lane0(a) - s_lane0(b)),
+        rv::FMUL_S => scalar_s(s_lane0(a) * s_lane0(b)),
+        rv::FMAX_S => scalar_s(s_lane0(a).max(s_lane0(b))),
+        rv_snitch::VFADD_S => pack(s_lane0(a) + s_lane0(b), s_lane1(a) + s_lane1(b)),
+        rv_snitch::VFMUL_S => pack(s_lane0(a) * s_lane0(b), s_lane1(a) * s_lane1(b)),
+        rv_snitch::VFMAX_S => pack(s_lane0(a).max(s_lane0(b)), s_lane1(a).max(s_lane1(b))),
+        rv_snitch::VFCPKA_S_S => pack(s_lane0(a), s_lane0(b)),
+        other => return Err(InterpError::at(op, format!("unknown FP op `{other}`"))),
+    };
+    it.set(ctx, result, Value::Bits(bits)).map_err(e)?;
+    Ok(Flow::Continue)
+}
+
+fn exec_fmadd(
+    it: &mut Interpreter,
+    ctx: &Context,
+    _reg: &ExecRegistry,
+    op: OpId,
+) -> Result<Flow, InterpError> {
+    let o = ctx.op(op);
+    let (ra, rb, rc, result) = (o.operands[0], o.operands[1], o.operands[2], o.results[0]);
+    let name = o.name.clone();
+    let e = |m: String| InterpError::at(op, m);
+    let a = it.get(ctx, ra).map_err(e)?.as_bits().map_err(e)?;
+    let b = it.get(ctx, rb).map_err(e)?.as_bits().map_err(e)?;
+    let c = it.get(ctx, rc).map_err(e)?.as_bits().map_err(e)?;
+    let bits = match name.as_str() {
+        rv::FMADD_D => f64::from_bits(a).mul_add(f64::from_bits(b), f64::from_bits(c)).to_bits(),
+        rv::FMADD_S => u64::from(
+            f32::from_bits(a as u32)
+                .mul_add(f32::from_bits(b as u32), f32::from_bits(c as u32))
+                .to_bits(),
+        ),
+        other => return Err(InterpError::at(op, format!("unknown fmadd `{other}`"))),
+    };
+    it.set(ctx, result, Value::Bits(bits)).map_err(e)?;
+    Ok(Flow::Continue)
+}
+
+fn exec_vfmac(
+    it: &mut Interpreter,
+    ctx: &Context,
+    _reg: &ExecRegistry,
+    op: OpId,
+) -> Result<Flow, InterpError> {
+    let o = ctx.op(op);
+    let (rs1, rs2, rd_in, result) = (o.operands[0], o.operands[1], o.operands[2], o.results[0]);
+    let e = |m: String| InterpError::at(op, m);
+    let a = it.get(ctx, rs1).map_err(e)?.as_bits().map_err(e)?;
+    let b = it.get(ctx, rs2).map_err(e)?.as_bits().map_err(e)?;
+    // The accumulator is the destination register: the machine reads it
+    // directly from the register file, never from a stream.
+    let acc = fp_bits_direct(it, ctx, op, rd_in)?;
+    let lo = s_lane0(a).mul_add(s_lane0(b), s_lane0(acc));
+    let hi = s_lane1(a).mul_add(s_lane1(b), s_lane1(acc));
+    it.set(ctx, result, Value::Bits(pack(lo, hi))).map_err(e)?;
+    Ok(Flow::Continue)
+}
+
+fn exec_vfsum(
+    it: &mut Interpreter,
+    ctx: &Context,
+    _reg: &ExecRegistry,
+    op: OpId,
+) -> Result<Flow, InterpError> {
+    let o = ctx.op(op);
+    let (rs1, rd_in, result) = (o.operands[0], o.operands[1], o.results[0]);
+    let e = |m: String| InterpError::at(op, m);
+    let a = it.get(ctx, rs1).map_err(e)?.as_bits().map_err(e)?;
+    let acc = fp_bits_direct(it, ctx, op, rd_in)?;
+    let sum = s_lane0(acc) + s_lane0(a) + s_lane1(a);
+    let bits = (acc & 0xFFFF_FFFF_0000_0000) | u64::from(sum.to_bits());
+    it.set(ctx, result, Value::Bits(bits)).map_err(e)?;
+    Ok(Flow::Continue)
+}
+
+fn exec_fcvt(
+    it: &mut Interpreter,
+    ctx: &Context,
+    _reg: &ExecRegistry,
+    op: OpId,
+) -> Result<Flow, InterpError> {
+    let o = ctx.op(op);
+    let (src, result) = (o.operands[0], o.results[0]);
+    let name = o.name.clone();
+    let v = get_u32(it, ctx, op, src)? as i32;
+    let bits = match name.as_str() {
+        rv::FCVT_D_W => f64::from(v).to_bits(),
+        rv::FCVT_S_W => u64::from((v as f32).to_bits()) | 0xFFFF_FFFF_0000_0000,
+        other => return Err(InterpError::at(op, format!("unknown fcvt `{other}`"))),
+    };
+    it.set(ctx, result, Value::Bits(bits)).map_err(|m| InterpError::at(op, m))?;
+    Ok(Flow::Continue)
+}
+
+fn exec_csr(
+    it: &mut Interpreter,
+    ctx: &Context,
+    _reg: &ExecRegistry,
+    op: OpId,
+) -> Result<Flow, InterpError> {
+    let csr = imm_attr(ctx, op, "csr")?;
+    let imm = imm_attr(ctx, op, "imm")?;
+    if csr == i64::from(CSR_SSR) && imm & 1 == 1 {
+        it.ssr_enabled = ctx.op(op).name == rv::CSRRSI;
+    }
+    Ok(Flow::Continue)
+}
+
+fn exec_scfgwi(
+    it: &mut Interpreter,
+    ctx: &Context,
+    _reg: &ExecRegistry,
+    op: OpId,
+) -> Result<Flow, InterpError> {
+    let value = get_u32(it, ctx, op, ctx.op(op).operands[0])?;
+    let imm = imm_attr(ctx, op, "imm")?;
+    let (reg, dm) = SsrCfgReg::from_scfg_imm(imm as u16)
+        .ok_or_else(|| InterpError::at(op, format!("invalid scfgwi immediate {imm}")))?;
+    it.movers[dm.index() as usize].configure(reg, value);
+    Ok(Flow::Continue)
+}
+
+fn exec_ssr_toggle(
+    it: &mut Interpreter,
+    ctx: &Context,
+    _reg: &ExecRegistry,
+    op: OpId,
+) -> Result<Flow, InterpError> {
+    it.ssr_enabled = ctx.op(op).name == rv_snitch::SSR_ENABLE;
+    Ok(Flow::Continue)
+}
+
+/// Runs the non-terminator body ops of a structured loop iteration.
+fn run_body_ops(
+    it: &mut Interpreter,
+    ctx: &Context,
+    reg: &ExecRegistry,
+    op: OpId,
+    body_ops: &[OpId],
+) -> Result<(), InterpError> {
+    for &body_op in body_ops {
+        match reg.run_op(it, ctx, body_op)? {
+            Flow::Continue => {}
+            other => {
+                return Err(InterpError::at(op, format!("unexpected {other:?} in a loop body")))
+            }
+        }
+    }
+    Ok(())
+}
+
+fn exec_frep(
+    it: &mut Interpreter,
+    ctx: &Context,
+    reg: &ExecRegistry,
+    op: OpId,
+) -> Result<Flow, InterpError> {
+    let f =
+        FrepOp::new(ctx, op).ok_or_else(|| InterpError::at(op, "not an rv_snitch.frep_outer"))?;
+    let e = |m: String| InterpError::at(op, m);
+    // The machine executes the body `x(rs1) + 1` times; the lowering
+    // materializes `count = iterations - 1` accordingly.
+    let reps = u64::from(get_u32(it, ctx, op, f.count(ctx))?) + 1;
+    let args = f.iter_args(ctx).to_vec();
+    let inits = f.iter_inits(ctx).to_vec();
+    for (&arg, &init) in args.iter().zip(&inits) {
+        it.bind(ctx, arg, init).map_err(e)?;
+    }
+    let body = f.body(ctx);
+    let term = f.yield_op(ctx);
+    let body_ops: Vec<OpId> = ctx.block_ops(body).iter().copied().filter(|&o| o != term).collect();
+    let yields = ctx.op(term).operands.clone();
+    for _ in 0..reps {
+        run_body_ops(it, ctx, reg, op, &body_ops)?;
+        for (&arg, &y) in args.iter().zip(&yields) {
+            it.bind(ctx, arg, y).map_err(e)?;
+        }
+    }
+    for (&res, &arg) in ctx.op(op).results.to_vec().iter().zip(&args) {
+        it.bind(ctx, res, arg).map_err(e)?;
+    }
+    Ok(Flow::Continue)
+}
+
+/// Evaluates a structured-loop bound the way the control-flow lowering
+/// does: bounds with constant defining ops fold to their immediate (the
+/// register allocator may clobber their registers before the loop runs);
+/// only genuinely dynamic bounds are read from the live value.
+fn loop_bound(
+    it: &mut Interpreter,
+    ctx: &Context,
+    op: OpId,
+    v: mlb_ir::ValueId,
+) -> Result<i32, InterpError> {
+    if let Some(c) = crate::rv::constant_int_value(ctx, v) {
+        return Ok(c as u32 as i32);
+    }
+    Ok(get_u32(it, ctx, op, v)? as i32)
+}
+
+fn exec_rv_for(
+    it: &mut Interpreter,
+    ctx: &Context,
+    reg: &ExecRegistry,
+    op: OpId,
+) -> Result<Flow, InterpError> {
+    let f = RvForOp::new(ctx, op).ok_or_else(|| InterpError::at(op, "not an rv_scf.for"))?;
+    let e = |m: String| InterpError::at(op, m);
+    // Loop comparisons lower to `blt`, which the machine evaluates on
+    // signed 32-bit register contents.
+    let lb = loop_bound(it, ctx, op, f.lower_bound(ctx))?;
+    let ub = loop_bound(it, ctx, op, f.upper_bound(ctx))?;
+    let step = loop_bound(it, ctx, op, f.step(ctx))?;
+    if step <= 0 {
+        return Err(InterpError::at(op, format!("non-positive loop step {step}")));
+    }
+    let args = f.iter_args(ctx).to_vec();
+    let inits = f.iter_inits(ctx).to_vec();
+    for (&arg, &init) in args.iter().zip(&inits) {
+        it.bind(ctx, arg, init).map_err(e)?;
+    }
+    let body = f.body(ctx);
+    let term = f.yield_op(ctx);
+    let body_ops: Vec<OpId> = ctx.block_ops(body).iter().copied().filter(|&o| o != term).collect();
+    let yields = ctx.op(term).operands.clone();
+    let iv = f.induction_var(ctx);
+    let mut i = lb;
+    while i < ub {
+        it.set(ctx, iv, canon(i as u32)).map_err(e)?;
+        run_body_ops(it, ctx, reg, op, &body_ops)?;
+        for (&arg, &y) in args.iter().zip(&yields) {
+            it.bind(ctx, arg, y).map_err(e)?;
+        }
+        i = i.wrapping_add(step);
+    }
+    for (&res, &arg) in ctx.op(op).results.to_vec().iter().zip(&args) {
+        it.bind(ctx, res, arg).map_err(e)?;
+    }
+    Ok(Flow::Continue)
+}
+
+fn exec_streaming_region(
+    it: &mut Interpreter,
+    ctx: &Context,
+    reg: &ExecRegistry,
+    op: OpId,
+) -> Result<Flow, InterpError> {
+    let sr = StreamingRegionOp::new(ctx, op)
+        .ok_or_else(|| InterpError::at(op, "not a snitch_stream.streaming_region"))?;
+    let num_inputs = sr.num_inputs(ctx);
+    let patterns: Vec<_> = ctx
+        .op(op)
+        .attr(snitch_stream::PATTERNS)
+        .and_then(Attribute::as_array)
+        .ok_or_else(|| InterpError::at(op, "streaming_region is missing `patterns`"))?
+        .iter()
+        .map(|a| {
+            a.as_stream_pattern()
+                .cloned()
+                .ok_or_else(|| InterpError::at(op, "`patterns` entry is not a stream pattern"))
+        })
+        .collect::<Result<_, _>>()?;
+    if patterns.len() > NUM_SSR_DATA_MOVERS {
+        return Err(InterpError::at(op, "more streams than data movers"));
+    }
+    let base_ptrs = sr.base_pointers(ctx).to_vec();
+    for (dm, (pattern, &ptr)) in patterns.iter().zip(&base_ptrs).enumerate() {
+        let base = get_u32(it, ctx, op, ptr)?;
+        let rank = pattern.ub.len();
+        for (d, (&ub, &stride)) in pattern.ub.iter().zip(&pattern.strides).enumerate() {
+            it.movers[dm].configure(SsrCfgReg::Bound(d as u8), ub as u32 - 1);
+            it.movers[dm].configure(SsrCfgReg::Stride(d as u8), stride as u32);
+        }
+        it.movers[dm].configure(SsrCfgReg::Repeat, pattern.repeat as u32);
+        let ptr_reg = if dm < num_inputs {
+            SsrCfgReg::RPtr(rank as u8 - 1)
+        } else {
+            SsrCfgReg::WPtr(rank as u8 - 1)
+        };
+        it.movers[dm].configure(ptr_reg, base);
+    }
+    // Body arguments are pinned to `ft0..`; reads route through the armed
+    // movers automatically, so there is nothing to bind.
+    it.ssr_enabled = true;
+    let flow = reg.run_block(it, ctx, sr.body(ctx))?;
+    it.ssr_enabled = false;
+    match flow {
+        Flow::Continue => Ok(Flow::Continue),
+        other => Err(InterpError::at(op, format!("unexpected {other:?} in a streaming region"))),
+    }
+}
+
+fn exec_stream_write(
+    it: &mut Interpreter,
+    ctx: &Context,
+    _reg: &ExecRegistry,
+    op: OpId,
+) -> Result<Flow, InterpError> {
+    let o = ctx.op(op);
+    // `snitch_stream.write value -> stream` emits `fmv.d stream, value`,
+    // elided when both are the same register.
+    it.bind(ctx, o.operands[1], o.operands[0]).map_err(|m| InterpError::at(op, m))?;
+    Ok(Flow::Continue)
+}
+
+fn exec_j(
+    _it: &mut Interpreter,
+    ctx: &Context,
+    _reg: &ExecRegistry,
+    op: OpId,
+) -> Result<Flow, InterpError> {
+    Ok(Flow::Branch(ctx.op(op).successors[0]))
+}
+
+fn exec_branch(
+    it: &mut Interpreter,
+    ctx: &Context,
+    _reg: &ExecRegistry,
+    op: OpId,
+) -> Result<Flow, InterpError> {
+    let o = ctx.op(op);
+    let (lhs, rhs) = (o.operands[0], o.operands[1]);
+    let name = o.name.clone();
+    let a = get_u32(it, ctx, op, lhs)? as i32;
+    let b = get_u32(it, ctx, op, rhs)? as i32;
+    let taken = match name.as_str() {
+        rv_cf::BLT => a < b,
+        rv_cf::BGE => a >= b,
+        rv_cf::BNE => a != b,
+        rv_cf::BEQ => a == b,
+        other => return Err(InterpError::at(op, format!("unknown branch `{other}`"))),
+    };
+    let successors = &ctx.op(op).successors;
+    Ok(Flow::Branch(successors[if taken { 0 } else { 1 }]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlb_ir::{OpSpec, StreamPattern};
+    use mlb_isa::{FpReg, IntReg, TCDM_BASE};
+
+    fn setup() -> (Context, ExecRegistry, mlb_ir::BlockId) {
+        let mut ctx = Context::new();
+        let mut reg = ExecRegistry::new();
+        register_exec(&mut reg);
+        let m = ctx.create_detached_op(OpSpec::new("test.wrap").regions(1));
+        let b = ctx.create_block(ctx.op(m).regions[0], vec![]);
+        (ctx, reg, b)
+    }
+
+    #[test]
+    fn integer_and_fp_round_trip() {
+        let (mut ctx, reg, b) = setup();
+        let base = rv::li(&mut ctx, b, TCDM_BASE as i64);
+        let off = rv::int_imm(&mut ctx, b, rv::ADDI, base, 8);
+        let a = rv::fp_load(&mut ctx, b, rv::FLD, base, 0);
+        let sum = rv::fp_binary(&mut ctx, b, rv::FADD_D, a, a);
+        rv::fp_store(&mut ctx, b, rv::FSD, sum, off, 0);
+        let mut it = Interpreter::new();
+        it.write_f64_slice(TCDM_BASE, &[21.0, 0.0]).unwrap();
+        assert_eq!(reg.run_block(&mut it, &ctx, b).unwrap(), Flow::Continue);
+        assert_eq!(it.read_f64(TCDM_BASE + 8).unwrap(), 42.0);
+    }
+
+    #[test]
+    fn negative_immediates_wrap_like_the_machine() {
+        let (mut ctx, reg, b) = setup();
+        let x = rv::li(&mut ctx, b, 5);
+        let y = rv::int_imm(&mut ctx, b, rv::ADDI, x, -7);
+        let z = rv::int_binary(&mut ctx, b, rv::SUB, x, y);
+        let mut it = Interpreter::new();
+        reg.run_block(&mut it, &ctx, b).unwrap();
+        let vy = it.get(&ctx, y).unwrap().as_int().unwrap();
+        let vz = it.get(&ctx, z).unwrap().as_int().unwrap();
+        assert_eq!(vy as u32, (-2i32) as u32);
+        assert_eq!(vz, 7);
+    }
+
+    #[test]
+    fn frep_repeats_count_plus_one_times() {
+        let (mut ctx, reg, b) = setup();
+        let count = rv::li(&mut ctx, b, 2);
+        let base = rv::li(&mut ctx, b, TCDM_BASE as i64);
+        let x = rv::fp_load(&mut ctx, b, rv::FLD, base, 0);
+        let acc = rv::fp_load(&mut ctx, b, rv::FLD, base, 8);
+        let f = rv_snitch::build_frep(&mut ctx, b, count, vec![acc], |ctx, body, args| {
+            vec![rv::fp_binary(ctx, body, rv::FADD_D, args[0], x)]
+        });
+        let total = ctx.op(f.0).results[0];
+        rv::fp_store(&mut ctx, b, rv::FSD, total, base, 16);
+        let mut it = Interpreter::new();
+        it.write_f64_slice(TCDM_BASE, &[1.5, 10.0, 0.0]).unwrap();
+        reg.run_block(&mut it, &ctx, b).unwrap();
+        // count = 2 -> 3 iterations, 10 + 3 * 1.5.
+        assert_eq!(it.read_f64(TCDM_BASE + 16).unwrap(), 14.5);
+    }
+
+    #[test]
+    fn rv_loop_uses_signed_32_bit_compare() {
+        let (mut ctx, reg, b) = setup();
+        let lb = rv::li(&mut ctx, b, -2);
+        let ub = rv::li(&mut ctx, b, 2);
+        let step = rv::li(&mut ctx, b, 1);
+        let zero = rv::li(&mut ctx, b, 0);
+        let f = rv_scf::build_for(&mut ctx, b, lb, ub, step, vec![zero], |ctx, body, _iv, args| {
+            vec![rv::int_imm(ctx, body, rv::ADDI, args[0], 1)]
+        });
+        let n = ctx.op(f.0).results[0];
+        let mut it = Interpreter::new();
+        reg.run_block(&mut it, &ctx, b).unwrap();
+        // -2..2 runs 4 iterations; an unsigned compare would run none.
+        assert_eq!(it.get(&ctx, n).unwrap().as_int().unwrap(), 4);
+    }
+
+    #[test]
+    fn streaming_region_arms_movers_and_streams() {
+        let (mut ctx, reg, b) = setup();
+        let x_ptr = rv::li(&mut ctx, b, TCDM_BASE as i64);
+        let z_ptr = rv::li(&mut ctx, b, (TCDM_BASE + 64) as i64);
+        // `fadd.d ftX, ft0, ft0` pops the read stream twice per
+        // iteration, so count = 1 (two iterations) consumes exactly the
+        // four streamed elements, pairwise.
+        let count = rv::li(&mut ctx, b, 1);
+        let pattern = StreamPattern::from_logical(vec![4], vec![8], 0);
+        snitch_stream::build_streaming_region(
+            &mut ctx,
+            b,
+            vec![x_ptr],
+            vec![z_ptr],
+            vec![pattern.clone(), pattern],
+            |ctx, body, streams| {
+                rv_snitch::build_frep(ctx, body, count, vec![], |ctx, inner, _| {
+                    let doubled = rv::fp_binary(ctx, inner, rv::FADD_D, streams[0], streams[0]);
+                    snitch_stream::build_write(ctx, inner, doubled, streams[1]);
+                    vec![]
+                });
+            },
+        );
+        let mut it = Interpreter::new();
+        it.write_f64_slice(TCDM_BASE, &[1.0, 2.0, 3.0, 4.0]).unwrap();
+        reg.run_block(&mut it, &ctx, b).unwrap();
+        let out = it.read_f64_slice(TCDM_BASE + 64, 2).unwrap();
+        assert_eq!(out, vec![3.0, 7.0]);
+        assert!(!it.ssr_enabled);
+    }
+
+    #[test]
+    fn stream_write_to_same_register_is_elided() {
+        let (mut ctx, reg, b) = setup();
+        let ft1 = Type::FpRegister(Some(FpReg::ft(1)));
+        let a = ctx.append_op(b, OpSpec::new(rv::GET_REGISTER).results(vec![ft1.clone()]));
+        let av = ctx.op(a).results[0];
+        let w = ctx.append_op(b, OpSpec::new(snitch_stream::WRITE).operands(vec![av, av]));
+        let mut it = Interpreter::new();
+        it.f[1] = 4.0f64.to_bits();
+        reg.run_op(&mut it, &ctx, a).unwrap();
+        reg.run_op(&mut it, &ctx, w).unwrap();
+        assert_eq!(it.f[1], 4.0f64.to_bits());
+    }
+
+    #[test]
+    fn branches_follow_machine_conditions() {
+        let (mut ctx, reg, _b) = setup();
+        let m = ctx.create_detached_op(OpSpec::new("test.wrap").regions(1));
+        let region = ctx.op(m).regions[0];
+        let entry = ctx.create_block(region, vec![]);
+        let body = ctx.create_block(region, vec![]);
+        let exit = ctx.create_block(region, vec![]);
+        // i starts at 0; loop stores i to TCDM_BASE + 4*i and increments
+        // until i == 3.
+        let zero = rv::li(&mut ctx, entry, 0);
+        let a1 = ctx.append_op(
+            entry,
+            OpSpec::new(rv::MV)
+                .operands(vec![zero])
+                .results(vec![Type::IntRegister(Some(IntReg::a(1)))]),
+        );
+        let i_reg = ctx.op(a1).results[0];
+        rv_cf::build_j(&mut ctx, entry, body);
+        let base = rv::li(&mut ctx, body, TCDM_BASE as i64);
+        let four = rv::li(&mut ctx, body, 4);
+        let off = rv::int_binary(&mut ctx, body, rv::MUL, i_reg, four);
+        let addr = rv::int_binary(&mut ctx, body, rv::ADD, base, off);
+        ctx.append_op(
+            body,
+            OpSpec::new(rv::SW).operands(vec![i_reg, addr]).attr("imm", Attribute::Int(0)),
+        );
+        let inc = rv::int_imm(&mut ctx, body, rv::ADDI, i_reg, 1);
+        let upd = ctx.append_op(
+            body,
+            OpSpec::new(rv::MV)
+                .operands(vec![inc])
+                .results(vec![Type::IntRegister(Some(IntReg::a(1)))]),
+        );
+        let _ = upd;
+        let limit = rv::li(&mut ctx, body, 3);
+        rv_cf::build_branch(&mut ctx, body, rv_cf::BLT, i_reg, limit, body, exit);
+        ctx.append_op(exit, OpSpec::new(rv_func::RET));
+        let mut it = Interpreter::new();
+        reg.run_cfg(&mut it, &ctx, region).unwrap();
+        let words: Vec<u32> = (0..3)
+            .map(|k| u32::from_le_bytes(it.read_bytes::<4>(TCDM_BASE + 4 * k).unwrap()))
+            .collect();
+        assert_eq!(words, vec![0, 1, 2]);
+    }
+}

@@ -18,6 +18,7 @@
 //! | [`snitch_stream`] | hardware-level streaming regions |
 
 pub mod emit;
+pub mod exec;
 pub mod rv;
 pub mod rv_cf;
 pub mod rv_func;
@@ -38,6 +39,7 @@ pub fn register_all(registry: &mut DialectRegistry) {
 }
 
 pub use emit::{emit_module, EmitError};
+pub use exec::register_exec;
 
 #[cfg(test)]
 mod tests {

@@ -24,9 +24,9 @@
 //!     "double:\n    fld ft0, (a0)\n    fadd.d ft1, ft0, ft0\n    fsd ft1, 8(a0)\n    ret\n",
 //! )?;
 //! let mut machine = Machine::new();
-//! machine.write_f64_slice(TCDM_BASE, &[21.0, 0.0]);
+//! machine.write_f64_slice(TCDM_BASE, &[21.0, 0.0])?;
 //! let counters = machine.call(&program, "double", &[TCDM_BASE])?;
-//! assert_eq!(machine.read_f64_slice(TCDM_BASE + 8, 1), vec![42.0]);
+//! assert_eq!(machine.read_f64_slice(TCDM_BASE + 8, 1)?, vec![42.0]);
 //! assert_eq!(counters.flops, 1);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```

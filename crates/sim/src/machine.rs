@@ -210,50 +210,79 @@ impl Machine {
             .map_err(|m| SimError { pc: None, message: m })
     }
 
+    /// Computes `addr + index * stride` for a slice element, rejecting
+    /// address-space overflow instead of wrapping.
+    fn slice_addr(addr: u32, index: usize, stride: usize) -> Result<u32, SimError> {
+        let offset = (index as u64).checked_mul(stride as u64);
+        offset
+            .and_then(|o| (addr as u64).checked_add(o))
+            .and_then(|a| u32::try_from(a).ok())
+            .ok_or_else(|| SimError {
+                pc: None,
+                message: format!(
+                    "address overflow accessing element {index} of a slice at {addr:#x}"
+                ),
+            })
+    }
+
     /// Writes an `f64` slice into TCDM at `addr`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the destination range is outside the TCDM.
-    pub fn write_f64_slice(&mut self, addr: u32, values: &[f64]) {
+    /// Returns a [`SimError`] if the destination range overflows or lies
+    /// outside the TCDM.
+    pub fn write_f64_slice(&mut self, addr: u32, values: &[f64]) -> Result<(), SimError> {
         for (i, v) in values.iter().enumerate() {
-            self.write_bytes(addr + (i * 8) as u32, &v.to_le_bytes()).expect("TCDM write");
+            let a = Self::slice_addr(addr, i, 8)?;
+            self.write_bytes(a, &v.to_le_bytes()).map_err(|m| SimError { pc: None, message: m })?;
         }
+        Ok(())
     }
 
     /// Reads an `f64` slice from TCDM at `addr`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the source range is outside the TCDM.
-    pub fn read_f64_slice(&self, addr: u32, len: usize) -> Vec<f64> {
+    /// Returns a [`SimError`] if the source range overflows or lies
+    /// outside the TCDM.
+    pub fn read_f64_slice(&self, addr: u32, len: usize) -> Result<Vec<f64>, SimError> {
         (0..len)
             .map(|i| {
-                f64::from_le_bytes(self.read_bytes::<8>(addr + (i * 8) as u32).expect("TCDM read"))
+                let a = Self::slice_addr(addr, i, 8)?;
+                self.read_bytes::<8>(a)
+                    .map(f64::from_le_bytes)
+                    .map_err(|m| SimError { pc: None, message: m })
             })
             .collect()
     }
 
     /// Writes an `f32` slice into TCDM at `addr`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the destination range is outside the TCDM.
-    pub fn write_f32_slice(&mut self, addr: u32, values: &[f32]) {
+    /// Returns a [`SimError`] if the destination range overflows or lies
+    /// outside the TCDM.
+    pub fn write_f32_slice(&mut self, addr: u32, values: &[f32]) -> Result<(), SimError> {
         for (i, v) in values.iter().enumerate() {
-            self.write_bytes(addr + (i * 4) as u32, &v.to_le_bytes()).expect("TCDM write");
+            let a = Self::slice_addr(addr, i, 4)?;
+            self.write_bytes(a, &v.to_le_bytes()).map_err(|m| SimError { pc: None, message: m })?;
         }
+        Ok(())
     }
 
     /// Reads an `f32` slice from TCDM at `addr`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the source range is outside the TCDM.
-    pub fn read_f32_slice(&self, addr: u32, len: usize) -> Vec<f32> {
+    /// Returns a [`SimError`] if the source range overflows or lies
+    /// outside the TCDM.
+    pub fn read_f32_slice(&self, addr: u32, len: usize) -> Result<Vec<f32>, SimError> {
         (0..len)
             .map(|i| {
-                f32::from_le_bytes(self.read_bytes::<4>(addr + (i * 4) as u32).expect("TCDM read"))
+                let a = Self::slice_addr(addr, i, 4)?;
+                self.read_bytes::<4>(a)
+                    .map(f32::from_le_bytes)
+                    .map_err(|m| SimError { pc: None, message: m })
             })
             .collect()
     }
@@ -820,9 +849,9 @@ f:
     ret
 ";
         let (m, c) = run(src, "f", &[TCDM_BASE], |m| {
-            m.write_f64_slice(TCDM_BASE, &[3.0, 4.0, 0.0]);
+            m.write_f64_slice(TCDM_BASE, &[3.0, 4.0, 0.0]).unwrap();
         });
-        assert_eq!(m.read_f64_slice(TCDM_BASE + 16, 1), vec![15.0]);
+        assert_eq!(m.read_f64_slice(TCDM_BASE + 16, 1).unwrap(), vec![15.0]);
         assert_eq!(c.fp_loads, 2);
         assert_eq!(c.fp_stores, 1);
         assert_eq!(c.flops, 2);
@@ -851,9 +880,9 @@ loop:
         let data: Vec<f64> = (1..=8).map(f64::from).collect();
         let out = TCDM_BASE + 1024;
         let (m, c) = run(src, "sum", &[TCDM_BASE, out], |m| {
-            m.write_f64_slice(TCDM_BASE, &data);
+            m.write_f64_slice(TCDM_BASE, &data).unwrap();
         });
-        assert_eq!(m.read_f64_slice(out, 1), vec![36.0]);
+        assert_eq!(m.read_f64_slice(out, 1).unwrap(), vec![36.0]);
         assert_eq!(c.fp_loads, 9);
         assert_eq!(c.taken_branches, 7);
     }
@@ -871,10 +900,10 @@ f:
     ret
 ";
         let (m, c) = run(src, "f", &[TCDM_BASE], |m| {
-            m.write_f64_slice(TCDM_BASE, &[0.0, 2.0, 0.0]);
+            m.write_f64_slice(TCDM_BASE, &[0.0, 2.0, 0.0]).unwrap();
         });
         // 10 iterations of ft3 += 2.0.
-        assert_eq!(m.read_f64_slice(TCDM_BASE + 16, 1), vec![20.0]);
+        assert_eq!(m.read_f64_slice(TCDM_BASE + 16, 1).unwrap(), vec![20.0]);
         assert_eq!(c.frep, 1);
         assert_eq!(c.flops, 10);
     }
@@ -939,10 +968,10 @@ vecadd:
             z = z,
         );
         let (m, c) = run(&src, "vecadd", &[], |m| {
-            m.write_f64_slice(x, &[1.0, 2.0, 3.0, 4.0]);
-            m.write_f64_slice(y, &[10.0, 20.0, 30.0, 40.0]);
+            m.write_f64_slice(x, &[1.0, 2.0, 3.0, 4.0]).unwrap();
+            m.write_f64_slice(y, &[10.0, 20.0, 30.0, 40.0]).unwrap();
         });
-        assert_eq!(m.read_f64_slice(z, 4), vec![11.0, 22.0, 33.0, 44.0]);
+        assert_eq!(m.read_f64_slice(z, 4).unwrap(), vec![11.0, 22.0, 33.0, 44.0]);
         assert_eq!(c.ssr_reads, 8);
         assert_eq!(c.ssr_writes, 4);
         assert_eq!(c.fp_loads, 0);
@@ -991,14 +1020,14 @@ f:
     ret
 ";
         let (m, _c) = run(src, "f", &[TCDM_BASE], |m| {
-            m.write_f32_slice(TCDM_BASE, &[1.0, 2.0, 10.0, 20.0]);
+            m.write_f32_slice(TCDM_BASE, &[1.0, 2.0, 10.0, 20.0]).unwrap();
             // Zero the accumulators' storage.
-            m.write_f64_slice(TCDM_BASE + 16, &[0.0, 0.0]);
+            m.write_f64_slice(TCDM_BASE + 16, &[0.0, 0.0]).unwrap();
         });
-        assert_eq!(m.read_f32_slice(TCDM_BASE + 16, 2), vec![11.0, 22.0]);
+        assert_eq!(m.read_f32_slice(TCDM_BASE + 16, 2).unwrap(), vec![11.0, 22.0]);
         // vfmac into zeroed ft6: lanes = [10, 40]; vfsum into zeroed ft7:
         // lane0 = 50.
-        assert_eq!(m.read_f32_slice(TCDM_BASE + 24, 1), vec![50.0]);
+        assert_eq!(m.read_f32_slice(TCDM_BASE + 24, 1).unwrap(), vec![50.0]);
     }
 
     #[test]
@@ -1041,7 +1070,7 @@ f:
         let prog = assemble(src).unwrap();
         let mut m = Machine::new();
         m.enable_trace();
-        m.write_f64_slice(TCDM_BASE, &[3.0, 4.0, 0.0]);
+        m.write_f64_slice(TCDM_BASE, &[3.0, 4.0, 0.0]).unwrap();
         let c = m.call(&prog, "f", &[TCDM_BASE]).unwrap();
         let trace = m.trace().unwrap();
         assert_eq!(trace.len() as u64, c.instructions);
@@ -1110,7 +1139,7 @@ f:
         // 4 fadds each pop ft0 twice: 8 reads from mover 0.
         let prog = assemble(&src).unwrap();
         let mut m = Machine::new();
-        m.write_f64_slice(TCDM_BASE, &[1.0; 8]);
+        m.write_f64_slice(TCDM_BASE, &[1.0; 8]).unwrap();
         let c = m.call(&prog, "f", &[]).unwrap();
         let pops = m.ssr_pop_counts();
         let total_reads: u64 = pops.iter().map(|&(r, _)| r).sum();

@@ -218,4 +218,84 @@ mod tests {
         assert!(!m.is_active());
         assert!(m.next_addr(SsrDirection::Read).is_err());
     }
+
+    #[test]
+    fn zero_bound_streams_a_single_element() {
+        // `bounds[d]` is iterations - 1: a zero bound is one element,
+        // not an empty stream.
+        let mut m = mover_1d(1, 8, 0, 256);
+        assert_eq!(m.next_addr(SsrDirection::Read).unwrap(), 256);
+        assert!(m.next_addr(SsrDirection::Read).is_err());
+    }
+
+    #[test]
+    fn negative_stride_walks_downward() {
+        let mut m = mover_1d(3, -8, 0, 1016);
+        let addrs: Vec<u32> = (0..3).map(|_| m.next_addr(SsrDirection::Read).unwrap()).collect();
+        assert_eq!(addrs, vec![1016, 1008, 1000]);
+        assert!(m.next_addr(SsrDirection::Read).is_err());
+    }
+
+    #[test]
+    fn repeat_survives_into_later_dimensions() {
+        // Repeat applies at every dimension step, not just within the
+        // innermost dimension's first element.
+        let mut m = DataMover::default();
+        m.configure(SsrCfgReg::Bound(0), 1); // 2 iterations
+        m.configure(SsrCfgReg::Bound(1), 1); // 2 iterations
+        m.configure(SsrCfgReg::Stride(0), 8);
+        m.configure(SsrCfgReg::Stride(1), 64);
+        m.configure(SsrCfgReg::Repeat, 1);
+        m.configure(SsrCfgReg::RPtr(1), 0);
+        let addrs: Vec<u32> = (0..8).map(|_| m.next_addr(SsrDirection::Read).unwrap()).collect();
+        // Strides are relative increments applied on each wrap, so the
+        // second row starts at 8 + 64, not at 64.
+        assert_eq!(addrs, vec![0, 0, 8, 8, 72, 72, 80, 80]);
+        assert!(m.next_addr(SsrDirection::Read).is_err());
+    }
+
+    #[test]
+    fn re_arming_while_active_restarts_with_the_new_configuration() {
+        let mut m = mover_1d(4, 8, 0, 0);
+        assert_eq!(m.next_addr(SsrDirection::Read).unwrap(), 0);
+        assert_eq!(m.next_addr(SsrDirection::Read).unwrap(), 8);
+        // Re-arm mid-stream with a new base and direction: the old job's
+        // progress is discarded entirely.
+        m.configure(SsrCfgReg::WPtr(0), 512);
+        assert_eq!(m.direction(), Some(SsrDirection::Write));
+        let addrs: Vec<u32> = (0..4).map(|_| m.next_addr(SsrDirection::Write).unwrap()).collect();
+        assert_eq!(addrs, vec![512, 520, 528, 536]);
+        assert!(m.next_addr(SsrDirection::Write).is_err());
+    }
+
+    #[test]
+    fn configuration_writes_after_arming_do_not_affect_the_running_job() {
+        // The job snapshots bounds/strides/repeat when armed, as the
+        // hardware latches them; reprogramming only affects the next arm.
+        let mut m = mover_1d(4, 8, 0, 0);
+        assert_eq!(m.next_addr(SsrDirection::Read).unwrap(), 0);
+        m.configure(SsrCfgReg::Bound(0), 0);
+        m.configure(SsrCfgReg::Stride(0), 1000);
+        m.configure(SsrCfgReg::Repeat, 7);
+        let rest: Vec<u32> = (0..3).map(|_| m.next_addr(SsrDirection::Read).unwrap()).collect();
+        assert_eq!(rest, vec![8, 16, 24]);
+        assert!(m.next_addr(SsrDirection::Read).is_err());
+        // The next arm picks up the reprogrammed single-element loop.
+        m.configure(SsrCfgReg::RPtr(0), 64);
+        let repeated: Vec<u32> = (0..8).map(|_| m.next_addr(SsrDirection::Read).unwrap()).collect();
+        assert_eq!(repeated, vec![64; 8]);
+        assert!(m.next_addr(SsrDirection::Read).is_err());
+    }
+
+    #[test]
+    fn status_write_clears_a_job_mid_stream() {
+        let mut m = mover_1d(8, 8, 0, 0);
+        assert_eq!(m.next_addr(SsrDirection::Read).unwrap(), 0);
+        assert_eq!(m.next_addr(SsrDirection::Read).unwrap(), 8);
+        m.configure(SsrCfgReg::Status, 0);
+        assert!(!m.is_active());
+        assert!(m.next_addr(SsrDirection::Read).is_err());
+        // Pop counters keep the elements delivered before the clear.
+        assert_eq!(m.pop_counts(), (2, 0));
+    }
 }

@@ -61,11 +61,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let xs: Vec<f64> = (0..len).map(|i| i as f64).collect();
     let ys = vec![2.0; len];
     let z0s = vec![100.0; len];
-    machine.write_f64_slice(xa, &xs);
-    machine.write_f64_slice(ya, &ys);
-    machine.write_f64_slice(z0a, &z0s);
+    machine.write_f64_slice(xa, &xs).unwrap();
+    machine.write_f64_slice(ya, &ys).unwrap();
+    machine.write_f64_slice(z0a, &z0s).unwrap();
     let counters = machine.call(&program, "fma_ew", &[xa, ya, z0a, za])?;
-    let out = machine.read_f64_slice(za, len);
+    let out = machine.read_f64_slice(za, len).unwrap();
     assert_eq!(out[7], 7.0 * 2.0 + 100.0);
     println!(
         "fused multiply-add per element: {} cycles for {} elements \

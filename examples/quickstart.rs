@@ -47,11 +47,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let xs: Vec<f64> = (0..n).map(|i| i as f64).collect();
     let ys: Vec<f64> = (0..n).map(|i| (i * i) as f64).collect();
     let (xa, ya, za) = (TCDM_BASE, TCDM_BASE + 512, TCDM_BASE + 1024);
-    machine.write_f64_slice(xa, &xs);
-    machine.write_f64_slice(ya, &ys);
+    machine.write_f64_slice(xa, &xs).unwrap();
+    machine.write_f64_slice(ya, &ys).unwrap();
     let counters = machine.call(&program, "vecadd", &[xa, ya, za])?;
 
-    let out = machine.read_f64_slice(za, n as usize);
+    let out = machine.read_f64_slice(za, n as usize).unwrap();
     assert_eq!(out[10], 10.0 + 100.0);
     println!(
         "ran in {} cycles | {:.2} FLOPs/cycle | FPU utilization {:.1}% | \

@@ -13,5 +13,8 @@ run cargo fmt --all --check
 run cargo build --release --offline
 run cargo clippy --offline --all-targets -- -D warnings
 run cargo test -q --offline
+# Stage-level differential testing: the whole kernel suite under every
+# flow with two fixed operand seeds, plus a fixed-seed randomized sweep.
+run ./target/release/mlbc difftest --seeds 2 --fuzz 50
 
 echo "All checks passed."

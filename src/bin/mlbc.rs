@@ -26,6 +26,7 @@ use mlbe::json::Json;
 
 const USAGE: &str = "\
 usage: mlbc <input.mlir | -> [options]
+       mlbc difftest [difftest options]
 
 options:
   --emit asm|ir       output assembly (default) or the parsed IR
@@ -45,6 +46,15 @@ options:
                       synthesized operands, and write pass timings,
                       counters and occupancy as JSON (`-` for stdout)
   --help              this text
+
+difftest options (stage-level differential testing: interpret the module
+after every pipeline pass against the host reference, bisecting any
+miscompile to the first diverging pass):
+  --flows ours,mlir,clang
+                      comma-separated flows to sweep (default: all three)
+  --seeds N           operand seeds per kernel/flow pair (default: 2)
+  --fuzz N            additionally run N randomized instances (default: 0)
+  --fuzz-seed S       seed of the randomized sweep (default: 3735928559)
 ";
 
 fn main() -> ExitCode {
@@ -67,6 +77,9 @@ enum IrDumpSink {
 }
 
 fn run(args: Vec<String>) -> Result<String, String> {
+    if args.first().map(String::as_str) == Some("difftest") {
+        return run_difftest(&args[1..]);
+    }
     let mut input: Option<String> = None;
     let mut emit_ir = false;
     let mut flow_name = "ours".to_string();
@@ -165,6 +178,101 @@ fn run(args: Vec<String>) -> Result<String, String> {
         std::fs::write(&path, text).map_err(|e| format!("{path}: {e}"))?;
     }
     Ok(compiled.assembly)
+}
+
+/// The `mlbc difftest` subcommand: sweeps the Table 1 kernel suite
+/// through the stage-level differential tester (every pipeline stage
+/// interpreted against the host reference, bit-for-bit), optionally
+/// followed by a randomized instance sweep.
+fn run_difftest(args: &[String]) -> Result<String, String> {
+    use mlb_kernels::{difftest_instance, fuzz, Instance, Kind, Precision, Shape};
+
+    let mut flow_names = vec!["ours".to_string(), "mlir".to_string(), "clang".to_string()];
+    let mut seeds: u64 = 2;
+    let mut fuzz_count: usize = 0;
+    let mut fuzz_seed: u64 = 0xDEAD_BEEF;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--help" | "-h" => return Ok(USAGE.to_string()),
+            "--flows" => {
+                let list = iter.next().ok_or("--flows needs a value")?;
+                flow_names = list.split(',').map(str::to_string).collect();
+            }
+            "--seeds" => {
+                let n = iter.next().ok_or("--seeds needs a value")?;
+                seeds = n.parse().map_err(|_| format!("invalid --seeds `{n}`"))?;
+            }
+            "--fuzz" => {
+                let n = iter.next().ok_or("--fuzz needs a value")?;
+                fuzz_count = n.parse().map_err(|_| format!("invalid --fuzz `{n}`"))?;
+            }
+            "--fuzz-seed" => {
+                let n = iter.next().ok_or("--fuzz-seed needs a value")?;
+                fuzz_seed = n.parse().map_err(|_| format!("invalid --fuzz-seed `{n}`"))?;
+            }
+            other => return Err(format!("unknown difftest option `{other}`\n{USAGE}")),
+        }
+    }
+    let flows: Vec<(String, Flow)> = flow_names
+        .iter()
+        .map(|name| {
+            Ok((
+                name.clone(),
+                match name.as_str() {
+                    "ours" => Flow::Ours(PipelineOptions::full()),
+                    "mlir" => Flow::MlirLike,
+                    "clang" => Flow::ClangLike,
+                    other => return Err(format!("unknown flow `{other}`")),
+                },
+            ))
+        })
+        .collect::<Result<_, String>>()?;
+
+    // The fixed smoke suite: every Table 1 kernel at f64, plus the
+    // packed-SIMD f32 variants.
+    let mut instances = Vec::new();
+    for kind in Kind::all() {
+        let shape = match kind {
+            Kind::MatMul | Kind::MatMulT => Shape::nmk(3, 4, 5),
+            _ => Shape::nm(3, 4),
+        };
+        instances.push(Instance::new(kind, shape, Precision::F64));
+    }
+    for (kind, shape) in [
+        (Kind::Sum, Shape::nm(4, 4)),
+        (Kind::Relu, Shape::nm(4, 4)),
+        (Kind::MatMulT, Shape::nmk(2, 4, 4)),
+    ] {
+        instances.push(Instance::new(kind, shape, Precision::F32));
+    }
+
+    let mut out = String::new();
+    let mut cases = 0usize;
+    let mut stage_checks = 0usize;
+    for instance in &instances {
+        for (flow_name, flow) in &flows {
+            for seed in 0..seeds {
+                let outcome = difftest_instance(instance, *flow, seed)
+                    .map_err(|e| format!("difftest: {instance} under {flow_name}: {e}"))?;
+                cases += 1;
+                stage_checks += outcome.stages.len();
+                out.push_str(&format!(
+                    "ok  {instance:<18} {flow_name:<5} seed {seed}  ({} stages)\n",
+                    outcome.stages.len()
+                ));
+            }
+        }
+    }
+    out.push_str(&format!(
+        "difftest: {cases} cases, {stage_checks} interpreted stages, all \
+         bit-identical to the host reference\n"
+    ));
+    if fuzz_count > 0 {
+        let ran = fuzz(fuzz_seed, fuzz_count).map_err(|failure| format!("difftest: {failure}"))?;
+        out.push_str(&format!("fuzz: {ran} randomized instances clean (seed {fuzz_seed})\n"));
+    }
+    Ok(out)
 }
 
 /// A kernel signature the simulator driver can synthesize operands for.
@@ -280,11 +388,11 @@ fn run_kernel(program: &mlb_sim::Program, kernel: &KernelSig) -> Result<Json, St
                 // Deterministic, mildly varied operand data.
                 let data: Vec<f64> =
                     (0..n).map(|j| (j % 17) as f64 * 0.25 - 2.0 + i as f64).collect();
-                match m.element.as_ref() {
+                let placed = match m.element.as_ref() {
                     Type::F64 => machine.write_f64_slice(cursor, &data),
                     Type::F32 => {
                         let data: Vec<f32> = data.iter().map(|&v| v as f32).collect();
-                        machine.write_f32_slice(cursor, &data);
+                        machine.write_f32_slice(cursor, &data)
                     }
                     other => {
                         return Err(format!(
@@ -292,7 +400,9 @@ fn run_kernel(program: &mlb_sim::Program, kernel: &KernelSig) -> Result<Json, St
                             kernel.name
                         ))
                     }
-                }
+                };
+                placed
+                    .map_err(|e| format!("kernel `{}`: placing operand {i}: {e}", kernel.name))?;
                 int_args.push(cursor);
                 cursor += (m.size_in_bytes() as u32).next_multiple_of(8);
             }

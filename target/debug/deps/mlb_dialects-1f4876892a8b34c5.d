@@ -1,10 +1,11 @@
-/root/repo/target/debug/deps/mlb_dialects-1f4876892a8b34c5.d: crates/dialects/src/lib.rs crates/dialects/src/arith.rs crates/dialects/src/builtin.rs crates/dialects/src/func.rs crates/dialects/src/linalg.rs crates/dialects/src/memref.rs crates/dialects/src/memref_stream.rs crates/dialects/src/scf.rs crates/dialects/src/structured.rs Cargo.toml
+/root/repo/target/debug/deps/mlb_dialects-1f4876892a8b34c5.d: crates/dialects/src/lib.rs crates/dialects/src/arith.rs crates/dialects/src/builtin.rs crates/dialects/src/exec.rs crates/dialects/src/func.rs crates/dialects/src/linalg.rs crates/dialects/src/memref.rs crates/dialects/src/memref_stream.rs crates/dialects/src/scf.rs crates/dialects/src/structured.rs Cargo.toml
 
-/root/repo/target/debug/deps/libmlb_dialects-1f4876892a8b34c5.rmeta: crates/dialects/src/lib.rs crates/dialects/src/arith.rs crates/dialects/src/builtin.rs crates/dialects/src/func.rs crates/dialects/src/linalg.rs crates/dialects/src/memref.rs crates/dialects/src/memref_stream.rs crates/dialects/src/scf.rs crates/dialects/src/structured.rs Cargo.toml
+/root/repo/target/debug/deps/libmlb_dialects-1f4876892a8b34c5.rmeta: crates/dialects/src/lib.rs crates/dialects/src/arith.rs crates/dialects/src/builtin.rs crates/dialects/src/exec.rs crates/dialects/src/func.rs crates/dialects/src/linalg.rs crates/dialects/src/memref.rs crates/dialects/src/memref_stream.rs crates/dialects/src/scf.rs crates/dialects/src/structured.rs Cargo.toml
 
 crates/dialects/src/lib.rs:
 crates/dialects/src/arith.rs:
 crates/dialects/src/builtin.rs:
+crates/dialects/src/exec.rs:
 crates/dialects/src/func.rs:
 crates/dialects/src/linalg.rs:
 crates/dialects/src/memref.rs:

@@ -1,10 +1,11 @@
-/root/repo/target/debug/deps/mlb_dialects-d0344ad9977de0e7.d: crates/dialects/src/lib.rs crates/dialects/src/arith.rs crates/dialects/src/builtin.rs crates/dialects/src/func.rs crates/dialects/src/linalg.rs crates/dialects/src/memref.rs crates/dialects/src/memref_stream.rs crates/dialects/src/scf.rs crates/dialects/src/structured.rs
+/root/repo/target/debug/deps/mlb_dialects-d0344ad9977de0e7.d: crates/dialects/src/lib.rs crates/dialects/src/arith.rs crates/dialects/src/builtin.rs crates/dialects/src/exec.rs crates/dialects/src/func.rs crates/dialects/src/linalg.rs crates/dialects/src/memref.rs crates/dialects/src/memref_stream.rs crates/dialects/src/scf.rs crates/dialects/src/structured.rs
 
-/root/repo/target/debug/deps/mlb_dialects-d0344ad9977de0e7: crates/dialects/src/lib.rs crates/dialects/src/arith.rs crates/dialects/src/builtin.rs crates/dialects/src/func.rs crates/dialects/src/linalg.rs crates/dialects/src/memref.rs crates/dialects/src/memref_stream.rs crates/dialects/src/scf.rs crates/dialects/src/structured.rs
+/root/repo/target/debug/deps/mlb_dialects-d0344ad9977de0e7: crates/dialects/src/lib.rs crates/dialects/src/arith.rs crates/dialects/src/builtin.rs crates/dialects/src/exec.rs crates/dialects/src/func.rs crates/dialects/src/linalg.rs crates/dialects/src/memref.rs crates/dialects/src/memref_stream.rs crates/dialects/src/scf.rs crates/dialects/src/structured.rs
 
 crates/dialects/src/lib.rs:
 crates/dialects/src/arith.rs:
 crates/dialects/src/builtin.rs:
+crates/dialects/src/exec.rs:
 crates/dialects/src/func.rs:
 crates/dialects/src/linalg.rs:
 crates/dialects/src/memref.rs:

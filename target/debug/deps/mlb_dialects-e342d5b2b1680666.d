@@ -1,12 +1,13 @@
-/root/repo/target/debug/deps/mlb_dialects-e342d5b2b1680666.d: crates/dialects/src/lib.rs crates/dialects/src/arith.rs crates/dialects/src/builtin.rs crates/dialects/src/func.rs crates/dialects/src/linalg.rs crates/dialects/src/memref.rs crates/dialects/src/memref_stream.rs crates/dialects/src/scf.rs crates/dialects/src/structured.rs
+/root/repo/target/debug/deps/mlb_dialects-e342d5b2b1680666.d: crates/dialects/src/lib.rs crates/dialects/src/arith.rs crates/dialects/src/builtin.rs crates/dialects/src/exec.rs crates/dialects/src/func.rs crates/dialects/src/linalg.rs crates/dialects/src/memref.rs crates/dialects/src/memref_stream.rs crates/dialects/src/scf.rs crates/dialects/src/structured.rs
 
-/root/repo/target/debug/deps/libmlb_dialects-e342d5b2b1680666.rlib: crates/dialects/src/lib.rs crates/dialects/src/arith.rs crates/dialects/src/builtin.rs crates/dialects/src/func.rs crates/dialects/src/linalg.rs crates/dialects/src/memref.rs crates/dialects/src/memref_stream.rs crates/dialects/src/scf.rs crates/dialects/src/structured.rs
+/root/repo/target/debug/deps/libmlb_dialects-e342d5b2b1680666.rlib: crates/dialects/src/lib.rs crates/dialects/src/arith.rs crates/dialects/src/builtin.rs crates/dialects/src/exec.rs crates/dialects/src/func.rs crates/dialects/src/linalg.rs crates/dialects/src/memref.rs crates/dialects/src/memref_stream.rs crates/dialects/src/scf.rs crates/dialects/src/structured.rs
 
-/root/repo/target/debug/deps/libmlb_dialects-e342d5b2b1680666.rmeta: crates/dialects/src/lib.rs crates/dialects/src/arith.rs crates/dialects/src/builtin.rs crates/dialects/src/func.rs crates/dialects/src/linalg.rs crates/dialects/src/memref.rs crates/dialects/src/memref_stream.rs crates/dialects/src/scf.rs crates/dialects/src/structured.rs
+/root/repo/target/debug/deps/libmlb_dialects-e342d5b2b1680666.rmeta: crates/dialects/src/lib.rs crates/dialects/src/arith.rs crates/dialects/src/builtin.rs crates/dialects/src/exec.rs crates/dialects/src/func.rs crates/dialects/src/linalg.rs crates/dialects/src/memref.rs crates/dialects/src/memref_stream.rs crates/dialects/src/scf.rs crates/dialects/src/structured.rs
 
 crates/dialects/src/lib.rs:
 crates/dialects/src/arith.rs:
 crates/dialects/src/builtin.rs:
+crates/dialects/src/exec.rs:
 crates/dialects/src/func.rs:
 crates/dialects/src/linalg.rs:
 crates/dialects/src/memref.rs:

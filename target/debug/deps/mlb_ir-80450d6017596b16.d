@@ -1,11 +1,12 @@
-/root/repo/target/debug/deps/mlb_ir-80450d6017596b16.d: crates/ir/src/lib.rs crates/ir/src/affine.rs crates/ir/src/attributes.rs crates/ir/src/context.rs crates/ir/src/observe.rs crates/ir/src/parser.rs crates/ir/src/pass.rs crates/ir/src/printer.rs crates/ir/src/registry.rs crates/ir/src/rewrite.rs crates/ir/src/types.rs Cargo.toml
+/root/repo/target/debug/deps/mlb_ir-80450d6017596b16.d: crates/ir/src/lib.rs crates/ir/src/affine.rs crates/ir/src/attributes.rs crates/ir/src/context.rs crates/ir/src/interp.rs crates/ir/src/observe.rs crates/ir/src/parser.rs crates/ir/src/pass.rs crates/ir/src/printer.rs crates/ir/src/registry.rs crates/ir/src/rewrite.rs crates/ir/src/types.rs Cargo.toml
 
-/root/repo/target/debug/deps/libmlb_ir-80450d6017596b16.rmeta: crates/ir/src/lib.rs crates/ir/src/affine.rs crates/ir/src/attributes.rs crates/ir/src/context.rs crates/ir/src/observe.rs crates/ir/src/parser.rs crates/ir/src/pass.rs crates/ir/src/printer.rs crates/ir/src/registry.rs crates/ir/src/rewrite.rs crates/ir/src/types.rs Cargo.toml
+/root/repo/target/debug/deps/libmlb_ir-80450d6017596b16.rmeta: crates/ir/src/lib.rs crates/ir/src/affine.rs crates/ir/src/attributes.rs crates/ir/src/context.rs crates/ir/src/interp.rs crates/ir/src/observe.rs crates/ir/src/parser.rs crates/ir/src/pass.rs crates/ir/src/printer.rs crates/ir/src/registry.rs crates/ir/src/rewrite.rs crates/ir/src/types.rs Cargo.toml
 
 crates/ir/src/lib.rs:
 crates/ir/src/affine.rs:
 crates/ir/src/attributes.rs:
 crates/ir/src/context.rs:
+crates/ir/src/interp.rs:
 crates/ir/src/observe.rs:
 crates/ir/src/parser.rs:
 crates/ir/src/pass.rs:

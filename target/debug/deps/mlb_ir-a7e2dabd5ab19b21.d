@@ -1,11 +1,12 @@
-/root/repo/target/debug/deps/mlb_ir-a7e2dabd5ab19b21.d: crates/ir/src/lib.rs crates/ir/src/affine.rs crates/ir/src/attributes.rs crates/ir/src/context.rs crates/ir/src/observe.rs crates/ir/src/parser.rs crates/ir/src/pass.rs crates/ir/src/printer.rs crates/ir/src/registry.rs crates/ir/src/rewrite.rs crates/ir/src/types.rs
+/root/repo/target/debug/deps/mlb_ir-a7e2dabd5ab19b21.d: crates/ir/src/lib.rs crates/ir/src/affine.rs crates/ir/src/attributes.rs crates/ir/src/context.rs crates/ir/src/interp.rs crates/ir/src/observe.rs crates/ir/src/parser.rs crates/ir/src/pass.rs crates/ir/src/printer.rs crates/ir/src/registry.rs crates/ir/src/rewrite.rs crates/ir/src/types.rs
 
-/root/repo/target/debug/deps/mlb_ir-a7e2dabd5ab19b21: crates/ir/src/lib.rs crates/ir/src/affine.rs crates/ir/src/attributes.rs crates/ir/src/context.rs crates/ir/src/observe.rs crates/ir/src/parser.rs crates/ir/src/pass.rs crates/ir/src/printer.rs crates/ir/src/registry.rs crates/ir/src/rewrite.rs crates/ir/src/types.rs
+/root/repo/target/debug/deps/mlb_ir-a7e2dabd5ab19b21: crates/ir/src/lib.rs crates/ir/src/affine.rs crates/ir/src/attributes.rs crates/ir/src/context.rs crates/ir/src/interp.rs crates/ir/src/observe.rs crates/ir/src/parser.rs crates/ir/src/pass.rs crates/ir/src/printer.rs crates/ir/src/registry.rs crates/ir/src/rewrite.rs crates/ir/src/types.rs
 
 crates/ir/src/lib.rs:
 crates/ir/src/affine.rs:
 crates/ir/src/attributes.rs:
 crates/ir/src/context.rs:
+crates/ir/src/interp.rs:
 crates/ir/src/observe.rs:
 crates/ir/src/parser.rs:
 crates/ir/src/pass.rs:

@@ -1,13 +1,14 @@
-/root/repo/target/debug/deps/mlb_ir-bcaa1220cb4f359d.d: crates/ir/src/lib.rs crates/ir/src/affine.rs crates/ir/src/attributes.rs crates/ir/src/context.rs crates/ir/src/observe.rs crates/ir/src/parser.rs crates/ir/src/pass.rs crates/ir/src/printer.rs crates/ir/src/registry.rs crates/ir/src/rewrite.rs crates/ir/src/types.rs
+/root/repo/target/debug/deps/mlb_ir-bcaa1220cb4f359d.d: crates/ir/src/lib.rs crates/ir/src/affine.rs crates/ir/src/attributes.rs crates/ir/src/context.rs crates/ir/src/interp.rs crates/ir/src/observe.rs crates/ir/src/parser.rs crates/ir/src/pass.rs crates/ir/src/printer.rs crates/ir/src/registry.rs crates/ir/src/rewrite.rs crates/ir/src/types.rs
 
-/root/repo/target/debug/deps/libmlb_ir-bcaa1220cb4f359d.rlib: crates/ir/src/lib.rs crates/ir/src/affine.rs crates/ir/src/attributes.rs crates/ir/src/context.rs crates/ir/src/observe.rs crates/ir/src/parser.rs crates/ir/src/pass.rs crates/ir/src/printer.rs crates/ir/src/registry.rs crates/ir/src/rewrite.rs crates/ir/src/types.rs
+/root/repo/target/debug/deps/libmlb_ir-bcaa1220cb4f359d.rlib: crates/ir/src/lib.rs crates/ir/src/affine.rs crates/ir/src/attributes.rs crates/ir/src/context.rs crates/ir/src/interp.rs crates/ir/src/observe.rs crates/ir/src/parser.rs crates/ir/src/pass.rs crates/ir/src/printer.rs crates/ir/src/registry.rs crates/ir/src/rewrite.rs crates/ir/src/types.rs
 
-/root/repo/target/debug/deps/libmlb_ir-bcaa1220cb4f359d.rmeta: crates/ir/src/lib.rs crates/ir/src/affine.rs crates/ir/src/attributes.rs crates/ir/src/context.rs crates/ir/src/observe.rs crates/ir/src/parser.rs crates/ir/src/pass.rs crates/ir/src/printer.rs crates/ir/src/registry.rs crates/ir/src/rewrite.rs crates/ir/src/types.rs
+/root/repo/target/debug/deps/libmlb_ir-bcaa1220cb4f359d.rmeta: crates/ir/src/lib.rs crates/ir/src/affine.rs crates/ir/src/attributes.rs crates/ir/src/context.rs crates/ir/src/interp.rs crates/ir/src/observe.rs crates/ir/src/parser.rs crates/ir/src/pass.rs crates/ir/src/printer.rs crates/ir/src/registry.rs crates/ir/src/rewrite.rs crates/ir/src/types.rs
 
 crates/ir/src/lib.rs:
 crates/ir/src/affine.rs:
 crates/ir/src/attributes.rs:
 crates/ir/src/context.rs:
+crates/ir/src/interp.rs:
 crates/ir/src/observe.rs:
 crates/ir/src/parser.rs:
 crates/ir/src/pass.rs:

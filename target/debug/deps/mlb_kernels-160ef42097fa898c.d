@@ -1,9 +1,11 @@
-/root/repo/target/debug/deps/mlb_kernels-160ef42097fa898c.d: crates/kernels/src/lib.rs crates/kernels/src/builders.rs crates/kernels/src/handwritten.rs crates/kernels/src/harness.rs crates/kernels/src/reference.rs crates/kernels/src/suite.rs
+/root/repo/target/debug/deps/mlb_kernels-160ef42097fa898c.d: crates/kernels/src/lib.rs crates/kernels/src/builders.rs crates/kernels/src/difftest.rs crates/kernels/src/fuzz.rs crates/kernels/src/handwritten.rs crates/kernels/src/harness.rs crates/kernels/src/reference.rs crates/kernels/src/suite.rs
 
-/root/repo/target/debug/deps/mlb_kernels-160ef42097fa898c: crates/kernels/src/lib.rs crates/kernels/src/builders.rs crates/kernels/src/handwritten.rs crates/kernels/src/harness.rs crates/kernels/src/reference.rs crates/kernels/src/suite.rs
+/root/repo/target/debug/deps/mlb_kernels-160ef42097fa898c: crates/kernels/src/lib.rs crates/kernels/src/builders.rs crates/kernels/src/difftest.rs crates/kernels/src/fuzz.rs crates/kernels/src/handwritten.rs crates/kernels/src/harness.rs crates/kernels/src/reference.rs crates/kernels/src/suite.rs
 
 crates/kernels/src/lib.rs:
 crates/kernels/src/builders.rs:
+crates/kernels/src/difftest.rs:
+crates/kernels/src/fuzz.rs:
 crates/kernels/src/handwritten.rs:
 crates/kernels/src/harness.rs:
 crates/kernels/src/reference.rs:

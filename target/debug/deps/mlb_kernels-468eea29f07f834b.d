@@ -1,9 +1,11 @@
-/root/repo/target/debug/deps/mlb_kernels-468eea29f07f834b.d: crates/kernels/src/lib.rs crates/kernels/src/builders.rs crates/kernels/src/handwritten.rs crates/kernels/src/harness.rs crates/kernels/src/reference.rs crates/kernels/src/suite.rs Cargo.toml
+/root/repo/target/debug/deps/mlb_kernels-468eea29f07f834b.d: crates/kernels/src/lib.rs crates/kernels/src/builders.rs crates/kernels/src/difftest.rs crates/kernels/src/fuzz.rs crates/kernels/src/handwritten.rs crates/kernels/src/harness.rs crates/kernels/src/reference.rs crates/kernels/src/suite.rs Cargo.toml
 
-/root/repo/target/debug/deps/libmlb_kernels-468eea29f07f834b.rmeta: crates/kernels/src/lib.rs crates/kernels/src/builders.rs crates/kernels/src/handwritten.rs crates/kernels/src/harness.rs crates/kernels/src/reference.rs crates/kernels/src/suite.rs Cargo.toml
+/root/repo/target/debug/deps/libmlb_kernels-468eea29f07f834b.rmeta: crates/kernels/src/lib.rs crates/kernels/src/builders.rs crates/kernels/src/difftest.rs crates/kernels/src/fuzz.rs crates/kernels/src/handwritten.rs crates/kernels/src/harness.rs crates/kernels/src/reference.rs crates/kernels/src/suite.rs Cargo.toml
 
 crates/kernels/src/lib.rs:
 crates/kernels/src/builders.rs:
+crates/kernels/src/difftest.rs:
+crates/kernels/src/fuzz.rs:
 crates/kernels/src/handwritten.rs:
 crates/kernels/src/harness.rs:
 crates/kernels/src/reference.rs:

@@ -1,11 +1,13 @@
-/root/repo/target/debug/deps/mlb_kernels-63f53975b571d9c2.d: crates/kernels/src/lib.rs crates/kernels/src/builders.rs crates/kernels/src/handwritten.rs crates/kernels/src/harness.rs crates/kernels/src/reference.rs crates/kernels/src/suite.rs
+/root/repo/target/debug/deps/mlb_kernels-63f53975b571d9c2.d: crates/kernels/src/lib.rs crates/kernels/src/builders.rs crates/kernels/src/difftest.rs crates/kernels/src/fuzz.rs crates/kernels/src/handwritten.rs crates/kernels/src/harness.rs crates/kernels/src/reference.rs crates/kernels/src/suite.rs
 
-/root/repo/target/debug/deps/libmlb_kernels-63f53975b571d9c2.rlib: crates/kernels/src/lib.rs crates/kernels/src/builders.rs crates/kernels/src/handwritten.rs crates/kernels/src/harness.rs crates/kernels/src/reference.rs crates/kernels/src/suite.rs
+/root/repo/target/debug/deps/libmlb_kernels-63f53975b571d9c2.rlib: crates/kernels/src/lib.rs crates/kernels/src/builders.rs crates/kernels/src/difftest.rs crates/kernels/src/fuzz.rs crates/kernels/src/handwritten.rs crates/kernels/src/harness.rs crates/kernels/src/reference.rs crates/kernels/src/suite.rs
 
-/root/repo/target/debug/deps/libmlb_kernels-63f53975b571d9c2.rmeta: crates/kernels/src/lib.rs crates/kernels/src/builders.rs crates/kernels/src/handwritten.rs crates/kernels/src/harness.rs crates/kernels/src/reference.rs crates/kernels/src/suite.rs
+/root/repo/target/debug/deps/libmlb_kernels-63f53975b571d9c2.rmeta: crates/kernels/src/lib.rs crates/kernels/src/builders.rs crates/kernels/src/difftest.rs crates/kernels/src/fuzz.rs crates/kernels/src/handwritten.rs crates/kernels/src/harness.rs crates/kernels/src/reference.rs crates/kernels/src/suite.rs
 
 crates/kernels/src/lib.rs:
 crates/kernels/src/builders.rs:
+crates/kernels/src/difftest.rs:
+crates/kernels/src/fuzz.rs:
 crates/kernels/src/handwritten.rs:
 crates/kernels/src/harness.rs:
 crates/kernels/src/reference.rs:

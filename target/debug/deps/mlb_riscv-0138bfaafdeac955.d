@@ -1,9 +1,10 @@
-/root/repo/target/debug/deps/mlb_riscv-0138bfaafdeac955.d: crates/riscv/src/lib.rs crates/riscv/src/emit.rs crates/riscv/src/rv.rs crates/riscv/src/rv_cf.rs crates/riscv/src/rv_func.rs crates/riscv/src/rv_scf.rs crates/riscv/src/rv_snitch.rs crates/riscv/src/snitch_stream.rs
+/root/repo/target/debug/deps/mlb_riscv-0138bfaafdeac955.d: crates/riscv/src/lib.rs crates/riscv/src/emit.rs crates/riscv/src/exec.rs crates/riscv/src/rv.rs crates/riscv/src/rv_cf.rs crates/riscv/src/rv_func.rs crates/riscv/src/rv_scf.rs crates/riscv/src/rv_snitch.rs crates/riscv/src/snitch_stream.rs
 
-/root/repo/target/debug/deps/mlb_riscv-0138bfaafdeac955: crates/riscv/src/lib.rs crates/riscv/src/emit.rs crates/riscv/src/rv.rs crates/riscv/src/rv_cf.rs crates/riscv/src/rv_func.rs crates/riscv/src/rv_scf.rs crates/riscv/src/rv_snitch.rs crates/riscv/src/snitch_stream.rs
+/root/repo/target/debug/deps/mlb_riscv-0138bfaafdeac955: crates/riscv/src/lib.rs crates/riscv/src/emit.rs crates/riscv/src/exec.rs crates/riscv/src/rv.rs crates/riscv/src/rv_cf.rs crates/riscv/src/rv_func.rs crates/riscv/src/rv_scf.rs crates/riscv/src/rv_snitch.rs crates/riscv/src/snitch_stream.rs
 
 crates/riscv/src/lib.rs:
 crates/riscv/src/emit.rs:
+crates/riscv/src/exec.rs:
 crates/riscv/src/rv.rs:
 crates/riscv/src/rv_cf.rs:
 crates/riscv/src/rv_func.rs:

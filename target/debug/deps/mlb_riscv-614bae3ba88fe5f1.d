@@ -1,11 +1,12 @@
-/root/repo/target/debug/deps/mlb_riscv-614bae3ba88fe5f1.d: crates/riscv/src/lib.rs crates/riscv/src/emit.rs crates/riscv/src/rv.rs crates/riscv/src/rv_cf.rs crates/riscv/src/rv_func.rs crates/riscv/src/rv_scf.rs crates/riscv/src/rv_snitch.rs crates/riscv/src/snitch_stream.rs
+/root/repo/target/debug/deps/mlb_riscv-614bae3ba88fe5f1.d: crates/riscv/src/lib.rs crates/riscv/src/emit.rs crates/riscv/src/exec.rs crates/riscv/src/rv.rs crates/riscv/src/rv_cf.rs crates/riscv/src/rv_func.rs crates/riscv/src/rv_scf.rs crates/riscv/src/rv_snitch.rs crates/riscv/src/snitch_stream.rs
 
-/root/repo/target/debug/deps/libmlb_riscv-614bae3ba88fe5f1.rlib: crates/riscv/src/lib.rs crates/riscv/src/emit.rs crates/riscv/src/rv.rs crates/riscv/src/rv_cf.rs crates/riscv/src/rv_func.rs crates/riscv/src/rv_scf.rs crates/riscv/src/rv_snitch.rs crates/riscv/src/snitch_stream.rs
+/root/repo/target/debug/deps/libmlb_riscv-614bae3ba88fe5f1.rlib: crates/riscv/src/lib.rs crates/riscv/src/emit.rs crates/riscv/src/exec.rs crates/riscv/src/rv.rs crates/riscv/src/rv_cf.rs crates/riscv/src/rv_func.rs crates/riscv/src/rv_scf.rs crates/riscv/src/rv_snitch.rs crates/riscv/src/snitch_stream.rs
 
-/root/repo/target/debug/deps/libmlb_riscv-614bae3ba88fe5f1.rmeta: crates/riscv/src/lib.rs crates/riscv/src/emit.rs crates/riscv/src/rv.rs crates/riscv/src/rv_cf.rs crates/riscv/src/rv_func.rs crates/riscv/src/rv_scf.rs crates/riscv/src/rv_snitch.rs crates/riscv/src/snitch_stream.rs
+/root/repo/target/debug/deps/libmlb_riscv-614bae3ba88fe5f1.rmeta: crates/riscv/src/lib.rs crates/riscv/src/emit.rs crates/riscv/src/exec.rs crates/riscv/src/rv.rs crates/riscv/src/rv_cf.rs crates/riscv/src/rv_func.rs crates/riscv/src/rv_scf.rs crates/riscv/src/rv_snitch.rs crates/riscv/src/snitch_stream.rs
 
 crates/riscv/src/lib.rs:
 crates/riscv/src/emit.rs:
+crates/riscv/src/exec.rs:
 crates/riscv/src/rv.rs:
 crates/riscv/src/rv_cf.rs:
 crates/riscv/src/rv_func.rs:

@@ -1,9 +1,10 @@
-/root/repo/target/debug/deps/mlb_riscv-9b19e93eda86202d.d: crates/riscv/src/lib.rs crates/riscv/src/emit.rs crates/riscv/src/rv.rs crates/riscv/src/rv_cf.rs crates/riscv/src/rv_func.rs crates/riscv/src/rv_scf.rs crates/riscv/src/rv_snitch.rs crates/riscv/src/snitch_stream.rs Cargo.toml
+/root/repo/target/debug/deps/mlb_riscv-9b19e93eda86202d.d: crates/riscv/src/lib.rs crates/riscv/src/emit.rs crates/riscv/src/exec.rs crates/riscv/src/rv.rs crates/riscv/src/rv_cf.rs crates/riscv/src/rv_func.rs crates/riscv/src/rv_scf.rs crates/riscv/src/rv_snitch.rs crates/riscv/src/snitch_stream.rs Cargo.toml
 
-/root/repo/target/debug/deps/libmlb_riscv-9b19e93eda86202d.rmeta: crates/riscv/src/lib.rs crates/riscv/src/emit.rs crates/riscv/src/rv.rs crates/riscv/src/rv_cf.rs crates/riscv/src/rv_func.rs crates/riscv/src/rv_scf.rs crates/riscv/src/rv_snitch.rs crates/riscv/src/snitch_stream.rs Cargo.toml
+/root/repo/target/debug/deps/libmlb_riscv-9b19e93eda86202d.rmeta: crates/riscv/src/lib.rs crates/riscv/src/emit.rs crates/riscv/src/exec.rs crates/riscv/src/rv.rs crates/riscv/src/rv_cf.rs crates/riscv/src/rv_func.rs crates/riscv/src/rv_scf.rs crates/riscv/src/rv_snitch.rs crates/riscv/src/snitch_stream.rs Cargo.toml
 
 crates/riscv/src/lib.rs:
 crates/riscv/src/emit.rs:
+crates/riscv/src/exec.rs:
 crates/riscv/src/rv.rs:
 crates/riscv/src/rv_cf.rs:
 crates/riscv/src/rv_func.rs:

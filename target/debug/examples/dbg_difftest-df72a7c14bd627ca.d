@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dbg_difftest-df72a7c14bd627ca.d: examples/dbg_difftest.rs
+
+/root/repo/target/debug/examples/dbg_difftest-df72a7c14bd627ca: examples/dbg_difftest.rs
+
+examples/dbg_difftest.rs:

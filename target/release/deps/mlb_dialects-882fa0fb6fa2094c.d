@@ -1,12 +1,13 @@
-/root/repo/target/release/deps/mlb_dialects-882fa0fb6fa2094c.d: crates/dialects/src/lib.rs crates/dialects/src/arith.rs crates/dialects/src/builtin.rs crates/dialects/src/func.rs crates/dialects/src/linalg.rs crates/dialects/src/memref.rs crates/dialects/src/memref_stream.rs crates/dialects/src/scf.rs crates/dialects/src/structured.rs
+/root/repo/target/release/deps/mlb_dialects-882fa0fb6fa2094c.d: crates/dialects/src/lib.rs crates/dialects/src/arith.rs crates/dialects/src/builtin.rs crates/dialects/src/exec.rs crates/dialects/src/func.rs crates/dialects/src/linalg.rs crates/dialects/src/memref.rs crates/dialects/src/memref_stream.rs crates/dialects/src/scf.rs crates/dialects/src/structured.rs
 
-/root/repo/target/release/deps/libmlb_dialects-882fa0fb6fa2094c.rlib: crates/dialects/src/lib.rs crates/dialects/src/arith.rs crates/dialects/src/builtin.rs crates/dialects/src/func.rs crates/dialects/src/linalg.rs crates/dialects/src/memref.rs crates/dialects/src/memref_stream.rs crates/dialects/src/scf.rs crates/dialects/src/structured.rs
+/root/repo/target/release/deps/libmlb_dialects-882fa0fb6fa2094c.rlib: crates/dialects/src/lib.rs crates/dialects/src/arith.rs crates/dialects/src/builtin.rs crates/dialects/src/exec.rs crates/dialects/src/func.rs crates/dialects/src/linalg.rs crates/dialects/src/memref.rs crates/dialects/src/memref_stream.rs crates/dialects/src/scf.rs crates/dialects/src/structured.rs
 
-/root/repo/target/release/deps/libmlb_dialects-882fa0fb6fa2094c.rmeta: crates/dialects/src/lib.rs crates/dialects/src/arith.rs crates/dialects/src/builtin.rs crates/dialects/src/func.rs crates/dialects/src/linalg.rs crates/dialects/src/memref.rs crates/dialects/src/memref_stream.rs crates/dialects/src/scf.rs crates/dialects/src/structured.rs
+/root/repo/target/release/deps/libmlb_dialects-882fa0fb6fa2094c.rmeta: crates/dialects/src/lib.rs crates/dialects/src/arith.rs crates/dialects/src/builtin.rs crates/dialects/src/exec.rs crates/dialects/src/func.rs crates/dialects/src/linalg.rs crates/dialects/src/memref.rs crates/dialects/src/memref_stream.rs crates/dialects/src/scf.rs crates/dialects/src/structured.rs
 
 crates/dialects/src/lib.rs:
 crates/dialects/src/arith.rs:
 crates/dialects/src/builtin.rs:
+crates/dialects/src/exec.rs:
 crates/dialects/src/func.rs:
 crates/dialects/src/linalg.rs:
 crates/dialects/src/memref.rs:

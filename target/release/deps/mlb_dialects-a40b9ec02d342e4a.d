@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/mlb_dialects-a40b9ec02d342e4a.d: crates/dialects/src/lib.rs crates/dialects/src/arith.rs crates/dialects/src/builtin.rs crates/dialects/src/exec.rs crates/dialects/src/func.rs crates/dialects/src/linalg.rs crates/dialects/src/memref.rs crates/dialects/src/memref_stream.rs crates/dialects/src/scf.rs crates/dialects/src/structured.rs
+
+/root/repo/target/release/deps/mlb_dialects-a40b9ec02d342e4a: crates/dialects/src/lib.rs crates/dialects/src/arith.rs crates/dialects/src/builtin.rs crates/dialects/src/exec.rs crates/dialects/src/func.rs crates/dialects/src/linalg.rs crates/dialects/src/memref.rs crates/dialects/src/memref_stream.rs crates/dialects/src/scf.rs crates/dialects/src/structured.rs
+
+crates/dialects/src/lib.rs:
+crates/dialects/src/arith.rs:
+crates/dialects/src/builtin.rs:
+crates/dialects/src/exec.rs:
+crates/dialects/src/func.rs:
+crates/dialects/src/linalg.rs:
+crates/dialects/src/memref.rs:
+crates/dialects/src/memref_stream.rs:
+crates/dialects/src/scf.rs:
+crates/dialects/src/structured.rs:

@@ -1,13 +1,14 @@
-/root/repo/target/release/deps/mlb_ir-0ca15b2f92ab2ae5.d: crates/ir/src/lib.rs crates/ir/src/affine.rs crates/ir/src/attributes.rs crates/ir/src/context.rs crates/ir/src/observe.rs crates/ir/src/parser.rs crates/ir/src/pass.rs crates/ir/src/printer.rs crates/ir/src/registry.rs crates/ir/src/rewrite.rs crates/ir/src/types.rs
+/root/repo/target/release/deps/mlb_ir-0ca15b2f92ab2ae5.d: crates/ir/src/lib.rs crates/ir/src/affine.rs crates/ir/src/attributes.rs crates/ir/src/context.rs crates/ir/src/interp.rs crates/ir/src/observe.rs crates/ir/src/parser.rs crates/ir/src/pass.rs crates/ir/src/printer.rs crates/ir/src/registry.rs crates/ir/src/rewrite.rs crates/ir/src/types.rs
 
-/root/repo/target/release/deps/libmlb_ir-0ca15b2f92ab2ae5.rlib: crates/ir/src/lib.rs crates/ir/src/affine.rs crates/ir/src/attributes.rs crates/ir/src/context.rs crates/ir/src/observe.rs crates/ir/src/parser.rs crates/ir/src/pass.rs crates/ir/src/printer.rs crates/ir/src/registry.rs crates/ir/src/rewrite.rs crates/ir/src/types.rs
+/root/repo/target/release/deps/libmlb_ir-0ca15b2f92ab2ae5.rlib: crates/ir/src/lib.rs crates/ir/src/affine.rs crates/ir/src/attributes.rs crates/ir/src/context.rs crates/ir/src/interp.rs crates/ir/src/observe.rs crates/ir/src/parser.rs crates/ir/src/pass.rs crates/ir/src/printer.rs crates/ir/src/registry.rs crates/ir/src/rewrite.rs crates/ir/src/types.rs
 
-/root/repo/target/release/deps/libmlb_ir-0ca15b2f92ab2ae5.rmeta: crates/ir/src/lib.rs crates/ir/src/affine.rs crates/ir/src/attributes.rs crates/ir/src/context.rs crates/ir/src/observe.rs crates/ir/src/parser.rs crates/ir/src/pass.rs crates/ir/src/printer.rs crates/ir/src/registry.rs crates/ir/src/rewrite.rs crates/ir/src/types.rs
+/root/repo/target/release/deps/libmlb_ir-0ca15b2f92ab2ae5.rmeta: crates/ir/src/lib.rs crates/ir/src/affine.rs crates/ir/src/attributes.rs crates/ir/src/context.rs crates/ir/src/interp.rs crates/ir/src/observe.rs crates/ir/src/parser.rs crates/ir/src/pass.rs crates/ir/src/printer.rs crates/ir/src/registry.rs crates/ir/src/rewrite.rs crates/ir/src/types.rs
 
 crates/ir/src/lib.rs:
 crates/ir/src/affine.rs:
 crates/ir/src/attributes.rs:
 crates/ir/src/context.rs:
+crates/ir/src/interp.rs:
 crates/ir/src/observe.rs:
 crates/ir/src/parser.rs:
 crates/ir/src/pass.rs:

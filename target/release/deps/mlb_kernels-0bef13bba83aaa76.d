@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/mlb_kernels-0bef13bba83aaa76.d: crates/kernels/src/lib.rs crates/kernels/src/builders.rs crates/kernels/src/difftest.rs crates/kernels/src/fuzz.rs crates/kernels/src/handwritten.rs crates/kernels/src/harness.rs crates/kernels/src/reference.rs crates/kernels/src/suite.rs
+
+/root/repo/target/release/deps/mlb_kernels-0bef13bba83aaa76: crates/kernels/src/lib.rs crates/kernels/src/builders.rs crates/kernels/src/difftest.rs crates/kernels/src/fuzz.rs crates/kernels/src/handwritten.rs crates/kernels/src/harness.rs crates/kernels/src/reference.rs crates/kernels/src/suite.rs
+
+crates/kernels/src/lib.rs:
+crates/kernels/src/builders.rs:
+crates/kernels/src/difftest.rs:
+crates/kernels/src/fuzz.rs:
+crates/kernels/src/handwritten.rs:
+crates/kernels/src/harness.rs:
+crates/kernels/src/reference.rs:
+crates/kernels/src/suite.rs:

@@ -1,11 +1,13 @@
-/root/repo/target/release/deps/mlb_kernels-d2898479212e9775.d: crates/kernels/src/lib.rs crates/kernels/src/builders.rs crates/kernels/src/handwritten.rs crates/kernels/src/harness.rs crates/kernels/src/reference.rs crates/kernels/src/suite.rs
+/root/repo/target/release/deps/mlb_kernels-d2898479212e9775.d: crates/kernels/src/lib.rs crates/kernels/src/builders.rs crates/kernels/src/difftest.rs crates/kernels/src/fuzz.rs crates/kernels/src/handwritten.rs crates/kernels/src/harness.rs crates/kernels/src/reference.rs crates/kernels/src/suite.rs
 
-/root/repo/target/release/deps/libmlb_kernels-d2898479212e9775.rlib: crates/kernels/src/lib.rs crates/kernels/src/builders.rs crates/kernels/src/handwritten.rs crates/kernels/src/harness.rs crates/kernels/src/reference.rs crates/kernels/src/suite.rs
+/root/repo/target/release/deps/libmlb_kernels-d2898479212e9775.rlib: crates/kernels/src/lib.rs crates/kernels/src/builders.rs crates/kernels/src/difftest.rs crates/kernels/src/fuzz.rs crates/kernels/src/handwritten.rs crates/kernels/src/harness.rs crates/kernels/src/reference.rs crates/kernels/src/suite.rs
 
-/root/repo/target/release/deps/libmlb_kernels-d2898479212e9775.rmeta: crates/kernels/src/lib.rs crates/kernels/src/builders.rs crates/kernels/src/handwritten.rs crates/kernels/src/harness.rs crates/kernels/src/reference.rs crates/kernels/src/suite.rs
+/root/repo/target/release/deps/libmlb_kernels-d2898479212e9775.rmeta: crates/kernels/src/lib.rs crates/kernels/src/builders.rs crates/kernels/src/difftest.rs crates/kernels/src/fuzz.rs crates/kernels/src/handwritten.rs crates/kernels/src/harness.rs crates/kernels/src/reference.rs crates/kernels/src/suite.rs
 
 crates/kernels/src/lib.rs:
 crates/kernels/src/builders.rs:
+crates/kernels/src/difftest.rs:
+crates/kernels/src/fuzz.rs:
 crates/kernels/src/handwritten.rs:
 crates/kernels/src/harness.rs:
 crates/kernels/src/reference.rs:

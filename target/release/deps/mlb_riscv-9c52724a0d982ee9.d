@@ -1,11 +1,12 @@
-/root/repo/target/release/deps/mlb_riscv-9c52724a0d982ee9.d: crates/riscv/src/lib.rs crates/riscv/src/emit.rs crates/riscv/src/rv.rs crates/riscv/src/rv_cf.rs crates/riscv/src/rv_func.rs crates/riscv/src/rv_scf.rs crates/riscv/src/rv_snitch.rs crates/riscv/src/snitch_stream.rs
+/root/repo/target/release/deps/mlb_riscv-9c52724a0d982ee9.d: crates/riscv/src/lib.rs crates/riscv/src/emit.rs crates/riscv/src/exec.rs crates/riscv/src/rv.rs crates/riscv/src/rv_cf.rs crates/riscv/src/rv_func.rs crates/riscv/src/rv_scf.rs crates/riscv/src/rv_snitch.rs crates/riscv/src/snitch_stream.rs
 
-/root/repo/target/release/deps/libmlb_riscv-9c52724a0d982ee9.rlib: crates/riscv/src/lib.rs crates/riscv/src/emit.rs crates/riscv/src/rv.rs crates/riscv/src/rv_cf.rs crates/riscv/src/rv_func.rs crates/riscv/src/rv_scf.rs crates/riscv/src/rv_snitch.rs crates/riscv/src/snitch_stream.rs
+/root/repo/target/release/deps/libmlb_riscv-9c52724a0d982ee9.rlib: crates/riscv/src/lib.rs crates/riscv/src/emit.rs crates/riscv/src/exec.rs crates/riscv/src/rv.rs crates/riscv/src/rv_cf.rs crates/riscv/src/rv_func.rs crates/riscv/src/rv_scf.rs crates/riscv/src/rv_snitch.rs crates/riscv/src/snitch_stream.rs
 
-/root/repo/target/release/deps/libmlb_riscv-9c52724a0d982ee9.rmeta: crates/riscv/src/lib.rs crates/riscv/src/emit.rs crates/riscv/src/rv.rs crates/riscv/src/rv_cf.rs crates/riscv/src/rv_func.rs crates/riscv/src/rv_scf.rs crates/riscv/src/rv_snitch.rs crates/riscv/src/snitch_stream.rs
+/root/repo/target/release/deps/libmlb_riscv-9c52724a0d982ee9.rmeta: crates/riscv/src/lib.rs crates/riscv/src/emit.rs crates/riscv/src/exec.rs crates/riscv/src/rv.rs crates/riscv/src/rv_cf.rs crates/riscv/src/rv_func.rs crates/riscv/src/rv_scf.rs crates/riscv/src/rv_snitch.rs crates/riscv/src/snitch_stream.rs
 
 crates/riscv/src/lib.rs:
 crates/riscv/src/emit.rs:
+crates/riscv/src/exec.rs:
 crates/riscv/src/rv.rs:
 crates/riscv/src/rv_cf.rs:
 crates/riscv/src/rv_func.rs:

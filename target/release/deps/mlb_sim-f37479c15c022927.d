@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/mlb_sim-f37479c15c022927.d: crates/sim/src/lib.rs crates/sim/src/asm.rs crates/sim/src/counters.rs crates/sim/src/instr.rs crates/sim/src/machine.rs crates/sim/src/ssr.rs crates/sim/src/trace.rs
+
+/root/repo/target/release/deps/mlb_sim-f37479c15c022927: crates/sim/src/lib.rs crates/sim/src/asm.rs crates/sim/src/counters.rs crates/sim/src/instr.rs crates/sim/src/machine.rs crates/sim/src/ssr.rs crates/sim/src/trace.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/asm.rs:
+crates/sim/src/counters.rs:
+crates/sim/src/instr.rs:
+crates/sim/src/machine.rs:
+crates/sim/src/ssr.rs:
+crates/sim/src/trace.rs:

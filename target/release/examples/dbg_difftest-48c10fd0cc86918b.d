@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/dbg_difftest-48c10fd0cc86918b.d: examples/dbg_difftest.rs
+
+/root/repo/target/release/examples/dbg_difftest-48c10fd0cc86918b: examples/dbg_difftest.rs
+
+examples/dbg_difftest.rs:

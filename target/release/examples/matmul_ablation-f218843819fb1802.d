@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/matmul_ablation-f218843819fb1802.d: examples/matmul_ablation.rs
+
+/root/repo/target/release/examples/matmul_ablation-f218843819fb1802: examples/matmul_ablation.rs
+
+examples/matmul_ablation.rs:

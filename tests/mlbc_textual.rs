@@ -38,9 +38,9 @@ fn textual_relu_compiles_and_runs() {
     let program = assemble(&compiled.assembly).expect("assembles");
     let mut machine = Machine::new();
     let xs: Vec<f64> = (0..16).map(|i| (i as f64) - 8.0).collect();
-    machine.write_f64_slice(TCDM_BASE, &xs);
+    machine.write_f64_slice(TCDM_BASE, &xs).unwrap();
     machine.call(&program, "relu", &[TCDM_BASE, TCDM_BASE + 128]).expect("runs");
-    let out = machine.read_f64_slice(TCDM_BASE + 128, 16);
+    let out = machine.read_f64_slice(TCDM_BASE + 128, 16).unwrap();
     let expect: Vec<f64> = xs.iter().map(|&x| x.max(0.0)).collect();
     assert_eq!(out, expect);
 }
@@ -54,9 +54,9 @@ fn textual_relu_all_flows_agree() {
         let program = assemble(&compiled.assembly).expect("assembles");
         let mut machine = Machine::new();
         let xs: Vec<f64> = (0..16).map(|i| (i as f64) * 0.5 - 4.0).collect();
-        machine.write_f64_slice(TCDM_BASE, &xs);
+        machine.write_f64_slice(TCDM_BASE, &xs).unwrap();
         machine.call(&program, "relu", &[TCDM_BASE, TCDM_BASE + 128]).expect("runs");
-        let out = machine.read_f64_slice(TCDM_BASE + 128, 16);
+        let out = machine.read_f64_slice(TCDM_BASE + 128, 16).unwrap();
         let expect: Vec<f64> = xs.iter().map(|&x| x.max(0.0)).collect();
         assert_eq!(out, expect, "{flow:?}");
     }

@@ -8,7 +8,7 @@ use mlb_sim::{assemble, Machine};
 fn cycles(src: &str) -> u64 {
     let program = assemble(src).unwrap();
     let mut machine = Machine::new();
-    machine.write_f64_slice(TCDM_BASE, &[1.0; 64]);
+    machine.write_f64_slice(TCDM_BASE, &[1.0; 64]).unwrap();
     machine.call(&program, "f", &[TCDM_BASE]).unwrap().cycles
 }
 
@@ -145,12 +145,12 @@ f:
     );
     let program = assemble(&src).unwrap();
     let mut machine = Machine::new();
-    machine.write_f64_slice(TCDM_BASE, &[7.0; 8]);
+    machine.write_f64_slice(TCDM_BASE, &[7.0; 8]).unwrap();
     // Preload ft0's architectural value: after disable it must be read
     // as a plain register again (the stream pop wrote nothing to it).
     machine.set_f_bits(mlb_isa::FpReg::ft(0), 2.5f64.to_bits());
     machine.call(&program, "f", &[TCDM_BASE]).unwrap();
-    assert_eq!(machine.read_f64_slice(TCDM_BASE + 32, 1), vec![5.0]);
+    assert_eq!(machine.read_f64_slice(TCDM_BASE + 32, 1).unwrap(), vec![5.0]);
 }
 
 /// Cycle counts are exactly reproducible (bare-metal determinism).
@@ -203,7 +203,7 @@ mod counter_invariants {
         let mut cursor = TCDM_BASE;
         for &size in &sizes {
             addrs.push(cursor);
-            machine.write_f64_slice(cursor, &vec![1.25; size]);
+            machine.write_f64_slice(cursor, &vec![1.25; size]).unwrap();
             cursor += (size as u32 * esz).next_multiple_of(8);
         }
         if instance.kind == Kind::Fill {
