@@ -95,6 +95,10 @@ impl RewritePattern for FoldIntBinary {
         "fold-int-binary"
     }
 
+    fn anchor_names(&self) -> Option<&'static [&'static str]> {
+        Some(&arith::INT_BINARY_OPS)
+    }
+
     fn match_and_rewrite(&self, ctx: &mut Context, _r: &DialectRegistry, op: OpId) -> bool {
         let name = ctx.op(op).name.clone();
         if !arith::INT_BINARY_OPS.contains(&name.as_str()) {
@@ -133,6 +137,10 @@ impl RewritePattern for SimplifyIdentity {
         "simplify-identity"
     }
 
+    fn anchor_names(&self) -> Option<&'static [&'static str]> {
+        Some(&[arith::ADDI, arith::MULI])
+    }
+
     fn match_and_rewrite(&self, ctx: &mut Context, _r: &DialectRegistry, op: OpId) -> bool {
         let name = ctx.op(op).name.clone();
         if name != arith::ADDI && name != arith::MULI {
@@ -164,6 +172,10 @@ struct InlineSingleIterationLoop;
 impl RewritePattern for InlineSingleIterationLoop {
     fn name(&self) -> &'static str {
         "inline-single-iteration-loop"
+    }
+
+    fn anchor_names(&self) -> Option<&'static [&'static str]> {
+        Some(&[scf::FOR])
     }
 
     fn match_and_rewrite(&self, ctx: &mut Context, _r: &DialectRegistry, op: OpId) -> bool {

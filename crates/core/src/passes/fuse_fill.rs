@@ -92,7 +92,7 @@ fn try_fuse(ctx: &mut Context, consumer: OpId) {
     let Some(value) = fill_value(ctx, prev) else { return };
 
     // Fuse: append the init operand and erase the fill.
-    ctx.op_mut(consumer).operands.push(value);
+    ctx.push_operand(consumer, value);
     ctx.op_mut(consumer).attrs.insert(memref_stream::NUM_INITS.to_string(), Attribute::Int(1));
     ctx.erase_op(prev);
 }

@@ -304,7 +304,7 @@ fn strength_reduce(ctx: &mut Context, mut loop_op: OpId) {
         let arg = match pointers.get(&(base, scale)) {
             Some(&arg) => arg,
             None => {
-                ctx.op_mut(loop_op).operands.push(base);
+                ctx.push_operand(loop_op, base);
                 let arg = ctx.add_block_arg(body, Type::IntRegister(None));
                 let yield_op = ctx.terminator(body);
                 let next = ctx.insert_op_before(
@@ -315,7 +315,7 @@ fn strength_reduce(ctx: &mut Context, mut loop_op: OpId) {
                         .results(vec![Type::IntRegister(None)]),
                 );
                 let next_val = ctx.op(next).results[0];
-                ctx.op_mut(yield_op).operands.push(next_val);
+                ctx.push_operand(yield_op, next_val);
                 // The loop op needs a matching (unused) result.
                 loop_op = push_loop_result(ctx, loop_op);
                 pointers.insert((base, scale), arg);

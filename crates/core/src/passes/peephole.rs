@@ -39,6 +39,10 @@ impl RewritePattern for FuseFmadd {
         "fuse-fmadd"
     }
 
+    fn anchor_names(&self) -> Option<&'static [&'static str]> {
+        Some(&[rv::FADD_D, rv::FADD_S])
+    }
+
     fn match_and_rewrite(&self, ctx: &mut Context, _r: &DialectRegistry, op: OpId) -> bool {
         let (mul_name, fused_name) = match ctx.op(op).name.as_str() {
             rv::FADD_D => (rv::FMUL_D, rv::FMADD_D),
@@ -86,6 +90,10 @@ struct ElideStreamWrite;
 impl RewritePattern for ElideStreamWrite {
     fn name(&self) -> &'static str {
         "elide-stream-write"
+    }
+
+    fn anchor_names(&self) -> Option<&'static [&'static str]> {
+        Some(&[snitch_stream::WRITE])
     }
 
     fn match_and_rewrite(&self, ctx: &mut Context, _r: &DialectRegistry, op: OpId) -> bool {

@@ -221,7 +221,7 @@ mod tests {
         let f = build_for(&mut ctx, b, lb, lb, lb, vec![], |_, _, _, _| vec![]);
         // Manually corrupt: add an operand to the yield.
         let y = f.yield_op(&ctx);
-        ctx.op_mut(y).operands.push(lb);
+        ctx.push_operand(y, lb);
         assert!(r.verify(&ctx, m).is_err());
     }
 

@@ -208,6 +208,14 @@ pub struct RewriteStats {
     pub pattern_applications: u64,
     /// Operations erased by dead-code elimination sweeps.
     pub dce_erased: u64,
+    /// Operations pulled off the driver's worklist (or visited by a
+    /// legacy re-walk sweep) and considered for rewriting.
+    pub ops_visited: u64,
+    /// Individual `match_and_rewrite` invocations (successful or not).
+    pub match_attempts: u64,
+    /// Operations re-enqueued because a rewrite touched their operands,
+    /// users or region neighbourhood (worklist driver only).
+    pub requeued: u64,
 }
 
 impl RewriteStats {
@@ -216,8 +224,51 @@ impl RewriteStats {
         RewriteStats {
             pattern_applications: self.pattern_applications - earlier.pattern_applications,
             dce_erased: self.dce_erased - earlier.dce_erased,
+            ops_visited: self.ops_visited - earlier.ops_visited,
+            match_attempts: self.match_attempts - earlier.match_attempts,
+            requeued: self.requeued - earlier.requeued,
         }
     }
+}
+
+/// One structural mutation, recorded while a change journal is active.
+///
+/// The worklist rewrite driver activates the journal around pattern
+/// invocations and uses the recorded changes to re-enqueue exactly the
+/// operations a rewrite could have affected (see
+/// [`crate::rewrite::apply_patterns_greedily`]). Patterns must therefore
+/// mutate IR through [`Context`] APIs — in particular
+/// [`Context::push_operand`] / [`Context::set_operand`] rather than
+/// writing `op_mut(op).operands` directly.
+#[derive(Debug, Clone)]
+pub enum IrChange {
+    /// A new operation was created (detached or attached).
+    Created(OpId),
+    /// An operation, with everything nested in it, was erased.
+    /// `released` lists every value whose use count dropped because an
+    /// erased operation's operand list went away.
+    Erased {
+        /// Values that lost at least one use.
+        released: Vec<ValueId>,
+    },
+    /// Every use of `old` was redirected to `new`.
+    ReplacedUses {
+        /// The value that lost all its uses.
+        old: ValueId,
+        /// The value that gained them.
+        new: ValueId,
+    },
+    /// An operand list changed in place (push or single-slot update).
+    OperandsChanged {
+        /// The operation whose operand list changed.
+        op: OpId,
+        /// Values that lost a use in the change (single-slot updates).
+        released: Vec<ValueId>,
+    },
+    /// An operation moved to a new position.
+    Moved(OpId),
+    /// A value's type was replaced in place.
+    TypeChanged(ValueId),
 }
 
 /// Owns all IR entities and provides structural mutation.
@@ -230,6 +281,13 @@ pub struct Context {
     blocks: Vec<Option<BlockData>>,
     regions: Vec<Option<RegionData>>,
     values: Vec<ValueData>,
+    /// Per-value user lists, indexed like `values`. Each entry appears
+    /// once per using operand slot (so a value used twice by one op is
+    /// listed twice), which makes `has_uses` O(1) and `replace_all_uses`
+    /// O(uses) instead of O(all ops).
+    users: Vec<Vec<OpId>>,
+    /// Active change journal, if any (see [`IrChange`]).
+    journal: Option<Vec<IrChange>>,
     pub(crate) rewrite_stats: RewriteStats,
 }
 
@@ -242,6 +300,62 @@ impl Context {
     /// The cumulative rewrite-driver counters (see [`RewriteStats`]).
     pub fn rewrite_stats(&self) -> RewriteStats {
         self.rewrite_stats
+    }
+
+    // ----- change journal --------------------------------------------------
+
+    /// Starts (or restarts) the change journal. Subsequent structural
+    /// mutations are recorded as [`IrChange`] entries until
+    /// [`Context::journal_end`].
+    pub fn journal_begin(&mut self) {
+        self.journal = Some(Vec::new());
+    }
+
+    /// Takes the changes recorded so far, leaving the journal active.
+    /// Returns an empty list when no journal is active.
+    pub fn journal_drain(&mut self) -> Vec<IrChange> {
+        match &mut self.journal {
+            Some(j) => std::mem::take(j),
+            None => Vec::new(),
+        }
+    }
+
+    /// Stops journaling and discards any undrained entries.
+    pub fn journal_end(&mut self) {
+        self.journal = None;
+    }
+
+    fn journal_push(&mut self, change: IrChange) {
+        if let Some(j) = &mut self.journal {
+            j.push(change);
+        }
+    }
+
+    // ----- use tracking ----------------------------------------------------
+
+    fn new_value(&mut self, kind: ValueKind, ty: Type) -> ValueId {
+        let v = ValueId(self.values.len() as u32);
+        self.values.push(ValueData { kind, ty });
+        self.users.push(Vec::new());
+        v
+    }
+
+    fn add_user(&mut self, value: ValueId, op: OpId) {
+        self.users[value.index()].push(op);
+    }
+
+    fn remove_user(&mut self, value: ValueId, op: OpId) {
+        let list = &mut self.users[value.index()];
+        if let Some(pos) = list.iter().position(|&u| u == op) {
+            list.swap_remove(pos);
+        }
+    }
+
+    /// The operations currently using `value`, one entry per using
+    /// operand slot (an op using the value twice appears twice).
+    /// Unordered; use [`Context::uses`] for a deterministic ordering.
+    pub fn user_ops(&self, value: ValueId) -> &[OpId] {
+        &self.users[value.index()]
     }
 
     // ----- accessors -------------------------------------------------------
@@ -280,6 +394,7 @@ impl Context {
     /// into allocated ones.
     pub fn set_value_type(&mut self, v: ValueId, ty: Type) {
         self.values[v.index()].ty = ty;
+        self.journal_push(IrChange::TypeChanged(v));
     }
 
     /// How the value is defined.
@@ -374,8 +489,7 @@ impl Context {
             parent: None,
         };
         for (index, ty) in spec.result_types.into_iter().enumerate() {
-            let v = ValueId(self.values.len() as u32);
-            self.values.push(ValueData { kind: ValueKind::OpResult { op: id, index }, ty });
+            let v = self.new_value(ValueKind::OpResult { op: id, index }, ty);
             op.results.push(v);
         }
         for _ in 0..spec.num_regions {
@@ -383,7 +497,11 @@ impl Context {
             self.regions.push(Some(RegionData { blocks: Vec::new(), parent: id }));
             op.regions.push(r);
         }
+        for i in 0..op.operands.len() {
+            self.add_user(op.operands[i], id);
+        }
         self.ops.push(Some(op));
+        self.journal_push(IrChange::Created(id));
         id
     }
 
@@ -400,8 +518,7 @@ impl Context {
         let id = BlockId(self.blocks.len() as u32);
         let mut args = Vec::with_capacity(arg_types.len());
         for (index, ty) in arg_types.into_iter().enumerate() {
-            let v = ValueId(self.values.len() as u32);
-            self.values.push(ValueData { kind: ValueKind::BlockArg { block: id, index }, ty });
+            let v = self.new_value(ValueKind::BlockArg { block: id, index }, ty);
             args.push(v);
         }
         self.blocks.push(Some(BlockData { args, ops: Vec::new(), parent: region }));
@@ -412,8 +529,7 @@ impl Context {
     /// Appends a new block argument to an existing block.
     pub fn add_block_arg(&mut self, block: BlockId, ty: Type) -> ValueId {
         let index = self.block(block).args.len();
-        let v = ValueId(self.values.len() as u32);
-        self.values.push(ValueData { kind: ValueKind::BlockArg { block, index }, ty });
+        let v = self.new_value(ValueKind::BlockArg { block, index }, ty);
         self.block_mut(block).args.push(v);
         v
     }
@@ -472,6 +588,7 @@ impl Context {
         let pos = self.op_position(before);
         self.op_mut(op).parent = Some(block);
         self.block_mut(block).ops.insert(pos, op);
+        self.journal_push(IrChange::Moved(op));
     }
 
     /// Moves an operation to the end of `block`.
@@ -479,6 +596,7 @@ impl Context {
         self.detach_op(op);
         self.op_mut(op).parent = Some(block);
         self.block_mut(block).ops.push(op);
+        self.journal_push(IrChange::Moved(op));
     }
 
     /// Detaches `block` from its region and appends it to `region`.
@@ -576,44 +694,71 @@ impl Context {
     /// the results (checked by [`Context::verify_structure`] and debug
     /// assertions in tests, not here, to allow bulk teardown in any order).
     pub fn erase_op(&mut self, op: OpId) {
+        let _ = self.erase_op_collecting(op);
+    }
+
+    /// Erases like [`Context::erase_op`] and additionally returns the
+    /// values whose use counts dropped; used by dead-code elimination to
+    /// cascade into newly-dead defining ops.
+    pub(crate) fn erase_op_collecting(&mut self, op: OpId) -> Vec<ValueId> {
+        let mut released = Vec::new();
+        self.erase_op_inner(op, &mut released);
+        if self.journal.is_some() {
+            self.journal_push(IrChange::Erased { released: released.clone() });
+        }
+        released
+    }
+
+    fn erase_op_inner(&mut self, op: OpId, released: &mut Vec<ValueId>) {
         self.detach_op(op);
-        let regions = self.op(op).regions.clone();
-        for r in regions {
+        let erased = self.ops[op.index()].take().expect("operation was erased");
+        for &v in &erased.operands {
+            self.remove_user(v, op);
+            released.push(v);
+        }
+        for r in erased.regions {
             let blocks = self.region(r).blocks.clone();
             for b in blocks {
                 let ops = self.block(b).ops.clone();
                 for o in ops {
                     // Nested ops: detach cheaply by clearing, then recurse.
                     self.op_mut(o).parent = None;
-                    self.erase_op(o);
+                    self.erase_op_inner(o, released);
                 }
                 self.blocks[b.index()] = None;
             }
             self.regions[r.index()] = None;
         }
-        self.ops[op.index()] = None;
     }
 
     /// Replaces every use of `old` with `new` in all live operations.
     pub fn replace_all_uses(&mut self, old: ValueId, new: ValueId) {
-        for slot in self.ops.iter_mut().flatten() {
-            for operand in &mut slot.operands {
+        if old == new {
+            return;
+        }
+        let moved = std::mem::take(&mut self.users[old.index()]);
+        for &user in &moved {
+            for operand in &mut self.ops[user.index()].as_mut().expect("user was erased").operands {
                 if *operand == old {
                     *operand = new;
                 }
             }
         }
+        self.users[new.index()].extend(moved);
+        self.journal_push(IrChange::ReplacedUses { old, new });
     }
 
-    /// All `(operation, operand_index)` pairs currently using `value`.
+    /// All `(operation, operand_index)` pairs currently using `value`,
+    /// ordered by (operation id, operand index).
     pub fn uses(&self, value: ValueId) -> Vec<(OpId, usize)> {
+        let mut user_ops: Vec<OpId> = self.users[value.index()].clone();
+        user_ops.sort_unstable();
+        user_ops.dedup();
         let mut out = Vec::new();
-        for (i, slot) in self.ops.iter().enumerate() {
-            if let Some(op) = slot {
-                for (j, &operand) in op.operands.iter().enumerate() {
-                    if operand == value {
-                        out.push((OpId(i as u32), j));
-                    }
+        for user in user_ops {
+            for (j, &operand) in self.op(user).operands.iter().enumerate() {
+                if operand == value {
+                    out.push((user, j));
                 }
             }
         }
@@ -622,7 +767,34 @@ impl Context {
 
     /// Whether `value` has any use.
     pub fn has_uses(&self, value: ValueId) -> bool {
-        self.ops.iter().flatten().any(|op| op.operands.contains(&value))
+        !self.users[value.index()].is_empty()
+    }
+
+    /// Appends `value` to the operand list of `op`, keeping use lists
+    /// consistent. Passes must use this (or [`Context::set_operand`])
+    /// instead of mutating `op_mut(op).operands` directly.
+    pub fn push_operand(&mut self, op: OpId, value: ValueId) {
+        self.op_mut(op).operands.push(value);
+        self.add_user(value, op);
+        self.journal_push(IrChange::OperandsChanged { op, released: Vec::new() });
+    }
+
+    /// Replaces operand `index` of `op` with `value`, keeping use lists
+    /// consistent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn set_operand(&mut self, op: OpId, index: usize, value: ValueId) {
+        let old = std::mem::replace(&mut self.op_mut(op).operands[index], value);
+        let released = if old == value {
+            Vec::new()
+        } else {
+            self.remove_user(old, op);
+            self.add_user(value, op);
+            vec![old]
+        };
+        self.journal_push(IrChange::OperandsChanged { op, released });
     }
 
     // ----- traversal -------------------------------------------------------
@@ -700,6 +872,49 @@ impl Context {
                             return Err(format!("op {} has a bad parent link", self.op(o).name));
                         }
                     }
+                }
+            }
+        }
+        self.verify_use_lists()
+    }
+
+    /// Checks that the per-value user lists exactly mirror the operand
+    /// lists of all live operations (one user entry per operand slot).
+    fn verify_use_lists(&self) -> Result<(), String> {
+        let mut expected: std::collections::HashMap<(ValueId, OpId), usize> =
+            std::collections::HashMap::new();
+        for (i, slot) in self.ops.iter().enumerate() {
+            if let Some(op) = slot {
+                for &v in &op.operands {
+                    *expected.entry((v, OpId(i as u32))).or_insert(0) += 1;
+                }
+            }
+        }
+        let mut actual: std::collections::HashMap<(ValueId, OpId), usize> =
+            std::collections::HashMap::new();
+        for (i, list) in self.users.iter().enumerate() {
+            for &user in list {
+                *actual.entry((ValueId(i as u32), user)).or_insert(0) += 1;
+            }
+        }
+        if expected != actual {
+            for (&(v, op), &n) in &expected {
+                if actual.get(&(v, op)).copied().unwrap_or(0) != n {
+                    return Err(format!(
+                        "use list out of sync: value %{} used {n}x by op {} but {}x tracked",
+                        v.index(),
+                        self.ops[op.index()].as_ref().map_or("<erased>", |o| o.name.as_str()),
+                        actual.get(&(v, op)).copied().unwrap_or(0),
+                    ));
+                }
+            }
+            for (&(v, op), &n) in &actual {
+                if expected.get(&(v, op)).copied().unwrap_or(0) != n {
+                    return Err(format!(
+                        "use list out of sync: value %{} tracked {n}x for op {} but not used",
+                        v.index(),
+                        self.ops[op.index()].as_ref().map_or("<erased>", |o| o.name.as_str()),
+                    ));
                 }
             }
         }

@@ -55,7 +55,7 @@ pub mod types;
 pub use affine::{AffineExpr, AffineMap};
 pub use attributes::{Attribute, IteratorType, StreamPattern, StridePattern};
 pub use context::{
-    BlockId, Context, OpId, OpSpec, Operation, RegionId, RewriteStats, ValueId, ValueKind,
+    BlockId, Context, IrChange, OpId, OpSpec, Operation, RegionId, RewriteStats, ValueId, ValueKind,
 };
 pub use interp::{ExecRegistry, Flow, InterpError, Interpreter, StreamMover, Value};
 pub use observe::{IrSnapshotMode, NoopObserver, PassEvent, PipelineObserver, PipelineRecorder};
@@ -63,5 +63,8 @@ pub use parser::{parse_module, ParseError};
 pub use pass::{Pass, PassError, PassManager};
 pub use printer::print_op;
 pub use registry::{DialectRegistry, OpInfo, VerifyError};
-pub use rewrite::{apply_patterns_greedily, eliminate_dead_code, ConvergenceError, RewritePattern};
+pub use rewrite::{
+    apply_patterns_greedily, driver_mode, eliminate_dead_code, set_driver_mode, with_driver_mode,
+    ConvergenceError, DriverMode, RewritePattern,
+};
 pub use types::{FunctionType, MemRefType, Type};

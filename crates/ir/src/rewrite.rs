@@ -4,10 +4,23 @@
 //! as [`RewritePattern`]s applied to a fixpoint by
 //! [`apply_patterns_greedily`], the same work-horse as MLIR's greedy
 //! pattern driver.
+//!
+//! The default driver is worklist-based: it seeds the worklist from a
+//! single walk, then re-enqueues only the operations a rewrite could
+//! have affected, using the [`IrChange`] journal recorded by [`Context`]
+//! mutation APIs. Patterns are indexed by their
+//! [`RewritePattern::anchor_names`] so only applicable patterns run per
+//! op, and trivially-dead ops are erased incrementally from per-value
+//! use counts instead of whole-region sweeps. The previous
+//! re-walk-everything driver is kept behind [`DriverMode::LegacyRewalk`]
+//! as a reference semantics for differential testing and as the baseline
+//! for `mlbc bench-json`.
 
+use std::cell::Cell;
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::fmt;
 
-use crate::context::{Context, OpId};
+use crate::context::{Context, IrChange, OpId};
 use crate::registry::DialectRegistry;
 
 /// A local rewrite anchored on a single operation.
@@ -15,16 +28,64 @@ pub trait RewritePattern {
     /// Diagnostic name of the pattern.
     fn name(&self) -> &'static str;
 
+    /// Operation names this pattern can anchor on, or `None` to be
+    /// tried on every operation. The worklist driver uses this to index
+    /// patterns so an op only sees patterns that can match it.
+    fn anchor_names(&self) -> Option<&'static [&'static str]> {
+        None
+    }
+
     /// Attempts to match `op` and rewrite the IR around it.
     ///
-    /// Returns `true` if the IR changed. After a change the driver
-    /// re-walks the IR, so patterns may erase `op` or its neighbours
-    /// freely — they must simply not touch already-erased operations.
+    /// Returns `true` if the IR changed. Patterns may erase `op` or its
+    /// neighbours freely — they must simply not touch already-erased
+    /// operations, and must mutate operand lists through
+    /// [`Context::push_operand`] / [`Context::set_operand`] /
+    /// [`Context::replace_all_uses`] so the driver's change journal and
+    /// use counts stay consistent.
     fn match_and_rewrite(&self, ctx: &mut Context, registry: &DialectRegistry, op: OpId) -> bool;
 }
 
-/// Iteration budget of the greedy driver before it reports divergence.
+/// Per-op rewrite budget of the driver before it reports divergence.
 const MAX_ITERATIONS: usize = 1000;
+
+/// Which fixpoint driver [`apply_patterns_greedily`] runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DriverMode {
+    /// The worklist driver (default): journal-directed re-enqueueing,
+    /// anchor-indexed patterns, incremental DCE.
+    Worklist,
+    /// The original driver: re-walk the whole module after every
+    /// changed sweep, try every pattern on every op, and run a
+    /// full-region DCE sweep per iteration. Kept as the reference
+    /// semantics for equivalence tests and perf baselines.
+    LegacyRewalk,
+}
+
+thread_local! {
+    static DRIVER_MODE: Cell<DriverMode> = const { Cell::new(DriverMode::Worklist) };
+}
+
+/// The driver mode used by [`apply_patterns_greedily`] on this thread.
+pub fn driver_mode() -> DriverMode {
+    DRIVER_MODE.with(Cell::get)
+}
+
+/// Sets the driver mode for this thread (tests run in parallel, so the
+/// switch is thread-local rather than global).
+pub fn set_driver_mode(mode: DriverMode) {
+    DRIVER_MODE.with(|m| m.set(mode));
+}
+
+/// Runs `f` with the driver mode set to `mode`, restoring the previous
+/// mode afterwards.
+pub fn with_driver_mode<T>(mode: DriverMode, f: impl FnOnce() -> T) -> T {
+    let previous = driver_mode();
+    set_driver_mode(mode);
+    let out = f();
+    set_driver_mode(previous);
+    out
+}
 
 /// Error returned when the greedy driver fails to reach a fixpoint,
 /// identifying the pattern that kept "changing" without progress.
@@ -54,8 +115,13 @@ impl fmt::Display for ConvergenceError {
 impl std::error::Error for ConvergenceError {}
 
 /// Applies `patterns` to every operation under `root` until fixpoint,
-/// interleaving dead-code elimination sweeps. Returns the total number of
+/// interleaving dead-code elimination. Returns the total number of
 /// successful pattern applications.
+///
+/// Dispatches to the worklist driver or the legacy re-walk driver
+/// according to [`driver_mode`]; both reach the same fixpoint for
+/// confluent pattern sets (asserted stage-by-stage by the driver
+/// equivalence test over the kernel suite).
 ///
 /// # Errors
 ///
@@ -64,6 +130,232 @@ impl std::error::Error for ConvergenceError {}
 /// "changing" without progress), naming the last pattern that reported a
 /// change and the operation it anchored on.
 pub fn apply_patterns_greedily(
+    ctx: &mut Context,
+    registry: &DialectRegistry,
+    root: OpId,
+    patterns: &[&dyn RewritePattern],
+) -> Result<usize, ConvergenceError> {
+    match driver_mode() {
+        DriverMode::Worklist => apply_patterns_worklist(ctx, registry, root, patterns),
+        DriverMode::LegacyRewalk => apply_patterns_rewalk(ctx, registry, root, patterns),
+    }
+}
+
+/// Patterns indexed by anchor op name, preserving declaration order.
+struct PatternIndex {
+    by_name: HashMap<&'static str, Vec<usize>>,
+    /// Patterns with no declared anchors, tried on every op.
+    generic: Vec<usize>,
+}
+
+impl PatternIndex {
+    fn new(patterns: &[&dyn RewritePattern]) -> PatternIndex {
+        let mut by_name: HashMap<&'static str, Vec<usize>> = HashMap::new();
+        let mut generic = Vec::new();
+        for (i, pattern) in patterns.iter().enumerate() {
+            match pattern.anchor_names() {
+                Some(names) => {
+                    for &name in names {
+                        by_name.entry(name).or_default().push(i);
+                    }
+                }
+                None => generic.push(i),
+            }
+        }
+        PatternIndex { by_name, generic }
+    }
+
+    /// Collects the pattern indices applicable to an op named `name`
+    /// into `out`, in declaration order (both source lists are already
+    /// ascending, so this is a two-way merge).
+    fn candidates(&self, name: &str, out: &mut Vec<usize>) {
+        out.clear();
+        let named: &[usize] = self.by_name.get(name).map_or(&[], Vec::as_slice);
+        let (mut i, mut j) = (0, 0);
+        while i < named.len() && j < self.generic.len() {
+            if named[i] < self.generic[j] {
+                out.push(named[i]);
+                i += 1;
+            } else {
+                out.push(self.generic[j]);
+                j += 1;
+            }
+        }
+        out.extend_from_slice(&named[i..]);
+        out.extend_from_slice(&self.generic[j..]);
+    }
+
+    /// Whether any pattern can anchor on an op named `name`.
+    fn has_candidates(&self, name: &str) -> bool {
+        !self.generic.is_empty() || self.by_name.contains_key(name)
+    }
+}
+
+/// Whether `op` is pure, pin-free and result-unused — erasable by DCE.
+fn is_trivially_dead(ctx: &Context, registry: &DialectRegistry, op: OpId) -> bool {
+    if !registry.is_pure(&ctx.op(op).name) {
+        return false;
+    }
+    let results = &ctx.op(op).results;
+    // A result pinned to a physical register has out-of-band semantics
+    // (e.g. an FPU op targeting a stream register writes memory through
+    // the SSR): never erase those.
+    if results.iter().any(|&r| ctx.value_type(r).is_allocated_register()) {
+        return false;
+    }
+    results.iter().all(|&r| !ctx.has_uses(r))
+}
+
+/// Re-enqueues every op the journalled changes could have affected:
+/// created ops and their operand definers, definers and remaining users
+/// of values released by an erase, both sides of a use replacement,
+/// ops whose operand lists or positions changed, and definers/users of
+/// retyped values.
+fn drain_changes(ctx: &mut Context, queue: &mut VecDeque<OpId>, queued: &mut HashSet<OpId>) {
+    let changes = ctx.journal_drain();
+    if changes.is_empty() {
+        return;
+    }
+    let mut pending: Vec<OpId> = Vec::new();
+    for change in &changes {
+        match change {
+            IrChange::Created(op) => {
+                pending.push(*op);
+                if ctx.is_alive(*op) {
+                    for &v in &ctx.op(*op).operands {
+                        pending.extend(ctx.defining_op(v));
+                    }
+                }
+            }
+            IrChange::Erased { released } => {
+                for &v in released {
+                    pending.extend(ctx.defining_op(v));
+                    pending.extend_from_slice(ctx.user_ops(v));
+                }
+            }
+            IrChange::ReplacedUses { old, new } => {
+                pending.extend(ctx.defining_op(*old));
+                pending.extend(ctx.defining_op(*new));
+                pending.extend_from_slice(ctx.user_ops(*new));
+            }
+            IrChange::OperandsChanged { op, released } => {
+                pending.push(*op);
+                for &v in released {
+                    pending.extend(ctx.defining_op(v));
+                }
+                if ctx.is_alive(*op) {
+                    for &r in &ctx.op(*op).results {
+                        pending.extend_from_slice(ctx.user_ops(r));
+                    }
+                }
+            }
+            IrChange::Moved(op) => {
+                if ctx.is_alive(*op) {
+                    pending.push(*op);
+                    pending.extend(ctx.parent_op(*op));
+                }
+            }
+            IrChange::TypeChanged(v) => {
+                pending.extend(ctx.defining_op(*v));
+                pending.extend_from_slice(ctx.user_ops(*v));
+            }
+        }
+    }
+    let mut requeued = 0;
+    for op in pending {
+        if ctx.is_alive(op) && queued.insert(op) {
+            queue.push_back(op);
+            requeued += 1;
+        }
+    }
+    ctx.rewrite_stats.requeued += requeued;
+}
+
+/// The worklist driver (see [`DriverMode::Worklist`]).
+fn apply_patterns_worklist(
+    ctx: &mut Context,
+    registry: &DialectRegistry,
+    root: OpId,
+    patterns: &[&dyn RewritePattern],
+) -> Result<usize, ConvergenceError> {
+    let index = PatternIndex::new(patterns);
+    let walk = ctx.walk(root);
+    // Global application budget for cross-op ping-pongs that keep
+    // minting fresh ops (the per-op counter cannot see those).
+    let budget = MAX_ITERATIONS.saturating_mul(walk.len().max(1));
+    // Anchor-filtered seeding: enqueue an op only if some pattern can
+    // anchor on it, or it is already trivially dead (pre-existing dead
+    // ops are the incremental DCE's responsibility). Op names are
+    // immutable, so a skipped op can only become relevant through a
+    // journalled change, which re-enqueues it.
+    let seed: Vec<OpId> = walk
+        .into_iter()
+        .filter(|&op| {
+            index.has_candidates(&ctx.op(op).name) || is_trivially_dead(ctx, registry, op)
+        })
+        .collect();
+    let mut queued: HashSet<OpId> = seed.iter().copied().collect();
+    let mut queue: VecDeque<OpId> = seed.into();
+    let mut apply_counts: HashMap<OpId, usize> = HashMap::new();
+    let mut candidates: Vec<usize> = Vec::new();
+    let mut total = 0;
+    ctx.journal_begin();
+    while let Some(op) = queue.pop_front() {
+        queued.remove(&op);
+        if !ctx.is_alive(op) {
+            continue;
+        }
+        ctx.rewrite_stats.ops_visited += 1;
+        if is_trivially_dead(ctx, registry, op) {
+            ctx.erase_op(op);
+            ctx.rewrite_stats.dce_erased += 1;
+            drain_changes(ctx, &mut queue, &mut queued);
+            continue;
+        }
+        index.candidates(&ctx.op(op).name, &mut candidates);
+        for &pi in &candidates {
+            if !ctx.is_alive(op) {
+                break;
+            }
+            let pattern = patterns[pi];
+            ctx.rewrite_stats.match_attempts += 1;
+            if pattern.match_and_rewrite(ctx, registry, op) {
+                total += 1;
+                ctx.rewrite_stats.pattern_applications += 1;
+                drain_changes(ctx, &mut queue, &mut queued);
+                let count = apply_counts.entry(op).or_insert(0);
+                *count += 1;
+                if *count >= MAX_ITERATIONS || total >= budget {
+                    let anchored = if ctx.is_alive(op) {
+                        ctx.op(op).name.clone()
+                    } else {
+                        "<erased op>".to_string()
+                    };
+                    ctx.journal_end();
+                    return Err(ConvergenceError {
+                        iterations: MAX_ITERATIONS,
+                        last_pattern: Some(pattern.name()),
+                        last_op: Some(anchored),
+                    });
+                }
+                // Revisit the rewritten anchor with a fresh match.
+                if ctx.is_alive(op) && queued.insert(op) {
+                    queue.push_back(op);
+                    ctx.rewrite_stats.requeued += 1;
+                }
+                break;
+            }
+        }
+        // Catch mutations from patterns that changed IR but reported no
+        // match — their effects must still re-enqueue dependents.
+        drain_changes(ctx, &mut queue, &mut queued);
+    }
+    ctx.journal_end();
+    Ok(total)
+}
+
+/// The original re-walk driver (see [`DriverMode::LegacyRewalk`]).
+fn apply_patterns_rewalk(
     ctx: &mut Context,
     registry: &DialectRegistry,
     root: OpId,
@@ -79,10 +371,12 @@ pub fn apply_patterns_greedily(
             if !ctx.is_alive(op) {
                 continue;
             }
+            ctx.rewrite_stats.ops_visited += 1;
             for pattern in patterns {
                 if !ctx.is_alive(op) {
                     break;
                 }
+                ctx.rewrite_stats.match_attempts += 1;
                 if pattern.match_and_rewrite(ctx, registry, op) {
                     changed = true;
                     total += 1;
@@ -96,7 +390,7 @@ pub fn apply_patterns_greedily(
                 }
             }
         }
-        changed |= eliminate_dead_code(ctx, registry, root) > 0;
+        changed |= legacy_dce_fixpoint(ctx, registry, root) > 0;
         if !changed {
             return Ok(total);
         }
@@ -104,39 +398,81 @@ pub fn apply_patterns_greedily(
     Err(ConvergenceError { iterations: MAX_ITERATIONS, last_pattern, last_op })
 }
 
-/// Erases pure operations whose results are all unused, bottom-up, until
-/// fixpoint. Returns the number of erased operations.
-pub fn eliminate_dead_code(ctx: &mut Context, registry: &DialectRegistry, root: OpId) -> usize {
+/// Dead-code elimination exactly as the re-walk driver ran it: full
+/// reverse-pre-order sweeps of the whole region repeated to a fixpoint,
+/// so an erasure chain of depth `k` costs `k + 1` module-sized sweeps.
+/// Every examined op is counted as driver work in `ops_visited` — this
+/// interleaved sweeping is precisely the cost the worklist driver's
+/// incremental use-count DCE avoids. The erased set (and therefore the
+/// resulting IR) is identical to [`eliminate_dead_code`]'s single pass;
+/// only the work spent reaching it differs.
+fn legacy_dce_fixpoint(ctx: &mut Context, registry: &DialectRegistry, root: OpId) -> usize {
     let mut erased = 0;
     loop {
         let mut changed = false;
-        // Post-order (reverse pre-order works for straight-line regions):
-        // erase users before producers.
         let mut ops = ctx.walk(root);
         ops.reverse();
         for op in ops {
             if !ctx.is_alive(op) {
                 continue;
             }
-            if !registry.is_pure(&ctx.op(op).name) {
+            ctx.rewrite_stats.ops_visited += 1;
+            if !is_trivially_dead(ctx, registry, op) {
                 continue;
             }
-            let results = ctx.op(op).results.clone();
-            // A result pinned to a physical register has out-of-band
-            // semantics (e.g. an FPU op targeting a stream register
-            // writes memory through the SSR): never erase those.
-            if results.iter().any(|&r| ctx.value_type(r).is_allocated_register()) {
-                continue;
-            }
-            if results.iter().all(|&r| !ctx.has_uses(r)) {
-                ctx.erase_op(op);
-                erased += 1;
-                ctx.rewrite_stats.dce_erased += 1;
-                changed = true;
-            }
+            ctx.erase_op(op);
+            erased += 1;
+            ctx.rewrite_stats.dce_erased += 1;
+            changed = true;
         }
         if !changed {
             return erased;
+        }
+    }
+}
+
+/// Erases pure operations whose results are all unused. A single true
+/// post-order pass (nested regions before their parent op, reverse
+/// statement order within blocks) visits every user before its
+/// producers, and erasures cascade into newly-unused producers via the
+/// released operand values — no fixpoint rounds. Returns the number of
+/// erased operations (a wholesale-erased subtree counts once).
+pub fn eliminate_dead_code(ctx: &mut Context, registry: &DialectRegistry, root: OpId) -> usize {
+    let mut order = Vec::new();
+    dce_postorder(ctx, root, &mut order);
+    let mut erased = 0;
+    let mut stack: Vec<OpId> = Vec::new();
+    for op in order {
+        stack.push(op);
+        while let Some(op) = stack.pop() {
+            if !ctx.is_alive(op) || !is_trivially_dead(ctx, registry, op) {
+                continue;
+            }
+            let released = ctx.erase_op_collecting(op);
+            erased += 1;
+            ctx.rewrite_stats.dce_erased += 1;
+            for v in released {
+                if let Some(def) = ctx.defining_op(v) {
+                    if ctx.is_alive(def) {
+                        stack.push(def);
+                    }
+                }
+            }
+        }
+    }
+    erased
+}
+
+/// Appends the ops under `root` in users-before-producers order: each
+/// block's ops reversed, with an op's nested regions visited before the
+/// op itself.
+fn dce_postorder(ctx: &Context, root: OpId, out: &mut Vec<OpId>) {
+    for &r in &ctx.op(root).regions {
+        for &b in ctx.region_blocks(r) {
+            for &o in ctx.block_ops(b).iter().rev() {
+                dce_postorder(ctx, o, out);
+                out.push(o);
+            }
         }
     }
 }
@@ -193,22 +529,42 @@ mod tests {
         }
     }
 
-    #[test]
-    fn pattern_applies_and_converges() {
-        let mut ctx = Context::new();
-        let (m, b) = module(&mut ctx);
+    fn double_module(ctx: &mut Context) -> (OpId, crate::context::BlockId) {
+        let (m, b) = module(ctx);
         let c = ctx.append_op(b, OpSpec::new("t.const").results(vec![Type::F64]));
         let v = ctx.op(c).results[0];
         let d =
             ctx.append_op(b, OpSpec::new("t.double").operands(vec![v]).results(vec![Type::F64]));
         let dv = ctx.op(d).results[0];
         ctx.append_op(b, OpSpec::new("t.use").operands(vec![dv]));
+        (m, b)
+    }
 
+    #[test]
+    fn pattern_applies_and_converges() {
+        let mut ctx = Context::new();
+        let (m, b) = double_module(&mut ctx);
         let n = apply_patterns_greedily(&mut ctx, &registry(), m, &[&DoubleToAdd]).unwrap();
         assert_eq!(n, 1);
         let names: Vec<String> = ctx.block_ops(b).iter().map(|&o| ctx.op(o).name.clone()).collect();
         assert_eq!(names, ["t.const", "t.add", "t.use"]);
         assert!(ctx.verify_structure(m).is_ok());
+    }
+
+    #[test]
+    fn both_drivers_reach_the_same_fixpoint() {
+        for mode in [DriverMode::Worklist, DriverMode::LegacyRewalk] {
+            let mut ctx = Context::new();
+            let (m, b) = double_module(&mut ctx);
+            let n = with_driver_mode(mode, || {
+                apply_patterns_greedily(&mut ctx, &registry(), m, &[&DoubleToAdd]).unwrap()
+            });
+            assert_eq!(n, 1, "{mode:?}");
+            let names: Vec<String> =
+                ctx.block_ops(b).iter().map(|&o| ctx.op(o).name.clone()).collect();
+            assert_eq!(names, ["t.const", "t.add", "t.use"], "{mode:?}");
+            assert!(ctx.verify_structure(m).is_ok(), "{mode:?}");
+        }
     }
 
     /// Claims a change on every visit of `t.use` without making progress.
@@ -229,19 +585,23 @@ mod tests {
 
     #[test]
     fn divergence_names_the_offending_pattern() {
-        let mut ctx = Context::new();
-        let (m, b) = module(&mut ctx);
-        let c = ctx.append_op(b, OpSpec::new("t.const").results(vec![Type::F64]));
-        let v = ctx.op(c).results[0];
-        ctx.append_op(b, OpSpec::new("t.use").operands(vec![v]));
-        let err = apply_patterns_greedily(&mut ctx, &registry(), m, &[&PingPong]).unwrap_err();
-        assert_eq!(err.iterations, 1000);
-        assert_eq!(err.last_pattern, Some("ping-pong"));
-        assert_eq!(err.last_op.as_deref(), Some("t.use"));
-        let msg = err.to_string();
-        assert!(msg.contains("did not converge"), "{msg}");
-        assert!(msg.contains("ping-pong"), "{msg}");
-        assert!(msg.contains("t.use"), "{msg}");
+        for mode in [DriverMode::Worklist, DriverMode::LegacyRewalk] {
+            let mut ctx = Context::new();
+            let (m, b) = module(&mut ctx);
+            let c = ctx.append_op(b, OpSpec::new("t.const").results(vec![Type::F64]));
+            let v = ctx.op(c).results[0];
+            ctx.append_op(b, OpSpec::new("t.use").operands(vec![v]));
+            let err = with_driver_mode(mode, || {
+                apply_patterns_greedily(&mut ctx, &registry(), m, &[&PingPong]).unwrap_err()
+            });
+            assert_eq!(err.iterations, 1000, "{mode:?}");
+            assert_eq!(err.last_pattern, Some("ping-pong"), "{mode:?}");
+            assert_eq!(err.last_op.as_deref(), Some("t.use"), "{mode:?}");
+            let msg = err.to_string();
+            assert!(msg.contains("did not converge"), "{msg}");
+            assert!(msg.contains("ping-pong"), "{msg}");
+            assert!(msg.contains("t.use"), "{msg}");
+        }
     }
 
     #[test]
@@ -267,5 +627,159 @@ mod tests {
         let erased = eliminate_dead_code(&mut ctx, &registry(), m);
         assert_eq!(erased, 0);
         assert_eq!(ctx.block_ops(b).len(), 2);
+    }
+
+    #[test]
+    fn dce_erases_nested_region_dead_ops_in_one_pass() {
+        // A dead op inside a region keeps a producer *before* the region
+        // op alive; true post-order (nested first) must clear both in a
+        // single call without fixpoint rounds.
+        let mut ctx = Context::new();
+        let mut r = registry();
+        r.register(OpInfo::new("t.loop"));
+        r.register(OpInfo::new("t.yield"));
+        let (m, b) = module(&mut ctx);
+        let c = ctx.append_op(b, OpSpec::new("t.const").results(vec![Type::F64]));
+        let v = ctx.op(c).results[0];
+        let l = ctx.append_op(b, OpSpec::new("t.loop").regions(1));
+        let lb = ctx.create_block(ctx.op(l).regions[0], vec![]);
+        // Dead pure user of %v nested inside the (impure) loop.
+        ctx.append_op(lb, OpSpec::new("t.add").operands(vec![v, v]).results(vec![Type::F64]));
+        ctx.append_op(lb, OpSpec::new("t.yield"));
+        let erased = eliminate_dead_code(&mut ctx, &r, m);
+        assert_eq!(erased, 2, "nested add and its const producer in one pass");
+        assert!(ctx.walk_named(m, "t.add").is_empty());
+        assert!(ctx.walk_named(m, "t.const").is_empty());
+        assert!(ctx.verify_structure(m).is_ok());
+    }
+
+    /// Anchored pattern: fires on `t.seed` only once its result is down
+    /// to a single use, replacing it with `t.single`.
+    struct MarkSeedSingleUse;
+    impl RewritePattern for MarkSeedSingleUse {
+        fn name(&self) -> &'static str {
+            "mark-seed-single-use"
+        }
+        fn anchor_names(&self) -> Option<&'static [&'static str]> {
+            Some(&["t.seed"])
+        }
+        fn match_and_rewrite(
+            &self,
+            ctx: &mut Context,
+            _registry: &DialectRegistry,
+            op: OpId,
+        ) -> bool {
+            // Name check kept for the legacy driver, which ignores
+            // anchor_names and tries every pattern on every op.
+            if ctx.op(op).name != "t.seed" {
+                return false;
+            }
+            let result = ctx.op(op).results[0];
+            if ctx.uses(result).len() != 1 {
+                return false;
+            }
+            let single = ctx.insert_op_before(op, OpSpec::new("t.single").results(vec![Type::F64]));
+            let new = ctx.op(single).results[0];
+            ctx.replace_all_uses(result, new);
+            ctx.erase_op(op);
+            true
+        }
+    }
+
+    fn requeue_registry() -> DialectRegistry {
+        let mut r = DialectRegistry::new();
+        r.register(OpInfo::new("t.module"));
+        r.register(OpInfo::new("t.nop"));
+        r.register(OpInfo::new("t.seed").pure());
+        r.register(OpInfo::new("t.single").pure());
+        r.register(OpInfo::new("t.wrap").pure());
+        r.register(OpInfo::new("t.sink"));
+        r
+    }
+
+    /// Filler nops, then: `%s = t.seed` used by a dead `t.wrap` and a
+    /// live `t.sink`. DCE of the wrap is what enables the anchored seed
+    /// pattern — the worklist must pick that up by requeueing the seed,
+    /// not by re-walking the module.
+    fn requeue_module(ctx: &mut Context, fillers: usize) -> OpId {
+        let m = ctx.create_detached_op(OpSpec::new("t.module").regions(1));
+        let b = ctx.create_block(ctx.op(m).regions[0], vec![]);
+        for _ in 0..fillers {
+            ctx.append_op(b, OpSpec::new("t.nop"));
+        }
+        let seed = ctx.append_op(b, OpSpec::new("t.seed").results(vec![Type::F64]));
+        let v = ctx.op(seed).results[0];
+        ctx.append_op(b, OpSpec::new("t.wrap").operands(vec![v]).results(vec![Type::F64]));
+        ctx.append_op(b, OpSpec::new("t.sink").operands(vec![v]));
+        m
+    }
+
+    #[test]
+    fn worklist_requeues_enabled_match_without_rewalk() {
+        const FILLERS: usize = 60;
+        let r = requeue_registry();
+
+        let mut ctx = Context::new();
+        let m = requeue_module(&mut ctx, FILLERS);
+        let before = ctx.rewrite_stats();
+        let n = with_driver_mode(DriverMode::Worklist, || {
+            apply_patterns_greedily(&mut ctx, &r, m, &[&MarkSeedSingleUse]).unwrap()
+        });
+        let stats = ctx.rewrite_stats().delta_since(before);
+        assert_eq!(n, 1);
+        assert_eq!(ctx.walk_named(m, "t.single").len(), 1);
+        assert!(ctx.walk_named(m, "t.seed").is_empty());
+        assert!(ctx.walk_named(m, "t.wrap").is_empty());
+        assert!(ctx.verify_structure(m).is_ok());
+        // Anchor indexing: only the seed op ever attempts a match — once
+        // failing (two uses), once succeeding after the wrap is DCE'd.
+        assert_eq!(stats.match_attempts, 2, "{stats:?}");
+        assert!(stats.requeued >= 1, "seed must be requeued: {stats:?}");
+        // No full re-walk: visits stay within seed walk + a few requeues.
+        assert!(
+            stats.ops_visited <= (FILLERS + 3 + 8) as u64,
+            "visited {} ops for a {}-op module",
+            stats.ops_visited,
+            FILLERS + 3
+        );
+        assert_eq!(stats.dce_erased, 1);
+
+        // The legacy driver does strictly more deterministic work on the
+        // identical input; the worklist's advantage is the point.
+        let mut legacy_ctx = Context::new();
+        let lm = requeue_module(&mut legacy_ctx, FILLERS);
+        let before = legacy_ctx.rewrite_stats();
+        let n = with_driver_mode(DriverMode::LegacyRewalk, || {
+            apply_patterns_greedily(&mut legacy_ctx, &r, lm, &[&MarkSeedSingleUse]).unwrap()
+        });
+        let legacy = legacy_ctx.rewrite_stats().delta_since(before);
+        assert_eq!(n, 1);
+        let work = |s: &crate::context::RewriteStats| s.ops_visited + s.match_attempts;
+        assert!(
+            work(&legacy) >= 5 * work(&stats),
+            "legacy {legacy:?} should be ≥5× worklist {stats:?}"
+        );
+    }
+
+    #[test]
+    fn pattern_index_routes_only_anchored_patterns() {
+        let patterns: &[&dyn RewritePattern] = &[&MarkSeedSingleUse, &DoubleToAdd, &PingPong];
+        let index = PatternIndex::new(patterns);
+        let mut out = Vec::new();
+        // Anchored + generic merge in declaration order.
+        index.candidates("t.seed", &mut out);
+        assert_eq!(out, vec![0, 1, 2]);
+        // Unanchored names fall back to generic patterns only.
+        index.candidates("t.wrap", &mut out);
+        assert_eq!(out, vec![1, 2]);
+        index.candidates("t.unknown", &mut out);
+        assert_eq!(out, vec![1, 2]);
+        // With generic patterns present every name has candidates…
+        assert!(index.has_candidates("t.unknown"));
+        // …while an anchored-only index rejects unanchored names, which
+        // is what keeps them out of the seed queue entirely.
+        let anchored_only = PatternIndex::new(&[&MarkSeedSingleUse]);
+        assert!(anchored_only.has_candidates("t.seed"));
+        assert!(!anchored_only.has_candidates("t.unknown"));
     }
 }

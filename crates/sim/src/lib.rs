@@ -41,5 +41,5 @@ pub mod trace;
 pub use asm::{assemble, AsmError};
 pub use counters::{OccupancySummary, PerfCounters};
 pub use instr::{Instr, Program};
-pub use machine::{Machine, SimError};
+pub use machine::{ExecProgram, Machine, SimError};
 pub use trace::{StallReason, TraceEntry};

@@ -55,6 +55,99 @@ impl std::fmt::Display for SimError {
 
 impl std::error::Error for SimError {}
 
+/// Validity of an `frep.o` body, established once at predecode time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FrepBody {
+    /// Not an `frep.o` instruction.
+    None,
+    /// Every body instruction is an FPU instruction.
+    Fpu,
+    /// The body runs off the end of the program.
+    OffEnd,
+    /// The body contains a non-FPU instruction. The validating loop
+    /// reproduces the exact per-iteration error (preceding FPU body
+    /// instructions still execute first).
+    NonFpu,
+}
+
+/// A [`Program`] predecoded into a dense execute-ready form.
+///
+/// Predecoding hoists all per-step validation out of [`Machine::run`]:
+/// each `frep.o` body is classified once, so the hot loop never
+/// re-validates it per iteration. Build one with [`ExecProgram::new`] and
+/// run it repeatedly via [`Machine::call_predecoded`] to amortize the
+/// (single-scan) predecode cost; [`Machine::call`] predecodes internally.
+#[derive(Debug, Clone)]
+pub struct ExecProgram<'p> {
+    program: &'p Program,
+    /// Per-pc frep-body classification, parallel to `program.instrs`.
+    frep: Vec<FrepBody>,
+}
+
+impl<'p> ExecProgram<'p> {
+    /// Predecodes `program` (one scan over its instructions).
+    pub fn new(program: &'p Program) -> ExecProgram<'p> {
+        let frep = program
+            .instrs
+            .iter()
+            .enumerate()
+            .map(|(pc, instr)| match *instr {
+                Instr::FrepO { n_instr, .. } => {
+                    let n = n_instr as usize;
+                    if pc + n >= program.instrs.len() {
+                        FrepBody::OffEnd
+                    } else if program.instrs[pc + 1..=pc + n].iter().all(Instr::is_fpu) {
+                        FrepBody::Fpu
+                    } else {
+                        FrepBody::NonFpu
+                    }
+                }
+                _ => FrepBody::None,
+            })
+            .collect();
+        ExecProgram { program, frep }
+    }
+}
+
+/// An FPU source operand pre-resolved for the frep fast path: either a
+/// pop from a read stream or a register read.
+#[derive(Debug, Clone, Copy)]
+enum FpSrc {
+    /// Pop the next element from this data mover.
+    Stream(u8),
+    /// Read FP register file entry `f[i]`.
+    Reg(u8),
+}
+
+/// An FPU destination pre-resolved for the frep fast path.
+#[derive(Debug, Clone, Copy)]
+enum FpDst {
+    /// Push the result to this data mover.
+    Stream(u8),
+    /// Write FP register file entry `f[i]`.
+    Reg(u8),
+}
+
+/// One FPU instruction of an frep body with its operand routing
+/// pre-resolved. Stream-vs-register classification is stable for the
+/// whole frep: it depends only on `ssr_enabled` and each mover's job,
+/// and neither can change from inside an (FPU-only) frep body.
+#[derive(Debug, Clone, Copy)]
+enum FpuStep {
+    /// FP binary arithmetic.
+    Bin { op: FpBinOp, a: FpSrc, b: FpSrc, d: FpDst },
+    /// Fused multiply-add (`d = a * b + c`).
+    Fmadd { width: FpWidth, a: FpSrc, b: FpSrc, c: FpSrc, d: FpDst },
+    /// FP register move.
+    Fmv { a: FpSrc, d: FpDst },
+    /// Packed multiply-accumulate; `acc` is always a plain register.
+    Vfmac { a: FpSrc, b: FpSrc, acc: u8, d: FpDst },
+    /// Packed lane sum; `acc` is always a plain register.
+    Vfsum { a: FpSrc, acc: u8, d: FpDst },
+    /// Integer-to-FP conversion.
+    Fcvt { width: FpWidth, rs: IntReg, d: FpDst },
+}
+
 /// The simulated Snitch core with its TCDM.
 #[derive(Debug, Clone)]
 pub struct Machine {
@@ -74,6 +167,10 @@ pub struct Machine {
     budget: u64,
     /// Execution trace of the current call, when enabled.
     trace: Option<Vec<TraceEntry>>,
+    /// Execute eligible frep bodies on the pre-resolved fast path.
+    fast_path: bool,
+    /// Reusable buffer of pre-resolved steps for the current frep body.
+    plan: Vec<FpuStep>,
 }
 
 impl Default for Machine {
@@ -99,6 +196,8 @@ impl Machine {
             max_completion: 0,
             budget: 200_000_000,
             trace: None,
+            fast_path: true,
+            plan: Vec::new(),
         }
     }
 
@@ -139,6 +238,14 @@ impl Machine {
     /// Sets the dynamic-instruction budget (runaway-loop guard).
     pub fn set_instruction_budget(&mut self, budget: u64) {
         self.budget = budget;
+    }
+
+    /// Enables or disables the pre-resolved frep fast path (on by
+    /// default). The fast path is value-, counter- and error-exact with
+    /// the generic per-iteration loop; turning it off is only useful to
+    /// benchmark the difference. Tracing always uses the generic loop.
+    pub fn set_fast_path(&mut self, on: bool) {
+        self.fast_path = on;
     }
 
     // ----- architectural state access ---------------------------------------
@@ -302,7 +409,22 @@ impl Machine {
         entry: &str,
         args: &[u32],
     ) -> Result<PerfCounters, SimError> {
-        let start = *program.symbols.get(entry).ok_or_else(|| SimError {
+        self.call_predecoded(&ExecProgram::new(program), entry, args)
+    }
+
+    /// Like [`Machine::call`], but runs an already-predecoded program,
+    /// amortizing the predecode scan over repeated calls.
+    ///
+    /// # Errors
+    ///
+    /// Propagates memory faults, SSR misuse, and budget exhaustion.
+    pub fn call_predecoded(
+        &mut self,
+        exec: &ExecProgram<'_>,
+        entry: &str,
+        args: &[u32],
+    ) -> Result<PerfCounters, SimError> {
+        let start = *exec.program.symbols.get(entry).ok_or_else(|| SimError {
             pc: None,
             message: format!("unknown entry symbol `{entry}`"),
         })?;
@@ -320,17 +442,18 @@ impl Machine {
             trace.clear();
         }
         let before = self.counters;
-        self.run(program, start)?;
+        self.run(exec, start)?;
         let cycles = self.int_time.max(self.fpu_time).max(self.max_completion);
         self.counters.cycles += cycles;
         Ok(self.counters.delta_since(&before))
     }
 
-    fn run(&mut self, program: &Program, start: usize) -> Result<(), SimError> {
+    fn run(&mut self, exec: &ExecProgram<'_>, start: usize) -> Result<(), SimError> {
+        let instrs = &exec.program.instrs;
         let mut pc = start;
         let mut executed: u64 = 0;
         loop {
-            let instr = *program.instrs.get(pc).ok_or_else(|| SimError {
+            let instr = *instrs.get(pc).ok_or_else(|| SimError {
                 pc: Some(pc),
                 message: "program counter ran off the end".to_string(),
             })?;
@@ -346,15 +469,17 @@ impl Machine {
                     let issue = self.int_time;
                     self.int_time += 1;
                     self.counters.instructions += 1;
-                    self.record(TraceEntry {
-                        pc,
-                        instr,
-                        in_frep: false,
-                        issue,
-                        complete: issue + 1,
-                        stall: StallReason::None,
-                        stall_cycles: 0,
-                    });
+                    if self.trace.is_some() {
+                        self.record(TraceEntry {
+                            pc,
+                            instr,
+                            in_frep: false,
+                            issue,
+                            complete: issue + 1,
+                            stall: StallReason::None,
+                            stall_cycles: 0,
+                        });
+                    }
                     return Ok(());
                 }
                 Instr::J { target } => {
@@ -362,15 +487,17 @@ impl Machine {
                     self.int_time += 1 + BRANCH_PENALTY;
                     self.counters.instructions += 1;
                     self.counters.taken_branches += 1;
-                    self.record(TraceEntry {
-                        pc,
-                        instr,
-                        in_frep: false,
-                        issue,
-                        complete: issue + 1 + BRANCH_PENALTY,
-                        stall: StallReason::BranchRedirect,
-                        stall_cycles: BRANCH_PENALTY,
-                    });
+                    if self.trace.is_some() {
+                        self.record(TraceEntry {
+                            pc,
+                            instr,
+                            in_frep: false,
+                            issue,
+                            complete: issue + 1 + BRANCH_PENALTY,
+                            stall: StallReason::BranchRedirect,
+                            stall_cycles: BRANCH_PENALTY,
+                        });
+                    }
                     pc = target;
                 }
                 Instr::Branch { cond, rs1, rs2, target } => {
@@ -393,23 +520,25 @@ impl Machine {
                         self.int_time += BRANCH_PENALTY;
                         self.counters.taken_branches += 1;
                     }
-                    let wait = t - int_before;
-                    let stall = if wait > 0 {
-                        StallReason::RawInt
-                    } else if taken {
-                        StallReason::BranchRedirect
-                    } else {
-                        StallReason::None
-                    };
-                    self.record(TraceEntry {
-                        pc,
-                        instr,
-                        in_frep: false,
-                        issue: t,
-                        complete: self.int_time,
-                        stall,
-                        stall_cycles: wait + if taken { BRANCH_PENALTY } else { 0 },
-                    });
+                    if self.trace.is_some() {
+                        let wait = t - int_before;
+                        let stall = if wait > 0 {
+                            StallReason::RawInt
+                        } else if taken {
+                            StallReason::BranchRedirect
+                        } else {
+                            StallReason::None
+                        };
+                        self.record(TraceEntry {
+                            pc,
+                            instr,
+                            in_frep: false,
+                            issue: t,
+                            complete: self.int_time,
+                            stall,
+                            stall_cycles: wait + if taken { BRANCH_PENALTY } else { 0 },
+                        });
+                    }
                     pc = if taken { target } else { pc + 1 };
                 }
                 Instr::FrepO { rs1, n_instr } => {
@@ -418,41 +547,57 @@ impl Machine {
                     self.int_time = t + 1;
                     self.counters.instructions += 1;
                     self.counters.frep += 1;
-                    self.record(TraceEntry {
-                        pc,
-                        instr,
-                        in_frep: false,
-                        issue: t,
-                        complete: t + 1,
-                        stall: if t > int_before { StallReason::RawInt } else { StallReason::None },
-                        stall_cycles: t - int_before,
-                    });
-                    let reps = self.x(rs1) as u64 + 1;
-                    let n = n_instr as usize;
-                    if pc + n >= program.instrs.len() {
-                        return Err(SimError {
-                            pc: Some(pc),
-                            message: "frep body runs off the end of the program".into(),
+                    if self.trace.is_some() {
+                        self.record(TraceEntry {
+                            pc,
+                            instr,
+                            in_frep: false,
+                            issue: t,
+                            complete: t + 1,
+                            stall: if t > int_before {
+                                StallReason::RawInt
+                            } else {
+                                StallReason::None
+                            },
+                            stall_cycles: t - int_before,
                         });
                     }
-                    for _ in 0..reps {
-                        for i in 1..=n {
-                            let body = program.instrs[pc + i];
-                            if !body.is_fpu() {
-                                return Err(SimError {
-                                    pc: Some(pc + i),
-                                    message: "frep body contains a non-FPU instruction".into(),
-                                });
-                            }
-                            executed += 1;
-                            self.exec_straight(body, true, pc + i)
-                                .map_err(|message| SimError { pc: Some(pc + i), message })?;
-                        }
-                        if executed > self.budget {
+                    let reps = self.x(rs1) as u64 + 1;
+                    let n = n_instr as usize;
+                    match exec.frep[pc] {
+                        FrepBody::OffEnd => {
                             return Err(SimError {
                                 pc: Some(pc),
-                                message: "instruction budget exhausted".into(),
+                                message: "frep body runs off the end of the program".into(),
                             });
+                        }
+                        FrepBody::Fpu if self.fast_path && self.trace.is_none() => {
+                            self.resolve_frep_plan(&instrs[pc + 1..=pc + n]);
+                            executed = self.run_frep_fast(pc, n, reps, executed)?;
+                        }
+                        _ => {
+                            for _ in 0..reps {
+                                for i in 1..=n {
+                                    let body = instrs[pc + i];
+                                    if !body.is_fpu() {
+                                        return Err(SimError {
+                                            pc: Some(pc + i),
+                                            message: "frep body contains a non-FPU instruction"
+                                                .into(),
+                                        });
+                                    }
+                                    executed += 1;
+                                    self.exec_straight(body, true, pc + i).map_err(|message| {
+                                        SimError { pc: Some(pc + i), message }
+                                    })?;
+                                }
+                                if executed > self.budget {
+                                    return Err(SimError {
+                                        pc: Some(pc),
+                                        message: "instruction budget exhausted".into(),
+                                    });
+                                }
+                            }
                         }
                     }
                     pc += n + 1;
@@ -466,24 +611,248 @@ impl Machine {
         }
     }
 
+    /// Pre-resolves the operand routing of an (FPU-only) frep body into
+    /// the reusable plan buffer.
+    fn resolve_frep_plan(&mut self, body: &[Instr]) {
+        let mut plan = std::mem::take(&mut self.plan);
+        plan.clear();
+        plan.extend(body.iter().map(|&instr| self.resolve_step(instr)));
+        self.plan = plan;
+    }
+
+    /// Classifies an FPU source operand exactly as
+    /// [`Machine::read_fp_operand`] would on every iteration.
+    fn resolve_src(&self, r: FpReg) -> FpSrc {
+        let i = r.index() as usize;
+        if self.ssr_enabled
+            && r.is_ssr()
+            && self.movers[i].is_active()
+            && self.movers[i].direction() == Some(SsrDirection::Read)
+        {
+            FpSrc::Stream(r.index())
+        } else {
+            FpSrc::Reg(r.index())
+        }
+    }
+
+    /// Classifies an FPU destination exactly as
+    /// [`Machine::write_fp_result`] would on every iteration.
+    fn resolve_dst(&self, r: FpReg) -> FpDst {
+        let i = r.index() as usize;
+        if self.ssr_enabled
+            && r.is_ssr()
+            && self.movers[i].is_active()
+            && self.movers[i].direction() == Some(SsrDirection::Write)
+        {
+            FpDst::Stream(r.index())
+        } else {
+            FpDst::Reg(r.index())
+        }
+    }
+
+    fn resolve_step(&self, instr: Instr) -> FpuStep {
+        match instr {
+            Instr::FpBin { op, rd, rs1, rs2 } => FpuStep::Bin {
+                op,
+                a: self.resolve_src(rs1),
+                b: self.resolve_src(rs2),
+                d: self.resolve_dst(rd),
+            },
+            Instr::Fmadd { width, rd, rs1, rs2, rs3 } => FpuStep::Fmadd {
+                width,
+                a: self.resolve_src(rs1),
+                b: self.resolve_src(rs2),
+                c: self.resolve_src(rs3),
+                d: self.resolve_dst(rd),
+            },
+            Instr::FmvD { rd, rs } => {
+                FpuStep::Fmv { a: self.resolve_src(rs), d: self.resolve_dst(rd) }
+            }
+            Instr::VfmacS { rd, rs1, rs2 } => FpuStep::Vfmac {
+                a: self.resolve_src(rs1),
+                b: self.resolve_src(rs2),
+                acc: rd.index(),
+                d: self.resolve_dst(rd),
+            },
+            Instr::VfsumS { rd, rs1 } => FpuStep::Vfsum {
+                a: self.resolve_src(rs1),
+                acc: rd.index(),
+                d: self.resolve_dst(rd),
+            },
+            Instr::Fcvt { width, rd, rs } => FpuStep::Fcvt { width, rs, d: self.resolve_dst(rd) },
+            _ => unreachable!("non-FPU instruction in a validated frep body"),
+        }
+    }
+
+    /// Replays the pre-resolved frep body `reps` times without
+    /// re-dispatching the sequencer state machine per iteration.
+    ///
+    /// Counter updates, timing and error attribution are exact with the
+    /// generic loop: `executed` grows by the body length per repetition
+    /// with the budget checked after each repetition (attributed to the
+    /// frep's pc), and a faulting body instruction reports its own pc.
+    fn run_frep_fast(
+        &mut self,
+        frep_pc: usize,
+        n: usize,
+        reps: u64,
+        mut executed: u64,
+    ) -> Result<u64, SimError> {
+        if n > 0 && self.frep_precheck(reps) {
+            return self.run_frep_turbo(frep_pc, n, reps, executed);
+        }
+        for _ in 0..reps {
+            for i in 0..n {
+                let step = self.plan[i];
+                self.exec_step::<true>(step)
+                    .map_err(|message| SimError { pc: Some(frep_pc + 1 + i), message })?;
+            }
+            executed += n as u64;
+            if executed > self.budget {
+                return Err(SimError {
+                    pc: Some(frep_pc),
+                    message: "instruction budget exhausted".into(),
+                });
+            }
+        }
+        Ok(executed)
+    }
+
+    /// Proves upfront that `reps` repetitions of the resolved plan cannot
+    /// fault: every stream popped by the plan has enough remaining
+    /// elements, all of them 8-byte aligned inside TCDM
+    /// ([`DataMover::can_stream_unchecked`]), and register-only steps are
+    /// infallible by construction. A `false` answer merely keeps the
+    /// per-pop checked loop.
+    fn frep_precheck(&self, reps: u64) -> bool {
+        let mut reads = [0u64; 3];
+        let mut writes = [0u64; 3];
+        for step in &self.plan {
+            let mut src = |s: FpSrc| {
+                if let FpSrc::Stream(dm) = s {
+                    reads[dm as usize] += 1;
+                }
+            };
+            let dst = match *step {
+                FpuStep::Bin { a, b, d, .. } => {
+                    src(a);
+                    src(b);
+                    d
+                }
+                FpuStep::Fmadd { a, b, c, d, .. } => {
+                    src(a);
+                    src(b);
+                    src(c);
+                    d
+                }
+                FpuStep::Fmv { a, d } => {
+                    src(a);
+                    d
+                }
+                FpuStep::Vfmac { a, b, d, .. } => {
+                    src(a);
+                    src(b);
+                    d
+                }
+                FpuStep::Vfsum { a, d, .. } => {
+                    src(a);
+                    d
+                }
+                FpuStep::Fcvt { d, .. } => d,
+            };
+            if let FpDst::Stream(dm) = dst {
+                writes[dm as usize] += 1;
+            }
+        }
+        let lo = i64::from(TCDM_BASE);
+        let hi = i64::from(TCDM_BASE) + TCDM_SIZE as i64;
+        for dm in 0..3 {
+            for (per_iter, direction) in
+                [(reads[dm], SsrDirection::Read), (writes[dm], SsrDirection::Write)]
+            {
+                if per_iter == 0 {
+                    continue;
+                }
+                let Some(needed) = per_iter.checked_mul(reps) else { return false };
+                if !self.movers[dm].can_stream_unchecked(direction, needed, lo, hi) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Replays a pre-validated plan with no per-pop checks: the precheck
+    /// proved every stream access of every repetition succeeds, and the
+    /// repetition at which the instruction budget faults (the generic
+    /// loop checks it after each full repetition, so the faulting
+    /// repetition itself still executes) is computed upfront — the inner
+    /// loop is straight-line.
+    fn run_frep_turbo(
+        &mut self,
+        frep_pc: usize,
+        n: usize,
+        reps: u64,
+        mut executed: u64,
+    ) -> Result<u64, SimError> {
+        let remaining = self.budget.saturating_sub(executed);
+        let full = remaining / n as u64;
+        let faults = full < reps;
+        let run = if faults { full + 1 } else { reps };
+        let plan = std::mem::take(&mut self.plan);
+        for _ in 0..run {
+            for &step in &plan {
+                let _ = self.exec_step::<false>(step);
+            }
+        }
+        self.plan = plan;
+        executed += run * n as u64;
+        if faults {
+            return Err(SimError {
+                pc: Some(frep_pc),
+                message: "instruction budget exhausted".into(),
+            });
+        }
+        Ok(executed)
+    }
+
+    /// Pops the next element from a read stream.
+    ///
+    /// The SSR data path is 64 bits wide: 8-byte-aligned elements are
+    /// fetched whole (f64 or two packed f32 lanes); a 4-byte-aligned
+    /// element is fetched alone into the low lane (scalar f32 streaming
+    /// with stride 4).
+    fn stream_pop_read(&mut self, dm: usize) -> Result<u64, String> {
+        let addr = self.movers[dm].next_addr(SsrDirection::Read)?;
+        self.counters.ssr_reads += 1;
+        if addr % 8 == 0 {
+            Ok(u64::from_le_bytes(self.read_bytes::<8>(addr)?))
+        } else {
+            Ok(u32::from_le_bytes(self.read_bytes::<4>(addr)?) as u64)
+        }
+    }
+
+    /// Pushes a result element to a write stream (64-bit data path, same
+    /// alignment rule as [`Machine::stream_pop_read`]).
+    fn stream_push_write(&mut self, dm: usize, bits: u64) -> Result<(), String> {
+        let addr = self.movers[dm].next_addr(SsrDirection::Write)?;
+        self.counters.ssr_writes += 1;
+        if addr % 8 == 0 {
+            self.write_bytes(addr, &bits.to_le_bytes())
+        } else {
+            self.write_bytes(addr, &(bits as u32).to_le_bytes())
+        }
+    }
+
     /// Reads an FP source operand, popping from its stream when streaming.
     /// Returns (bits, ready_time).
     fn read_fp_operand(&mut self, r: FpReg) -> Result<(u64, u64), String> {
-        if self.ssr_enabled && r.is_ssr() && self.movers[r.index() as usize].is_active() {
+        if self.ssr_enabled && r.is_ssr() {
             let dm = r.index() as usize;
-            if self.movers[dm].direction() == Some(SsrDirection::Read) {
-                let addr = self.movers[dm].next_addr(SsrDirection::Read)?;
-                self.counters.ssr_reads += 1;
-                // The SSR data path is 64 bits wide: 8-byte-aligned
-                // elements are fetched whole (f64 or two packed f32
-                // lanes); a 4-byte-aligned element is fetched alone into
-                // the low lane (scalar f32 streaming with stride 4).
-                let value = if addr % 8 == 0 {
-                    u64::from_le_bytes(self.read_bytes::<8>(addr)?)
-                } else {
-                    u32::from_le_bytes(self.read_bytes::<4>(addr)?) as u64
-                };
-                return Ok((value, 0));
+            if self.movers[dm].is_active()
+                && self.movers[dm].direction() == Some(SsrDirection::Read)
+            {
+                return Ok((self.stream_pop_read(dm)?, 0));
             }
         }
         Ok((self.f[r.index() as usize], self.fp_ready[r.index() as usize]))
@@ -491,16 +860,12 @@ impl Machine {
 
     /// Writes an FP destination, pushing to its stream when streaming.
     fn write_fp_result(&mut self, r: FpReg, bits: u64, ready: u64) -> Result<(), String> {
-        if self.ssr_enabled && r.is_ssr() && self.movers[r.index() as usize].is_active() {
+        if self.ssr_enabled && r.is_ssr() {
             let dm = r.index() as usize;
-            if self.movers[dm].direction() == Some(SsrDirection::Write) {
-                let addr = self.movers[dm].next_addr(SsrDirection::Write)?;
-                self.counters.ssr_writes += 1;
-                if addr % 8 == 0 {
-                    self.write_bytes(addr, &bits.to_le_bytes())?;
-                } else {
-                    self.write_bytes(addr, &(bits as u32).to_le_bytes())?;
-                }
+            if self.movers[dm].is_active()
+                && self.movers[dm].direction() == Some(SsrDirection::Write)
+            {
+                self.stream_push_write(dm, bits)?;
                 self.max_completion = self.max_completion.max(ready);
                 return Ok(());
             }
@@ -508,6 +873,169 @@ impl Machine {
         self.f[r.index() as usize] = bits;
         self.fp_ready[r.index() as usize] = ready;
         self.max_completion = self.max_completion.max(ready);
+        Ok(())
+    }
+
+    /// Reads a pre-resolved source (no per-iteration classification).
+    fn read_step_src(&mut self, s: FpSrc) -> Result<(u64, u64), String> {
+        match s {
+            FpSrc::Stream(dm) => Ok((self.stream_pop_read(dm as usize)?, 0)),
+            FpSrc::Reg(r) => Ok((self.f[r as usize], self.fp_ready[r as usize])),
+        }
+    }
+
+    /// Writes a pre-resolved destination.
+    fn write_step_dst(&mut self, d: FpDst, bits: u64, ready: u64) -> Result<(), String> {
+        match d {
+            FpDst::Stream(dm) => self.stream_push_write(dm as usize, bits)?,
+            FpDst::Reg(r) => {
+                self.f[r as usize] = bits;
+                self.fp_ready[r as usize] = ready;
+            }
+        }
+        self.max_completion = self.max_completion.max(ready);
+        Ok(())
+    }
+
+    /// [`Machine::stream_pop_read`] for a pop pre-validated by
+    /// [`Machine::frep_precheck`]: the address is known 8-byte aligned
+    /// and inside TCDM, so the alignment branch and bounds checks drop
+    /// out of the hot loop.
+    #[inline]
+    fn stream_pop_read_unchecked(&mut self, dm: usize) -> u64 {
+        let addr = self.movers[dm].pop_unchecked(SsrDirection::Read);
+        self.counters.ssr_reads += 1;
+        let i = (addr - TCDM_BASE) as usize;
+        u64::from_le_bytes(self.mem[i..i + 8].try_into().expect("8-byte TCDM read"))
+    }
+
+    /// [`Machine::stream_push_write`] for a pre-validated push.
+    #[inline]
+    fn stream_push_write_unchecked(&mut self, dm: usize, bits: u64) {
+        let addr = self.movers[dm].pop_unchecked(SsrDirection::Write);
+        self.counters.ssr_writes += 1;
+        let i = (addr - TCDM_BASE) as usize;
+        self.mem[i..i + 8].copy_from_slice(&bits.to_le_bytes());
+    }
+
+    /// [`Machine::read_step_src`] minus per-pop fault checks.
+    #[inline]
+    fn read_step_src_unchecked(&mut self, s: FpSrc) -> (u64, u64) {
+        match s {
+            FpSrc::Stream(dm) => (self.stream_pop_read_unchecked(dm as usize), 0),
+            FpSrc::Reg(r) => (self.f[r as usize], self.fp_ready[r as usize]),
+        }
+    }
+
+    /// [`Machine::write_step_dst`] minus per-pop fault checks.
+    #[inline]
+    fn write_step_dst_unchecked(&mut self, d: FpDst, bits: u64, ready: u64) {
+        match d {
+            FpDst::Stream(dm) => self.stream_push_write_unchecked(dm as usize, bits),
+            FpDst::Reg(r) => {
+                self.f[r as usize] = bits;
+                self.fp_ready[r as usize] = ready;
+            }
+        }
+        self.max_completion = self.max_completion.max(ready);
+    }
+
+    /// Executes one pre-resolved FPU step of an frep body.
+    ///
+    /// Mirrors [`Machine::exec_straight`] → [`Machine::exec_fpu`] with
+    /// `in_frep = true` and tracing off: the counter-update order, timing
+    /// math and fault points are identical, which the fast-vs-generic
+    /// equivalence tests pin down.
+    ///
+    /// With `CHECKED = false` (only after [`Machine::frep_precheck`]
+    /// proved no fault possible) the stream accesses skip their per-pop
+    /// checks and the returned `Result` is always `Ok` — the error paths
+    /// compile out of the monomorphized hot loop.
+    #[inline]
+    fn exec_step<const CHECKED: bool>(&mut self, step: FpuStep) -> Result<(), String> {
+        let read = |m: &mut Machine, s: FpSrc| -> Result<(u64, u64), String> {
+            if CHECKED {
+                m.read_step_src(s)
+            } else {
+                Ok(m.read_step_src_unchecked(s))
+            }
+        };
+        self.counters.instructions += 1;
+        let (dst, bits, operands_ready, occupancy, flops) = match step {
+            FpuStep::Bin { op, a, b, d } => {
+                let (av, t1) = read(self, a)?;
+                let (bv, t2) = read(self, b)?;
+                let occ = if op == FpBinOp::FdivD { FDIV_OCCUPANCY } else { 1 };
+                (d, eval_fp_bin(op, av, bv), t1.max(t2), occ, op.flops())
+            }
+            FpuStep::Fmadd { width, a, b, c, d } => {
+                let (av, t1) = read(self, a)?;
+                let (bv, t2) = read(self, b)?;
+                let (cv, t3) = read(self, c)?;
+                let bits = match width {
+                    FpWidth::Double => f64::to_bits(
+                        f64::from_bits(av).mul_add(f64::from_bits(bv), f64::from_bits(cv)),
+                    ),
+                    FpWidth::Single => f32::to_bits(
+                        f32::from_bits(av as u32)
+                            .mul_add(f32::from_bits(bv as u32), f32::from_bits(cv as u32)),
+                    ) as u64,
+                };
+                self.counters.fmadd += 1;
+                (d, bits, t1.max(t2).max(t3), 1, 2)
+            }
+            FpuStep::Fmv { a, d } => {
+                let (av, t1) = read(self, a)?;
+                (d, av, t1, 1, 0)
+            }
+            FpuStep::Vfmac { a, b, acc, d } => {
+                let (av, t1) = read(self, a)?;
+                let (bv, t2) = read(self, b)?;
+                let accv = self.f[acc as usize];
+                let t3 = self.fp_ready[acc as usize];
+                let lo = f32::from_bits(av as u32)
+                    .mul_add(f32::from_bits(bv as u32), f32::from_bits(accv as u32));
+                let hi = f32::from_bits((av >> 32) as u32).mul_add(
+                    f32::from_bits((bv >> 32) as u32),
+                    f32::from_bits((accv >> 32) as u32),
+                );
+                let bits = (lo.to_bits() as u64) | ((hi.to_bits() as u64) << 32);
+                (d, bits, t1.max(t2).max(t3), 1, 4)
+            }
+            FpuStep::Vfsum { a, acc, d } => {
+                let (av, t1) = read(self, a)?;
+                let accv = self.f[acc as usize];
+                let t2 = self.fp_ready[acc as usize];
+                let sum = f32::from_bits(accv as u32)
+                    + f32::from_bits(av as u32)
+                    + f32::from_bits((av >> 32) as u32);
+                let bits = (accv & 0xFFFF_FFFF_0000_0000) | sum.to_bits() as u64;
+                (d, bits, t1.max(t2), 1, 2)
+            }
+            FpuStep::Fcvt { width, rs, d } => {
+                let t1 = self.int_ready[rs.index() as usize];
+                let v = self.x(rs) as i32;
+                let bits = match width {
+                    FpWidth::Double => (v as f64).to_bits(),
+                    FpWidth::Single => (v as f32).to_bits() as u64 | 0xFFFF_FFFF_0000_0000,
+                };
+                (d, bits, t1, 1, 0)
+            }
+        };
+        // The sequencer replays without integer-core dispatch.
+        let issue = self.fpu_time.max(operands_ready);
+        self.fpu_time = issue + occupancy;
+        self.counters.fpu_busy_cycles += occupancy;
+        self.counters.flops += flops;
+        self.counters.fpu_instrs += 1;
+        self.counters.frep_fpu_instrs += 1;
+        let ready = issue + u64::from(FPU_PIPELINE_DEPTH);
+        if CHECKED {
+            self.write_step_dst(dst, bits, ready)?;
+        } else {
+            self.write_step_dst_unchecked(dst, bits, ready);
+        }
+        self.max_completion = self.max_completion.max(self.int_time);
         Ok(())
     }
 
@@ -1148,6 +1676,300 @@ f:
         assert_eq!(total_writes, c.ssr_writes);
         assert_eq!(pops[0].0, 8);
         assert_eq!(pops[1], (0, 0));
+    }
+
+    /// Runs `src` twice — fast path on and off — and asserts the entire
+    /// observable machine state (registers, memory, counters, pop
+    /// counts) and the call result are identical.
+    fn assert_fast_matches_generic(
+        src: &str,
+        entry: &str,
+        args: &[u32],
+        budget: Option<u64>,
+        setup: impl Fn(&mut Machine),
+    ) -> (Machine, Result<PerfCounters, SimError>) {
+        let prog = assemble(src).unwrap();
+        let mut fast = Machine::new();
+        let mut generic = Machine::new();
+        generic.set_fast_path(false);
+        for m in [&mut fast, &mut generic] {
+            if let Some(b) = budget {
+                m.set_instruction_budget(b);
+            }
+            setup(m);
+        }
+        let rf = fast.call(&prog, entry, args);
+        let rg = generic.call(&prog, entry, args);
+        assert_eq!(rf, rg);
+        assert_eq!(fast.counters(), generic.counters());
+        assert_eq!(fast.ssr_pop_counts(), generic.ssr_pop_counts());
+        assert_eq!(fast.x, generic.x);
+        assert_eq!(fast.f, generic.f);
+        assert_eq!(fast.mem, generic.mem);
+        (fast, rf)
+    }
+
+    #[test]
+    fn fast_path_matches_generic_on_streamed_frep() {
+        // Streamed vecadd: two read streams, one write stream, frep body
+        // of one fadd — the canonical fast-path shape.
+        let x = TCDM_BASE;
+        let y = TCDM_BASE + 64;
+        let z = TCDM_BASE + 128;
+        let src = format!(
+            "\
+vecadd:
+    li t1, 3
+    scfgwi t1, {b0_dm0}
+    scfgwi t1, {b0_dm1}
+    scfgwi t1, {b0_dm2}
+    li t1, 8
+    scfgwi t1, {s0_dm0}
+    scfgwi t1, {s0_dm1}
+    scfgwi t1, {s0_dm2}
+    li t1, {x}
+    scfgwi t1, {rptr_dm0}
+    li t1, {y}
+    scfgwi t1, {rptr_dm1}
+    li t1, {z}
+    scfgwi t1, {wptr_dm2}
+    csrrsi zero, 0x7c0, 1
+    li t0, 3
+    frep.o t0, 1, 0, 0
+    fadd.d ft2, ft0, ft1
+    csrrci zero, 0x7c0, 1
+    ret
+",
+            b0_dm0 = SsrCfgReg::Bound(0).scfg_imm(mlb_isa::SsrDataMover::new(0)),
+            b0_dm1 = SsrCfgReg::Bound(0).scfg_imm(mlb_isa::SsrDataMover::new(1)),
+            b0_dm2 = SsrCfgReg::Bound(0).scfg_imm(mlb_isa::SsrDataMover::new(2)),
+            s0_dm0 = SsrCfgReg::Stride(0).scfg_imm(mlb_isa::SsrDataMover::new(0)),
+            s0_dm1 = SsrCfgReg::Stride(0).scfg_imm(mlb_isa::SsrDataMover::new(1)),
+            s0_dm2 = SsrCfgReg::Stride(0).scfg_imm(mlb_isa::SsrDataMover::new(2)),
+            rptr_dm0 = SsrCfgReg::RPtr(0).scfg_imm(mlb_isa::SsrDataMover::new(0)),
+            rptr_dm1 = SsrCfgReg::RPtr(0).scfg_imm(mlb_isa::SsrDataMover::new(1)),
+            wptr_dm2 = SsrCfgReg::WPtr(0).scfg_imm(mlb_isa::SsrDataMover::new(2)),
+        );
+        let (m, r) = assert_fast_matches_generic(&src, "vecadd", &[], None, |m| {
+            m.write_f64_slice(x, &[1.0, 2.0, 3.0, 4.0]).unwrap();
+            m.write_f64_slice(y, &[10.0, 20.0, 30.0, 40.0]).unwrap();
+        });
+        assert_eq!(m.read_f64_slice(z, 4).unwrap(), vec![11.0, 22.0, 33.0, 44.0]);
+        assert_eq!(r.unwrap().ssr_reads, 8);
+    }
+
+    #[test]
+    fn fast_path_matches_generic_on_loop_carried_accumulator() {
+        // Dot-product shape: the fmadd accumulator is a plain register
+        // carried across iterations, so per-iteration `fp_ready` reads
+        // must match the generic path cycle for cycle.
+        let src = format!(
+            "\
+dot:
+    li t1, 7
+    scfgwi t1, {b0_dm0}
+    scfgwi t1, {b0_dm1}
+    li t1, 8
+    scfgwi t1, {s0_dm0}
+    scfgwi t1, {s0_dm1}
+    li t1, {x}
+    scfgwi t1, {rptr_dm0}
+    li t1, {y}
+    scfgwi t1, {rptr_dm1}
+    csrrsi zero, 0x7c0, 1
+    fld ft3, {acc}(zero)
+    li t0, 7
+    frep.o t0, 1, 0, 0
+    fmadd.d ft3, ft0, ft1, ft3
+    csrrci zero, 0x7c0, 1
+    fsd ft3, {out}(zero)
+    ret
+",
+            b0_dm0 = SsrCfgReg::Bound(0).scfg_imm(mlb_isa::SsrDataMover::new(0)),
+            b0_dm1 = SsrCfgReg::Bound(0).scfg_imm(mlb_isa::SsrDataMover::new(1)),
+            s0_dm0 = SsrCfgReg::Stride(0).scfg_imm(mlb_isa::SsrDataMover::new(0)),
+            s0_dm1 = SsrCfgReg::Stride(0).scfg_imm(mlb_isa::SsrDataMover::new(1)),
+            rptr_dm0 = SsrCfgReg::RPtr(0).scfg_imm(mlb_isa::SsrDataMover::new(0)),
+            rptr_dm1 = SsrCfgReg::RPtr(0).scfg_imm(mlb_isa::SsrDataMover::new(1)),
+            x = TCDM_BASE,
+            y = TCDM_BASE + 64,
+            acc = TCDM_BASE + 128,
+            out = TCDM_BASE + 136,
+        );
+        let (m, r) = assert_fast_matches_generic(&src, "dot", &[], None, |m| {
+            m.write_f64_slice(TCDM_BASE, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]).unwrap();
+            m.write_f64_slice(TCDM_BASE + 64, &[1.0; 8]).unwrap();
+            m.write_f64_slice(TCDM_BASE + 128, &[0.0]).unwrap();
+        });
+        assert_eq!(m.read_f64_slice(TCDM_BASE + 136, 1).unwrap(), vec![36.0]);
+        let c = r.unwrap();
+        assert_eq!(c.fmadd, 8);
+        // The loop-carried RAW dependency spaces iterations by the FPU
+        // pipeline depth on both paths.
+        assert!(c.cycles >= 8 * u64::from(FPU_PIPELINE_DEPTH), "cycles = {}", c.cycles);
+    }
+
+    #[test]
+    fn fast_path_matches_generic_on_packed_simd_frep() {
+        let src = "\
+f:
+    fld ft3, (a0)
+    fld ft4, 8(a0)
+    li t0, 3
+    frep.o t0, 2, 0, 0
+    vfmac.s ft5, ft3, ft4
+    vfsum.s ft6, ft5
+    ret
+";
+        let (_m, r) = assert_fast_matches_generic(src, "f", &[TCDM_BASE], None, |m| {
+            m.write_f32_slice(TCDM_BASE, &[1.0, 2.0, 10.0, 20.0]).unwrap();
+        });
+        assert_eq!(r.unwrap().frep_fpu_instrs, 8);
+    }
+
+    #[test]
+    fn fast_path_matches_generic_on_stream_overread_fault() {
+        // An exhausted read stream faults mid-frep: the error pc and
+        // message, and every counter mutated before the fault, must be
+        // identical on both paths.
+        let src = format!(
+            "\
+f:
+    li t1, 2
+    scfgwi t1, {b0}
+    li t1, 8
+    scfgwi t1, {s0}
+    li t1, {base}
+    scfgwi t1, {rptr}
+    csrrsi zero, 0x7c0, 1
+    li t0, 7
+    frep.o t0, 1, 0, 0
+    fadd.d ft3, ft0, ft0
+    ret
+",
+            b0 = SsrCfgReg::Bound(0).scfg_imm(mlb_isa::SsrDataMover::new(0)),
+            s0 = SsrCfgReg::Stride(0).scfg_imm(mlb_isa::SsrDataMover::new(0)),
+            rptr = SsrCfgReg::RPtr(0).scfg_imm(mlb_isa::SsrDataMover::new(0)),
+            base = TCDM_BASE,
+        );
+        let (_m, r) = assert_fast_matches_generic(&src, "f", &[], None, |m| {
+            m.write_f64_slice(TCDM_BASE, &[1.0; 3]).unwrap();
+        });
+        let err = r.unwrap_err();
+        assert!(err.message.contains("beyond the end"), "{err}");
+        assert!(err.pc.is_some());
+    }
+
+    #[test]
+    fn fast_path_matches_generic_on_budget_exhaustion() {
+        let src = "\
+f:
+    li t0, 9999
+    frep.o t0, 1, 0, 0
+    fadd.d ft3, ft4, ft5
+    ret
+";
+        let (_m, r) = assert_fast_matches_generic(src, "f", &[], Some(100), |_| {});
+        let err = r.unwrap_err();
+        assert!(err.message.contains("budget"), "{err}");
+        // The budget check is attributed to the frep instruction itself.
+        assert_eq!(err.pc, Some(1));
+    }
+
+    #[test]
+    fn predecoded_program_is_reusable_across_calls() {
+        let src = "\
+f:
+    li t0, 3
+    frep.o t0, 1, 0, 0
+    fadd.d ft3, ft4, ft5
+    ret
+";
+        let prog = assemble(src).unwrap();
+        let exec = ExecProgram::new(&prog);
+        let mut m = Machine::new();
+        let c1 = m.call_predecoded(&exec, "f", &[]).unwrap();
+        let c2 = m.call_predecoded(&exec, "f", &[]).unwrap();
+        assert_eq!(c1.fpu_instrs, 4);
+        assert_eq!(c1.fpu_instrs, c2.fpu_instrs);
+    }
+
+    #[test]
+    fn fast_path_matches_generic_on_stride4_scalar_f32_stream() {
+        // 4-byte strides defeat the turbo precheck's alignment proof, so
+        // the fast path must stay on its per-pop checked loop; scalar f32
+        // streaming alternates 8- and 4-byte element fetches and both
+        // paths must agree on every one of them.
+        let src = format!(
+            "\
+f:
+    li t1, 7
+    scfgwi t1, {b0}
+    li t1, 4
+    scfgwi t1, {s0}
+    li t1, {base}
+    scfgwi t1, {rptr}
+    csrrsi zero, 0x7c0, 1
+    li t0, 3
+    frep.o t0, 1, 0, 0
+    fadd.s ft3, ft0, ft0
+    csrrci zero, 0x7c0, 1
+    ret
+",
+            b0 = SsrCfgReg::Bound(0).scfg_imm(mlb_isa::SsrDataMover::new(0)),
+            s0 = SsrCfgReg::Stride(0).scfg_imm(mlb_isa::SsrDataMover::new(0)),
+            rptr = SsrCfgReg::RPtr(0).scfg_imm(mlb_isa::SsrDataMover::new(0)),
+            base = TCDM_BASE,
+        );
+        let (_m, r) = assert_fast_matches_generic(&src, "f", &[], None, |m| {
+            m.write_f32_slice(TCDM_BASE, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]).unwrap();
+        });
+        assert_eq!(r.unwrap().ssr_reads, 8);
+    }
+
+    #[test]
+    fn fast_path_matches_generic_on_multidim_repeat_stream() {
+        // A two-dimensional walk with an inner repeat: the turbo loop's
+        // unchecked pop must track the odometer exactly, including the
+        // dimension rollover and the final transition to `done`.
+        let src = format!(
+            "\
+f:
+    li t1, 1
+    scfgwi t1, {b0}
+    scfgwi t1, {b1}
+    scfgwi t1, {rep}
+    li t1, 8
+    scfgwi t1, {s0}
+    li t1, 16
+    scfgwi t1, {s1}
+    li t1, {base}
+    scfgwi t1, {rptr1}
+    csrrsi zero, 0x7c0, 1
+    li t0, 3
+    frep.o t0, 1, 0, 0
+    fadd.d ft3, ft0, ft0
+    csrrci zero, 0x7c0, 1
+    fsd ft3, {out}(zero)
+    ret
+",
+            b0 = SsrCfgReg::Bound(0).scfg_imm(mlb_isa::SsrDataMover::new(0)),
+            b1 = SsrCfgReg::Bound(1).scfg_imm(mlb_isa::SsrDataMover::new(0)),
+            rep = SsrCfgReg::Repeat.scfg_imm(mlb_isa::SsrDataMover::new(0)),
+            s0 = SsrCfgReg::Stride(0).scfg_imm(mlb_isa::SsrDataMover::new(0)),
+            s1 = SsrCfgReg::Stride(1).scfg_imm(mlb_isa::SsrDataMover::new(0)),
+            rptr1 = SsrCfgReg::RPtr(1).scfg_imm(mlb_isa::SsrDataMover::new(0)),
+            base = TCDM_BASE,
+            out = TCDM_BASE + 64,
+        );
+        // 2 x 2 iterations x repeat 2 = 8 pops, consumed by 4 fadds
+        // popping ft0 twice each: the job ends exactly exhausted.
+        let (m, r) = assert_fast_matches_generic(&src, "f", &[], None, |m| {
+            m.write_f64_slice(TCDM_BASE, &[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        });
+        assert_eq!(r.unwrap().ssr_reads, 8);
+        // Walk: 1.0 1.0 2.0 2.0 4.0 4.0 5.0 5.0 — last fadd doubles 5.0.
+        assert_eq!(m.read_f64_slice(TCDM_BASE + 64, 1).unwrap(), vec![10.0]);
     }
 
     #[test]

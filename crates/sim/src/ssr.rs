@@ -144,6 +144,105 @@ impl DataMover {
         }
         u32::try_from(addr).map_err(|_| "SSR address out of range".to_string())
     }
+
+    /// Proves that the next `needed` pops in `direction` must all succeed
+    /// with every generated address 8-byte aligned and inside
+    /// `[lo, hi - 8]`.
+    ///
+    /// Used by the simulator's frep fast path to license an unchecked
+    /// streaming loop ([`DataMover::pop_unchecked`]): the walk is a pure
+    /// function of the armed job, so enough remaining elements plus a
+    /// conservative whole-walk address envelope rule out every per-pop
+    /// fault upfront. Returns `false` whenever the proof does not go
+    /// through (wrong direction, exhausted, misaligned, envelope outside
+    /// the window, or arithmetic overflow) — the caller then keeps the
+    /// per-pop checked path, it does not fault.
+    pub fn can_stream_unchecked(
+        &self,
+        direction: SsrDirection,
+        needed: u64,
+        lo: i64,
+        hi: i64,
+    ) -> bool {
+        let Some(job) = self.job.as_ref() else { return false };
+        if job.direction != direction || job.done || self.remaining(job) < needed {
+            return false;
+        }
+        // All strides a multiple of 8 keep every address congruent to the
+        // current one; the whole walk stays 8-byte aligned.
+        if job.addr % 8 != 0 || job.strides[..job.dims].iter().any(|s| s % 8 != 0) {
+            return false;
+        }
+        // Conservative envelope over the entire walk from its initial
+        // base: each dimension contributes [min(0, span), max(0, span)]
+        // around it, where span = stride * bound.
+        let mut env_lo = job.addr;
+        let mut env_hi = job.addr;
+        for d in 0..job.dims {
+            let here = job.strides[d].checked_mul(i64::from(job.idx[d]));
+            let span = job.strides[d].checked_mul(i64::from(job.bounds[d]));
+            let (Some(here), Some(span)) = (here, span) else { return false };
+            // Shift this dimension's contribution from `here` back to 0
+            // and forward to `span`.
+            let lo_d = 0.min(span).checked_sub(here).and_then(|v| env_lo.checked_add(v));
+            let hi_d = 0.max(span).checked_sub(here).and_then(|v| env_hi.checked_add(v));
+            let (Some(lo_d), Some(hi_d)) = (lo_d, hi_d) else { return false };
+            env_lo = lo_d;
+            env_hi = hi_d;
+        }
+        lo <= env_lo && env_hi <= hi - 8
+    }
+
+    /// Elements left to pop from a not-yet-done `job` (its walk visits
+    /// `(repeat + 1) * Π(bounds[d] + 1)` addresses in total). Saturates
+    /// on the astronomical configurations `scfgwi` can express — an
+    /// undercount only ever sends the caller to the checked path.
+    fn remaining(&self, job: &Job) -> u64 {
+        // Linear positions not yet fully consumed, current one included.
+        let mut rem_lin: u128 = 1;
+        let mut scale: u128 = 1;
+        for d in 0..job.dims {
+            rem_lin = rem_lin
+                .saturating_add(u128::from(job.bounds[d] - job.idx[d]).saturating_mul(scale));
+            scale = scale.saturating_mul(u128::from(job.bounds[d]) + 1);
+        }
+        let total =
+            rem_lin.saturating_mul(u128::from(job.repeat) + 1).saturating_sub(u128::from(job.rep));
+        u64::try_from(total).unwrap_or(u64::MAX)
+    }
+
+    /// Pops the next address of a job pre-validated by
+    /// [`DataMover::can_stream_unchecked`]: identical state machine to
+    /// [`DataMover::next_addr`] minus the per-pop fault checks.
+    #[inline]
+    pub fn pop_unchecked(&mut self, direction: SsrDirection) -> u32 {
+        let job = self.job.as_mut().expect("pop_unchecked without an armed job");
+        let addr = job.addr;
+        if job.rep < job.repeat {
+            job.rep += 1;
+        } else {
+            job.rep = 0;
+            let mut d = 0;
+            loop {
+                if d == job.dims {
+                    job.done = true;
+                    break;
+                }
+                if job.idx[d] < job.bounds[d] {
+                    job.idx[d] += 1;
+                    job.addr += job.strides[d];
+                    break;
+                }
+                job.idx[d] = 0;
+                d += 1;
+            }
+        }
+        match direction {
+            SsrDirection::Read => self.reads += 1,
+            SsrDirection::Write => self.writes += 1,
+        }
+        addr as u32
+    }
 }
 
 #[cfg(test)]
@@ -202,6 +301,61 @@ mod tests {
             assert_eq!(m.next_addr(SsrDirection::Read).unwrap() as i64, expect);
         }
         assert!(m.next_addr(SsrDirection::Read).is_err());
+    }
+
+    #[test]
+    fn pop_unchecked_matches_next_addr() {
+        // The unchecked pop drives the same state machine as the checked
+        // one: identical addresses, pop counts and final job state over a
+        // two-dimensional walk with an inner repeat.
+        let mk = || {
+            let mut m = DataMover::default();
+            m.configure(SsrCfgReg::Bound(0), 2);
+            m.configure(SsrCfgReg::Bound(1), 1);
+            m.configure(SsrCfgReg::Stride(0), 16);
+            m.configure(SsrCfgReg::Stride(1), (-24i64) as u32);
+            m.configure(SsrCfgReg::Repeat, 1);
+            m.configure(SsrCfgReg::RPtr(1), 100);
+            m
+        };
+        let (mut checked, mut unchecked) = (mk(), mk());
+        for _ in 0..12 {
+            assert_eq!(
+                checked.next_addr(SsrDirection::Read).unwrap(),
+                unchecked.pop_unchecked(SsrDirection::Read)
+            );
+        }
+        assert_eq!(checked.pop_counts(), unchecked.pop_counts());
+        // Both walks end exactly exhausted.
+        assert!(checked.next_addr(SsrDirection::Read).is_err());
+        assert!(!unchecked.can_stream_unchecked(SsrDirection::Read, 1, 0, 1 << 20));
+    }
+
+    #[test]
+    fn can_stream_unchecked_proof_boundaries() {
+        let window = (1000, 1032);
+        let mut m = mover_1d(4, 8, 0, 1000);
+        // Addresses 1000..=1024: exactly 4 remaining elements fit the
+        // window (1024 + 8 == hi), 5 do not exist.
+        assert!(m.can_stream_unchecked(SsrDirection::Read, 4, window.0, window.1));
+        assert!(!m.can_stream_unchecked(SsrDirection::Read, 5, window.0, window.1));
+        // Wrong direction and too-small windows are rejected.
+        assert!(!m.can_stream_unchecked(SsrDirection::Write, 1, window.0, window.1));
+        assert!(!m.can_stream_unchecked(SsrDirection::Read, 4, window.0, window.1 - 1));
+        assert!(!m.can_stream_unchecked(SsrDirection::Read, 4, window.0 + 1, window.1));
+        // Mid-walk the remaining count shrinks but the envelope (from
+        // the walk's initial base) still proves the full window.
+        m.next_addr(SsrDirection::Read).unwrap();
+        assert!(m.can_stream_unchecked(SsrDirection::Read, 3, window.0, window.1));
+        assert!(!m.can_stream_unchecked(SsrDirection::Read, 4, window.0, window.1));
+        // 4-byte strides cannot prove 8-byte alignment.
+        let narrow = mover_1d(4, 4, 0, 1000);
+        assert!(!narrow.can_stream_unchecked(SsrDirection::Read, 1, 0, 1 << 20));
+        // A misaligned base cannot either.
+        let offset = mover_1d(4, 8, 0, 1004);
+        assert!(!offset.can_stream_unchecked(SsrDirection::Read, 1, 0, 1 << 20));
+        // No armed job, or a disarmed one, never qualifies.
+        assert!(!DataMover::default().can_stream_unchecked(SsrDirection::Read, 1, 0, 1 << 20));
     }
 
     #[test]

@@ -16,5 +16,11 @@ run cargo test -q --offline
 # Stage-level differential testing: the whole kernel suite under every
 # flow with two fixed operand seeds, plus a fixed-seed randomized sweep.
 run ./target/release/mlbc difftest --seeds 2 --fuzz 50
+# Performance baseline: regenerates the benchmark report (to target/, the
+# tracked baseline is only refreshed deliberately) and fails if the
+# deterministic rewrite-work counters regress >10% vs the checked-in
+# BENCH_compiler_perf.json.
+run ./target/release/mlbc bench-json --check BENCH_compiler_perf.json \
+    --out target/BENCH_compiler_perf.json
 
 echo "All checks passed."

@@ -18,15 +18,16 @@
 use std::io::Read;
 use std::process::ExitCode;
 
-use mlb_core::{compile_with_observer, full_registry, Flow, PipelineOptions};
+use mlb_core::{compile, compile_with_observer, full_registry, Flow, PipelineOptions};
 use mlb_ir::{parse_module, print_op, Context, IrSnapshotMode, PassEvent, PipelineRecorder, Type};
 use mlb_isa::{FpReg, TCDM_BASE};
-use mlb_sim::{assemble, Machine, StallReason};
+use mlb_sim::{assemble, ExecProgram, Machine, PerfCounters, StallReason};
 use mlbe::json::Json;
 
 const USAGE: &str = "\
 usage: mlbc <input.mlir | -> [options]
        mlbc difftest [difftest options]
+       mlbc bench-json [bench options]
 
 options:
   --emit asm|ir       output assembly (default) or the parsed IR
@@ -55,6 +56,13 @@ miscompile to the first diverging pass):
   --seeds N           operand seeds per kernel/flow pair (default: 2)
   --fuzz N            additionally run N randomized instances (default: 0)
   --fuzz-seed S       seed of the randomized sweep (default: 3735928559)
+
+bench options (compiler/simulator micro-benchmarks: deterministic work
+counters plus wall time, written as the tracked perf baseline):
+  --out FILE          where to write the report
+                      (default: BENCH_compiler_perf.json; `-` for stdout)
+  --check FILE        compare deterministic counters against a baseline
+                      report and fail on a >10% regression
 ";
 
 fn main() -> ExitCode {
@@ -79,6 +87,9 @@ enum IrDumpSink {
 fn run(args: Vec<String>) -> Result<String, String> {
     if args.first().map(String::as_str) == Some("difftest") {
         return run_difftest(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("bench-json") {
+        return run_bench_json(&args[1..]);
     }
     let mut input: Option<String> = None;
     let mut emit_ir = false;
@@ -275,6 +286,174 @@ fn run_difftest(args: &[String]) -> Result<String, String> {
     Ok(out)
 }
 
+/// The `mlbc bench-json` subcommand: the compiler and simulator
+/// micro-benchmarks behind the repo's tracked perf trajectory.
+///
+/// Two scenarios, mirroring the criterion benches in `crates/bench`:
+/// `compile-matmul/full-pipeline` run under both rewrite-driver modes
+/// (worklist vs legacy re-walk), and `simulate-matmul-1x5x200` with the
+/// frep fast path on and off. Deterministic work counters carry the
+/// regression guard; wall times (min over a few repetitions) record the
+/// trajectory but are machine-dependent, so `--check` ignores them.
+fn run_bench_json(args: &[String]) -> Result<String, String> {
+    use mlb_ir::{with_driver_mode, DriverMode, RewriteStats};
+    use mlb_kernels::{Instance, Kind, Precision, Shape};
+    use std::time::Instant;
+
+    let mut out_path = "BENCH_compiler_perf.json".to_string();
+    let mut check_path: Option<String> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--help" | "-h" => return Ok(USAGE.to_string()),
+            "--out" => out_path = iter.next().ok_or("--out needs a file")?.clone(),
+            "--check" => check_path = Some(iter.next().ok_or("--check needs a file")?.clone()),
+            other => return Err(format!("unknown bench-json option `{other}`\n{USAGE}")),
+        }
+    }
+
+    let instance = Instance::new(Kind::MatMul, Shape::nmk(1, 5, 200), Precision::F64);
+
+    // Compiler scenario: deterministic rewrite work plus wall time.
+    let compile_mode = |mode: DriverMode| -> Result<(RewriteStats, u64, String), String> {
+        with_driver_mode(mode, || {
+            let mut stats = RewriteStats::default();
+            let mut assembly = String::new();
+            let mut wall = u64::MAX;
+            for _ in 0..3 {
+                let mut ctx = Context::new();
+                let module = instance.build_module(&mut ctx);
+                let start = Instant::now();
+                let compiled = compile(&mut ctx, module, Flow::Ours(PipelineOptions::full()))
+                    .map_err(|e| e.to_string())?;
+                wall = wall.min(start.elapsed().as_nanos() as u64);
+                stats = ctx.rewrite_stats();
+                assembly = compiled.assembly;
+            }
+            Ok((stats, wall, assembly))
+        })
+    };
+    let (wl, wl_nanos, assembly) = compile_mode(DriverMode::Worklist)?;
+    let (lg, lg_nanos, legacy_assembly) = compile_mode(DriverMode::LegacyRewalk)?;
+    if assembly != legacy_assembly {
+        return Err("bench-json: worklist and legacy drivers emitted different assembly".into());
+    }
+    let work = |s: &RewriteStats| s.ops_visited + s.match_attempts;
+    let work_drop = work(&lg) as f64 / work(&wl).max(1) as f64;
+
+    // Simulator scenario: the compiled matmul, fast path on and off.
+    let program = assemble(&assembly).map_err(|e| format!("assembling output: {e}"))?;
+    let exec = ExecProgram::new(&program);
+    let sim_args = [TCDM_BASE, TCDM_BASE + 2048, TCDM_BASE + 16384];
+    let simulate = |fast: bool| -> Result<(PerfCounters, u64), String> {
+        let mut wall = u64::MAX;
+        let mut counters = PerfCounters::default();
+        for _ in 0..20 {
+            let mut machine = Machine::new();
+            machine.set_fast_path(fast);
+            machine.write_f64_slice(TCDM_BASE, &[1.0; 256]).map_err(|e| e.to_string())?;
+            let start = Instant::now();
+            counters = machine
+                .call_predecoded(&exec, "matmul", &sim_args)
+                .map_err(|e| format!("simulating matmul: {e}"))?;
+            wall = wall.min(start.elapsed().as_nanos() as u64);
+        }
+        Ok((counters, wall))
+    };
+    let (fast_counters, fast_nanos) = simulate(true)?;
+    let (generic_counters, generic_nanos) = simulate(false)?;
+    if fast_counters != generic_counters {
+        return Err("bench-json: fast-path counters diverge from the generic loop".into());
+    }
+    let wall_speedup = generic_nanos as f64 / fast_nanos.max(1) as f64;
+
+    let mode_json = |s: &RewriteStats, nanos: u64| {
+        Json::obj(vec![
+            ("wall_nanos", Json::from(nanos)),
+            ("ops_visited", Json::from(s.ops_visited)),
+            ("match_attempts", Json::from(s.match_attempts)),
+            ("requeued", Json::from(s.requeued)),
+            ("pattern_applications", Json::from(s.pattern_applications)),
+            ("dce_erased", Json::from(s.dce_erased)),
+            ("work", Json::from(work(s))),
+        ])
+    };
+    let sim_json = |c: &PerfCounters, nanos: u64| {
+        Json::obj(vec![
+            ("wall_nanos", Json::from(nanos)),
+            ("cycles", Json::from(c.cycles)),
+            ("instructions", Json::from(c.instructions)),
+            ("fpu_instrs", Json::from(c.fpu_instrs)),
+            ("ssr_reads", Json::from(c.ssr_reads)),
+            ("ssr_writes", Json::from(c.ssr_writes)),
+        ])
+    };
+    let report = Json::obj(vec![
+        ("version", Json::from(1u64)),
+        (
+            "compile-matmul/full-pipeline",
+            Json::obj(vec![
+                ("worklist", mode_json(&wl, wl_nanos)),
+                ("legacy-rewalk", mode_json(&lg, lg_nanos)),
+                ("work_drop", Json::from(work_drop)),
+            ]),
+        ),
+        (
+            "simulate-matmul-1x5x200",
+            Json::obj(vec![
+                ("fast", sim_json(&fast_counters, fast_nanos)),
+                ("generic", sim_json(&generic_counters, generic_nanos)),
+                ("wall_speedup", Json::from(wall_speedup)),
+            ]),
+        ),
+    ]);
+
+    // Human-readable progress goes to stderr: stdout is reserved for the
+    // JSON report when `--out -` (same contract as `--trace-json -`).
+    eprintln!(
+        "bench compile-matmul/full-pipeline: work {} (worklist) vs {} (legacy), drop {:.1}x",
+        work(&wl),
+        work(&lg),
+        work_drop,
+    );
+    eprintln!(
+        "bench simulate-matmul-1x5x200: {:.1}us (fast) vs {:.1}us (generic), speedup {:.2}x",
+        fast_nanos as f64 / 1e3,
+        generic_nanos as f64 / 1e3,
+        wall_speedup,
+    );
+    if let Some(path) = check_path {
+        let text = std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?;
+        let baseline = Json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+        for (key, current) in
+            [("ops_visited", wl.ops_visited), ("match_attempts", wl.match_attempts)]
+        {
+            let base = baseline
+                .get("compile-matmul/full-pipeline")
+                .and_then(|b| b.get("worklist"))
+                .and_then(|b| b.get(key))
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("{path}: missing worklist `{key}` in baseline"))?;
+            let limit = base + base / 10;
+            if current > limit {
+                return Err(format!(
+                    "bench-json: worklist {key} regressed >10%: {current} vs baseline {base} \
+                     (limit {limit})"
+                ));
+            }
+            eprintln!("check {key}: {current} within 10% of baseline {base}");
+        }
+    }
+    let text = report.pretty() + "\n";
+    if out_path == "-" {
+        Ok(text)
+    } else {
+        std::fs::write(&out_path, text).map_err(|e| format!("{out_path}: {e}"))?;
+        eprintln!("wrote {out_path}");
+        Ok(String::new())
+    }
+}
+
 /// A kernel signature the simulator driver can synthesize operands for.
 struct KernelSig {
     name: String,
@@ -346,6 +525,9 @@ fn pass_event_json(event: &PassEvent) -> Json {
         ("blocks_after", Json::from(event.blocks_after)),
         ("pattern_applications", Json::from(event.rewrites.pattern_applications)),
         ("dce_erased", Json::from(event.rewrites.dce_erased)),
+        ("ops_visited", Json::from(event.rewrites.ops_visited)),
+        ("match_attempts", Json::from(event.rewrites.match_attempts)),
+        ("requeued", Json::from(event.rewrites.requeued)),
     ];
     if let Some(changed) = event.changed {
         pairs.push(("changed", Json::from(changed)));
