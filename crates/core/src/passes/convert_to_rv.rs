@@ -17,7 +17,7 @@ use mlb_ir::{
     StridePattern, Type, ValueId,
 };
 use mlb_isa::SSR_MAX_DIMS;
-use mlb_riscv::{rv, rv_func, rv_scf, snitch_stream};
+use mlb_riscv::{rv, rv_func, rv_scf, rv_snitch, snitch_stream};
 
 /// The pass object. `pattern_opts` controls the Section 3.2 stream
 /// pattern optimizations (contiguous-dimension collapse and the
@@ -206,6 +206,42 @@ impl Converter {
                 let elem = ctx.value_type(o.operands[0]).clone();
                 let op_name = if elem == Type::F32 { rv::FSW } else { rv::FSD };
                 rv::fp_store(ctx, block, op_name, value, base, imm);
+            }
+            memref::OFFSET => {
+                let o = ctx.op(op).clone();
+                let Type::MemRef(m) = ctx.value_type(o.operands[0]).clone() else {
+                    return Err("offset of non-memref".to_string());
+                };
+                let esz = m.element.size_in_bytes() as i64;
+                let base = self.get(o.operands[0])?;
+                let new = if let Some(c) =
+                    arith::constant_value(ctx, o.operands[1]).and_then(Attribute::as_int)
+                {
+                    if c == 0 {
+                        base
+                    } else {
+                        let term = rv::li(ctx, block, c * esz);
+                        rv::int_binary(ctx, block, rv::ADD, base, term)
+                    }
+                } else {
+                    let off = self.get(o.operands[1])?;
+                    let term = if esz.count_ones() == 1 {
+                        rv::int_imm(ctx, block, rv::SLLI, off, esz.trailing_zeros() as i64)
+                    } else {
+                        let c = rv::li(ctx, block, esz);
+                        rv::int_binary(ctx, block, rv::MUL, off, c)
+                    };
+                    rv::int_binary(ctx, block, rv::ADD, base, term)
+                };
+                self.map.insert(o.results[0], new);
+            }
+            rv_snitch::HARTID => {
+                let o = ctx.op(op).clone();
+                let new = rv_snitch::build_hartid(ctx, block, Type::IntRegister(None));
+                self.map.insert(o.results[0], new);
+            }
+            rv_snitch::BARRIER => {
+                rv_snitch::build_barrier(ctx, block);
             }
             memref_stream::STREAMING_REGION => {
                 self.convert_streaming_region(ctx, op, block)?;

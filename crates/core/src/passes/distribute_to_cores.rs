@@ -1,0 +1,304 @@
+//! `distribute-to-cores`: shards a kernel across the cores of a Snitch
+//! cluster.
+//!
+//! Runs right after streamification, while the kernel is still a single
+//! `memref_stream.generic` whose iteration space is explicit. The first
+//! *parallel* dimension whose bound divides evenly by the core count and
+//! that every output map depends on is chunked by hart id: each core
+//! keeps the same loop structure over a `bound / cores` slice and its
+//! memref operands are rebased with `memref.offset` so the slices land
+//! in disjoint regions of the shared TCDM. A `rv_snitch.barrier` after
+//! the kernel keeps the cluster timing honest.
+//!
+//! Kernels with no such dimension (e.g. a full reduction, where every
+//! core would re-accumulate into the same scalar) are *not* sharded:
+//! they are wrapped in a `scf.for %i = hartid to 1` loop so only core 0
+//! executes them — slower, never silently wrong.
+
+use mlb_dialects::{arith, memref, memref_stream, scf, structured};
+use mlb_ir::{
+    Attribute, Context, DialectRegistry, IteratorType, OpId, OpSpec, Pass, PassError, Type,
+};
+use mlb_riscv::rv_snitch;
+
+/// The pass object. `cores` is the cluster size; `cores <= 1` makes the
+/// pass a no-op.
+#[derive(Debug, Clone, Copy)]
+pub struct DistributeToCores {
+    /// Number of cores to shard across.
+    pub cores: usize,
+}
+
+impl Pass for DistributeToCores {
+    fn name(&self) -> &'static str {
+        "distribute-to-cores"
+    }
+
+    fn run(
+        &self,
+        ctx: &mut Context,
+        _registry: &DialectRegistry,
+        root: OpId,
+    ) -> Result<(), PassError> {
+        if self.cores <= 1 {
+            return Ok(());
+        }
+        let cores = self.cores as i64;
+        for g in ctx.walk_named(root, memref_stream::GENERIC) {
+            if !ctx.is_alive(g) {
+                continue;
+            }
+            match shard_dim(ctx, g, cores) {
+                Some(dim) => shard(ctx, g, dim, cores),
+                None => confine_to_core0(ctx, g),
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Picks the dimension to chunk: the first parallel dimension whose
+/// bound divides by `cores` and that every output map depends on (so
+/// distinct harts write distinct elements). `None` means the kernel
+/// cannot be sharded safely.
+fn shard_dim(ctx: &Context, g: OpId, cores: i64) -> Option<usize> {
+    let s = memref_stream::StreamGenericOp(g);
+    let gen = s.generic();
+    let iterators = gen.iterator_types(ctx);
+    let bounds = s.bounds(ctx);
+    let maps = gen.indexing_maps(ctx);
+    if maps.iter().any(|m| !m.is_linear()) {
+        return None;
+    }
+    let num_inputs = gen.num_inputs(ctx);
+    let output_maps = &maps[num_inputs..];
+    (0..iterators.len()).find(|&d| {
+        iterators[d] == IteratorType::Parallel
+            && bounds[d] % cores == 0
+            && output_maps.iter().all(|m| m.dim_coefficients(d).iter().any(|&c| c != 0))
+    })
+}
+
+/// Rewrites `g` in place to cover one `bounds[dim] / cores` chunk,
+/// selected by the executing core's hart id.
+fn shard(ctx: &mut Context, g: OpId, dim: usize, cores: i64) {
+    let s = memref_stream::StreamGenericOp(g);
+    let gen = s.generic();
+    let maps = gen.indexing_maps(ctx);
+    let bounds = s.bounds(ctx);
+    let chunk = bounds[dim] / cores;
+
+    let hart_op =
+        ctx.insert_op_before(g, OpSpec::new(rv_snitch::HARTID).results(vec![Type::Index]));
+    let hart = ctx.op(hart_op).results[0];
+    for (i, map) in maps.iter().enumerate() {
+        let operand = ctx.op(g).operands[i];
+        let strides = match ctx.value_type(operand) {
+            Type::MemRef(m) => m.element_strides(),
+            _ => continue,
+        };
+        // Element distance between consecutive chunks: one step of `dim`
+        // moves the access by `coeff · stride` elements, and a chunk is
+        // `chunk` steps.
+        let coeffs = map.dim_coefficients(dim);
+        let elems = coeffs.iter().zip(&strides).map(|(c, s)| c * s).sum::<i64>() * chunk;
+        if elems == 0 {
+            continue;
+        }
+        let c = ctx.insert_op_before(
+            g,
+            OpSpec::new(arith::CONSTANT)
+                .attr("value", Attribute::Int(elems))
+                .results(vec![Type::Index]),
+        );
+        let cval = ctx.op(c).results[0];
+        let mul = ctx.insert_op_before(
+            g,
+            OpSpec::new(arith::MULI).operands(vec![hart, cval]).results(vec![Type::Index]),
+        );
+        let off = ctx.op(mul).results[0];
+        let ty = ctx.value_type(operand).clone();
+        let reb = ctx.insert_op_before(
+            g,
+            OpSpec::new(memref::OFFSET).operands(vec![operand, off]).results(vec![ty]),
+        );
+        let rebased = ctx.op(reb).results[0];
+        ctx.set_operand(g, i, rebased);
+    }
+
+    let mut new_bounds = bounds;
+    new_bounds[dim] = chunk;
+    ctx.op_mut(g).attrs.insert(structured::BOUNDS.to_string(), Attribute::DenseI64(new_bounds));
+    insert_after(ctx, g, OpSpec::new(rv_snitch::BARRIER));
+}
+
+/// Fallback for unshardable kernels: wrap `g` in
+/// `scf.for %i = hartid to 1 step 1`, which runs exactly once on core 0
+/// and zero times everywhere else.
+fn confine_to_core0(ctx: &mut Context, g: OpId) {
+    let hart_op =
+        ctx.insert_op_before(g, OpSpec::new(rv_snitch::HARTID).results(vec![Type::Index]));
+    let hart = ctx.op(hart_op).results[0];
+    let one_op = ctx.insert_op_before(
+        g,
+        OpSpec::new(arith::CONSTANT).attr("value", Attribute::Int(1)).results(vec![Type::Index]),
+    );
+    let one = ctx.op(one_op).results[0];
+    let for_op =
+        ctx.insert_op_before(g, OpSpec::new(scf::FOR).operands(vec![hart, one, one]).regions(1));
+    let body = ctx.create_block(ctx.op(for_op).regions[0], vec![Type::Index]);
+    ctx.move_op_to_end(g, body);
+    ctx.append_op(body, OpSpec::new(scf::YIELD));
+    insert_after(ctx, for_op, OpSpec::new(rv_snitch::BARRIER));
+}
+
+/// Inserts `spec` directly after `op` in its block.
+fn insert_after(ctx: &mut Context, op: OpId, spec: OpSpec) -> OpId {
+    let block = ctx.op(op).parent.expect("op must be attached to a block");
+    let pos = ctx.op_position(op);
+    match ctx.block_ops(block).get(pos + 1).copied() {
+        Some(next) => ctx.insert_op_before(next, spec),
+        None => ctx.append_op(block, spec),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::passes::convert_linalg::ConvertLinalgToMemrefStream;
+    use mlb_dialects::{builtin, func, linalg};
+    use mlb_ir::AffineMap;
+
+    fn registry() -> DialectRegistry {
+        let mut r = DialectRegistry::new();
+        mlb_dialects::register_all(&mut r);
+        mlb_riscv::register_all(&mut r);
+        r
+    }
+
+    /// MatMul(M, N, K) over f64.
+    fn build_matmul(ctx: &mut Context, m_: i64, n: i64, k: i64) -> OpId {
+        let (module, top) = builtin::build_module(ctx);
+        let a_ty = Type::memref(vec![m_, k], Type::F64);
+        let b_ty = Type::memref(vec![k, n], Type::F64);
+        let c_ty = Type::memref(vec![m_, n], Type::F64);
+        let (_f, entry) = func::build_func(ctx, top, "matmul", vec![a_ty, b_ty, c_ty], vec![]);
+        let a = ctx.block_args(entry)[0];
+        let b = ctx.block_args(entry)[1];
+        let c = ctx.block_args(entry)[2];
+        linalg::build_generic(
+            ctx,
+            entry,
+            vec![a, b],
+            vec![c],
+            vec![
+                AffineMap::projection(3, &[0, 2]),
+                AffineMap::projection(3, &[2, 1]),
+                AffineMap::projection(3, &[0, 1]),
+            ],
+            vec![IteratorType::Parallel, IteratorType::Parallel, IteratorType::Reduction],
+            None,
+            |ctx, body, args| {
+                let p = arith::binary(ctx, body, arith::MULF, args[0], args[1]);
+                vec![arith::binary(ctx, body, arith::ADDF, p, args[2])]
+            },
+        );
+        func::build_return(ctx, entry, vec![]);
+        module
+    }
+
+    /// Full reduction: sum(X) into a 1-element output.
+    fn build_sum(ctx: &mut Context, n: i64) -> OpId {
+        let (module, top) = builtin::build_module(ctx);
+        let x_ty = Type::memref(vec![n], Type::F64);
+        let acc_ty = Type::memref(vec![1], Type::F64);
+        let (_f, entry) = func::build_func(ctx, top, "sum", vec![x_ty, acc_ty], vec![]);
+        let x = ctx.block_args(entry)[0];
+        let acc = ctx.block_args(entry)[1];
+        linalg::build_generic(
+            ctx,
+            entry,
+            vec![x],
+            vec![acc],
+            vec![
+                AffineMap::identity(1),
+                AffineMap::new(1, 0, vec![mlb_ir::AffineExpr::constant(0)]),
+            ],
+            vec![IteratorType::Reduction],
+            None,
+            |ctx, body, args| vec![arith::binary(ctx, body, arith::ADDF, args[0], args[1])],
+        );
+        func::build_return(ctx, entry, vec![]);
+        module
+    }
+
+    #[test]
+    fn matmul_is_sharded_on_the_row_dimension() {
+        let mut ctx = Context::new();
+        let r = registry();
+        let m = build_matmul(&mut ctx, 8, 16, 16);
+        ConvertLinalgToMemrefStream.run(&mut ctx, &r, m).unwrap();
+        DistributeToCores { cores: 4 }.run(&mut ctx, &r, m).unwrap();
+        r.verify(&ctx, m).unwrap();
+        let g = ctx.walk_named(m, memref_stream::GENERIC)[0];
+        let s = memref_stream::StreamGenericOp(g);
+        // M = 8 chunked to 2 rows per core; N and K untouched.
+        assert_eq!(s.bounds(&ctx), vec![2, 16, 16]);
+        // A (row-major [8, 16]) advances 2*16 elements per hart; B is
+        // independent of the row dim and stays unwrapped; C advances
+        // 2*16 as well.
+        let ops = ctx.op(g).operands.clone();
+        let a_def = ctx.defining_op(ops[0]).unwrap();
+        assert_eq!(ctx.op(a_def).name, memref::OFFSET);
+        assert!(ctx.defining_op(ops[1]).is_none(), "B must stay the raw block arg");
+        let c_def = ctx.defining_op(ops[2]).unwrap();
+        assert_eq!(ctx.op(c_def).name, memref::OFFSET);
+        // One hart id feeds both offsets; a barrier follows the kernel.
+        assert_eq!(ctx.walk_named(m, rv_snitch::HARTID).len(), 1);
+        assert_eq!(ctx.walk_named(m, rv_snitch::BARRIER).len(), 1);
+    }
+
+    #[test]
+    fn indivisible_bound_falls_back_to_core0() {
+        let mut ctx = Context::new();
+        let r = registry();
+        // M = 1, N = 5: no parallel bound divides 4.
+        let m = build_matmul(&mut ctx, 1, 5, 200);
+        ConvertLinalgToMemrefStream.run(&mut ctx, &r, m).unwrap();
+        DistributeToCores { cores: 4 }.run(&mut ctx, &r, m).unwrap();
+        r.verify(&ctx, m).unwrap();
+        let g = ctx.walk_named(m, memref_stream::GENERIC)[0];
+        let wrapper = ctx.parent_op(g).unwrap();
+        assert_eq!(ctx.op(wrapper).name, scf::FOR);
+        // Bounds are untouched and the loop runs hartid..1.
+        assert_eq!(memref_stream::StreamGenericOp(g).bounds(&ctx), vec![1, 5, 200]);
+        assert_eq!(ctx.walk_named(m, rv_snitch::BARRIER).len(), 1);
+    }
+
+    #[test]
+    fn reduction_only_kernel_falls_back_to_core0() {
+        let mut ctx = Context::new();
+        let r = registry();
+        let m = build_sum(&mut ctx, 64);
+        ConvertLinalgToMemrefStream.run(&mut ctx, &r, m).unwrap();
+        DistributeToCores { cores: 2 }.run(&mut ctx, &r, m).unwrap();
+        r.verify(&ctx, m).unwrap();
+        let g = ctx.walk_named(m, memref_stream::GENERIC)[0];
+        let wrapper = ctx.parent_op(g).unwrap();
+        assert_eq!(ctx.op(wrapper).name, scf::FOR);
+        let f = scf::ForOp(wrapper);
+        let lb_def = ctx.defining_op(f.lower_bound(&ctx)).unwrap();
+        assert_eq!(ctx.op(lb_def).name, rv_snitch::HARTID);
+    }
+
+    #[test]
+    fn single_core_is_a_noop() {
+        let mut ctx = Context::new();
+        let r = registry();
+        let m = build_matmul(&mut ctx, 8, 16, 16);
+        ConvertLinalgToMemrefStream.run(&mut ctx, &r, m).unwrap();
+        DistributeToCores { cores: 1 }.run(&mut ctx, &r, m).unwrap();
+        assert!(ctx.walk_named(m, rv_snitch::HARTID).is_empty());
+        assert!(ctx.walk_named(m, rv_snitch::BARRIER).is_empty());
+    }
+}

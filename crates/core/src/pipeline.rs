@@ -19,6 +19,7 @@ use crate::passes::canonicalize::Canonicalize;
 use crate::passes::convert_linalg::ConvertLinalgToMemrefStream;
 use crate::passes::convert_to_rv::ConvertToRv;
 use crate::passes::dce::DeadCodeElimination;
+use crate::passes::distribute_to_cores::DistributeToCores;
 use crate::passes::fuse_fill::MemrefStreamFuseFill;
 use crate::passes::lower_streaming::LowerSnitchStream;
 use crate::passes::lower_to_loops::ConvertMemrefStreamToLoops;
@@ -47,6 +48,9 @@ pub struct PipelineOptions {
     /// Apply the stream access-pattern optimizations of Section 3.2
     /// (contiguous-dimension collapse, zero-stride repeat counter).
     pub stream_pattern_opts: bool,
+    /// Number of cluster cores to shard kernels across (1 = no
+    /// distribution; the paper's cluster has 8).
+    pub cores: usize,
 }
 
 impl PipelineOptions {
@@ -60,6 +64,7 @@ impl PipelineOptions {
             unroll_and_jam: true,
             unroll_factor: None,
             stream_pattern_opts: true,
+            cores: 1,
         }
     }
 
@@ -73,6 +78,7 @@ impl PipelineOptions {
             unroll_and_jam: false,
             unroll_factor: None,
             stream_pattern_opts: true,
+            cores: 1,
         }
     }
 
@@ -206,6 +212,9 @@ pub fn build_pipeline(flow: Flow, clang_unroll: bool) -> PassManager {
             pm.add(ConvertLinalgToMemrefStream);
             if opts.fuse_fill {
                 pm.add(MemrefStreamFuseFill);
+            }
+            if opts.cores > 1 {
+                pm.add(DistributeToCores { cores: opts.cores });
             }
             if opts.scalar_replacement {
                 pm.add(MemrefStreamScalarReplacement);
@@ -481,6 +490,30 @@ mod tests {
         let (z, _counters, _) = run_sum(Flow::ClangLike, 16);
         let expect: Vec<f64> = (0..16).map(|i| (i + i * 10) as f64).collect();
         assert_eq!(z, expect);
+    }
+
+    #[test]
+    fn sum_distributes_bit_identically_across_cores() {
+        let (reference, _, _) = run_sum(Flow::Ours(PipelineOptions::full()), 32);
+        for cores in [2usize, 4] {
+            let mut opts = PipelineOptions::full();
+            opts.cores = cores;
+            let mut ctx = Context::new();
+            let m = build_sum_module(&mut ctx, 32);
+            let compiled = compile(&mut ctx, m, Flow::Ours(opts)).expect("compilation");
+            assert!(compiled.assembly.contains("mhartid"), "{}", compiled.assembly);
+            let prog = mlb_sim::assemble(&compiled.assembly).expect("assembles");
+            let mut cluster = mlb_sim::Cluster::new(cores);
+            let x: Vec<f64> = (0..32).map(|i| i as f64).collect();
+            let y: Vec<f64> = (0..32).map(|i| (i * 10) as f64).collect();
+            let (xa, ya, za) = (TCDM_BASE, TCDM_BASE + 256, TCDM_BASE + 512);
+            cluster.write_f64_slice(xa, &x).unwrap();
+            cluster.write_f64_slice(ya, &y).unwrap();
+            let counters = cluster.call(&prog, "vecsum", &[xa, ya, za]).expect("runs");
+            assert_eq!(cluster.read_f64_slice(za, 32).unwrap(), reference);
+            assert_eq!(counters.per_core.len(), cores);
+            assert_eq!(counters.barriers, 1);
+        }
     }
 
     #[test]

@@ -40,18 +40,29 @@ pub struct RegAllocError {
     pub class: RegClass,
     /// Name of the operation being allocated when the pool drained.
     pub op_name: String,
+    /// Identity of the value that could not be given a register.
+    pub value: String,
+    /// Registers of the class already claimed at the failure point (out
+    /// of the class's allocatable pool).
+    pub live: usize,
+    /// Size of the class's allocatable pool.
+    pub pool: usize,
 }
 
 impl fmt::Display for RegAllocError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "out of {} registers while allocating `{}`: spilling would be required",
+            "out of {} registers while allocating {} in `{}` ({} of {} allocatable registers \
+             live): spilling would be required",
             match self.class {
                 RegClass::Int => "integer",
                 RegClass::Fp => "floating-point",
             },
-            self.op_name
+            self.value,
+            self.op_name,
+            self.live,
+            self.pool
         )
     }
 }
@@ -178,17 +189,25 @@ impl Allocator {
     ) -> Result<(), RegAllocError> {
         match ctx.value_type(v).clone() {
             Type::IntRegister(None) => {
+                let pool = IntReg::allocatable().len();
                 let r = self.free_int.pop().ok_or_else(|| RegAllocError {
                     class: RegClass::Int,
                     op_name: op_name.to_string(),
+                    value: format!("{v:?}"),
+                    live: pool - self.free_int.len(),
+                    pool,
                 })?;
                 ctx.set_value_type(v, Type::IntRegister(Some(r)));
                 Ok(())
             }
             Type::FpRegister(None) => {
+                let pool = FpReg::allocatable().len();
                 let r = self.free_fp.pop().ok_or_else(|| RegAllocError {
                     class: RegClass::Fp,
                     op_name: op_name.to_string(),
+                    value: format!("{v:?}"),
+                    live: pool - self.free_fp.len(),
+                    pool,
                 })?;
                 ctx.set_value_type(v, Type::FpRegister(Some(r)));
                 Ok(())
@@ -690,6 +709,34 @@ mod tests {
         let err = allocate_function(&mut ctx, func).unwrap_err();
         assert_eq!(err.class, RegClass::Fp);
         assert!(err.to_string().contains("spilling"));
+        // The enriched error names the value and the pool pressure.
+        assert_eq!(err.pool, FpReg::allocatable().len());
+        assert_eq!(err.live, err.pool, "pool must be fully claimed at the failure");
+        assert!(!err.value.is_empty());
+        assert!(err.to_string().contains(&err.value), "{err}");
+        assert!(err.to_string().contains("20 of 20"), "{err}");
+    }
+
+    #[test]
+    fn integer_exhaustion_is_a_clean_error() {
+        let (mut ctx, _registry, _module, top) = setup();
+        let (func, entry) = rv_func::build_func(&mut ctx, top, "f", &[]);
+        // More simultaneously live integer values than the 15-register
+        // caller-saved pool can hold.
+        let seeds: Vec<ValueId> = (0..20).map(|i| rv::li(&mut ctx, entry, i)).collect();
+        let mut acc = seeds[0];
+        for &s in &seeds[1..] {
+            acc = rv::int_binary(&mut ctx, entry, rv::ADD, acc, s);
+        }
+        for &s in &seeds {
+            let _ = rv::int_binary(&mut ctx, entry, rv::ADD, s, s);
+        }
+        rv_func::build_ret(&mut ctx, entry);
+        let err = allocate_function(&mut ctx, func).unwrap_err();
+        assert_eq!(err.class, RegClass::Int);
+        assert_eq!(err.pool, IntReg::allocatable().len());
+        assert_eq!(err.live, err.pool);
+        assert!(err.to_string().contains("out of integer registers"), "{err}");
     }
 
     #[test]

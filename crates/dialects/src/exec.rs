@@ -40,6 +40,7 @@ pub fn register_exec(registry: &mut ExecRegistry) {
     registry.register(scf::YIELD, exec_nop);
     registry.register(memref::LOAD, exec_load);
     registry.register(memref::STORE, exec_store);
+    registry.register(memref::OFFSET, exec_offset);
     registry.register(linalg::FILL, exec_fill);
     registry.register(linalg::GENERIC, exec_generic);
     registry.register(linalg::YIELD, exec_nop);
@@ -212,6 +213,25 @@ fn element_addr(
     let elem_off: i64 = indices.iter().zip(&strides).map(|(i, s)| i * s).sum();
     let addr = base + elem_off * m.element.size_in_bytes() as i64;
     u32::try_from(addr).map_err(|_| InterpError::at(op, format!("address {addr:#x} out of range")))
+}
+
+fn exec_offset(
+    it: &mut Interpreter,
+    ctx: &Context,
+    _reg: &ExecRegistry,
+    op: OpId,
+) -> Result<Flow, InterpError> {
+    let o = ctx.op(op);
+    let (memref, offset, result) = (o.operands[0], o.operands[1], o.results[0]);
+    let e = |m: String| InterpError::at(op, m);
+    let esz = match ctx.value_type(memref) {
+        Type::MemRef(m) => m.element.size_in_bytes() as i64,
+        other => return Err(e(format!("expected memref operand, got {other}"))),
+    };
+    let base = it.get(ctx, memref).map_err(e)?.as_int().map_err(e)?;
+    let off = it.get(ctx, offset).map_err(e)?.as_int().map_err(e)?;
+    it.set(ctx, result, Value::Int(base + off * esz)).map_err(e)?;
+    Ok(Flow::Continue)
 }
 
 fn load_element(

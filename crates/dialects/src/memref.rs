@@ -6,11 +6,17 @@ use mlb_ir::{BlockId, Context, DialectRegistry, OpId, OpInfo, OpSpec, Type, Valu
 pub const LOAD: &str = "memref.load";
 /// `memref.store`: writes one element. Operands: `value, memref, indices...`.
 pub const STORE: &str = "memref.store";
+/// `memref.offset`: rebases a memref by an element offset. Operands:
+/// `memref, offset` (in elements); result has the same memref type. The
+/// `distribute-to-cores` pass uses it to hand each core its shard of a
+/// buffer without changing the operand's type.
+pub const OFFSET: &str = "memref.offset";
 
 /// Registers the `memref` dialect.
 pub fn register(registry: &mut DialectRegistry) {
     registry.register(OpInfo::new(LOAD).with_verify(verify_load));
     registry.register(OpInfo::new(STORE).with_verify(verify_store));
+    registry.register(OpInfo::new(OFFSET).pure().with_verify(verify_offset));
 }
 
 fn memref_of(ctx: &Context, op: OpId, v: ValueId) -> Result<mlb_ir::MemRefType, VerifyError> {
@@ -69,6 +75,34 @@ fn verify_store(ctx: &Context, op: OpId) -> Result<(), VerifyError> {
         return Err(VerifyError::new(ctx, op, "stored value type differs from element type"));
     }
     Ok(())
+}
+
+fn verify_offset(ctx: &Context, op: OpId) -> Result<(), VerifyError> {
+    let o = ctx.op(op);
+    if o.operands.len() != 2 || o.results.len() != 1 {
+        return Err(VerifyError::new(ctx, op, "offset takes a memref and an element offset"));
+    }
+    let m = memref_of(ctx, op, o.operands[0])?;
+    if *ctx.value_type(o.operands[1]) != Type::Index {
+        return Err(VerifyError::new(ctx, op, "offset must have index type"));
+    }
+    match ctx.value_type(o.results[0]) {
+        Type::MemRef(r) if *r == m => Ok(()),
+        _ => Err(VerifyError::new(ctx, op, "result type differs from memref operand type")),
+    }
+}
+
+/// Builds a `memref.offset` rebasing `memref` by `offset` elements.
+pub fn build_offset(
+    ctx: &mut Context,
+    block: BlockId,
+    memref: ValueId,
+    offset: ValueId,
+) -> ValueId {
+    let ty = ctx.value_type(memref).clone();
+    let op =
+        ctx.append_op(block, OpSpec::new(OFFSET).operands(vec![memref, offset]).results(vec![ty]));
+    ctx.op(op).results[0]
 }
 
 /// Builds a `memref.load`.

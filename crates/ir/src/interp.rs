@@ -298,6 +298,8 @@ pub struct Interpreter {
     streams: Vec<StreamCursor>,
     /// Remaining instruction budget.
     pub fuel: u64,
+    /// Core index reported by `rv_snitch.hartid` (0 on a single core).
+    pub hart: i64,
 }
 
 impl Default for Interpreter {
@@ -318,7 +320,14 @@ impl Interpreter {
             ssr_enabled: false,
             streams: Vec::new(),
             fuel: DEFAULT_FUEL,
+            hart: 0,
         }
+    }
+
+    /// Swaps this interpreter's TCDM image with `image`, so several
+    /// interpreter runs (one per hart) can share a single memory.
+    pub fn swap_mem(&mut self, image: &mut Vec<u8>) {
+        std::mem::swap(&mut self.mem, image);
     }
 
     // ----- memory ----------------------------------------------------------

@@ -12,6 +12,18 @@ use crate::attributes::{Attribute, IteratorType, StreamPattern, StridePattern};
 use crate::context::{BlockId, Context, OpId, OpSpec, ValueId};
 use crate::types::Type;
 
+/// The resolved source position of a [`ParseError`], with the
+/// offending line for context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SourceLocation {
+    /// 1-based line number.
+    pub line: usize,
+    /// 1-based column (byte) within the line.
+    pub column: usize,
+    /// The offending line's text, without its trailing newline.
+    pub excerpt: String,
+}
+
 /// Error produced when parsing textual IR.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseError {
@@ -19,11 +31,49 @@ pub struct ParseError {
     pub offset: usize,
     /// Description of what went wrong.
     pub message: String,
+    /// Resolved `line:column` position and line excerpt. Filled by
+    /// [`parse_module`], which owns the input text; errors built deeper
+    /// in the parser carry only the byte offset.
+    pub location: Option<SourceLocation>,
+}
+
+impl ParseError {
+    /// An error at a raw byte offset, without a resolved position.
+    fn at(offset: usize, message: impl Into<String>) -> ParseError {
+        ParseError { offset, message: message.into(), location: None }
+    }
+
+    /// Resolves [`ParseError::offset`] against the original `input`
+    /// into a `line:column` position plus the offending line.
+    fn with_source(mut self, input: &str) -> ParseError {
+        let offset = self.offset.min(input.len());
+        let line_start = input[..offset].rfind('\n').map_or(0, |p| p + 1);
+        let line_end = input[offset..].find('\n').map_or(input.len(), |p| offset + p);
+        self.location = Some(SourceLocation {
+            line: input[..offset].matches('\n').count() + 1,
+            column: offset - line_start + 1,
+            excerpt: input[line_start..line_end].trim_end().to_string(),
+        });
+        self
+    }
 }
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "parse error at byte {}: {}", self.offset, self.message)
+        match &self.location {
+            Some(loc) => {
+                write!(
+                    f,
+                    "parse error at line {}, column {}: {}\n  | {}\n  | {}^",
+                    loc.line,
+                    loc.column,
+                    self.message,
+                    loc.excerpt,
+                    " ".repeat(loc.column.saturating_sub(1)),
+                )
+            }
+            None => write!(f, "parse error at byte {}: {}", self.offset, self.message),
+        }
     }
 }
 
@@ -34,8 +84,13 @@ impl std::error::Error for ParseError {}
 ///
 /// # Errors
 ///
-/// Returns a [`ParseError`] describing the first syntax problem.
+/// Returns a [`ParseError`] describing the first syntax problem, with
+/// its `line:column` position and the offending line resolved.
 pub fn parse_module(ctx: &mut Context, input: &str) -> Result<OpId, ParseError> {
+    parse_module_inner(ctx, input).map_err(|e| e.with_source(input))
+}
+
+fn parse_module_inner(ctx: &mut Context, input: &str) -> Result<OpId, ParseError> {
     let tokens = tokenize(input)?;
     let mut p = Parser { ctx, tokens, pos: 0, values: HashMap::new(), blocks: HashMap::new() };
     let op = p.parse_op(None)?;
@@ -84,10 +139,7 @@ fn tokenize(input: &str) -> Result<Vec<SpannedTok>, ParseError> {
                     i += 1;
                 }
                 if i >= bytes.len() {
-                    return Err(ParseError {
-                        offset: start,
-                        message: "unterminated string".into(),
-                    });
+                    return Err(ParseError::at(start, "unterminated string"));
                 }
                 i += 1;
                 toks.push(SpannedTok { tok: Tok::Str(s), offset: start });
@@ -131,14 +183,12 @@ fn tokenize(input: &str) -> Result<Vec<SpannedTok>, ParseError> {
                 }
                 let text = &input[start..i];
                 let tok = if is_float {
-                    Tok::Float(text.parse().map_err(|_| ParseError {
-                        offset: start,
-                        message: format!("bad float literal `{text}`"),
+                    Tok::Float(text.parse().map_err(|_| {
+                        ParseError::at(start, format!("bad float literal `{text}`"))
                     })?)
                 } else {
-                    Tok::Int(text.parse().map_err(|_| ParseError {
-                        offset: start,
-                        message: format!("bad integer literal `{text}`"),
+                    Tok::Int(text.parse().map_err(|_| {
+                        ParseError::at(start, format!("bad integer literal `{text}`"))
                     })?)
                 };
                 toks.push(SpannedTok { tok, offset: start });
@@ -162,12 +212,7 @@ fn tokenize(input: &str) -> Result<Vec<SpannedTok>, ParseError> {
                 toks.push(SpannedTok { tok: Tok::Punct(c), offset: i });
                 i += 1;
             }
-            other => {
-                return Err(ParseError {
-                    offset: i,
-                    message: format!("unexpected character `{other}`"),
-                })
-            }
+            other => return Err(ParseError::at(i, format!("unexpected character `{other}`"))),
         }
     }
     Ok(toks)
@@ -197,16 +242,16 @@ impl<'c> Parser<'c> {
     }
 
     fn error(&self, message: impl Into<String>) -> ParseError {
-        ParseError { offset: self.offset(), message: message.into() }
+        ParseError::at(self.offset(), message)
     }
 
     fn expect_punct(&mut self, c: char) -> Result<(), ParseError> {
         match self.bump() {
             Some(Tok::Punct(p)) if p == c => Ok(()),
-            other => Err(ParseError {
-                offset: self.tokens.get(self.pos - 1).map(|t| t.offset).unwrap_or(usize::MAX),
-                message: format!("expected `{c}`, found {other:?}"),
-            }),
+            other => Err(ParseError::at(
+                self.tokens.get(self.pos - 1).map(|t| t.offset).unwrap_or(usize::MAX),
+                format!("expected `{c}`, found {other:?}"),
+            )),
         }
     }
 
@@ -266,10 +311,10 @@ impl<'c> Parser<'c> {
     }
 
     fn lookup_value(&self, name: &str) -> Result<ValueId, ParseError> {
-        self.values.get(name).copied().ok_or_else(|| ParseError {
-            offset: self.offset(),
-            message: format!("use of undefined value %{name}"),
-        })
+        self.values
+            .get(name)
+            .copied()
+            .ok_or_else(|| ParseError::at(self.offset(), format!("use of undefined value %{name}")))
     }
 
     /// op ::= (res (`,` res)* `=`)? strname `(` operands `)` succ? regions? attrs? `:` fntype
@@ -397,9 +442,8 @@ impl<'c> Parser<'c> {
         let successors = successor_names
             .iter()
             .map(|n| {
-                self.blocks.get(n).copied().ok_or_else(|| ParseError {
-                    offset: self.offset(),
-                    message: format!("use of undefined block ^{n}"),
+                self.blocks.get(n).copied().ok_or_else(|| {
+                    ParseError::at(self.offset(), format!("use of undefined block ^{n}"))
                 })
             })
             .collect::<Result<Vec<_>, _>>()?;
@@ -1084,6 +1128,31 @@ mod tests {
         let mut ctx = Context::new();
         let err = parse_module(&mut ctx, text).unwrap_err();
         assert!(err.message.contains("trailing"), "{err}");
+    }
+
+    #[test]
+    fn errors_render_line_column_and_excerpt() {
+        let text = "\"builtin.module\"() ({\n^bb0:\n  %0 = $bad\n}) : () -> ()\n";
+        let mut ctx = Context::new();
+        let err = parse_module(&mut ctx, text).unwrap_err();
+        let loc = err.location.as_ref().expect("parse_module resolves the location");
+        assert_eq!(loc.line, 3);
+        assert_eq!(loc.column, 8);
+        assert_eq!(loc.excerpt, "  %0 = $bad");
+        let rendered = err.to_string();
+        assert!(rendered.contains("parse error at line 3, column 8"), "{rendered}");
+        assert!(rendered.contains("|   %0 = $bad"), "{rendered}");
+        assert_eq!(rendered.lines().last().unwrap(), "  |        ^", "{rendered}");
+    }
+
+    #[test]
+    fn error_at_end_of_input_stays_in_bounds() {
+        let text = "\"builtin.module\"() ({";
+        let mut ctx = Context::new();
+        let err = parse_module(&mut ctx, text).unwrap_err();
+        let loc = err.location.as_ref().expect("location resolved even at EOF");
+        assert_eq!(loc.line, 1);
+        assert!(loc.column <= text.len() + 1, "{err}");
     }
 
     #[test]

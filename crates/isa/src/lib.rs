@@ -28,6 +28,15 @@ pub const CSR_SSR: u16 = 0x7C0;
 /// Machine cycle counter CSR, used by kernels and the harness for timing.
 pub const CSR_MCYCLE: u16 = 0xB00;
 
+/// Machine hart-id CSR (`mhartid`): reads the core index within the
+/// cluster. Standard RISC-V machine-mode CSR number.
+pub const CSR_MHARTID: u16 = 0xF14;
+
+/// Snitch cluster hardware-barrier CSR: reading it stalls the core until
+/// every core of the cluster has performed the read, then releases all of
+/// them in the same cycle.
+pub const CSR_BARRIER: u16 = 0x7C2;
+
 /// Size of the tightly-coupled data memory (TCDM) in bytes (128 KiB).
 ///
 /// The paper selects kernel shapes so that all operands fit in the TCDM;

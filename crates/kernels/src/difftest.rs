@@ -183,13 +183,23 @@ pub fn difftest_instance_tweaked(
         }
     }
 
+    // Multi-core flows are interpreted once per hart over one shared
+    // memory image, so the check covers the sharded kernel exactly as
+    // the cluster runs it.
+    let cores = match flow {
+        Flow::Ours(opts) => opts.cores.max(1),
+        _ => 1,
+    };
     let reg = exec_registry();
     let num_stages = stages.len();
     let mut checked = Vec::with_capacity(num_stages);
     for (stage_index, stage) in stages.iter().enumerate() {
-        let got = run_stage(&reg, stage, instance, &addrs, &operands, out_addr, out_len).map_err(
-            |message| DifftestError::Interp { stage: stage.pass.to_string(), stage_index, message },
-        )?;
+        let got = run_stage(&reg, stage, instance, &addrs, &operands, out_addr, out_len, cores)
+            .map_err(|message| DifftestError::Interp {
+                stage: stage.pass.to_string(),
+                stage_index,
+                message,
+            })?;
         if got != fused && got != unfused {
             let (index, &bits) =
                 got.iter().enumerate().find(|&(i, &b)| b != fused[i]).unwrap_or((0, &0));
@@ -213,6 +223,13 @@ pub fn difftest_instance_tweaked(
 
 /// Interprets one stage snapshot and returns the output buffer as
 /// element bit patterns.
+///
+/// A stage is re-run once per hart (over one shared memory image) iff
+/// its module reads the hart id: before `distribute-to-cores` the
+/// kernel is hart-independent and a second execution of, say, a fused
+/// reduction would double-accumulate — so only sharded stages are
+/// interpreted cluster-style.
+#[allow(clippy::too_many_arguments)]
 fn run_stage(
     reg: &ExecRegistry,
     stage: &Stage,
@@ -221,39 +238,58 @@ fn run_stage(
     operands: &Operands,
     out_addr: u32,
     out_len: usize,
+    cores: usize,
 ) -> Result<Vec<u64>, String> {
     let ctx = &stage.ctx;
     let symbol = instance.symbol();
     let func_op = find_kernel(ctx, stage.module, &symbol)
         .ok_or_else(|| format!("no function `{symbol}` in the module"))?;
 
+    let harts =
+        if cores > 1 && !ctx.walk_named(stage.module, mlb_riscv::rv_snitch::HARTID).is_empty() {
+            cores
+        } else {
+            1
+        };
+
+    let mut image: Vec<u8> = Vec::new();
+    for hart in 0..harts {
+        let mut it = Interpreter::new();
+        it.hart = hart as i64;
+        if hart == 0 {
+            match operands {
+                Operands::F64(inputs) => {
+                    for (input, &addr) in inputs.iter().zip(addrs) {
+                        it.write_f64_slice(addr, input)?;
+                    }
+                }
+                Operands::F32(inputs) => {
+                    for (input, &addr) in inputs.iter().zip(addrs) {
+                        it.write_f32_slice(addr, input)?;
+                    }
+                }
+            }
+        } else {
+            it.swap_mem(&mut image);
+        }
+
+        bind_arguments(&mut it, ctx, func_op, instance, addrs)?;
+
+        let region = ctx.op(func_op).regions[0];
+        let blocks = ctx.region_blocks(region).to_vec();
+        if blocks.len() == 1 {
+            match reg.run_block(&mut it, ctx, blocks[0]).map_err(|e| e.to_string())? {
+                ExecFlow::Return => {}
+                other => return Err(format!("function body ended with {other:?}, not a return")),
+            }
+        } else {
+            reg.run_cfg(&mut it, ctx, region).map_err(|e| e.to_string())?;
+        }
+        it.swap_mem(&mut image);
+    }
+
     let mut it = Interpreter::new();
-    match operands {
-        Operands::F64(inputs) => {
-            for (input, &addr) in inputs.iter().zip(addrs) {
-                it.write_f64_slice(addr, input)?;
-            }
-        }
-        Operands::F32(inputs) => {
-            for (input, &addr) in inputs.iter().zip(addrs) {
-                it.write_f32_slice(addr, input)?;
-            }
-        }
-    }
-
-    bind_arguments(&mut it, ctx, func_op, instance, addrs)?;
-
-    let region = ctx.op(func_op).regions[0];
-    let blocks = ctx.region_blocks(region).to_vec();
-    if blocks.len() == 1 {
-        match reg.run_block(&mut it, ctx, blocks[0]).map_err(|e| e.to_string())? {
-            ExecFlow::Return => {}
-            other => return Err(format!("function body ended with {other:?}, not a return")),
-        }
-    } else {
-        reg.run_cfg(&mut it, ctx, region).map_err(|e| e.to_string())?;
-    }
-
+    it.swap_mem(&mut image);
     let mut out = Vec::with_capacity(out_len);
     match instance.precision {
         Precision::F64 => {
@@ -348,6 +384,23 @@ mod tests {
                     outcome.stages.len()
                 );
                 assert_eq!(outcome.stages[0], "input");
+            }
+        }
+    }
+
+    #[test]
+    fn multi_core_kernels_pass_every_stage() {
+        for kind in Kind::all() {
+            let shape = match kind {
+                Kind::MatMul | Kind::MatMulT => Shape::nmk(4, 8, 8),
+                _ => Shape::nm(4, 8),
+            };
+            let instance = Instance::new(kind, shape, Precision::F64);
+            for cores in [2usize, 4] {
+                let mut opts = PipelineOptions::full();
+                opts.cores = cores;
+                difftest_instance(&instance, Flow::Ours(opts), 11)
+                    .unwrap_or_else(|e| panic!("{instance} on {cores} cores: {e}"));
             }
         }
     }

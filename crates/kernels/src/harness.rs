@@ -4,10 +4,10 @@
 
 use std::fmt;
 
-use mlb_core::{compile, Compilation, Flow};
+use mlb_core::{compile, Compilation, Flow, PipelineOptions};
 use mlb_ir::Context;
 use mlb_isa::{FpReg, TCDM_BASE, TCDM_SIZE};
-use mlb_sim::{assemble, Machine, PerfCounters};
+use mlb_sim::{assemble, Cluster, ClusterCounters, Machine, PerfCounters};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -203,6 +203,83 @@ pub fn run_compiled(
     Ok(RunOutcome { counters, compilation, output })
 }
 
+/// Everything measured in one verified multi-core cluster run.
+#[derive(Debug)]
+pub struct ClusterRunOutcome {
+    /// Per-core and aggregate counters of the cluster call.
+    pub counters: ClusterCounters,
+    /// Compilation artifacts (assembly, register statistics, passes).
+    pub compilation: Compilation,
+    /// The verified kernel output (widened to `f64` for f32 kernels).
+    pub output: Vec<f64>,
+}
+
+/// Compiles `instance` for a `cores`-wide cluster (the multi-level flow
+/// with `distribute-to-cores`), runs it on all cores against one shared
+/// TCDM image, verifies the result bit-for-bit against the host
+/// reference, and returns the merged measurements.
+///
+/// # Errors
+///
+/// Any compilation, assembly, simulation or verification failure.
+pub fn compile_and_run_on_cluster(
+    instance: &Instance,
+    mut opts: PipelineOptions,
+    seed: u64,
+    cores: usize,
+) -> Result<ClusterRunOutcome, HarnessError> {
+    opts.cores = cores;
+    let mut ctx = Context::new();
+    let module = instance.build_module(&mut ctx);
+    let compilation = compile(&mut ctx, module, Flow::Ours(opts)).map_err(HarnessError::Compile)?;
+    let program = assemble(&compilation.assembly).map_err(HarnessError::Assemble)?;
+    let sizes = instance.buffer_sizes();
+    let esz = instance.precision.bits() / 8;
+    let mut cluster = Cluster::new(cores);
+
+    let addrs = place_buffers(&sizes, esz)?;
+    let num_inputs = sizes.len() - 1;
+    let out_addr = addrs[num_inputs];
+    let out_len = sizes[num_inputs];
+
+    let (output, counters) = match instance.precision {
+        Precision::F64 => {
+            let inputs = random_inputs_f64(&sizes[..num_inputs], seed);
+            for (input, &addr) in inputs.iter().zip(&addrs) {
+                cluster.write_f64_slice(addr, input).map_err(HarnessError::Sim)?;
+            }
+            let expected = reference(instance, &inputs, FILL_VALUE);
+            if instance.kind == Kind::Fill {
+                cluster.broadcast_f_bits(FpReg::fa(0), FILL_VALUE.to_bits());
+            }
+            let counters =
+                cluster.call(&program, &instance.symbol(), &addrs).map_err(HarnessError::Sim)?;
+            let output = cluster.read_f64_slice(out_addr, out_len).map_err(HarnessError::Sim)?;
+            verify_f64(&output, &expected)?;
+            (output, counters)
+        }
+        Precision::F32 => {
+            let inputs = random_inputs_f32(&sizes[..num_inputs], seed);
+            for (input, &addr) in inputs.iter().zip(&addrs) {
+                cluster.write_f32_slice(addr, input).map_err(HarnessError::Sim)?;
+            }
+            let expected = reference(instance, &inputs, FILL_VALUE as f32);
+            if instance.kind == Kind::Fill {
+                cluster.broadcast_f_bits(
+                    FpReg::fa(0),
+                    ((FILL_VALUE as f32).to_bits() as u64) | 0xFFFF_FFFF_0000_0000,
+                );
+            }
+            let counters =
+                cluster.call(&program, &instance.symbol(), &addrs).map_err(HarnessError::Sim)?;
+            let output = cluster.read_f32_slice(out_addr, out_len).map_err(HarnessError::Sim)?;
+            verify_f32(&output, &expected)?;
+            (output.into_iter().map(f64::from).collect(), counters)
+        }
+    };
+    Ok(ClusterRunOutcome { counters, compilation, output })
+}
+
 fn verify_f64(got: &[f64], expected: &[f64]) -> Result<(), HarnessError> {
     for (index, (&g, &e)) in got.iter().zip(expected).enumerate() {
         if g.to_bits() != e.to_bits() {
@@ -242,6 +319,42 @@ mod tests {
         ] {
             let outcome = compile_and_run(&i, flow, 7).unwrap_or_else(|e| panic!("{flow:?}: {e}"));
             assert_eq!(outcome.output.len(), 32);
+        }
+    }
+
+    #[test]
+    fn cluster_outputs_match_the_single_core_run_bit_for_bit() {
+        for kind in Kind::all() {
+            let shape = match kind {
+                Kind::MatMul | Kind::MatMulT => Shape::nmk(4, 8, 8),
+                _ => Shape::nm(4, 8),
+            };
+            let i = Instance::new(kind, shape, Precision::F64);
+            let single = compile_and_run(&i, Flow::Ours(PipelineOptions::full()), 9)
+                .unwrap_or_else(|e| panic!("{i} single-core: {e}"));
+            for cores in [1usize, 2, 4] {
+                let multi = compile_and_run_on_cluster(&i, PipelineOptions::full(), 9, cores)
+                    .unwrap_or_else(|e| panic!("{i} on {cores} cores: {e}"));
+                let got: Vec<u64> = multi.output.iter().map(|v| v.to_bits()).collect();
+                let want: Vec<u64> = single.output.iter().map(|v| v.to_bits()).collect();
+                assert_eq!(got, want, "{i} on {cores} cores");
+                assert_eq!(multi.counters.per_core.len(), cores);
+            }
+        }
+    }
+
+    #[test]
+    fn unshardable_kernel_runs_on_core0_only() {
+        // M = 1 and N = 5: no parallel bound divides 4, so the kernel
+        // must fall back to core 0 instead of computing garbage.
+        let i = Instance::new(Kind::MatMul, Shape::nmk(1, 5, 7), Precision::F64);
+        let outcome = compile_and_run_on_cluster(&i, PipelineOptions::full(), 5, 4).unwrap();
+        assert!(outcome.counters.per_core[0].flops > 0);
+        for hart in 1..4 {
+            assert_eq!(
+                outcome.counters.per_core[hart].flops, 0,
+                "core {hart} must idle through a reduction-only kernel"
+            );
         }
     }
 

@@ -19,6 +19,9 @@ pub use difftest::{
 };
 pub use fuzz::{fuzz, FuzzFailure, SplitMix64};
 pub use handwritten::{build_handwritten, run_handwritten};
-pub use harness::{compile_and_run, run_compiled, HarnessError, RunOutcome, FILL_VALUE};
+pub use harness::{
+    compile_and_run, compile_and_run_on_cluster, run_compiled, ClusterRunOutcome, HarnessError,
+    RunOutcome, FILL_VALUE,
+};
 pub use reference::{reference, reference_with, FmaMode, Scalar};
 pub use suite::{Instance, Kind, Precision, Shape};

@@ -250,6 +250,12 @@ fn emit_op(
                 o.attr("csr").and_then(Attribute::as_int).ok_or_else(|| err("missing csr"))?;
             let _ = writeln!(out, "    {mn} zero, {csr:#x}, {}", imm_of(ctx, op)?);
         }
+        rv_snitch::HARTID => {
+            let _ = writeln!(out, "    csrr {}, mhartid", int_reg_of(ctx, o.results[0])?);
+        }
+        rv_snitch::BARRIER => {
+            let _ = writeln!(out, "    csrr zero, {:#x}", mlb_isa::CSR_BARRIER);
+        }
         rv_snitch::SSR_ENABLE => {
             let _ = writeln!(out, "    csrrsi zero, {:#x}, 1", mlb_isa::CSR_SSR);
         }

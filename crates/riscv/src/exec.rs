@@ -66,6 +66,8 @@ pub fn register_exec(registry: &mut ExecRegistry) {
     registry.register(rv_snitch::SCFGWI, exec_scfgwi);
     registry.register(rv_snitch::SSR_ENABLE, exec_ssr_toggle);
     registry.register(rv_snitch::SSR_DISABLE, exec_ssr_toggle);
+    registry.register(rv_snitch::HARTID, exec_hartid);
+    registry.register(rv_snitch::BARRIER, exec_nop);
     registry.register(rv_snitch::FREP_OUTER, exec_frep);
     registry.register(snitch_stream::STREAMING_REGION, exec_streaming_region);
     registry.register(snitch_stream::WRITE, exec_stream_write);
@@ -430,6 +432,17 @@ fn exec_scfgwi(
     let (reg, dm) = SsrCfgReg::from_scfg_imm(imm as u16)
         .ok_or_else(|| InterpError::at(op, format!("invalid scfgwi immediate {imm}")))?;
     it.movers[dm.index() as usize].configure(reg, value);
+    Ok(Flow::Continue)
+}
+
+fn exec_hartid(
+    it: &mut Interpreter,
+    ctx: &Context,
+    _reg: &ExecRegistry,
+    op: OpId,
+) -> Result<Flow, InterpError> {
+    let hart = it.hart;
+    it.set(ctx, ctx.op(op).results[0], Value::Int(hart)).map_err(|m| InterpError::at(op, m))?;
     Ok(Flow::Continue)
 }
 

@@ -33,6 +33,14 @@ pub const VFMAC_S: &str = "rv_snitch.vfmac.s";
 pub const VFSUM_S: &str = "rv_snitch.vfsum.s";
 /// `rv_snitch.vfcpka.s.s`: packs two singles into the two lanes of `rd`.
 pub const VFCPKA_S_S: &str = "rv_snitch.vfcpka.s.s";
+/// `rv_snitch.hartid`: reads the core's index within the cluster
+/// (`csrr rd, mhartid`). The result is `index`-typed when the
+/// `distribute-to-cores` pass inserts it at the `memref_stream` level
+/// and an integer register after conversion to the `rv` dialects.
+pub const HARTID: &str = "rv_snitch.hartid";
+/// `rv_snitch.barrier`: blocks until every core of the cluster has
+/// reached it (`csrr zero` on the cluster barrier CSR).
+pub const BARRIER: &str = "rv_snitch.barrier";
 
 /// Packed SIMD lane-wise binary instructions.
 pub const SIMD_BINARY: [&str; 3] = [VFADD_S, VFMUL_S, VFMAX_S];
@@ -49,6 +57,8 @@ pub fn register(registry: &mut DialectRegistry) {
     registry.register(OpInfo::new(VFMAC_S).pure().with_verify(verify_fp_ternary));
     registry.register(OpInfo::new(VFSUM_S).pure().with_verify(verify_fp_binary));
     registry.register(OpInfo::new(VFCPKA_S_S).pure().with_verify(verify_fp_binary));
+    registry.register(OpInfo::new(HARTID).pure().with_verify(verify_hartid));
+    registry.register(OpInfo::new(BARRIER).with_verify(verify_barrier));
 }
 
 fn is_fp_reg(ctx: &Context, v: ValueId) -> bool {
@@ -100,6 +110,25 @@ fn verify_ssr_toggle(ctx: &Context, op: OpId) -> Result<(), VerifyError> {
     let o = ctx.op(op);
     if !o.operands.is_empty() || !o.results.is_empty() {
         return Err(VerifyError::new(ctx, op, "SSR toggles take no operands"));
+    }
+    Ok(())
+}
+
+fn verify_hartid(ctx: &Context, op: OpId) -> Result<(), VerifyError> {
+    let o = ctx.op(op);
+    if !o.operands.is_empty() || o.results.len() != 1 {
+        return Err(VerifyError::new(ctx, op, "hartid takes no operands and has one result"));
+    }
+    if !matches!(ctx.value_type(o.results[0]), Type::Index | Type::IntRegister(_)) {
+        return Err(VerifyError::new(ctx, op, "hartid result must be index or integer register"));
+    }
+    Ok(())
+}
+
+fn verify_barrier(ctx: &Context, op: OpId) -> Result<(), VerifyError> {
+    let o = ctx.op(op);
+    if !o.operands.is_empty() || !o.results.is_empty() {
+        return Err(VerifyError::new(ctx, op, "barrier takes no operands and has no results"));
     }
     Ok(())
 }
@@ -230,6 +259,18 @@ pub fn build_scfgwi(
             .operands(vec![value])
             .attr("imm", Attribute::Int(reg.scfg_imm(dm) as i64)),
     )
+}
+
+/// Builds an `rv_snitch.hartid` with a result of type `ty` (`index` or
+/// an integer register, depending on the abstraction level).
+pub fn build_hartid(ctx: &mut Context, block: BlockId, ty: Type) -> ValueId {
+    let op = ctx.append_op(block, OpSpec::new(HARTID).results(vec![ty]));
+    ctx.op(op).results[0]
+}
+
+/// Builds an `rv_snitch.barrier`.
+pub fn build_barrier(ctx: &mut Context, block: BlockId) -> OpId {
+    ctx.append_op(block, OpSpec::new(BARRIER))
 }
 
 #[cfg(test)]

@@ -286,6 +286,13 @@ fn parse_instr(line: &str, symbols: &HashMap<String, usize>) -> Result<Instr, St
             let width = if mn == "fcvt.d.w" { FpWidth::Double } else { FpWidth::Single };
             Ok(Instr::Fcvt { width, rd: parse_fp_reg(ops[0])?, rs: parse_int_reg(ops[1])? })
         }
+        "csrr" => {
+            need(2)?;
+            let rd = parse_int_reg(ops[0])?;
+            let csr =
+                if ops[1] == "mhartid" { mlb_isa::CSR_MHARTID } else { parse_imm(ops[1])? as u16 };
+            Ok(Instr::Csrr { rd, csr })
+        }
         "csrrsi" | "csrrci" => {
             need(3)?;
             // csrrsi zero, csr, imm

@@ -1,0 +1,353 @@
+//! A multi-core Snitch cluster: N [`Machine`] cores sharing one TCDM
+//! image, synchronized by the cluster hardware barrier.
+//!
+//! # Execution model
+//!
+//! The cores are simulated **sequentially in hart order** against the
+//! single shared TCDM image. This is functionally exact for the
+//! programs the `distribute-to-cores` pass produces — each core writes
+//! a disjoint shard of the output and only barrier-separated phases
+//! could observe another core's writes — and it keeps every core's
+//! timing model untouched.
+//!
+//! Barrier timing is reconstructed afterwards from the local arrival
+//! times each core recorded (see [`Machine::barrier_arrivals`]): for
+//! barrier `k`, the release time is the latest adjusted arrival across
+//! cores, and each core's clock is shifted forward by the wait it would
+//! have spent stalled. A core's reported `cycles` therefore includes
+//! its barrier stalls, and the cluster's aggregate cycle count is the
+//! completion time of the slowest core.
+
+use mlb_isa::TCDM_SIZE;
+
+use crate::counters::{OccupancySummary, PerfCounters};
+use crate::machine::{ExecProgram, Machine, SimError};
+use crate::Program;
+
+/// Counters of one cluster call: per-core detail plus the merged view.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterCounters {
+    /// Counters of each core, in hart order. `cycles` is the core's
+    /// barrier-adjusted completion time.
+    pub per_core: Vec<PerfCounters>,
+    /// Merged counters: `cycles` is the maximum per-core completion
+    /// time (the cluster's latency); every other field is the sum over
+    /// cores (the cluster's work).
+    pub aggregate: PerfCounters,
+    /// Number of cluster barriers each core passed during the call.
+    pub barriers: usize,
+}
+
+impl ClusterCounters {
+    /// Occupancy of the whole cluster (from the merged counters, so the
+    /// utilization ratios are work-per-latency across all cores).
+    pub fn occupancy(&self) -> OccupancySummary {
+        self.aggregate.occupancy()
+    }
+}
+
+/// N Snitch cores sharing one TCDM image.
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    cores: Vec<Machine>,
+    /// The shared TCDM image, swapped into each core for its turn.
+    mem: Vec<u8>,
+}
+
+impl Cluster {
+    /// Creates a cluster of `num_cores` cores (hart ids `0..num_cores`)
+    /// with a zeroed shared TCDM.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_cores` is zero.
+    pub fn new(num_cores: usize) -> Cluster {
+        assert!(num_cores > 0, "a cluster needs at least one core");
+        let cores = (0..num_cores)
+            .map(|h| {
+                let mut m = Machine::new();
+                m.set_hart_id(h as u32);
+                // The per-core images are dead weight; the shared image
+                // below is the one every core executes against.
+                *m.mem_mut() = Vec::new();
+                m
+            })
+            .collect();
+        Cluster { cores, mem: vec![0; TCDM_SIZE] }
+    }
+
+    /// Number of cores in the cluster.
+    pub fn num_cores(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// Sets the dynamic-instruction budget of every core.
+    pub fn set_instruction_budget(&mut self, budget: u64) {
+        for core in &mut self.cores {
+            core.set_instruction_budget(budget);
+        }
+    }
+
+    /// Enables or disables the frep fast path on every core.
+    pub fn set_fast_path(&mut self, on: bool) {
+        for core in &mut self.cores {
+            core.set_fast_path(on);
+        }
+    }
+
+    /// Read-only access to core `hart` (architectural state inspection).
+    pub fn core(&self, hart: usize) -> &Machine {
+        &self.cores[hart]
+    }
+
+    // ----- shared-memory access (delegates to a core holding the image) ----
+
+    /// Runs `f` with core 0 temporarily owning the shared TCDM image.
+    fn with_image<T>(&mut self, f: impl FnOnce(&mut Machine) -> T) -> T {
+        std::mem::swap(self.cores[0].mem_mut(), &mut self.mem);
+        let out = f(&mut self.cores[0]);
+        std::mem::swap(self.cores[0].mem_mut(), &mut self.mem);
+        out
+    }
+
+    /// Writes an `f64` slice into the shared TCDM at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SimError`] if the destination range overflows or
+    /// lies outside the TCDM.
+    pub fn write_f64_slice(&mut self, addr: u32, values: &[f64]) -> Result<(), SimError> {
+        self.with_image(|m| m.write_f64_slice(addr, values))
+    }
+
+    /// Reads an `f64` slice from the shared TCDM at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SimError`] if the source range overflows or lies
+    /// outside the TCDM.
+    pub fn read_f64_slice(&mut self, addr: u32, len: usize) -> Result<Vec<f64>, SimError> {
+        self.with_image(|m| m.read_f64_slice(addr, len))
+    }
+
+    /// Writes an `f32` slice into the shared TCDM at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SimError`] if the destination range overflows or
+    /// lies outside the TCDM.
+    pub fn write_f32_slice(&mut self, addr: u32, values: &[f32]) -> Result<(), SimError> {
+        self.with_image(|m| m.write_f32_slice(addr, values))
+    }
+
+    /// Reads an `f32` slice from the shared TCDM at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SimError`] if the source range overflows or lies
+    /// outside the TCDM.
+    pub fn read_f32_slice(&mut self, addr: u32, len: usize) -> Result<Vec<f32>, SimError> {
+        self.with_image(|m| m.read_f32_slice(addr, len))
+    }
+
+    /// Writes the raw bits of an FP register on every core (the harness
+    /// broadcasts kernel scalar arguments this way).
+    pub fn broadcast_f_bits(&mut self, r: mlb_isa::FpReg, value: u64) {
+        for core in &mut self.cores {
+            core.set_f_bits(r, value);
+        }
+    }
+
+    // ----- execution --------------------------------------------------------
+
+    /// Calls `entry` on every core of the cluster (same program, same
+    /// integer arguments; each core distinguishes itself via `mhartid`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first failing core's error, and fails if the
+    /// cores disagree on how many barriers the program executes.
+    pub fn call(
+        &mut self,
+        program: &Program,
+        entry: &str,
+        args: &[u32],
+    ) -> Result<ClusterCounters, SimError> {
+        self.call_predecoded(&ExecProgram::new(program), entry, args)
+    }
+
+    /// Like [`Cluster::call`], but runs an already-predecoded program.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first failing core's error, and fails if the
+    /// cores disagree on how many barriers the program executes.
+    pub fn call_predecoded(
+        &mut self,
+        exec: &ExecProgram<'_>,
+        entry: &str,
+        args: &[u32],
+    ) -> Result<ClusterCounters, SimError> {
+        let mut per_core = Vec::with_capacity(self.cores.len());
+        let mut arrivals = Vec::with_capacity(self.cores.len());
+        for (hart, core) in self.cores.iter_mut().enumerate() {
+            std::mem::swap(core.mem_mut(), &mut self.mem);
+            let result = core.call_predecoded(exec, entry, args);
+            std::mem::swap(core.mem_mut(), &mut self.mem);
+            let counters = result
+                .map_err(|e| SimError::Exec { pc: None, message: format!("core {hart}: {e}") })?;
+            per_core.push(counters);
+            arrivals.push(core.barrier_arrivals().to_vec());
+        }
+        let barriers = arrivals[0].len();
+        if arrivals.iter().any(|a| a.len() != barriers) {
+            let counts: Vec<usize> = arrivals.iter().map(Vec::len).collect();
+            return Err(SimError::exec(format!("cores disagree on barrier count: {counts:?}")));
+        }
+        // Reconstruct the barrier waits: per barrier, the release time is
+        // the latest adjusted arrival; each core's clock shifts forward by
+        // its wait and the shift carries into its later barriers.
+        let mut adj = vec![0u64; self.cores.len()];
+        for k in 0..barriers {
+            let release = arrivals
+                .iter()
+                .zip(adj.iter())
+                .map(|(a, &shift)| a[k] + shift)
+                .max()
+                .expect("at least one core");
+            for (a, shift) in arrivals.iter().zip(adj.iter_mut()) {
+                *shift = release - a[k];
+            }
+        }
+        let mut aggregate = PerfCounters::default();
+        for (h, c) in per_core.iter_mut().enumerate() {
+            c.cycles += adj[h];
+            aggregate.accumulate(c);
+        }
+        aggregate.cycles = per_core.iter().map(|c| c.cycles).max().expect("at least one core");
+        Ok(ClusterCounters { per_core, aggregate, barriers })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+    use mlb_isa::TCDM_BASE;
+
+    #[test]
+    fn single_core_cluster_matches_machine() {
+        let src = "\
+f:
+    fld ft0, (a0)
+    fld ft1, 8(a0)
+    fadd.d ft2, ft0, ft1
+    fsd ft2, 16(a0)
+    ret
+";
+        let prog = assemble(src).unwrap();
+        let mut m = Machine::new();
+        m.write_f64_slice(TCDM_BASE, &[3.0, 4.0, 0.0]).unwrap();
+        let mc = m.call(&prog, "f", &[TCDM_BASE]).unwrap();
+
+        let mut cluster = Cluster::new(1);
+        cluster.write_f64_slice(TCDM_BASE, &[3.0, 4.0, 0.0]).unwrap();
+        let cc = cluster.call(&prog, "f", &[TCDM_BASE]).unwrap();
+        assert_eq!(cc.per_core, vec![mc]);
+        assert_eq!(cc.aggregate, mc);
+        assert_eq!(cc.barriers, 0);
+        assert_eq!(cluster.read_f64_slice(TCDM_BASE + 16, 1).unwrap(), vec![7.0]);
+    }
+
+    #[test]
+    fn cores_share_one_tcdm_and_shard_by_hartid() {
+        // Each core stores its own hart id into out[hart].
+        let src = "\
+f:
+    csrr t0, mhartid
+    slli t1, t0, 2
+    add t1, t1, a0
+    sw t0, (t1)
+    ret
+";
+        let prog = assemble(src).unwrap();
+        let mut cluster = Cluster::new(4);
+        let cc = cluster.call(&prog, "f", &[TCDM_BASE]).unwrap();
+        let mut got = Vec::new();
+        for h in 0..4u32 {
+            got.push(cluster.with_image(|m| m.read_u32(TCDM_BASE + 4 * h)).unwrap());
+        }
+        assert_eq!(got, vec![0, 1, 2, 3]);
+        assert_eq!(cc.per_core.len(), 4);
+        // Work counters sum across cores.
+        assert_eq!(cc.aggregate.instructions, cc.per_core.iter().map(|c| c.instructions).sum());
+    }
+
+    #[test]
+    fn barrier_aligns_core_completion_times() {
+        // Core 1 runs a long dependent-load chain before the barrier;
+        // core 0 arrives almost immediately. After alignment both
+        // cores' completion times are pulled up to the slow core's
+        // arrival, and the aggregate is their max.
+        let src = "\
+f:
+    csrr t0, mhartid
+    li t1, 1
+    blt t0, t1, join
+    lw t2, (a0)
+    lw t2, (a0)
+    lw t2, (a0)
+    lw t2, (a0)
+    lw t2, (a0)
+    lw t2, (a0)
+join:
+    csrr zero, 0x7c2
+    ret
+";
+        let prog = assemble(src).unwrap();
+        let mut cluster = Cluster::new(2);
+        let cc = cluster.call(&prog, "f", &[TCDM_BASE]).unwrap();
+        assert_eq!(cc.barriers, 1);
+        assert_eq!(cc.aggregate.cycles, cc.per_core.iter().map(|c| c.cycles).max().unwrap());
+        // Barrier-adjusted: the fast core's completion is pulled up to
+        // at least the slow core's barrier arrival.
+        let spread = cc.per_core[0].cycles.abs_diff(cc.per_core[1].cycles);
+        assert!(spread <= 1, "barrier should align completions: {:?}", cc.per_core);
+    }
+
+    #[test]
+    fn mismatched_barrier_counts_are_an_error() {
+        // Core 0 skips the barrier, core 1 executes it.
+        let src = "\
+f:
+    csrr t0, mhartid
+    li t1, 1
+    blt t0, t1, skip
+    csrr zero, 0x7c2
+skip:
+    ret
+";
+        let prog = assemble(src).unwrap();
+        let mut cluster = Cluster::new(2);
+        let err = cluster.call(&prog, "f", &[TCDM_BASE]).unwrap_err();
+        assert!(err.to_string().contains("disagree on barrier count"), "{err}");
+    }
+
+    #[test]
+    fn core_errors_name_the_failing_hart() {
+        let src = "\
+f:
+    csrr t0, mhartid
+    li t1, 1
+    blt t0, t1, ok
+    lw t2, (zero)
+ok:
+    ret
+";
+        let prog = assemble(src).unwrap();
+        let mut cluster = Cluster::new(2);
+        let err = cluster.call(&prog, "f", &[]).unwrap_err();
+        assert!(err.to_string().contains("core 1"), "{err}");
+        assert!(err.to_string().contains("outside TCDM"), "{err}");
+    }
+}

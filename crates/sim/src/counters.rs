@@ -117,6 +117,48 @@ impl PerfCounters {
         }
     }
 
+    /// Adds `other` into `self`, field by field.
+    ///
+    /// Same exhaustive-destructuring discipline as
+    /// [`PerfCounters::delta_since`]: a new counter field is a compile
+    /// error here, so cluster aggregation cannot silently drop it.
+    pub fn accumulate(&mut self, other: &PerfCounters) {
+        let PerfCounters {
+            cycles,
+            instructions,
+            fpu_busy_cycles,
+            flops,
+            int_loads,
+            int_stores,
+            fp_loads,
+            fp_stores,
+            fmadd,
+            frep,
+            taken_branches,
+            scfgwi,
+            ssr_reads,
+            ssr_writes,
+            fpu_instrs,
+            frep_fpu_instrs,
+        } = *other;
+        self.cycles += cycles;
+        self.instructions += instructions;
+        self.fpu_busy_cycles += fpu_busy_cycles;
+        self.flops += flops;
+        self.int_loads += int_loads;
+        self.int_stores += int_stores;
+        self.fp_loads += fp_loads;
+        self.fp_stores += fp_stores;
+        self.fmadd += fmadd;
+        self.frep += frep;
+        self.taken_branches += taken_branches;
+        self.scfgwi += scfgwi;
+        self.ssr_reads += ssr_reads;
+        self.ssr_writes += ssr_writes;
+        self.fpu_instrs += fpu_instrs;
+        self.frep_fpu_instrs += frep_fpu_instrs;
+    }
+
     /// Derives the occupancy summary for these counters.
     pub fn occupancy(&self) -> OccupancySummary {
         let frac = |num: u64, den: u64| if den == 0 { 0.0 } else { num as f64 / den as f64 };

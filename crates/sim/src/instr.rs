@@ -138,6 +138,9 @@ pub enum Instr {
     Csrrsi { csr: u16, imm: u32 },
     /// `csrrci zero, csr, imm`
     Csrrci { csr: u16, imm: u32 },
+    /// `csrr rd, csr` — reads a CSR (`mhartid` for the core index, the
+    /// cluster barrier CSR with `rd = zero` to synchronize).
+    Csrr { rd: IntReg, csr: u16 },
     /// `scfgwi rs1, imm`
     Scfgwi { rs1: IntReg, imm: u16 },
     /// `frep.o rs1, n_instr, stagger_max, stagger_mask` — repeats the
@@ -258,6 +261,13 @@ impl std::fmt::Display for Instr {
             }
             Instr::Csrrsi { csr, imm } => write!(f, "csrrsi zero, {csr:#x}, {imm}"),
             Instr::Csrrci { csr, imm } => write!(f, "csrrci zero, {csr:#x}, {imm}"),
+            Instr::Csrr { rd, csr } => {
+                if csr == mlb_isa::CSR_MHARTID {
+                    write!(f, "csrr {rd}, mhartid")
+                } else {
+                    write!(f, "csrr {rd}, {csr:#x}")
+                }
+            }
             Instr::Scfgwi { rs1, imm } => write!(f, "scfgwi {rs1}, {imm}"),
             Instr::FrepO { rs1, n_instr } => write!(f, "frep.o {rs1}, {n_instr}, 0, 0"),
             Instr::Branch { cond, rs1, rs2, target } => {

@@ -32,6 +32,7 @@
 //! ```
 
 pub mod asm;
+pub mod cluster;
 pub mod counters;
 pub mod instr;
 pub mod machine;
@@ -39,6 +40,7 @@ pub mod ssr;
 pub mod trace;
 
 pub use asm::{assemble, AsmError};
+pub use cluster::{Cluster, ClusterCounters};
 pub use counters::{OccupancySummary, PerfCounters};
 pub use instr::{Instr, Program};
 pub use machine::{ExecProgram, Machine, SimError};

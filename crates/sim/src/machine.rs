@@ -36,19 +36,87 @@ const BRANCH_PENALTY: u64 = 2;
 const FDIV_OCCUPANCY: u64 = 11;
 
 /// Error produced during simulation.
+///
+/// Memory faults carry the offending address and access size as data;
+/// everything else (SSR misuse, budget exhaustion, malformed frep
+/// bodies, ...) is an [`SimError::Exec`] with a description. Each
+/// variant records the index of the faulting instruction when it is
+/// known — harness-level memory accesses happen outside any program, so
+/// their `pc` is `None`.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct SimError {
-    /// Index of the instruction that failed, if known.
-    pub pc: Option<usize>,
-    /// Description of the failure.
-    pub message: String,
+pub enum SimError {
+    /// A memory access fell outside the TCDM address range.
+    OutsideTcdm {
+        /// Index of the instruction that failed, if known.
+        pc: Option<usize>,
+        /// The faulting byte address.
+        addr: u32,
+        /// Size of the attempted access in bytes.
+        size: usize,
+    },
+    /// A memory access was not aligned to its own size.
+    Misaligned {
+        /// Index of the instruction that failed, if known.
+        pc: Option<usize>,
+        /// The faulting byte address.
+        addr: u32,
+        /// Size of the attempted access in bytes.
+        size: usize,
+    },
+    /// Any other execution failure, described by a message.
+    Exec {
+        /// Index of the instruction that failed, if known.
+        pc: Option<usize>,
+        /// Description of the failure.
+        message: String,
+    },
+}
+
+impl SimError {
+    /// An [`SimError::Exec`] with no instruction attribution (yet).
+    pub(crate) fn exec(message: impl Into<String>) -> SimError {
+        SimError::Exec { pc: None, message: message.into() }
+    }
+
+    /// An [`SimError::Exec`] attributed to the instruction at `pc`.
+    fn exec_at(pc: usize, message: impl Into<String>) -> SimError {
+        SimError::Exec { pc: Some(pc), message: message.into() }
+    }
+
+    /// The index of the instruction that failed, if known.
+    pub fn pc(&self) -> Option<usize> {
+        match *self {
+            SimError::OutsideTcdm { pc, .. }
+            | SimError::Misaligned { pc, .. }
+            | SimError::Exec { pc, .. } => pc,
+        }
+    }
+
+    /// Attributes the error to the instruction at `pc` if it has no
+    /// attribution yet (a fault already pinned to an inner pc keeps it).
+    fn with_pc(mut self, at: usize) -> SimError {
+        let (SimError::OutsideTcdm { pc, .. }
+        | SimError::Misaligned { pc, .. }
+        | SimError::Exec { pc, .. }) = &mut self;
+        if pc.is_none() {
+            *pc = Some(at);
+        }
+        self
+    }
 }
 
 impl std::fmt::Display for SimError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self.pc {
-            Some(pc) => write!(f, "simulation error at instruction {pc}: {}", self.message),
-            None => write!(f, "simulation error: {}", self.message),
+        match self.pc() {
+            Some(pc) => write!(f, "simulation error at instruction {pc}: ")?,
+            None => write!(f, "simulation error: ")?,
+        }
+        match *self {
+            SimError::OutsideTcdm { addr, .. } => write!(f, "address {addr:#x} outside TCDM"),
+            SimError::Misaligned { addr, size, .. } => {
+                write!(f, "misaligned {size}-byte access at {addr:#x}")
+            }
+            SimError::Exec { ref message, .. } => write!(f, "{message}"),
         }
     }
 }
@@ -157,6 +225,12 @@ pub struct Machine {
     movers: [DataMover; 3],
     ssr_enabled: bool,
     counters: PerfCounters,
+    /// Index of this core within its cluster, read via `mhartid`.
+    hart_id: u32,
+    /// Local arrival time of each cluster-barrier read in the current
+    /// call, in program order. [`crate::cluster::Cluster`] aligns these
+    /// across cores after the (sequential) per-core runs.
+    barrier_arrivals: Vec<u64>,
     // Timing state.
     int_time: u64,
     fpu_time: u64,
@@ -189,6 +263,8 @@ impl Machine {
             movers: [DataMover::default(), DataMover::default(), DataMover::default()],
             ssr_enabled: false,
             counters: PerfCounters::default(),
+            hart_id: 0,
+            barrier_arrivals: Vec::new(),
             int_time: 0,
             fpu_time: 0,
             int_ready: [0; 32],
@@ -204,6 +280,28 @@ impl Machine {
     /// The performance counters accumulated so far.
     pub fn counters(&self) -> &PerfCounters {
         &self.counters
+    }
+
+    /// Sets the core index returned by `csrr rd, mhartid`.
+    pub fn set_hart_id(&mut self, id: u32) {
+        self.hart_id = id;
+    }
+
+    /// The core index returned by `csrr rd, mhartid`.
+    pub fn hart_id(&self) -> u32 {
+        self.hart_id
+    }
+
+    /// Local arrival times of the cluster-barrier reads executed by the
+    /// most recent call, in program order.
+    pub fn barrier_arrivals(&self) -> &[u64] {
+        &self.barrier_arrivals
+    }
+
+    /// Mutable access to the TCDM image, for the cluster to swap its
+    /// shared image in and out around each core's turn.
+    pub(crate) fn mem_mut(&mut self) -> &mut Vec<u8> {
+        &mut self.mem
     }
 
     /// Enables execution tracing. Each subsequent [`Machine::call`]
@@ -278,26 +376,26 @@ impl Machine {
 
     // ----- memory access -----------------------------------------------------
 
-    fn mem_index(&self, addr: u32, size: usize) -> Result<usize, String> {
+    fn mem_index(&self, addr: u32, size: usize) -> Result<usize, SimError> {
         let offset = addr.wrapping_sub(TCDM_BASE) as usize;
         if addr < TCDM_BASE || offset + size > TCDM_SIZE {
-            return Err(format!("address {addr:#x} outside TCDM"));
+            return Err(SimError::OutsideTcdm { pc: None, addr, size });
         }
         if !(addr as usize).is_multiple_of(size) {
-            return Err(format!("misaligned {size}-byte access at {addr:#x}"));
+            return Err(SimError::Misaligned { pc: None, addr, size });
         }
         Ok(offset)
     }
 
     /// Reads a little-endian value of `SIZE` bytes at `addr`.
-    fn read_bytes<const SIZE: usize>(&self, addr: u32) -> Result<[u8; SIZE], String> {
+    fn read_bytes<const SIZE: usize>(&self, addr: u32) -> Result<[u8; SIZE], SimError> {
         let i = self.mem_index(addr, SIZE)?;
         let mut out = [0u8; SIZE];
         out.copy_from_slice(&self.mem[i..i + SIZE]);
         Ok(out)
     }
 
-    fn write_bytes(&mut self, addr: u32, bytes: &[u8]) -> Result<(), String> {
+    fn write_bytes(&mut self, addr: u32, bytes: &[u8]) -> Result<(), SimError> {
         let i = self.mem_index(addr, bytes.len())?;
         self.mem[i..i + bytes.len()].copy_from_slice(bytes);
         Ok(())
@@ -305,16 +403,12 @@ impl Machine {
 
     /// Reads a `u32` from TCDM.
     pub fn read_u32(&self, addr: u32) -> Result<u32, SimError> {
-        self.read_bytes::<4>(addr)
-            .map(u32::from_le_bytes)
-            .map_err(|m| SimError { pc: None, message: m })
+        self.read_bytes::<4>(addr).map(u32::from_le_bytes)
     }
 
     /// Reads a `u64` from TCDM.
     pub fn read_u64(&self, addr: u32) -> Result<u64, SimError> {
-        self.read_bytes::<8>(addr)
-            .map(u64::from_le_bytes)
-            .map_err(|m| SimError { pc: None, message: m })
+        self.read_bytes::<8>(addr).map(u64::from_le_bytes)
     }
 
     /// Computes `addr + index * stride` for a slice element, rejecting
@@ -324,11 +418,10 @@ impl Machine {
         offset
             .and_then(|o| (addr as u64).checked_add(o))
             .and_then(|a| u32::try_from(a).ok())
-            .ok_or_else(|| SimError {
-                pc: None,
-                message: format!(
+            .ok_or_else(|| {
+                SimError::exec(format!(
                     "address overflow accessing element {index} of a slice at {addr:#x}"
-                ),
+                ))
             })
     }
 
@@ -341,7 +434,7 @@ impl Machine {
     pub fn write_f64_slice(&mut self, addr: u32, values: &[f64]) -> Result<(), SimError> {
         for (i, v) in values.iter().enumerate() {
             let a = Self::slice_addr(addr, i, 8)?;
-            self.write_bytes(a, &v.to_le_bytes()).map_err(|m| SimError { pc: None, message: m })?;
+            self.write_bytes(a, &v.to_le_bytes())?;
         }
         Ok(())
     }
@@ -356,9 +449,7 @@ impl Machine {
         (0..len)
             .map(|i| {
                 let a = Self::slice_addr(addr, i, 8)?;
-                self.read_bytes::<8>(a)
-                    .map(f64::from_le_bytes)
-                    .map_err(|m| SimError { pc: None, message: m })
+                self.read_bytes::<8>(a).map(f64::from_le_bytes)
             })
             .collect()
     }
@@ -372,7 +463,7 @@ impl Machine {
     pub fn write_f32_slice(&mut self, addr: u32, values: &[f32]) -> Result<(), SimError> {
         for (i, v) in values.iter().enumerate() {
             let a = Self::slice_addr(addr, i, 4)?;
-            self.write_bytes(a, &v.to_le_bytes()).map_err(|m| SimError { pc: None, message: m })?;
+            self.write_bytes(a, &v.to_le_bytes())?;
         }
         Ok(())
     }
@@ -387,9 +478,7 @@ impl Machine {
         (0..len)
             .map(|i| {
                 let a = Self::slice_addr(addr, i, 4)?;
-                self.read_bytes::<4>(a)
-                    .map(f32::from_le_bytes)
-                    .map_err(|m| SimError { pc: None, message: m })
+                self.read_bytes::<4>(a).map(f32::from_le_bytes)
             })
             .collect()
     }
@@ -424,10 +513,11 @@ impl Machine {
         entry: &str,
         args: &[u32],
     ) -> Result<PerfCounters, SimError> {
-        let start = *exec.program.symbols.get(entry).ok_or_else(|| SimError {
-            pc: None,
-            message: format!("unknown entry symbol `{entry}`"),
-        })?;
+        let start = *exec
+            .program
+            .symbols
+            .get(entry)
+            .ok_or_else(|| SimError::exec(format!("unknown entry symbol `{entry}`")))?;
         assert!(args.len() <= 8, "at most 8 integer arguments");
         for (i, &a) in args.iter().enumerate() {
             self.set_x(IntReg::a(i as u8), a);
@@ -438,6 +528,7 @@ impl Machine {
         self.int_ready = [0; 32];
         self.fp_ready = [0; 32];
         self.max_completion = 0;
+        self.barrier_arrivals.clear();
         if let Some(trace) = &mut self.trace {
             trace.clear();
         }
@@ -453,16 +544,12 @@ impl Machine {
         let mut pc = start;
         let mut executed: u64 = 0;
         loop {
-            let instr = *instrs.get(pc).ok_or_else(|| SimError {
-                pc: Some(pc),
-                message: "program counter ran off the end".to_string(),
-            })?;
+            let instr = *instrs
+                .get(pc)
+                .ok_or_else(|| SimError::exec_at(pc, "program counter ran off the end"))?;
             executed += 1;
             if executed > self.budget {
-                return Err(SimError {
-                    pc: Some(pc),
-                    message: "instruction budget exhausted".into(),
-                });
+                return Err(SimError::exec_at(pc, "instruction budget exhausted"));
             }
             match instr {
                 Instr::Ret => {
@@ -566,10 +653,10 @@ impl Machine {
                     let n = n_instr as usize;
                     match exec.frep[pc] {
                         FrepBody::OffEnd => {
-                            return Err(SimError {
-                                pc: Some(pc),
-                                message: "frep body runs off the end of the program".into(),
-                            });
+                            return Err(SimError::exec_at(
+                                pc,
+                                "frep body runs off the end of the program",
+                            ));
                         }
                         FrepBody::Fpu if self.fast_path && self.trace.is_none() => {
                             self.resolve_frep_plan(&instrs[pc + 1..=pc + n]);
@@ -580,22 +667,20 @@ impl Machine {
                                 for i in 1..=n {
                                     let body = instrs[pc + i];
                                     if !body.is_fpu() {
-                                        return Err(SimError {
-                                            pc: Some(pc + i),
-                                            message: "frep body contains a non-FPU instruction"
-                                                .into(),
-                                        });
+                                        return Err(SimError::exec_at(
+                                            pc + i,
+                                            "frep body contains a non-FPU instruction",
+                                        ));
                                     }
                                     executed += 1;
-                                    self.exec_straight(body, true, pc + i).map_err(|message| {
-                                        SimError { pc: Some(pc + i), message }
-                                    })?;
+                                    self.exec_straight(body, true, pc + i)
+                                        .map_err(|e| e.with_pc(pc + i))?;
                                 }
                                 if executed > self.budget {
-                                    return Err(SimError {
-                                        pc: Some(pc),
-                                        message: "instruction budget exhausted".into(),
-                                    });
+                                    return Err(SimError::exec_at(
+                                        pc,
+                                        "instruction budget exhausted",
+                                    ));
                                 }
                             }
                         }
@@ -603,8 +688,7 @@ impl Machine {
                     pc += n + 1;
                 }
                 other => {
-                    self.exec_straight(other, false, pc)
-                        .map_err(|message| SimError { pc: Some(pc), message })?;
+                    self.exec_straight(other, false, pc).map_err(|e| e.with_pc(pc))?;
                     pc += 1;
                 }
             }
@@ -704,15 +788,11 @@ impl Machine {
         for _ in 0..reps {
             for i in 0..n {
                 let step = self.plan[i];
-                self.exec_step::<true>(step)
-                    .map_err(|message| SimError { pc: Some(frep_pc + 1 + i), message })?;
+                self.exec_step::<true>(step).map_err(|e| e.with_pc(frep_pc + 1 + i))?;
             }
             executed += n as u64;
             if executed > self.budget {
-                return Err(SimError {
-                    pc: Some(frep_pc),
-                    message: "instruction budget exhausted".into(),
-                });
+                return Err(SimError::exec_at(frep_pc, "instruction budget exhausted"));
             }
         }
         Ok(executed)
@@ -808,10 +888,7 @@ impl Machine {
         self.plan = plan;
         executed += run * n as u64;
         if faults {
-            return Err(SimError {
-                pc: Some(frep_pc),
-                message: "instruction budget exhausted".into(),
-            });
+            return Err(SimError::exec_at(frep_pc, "instruction budget exhausted"));
         }
         Ok(executed)
     }
@@ -822,8 +899,8 @@ impl Machine {
     /// fetched whole (f64 or two packed f32 lanes); a 4-byte-aligned
     /// element is fetched alone into the low lane (scalar f32 streaming
     /// with stride 4).
-    fn stream_pop_read(&mut self, dm: usize) -> Result<u64, String> {
-        let addr = self.movers[dm].next_addr(SsrDirection::Read)?;
+    fn stream_pop_read(&mut self, dm: usize) -> Result<u64, SimError> {
+        let addr = self.movers[dm].next_addr(SsrDirection::Read).map_err(SimError::exec)?;
         self.counters.ssr_reads += 1;
         if addr % 8 == 0 {
             Ok(u64::from_le_bytes(self.read_bytes::<8>(addr)?))
@@ -834,8 +911,8 @@ impl Machine {
 
     /// Pushes a result element to a write stream (64-bit data path, same
     /// alignment rule as [`Machine::stream_pop_read`]).
-    fn stream_push_write(&mut self, dm: usize, bits: u64) -> Result<(), String> {
-        let addr = self.movers[dm].next_addr(SsrDirection::Write)?;
+    fn stream_push_write(&mut self, dm: usize, bits: u64) -> Result<(), SimError> {
+        let addr = self.movers[dm].next_addr(SsrDirection::Write).map_err(SimError::exec)?;
         self.counters.ssr_writes += 1;
         if addr % 8 == 0 {
             self.write_bytes(addr, &bits.to_le_bytes())
@@ -846,7 +923,7 @@ impl Machine {
 
     /// Reads an FP source operand, popping from its stream when streaming.
     /// Returns (bits, ready_time).
-    fn read_fp_operand(&mut self, r: FpReg) -> Result<(u64, u64), String> {
+    fn read_fp_operand(&mut self, r: FpReg) -> Result<(u64, u64), SimError> {
         if self.ssr_enabled && r.is_ssr() {
             let dm = r.index() as usize;
             if self.movers[dm].is_active()
@@ -859,7 +936,7 @@ impl Machine {
     }
 
     /// Writes an FP destination, pushing to its stream when streaming.
-    fn write_fp_result(&mut self, r: FpReg, bits: u64, ready: u64) -> Result<(), String> {
+    fn write_fp_result(&mut self, r: FpReg, bits: u64, ready: u64) -> Result<(), SimError> {
         if self.ssr_enabled && r.is_ssr() {
             let dm = r.index() as usize;
             if self.movers[dm].is_active()
@@ -877,7 +954,7 @@ impl Machine {
     }
 
     /// Reads a pre-resolved source (no per-iteration classification).
-    fn read_step_src(&mut self, s: FpSrc) -> Result<(u64, u64), String> {
+    fn read_step_src(&mut self, s: FpSrc) -> Result<(u64, u64), SimError> {
         match s {
             FpSrc::Stream(dm) => Ok((self.stream_pop_read(dm as usize)?, 0)),
             FpSrc::Reg(r) => Ok((self.f[r as usize], self.fp_ready[r as usize])),
@@ -885,7 +962,7 @@ impl Machine {
     }
 
     /// Writes a pre-resolved destination.
-    fn write_step_dst(&mut self, d: FpDst, bits: u64, ready: u64) -> Result<(), String> {
+    fn write_step_dst(&mut self, d: FpDst, bits: u64, ready: u64) -> Result<(), SimError> {
         match d {
             FpDst::Stream(dm) => self.stream_push_write(dm as usize, bits)?,
             FpDst::Reg(r) => {
@@ -952,8 +1029,8 @@ impl Machine {
     /// checks and the returned `Result` is always `Ok` — the error paths
     /// compile out of the monomorphized hot loop.
     #[inline]
-    fn exec_step<const CHECKED: bool>(&mut self, step: FpuStep) -> Result<(), String> {
-        let read = |m: &mut Machine, s: FpSrc| -> Result<(u64, u64), String> {
+    fn exec_step<const CHECKED: bool>(&mut self, step: FpuStep) -> Result<(), SimError> {
+        let read = |m: &mut Machine, s: FpSrc| -> Result<(u64, u64), SimError> {
             if CHECKED {
                 m.read_step_src(s)
             } else {
@@ -1041,7 +1118,7 @@ impl Machine {
 
     /// Executes one non-control-flow instruction, updating state, timing
     /// and counters. `in_frep` suppresses the integer-core dispatch cost.
-    fn exec_straight(&mut self, instr: Instr, in_frep: bool, pc: usize) -> Result<(), String> {
+    fn exec_straight(&mut self, instr: Instr, in_frep: bool, pc: usize) -> Result<(), SimError> {
         self.counters.instructions += 1;
         if instr.is_fpu() {
             self.exec_fpu(instr, in_frep, pc)?;
@@ -1149,11 +1226,31 @@ impl Machine {
                     self.ssr_enabled = false;
                 }
             }
+            Instr::Csrr { rd, csr } => match csr {
+                mlb_isa::CSR_MHARTID => {
+                    let t = self.int_time;
+                    self.int_time = t + 1;
+                    self.set_x(rd, self.hart_id);
+                    self.int_ready[rd.index() as usize] = t + 1;
+                }
+                mlb_isa::CSR_BARRIER => {
+                    // The core cannot pass the barrier before all of its
+                    // own outstanding work has completed; the cross-core
+                    // wait is reconstructed by the cluster afterwards.
+                    let arrival = (self.int_time + 1).max(self.fpu_time).max(self.max_completion);
+                    self.int_time = arrival;
+                    self.fpu_time = arrival;
+                    self.barrier_arrivals.push(arrival);
+                }
+                other => {
+                    return Err(SimError::exec(format!("unsupported CSR read {other:#x}")));
+                }
+            },
             Instr::Scfgwi { rs1, imm } => {
                 let t = self.int_time.max(self.int_ready[rs1.index() as usize]);
                 self.int_time = t + 1;
                 let (reg, dm) = SsrCfgReg::from_scfg_imm(imm)
-                    .ok_or_else(|| format!("invalid scfgwi immediate {imm}"))?;
+                    .ok_or_else(|| SimError::exec(format!("invalid scfgwi immediate {imm}")))?;
                 let value = self.x(rs1);
                 self.movers[dm.index() as usize].configure(reg, value);
                 self.counters.scfgwi += 1;
@@ -1196,7 +1293,7 @@ impl Machine {
         Ok(())
     }
 
-    fn exec_fpu(&mut self, instr: Instr, in_frep: bool, pc: usize) -> Result<(), String> {
+    fn exec_fpu(&mut self, instr: Instr, in_frep: bool, pc: usize) -> Result<(), SimError> {
         // Dispatch: the integer core spends a cycle feeding the FPU unless
         // the sequencer replays the instruction inside an frep.
         let dispatch = if in_frep {
@@ -1448,7 +1545,7 @@ f:
         let prog = assemble(src).unwrap();
         let mut m = Machine::new();
         let err = m.call(&prog, "f", &[]).unwrap_err();
-        assert!(err.message.contains("non-FPU"), "{err}");
+        assert!(err.to_string().contains("non-FPU"), "{err}");
     }
 
     #[test]
@@ -1531,7 +1628,7 @@ f:
         let prog = assemble(&src).unwrap();
         let mut m = Machine::new();
         let err = m.call(&prog, "f", &[]).unwrap_err();
-        assert!(err.message.contains("beyond the end"), "{err}");
+        assert!(err.to_string().contains("beyond the end"), "{err}");
     }
 
     #[test]
@@ -1568,7 +1665,88 @@ f:
         let prog = assemble(src).unwrap();
         let mut m = Machine::new();
         let err = m.call(&prog, "f", &[0x100]).unwrap_err();
-        assert!(err.message.contains("TCDM"), "{err}");
+        assert!(err.to_string().contains("TCDM"), "{err}");
+    }
+
+    #[test]
+    fn sub_tcdm_base_access_is_a_typed_fault() {
+        let src = "\
+f:
+    lw t0, (a0)
+    ret
+";
+        let prog = assemble(src).unwrap();
+        let mut m = Machine::new();
+        let err = m.call(&prog, "f", &[TCDM_BASE - 4]).unwrap_err();
+        assert_eq!(err, SimError::OutsideTcdm { pc: Some(0), addr: TCDM_BASE - 4, size: 4 });
+        assert!(err.to_string().contains("outside TCDM"), "{err}");
+        // Harness-level accesses carry no instruction attribution.
+        let err = m.read_u32(TCDM_BASE - 4).unwrap_err();
+        assert_eq!(err, SimError::OutsideTcdm { pc: None, addr: TCDM_BASE - 4, size: 4 });
+    }
+
+    #[test]
+    fn misaligned_access_is_a_typed_fault() {
+        let src = "\
+f:
+    fld ft0, 4(a0)
+    ret
+";
+        let prog = assemble(src).unwrap();
+        let mut m = Machine::new();
+        let err = m.call(&prog, "f", &[TCDM_BASE]).unwrap_err();
+        assert_eq!(err, SimError::Misaligned { pc: Some(0), addr: TCDM_BASE + 4, size: 8 });
+        assert!(err.to_string().contains("misaligned 8-byte access"), "{err}");
+    }
+
+    #[test]
+    fn hartid_reads_the_configured_core_index() {
+        let src = "\
+f:
+    csrr t0, mhartid
+    ret
+";
+        let prog = assemble(src).unwrap();
+        let mut m = Machine::new();
+        m.call(&prog, "f", &[]).unwrap();
+        assert_eq!(m.x(IntReg::t(0)), 0);
+        m.set_hart_id(3);
+        m.call(&prog, "f", &[]).unwrap();
+        assert_eq!(m.x(IntReg::t(0)), 3);
+    }
+
+    #[test]
+    fn barrier_records_local_arrival_times() {
+        let src = "\
+f:
+    csrr zero, 0x7c2
+    li t0, 1
+    li t1, 2
+    csrr zero, 0x7c2
+    ret
+";
+        let prog = assemble(src).unwrap();
+        let mut m = Machine::new();
+        m.call(&prog, "f", &[]).unwrap();
+        let arrivals = m.barrier_arrivals().to_vec();
+        assert_eq!(arrivals.len(), 2);
+        assert!(arrivals[0] < arrivals[1], "{arrivals:?}");
+        // A fresh call restarts the record.
+        m.call(&prog, "f", &[]).unwrap();
+        assert_eq!(m.barrier_arrivals(), &arrivals[..]);
+    }
+
+    #[test]
+    fn unknown_csr_read_is_an_error() {
+        let src = "\
+f:
+    csrr t0, 0xb00
+    ret
+";
+        let prog = assemble(src).unwrap();
+        let mut m = Machine::new();
+        let err = m.call(&prog, "f", &[]).unwrap_err();
+        assert!(err.to_string().contains("unsupported CSR"), "{err}");
     }
 
     #[test]
@@ -1581,7 +1759,7 @@ f:
         let mut m = Machine::new();
         m.set_instruction_budget(1000);
         let err = m.call(&prog, "f", &[]).unwrap_err();
-        assert!(err.message.contains("budget"), "{err}");
+        assert!(err.to_string().contains("budget"), "{err}");
     }
 
     #[test]
@@ -1856,8 +2034,8 @@ f:
             m.write_f64_slice(TCDM_BASE, &[1.0; 3]).unwrap();
         });
         let err = r.unwrap_err();
-        assert!(err.message.contains("beyond the end"), "{err}");
-        assert!(err.pc.is_some());
+        assert!(err.to_string().contains("beyond the end"), "{err}");
+        assert!(err.pc().is_some());
     }
 
     #[test]
@@ -1871,9 +2049,9 @@ f:
 ";
         let (_m, r) = assert_fast_matches_generic(src, "f", &[], Some(100), |_| {});
         let err = r.unwrap_err();
-        assert!(err.message.contains("budget"), "{err}");
+        assert!(err.to_string().contains("budget"), "{err}");
         // The budget check is attributed to the frep instruction itself.
-        assert_eq!(err.pc, Some(1));
+        assert_eq!(err.pc(), Some(1));
     }
 
     #[test]

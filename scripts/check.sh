@@ -16,6 +16,10 @@ run cargo test -q --offline
 # Stage-level differential testing: the whole kernel suite under every
 # flow with two fixed operand seeds, plus a fixed-seed randomized sweep.
 run ./target/release/mlbc difftest --seeds 2 --fuzz 50
+# The same stage-level check with the ours flow sharded across two
+# cluster cores: sharded stages are interpreted once per hart and the
+# result must stay bit-identical to the single-core reference.
+run ./target/release/mlbc difftest --seeds 2 --flows ours --cores 2
 # Performance baseline: regenerates the benchmark report (to target/, the
 # tracked baseline is only refreshed deliberately) and fails if the
 # deterministic rewrite-work counters regress >10% vs the checked-in

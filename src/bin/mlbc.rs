@@ -21,11 +21,12 @@ use std::process::ExitCode;
 use mlb_core::{compile, compile_with_observer, full_registry, Flow, PipelineOptions};
 use mlb_ir::{parse_module, print_op, Context, IrSnapshotMode, PassEvent, PipelineRecorder, Type};
 use mlb_isa::{FpReg, TCDM_BASE};
-use mlb_sim::{assemble, ExecProgram, Machine, PerfCounters, StallReason};
+use mlb_sim::{assemble, Cluster, ExecProgram, Machine, PerfCounters, StallReason};
 use mlbe::json::Json;
 
 const USAGE: &str = "\
 usage: mlbc <input.mlir | -> [options]
+       mlbc run <input.mlir | -> [run options]
        mlbc difftest [difftest options]
        mlbc bench-json [bench options]
 
@@ -33,6 +34,8 @@ options:
   --emit asm|ir       output assembly (default) or the parsed IR
   --flow ours|mlir|clang
                       compilation flow (default: ours)
+  --cores N           shard kernels across N cluster cores
+                      (ours flow; default 1 = single core)
   --no-streams        disable stream semantic registers
   --no-scalar-replacement
   --no-frep           disable hardware loops
@@ -48,11 +51,20 @@ options:
                       counters and occupancy as JSON (`-` for stdout)
   --help              this text
 
+run options (compile and execute each kernel on the simulated cluster
+with synthesized operands, reporting per-core and aggregate counters):
+  --flow ours|mlir|clang
+                      compilation flow (default: ours)
+  --cores N           cluster size (default 1)
+
 difftest options (stage-level differential testing: interpret the module
 after every pipeline pass against the host reference, bisecting any
 miscompile to the first diverging pass):
   --flows ours,mlir,clang
                       comma-separated flows to sweep (default: all three)
+  --cores N           shard the ours flow across N cores; sharded stages
+                      are interpreted once per hart over shared memory
+                      (default 1)
   --seeds N           operand seeds per kernel/flow pair (default: 2)
   --fuzz N            additionally run N randomized instances (default: 0)
   --fuzz-seed S       seed of the randomized sweep (default: 3735928559)
@@ -63,6 +75,8 @@ counters plus wall time, written as the tracked perf baseline):
                       (default: BENCH_compiler_perf.json; `-` for stdout)
   --check FILE        compare deterministic counters against a baseline
                       report and fail on a >10% regression
+  --cores N           core count of the cluster matmul scenario
+                      (default 4)
 ";
 
 fn main() -> ExitCode {
@@ -91,6 +105,9 @@ fn run(args: Vec<String>) -> Result<String, String> {
     if args.first().map(String::as_str) == Some("bench-json") {
         return run_bench_json(&args[1..]);
     }
+    if args.first().map(String::as_str) == Some("run") {
+        return run_cluster(&args[1..]);
+    }
     let mut input: Option<String> = None;
     let mut emit_ir = false;
     let mut flow_name = "ours".to_string();
@@ -113,6 +130,10 @@ fn run(args: Vec<String>) -> Result<String, String> {
             }
             "--flow" => {
                 flow_name = iter.next().ok_or("--flow needs a value")?;
+            }
+            "--cores" => {
+                let n = iter.next().ok_or("--cores needs a value")?;
+                opts.cores = parse_cores(&n)?;
             }
             "--no-streams" => opts.streams = false,
             "--no-scalar-replacement" => opts.scalar_replacement = false,
@@ -191,6 +212,143 @@ fn run(args: Vec<String>) -> Result<String, String> {
     Ok(compiled.assembly)
 }
 
+/// Parses a `--cores` value (a positive core count).
+fn parse_cores(n: &str) -> Result<usize, String> {
+    match n.parse::<usize>() {
+        Ok(c) if c >= 1 => Ok(c),
+        _ => Err(format!("invalid --cores `{n}`: need a positive core count")),
+    }
+}
+
+/// The `mlbc run` subcommand: compiles the input and executes every
+/// kernel on a simulated `--cores`-wide cluster with synthesized
+/// operands, reporting per-core and aggregate counters.
+fn run_cluster(args: &[String]) -> Result<String, String> {
+    let mut input: Option<String> = None;
+    let mut flow_name = "ours".to_string();
+    let mut cores: usize = 1;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--help" | "-h" => return Ok(USAGE.to_string()),
+            "--flow" => flow_name = iter.next().ok_or("--flow needs a value")?.clone(),
+            "--cores" => cores = parse_cores(iter.next().ok_or("--cores needs a value")?)?,
+            other if input.is_none() && !other.starts_with('-') || other == "-" => {
+                input = Some(other.to_string());
+            }
+            other => return Err(format!("unknown run option `{other}`\n{USAGE}")),
+        }
+    }
+    let input = input.ok_or_else(|| format!("no input file\n{USAGE}"))?;
+    let source = if input == "-" {
+        let mut text = String::new();
+        std::io::stdin().read_to_string(&mut text).map_err(|e| e.to_string())?;
+        text
+    } else {
+        std::fs::read_to_string(&input).map_err(|e| format!("{input}: {e}"))?
+    };
+
+    let mut ctx = Context::new();
+    let module = parse_module(&mut ctx, &source).map_err(|e| e.to_string())?;
+    let registry = full_registry();
+    registry.verify(&ctx, module).map_err(|e| format!("verification: {e}"))?;
+    let kernels = kernel_signatures(&ctx, module)?;
+
+    let mut opts = PipelineOptions::full();
+    opts.cores = cores;
+    let flow = match flow_name.as_str() {
+        "ours" => Flow::Ours(opts),
+        "mlir" => Flow::MlirLike,
+        "clang" => Flow::ClangLike,
+        other => return Err(format!("unknown flow `{other}`")),
+    };
+    let compiled = compile(&mut ctx, module, flow).map_err(|e| e.to_string())?;
+    let program = assemble(&compiled.assembly).map_err(|e| format!("assembling output: {e}"))?;
+
+    let mut out = String::new();
+    for kernel in &kernels {
+        out.push_str(&run_kernel_on_cluster(&program, kernel, cores)?);
+    }
+    Ok(out)
+}
+
+/// Runs one kernel on a cluster with synthesized operands (the same
+/// data scheme as `--trace-json`) and formats its merged counters.
+fn run_kernel_on_cluster(
+    program: &mlb_sim::Program,
+    kernel: &KernelSig,
+    cores: usize,
+) -> Result<String, String> {
+    let mut cluster = Cluster::new(cores);
+    let mut int_args: Vec<u32> = Vec::new();
+    let mut cursor = TCDM_BASE;
+    let mut scalar_fp = 0u8;
+    for (i, arg) in kernel.args.iter().enumerate() {
+        match arg {
+            Type::MemRef(m) => {
+                let n = m.num_elements() as usize;
+                let data: Vec<f64> =
+                    (0..n).map(|j| (j % 17) as f64 * 0.25 - 2.0 + i as f64).collect();
+                let placed = match m.element.as_ref() {
+                    Type::F64 => cluster.write_f64_slice(cursor, &data),
+                    Type::F32 => {
+                        let data: Vec<f32> = data.iter().map(|&v| v as f32).collect();
+                        cluster.write_f32_slice(cursor, &data)
+                    }
+                    other => {
+                        return Err(format!(
+                            "kernel `{}`: unsupported memref element type {other} for simulation",
+                            kernel.name
+                        ))
+                    }
+                };
+                placed
+                    .map_err(|e| format!("kernel `{}`: placing operand {i}: {e}", kernel.name))?;
+                int_args.push(cursor);
+                cursor += (m.size_in_bytes() as u32).next_multiple_of(8);
+            }
+            Type::F64 => {
+                cluster.broadcast_f_bits(FpReg::fa(scalar_fp), (1.5 + i as f64).to_bits());
+                scalar_fp += 1;
+            }
+            Type::F32 => {
+                let bits = (1.5f32 + i as f32).to_bits() as u64 | 0xFFFF_FFFF_0000_0000;
+                cluster.broadcast_f_bits(FpReg::fa(scalar_fp), bits);
+                scalar_fp += 1;
+            }
+            other => {
+                return Err(format!(
+                    "kernel `{}`: unsupported argument type {other} for simulation",
+                    kernel.name
+                ))
+            }
+        }
+    }
+    let counters = cluster
+        .call(program, &kernel.name, &int_args)
+        .map_err(|e| format!("simulating `{}`: {e}", kernel.name))?;
+    let agg = &counters.aggregate;
+    let mut out = format!(
+        "kernel `{}` on {cores} core{}: {} aggregate cycles, {} flops, {} barrier{}\n",
+        kernel.name,
+        if cores == 1 { "" } else { "s" },
+        agg.cycles,
+        agg.flops,
+        counters.barriers,
+        if counters.barriers == 1 { "" } else { "s" },
+    );
+    for (hart, c) in counters.per_core.iter().enumerate() {
+        out.push_str(&format!(
+            "  core {hart}: {} cycles, {} instructions, {} flops, fpu util {:.2}\n",
+            c.cycles,
+            c.instructions,
+            c.flops,
+            c.fpu_utilization(),
+        ));
+    }
+    Ok(out)
+}
+
 /// The `mlbc difftest` subcommand: sweeps the Table 1 kernel suite
 /// through the stage-level differential tester (every pipeline stage
 /// interpreted against the host reference, bit-for-bit), optionally
@@ -202,6 +360,7 @@ fn run_difftest(args: &[String]) -> Result<String, String> {
     let mut seeds: u64 = 2;
     let mut fuzz_count: usize = 0;
     let mut fuzz_seed: u64 = 0xDEAD_BEEF;
+    let mut cores: usize = 1;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -210,6 +369,7 @@ fn run_difftest(args: &[String]) -> Result<String, String> {
                 let list = iter.next().ok_or("--flows needs a value")?;
                 flow_names = list.split(',').map(str::to_string).collect();
             }
+            "--cores" => cores = parse_cores(iter.next().ok_or("--cores needs a value")?)?,
             "--seeds" => {
                 let n = iter.next().ok_or("--seeds needs a value")?;
                 seeds = n.parse().map_err(|_| format!("invalid --seeds `{n}`"))?;
@@ -231,7 +391,11 @@ fn run_difftest(args: &[String]) -> Result<String, String> {
             Ok((
                 name.clone(),
                 match name.as_str() {
-                    "ours" => Flow::Ours(PipelineOptions::full()),
+                    "ours" => {
+                        let mut opts = PipelineOptions::full();
+                        opts.cores = cores;
+                        Flow::Ours(opts)
+                    }
                     "mlir" => Flow::MlirLike,
                     "clang" => Flow::ClangLike,
                     other => return Err(format!("unknown flow `{other}`")),
@@ -302,12 +466,16 @@ fn run_bench_json(args: &[String]) -> Result<String, String> {
 
     let mut out_path = "BENCH_compiler_perf.json".to_string();
     let mut check_path: Option<String> = None;
+    let mut cluster_cores: usize = 4;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--help" | "-h" => return Ok(USAGE.to_string()),
             "--out" => out_path = iter.next().ok_or("--out needs a file")?.clone(),
             "--check" => check_path = Some(iter.next().ok_or("--check needs a file")?.clone()),
+            "--cores" => {
+                cluster_cores = parse_cores(iter.next().ok_or("--cores needs a value")?)?;
+            }
             other => return Err(format!("unknown bench-json option `{other}`\n{USAGE}")),
         }
     }
@@ -367,6 +535,25 @@ fn run_bench_json(args: &[String]) -> Result<String, String> {
     }
     let wall_speedup = generic_nanos as f64 / fast_nanos.max(1) as f64;
 
+    // Cluster scenario: a matmul whose row dimension shards evenly,
+    // compiled with `distribute-to-cores` and run on the multi-core
+    // cluster; the harness verifies the output bit-for-bit against the
+    // host reference on the way.
+    let cluster_instance = Instance::new(Kind::MatMul, Shape::nmk(8, 16, 16), Precision::F64);
+    let run_cluster = |cores: usize| {
+        mlb_kernels::compile_and_run_on_cluster(
+            &cluster_instance,
+            PipelineOptions::full(),
+            1,
+            cores,
+        )
+        .map_err(|e| format!("bench-json: cluster matmul on {cores} cores: {e}"))
+    };
+    let cluster_single = run_cluster(1)?;
+    let cluster_multi = run_cluster(cluster_cores)?;
+    let cycle_speedup = cluster_single.counters.aggregate.cycles as f64
+        / cluster_multi.counters.aggregate.cycles.max(1) as f64;
+
     let mode_json = |s: &RewriteStats, nanos: u64| {
         Json::obj(vec![
             ("wall_nanos", Json::from(nanos)),
@@ -406,6 +593,36 @@ fn run_bench_json(args: &[String]) -> Result<String, String> {
                 ("wall_speedup", Json::from(wall_speedup)),
             ]),
         ),
+        (
+            "cluster-matmul-8x16x16",
+            Json::obj(vec![
+                ("cores", Json::from(cluster_cores as u64)),
+                ("barriers", Json::from(cluster_multi.counters.barriers as u64)),
+                ("aggregate_cycles_1core", Json::from(cluster_single.counters.aggregate.cycles)),
+                ("aggregate_cycles", Json::from(cluster_multi.counters.aggregate.cycles)),
+                ("cycle_speedup", Json::from(cycle_speedup)),
+                (
+                    "per_core",
+                    Json::Arr(
+                        cluster_multi
+                            .counters
+                            .per_core
+                            .iter()
+                            .map(|c| {
+                                Json::obj(vec![
+                                    ("cycles", Json::from(c.cycles)),
+                                    ("instructions", Json::from(c.instructions)),
+                                    ("flops", Json::from(c.flops)),
+                                    ("fpu_busy_cycles", Json::from(c.fpu_busy_cycles)),
+                                    ("ssr_reads", Json::from(c.ssr_reads)),
+                                    ("ssr_writes", Json::from(c.ssr_writes)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
+        ),
     ]);
 
     // Human-readable progress goes to stderr: stdout is reserved for the
@@ -421,6 +638,14 @@ fn run_bench_json(args: &[String]) -> Result<String, String> {
         fast_nanos as f64 / 1e3,
         generic_nanos as f64 / 1e3,
         wall_speedup,
+    );
+    eprintln!(
+        "bench cluster-matmul-8x16x16: {} cycles (1 core) vs {} cycles ({} cores), \
+         speedup {:.2}x",
+        cluster_single.counters.aggregate.cycles,
+        cluster_multi.counters.aggregate.cycles,
+        cluster_cores,
+        cycle_speedup,
     );
     if let Some(path) = check_path {
         let text = std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?;
