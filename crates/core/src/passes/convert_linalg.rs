@@ -22,10 +22,14 @@ impl Pass for ConvertLinalgToMemrefStream {
         root: OpId,
     ) -> Result<(), PassError> {
         for op in ctx.walk_named(root, linalg::FILL) {
-            convert_fill(ctx, op)?;
+            let result = convert_fill(ctx, op);
+            ctx.clear_builder_loc();
+            result?;
         }
         for op in ctx.walk_named(root, linalg::GENERIC) {
-            convert_generic(ctx, op, self.name())?;
+            let result = convert_generic(ctx, op, self.name());
+            ctx.clear_builder_loc();
+            result?;
         }
         Ok(())
     }
@@ -34,6 +38,8 @@ impl Pass for ConvertLinalgToMemrefStream {
 /// `linalg.fill(value, target)` becomes a parallel `memref_stream.generic`
 /// over the target with an identity map, yielding the fill value.
 fn convert_fill(ctx: &mut Context, op: OpId) -> Result<(), PassError> {
+    let loc = ctx.effective_loc(op).clone();
+    ctx.set_builder_loc(loc);
     let value = ctx.op(op).operands[0];
     let target = ctx.op(op).operands[1];
     let shape = match ctx.value_type(target) {
@@ -60,6 +66,8 @@ fn convert_fill(ctx: &mut Context, op: OpId) -> Result<(), PassError> {
 }
 
 fn convert_generic(ctx: &mut Context, op: OpId, pass: &str) -> Result<(), PassError> {
+    let loc = ctx.effective_loc(op).clone();
+    ctx.set_builder_loc(loc);
     let g = linalg::GenericOp(op);
     let bounds = g.bounds(ctx).ok_or_else(|| {
         PassError::new(pass, "cannot infer iteration bounds; add an explicit `bounds` attribute")
@@ -73,6 +81,7 @@ fn convert_generic(ctx: &mut Context, op: OpId, pass: &str) -> Result<(), PassEr
         attrs,
         num_regions: 1,
         successors: vec![],
+        loc: ctx.op(op).loc.clone(),
     };
     let new = ctx.insert_op_before(op, spec);
     let old_body = g.body(ctx);

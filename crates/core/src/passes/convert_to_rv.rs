@@ -49,8 +49,9 @@ impl Pass for ConvertToRv {
         let top = ctx.sole_block(ctx.op(root).regions[0]);
         let funcs = ctx.walk_named(root, func::FUNC);
         for old in funcs {
-            convert_function(ctx, top, old, self.pattern_opts)
-                .map_err(|m| PassError::new(self.name(), m))?;
+            let result = convert_function(ctx, top, old, self.pattern_opts);
+            ctx.clear_builder_loc();
+            result.map_err(|m| PassError::new(self.name(), m))?;
             ctx.erase_op(old);
         }
         Ok(())
@@ -64,6 +65,11 @@ fn convert_function(
     pattern_opts: bool,
 ) -> Result<(), String> {
     let name = func::symbol_name(ctx, old).ok_or("function without a name")?.to_string();
+    // Provenance: the replacement function and its ABI scaffolding
+    // inherit the source function's location; each converted op then
+    // narrows the ambient location to its own (see `convert_op`).
+    let func_loc = ctx.effective_loc(old).clone();
+    ctx.set_builder_loc(func_loc);
     let old_entry = func::entry_block(ctx, old);
     let args: Vec<ValueId> = ctx.block_args(old_entry).to_vec();
     let abi: Vec<rv_func::AbiArg> = args
@@ -105,6 +111,8 @@ impl Converter {
     }
 
     fn convert_op(&mut self, ctx: &mut Context, op: OpId, block: BlockId) -> Result<(), String> {
+        let loc = ctx.effective_loc(op).clone();
+        ctx.set_builder_loc(loc);
         let name = ctx.op(op).name.clone();
         match name.as_str() {
             arith::CONSTANT => {

@@ -48,10 +48,15 @@ impl Pass for DistributeToCores {
             if !ctx.is_alive(g) {
                 continue;
             }
+            // Sharding scaffolding (hartid, offsets, the barrier) is
+            // charged to the generic being distributed.
+            let loc = ctx.effective_loc(g).clone();
+            ctx.set_builder_loc(loc);
             match shard_dim(ctx, g, cores) {
                 Some(dim) => shard(ctx, g, dim, cores),
                 None => confine_to_core0(ctx, g),
             }
+            ctx.clear_builder_loc();
         }
         Ok(())
     }

@@ -184,6 +184,10 @@ fn strength_reduce(ctx: &mut Context, mut loop_op: OpId) {
         if !ctx.is_alive(op) || ctx.op(op).name != rv::ADD || ctx.op(op).parent != Some(body) {
             continue;
         }
+        // Pointer setup and advance ops inherit the location of the
+        // address computation they replace.
+        let op_loc = ctx.effective_loc(op).clone();
+        ctx.set_builder_loc(op_loc);
         let (a, b) = (ctx.op(op).operands[0], ctx.op(op).operands[1]);
         // Identify base (invariant) and scaled-IV side: `slli(iv, k)`,
         // `mul(iv, c)`, the unrolled-body form `slli(addi(iv, j), k)`
@@ -331,6 +335,7 @@ fn strength_reduce(ctx: &mut Context, mut loop_op: OpId) {
             ctx.erase_op(scaled_def);
         }
     }
+    ctx.clear_builder_loc();
 }
 
 /// Rebuilds `loop_op` with one extra integer-register result (matching a
@@ -347,6 +352,7 @@ fn push_loop_result(ctx: &mut Context, loop_op: OpId) -> OpId {
         attrs: old.attrs.clone(),
         num_regions: 0,
         successors: vec![],
+        loc: old.loc.clone(),
     };
     let new = ctx.insert_op_before(loop_op, spec);
     // Transfer the body region wholesale.

@@ -35,6 +35,7 @@ impl Pass for LowerSnitchStream {
         for op in ctx.walk_named(root, snitch_stream::STREAMING_REGION) {
             let func = enclosing_function(ctx, op);
             lower_region(ctx, op, func, &mut dirty_repeat);
+            ctx.clear_builder_loc();
         }
         Ok(())
     }
@@ -56,6 +57,11 @@ fn lower_region(
     func: OpId,
     dirty_repeat: &mut HashMap<(OpId, usize), bool>,
 ) {
+    // The SSR configuration sequence is charged to the streaming region
+    // (which itself carries the generic's location); inlined body ops
+    // keep their own locations.
+    let loc = ctx.effective_loc(op).clone();
+    ctx.set_builder_loc(loc);
     let region = snitch_stream::StreamingRegionOp(op);
     let num_inputs = region.num_inputs(ctx);
     let patterns = region.patterns(ctx);

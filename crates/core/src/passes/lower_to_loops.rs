@@ -51,7 +51,9 @@ impl Pass for ConvertMemrefStreamToLoops {
             if !ctx.is_alive(op) {
                 continue;
             }
-            lower_generic(ctx, op, self.streams).map_err(|m| PassError::new(self.name(), m))?;
+            let result = lower_generic(ctx, op, self.streams);
+            ctx.clear_builder_loc();
+            result.map_err(|m| PassError::new(self.name(), m))?;
         }
         Ok(())
     }
@@ -69,6 +71,11 @@ struct OperandPlan {
 }
 
 fn lower_generic(ctx: &mut Context, op: OpId, streams: bool) -> Result<(), String> {
+    // Loop scaffolding (constants, `scf.for`, streaming regions, index
+    // arithmetic) is attributed to the generic op itself; cloned body ops
+    // keep their own locations.
+    let loc = ctx.effective_loc(op).clone();
+    ctx.set_builder_loc(loc);
     let s = memref_stream::StreamGenericOp(op);
     let bounds = s.bounds(ctx);
     let iterators = s.generic().iterator_types(ctx);

@@ -39,7 +39,11 @@ impl Pass for RvScfToCf {
                     .flat_map(|b| ctx.block_ops(b).to_vec())
                     .find(|&o| ctx.op(o).name == rv_scf::FOR);
                 match candidate {
-                    Some(op) => flatten(ctx, op).map_err(|m| PassError::new(self.name(), m))?,
+                    Some(op) => {
+                        let result = flatten(ctx, op);
+                        ctx.clear_builder_loc();
+                        result.map_err(|m| PassError::new(self.name(), m))?
+                    }
                     None => break,
                 }
             }
@@ -67,6 +71,10 @@ fn erase_if_dead_constant(ctx: &mut Context, v: mlb_ir::ValueId) {
 }
 
 fn flatten(ctx: &mut Context, op: OpId) -> Result<(), String> {
+    // Loop-control scaffolding (pre-header moves, increment, branches)
+    // is charged to the loop being flattened; body ops keep theirs.
+    let loc = ctx.effective_loc(op).clone();
+    ctx.set_builder_loc(loc);
     let for_op = rv_scf::RvForOp(op);
     let pre_block = ctx.op(op).parent.ok_or("loop is detached")?;
     let region = ctx.block_parent(pre_block);

@@ -28,6 +28,7 @@ impl Pass for RvScfToFrep {
         for op in ctx.walk_named(root, rv_scf::FOR) {
             if ctx.is_alive(op) {
                 try_convert(ctx, op);
+                ctx.clear_builder_loc();
             }
         }
         Ok(())
@@ -39,6 +40,10 @@ fn li_value(ctx: &Context, v: mlb_ir::ValueId) -> Option<i64> {
 }
 
 fn try_convert(ctx: &mut Context, op: OpId) -> bool {
+    // The count materialization and the frep op itself take the loop's
+    // location; re-homed body ops keep theirs.
+    let loc = ctx.effective_loc(op).clone();
+    ctx.set_builder_loc(loc);
     let for_op = rv_scf::RvForOp(op);
     // Normalized bounds only: lb = 0, step = 1.
     if li_value(ctx, for_op.lower_bound(ctx)) != Some(0)

@@ -34,6 +34,7 @@ impl Pass for SequentialUnroll {
         for op in ctx.walk_named(root, scf::FOR) {
             if ctx.is_alive(op) {
                 try_unroll(ctx, op, self.factor);
+                ctx.clear_builder_loc();
             }
         }
         Ok(())
@@ -45,6 +46,11 @@ fn const_of(ctx: &Context, v: ValueId) -> Option<i64> {
 }
 
 fn try_unroll(ctx: &mut Context, op: OpId, factor: i64) -> bool {
+    // New scaffolding (step constant, iv offsets, the replacement loop)
+    // is attributed to the loop being unrolled; cloned body ops keep
+    // their own locations.
+    let loc = ctx.effective_loc(op).clone();
+    ctx.set_builder_loc(loc);
     let for_op = scf::ForOp(op);
     // Innermost loops only, no loop-carried state beyond what unrolling
     // can rethread, constant bounds with a divisible trip count.

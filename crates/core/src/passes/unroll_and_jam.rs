@@ -43,6 +43,7 @@ impl Pass for MemrefStreamUnrollAndJam {
                 continue;
             }
             apply(ctx, op, self.factor_override);
+            ctx.clear_builder_loc();
         }
         Ok(())
     }
@@ -74,6 +75,8 @@ pub fn choose_unroll_factor(bound: i64) -> i64 {
 }
 
 fn apply(ctx: &mut Context, op: OpId, factor_override: Option<i64>) {
+    let loc = ctx.effective_loc(op).clone();
+    ctx.set_builder_loc(loc);
     let s = memref_stream::StreamGenericOp(op);
     let iterators = s.generic().iterator_types(ctx);
     let bounds = s.bounds(ctx);
@@ -176,6 +179,7 @@ fn apply(ctx: &mut Context, op: OpId, factor_override: Option<i64>) {
         attrs,
         num_regions: 1,
         successors: vec![],
+        loc: ctx.op(op).loc.clone(),
     };
     let new = ctx.insert_op_before(op, spec);
 

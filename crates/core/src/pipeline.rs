@@ -128,6 +128,12 @@ pub struct Compilation {
     pub functions: Vec<(String, RegStats)>,
     /// The pass pipeline that ran, in order.
     pub passes: Vec<&'static str>,
+    /// Source provenance of each emitted instruction, indexed by the
+    /// instruction index the simulator's assembler assigns (see
+    /// [`mlb_riscv::emit_module_with_source_map`]). All
+    /// [`mlb_ir::Location::Unknown`] unless the module was parsed with
+    /// locations or built from located IR.
+    pub source_map: Vec<mlb_ir::Location>,
 }
 
 /// A module-level adapter that runs the spill-free allocator on every
@@ -389,9 +395,9 @@ fn compile_once(
     passes.extend(pm_tail.pass_names());
     pm_tail.run_observed(ctx, &registry, module, observer)?;
 
-    let assembly = mlb_riscv::emit_module(ctx, module)
+    let (assembly, source_map) = mlb_riscv::emit_module_with_source_map(ctx, module)
         .map_err(|e| PassError::new("emit-assembly", e.to_string()))?;
-    Ok(Compilation { assembly, functions, passes })
+    Ok(Compilation { assembly, functions, passes, source_map })
 }
 
 #[cfg(test)]

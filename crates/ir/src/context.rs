@@ -15,6 +15,7 @@
 use std::collections::BTreeMap;
 
 use crate::attributes::Attribute;
+use crate::location::Location;
 use crate::types::Type;
 
 macro_rules! id_type {
@@ -92,6 +93,8 @@ pub struct Operation {
     pub successors: Vec<BlockId>,
     /// The block this operation currently lives in, if attached.
     pub parent: Option<BlockId>,
+    /// Source provenance (see [`Location`]).
+    pub loc: Location,
 }
 
 impl Operation {
@@ -149,6 +152,8 @@ pub struct OpSpec {
     pub num_regions: usize,
     /// Successor blocks.
     pub successors: Vec<BlockId>,
+    /// Source provenance of the new operation.
+    pub loc: Location,
 }
 
 impl OpSpec {
@@ -161,6 +166,7 @@ impl OpSpec {
             attrs: BTreeMap::new(),
             num_regions: 0,
             successors: Vec::new(),
+            loc: Location::Unknown,
         }
     }
 
@@ -191,6 +197,12 @@ impl OpSpec {
     /// Sets the successor blocks.
     pub fn successors(mut self, successors: Vec<BlockId>) -> OpSpec {
         self.successors = successors;
+        self
+    }
+
+    /// Sets the source provenance.
+    pub fn loc(mut self, loc: Location) -> OpSpec {
+        self.loc = loc;
         self
     }
 }
@@ -288,6 +300,9 @@ pub struct Context {
     users: Vec<Vec<OpId>>,
     /// Active change journal, if any (see [`IrChange`]).
     journal: Option<Vec<IrChange>>,
+    /// Ambient source location inherited by ops created without one
+    /// (see [`Context::set_builder_loc`]).
+    builder_loc: Location,
     pub(crate) rewrite_stats: RewriteStats,
 }
 
@@ -452,6 +467,54 @@ impl Context {
         Some(self.region_parent(self.block_parent(block)))
     }
 
+    /// The source provenance of an operation.
+    pub fn loc(&self, op: OpId) -> &Location {
+        &self.op(op).loc
+    }
+
+    /// Replaces the source provenance of an operation.
+    ///
+    /// Not journalled: provenance is metadata, not IR structure, so
+    /// stamping it never re-enqueues worklist items.
+    pub fn set_loc(&mut self, op: OpId, loc: Location) {
+        self.op_mut(op).loc = loc;
+    }
+
+    /// The provenance effective at `op`: its own location if known,
+    /// otherwise the nearest enclosing operation's known location.
+    ///
+    /// This is what assembly emission uses, so instructions synthesized
+    /// outside any rewrite pattern (register-allocator moves, lowered
+    /// branches) still attribute to their enclosing function at worst.
+    pub fn effective_loc(&self, op: OpId) -> &Location {
+        let mut cur = op;
+        loop {
+            if self.op(cur).loc.is_known() {
+                return &self.op(cur).loc;
+            }
+            match self.parent_op(cur) {
+                Some(parent) => cur = parent,
+                None => return &self.op(op).loc,
+            }
+        }
+    }
+
+    /// Sets the ambient location that ops created without an explicit
+    /// one inherit (see [`OpSpec::loc`]). Conversion passes that build
+    /// replacement IR op-by-op set this to the source op's
+    /// [`Context::effective_loc`] before emitting its replacements, so
+    /// provenance survives lowerings that construct new functions and
+    /// blocks from scratch. Cleared with [`Context::clear_builder_loc`];
+    /// pattern drivers additionally stamp created ops themselves.
+    pub fn set_builder_loc(&mut self, loc: Location) {
+        self.builder_loc = loc;
+    }
+
+    /// Resets the ambient creation location to unknown.
+    pub fn clear_builder_loc(&mut self) {
+        self.builder_loc = Location::Unknown;
+    }
+
     /// The terminator (last operation) of a block.
     ///
     /// # Panics
@@ -487,6 +550,7 @@ impl Context {
             regions: Vec::with_capacity(spec.num_regions),
             successors: spec.successors,
             parent: None,
+            loc: if spec.loc.is_known() { spec.loc } else { self.builder_loc.clone() },
         };
         for (index, ty) in spec.result_types.into_iter().enumerate() {
             let v = self.new_value(ValueKind::OpResult { op: id, index }, ty);
@@ -663,6 +727,7 @@ impl Context {
             attrs: old.attrs.clone(),
             num_regions: old.regions.len(),
             successors: old.successors.clone(),
+            loc: old.loc.clone(),
         };
         let new = self.append_op(block, spec);
         for (i, &r) in old.results.iter().enumerate() {

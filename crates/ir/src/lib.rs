@@ -44,6 +44,7 @@ pub mod affine;
 pub mod attributes;
 pub mod context;
 pub mod interp;
+pub mod location;
 pub mod observe;
 pub mod parser;
 pub mod pass;
@@ -58,8 +59,9 @@ pub use context::{
     BlockId, Context, IrChange, OpId, OpSpec, Operation, RegionId, RewriteStats, ValueId, ValueKind,
 };
 pub use interp::{ExecRegistry, Flow, InterpError, Interpreter, StreamMover, Value};
+pub use location::Location;
 pub use observe::{IrSnapshotMode, NoopObserver, PassEvent, PipelineObserver, PipelineRecorder};
-pub use parser::{parse_module, ParseError};
+pub use parser::{parse_module, parse_module_with_locations, ParseError};
 pub use pass::{Pass, PassError, PassManager};
 pub use printer::print_op;
 pub use registry::{DialectRegistry, OpInfo, VerifyError};

@@ -1,0 +1,131 @@
+//! Source-location provenance for operations.
+//!
+//! Every [`crate::Operation`] carries a [`Location`] describing where it
+//! came from: a `file:line` position for operations parsed from textual
+//! IR, or a fused location naming the rewrite pattern that created the
+//! operation together with the source position of the matched root
+//! operation. The greedy rewrite drivers propagate locations
+//! automatically (see [`crate::rewrite`]), so provenance survives the
+//! whole lowering pipeline and per-instruction profiles can attribute
+//! simulated cycles back to source operations.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// Provenance of an operation.
+///
+/// The textual form round-trips through the printer/parser as a
+/// `loc(...)` trailer after an operation's type signature:
+///
+/// - `loc("matmul.mlir":4)` — [`Location::File`]
+/// - `loc(fused<"convert-to-rv">["matmul.mlir":4])` — [`Location::Fused`]
+///
+/// Operations without provenance print no trailer at all, which keeps
+/// location-free IR byte-identical to what the printer emitted before
+/// locations existed.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub enum Location {
+    /// No known provenance (the default for programmatically built IR).
+    #[default]
+    Unknown,
+    /// A position in a textual IR source file.
+    File {
+        /// Source file name.
+        file: Arc<str>,
+        /// 1-based line number.
+        line: u32,
+    },
+    /// Created by a rewrite pattern from an operation at `base`.
+    Fused {
+        /// Diagnostic name of the rewrite pattern.
+        pattern: Arc<str>,
+        /// Location of the matched root operation.
+        base: Arc<Location>,
+    },
+}
+
+impl Location {
+    /// A `file:line` location.
+    pub fn file(file: impl Into<Arc<str>>, line: u32) -> Location {
+        Location::File { file: file.into(), line }
+    }
+
+    /// A location derived by the rewrite pattern `pattern` from an
+    /// operation located at `base`.
+    ///
+    /// Fusion chains are collapsed: the result records the *source*
+    /// position underlying `base` (looking through earlier fusions) and
+    /// only the most recent pattern, so locations stay bounded no matter
+    /// how many rewrites an operation's lineage passes through.
+    pub fn fused(pattern: impl Into<Arc<str>>, base: &Location) -> Location {
+        Location::Fused { pattern: pattern.into(), base: Arc::new(base.source().clone()) }
+    }
+
+    /// Whether this location carries any provenance.
+    pub fn is_known(&self) -> bool {
+        !matches!(self, Location::Unknown)
+    }
+
+    /// The underlying source location, looking through fusions.
+    pub fn source(&self) -> &Location {
+        match self {
+            Location::Fused { base, .. } => base.source(),
+            other => other,
+        }
+    }
+
+    /// A `file:line` label for the underlying source position, if known.
+    pub fn source_label(&self) -> Option<String> {
+        match self.source() {
+            Location::File { file, line } => Some(format!("{file}:{line}")),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Location {
+    /// Prints the *body* of the textual form (without the `loc(...)`
+    /// wrapper, which the printer adds).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Location::Unknown => f.write_str("unknown"),
+            Location::File { file, line } => write!(f, "\"{file}\":{line}"),
+            Location::Fused { pattern, base } => write!(f, "fused<\"{pattern}\">[{base}]"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fusion_collapses_chains_to_the_source_position() {
+        let src = Location::file("k.mlir", 7);
+        let once = Location::fused("convert-to-rv", &src);
+        let twice = Location::fused("rv-peephole", &once);
+        assert_eq!(once.source(), &src);
+        assert_eq!(twice.source(), &src);
+        match &twice {
+            Location::Fused { pattern, base } => {
+                assert_eq!(&**pattern, "rv-peephole");
+                assert_eq!(&**base, &src, "intermediate fusion layer must collapse");
+            }
+            other => panic!("expected fused location, got {other:?}"),
+        }
+        assert_eq!(twice.source_label().as_deref(), Some("k.mlir:7"));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Location::Unknown.to_string(), "unknown");
+        assert_eq!(Location::file("a.mlir", 3).to_string(), "\"a.mlir\":3");
+        assert_eq!(
+            Location::fused("p", &Location::file("a.mlir", 3)).to_string(),
+            "fused<\"p\">[\"a.mlir\":3]"
+        );
+        assert!(!Location::Unknown.is_known());
+        assert!(Location::file("a", 1).is_known());
+        assert_eq!(Location::fused("p", &Location::Unknown).source_label(), None);
+    }
+}

@@ -10,6 +10,7 @@ use std::fmt;
 use crate::affine::{AffineExpr, AffineMap};
 use crate::attributes::{Attribute, IteratorType, StreamPattern, StridePattern};
 use crate::context::{BlockId, Context, OpId, OpSpec, ValueId};
+use crate::location::Location;
 use crate::types::Type;
 
 /// The resolved source position of a [`ParseError`], with the
@@ -87,15 +88,57 @@ impl std::error::Error for ParseError {}
 /// Returns a [`ParseError`] describing the first syntax problem, with
 /// its `line:column` position and the offending line resolved.
 pub fn parse_module(ctx: &mut Context, input: &str) -> Result<OpId, ParseError> {
-    parse_module_inner(ctx, input).map_err(|e| e.with_source(input))
+    parse_module_inner(ctx, input, None).map_err(|e| e.with_source(input))
 }
 
-fn parse_module_inner(ctx: &mut Context, input: &str) -> Result<OpId, ParseError> {
+/// Parses like [`parse_module`] and additionally stamps every operation
+/// with a [`Location`]: an explicit `loc(...)` trailer if the text has
+/// one, otherwise `file` plus the 1-based line of the operation's name
+/// token.
+///
+/// Plain [`parse_module`] leaves locations untouched (explicit trailers
+/// are still honoured there), so printing IR that never had locations
+/// stays byte-stable across a parse/print round trip.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] exactly as [`parse_module`] does.
+pub fn parse_module_with_locations(
+    ctx: &mut Context,
+    input: &str,
+    file: &str,
+) -> Result<OpId, ParseError> {
+    let mut line_starts = vec![0usize];
+    line_starts.extend(input.char_indices().filter(|&(_, c)| c == '\n').map(|(i, _)| i + 1));
+    let auto = AutoLoc { file: file.into(), line_starts };
+    parse_module_inner(ctx, input, Some(auto)).map_err(|e| e.with_source(input))
+}
+
+fn parse_module_inner(
+    ctx: &mut Context,
+    input: &str,
+    auto: Option<AutoLoc>,
+) -> Result<OpId, ParseError> {
     let tokens = tokenize(input)?;
-    let mut p = Parser { ctx, tokens, pos: 0, values: HashMap::new(), blocks: HashMap::new() };
+    let mut p =
+        Parser { ctx, tokens, pos: 0, values: HashMap::new(), blocks: HashMap::new(), auto };
     let op = p.parse_op(None)?;
     p.expect_eof()?;
     Ok(op)
+}
+
+/// File name plus line-start offsets for deriving automatic
+/// [`Location::File`] positions from token offsets.
+struct AutoLoc {
+    file: std::sync::Arc<str>,
+    line_starts: Vec<usize>,
+}
+
+impl AutoLoc {
+    fn loc_at(&self, offset: usize) -> Location {
+        let line = self.line_starts.partition_point(|&start| start <= offset) as u32;
+        Location::File { file: self.file.clone(), line }
+    }
 }
 
 #[derive(Debug, Clone, PartialEq)]
@@ -224,6 +267,9 @@ struct Parser<'c> {
     pos: usize,
     values: HashMap<String, ValueId>,
     blocks: HashMap<String, BlockId>,
+    /// When set, ops without an explicit `loc(...)` trailer get a
+    /// file/line location derived from their name token.
+    auto: Option<AutoLoc>,
 }
 
 impl<'c> Parser<'c> {
@@ -330,6 +376,7 @@ impl<'c> Parser<'c> {
             }
             self.expect_punct('=')?;
         }
+        let name_offset = self.offset();
         let name = match self.bump() {
             Some(Tok::Str(s)) => s,
             other => return Err(self.error(format!("expected quoted op name, found {other:?}"))),
@@ -422,6 +469,20 @@ impl<'c> Parser<'c> {
         }
         self.expect_punct(')')?;
 
+        // Optional provenance trailer: `loc(...)`.
+        let mut loc = Location::Unknown;
+        if matches!(self.peek(), Some(Tok::Ident(id)) if id == "loc") {
+            self.bump();
+            self.expect_punct('(')?;
+            loc = self.parse_location()?;
+            self.expect_punct(')')?;
+        }
+        if !loc.is_known() {
+            if let Some(auto) = &self.auto {
+                loc = auto.loc_at(name_offset);
+            }
+        }
+
         if result_types.len() != result_names.len() {
             return Err(self.error(format!(
                 "operation `{name}` declares {} results but {} result types",
@@ -455,6 +516,7 @@ impl<'c> Parser<'c> {
             attrs,
             num_regions: region_ranges.len(),
             successors,
+            loc,
         };
         let op = match parent {
             Some(block) => self.ctx.append_op(block, spec),
@@ -473,6 +535,38 @@ impl<'c> Parser<'c> {
         }
         self.pos = end;
         Ok(op)
+    }
+
+    /// location ::= `"file"` `:` line | `fused` `<` `"pattern"` `>` `[` location `]` | `unknown`
+    fn parse_location(&mut self) -> Result<Location, ParseError> {
+        match self.bump() {
+            Some(Tok::Str(file)) => {
+                self.expect_punct(':')?;
+                let line = self.expect_int()?;
+                if line < 0 {
+                    return Err(self.error("negative line number in location"));
+                }
+                Ok(Location::file(file, line as u32))
+            }
+            Some(Tok::Ident(id)) if id == "fused" => {
+                self.expect_punct('<')?;
+                let pattern = match self.bump() {
+                    Some(Tok::Str(s)) => s,
+                    other => {
+                        return Err(
+                            self.error(format!("expected quoted pattern name, found {other:?}"))
+                        )
+                    }
+                };
+                self.expect_punct('>')?;
+                self.expect_punct('[')?;
+                let base = self.parse_location()?;
+                self.expect_punct(']')?;
+                Ok(Location::Fused { pattern: pattern.into(), base: std::sync::Arc::new(base) })
+            }
+            Some(Tok::Ident(id)) if id == "unknown" => Ok(Location::Unknown),
+            other => Err(self.error(format!("expected location, found {other:?}"))),
+        }
     }
 
     /// Skips a `{ ... }` group, balancing braces.
@@ -1160,5 +1254,41 @@ mod tests {
         let text = "// a comment\n\"test.op\"() : () -> () // trailing\n";
         let mut ctx = Context::new();
         assert!(parse_module(&mut ctx, text).is_ok());
+    }
+
+    #[test]
+    fn explicit_loc_trailers_round_trip() {
+        let text = r#""builtin.module"() ({
+^bb0:
+  %0 = "arith.constant"() {value = 2.5} : () -> (f64) loc("k.mlir":3)
+  %1 = "arith.mulf"(%0, %0) : (f64, f64) -> (f64) loc(fused<"fma">["k.mlir":4])
+}) : () -> ()"#;
+        let mut ctx = Context::new();
+        let m = parse_module(&mut ctx, text).unwrap();
+        let ops = ctx.walk(m);
+        assert_eq!(ctx.op(ops[0]).loc, Location::file("k.mlir", 3));
+        assert_eq!(ctx.op(ops[1]).loc.source_label().as_deref(), Some("k.mlir:4"));
+        // Print → parse → print is a fixpoint with the trailers intact.
+        let printed = print_op(&ctx, m);
+        assert!(printed.contains(r#"loc("k.mlir":3)"#), "{printed}");
+        assert!(printed.contains(r#"loc(fused<"fma">["k.mlir":4])"#), "{printed}");
+        assert_eq!(round_trip(&printed), printed);
+    }
+
+    #[test]
+    fn auto_locations_use_the_op_line() {
+        let text = "\"builtin.module\"() ({\n^bb0:\n  \"test.op\"() : () -> ()\n}) : () -> ()";
+        let mut ctx = Context::new();
+        let m = parse_module_with_locations(&mut ctx, text, "in.mlir").unwrap();
+        let op = ctx.walk(m)[0];
+        assert_eq!(ctx.op(op).loc, Location::file("in.mlir", 3));
+        assert_eq!(ctx.op(m).loc, Location::file("in.mlir", 1));
+    }
+
+    #[test]
+    fn location_free_ir_prints_without_trailers() {
+        let text = "\"builtin.module\"() ({\n^bb0:\n  \"test.op\"() : () -> ()\n}) : () -> ()";
+        let printed = round_trip(text);
+        assert!(!printed.contains("loc("), "{printed}");
     }
 }

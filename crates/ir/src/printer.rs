@@ -137,7 +137,13 @@ impl<'c> Printer<'c> {
         let out_tys: Vec<String> =
             op.results.iter().map(|&r| self.ctx.value_type(r).to_string()).collect();
         out.push_str(&out_tys.join(", "));
-        out.push_str(")\n");
+        out.push(')');
+        // Provenance trailer. Emitted only when present, so location-free
+        // IR (and every golden snapshot) stays byte-identical.
+        if op.loc.is_known() {
+            let _ = write!(out, " loc({})", op.loc);
+        }
+        out.push('\n');
     }
 }
 

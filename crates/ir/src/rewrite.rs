@@ -21,6 +21,7 @@ use std::collections::{HashMap, HashSet, VecDeque};
 use std::fmt;
 
 use crate::context::{Context, IrChange, OpId};
+use crate::location::Location;
 use crate::registry::DialectRegistry;
 
 /// A local rewrite anchored on a single operation.
@@ -211,10 +212,18 @@ fn is_trivially_dead(ctx: &Context, registry: &DialectRegistry, op: OpId) -> boo
 /// of values released by an erase, both sides of a use replacement,
 /// ops whose operand lists or positions changed, and definers/users of
 /// retyped values.
-fn drain_changes(ctx: &mut Context, queue: &mut VecDeque<OpId>, queued: &mut HashSet<OpId>) {
+fn drain_changes(
+    ctx: &mut Context,
+    queue: &mut VecDeque<OpId>,
+    queued: &mut HashSet<OpId>,
+    stamp: Option<&Location>,
+) {
     let changes = ctx.journal_drain();
     if changes.is_empty() {
         return;
+    }
+    if let Some(loc) = stamp {
+        stamp_created(ctx, &changes, loc);
     }
     let mut pending: Vec<OpId> = Vec::new();
     for change in &changes {
@@ -271,6 +280,23 @@ fn drain_changes(ctx: &mut Context, queue: &mut VecDeque<OpId>, queued: &mut Has
     ctx.rewrite_stats.requeued += requeued;
 }
 
+/// Stamps `loc` onto every still-alive operation the journalled changes
+/// created that has no provenance of its own. This is how locations flow
+/// through rewrites: a pattern never sets them explicitly, the driver
+/// derives them from the matched root operation.
+fn stamp_created(ctx: &mut Context, changes: &[IrChange], loc: &Location) {
+    if !loc.is_known() {
+        return;
+    }
+    for change in changes {
+        if let IrChange::Created(op) = change {
+            if ctx.is_alive(*op) && !ctx.loc(*op).is_known() {
+                ctx.set_loc(*op, loc.clone());
+            }
+        }
+    }
+}
+
 /// The worklist driver (see [`DriverMode::Worklist`]).
 fn apply_patterns_worklist(
     ctx: &mut Context,
@@ -309,9 +335,12 @@ fn apply_patterns_worklist(
         if is_trivially_dead(ctx, registry, op) {
             ctx.erase_op(op);
             ctx.rewrite_stats.dce_erased += 1;
-            drain_changes(ctx, &mut queue, &mut queued);
+            drain_changes(ctx, &mut queue, &mut queued, None);
             continue;
         }
+        // Captured before any pattern runs: a rewrite may erase the
+        // anchor, but ops it creates still derive provenance from it.
+        let anchor_loc = ctx.loc(op).clone();
         index.candidates(&ctx.op(op).name, &mut candidates);
         for &pi in &candidates {
             if !ctx.is_alive(op) {
@@ -322,7 +351,11 @@ fn apply_patterns_worklist(
             if pattern.match_and_rewrite(ctx, registry, op) {
                 total += 1;
                 ctx.rewrite_stats.pattern_applications += 1;
-                drain_changes(ctx, &mut queue, &mut queued);
+                // Only known anchors propagate: location-free IR must
+                // stay location-free through every rewrite.
+                let derived =
+                    anchor_loc.is_known().then(|| Location::fused(pattern.name(), &anchor_loc));
+                drain_changes(ctx, &mut queue, &mut queued, derived.as_ref());
                 let count = apply_counts.entry(op).or_insert(0);
                 *count += 1;
                 if *count >= MAX_ITERATIONS || total >= budget {
@@ -348,14 +381,31 @@ fn apply_patterns_worklist(
         }
         // Catch mutations from patterns that changed IR but reported no
         // match — their effects must still re-enqueue dependents.
-        drain_changes(ctx, &mut queue, &mut queued);
+        drain_changes(ctx, &mut queue, &mut queued, Some(&anchor_loc));
     }
     ctx.journal_end();
     Ok(total)
 }
 
 /// The original re-walk driver (see [`DriverMode::LegacyRewalk`]).
+///
+/// Journals only to propagate locations: created ops are stamped with
+/// the same fused location the worklist driver would derive, so both
+/// drivers produce identical provenance (asserted by the driver
+/// equivalence tests through the printed `loc(...)` trailers).
 fn apply_patterns_rewalk(
+    ctx: &mut Context,
+    registry: &DialectRegistry,
+    root: OpId,
+    patterns: &[&dyn RewritePattern],
+) -> Result<usize, ConvergenceError> {
+    ctx.journal_begin();
+    let result = rewalk_fixpoint(ctx, registry, root, patterns);
+    ctx.journal_end();
+    result
+}
+
+fn rewalk_fixpoint(
     ctx: &mut Context,
     registry: &DialectRegistry,
     root: OpId,
@@ -372,6 +422,7 @@ fn apply_patterns_rewalk(
                 continue;
             }
             ctx.rewrite_stats.ops_visited += 1;
+            let anchor_loc = ctx.loc(op).clone();
             for pattern in patterns {
                 if !ctx.is_alive(op) {
                     break;
@@ -381,6 +432,11 @@ fn apply_patterns_rewalk(
                     changed = true;
                     total += 1;
                     ctx.rewrite_stats.pattern_applications += 1;
+                    let changes = ctx.journal_drain();
+                    if anchor_loc.is_known() {
+                        let derived = Location::fused(pattern.name(), &anchor_loc);
+                        stamp_created(ctx, &changes, &derived);
+                    }
                     last_pattern = Some(pattern.name());
                     last_op = Some(if ctx.is_alive(op) {
                         ctx.op(op).name.clone()
@@ -389,8 +445,13 @@ fn apply_patterns_rewalk(
                     });
                 }
             }
+            // Mutations from patterns that reported no match still
+            // inherit the anchor's provenance, as in the worklist driver.
+            let changes = ctx.journal_drain();
+            stamp_created(ctx, &changes, &anchor_loc);
         }
         changed |= legacy_dce_fixpoint(ctx, registry, root) > 0;
+        ctx.journal_drain(); // discard DCE erase records
         if !changed {
             return Ok(total);
         }

@@ -63,12 +63,13 @@ pub fn finalize(ctx: &mut Context, module: OpId) -> Result<Compilation, PassErro
     let mut pm = mlb_ir::PassManager::new();
     pm.add(mlb_core::passes::rv_scf_to_cf::RvScfToCf);
     pm.run(ctx, &registry, module)?;
-    let assembly = mlb_riscv::emit_module(ctx, module)
+    let (assembly, source_map) = mlb_riscv::emit_module_with_source_map(ctx, module)
         .map_err(|e| PassError::new("emit-assembly", e.to_string()))?;
     Ok(Compilation {
         assembly,
         functions,
         passes: vec!["handwritten", "lower-snitch-stream", "allocate-registers", "rv-scf-to-cf"],
+        source_map,
     })
 }
 

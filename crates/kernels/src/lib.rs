@@ -10,6 +10,7 @@ pub mod difftest;
 pub mod fuzz;
 pub mod handwritten;
 pub mod harness;
+pub mod profile;
 pub mod reference;
 pub mod suite;
 
@@ -23,5 +24,6 @@ pub use harness::{
     compile_and_run, compile_and_run_on_cluster, run_compiled, ClusterRunOutcome, HarnessError,
     RunOutcome, FILL_VALUE,
 };
+pub use profile::{ClassProfile, LocationProfile, Profile};
 pub use reference::{reference, reference_with, FmaMode, Scalar};
 pub use suite::{Instance, Kind, Precision, Shape};

@@ -1,0 +1,205 @@
+//! Source-attributed cycle profiles.
+//!
+//! Folds an execution trace and the compiler's per-instruction source
+//! map (see `mlb_riscv::emit_module_with_source_map`) into a
+//! hierarchical profile: kernel → source op → instruction class. Every
+//! simulated cycle is charged to exactly one source location, so the
+//! per-location sums reproduce the machine's cycle counter exactly.
+//!
+//! # Cycle attribution
+//!
+//! The trace records, per retired instruction, the cycle its effect
+//! completed on its unit's timeline. Walking the trace in issue order
+//! with a running watermark of the latest completion, each instruction
+//! is charged `complete - watermark` cycles (zero when it finished in
+//! the shadow of earlier work — e.g. integer AGU instructions retiring
+//! under a long FPU pipeline). The charges telescope to the maximum
+//! completion time, which the simulator pins to equal
+//! [`PerfCounters::cycles`](mlb_sim::PerfCounters::cycles).
+
+use std::collections::BTreeMap;
+
+use mlb_ir::Location;
+use mlb_sim::{StallHistogram, TraceEntry};
+
+/// Cycles and work charged to one instruction class (mnemonic) within a
+/// source op.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClassProfile {
+    /// Dynamically executed instructions of this class.
+    pub instructions: u64,
+    /// Critical-path cycles charged to this class.
+    pub cycles: u64,
+}
+
+/// Everything attributed to one source location.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LocationProfile {
+    /// Critical-path cycles charged to this location. Summing this
+    /// field over all rows of a [`Profile`] yields the run's total
+    /// cycle count exactly.
+    pub cycles: u64,
+    /// Dynamically executed instructions.
+    pub instructions: u64,
+    /// Floating-point operations performed.
+    pub flops: u64,
+    /// Dynamically executed FPU instructions.
+    pub fpu_instructions: u64,
+    /// Stall cycles by reason.
+    pub stalls: StallHistogram,
+    /// Breakdown by instruction mnemonic.
+    pub classes: BTreeMap<String, ClassProfile>,
+}
+
+impl LocationProfile {
+    /// FPU issue-slot utilization of this row: FPU instructions per
+    /// charged cycle (1.0 means the row kept the FPU busy every cycle
+    /// it owned).
+    pub fn fpu_utilization(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.fpu_instructions as f64 / self.cycles as f64
+        }
+    }
+
+    fn charge(&mut self, entry: &TraceEntry, cycles: u64) {
+        self.cycles += cycles;
+        self.instructions += 1;
+        self.flops += entry.instr.flops();
+        if entry.instr.is_fpu() {
+            self.fpu_instructions += 1;
+        }
+        self.stalls.record(entry.stall, entry.stall_cycles);
+        let mnemonic =
+            entry.instr.to_string().split_whitespace().next().unwrap_or("<unknown>").to_string();
+        let class = self.classes.entry(mnemonic).or_default();
+        class.instructions += 1;
+        class.cycles += cycles;
+    }
+}
+
+/// A source-attributed profile of one kernel run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Profile {
+    /// Rows keyed by source label (`file:line`, a `fused<...>` form for
+    /// pattern-created ops without a file-attributed root, or
+    /// `<unknown>`), sorted by descending cycle count.
+    pub rows: Vec<(String, LocationProfile)>,
+    /// Total cycles across all rows (== the run's cycle counter).
+    pub total_cycles: u64,
+    /// Cycles charged to instructions with no known source location.
+    pub unattributed_cycles: u64,
+}
+
+impl Profile {
+    /// Folds one core's trace into a profile. `source_map[pc]` is the
+    /// provenance of instruction `pc` (see
+    /// `mlb_core::Compilation::source_map`); instructions past the end
+    /// of the map, or mapped to an unknown location, are charged to the
+    /// `<unknown>` row.
+    pub fn from_trace(trace: &[TraceEntry], source_map: &[Location]) -> Profile {
+        Profile::from_traces(std::slice::from_ref(&trace.to_vec()), source_map)
+    }
+
+    /// Folds the traces of several harts into one merged profile.
+    /// Cycles are charged per hart (work, not wall-clock), so the total
+    /// equals the sum of the harts' cycle counters.
+    pub fn from_traces(traces: &[Vec<TraceEntry>], source_map: &[Location]) -> Profile {
+        let mut by_label: BTreeMap<String, LocationProfile> = BTreeMap::new();
+        let mut total = 0u64;
+        let mut unattributed = 0u64;
+        for trace in traces {
+            let mut watermark = 0u64;
+            for entry in trace {
+                let charged = entry.complete.saturating_sub(watermark);
+                watermark = watermark.max(entry.complete);
+                total += charged;
+                let label = label_for(source_map.get(entry.pc));
+                if label == UNKNOWN_LABEL {
+                    unattributed += charged;
+                }
+                by_label.entry(label).or_default().charge(entry, charged);
+            }
+        }
+        let mut rows: Vec<(String, LocationProfile)> = by_label.into_iter().collect();
+        rows.sort_by(|a, b| b.1.cycles.cmp(&a.1.cycles).then_with(|| a.0.cmp(&b.0)));
+        Profile { rows, total_cycles: total, unattributed_cycles: unattributed }
+    }
+
+    /// Stall cycles summed over all rows, by reason.
+    pub fn stalls(&self) -> StallHistogram {
+        let mut h = StallHistogram::default();
+        for (_, row) in &self.rows {
+            h.accumulate(&row.stalls);
+        }
+        h
+    }
+}
+
+/// The row label used for cycles with no known source location.
+pub const UNKNOWN_LABEL: &str = "<unknown>";
+
+fn label_for(loc: Option<&Location>) -> String {
+    match loc {
+        None | Some(Location::Unknown) => UNKNOWN_LABEL.to_string(),
+        Some(loc) => match loc.source_label() {
+            Some(label) => label,
+            // A fused location whose chain bottoms out without a file:
+            // keep the fused form so the pattern is still visible.
+            None => loc.to_string(),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlb_sim::StallReason;
+
+    fn entry(pc: usize, issue: u64, complete: u64) -> TraceEntry {
+        TraceEntry {
+            pc,
+            instr: mlb_sim::Instr::Li { rd: mlb_isa::IntReg::t(0), imm: 1 },
+            in_frep: false,
+            issue,
+            complete,
+            stall: StallReason::None,
+            stall_cycles: 0,
+        }
+    }
+
+    #[test]
+    fn charges_telescope_to_max_completion() {
+        let map = vec![Location::file("k.mlir", 1), Location::file("k.mlir", 2)];
+        // Entry at pc 1 completes in the shadow of pc 0's long latency.
+        let trace = vec![entry(0, 0, 10), entry(1, 1, 2), entry(0, 11, 12)];
+        let p = Profile::from_trace(&trace, &map);
+        assert_eq!(p.total_cycles, 12);
+        assert_eq!(p.rows.iter().map(|(_, r)| r.cycles).sum::<u64>(), 12);
+        assert_eq!(p.unattributed_cycles, 0);
+        let line1 = &p.rows.iter().find(|(l, _)| l == "k.mlir:1").unwrap().1;
+        assert_eq!(line1.cycles, 12);
+        assert_eq!(line1.instructions, 2);
+        let line2 = &p.rows.iter().find(|(l, _)| l == "k.mlir:2").unwrap().1;
+        assert_eq!(line2.cycles, 0, "shadowed instruction charges nothing");
+    }
+
+    #[test]
+    fn unmapped_pcs_fall_into_the_unknown_row() {
+        let map = vec![Location::file("k.mlir", 1)];
+        let trace = vec![entry(0, 0, 1), entry(7, 1, 2)];
+        let p = Profile::from_trace(&trace, &map);
+        assert_eq!(p.total_cycles, 2);
+        assert_eq!(p.unattributed_cycles, 1);
+        assert!(p.rows.iter().any(|(l, _)| l == UNKNOWN_LABEL));
+    }
+
+    #[test]
+    fn multi_hart_totals_sum_work() {
+        let map = vec![Location::file("k.mlir", 1)];
+        let traces = vec![vec![entry(0, 0, 5)], vec![entry(0, 0, 7)]];
+        let p = Profile::from_traces(&traces, &map);
+        assert_eq!(p.total_cycles, 12);
+    }
+}

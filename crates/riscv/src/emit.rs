@@ -14,9 +14,43 @@
 use std::fmt;
 use std::fmt::Write;
 
-use mlb_ir::{Attribute, BlockId, Context, OpId, Type, ValueId};
+use mlb_ir::{Attribute, BlockId, Context, Location, OpId, Type, ValueId};
 
 use crate::{rv, rv_cf, rv_func, rv_snitch, snitch_stream};
+
+/// Assembly text under construction, with a parallel record of the
+/// [`Location`] effective when each line was written. The record is what
+/// [`emit_module_with_source_map`] folds into a per-instruction source
+/// map after non-instruction lines (directives, labels) are filtered out.
+struct AsmText {
+    text: String,
+    line_locs: Vec<Location>,
+    cur: Location,
+}
+
+impl AsmText {
+    fn new() -> AsmText {
+        AsmText { text: String::new(), line_locs: Vec::new(), cur: Location::Unknown }
+    }
+
+    /// Sets the provenance attached to subsequently completed lines,
+    /// returning the previous one so callers can restore it.
+    fn set_loc(&mut self, loc: Location) -> Location {
+        std::mem::replace(&mut self.cur, loc)
+    }
+}
+
+impl Write for AsmText {
+    fn write_str(&mut self, s: &str) -> fmt::Result {
+        for b in s.bytes() {
+            if b == b'\n' {
+                self.line_locs.push(self.cur.clone());
+            }
+        }
+        self.text.push_str(s);
+        Ok(())
+    }
+}
 
 /// Error produced during assembly emission.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -44,8 +78,29 @@ fn err(message: impl Into<String>) -> EmitError {
 /// Fails on unallocated registers or operations that have no assembly
 /// form (structured loops, streaming regions).
 pub fn emit_module(ctx: &Context, module: OpId) -> Result<String, EmitError> {
-    let mut out = String::new();
-    out.push_str(".text\n");
+    emit_module_with_source_map(ctx, module).map(|(text, _)| text)
+}
+
+/// Emits a whole module like [`emit_module`] and additionally returns a
+/// per-instruction source map: entry `i` is the [`Location`] effective
+/// at the operation that printed instruction index `i`, where indices
+/// count exactly the lines the `mlb-sim` assembler decodes (directives,
+/// labels, comments and blank lines excluded).
+///
+/// Operations without their own provenance fall back to the nearest
+/// enclosing operation's location ([`Context::effective_loc`]), so when
+/// the module came from `parse_module_with_locations` every instruction
+/// maps to a known location.
+///
+/// # Errors
+///
+/// Fails exactly as [`emit_module`] does.
+pub fn emit_module_with_source_map(
+    ctx: &Context,
+    module: OpId,
+) -> Result<(String, Vec<Location>), EmitError> {
+    let mut out = AsmText::new();
+    let _ = out.write_str(".text\n");
     for &block in ctx.region_blocks(ctx.op(module).regions[0]) {
         for &op in ctx.block_ops(block) {
             if ctx.op(op).name == rv_func::FUNC {
@@ -53,11 +108,29 @@ pub fn emit_module(ctx: &Context, module: OpId) -> Result<String, EmitError> {
             }
         }
     }
-    Ok(out)
+    let map = instruction_locations(&out.text, &out.line_locs);
+    Ok((out.text, map))
+}
+
+/// Filters the per-line location record down to instruction lines,
+/// classifying lines exactly as the `mlb-sim` assembler does so that
+/// source-map indices coincide with decoded instruction indices.
+fn instruction_locations(text: &str, line_locs: &[Location]) -> Vec<Location> {
+    let mut map = Vec::new();
+    for (raw, loc) in text.lines().zip(line_locs) {
+        let line = raw.split('#').next().unwrap_or(raw);
+        let line = line.split("//").next().unwrap_or(line);
+        let line = line.trim();
+        if line.is_empty() || line.ends_with(':') || line.starts_with('.') {
+            continue;
+        }
+        map.push(loc.clone());
+    }
+    map
 }
 
 /// Emits a single `rv_func.func`.
-pub fn emit_function(ctx: &Context, func: OpId, out: &mut String) -> Result<(), EmitError> {
+fn emit_function(ctx: &Context, func: OpId, out: &mut AsmText) -> Result<(), EmitError> {
     let name = rv_func::symbol_name(ctx, func)
         .ok_or_else(|| err("function without a symbol name"))?
         .to_string();
@@ -104,10 +177,11 @@ fn imm_of(ctx: &Context, op: OpId) -> Result<i64, EmitError> {
 fn emit_op(
     ctx: &Context,
     op: OpId,
-    out: &mut String,
+    out: &mut AsmText,
     label: &dyn Fn(BlockId) -> String,
     fallthrough: Option<BlockId>,
 ) -> Result<(), EmitError> {
+    let saved = out.set_loc(ctx.effective_loc(op).clone());
     let o = ctx.op(op);
     let name = o.name.as_str();
     let mn = rv::mnemonic(name);
@@ -324,6 +398,7 @@ fn emit_op(
         }
         other => return Err(err(format!("operation {other} has no assembly form"))),
     }
+    out.cur = saved;
     Ok(())
 }
 

@@ -38,7 +38,7 @@ pub fn register_all(registry: &mut DialectRegistry) {
     snitch_stream::register(registry);
 }
 
-pub use emit::{emit_module, EmitError};
+pub use emit::{emit_module, emit_module_with_source_map, EmitError};
 pub use exec::register_exec;
 
 #[cfg(test)]

@@ -22,6 +22,7 @@ use mlb_isa::TCDM_SIZE;
 
 use crate::counters::{OccupancySummary, PerfCounters};
 use crate::machine::{ExecProgram, Machine, SimError};
+use crate::trace::TraceEntry;
 use crate::Program;
 
 /// Counters of one cluster call: per-core detail plus the merged view.
@@ -36,6 +37,12 @@ pub struct ClusterCounters {
     pub aggregate: PerfCounters,
     /// Number of cluster barriers each core passed during the call.
     pub barriers: usize,
+    /// Barrier-wait intervals in cluster time: `barrier_intervals[h][k]`
+    /// is `(arrival, release)` of core `h` at barrier `k`, where
+    /// `arrival` is the core's shift-adjusted arrival cycle and
+    /// `release - arrival` is the wait it spent stalled. Outer length is
+    /// the core count, inner length is [`ClusterCounters::barriers`].
+    pub barrier_intervals: Vec<Vec<(u64, u64)>>,
 }
 
 impl ClusterCounters {
@@ -43,6 +50,11 @@ impl ClusterCounters {
     /// utilization ratios are work-per-latency across all cores).
     pub fn occupancy(&self) -> OccupancySummary {
         self.aggregate.occupancy()
+    }
+
+    /// Occupancy of each core, in hart order.
+    pub fn per_core_occupancy(&self) -> Vec<OccupancySummary> {
+        self.per_core.iter().map(PerfCounters::occupancy).collect()
     }
 }
 
@@ -93,6 +105,25 @@ impl Cluster {
         for core in &mut self.cores {
             core.set_fast_path(on);
         }
+    }
+
+    /// Enables execution tracing on every core (see
+    /// [`Machine::enable_trace`]; disables the frep fast path so every
+    /// retired instruction is recorded).
+    pub fn enable_trace(&mut self) {
+        for core in &mut self.cores {
+            core.enable_trace();
+        }
+    }
+
+    /// Takes each core's trace of the last call, in hart order.
+    ///
+    /// Timestamps are core-local; to place a core's entries on the
+    /// cluster timeline, shift every entry at or after barrier `k`'s
+    /// local arrival by that barrier's accumulated wait (reconstruct
+    /// the shifts from [`ClusterCounters::barrier_intervals`]).
+    pub fn take_traces(&mut self) -> Vec<Option<Vec<TraceEntry>>> {
+        self.cores.iter_mut().map(Machine::take_trace).collect()
     }
 
     /// Read-only access to core `hart` (architectural state inspection).
@@ -208,6 +239,7 @@ impl Cluster {
         // the latest adjusted arrival; each core's clock shifts forward by
         // its wait and the shift carries into its later barriers.
         let mut adj = vec![0u64; self.cores.len()];
+        let mut barrier_intervals = vec![Vec::with_capacity(barriers); self.cores.len()];
         for k in 0..barriers {
             let release = arrivals
                 .iter()
@@ -215,7 +247,8 @@ impl Cluster {
                 .map(|(a, &shift)| a[k] + shift)
                 .max()
                 .expect("at least one core");
-            for (a, shift) in arrivals.iter().zip(adj.iter_mut()) {
+            for (h, (a, shift)) in arrivals.iter().zip(adj.iter_mut()).enumerate() {
+                barrier_intervals[h].push((a[k] + *shift, release));
                 *shift = release - a[k];
             }
         }
@@ -225,7 +258,7 @@ impl Cluster {
             aggregate.accumulate(c);
         }
         aggregate.cycles = per_core.iter().map(|c| c.cycles).max().expect("at least one core");
-        Ok(ClusterCounters { per_core, aggregate, barriers })
+        Ok(ClusterCounters { per_core, aggregate, barriers, barrier_intervals })
     }
 }
 

@@ -2,6 +2,8 @@
 //! paper (Section 4.1): cycle count, throughput (FLOPs/cycle) and FPU
 //! utilization, plus instruction-mix counters used by the ablation table.
 
+use crate::trace::{StallReason, TraceEntry};
+
 /// Counters collected during one simulation run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PerfCounters {
@@ -170,6 +172,77 @@ impl PerfCounters {
             ssr_read_density: frac(self.ssr_reads, self.cycles),
             ssr_write_density: frac(self.ssr_writes, self.cycles),
         }
+    }
+}
+
+/// Cycles lost to each [`StallReason`], folded from an execution trace.
+///
+/// Computed from a traced run (tracing forces the exact generic
+/// interpreter loop, so the histogram is cycle-accurate) rather than
+/// maintained inside [`PerfCounters`], which the untraced frep fast path
+/// must be able to reproduce bit-for-bit.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StallHistogram {
+    /// Cycles waiting on integer RAW hazards (load-use, `mul` latency).
+    pub raw_int: u64,
+    /// Cycles waiting on FP values still in the FPU pipeline.
+    pub raw_fp: u64,
+    /// Cycles the FPU issue slot was still occupied.
+    pub fpu_busy: u64,
+    /// Redirect penalties of taken branches and jumps.
+    pub branch_redirect: u64,
+    /// Reserved: SSR memory backpressure (never non-zero today).
+    pub ssr_backpressure: u64,
+}
+
+impl StallHistogram {
+    /// Folds a trace into per-reason stall-cycle sums.
+    pub fn from_trace(trace: &[TraceEntry]) -> StallHistogram {
+        let mut h = StallHistogram::default();
+        for e in trace {
+            h.record(e.stall, e.stall_cycles);
+        }
+        h
+    }
+
+    /// Adds `cycles` to the bucket for `reason`.
+    pub fn record(&mut self, reason: StallReason, cycles: u64) {
+        match reason {
+            StallReason::None => {}
+            StallReason::RawInt => self.raw_int += cycles,
+            StallReason::RawFp => self.raw_fp += cycles,
+            StallReason::FpuBusy => self.fpu_busy += cycles,
+            StallReason::BranchRedirect => self.branch_redirect += cycles,
+            StallReason::SsrBackpressure => self.ssr_backpressure += cycles,
+        }
+    }
+
+    /// Adds `other` into `self`, bucket by bucket.
+    pub fn accumulate(&mut self, other: &StallHistogram) {
+        let StallHistogram { raw_int, raw_fp, fpu_busy, branch_redirect, ssr_backpressure } =
+            *other;
+        self.raw_int += raw_int;
+        self.raw_fp += raw_fp;
+        self.fpu_busy += fpu_busy;
+        self.branch_redirect += branch_redirect;
+        self.ssr_backpressure += ssr_backpressure;
+    }
+
+    /// Total stall cycles across all reasons.
+    pub fn total(&self) -> u64 {
+        self.raw_int + self.raw_fp + self.fpu_busy + self.branch_redirect + self.ssr_backpressure
+    }
+
+    /// `(reason name, cycles)` pairs in a stable display order, using
+    /// the same names [`StallReason`] displays with.
+    pub fn named(&self) -> [(&'static str, u64); 5] {
+        [
+            ("raw-int", self.raw_int),
+            ("raw-fp", self.raw_fp),
+            ("fpu-busy", self.fpu_busy),
+            ("branch-redirect", self.branch_redirect),
+            ("ssr-backpressure", self.ssr_backpressure),
+        ]
     }
 }
 

@@ -41,7 +41,7 @@ pub mod trace;
 
 pub use asm::{assemble, AsmError};
 pub use cluster::{Cluster, ClusterCounters};
-pub use counters::{OccupancySummary, PerfCounters};
+pub use counters::{OccupancySummary, PerfCounters, StallHistogram};
 pub use instr::{Instr, Program};
 pub use machine::{ExecProgram, Machine, SimError};
 pub use trace::{StallReason, TraceEntry};

@@ -1,0 +1,21 @@
+// An 8x4x8 double-precision matrix multiplication at the linalg level,
+// in the generic textual format `mlbc` parses: C = A * B with the
+// output zeroed by a `linalg.fill` first (the form most MLIR frontends
+// produce). Used by `mlbc profile examples/matmul.mlir` and the CI
+// profiling smoke runs; the M = 8 parallel dimension shards evenly
+// across 2- and 4-core clusters.
+"builtin.module"() ({
+^bb0:
+  "func.func"() ({
+  ^bb1(%0: memref<8x8xf64>, %1: memref<8x4xf64>, %2: memref<8x4xf64>):
+    %3 = "arith.constant"() {value = 0.0} : () -> (f64)
+    "linalg.fill"(%3, %2) : (f64, memref<8x4xf64>) -> ()
+    "linalg.generic"(%0, %1, %2) ({
+    ^bb2(%4: f64, %5: f64, %6: f64):
+      %7 = "arith.mulf"(%4, %5) : (f64, f64) -> (f64)
+      %8 = "arith.addf"(%7, %6) : (f64, f64) -> (f64)
+      "linalg.yield"(%8) : (f64) -> ()
+    }) {indexing_maps = [affine_map<(d0, d1, d2) -> (d0, d2)>, affine_map<(d0, d1, d2) -> (d2, d1)>, affine_map<(d0, d1, d2) -> (d0, d1)>], iterator_types = iterators<parallel, parallel, reduction>, num_inputs = 2} : (memref<8x8xf64>, memref<8x4xf64>, memref<8x4xf64>) -> ()
+    "func.return"() : () -> ()
+  }) {function_type = (memref<8x8xf64>, memref<8x4xf64>, memref<8x4xf64>) -> (), sym_name = @matmul} : () -> ()
+}) : () -> ()

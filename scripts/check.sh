@@ -26,5 +26,12 @@ run ./target/release/mlbc difftest --seeds 2 --flows ours --cores 2
 # BENCH_compiler_perf.json.
 run ./target/release/mlbc bench-json --check BENCH_compiler_perf.json \
     --out target/BENCH_compiler_perf.json
+# Profiler smoke: the source-attributed profile must emit valid JSON
+# (validated by the in-tree parser via tests, re-checked here on the
+# release binary), and a 2-core run must export a Chrome trace.
+run ./target/release/mlbc profile examples/matmul.mlir --profile-json - > /dev/null
+run ./target/release/mlbc profile examples/matmul.mlir --cores 2 \
+    --chrome-trace target/matmul-trace.json
+test -s target/matmul-trace.json
 
 echo "All checks passed."

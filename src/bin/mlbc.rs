@@ -19,14 +19,22 @@ use std::io::Read;
 use std::process::ExitCode;
 
 use mlb_core::{compile, compile_with_observer, full_registry, Flow, PipelineOptions};
-use mlb_ir::{parse_module, print_op, Context, IrSnapshotMode, PassEvent, PipelineRecorder, Type};
-use mlb_isa::{FpReg, TCDM_BASE};
-use mlb_sim::{assemble, Cluster, ExecProgram, Machine, PerfCounters, StallReason};
+use mlb_ir::{
+    parse_module, parse_module_with_locations, print_op, Context, IrSnapshotMode, PassEvent,
+    PipelineRecorder, Type,
+};
+use mlb_isa::{FpReg, CSR_SSR, TCDM_BASE};
+use mlb_kernels::{LocationProfile, Profile};
+use mlb_sim::{
+    assemble, Cluster, ClusterCounters, ExecProgram, Instr, Machine, OccupancySummary,
+    PerfCounters, StallHistogram, TraceEntry,
+};
 use mlbe::json::Json;
 
 const USAGE: &str = "\
 usage: mlbc <input.mlir | -> [options]
        mlbc run <input.mlir | -> [run options]
+       mlbc profile <input.mlir | -> [profile options]
        mlbc difftest [difftest options]
        mlbc bench-json [bench options]
 
@@ -48,7 +56,10 @@ options:
                       as above, but only after passes that changed the IR
   --trace-json <file> compile, run each kernel on the simulator with
                       synthesized operands, and write pass timings,
-                      counters and occupancy as JSON (`-` for stdout)
+                      counters and occupancy as JSON (`-` for stdout);
+                      with --cores N > 1 the kernels run on the cluster
+                      and the report carries per-core counters,
+                      occupancy, stall histograms and barrier intervals
   --help              this text
 
 run options (compile and execute each kernel on the simulated cluster
@@ -56,6 +67,20 @@ with synthesized operands, reporting per-core and aggregate counters):
   --flow ours|mlir|clang
                       compilation flow (default: ours)
   --cores N           cluster size (default 1)
+
+profile options (compile with source locations attached to every parsed
+op, simulate each kernel with synthesized operands, and attribute every
+simulated cycle — including stalls, by reason — to the source op whose
+lowering produced the instruction):
+  --flow ours|mlir|clang
+                      compilation flow (default: ours)
+  --cores N           cluster size (default 1)
+  --profile-json FILE the per-source-op profile as JSON (`-` prints the
+                      JSON on stdout instead of the table)
+  --chrome-trace FILE per-hart timeline as Chrome trace-event JSON:
+                      compute spans, FREP bodies, SSR streaming regions
+                      and barrier waits (load in a trace viewer;
+                      `-` for stdout)
 
 difftest options (stage-level differential testing: interpret the module
 after every pipeline pass against the host reference, bisecting any
@@ -107,6 +132,9 @@ fn run(args: Vec<String>) -> Result<String, String> {
     }
     if args.first().map(String::as_str) == Some("run") {
         return run_cluster(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("profile") {
+        return run_profile(&args[1..]);
     }
     let mut input: Option<String> = None;
     let mut emit_ir = false;
@@ -181,6 +209,7 @@ fn run(args: Vec<String>) -> Result<String, String> {
     if emit_ir {
         return Ok(print_op(&ctx, module));
     }
+    let cores = opts.cores;
     let flow = match flow_name.as_str() {
         "ours" => Flow::Ours(opts),
         "mlir" => Flow::MlirLike,
@@ -202,7 +231,7 @@ fn run(args: Vec<String>) -> Result<String, String> {
         print_pass_timing(&recorder);
     }
     if let Some(path) = trace_json {
-        let report = trace_report(&flow_name, &recorder, &compiled.assembly, &kernels)?;
+        let report = trace_report(&flow_name, &recorder, &compiled.assembly, &kernels, cores)?;
         let text = report.pretty();
         if path == "-" {
             return Ok(text);
@@ -279,54 +308,7 @@ fn run_kernel_on_cluster(
     kernel: &KernelSig,
     cores: usize,
 ) -> Result<String, String> {
-    let mut cluster = Cluster::new(cores);
-    let mut int_args: Vec<u32> = Vec::new();
-    let mut cursor = TCDM_BASE;
-    let mut scalar_fp = 0u8;
-    for (i, arg) in kernel.args.iter().enumerate() {
-        match arg {
-            Type::MemRef(m) => {
-                let n = m.num_elements() as usize;
-                let data: Vec<f64> =
-                    (0..n).map(|j| (j % 17) as f64 * 0.25 - 2.0 + i as f64).collect();
-                let placed = match m.element.as_ref() {
-                    Type::F64 => cluster.write_f64_slice(cursor, &data),
-                    Type::F32 => {
-                        let data: Vec<f32> = data.iter().map(|&v| v as f32).collect();
-                        cluster.write_f32_slice(cursor, &data)
-                    }
-                    other => {
-                        return Err(format!(
-                            "kernel `{}`: unsupported memref element type {other} for simulation",
-                            kernel.name
-                        ))
-                    }
-                };
-                placed
-                    .map_err(|e| format!("kernel `{}`: placing operand {i}: {e}", kernel.name))?;
-                int_args.push(cursor);
-                cursor += (m.size_in_bytes() as u32).next_multiple_of(8);
-            }
-            Type::F64 => {
-                cluster.broadcast_f_bits(FpReg::fa(scalar_fp), (1.5 + i as f64).to_bits());
-                scalar_fp += 1;
-            }
-            Type::F32 => {
-                let bits = (1.5f32 + i as f32).to_bits() as u64 | 0xFFFF_FFFF_0000_0000;
-                cluster.broadcast_f_bits(FpReg::fa(scalar_fp), bits);
-                scalar_fp += 1;
-            }
-            other => {
-                return Err(format!(
-                    "kernel `{}`: unsupported argument type {other} for simulation",
-                    kernel.name
-                ))
-            }
-        }
-    }
-    let counters = cluster
-        .call(program, &kernel.name, &int_args)
-        .map_err(|e| format!("simulating `{}`: {e}", kernel.name))?;
+    let (counters, _) = simulate_cluster(program, kernel, cores, false)?;
     let agg = &counters.aggregate;
     let mut out = format!(
         "kernel `{}` on {cores} core{}: {} aggregate cycles, {} flops, {} barrier{}\n",
@@ -347,6 +329,315 @@ fn run_kernel_on_cluster(
         ));
     }
     Ok(out)
+}
+
+/// The `mlbc profile` subcommand: parses the input with automatic
+/// source locations, compiles it (every pass and rewrite pattern
+/// propagates provenance down to the emitted instructions), simulates
+/// each kernel with tracing on, and folds the trace into a per-source-op
+/// cycle profile. Optionally writes the profile as JSON and the per-hart
+/// timeline as Chrome trace-event JSON.
+fn run_profile(args: &[String]) -> Result<String, String> {
+    let mut input: Option<String> = None;
+    let mut flow_name = "ours".to_string();
+    let mut cores: usize = 1;
+    let mut profile_json: Option<String> = None;
+    let mut chrome_trace: Option<String> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--help" | "-h" => return Ok(USAGE.to_string()),
+            "--flow" => flow_name = iter.next().ok_or("--flow needs a value")?.clone(),
+            "--cores" => cores = parse_cores(iter.next().ok_or("--cores needs a value")?)?,
+            "--profile-json" => {
+                profile_json = Some(iter.next().ok_or("--profile-json needs a file")?.clone());
+            }
+            "--chrome-trace" => {
+                chrome_trace = Some(iter.next().ok_or("--chrome-trace needs a file")?.clone());
+            }
+            other if input.is_none() && !other.starts_with('-') || other == "-" => {
+                input = Some(other.to_string());
+            }
+            other => return Err(format!("unknown profile option `{other}`\n{USAGE}")),
+        }
+    }
+    if profile_json.as_deref() == Some("-") && chrome_trace.as_deref() == Some("-") {
+        return Err("--profile-json and --chrome-trace cannot both be `-`".into());
+    }
+    let input = input.ok_or_else(|| format!("no input file\n{USAGE}"))?;
+    let (source, file_label) = if input == "-" {
+        let mut text = String::new();
+        std::io::stdin().read_to_string(&mut text).map_err(|e| e.to_string())?;
+        (text, "<stdin>".to_string())
+    } else {
+        (std::fs::read_to_string(&input).map_err(|e| format!("{input}: {e}"))?, input.clone())
+    };
+
+    let mut ctx = Context::new();
+    let module =
+        parse_module_with_locations(&mut ctx, &source, &file_label).map_err(|e| e.to_string())?;
+    let registry = full_registry();
+    registry.verify(&ctx, module).map_err(|e| format!("verification: {e}"))?;
+    let kernels = kernel_signatures(&ctx, module)?;
+
+    let mut opts = PipelineOptions::full();
+    opts.cores = cores;
+    let flow = match flow_name.as_str() {
+        "ours" => Flow::Ours(opts),
+        "mlir" => Flow::MlirLike,
+        "clang" => Flow::ClangLike,
+        other => return Err(format!("unknown flow `{other}`")),
+    };
+    let compiled = compile(&mut ctx, module, flow).map_err(|e| e.to_string())?;
+    let program = assemble(&compiled.assembly).map_err(|e| format!("assembling output: {e}"))?;
+
+    let mut table = String::new();
+    let mut kernel_reports = Vec::new();
+    let mut events: Vec<Json> = Vec::new();
+    for (pid, kernel) in kernels.iter().enumerate() {
+        let profile;
+        if cores <= 1 {
+            let (counters, trace) = simulate_traced(&program, kernel)?;
+            profile = Profile::from_trace(&trace, &compiled.source_map);
+            debug_assert_eq!(profile.total_cycles, counters.cycles);
+            chrome_events(pid, &kernel.name, std::slice::from_ref(&trace), &[], &mut events);
+        } else {
+            let (counters, traces) = simulate_cluster(&program, kernel, cores, true)?;
+            let mut p = Profile::from_traces(&traces, &compiled.source_map);
+            // Charge the reconstructed barrier waits as their own row,
+            // so the profile total equals the sum of the cores'
+            // barrier-adjusted completion times.
+            let waits: u64 = counters.barrier_intervals.iter().flatten().map(|&(a, r)| r - a).sum();
+            if waits > 0 {
+                let row = LocationProfile { cycles: waits, ..LocationProfile::default() };
+                p.rows.push(("<barrier-wait>".to_string(), row));
+                p.rows.sort_by(|a, b| b.1.cycles.cmp(&a.1.cycles).then_with(|| a.0.cmp(&b.0)));
+                p.total_cycles += waits;
+            }
+            profile = p;
+            chrome_events(pid, &kernel.name, &traces, &counters.barrier_intervals, &mut events);
+        }
+        table.push_str(&format_profile(&kernel.name, &profile, cores));
+        kernel_reports.push(profile_kernel_json(&kernel.name, &profile, cores));
+    }
+
+    if let Some(path) = profile_json {
+        let report = Json::obj(vec![
+            ("version", Json::from(1u64)),
+            ("file", Json::from(file_label.as_str())),
+            ("flow", Json::from(flow_name.as_str())),
+            ("cores", Json::from(cores)),
+            ("kernels", Json::Arr(kernel_reports)),
+        ]);
+        let text = report.pretty() + "\n";
+        if path == "-" {
+            return Ok(text);
+        }
+        std::fs::write(&path, text).map_err(|e| format!("{path}: {e}"))?;
+    }
+    if let Some(path) = chrome_trace {
+        let trace = Json::obj(vec![
+            ("traceEvents", Json::Arr(events)),
+            ("displayTimeUnit", Json::from("ms")),
+        ]);
+        let text = trace.pretty() + "\n";
+        if path == "-" {
+            return Ok(text);
+        }
+        std::fs::write(&path, text).map_err(|e| format!("{path}: {e}"))?;
+    }
+    Ok(table)
+}
+
+/// Formats one kernel's profile as the human-readable table.
+fn format_profile(kernel: &str, profile: &Profile, cores: usize) -> String {
+    let total = profile.total_cycles.max(1);
+    let attributed =
+        100.0 * (profile.total_cycles - profile.unattributed_cycles) as f64 / total as f64;
+    let mut out = format!(
+        "kernel `{kernel}` on {cores} core{}: {} cycles, {attributed:.1}% source-attributed\n",
+        if cores == 1 { "" } else { "s" },
+        profile.total_cycles,
+    );
+    out.push_str(&format!(
+        "  {:<28} {:>9} {:>7} {:>8} {:>8} {:>6}  stall cycles\n",
+        "source op", "cycles", "%", "instrs", "flops", "fpu%",
+    ));
+    for (label, row) in &profile.rows {
+        let stalls: Vec<String> = row
+            .stalls
+            .named()
+            .iter()
+            .filter(|&&(_, c)| c > 0)
+            .map(|&(name, c)| format!("{name} {c}"))
+            .collect();
+        out.push_str(&format!(
+            "  {:<28} {:>9} {:>6.1}% {:>8} {:>8} {:>6.1}  {}\n",
+            label,
+            row.cycles,
+            100.0 * row.cycles as f64 / total as f64,
+            row.instructions,
+            row.flops,
+            100.0 * row.fpu_utilization(),
+            if stalls.is_empty() { "-".to_string() } else { stalls.join(", ") },
+        ));
+        let mut classes: Vec<_> = row.classes.iter().collect();
+        classes.sort_by(|a, b| b.1.cycles.cmp(&a.1.cycles).then_with(|| a.0.cmp(b.0)));
+        let line: Vec<String> = classes
+            .iter()
+            .map(|(name, c)| format!("{name} {}cy/{}x", c.cycles, c.instructions))
+            .collect();
+        if !line.is_empty() {
+            out.push_str(&format!("  {:<28} {}\n", "", line.join("  ")));
+        }
+    }
+    out.push('\n');
+    out
+}
+
+/// One kernel's profile as JSON, mirroring the table.
+fn profile_kernel_json(kernel: &str, profile: &Profile, cores: usize) -> Json {
+    Json::obj(vec![
+        ("name", Json::from(kernel)),
+        ("cores", Json::from(cores)),
+        ("total_cycles", Json::from(profile.total_cycles)),
+        ("unattributed_cycles", Json::from(profile.unattributed_cycles)),
+        ("stall_cycles", stall_json(&profile.stalls())),
+        (
+            "rows",
+            Json::Arr(
+                profile
+                    .rows
+                    .iter()
+                    .map(|(label, row)| {
+                        Json::obj(vec![
+                            ("location", Json::from(label.as_str())),
+                            ("cycles", Json::from(row.cycles)),
+                            ("instructions", Json::from(row.instructions)),
+                            ("flops", Json::from(row.flops)),
+                            ("fpu_instructions", Json::from(row.fpu_instructions)),
+                            ("fpu_utilization", Json::from(row.fpu_utilization())),
+                            ("stall_cycles", stall_json(&row.stalls)),
+                            (
+                                "classes",
+                                Json::Obj(
+                                    row.classes
+                                        .iter()
+                                        .map(|(name, c)| {
+                                            (
+                                                name.clone(),
+                                                Json::obj(vec![
+                                                    ("instructions", Json::from(c.instructions)),
+                                                    ("cycles", Json::from(c.cycles)),
+                                                ]),
+                                            )
+                                        })
+                                        .collect(),
+                                ),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Appends Chrome trace-event spans for one kernel run: per hart, the
+/// compute and FREP-body intervals of the execution trace, the SSR
+/// streaming regions (between the `csrrsi`/`csrrci` pair on the SSR
+/// CSR), and the reconstructed barrier waits. Timestamps are cluster
+/// cycles; core-local trace times are shifted onto the cluster timeline
+/// using the cumulative barrier waits.
+fn chrome_events(
+    pid: usize,
+    kernel: &str,
+    traces: &[Vec<TraceEntry>],
+    intervals: &[Vec<(u64, u64)>],
+    events: &mut Vec<Json>,
+) {
+    let span = |name: &str, tid: usize, start: u64, end: u64, barrier: Option<usize>| {
+        let mut pairs = vec![
+            ("name", Json::from(name)),
+            ("cat", Json::from("sim")),
+            ("ph", Json::from("X")),
+            ("ts", Json::from(start)),
+            ("dur", Json::from(end.saturating_sub(start).max(1))),
+            ("pid", Json::from(pid)),
+            ("tid", Json::from(tid)),
+        ];
+        if let Some(k) = barrier {
+            pairs.push(("args", Json::obj(vec![("barrier", Json::from(k))])));
+        }
+        Json::obj(pairs)
+    };
+    events.push(Json::obj(vec![
+        ("name", Json::from("process_name")),
+        ("ph", Json::from("M")),
+        ("pid", Json::from(pid)),
+        ("args", Json::obj(vec![("name", Json::from(kernel))])),
+    ]));
+    for (hart, trace) in traces.iter().enumerate() {
+        let ivs = intervals.get(hart).map(Vec::as_slice).unwrap_or(&[]);
+        // Per barrier: its arrival in core-local time and the cumulative
+        // shift entries after it carry (the waits accumulated so far).
+        let mut boundaries = Vec::with_capacity(ivs.len());
+        let mut shift = 0u64;
+        for &(arrival, release) in ivs {
+            let local_arrival = arrival - shift;
+            shift += release - arrival;
+            boundaries.push((local_arrival, shift));
+        }
+        let mut next_barrier = 0usize;
+        let mut cur_shift = 0u64;
+        let mut run: Option<(bool, u64, u64)> = None;
+        let mut ssr_open: Option<u64> = None;
+        let mut last_complete = 0u64;
+        for e in trace {
+            while next_barrier < boundaries.len() && e.issue > boundaries[next_barrier].0 {
+                cur_shift = boundaries[next_barrier].1;
+                next_barrier += 1;
+            }
+            let start = e.issue + cur_shift;
+            let end = e.complete + cur_shift;
+            last_complete = last_complete.max(end);
+            match &mut run {
+                Some((in_frep, _, run_end)) if *in_frep == e.in_frep && start <= *run_end + 1 => {
+                    *run_end = (*run_end).max(end);
+                }
+                _ => {
+                    if let Some((in_frep, s, t)) = run.take() {
+                        events.push(span(
+                            if in_frep { "frep body" } else { "compute" },
+                            hart,
+                            s,
+                            t,
+                            None,
+                        ));
+                    }
+                    run = Some((e.in_frep, start, end));
+                }
+            }
+            match e.instr {
+                Instr::Csrrsi { csr, .. } if csr == CSR_SSR => ssr_open = Some(end),
+                Instr::Csrrci { csr, .. } if csr == CSR_SSR => {
+                    if let Some(s) = ssr_open.take() {
+                        events.push(span("ssr stream", hart, s, start.max(s), None));
+                    }
+                }
+                _ => {}
+            }
+        }
+        if let Some((in_frep, s, t)) = run.take() {
+            events.push(span(if in_frep { "frep body" } else { "compute" }, hart, s, t, None));
+        }
+        if let Some(s) = ssr_open.take() {
+            events.push(span("ssr stream", hart, s, last_complete.max(s), None));
+        }
+        for (k, &(arrival, release)) in ivs.iter().enumerate() {
+            events.push(span("barrier wait", hart, arrival, release, Some(k)));
+        }
+    }
 }
 
 /// The `mlbc difftest` subcommand: sweeps the Table 1 kernel suite
@@ -535,6 +826,19 @@ fn run_bench_json(args: &[String]) -> Result<String, String> {
     }
     let wall_speedup = generic_nanos as f64 / fast_nanos.max(1) as f64;
 
+    // Stall histogram from one traced run (tracing uses the exact
+    // generic loop, so the per-reason stall cycles are cycle-accurate;
+    // the fast/generic counter-equality check above stays untouched).
+    let stalls = {
+        let mut machine = Machine::new();
+        machine.enable_trace();
+        machine.write_f64_slice(TCDM_BASE, &[1.0; 256]).map_err(|e| e.to_string())?;
+        machine
+            .call_predecoded(&exec, "matmul", &sim_args)
+            .map_err(|e| format!("simulating matmul: {e}"))?;
+        StallHistogram::from_trace(&machine.take_trace().unwrap_or_default())
+    };
+
     // Cluster scenario: a matmul whose row dimension shards evenly,
     // compiled with `distribute-to-cores` and run on the multi-core
     // cluster; the harness verifies the output bit-for-bit against the
@@ -591,6 +895,7 @@ fn run_bench_json(args: &[String]) -> Result<String, String> {
                 ("fast", sim_json(&fast_counters, fast_nanos)),
                 ("generic", sim_json(&generic_counters, generic_nanos)),
                 ("wall_speedup", Json::from(wall_speedup)),
+                ("stall_cycles", stall_json(&stalls)),
             ]),
         ),
         (
@@ -765,27 +1070,43 @@ fn trace_report(
     recorder: &PipelineRecorder,
     assembly: &str,
     kernels: &[KernelSig],
+    cores: usize,
 ) -> Result<Json, String> {
     let program = assemble(assembly).map_err(|e| format!("assembling output: {e}"))?;
     let mut kernel_reports = Vec::new();
     for kernel in kernels {
-        kernel_reports.push(run_kernel(&program, kernel)?);
+        kernel_reports.push(if cores <= 1 {
+            run_kernel(&program, kernel)?
+        } else {
+            cluster_kernel_json(&program, kernel, cores)?
+        });
     }
     Ok(Json::obj(vec![
         ("version", Json::from(1u64)),
         ("flow", Json::from(flow)),
+        ("cores", Json::from(cores)),
         ("total_pass_nanos", Json::from(recorder.total_nanos())),
         ("passes", Json::Arr(recorder.events.iter().map(pass_event_json).collect())),
         ("kernels", Json::Arr(kernel_reports)),
     ]))
 }
 
-/// Runs one kernel with synthesized operands and reports its counters,
-/// occupancy and stall breakdown.
-fn run_kernel(program: &mlb_sim::Program, kernel: &KernelSig) -> Result<Json, String> {
-    let mut machine = Machine::new();
-    machine.enable_trace();
-    let mut int_args: Vec<u32> = Vec::new();
+/// Synthesized operand data for one kernel call: deterministic buffer
+/// contents per memref argument, the integer (address) arguments, and
+/// NaN-boxed scalar FP argument register values.
+enum BufData {
+    F64(Vec<f64>),
+    F32(Vec<f32>),
+}
+
+struct SynthOperands {
+    buffers: Vec<(u32, BufData)>,
+    int_args: Vec<u32>,
+    fp_args: Vec<(FpReg, u64)>,
+}
+
+fn synthesize_operands(kernel: &KernelSig) -> Result<SynthOperands, String> {
+    let mut ops = SynthOperands { buffers: Vec::new(), int_args: Vec::new(), fp_args: Vec::new() };
     let mut cursor = TCDM_BASE;
     let mut scalar_fp = 0u8;
     for (i, arg) in kernel.args.iter().enumerate() {
@@ -795,12 +1116,9 @@ fn run_kernel(program: &mlb_sim::Program, kernel: &KernelSig) -> Result<Json, St
                 // Deterministic, mildly varied operand data.
                 let data: Vec<f64> =
                     (0..n).map(|j| (j % 17) as f64 * 0.25 - 2.0 + i as f64).collect();
-                let placed = match m.element.as_ref() {
-                    Type::F64 => machine.write_f64_slice(cursor, &data),
-                    Type::F32 => {
-                        let data: Vec<f32> = data.iter().map(|&v| v as f32).collect();
-                        machine.write_f32_slice(cursor, &data)
-                    }
+                let data = match m.element.as_ref() {
+                    Type::F64 => BufData::F64(data),
+                    Type::F32 => BufData::F32(data.iter().map(|&v| v as f32).collect()),
                     other => {
                         return Err(format!(
                             "kernel `{}`: unsupported memref element type {other} for simulation",
@@ -808,18 +1126,17 @@ fn run_kernel(program: &mlb_sim::Program, kernel: &KernelSig) -> Result<Json, St
                         ))
                     }
                 };
-                placed
-                    .map_err(|e| format!("kernel `{}`: placing operand {i}: {e}", kernel.name))?;
-                int_args.push(cursor);
+                ops.buffers.push((cursor, data));
+                ops.int_args.push(cursor);
                 cursor += (m.size_in_bytes() as u32).next_multiple_of(8);
             }
             Type::F64 => {
-                machine.set_f_bits(FpReg::fa(scalar_fp), (1.5 + i as f64).to_bits());
+                ops.fp_args.push((FpReg::fa(scalar_fp), (1.5 + i as f64).to_bits()));
                 scalar_fp += 1;
             }
             Type::F32 => {
                 let bits = (1.5f32 + i as f32).to_bits() as u64 | 0xFFFF_FFFF_0000_0000;
-                machine.set_f_bits(FpReg::fa(scalar_fp), bits);
+                ops.fp_args.push((FpReg::fa(scalar_fp), bits));
                 scalar_fp += 1;
             }
             other => {
@@ -830,24 +1147,88 @@ fn run_kernel(program: &mlb_sim::Program, kernel: &KernelSig) -> Result<Json, St
             }
         }
     }
-    let counters = machine
-        .call(program, &kernel.name, &int_args)
-        .map_err(|e| format!("simulating `{}`: {e}", kernel.name))?;
-    let trace = machine.take_trace().unwrap_or_default();
-    let mut stall_kinds = [
-        (StallReason::RawInt, 0u64),
-        (StallReason::RawFp, 0),
-        (StallReason::FpuBusy, 0),
-        (StallReason::BranchRedirect, 0),
-        (StallReason::SsrBackpressure, 0),
-    ];
-    for entry in &trace {
-        for (kind, count) in &mut stall_kinds {
-            if entry.stall == *kind {
-                *count += entry.stall_cycles;
-            }
+    Ok(ops)
+}
+
+/// Runs one kernel on a single traced machine with synthesized
+/// operands, returning its counters and execution trace.
+fn simulate_traced(
+    program: &mlb_sim::Program,
+    kernel: &KernelSig,
+) -> Result<(PerfCounters, Vec<TraceEntry>), String> {
+    let mut machine = Machine::new();
+    machine.enable_trace();
+    let ops = synthesize_operands(kernel)?;
+    for (i, (addr, data)) in ops.buffers.iter().enumerate() {
+        match data {
+            BufData::F64(v) => machine.write_f64_slice(*addr, v),
+            BufData::F32(v) => machine.write_f32_slice(*addr, v),
         }
+        .map_err(|e| format!("kernel `{}`: placing operand {i}: {e}", kernel.name))?;
     }
+    for &(r, bits) in &ops.fp_args {
+        machine.set_f_bits(r, bits);
+    }
+    let counters = machine
+        .call(program, &kernel.name, &ops.int_args)
+        .map_err(|e| format!("simulating `{}`: {e}", kernel.name))?;
+    Ok((counters, machine.take_trace().unwrap_or_default()))
+}
+
+/// Runs one kernel on a `cores`-wide cluster with synthesized operands,
+/// optionally tracing every core.
+fn simulate_cluster(
+    program: &mlb_sim::Program,
+    kernel: &KernelSig,
+    cores: usize,
+    traced: bool,
+) -> Result<(ClusterCounters, Vec<Vec<TraceEntry>>), String> {
+    let mut cluster = Cluster::new(cores);
+    if traced {
+        cluster.enable_trace();
+    }
+    let ops = synthesize_operands(kernel)?;
+    for (i, (addr, data)) in ops.buffers.iter().enumerate() {
+        match data {
+            BufData::F64(v) => cluster.write_f64_slice(*addr, v),
+            BufData::F32(v) => cluster.write_f32_slice(*addr, v),
+        }
+        .map_err(|e| format!("kernel `{}`: placing operand {i}: {e}", kernel.name))?;
+    }
+    for &(r, bits) in &ops.fp_args {
+        cluster.broadcast_f_bits(r, bits);
+    }
+    let counters = cluster
+        .call(program, &kernel.name, &ops.int_args)
+        .map_err(|e| format!("simulating `{}`: {e}", kernel.name))?;
+    let traces = if traced {
+        cluster.take_traces().into_iter().map(Option::unwrap_or_default).collect()
+    } else {
+        Vec::new()
+    };
+    Ok((counters, traces))
+}
+
+fn stall_json(h: &StallHistogram) -> Json {
+    Json::Obj(
+        h.named().iter().map(|&(name, cycles)| (name.to_string(), Json::from(cycles))).collect(),
+    )
+}
+
+fn occupancy_json(occ: &OccupancySummary) -> Json {
+    Json::obj(vec![
+        ("fpu_utilization", Json::from(occ.fpu_utilization)),
+        ("flops_per_cycle", Json::from(occ.flops_per_cycle)),
+        ("frep_coverage", Json::from(occ.frep_coverage)),
+        ("ssr_read_density", Json::from(occ.ssr_read_density)),
+        ("ssr_write_density", Json::from(occ.ssr_write_density)),
+    ])
+}
+
+/// Runs one kernel with synthesized operands and reports its counters,
+/// occupancy and stall breakdown.
+fn run_kernel(program: &mlb_sim::Program, kernel: &KernelSig) -> Result<Json, String> {
+    let (counters, trace) = simulate_traced(program, kernel)?;
     let occ = counters.occupancy();
     Ok(Json::obj(vec![
         ("name", Json::from(kernel.name.as_str())),
@@ -872,23 +1253,73 @@ fn run_kernel(program: &mlb_sim::Program, kernel: &KernelSig) -> Result<Json, St
                 ("frep_fpu_instrs", Json::from(counters.frep_fpu_instrs)),
             ]),
         ),
-        (
-            "occupancy",
+        ("occupancy", occupancy_json(&occ)),
+        ("trace_length", Json::from(trace.len())),
+        ("stall_cycles", stall_json(&StallHistogram::from_trace(&trace))),
+    ]))
+}
+
+/// Runs one kernel on a traced cluster and reports the aggregate view
+/// plus per-core counters, occupancy, stall histograms and the
+/// reconstructed barrier-wait intervals.
+fn cluster_kernel_json(
+    program: &mlb_sim::Program,
+    kernel: &KernelSig,
+    cores: usize,
+) -> Result<Json, String> {
+    let (counters, traces) = simulate_cluster(program, kernel, cores, true)?;
+    let per_core_occ = counters.per_core_occupancy();
+    let per_core: Vec<Json> = counters
+        .per_core
+        .iter()
+        .zip(&per_core_occ)
+        .zip(&traces)
+        .map(|((c, occ), trace)| {
             Json::obj(vec![
-                ("fpu_utilization", Json::from(occ.fpu_utilization)),
-                ("flops_per_cycle", Json::from(occ.flops_per_cycle)),
-                ("frep_coverage", Json::from(occ.frep_coverage)),
-                ("ssr_read_density", Json::from(occ.ssr_read_density)),
-                ("ssr_write_density", Json::from(occ.ssr_write_density)),
+                ("cycles", Json::from(c.cycles)),
+                ("instructions", Json::from(c.instructions)),
+                ("flops", Json::from(c.flops)),
+                ("fpu_busy_cycles", Json::from(c.fpu_busy_cycles)),
+                ("occupancy", occupancy_json(occ)),
+                ("trace_length", Json::from(trace.len())),
+                ("stall_cycles", stall_json(&StallHistogram::from_trace(trace))),
+            ])
+        })
+        .collect();
+    let agg = &counters.aggregate;
+    Ok(Json::obj(vec![
+        ("name", Json::from(kernel.name.as_str())),
+        ("cores", Json::from(cores)),
+        ("barriers", Json::from(counters.barriers)),
+        (
+            "counters",
+            Json::obj(vec![
+                ("cycles", Json::from(agg.cycles)),
+                ("instructions", Json::from(agg.instructions)),
+                ("flops", Json::from(agg.flops)),
+                ("fpu_busy_cycles", Json::from(agg.fpu_busy_cycles)),
+                ("fpu_instrs", Json::from(agg.fpu_instrs)),
+                ("ssr_reads", Json::from(agg.ssr_reads)),
+                ("ssr_writes", Json::from(agg.ssr_writes)),
             ]),
         ),
-        ("trace_length", Json::from(trace.len())),
+        ("occupancy", occupancy_json(&counters.occupancy())),
+        ("per_core", Json::Arr(per_core)),
         (
-            "stall_cycles",
-            Json::Obj(
-                stall_kinds
+            "barrier_intervals",
+            Json::Arr(
+                counters
+                    .barrier_intervals
                     .iter()
-                    .map(|(kind, count)| (kind.to_string(), Json::from(*count)))
+                    .map(|ivs| {
+                        Json::Arr(
+                            ivs.iter()
+                                .map(|&(arrival, release)| {
+                                    Json::Arr(vec![Json::from(arrival), Json::from(release)])
+                                })
+                                .collect(),
+                        )
+                    })
                     .collect(),
             ),
         ),

@@ -1,0 +1,166 @@
+//! End-to-end guarantees of the source-attributed profiler: every
+//! retired instruction of a fully lowered kernel maps back to a source
+//! location, and the per-location cycle attribution is exact (sums to
+//! the cycle counter with nothing left over). Also exercises the real
+//! `mlbc profile` binary and validates its JSON outputs with the same
+//! hand-rolled JSON module CI uses.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use mlb_core::pipeline::{compile, Flow};
+use mlb_ir::{parse_module_with_locations, Context, DialectRegistry};
+use mlb_kernels::Profile;
+use mlb_sim::{assemble, Machine, TraceEntry};
+use mlbe::json::Json;
+
+const MATMUL_PATH: &str = "examples/matmul.mlir";
+const MATMUL_MLIR: &str = include_str!("../examples/matmul.mlir");
+
+fn full_registry() -> DialectRegistry {
+    let mut r = DialectRegistry::new();
+    mlb_dialects::register_all(&mut r);
+    mlb_riscv::register_all(&mut r);
+    r
+}
+
+/// Parses the example with locations, compiles it with the multi-level
+/// flow, and runs it traced on a single machine.
+fn compile_and_trace() -> (Vec<mlb_ir::Location>, mlb_sim::PerfCounters, Vec<TraceEntry>) {
+    let mut ctx = Context::new();
+    let module = parse_module_with_locations(&mut ctx, MATMUL_MLIR, MATMUL_PATH).unwrap();
+    full_registry().verify(&ctx, module).unwrap();
+    let compiled = compile(&mut ctx, module, Flow::Ours(Default::default())).unwrap();
+    let program = assemble(&compiled.assembly).unwrap();
+
+    // Operands: A (8x8), B (8x4), C (8x4), f64, packed from TCDM_BASE.
+    let mut machine = Machine::new();
+    machine.enable_trace();
+    let a_base = mlb_isa::TCDM_BASE;
+    let b_base = a_base + 8 * 8 * 8;
+    let c_base = b_base + 8 * 4 * 8;
+    let fill = |n: usize| (0..n).map(|j| (j % 17) as f64 * 0.25 - 2.0).collect::<Vec<f64>>();
+    machine.write_f64_slice(a_base, &fill(64)).unwrap();
+    machine.write_f64_slice(b_base, &fill(32)).unwrap();
+    machine.write_f64_slice(c_base, &fill(32)).unwrap();
+    let counters = machine.call(&program, "matmul", &[a_base, b_base, c_base]).unwrap();
+    (compiled.source_map, counters, machine.take_trace().unwrap_or_default())
+}
+
+#[test]
+fn every_retired_instruction_maps_to_a_source_location() {
+    let (source_map, _counters, trace) = compile_and_trace();
+    assert!(!trace.is_empty());
+    for entry in &trace {
+        let loc = source_map
+            .get(entry.pc)
+            .unwrap_or_else(|| panic!("pc {} outside the source map", entry.pc));
+        assert!(
+            loc.is_known(),
+            "instruction `{}` at pc {} has no source location",
+            entry.instr,
+            entry.pc
+        );
+        let label = loc.source_label().expect("known locations resolve to a file:line");
+        assert!(label.starts_with(MATMUL_PATH), "unexpected label {label}");
+    }
+}
+
+#[test]
+fn per_location_cycle_sums_equal_the_cycle_counter() {
+    let (source_map, counters, trace) = compile_and_trace();
+    let profile = Profile::from_trace(&trace, &source_map);
+    assert_eq!(profile.total_cycles, counters.cycles, "attribution must be exact");
+    assert_eq!(profile.unattributed_cycles, 0, "no cycles may land on <unknown>");
+    let row_sum: u64 = profile.rows.iter().map(|(_, row)| row.cycles).sum();
+    assert_eq!(row_sum, profile.total_cycles);
+    let instr_sum: u64 = profile.rows.iter().map(|(_, row)| row.instructions).sum();
+    assert_eq!(instr_sum, counters.instructions);
+    // The FLOP-carrying row exists and is the matmul body line.
+    let hot = &profile.rows[0];
+    assert!(hot.1.flops > 0, "hottest row must carry the FLOPs");
+    assert!(hot.0.starts_with(MATMUL_PATH));
+}
+
+/// A scratch directory unique to this test binary run.
+fn scratch(label: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mlbc-prof-{}-{label}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn mlbc() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_mlbc"))
+}
+
+fn run_ok(cmd: &mut Command) -> String {
+    let out = cmd.output().unwrap();
+    assert!(
+        out.status.success(),
+        "mlbc failed: {}\n{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).unwrap()
+}
+
+#[test]
+fn profile_json_is_valid_and_fully_attributed() {
+    let stdout = run_ok(mlbc().current_dir(env!("CARGO_MANIFEST_DIR")).args([
+        "profile",
+        MATMUL_PATH,
+        "--profile-json",
+        "-",
+    ]));
+    let report = Json::parse(&stdout).expect("profile JSON must parse");
+    let kernels = report.get("kernels").and_then(Json::as_array).unwrap();
+    assert_eq!(kernels.len(), 1);
+    let k = &kernels[0];
+    assert_eq!(k.get("name").and_then(Json::as_str), Some("matmul"));
+    let total = k.get("total_cycles").and_then(Json::as_u64).unwrap();
+    assert!(total > 0);
+    assert_eq!(k.get("unattributed_cycles").and_then(Json::as_u64), Some(0));
+    let rows = k.get("rows").and_then(Json::as_array).unwrap();
+    assert!(!rows.is_empty());
+    let row_sum: u64 = rows.iter().map(|r| r.get("cycles").and_then(Json::as_u64).unwrap()).sum();
+    assert_eq!(row_sum, total);
+    for row in rows {
+        let label = row.get("location").and_then(Json::as_str).unwrap();
+        assert!(label.starts_with(MATMUL_PATH), "unattributed row {label}");
+    }
+}
+
+#[test]
+fn cluster_chrome_trace_has_per_hart_spans_and_barrier_waits() {
+    let dir = scratch("chrome");
+    let trace_path = dir.join("trace.json");
+    run_ok(mlbc().current_dir(env!("CARGO_MANIFEST_DIR")).args([
+        "profile",
+        MATMUL_PATH,
+        "--cores",
+        "4",
+        "--chrome-trace",
+        trace_path.to_str().unwrap(),
+    ]));
+    let text = std::fs::read_to_string(&trace_path).unwrap();
+    let doc = Json::parse(&text).expect("chrome trace JSON must parse");
+    let events = doc.get("traceEvents").and_then(Json::as_array).unwrap();
+    assert!(!events.is_empty());
+    let spans: Vec<&Json> =
+        events.iter().filter(|e| e.get("ph").and_then(Json::as_str) == Some("X")).collect();
+    // Every hart of the 4-core cluster contributes spans.
+    let tids: std::collections::BTreeSet<u64> =
+        spans.iter().filter_map(|e| e.get("tid").and_then(Json::as_u64)).collect();
+    assert_eq!(tids, (0..4).collect());
+    // Barrier-wait intervals are exported per hart.
+    let barrier_waits = spans
+        .iter()
+        .filter(|e| e.get("name").and_then(Json::as_str) == Some("barrier wait"))
+        .count();
+    assert_eq!(barrier_waits, 4, "one barrier-wait span per hart");
+    for span in &spans {
+        assert!(span.get("dur").and_then(Json::as_u64).unwrap() >= 1);
+        let _ts = span.get("ts").and_then(Json::as_u64).expect("spans carry a timestamp");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
