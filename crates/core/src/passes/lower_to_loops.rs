@@ -224,6 +224,7 @@ fn lower_generic(ctx: &mut Context, op: OpId, streams: bool) -> Result<(), Strin
         zero,
         one,
         any_streamed,
+        pending: Vec::new(),
     };
 
     let result = build_outer(ctx, &cursor, parent, &mut nest, &mut dim_values, 0);
@@ -376,6 +377,11 @@ mod nest_ctx {
         pub zero: ValueId,
         pub one: ValueId,
         pub any_streamed: bool,
+        /// Accumulator hand-off between `emit_point` and
+        /// `build_red_level`: the next iteration-argument values the
+        /// innermost point produced. Carried in the nest context (not
+        /// ambient state) so concurrent lowerings never interleave.
+        pub pending: Vec<ValueId>,
     }
 }
 
@@ -667,17 +673,14 @@ fn build_red_level(
     Ok(ctx.op(for_op.0).results.clone())
 }
 
-// Accumulator hand-off between emit_point and build_red_level.
-thread_local! {
-    static PENDING: std::cell::RefCell<Vec<ValueId>> = const { std::cell::RefCell::new(Vec::new()) };
+// Accumulator hand-off between emit_point and build_red_level, carried
+// in the nest context so the lowering is re-entrant.
+fn take_pending(nest: &mut NestCtxAlias<'_>) -> Vec<ValueId> {
+    std::mem::take(&mut nest.pending)
 }
 
-fn take_pending(_nest: &NestCtxAlias<'_>) -> Vec<ValueId> {
-    PENDING.with(|p| std::mem::take(&mut *p.borrow_mut()))
-}
-
-fn set_pending(values: Vec<ValueId>) {
-    PENDING.with(|p| *p.borrow_mut() = values);
+fn set_pending(nest: &mut NestCtxAlias<'_>, values: Vec<ValueId>) {
+    nest.pending = values;
 }
 
 /// Emits one iteration point: input reads/loads, the inlined body, and
@@ -740,7 +743,7 @@ fn emit_point(
         ctx.op(yield_op).operands.iter().map(|v| *mapping.get(v).unwrap_or(v)).collect();
 
     if iter_args.is_some() {
-        set_pending(yielded);
+        set_pending(nest, yielded);
         return Ok(());
     }
 

@@ -303,6 +303,11 @@ pub struct Context {
     /// Ambient source location inherited by ops created without one
     /// (see [`Context::set_builder_loc`]).
     builder_loc: Location,
+    /// Which greedy rewrite driver this context's compilations use (see
+    /// [`crate::rewrite::DriverMode`]). Deliberately a per-context field
+    /// rather than thread or process state: contexts are per-request, so
+    /// concurrent compilations with different drivers stay isolated.
+    driver_mode: crate::rewrite::DriverMode,
     pub(crate) rewrite_stats: RewriteStats,
 }
 
@@ -310,6 +315,18 @@ impl Context {
     /// Creates an empty context.
     pub fn new() -> Context {
         Context::default()
+    }
+
+    /// The rewrite driver [`crate::rewrite::apply_patterns_greedily`]
+    /// runs for IR owned by this context.
+    pub fn driver_mode(&self) -> crate::rewrite::DriverMode {
+        self.driver_mode
+    }
+
+    /// Selects the rewrite driver for this context (default:
+    /// [`crate::rewrite::DriverMode::Worklist`]).
+    pub fn set_driver_mode(&mut self, mode: crate::rewrite::DriverMode) {
+        self.driver_mode = mode;
     }
 
     /// The cumulative rewrite-driver counters (see [`RewriteStats`]).

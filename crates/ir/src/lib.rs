@@ -66,7 +66,6 @@ pub use pass::{Pass, PassError, PassManager};
 pub use printer::print_op;
 pub use registry::{DialectRegistry, OpInfo, VerifyError};
 pub use rewrite::{
-    apply_patterns_greedily, driver_mode, eliminate_dead_code, set_driver_mode, with_driver_mode,
-    ConvergenceError, DriverMode, RewritePattern,
+    apply_patterns_greedily, eliminate_dead_code, ConvergenceError, DriverMode, RewritePattern,
 };
 pub use types::{FunctionType, MemRefType, Type};

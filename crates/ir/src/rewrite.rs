@@ -16,7 +16,6 @@
 //! as a reference semantics for differential testing and as the baseline
 //! for `mlbc bench-json`.
 
-use std::cell::Cell;
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::fmt;
 
@@ -51,41 +50,24 @@ pub trait RewritePattern {
 const MAX_ITERATIONS: usize = 1000;
 
 /// Which fixpoint driver [`apply_patterns_greedily`] runs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// Driver selection is an explicit per-[`Context`] property (see
+/// [`Context::set_driver_mode`]), not ambient thread or process state:
+/// two threads compiling concurrently with different drivers cannot
+/// bleed into each other, which is what makes the pass pipeline
+/// re-entrant enough for the compile service to schedule requests over
+/// a worker pool.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DriverMode {
     /// The worklist driver (default): journal-directed re-enqueueing,
     /// anchor-indexed patterns, incremental DCE.
+    #[default]
     Worklist,
     /// The original driver: re-walk the whole module after every
     /// changed sweep, try every pattern on every op, and run a
     /// full-region DCE sweep per iteration. Kept as the reference
     /// semantics for equivalence tests and perf baselines.
     LegacyRewalk,
-}
-
-thread_local! {
-    static DRIVER_MODE: Cell<DriverMode> = const { Cell::new(DriverMode::Worklist) };
-}
-
-/// The driver mode used by [`apply_patterns_greedily`] on this thread.
-pub fn driver_mode() -> DriverMode {
-    DRIVER_MODE.with(Cell::get)
-}
-
-/// Sets the driver mode for this thread (tests run in parallel, so the
-/// switch is thread-local rather than global).
-pub fn set_driver_mode(mode: DriverMode) {
-    DRIVER_MODE.with(|m| m.set(mode));
-}
-
-/// Runs `f` with the driver mode set to `mode`, restoring the previous
-/// mode afterwards.
-pub fn with_driver_mode<T>(mode: DriverMode, f: impl FnOnce() -> T) -> T {
-    let previous = driver_mode();
-    set_driver_mode(mode);
-    let out = f();
-    set_driver_mode(previous);
-    out
 }
 
 /// Error returned when the greedy driver fails to reach a fixpoint,
@@ -120,7 +102,7 @@ impl std::error::Error for ConvergenceError {}
 /// successful pattern applications.
 ///
 /// Dispatches to the worklist driver or the legacy re-walk driver
-/// according to [`driver_mode`]; both reach the same fixpoint for
+/// according to [`Context::driver_mode`]; both reach the same fixpoint for
 /// confluent pattern sets (asserted stage-by-stage by the driver
 /// equivalence test over the kernel suite).
 ///
@@ -136,7 +118,7 @@ pub fn apply_patterns_greedily(
     root: OpId,
     patterns: &[&dyn RewritePattern],
 ) -> Result<usize, ConvergenceError> {
-    match driver_mode() {
+    match ctx.driver_mode() {
         DriverMode::Worklist => apply_patterns_worklist(ctx, registry, root, patterns),
         DriverMode::LegacyRewalk => apply_patterns_rewalk(ctx, registry, root, patterns),
     }
@@ -616,10 +598,9 @@ mod tests {
     fn both_drivers_reach_the_same_fixpoint() {
         for mode in [DriverMode::Worklist, DriverMode::LegacyRewalk] {
             let mut ctx = Context::new();
+            ctx.set_driver_mode(mode);
             let (m, b) = double_module(&mut ctx);
-            let n = with_driver_mode(mode, || {
-                apply_patterns_greedily(&mut ctx, &registry(), m, &[&DoubleToAdd]).unwrap()
-            });
+            let n = apply_patterns_greedily(&mut ctx, &registry(), m, &[&DoubleToAdd]).unwrap();
             assert_eq!(n, 1, "{mode:?}");
             let names: Vec<String> =
                 ctx.block_ops(b).iter().map(|&o| ctx.op(o).name.clone()).collect();
@@ -648,13 +629,12 @@ mod tests {
     fn divergence_names_the_offending_pattern() {
         for mode in [DriverMode::Worklist, DriverMode::LegacyRewalk] {
             let mut ctx = Context::new();
+            ctx.set_driver_mode(mode);
             let (m, b) = module(&mut ctx);
             let c = ctx.append_op(b, OpSpec::new("t.const").results(vec![Type::F64]));
             let v = ctx.op(c).results[0];
             ctx.append_op(b, OpSpec::new("t.use").operands(vec![v]));
-            let err = with_driver_mode(mode, || {
-                apply_patterns_greedily(&mut ctx, &registry(), m, &[&PingPong]).unwrap_err()
-            });
+            let err = apply_patterns_greedily(&mut ctx, &registry(), m, &[&PingPong]).unwrap_err();
             assert_eq!(err.iterations, 1000, "{mode:?}");
             assert_eq!(err.last_pattern, Some("ping-pong"), "{mode:?}");
             assert_eq!(err.last_op.as_deref(), Some("t.use"), "{mode:?}");
@@ -781,11 +761,10 @@ mod tests {
         let r = requeue_registry();
 
         let mut ctx = Context::new();
+        ctx.set_driver_mode(DriverMode::Worklist);
         let m = requeue_module(&mut ctx, FILLERS);
         let before = ctx.rewrite_stats();
-        let n = with_driver_mode(DriverMode::Worklist, || {
-            apply_patterns_greedily(&mut ctx, &r, m, &[&MarkSeedSingleUse]).unwrap()
-        });
+        let n = apply_patterns_greedily(&mut ctx, &r, m, &[&MarkSeedSingleUse]).unwrap();
         let stats = ctx.rewrite_stats().delta_since(before);
         assert_eq!(n, 1);
         assert_eq!(ctx.walk_named(m, "t.single").len(), 1);
@@ -808,17 +787,48 @@ mod tests {
         // The legacy driver does strictly more deterministic work on the
         // identical input; the worklist's advantage is the point.
         let mut legacy_ctx = Context::new();
+        legacy_ctx.set_driver_mode(DriverMode::LegacyRewalk);
         let lm = requeue_module(&mut legacy_ctx, FILLERS);
         let before = legacy_ctx.rewrite_stats();
-        let n = with_driver_mode(DriverMode::LegacyRewalk, || {
-            apply_patterns_greedily(&mut legacy_ctx, &r, lm, &[&MarkSeedSingleUse]).unwrap()
-        });
+        let n = apply_patterns_greedily(&mut legacy_ctx, &r, lm, &[&MarkSeedSingleUse]).unwrap();
         let legacy = legacy_ctx.rewrite_stats().delta_since(before);
         assert_eq!(n, 1);
         let work = |s: &crate::context::RewriteStats| s.ops_visited + s.match_attempts;
         assert!(
             work(&legacy) >= 5 * work(&stats),
             "legacy {legacy:?} should be ≥5× worklist {stats:?}"
+        );
+    }
+
+    #[test]
+    fn driver_mode_is_per_context_and_does_not_bleed_across_threads() {
+        // Two threads compile the same module with different drivers at
+        // the same time; each context must honour its own mode (observed
+        // through the work counters: the legacy re-walk driver always
+        // visits strictly more ops on this input) and reach the same IR.
+        let handles: Vec<_> = [DriverMode::Worklist, DriverMode::LegacyRewalk]
+            .into_iter()
+            .map(|mode| {
+                std::thread::spawn(move || {
+                    let r = requeue_registry();
+                    let mut ctx = Context::new();
+                    ctx.set_driver_mode(mode);
+                    assert_eq!(ctx.driver_mode(), mode);
+                    let m = requeue_module(&mut ctx, 60);
+                    let n =
+                        apply_patterns_greedily(&mut ctx, &r, m, &[&MarkSeedSingleUse]).unwrap();
+                    assert_eq!(n, 1, "{mode:?}");
+                    assert_eq!(ctx.walk_named(m, "t.single").len(), 1, "{mode:?}");
+                    ctx.rewrite_stats().ops_visited
+                })
+            })
+            .collect();
+        let visited: Vec<u64> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert!(
+            visited[1] > 2 * visited[0],
+            "legacy ({}) must out-visit worklist ({}) — a shared mode would equalize them",
+            visited[1],
+            visited[0]
         );
     }
 

@@ -7,7 +7,7 @@ use std::fmt;
 use mlb_core::{compile, Compilation, Flow, PipelineOptions};
 use mlb_ir::Context;
 use mlb_isa::{FpReg, TCDM_BASE, TCDM_SIZE};
-use mlb_sim::{assemble, Cluster, ClusterCounters, Machine, PerfCounters};
+use mlb_sim::{assemble, Cluster, ClusterCounters, Machine, PerfCounters, TraceEntry};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -152,10 +152,38 @@ pub fn run_compiled(
     compilation: Compilation,
     seed: u64,
 ) -> Result<RunOutcome, HarnessError> {
+    run_compiled_inner(instance, compilation, seed, false).map(|(outcome, _)| outcome)
+}
+
+/// [`run_compiled`] with execution tracing on: additionally returns the
+/// per-instruction [`TraceEntry`] list, which together with the
+/// compilation's source map feeds [`crate::profile::Profile`].
+///
+/// # Errors
+///
+/// Any assembly, simulation or verification failure.
+pub fn run_compiled_traced(
+    instance: &Instance,
+    compilation: Compilation,
+    seed: u64,
+) -> Result<(RunOutcome, Vec<TraceEntry>), HarnessError> {
+    run_compiled_inner(instance, compilation, seed, true)
+        .map(|(outcome, trace)| (outcome, trace.unwrap_or_default()))
+}
+
+fn run_compiled_inner(
+    instance: &Instance,
+    compilation: Compilation,
+    seed: u64,
+    trace: bool,
+) -> Result<(RunOutcome, Option<Vec<TraceEntry>>), HarnessError> {
     let program = assemble(&compilation.assembly).map_err(HarnessError::Assemble)?;
     let sizes = instance.buffer_sizes();
     let esz = instance.precision.bits() / 8;
     let mut machine = Machine::new();
+    if trace {
+        machine.enable_trace();
+    }
 
     let addrs = place_buffers(&sizes, esz)?;
     let num_inputs = sizes.len() - 1;
@@ -200,7 +228,8 @@ pub fn run_compiled(
             (output.into_iter().map(f64::from).collect(), counters)
         }
     };
-    Ok(RunOutcome { counters, compilation, output })
+    let trace = machine.take_trace();
+    Ok((RunOutcome { counters, compilation, output }, trace))
 }
 
 /// Everything measured in one verified multi-core cluster run.
@@ -232,6 +261,23 @@ pub fn compile_and_run_on_cluster(
     let mut ctx = Context::new();
     let module = instance.build_module(&mut ctx);
     let compilation = compile(&mut ctx, module, Flow::Ours(opts)).map_err(HarnessError::Compile)?;
+    run_compiled_on_cluster(instance, compilation, seed, cores)
+}
+
+/// Runs an already-compiled kernel on a `cores`-wide cluster (see
+/// [`compile_and_run_on_cluster`]). The compilation must have been
+/// produced with `PipelineOptions::cores == cores`, otherwise the
+/// sharded loop bounds will not match the cluster width.
+///
+/// # Errors
+///
+/// Any assembly, simulation or verification failure.
+pub fn run_compiled_on_cluster(
+    instance: &Instance,
+    compilation: Compilation,
+    seed: u64,
+    cores: usize,
+) -> Result<ClusterRunOutcome, HarnessError> {
     let program = assemble(&compilation.assembly).map_err(HarnessError::Assemble)?;
     let sizes = instance.buffer_sizes();
     let esz = instance.precision.bits() / 8;

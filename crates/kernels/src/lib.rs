@@ -21,8 +21,8 @@ pub use difftest::{
 pub use fuzz::{fuzz, FuzzFailure, SplitMix64};
 pub use handwritten::{build_handwritten, run_handwritten};
 pub use harness::{
-    compile_and_run, compile_and_run_on_cluster, run_compiled, ClusterRunOutcome, HarnessError,
-    RunOutcome, FILL_VALUE,
+    compile_and_run, compile_and_run_on_cluster, run_compiled, run_compiled_on_cluster,
+    run_compiled_traced, ClusterRunOutcome, HarnessError, RunOutcome, FILL_VALUE,
 };
 pub use profile::{ClassProfile, LocationProfile, Profile};
 pub use reference::{reference, reference_with, FmaMode, Scalar};

@@ -1,0 +1,152 @@
+//! A small string-keyed LRU cache with hit/miss accounting.
+//!
+//! Keys are the *canonical encodings* of cache lookups ([`crate::job`]),
+//! not their digests: the encoding is injective by construction, so two
+//! distinct jobs can never alias a slot no matter how the (display-only)
+//! digest behaves. Recency is tracked with a monotone tick instead of a
+//! linked list — capacities in this service are small enough that the
+//! `O(len)` eviction scan is noise next to a single compile.
+
+use std::collections::HashMap;
+
+/// Counters describing the lifetime behaviour of one cache.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found a live entry.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Values stored (including overwrites of a live key).
+    pub insertions: u64,
+    /// Entries displaced to respect the capacity bound.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Hit fraction in percent (0 when nothing was looked up yet).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 * 100.0 / total as f64
+        }
+    }
+}
+
+/// A least-recently-used map from canonical key strings to values.
+#[derive(Debug)]
+pub struct LruCache<V> {
+    capacity: usize,
+    entries: HashMap<String, (V, u64)>,
+    tick: u64,
+    stats: CacheStats,
+}
+
+impl<V> LruCache<V> {
+    /// Creates a cache holding at most `capacity` entries (a capacity of
+    /// zero disables storage entirely: every lookup misses).
+    pub fn new(capacity: usize) -> LruCache<V> {
+        LruCache { capacity, entries: HashMap::new(), tick: 0, stats: CacheStats::default() }
+    }
+
+    /// The number of live entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The accounting counters so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Looks up `key`, marking the entry most-recently-used on a hit and
+    /// counting the outcome either way.
+    pub fn get(&mut self, key: &str) -> Option<&V> {
+        self.tick += 1;
+        match self.entries.get_mut(key) {
+            Some((value, used)) => {
+                *used = self.tick;
+                self.stats.hits += 1;
+                Some(&*value)
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Stores `value` under `key`, evicting the least-recently-used
+    /// entry if the cache is at capacity and `key` is new.
+    pub fn insert(&mut self, key: String, value: V) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.tick += 1;
+        self.stats.insertions += 1;
+        if !self.entries.contains_key(&key) && self.entries.len() >= self.capacity {
+            if let Some(oldest) =
+                self.entries.iter().min_by_key(|(_, (_, used))| *used).map(|(k, _)| k.clone())
+            {
+                self.entries.remove(&oldest);
+                self.stats.evictions += 1;
+            }
+        }
+        self.entries.insert(key, (value, self.tick));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_refreshes_recency() {
+        let mut cache = LruCache::new(2);
+        cache.insert("a".into(), 1);
+        cache.insert("b".into(), 2);
+        assert_eq!(cache.get("a"), Some(&1));
+        cache.insert("c".into(), 3); // evicts b, not the just-touched a
+        assert_eq!(cache.get("a"), Some(&1));
+        assert_eq!(cache.get("b"), None);
+        assert_eq!(cache.get("c"), Some(&3));
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn overwrite_does_not_evict() {
+        let mut cache = LruCache::new(2);
+        cache.insert("a".into(), 1);
+        cache.insert("b".into(), 2);
+        cache.insert("a".into(), 10);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().evictions, 0);
+        assert_eq!(cache.get("a"), Some(&10));
+        assert_eq!(cache.get("b"), Some(&2));
+    }
+
+    #[test]
+    fn zero_capacity_never_stores() {
+        let mut cache = LruCache::new(0);
+        cache.insert("a".into(), 1);
+        assert_eq!(cache.get("a"), None);
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn hit_rate_is_in_percent() {
+        let mut cache = LruCache::new(4);
+        assert_eq!(cache.stats().hit_rate(), 0.0);
+        cache.insert("a".into(), 1);
+        cache.get("a");
+        cache.get("a");
+        cache.get("x");
+        assert!((cache.stats().hit_rate() - 200.0 / 3.0).abs() < 1e-9);
+    }
+}

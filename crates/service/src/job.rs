@@ -1,0 +1,257 @@
+//! The service's job model and content-addressed cache keys.
+//!
+//! A [`JobRequest`] fully determines its result: kernel instance, flow
+//! (with every pipeline toggle), rewrite-driver mode, cluster width and
+//! operand seed. The cache keys are *canonical encodings* of exactly
+//! those fields — every field is spelled into the string with a
+//! distinct, unambiguous tag, so the encoding is injective and two
+//! different requests can never collide. The 128-bit FNV digest derived
+//! from the key is for display and the wire protocol only; it is never
+//! used for lookup.
+
+use std::fmt;
+
+use mlb_core::Flow;
+use mlb_ir::DriverMode;
+use mlb_kernels::Instance;
+
+/// What a job asks the service to do with its kernel instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobKind {
+    /// Compile only: assembly, register stats, passes, source map.
+    Compile,
+    /// Compile (or reuse the cached artifact) and run on the simulator,
+    /// verifying against the host reference; counters and output digest.
+    Simulate,
+    /// Stage-level differential test against the host reference.
+    Difftest,
+    /// Traced simulation folded into a source-attributed cycle profile.
+    Profile,
+    /// Deliberately panics in the worker — the failure-injection job
+    /// used to prove panic containment; never useful in production.
+    DebugPanic,
+}
+
+impl JobKind {
+    /// The protocol spelling of the kind.
+    pub fn name(self) -> &'static str {
+        match self {
+            JobKind::Compile => "compile",
+            JobKind::Simulate => "simulate",
+            JobKind::Difftest => "difftest",
+            JobKind::Profile => "profile",
+            JobKind::DebugPanic => "debug-panic",
+        }
+    }
+
+    /// Parses the protocol spelling.
+    ///
+    /// # Errors
+    ///
+    /// Names the unknown kind.
+    pub fn parse(name: &str) -> Result<JobKind, String> {
+        match name {
+            "compile" => Ok(JobKind::Compile),
+            "simulate" => Ok(JobKind::Simulate),
+            "difftest" => Ok(JobKind::Difftest),
+            "profile" => Ok(JobKind::Profile),
+            "debug-panic" => Ok(JobKind::DebugPanic),
+            other => Err(format!("unknown job kind `{other}`")),
+        }
+    }
+}
+
+impl fmt::Display for JobKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One unit of work submitted to the service.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JobRequest {
+    /// Caller-chosen identifier, echoed in the response.
+    pub id: u64,
+    /// What to do.
+    pub kind: JobKind,
+    /// The kernel to do it to.
+    pub instance: Instance,
+    /// The compilation flow. For [`Flow::Ours`] the embedded
+    /// [`PipelineOptions::cores`] is the cluster width; widths above 1
+    /// are rejected for the comparison flows (no `distribute-to-cores`).
+    pub flow: Flow,
+    /// The rewrite-driver mode each per-request [`mlb_ir::Context`] is
+    /// configured with.
+    pub driver: DriverMode,
+    /// Operand seed for simulation/difftest/profile runs.
+    pub seed: u64,
+}
+
+impl JobRequest {
+    /// The cluster width the job simulates on (1 for comparison flows).
+    pub fn cores(&self) -> usize {
+        match self.flow {
+            Flow::Ours(opts) => opts.cores,
+            Flow::MlirLike | Flow::ClangLike => 1,
+        }
+    }
+
+    /// The canonical encoding of everything that determines the
+    /// *compilation artifact* (kernel, flow, options, driver). Shared by
+    /// all job kinds so e.g. a `simulate` job reuses the artifact a
+    /// `compile` job already produced.
+    pub fn compile_key(&self) -> String {
+        let i = &self.instance;
+        format!(
+            "kernel={sym}|n={n}|m={m}|k={k}|prec=f{bits}|{flow}|driver={driver}",
+            sym = i.symbol(),
+            n = i.shape.n,
+            m = i.shape.m,
+            k = i.shape.k,
+            bits = i.precision.bits(),
+            flow = encode_flow(self.flow),
+            driver = driver_name(self.driver),
+        )
+    }
+
+    /// The canonical encoding of everything that determines the *job
+    /// result*: the compile key plus the job kind and operand seed.
+    pub fn result_key(&self) -> String {
+        format!("job={}|seed={}|{}", self.kind.name(), self.seed, self.compile_key())
+    }
+
+    /// The content digest of the result key, as sent on the wire.
+    pub fn digest(&self) -> String {
+        fnv1a128_hex(self.result_key().as_bytes())
+    }
+}
+
+/// The protocol spelling of a driver mode.
+pub fn driver_name(mode: DriverMode) -> &'static str {
+    match mode {
+        DriverMode::Worklist => "worklist",
+        DriverMode::LegacyRewalk => "legacy",
+    }
+}
+
+/// Parses the protocol spelling of a driver mode.
+///
+/// # Errors
+///
+/// Names the unknown mode.
+pub fn parse_driver(name: &str) -> Result<DriverMode, String> {
+    match name {
+        "worklist" => Ok(DriverMode::Worklist),
+        "legacy" => Ok(DriverMode::LegacyRewalk),
+        other => Err(format!("unknown driver `{other}`")),
+    }
+}
+
+fn encode_flow(flow: Flow) -> String {
+    match flow {
+        Flow::Ours(o) => format!(
+            "flow=ours|streams={}|scalrep={}|frep={}|fusefill={}|uaj={}|ufac={}|spo={}|cores={}",
+            u8::from(o.streams),
+            u8::from(o.scalar_replacement),
+            u8::from(o.frep),
+            u8::from(o.fuse_fill),
+            u8::from(o.unroll_and_jam),
+            o.unroll_factor.map_or_else(|| "auto".to_string(), |f| f.to_string()),
+            u8::from(o.stream_pattern_opts),
+            o.cores,
+        ),
+        Flow::MlirLike => "flow=mlir".to_string(),
+        Flow::ClangLike => "flow=clang".to_string(),
+    }
+}
+
+/// 128-bit FNV-1a over `bytes`, as 32 lowercase hex digits.
+pub fn fnv1a128_hex(bytes: &[u8]) -> String {
+    const OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+    const PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013b;
+    let mut hash = OFFSET;
+    for &b in bytes {
+        hash ^= u128::from(b);
+        hash = hash.wrapping_mul(PRIME);
+    }
+    format!("{hash:032x}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlb_core::PipelineOptions;
+    use mlb_kernels::{Kind, Precision, Shape};
+
+    fn request() -> JobRequest {
+        JobRequest {
+            id: 1,
+            kind: JobKind::Simulate,
+            instance: Instance::new(Kind::MatMul, Shape::nmk(2, 4, 3), Precision::F64),
+            flow: Flow::Ours(PipelineOptions::full()),
+            driver: DriverMode::Worklist,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn result_key_spells_every_field() {
+        let key = request().result_key();
+        for part in [
+            "job=simulate",
+            "seed=7",
+            "kernel=matmul",
+            "n=2|m=4|k=3",
+            "prec=f64",
+            "flow=ours",
+            "cores=1",
+            "driver=worklist",
+        ] {
+            assert!(key.contains(part), "`{part}` missing from `{key}`");
+        }
+    }
+
+    #[test]
+    fn each_field_changes_the_key() {
+        let base = request();
+        let base_key = base.result_key();
+        let mut no_frep = PipelineOptions::full();
+        no_frep.frep = false;
+        let mut quad = PipelineOptions::full();
+        quad.cores = 4;
+        let variants = vec![
+            JobRequest { kind: JobKind::Profile, ..base },
+            JobRequest { seed: 8, ..base },
+            JobRequest {
+                instance: Instance::new(Kind::MatMulT, base.instance.shape, Precision::F64),
+                ..base
+            },
+            JobRequest { flow: Flow::MlirLike, ..base },
+            JobRequest { driver: DriverMode::LegacyRewalk, ..base },
+            JobRequest { flow: Flow::Ours(no_frep), ..base },
+            JobRequest { flow: Flow::Ours(quad), ..base },
+        ];
+        for v in variants {
+            assert_ne!(v.result_key(), base_key, "{v:?} must not alias the base request");
+        }
+    }
+
+    #[test]
+    fn unroll_factor_auto_and_forced_differ() {
+        let mut forced = PipelineOptions::full();
+        forced.unroll_factor = Some(4);
+        let a = JobRequest { flow: Flow::Ours(PipelineOptions::full()), ..request() };
+        let b = JobRequest { flow: Flow::Ours(forced), ..request() };
+        assert_ne!(a.result_key(), b.result_key());
+    }
+
+    #[test]
+    fn digest_is_stable_hex() {
+        let d = request().digest();
+        assert_eq!(d.len(), 32);
+        assert!(d.bytes().all(|b| b.is_ascii_hexdigit()));
+        assert_eq!(d, request().digest());
+        // Known vector: FNV-1a 128 of the empty string is the offset basis.
+        assert_eq!(fnv1a128_hex(b""), "6c62272e07bb014262b821756295c58d");
+    }
+}

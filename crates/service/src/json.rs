@@ -1,10 +1,11 @@
 //! Minimal JSON value, writer and parser.
 //!
-//! The build environment has no access to external crates, so the
-//! observability output of `mlbc --trace-json` is produced (and parsed
-//! back in the integration tests) by this small hand-rolled module. It
-//! covers all of JSON except that object keys keep insertion order (no
-//! map semantics) and non-finite numbers serialize as `null`.
+//! The build environment has no access to external crates, so both the
+//! observability output of `mlbc --trace-json` and the line-delimited
+//! protocol of `mlbc serve` are produced (and parsed back) by this
+//! small hand-rolled module. It covers all of JSON except that object
+//! keys keep insertion order (no map semantics) and non-finite numbers
+//! serialize as `null`.
 
 use std::fmt;
 

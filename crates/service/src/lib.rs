@@ -1,0 +1,26 @@
+#![warn(missing_docs)]
+
+//! The re-entrant compile service behind `mlbc serve`.
+//!
+//! Long-running sessions submit compile/simulate/difftest/profile jobs
+//! as line-delimited JSON; the service schedules them over a worker
+//! thread pool and memoizes results in a content-addressed cache keyed
+//! on the full job identity (kernel instance, flow and its pipeline
+//! options, rewrite-driver mode, cluster width, operand seed). The
+//! compiler itself stays a library: every job builds a fresh
+//! [`mlb_ir::Context`], so requests neither share nor leak state — the
+//! property the concurrency-equivalence suite pins down by comparing a
+//! multi-worker batch byte-for-byte against a sequential one.
+
+pub mod cache;
+pub mod job;
+pub mod json;
+pub mod pool;
+pub mod protocol;
+pub mod service;
+
+pub use cache::{CacheStats, LruCache};
+pub use job::{driver_name, fnv1a128_hex, parse_driver, JobKind, JobRequest};
+pub use pool::WorkerPool;
+pub use protocol::{kind_name, parse_kind, parse_request, request_json, response_json};
+pub use service::{CompileService, JobResponse, ServiceConfig};

@@ -1,0 +1,158 @@
+//! A fixed-size worker thread pool over a shared job queue.
+//!
+//! Jobs are boxed closures drained from one `mpsc` channel guarded by a
+//! mutex (the classic "channel of boxed thunks" pool — no external
+//! crates). Every job runs under `catch_unwind`, so a panicking job
+//! neither kills its worker nor wedges the queue: the worker logs
+//! nothing, keeps its thread, and picks up the next job. Result
+//! delivery and panic *reporting* are the submitting side's business —
+//! the service wraps each job so that its panic is converted into an
+//! error response before the pool ever sees it unwinding.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A pool of worker threads executing submitted closures.
+#[derive(Debug)]
+pub struct WorkerPool {
+    sender: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawns `workers` threads (at least one) waiting for jobs.
+    pub fn new(workers: usize) -> WorkerPool {
+        let workers = workers.max(1);
+        let (sender, receiver) = channel::<Job>();
+        let receiver = Arc::new(Mutex::new(receiver));
+        let handles = (0..workers)
+            .map(|index| {
+                let receiver = Arc::clone(&receiver);
+                std::thread::Builder::new()
+                    .name(format!("mlb-service-worker-{index}"))
+                    .spawn(move || worker_loop(&receiver))
+                    .expect("spawn service worker")
+            })
+            .collect();
+        WorkerPool { sender: Some(sender), workers: handles }
+    }
+
+    /// The number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Queues `job` for execution on some worker.
+    pub fn execute(&self, job: impl FnOnce() + Send + 'static) {
+        self.sender
+            .as_ref()
+            .expect("pool sender lives until drop")
+            .send(Box::new(job))
+            .expect("workers outlive the pool handle");
+    }
+}
+
+fn worker_loop(receiver: &Arc<Mutex<Receiver<Job>>>) {
+    loop {
+        // Holding the lock only while receiving lets other workers pull
+        // jobs concurrently with this one executing.
+        let job = match receiver.lock() {
+            Ok(guard) => guard.recv(),
+            Err(poisoned) => poisoned.into_inner().recv(),
+        };
+        match job {
+            Ok(job) => {
+                let _ = catch_unwind(AssertUnwindSafe(job));
+            }
+            Err(_) => return, // all senders dropped: orderly shutdown
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        drop(self.sender.take());
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Condvar;
+
+    fn run_all(pool: &WorkerPool, jobs: usize, body: impl Fn(usize) + Send + Sync + 'static) {
+        let done = Arc::new((Mutex::new(0usize), Condvar::new()));
+        let body = Arc::new(body);
+        for i in 0..jobs {
+            let done = Arc::clone(&done);
+            let body = Arc::clone(&body);
+            pool.execute(move || {
+                body(i);
+                let (count, signal) = &*done;
+                *count.lock().unwrap() += 1;
+                signal.notify_all();
+            });
+        }
+        let (count, signal) = &*done;
+        let mut guard = count.lock().unwrap();
+        while *guard < jobs {
+            guard = signal.wait(guard).unwrap();
+        }
+    }
+
+    #[test]
+    fn executes_every_job() {
+        let pool = WorkerPool::new(4);
+        let counter = Arc::new(AtomicUsize::new(0));
+        let c = Arc::clone(&counter);
+        run_all(&pool, 100, move |_| {
+            c.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn survives_panicking_jobs() {
+        let pool = WorkerPool::new(2);
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {})); // silence expected panics
+        let panics = Arc::new(AtomicUsize::new(0));
+        let p = Arc::clone(&panics);
+        for _ in 0..8 {
+            let p = Arc::clone(&p);
+            pool.execute(move || {
+                p.fetch_add(1, Ordering::SeqCst);
+                panic!("injected");
+            });
+        }
+        // The pool must still process ordinary jobs afterwards.
+        let counter = Arc::new(AtomicUsize::new(0));
+        let c = Arc::clone(&counter);
+        run_all(&pool, 10, move |_| {
+            c.fetch_add(1, Ordering::SeqCst);
+        });
+        std::panic::set_hook(hook);
+        assert_eq!(counter.load(Ordering::SeqCst), 10);
+        assert_eq!(panics.load(Ordering::SeqCst), 8);
+    }
+
+    #[test]
+    fn zero_workers_clamps_to_one() {
+        let pool = WorkerPool::new(0);
+        assert_eq!(pool.workers(), 1);
+        let counter = Arc::new(AtomicUsize::new(0));
+        let c = Arc::clone(&counter);
+        run_all(&pool, 3, move |_| {
+            c.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 3);
+    }
+}

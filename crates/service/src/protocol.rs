@@ -1,0 +1,336 @@
+//! The line-delimited JSON protocol of `mlbc serve`.
+//!
+//! One request per input line, one response per output line, in request
+//! order. A request looks like:
+//!
+//! ```json
+//! {"id":1,"job":"simulate","kernel":"matmul","n":2,"m":4,"k":3,
+//!  "precision":"f64","flow":"ours","driver":"worklist","seed":7,
+//!  "cores":2,"opts":{"preset":"full","frep":false}}
+//! ```
+//!
+//! Only `job`, `kernel`, `n` and `m` are required (`k` too for matrix
+//! kernels); everything else defaults to the full single-core pipeline
+//! with the worklist driver and seed 0. The response echoes the id,
+//! carries the content digest of the job's cache key, says whether the
+//! payload was served from cache, and embeds either the payload or the
+//! job's error:
+//!
+//! ```json
+//! {"id":1,"digest":"…32 hex…","cache":"miss","ok":true,"result":{…}}
+//! {"id":2,"digest":"…32 hex…","cache":"miss","ok":false,"error":"…"}
+//! ```
+
+use mlb_core::{Flow, PipelineOptions};
+use mlb_kernels::{Instance, Kind, Precision, Shape};
+
+use crate::job::{driver_name, parse_driver, JobKind, JobRequest};
+use crate::json::Json;
+use crate::service::JobResponse;
+
+/// The protocol spelling of a kernel (its assembly symbol).
+pub fn kind_name(kind: Kind) -> &'static str {
+    match kind {
+        Kind::Fill => "fill",
+        Kind::Sum => "sum",
+        Kind::Relu => "relu",
+        Kind::Conv3x3 => "conv3x3",
+        Kind::MaxPool3x3 => "maxpool3x3",
+        Kind::SumPool3x3 => "sumpool3x3",
+        Kind::MatMul => "matmul",
+        Kind::MatMulT => "matmult",
+    }
+}
+
+/// Parses the protocol spelling of a kernel.
+///
+/// # Errors
+///
+/// Names the unknown kernel.
+pub fn parse_kind(name: &str) -> Result<Kind, String> {
+    Kind::all()
+        .into_iter()
+        .find(|&k| kind_name(k) == name)
+        .ok_or_else(|| format!("unknown kernel `{name}`"))
+}
+
+fn get_u64(doc: &Json, key: &str, default: u64) -> Result<u64, String> {
+    match doc.get(key) {
+        None => Ok(default),
+        Some(v) => v.as_u64().ok_or_else(|| format!("`{key}` must be a non-negative integer")),
+    }
+}
+
+fn get_bool(doc: &Json, key: &str, default: bool) -> Result<bool, String> {
+    match doc.get(key) {
+        None => Ok(default),
+        Some(v) => v.as_bool().ok_or_else(|| format!("`{key}` must be a boolean")),
+    }
+}
+
+fn get_str<'a>(doc: &'a Json, key: &str, default: &'a str) -> Result<&'a str, String> {
+    match doc.get(key) {
+        None => Ok(default),
+        Some(v) => v.as_str().ok_or_else(|| format!("`{key}` must be a string")),
+    }
+}
+
+/// Parses one request line. `default_id` is used when the line carries
+/// no explicit `id` (the serve loop passes the line number).
+///
+/// # Errors
+///
+/// A description of the first malformed or missing field.
+pub fn parse_request(line: &str, default_id: u64) -> Result<JobRequest, String> {
+    let doc = Json::parse(line)?;
+    let kind = JobKind::parse(
+        doc.get("job").and_then(Json::as_str).ok_or("`job` is required (a string)")?,
+    )?;
+    let kernel = parse_kind(
+        doc.get("kernel").and_then(Json::as_str).ok_or("`kernel` is required (a string)")?,
+    )?;
+    let n = doc.get("n").and_then(Json::as_u64).ok_or("`n` is required (a positive integer)")?;
+    let m = doc.get("m").and_then(Json::as_u64).ok_or("`m` is required (a positive integer)")?;
+    let k = get_u64(&doc, "k", 0)?;
+    if n == 0 || m == 0 {
+        return Err("`n` and `m` must be positive".to_string());
+    }
+    if matches!(kernel, Kind::MatMul | Kind::MatMulT) && k == 0 {
+        return Err("matrix kernels need a positive `k`".to_string());
+    }
+    let precision = match get_str(&doc, "precision", "f64")? {
+        "f64" => Precision::F64,
+        "f32" => Precision::F32,
+        other => return Err(format!("unknown precision `{other}`")),
+    };
+    let driver = parse_driver(get_str(&doc, "driver", "worklist")?)?;
+    let cores = get_u64(&doc, "cores", 1)? as usize;
+    let flow = match get_str(&doc, "flow", "ours")? {
+        "ours" => {
+            let mut opts = parse_opts(doc.get("opts"))?;
+            opts.cores = cores;
+            Flow::Ours(opts)
+        }
+        name @ ("mlir" | "clang") => {
+            if cores > 1 {
+                return Err(format!("flow `{name}` has no distribute-to-cores; drop `cores`"));
+            }
+            if doc.get("opts").is_some() {
+                return Err(format!("flow `{name}` takes no `opts`"));
+            }
+            if name == "mlir" {
+                Flow::MlirLike
+            } else {
+                Flow::ClangLike
+            }
+        }
+        other => return Err(format!("unknown flow `{other}`")),
+    };
+    Ok(JobRequest {
+        id: get_u64(&doc, "id", default_id)?,
+        kind,
+        instance: Instance::new(kernel, Shape { n: n as i64, m: m as i64, k: k as i64 }, precision),
+        flow,
+        driver,
+        seed: get_u64(&doc, "seed", 0)?,
+    })
+}
+
+fn parse_opts(opts: Option<&Json>) -> Result<PipelineOptions, String> {
+    let Some(doc) = opts else { return Ok(PipelineOptions::full()) };
+    if !matches!(doc, Json::Obj(_)) {
+        return Err("`opts` must be an object".to_string());
+    }
+    let mut options = match get_str(doc, "preset", "full")? {
+        "full" => PipelineOptions::full(),
+        "baseline" => PipelineOptions::baseline(),
+        other => return Err(format!("unknown preset `{other}`")),
+    };
+    options.streams = get_bool(doc, "streams", options.streams)?;
+    options.scalar_replacement = get_bool(doc, "scalar_replacement", options.scalar_replacement)?;
+    options.frep = get_bool(doc, "frep", options.frep)?;
+    options.fuse_fill = get_bool(doc, "fuse_fill", options.fuse_fill)?;
+    options.unroll_and_jam = get_bool(doc, "unroll_and_jam", options.unroll_and_jam)?;
+    options.stream_pattern_opts =
+        get_bool(doc, "stream_pattern_opts", options.stream_pattern_opts)?;
+    if let Some(factor) = doc.get("unroll_factor") {
+        options.unroll_factor =
+            Some(factor.as_u64().ok_or("`unroll_factor` must be a positive integer")? as i64);
+    }
+    Ok(options)
+}
+
+/// Serializes a request back to its protocol line (used by the demo
+/// batch generator; `parse_request` inverts it).
+pub fn request_json(request: &JobRequest) -> Json {
+    let mut pairs = vec![
+        ("id", request.id.into()),
+        ("job", request.kind.name().into()),
+        ("kernel", kind_name(request.instance.kind).into()),
+        ("n", (request.instance.shape.n as u64).into()),
+        ("m", (request.instance.shape.m as u64).into()),
+    ];
+    if request.instance.shape.k != 0 {
+        pairs.push(("k", (request.instance.shape.k as u64).into()));
+    }
+    pairs.push(("precision", format!("f{}", request.instance.precision.bits()).into()));
+    match request.flow {
+        Flow::Ours(opts) => {
+            pairs.push(("flow", "ours".into()));
+            if opts.cores != 1 {
+                pairs.push(("cores", opts.cores.into()));
+            }
+            let full = PipelineOptions::full();
+            let mut over: Vec<(&str, Json)> = Vec::new();
+            if opts.streams != full.streams {
+                over.push(("streams", opts.streams.into()));
+            }
+            if opts.scalar_replacement != full.scalar_replacement {
+                over.push(("scalar_replacement", opts.scalar_replacement.into()));
+            }
+            if opts.frep != full.frep {
+                over.push(("frep", opts.frep.into()));
+            }
+            if opts.fuse_fill != full.fuse_fill {
+                over.push(("fuse_fill", opts.fuse_fill.into()));
+            }
+            if opts.unroll_and_jam != full.unroll_and_jam {
+                over.push(("unroll_and_jam", opts.unroll_and_jam.into()));
+            }
+            if opts.stream_pattern_opts != full.stream_pattern_opts {
+                over.push(("stream_pattern_opts", opts.stream_pattern_opts.into()));
+            }
+            if let Some(factor) = opts.unroll_factor {
+                over.push(("unroll_factor", (factor as u64).into()));
+            }
+            if !over.is_empty() {
+                pairs.push(("opts", Json::obj(over)));
+            }
+        }
+        Flow::MlirLike => pairs.push(("flow", "mlir".into())),
+        Flow::ClangLike => pairs.push(("flow", "clang".into())),
+    }
+    pairs.push(("driver", driver_name(request.driver).into()));
+    pairs.push(("seed", request.seed.into()));
+    Json::obj(pairs)
+}
+
+/// Serializes a response to its protocol line. Fully deterministic: no
+/// timing or scheduling data beyond the (advisory) cache flag.
+pub fn response_json(response: &JobResponse) -> Json {
+    let mut pairs = vec![
+        ("id", response.id.into()),
+        ("digest", response.digest.as_str().into()),
+        ("cache", if response.cached { "hit" } else { "miss" }.into()),
+    ];
+    match &response.payload {
+        Ok(result) => {
+            pairs.push(("ok", true.into()));
+            pairs.push(("result", result.clone()));
+        }
+        Err(message) => {
+            pairs.push(("ok", false.into()));
+            pairs.push(("error", message.as_str().into()));
+        }
+    }
+    Json::obj(pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlb_ir::DriverMode;
+
+    #[test]
+    fn minimal_request_gets_defaults() {
+        let req = parse_request(r#"{"job":"compile","kernel":"sum","n":3,"m":4}"#, 9).unwrap();
+        assert_eq!(req.id, 9);
+        assert_eq!(req.kind, JobKind::Compile);
+        assert_eq!(req.instance.kind, Kind::Sum);
+        assert_eq!(req.instance.precision, Precision::F64);
+        assert_eq!(req.flow, Flow::Ours(PipelineOptions::full()));
+        assert_eq!(req.driver, DriverMode::Worklist);
+        assert_eq!(req.seed, 0);
+    }
+
+    #[test]
+    fn full_request_roundtrips() {
+        let mut opts = PipelineOptions::baseline();
+        opts.streams = true;
+        opts.unroll_factor = Some(4);
+        opts.cores = 4;
+        let req = JobRequest {
+            id: 17,
+            kind: JobKind::Simulate,
+            instance: Instance::new(Kind::MatMulT, Shape::nmk(2, 8, 4), Precision::F32),
+            flow: Flow::Ours(opts),
+            driver: DriverMode::LegacyRewalk,
+            seed: 123,
+        };
+        let line = request_json(&req).to_string();
+        let parsed = parse_request(&line, 0).unwrap();
+        assert_eq!(parsed, req);
+        assert_eq!(parsed.result_key(), req.result_key());
+    }
+
+    #[test]
+    fn comparison_flows_roundtrip() {
+        for flow in [Flow::MlirLike, Flow::ClangLike] {
+            let req = JobRequest {
+                id: 2,
+                kind: JobKind::Difftest,
+                instance: Instance::new(Kind::Relu, Shape::nm(3, 3), Precision::F64),
+                flow,
+                driver: DriverMode::Worklist,
+                seed: 5,
+            };
+            let parsed = parse_request(&request_json(&req).to_string(), 0).unwrap();
+            assert_eq!(parsed, req);
+        }
+    }
+
+    #[test]
+    fn malformed_requests_are_described() {
+        for (line, needle) in [
+            ("{", "expected"),
+            (r#"{"kernel":"sum","n":3,"m":4}"#, "`job` is required"),
+            (r#"{"job":"compile","kernel":"nope","n":3,"m":4}"#, "unknown kernel"),
+            (r#"{"job":"compile","kernel":"sum","n":0,"m":4}"#, "positive"),
+            (r#"{"job":"compile","kernel":"matmul","n":3,"m":4}"#, "`k`"),
+            (r#"{"job":"compile","kernel":"sum","n":3,"m":4,"flow":"mlir","cores":2}"#, "cores"),
+            (r#"{"job":"compile","kernel":"sum","n":3,"m":4,"flow":"clang","opts":{}}"#, "opts"),
+            (r#"{"job":"compile","kernel":"sum","n":3,"m":4,"precision":"f16"}"#, "precision"),
+            (r#"{"job":"compile","kernel":"sum","n":3,"m":4,"driver":"magic"}"#, "driver"),
+            (r#"{"job":"warm","kernel":"sum","n":3,"m":4}"#, "job kind"),
+        ] {
+            let err = parse_request(line, 0).unwrap_err();
+            assert!(err.contains(needle), "`{line}`: `{err}` should mention `{needle}`");
+        }
+    }
+
+    #[test]
+    fn response_lines_carry_errors() {
+        let ok = JobResponse {
+            id: 1,
+            digest: "ab".repeat(16),
+            cached: true,
+            payload: Ok(Json::obj(vec![("x", 1u64.into())])),
+        };
+        let line = response_json(&ok).to_string();
+        let doc = Json::parse(&line).unwrap();
+        assert_eq!(doc.get("ok").unwrap().as_bool(), Some(true));
+        assert_eq!(doc.get("cache").unwrap().as_str(), Some("hit"));
+        assert_eq!(doc.get("result").unwrap().get("x").unwrap().as_u64(), Some(1));
+
+        let err = JobResponse {
+            id: 2,
+            digest: "cd".repeat(16),
+            cached: false,
+            payload: Err("boom".into()),
+        };
+        let doc = Json::parse(&response_json(&err).to_string()).unwrap();
+        assert_eq!(doc.get("ok").unwrap().as_bool(), Some(false));
+        assert_eq!(doc.get("error").unwrap().as_str(), Some("boom"));
+        assert!(doc.get("result").is_none());
+    }
+}

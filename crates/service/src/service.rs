@@ -1,0 +1,345 @@
+//! The re-entrant compile service.
+//!
+//! [`CompileService`] owns a [`WorkerPool`] and two content-addressed
+//! LRU caches:
+//!
+//! * the **artifact cache** maps a [`JobRequest::compile_key`] to the
+//!   finished [`Compilation`], so a `simulate` job reuses the assembly a
+//!   `compile` job (or an earlier simulate of the same kernel) already
+//!   produced, and
+//! * the **result cache** maps a [`JobRequest::result_key`] to the
+//!   job's JSON payload, so resubmitting a batch is pure lookup.
+//!
+//! Every job runs on a fresh per-request [`Context`] carrying the
+//! request's [`DriverMode`] — nothing in the pipeline is process-global
+//! anymore, which is what makes concurrent workers sound. Failures
+//! (compile errors, simulation faults, harness mismatches, and even
+//! panics) fail only their own job: they are reported in the response
+//! and are **never** inserted into either cache, so a transient fault
+//! cannot poison future lookups. Payloads contain no wall-clock or
+//! scheduling data, so a batch's payload stream is byte-identical no
+//! matter how many workers raced over it.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+use mlb_core::{compile, Compilation, Flow};
+use mlb_ir::Context;
+use mlb_kernels::{
+    difftest_instance, run_compiled, run_compiled_on_cluster, run_compiled_traced, Profile,
+};
+use mlb_sim::PerfCounters;
+
+use crate::cache::{CacheStats, LruCache};
+use crate::job::{fnv1a128_hex, JobKind, JobRequest};
+use crate::json::Json;
+use crate::pool::WorkerPool;
+
+/// Sizing knobs of a [`CompileService`].
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceConfig {
+    /// Worker threads executing jobs.
+    pub workers: usize,
+    /// Capacity of each cache layer, in entries.
+    pub cache_capacity: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> ServiceConfig {
+        ServiceConfig { workers: 4, cache_capacity: 256 }
+    }
+}
+
+/// The answer to one [`JobRequest`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobResponse {
+    /// The request's `id`, echoed.
+    pub id: u64,
+    /// Content digest of the request's result key.
+    pub digest: String,
+    /// Whether the payload came from the result cache. *Not* part of
+    /// the determinism contract: concurrent duplicate jobs may all miss
+    /// where a sequential run would hit, but their payloads agree.
+    pub cached: bool,
+    /// The deterministic payload, or the job's error. Errors are never
+    /// cached.
+    pub payload: Result<Json, String>,
+}
+
+impl JobResponse {
+    /// The payload (or error) as canonical one-line JSON — the string
+    /// the concurrency-equivalence suite compares byte-for-byte.
+    pub fn payload_text(&self) -> String {
+        match &self.payload {
+            Ok(json) => json.to_string(),
+            Err(message) => format!("error:{message}"),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Caches {
+    artifacts: LruCache<Arc<Compilation>>,
+    results: LruCache<Json>,
+}
+
+/// A long-lived, re-entrant compile/simulate/difftest/profile service.
+#[derive(Debug)]
+pub struct CompileService {
+    pool: WorkerPool,
+    caches: Arc<Mutex<Caches>>,
+}
+
+impl CompileService {
+    /// Builds a service with `config.workers` threads and empty caches.
+    pub fn new(config: ServiceConfig) -> CompileService {
+        CompileService {
+            pool: WorkerPool::new(config.workers),
+            caches: Arc::new(Mutex::new(Caches {
+                artifacts: LruCache::new(config.cache_capacity),
+                results: LruCache::new(config.cache_capacity),
+            })),
+        }
+    }
+
+    /// The number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.pool.workers()
+    }
+
+    /// Lifetime statistics of the (artifact, result) cache layers.
+    pub fn cache_stats(&self) -> (CacheStats, CacheStats) {
+        let caches = lock(&self.caches);
+        (caches.artifacts.stats(), caches.results.stats())
+    }
+
+    /// Runs every request over the worker pool and returns the
+    /// responses *in request order*, regardless of completion order.
+    pub fn run_batch(&self, requests: &[JobRequest]) -> Vec<JobResponse> {
+        let slots: Arc<(Mutex<Vec<Option<JobResponse>>>, Condvar)> =
+            Arc::new((Mutex::new(vec![None; requests.len()]), Condvar::new()));
+        for (index, &request) in requests.iter().enumerate() {
+            let slots = Arc::clone(&slots);
+            let caches = Arc::clone(&self.caches);
+            self.pool.execute(move || {
+                let response = process(request, &caches);
+                let (results, signal) = &*slots;
+                let mut guard = match results.lock() {
+                    Ok(guard) => guard,
+                    Err(poisoned) => poisoned.into_inner(),
+                };
+                guard[index] = Some(response);
+                signal.notify_all();
+            });
+        }
+        let (results, signal) = &*slots;
+        let mut guard = results.lock().expect("slot writers never panic");
+        while guard.iter().any(Option::is_none) {
+            guard = signal.wait(guard).expect("slot writers never panic");
+        }
+        guard.iter_mut().map(|slot| slot.take().expect("all slots filled")).collect()
+    }
+
+    /// Convenience for tests and the CLI: a single job, inline.
+    pub fn run_one(&self, request: JobRequest) -> JobResponse {
+        process(request, &self.caches)
+    }
+}
+
+fn lock(caches: &Arc<Mutex<Caches>>) -> MutexGuard<'_, Caches> {
+    // A worker can only panic *outside* the lock (job bodies run before
+    // insertion, and insertion itself doesn't run job code), so a
+    // poisoned mutex still guards consistent data; recover it.
+    match caches.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+fn process(request: JobRequest, caches: &Arc<Mutex<Caches>>) -> JobResponse {
+    let result_key = request.result_key();
+    let digest = fnv1a128_hex(result_key.as_bytes());
+    if let Some(payload) = lock(caches).results.get(&result_key) {
+        return JobResponse { id: request.id, digest, cached: true, payload: Ok(payload.clone()) };
+    }
+    let outcome = catch_unwind(AssertUnwindSafe(|| compute(request, caches)));
+    let payload = match outcome {
+        Ok(Ok(json)) => {
+            lock(caches).results.insert(result_key, json.clone());
+            Ok(json)
+        }
+        Ok(Err(message)) => Err(message),
+        // `as_ref()` reaches the payload inside the box; a bare `&panic`
+        // would coerce the `Box` itself to `&dyn Any` and never downcast.
+        Err(panic) => Err(format!("panic: {}", panic_message(panic.as_ref()))),
+    };
+    JobResponse { id: request.id, digest, cached: false, payload }
+}
+
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "unknown panic payload".to_string()
+    }
+}
+
+/// Fetches (or compiles and caches) the request's compilation artifact.
+fn artifact(request: &JobRequest, caches: &Arc<Mutex<Caches>>) -> Result<Arc<Compilation>, String> {
+    let compile_key = request.compile_key();
+    if let Some(hit) = lock(caches).artifacts.get(&compile_key) {
+        return Ok(Arc::clone(hit));
+    }
+    // Compile outside the lock: concurrent duplicate misses waste a
+    // compile but keep the caches responsive and are idempotent.
+    let mut ctx = Context::new();
+    ctx.set_driver_mode(request.driver);
+    let module = request.instance.build_module(&mut ctx);
+    let compilation =
+        Arc::new(compile(&mut ctx, module, request.flow).map_err(|e| format!("compile: {e}"))?);
+    lock(caches).artifacts.insert(compile_key, Arc::clone(&compilation));
+    Ok(compilation)
+}
+
+fn compute(request: JobRequest, caches: &Arc<Mutex<Caches>>) -> Result<Json, String> {
+    if let Flow::Ours(opts) = request.flow {
+        if opts.cores == 0 {
+            return Err("cores must be at least 1".to_string());
+        }
+    }
+    match request.kind {
+        JobKind::DebugPanic => {
+            panic!("debug-panic job {} panicked on purpose", request.id)
+        }
+        JobKind::Compile => {
+            let artifact = artifact(&request, caches)?;
+            Ok(compilation_json(&artifact))
+        }
+        JobKind::Simulate => {
+            let artifact = artifact(&request, caches)?;
+            let cores = request.cores();
+            if cores > 1 {
+                let outcome = run_compiled_on_cluster(
+                    &request.instance,
+                    (*artifact).clone(),
+                    request.seed,
+                    cores,
+                )
+                .map_err(|e| format!("cluster run: {e}"))?;
+                Ok(Json::obj(vec![
+                    ("cores", cores.into()),
+                    ("aggregate", counters_json(&outcome.counters.aggregate)),
+                    (
+                        "per_core_cycles",
+                        Json::Arr(
+                            outcome.counters.per_core.iter().map(|c| c.cycles.into()).collect(),
+                        ),
+                    ),
+                    ("barriers", outcome.counters.barriers.into()),
+                    ("output_digest", output_digest(&outcome.output).into()),
+                ]))
+            } else {
+                let outcome = run_compiled(&request.instance, (*artifact).clone(), request.seed)
+                    .map_err(|e| format!("run: {e}"))?;
+                Ok(Json::obj(vec![
+                    ("cores", 1u64.into()),
+                    ("counters", counters_json(&outcome.counters)),
+                    ("output_digest", output_digest(&outcome.output).into()),
+                ]))
+            }
+        }
+        JobKind::Difftest => {
+            let outcome = difftest_instance(&request.instance, request.flow, request.seed)
+                .map_err(|e| format!("difftest: {e}"))?;
+            Ok(Json::obj(vec![
+                ("stages", Json::Arr(outcome.stages.iter().map(|&s| s.into()).collect())),
+                ("num_stages", outcome.stages.len().into()),
+            ]))
+        }
+        JobKind::Profile => {
+            if request.cores() > 1 {
+                return Err("profile jobs run single-core; drop `cores`".to_string());
+            }
+            let artifact = artifact(&request, caches)?;
+            let (outcome, trace) =
+                run_compiled_traced(&request.instance, (*artifact).clone(), request.seed)
+                    .map_err(|e| format!("run: {e}"))?;
+            let profile = Profile::from_trace(&trace, &artifact.source_map);
+            Ok(Json::obj(vec![
+                ("total_cycles", profile.total_cycles.into()),
+                ("unattributed_cycles", profile.unattributed_cycles.into()),
+                (
+                    "rows",
+                    Json::Arr(
+                        profile
+                            .rows
+                            .iter()
+                            .map(|(location, row)| {
+                                Json::obj(vec![
+                                    ("location", location.as_str().into()),
+                                    ("cycles", row.cycles.into()),
+                                    ("instructions", row.instructions.into()),
+                                    ("flops", row.flops.into()),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+                ("cycles", outcome.counters.cycles.into()),
+            ]))
+        }
+    }
+}
+
+fn compilation_json(compilation: &Compilation) -> Json {
+    Json::obj(vec![
+        ("assembly", compilation.assembly.as_str().into()),
+        (
+            "functions",
+            Json::Arr(
+                compilation
+                    .functions
+                    .iter()
+                    .map(|(name, stats)| {
+                        Json::obj(vec![
+                            ("name", name.as_str().into()),
+                            ("int_regs", stats.int_used.len().into()),
+                            ("fp_regs", stats.fp_used.len().into()),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("passes", Json::Arr(compilation.passes.iter().map(|&p| p.into()).collect())),
+        (
+            "source_map",
+            Json::Arr(compilation.source_map.iter().map(|l| l.to_string().into()).collect()),
+        ),
+    ])
+}
+
+fn counters_json(counters: &PerfCounters) -> Json {
+    Json::obj(vec![
+        ("cycles", counters.cycles.into()),
+        ("instructions", counters.instructions.into()),
+        ("flops", counters.flops.into()),
+        ("fpu_instrs", counters.fpu_instrs.into()),
+        ("fmadd", counters.fmadd.into()),
+        ("frep", counters.frep.into()),
+        ("ssr_reads", counters.ssr_reads.into()),
+        ("ssr_writes", counters.ssr_writes.into()),
+        ("fpu_utilization", counters.fpu_utilization().into()),
+    ])
+}
+
+/// Digest of the verified kernel output (bit patterns, not rounded
+/// text), so payloads witness the exact simulation result compactly.
+fn output_digest(output: &[f64]) -> String {
+    let mut bytes = Vec::with_capacity(output.len() * 8);
+    for value in output {
+        bytes.extend_from_slice(&value.to_bits().to_le_bytes());
+    }
+    fnv1a128_hex(&bytes)
+}

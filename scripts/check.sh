@@ -33,5 +33,15 @@ run ./target/release/mlbc profile examples/matmul.mlir --profile-json - > /dev/n
 run ./target/release/mlbc profile examples/matmul.mlir --cores 2 \
     --chrome-trace target/matmul-trace.json
 test -s target/matmul-trace.json
+# Compile-service smoke: a deterministic batch of 64 mixed jobs (every
+# kernel and job kind, both drivers, several cluster widths) through
+# `mlbc serve` on 4 workers, run twice against the same service. Every
+# job must succeed and the second round must be served (at least) 90%
+# from the content-addressed cache; the serve exit code enforces both.
+echo "==> mlbc serve smoke (64-job batch, 4 workers, warm repeat)"
+./target/release/mlbc serve --emit-demo-batch 64 > target/serve-batch.jsonl
+run ./target/release/mlbc serve --batch target/serve-batch.jsonl \
+    --workers 4 --repeat 2 --min-hit-rate 90 > target/serve-responses.jsonl
+test -s target/serve-responses.jsonl
 
 echo "All checks passed."

@@ -20,8 +20,8 @@ use std::process::ExitCode;
 
 use mlb_core::{compile, compile_with_observer, full_registry, Flow, PipelineOptions};
 use mlb_ir::{
-    parse_module, parse_module_with_locations, print_op, Context, IrSnapshotMode, PassEvent,
-    PipelineRecorder, Type,
+    parse_module, parse_module_with_locations, print_op, Context, DriverMode, IrSnapshotMode,
+    PassEvent, PipelineRecorder, Type,
 };
 use mlb_isa::{FpReg, CSR_SSR, TCDM_BASE};
 use mlb_kernels::{LocationProfile, Profile};
@@ -37,6 +37,7 @@ usage: mlbc <input.mlir | -> [options]
        mlbc profile <input.mlir | -> [profile options]
        mlbc difftest [difftest options]
        mlbc bench-json [bench options]
+       mlbc serve [serve options]
 
 options:
   --emit asm|ir       output assembly (default) or the parsed IR
@@ -102,6 +103,22 @@ counters plus wall time, written as the tracked perf baseline):
                       report and fail on a >10% regression
   --cores N           core count of the cluster matmul scenario
                       (default 4)
+
+serve options (long-running compile service: one JSON job request per
+stdin line, one JSON response per stdout line, scheduled over a worker
+pool and memoized in a content-addressed result cache — see
+crates/service for the protocol):
+  --workers N         worker threads (default 4)
+  --cache-capacity N  entries per cache layer (default 256)
+  --batch FILE|-      run all requests from FILE (or stdin) as one
+                      batch instead of interactively; responses keep
+                      request order
+  --repeat K          in batch mode, run the batch K times through the
+                      same service (round 2+ should be cache hits)
+  --min-hit-rate PCT  in batch mode, fail unless the last round served
+                      at least PCT percent of jobs from the cache
+  --emit-demo-batch N print N deterministic mixed job requests (the
+                      smoke batch of scripts/check.sh) and exit
 ";
 
 fn main() -> ExitCode {
@@ -135,6 +152,9 @@ fn run(args: Vec<String>) -> Result<String, String> {
     }
     if args.first().map(String::as_str) == Some("profile") {
         return run_profile(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("serve") {
+        return run_serve(&args[1..]);
     }
     let mut input: Option<String> = None;
     let mut emit_ir = false;
@@ -239,6 +259,200 @@ fn run(args: Vec<String>) -> Result<String, String> {
         std::fs::write(&path, text).map_err(|e| format!("{path}: {e}"))?;
     }
     Ok(compiled.assembly)
+}
+
+/// The `mlbc serve` subcommand: a long-running compile service reading
+/// line-delimited JSON job requests and writing one response line per
+/// job, backed by a worker pool and a content-addressed result cache
+/// (see `mlb_service`). In `--batch` mode the whole request set runs
+/// through `CompileService::run_batch` (optionally `--repeat`ed against
+/// the warm cache); interactively each stdin line is answered as soon
+/// as it is read.
+fn run_serve(args: &[String]) -> Result<String, String> {
+    use mlbe::service::{parse_request, response_json, CompileService, ServiceConfig};
+
+    let mut workers = 4usize;
+    let mut capacity = 256usize;
+    let mut batch: Option<String> = None;
+    let mut repeat = 1usize;
+    let mut min_hit_rate: Option<f64> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--workers" => {
+                let n = iter.next().ok_or("--workers needs a value")?;
+                workers = n
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&w| w >= 1)
+                    .ok_or(format!("invalid --workers `{n}`: need a positive count"))?;
+            }
+            "--cache-capacity" => {
+                let n = iter.next().ok_or("--cache-capacity needs a value")?;
+                capacity =
+                    n.parse::<usize>().map_err(|_| format!("invalid --cache-capacity `{n}`"))?;
+            }
+            "--batch" => batch = Some(iter.next().ok_or("--batch needs a value")?.clone()),
+            "--repeat" => {
+                let n = iter.next().ok_or("--repeat needs a value")?;
+                repeat = n
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&k| k >= 1)
+                    .ok_or(format!("invalid --repeat `{n}`: need a positive count"))?;
+            }
+            "--min-hit-rate" => {
+                let n = iter.next().ok_or("--min-hit-rate needs a value")?;
+                min_hit_rate = Some(
+                    n.parse::<f64>()
+                        .ok()
+                        .filter(|p| (0.0..=100.0).contains(p))
+                        .ok_or(format!("invalid --min-hit-rate `{n}`: need a percentage"))?,
+                );
+            }
+            "--emit-demo-batch" => {
+                let n = iter.next().ok_or("--emit-demo-batch needs a value")?;
+                let n = n
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&j| j >= 1)
+                    .ok_or(format!("invalid --emit-demo-batch `{n}`: need a job count"))?;
+                return Ok(demo_batch(n));
+            }
+            other => return Err(format!("unknown serve option `{other}`\n{USAGE}")),
+        }
+    }
+
+    let service = CompileService::new(ServiceConfig { workers, cache_capacity: capacity });
+    if let Some(path) = batch {
+        let text = if path == "-" {
+            let mut text = String::new();
+            std::io::stdin().read_to_string(&mut text).map_err(|e| format!("stdin: {e}"))?;
+            text
+        } else {
+            std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?
+        };
+        let mut requests = Vec::new();
+        for (index, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let request = parse_request(line, (index + 1) as u64)
+                .map_err(|e| format!("batch line {}: {e}", index + 1))?;
+            requests.push(request);
+        }
+        if requests.is_empty() {
+            return Err("batch contains no requests".to_string());
+        }
+        let mut out = String::new();
+        let mut failures = 0usize;
+        let mut last_hit_rate = 0.0f64;
+        for round in 1..=repeat {
+            let started = std::time::Instant::now();
+            let responses = service.run_batch(&requests);
+            let hits = responses.iter().filter(|r| r.cached).count();
+            let errors = responses.iter().filter(|r| r.payload.is_err()).count();
+            for response in &responses {
+                out.push_str(&response_json(response).to_string());
+                out.push('\n');
+            }
+            failures += errors;
+            last_hit_rate = hits as f64 * 100.0 / responses.len() as f64;
+            eprintln!(
+                "mlbc serve: round {round}/{repeat}: {} jobs over {workers} workers, \
+                 {errors} errors, {hits} cache hits ({last_hit_rate:.1}%) in {:?}",
+                responses.len(),
+                started.elapsed(),
+            );
+        }
+        let (artifacts, results) = service.cache_stats();
+        eprintln!(
+            "mlbc serve: artifact cache {}/{} hits, result cache {}/{} hits",
+            artifacts.hits,
+            artifacts.hits + artifacts.misses,
+            results.hits,
+            results.hits + results.misses,
+        );
+        if failures > 0 {
+            eprint!("{out}");
+            return Err(format!("{failures} job(s) failed"));
+        }
+        if let Some(min) = min_hit_rate {
+            if last_hit_rate < min {
+                eprint!("{out}");
+                return Err(format!(
+                    "last round served {last_hit_rate:.1}% from cache, below --min-hit-rate {min}"
+                ));
+            }
+        }
+        Ok(out)
+    } else {
+        use std::io::{BufRead, Write};
+        let stdin = std::io::stdin();
+        let mut stdout = std::io::stdout();
+        for (index, line) in stdin.lock().lines().enumerate() {
+            let line = line.map_err(|e| format!("stdin: {e}"))?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let reply = match parse_request(&line, (index + 1) as u64) {
+                Ok(request) => response_json(&service.run_one(request)),
+                Err(message) => Json::obj(vec![
+                    ("id", ((index + 1) as u64).into()),
+                    ("ok", false.into()),
+                    ("error", message.into()),
+                ]),
+            };
+            writeln!(stdout, "{reply}").map_err(|e| format!("stdout: {e}"))?;
+            stdout.flush().map_err(|e| format!("stdout: {e}"))?;
+        }
+        Ok(String::new())
+    }
+}
+
+/// A deterministic mixed batch of `n` service jobs covering every
+/// kernel, both precisions, all three flows, all four production job
+/// kinds, both rewrite drivers and several cluster widths — the smoke
+/// batch `scripts/check.sh` pushes through `mlbc serve`.
+fn demo_batch(n: usize) -> String {
+    use mlb_kernels::{Instance, Kind, Precision, Shape};
+    use mlbe::service::{request_json, JobKind, JobRequest};
+
+    let job_kinds = [JobKind::Compile, JobKind::Simulate, JobKind::Difftest, JobKind::Profile];
+    let mut out = String::new();
+    for i in 0..n {
+        let kernel = Kind::all()[i % 8];
+        let shape = match kernel {
+            Kind::MatMul | Kind::MatMulT => Shape::nmk(2, 4, 3),
+            _ => Shape::nm(3, 4),
+        };
+        let precision = if (i / 8) % 2 == 0 { Precision::F64 } else { Precision::F32 };
+        let kind = job_kinds[(i + i / 8) % 4];
+        let driver = if i % 6 == 3 { DriverMode::LegacyRewalk } else { DriverMode::Worklist };
+        let flow = if kind == JobKind::Difftest && i % 5 == 0 {
+            Flow::MlirLike
+        } else if kind == JobKind::Difftest && i % 7 == 0 {
+            Flow::ClangLike
+        } else {
+            let mut opts =
+                if i % 9 == 4 { PipelineOptions::baseline() } else { PipelineOptions::full() };
+            if kind == JobKind::Simulate {
+                opts.cores = [1, 2, 4][(i / 4) % 3];
+            }
+            Flow::Ours(opts)
+        };
+        let request = JobRequest {
+            id: (i + 1) as u64,
+            kind,
+            instance: Instance::new(kernel, shape, precision),
+            flow,
+            driver,
+            seed: (i % 3) as u64,
+        };
+        out.push_str(&request_json(&request).to_string());
+        out.push('\n');
+    }
+    out
 }
 
 /// Parses a `--cores` value (a positive core count).
@@ -751,7 +965,7 @@ fn run_difftest(args: &[String]) -> Result<String, String> {
 /// regression guard; wall times (min over a few repetitions) record the
 /// trajectory but are machine-dependent, so `--check` ignores them.
 fn run_bench_json(args: &[String]) -> Result<String, String> {
-    use mlb_ir::{with_driver_mode, DriverMode, RewriteStats};
+    use mlb_ir::{DriverMode, RewriteStats};
     use mlb_kernels::{Instance, Kind, Precision, Shape};
     use std::time::Instant;
 
@@ -775,22 +989,21 @@ fn run_bench_json(args: &[String]) -> Result<String, String> {
 
     // Compiler scenario: deterministic rewrite work plus wall time.
     let compile_mode = |mode: DriverMode| -> Result<(RewriteStats, u64, String), String> {
-        with_driver_mode(mode, || {
-            let mut stats = RewriteStats::default();
-            let mut assembly = String::new();
-            let mut wall = u64::MAX;
-            for _ in 0..3 {
-                let mut ctx = Context::new();
-                let module = instance.build_module(&mut ctx);
-                let start = Instant::now();
-                let compiled = compile(&mut ctx, module, Flow::Ours(PipelineOptions::full()))
-                    .map_err(|e| e.to_string())?;
-                wall = wall.min(start.elapsed().as_nanos() as u64);
-                stats = ctx.rewrite_stats();
-                assembly = compiled.assembly;
-            }
-            Ok((stats, wall, assembly))
-        })
+        let mut stats = RewriteStats::default();
+        let mut assembly = String::new();
+        let mut wall = u64::MAX;
+        for _ in 0..3 {
+            let mut ctx = Context::new();
+            ctx.set_driver_mode(mode);
+            let module = instance.build_module(&mut ctx);
+            let start = Instant::now();
+            let compiled = compile(&mut ctx, module, Flow::Ours(PipelineOptions::full()))
+                .map_err(|e| e.to_string())?;
+            wall = wall.min(start.elapsed().as_nanos() as u64);
+            stats = ctx.rewrite_stats();
+            assembly = compiled.assembly;
+        }
+        Ok((stats, wall, assembly))
     };
     let (wl, wl_nanos, assembly) = compile_mode(DriverMode::Worklist)?;
     let (lg, lg_nanos, legacy_assembly) = compile_mode(DriverMode::LegacyRewalk)?;

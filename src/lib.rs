@@ -3,12 +3,12 @@
 //! See the workspace README for the project overview and DESIGN.md for
 //! the paper-reproduction design.
 
-pub mod json;
-
 pub use mlb_core as backend;
 pub use mlb_dialects as dialects;
 pub use mlb_ir as ir;
 pub use mlb_isa as isa;
 pub use mlb_kernels as kernels;
 pub use mlb_riscv as riscv;
+pub use mlb_service as service;
+pub use mlb_service::json;
 pub use mlb_sim as sim;

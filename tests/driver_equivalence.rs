@@ -8,32 +8,32 @@
 //! exact pass where the drivers would first disagree.
 
 use mlb_core::{compile_with_observer, Flow, PipelineOptions};
-use mlb_ir::{with_driver_mode, Context, DriverMode, IrSnapshotMode, PipelineRecorder};
+use mlb_ir::{Context, DriverMode, IrSnapshotMode, PipelineRecorder};
 use mlb_kernels::{Instance, Kind, Precision, Shape};
 
-/// Compiles `instance` under `flow` with the given rewrite-driver mode,
-/// returning each pass name with its printed IR, plus the assembly.
+/// Compiles `instance` under `flow` with the given rewrite-driver mode
+/// (a per-context property), returning each pass name with its printed
+/// IR, plus the assembly.
 fn stages_under(
     instance: &Instance,
     flow: Flow,
     mode: DriverMode,
 ) -> (Vec<(String, String)>, String) {
-    with_driver_mode(mode, || {
-        let mut ctx = Context::new();
-        let module = instance.build_module(&mut ctx);
-        let mut recorder = PipelineRecorder::new(IrSnapshotMode::All);
-        let compiled = compile_with_observer(&mut ctx, module, flow, &mut recorder)
-            .unwrap_or_else(|e| panic!("{instance} under {flow:?} ({mode:?}): {e}"));
-        let stages = recorder
-            .events
-            .iter()
-            .map(|event| {
-                let ir = event.ir_after.clone().expect("snapshot mode All records every pass");
-                (event.pass.to_string(), ir)
-            })
-            .collect();
-        (stages, compiled.assembly)
-    })
+    let mut ctx = Context::new();
+    ctx.set_driver_mode(mode);
+    let module = instance.build_module(&mut ctx);
+    let mut recorder = PipelineRecorder::new(IrSnapshotMode::All);
+    let compiled = compile_with_observer(&mut ctx, module, flow, &mut recorder)
+        .unwrap_or_else(|e| panic!("{instance} under {flow:?} ({mode:?}): {e}"));
+    let stages = recorder
+        .events
+        .iter()
+        .map(|event| {
+            let ir = event.ir_after.clone().expect("snapshot mode All records every pass");
+            (event.pass.to_string(), ir)
+        })
+        .collect();
+    (stages, compiled.assembly)
 }
 
 #[test]

@@ -121,6 +121,160 @@ fn emitter_rejects_unlowered_structures() {
     assert!(err.to_string().contains("no assembly form"), "{err}");
 }
 
+/// Silences the panic hook for the deliberately-panicking `debug-panic`
+/// service jobs (they run on uncaptured worker threads and would spam
+/// the test output); every other panic still reports normally.
+fn silence_injected_panics() {
+    use std::sync::Once;
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let default = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let injected = info
+                .payload()
+                .downcast_ref::<String>()
+                .is_some_and(|s| s.contains("panicked on purpose"));
+            if !injected {
+                default(info);
+            }
+        }));
+    });
+}
+
+/// A failing job in a service batch fails alone: panics, validation
+/// errors and harness errors are reported in that job's response, the
+/// surrounding jobs succeed, and the worker pool keeps serving.
+#[test]
+fn service_isolates_failing_jobs() {
+    silence_injected_panics();
+    use mlb_kernels::{Instance, Kind, Precision, Shape};
+    use mlbe::service::{CompileService, JobKind, JobRequest, ServiceConfig};
+
+    let good = JobRequest {
+        id: 0,
+        kind: JobKind::Simulate,
+        instance: Instance::new(Kind::Sum, Shape::nm(3, 4), Precision::F64),
+        flow: Flow::Ours(PipelineOptions::full()),
+        driver: mlb_ir::DriverMode::Worklist,
+        seed: 1,
+    };
+    // Three distinct failure modes: a worker panic, a validation error,
+    // and a harness error (operands far beyond the TCDM).
+    let panicking = JobRequest { id: 1, kind: JobKind::DebugPanic, ..good };
+    let invalid = JobRequest {
+        id: 2,
+        flow: Flow::Ours(PipelineOptions { cores: 0, ..PipelineOptions::full() }),
+        ..good
+    };
+    let oversized = JobRequest {
+        id: 3,
+        instance: Instance::new(Kind::Sum, Shape::nm(1000, 1000), Precision::F64),
+        ..good
+    };
+
+    let service = CompileService::new(ServiceConfig { workers: 2, cache_capacity: 32 });
+    let batch = [good, panicking, invalid, oversized, JobRequest { id: 4, seed: 2, ..good }];
+    let responses = service.run_batch(&batch);
+
+    assert!(responses[0].payload.is_ok(), "{:?}", responses[0].payload);
+    assert!(responses[4].payload.is_ok(), "{:?}", responses[4].payload);
+    let panic_err = responses[1].payload.as_ref().unwrap_err();
+    assert!(panic_err.contains("panic"), "{panic_err}");
+    assert!(panic_err.contains("on purpose"), "{panic_err}");
+    let invalid_err = responses[2].payload.as_ref().unwrap_err();
+    assert!(invalid_err.contains("cores"), "{invalid_err}");
+    let oversized_err = responses[3].payload.as_ref().unwrap_err();
+    assert!(oversized_err.contains("TCDM"), "{oversized_err}");
+
+    // The pool survived the panic: a fresh batch on the same service
+    // still completes, and the good job now comes from the cache.
+    let again = service.run_batch(&batch);
+    assert!(again[0].cached, "succeeded job must be memoized");
+    assert!(again[0].payload.is_ok());
+    assert!(again[1].payload.is_err());
+}
+
+/// Failures are never inserted into the result cache: resubmitting a
+/// failing job recomputes it (no cached error), and the cache's
+/// insertion count only moves for successes.
+#[test]
+fn failed_jobs_never_poison_the_cache() {
+    use mlb_kernels::{Instance, Kind, Precision, Shape};
+    use mlbe::service::{CompileService, JobKind, JobRequest, ServiceConfig};
+
+    silence_injected_panics();
+
+    let service = CompileService::new(ServiceConfig { workers: 1, cache_capacity: 32 });
+    let failing = JobRequest {
+        id: 7,
+        kind: JobKind::Simulate,
+        instance: Instance::new(Kind::Relu, Shape::nm(900, 900), Precision::F64),
+        flow: Flow::Ours(PipelineOptions::full()),
+        driver: mlb_ir::DriverMode::Worklist,
+        seed: 0,
+    };
+    let first = service.run_one(failing);
+    let second = service.run_one(failing);
+    assert!(first.payload.is_err() && second.payload.is_err());
+    assert!(!first.cached && !second.cached, "errors must never be served from cache");
+    let (_, results) = service.cache_stats();
+    assert_eq!(results.insertions, 0, "a failed job must not populate the result cache");
+
+    // A panicking job poisons nothing either: the same service still
+    // caches and serves a subsequent success normally.
+    let panicking = JobRequest { id: 8, kind: JobKind::DebugPanic, ..failing };
+    assert!(service.run_one(panicking).payload.is_err());
+    let good = JobRequest {
+        id: 9,
+        instance: Instance::new(Kind::Relu, Shape::nm(3, 4), Precision::F64),
+        ..failing
+    };
+    assert!(service.run_one(good).payload.is_ok());
+    assert!(service.run_one(good).cached);
+    let (_, results) = service.cache_stats();
+    assert_eq!(results.insertions, 1);
+}
+
+/// Panics racing against healthy jobs on a multi-worker pool corrupt
+/// nothing: the healthy payloads match a panic-free reference service.
+#[test]
+fn panics_do_not_corrupt_concurrent_results() {
+    use mlb_kernels::{Instance, Kind, Precision, Shape};
+    use mlbe::service::{CompileService, JobKind, JobRequest, ServiceConfig};
+
+    silence_injected_panics();
+
+    let template = JobRequest {
+        id: 0,
+        kind: JobKind::Compile,
+        instance: Instance::new(Kind::MatMul, Shape::nmk(2, 4, 3), Precision::F64),
+        flow: Flow::Ours(PipelineOptions::full()),
+        driver: mlb_ir::DriverMode::Worklist,
+        seed: 0,
+    };
+    let mut batch = Vec::new();
+    for i in 0..16u64 {
+        let kind = if i % 3 == 1 { JobKind::DebugPanic } else { JobKind::Compile };
+        batch.push(JobRequest { id: i, kind, seed: i / 3, ..template });
+    }
+    let noisy = CompileService::new(ServiceConfig { workers: 4, cache_capacity: 32 });
+    let quiet = CompileService::new(ServiceConfig { workers: 1, cache_capacity: 32 });
+    let noisy_responses = noisy.run_batch(&batch);
+    for (request, response) in batch.iter().zip(&noisy_responses) {
+        if request.kind == JobKind::DebugPanic {
+            assert!(response.payload.is_err());
+        } else {
+            let reference = quiet.run_one(*request);
+            assert_eq!(
+                response.payload_text(),
+                reference.payload_text(),
+                "job {} diverged from the panic-free reference",
+                request.id
+            );
+        }
+    }
+}
+
 /// Register exhaustion surfaces as a named pass failure through the
 /// public driver (with the flow's fallback where one exists).
 #[test]

@@ -1,0 +1,200 @@
+//! Property tests over the service's content-addressed cache.
+//!
+//! Three properties pin the cache down: a hit is bit-identical to the
+//! cold miss it memoized (and to a cold miss on a fresh service), any
+//! change to any key field changes the key, and an LRU small enough to
+//! thrash never serves a stale (wrong-valued) entry — it may forget,
+//! never lie.
+
+use mlb_core::{Flow, PipelineOptions};
+use mlb_ir::DriverMode;
+use mlb_kernels::{Instance, Kind, Precision, Shape};
+use mlbe::service::{CompileService, JobKind, JobRequest, LruCache, ServiceConfig};
+use proptest::prelude::*;
+
+/// Builds a job request from raw generator draws. `kind_sel` picks the
+/// job kind, `kernel_sel` the kernel, and the remaining draws fill in
+/// shape, precision, flow options, driver and seed.
+#[allow(clippy::too_many_arguments)]
+fn request_from(
+    kind_sel: usize,
+    kernel_sel: usize,
+    n: i64,
+    m: i64,
+    k: i64,
+    f32p: bool,
+    flow_sel: usize,
+    toggles: [bool; 6],
+    cores_sel: usize,
+    driver_legacy: bool,
+    seed: u64,
+) -> JobRequest {
+    let kinds = [JobKind::Compile, JobKind::Simulate, JobKind::Difftest, JobKind::Profile];
+    let kernel = Kind::all()[kernel_sel % 8];
+    let shape = match kernel {
+        Kind::MatMul | Kind::MatMulT => Shape::nmk(n, m, k),
+        _ => Shape::nm(n, m),
+    };
+    let flow = match flow_sel % 4 {
+        0 => Flow::MlirLike,
+        1 => Flow::ClangLike,
+        _ => {
+            let mut opts = PipelineOptions::full();
+            opts.streams = toggles[0];
+            opts.scalar_replacement = toggles[1];
+            opts.frep = toggles[2];
+            opts.fuse_fill = toggles[3];
+            opts.unroll_and_jam = toggles[4];
+            opts.stream_pattern_opts = toggles[5];
+            opts.cores = [1, 2, 4, 8][cores_sel % 4];
+            Flow::Ours(opts)
+        }
+    };
+    JobRequest {
+        id: 1,
+        kind: kinds[kind_sel % 4],
+        instance: Instance::new(kernel, shape, if f32p { Precision::F32 } else { Precision::F64 }),
+        flow,
+        driver: if driver_legacy { DriverMode::LegacyRewalk } else { DriverMode::Worklist },
+        seed,
+    }
+}
+
+proptest! {
+    /// Flipping any single key field must change the result key (and
+    /// the compile key too, when the field is part of the artifact
+    /// identity). The canonical encoding is injective by construction;
+    /// this hunts for fields that were forgotten or ambiguously spelled.
+    #[test]
+    fn every_field_flip_changes_the_key(
+        (kind_sel, kernel_sel, flow_sel, cores_sel) in
+            (0usize..4, 0usize..8, 0usize..4, 0usize..4),
+        (nn, mm, kk) in (1i64..6, 1i64..6, 1i64..6),
+        (f32p, driver_legacy) in (any::<bool>(), any::<bool>()),
+        toggles in [any::<bool>(), any::<bool>(), any::<bool>(), any::<bool>(),
+                    any::<bool>(), any::<bool>()],
+        seed in 0u64..1000,
+        flip in 0usize..11,
+    ) {
+        let base = request_from(
+            kind_sel, kernel_sel, nn, mm, kk, f32p, flow_sel, toggles, cores_sel,
+            driver_legacy, seed,
+        );
+        let flipped = match flip {
+            0 => request_from(kind_sel + 1, kernel_sel, nn, mm, kk, f32p, flow_sel,
+                              toggles, cores_sel, driver_legacy, seed),
+            1 => request_from(kind_sel, kernel_sel + 1, nn, mm, kk, f32p, flow_sel,
+                              toggles, cores_sel, driver_legacy, seed),
+            2 => request_from(kind_sel, kernel_sel, nn + 1, mm, kk, f32p, flow_sel,
+                              toggles, cores_sel, driver_legacy, seed),
+            3 => request_from(kind_sel, kernel_sel, nn, mm + 1, kk, f32p, flow_sel,
+                              toggles, cores_sel, driver_legacy, seed),
+            4 => request_from(kind_sel, kernel_sel, nn, mm, kk, !f32p, flow_sel,
+                              toggles, cores_sel, driver_legacy, seed),
+            5 => request_from(kind_sel, kernel_sel, nn, mm, kk, f32p, flow_sel + 1,
+                              toggles, cores_sel, driver_legacy, seed),
+            6 => {
+                let mut t = toggles;
+                t[seed as usize % 6] = !t[seed as usize % 6];
+                request_from(kind_sel, kernel_sel, nn, mm, kk, f32p, flow_sel, t,
+                             cores_sel, driver_legacy, seed)
+            }
+            7 => request_from(kind_sel, kernel_sel, nn, mm, kk, f32p, flow_sel,
+                              toggles, cores_sel + 1, driver_legacy, seed),
+            8 => request_from(kind_sel, kernel_sel, nn, mm, kk, f32p, flow_sel,
+                              toggles, cores_sel, !driver_legacy, seed),
+            9 => request_from(kind_sel, kernel_sel, nn, mm, kk, f32p, flow_sel,
+                              toggles, cores_sel, driver_legacy, seed + 1),
+            _ => request_from(kind_sel, kernel_sel, nn, mm, kk + 1, f32p, flow_sel,
+                              toggles, cores_sel, driver_legacy, seed),
+        };
+        // Some flips are no-ops through the constructors (`k` on a
+        // non-matrix kernel, toggles/cores under a comparison flow, a
+        // kind/kernel/flow selector that wraps to the same variant);
+        // only a flip that actually changed the request must change
+        // the key.
+        if flipped != base {
+            prop_assert_ne!(
+                flipped.result_key(),
+                base.result_key(),
+                "distinct requests share a key:\n  {:?}\n  {:?}",
+                base,
+                flipped
+            );
+        } else {
+            prop_assert_eq!(flipped.result_key(), base.result_key());
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// A cache hit is bit-identical to the cold miss that filled it,
+    /// and to a cold miss computed by a completely fresh service.
+    #[test]
+    fn hit_is_bit_identical_to_cold_miss(
+        kernel_sel in 0usize..8,
+        f32p in any::<bool>(),
+        toggles in [any::<bool>(), any::<bool>(), any::<bool>(), any::<bool>(),
+                    any::<bool>(), any::<bool>()],
+        driver_legacy in any::<bool>(),
+        seed in 0u64..100,
+    ) {
+        let request = request_from(
+            0, // Compile jobs: the artifact exercises the whole pipeline
+            kernel_sel, 3, 4, 2, f32p, 2, toggles, 0, driver_legacy, seed,
+        );
+        let service = CompileService::new(ServiceConfig { workers: 1, cache_capacity: 16 });
+        let cold = service.run_one(request);
+        let warm = service.run_one(request);
+        prop_assert!(!cold.cached);
+        prop_assert!(warm.cached, "second identical request must hit");
+        prop_assert_eq!(cold.payload_text(), warm.payload_text());
+        prop_assert_eq!(&cold.digest, &warm.digest);
+
+        let fresh = CompileService::new(ServiceConfig { workers: 1, cache_capacity: 16 });
+        let other = fresh.run_one(request);
+        prop_assert!(!other.cached);
+        prop_assert_eq!(cold.payload_text(), other.payload_text(),
+                        "cold results must agree across service instances");
+        prop_assert_eq!(&cold.digest, &other.digest);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// An LRU under heavy eviction pressure may forget entries but must
+    /// never serve a value that disagrees with an always-remembering
+    /// model map, and must never exceed its capacity.
+    #[test]
+    fn thrashing_lru_never_serves_stale(
+        capacity in 1usize..5,
+        ops in prop::collection::vec((any::<bool>(), 0u64..12, any::<u64>()), 1..120),
+    ) {
+        let mut cache: LruCache<u64> = LruCache::new(capacity);
+        let mut model = std::collections::HashMap::new();
+        let mut lookups = 0u64;
+        for (is_insert, key_id, value) in ops {
+            let key = format!("key-{key_id}");
+            if is_insert {
+                cache.insert(key.clone(), value);
+                model.insert(key, value);
+            } else {
+                lookups += 1;
+                if let Some(&got) = cache.get(&key) {
+                    // A hit must match the model exactly — eviction may
+                    // lose entries, but a resurrected or stale value is
+                    // a cache-correctness bug.
+                    prop_assert_eq!(Some(&got), model.get(&key),
+                                    "stale hit for {}", key);
+                }
+            }
+            prop_assert!(cache.len() <= capacity,
+                         "{} entries exceed capacity {}", cache.len(), capacity);
+        }
+        let stats = cache.stats();
+        prop_assert_eq!(stats.hits + stats.misses, lookups);
+    }
+}

@@ -1,0 +1,185 @@
+//! Concurrency-equivalence suite for the compile service.
+//!
+//! The service's contract is that scheduling is invisible: a batch run
+//! over many workers must produce byte-identical payloads (assembly,
+//! counters, source maps, profiles, difftest stage lists) to the same
+//! batch run sequentially, and a warm resubmission must serve from the
+//! content-addressed cache without changing a byte.
+
+use mlb_core::{Flow, PipelineOptions};
+use mlb_ir::DriverMode;
+use mlb_kernels::{Instance, Kind, Precision, Shape};
+use mlbe::service::{CompileService, JobKind, JobRequest, ServiceConfig};
+
+/// A deterministic batch of `n` mixed jobs: every kernel, both
+/// precisions, all four production job kinds, both drivers, all three
+/// flows and several cluster widths (mirrors `mlbc serve
+/// --emit-demo-batch`).
+fn mixed_batch(n: usize) -> Vec<JobRequest> {
+    let job_kinds = [JobKind::Compile, JobKind::Simulate, JobKind::Difftest, JobKind::Profile];
+    (0..n)
+        .map(|i| {
+            let kernel = Kind::all()[i % 8];
+            let shape = match kernel {
+                Kind::MatMul | Kind::MatMulT => Shape::nmk(2, 4, 3),
+                _ => Shape::nm(3, 4),
+            };
+            let precision = if (i / 8) % 2 == 0 { Precision::F64 } else { Precision::F32 };
+            let kind = job_kinds[(i + i / 8) % 4];
+            let driver = if i % 6 == 3 { DriverMode::LegacyRewalk } else { DriverMode::Worklist };
+            let flow = if kind == JobKind::Difftest && i % 5 == 0 {
+                Flow::MlirLike
+            } else if kind == JobKind::Difftest && i % 7 == 0 {
+                Flow::ClangLike
+            } else {
+                let mut opts =
+                    if i % 9 == 4 { PipelineOptions::baseline() } else { PipelineOptions::full() };
+                if kind == JobKind::Simulate {
+                    opts.cores = [1, 2, 4][(i / 4) % 3];
+                }
+                Flow::Ours(opts)
+            };
+            JobRequest {
+                id: (i + 1) as u64,
+                kind,
+                instance: Instance::new(kernel, shape, precision),
+                flow,
+                driver,
+                seed: (i % 3) as u64,
+            }
+        })
+        .collect()
+}
+
+/// The acceptance criterion of the serve tentpole: 64 mixed jobs over 8
+/// workers are byte-identical to the sequential run, and resubmitting
+/// the batch is served (almost entirely) from cache with identical
+/// payloads.
+#[test]
+fn concurrent_batch_matches_sequential_byte_for_byte() {
+    let requests = mixed_batch(64);
+
+    let sequential = CompileService::new(ServiceConfig { workers: 1, cache_capacity: 256 });
+    let reference = sequential.run_batch(&requests);
+    for (request, response) in requests.iter().zip(&reference) {
+        assert!(
+            response.payload.is_ok(),
+            "job {} ({:?} {}): {}",
+            request.id,
+            request.kind,
+            request.instance,
+            response.payload.as_ref().unwrap_err()
+        );
+    }
+
+    let concurrent = CompileService::new(ServiceConfig { workers: 8, cache_capacity: 256 });
+    assert_eq!(concurrent.workers(), 8);
+    let cold = concurrent.run_batch(&requests);
+    assert_eq!(cold.len(), reference.len());
+    for ((request, seq), conc) in requests.iter().zip(&reference).zip(&cold) {
+        assert_eq!(conc.id, request.id, "responses must keep request order");
+        assert_eq!(conc.digest, seq.digest, "job {}: digest diverged", request.id);
+        assert_eq!(
+            conc.payload_text(),
+            seq.payload_text(),
+            "job {} ({:?} {}): concurrent payload diverged from sequential",
+            request.id,
+            request.kind,
+            request.instance
+        );
+    }
+
+    // Warm resubmission: ≥90% served from cache (here: all of them,
+    // since every job succeeded), still byte-identical.
+    let warm = concurrent.run_batch(&requests);
+    let hits = warm.iter().filter(|r| r.cached).count();
+    assert!(hits * 100 >= warm.len() * 90, "only {hits}/{} warm jobs were cache hits", warm.len());
+    for (seq, warm) in reference.iter().zip(&warm) {
+        assert_eq!(warm.payload_text(), seq.payload_text(), "warm payload diverged");
+    }
+}
+
+/// Responses come back in request order even when later-submitted jobs
+/// finish first (cheap jobs queued behind expensive ones).
+#[test]
+fn response_order_is_request_order_not_completion_order() {
+    // One expensive difftest first, then trivially cheap compiles: with
+    // 4 workers the compiles all finish while the difftest still runs.
+    let mut requests = vec![JobRequest {
+        id: 100,
+        kind: JobKind::Difftest,
+        instance: Instance::new(Kind::MatMul, Shape::nmk(4, 8, 8), Precision::F64),
+        flow: Flow::Ours(PipelineOptions::full()),
+        driver: DriverMode::Worklist,
+        seed: 0,
+    }];
+    for i in 0..12 {
+        requests.push(JobRequest {
+            id: i,
+            kind: JobKind::Compile,
+            instance: Instance::new(Kind::Fill, Shape::nm(2, 2), Precision::F64),
+            flow: Flow::Ours(PipelineOptions::full()),
+            driver: DriverMode::Worklist,
+            seed: i,
+        });
+    }
+    let service = CompileService::new(ServiceConfig { workers: 4, cache_capacity: 64 });
+    let responses = service.run_batch(&requests);
+    let got: Vec<u64> = responses.iter().map(|r| r.id).collect();
+    let want: Vec<u64> = requests.iter().map(|r| r.id).collect();
+    assert_eq!(got, want);
+}
+
+/// The artifact cache is shared across job kinds: a simulate job reuses
+/// the compilation a compile job produced, and the two payloads embed
+/// the same artifact.
+#[test]
+fn simulate_reuses_the_compile_jobs_artifact() {
+    let service = CompileService::new(ServiceConfig { workers: 1, cache_capacity: 64 });
+    let instance = Instance::new(Kind::Sum, Shape::nm(4, 8), Precision::F64);
+    let base = JobRequest {
+        id: 1,
+        kind: JobKind::Compile,
+        instance,
+        flow: Flow::Ours(PipelineOptions::full()),
+        driver: DriverMode::Worklist,
+        seed: 3,
+    };
+    let compile = service.run_one(base);
+    assert!(compile.payload.is_ok());
+    let (artifacts_before, _) = service.cache_stats();
+    let simulate = service.run_one(JobRequest { id: 2, kind: JobKind::Simulate, ..base });
+    assert!(simulate.payload.is_ok());
+    assert!(!simulate.cached, "different job kind, different result key");
+    let (artifacts_after, _) = service.cache_stats();
+    assert_eq!(
+        artifacts_after.hits,
+        artifacts_before.hits + 1,
+        "the simulate job must hit the artifact the compile job cached"
+    );
+    assert_eq!(artifacts_after.insertions, artifacts_before.insertions, "nothing recompiled");
+}
+
+/// Distinct drivers are distinct cache entries, but — by driver
+/// equivalence — their artifacts agree, so the service returns the same
+/// assembly under either key.
+#[test]
+fn drivers_are_separate_keys_with_equal_artifacts() {
+    let service = CompileService::new(ServiceConfig { workers: 2, cache_capacity: 64 });
+    let base = JobRequest {
+        id: 1,
+        kind: JobKind::Compile,
+        instance: Instance::new(Kind::Conv3x3, Shape::nm(3, 4), Precision::F64),
+        flow: Flow::Ours(PipelineOptions::full()),
+        driver: DriverMode::Worklist,
+        seed: 0,
+    };
+    let legacy = JobRequest { driver: DriverMode::LegacyRewalk, ..base };
+    let responses = service.run_batch(&[base, legacy]);
+    assert_ne!(responses[0].digest, responses[1].digest);
+    assert_eq!(
+        responses[0].payload_text(),
+        responses[1].payload_text(),
+        "worklist and legacy drivers must compile identically"
+    );
+}
