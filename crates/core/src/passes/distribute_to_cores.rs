@@ -27,6 +27,12 @@ use mlb_riscv::rv_snitch;
 pub struct DistributeToCores {
     /// Number of cores to shard across.
     pub cores: usize,
+    /// Forced shard dimension (the autotuner searches over this). The
+    /// override is honoured only when the dimension satisfies every
+    /// safety condition of the automatic pick — parallel, divisible by
+    /// the core count, depended on by all output maps — otherwise the
+    /// pass falls back to the automatic choice.
+    pub dim_override: Option<usize>,
 }
 
 impl Pass for DistributeToCores {
@@ -52,7 +58,7 @@ impl Pass for DistributeToCores {
             // charged to the generic being distributed.
             let loc = ctx.effective_loc(g).clone();
             ctx.set_builder_loc(loc);
-            match shard_dim(ctx, g, cores) {
+            match shard_dim(ctx, g, cores, self.dim_override) {
                 Some(dim) => shard(ctx, g, dim, cores),
                 None => confine_to_core0(ctx, g),
             }
@@ -64,9 +70,10 @@ impl Pass for DistributeToCores {
 
 /// Picks the dimension to chunk: the first parallel dimension whose
 /// bound divides by `cores` and that every output map depends on (so
-/// distinct harts write distinct elements). `None` means the kernel
-/// cannot be sharded safely.
-fn shard_dim(ctx: &Context, g: OpId, cores: i64) -> Option<usize> {
+/// distinct harts write distinct elements). A valid `dim_override`
+/// takes precedence over the scan. `None` means the kernel cannot be
+/// sharded safely.
+fn shard_dim(ctx: &Context, g: OpId, cores: i64, dim_override: Option<usize>) -> Option<usize> {
     let s = memref_stream::StreamGenericOp(g);
     let gen = s.generic();
     let iterators = gen.iterator_types(ctx);
@@ -77,11 +84,17 @@ fn shard_dim(ctx: &Context, g: OpId, cores: i64) -> Option<usize> {
     }
     let num_inputs = gen.num_inputs(ctx);
     let output_maps = &maps[num_inputs..];
-    (0..iterators.len()).find(|&d| {
+    let shardable = |d: usize| {
         iterators[d] == IteratorType::Parallel
             && bounds[d] % cores == 0
             && output_maps.iter().all(|m| m.dim_coefficients(d).iter().any(|&c| c != 0))
-    })
+    };
+    if let Some(d) = dim_override {
+        if d < iterators.len() && shardable(d) {
+            return Some(d);
+        }
+    }
+    (0..iterators.len()).find(|&d| shardable(d))
 }
 
 /// Rewrites `g` in place to cover one `bounds[dim] / cores` chunk,
@@ -243,7 +256,7 @@ mod tests {
         let r = registry();
         let m = build_matmul(&mut ctx, 8, 16, 16);
         ConvertLinalgToMemrefStream.run(&mut ctx, &r, m).unwrap();
-        DistributeToCores { cores: 4 }.run(&mut ctx, &r, m).unwrap();
+        DistributeToCores { cores: 4, dim_override: None }.run(&mut ctx, &r, m).unwrap();
         r.verify(&ctx, m).unwrap();
         let g = ctx.walk_named(m, memref_stream::GENERIC)[0];
         let s = memref_stream::StreamGenericOp(g);
@@ -270,7 +283,7 @@ mod tests {
         // M = 1, N = 5: no parallel bound divides 4.
         let m = build_matmul(&mut ctx, 1, 5, 200);
         ConvertLinalgToMemrefStream.run(&mut ctx, &r, m).unwrap();
-        DistributeToCores { cores: 4 }.run(&mut ctx, &r, m).unwrap();
+        DistributeToCores { cores: 4, dim_override: None }.run(&mut ctx, &r, m).unwrap();
         r.verify(&ctx, m).unwrap();
         let g = ctx.walk_named(m, memref_stream::GENERIC)[0];
         let wrapper = ctx.parent_op(g).unwrap();
@@ -286,7 +299,7 @@ mod tests {
         let r = registry();
         let m = build_sum(&mut ctx, 64);
         ConvertLinalgToMemrefStream.run(&mut ctx, &r, m).unwrap();
-        DistributeToCores { cores: 2 }.run(&mut ctx, &r, m).unwrap();
+        DistributeToCores { cores: 2, dim_override: None }.run(&mut ctx, &r, m).unwrap();
         r.verify(&ctx, m).unwrap();
         let g = ctx.walk_named(m, memref_stream::GENERIC)[0];
         let wrapper = ctx.parent_op(g).unwrap();
@@ -297,12 +310,54 @@ mod tests {
     }
 
     #[test]
+    fn valid_override_shards_the_requested_dimension() {
+        let mut ctx = Context::new();
+        let r = registry();
+        let m = build_matmul(&mut ctx, 8, 16, 16);
+        ConvertLinalgToMemrefStream.run(&mut ctx, &r, m).unwrap();
+        DistributeToCores { cores: 4, dim_override: Some(1) }.run(&mut ctx, &r, m).unwrap();
+        r.verify(&ctx, m).unwrap();
+        let g = ctx.walk_named(m, memref_stream::GENERIC)[0];
+        let s = memref_stream::StreamGenericOp(g);
+        // N = 16 chunked to 4 columns per core; M and K untouched.
+        assert_eq!(s.bounds(&ctx), vec![8, 4, 16]);
+        // A is independent of the column dim and stays unwrapped; B and
+        // C both advance along it.
+        let ops = ctx.op(g).operands.clone();
+        assert!(ctx.defining_op(ops[0]).is_none(), "A must stay the raw block arg");
+        let b_def = ctx.defining_op(ops[1]).unwrap();
+        assert_eq!(ctx.op(b_def).name, memref::OFFSET);
+        let c_def = ctx.defining_op(ops[2]).unwrap();
+        assert_eq!(ctx.op(c_def).name, memref::OFFSET);
+    }
+
+    #[test]
+    fn unsafe_override_falls_back_to_the_automatic_pick() {
+        let mut ctx = Context::new();
+        let r = registry();
+        let m = build_matmul(&mut ctx, 8, 16, 16);
+        ConvertLinalgToMemrefStream.run(&mut ctx, &r, m).unwrap();
+        // Dim 2 is the reduction dim (unsafe) — fall back to dim 0.
+        DistributeToCores { cores: 4, dim_override: Some(2) }.run(&mut ctx, &r, m).unwrap();
+        r.verify(&ctx, m).unwrap();
+        let g = ctx.walk_named(m, memref_stream::GENERIC)[0];
+        assert_eq!(memref_stream::StreamGenericOp(g).bounds(&ctx), vec![2, 16, 16]);
+        // An out-of-range override likewise falls back (fresh module).
+        let mut ctx2 = Context::new();
+        let m2 = build_matmul(&mut ctx2, 8, 16, 16);
+        ConvertLinalgToMemrefStream.run(&mut ctx2, &r, m2).unwrap();
+        DistributeToCores { cores: 4, dim_override: Some(9) }.run(&mut ctx2, &r, m2).unwrap();
+        let g2 = ctx2.walk_named(m2, memref_stream::GENERIC)[0];
+        assert_eq!(memref_stream::StreamGenericOp(g2).bounds(&ctx2), vec![2, 16, 16]);
+    }
+
+    #[test]
     fn single_core_is_a_noop() {
         let mut ctx = Context::new();
         let r = registry();
         let m = build_matmul(&mut ctx, 8, 16, 16);
         ConvertLinalgToMemrefStream.run(&mut ctx, &r, m).unwrap();
-        DistributeToCores { cores: 1 }.run(&mut ctx, &r, m).unwrap();
+        DistributeToCores { cores: 1, dim_override: None }.run(&mut ctx, &r, m).unwrap();
         assert!(ctx.walk_named(m, rv_snitch::HARTID).is_empty());
         assert!(ctx.walk_named(m, rv_snitch::BARRIER).is_empty());
     }

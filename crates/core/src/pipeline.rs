@@ -51,6 +51,12 @@ pub struct PipelineOptions {
     /// Number of cluster cores to shard kernels across (1 = no
     /// distribution; the paper's cluster has 8).
     pub cores: usize,
+    /// Forced shard dimension for `distribute-to-cores` (`None` =
+    /// automatic: the first parallel dimension whose bound divides the
+    /// core count and that every output map depends on). A forced
+    /// dimension that fails those conditions falls back to the
+    /// automatic choice, so the option can never make sharding unsound.
+    pub shard_dim: Option<usize>,
 }
 
 impl PipelineOptions {
@@ -65,6 +71,7 @@ impl PipelineOptions {
             unroll_factor: None,
             stream_pattern_opts: true,
             cores: 1,
+            shard_dim: None,
         }
     }
 
@@ -79,6 +86,7 @@ impl PipelineOptions {
             unroll_factor: None,
             stream_pattern_opts: true,
             cores: 1,
+            shard_dim: None,
         }
     }
 
@@ -220,7 +228,7 @@ pub fn build_pipeline(flow: Flow, clang_unroll: bool) -> PassManager {
                 pm.add(MemrefStreamFuseFill);
             }
             if opts.cores > 1 {
-                pm.add(DistributeToCores { cores: opts.cores });
+                pm.add(DistributeToCores { cores: opts.cores, dim_override: opts.shard_dim });
             }
             if opts.scalar_replacement {
                 pm.add(MemrefStreamScalarReplacement);

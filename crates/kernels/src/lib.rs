@@ -13,6 +13,7 @@ pub mod harness;
 pub mod profile;
 pub mod reference;
 pub mod suite;
+pub mod tune;
 
 pub use difftest::{
     difftest_instance, difftest_instance_tweaked, exec_registry, DifftestError, DifftestOutcome,
@@ -27,3 +28,7 @@ pub use harness::{
 pub use profile::{ClassProfile, LocationProfile, Profile};
 pub use reference::{reference, reference_with, FmaMode, Scalar};
 pub use suite::{Instance, Kind, Precision, Shape};
+pub use tune::{
+    best_point, enumerate_schedules, pareto_front, tcdm_footprint, ScheduleVariant, TuneParams,
+    TunePoint, SEARCH_SPACE_VERSION,
+};

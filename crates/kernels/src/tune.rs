@@ -1,0 +1,320 @@
+//! Schedule search space for the autotuner (`mlbc tune`).
+//!
+//! The paper hand-picks one schedule per Table-1 kernel; this module
+//! enumerates the space those choices live in — pipeline flow,
+//! unroll-and-jam factor, shard dimension and core count — so the
+//! service can race the variants on the simulator and report the best
+//! one. Everything here is deterministic: the enumeration order is a
+//! pure function of the instance and [`TuneParams`], which is what lets
+//! tune results be memoized under a content-addressed key and lets a
+//! fixed budget reproduce bit-identical reports across worker counts.
+//!
+//! [`SEARCH_SPACE_VERSION`] is part of that cache key. Bump it whenever
+//! the enumeration (or the fitness definition) changes meaning, so
+//! stale tune payloads can never be served for a new search space.
+
+use mlb_core::{Flow, PipelineOptions};
+
+use crate::suite::Instance;
+
+/// Version tag of the search-space enumeration, spelled into every tune
+/// cache key. Bump on any change to [`enumerate_schedules`] or to the
+/// fitness definition.
+pub const SEARCH_SPACE_VERSION: u32 = 1;
+
+/// Caller-facing knobs of a tuning run. Both fields are part of the
+/// tune cache key: different budgets explore different prefixes of the
+/// space and must not alias.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TuneParams {
+    /// Largest cluster width to consider (widths tried: 1, 2, 4, capped
+    /// here). Clamped to at least 1.
+    pub cores_max: usize,
+    /// Maximum number of schedule variants to evaluate. The enumeration
+    /// is truncated to this many entries; the flow defaults always come
+    /// first so they survive any sane budget.
+    pub budget: usize,
+}
+
+impl Default for TuneParams {
+    fn default() -> TuneParams {
+        TuneParams { cores_max: 4, budget: 24 }
+    }
+}
+
+/// One point of the search space: a label (stable, human-readable, part
+/// of the report) and the fully-specified compilation flow to evaluate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduleVariant {
+    /// Stable display name, e.g. `ours-c2-s1-u4`.
+    pub label: String,
+    /// The flow that realises this schedule.
+    pub flow: Flow,
+}
+
+/// Enumerates the schedule space for `instance`, deterministically.
+///
+/// The first three variants are the hand-written defaults of the three
+/// flows (`ours-default`, `mlir`, `clang`) — putting them first means
+/// the tuner's best pick can never be slower than any flow's default,
+/// by construction, for every budget ≥ 3. After the defaults come the
+/// `ours` variants, ordered by core count, then shard dimension, then
+/// unroll choice. The list is truncated to `params.budget` entries.
+pub fn enumerate_schedules(instance: &Instance, params: TuneParams) -> Vec<ScheduleVariant> {
+    let cores_max = params.cores_max.max(1);
+    let default = PipelineOptions::full();
+    let mut variants = vec![
+        ScheduleVariant { label: "ours-default".to_string(), flow: Flow::Ours(default) },
+        ScheduleVariant { label: "mlir".to_string(), flow: Flow::MlirLike },
+        ScheduleVariant { label: "clang".to_string(), flow: Flow::ClangLike },
+    ];
+    for cores in [1usize, 2, 4] {
+        if cores > cores_max {
+            break;
+        }
+        // `None` is the pass's automatic shard pick; forcing dims 0 and
+        // 1 covers row- vs column-sharding. An unsafe forced dim falls
+        // back to the automatic choice inside the pass, so every
+        // variant here is sound (at worst redundant).
+        let shard_dims: &[Option<usize>] =
+            if cores == 1 { &[None] } else { &[None, Some(0), Some(1)] };
+        for &shard in shard_dims {
+            for unroll in unroll_choices(instance) {
+                let mut opts = default;
+                opts.cores = cores;
+                opts.shard_dim = shard;
+                match unroll {
+                    Unroll::Off => opts.unroll_and_jam = false,
+                    Unroll::Auto => {}
+                    Unroll::Factor(f) => opts.unroll_factor = Some(f),
+                }
+                if Flow::Ours(opts) == variants[0].flow {
+                    continue; // the default is already listed first
+                }
+                let s = shard.map_or_else(|| "a".to_string(), |d| d.to_string());
+                let u = match unroll {
+                    Unroll::Off => "off".to_string(),
+                    Unroll::Auto => "auto".to_string(),
+                    Unroll::Factor(f) => f.to_string(),
+                };
+                variants.push(ScheduleVariant {
+                    label: format!("ours-c{cores}-s{s}-u{u}"),
+                    flow: Flow::Ours(opts),
+                });
+            }
+        }
+    }
+    variants.truncate(params.budget.max(1));
+    variants
+}
+
+/// Unroll-and-jam choice for one variant.
+#[derive(Debug, Clone, Copy)]
+enum Unroll {
+    /// Pass disabled.
+    Off,
+    /// Pass enabled, factor chosen from the FPU pipeline depth.
+    Auto,
+    /// Pass enabled with a forced interleave factor.
+    Factor(i64),
+}
+
+/// The unroll choices worth evaluating for `instance`: off, automatic,
+/// and each forced factor in 2..=8 dividing the interleave bound (the
+/// last parallel dimension, whose bound is `shape.m`). Kernels without
+/// a reduction never unroll, so only off/auto are listed for them
+/// (they compile identically; the pair documents that the axis was
+/// searched).
+fn unroll_choices(instance: &Instance) -> Vec<Unroll> {
+    let mut choices = vec![Unroll::Off, Unroll::Auto];
+    if instance.kind.has_reduction() {
+        let m = instance.shape.m;
+        choices.extend((2..=8).filter(|f| m % f == 0).map(Unroll::Factor));
+    }
+    choices
+}
+
+/// Bytes of TCDM the harness allocates for `instance`'s operand
+/// buffers: each buffer is rounded up to 8-byte alignment and they are
+/// placed back-to-back. Schedule-independent (sharding rebases offsets
+/// inside the same buffers), so it is a per-instance axis of the Pareto
+/// report, not a per-variant one — but it still varies across the
+/// precision/shape points a batch tunes.
+pub fn tcdm_footprint(instance: &Instance) -> u64 {
+    let elem_bytes = u64::from(instance.precision.bits()) / 8;
+    instance.buffer_sizes().iter().map(|&s| (s as u64 * elem_bytes).next_multiple_of(8)).sum()
+}
+
+/// One evaluated schedule, as the tuner's fitness harness sees it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TunePoint {
+    /// The variant's label from [`enumerate_schedules`].
+    pub label: String,
+    /// Fitness: aggregate cluster cycles (max over cores, i.e. the
+    /// cluster's critical path) of the simulated run.
+    pub cycles: u64,
+    /// Cluster width the variant runs on.
+    pub cores: usize,
+    /// TCDM bytes the run occupies ([`tcdm_footprint`]).
+    pub tcdm_bytes: u64,
+}
+
+/// The Pareto front of `points` over (cycles, cores, tcdm_bytes), all
+/// minimized. A point survives iff no other point is at least as good
+/// on every axis and strictly better on one; exact duplicates keep
+/// their first occurrence. The front is returned sorted by
+/// (cycles, cores, tcdm_bytes, label) so reports are byte-stable
+/// regardless of input order.
+pub fn pareto_front(points: &[TunePoint]) -> Vec<TunePoint> {
+    let dominates = |a: &TunePoint, b: &TunePoint| {
+        a.cycles <= b.cycles
+            && a.cores <= b.cores
+            && a.tcdm_bytes <= b.tcdm_bytes
+            && (a.cycles < b.cycles || a.cores < b.cores || a.tcdm_bytes < b.tcdm_bytes)
+    };
+    let mut front: Vec<TunePoint> = Vec::new();
+    for (i, p) in points.iter().enumerate() {
+        let dominated = points.iter().enumerate().any(|(j, q)| {
+            dominates(q, p)
+                || (j < i
+                    && q.cycles == p.cycles
+                    && q.cores == p.cores
+                    && q.tcdm_bytes == p.tcdm_bytes)
+        });
+        if !dominated {
+            front.push(p.clone());
+        }
+    }
+    front.sort_by(|a, b| {
+        (a.cycles, a.cores, a.tcdm_bytes, &a.label).cmp(&(
+            b.cycles,
+            b.cores,
+            b.tcdm_bytes,
+            &b.label,
+        ))
+    });
+    front
+}
+
+/// The single best point: fewest cycles, ties broken by fewer cores,
+/// then smaller footprint, then label — a total order, so the winner is
+/// unique and reproducible.
+pub fn best_point(points: &[TunePoint]) -> Option<&TunePoint> {
+    points.iter().min_by(|a, b| {
+        (a.cycles, a.cores, a.tcdm_bytes, &a.label).cmp(&(
+            b.cycles,
+            b.cores,
+            b.tcdm_bytes,
+            &b.label,
+        ))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suite::{Kind, Precision, Shape};
+
+    fn matmul() -> Instance {
+        Instance::new(Kind::MatMul, Shape::nmk(8, 16, 16), Precision::F64)
+    }
+
+    #[test]
+    fn defaults_come_first_and_space_is_deterministic() {
+        let params = TuneParams::default();
+        let a = enumerate_schedules(&matmul(), params);
+        let b = enumerate_schedules(&matmul(), params);
+        assert_eq!(a, b);
+        assert_eq!(a[0].label, "ours-default");
+        assert_eq!(a[0].flow, Flow::Ours(PipelineOptions::full()));
+        assert_eq!(a[1].flow, Flow::MlirLike);
+        assert_eq!(a[2].flow, Flow::ClangLike);
+        assert!(a.len() <= params.budget);
+    }
+
+    #[test]
+    fn labels_are_unique_and_flows_do_not_alias_the_default() {
+        let variants = enumerate_schedules(&matmul(), TuneParams { cores_max: 4, budget: 999 });
+        let mut labels: Vec<&str> = variants.iter().map(|v| v.label.as_str()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), variants.len(), "duplicate labels");
+        let defaults =
+            variants.iter().filter(|v| v.flow == Flow::Ours(PipelineOptions::full())).count();
+        assert_eq!(defaults, 1, "the default schedule must appear exactly once");
+    }
+
+    #[test]
+    fn budget_truncates_and_cores_max_caps_widths() {
+        let small = enumerate_schedules(&matmul(), TuneParams { cores_max: 4, budget: 5 });
+        assert_eq!(small.len(), 5);
+        let narrow = enumerate_schedules(&matmul(), TuneParams { cores_max: 2, budget: 999 });
+        for v in &narrow {
+            if let Flow::Ours(o) = v.flow {
+                assert!(o.cores <= 2, "{} exceeds cores_max", v.label);
+            }
+        }
+        let wide = enumerate_schedules(&matmul(), TuneParams { cores_max: 4, budget: 999 });
+        assert!(wide.len() > narrow.len());
+    }
+
+    #[test]
+    fn non_reduction_kernels_skip_forced_unroll_factors() {
+        let fill = Instance::new(Kind::Fill, Shape::nm(4, 8), Precision::F64);
+        let variants = enumerate_schedules(&fill, TuneParams { cores_max: 1, budget: 999 });
+        for v in &variants {
+            if let Flow::Ours(o) = v.flow {
+                assert_eq!(o.unroll_factor, None, "{} forces a factor on Fill", v.label);
+            }
+        }
+    }
+
+    #[test]
+    fn unroll_factors_divide_the_interleave_bound() {
+        let variants = enumerate_schedules(&matmul(), TuneParams { cores_max: 1, budget: 999 });
+        for v in &variants {
+            if let Flow::Ours(o) = v.flow {
+                if let Some(f) = o.unroll_factor {
+                    assert_eq!(16 % f, 0, "{}: factor {f} does not divide m", v.label);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tcdm_footprint_rounds_buffers_to_8_bytes() {
+        // MatMul 2x4x3 f64: buffers 6, 12, 8 elements → 48 + 96 + 64.
+        let i = Instance::new(Kind::MatMul, Shape::nmk(2, 4, 3), Precision::F64);
+        assert_eq!(tcdm_footprint(&i), 48 + 96 + 64);
+        // f32 Fill 3x3: 9 elements · 4 bytes = 36 → rounded to 40.
+        let f = Instance::new(Kind::Fill, Shape::nm(3, 3), Precision::F32);
+        assert_eq!(tcdm_footprint(&f), 40);
+    }
+
+    fn pt(label: &str, cycles: u64, cores: usize, tcdm: u64) -> TunePoint {
+        TunePoint { label: label.to_string(), cycles, cores, tcdm_bytes: tcdm }
+    }
+
+    #[test]
+    fn pareto_front_keeps_exactly_the_nondominated_points() {
+        let points = vec![
+            pt("fast-wide", 100, 4, 64),
+            pt("slow-narrow", 400, 1, 64),
+            pt("dominated", 450, 1, 64), // slow-narrow beats it
+            pt("mid", 200, 2, 64),
+            pt("dup", 200, 2, 64), // exact duplicate of mid — dropped
+        ];
+        let front = pareto_front(&points);
+        let labels: Vec<&str> = front.iter().map(|p| p.label.as_str()).collect();
+        assert_eq!(labels, vec!["fast-wide", "mid", "slow-narrow"]);
+    }
+
+    #[test]
+    fn best_point_breaks_ties_deterministically() {
+        let points =
+            vec![pt("b", 100, 2, 64), pt("a", 100, 2, 64), pt("c", 100, 1, 64), pt("d", 90, 4, 64)];
+        assert_eq!(best_point(&points).unwrap().label, "d");
+        let tied = vec![pt("b", 100, 2, 64), pt("a", 100, 2, 64)];
+        assert_eq!(best_point(&tied).unwrap().label, "a");
+    }
+}

@@ -32,6 +32,18 @@ impl CacheStats {
             self.hits as f64 * 100.0 / total as f64
         }
     }
+
+    /// Whether the hit rate is at least `min_percent`, computed without
+    /// division so boundary cases can't be decided by float rounding
+    /// (`hits/total ≥ p/100  ⟺  hits·100 ≥ total·p`). Zero lookups
+    /// never meet a positive threshold — "no data" is not "100% hits".
+    pub fn meets_hit_rate(&self, min_percent: u64) -> bool {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            return min_percent == 0;
+        }
+        self.hits.saturating_mul(100) >= total.saturating_mul(min_percent)
+    }
 }
 
 /// A least-recently-used map from canonical key strings to values.
@@ -148,5 +160,32 @@ mod tests {
         cache.get("a");
         cache.get("x");
         assert!((cache.stats().hit_rate() - 200.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hit_rate_gate_has_exact_boundaries() {
+        // Zero lookups: no positive threshold is met, but 0 is.
+        let empty = CacheStats::default();
+        assert_eq!(empty.hit_rate(), 0.0);
+        assert!(empty.meets_hit_rate(0));
+        assert!(!empty.meets_hit_rate(1));
+        assert!(!empty.meets_hit_rate(100));
+        // 2/3 hits is 66.67%: the 66 gate passes, the 67 gate fails —
+        // exactly, with no float epsilon in the comparison.
+        let two_thirds = CacheStats { hits: 2, misses: 1, ..CacheStats::default() };
+        assert!(two_thirds.meets_hit_rate(66));
+        assert!(!two_thirds.meets_hit_rate(67));
+        // 9/10 meets exactly 90 (the serve/tune default gate).
+        let nine_tenths = CacheStats { hits: 9, misses: 1, ..CacheStats::default() };
+        assert!(nine_tenths.meets_hit_rate(90));
+        assert!(!nine_tenths.meets_hit_rate(91));
+        // All hits meets 100; one miss doesn't.
+        let all = CacheStats { hits: 5, misses: 0, ..CacheStats::default() };
+        assert!(all.meets_hit_rate(100));
+        let one_miss = CacheStats { hits: 99, misses: 1, ..CacheStats::default() };
+        assert!(!one_miss.meets_hit_rate(100));
+        // Huge counters must not overflow the cross-multiplication.
+        let huge = CacheStats { hits: u64::MAX / 2, misses: 1, ..CacheStats::default() };
+        assert!(huge.meets_hit_rate(99));
     }
 }

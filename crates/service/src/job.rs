@@ -13,7 +13,7 @@ use std::fmt;
 
 use mlb_core::Flow;
 use mlb_ir::DriverMode;
-use mlb_kernels::Instance;
+use mlb_kernels::{Instance, TuneParams, SEARCH_SPACE_VERSION};
 
 /// What a job asks the service to do with its kernel instance.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -27,6 +27,11 @@ pub enum JobKind {
     Difftest,
     /// Traced simulation folded into a source-attributed cycle profile.
     Profile,
+    /// Schedule autotuning: fan out one simulate job per schedule
+    /// variant of the instance, reduce to the best schedule plus a
+    /// Pareto front. The request's `flow` is the baseline the report
+    /// compares against (its options seed the search space).
+    Tune(TuneParams),
     /// Deliberately panics in the worker — the failure-injection job
     /// used to prove panic containment; never useful in production.
     DebugPanic,
@@ -40,11 +45,14 @@ impl JobKind {
             JobKind::Simulate => "simulate",
             JobKind::Difftest => "difftest",
             JobKind::Profile => "profile",
+            JobKind::Tune(_) => "tune",
             JobKind::DebugPanic => "debug-panic",
         }
     }
 
-    /// Parses the protocol spelling.
+    /// Parses the protocol spelling. `tune` parses to default
+    /// [`TuneParams`]; the protocol layer fills in `cores_max`/`budget`
+    /// from their own request fields.
     ///
     /// # Errors
     ///
@@ -55,6 +63,7 @@ impl JobKind {
             "simulate" => Ok(JobKind::Simulate),
             "difftest" => Ok(JobKind::Difftest),
             "profile" => Ok(JobKind::Profile),
+            "tune" => Ok(JobKind::Tune(TuneParams::default())),
             "debug-panic" => Ok(JobKind::DebugPanic),
             other => Err(format!("unknown job kind `{other}`")),
         }
@@ -115,9 +124,22 @@ impl JobRequest {
     }
 
     /// The canonical encoding of everything that determines the *job
-    /// result*: the compile key plus the job kind and operand seed.
+    /// result*: the compile key plus the job kind and operand seed. A
+    /// tune job additionally spells its search-space version and search
+    /// knobs, so re-tunes after a space change (or with a different
+    /// budget) can never alias a stale report.
     pub fn result_key(&self) -> String {
-        format!("job={}|seed={}|{}", self.kind.name(), self.seed, self.compile_key())
+        match self.kind {
+            JobKind::Tune(p) => format!(
+                "job=tune|space=v{}|coresmax={}|budget={}|seed={}|{}",
+                SEARCH_SPACE_VERSION,
+                p.cores_max,
+                p.budget,
+                self.seed,
+                self.compile_key()
+            ),
+            _ => format!("job={}|seed={}|{}", self.kind.name(), self.seed, self.compile_key()),
+        }
     }
 
     /// The content digest of the result key, as sent on the wire.
@@ -150,7 +172,7 @@ pub fn parse_driver(name: &str) -> Result<DriverMode, String> {
 fn encode_flow(flow: Flow) -> String {
     match flow {
         Flow::Ours(o) => format!(
-            "flow=ours|streams={}|scalrep={}|frep={}|fusefill={}|uaj={}|ufac={}|spo={}|cores={}",
+            "flow=ours|streams={}|scalrep={}|frep={}|fusefill={}|uaj={}|ufac={}|spo={}|sdim={}|cores={}",
             u8::from(o.streams),
             u8::from(o.scalar_replacement),
             u8::from(o.frep),
@@ -158,6 +180,7 @@ fn encode_flow(flow: Flow) -> String {
             u8::from(o.unroll_and_jam),
             o.unroll_factor.map_or_else(|| "auto".to_string(), |f| f.to_string()),
             u8::from(o.stream_pattern_opts),
+            o.shard_dim.map_or_else(|| "auto".to_string(), |d| d.to_string()),
             o.cores,
         ),
         Flow::MlirLike => "flow=mlir".to_string(),
@@ -219,9 +242,13 @@ mod tests {
         no_frep.frep = false;
         let mut quad = PipelineOptions::full();
         quad.cores = 4;
+        let mut forced_shard = PipelineOptions::full();
+        forced_shard.shard_dim = Some(1);
         let variants = vec![
             JobRequest { kind: JobKind::Profile, ..base },
+            JobRequest { kind: JobKind::Tune(TuneParams::default()), ..base },
             JobRequest { seed: 8, ..base },
+            JobRequest { flow: Flow::Ours(forced_shard), ..base },
             JobRequest {
                 instance: Instance::new(Kind::MatMulT, base.instance.shape, Precision::F64),
                 ..base
@@ -243,6 +270,23 @@ mod tests {
         let a = JobRequest { flow: Flow::Ours(PipelineOptions::full()), ..request() };
         let b = JobRequest { flow: Flow::Ours(forced), ..request() };
         assert_ne!(a.result_key(), b.result_key());
+    }
+
+    #[test]
+    fn tune_keys_spell_space_version_and_knobs() {
+        let base = request();
+        let tune =
+            JobRequest { kind: JobKind::Tune(TuneParams { cores_max: 2, budget: 9 }), ..base };
+        let key = tune.result_key();
+        for part in ["job=tune", "space=v1", "coresmax=2", "budget=9", "seed=7"] {
+            assert!(key.contains(part), "`{part}` missing from `{key}`");
+        }
+        let wider =
+            JobRequest { kind: JobKind::Tune(TuneParams { cores_max: 4, budget: 9 }), ..base };
+        let bigger =
+            JobRequest { kind: JobKind::Tune(TuneParams { cores_max: 2, budget: 10 }), ..base };
+        assert_ne!(tune.result_key(), wider.result_key());
+        assert_ne!(tune.result_key(), bigger.result_key());
     }
 
     #[test]

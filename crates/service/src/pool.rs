@@ -11,8 +11,32 @@
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
+
+/// Locks `mutex`, recovering from poisoning.
+///
+/// Every mutex in the service guards data that is only mutated *outside*
+/// job bodies (queue handoff, counter bumps, cache bookkeeping), so a
+/// panic that poisons one leaves the protected state consistent — the
+/// poison flag is pure collateral of `catch_unwind` and is safe to
+/// clear. Without this, a single panicking job could wedge every thread
+/// that later touches the same lock, defeating the pool's containment.
+pub fn lock_unpoisoned<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    match mutex.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Waits on `condvar`, recovering the guard from poisoning (same
+/// reasoning as [`lock_unpoisoned`]).
+pub fn wait_unpoisoned<'a, T>(condvar: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    match condvar.wait(guard) {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
@@ -60,10 +84,7 @@ fn worker_loop(receiver: &Arc<Mutex<Receiver<Job>>>) {
     loop {
         // Holding the lock only while receiving lets other workers pull
         // jobs concurrently with this one executing.
-        let job = match receiver.lock() {
-            Ok(guard) => guard.recv(),
-            Err(poisoned) => poisoned.into_inner().recv(),
-        };
+        let job = lock_unpoisoned(receiver).recv();
         match job {
             Ok(job) => {
                 let _ = catch_unwind(AssertUnwindSafe(job));
@@ -97,14 +118,14 @@ mod tests {
             pool.execute(move || {
                 body(i);
                 let (count, signal) = &*done;
-                *count.lock().unwrap() += 1;
+                *lock_unpoisoned(count) += 1;
                 signal.notify_all();
             });
         }
         let (count, signal) = &*done;
-        let mut guard = count.lock().unwrap();
+        let mut guard = lock_unpoisoned(count);
         while *guard < jobs {
-            guard = signal.wait(guard).unwrap();
+            guard = wait_unpoisoned(signal, guard);
         }
     }
 
@@ -142,6 +163,61 @@ mod tests {
         std::panic::set_hook(hook);
         assert_eq!(counter.load(Ordering::SeqCst), 10);
         assert_eq!(panics.load(Ordering::SeqCst), 8);
+    }
+
+    #[test]
+    fn helpers_recover_from_a_poisoned_counter() {
+        let pair = Arc::new((Mutex::new(0usize), Condvar::new()));
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {})); // silence the expected panic
+        let p = Arc::clone(&pair);
+        let _ = std::thread::spawn(move || {
+            let _guard = p.0.lock().unwrap();
+            panic!("poison the counter mid-update");
+        })
+        .join();
+        std::panic::set_hook(hook);
+        assert!(pair.0.is_poisoned(), "the panicking thread must poison the mutex");
+        // Both helpers must see through the poison: the data is still
+        // consistent, only the flag is set.
+        *lock_unpoisoned(&pair.0) = 7;
+        let p = Arc::clone(&pair);
+        let notifier = std::thread::spawn(move || {
+            *lock_unpoisoned(&p.0) = 8;
+            p.1.notify_all();
+        });
+        let mut guard = lock_unpoisoned(&pair.0);
+        while *guard != 8 {
+            guard = wait_unpoisoned(&pair.1, guard);
+        }
+        drop(guard);
+        notifier.join().unwrap();
+    }
+
+    #[test]
+    fn pool_completion_tracking_survives_a_panicking_job() {
+        let pool = WorkerPool::new(2);
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        // Jobs that panic *while holding* a shared lock leave it
+        // poisoned; run_all's own bookkeeping must keep working and
+        // later jobs must still complete.
+        let shared = Arc::new(Mutex::new(0usize));
+        for _ in 0..4 {
+            let shared = Arc::clone(&shared);
+            pool.execute(move || {
+                let _guard = shared.lock();
+                panic!("injected while locked");
+            });
+        }
+        let counter = Arc::new(AtomicUsize::new(0));
+        let c = Arc::clone(&counter);
+        run_all(&pool, 10, move |_| {
+            c.fetch_add(1, Ordering::SeqCst);
+        });
+        std::panic::set_hook(hook);
+        assert_eq!(counter.load(Ordering::SeqCst), 10);
+        *lock_unpoisoned(&shared) += 1; // the shared lock is usable too
     }
 
     #[test]

@@ -54,11 +54,39 @@ pub fn parse_kind(name: &str) -> Result<Kind, String> {
         .ok_or_else(|| format!("unknown kernel `{name}`"))
 }
 
+/// Largest accepted shape dimension. Keeps every size computation the
+/// pipeline does on `n`/`m`/`k` (element counts, byte offsets, flop
+/// totals — products of up to three dims times 16) far from `i64`
+/// overflow; unvalidated `u64 → i64` casts used to wrap huge wire
+/// values into *negative* dimensions.
+pub const MAX_DIM: u64 = 1 << 20;
+/// Largest accepted cluster width (the hardware models 1/2/4; anything
+/// beyond this is certainly a protocol error, not a bigger cluster).
+pub const MAX_CORES: u64 = 64;
+/// Largest accepted forced unroll factor.
+pub const MAX_UNROLL: u64 = 64;
+/// Largest accepted forced shard dimension (iteration spaces here have
+/// at most 4 dimensions).
+pub const MAX_SHARD_DIM: u64 = 7;
+/// Largest accepted tune budget (variant evaluations per request).
+pub const MAX_BUDGET: u64 = 4096;
+
 fn get_u64(doc: &Json, key: &str, default: u64) -> Result<u64, String> {
     match doc.get(key) {
         None => Ok(default),
         Some(v) => v.as_u64().ok_or_else(|| format!("`{key}` must be a non-negative integer")),
     }
+}
+
+/// `get_u64` with an inclusive range check, so out-of-range values are
+/// rejected at the protocol boundary instead of wrapping or ballooning
+/// deeper in the pipeline.
+fn get_range(doc: &Json, key: &str, default: u64, min: u64, max: u64) -> Result<u64, String> {
+    let value = get_u64(doc, key, default)?;
+    if value < min || value > max {
+        return Err(format!("`{key}` must be between {min} and {max}, got {value}"));
+    }
+    Ok(value)
 }
 
 fn get_bool(doc: &Json, key: &str, default: bool) -> Result<bool, String> {
@@ -83,17 +111,27 @@ fn get_str<'a>(doc: &'a Json, key: &str, default: &'a str) -> Result<&'a str, St
 /// A description of the first malformed or missing field.
 pub fn parse_request(line: &str, default_id: u64) -> Result<JobRequest, String> {
     let doc = Json::parse(line)?;
-    let kind = JobKind::parse(
+    let mut kind = JobKind::parse(
         doc.get("job").and_then(Json::as_str).ok_or("`job` is required (a string)")?,
     )?;
+    if let JobKind::Tune(params) = &mut kind {
+        params.cores_max =
+            get_range(&doc, "cores_max", params.cores_max as u64, 1, MAX_CORES)? as usize;
+        params.budget = get_range(&doc, "budget", params.budget as u64, 1, MAX_BUDGET)? as usize;
+    } else if doc.get("cores_max").is_some() || doc.get("budget").is_some() {
+        return Err("`cores_max`/`budget` apply only to tune jobs".to_string());
+    }
     let kernel = parse_kind(
         doc.get("kernel").and_then(Json::as_str).ok_or("`kernel` is required (a string)")?,
     )?;
     let n = doc.get("n").and_then(Json::as_u64).ok_or("`n` is required (a positive integer)")?;
     let m = doc.get("m").and_then(Json::as_u64).ok_or("`m` is required (a positive integer)")?;
-    let k = get_u64(&doc, "k", 0)?;
+    let k = get_range(&doc, "k", 0, 0, MAX_DIM)?;
     if n == 0 || m == 0 {
         return Err("`n` and `m` must be positive".to_string());
+    }
+    if n > MAX_DIM || m > MAX_DIM {
+        return Err(format!("`n` and `m` must be at most {MAX_DIM}"));
     }
     if matches!(kernel, Kind::MatMul | Kind::MatMulT) && k == 0 {
         return Err("matrix kernels need a positive `k`".to_string());
@@ -104,7 +142,7 @@ pub fn parse_request(line: &str, default_id: u64) -> Result<JobRequest, String> 
         other => return Err(format!("unknown precision `{other}`")),
     };
     let driver = parse_driver(get_str(&doc, "driver", "worklist")?)?;
-    let cores = get_u64(&doc, "cores", 1)? as usize;
+    let cores = get_range(&doc, "cores", 1, 1, MAX_CORES)? as usize;
     let flow = match get_str(&doc, "flow", "ours")? {
         "ours" => {
             let mut opts = parse_opts(doc.get("opts"))?;
@@ -153,9 +191,11 @@ fn parse_opts(opts: Option<&Json>) -> Result<PipelineOptions, String> {
     options.unroll_and_jam = get_bool(doc, "unroll_and_jam", options.unroll_and_jam)?;
     options.stream_pattern_opts =
         get_bool(doc, "stream_pattern_opts", options.stream_pattern_opts)?;
-    if let Some(factor) = doc.get("unroll_factor") {
-        options.unroll_factor =
-            Some(factor.as_u64().ok_or("`unroll_factor` must be a positive integer")? as i64);
+    if doc.get("unroll_factor").is_some() {
+        options.unroll_factor = Some(get_range(doc, "unroll_factor", 1, 1, MAX_UNROLL)? as i64);
+    }
+    if doc.get("shard_dim").is_some() {
+        options.shard_dim = Some(get_range(doc, "shard_dim", 0, 0, MAX_SHARD_DIM)? as usize);
     }
     Ok(options)
 }
@@ -203,6 +243,9 @@ pub fn request_json(request: &JobRequest) -> Json {
             if let Some(factor) = opts.unroll_factor {
                 over.push(("unroll_factor", (factor as u64).into()));
             }
+            if let Some(dim) = opts.shard_dim {
+                over.push(("shard_dim", dim.into()));
+            }
             if !over.is_empty() {
                 pairs.push(("opts", Json::obj(over)));
             }
@@ -212,6 +255,10 @@ pub fn request_json(request: &JobRequest) -> Json {
     }
     pairs.push(("driver", driver_name(request.driver).into()));
     pairs.push(("seed", request.seed.into()));
+    if let JobKind::Tune(params) = request.kind {
+        pairs.push(("cores_max", params.cores_max.into()));
+        pairs.push(("budget", params.budget.into()));
+    }
     Json::obj(pairs)
 }
 
@@ -258,6 +305,7 @@ mod tests {
         let mut opts = PipelineOptions::baseline();
         opts.streams = true;
         opts.unroll_factor = Some(4);
+        opts.shard_dim = Some(1);
         opts.cores = 4;
         let req = JobRequest {
             id: 17,
@@ -290,6 +338,26 @@ mod tests {
     }
 
     #[test]
+    fn tune_request_roundtrips() {
+        let req = JobRequest {
+            id: 5,
+            kind: JobKind::Tune(mlb_kernels::TuneParams { cores_max: 2, budget: 11 }),
+            instance: Instance::new(Kind::MatMul, Shape::nmk(8, 16, 16), Precision::F64),
+            flow: Flow::Ours(PipelineOptions::full()),
+            driver: DriverMode::Worklist,
+            seed: 3,
+        };
+        let line = request_json(&req).to_string();
+        let parsed = parse_request(&line, 0).unwrap();
+        assert_eq!(parsed, req);
+        assert_eq!(parsed.result_key(), req.result_key());
+        // Omitted knobs fall back to the defaults.
+        let bare =
+            parse_request(r#"{"job":"tune","kernel":"matmul","n":8,"m":16,"k":16}"#, 0).unwrap();
+        assert_eq!(bare.kind, JobKind::Tune(mlb_kernels::TuneParams::default()));
+    }
+
+    #[test]
     fn malformed_requests_are_described() {
         for (line, needle) in [
             ("{", "expected"),
@@ -302,10 +370,38 @@ mod tests {
             (r#"{"job":"compile","kernel":"sum","n":3,"m":4,"precision":"f16"}"#, "precision"),
             (r#"{"job":"compile","kernel":"sum","n":3,"m":4,"driver":"magic"}"#, "driver"),
             (r#"{"job":"warm","kernel":"sum","n":3,"m":4}"#, "job kind"),
+            // Range validation: huge dims used to wrap into negative
+            // `Shape` fields through `as i64`; now they are protocol
+            // errors, as are oversized knobs.
+            (r#"{"job":"compile","kernel":"sum","n":3,"m":99999999999999999999}"#, "`m`"),
+            (r#"{"job":"compile","kernel":"sum","n":18446744073709551615,"m":4}"#, "`n`"),
+            (r#"{"job":"compile","kernel":"sum","n":2097152,"m":4}"#, "at most"),
+            (r#"{"job":"compile","kernel":"matmul","n":3,"m":4,"k":2097152}"#, "between"),
+            (r#"{"job":"simulate","kernel":"sum","n":3,"m":4,"cores":0}"#, "`cores`"),
+            (r#"{"job":"simulate","kernel":"sum","n":3,"m":4,"cores":65}"#, "`cores`"),
+            (
+                r#"{"job":"compile","kernel":"sum","n":3,"m":4,"opts":{"unroll_factor":0}}"#,
+                "`unroll_factor`",
+            ),
+            (
+                r#"{"job":"compile","kernel":"sum","n":3,"m":4,"opts":{"shard_dim":8}}"#,
+                "`shard_dim`",
+            ),
+            (r#"{"job":"tune","kernel":"sum","n":3,"m":4,"cores_max":0}"#, "`cores_max`"),
+            (r#"{"job":"tune","kernel":"sum","n":3,"m":4,"budget":5000}"#, "`budget`"),
+            (r#"{"job":"compile","kernel":"sum","n":3,"m":4,"budget":5}"#, "only to tune"),
         ] {
             let err = parse_request(line, 0).unwrap_err();
             assert!(err.contains(needle), "`{line}`: `{err}` should mention `{needle}`");
         }
+    }
+
+    #[test]
+    fn dims_at_the_bound_still_parse() {
+        let line = format!(r#"{{"job":"compile","kernel":"sum","n":{MAX_DIM},"m":4}}"#);
+        let req = parse_request(&line, 0).unwrap();
+        assert_eq!(req.instance.shape.n, MAX_DIM as i64);
+        assert!(req.instance.shape.n > 0, "bounded dims can never wrap negative");
     }
 
     #[test]

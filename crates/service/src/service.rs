@@ -20,20 +20,24 @@
 //! scheduling data, so a batch's payload stream is byte-identical no
 //! matter how many workers raced over it.
 
+use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 
 use mlb_core::{compile, Compilation, Flow};
-use mlb_ir::Context;
+use mlb_ir::{parse_module_with_locations, print_op, Context};
 use mlb_kernels::{
-    difftest_instance, run_compiled, run_compiled_on_cluster, run_compiled_traced, Profile,
+    best_point, difftest_instance, enumerate_schedules, pareto_front, run_compiled,
+    run_compiled_on_cluster, run_compiled_traced, tcdm_footprint, Profile, ScheduleVariant,
+    TuneParams, TunePoint, SEARCH_SPACE_VERSION,
 };
-use mlb_sim::PerfCounters;
+use mlb_sim::{PerfCounters, StallHistogram};
 
 use crate::cache::{CacheStats, LruCache};
 use crate::job::{fnv1a128_hex, JobKind, JobRequest};
 use crate::json::Json;
-use crate::pool::WorkerPool;
+use crate::pool::{lock_unpoisoned, wait_unpoisoned, WorkerPool};
+use crate::protocol::request_json;
 
 /// Sizing knobs of a [`CompileService`].
 #[derive(Debug, Clone, Copy)]
@@ -115,34 +119,283 @@ impl CompileService {
 
     /// Runs every request over the worker pool and returns the
     /// responses *in request order*, regardless of completion order.
+    ///
+    /// Tune requests fan out here, on the calling thread: the plan
+    /// phase enumerates each tune's schedule variants, the wave phase
+    /// races every direct job and every (deduplicated) tune leaf over
+    /// the pool at once, and the reduce phase folds each tune's leaf
+    /// payloads into its report. Fanning out outside the workers means
+    /// a tune request can never deadlock waiting for pool capacity its
+    /// own leaves are consuming.
     pub fn run_batch(&self, requests: &[JobRequest]) -> Vec<JobResponse> {
+        enum Plan {
+            /// An ordinary job; its slot is filled by the wave.
+            Direct,
+            /// Pre-answered (a tune report served from cache).
+            Ready(JobResponse),
+            /// A tune fan-out reduced from leaf slots after the wave.
+            Fan(TuneParams, Vec<(ScheduleVariant, JobRequest)>),
+        }
+        let mut plans: Vec<Plan> = Vec::with_capacity(requests.len());
+        let mut leaves: Vec<JobRequest> = Vec::new();
+        let mut leaf_index: HashMap<String, usize> = HashMap::new();
+        for &request in requests {
+            match request.kind {
+                JobKind::Tune(params) => {
+                    let key = request.result_key();
+                    if let Some(payload) = lock(&self.caches).results.get(&key) {
+                        plans.push(Plan::Ready(JobResponse {
+                            id: request.id,
+                            digest: fnv1a128_hex(key.as_bytes()),
+                            cached: true,
+                            payload: Ok(payload.clone()),
+                        }));
+                        continue;
+                    }
+                    let pairs = tune_leaves(&request, params);
+                    for (_, leaf) in &pairs {
+                        if let std::collections::hash_map::Entry::Vacant(slot) =
+                            leaf_index.entry(leaf.result_key())
+                        {
+                            slot.insert(leaves.len());
+                            leaves.push(*leaf);
+                        }
+                    }
+                    plans.push(Plan::Fan(params, pairs));
+                }
+                _ => plans.push(Plan::Direct),
+            }
+        }
+
+        // The wave: slot `i < requests.len()` belongs to request `i`,
+        // slots after that to the deduplicated tune leaves. Pre-answered
+        // and fan-out slots start filled (fan-outs with a placeholder
+        // the reduce phase overwrites) so the wait below only blocks on
+        // real work.
+        let total = requests.len() + leaves.len();
+        let mut initial: Vec<Option<JobResponse>> = Vec::with_capacity(total);
+        for (plan, request) in plans.iter().zip(requests) {
+            initial.push(match plan {
+                Plan::Direct => None,
+                Plan::Ready(response) => Some(response.clone()),
+                Plan::Fan(..) => Some(JobResponse {
+                    id: request.id,
+                    digest: request.digest(),
+                    cached: false,
+                    payload: Err("tune fan-out pending".to_string()),
+                }),
+            });
+        }
+        initial.resize(total, None);
         let slots: Arc<(Mutex<Vec<Option<JobResponse>>>, Condvar)> =
-            Arc::new((Mutex::new(vec![None; requests.len()]), Condvar::new()));
-        for (index, &request) in requests.iter().enumerate() {
+            Arc::new((Mutex::new(initial), Condvar::new()));
+        let submit = |index: usize, request: JobRequest| {
             let slots = Arc::clone(&slots);
             let caches = Arc::clone(&self.caches);
             self.pool.execute(move || {
                 let response = process(request, &caches);
                 let (results, signal) = &*slots;
-                let mut guard = match results.lock() {
-                    Ok(guard) => guard,
-                    Err(poisoned) => poisoned.into_inner(),
-                };
-                guard[index] = Some(response);
+                lock_unpoisoned(results)[index] = Some(response);
                 signal.notify_all();
             });
+        };
+        for (index, (plan, &request)) in plans.iter().zip(requests).enumerate() {
+            if matches!(plan, Plan::Direct) {
+                submit(index, request);
+            }
+        }
+        for (offset, &leaf) in leaves.iter().enumerate() {
+            submit(requests.len() + offset, leaf);
         }
         let (results, signal) = &*slots;
-        let mut guard = results.lock().expect("slot writers never panic");
+        let mut guard = lock_unpoisoned(results);
         while guard.iter().any(Option::is_none) {
-            guard = signal.wait(guard).expect("slot writers never panic");
+            guard = wait_unpoisoned(signal, guard);
         }
-        guard.iter_mut().map(|slot| slot.take().expect("all slots filled")).collect()
+        let filled: Vec<JobResponse> =
+            guard.iter_mut().map(|slot| slot.take().expect("all slots filled")).collect();
+        drop(guard);
+
+        // Reduce: fold each tune's leaf payloads (fetched by pair index
+        // through the dedup map) into its report; everything else is
+        // already in its slot.
+        plans
+            .iter()
+            .zip(requests)
+            .enumerate()
+            .map(|(index, (plan, &request))| match plan {
+                Plan::Direct | Plan::Ready(_) => filled[index].clone(),
+                Plan::Fan(params, pairs) => {
+                    let payload_of = |pair: usize| {
+                        let key = pairs[pair].1.result_key();
+                        filled[requests.len() + leaf_index[&key]].payload.clone()
+                    };
+                    let payload = reduce_tune(&request, *params, pairs, &payload_of, &self.caches);
+                    JobResponse { id: request.id, digest: request.digest(), cached: false, payload }
+                }
+            })
+            .collect()
     }
 
-    /// Convenience for tests and the CLI: a single job, inline.
+    /// Convenience for tests and the CLI: a single job, inline. Tune
+    /// requests fan out sequentially on the calling thread.
     pub fn run_one(&self, request: JobRequest) -> JobResponse {
+        if let JobKind::Tune(params) = request.kind {
+            let key = request.result_key();
+            let digest = fnv1a128_hex(key.as_bytes());
+            if let Some(payload) = lock(&self.caches).results.get(&key) {
+                return JobResponse {
+                    id: request.id,
+                    digest,
+                    cached: true,
+                    payload: Ok(payload.clone()),
+                };
+            }
+            let pairs = tune_leaves(&request, params);
+            let payloads: Vec<Result<Json, String>> =
+                pairs.iter().map(|(_, leaf)| process(*leaf, &self.caches).payload).collect();
+            let payload =
+                reduce_tune(&request, params, &pairs, &|pair| payloads[pair].clone(), &self.caches);
+            return JobResponse { id: request.id, digest, cached: false, payload };
+        }
         process(request, &self.caches)
+    }
+}
+
+/// The simulate leaf of every schedule variant of `request`'s search
+/// space, in enumeration order. Leaves inherit the tune request's
+/// instance, driver and seed; their ids are never exposed.
+fn tune_leaves(request: &JobRequest, params: TuneParams) -> Vec<(ScheduleVariant, JobRequest)> {
+    enumerate_schedules(&request.instance, params)
+        .into_iter()
+        .map(|variant| {
+            let leaf = JobRequest {
+                id: 0,
+                kind: JobKind::Simulate,
+                instance: request.instance,
+                flow: variant.flow,
+                driver: request.driver,
+                seed: request.seed,
+            };
+            (variant, leaf)
+        })
+        .collect()
+}
+
+/// The fitness read out of a simulate leaf payload: aggregate cluster
+/// cycles for multi-core runs (the cluster's critical path), plain
+/// cycles for single-core ones.
+fn leaf_cycles(payload: &Json, cores: usize) -> Option<u64> {
+    if cores > 1 {
+        payload.get("aggregate")?.get("cycles")?.as_u64()
+    } else {
+        payload.get("counters")?.get("cycles")?.as_u64()
+    }
+}
+
+fn point_json(point: &TunePoint) -> Json {
+    Json::obj(vec![
+        ("label", point.label.as_str().into()),
+        ("cycles", point.cycles.into()),
+        ("cores", point.cores.into()),
+        ("tcdm_bytes", point.tcdm_bytes.into()),
+    ])
+}
+
+/// Folds the leaf payloads of one tune fan-out into its report and
+/// memoizes it under the tune result key. Deterministic: every field
+/// derives from leaf payloads (themselves scheduling-free) through
+/// total-order tie-breaks, so worker count and completion order can
+/// never change a byte.
+fn reduce_tune(
+    request: &JobRequest,
+    params: TuneParams,
+    pairs: &[(ScheduleVariant, JobRequest)],
+    payload_of: &dyn Fn(usize) -> Result<Json, String>,
+    caches: &Arc<Mutex<Caches>>,
+) -> Result<Json, String> {
+    let footprint = tcdm_footprint(&request.instance);
+    let mut points: Vec<TunePoint> = Vec::new();
+    let mut variants: Vec<Json> = Vec::new();
+    let mut failed: Vec<Json> = Vec::new();
+    for (pair, (variant, leaf)) in pairs.iter().enumerate() {
+        match payload_of(pair) {
+            Ok(payload) => {
+                let cycles = leaf_cycles(&payload, leaf.cores()).ok_or_else(|| {
+                    format!("tune: variant `{}` returned no cycle counter", variant.label)
+                })?;
+                points.push(TunePoint {
+                    label: variant.label.clone(),
+                    cycles,
+                    cores: leaf.cores(),
+                    tcdm_bytes: footprint,
+                });
+                variants.push(Json::obj(vec![
+                    ("label", variant.label.as_str().into()),
+                    ("cycles", cycles.into()),
+                    ("cores", leaf.cores().into()),
+                ]));
+            }
+            Err(message) => failed.push(Json::obj(vec![
+                ("label", variant.label.as_str().into()),
+                ("error", message.as_str().into()),
+            ])),
+        }
+    }
+    let Some(best) = best_point(&points).cloned() else {
+        return Err("tune: every schedule variant failed".to_string());
+    };
+    let best_leaf = pairs
+        .iter()
+        .find(|(variant, _)| variant.label == best.label)
+        .map(|(_, leaf)| *leaf)
+        .expect("the best point names an enumerated variant");
+    let why = winner_profile(&best_leaf, caches);
+    let payload = Json::obj(vec![
+        ("space_version", u64::from(SEARCH_SPACE_VERSION).into()),
+        ("cores_max", params.cores_max.into()),
+        ("budget", params.budget.into()),
+        ("evaluated", points.len().into()),
+        ("failed", Json::Arr(failed)),
+        ("tcdm_bytes", footprint.into()),
+        (
+            "best",
+            Json::obj(vec![
+                ("label", best.label.as_str().into()),
+                ("cycles", best.cycles.into()),
+                ("cores", best.cores.into()),
+                // Ready to resubmit as a plain simulate job. The id is
+                // a neutral 0 — the payload is shared through the tune
+                // cache, so it must not embed any one caller's id.
+                ("request", request_json(&JobRequest { id: 0, ..best_leaf })),
+            ]),
+        ),
+        ("pareto", Json::Arr(pareto_front(&points).iter().map(point_json).collect())),
+        ("variants", Json::Arr(variants)),
+        ("why", why),
+    ]);
+    lock(caches).results.insert(request.result_key(), payload.clone());
+    Ok(payload)
+}
+
+/// The per-line stall attribution explaining the winner: a single-core
+/// profile of the winning schedule (multi-core winners are profiled at
+/// width 1 with automatic sharding — the stall structure of the kernel
+/// body, which is what the schedule changes, is per-core). Failures
+/// degrade to `null` rather than failing the tune.
+fn winner_profile(best_leaf: &JobRequest, caches: &Arc<Mutex<Caches>>) -> Json {
+    let flow = match best_leaf.flow {
+        Flow::Ours(mut opts) => {
+            opts.cores = 1;
+            opts.shard_dim = None;
+            Flow::Ours(opts)
+        }
+        other => other,
+    };
+    let probe = JobRequest { id: 0, kind: JobKind::Profile, flow, ..*best_leaf };
+    match process(probe, caches).payload {
+        Ok(profile) => profile,
+        Err(_) => Json::Null,
     }
 }
 
@@ -150,10 +403,7 @@ fn lock(caches: &Arc<Mutex<Caches>>) -> MutexGuard<'_, Caches> {
     // A worker can only panic *outside* the lock (job bodies run before
     // insertion, and insertion itself doesn't run job code), so a
     // poisoned mutex still guards consistent data; recover it.
-    match caches.lock() {
-        Ok(guard) => guard,
-        Err(poisoned) => poisoned.into_inner(),
-    }
+    lock_unpoisoned(caches)
 }
 
 fn process(request: JobRequest, caches: &Arc<Mutex<Caches>>) -> JobResponse {
@@ -203,6 +453,37 @@ fn artifact(request: &JobRequest, caches: &Arc<Mutex<Caches>>) -> Result<Arc<Com
     Ok(compilation)
 }
 
+/// Fetches (or compiles and caches) a *location-carrying* artifact for
+/// profile jobs: the built module is printed and re-parsed with source
+/// locations attached, so the profiler can attribute cycles and stalls
+/// to `linalg`-level lines instead of `<unknown>`. Cached under its own
+/// key — a located compilation's `source_map` differs from the plain
+/// one's, and compile payloads embed that map, so the two artifact
+/// flavours must never alias a cache slot.
+fn located_artifact(
+    request: &JobRequest,
+    caches: &Arc<Mutex<Caches>>,
+) -> Result<Arc<Compilation>, String> {
+    let compile_key = format!("withlocs|{}", request.compile_key());
+    if let Some(hit) = lock(caches).artifacts.get(&compile_key) {
+        return Ok(Arc::clone(hit));
+    }
+    let source = {
+        let mut ctx = Context::new();
+        let module = request.instance.build_module(&mut ctx);
+        print_op(&ctx, module)
+    };
+    let label = format!("{}.mlir", request.instance.symbol());
+    let mut ctx = Context::new();
+    ctx.set_driver_mode(request.driver);
+    let module = parse_module_with_locations(&mut ctx, &source, &label)
+        .map_err(|e| format!("reparse for profile: {e}"))?;
+    let compilation =
+        Arc::new(compile(&mut ctx, module, request.flow).map_err(|e| format!("compile: {e}"))?);
+    lock(caches).artifacts.insert(compile_key, Arc::clone(&compilation));
+    Ok(compilation)
+}
+
 fn compute(request: JobRequest, caches: &Arc<Mutex<Caches>>) -> Result<Json, String> {
     if let Flow::Ours(opts) = request.flow {
         if opts.cores == 0 {
@@ -212,6 +493,11 @@ fn compute(request: JobRequest, caches: &Arc<Mutex<Caches>>) -> Result<Json, Str
     match request.kind {
         JobKind::DebugPanic => {
             panic!("debug-panic job {} panicked on purpose", request.id)
+        }
+        // Tune requests are expanded by `run_batch`/`run_one` before any
+        // worker sees them; reaching here means a caller bypassed both.
+        JobKind::Tune(_) => {
+            Err("tune jobs fan out in run_batch/run_one; not directly computable".to_string())
         }
         JobKind::Compile => {
             let artifact = artifact(&request, caches)?;
@@ -262,7 +548,7 @@ fn compute(request: JobRequest, caches: &Arc<Mutex<Caches>>) -> Result<Json, Str
             if request.cores() > 1 {
                 return Err("profile jobs run single-core; drop `cores`".to_string());
             }
-            let artifact = artifact(&request, caches)?;
+            let artifact = located_artifact(&request, caches)?;
             let (outcome, trace) =
                 run_compiled_traced(&request.instance, (*artifact).clone(), request.seed)
                     .map_err(|e| format!("run: {e}"))?;
@@ -282,6 +568,7 @@ fn compute(request: JobRequest, caches: &Arc<Mutex<Caches>>) -> Result<Json, Str
                                     ("cycles", row.cycles.into()),
                                     ("instructions", row.instructions.into()),
                                     ("flops", row.flops.into()),
+                                    ("stalls", stalls_json(&row.stalls)),
                                 ])
                             })
                             .collect(),
@@ -317,6 +604,16 @@ fn compilation_json(compilation: &Compilation) -> Json {
             "source_map",
             Json::Arr(compilation.source_map.iter().map(|l| l.to_string().into()).collect()),
         ),
+    ])
+}
+
+fn stalls_json(stalls: &StallHistogram) -> Json {
+    Json::obj(vec![
+        ("raw_int", stalls.raw_int.into()),
+        ("raw_fp", stalls.raw_fp.into()),
+        ("fpu_busy", stalls.fpu_busy.into()),
+        ("branch_redirect", stalls.branch_redirect.into()),
+        ("ssr_backpressure", stalls.ssr_backpressure.into()),
     ])
 }
 

@@ -43,5 +43,12 @@ echo "==> mlbc serve smoke (64-job batch, 4 workers, warm repeat)"
 run ./target/release/mlbc serve --batch target/serve-batch.jsonl \
     --workers 4 --repeat 2 --min-hit-rate 90 > target/serve-responses.jsonl
 test -s target/serve-responses.jsonl
+# Autotuner smoke: a small-budget schedule search over 2 workers, run
+# twice against the same service. The second round must be a pure
+# tune-cache hit with byte-identical output (the tune exit code
+# enforces both), and the JSON report must be non-empty.
+run ./target/release/mlbc tune matmul-8x16x16 --budget 12 --cores-max 2 \
+    --workers 2 --repeat 2 --tune-json target/tune-matmul.json > /dev/null
+test -s target/tune-matmul.json
 
 echo "All checks passed."

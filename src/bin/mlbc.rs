@@ -38,6 +38,7 @@ usage: mlbc <input.mlir | -> [options]
        mlbc difftest [difftest options]
        mlbc bench-json [bench options]
        mlbc serve [serve options]
+       mlbc tune <kernel> [tune options]
 
 options:
   --emit asm|ir       output assembly (default) or the parsed IR
@@ -119,6 +120,22 @@ crates/service for the protocol):
                       at least PCT percent of jobs from the cache
   --emit-demo-batch N print N deterministic mixed job requests (the
                       smoke batch of scripts/check.sh) and exit
+
+tune options (schedule autotuning: enumerate the schedule space of one
+kernel instance — pipeline flow, unroll-and-jam factor, shard dimension,
+core count — race every variant's simulation over the service's worker
+pool, and report the best schedule plus the cycles/cores/TCDM Pareto
+front, with the winner's per-line stall attribution; <kernel> is
+kind-NxM[xK][-f32], e.g. matmul-8x16x16 or relu-3x4-f32):
+  --cores-max N       largest cluster width to search (default 4)
+  --budget K          max schedule variants to evaluate (default 24)
+  --seed S            operand seed of the fitness simulations (default 0)
+  --workers N         worker threads racing the variants (default 4)
+  --cache-capacity N  entries per cache layer (default 256)
+  --repeat K          tune K times through the same service; rounds 2+
+                      must be served from the tune cache byte-identically
+                      (the warm re-tune gate; default 1)
+  --tune-json FILE    the raw tune report as JSON (`-` for stdout)
 ";
 
 fn main() -> ExitCode {
@@ -155,6 +172,9 @@ fn run(args: Vec<String>) -> Result<String, String> {
     }
     if args.first().map(String::as_str) == Some("serve") {
         return run_serve(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("tune") {
+        return run_tune(&args[1..]);
     }
     let mut input: Option<String> = None;
     let mut emit_ir = false;
@@ -275,7 +295,7 @@ fn run_serve(args: &[String]) -> Result<String, String> {
     let mut capacity = 256usize;
     let mut batch: Option<String> = None;
     let mut repeat = 1usize;
-    let mut min_hit_rate: Option<f64> = None;
+    let mut min_hit_rate: Option<u64> = None;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -304,10 +324,10 @@ fn run_serve(args: &[String]) -> Result<String, String> {
             "--min-hit-rate" => {
                 let n = iter.next().ok_or("--min-hit-rate needs a value")?;
                 min_hit_rate = Some(
-                    n.parse::<f64>()
+                    n.parse::<u64>()
                         .ok()
-                        .filter(|p| (0.0..=100.0).contains(p))
-                        .ok_or(format!("invalid --min-hit-rate `{n}`: need a percentage"))?,
+                        .filter(|p| *p <= 100)
+                        .ok_or(format!("invalid --min-hit-rate `{n}`: need a whole percentage"))?,
                 );
             }
             "--emit-demo-batch" => {
@@ -321,6 +341,14 @@ fn run_serve(args: &[String]) -> Result<String, String> {
             }
             other => return Err(format!("unknown serve option `{other}`\n{USAGE}")),
         }
+    }
+
+    // A hit-rate gate needs a warm round to measure: with `--repeat 1`
+    // every job is a first sight and the gate can only fail (or, with
+    // `--min-hit-rate 0`, silently gate nothing). Diagnose the
+    // contradiction instead of reporting a phantom cache regression.
+    if min_hit_rate.is_some_and(|min| min > 0) && repeat < 2 {
+        return Err("--min-hit-rate needs --repeat 2 or more: round 1 is always cold".to_string());
     }
 
     let service = CompileService::new(ServiceConfig { workers, cache_capacity: capacity });
@@ -346,7 +374,8 @@ fn run_serve(args: &[String]) -> Result<String, String> {
         }
         let mut out = String::new();
         let mut failures = 0usize;
-        let mut last_hit_rate = 0.0f64;
+        let mut last_hits = 0usize;
+        let mut last_jobs = 0usize;
         for round in 1..=repeat {
             let started = std::time::Instant::now();
             let responses = service.run_batch(&requests);
@@ -357,11 +386,13 @@ fn run_serve(args: &[String]) -> Result<String, String> {
                 out.push('\n');
             }
             failures += errors;
-            last_hit_rate = hits as f64 * 100.0 / responses.len() as f64;
+            last_hits = hits;
+            last_jobs = responses.len();
             eprintln!(
                 "mlbc serve: round {round}/{repeat}: {} jobs over {workers} workers, \
-                 {errors} errors, {hits} cache hits ({last_hit_rate:.1}%) in {:?}",
+                 {errors} errors, {hits} cache hits ({:.1}%) in {:?}",
                 responses.len(),
+                hits as f64 * 100.0 / responses.len().max(1) as f64,
                 started.elapsed(),
             );
         }
@@ -378,10 +409,14 @@ fn run_serve(args: &[String]) -> Result<String, String> {
             return Err(format!("{failures} job(s) failed"));
         }
         if let Some(min) = min_hit_rate {
-            if last_hit_rate < min {
+            // Division-free gate (hits/jobs ≥ min/100 ⟺ hits·100 ≥
+            // jobs·min): boundary batches like 9/10 against 90 can't be
+            // misjudged by float rounding.
+            if (last_hits as u64).saturating_mul(100) < (last_jobs as u64).saturating_mul(min) {
                 eprint!("{out}");
                 return Err(format!(
-                    "last round served {last_hit_rate:.1}% from cache, below --min-hit-rate {min}"
+                    "last round served {last_hits}/{last_jobs} jobs from cache, \
+                     below --min-hit-rate {min}"
                 ));
             }
         }
@@ -411,11 +446,12 @@ fn run_serve(args: &[String]) -> Result<String, String> {
 }
 
 /// A deterministic mixed batch of `n` service jobs covering every
-/// kernel, both precisions, all three flows, all four production job
-/// kinds, both rewrite drivers and several cluster widths — the smoke
-/// batch `scripts/check.sh` pushes through `mlbc serve`.
+/// kernel, both precisions, all three flows, all five production job
+/// kinds (a small-budget tune rides along every 32 jobs), both rewrite
+/// drivers and several cluster widths — the smoke batch
+/// `scripts/check.sh` pushes through `mlbc serve`.
 fn demo_batch(n: usize) -> String {
-    use mlb_kernels::{Instance, Kind, Precision, Shape};
+    use mlb_kernels::{Instance, Kind, Precision, Shape, TuneParams};
     use mlbe::service::{request_json, JobKind, JobRequest};
 
     let job_kinds = [JobKind::Compile, JobKind::Simulate, JobKind::Difftest, JobKind::Profile];
@@ -427,9 +463,15 @@ fn demo_batch(n: usize) -> String {
             _ => Shape::nm(3, 4),
         };
         let precision = if (i / 8) % 2 == 0 { Precision::F64 } else { Precision::F32 };
-        let kind = job_kinds[(i + i / 8) % 4];
+        let kind = if i % 32 == 21 {
+            JobKind::Tune(TuneParams { cores_max: 2, budget: 8 })
+        } else {
+            job_kinds[(i + i / 8) % 4]
+        };
         let driver = if i % 6 == 3 { DriverMode::LegacyRewalk } else { DriverMode::Worklist };
-        let flow = if kind == JobKind::Difftest && i % 5 == 0 {
+        let flow = if matches!(kind, JobKind::Tune(_)) {
+            Flow::Ours(PipelineOptions::full())
+        } else if kind == JobKind::Difftest && i % 5 == 0 {
             Flow::MlirLike
         } else if kind == JobKind::Difftest && i % 7 == 0 {
             Flow::ClangLike
@@ -451,6 +493,260 @@ fn demo_batch(n: usize) -> String {
         };
         out.push_str(&request_json(&request).to_string());
         out.push('\n');
+    }
+    out
+}
+
+/// Parses a `kind-NxM[xK][-f32]` kernel spec, e.g. `matmul-8x16x16` or
+/// `relu-3x4-f32` (`-f64` is the default and may be spelled).
+fn parse_kernel_spec(spec: &str) -> Result<mlb_kernels::Instance, String> {
+    use mlb_kernels::{Instance, Kind, Precision, Shape};
+    use mlbe::service::{parse_kind, MAX_DIM};
+
+    let mut rest = spec;
+    let precision = if let Some(stripped) = rest.strip_suffix("-f32") {
+        rest = stripped;
+        Precision::F32
+    } else if let Some(stripped) = rest.strip_suffix("-f64") {
+        rest = stripped;
+        Precision::F64
+    } else {
+        Precision::F64
+    };
+    let (kind_name, dims) = rest
+        .rsplit_once('-')
+        .ok_or_else(|| format!("invalid kernel `{spec}`: expected kind-NxM[xK][-f32]"))?;
+    let kind = parse_kind(kind_name)?;
+    let dim = |s: &str| {
+        s.parse::<u64>()
+            .ok()
+            .filter(|v| (1..=MAX_DIM).contains(v))
+            .map(|v| v as i64)
+            .ok_or_else(|| format!("invalid dimension `{s}` in `{spec}`"))
+    };
+    let parts: Vec<&str> = dims.split('x').collect();
+    let shape = match (matches!(kind, Kind::MatMul | Kind::MatMulT), parts.as_slice()) {
+        (true, [n, m, k]) => Shape::nmk(dim(n)?, dim(m)?, dim(k)?),
+        (true, _) => return Err(format!("`{kind_name}` needs three dimensions (NxMxK)")),
+        (false, [n, m]) => Shape::nm(dim(n)?, dim(m)?),
+        (false, _) => return Err(format!("`{kind_name}` needs two dimensions (NxM)")),
+    };
+    Ok(Instance::new(kind, shape, precision))
+}
+
+/// The `mlbc tune` subcommand: schedule autotuning of one kernel
+/// instance over the compile service (see USAGE).
+fn run_tune(args: &[String]) -> Result<String, String> {
+    use mlb_kernels::TuneParams;
+    use mlbe::service::{CompileService, JobKind, JobRequest, ServiceConfig};
+
+    let mut spec: Option<String> = None;
+    let mut params = TuneParams::default();
+    let mut seed = 0u64;
+    let mut workers = 4usize;
+    let mut capacity = 256usize;
+    let mut repeat = 1usize;
+    let mut tune_json: Option<String> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--help" | "-h" => return Ok(USAGE.to_string()),
+            "--cores-max" => {
+                params.cores_max = parse_cores(iter.next().ok_or("--cores-max needs a value")?)?;
+            }
+            "--budget" => {
+                let n = iter.next().ok_or("--budget needs a value")?;
+                params.budget = n
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&b| b >= 1)
+                    .ok_or(format!("invalid --budget `{n}`: need a positive count"))?;
+            }
+            "--seed" => {
+                let n = iter.next().ok_or("--seed needs a value")?;
+                seed = n.parse::<u64>().map_err(|_| format!("invalid --seed `{n}`"))?;
+            }
+            "--workers" => {
+                let n = iter.next().ok_or("--workers needs a value")?;
+                workers = n
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&w| w >= 1)
+                    .ok_or(format!("invalid --workers `{n}`: need a positive count"))?;
+            }
+            "--cache-capacity" => {
+                let n = iter.next().ok_or("--cache-capacity needs a value")?;
+                capacity =
+                    n.parse::<usize>().map_err(|_| format!("invalid --cache-capacity `{n}`"))?;
+            }
+            "--repeat" => {
+                let n = iter.next().ok_or("--repeat needs a value")?;
+                repeat = n
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&k| k >= 1)
+                    .ok_or(format!("invalid --repeat `{n}`: need a positive count"))?;
+            }
+            "--tune-json" => {
+                tune_json = Some(iter.next().ok_or("--tune-json needs a value")?.clone());
+            }
+            other if other.starts_with('-') => {
+                return Err(format!("unknown tune option `{other}`\n{USAGE}"));
+            }
+            other => {
+                if spec.replace(other.to_string()).is_some() {
+                    return Err(format!("more than one kernel given\n{USAGE}"));
+                }
+            }
+        }
+    }
+    let spec = spec.ok_or_else(|| format!("no kernel to tune\n{USAGE}"))?;
+    let instance = parse_kernel_spec(&spec)?;
+    let request = JobRequest {
+        id: 1,
+        kind: JobKind::Tune(params),
+        instance,
+        flow: Flow::Ours(PipelineOptions::full()),
+        driver: DriverMode::Worklist,
+        seed,
+    };
+
+    let service = CompileService::new(ServiceConfig { workers, cache_capacity: capacity });
+    let mut last: Option<mlbe::service::JobResponse> = None;
+    for round in 1..=repeat {
+        let started = std::time::Instant::now();
+        let response = service.run_batch(&[request]).remove(0);
+        eprintln!(
+            "mlbc tune: round {round}/{repeat}: {} in {:?} over {workers} workers{}",
+            if response.cached { "cache hit" } else { "searched" },
+            started.elapsed(),
+            if response.payload.is_err() { " (failed)" } else { "" },
+        );
+        if round >= 2 {
+            // The warm re-tune gate of the tentpole: a repeated tune
+            // must be pure cache lookup with an identical report.
+            if !response.cached {
+                return Err("warm re-tune was not served from the tune cache".to_string());
+            }
+            if let Some(previous) = &last {
+                if previous.payload_text() != response.payload_text() {
+                    return Err("warm re-tune report diverged from the cold one".to_string());
+                }
+            }
+        }
+        last = Some(response);
+    }
+    let response = last.expect("repeat >= 1");
+    let payload = response.payload.map_err(|e| format!("tune failed: {e}"))?;
+
+    if let Some(path) = tune_json {
+        let text = payload.pretty() + "\n";
+        if path == "-" {
+            return Ok(text);
+        }
+        std::fs::write(&path, text).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+    Ok(render_tune_report(&instance, &payload))
+}
+
+/// Renders the human-readable tune report from the (deterministic)
+/// tune payload: winner, speedups over the flow defaults, Pareto
+/// front, the winner's stall attribution, and every evaluated variant.
+fn render_tune_report(instance: &mlb_kernels::Instance, payload: &Json) -> String {
+    let u = |doc: &Json, key: &str| doc.get(key).and_then(Json::as_u64).unwrap_or(0);
+    let arr = |doc: &Json, key: &str| match doc.get(key) {
+        Some(Json::Arr(items)) => items.clone(),
+        _ => Vec::new(),
+    };
+    let mut out = String::new();
+    let variants = arr(payload, "variants");
+    let failed = arr(payload, "failed");
+    out.push_str(&format!(
+        "tune {instance}: {} schedules evaluated ({} failed), budget {}, cores <= {}, \
+         tcdm {} bytes\n",
+        u(payload, "evaluated"),
+        failed.len(),
+        u(payload, "budget"),
+        u(payload, "cores_max"),
+        u(payload, "tcdm_bytes"),
+    ));
+    let best = payload.get("best").cloned().unwrap_or(Json::Null);
+    let best_label = best.get("label").and_then(Json::as_str).unwrap_or("?").to_string();
+    let best_cycles = u(&best, "cycles");
+    out.push_str(&format!(
+        "best: {best_label}  cycles={best_cycles}  cores={}\n",
+        u(&best, "cores"),
+    ));
+    for reference in ["ours-default", "mlir", "clang"] {
+        let Some(cycles) = variants
+            .iter()
+            .find(|v| v.get("label").and_then(Json::as_str) == Some(reference))
+            .map(|v| u(v, "cycles"))
+        else {
+            continue;
+        };
+        out.push_str(&format!(
+            "  vs {reference}: {cycles} cycles ({:.2}x)\n",
+            cycles as f64 / best_cycles.max(1) as f64,
+        ));
+    }
+    out.push_str("pareto front (cycles / cores / tcdm bytes):\n");
+    for point in arr(payload, "pareto") {
+        out.push_str(&format!(
+            "  {:<20} {:>8} {:>3} {:>8}\n",
+            point.get("label").and_then(Json::as_str).unwrap_or("?"),
+            u(&point, "cycles"),
+            u(&point, "cores"),
+            u(&point, "tcdm_bytes"),
+        ));
+    }
+    let why = payload.get("why").cloned().unwrap_or(Json::Null);
+    if let Some(Json::Arr(rows)) = why.get("rows").cloned() {
+        out.push_str(&format!(
+            "why {best_label} wins (single-core stall attribution, {} cycles):\n",
+            u(&why, "total_cycles"),
+        ));
+        let total = u(&why, "total_cycles").max(1);
+        for row in &rows {
+            let stalls = row.get("stalls").cloned().unwrap_or(Json::Null);
+            let named: Vec<String> = [
+                ("raw-int", "raw_int"),
+                ("raw-fp", "raw_fp"),
+                ("fpu-busy", "fpu_busy"),
+                ("branch", "branch_redirect"),
+                ("ssr", "ssr_backpressure"),
+            ]
+            .iter()
+            .filter(|&&(_, key)| u(&stalls, key) > 0)
+            .map(|&(name, key)| format!("{name} {}", u(&stalls, key)))
+            .collect();
+            out.push_str(&format!(
+                "  {:<28} {:>7} cycles {:>5.1}%  {}\n",
+                row.get("location").and_then(Json::as_str).unwrap_or("?"),
+                u(row, "cycles"),
+                100.0 * u(row, "cycles") as f64 / total as f64,
+                if named.is_empty() { "-".to_string() } else { named.join(", ") },
+            ));
+        }
+    }
+    out.push_str("all variants (cycles / cores):\n");
+    for variant in &variants {
+        let label = variant.get("label").and_then(Json::as_str).unwrap_or("?");
+        let marker = if label == best_label { " <- best" } else { "" };
+        out.push_str(&format!(
+            "  {:<20} {:>8} {:>3}{marker}\n",
+            label,
+            u(variant, "cycles"),
+            u(variant, "cores"),
+        ));
+    }
+    for failure in &failed {
+        out.push_str(&format!(
+            "  {:<20} failed: {}\n",
+            failure.get("label").and_then(Json::as_str).unwrap_or("?"),
+            failure.get("error").and_then(Json::as_str).unwrap_or("?"),
+        ));
     }
     out
 }
@@ -958,12 +1254,15 @@ fn run_difftest(args: &[String]) -> Result<String, String> {
 /// The `mlbc bench-json` subcommand: the compiler and simulator
 /// micro-benchmarks behind the repo's tracked perf trajectory.
 ///
-/// Two scenarios, mirroring the criterion benches in `crates/bench`:
-/// `compile-matmul/full-pipeline` run under both rewrite-driver modes
-/// (worklist vs legacy re-walk), and `simulate-matmul-1x5x200` with the
-/// frep fast path on and off. Deterministic work counters carry the
-/// regression guard; wall times (min over a few repetitions) record the
-/// trajectory but are machine-dependent, so `--check` ignores them.
+/// Four scenarios: `compile-matmul/full-pipeline` run under both
+/// rewrite-driver modes (worklist vs legacy re-walk) mirroring the
+/// criterion benches in `crates/bench`, `simulate-matmul-1x5x200` with
+/// the frep fast path on and off, `cluster-matmul-8x16x16` sharded over
+/// the simulated cluster, and `tune-matmul-8x16x16` racing a
+/// small-budget schedule search against the hand-written default.
+/// Deterministic work counters carry the regression guard; wall times
+/// (min over a few repetitions) record the trajectory but are
+/// machine-dependent, so `--check` ignores them.
 fn run_bench_json(args: &[String]) -> Result<String, String> {
     use mlb_ir::{DriverMode, RewriteStats};
     use mlb_kernels::{Instance, Kind, Precision, Shape};
@@ -1071,6 +1370,54 @@ fn run_bench_json(args: &[String]) -> Result<String, String> {
     let cycle_speedup = cluster_single.counters.aggregate.cycles as f64
         / cluster_multi.counters.aggregate.cycles.max(1) as f64;
 
+    // Tuned-vs-default scenario: a small-budget schedule search over the
+    // compile service on the same cluster matmul. The search space opens
+    // with the flow defaults, so the tuned best can only match or beat
+    // the hand-written default schedule; the report records by how much.
+    let (tune_best, tune_best_label, tune_default, tune_evaluated) = {
+        use mlb_kernels::TuneParams;
+        use mlbe::service::{CompileService, JobKind, JobRequest, ServiceConfig};
+        let service = CompileService::new(ServiceConfig { workers: 2, cache_capacity: 64 });
+        let request = JobRequest {
+            id: 1,
+            kind: JobKind::Tune(TuneParams { cores_max: cluster_cores.min(4), budget: 16 }),
+            instance: cluster_instance,
+            flow: Flow::Ours(PipelineOptions::full()),
+            driver: DriverMode::Worklist,
+            seed: 0,
+        };
+        let payload = service
+            .run_one(request)
+            .payload
+            .map_err(|e| format!("bench-json: tune matmul-8x16x16: {e}"))?;
+        let best = payload.get("best").cloned().unwrap_or(Json::Null);
+        let cycles = |label: &str| {
+            if let Some(Json::Arr(variants)) = payload.get("variants") {
+                variants
+                    .iter()
+                    .find(|v| v.get("label").and_then(Json::as_str) == Some(label))
+                    .and_then(|v| v.get("cycles"))
+                    .and_then(Json::as_u64)
+            } else {
+                None
+            }
+        };
+        (
+            best.get("cycles").and_then(Json::as_u64).unwrap_or(0),
+            best.get("label").and_then(Json::as_str).unwrap_or("?").to_string(),
+            cycles("ours-default")
+                .ok_or("bench-json: tune did not evaluate the default schedule")?,
+            payload.get("evaluated").and_then(Json::as_u64).unwrap_or(0),
+        )
+    };
+    if tune_best > tune_default {
+        return Err(format!(
+            "bench-json: tuned schedule ({tune_best} cycles) is slower than the \
+             hand-written default ({tune_default} cycles)"
+        ));
+    }
+    let tune_speedup = tune_default as f64 / tune_best.max(1) as f64;
+
     let mode_json = |s: &RewriteStats, nanos: u64| {
         Json::obj(vec![
             ("wall_nanos", Json::from(nanos)),
@@ -1141,6 +1488,16 @@ fn run_bench_json(args: &[String]) -> Result<String, String> {
                 ),
             ]),
         ),
+        (
+            "tune-matmul-8x16x16",
+            Json::obj(vec![
+                ("evaluated", Json::from(tune_evaluated)),
+                ("best_label", Json::from(tune_best_label.as_str())),
+                ("best_cycles", Json::from(tune_best)),
+                ("default_cycles", Json::from(tune_default)),
+                ("tune_speedup", Json::from(tune_speedup)),
+            ]),
+        ),
     ]);
 
     // Human-readable progress goes to stderr: stdout is reserved for the
@@ -1164,6 +1521,10 @@ fn run_bench_json(args: &[String]) -> Result<String, String> {
         cluster_multi.counters.aggregate.cycles,
         cluster_cores,
         cycle_speedup,
+    );
+    eprintln!(
+        "bench tune-matmul-8x16x16: {tune_best} cycles ({tune_best_label}) vs {tune_default} \
+         cycles (ours-default) over {tune_evaluated} schedules, speedup {tune_speedup:.2}x",
     );
     if let Some(path) = check_path {
         let text = std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?;
