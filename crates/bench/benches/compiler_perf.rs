@@ -7,7 +7,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use mlb_core::{compile, Flow, PipelineOptions};
 use mlb_ir::Context;
 use mlb_kernels::{Instance, Kind, Precision, Shape};
-use mlb_sim::Machine;
+use mlb_sim::{Engine, ExecProgram, Machine};
 
 fn bench_compile(c: &mut Criterion) {
     let instance = Instance::new(Kind::MatMul, Shape::nmk(1, 5, 200), Precision::F64);
@@ -34,20 +34,31 @@ fn bench_simulator(c: &mut Criterion) {
     let mut ctx = Context::new();
     let module = instance.build_module(&mut ctx);
     let compiled = compile(&mut ctx, module, Flow::Ours(PipelineOptions::full())).unwrap();
-    let program = mlb_sim::assemble(&compiled.assembly).unwrap();
-    c.bench_function("simulate-matmul-1x5x200", |b| {
-        b.iter(|| {
-            let mut machine = Machine::new();
-            machine.write_f64_slice(mlb_isa::TCDM_BASE, &[1.0; 256]).unwrap();
-            machine
-                .call(
-                    &program,
-                    "matmul",
-                    &[mlb_isa::TCDM_BASE, mlb_isa::TCDM_BASE + 2048, mlb_isa::TCDM_BASE + 16384],
-                )
-                .unwrap()
-        })
-    });
+    // Predecode once outside the loop: the measurement covers the
+    // execution engine, not the CFG scan it amortizes away.
+    let exec = ExecProgram::new(mlb_sim::assemble(&compiled.assembly).unwrap());
+    let mut group = c.benchmark_group("simulate-matmul-1x5x200");
+    for (name, engine) in [("superblock", Engine::Superblock), ("checked", Engine::Checked)] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut machine = Machine::new();
+                machine.set_engine(engine);
+                machine.write_f64_slice(mlb_isa::TCDM_BASE, &[1.0; 256]).unwrap();
+                machine
+                    .call_predecoded(
+                        &exec,
+                        "matmul",
+                        &[
+                            mlb_isa::TCDM_BASE,
+                            mlb_isa::TCDM_BASE + 2048,
+                            mlb_isa::TCDM_BASE + 16384,
+                        ],
+                    )
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
 }
 
 criterion_group!(benches, bench_compile, bench_simulator);

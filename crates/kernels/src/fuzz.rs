@@ -157,6 +157,15 @@ fn shrink(instance: Instance, flow: Flow, seed: u64, mut budget: usize) -> (Inst
     }
 }
 
+/// The deterministic `(instance, flow, operand seed)` cases a
+/// [`fuzz`] run with the same `seed` draws, without executing anything.
+/// The engine-equivalence suite replays this exact corpus under both
+/// simulator engines.
+pub fn fuzz_corpus(seed: u64, count: usize) -> Vec<(Instance, Flow, u64)> {
+    let mut rng = SplitMix64::new(seed);
+    (0..count).map(|_| random_case(&mut rng)).collect()
+}
+
 /// Runs `count` randomized differential tests derived from `seed`.
 /// Returns the number of cases run, or the first (shrunk) failure.
 ///

@@ -7,7 +7,9 @@ use std::fmt;
 use mlb_core::{compile, Compilation, Flow, PipelineOptions};
 use mlb_ir::Context;
 use mlb_isa::{FpReg, TCDM_BASE, TCDM_SIZE};
-use mlb_sim::{assemble, Cluster, ClusterCounters, Machine, PerfCounters, TraceEntry};
+use mlb_sim::{
+    assemble, Cluster, ClusterCounters, Engine, ExecProgram, Machine, PerfCounters, TraceEntry,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -152,7 +154,9 @@ pub fn run_compiled(
     compilation: Compilation,
     seed: u64,
 ) -> Result<RunOutcome, HarnessError> {
-    run_compiled_inner(instance, compilation, seed, false).map(|(outcome, _)| outcome)
+    let exec = predecode(&compilation)?;
+    let outcome = run_predecoded(instance, &exec, seed)?;
+    Ok(RunOutcome { counters: outcome.counters, compilation, output: outcome.output })
 }
 
 /// [`run_compiled`] with execution tracing on: additionally returns the
@@ -167,20 +171,115 @@ pub fn run_compiled_traced(
     compilation: Compilation,
     seed: u64,
 ) -> Result<(RunOutcome, Vec<TraceEntry>), HarnessError> {
-    run_compiled_inner(instance, compilation, seed, true)
+    let exec = predecode(&compilation)?;
+    let (outcome, trace) = run_predecoded_traced(instance, &exec, seed)?;
+    Ok((RunOutcome { counters: outcome.counters, compilation, output: outcome.output }, trace))
+}
+
+/// Assembles and predecodes a compilation into the simulator's dense
+/// CFG-level execution artifact, once. Repeat runs of the same artifact
+/// ([`run_predecoded`], [`run_predecoded_traced`],
+/// [`run_predecoded_on_cluster`]) then skip both the assembly scan and
+/// the predecode entirely — the compile service caches these next to the
+/// compilations they were derived from.
+///
+/// # Errors
+///
+/// When the compilation's assembly does not assemble.
+pub fn predecode(compilation: &Compilation) -> Result<ExecProgram, HarnessError> {
+    let program = assemble(&compilation.assembly).map_err(HarnessError::Assemble)?;
+    Ok(ExecProgram::new(program))
+}
+
+/// Counters and verified output of one predecoded kernel run. Carries no
+/// compilation artifacts: callers that predecode hold the
+/// [`Compilation`] themselves (typically behind an `Arc` in a cache).
+#[derive(Debug)]
+pub struct ExecOutcome {
+    /// Performance counters of the kernel call.
+    pub counters: PerfCounters,
+    /// The verified kernel output (widened to `f64` for f32 kernels).
+    pub output: Vec<f64>,
+}
+
+/// Runs an already-predecoded kernel (see [`predecode`]) on random
+/// inputs derived from `seed` and verifies the result bit-for-bit
+/// against the host reference.
+///
+/// # Errors
+///
+/// Any simulation or verification failure.
+pub fn run_predecoded(
+    instance: &Instance,
+    exec: &ExecProgram,
+    seed: u64,
+) -> Result<ExecOutcome, HarnessError> {
+    run_predecoded_inner(instance, exec, seed, false, None).map(|(outcome, _)| outcome)
+}
+
+/// [`run_predecoded`] pinned to a specific execution [`Engine`] instead
+/// of the process default (`MLB_SIM_ENGINE`). The engine-equivalence
+/// suite and the `sim-throughput-*` benches race both engines inside
+/// one process, which the `OnceLock`-cached env default cannot express.
+///
+/// # Errors
+///
+/// Any simulation or verification failure.
+pub fn run_predecoded_with_engine(
+    instance: &Instance,
+    exec: &ExecProgram,
+    seed: u64,
+    engine: Engine,
+) -> Result<ExecOutcome, HarnessError> {
+    run_predecoded_inner(instance, exec, seed, false, Some(engine)).map(|(outcome, _)| outcome)
+}
+
+/// [`run_predecoded`] with execution tracing on.
+///
+/// # Errors
+///
+/// Any simulation or verification failure.
+pub fn run_predecoded_traced(
+    instance: &Instance,
+    exec: &ExecProgram,
+    seed: u64,
+) -> Result<(ExecOutcome, Vec<TraceEntry>), HarnessError> {
+    run_predecoded_inner(instance, exec, seed, true, None)
         .map(|(outcome, trace)| (outcome, trace.unwrap_or_default()))
 }
 
-fn run_compiled_inner(
+/// [`run_predecoded_traced`] pinned to a specific execution [`Engine`]
+/// (see [`run_predecoded_with_engine`]). Tracing always executes on the
+/// checked stepper, so the rendered traces must come out identical no
+/// matter the engine — which is exactly what the equivalence suite
+/// asserts with this entry point.
+///
+/// # Errors
+///
+/// Any simulation or verification failure.
+pub fn run_predecoded_traced_with_engine(
     instance: &Instance,
-    compilation: Compilation,
+    exec: &ExecProgram,
+    seed: u64,
+    engine: Engine,
+) -> Result<(ExecOutcome, Vec<TraceEntry>), HarnessError> {
+    run_predecoded_inner(instance, exec, seed, true, Some(engine))
+        .map(|(outcome, trace)| (outcome, trace.unwrap_or_default()))
+}
+
+fn run_predecoded_inner(
+    instance: &Instance,
+    exec: &ExecProgram,
     seed: u64,
     trace: bool,
-) -> Result<(RunOutcome, Option<Vec<TraceEntry>>), HarnessError> {
-    let program = assemble(&compilation.assembly).map_err(HarnessError::Assemble)?;
+    engine: Option<Engine>,
+) -> Result<(ExecOutcome, Option<Vec<TraceEntry>>), HarnessError> {
     let sizes = instance.buffer_sizes();
     let esz = instance.precision.bits() / 8;
     let mut machine = Machine::new();
+    if let Some(engine) = engine {
+        machine.set_engine(engine);
+    }
     if trace {
         machine.enable_trace();
     }
@@ -202,8 +301,9 @@ fn run_compiled_inner(
                 machine.set_f_bits(FpReg::fa(0), FILL_VALUE.to_bits());
             }
             let int_args: Vec<u32> = addrs.clone();
-            let counters =
-                machine.call(&program, &instance.symbol(), &int_args).map_err(HarnessError::Sim)?;
+            let counters = machine
+                .call_predecoded(exec, &instance.symbol(), &int_args)
+                .map_err(HarnessError::Sim)?;
             let output = machine.read_f64_slice(out_addr, out_len).map_err(HarnessError::Sim)?;
             verify_f64(&output, &expected)?;
             (output, counters)
@@ -221,15 +321,16 @@ fn run_compiled_inner(
                 );
             }
             let int_args: Vec<u32> = addrs.clone();
-            let counters =
-                machine.call(&program, &instance.symbol(), &int_args).map_err(HarnessError::Sim)?;
+            let counters = machine
+                .call_predecoded(exec, &instance.symbol(), &int_args)
+                .map_err(HarnessError::Sim)?;
             let output = machine.read_f32_slice(out_addr, out_len).map_err(HarnessError::Sim)?;
             verify_f32(&output, &expected)?;
             (output.into_iter().map(f64::from).collect(), counters)
         }
     };
     let trace = machine.take_trace();
-    Ok((RunOutcome { counters, compilation, output }, trace))
+    Ok((ExecOutcome { counters, output }, trace))
 }
 
 /// Everything measured in one verified multi-core cluster run.
@@ -278,10 +379,67 @@ pub fn run_compiled_on_cluster(
     seed: u64,
     cores: usize,
 ) -> Result<ClusterRunOutcome, HarnessError> {
-    let program = assemble(&compilation.assembly).map_err(HarnessError::Assemble)?;
+    let exec = predecode(&compilation)?;
+    let outcome = run_predecoded_on_cluster(instance, &exec, seed, cores)?;
+    Ok(ClusterRunOutcome { counters: outcome.counters, compilation, output: outcome.output })
+}
+
+/// Counters and verified output of one predecoded cluster run. Like
+/// [`ExecOutcome`], carries no compilation artifacts.
+#[derive(Debug)]
+pub struct ClusterExecOutcome {
+    /// Per-core and aggregate counters of the cluster call.
+    pub counters: ClusterCounters,
+    /// The verified kernel output (widened to `f64` for f32 kernels).
+    pub output: Vec<f64>,
+}
+
+/// Runs an already-predecoded kernel (see [`predecode`]) on a
+/// `cores`-wide cluster. The compilation must have been produced with
+/// `PipelineOptions::cores == cores`, otherwise the sharded loop bounds
+/// will not match the cluster width.
+///
+/// # Errors
+///
+/// Any simulation or verification failure.
+pub fn run_predecoded_on_cluster(
+    instance: &Instance,
+    exec: &ExecProgram,
+    seed: u64,
+    cores: usize,
+) -> Result<ClusterExecOutcome, HarnessError> {
+    run_predecoded_on_cluster_inner(instance, exec, seed, cores, None)
+}
+
+/// [`run_predecoded_on_cluster`] pinned to a specific execution
+/// [`Engine`] on every core (see [`run_predecoded_with_engine`]).
+///
+/// # Errors
+///
+/// Any simulation or verification failure.
+pub fn run_predecoded_on_cluster_with_engine(
+    instance: &Instance,
+    exec: &ExecProgram,
+    seed: u64,
+    cores: usize,
+    engine: Engine,
+) -> Result<ClusterExecOutcome, HarnessError> {
+    run_predecoded_on_cluster_inner(instance, exec, seed, cores, Some(engine))
+}
+
+fn run_predecoded_on_cluster_inner(
+    instance: &Instance,
+    exec: &ExecProgram,
+    seed: u64,
+    cores: usize,
+    engine: Option<Engine>,
+) -> Result<ClusterExecOutcome, HarnessError> {
     let sizes = instance.buffer_sizes();
     let esz = instance.precision.bits() / 8;
     let mut cluster = Cluster::new(cores);
+    if let Some(engine) = engine {
+        cluster.set_engine(engine);
+    }
 
     let addrs = place_buffers(&sizes, esz)?;
     let num_inputs = sizes.len() - 1;
@@ -298,8 +456,9 @@ pub fn run_compiled_on_cluster(
             if instance.kind == Kind::Fill {
                 cluster.broadcast_f_bits(FpReg::fa(0), FILL_VALUE.to_bits());
             }
-            let counters =
-                cluster.call(&program, &instance.symbol(), &addrs).map_err(HarnessError::Sim)?;
+            let counters = cluster
+                .call_predecoded(exec, &instance.symbol(), &addrs)
+                .map_err(HarnessError::Sim)?;
             let output = cluster.read_f64_slice(out_addr, out_len).map_err(HarnessError::Sim)?;
             verify_f64(&output, &expected)?;
             (output, counters)
@@ -316,14 +475,15 @@ pub fn run_compiled_on_cluster(
                     ((FILL_VALUE as f32).to_bits() as u64) | 0xFFFF_FFFF_0000_0000,
                 );
             }
-            let counters =
-                cluster.call(&program, &instance.symbol(), &addrs).map_err(HarnessError::Sim)?;
+            let counters = cluster
+                .call_predecoded(exec, &instance.symbol(), &addrs)
+                .map_err(HarnessError::Sim)?;
             let output = cluster.read_f32_slice(out_addr, out_len).map_err(HarnessError::Sim)?;
             verify_f32(&output, &expected)?;
             (output.into_iter().map(f64::from).collect(), counters)
         }
     };
-    Ok(ClusterRunOutcome { counters, compilation, output })
+    Ok(ClusterExecOutcome { counters, output })
 }
 
 fn verify_f64(got: &[f64], expected: &[f64]) -> Result<(), HarnessError> {

@@ -19,11 +19,14 @@ pub use difftest::{
     difftest_instance, difftest_instance_tweaked, exec_registry, DifftestError, DifftestOutcome,
     Divergence,
 };
-pub use fuzz::{fuzz, FuzzFailure, SplitMix64};
+pub use fuzz::{fuzz, fuzz_corpus, FuzzFailure, SplitMix64};
 pub use handwritten::{build_handwritten, run_handwritten};
 pub use harness::{
-    compile_and_run, compile_and_run_on_cluster, run_compiled, run_compiled_on_cluster,
-    run_compiled_traced, ClusterRunOutcome, HarnessError, RunOutcome, FILL_VALUE,
+    compile_and_run, compile_and_run_on_cluster, predecode, run_compiled, run_compiled_on_cluster,
+    run_compiled_traced, run_predecoded, run_predecoded_on_cluster,
+    run_predecoded_on_cluster_with_engine, run_predecoded_traced,
+    run_predecoded_traced_with_engine, run_predecoded_with_engine, ClusterExecOutcome,
+    ClusterRunOutcome, ExecOutcome, HarnessError, RunOutcome, FILL_VALUE,
 };
 pub use profile::{ClassProfile, LocationProfile, Profile};
 pub use reference::{reference, reference_with, FmaMode, Scalar};

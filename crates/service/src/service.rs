@@ -1,12 +1,16 @@
 //! The re-entrant compile service.
 //!
-//! [`CompileService`] owns a [`WorkerPool`] and two content-addressed
+//! [`CompileService`] owns a [`WorkerPool`] and three content-addressed
 //! LRU caches:
 //!
 //! * the **artifact cache** maps a [`JobRequest::compile_key`] to the
 //!   finished [`Compilation`], so a `simulate` job reuses the assembly a
 //!   `compile` job (or an earlier simulate of the same kernel) already
-//!   produced, and
+//!   produced,
+//! * the **predecode cache** maps `predecode|` + the artifact's cache
+//!   key to the simulator's dense [`ExecProgram`], so the N simulate
+//!   leaves of one tune variant predecode once and a warm re-tune
+//!   predecodes zero times, and
 //! * the **result cache** maps a [`JobRequest::result_key`] to the
 //!   job's JSON payload, so resubmitting a batch is pure lookup.
 //!
@@ -27,11 +31,11 @@ use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use mlb_core::{compile, Compilation, Flow};
 use mlb_ir::{parse_module_with_locations, print_op, Context};
 use mlb_kernels::{
-    best_point, difftest_instance, enumerate_schedules, pareto_front, run_compiled,
-    run_compiled_on_cluster, run_compiled_traced, tcdm_footprint, Profile, ScheduleVariant,
+    best_point, difftest_instance, enumerate_schedules, pareto_front, predecode, run_predecoded,
+    run_predecoded_on_cluster, run_predecoded_traced, tcdm_footprint, Profile, ScheduleVariant,
     TuneParams, TunePoint, SEARCH_SPACE_VERSION,
 };
-use mlb_sim::{PerfCounters, StallHistogram};
+use mlb_sim::{ExecProgram, PerfCounters, StallHistogram};
 
 use crate::cache::{CacheStats, LruCache};
 use crate::job::{fnv1a128_hex, JobKind, JobRequest};
@@ -84,6 +88,7 @@ impl JobResponse {
 #[derive(Debug)]
 struct Caches {
     artifacts: LruCache<Arc<Compilation>>,
+    execs: LruCache<Arc<ExecProgram>>,
     results: LruCache<Json>,
 }
 
@@ -101,6 +106,7 @@ impl CompileService {
             pool: WorkerPool::new(config.workers),
             caches: Arc::new(Mutex::new(Caches {
                 artifacts: LruCache::new(config.cache_capacity),
+                execs: LruCache::new(config.cache_capacity),
                 results: LruCache::new(config.cache_capacity),
             })),
         }
@@ -111,10 +117,11 @@ impl CompileService {
         self.pool.workers()
     }
 
-    /// Lifetime statistics of the (artifact, result) cache layers.
-    pub fn cache_stats(&self) -> (CacheStats, CacheStats) {
+    /// Lifetime statistics of the (artifact, predecode, result) cache
+    /// layers.
+    pub fn cache_stats(&self) -> (CacheStats, CacheStats, CacheStats) {
         let caches = lock(&self.caches);
-        (caches.artifacts.stats(), caches.results.stats())
+        (caches.artifacts.stats(), caches.execs.stats(), caches.results.stats())
     }
 
     /// Runs every request over the worker pool and returns the
@@ -484,6 +491,27 @@ fn located_artifact(
     Ok(compilation)
 }
 
+/// Fetches (or predecodes and caches) the simulator's dense execution
+/// artifact for a compilation. Keyed alongside the compilation —
+/// `predecode|` + the artifact's own cache key — so the N simulate
+/// leaves of one tune variant predecode once, and a warm re-tune (every
+/// artifact already cached) predecodes zero times.
+fn predecoded_exec(
+    artifact_key: &str,
+    artifact: &Compilation,
+    caches: &Arc<Mutex<Caches>>,
+) -> Result<Arc<ExecProgram>, String> {
+    let exec_key = format!("predecode|{artifact_key}");
+    if let Some(hit) = lock(caches).execs.get(&exec_key) {
+        return Ok(Arc::clone(hit));
+    }
+    // Predecode outside the lock, mirroring `artifact`: duplicate
+    // concurrent misses waste a predecode but stay idempotent.
+    let exec = Arc::new(predecode(artifact).map_err(|e| format!("predecode: {e}"))?);
+    lock(caches).execs.insert(exec_key, Arc::clone(&exec));
+    Ok(exec)
+}
+
 fn compute(request: JobRequest, caches: &Arc<Mutex<Caches>>) -> Result<Json, String> {
     if let Flow::Ours(opts) = request.flow {
         if opts.cores == 0 {
@@ -505,15 +533,12 @@ fn compute(request: JobRequest, caches: &Arc<Mutex<Caches>>) -> Result<Json, Str
         }
         JobKind::Simulate => {
             let artifact = artifact(&request, caches)?;
+            let exec = predecoded_exec(&request.compile_key(), &artifact, caches)?;
             let cores = request.cores();
             if cores > 1 {
-                let outcome = run_compiled_on_cluster(
-                    &request.instance,
-                    (*artifact).clone(),
-                    request.seed,
-                    cores,
-                )
-                .map_err(|e| format!("cluster run: {e}"))?;
+                let outcome =
+                    run_predecoded_on_cluster(&request.instance, &exec, request.seed, cores)
+                        .map_err(|e| format!("cluster run: {e}"))?;
                 Ok(Json::obj(vec![
                     ("cores", cores.into()),
                     ("aggregate", counters_json(&outcome.counters.aggregate)),
@@ -527,7 +552,7 @@ fn compute(request: JobRequest, caches: &Arc<Mutex<Caches>>) -> Result<Json, Str
                     ("output_digest", output_digest(&outcome.output).into()),
                 ]))
             } else {
-                let outcome = run_compiled(&request.instance, (*artifact).clone(), request.seed)
+                let outcome = run_predecoded(&request.instance, &exec, request.seed)
                     .map_err(|e| format!("run: {e}"))?;
                 Ok(Json::obj(vec![
                     ("cores", 1u64.into()),
@@ -549,9 +574,10 @@ fn compute(request: JobRequest, caches: &Arc<Mutex<Caches>>) -> Result<Json, Str
                 return Err("profile jobs run single-core; drop `cores`".to_string());
             }
             let artifact = located_artifact(&request, caches)?;
-            let (outcome, trace) =
-                run_compiled_traced(&request.instance, (*artifact).clone(), request.seed)
-                    .map_err(|e| format!("run: {e}"))?;
+            let exec =
+                predecoded_exec(&format!("withlocs|{}", request.compile_key()), &artifact, caches)?;
+            let (outcome, trace) = run_predecoded_traced(&request.instance, &exec, request.seed)
+                .map_err(|e| format!("run: {e}"))?;
             let profile = Profile::from_trace(&trace, &artifact.source_map);
             Ok(Json::obj(vec![
                 ("total_cycles", profile.total_cycles.into()),

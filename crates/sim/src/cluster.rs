@@ -21,7 +21,7 @@
 use mlb_isa::TCDM_SIZE;
 
 use crate::counters::{OccupancySummary, PerfCounters};
-use crate::machine::{ExecProgram, Machine, SimError};
+use crate::machine::{Engine, ExecProgram, Machine, SimError};
 use crate::trace::TraceEntry;
 use crate::Program;
 
@@ -100,10 +100,10 @@ impl Cluster {
         }
     }
 
-    /// Enables or disables the frep fast path on every core.
-    pub fn set_fast_path(&mut self, on: bool) {
+    /// Selects the execution engine on every core (see [`Engine`]).
+    pub fn set_engine(&mut self, engine: Engine) {
         for core in &mut self.cores {
-            core.set_fast_path(on);
+            core.set_engine(engine);
         }
     }
 
@@ -204,10 +204,11 @@ impl Cluster {
         entry: &str,
         args: &[u32],
     ) -> Result<ClusterCounters, SimError> {
-        self.call_predecoded(&ExecProgram::new(program), entry, args)
+        self.call_predecoded(&ExecProgram::new(program.clone()), entry, args)
     }
 
-    /// Like [`Cluster::call`], but runs an already-predecoded program.
+    /// Like [`Cluster::call`], but runs an already-predecoded program,
+    /// amortizing the predecode scan over cores and repeated calls.
     ///
     /// # Errors
     ///
@@ -215,7 +216,7 @@ impl Cluster {
     /// cores disagree on how many barriers the program executes.
     pub fn call_predecoded(
         &mut self,
-        exec: &ExecProgram<'_>,
+        exec: &ExecProgram,
         entry: &str,
         args: &[u32],
     ) -> Result<ClusterCounters, SimError> {

@@ -43,5 +43,5 @@ pub use asm::{assemble, AsmError};
 pub use cluster::{Cluster, ClusterCounters};
 pub use counters::{OccupancySummary, PerfCounters, StallHistogram};
 pub use instr::{Instr, Program};
-pub use machine::{ExecProgram, Machine, SimError};
+pub use machine::{Engine, ExecProgram, Machine, SimError};
 pub use trace::{StallReason, TraceEntry};

@@ -123,6 +123,42 @@ impl std::fmt::Display for SimError {
 
 impl std::error::Error for SimError {}
 
+/// Which execution engine [`Machine::call_predecoded`] drives.
+///
+/// Both engines are observably identical: results, counters, traces and
+/// [`SimError`] faults agree bit for bit (pinned by the
+/// engine-equivalence suite). The process-wide default is read once from
+/// the `MLB_SIM_ENGINE` environment variable — `checked` selects the
+/// reference stepper, anything else (or unset) the superblock engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// CFG-predecoded superblock execution: straight-line runs execute
+    /// with a single upfront budget precheck per superblock, eligible
+    /// frep bodies go through the pre-resolved stream fast path, and no
+    /// per-step trace plumbing exists on the path at all. Falls back to
+    /// [`Engine::Checked`] stepping whenever a precheck fails — and for
+    /// whole calls when tracing is enabled — so faults stay exact.
+    #[default]
+    Superblock,
+    /// The fully-checked reference stepper: per-instruction fetch and
+    /// budget checks, per-iteration frep body validation, per-pop
+    /// stream checks. Only useful to benchmark the difference and to
+    /// cross-check the superblock engine.
+    Checked,
+}
+
+impl Engine {
+    /// The process-wide default engine, from `MLB_SIM_ENGINE` (read
+    /// once; later environment changes have no effect).
+    pub fn from_env() -> Engine {
+        static DEFAULT: std::sync::OnceLock<Engine> = std::sync::OnceLock::new();
+        *DEFAULT.get_or_init(|| match std::env::var("MLB_SIM_ENGINE").as_deref() {
+            Ok("checked") => Engine::Checked,
+            _ => Engine::Superblock,
+        })
+    }
+}
+
 /// Validity of an `frep.o` body, established once at predecode time.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum FrepBody {
@@ -138,31 +174,75 @@ enum FrepBody {
     NonFpu,
 }
 
-/// A [`Program`] predecoded into a dense execute-ready form.
+/// One predecoded execution step, parallel to the instruction stream.
 ///
-/// Predecoding hoists all per-step validation out of [`Machine::run`]:
-/// each `frep.o` body is classified once, so the hot loop never
-/// re-validates it per iteration. Build one with [`ExecProgram::new`] and
-/// run it repeatedly via [`Machine::call_predecoded`] to amortize the
-/// (single-scan) predecode cost; [`Machine::call`] predecodes internally.
-#[derive(Debug, Clone)]
-pub struct ExecProgram<'p> {
-    program: &'p Program,
-    /// Per-pc frep-body classification, parallel to `program.instrs`.
-    frep: Vec<FrepBody>,
+/// Control transfers carry their pre-resolved targets and operands,
+/// freps their body classification, and everything else routes to the
+/// shared [`Machine::exec_straight`] semantic core — the superblock
+/// engine dispatches on this dense plan instead of re-deriving structure
+/// from [`Instr`] on every visit.
+#[derive(Debug, Clone, Copy)]
+enum Step {
+    /// A non-control-flow instruction (shared semantic core).
+    Straight(Instr),
+    /// Function return.
+    Ret,
+    /// Unconditional jump to a pre-resolved instruction index.
+    Jump { target: u32 },
+    /// Conditional branch with pre-extracted condition and operands.
+    Branch { cond: BranchCond, rs1: IntReg, rs2: IntReg, target: u32 },
+    /// `frep.o` with its body classified at predecode time; `n` body
+    /// instructions follow this pc.
+    Frep { rs1: IntReg, n: u32, body: FrepBody },
 }
 
-impl<'p> ExecProgram<'p> {
-    /// Predecodes `program` (one scan over its instructions).
-    pub fn new(program: &'p Program) -> ExecProgram<'p> {
-        let frep = program
-            .instrs
-            .iter()
-            .enumerate()
-            .map(|(pc, instr)| match *instr {
+/// A [`Program`] predecoded into a dense, execute-ready CFG artifact.
+///
+/// Predecoding partitions the program into superblocks (straight-line
+/// runs from an entry point — a symbol, branch/jump target, or branch
+/// fall-through — to the next control transfer), pre-resolves every
+/// instruction into a [`Step`], classifies every `frep.o` body, and
+/// precomputes each pc's straight-line tail weight for the superblock
+/// engine's single upfront budget precheck per block. The artifact owns
+/// its [`Program`], so callers can cache it (e.g. as an
+/// `Arc<ExecProgram>`) and amortize the predecode across arbitrarily
+/// many runs; build one with [`ExecProgram::new`] and run it via
+/// [`Machine::call_predecoded`] ([`Machine::call`] predecodes
+/// internally, once per call).
+#[derive(Debug, Clone)]
+pub struct ExecProgram {
+    program: Program,
+    /// Per-pc frep-body classification, parallel to `program.instrs`.
+    frep: Vec<FrepBody>,
+    /// Dense step plan, parallel to `program.instrs`.
+    steps: Vec<Step>,
+    /// `tail_weight[pc]`: instructions retired by the straight-line run
+    /// from `pc` through its terminating control transfer (or program
+    /// end), counting each `frep.o` dispatch once and its body
+    /// repetitions not at all (those budget-check themselves per
+    /// repetition). If `executed + tail_weight[pc]` stays within budget,
+    /// no scalar step up to the terminator can exhaust it — that is the
+    /// superblock precheck.
+    tail_weight: Vec<u64>,
+    /// The superblock partition: `(start, end)` instruction-index ranges
+    /// (`end` exclusive of nothing — one past the terminator, clamped to
+    /// the program length). Diagnostic view; the engine walks
+    /// `steps`/`tail_weight` directly.
+    blocks: Vec<(usize, usize)>,
+}
+
+impl ExecProgram {
+    /// Predecodes `program`, taking ownership so the artifact is
+    /// self-contained and cacheable.
+    pub fn new(program: Program) -> ExecProgram {
+        let len = program.instrs.len();
+        let mut frep = Vec::with_capacity(len);
+        let mut steps = Vec::with_capacity(len);
+        for (pc, instr) in program.instrs.iter().enumerate() {
+            let body = match *instr {
                 Instr::FrepO { n_instr, .. } => {
                     let n = n_instr as usize;
-                    if pc + n >= program.instrs.len() {
+                    if pc + n >= len {
                         FrepBody::OffEnd
                     } else if program.instrs[pc + 1..=pc + n].iter().all(Instr::is_fpu) {
                         FrepBody::Fpu
@@ -171,9 +251,82 @@ impl<'p> ExecProgram<'p> {
                     }
                 }
                 _ => FrepBody::None,
-            })
-            .collect();
-        ExecProgram { program, frep }
+            };
+            frep.push(body);
+            steps.push(match *instr {
+                Instr::Ret => Step::Ret,
+                Instr::J { target } => Step::Jump { target: target as u32 },
+                Instr::Branch { cond, rs1, rs2, target } => {
+                    Step::Branch { cond, rs1, rs2, target: target as u32 }
+                }
+                Instr::FrepO { rs1, n_instr } => Step::Frep { rs1, n: n_instr, body },
+                other => Step::Straight(other),
+            });
+        }
+        // Straight-line tail weights, computed backwards so every pc
+        // reuses its successor's tail.
+        let mut tail_weight = vec![0u64; len];
+        for pc in (0..len).rev() {
+            tail_weight[pc] = match steps[pc] {
+                Step::Ret | Step::Jump { .. } | Step::Branch { .. } => 1,
+                Step::Frep { n, body, .. } => {
+                    let resume = pc + n as usize + 1;
+                    if body == FrepBody::OffEnd || resume >= len {
+                        1
+                    } else {
+                        1 + tail_weight[resume]
+                    }
+                }
+                Step::Straight(_) => 1 + tail_weight.get(pc + 1).copied().unwrap_or(0),
+            };
+        }
+        // The superblock partition: every entry pc starts a block
+        // running to the next control transfer (overlapping tails are
+        // shared between blocks, exactly like the engine executes them).
+        let mut leaders: Vec<usize> = program.symbols.values().copied().collect();
+        for (pc, step) in steps.iter().enumerate() {
+            match *step {
+                Step::Jump { target } => leaders.push(target as usize),
+                Step::Branch { target, .. } => {
+                    leaders.push(target as usize);
+                    leaders.push(pc + 1);
+                }
+                _ => {}
+            }
+        }
+        leaders.sort_unstable();
+        leaders.dedup();
+        let mut blocks = Vec::with_capacity(leaders.len());
+        for start in leaders {
+            if start >= len {
+                continue;
+            }
+            let mut end = start;
+            while end < len {
+                match steps[end] {
+                    Step::Ret | Step::Jump { .. } | Step::Branch { .. } => {
+                        end += 1;
+                        break;
+                    }
+                    Step::Frep { n, .. } => end += n as usize + 1,
+                    Step::Straight(_) => end += 1,
+                }
+            }
+            blocks.push((start, end.min(len)));
+        }
+        ExecProgram { program, frep, steps, tail_weight, blocks }
+    }
+
+    /// The underlying program.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// The superblock partition as `(start, end)` instruction-index
+    /// ranges (`end` one past the block's last instruction). Diagnostic
+    /// view for tests and tooling.
+    pub fn blocks(&self) -> &[(usize, usize)] {
+        &self.blocks
     }
 }
 
@@ -241,8 +394,8 @@ pub struct Machine {
     budget: u64,
     /// Execution trace of the current call, when enabled.
     trace: Option<Vec<TraceEntry>>,
-    /// Execute eligible frep bodies on the pre-resolved fast path.
-    fast_path: bool,
+    /// Which execution engine drives [`Machine::call_predecoded`].
+    engine: Engine,
     /// Reusable buffer of pre-resolved steps for the current frep body.
     plan: Vec<FpuStep>,
 }
@@ -272,7 +425,7 @@ impl Machine {
             max_completion: 0,
             budget: 200_000_000,
             trace: None,
-            fast_path: true,
+            engine: Engine::from_env(),
             plan: Vec::new(),
         }
     }
@@ -338,12 +491,19 @@ impl Machine {
         self.budget = budget;
     }
 
-    /// Enables or disables the pre-resolved frep fast path (on by
-    /// default). The fast path is value-, counter- and error-exact with
-    /// the generic per-iteration loop; turning it off is only useful to
-    /// benchmark the difference. Tracing always uses the generic loop.
-    pub fn set_fast_path(&mut self, on: bool) {
-        self.fast_path = on;
+    /// Selects the execution engine (see [`Engine`]; the default comes
+    /// from the `MLB_SIM_ENGINE` environment variable, superblock if
+    /// unset). The engines are value-, counter- and error-exact with
+    /// each other; [`Engine::Checked`] is only useful to benchmark the
+    /// difference and to cross-check the superblock engine. Tracing
+    /// always runs on the checked stepper.
+    pub fn set_engine(&mut self, engine: Engine) {
+        self.engine = engine;
+    }
+
+    /// The currently selected execution engine.
+    pub fn engine(&self) -> Engine {
+        self.engine
     }
 
     // ----- architectural state access ---------------------------------------
@@ -498,7 +658,7 @@ impl Machine {
         entry: &str,
         args: &[u32],
     ) -> Result<PerfCounters, SimError> {
-        self.call_predecoded(&ExecProgram::new(program), entry, args)
+        self.call_predecoded(&ExecProgram::new(program.clone()), entry, args)
     }
 
     /// Like [`Machine::call`], but runs an already-predecoded program,
@@ -509,7 +669,7 @@ impl Machine {
     /// Propagates memory faults, SSR misuse, and budget exhaustion.
     pub fn call_predecoded(
         &mut self,
-        exec: &ExecProgram<'_>,
+        exec: &ExecProgram,
         entry: &str,
         args: &[u32],
     ) -> Result<PerfCounters, SimError> {
@@ -533,16 +693,33 @@ impl Machine {
             trace.clear();
         }
         let before = self.counters;
-        self.run(exec, start)?;
+        if self.engine == Engine::Superblock && self.trace.is_none() {
+            self.run_superblock(exec, start)?;
+        } else {
+            self.run_checked(exec, start, 0, self.engine == Engine::Superblock)?;
+        }
         let cycles = self.int_time.max(self.fpu_time).max(self.max_completion);
         self.counters.cycles += cycles;
         Ok(self.counters.delta_since(&before))
     }
 
-    fn run(&mut self, exec: &ExecProgram<'_>, start: usize) -> Result<(), SimError> {
+    /// The fully-checked reference stepper: fetches, budget-checks and
+    /// dispatches one instruction at a time from `start`, with
+    /// `executed` instructions already retired. The superblock engine
+    /// defers to this loop whenever a precheck fails — handing over the
+    /// whole remaining execution — which is why its semantics are the
+    /// bit-identity contract both engines satisfy. `frep_fast` allows
+    /// eligible (untraced) frep bodies onto the pre-resolved stream fast
+    /// path; [`Engine::Checked`] runs with it off.
+    fn run_checked(
+        &mut self,
+        exec: &ExecProgram,
+        start: usize,
+        mut executed: u64,
+        frep_fast: bool,
+    ) -> Result<(), SimError> {
         let instrs = &exec.program.instrs;
         let mut pc = start;
-        let mut executed: u64 = 0;
         loop {
             let instr = *instrs
                 .get(pc)
@@ -658,7 +835,7 @@ impl Machine {
                                 "frep body runs off the end of the program",
                             ));
                         }
-                        FrepBody::Fpu if self.fast_path && self.trace.is_none() => {
+                        FrepBody::Fpu if frep_fast && self.trace.is_none() => {
                             self.resolve_frep_plan(&instrs[pc + 1..=pc + n]);
                             executed = self.run_frep_fast(pc, n, reps, executed)?;
                         }
@@ -690,6 +867,140 @@ impl Machine {
                 other => {
                     self.exec_straight(other, false, pc).map_err(|e| e.with_pc(pc))?;
                     pc += 1;
+                }
+            }
+        }
+    }
+
+    /// The superblock engine: executes the predecoded CFG one
+    /// straight-line run at a time. Each superblock entry performs a
+    /// single upfront budget precheck (`executed + tail_weight[pc]`
+    /// against the budget) — when it passes, no scalar step up to the
+    /// block's terminator can exhaust the budget, so the per-step fetch
+    /// and budget checks of the checked stepper drop out of the loop
+    /// entirely and `executed` becomes a compare-free add. Freps
+    /// budget-check per repetition as always and re-precheck the block's
+    /// remaining tail afterwards (their dynamic repetition count is not
+    /// part of the tail weight). On any precheck failure the *whole*
+    /// remaining execution is handed to [`Machine::run_checked`] from
+    /// the current pc, which reproduces the exact fault (variant, pc,
+    /// message) and final state — the fallback is the reference.
+    ///
+    /// Only entered with tracing off, so no [`TraceEntry`] construction
+    /// exists anywhere on this path.
+    fn run_superblock(&mut self, exec: &ExecProgram, start: usize) -> Result<(), SimError> {
+        let instrs = &exec.program.instrs;
+        let len = instrs.len();
+        let mut pc = start;
+        let mut executed: u64 = 0;
+        'superblock: loop {
+            if pc >= len {
+                return Err(SimError::exec_at(pc, "program counter ran off the end"));
+            }
+            if executed.saturating_add(exec.tail_weight[pc]) > self.budget {
+                return self.run_checked(exec, pc, executed, true);
+            }
+            loop {
+                match exec.steps[pc] {
+                    Step::Straight(instr) => {
+                        executed += 1;
+                        self.exec_straight(instr, false, pc).map_err(|e| e.with_pc(pc))?;
+                        pc += 1;
+                        if pc == len {
+                            return Err(SimError::exec_at(pc, "program counter ran off the end"));
+                        }
+                    }
+                    Step::Ret => {
+                        self.int_time += 1;
+                        self.counters.instructions += 1;
+                        return Ok(());
+                    }
+                    Step::Jump { target } => {
+                        executed += 1;
+                        self.int_time += 1 + BRANCH_PENALTY;
+                        self.counters.instructions += 1;
+                        self.counters.taken_branches += 1;
+                        pc = target as usize;
+                        continue 'superblock;
+                    }
+                    Step::Branch { cond, rs1, rs2, target } => {
+                        executed += 1;
+                        let t = self
+                            .int_time
+                            .max(self.int_ready[rs1.index() as usize])
+                            .max(self.int_ready[rs2.index() as usize]);
+                        self.int_time = t + 1;
+                        self.counters.instructions += 1;
+                        let a = self.x(rs1) as i32;
+                        let b = self.x(rs2) as i32;
+                        let taken = match cond {
+                            BranchCond::Lt => a < b,
+                            BranchCond::Ge => a >= b,
+                            BranchCond::Ne => a != b,
+                            BranchCond::Eq => a == b,
+                        };
+                        if taken {
+                            self.int_time += BRANCH_PENALTY;
+                            self.counters.taken_branches += 1;
+                            pc = target as usize;
+                        } else {
+                            pc += 1;
+                        }
+                        continue 'superblock;
+                    }
+                    Step::Frep { rs1, n, body } => {
+                        executed += 1;
+                        let t = self.int_time.max(self.int_ready[rs1.index() as usize]);
+                        self.int_time = t + 1;
+                        self.counters.instructions += 1;
+                        self.counters.frep += 1;
+                        let reps = self.x(rs1) as u64 + 1;
+                        let n = n as usize;
+                        match body {
+                            FrepBody::OffEnd => {
+                                return Err(SimError::exec_at(
+                                    pc,
+                                    "frep body runs off the end of the program",
+                                ));
+                            }
+                            FrepBody::Fpu => {
+                                self.resolve_frep_plan(&instrs[pc + 1..=pc + n]);
+                                executed = self.run_frep_fast(pc, n, reps, executed)?;
+                            }
+                            FrepBody::NonFpu => {
+                                for _ in 0..reps {
+                                    for i in 1..=n {
+                                        let body = instrs[pc + i];
+                                        if !body.is_fpu() {
+                                            return Err(SimError::exec_at(
+                                                pc + i,
+                                                "frep body contains a non-FPU instruction",
+                                            ));
+                                        }
+                                        executed += 1;
+                                        self.exec_straight(body, true, pc + i)
+                                            .map_err(|e| e.with_pc(pc + i))?;
+                                    }
+                                    if executed > self.budget {
+                                        return Err(SimError::exec_at(
+                                            pc,
+                                            "instruction budget exhausted",
+                                        ));
+                                    }
+                                }
+                            }
+                            FrepBody::None => unreachable!("Step::Frep carries an frep body"),
+                        }
+                        pc += n + 1;
+                        if pc >= len {
+                            return Err(SimError::exec_at(pc, "program counter ran off the end"));
+                        }
+                        // The frep grew `executed` by a dynamic amount;
+                        // re-precheck the rest of this superblock.
+                        if executed.saturating_add(exec.tail_weight[pc]) > self.budget {
+                            return self.run_checked(exec, pc, executed, true);
+                        }
+                    }
                 }
             }
         }
@@ -788,7 +1099,7 @@ impl Machine {
         for _ in 0..reps {
             for i in 0..n {
                 let step = self.plan[i];
-                self.exec_step::<true>(step).map_err(|e| e.with_pc(frep_pc + 1 + i))?;
+                self.exec_step(step).map_err(|e| e.with_pc(frep_pc + 1 + i))?;
             }
             executed += n as u64;
             if executed > self.budget {
@@ -868,6 +1179,14 @@ impl Machine {
     /// loop checks it after each full repetition, so the faulting
     /// repetition itself still executes) is computed upfront — the inner
     /// loop is straight-line.
+    ///
+    /// Every per-step quantity that is a pure function of the plan —
+    /// instruction, fmadd, flop, occupancy and stream pop counts — is
+    /// summed once upfront and committed in bulk after the loop, so the
+    /// per-element work is only the address generators, the arithmetic
+    /// and the exact issue-time recurrence ([`Machine::exec_step_turbo`]).
+    /// The bulk totals equal the per-step increments of the checked loop
+    /// by construction, which the engine-equivalence suite pins down.
     fn run_frep_turbo(
         &mut self,
         frep_pc: usize,
@@ -879,14 +1198,92 @@ impl Machine {
         let full = remaining / n as u64;
         let faults = full < reps;
         let run = if faults { full + 1 } else { reps };
+        // One static pass over the plan: per-iteration counter deltas.
+        let mut fmadds = 0u64;
+        let mut flops = 0u64;
+        let mut occupancy = 0u64;
+        let mut reads = [0u64; 3];
+        let mut writes = [0u64; 3];
+        for step in &self.plan {
+            let mut src = |s: FpSrc| {
+                if let FpSrc::Stream(dm) = s {
+                    reads[dm as usize] += 1;
+                }
+            };
+            let dst = match *step {
+                FpuStep::Bin { op, a, b, d } => {
+                    src(a);
+                    src(b);
+                    occupancy += if op == FpBinOp::FdivD { FDIV_OCCUPANCY } else { 1 };
+                    flops += op.flops();
+                    d
+                }
+                FpuStep::Fmadd { a, b, c, d, .. } => {
+                    src(a);
+                    src(b);
+                    src(c);
+                    fmadds += 1;
+                    occupancy += 1;
+                    flops += 2;
+                    d
+                }
+                FpuStep::Fmv { a, d } => {
+                    src(a);
+                    occupancy += 1;
+                    d
+                }
+                FpuStep::Vfmac { a, b, d, .. } => {
+                    src(a);
+                    src(b);
+                    occupancy += 1;
+                    flops += 4;
+                    d
+                }
+                FpuStep::Vfsum { a, d, .. } => {
+                    src(a);
+                    occupancy += 1;
+                    flops += 2;
+                    d
+                }
+                FpuStep::Fcvt { d, .. } => {
+                    occupancy += 1;
+                    d
+                }
+            };
+            if let FpDst::Stream(dm) = dst {
+                writes[dm as usize] += 1;
+            }
+        }
         let plan = std::mem::take(&mut self.plan);
+        let mut last_ready = 0u64;
         for _ in 0..run {
             for &step in &plan {
-                let _ = self.exec_step::<false>(step);
+                last_ready = self.exec_step_turbo(step);
             }
         }
         self.plan = plan;
-        executed += run * n as u64;
+        // Bulk bookkeeping: identical totals to per-step accounting.
+        let steps = run * n as u64;
+        self.counters.instructions += steps;
+        self.counters.fpu_instrs += steps;
+        self.counters.frep_fpu_instrs += steps;
+        self.counters.fmadd += run * fmadds;
+        self.counters.flops += run * flops;
+        self.counters.fpu_busy_cycles += run * occupancy;
+        for dm in 0..3 {
+            if reads[dm] > 0 {
+                self.movers[dm].credit_pops(SsrDirection::Read, run * reads[dm]);
+                self.counters.ssr_reads += run * reads[dm];
+            }
+            if writes[dm] > 0 {
+                self.movers[dm].credit_pops(SsrDirection::Write, run * writes[dm]);
+                self.counters.ssr_writes += run * writes[dm];
+            }
+        }
+        // `ready` grows monotonically with the issue time, so the last
+        // step's value is the maximum the per-step loop would have folded.
+        self.max_completion = self.max_completion.max(self.int_time).max(last_ready);
+        executed += steps;
         if faults {
             return Err(SimError::exec_at(frep_pc, "instruction budget exhausted"));
         }
@@ -977,66 +1374,123 @@ impl Machine {
     /// [`Machine::stream_pop_read`] for a pop pre-validated by
     /// [`Machine::frep_precheck`]: the address is known 8-byte aligned
     /// and inside TCDM, so the alignment branch and bounds checks drop
-    /// out of the hot loop.
+    /// out of the hot loop; the pop-count bookkeeping is credited in
+    /// bulk by [`Machine::run_frep_turbo`].
     #[inline]
-    fn stream_pop_read_unchecked(&mut self, dm: usize) -> u64 {
-        let addr = self.movers[dm].pop_unchecked(SsrDirection::Read);
-        self.counters.ssr_reads += 1;
+    fn stream_pop_read_turbo(&mut self, dm: usize) -> u64 {
+        let addr = self.movers[dm].pop_turbo();
         let i = (addr - TCDM_BASE) as usize;
         u64::from_le_bytes(self.mem[i..i + 8].try_into().expect("8-byte TCDM read"))
     }
 
     /// [`Machine::stream_push_write`] for a pre-validated push.
     #[inline]
-    fn stream_push_write_unchecked(&mut self, dm: usize, bits: u64) {
-        let addr = self.movers[dm].pop_unchecked(SsrDirection::Write);
-        self.counters.ssr_writes += 1;
+    fn stream_push_write_turbo(&mut self, dm: usize, bits: u64) {
+        let addr = self.movers[dm].pop_turbo();
         let i = (addr - TCDM_BASE) as usize;
         self.mem[i..i + 8].copy_from_slice(&bits.to_le_bytes());
     }
 
-    /// [`Machine::read_step_src`] minus per-pop fault checks.
+    /// Executes one pre-resolved FPU step of an frep body, turbo
+    /// variant: only entered after [`Machine::frep_precheck`] proved no
+    /// stream access of the whole run can fault, so the per-pop checks
+    /// are gone and the step is infallible. Counter updates and the
+    /// `max_completion` fold are *not* performed here — they are pure
+    /// functions of the plan and the repetition count, committed in bulk
+    /// by [`Machine::run_frep_turbo`]. Returns this step's completion
+    /// time (monotonic across a turbo run). The issue-time recurrence
+    /// and arithmetic are bit-identical to [`Machine::exec_step`].
     #[inline]
-    fn read_step_src_unchecked(&mut self, s: FpSrc) -> (u64, u64) {
-        match s {
-            FpSrc::Stream(dm) => (self.stream_pop_read_unchecked(dm as usize), 0),
-            FpSrc::Reg(r) => (self.f[r as usize], self.fp_ready[r as usize]),
-        }
-    }
-
-    /// [`Machine::write_step_dst`] minus per-pop fault checks.
-    #[inline]
-    fn write_step_dst_unchecked(&mut self, d: FpDst, bits: u64, ready: u64) {
-        match d {
-            FpDst::Stream(dm) => self.stream_push_write_unchecked(dm as usize, bits),
+    fn exec_step_turbo(&mut self, step: FpuStep) -> u64 {
+        let read = |m: &mut Machine, s: FpSrc| -> (u64, u64) {
+            match s {
+                FpSrc::Stream(dm) => (m.stream_pop_read_turbo(dm as usize), 0),
+                FpSrc::Reg(r) => (m.f[r as usize], m.fp_ready[r as usize]),
+            }
+        };
+        let (dst, bits, operands_ready, occupancy) = match step {
+            FpuStep::Bin { op, a, b, d } => {
+                let (av, t1) = read(self, a);
+                let (bv, t2) = read(self, b);
+                let occ = if op == FpBinOp::FdivD { FDIV_OCCUPANCY } else { 1 };
+                (d, eval_fp_bin(op, av, bv), t1.max(t2), occ)
+            }
+            FpuStep::Fmadd { width, a, b, c, d } => {
+                let (av, t1) = read(self, a);
+                let (bv, t2) = read(self, b);
+                let (cv, t3) = read(self, c);
+                let bits = match width {
+                    FpWidth::Double => f64::to_bits(
+                        f64::from_bits(av).mul_add(f64::from_bits(bv), f64::from_bits(cv)),
+                    ),
+                    FpWidth::Single => f32::to_bits(
+                        f32::from_bits(av as u32)
+                            .mul_add(f32::from_bits(bv as u32), f32::from_bits(cv as u32)),
+                    ) as u64,
+                };
+                (d, bits, t1.max(t2).max(t3), 1)
+            }
+            FpuStep::Fmv { a, d } => {
+                let (av, t1) = read(self, a);
+                (d, av, t1, 1)
+            }
+            FpuStep::Vfmac { a, b, acc, d } => {
+                let (av, t1) = read(self, a);
+                let (bv, t2) = read(self, b);
+                let accv = self.f[acc as usize];
+                let t3 = self.fp_ready[acc as usize];
+                let lo = f32::from_bits(av as u32)
+                    .mul_add(f32::from_bits(bv as u32), f32::from_bits(accv as u32));
+                let hi = f32::from_bits((av >> 32) as u32).mul_add(
+                    f32::from_bits((bv >> 32) as u32),
+                    f32::from_bits((accv >> 32) as u32),
+                );
+                let bits = (lo.to_bits() as u64) | ((hi.to_bits() as u64) << 32);
+                (d, bits, t1.max(t2).max(t3), 1)
+            }
+            FpuStep::Vfsum { a, acc, d } => {
+                let (av, t1) = read(self, a);
+                let accv = self.f[acc as usize];
+                let t2 = self.fp_ready[acc as usize];
+                let sum = f32::from_bits(accv as u32)
+                    + f32::from_bits(av as u32)
+                    + f32::from_bits((av >> 32) as u32);
+                let bits = (accv & 0xFFFF_FFFF_0000_0000) | sum.to_bits() as u64;
+                (d, bits, t1.max(t2), 1)
+            }
+            FpuStep::Fcvt { width, rs, d } => {
+                let t1 = self.int_ready[rs.index() as usize];
+                let v = self.x(rs) as i32;
+                let bits = match width {
+                    FpWidth::Double => (v as f64).to_bits(),
+                    FpWidth::Single => (v as f32).to_bits() as u64 | 0xFFFF_FFFF_0000_0000,
+                };
+                (d, bits, t1, 1)
+            }
+        };
+        let issue = self.fpu_time.max(operands_ready);
+        self.fpu_time = issue + occupancy;
+        let ready = issue + u64::from(FPU_PIPELINE_DEPTH);
+        match dst {
+            FpDst::Stream(dm) => self.stream_push_write_turbo(dm as usize, bits),
             FpDst::Reg(r) => {
                 self.f[r as usize] = bits;
                 self.fp_ready[r as usize] = ready;
             }
         }
-        self.max_completion = self.max_completion.max(ready);
+        ready
     }
 
     /// Executes one pre-resolved FPU step of an frep body.
     ///
     /// Mirrors [`Machine::exec_straight`] → [`Machine::exec_fpu`] with
     /// `in_frep = true` and tracing off: the counter-update order, timing
-    /// math and fault points are identical, which the fast-vs-generic
+    /// math and fault points are identical, which the engine-equivalence
     /// equivalence tests pin down.
-    ///
-    /// With `CHECKED = false` (only after [`Machine::frep_precheck`]
-    /// proved no fault possible) the stream accesses skip their per-pop
-    /// checks and the returned `Result` is always `Ok` — the error paths
-    /// compile out of the monomorphized hot loop.
     #[inline]
-    fn exec_step<const CHECKED: bool>(&mut self, step: FpuStep) -> Result<(), SimError> {
-        let read = |m: &mut Machine, s: FpSrc| -> Result<(u64, u64), SimError> {
-            if CHECKED {
-                m.read_step_src(s)
-            } else {
-                Ok(m.read_step_src_unchecked(s))
-            }
-        };
+    fn exec_step(&mut self, step: FpuStep) -> Result<(), SimError> {
+        let read =
+            |m: &mut Machine, s: FpSrc| -> Result<(u64, u64), SimError> { m.read_step_src(s) };
         self.counters.instructions += 1;
         let (dst, bits, operands_ready, occupancy, flops) = match step {
             FpuStep::Bin { op, a, b, d } => {
@@ -1107,11 +1561,7 @@ impl Machine {
         self.counters.fpu_instrs += 1;
         self.counters.frep_fpu_instrs += 1;
         let ready = issue + u64::from(FPU_PIPELINE_DEPTH);
-        if CHECKED {
-            self.write_step_dst(dst, bits, ready)?;
-        } else {
-            self.write_step_dst_unchecked(dst, bits, ready);
-        }
+        self.write_step_dst(dst, bits, ready)?;
         self.max_completion = self.max_completion.max(self.int_time);
         Ok(())
     }
@@ -1856,9 +2306,9 @@ f:
         assert_eq!(pops[1], (0, 0));
     }
 
-    /// Runs `src` twice — fast path on and off — and asserts the entire
-    /// observable machine state (registers, memory, counters, pop
-    /// counts) and the call result are identical.
+    /// Runs `src` on both engines — superblock and checked — and asserts
+    /// the entire observable machine state (registers, memory, counters,
+    /// pop counts) and the call result are identical.
     fn assert_fast_matches_generic(
         src: &str,
         entry: &str,
@@ -1868,8 +2318,9 @@ f:
     ) -> (Machine, Result<PerfCounters, SimError>) {
         let prog = assemble(src).unwrap();
         let mut fast = Machine::new();
+        fast.set_engine(Engine::Superblock);
         let mut generic = Machine::new();
-        generic.set_fast_path(false);
+        generic.set_engine(Engine::Checked);
         for m in [&mut fast, &mut generic] {
             if let Some(b) = budget {
                 m.set_instruction_budget(b);
@@ -2039,6 +2490,40 @@ f:
     }
 
     #[test]
+    fn engines_agree_on_misaligned_stream_fault() {
+        // A stream whose base pointer is not element-aligned: the turbo
+        // precheck must refuse the plan (no alignment proof) and the
+        // per-pop checked loop then faults with the exact same typed
+        // error under both engines.
+        let src = format!(
+            "\
+f:
+    li t1, 3
+    scfgwi t1, {b0}
+    li t1, 8
+    scfgwi t1, {s0}
+    li t1, {base}
+    scfgwi t1, {rptr}
+    csrrsi zero, 0x7c0, 1
+    li t0, 3
+    frep.o t0, 1, 0, 0
+    fadd.d ft3, ft0, ft0
+    ret
+",
+            b0 = SsrCfgReg::Bound(0).scfg_imm(mlb_isa::SsrDataMover::new(0)),
+            s0 = SsrCfgReg::Stride(0).scfg_imm(mlb_isa::SsrDataMover::new(0)),
+            rptr = SsrCfgReg::RPtr(0).scfg_imm(mlb_isa::SsrDataMover::new(0)),
+            base = TCDM_BASE + 1,
+        );
+        let (_m, r) = assert_fast_matches_generic(&src, "f", &[], None, |m| {
+            m.write_f64_slice(TCDM_BASE, &[1.0; 8]).unwrap();
+        });
+        let err = r.unwrap_err();
+        assert!(err.to_string().contains("misaligned"), "{err}");
+        assert!(err.pc().is_some());
+    }
+
+    #[test]
     fn fast_path_matches_generic_on_budget_exhaustion() {
         let src = "\
 f:
@@ -2064,12 +2549,132 @@ f:
     ret
 ";
         let prog = assemble(src).unwrap();
-        let exec = ExecProgram::new(&prog);
+        let exec = ExecProgram::new(prog);
         let mut m = Machine::new();
         let c1 = m.call_predecoded(&exec, "f", &[]).unwrap();
         let c2 = m.call_predecoded(&exec, "f", &[]).unwrap();
         assert_eq!(c1.fpu_instrs, 4);
         assert_eq!(c1.fpu_instrs, c2.fpu_instrs);
+    }
+
+    #[test]
+    fn predecode_partitions_superblocks() {
+        let src = "\
+f:
+    li t0, 0
+    li t1, 8
+loop:
+    addi t0, t0, 1
+    blt t0, t1, loop
+    ret
+";
+        let exec = ExecProgram::new(assemble(src).unwrap());
+        // Entries: symbol `f` (pc 0), branch target `loop` (pc 2), and
+        // the branch fall-through (pc 4); each runs to its terminator.
+        assert_eq!(exec.blocks(), &[(0, 4), (2, 4), (4, 5)]);
+        // Tail weights count straight-line instructions through the
+        // terminator: 4 from the entry, 1 at the terminators.
+        assert_eq!(exec.tail_weight, vec![4, 3, 2, 1, 1]);
+    }
+
+    #[test]
+    fn predecode_weighs_frep_bodies_once() {
+        let src = "\
+f:
+    li t0, 9
+    frep.o t0, 1, 0, 0
+    fadd.d ft3, ft3, ft4
+    ret
+";
+        let exec = ExecProgram::new(assemble(src).unwrap());
+        // The frep dispatch counts once and its body repetitions not at
+        // all — those budget-check themselves per repetition. (The body
+        // pc's own weight is irrelevant: the engine never enters a
+        // superblock at a body pc, it steps over the body as a unit.)
+        assert_eq!(exec.tail_weight, vec![3, 2, 2, 1]);
+        assert_eq!(exec.blocks(), &[(0, 4)]);
+    }
+
+    #[test]
+    fn engines_agree_on_scalar_branch_loops() {
+        let src = "\
+sum:
+    li t0, 0
+    li t1, 8
+    fld ft1, (a0)
+    fsub.d ft0, ft1, ft1
+loop:
+    fld ft1, (a0)
+    fadd.d ft0, ft0, ft1
+    addi a0, a0, 8
+    addi t0, t0, 1
+    blt t0, t1, loop
+    fsd ft0, (a1)
+    ret
+";
+        let data: Vec<f64> = (1..=8).map(f64::from).collect();
+        let out = TCDM_BASE + 1024;
+        let (m, r) = assert_fast_matches_generic(src, "sum", &[TCDM_BASE, out], None, |m| {
+            m.write_f64_slice(TCDM_BASE, &data).unwrap();
+        });
+        assert_eq!(m.read_f64_slice(out, 1).unwrap(), vec![36.0]);
+        assert_eq!(r.unwrap().taken_branches, 7);
+    }
+
+    #[test]
+    fn engines_agree_on_scalar_budget_exhaustion() {
+        // The superblock precheck fails once the budget nears; the
+        // checked fallback must report the identical error at pc 0.
+        let src = "\
+f:
+    j f
+";
+        let (_m, r) = assert_fast_matches_generic(src, "f", &[], Some(1000), |_| {});
+        let err = r.unwrap_err();
+        assert!(err.to_string().contains("budget"), "{err}");
+        assert_eq!(err.pc(), Some(0));
+    }
+
+    #[test]
+    fn engines_agree_on_mid_block_memory_fault() {
+        // A fault in the middle of a prechecked superblock: the precheck
+        // only proves budget safety, memory faults must still surface
+        // with the exact pc and partial state.
+        let src = "\
+f:
+    li t0, 5
+    lw t1, (zero)
+    ret
+";
+        let (_m, r) = assert_fast_matches_generic(src, "f", &[], None, |_| {});
+        let err = r.unwrap_err();
+        assert_eq!(err, SimError::OutsideTcdm { pc: Some(1), addr: 0, size: 4 });
+    }
+
+    #[test]
+    fn engines_agree_when_pc_runs_off_the_end() {
+        let src = "\
+f:
+    li t0, 1
+";
+        let (_m, r) = assert_fast_matches_generic(src, "f", &[], None, |_| {});
+        let err = r.unwrap_err();
+        assert!(err.to_string().contains("ran off the end"), "{err}");
+        assert_eq!(err.pc(), Some(1));
+    }
+
+    #[test]
+    fn engines_agree_on_unknown_csr_fault() {
+        let src = "\
+f:
+    li t0, 3
+    csrr t1, 0xb00
+    ret
+";
+        let (_m, r) = assert_fast_matches_generic(src, "f", &[], None, |_| {});
+        let err = r.unwrap_err();
+        assert!(err.to_string().contains("unsupported CSR"), "{err}");
+        assert_eq!(err.pc(), Some(1));
     }
 
     #[test]

@@ -173,24 +173,43 @@ impl DataMover {
         if job.addr % 8 != 0 || job.strides[..job.dims].iter().any(|s| s % 8 != 0) {
             return false;
         }
-        // Conservative envelope over the entire walk from its initial
-        // base: each dimension contributes [min(0, span), max(0, span)]
-        // around it, where span = stride * bound.
-        let mut env_lo = job.addr;
-        let mut env_hi = job.addr;
+        // Exact envelope of the whole walk. Configured strides are
+        // *relative* increments applied when the inner dimensions wrap,
+        // so one dim-`d` step displaces the address by the *logical*
+        // stride `eff[d] = stride[d] + Σ_{i<d} eff[i] * bounds[i]` (the
+        // wrap stride on top of the net displacement of a full inner
+        // walk), and the walk visits exactly the lattice
+        // `Σ_d idx[d] * eff[d]` over the independent index ranges. The
+        // envelope of that lattice is the sum of each dimension's
+        // `[min(0, eff * bound), max(0, eff * bound)]`, and the armed
+        // base is recovered from the current address by subtracting the
+        // current indices' displacement.
+        let mut env_lo = 0i64;
+        let mut env_hi = 0i64;
+        let mut net = 0i64;
+        let mut here = 0i64;
         for d in 0..job.dims {
-            let here = job.strides[d].checked_mul(i64::from(job.idx[d]));
-            let span = job.strides[d].checked_mul(i64::from(job.bounds[d]));
-            let (Some(here), Some(span)) = (here, span) else { return false };
-            // Shift this dimension's contribution from `here` back to 0
-            // and forward to `span`.
-            let lo_d = 0.min(span).checked_sub(here).and_then(|v| env_lo.checked_add(v));
-            let hi_d = 0.max(span).checked_sub(here).and_then(|v| env_hi.checked_add(v));
-            let (Some(lo_d), Some(hi_d)) = (lo_d, hi_d) else { return false };
+            let Some(eff) = net.checked_add(job.strides[d]) else { return false };
+            let Some(span) = eff.checked_mul(i64::from(job.bounds[d])) else { return false };
+            let at = eff.checked_mul(i64::from(job.idx[d])).and_then(|v| here.checked_add(v));
+            let Some(at) = at else { return false };
+            here = at;
+            let (Some(lo_d), Some(hi_d)) =
+                (env_lo.checked_add(span.min(0)), env_hi.checked_add(span.max(0)))
+            else {
+                return false;
+            };
             env_lo = lo_d;
             env_hi = hi_d;
+            let Some(next_net) = net.checked_add(span) else { return false };
+            net = next_net;
         }
-        lo <= env_lo && env_hi <= hi - 8
+        let Some(base) = job.addr.checked_sub(here) else { return false };
+        let (Some(walk_lo), Some(walk_hi)) = (base.checked_add(env_lo), base.checked_add(env_hi))
+        else {
+            return false;
+        };
+        lo <= walk_lo && walk_hi <= hi - 8
     }
 
     /// Elements left to pop from a not-yet-done `job` (its walk visits
@@ -216,7 +235,21 @@ impl DataMover {
     /// [`DataMover::next_addr`] minus the per-pop fault checks.
     #[inline]
     pub fn pop_unchecked(&mut self, direction: SsrDirection) -> u32 {
-        let job = self.job.as_mut().expect("pop_unchecked without an armed job");
+        let addr = self.pop_turbo();
+        match direction {
+            SsrDirection::Read => self.reads += 1,
+            SsrDirection::Write => self.writes += 1,
+        }
+        addr
+    }
+
+    /// [`DataMover::pop_unchecked`] with the pop-count bookkeeping
+    /// deferred: the simulator's turbo loop advances the walk per pop but
+    /// credits all pops in one [`DataMover::credit_pops`] call afterwards,
+    /// keeping the per-element path down to the address generator itself.
+    #[inline]
+    pub fn pop_turbo(&mut self) -> u32 {
+        let job = self.job.as_mut().expect("turbo pop without an armed job");
         let addr = job.addr;
         if job.rep < job.repeat {
             job.rep += 1;
@@ -237,11 +270,16 @@ impl DataMover {
                 d += 1;
             }
         }
-        match direction {
-            SsrDirection::Read => self.reads += 1,
-            SsrDirection::Write => self.writes += 1,
-        }
         addr as u32
+    }
+
+    /// Credits `n` pops performed through [`DataMover::pop_turbo`], so
+    /// the lifetime pop counts stay identical to a per-pop checked walk.
+    pub fn credit_pops(&mut self, direction: SsrDirection, n: u64) {
+        match direction {
+            SsrDirection::Read => self.reads += n,
+            SsrDirection::Write => self.writes += n,
+        }
     }
 }
 

@@ -13,9 +13,20 @@ run cargo fmt --all --check
 run cargo build --release --offline
 run cargo clippy --offline --all-targets -- -D warnings
 run cargo test -q --offline
+# Engine equivalence: the whole suite again with the simulator pinned to
+# the checked reference stepper (the default is the superblock engine),
+# so the fallback path can never bit-rot. The dedicated equivalence
+# suite races both engines in-process on top of that.
+echo "==> MLB_SIM_ENGINE=checked cargo test -q --offline"
+MLB_SIM_ENGINE=checked cargo test -q --offline
+run cargo test -q --offline --test engine_equivalence
 # Stage-level differential testing: the whole kernel suite under every
 # flow with two fixed operand seeds, plus a fixed-seed randomized sweep.
 run ./target/release/mlbc difftest --seeds 2 --fuzz 50
+# The same sweep with the checked stepper: difftest's simulator leg must
+# not depend on which engine executes it.
+echo "==> MLB_SIM_ENGINE=checked mlbc difftest --seeds 1 --fuzz 25"
+MLB_SIM_ENGINE=checked ./target/release/mlbc difftest --seeds 1 --fuzz 25
 # The same stage-level check with the ours flow sharded across two
 # cluster cores: sharded stages are interpreted once per hart and the
 # result must stay bit-identical to the single-core reference.

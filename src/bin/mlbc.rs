@@ -26,7 +26,7 @@ use mlb_ir::{
 use mlb_isa::{FpReg, CSR_SSR, TCDM_BASE};
 use mlb_kernels::{LocationProfile, Profile};
 use mlb_sim::{
-    assemble, Cluster, ClusterCounters, ExecProgram, Instr, Machine, OccupancySummary,
+    assemble, Cluster, ClusterCounters, Engine, ExecProgram, Instr, Machine, OccupancySummary,
     PerfCounters, StallHistogram, TraceEntry,
 };
 use mlbe::json::Json;
@@ -396,11 +396,14 @@ fn run_serve(args: &[String]) -> Result<String, String> {
                 started.elapsed(),
             );
         }
-        let (artifacts, results) = service.cache_stats();
+        let (artifacts, execs, results) = service.cache_stats();
         eprintln!(
-            "mlbc serve: artifact cache {}/{} hits, result cache {}/{} hits",
+            "mlbc serve: artifact cache {}/{} hits, predecode cache {}/{} hits, \
+             result cache {}/{} hits",
             artifacts.hits,
             artifacts.hits + artifacts.misses,
+            execs.hits,
+            execs.hits + execs.misses,
             results.hits,
             results.hits + results.misses,
         );
@@ -802,11 +805,13 @@ fn run_cluster(args: &[String]) -> Result<String, String> {
         other => return Err(format!("unknown flow `{other}`")),
     };
     let compiled = compile(&mut ctx, module, flow).map_err(|e| e.to_string())?;
-    let program = assemble(&compiled.assembly).map_err(|e| format!("assembling output: {e}"))?;
+    let exec = ExecProgram::new(
+        assemble(&compiled.assembly).map_err(|e| format!("assembling output: {e}"))?,
+    );
 
     let mut out = String::new();
     for kernel in &kernels {
-        out.push_str(&run_kernel_on_cluster(&program, kernel, cores)?);
+        out.push_str(&run_kernel_on_cluster(&exec, kernel, cores)?);
     }
     Ok(out)
 }
@@ -814,11 +819,11 @@ fn run_cluster(args: &[String]) -> Result<String, String> {
 /// Runs one kernel on a cluster with synthesized operands (the same
 /// data scheme as `--trace-json`) and formats its merged counters.
 fn run_kernel_on_cluster(
-    program: &mlb_sim::Program,
+    exec: &ExecProgram,
     kernel: &KernelSig,
     cores: usize,
 ) -> Result<String, String> {
-    let (counters, _) = simulate_cluster(program, kernel, cores, false)?;
+    let (counters, _) = simulate_cluster(exec, kernel, cores, false)?;
     let agg = &counters.aggregate;
     let mut out = format!(
         "kernel `{}` on {cores} core{}: {} aggregate cycles, {} flops, {} barrier{}\n",
@@ -899,7 +904,9 @@ fn run_profile(args: &[String]) -> Result<String, String> {
         other => return Err(format!("unknown flow `{other}`")),
     };
     let compiled = compile(&mut ctx, module, flow).map_err(|e| e.to_string())?;
-    let program = assemble(&compiled.assembly).map_err(|e| format!("assembling output: {e}"))?;
+    let exec = ExecProgram::new(
+        assemble(&compiled.assembly).map_err(|e| format!("assembling output: {e}"))?,
+    );
 
     let mut table = String::new();
     let mut kernel_reports = Vec::new();
@@ -907,12 +914,12 @@ fn run_profile(args: &[String]) -> Result<String, String> {
     for (pid, kernel) in kernels.iter().enumerate() {
         let profile;
         if cores <= 1 {
-            let (counters, trace) = simulate_traced(&program, kernel)?;
+            let (counters, trace) = simulate_traced(&exec, kernel)?;
             profile = Profile::from_trace(&trace, &compiled.source_map);
             debug_assert_eq!(profile.total_cycles, counters.cycles);
             chrome_events(pid, &kernel.name, std::slice::from_ref(&trace), &[], &mut events);
         } else {
-            let (counters, traces) = simulate_cluster(&program, kernel, cores, true)?;
+            let (counters, traces) = simulate_cluster(&exec, kernel, cores, true)?;
             let mut p = Profile::from_traces(&traces, &compiled.source_map);
             // Charge the reconstructed barrier waits as their own row,
             // so the profile total equals the sum of the cores'
@@ -1254,12 +1261,15 @@ fn run_difftest(args: &[String]) -> Result<String, String> {
 /// The `mlbc bench-json` subcommand: the compiler and simulator
 /// micro-benchmarks behind the repo's tracked perf trajectory.
 ///
-/// Four scenarios: `compile-matmul/full-pipeline` run under both
+/// Five scenarios: `compile-matmul/full-pipeline` run under both
 /// rewrite-driver modes (worklist vs legacy re-walk) mirroring the
-/// criterion benches in `crates/bench`, `simulate-matmul-1x5x200` with
-/// the frep fast path on and off, `cluster-matmul-8x16x16` sharded over
-/// the simulated cluster, and `tune-matmul-8x16x16` racing a
-/// small-budget schedule search against the hand-written default.
+/// criterion benches in `crates/bench`, `sim-throughput-matmul-1x5x200`
+/// and `sim-throughput-cluster-8x16x16` racing the superblock execution
+/// engine against the checked stepper (simulated instructions per wall
+/// second, byte-identical counters asserted, >= 1.5x speedup enforced),
+/// `cluster-matmul-8x16x16` sharded over the simulated cluster, and
+/// `tune-matmul-8x16x16` racing a small-budget schedule search against
+/// the hand-written default (with its end-to-end wall time).
 /// Deterministic work counters carry the regression guard; wall times
 /// (min over a few repetitions) record the trajectory but are
 /// machine-dependent, so `--check` ignores them.
@@ -1312,16 +1322,18 @@ fn run_bench_json(args: &[String]) -> Result<String, String> {
     let work = |s: &RewriteStats| s.ops_visited + s.match_attempts;
     let work_drop = work(&lg) as f64 / work(&wl).max(1) as f64;
 
-    // Simulator scenario: the compiled matmul, fast path on and off.
-    let program = assemble(&assembly).map_err(|e| format!("assembling output: {e}"))?;
-    let exec = ExecProgram::new(&program);
+    // Simulator throughput scenario: the compiled matmul predecoded
+    // once, then executed by the superblock engine and the checked
+    // stepper; wall time covers only the simulator call.
+    let exec =
+        ExecProgram::new(assemble(&assembly).map_err(|e| format!("assembling output: {e}"))?);
     let sim_args = [TCDM_BASE, TCDM_BASE + 2048, TCDM_BASE + 16384];
-    let simulate = |fast: bool| -> Result<(PerfCounters, u64), String> {
+    let simulate = |engine: Engine| -> Result<(PerfCounters, u64), String> {
         let mut wall = u64::MAX;
         let mut counters = PerfCounters::default();
         for _ in 0..20 {
             let mut machine = Machine::new();
-            machine.set_fast_path(fast);
+            machine.set_engine(engine);
             machine.write_f64_slice(TCDM_BASE, &[1.0; 256]).map_err(|e| e.to_string())?;
             let start = Instant::now();
             counters = machine
@@ -1331,12 +1343,19 @@ fn run_bench_json(args: &[String]) -> Result<String, String> {
         }
         Ok((counters, wall))
     };
-    let (fast_counters, fast_nanos) = simulate(true)?;
-    let (generic_counters, generic_nanos) = simulate(false)?;
-    if fast_counters != generic_counters {
-        return Err("bench-json: fast-path counters diverge from the generic loop".into());
+    let (sb_counters, sb_nanos) = simulate(Engine::Superblock)?;
+    let (ck_counters, ck_nanos) = simulate(Engine::Checked)?;
+    if sb_counters != ck_counters {
+        return Err("bench-json: superblock counters diverge from the checked engine".into());
     }
-    let wall_speedup = generic_nanos as f64 / fast_nanos.max(1) as f64;
+    let wall_speedup = ck_nanos as f64 / sb_nanos.max(1) as f64;
+    if wall_speedup < 1.5 {
+        return Err(format!(
+            "bench-json: superblock engine is only {wall_speedup:.2}x over the checked \
+             stepper on matmul-1x5x200 (contract: >= 1.5x)"
+        ));
+    }
+    let instrs_per_sec = |instrs: u64, nanos: u64| instrs as f64 * 1e9 / nanos.max(1) as f64;
 
     // Stall histogram from one traced run (tracing uses the exact
     // generic loop, so the per-reason stall cycles are cycle-accurate;
@@ -1370,11 +1389,56 @@ fn run_bench_json(args: &[String]) -> Result<String, String> {
     let cycle_speedup = cluster_single.counters.aggregate.cycles as f64
         / cluster_multi.counters.aggregate.cycles.max(1) as f64;
 
+    // Cluster throughput scenario: the multi-core compilation predecoded
+    // once, both engines racing over identical TCDM images; wall time
+    // covers only the cluster call, like the single-core scenario.
+    let cluster_exec = mlb_kernels::predecode(&cluster_multi.compilation)
+        .map_err(|e| format!("bench-json: predecode cluster matmul: {e}"))?;
+    let cluster_sizes = cluster_instance.buffer_sizes();
+    let cluster_addrs = mlb_kernels::harness::place_buffers(&cluster_sizes, 8)
+        .map_err(|e| format!("bench-json: place cluster operands: {e}"))?;
+    let cluster_inputs =
+        mlb_kernels::harness::random_inputs_f64(&cluster_sizes[..cluster_sizes.len() - 1], 1);
+    let cluster_symbol = cluster_instance.symbol();
+    let time_cluster = |engine: Engine| -> Result<(ClusterCounters, u64), String> {
+        let mut wall = u64::MAX;
+        let mut counters = None;
+        for _ in 0..10 {
+            let mut cluster = Cluster::new(cluster_cores);
+            cluster.set_engine(engine);
+            for (input, &addr) in cluster_inputs.iter().zip(&cluster_addrs) {
+                cluster.write_f64_slice(addr, input).map_err(|e| e.to_string())?;
+            }
+            let start = Instant::now();
+            counters = Some(
+                cluster
+                    .call_predecoded(&cluster_exec, &cluster_symbol, &cluster_addrs)
+                    .map_err(|e| format!("simulating cluster matmul: {e}"))?,
+            );
+            wall = wall.min(start.elapsed().as_nanos() as u64);
+        }
+        Ok((counters.expect("ten repetitions ran"), wall))
+    };
+    let (cl_sb_counters, cl_sb_nanos) = time_cluster(Engine::Superblock)?;
+    let (cl_ck_counters, cl_ck_nanos) = time_cluster(Engine::Checked)?;
+    if cl_sb_counters != cl_ck_counters {
+        return Err(
+            "bench-json: cluster superblock counters diverge from the checked engine".into()
+        );
+    }
+    let cluster_wall_speedup = cl_ck_nanos as f64 / cl_sb_nanos.max(1) as f64;
+    if cluster_wall_speedup < 1.5 {
+        return Err(format!(
+            "bench-json: superblock engine is only {cluster_wall_speedup:.2}x over the \
+             checked stepper on cluster-matmul-8x16x16 (contract: >= 1.5x)"
+        ));
+    }
+
     // Tuned-vs-default scenario: a small-budget schedule search over the
     // compile service on the same cluster matmul. The search space opens
     // with the flow defaults, so the tuned best can only match or beat
     // the hand-written default schedule; the report records by how much.
-    let (tune_best, tune_best_label, tune_default, tune_evaluated) = {
+    let (tune_best, tune_best_label, tune_default, tune_evaluated, tune_wall_nanos) = {
         use mlb_kernels::TuneParams;
         use mlbe::service::{CompileService, JobKind, JobRequest, ServiceConfig};
         let service = CompileService::new(ServiceConfig { workers: 2, cache_capacity: 64 });
@@ -1386,10 +1450,12 @@ fn run_bench_json(args: &[String]) -> Result<String, String> {
             driver: DriverMode::Worklist,
             seed: 0,
         };
+        let started = Instant::now();
         let payload = service
             .run_one(request)
             .payload
             .map_err(|e| format!("bench-json: tune matmul-8x16x16: {e}"))?;
+        let tune_wall_nanos = started.elapsed().as_nanos() as u64;
         let best = payload.get("best").cloned().unwrap_or(Json::Null);
         let cycles = |label: &str| {
             if let Some(Json::Arr(variants)) = payload.get("variants") {
@@ -1408,6 +1474,7 @@ fn run_bench_json(args: &[String]) -> Result<String, String> {
             cycles("ours-default")
                 .ok_or("bench-json: tune did not evaluate the default schedule")?,
             payload.get("evaluated").and_then(Json::as_u64).unwrap_or(0),
+            tune_wall_nanos,
         )
     };
     if tune_best > tune_default {
@@ -1432,11 +1499,20 @@ fn run_bench_json(args: &[String]) -> Result<String, String> {
     let sim_json = |c: &PerfCounters, nanos: u64| {
         Json::obj(vec![
             ("wall_nanos", Json::from(nanos)),
+            ("instrs_per_sec", Json::from(instrs_per_sec(c.instructions, nanos))),
             ("cycles", Json::from(c.cycles)),
             ("instructions", Json::from(c.instructions)),
             ("fpu_instrs", Json::from(c.fpu_instrs)),
             ("ssr_reads", Json::from(c.ssr_reads)),
             ("ssr_writes", Json::from(c.ssr_writes)),
+        ])
+    };
+    let cluster_engine_json = |c: &ClusterCounters, nanos: u64| {
+        Json::obj(vec![
+            ("wall_nanos", Json::from(nanos)),
+            ("instrs_per_sec", Json::from(instrs_per_sec(c.aggregate.instructions, nanos))),
+            ("instructions", Json::from(c.aggregate.instructions)),
+            ("cycles", Json::from(c.aggregate.cycles)),
         ])
     };
     let report = Json::obj(vec![
@@ -1450,12 +1526,21 @@ fn run_bench_json(args: &[String]) -> Result<String, String> {
             ]),
         ),
         (
-            "simulate-matmul-1x5x200",
+            "sim-throughput-matmul-1x5x200",
             Json::obj(vec![
-                ("fast", sim_json(&fast_counters, fast_nanos)),
-                ("generic", sim_json(&generic_counters, generic_nanos)),
+                ("superblock", sim_json(&sb_counters, sb_nanos)),
+                ("checked", sim_json(&ck_counters, ck_nanos)),
                 ("wall_speedup", Json::from(wall_speedup)),
                 ("stall_cycles", stall_json(&stalls)),
+            ]),
+        ),
+        (
+            "sim-throughput-cluster-8x16x16",
+            Json::obj(vec![
+                ("cores", Json::from(cluster_cores as u64)),
+                ("superblock", cluster_engine_json(&cl_sb_counters, cl_sb_nanos)),
+                ("checked", cluster_engine_json(&cl_ck_counters, cl_ck_nanos)),
+                ("wall_speedup", Json::from(cluster_wall_speedup)),
             ]),
         ),
         (
@@ -1491,6 +1576,7 @@ fn run_bench_json(args: &[String]) -> Result<String, String> {
         (
             "tune-matmul-8x16x16",
             Json::obj(vec![
+                ("wall_nanos", Json::from(tune_wall_nanos)),
                 ("evaluated", Json::from(tune_evaluated)),
                 ("best_label", Json::from(tune_best_label.as_str())),
                 ("best_cycles", Json::from(tune_best)),
@@ -1509,10 +1595,20 @@ fn run_bench_json(args: &[String]) -> Result<String, String> {
         work_drop,
     );
     eprintln!(
-        "bench simulate-matmul-1x5x200: {:.1}us (fast) vs {:.1}us (generic), speedup {:.2}x",
-        fast_nanos as f64 / 1e3,
-        generic_nanos as f64 / 1e3,
+        "bench sim-throughput-matmul-1x5x200: {:.1}us (superblock, {:.1}M instrs/s) vs \
+         {:.1}us (checked), speedup {:.2}x",
+        sb_nanos as f64 / 1e3,
+        instrs_per_sec(sb_counters.instructions, sb_nanos) / 1e6,
+        ck_nanos as f64 / 1e3,
         wall_speedup,
+    );
+    eprintln!(
+        "bench sim-throughput-cluster-8x16x16: {:.1}us (superblock, {:.1}M instrs/s) vs \
+         {:.1}us (checked), speedup {:.2}x",
+        cl_sb_nanos as f64 / 1e3,
+        instrs_per_sec(cl_sb_counters.aggregate.instructions, cl_sb_nanos) / 1e6,
+        cl_ck_nanos as f64 / 1e3,
+        cluster_wall_speedup,
     );
     eprintln!(
         "bench cluster-matmul-8x16x16: {} cycles (1 core) vs {} cycles ({} cores), \
@@ -1524,7 +1620,9 @@ fn run_bench_json(args: &[String]) -> Result<String, String> {
     );
     eprintln!(
         "bench tune-matmul-8x16x16: {tune_best} cycles ({tune_best_label}) vs {tune_default} \
-         cycles (ours-default) over {tune_evaluated} schedules, speedup {tune_speedup:.2}x",
+         cycles (ours-default) over {tune_evaluated} schedules, speedup {tune_speedup:.2}x, \
+         wall {:.1}ms",
+        tune_wall_nanos as f64 / 1e6,
     );
     if let Some(path) = check_path {
         let text = std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?;
@@ -1646,13 +1744,15 @@ fn trace_report(
     kernels: &[KernelSig],
     cores: usize,
 ) -> Result<Json, String> {
-    let program = assemble(assembly).map_err(|e| format!("assembling output: {e}"))?;
+    // Predecode once: every kernel entry point runs over the same
+    // execution artifact instead of re-scanning the program per call.
+    let exec = ExecProgram::new(assemble(assembly).map_err(|e| format!("assembling output: {e}"))?);
     let mut kernel_reports = Vec::new();
     for kernel in kernels {
         kernel_reports.push(if cores <= 1 {
-            run_kernel(&program, kernel)?
+            run_kernel(&exec, kernel)?
         } else {
-            cluster_kernel_json(&program, kernel, cores)?
+            cluster_kernel_json(&exec, kernel, cores)?
         });
     }
     Ok(Json::obj(vec![
@@ -1727,7 +1827,7 @@ fn synthesize_operands(kernel: &KernelSig) -> Result<SynthOperands, String> {
 /// Runs one kernel on a single traced machine with synthesized
 /// operands, returning its counters and execution trace.
 fn simulate_traced(
-    program: &mlb_sim::Program,
+    exec: &ExecProgram,
     kernel: &KernelSig,
 ) -> Result<(PerfCounters, Vec<TraceEntry>), String> {
     let mut machine = Machine::new();
@@ -1744,7 +1844,7 @@ fn simulate_traced(
         machine.set_f_bits(r, bits);
     }
     let counters = machine
-        .call(program, &kernel.name, &ops.int_args)
+        .call_predecoded(exec, &kernel.name, &ops.int_args)
         .map_err(|e| format!("simulating `{}`: {e}", kernel.name))?;
     Ok((counters, machine.take_trace().unwrap_or_default()))
 }
@@ -1752,7 +1852,7 @@ fn simulate_traced(
 /// Runs one kernel on a `cores`-wide cluster with synthesized operands,
 /// optionally tracing every core.
 fn simulate_cluster(
-    program: &mlb_sim::Program,
+    exec: &ExecProgram,
     kernel: &KernelSig,
     cores: usize,
     traced: bool,
@@ -1773,7 +1873,7 @@ fn simulate_cluster(
         cluster.broadcast_f_bits(r, bits);
     }
     let counters = cluster
-        .call(program, &kernel.name, &ops.int_args)
+        .call_predecoded(exec, &kernel.name, &ops.int_args)
         .map_err(|e| format!("simulating `{}`: {e}", kernel.name))?;
     let traces = if traced {
         cluster.take_traces().into_iter().map(Option::unwrap_or_default).collect()
@@ -1801,8 +1901,8 @@ fn occupancy_json(occ: &OccupancySummary) -> Json {
 
 /// Runs one kernel with synthesized operands and reports its counters,
 /// occupancy and stall breakdown.
-fn run_kernel(program: &mlb_sim::Program, kernel: &KernelSig) -> Result<Json, String> {
-    let (counters, trace) = simulate_traced(program, kernel)?;
+fn run_kernel(exec: &ExecProgram, kernel: &KernelSig) -> Result<Json, String> {
+    let (counters, trace) = simulate_traced(exec, kernel)?;
     let occ = counters.occupancy();
     Ok(Json::obj(vec![
         ("name", Json::from(kernel.name.as_str())),
@@ -1837,11 +1937,11 @@ fn run_kernel(program: &mlb_sim::Program, kernel: &KernelSig) -> Result<Json, St
 /// plus per-core counters, occupancy, stall histograms and the
 /// reconstructed barrier-wait intervals.
 fn cluster_kernel_json(
-    program: &mlb_sim::Program,
+    exec: &ExecProgram,
     kernel: &KernelSig,
     cores: usize,
 ) -> Result<Json, String> {
-    let (counters, traces) = simulate_cluster(program, kernel, cores, true)?;
+    let (counters, traces) = simulate_cluster(exec, kernel, cores, true)?;
     let per_core_occ = counters.per_core_occupancy();
     let per_core: Vec<Json> = counters
         .per_core

@@ -1,0 +1,161 @@
+//! Engine-equivalence suite for the superblock simulator engine.
+//!
+//! The superblock engine (CFG-predecoded, single upfront budget
+//! precheck per straight-line run, unchecked inner loop) must be
+//! *observationally identical* to the checked reference stepper: same
+//! verified outputs, same performance counters, same stall histograms,
+//! same rendered traces, same typed faults. These tests race both
+//! engines over the full kernel suite, every compilation flow, several
+//! cluster widths, and the difftest fuzz corpus — any drift is a bug in
+//! the superblock engine, never a tolerated approximation.
+
+use mlb_core::{compile, Compilation, Flow, PipelineOptions};
+use mlb_ir::Context;
+use mlb_kernels::{
+    fuzz_corpus, predecode, run_predecoded_on_cluster_with_engine,
+    run_predecoded_traced_with_engine, run_predecoded_with_engine, Instance, Kind, Precision,
+    Shape,
+};
+use mlb_sim::{Engine, StallHistogram};
+
+fn compiled(instance: &Instance, flow: Flow) -> Compilation {
+    let mut ctx = Context::new();
+    let module = instance.build_module(&mut ctx);
+    compile(&mut ctx, module, flow).unwrap_or_else(|e| panic!("{instance} under {flow:?}: {e}"))
+}
+
+fn flows() -> [(&'static str, Flow); 4] {
+    [
+        ("ours-full", Flow::Ours(PipelineOptions::full())),
+        ("ours-baseline", Flow::Ours(PipelineOptions::baseline())),
+        ("mlir", Flow::MlirLike),
+        ("clang", Flow::ClangLike),
+    ]
+}
+
+fn suite() -> Vec<Instance> {
+    Kind::all()
+        .into_iter()
+        .map(|kind| {
+            let shape = match kind {
+                Kind::MatMul | Kind::MatMulT => Shape::nmk(4, 8, 8),
+                _ => Shape::nm(4, 8),
+            };
+            Instance::new(kind, shape, Precision::F64)
+        })
+        .collect()
+}
+
+/// Every kernel under every flow: bit-identical outputs and counters.
+#[test]
+fn engines_agree_across_the_kernel_suite_and_flows() {
+    for instance in suite() {
+        for (flow_name, flow) in flows() {
+            let exec = predecode(&compiled(&instance, flow))
+                .unwrap_or_else(|e| panic!("{instance} under {flow_name}: {e}"));
+            let superblock = run_predecoded_with_engine(&instance, &exec, 11, Engine::Superblock)
+                .unwrap_or_else(|e| panic!("{instance} under {flow_name} superblock: {e}"));
+            let checked = run_predecoded_with_engine(&instance, &exec, 11, Engine::Checked)
+                .unwrap_or_else(|e| panic!("{instance} under {flow_name} checked: {e}"));
+            assert_eq!(
+                superblock.counters, checked.counters,
+                "{instance} under {flow_name}: counters diverge"
+            );
+            let sb: Vec<u64> = superblock.output.iter().map(|v| v.to_bits()).collect();
+            let ck: Vec<u64> = checked.output.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(sb, ck, "{instance} under {flow_name}: outputs diverge");
+        }
+    }
+}
+
+/// Every kernel on 1-, 2- and 4-core clusters: identical per-core and
+/// aggregate counters, barrier counts, and verified outputs.
+#[test]
+fn engines_agree_on_every_cluster_width() {
+    for instance in suite() {
+        for cores in [1usize, 2, 4] {
+            let mut opts = PipelineOptions::full();
+            opts.cores = cores;
+            let exec = predecode(&compiled(&instance, Flow::Ours(opts)))
+                .unwrap_or_else(|e| panic!("{instance} on {cores} cores: {e}"));
+            let superblock = run_predecoded_on_cluster_with_engine(
+                &instance,
+                &exec,
+                13,
+                cores,
+                Engine::Superblock,
+            )
+            .unwrap_or_else(|e| panic!("{instance} on {cores} cores superblock: {e}"));
+            let checked =
+                run_predecoded_on_cluster_with_engine(&instance, &exec, 13, cores, Engine::Checked)
+                    .unwrap_or_else(|e| panic!("{instance} on {cores} cores checked: {e}"));
+            assert_eq!(
+                superblock.counters, checked.counters,
+                "{instance} on {cores} cores: cluster counters diverge"
+            );
+            let sb: Vec<u64> = superblock.output.iter().map(|v| v.to_bits()).collect();
+            let ck: Vec<u64> = checked.output.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(sb, ck, "{instance} on {cores} cores: outputs diverge");
+        }
+    }
+}
+
+/// The difftest fuzz corpus (random kinds, shapes, precisions, flows and
+/// operand seeds) replayed under both engines.
+#[test]
+fn engines_agree_on_the_fuzz_corpus() {
+    for (instance, flow, seed) in fuzz_corpus(0xC0FFEE, 24) {
+        let exec = predecode(&compiled(&instance, flow))
+            .unwrap_or_else(|e| panic!("{instance} under {flow:?}: {e}"));
+        let superblock = run_predecoded_with_engine(&instance, &exec, seed, Engine::Superblock)
+            .unwrap_or_else(|e| panic!("{instance} under {flow:?} superblock: {e}"));
+        let checked = run_predecoded_with_engine(&instance, &exec, seed, Engine::Checked)
+            .unwrap_or_else(|e| panic!("{instance} under {flow:?} checked: {e}"));
+        assert_eq!(
+            superblock.counters, checked.counters,
+            "{instance} under {flow:?} seed {seed}: counters diverge"
+        );
+        let sb: Vec<u64> = superblock.output.iter().map(|v| v.to_bits()).collect();
+        let ck: Vec<u64> = checked.output.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(sb, ck, "{instance} under {flow:?} seed {seed}: outputs diverge");
+    }
+}
+
+/// Tracing always runs the checked stepper, so traced runs must render
+/// identical traces and stall histograms under either engine setting —
+/// and the traced counters must equal the untraced superblock run's.
+#[test]
+fn traces_and_stall_histograms_are_engine_independent() {
+    for instance in [
+        Instance::new(Kind::MatMul, Shape::nmk(4, 8, 8), Precision::F64),
+        Instance::new(Kind::Sum, Shape::nm(4, 8), Precision::F32),
+        Instance::new(Kind::Conv3x3, Shape::nm(4, 8), Precision::F64),
+    ] {
+        let exec = predecode(&compiled(&instance, Flow::Ours(PipelineOptions::full())))
+            .unwrap_or_else(|e| panic!("{instance}: {e}"));
+        let (sb_outcome, sb_trace) =
+            run_predecoded_traced_with_engine(&instance, &exec, 17, Engine::Superblock)
+                .unwrap_or_else(|e| panic!("{instance} superblock traced: {e}"));
+        let (ck_outcome, ck_trace) =
+            run_predecoded_traced_with_engine(&instance, &exec, 17, Engine::Checked)
+                .unwrap_or_else(|e| panic!("{instance} checked traced: {e}"));
+        assert_eq!(sb_outcome.counters, ck_outcome.counters, "{instance}: traced counters");
+        let render = |t: &[mlb_sim::TraceEntry]| -> Vec<String> {
+            t.iter().map(|e| e.to_string()).collect()
+        };
+        assert_eq!(render(&sb_trace), render(&ck_trace), "{instance}: rendered traces diverge");
+        assert_eq!(
+            StallHistogram::from_trace(&sb_trace),
+            StallHistogram::from_trace(&ck_trace),
+            "{instance}: stall histograms diverge"
+        );
+        // The untraced superblock run reproduces the traced counters:
+        // tracing changes observability, never the modelled timing.
+        let untraced = run_predecoded_with_engine(&instance, &exec, 17, Engine::Superblock)
+            .unwrap_or_else(|e| panic!("{instance} superblock untraced: {e}"));
+        assert_eq!(
+            untraced.counters, sb_outcome.counters,
+            "{instance}: untraced superblock counters diverge from the traced run"
+        );
+    }
+}

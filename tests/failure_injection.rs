@@ -217,7 +217,7 @@ fn failed_jobs_never_poison_the_cache() {
     let second = service.run_one(failing);
     assert!(first.payload.is_err() && second.payload.is_err());
     assert!(!first.cached && !second.cached, "errors must never be served from cache");
-    let (_, results) = service.cache_stats();
+    let (_, _, results) = service.cache_stats();
     assert_eq!(results.insertions, 0, "a failed job must not populate the result cache");
 
     // A panicking job poisons nothing either: the same service still
@@ -231,7 +231,7 @@ fn failed_jobs_never_poison_the_cache() {
     };
     assert!(service.run_one(good).payload.is_ok());
     assert!(service.run_one(good).cached);
-    let (_, results) = service.cache_stats();
+    let (_, _, results) = service.cache_stats();
     assert_eq!(results.insertions, 1);
 }
 

@@ -147,11 +147,11 @@ fn simulate_reuses_the_compile_jobs_artifact() {
     };
     let compile = service.run_one(base);
     assert!(compile.payload.is_ok());
-    let (artifacts_before, _) = service.cache_stats();
+    let (artifacts_before, _, _) = service.cache_stats();
     let simulate = service.run_one(JobRequest { id: 2, kind: JobKind::Simulate, ..base });
     assert!(simulate.payload.is_ok());
     assert!(!simulate.cached, "different job kind, different result key");
-    let (artifacts_after, _) = service.cache_stats();
+    let (artifacts_after, _, _) = service.cache_stats();
     assert_eq!(
         artifacts_after.hits,
         artifacts_before.hits + 1,

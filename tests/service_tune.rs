@@ -102,15 +102,23 @@ fn warm_retune_performs_no_simulations() {
     let cold = service.run_one(request);
     assert!(cold.payload.is_ok(), "{}", cold.payload.as_ref().unwrap_err());
     assert!(!cold.cached);
-    let (artifacts_before, results_before) = service.cache_stats();
+    let (artifacts_before, execs_before, results_before) = service.cache_stats();
+    assert!(
+        execs_before.insertions > 0,
+        "a cold tune predecodes the schedule variants it simulates"
+    );
 
     let warm = service.run_one(request);
     assert!(warm.cached, "warm re-tune must be a tune-cache hit");
     assert_eq!(warm.payload_text(), cold.payload_text());
-    let (artifacts_after, results_after) = service.cache_stats();
+    let (artifacts_after, execs_after, results_after) = service.cache_stats();
     assert_eq!(
         artifacts_after.insertions, artifacts_before.insertions,
         "a warm re-tune must not compile anything"
+    );
+    assert_eq!(
+        execs_after.insertions, execs_before.insertions,
+        "a warm re-tune must not predecode anything"
     );
     assert_eq!(
         results_after.insertions, results_before.insertions,
