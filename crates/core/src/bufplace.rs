@@ -1,0 +1,140 @@
+//! Interval-liveness buffer placement for layer graphs.
+//!
+//! A layer graph threads intermediate buffers between stages; since a
+//! stage-`s` intermediate dies as soon as stage `s+1` has consumed it,
+//! its TCDM bytes can be recycled for a later intermediate. The placer
+//! here works over abstract *offsets* (the caller adds `TCDM_BASE` and
+//! checks the capacity), assigning each request the lowest 8-byte-
+//! aligned offset that does not overlap any live-interval-conflicting
+//! earlier assignment — first-fit interval graph coloring, which is
+//! optimal for the chain-shaped graphs the layer presets produce.
+
+/// One buffer to place: a size in bytes and the half-open interval of
+/// graph steps during which it is live. Buffers whose intervals do not
+/// overlap may share bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BufRequest {
+    /// Required bytes (rounded up to 8-byte alignment internally).
+    pub bytes: u64,
+    /// First step (inclusive) at which the buffer holds live data.
+    pub start: u32,
+    /// Last step (exclusive); `start..end` empty means never live, and
+    /// such buffers still get a distinct non-overlapping slot.
+    pub end: u32,
+}
+
+impl BufRequest {
+    /// A buffer live over `start..end` holding `bytes` bytes.
+    pub fn new(bytes: u64, start: u32, end: u32) -> BufRequest {
+        BufRequest { bytes, start, end }
+    }
+
+    /// Whether two requests are simultaneously live.
+    fn overlaps(&self, other: &BufRequest) -> bool {
+        // Degenerate (empty) intervals are treated as always-live so
+        // they never silently alias real data.
+        let a = (self.start, self.end.max(self.start + 1));
+        let b = (other.start, other.end.max(other.start + 1));
+        a.0 < b.1 && b.0 < a.1
+    }
+}
+
+/// The result of placing a set of requests.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Placement {
+    /// Byte offset of each request, in input order (8-byte aligned).
+    pub offsets: Vec<u64>,
+    /// Total bytes the placement spans (high-water mark).
+    pub total_bytes: u64,
+}
+
+/// Places `requests` with interval-based reuse: requests whose live
+/// intervals are disjoint may receive overlapping offsets. Offsets are
+/// 8-byte aligned; first-fit in input order.
+pub fn place(requests: &[BufRequest]) -> Placement {
+    let mut offsets = Vec::with_capacity(requests.len());
+    let mut total = 0u64;
+    // Already-placed requests as (offset, aligned size, request).
+    let mut placed: Vec<(u64, u64, BufRequest)> = Vec::new();
+    for req in requests {
+        let size = req.bytes.next_multiple_of(8).max(8);
+        // Gather the occupied ranges that conflict in time, then scan
+        // for the first aligned gap large enough.
+        let mut conflicts: Vec<(u64, u64)> = placed
+            .iter()
+            .filter(|(_, _, other)| req.overlaps(other))
+            .map(|&(off, sz, _)| (off, off + sz))
+            .collect();
+        conflicts.sort_unstable();
+        let mut offset = 0u64;
+        for &(lo, hi) in &conflicts {
+            if offset + size <= lo {
+                break;
+            }
+            offset = offset.max(hi);
+        }
+        offsets.push(offset);
+        total = total.max(offset + size);
+        placed.push((offset, size, *req));
+    }
+    Placement { offsets, total_bytes: total }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disjoint_intervals_share_bytes() {
+        // A chain: in(0..1), t1(0..2), t2(1..3), out(2..3).
+        // t1 dies when t2 is produced... here t1 lives 0..2 and t2
+        // lives 1..3, so they overlap; but in(0..1) and t2(1..3) don't.
+        let reqs = [
+            BufRequest::new(64, 0, 1),
+            BufRequest::new(64, 0, 2),
+            BufRequest::new(64, 1, 3),
+            BufRequest::new(64, 2, 3),
+        ];
+        let p = place(&reqs);
+        assert_eq!(p.offsets[2], p.offsets[0], "t2 reuses the dead input's bytes");
+        assert_eq!(p.offsets[3], p.offsets[1], "out reuses t1's bytes");
+        assert_eq!(p.total_bytes, 128, "two live slots at any step");
+    }
+
+    #[test]
+    fn overlapping_intervals_never_alias() {
+        let reqs = [BufRequest::new(24, 0, 3), BufRequest::new(40, 1, 2), BufRequest::new(8, 2, 4)];
+        let p = place(&reqs);
+        for i in 0..reqs.len() {
+            for j in i + 1..reqs.len() {
+                if reqs[i].overlaps(&reqs[j]) {
+                    let (ai, bi) = (p.offsets[i], p.offsets[i] + reqs[i].bytes.next_multiple_of(8));
+                    let (aj, bj) = (p.offsets[j], p.offsets[j] + reqs[j].bytes.next_multiple_of(8));
+                    assert!(bi <= aj || bj <= ai, "requests {i} and {j} alias");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn offsets_are_aligned_and_gaps_filled() {
+        let reqs = [
+            BufRequest::new(12, 0, 2), // rounds to 16
+            BufRequest::new(100, 0, 2),
+            BufRequest::new(16, 2, 3), // fits in the first slot after death
+        ];
+        let p = place(&reqs);
+        for &o in &p.offsets {
+            assert_eq!(o % 8, 0);
+        }
+        assert_eq!(p.offsets[1], 16);
+        assert_eq!(p.offsets[2], 0);
+    }
+
+    #[test]
+    fn empty_interval_is_kept_exclusive() {
+        let reqs = [BufRequest::new(8, 1, 1), BufRequest::new(8, 1, 1)];
+        let p = place(&reqs);
+        assert_ne!(p.offsets[0], p.offsets[1]);
+    }
+}

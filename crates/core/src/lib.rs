@@ -10,11 +10,15 @@
 //! - [`pipeline`] — assembled compiler flows: the multi-level backend
 //!   with the Table 3 ablation knobs, plus the MLIR-like and Clang-like
 //!   comparison flows of the evaluation (Section 4.1).
+//! - [`bufplace`] — interval-liveness buffer placement for layer
+//!   graphs (TCDM reuse across graph stages).
 
+pub mod bufplace;
 pub mod passes;
 pub mod pipeline;
 pub mod regalloc;
 
+pub use bufplace::{place, BufRequest, Placement};
 pub use pipeline::{
     build_pipeline, compile, compile_with_observer, compile_with_stages,
     compile_with_stages_tweaked, full_registry, Compilation, Flow, PipelineOptions, Stage,

@@ -1,0 +1,528 @@
+//! `memref-stream-fuse-elementwise`: producer-consumer fusion of
+//! adjacent element-wise `memref_stream.generic` ops.
+//!
+//! Generalizes the fuse-fill idea one level up: when a parallel generic
+//! writes a temporary buffer that the directly following parallel
+//! generic reads point-wise, the two bodies are merged into a single
+//! generic and the intermediate store/load round-trip through TCDM
+//! disappears. This is the inter-layer fusion a layer graph needs —
+//! e.g. `sum` followed by `relu` becomes one streamed kernel.
+//!
+//! Legality (all required):
+//! - both ops are all-parallel generics with no fused inits,
+//! - the producer has exactly one output `t`, whose only (live) users
+//!   are the producer and the consumer, and the consumer reads `t`
+//!   only as an input,
+//! - iteration bounds match, and the producer's output map equals the
+//!   consumer's map for every `t` input (point-wise correspondence),
+//! - `t` is an entry-block argument listed in the enclosing function's
+//!   [`mlb_dialects::func::TEMP_ARGS`] attribute — the caller's promise
+//!   that the temporary is never read after the call, which is what
+//!   makes erasing the producer's write observable-behavior-preserving,
+//! - the merged generic keeps at most [`MAX_FUSED_INPUTS`] inputs, so
+//!   every operand still rides an SSR data mover — fusing past the
+//!   hardware's stream count would trade the eliminated round-trip for
+//!   explicit per-element loads (and lose FREP), a net loss.
+
+use std::collections::HashMap;
+
+use mlb_dialects::{func, memref_stream, structured};
+use mlb_ir::{
+    Attribute, Context, DialectRegistry, IteratorType, OpId, OpSpec, Pass, PassError, ValueId,
+    ValueKind,
+};
+use mlb_isa::NUM_SSR_DATA_MOVERS;
+
+/// Input cap of a fused generic: one SSR data mover stays reserved for
+/// the output stream.
+pub const MAX_FUSED_INPUTS: usize = NUM_SSR_DATA_MOVERS - 1;
+
+/// The pass object.
+#[derive(Debug, Default)]
+pub struct MemrefStreamFuseElementwise;
+
+impl Pass for MemrefStreamFuseElementwise {
+    fn name(&self) -> &'static str {
+        "memref-stream-fuse-elementwise"
+    }
+
+    fn run(
+        &self,
+        ctx: &mut Context,
+        _registry: &DialectRegistry,
+        root: OpId,
+    ) -> Result<(), PassError> {
+        // Fuse to a fixpoint so chains (a -> b -> c) collapse into one
+        // generic: each round re-walks because fusion replaces ops.
+        loop {
+            let mut changed = false;
+            for op in ctx.walk_named(root, memref_stream::GENERIC) {
+                if ctx.is_alive(op) && try_fuse(ctx, op) {
+                    changed = true;
+                    break;
+                }
+            }
+            if !changed {
+                return Ok(());
+            }
+        }
+    }
+}
+
+/// Whether `op` is an all-parallel generic with no fused inits (the
+/// shape both fusion endpoints must have).
+fn is_elementwise(ctx: &Context, op: OpId) -> bool {
+    let s = memref_stream::StreamGenericOp(op);
+    s.num_inits(ctx) == 0
+        && s.generic().iterator_types(ctx).iter().all(|&it| it == IteratorType::Parallel)
+}
+
+/// Whether `value` is an entry-block argument of the enclosing function
+/// marked as a scratch temporary via [`func::TEMP_ARGS`].
+fn is_temp_arg(ctx: &Context, value: ValueId) -> bool {
+    let ValueKind::BlockArg { block, index } = ctx.value_kind(value) else {
+        return false;
+    };
+    let owner = ctx.region_parent(ctx.block_parent(block));
+    ctx.op(owner).name == func::FUNC && func::temp_args(ctx, owner).contains(&index)
+}
+
+/// Attempts to fuse the generic directly preceding `consumer` into it.
+/// Returns whether a rewrite happened.
+fn try_fuse(ctx: &mut Context, consumer: OpId) -> bool {
+    if !is_elementwise(ctx, consumer) {
+        return false;
+    }
+    // The producer is the nearest preceding generic; ops in between
+    // must not touch memory (e.g. body constants hoisted to the entry
+    // block), since fusion moves the producer's reads down to the
+    // consumer's position.
+    let pos = ctx.op_position(consumer);
+    let block = ctx.op(consumer).parent.expect("attached");
+    let block_ops = ctx.block_ops(block).to_vec();
+    let mut producer = None;
+    for &prev in block_ops[..pos].iter().rev() {
+        if ctx.op(prev).name == memref_stream::GENERIC {
+            producer = Some(prev);
+            break;
+        }
+        let touches_memory = ctx
+            .op(prev)
+            .operands
+            .iter()
+            .any(|&v| matches!(ctx.value_type(v), mlb_ir::Type::MemRef(_)));
+        if touches_memory {
+            return false;
+        }
+    }
+    let Some(producer) = producer else { return false };
+    if !is_elementwise(ctx, producer) {
+        return false;
+    }
+    let p = memref_stream::StreamGenericOp(producer);
+    let c = memref_stream::StreamGenericOp(consumer);
+    let p_outputs = p.outputs(ctx);
+    if p_outputs.len() != 1 {
+        return false;
+    }
+    let temp = p_outputs[0];
+    // The consumer must read the temporary, never write it; nobody else
+    // may observe it; and the caller must have marked it as scratch.
+    if c.outputs(ctx).contains(&temp)
+        || !c.generic().inputs(ctx).contains(&temp)
+        || !is_temp_arg(ctx, temp)
+    {
+        return false;
+    }
+    if ctx.user_ops(temp).iter().any(|&u| u != producer && u != consumer && ctx.is_alive(u)) {
+        return false;
+    }
+    // Shape compatibility: identical iteration spaces, and the consumer
+    // reads the temporary exactly where the producer wrote it.
+    if p.bounds(ctx) != c.bounds(ctx) || p.interleave_factor(ctx) != 1 {
+        return false;
+    }
+    let p_maps = p.generic().indexing_maps(ctx);
+    let c_maps = c.generic().indexing_maps(ctx);
+    let p_out_map = p_maps.last().expect("one output").clone();
+    let c_inputs = c.generic().inputs(ctx).to_vec();
+    for (i, &input) in c_inputs.iter().enumerate() {
+        if input == temp && c_maps[i] != p_out_map {
+            return false;
+        }
+    }
+    // Hardware profitability gate: the merged generic must still fit
+    // the SSR data movers (inputs + the one output), otherwise stream
+    // lowering degrades to explicit loads and fusion hurts.
+    let p_input_count = p.generic().inputs(ctx).len();
+    let temp_reads = c_inputs.iter().filter(|&&v| v == temp).count();
+    if p_input_count + c_inputs.len() - temp_reads > MAX_FUSED_INPUTS {
+        return false;
+    }
+    // The producer must not read back its own output inside the body
+    // (its output body argument must be dead).
+    let p_body = p.generic().body(ctx);
+    let p_body_args = ctx.block_args(p_body).to_vec();
+    let p_out_arg = p_body_args[p_maps.len() - 1];
+    if ctx.user_ops(p_out_arg).iter().any(|&u| ctx.is_alive(u)) {
+        return false;
+    }
+    fuse(ctx, producer, consumer, temp);
+    true
+}
+
+/// Builds the merged generic at the consumer's position (so any values
+/// defined between the pair still dominate it), then erases both ops.
+fn fuse(ctx: &mut Context, producer: OpId, consumer: OpId, temp: ValueId) {
+    let p = memref_stream::StreamGenericOp(producer);
+    let c = memref_stream::StreamGenericOp(consumer);
+    let p_inputs = p.generic().inputs(ctx).to_vec();
+    let c_inputs = c.generic().inputs(ctx).to_vec();
+    let c_outputs = c.outputs(ctx).to_vec();
+    let p_maps = p.generic().indexing_maps(ctx);
+    let c_maps = c.generic().indexing_maps(ctx);
+    let bounds = c.bounds(ctx);
+    let iters = c.generic().iterator_types(ctx);
+
+    // Merged operand order: producer inputs, consumer inputs minus the
+    // temporary, consumer outputs. Maps follow the same order.
+    let mut operands = p_inputs.clone();
+    let mut maps: Vec<Attribute> =
+        p_maps[..p_inputs.len()].iter().cloned().map(Attribute::Map).collect();
+    let mut kept_c_inputs = Vec::new();
+    for (i, &input) in c_inputs.iter().enumerate() {
+        if input != temp {
+            kept_c_inputs.push(i);
+            operands.push(input);
+            maps.push(Attribute::Map(c_maps[i].clone()));
+        }
+    }
+    let num_inputs = operands.len();
+    operands.extend(c_outputs.iter().copied());
+    maps.extend(c_maps[c_inputs.len()..].iter().cloned().map(Attribute::Map));
+
+    let spec = OpSpec::new(memref_stream::GENERIC)
+        .operands(operands.clone())
+        .attr(structured::INDEXING_MAPS, Attribute::Array(maps))
+        .attr(structured::ITERATOR_TYPES, Attribute::Iterators(iters))
+        .attr(structured::NUM_INPUTS, Attribute::Int(num_inputs as i64))
+        .attr(structured::BOUNDS, Attribute::DenseI64(bounds))
+        .regions(1);
+    let fused = ctx.insert_op_before(consumer, spec);
+    let arg_types: Vec<mlb_ir::Type> =
+        operands.iter().map(|&v| structured::body_element_type(ctx, v)).collect();
+    let body = ctx.create_block(ctx.op(fused).regions[0], arg_types);
+    let body_args = ctx.block_args(body).to_vec();
+
+    // Clone the producer body; its input args map onto the first merged
+    // args, its (dead) output arg needs no mapping.
+    let p_body = p.generic().body(ctx);
+    let p_body_args = ctx.block_args(p_body).to_vec();
+    let mut map = HashMap::new();
+    for (i, &a) in p_body_args[..p_inputs.len()].iter().enumerate() {
+        map.insert(a, body_args[i]);
+    }
+    ctx.clone_block_ops(p_body, body, &mut map, true);
+    let p_yield = ctx.terminator(p_body);
+    let produced = ctx.op(p_yield).operands[0];
+    let produced = *map.get(&produced).unwrap_or(&produced);
+
+    // Clone the consumer body: `t` input args become the produced value,
+    // kept inputs and outputs map positionally onto the merged args.
+    let c_body = c.generic().body(ctx);
+    let c_body_args = ctx.block_args(c_body).to_vec();
+    let mut cmap = HashMap::new();
+    for (slot, &i) in kept_c_inputs.iter().enumerate() {
+        cmap.insert(c_body_args[i], body_args[p_inputs.len() + slot]);
+    }
+    for (i, &input) in c_inputs.iter().enumerate() {
+        if input == temp {
+            cmap.insert(c_body_args[i], produced);
+        }
+    }
+    for (i, &a) in c_body_args[c_inputs.len()..].iter().enumerate() {
+        cmap.insert(a, body_args[num_inputs + i]);
+    }
+    ctx.clone_block_ops(c_body, body, &mut cmap, true);
+    let c_yield = ctx.terminator(c_body);
+    let yields: Vec<ValueId> =
+        ctx.op(c_yield).operands.iter().map(|v| *cmap.get(v).unwrap_or(v)).collect();
+    ctx.append_op(body, OpSpec::new(memref_stream::YIELD).operands(yields));
+
+    ctx.erase_op(consumer);
+    ctx.erase_op(producer);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::passes::convert_linalg::ConvertLinalgToMemrefStream;
+    use mlb_dialects::{arith, builtin, linalg};
+    use mlb_ir::{AffineMap, Type};
+
+    fn registry() -> DialectRegistry {
+        let mut r = DialectRegistry::new();
+        mlb_dialects::register_all(&mut r);
+        r
+    }
+
+    /// Builds `t = x + y; z = max(t, 0)` through a temporary `t`.
+    fn build_chain(ctx: &mut Context, mark_temp: bool) -> OpId {
+        let (m, top) = builtin::build_module(ctx);
+        let buf = Type::memref(vec![4, 8], Type::F64);
+        let (f, entry) = func::build_func(
+            ctx,
+            top,
+            "sum_relu",
+            vec![buf.clone(), buf.clone(), buf.clone(), buf],
+            vec![],
+        );
+        if mark_temp {
+            func::set_temp_args(ctx, f, &[2]);
+        }
+        let x = ctx.block_args(entry)[0];
+        let y = ctx.block_args(entry)[1];
+        let t = ctx.block_args(entry)[2];
+        let z = ctx.block_args(entry)[3];
+        let id = AffineMap::identity(2);
+        let par = vec![IteratorType::Parallel; 2];
+        linalg::build_generic(
+            ctx,
+            entry,
+            vec![x, y],
+            vec![t],
+            vec![id.clone(), id.clone(), id.clone()],
+            par.clone(),
+            None,
+            |ctx, body, args| vec![arith::binary(ctx, body, arith::ADDF, args[0], args[1])],
+        );
+        let zero = arith::constant_float(ctx, entry, 0.0, Type::F64);
+        linalg::build_generic(
+            ctx,
+            entry,
+            vec![t],
+            vec![z],
+            vec![id.clone(), id],
+            par,
+            None,
+            |ctx, body, args| vec![arith::binary(ctx, body, arith::MAXIMUMF, args[0], zero)],
+        );
+        func::build_return(ctx, entry, vec![]);
+        m
+    }
+
+    #[test]
+    fn adjacent_elementwise_ops_fuse() {
+        let mut ctx = Context::new();
+        let r = registry();
+        let m = build_chain(&mut ctx, true);
+        ConvertLinalgToMemrefStream.run(&mut ctx, &r, m).unwrap();
+        assert_eq!(ctx.walk_named(m, memref_stream::GENERIC).len(), 2);
+        MemrefStreamFuseElementwise.run(&mut ctx, &r, m).unwrap();
+        r.verify(&ctx, m).unwrap();
+        let generics = ctx.walk_named(m, memref_stream::GENERIC);
+        assert_eq!(generics.len(), 1, "chain should fuse into one generic");
+        let s = memref_stream::StreamGenericOp(generics[0]);
+        assert_eq!(s.generic().num_inputs(&ctx), 2, "temp operand should be gone");
+        assert_eq!(s.outputs(&ctx).len(), 1);
+        assert_eq!(s.bounds(&ctx), vec![4, 8]);
+        // Body holds both compute ops plus the yield.
+        let body = s.generic().body(&ctx);
+        assert_eq!(ctx.block_ops(body).len(), 3);
+    }
+
+    #[test]
+    fn unmarked_temporary_is_not_fused() {
+        // Without TEMP_ARGS the intermediate buffer is an observable
+        // output, so the producer write must survive.
+        let mut ctx = Context::new();
+        let r = registry();
+        let m = build_chain(&mut ctx, false);
+        ConvertLinalgToMemrefStream.run(&mut ctx, &r, m).unwrap();
+        MemrefStreamFuseElementwise.run(&mut ctx, &r, m).unwrap();
+        assert_eq!(ctx.walk_named(m, memref_stream::GENERIC).len(), 2);
+    }
+
+    #[test]
+    fn second_reader_blocks_fusion() {
+        // A third generic also reading the temporary keeps the producer.
+        let mut ctx = Context::new();
+        let r = registry();
+        let (m, top) = builtin::build_module(&mut ctx);
+        let buf = Type::memref(vec![8], Type::F64);
+        let (f, entry) = func::build_func(
+            &mut ctx,
+            top,
+            "f",
+            vec![buf.clone(), buf.clone(), buf.clone(), buf],
+            vec![],
+        );
+        func::set_temp_args(&mut ctx, f, &[1]);
+        let x = ctx.block_args(entry)[0];
+        let t = ctx.block_args(entry)[1];
+        let z1 = ctx.block_args(entry)[2];
+        let z2 = ctx.block_args(entry)[3];
+        let id = AffineMap::identity(1);
+        let par = vec![IteratorType::Parallel];
+        for (input, output) in [(x, t), (t, z1), (t, z2)] {
+            linalg::build_generic(
+                &mut ctx,
+                entry,
+                vec![input],
+                vec![output],
+                vec![id.clone(), id.clone()],
+                par.clone(),
+                None,
+                |ctx, body, args| vec![arith::binary(ctx, body, arith::ADDF, args[0], args[0])],
+            );
+        }
+        func::build_return(&mut ctx, entry, vec![]);
+        ConvertLinalgToMemrefStream.run(&mut ctx, &r, m).unwrap();
+        MemrefStreamFuseElementwise.run(&mut ctx, &r, m).unwrap();
+        r.verify(&ctx, m).unwrap();
+        assert_eq!(ctx.walk_named(m, memref_stream::GENERIC).len(), 3);
+    }
+
+    #[test]
+    fn reduction_consumer_is_not_fused() {
+        let mut ctx = Context::new();
+        let r = registry();
+        let (m, top) = builtin::build_module(&mut ctx);
+        let vec_ty = Type::memref(vec![8], Type::F64);
+        let scalar_ty = Type::memref(vec![1], Type::F64);
+        let (f, entry) =
+            func::build_func(&mut ctx, top, "f", vec![vec_ty.clone(), vec_ty, scalar_ty], vec![]);
+        func::set_temp_args(&mut ctx, f, &[1]);
+        let x = ctx.block_args(entry)[0];
+        let t = ctx.block_args(entry)[1];
+        let z = ctx.block_args(entry)[2];
+        let id = AffineMap::identity(1);
+        linalg::build_generic(
+            &mut ctx,
+            entry,
+            vec![x],
+            vec![t],
+            vec![id.clone(), id.clone()],
+            vec![IteratorType::Parallel],
+            None,
+            |ctx, body, args| vec![arith::binary(ctx, body, arith::ADDF, args[0], args[0])],
+        );
+        let out_map = AffineMap::new(1, 0, vec![mlb_ir::AffineExpr::constant(0)]);
+        linalg::build_generic(
+            &mut ctx,
+            entry,
+            vec![t],
+            vec![z],
+            vec![id, out_map],
+            vec![IteratorType::Reduction],
+            None,
+            |ctx, body, args| vec![arith::binary(ctx, body, arith::ADDF, args[0], args[1])],
+        );
+        func::build_return(&mut ctx, entry, vec![]);
+        ConvertLinalgToMemrefStream.run(&mut ctx, &r, m).unwrap();
+        MemrefStreamFuseElementwise.run(&mut ctx, &r, m).unwrap();
+        assert_eq!(ctx.walk_named(m, memref_stream::GENERIC).len(), 2);
+    }
+
+    #[test]
+    fn fusion_stops_at_ssr_capacity() {
+        // sum(x, y) -> relu -> sum(·, w): full fusion would need three
+        // input streams plus the output — one more data mover than the
+        // hardware has. The pass must stop at two generics instead of
+        // producing a slower fully-fused kernel.
+        let mut ctx = Context::new();
+        let r = registry();
+        let (m, top) = builtin::build_module(&mut ctx);
+        let buf = Type::memref(vec![8], Type::F64);
+        let (f, entry) = func::build_func(
+            &mut ctx,
+            top,
+            "f",
+            vec![buf.clone(), buf.clone(), buf.clone(), buf.clone(), buf.clone(), buf],
+            vec![],
+        );
+        // args: x, y, w, t1, t2, z — t1/t2 scratch.
+        func::set_temp_args(&mut ctx, f, &[3, 4]);
+        let x = ctx.block_args(entry)[0];
+        let y = ctx.block_args(entry)[1];
+        let w = ctx.block_args(entry)[2];
+        let t1 = ctx.block_args(entry)[3];
+        let t2 = ctx.block_args(entry)[4];
+        let z = ctx.block_args(entry)[5];
+        let id = AffineMap::identity(1);
+        let par = vec![IteratorType::Parallel];
+        for (inputs, output) in [(vec![x, y], t1), (vec![t1], t2), (vec![t2, w], z)] {
+            let maps = vec![id.clone(); inputs.len() + 1];
+            linalg::build_generic(
+                &mut ctx,
+                entry,
+                inputs,
+                vec![output],
+                maps,
+                par.clone(),
+                None,
+                {
+                    |ctx, body, args| {
+                        let v = if args.len() > 2 {
+                            arith::binary(ctx, body, arith::ADDF, args[0], args[1])
+                        } else {
+                            arith::binary(ctx, body, arith::ADDF, args[0], args[0])
+                        };
+                        vec![v]
+                    }
+                },
+            );
+        }
+        func::build_return(&mut ctx, entry, vec![]);
+        ConvertLinalgToMemrefStream.run(&mut ctx, &r, m).unwrap();
+        MemrefStreamFuseElementwise.run(&mut ctx, &r, m).unwrap();
+        r.verify(&ctx, m).unwrap();
+        let generics = ctx.walk_named(m, memref_stream::GENERIC);
+        assert_eq!(generics.len(), 2, "capacity gate should stop one fusion");
+        for g in generics {
+            let s = memref_stream::StreamGenericOp(g);
+            assert!(s.generic().inputs(&ctx).len() <= MAX_FUSED_INPUTS);
+        }
+    }
+
+    #[test]
+    fn three_stage_chain_fuses_to_one() {
+        let mut ctx = Context::new();
+        let r = registry();
+        let (m, top) = builtin::build_module(&mut ctx);
+        let buf = Type::memref(vec![6], Type::F64);
+        let (f, entry) = func::build_func(
+            &mut ctx,
+            top,
+            "f",
+            vec![buf.clone(), buf.clone(), buf.clone(), buf],
+            vec![],
+        );
+        func::set_temp_args(&mut ctx, f, &[1, 2]);
+        let x = ctx.block_args(entry)[0];
+        let t1 = ctx.block_args(entry)[1];
+        let t2 = ctx.block_args(entry)[2];
+        let z = ctx.block_args(entry)[3];
+        let id = AffineMap::identity(1);
+        for (input, output) in [(x, t1), (t1, t2), (t2, z)] {
+            linalg::build_generic(
+                &mut ctx,
+                entry,
+                vec![input],
+                vec![output],
+                vec![id.clone(), id.clone()],
+                vec![IteratorType::Parallel],
+                None,
+                |ctx, body, args| vec![arith::binary(ctx, body, arith::ADDF, args[0], args[0])],
+            );
+        }
+        func::build_return(&mut ctx, entry, vec![]);
+        ConvertLinalgToMemrefStream.run(&mut ctx, &r, m).unwrap();
+        MemrefStreamFuseElementwise.run(&mut ctx, &r, m).unwrap();
+        r.verify(&ctx, m).unwrap();
+        let generics = ctx.walk_named(m, memref_stream::GENERIC);
+        assert_eq!(generics.len(), 1, "three-op chain should fully fuse");
+        let body = memref_stream::StreamGenericOp(generics[0]).generic().body(&ctx);
+        assert_eq!(ctx.block_ops(body).len(), 4, "three adds + yield");
+    }
+}

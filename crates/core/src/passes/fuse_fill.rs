@@ -89,6 +89,14 @@ fn try_fuse(ctx: &mut Context, consumer: OpId) {
     if prev_s.outputs(ctx) != [outputs[0]] {
         return;
     }
+    // Single-use legality: erasing the fill is only sound when nobody
+    // else observes the initialized buffer. A second consumer reading
+    // `outputs[0]` would otherwise see uninitialized memory.
+    let other_user =
+        ctx.user_ops(outputs[0]).iter().any(|&u| u != prev && u != consumer && ctx.is_alive(u));
+    if other_user {
+        return;
+    }
     let Some(value) = fill_value(ctx, prev) else { return };
 
     // Fuse: append the init operand and erase the fill.
@@ -164,6 +172,51 @@ mod tests {
                 .and_then(Attribute::as_float),
             Some(0.0)
         );
+    }
+
+    #[test]
+    fn fill_with_two_consumers_is_not_fused() {
+        // Regression: a fill whose output feeds TWO reductions must not
+        // fuse into the first one — the second would then read an
+        // uninitialized buffer.
+        let mut ctx = Context::new();
+        let r = registry();
+        let (m, top) = builtin::build_module(&mut ctx);
+        let x_ty = Type::memref(vec![8], Type::F64);
+        let z_ty = Type::memref(vec![1], Type::F64);
+        let (_f, entry) =
+            func::build_func(&mut ctx, top, "f", vec![x_ty.clone(), x_ty, z_ty], vec![]);
+        let x = ctx.block_args(entry)[0];
+        let y = ctx.block_args(entry)[1];
+        let z = ctx.block_args(entry)[2];
+        let zero = arith::constant_float(&mut ctx, entry, 0.0, Type::F64);
+        linalg::build_fill(&mut ctx, entry, zero, z);
+        let in_map = AffineMap::identity(1);
+        let out_map = AffineMap::new(1, 0, vec![AffineExpr::constant(0)]);
+        for input in [x, y] {
+            linalg::build_generic(
+                &mut ctx,
+                entry,
+                vec![input],
+                vec![z],
+                vec![in_map.clone(), out_map.clone()],
+                vec![mlb_ir::IteratorType::Reduction],
+                None,
+                |ctx, body, args| vec![arith::binary(ctx, body, arith::ADDF, args[0], args[1])],
+            );
+        }
+        func::build_return(&mut ctx, entry, vec![]);
+        ConvertLinalgToMemrefStream.run(&mut ctx, &r, m).unwrap();
+        assert_eq!(ctx.walk_named(m, memref_stream::GENERIC).len(), 3);
+        MemrefStreamFuseFill.run(&mut ctx, &r, m).unwrap();
+        r.verify(&ctx, m).unwrap();
+        // All three survive: fusing the fill into the first reduction
+        // would drop the initialization the second reduction needs.
+        let generics = ctx.walk_named(m, memref_stream::GENERIC);
+        assert_eq!(generics.len(), 3, "fill feeding two reductions must not fuse");
+        for g in generics {
+            assert_eq!(memref_stream::StreamGenericOp(g).num_inits(&ctx), 0);
+        }
     }
 
     #[test]

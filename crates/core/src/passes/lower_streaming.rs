@@ -95,9 +95,13 @@ fn lower_region(
                     .attr("imm", Attribute::Int(SsrCfgReg::Stride(d as u8).scfg_imm(dm) as i64)),
             );
         }
-        // Repetition counter: written when nonzero, and reset when a
-        // previous region in the same function left it dirty.
-        let dirty = dirty_repeat.entry((func, i)).or_insert(false);
+        // Repetition counter: written when nonzero, and reset when its
+        // current value is unknown. At function entry the register is
+        // unknown (not zero): SSR configuration persists across kernel
+        // invocations on one core, so a previously-run kernel — e.g. an
+        // earlier stage of a layer graph on the same cluster — may have
+        // left a nonzero repeat behind.
+        let dirty = dirty_repeat.entry((func, i)).or_insert(true);
         if pattern.repeat > 0 || *dirty {
             let rep = li_before(ctx, pattern.repeat);
             ctx.insert_op_before(
@@ -184,9 +188,10 @@ mod tests {
         LowerSnitchStream.run(&mut ctx, &r, m).unwrap();
         r.verify(&ctx, m).unwrap();
         assert!(ctx.walk_named(m, snitch_stream::STREAMING_REGION).is_empty());
-        // Per stream: bound + stride writes + arming write = 3 scfgwi.
+        // Per stream: bound + stride writes + repeat reset (the register
+        // is unknown at entry) + arming write = 4 scfgwi.
         let cfg = ctx.walk_named(m, rv_snitch::SCFGWI);
-        assert_eq!(cfg.len(), 6);
+        assert_eq!(cfg.len(), 8);
         assert_eq!(ctx.walk_named(m, rv_snitch::SSR_ENABLE).len(), 1);
         assert_eq!(ctx.walk_named(m, rv_snitch::SSR_DISABLE).len(), 1);
         // The body survived inline, now using pinned stream registers.
@@ -236,6 +241,35 @@ mod tests {
             .filter(|&o| ctx.op(o).attr("imm") == Some(&Attribute::Int(repeat_imm)))
             .collect();
         assert_eq!(repeat_writes.len(), 2);
+    }
+
+    #[test]
+    fn repeat_reset_at_function_entry_even_when_zero() {
+        // SSR configuration persists across kernel invocations on one
+        // core: a previously-run kernel (e.g. an earlier layer-graph
+        // stage) may have left a nonzero repeat behind, so a function's
+        // first region must program the register even for repeat = 0.
+        let (mut ctx, r, m, top) = setup();
+        let (_f, entry) = rv_func::build_func(&mut ctx, top, "k", &[rv_func::AbiArg::Int]);
+        let x = ctx.block_args(entry)[0];
+        let no_repeat = StreamPattern::new(vec![8], vec![8], 0);
+        snitch_stream::build_streaming_region(
+            &mut ctx,
+            entry,
+            vec![x],
+            vec![],
+            vec![no_repeat],
+            |_, _, _| {},
+        );
+        rv_func::build_ret(&mut ctx, entry);
+        LowerSnitchStream.run(&mut ctx, &r, m).unwrap();
+        let repeat_imm = SsrCfgReg::Repeat.scfg_imm(SsrDataMover::new(0)) as i64;
+        let repeat_writes: Vec<OpId> = ctx
+            .walk_named(m, rv_snitch::SCFGWI)
+            .into_iter()
+            .filter(|&o| ctx.op(o).attr("imm") == Some(&Attribute::Int(repeat_imm)))
+            .collect();
+        assert_eq!(repeat_writes.len(), 1, "entry state is unknown, not zero");
     }
 
     #[test]

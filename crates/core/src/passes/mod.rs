@@ -6,6 +6,7 @@ pub mod convert_linalg;
 pub mod convert_to_rv;
 pub mod dce;
 pub mod distribute_to_cores;
+pub mod fuse_elementwise;
 pub mod fuse_fill;
 pub mod loop_opt;
 pub mod lower_streaming;

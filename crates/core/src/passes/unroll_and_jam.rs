@@ -74,17 +74,44 @@ pub fn choose_unroll_factor(bound: i64) -> i64 {
     divisors.last().copied().unwrap_or(1)
 }
 
+/// Whether a generic body contains an intra-element dependency chain:
+/// some compute op consuming another compute op's result. Bodies with
+/// region-bearing ops are conservatively reported chain-free (the
+/// op-major replication below only clones flat arith ops).
+fn body_has_chain(ctx: &Context, body: mlb_ir::BlockId) -> bool {
+    let ops = ctx.block_ops(body).to_vec();
+    if ops.len() < 3 {
+        // Fewer than two compute ops plus the yield: nothing to chain.
+        return false;
+    }
+    if ops.iter().any(|&o| !ctx.op(o).regions.is_empty()) {
+        return false;
+    }
+    ops[..ops.len() - 1].iter().any(|&o| {
+        ctx.op(o).operands.iter().any(|&v| {
+            matches!(ctx.value_kind(v),
+                mlb_ir::ValueKind::OpResult { op: def, .. } if ops.contains(&def))
+        })
+    })
+}
+
 fn apply(ctx: &mut Context, op: OpId, factor_override: Option<i64>) {
     let loc = ctx.effective_loc(op).clone();
     ctx.set_builder_loc(loc);
     let s = memref_stream::StreamGenericOp(op);
     let iterators = s.generic().iterator_types(ctx);
     let bounds = s.bounds(ctx);
-    // Only reduction kernels suffer RAW stalls worth unrolling for, and
-    // one interleaved dimension at a time is supported.
-    if !iterators.contains(&IteratorType::Reduction)
-        || iterators.contains(&IteratorType::Interleaved)
-    {
+    // One interleaved dimension at a time is supported.
+    if iterators.contains(&IteratorType::Interleaved) {
+        return;
+    }
+    let has_red = iterators.contains(&IteratorType::Reduction);
+    // Reduction kernels always stall on the accumulator chain. A
+    // parallel-only generic stalls only when its body chains dependent
+    // ops on the same element — the shape element-wise fusion produces
+    // (e.g. `max(add(x, y), 0)`); single-op bodies pipeline freely and
+    // stay untouched.
+    if !has_red && !body_has_chain(ctx, s.generic().body(ctx)) {
         return;
     }
     // The last parallel dimension is the natural interleave candidate:
@@ -194,14 +221,60 @@ fn apply(ctx: &mut Context, op: OpId, factor_override: Option<i64>) {
     let old_yield = ctx.terminator(old_body);
     let old_yield_operands = ctx.op(old_yield).operands.clone();
     let mut new_yields: Vec<Vec<ValueId>> = vec![Vec::new(); old_yield_operands.len()];
-    for j in 0..f {
-        let mut map: HashMap<ValueId, ValueId> = HashMap::new();
-        for (i, &a) in old_args.iter().enumerate() {
-            map.insert(a, ctx.block_args(new_body)[i * f + j]);
+    if has_red {
+        for j in 0..f {
+            let mut map: HashMap<ValueId, ValueId> = HashMap::new();
+            for (i, &a) in old_args.iter().enumerate() {
+                map.insert(a, ctx.block_args(new_body)[i * f + j]);
+            }
+            ctx.clone_block_ops(old_body, new_body, &mut map, true);
+            for (k, v) in old_yield_operands.iter().enumerate() {
+                new_yields[k].push(*map.get(v).unwrap_or(v));
+            }
         }
-        ctx.clone_block_ops(old_body, new_body, &mut map, true);
-        for (k, v) in old_yield_operands.iter().enumerate() {
-            new_yields[k].push(*map.get(v).unwrap_or(v));
+    } else {
+        // Parallel chained bodies are replicated op-major (all copies of
+        // op 0, then all copies of op 1, ...): a dependent pair ends up
+        // `factor` instructions apart, which is what actually hides the
+        // FPU latency — copy-major order would keep dependent ops
+        // adjacent and stall exactly as before.
+        let mut maps: Vec<HashMap<ValueId, ValueId>> = (0..f)
+            .map(|j| {
+                old_args
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &a)| (a, ctx.block_args(new_body)[i * f + j]))
+                    .collect()
+            })
+            .collect();
+        let body_ops = ctx.block_ops(old_body).to_vec();
+        for &o in &body_ops[..body_ops.len() - 1] {
+            for map in maps.iter_mut() {
+                let old_op = ctx.op(o).clone();
+                let operands: Vec<ValueId> =
+                    old_op.operands.iter().map(|v| *map.get(v).unwrap_or(v)).collect();
+                let result_types: Vec<Type> =
+                    old_op.results.iter().map(|&r| ctx.value_type(r).clone()).collect();
+                let spec = mlb_ir::OpSpec {
+                    name: old_op.name.clone(),
+                    operands,
+                    result_types,
+                    attrs: old_op.attrs.clone(),
+                    num_regions: 0,
+                    successors: vec![],
+                    loc: old_op.loc.clone(),
+                };
+                let cloned = ctx.append_op(new_body, spec);
+                let new_results = ctx.op(cloned).results.clone();
+                for (i, &r) in old_op.results.iter().enumerate() {
+                    map.insert(r, new_results[i]);
+                }
+            }
+        }
+        for map in &maps {
+            for (k, v) in old_yield_operands.iter().enumerate() {
+                new_yields[k].push(*map.get(v).unwrap_or(v));
+            }
         }
     }
     // Yield groups copies per output: out0 j0..j(f-1), out1 j0.. etc.

@@ -20,6 +20,7 @@ use crate::passes::convert_linalg::ConvertLinalgToMemrefStream;
 use crate::passes::convert_to_rv::ConvertToRv;
 use crate::passes::dce::DeadCodeElimination;
 use crate::passes::distribute_to_cores::DistributeToCores;
+use crate::passes::fuse_elementwise::MemrefStreamFuseElementwise;
 use crate::passes::fuse_fill::MemrefStreamFuseFill;
 use crate::passes::lower_streaming::LowerSnitchStream;
 use crate::passes::lower_to_loops::ConvertMemrefStreamToLoops;
@@ -41,6 +42,10 @@ pub struct PipelineOptions {
     pub frep: bool,
     /// Fuse output initialization into reductions ("Fuse Fill").
     pub fuse_fill: bool,
+    /// Fuse adjacent element-wise generics writing through scratch
+    /// temporaries into one generic (the layer-graph fusion; off by
+    /// default — single-kernel modules have nothing to fuse).
+    pub fuse_elementwise: bool,
     /// Interleave iterations to hide FPU latency ("Unroll-and-Jam").
     pub unroll_and_jam: bool,
     /// Forced unroll factor (`None` = automatic, from the FPU depth).
@@ -67,6 +72,7 @@ impl PipelineOptions {
             scalar_replacement: true,
             frep: true,
             fuse_fill: true,
+            fuse_elementwise: false,
             unroll_and_jam: true,
             unroll_factor: None,
             stream_pattern_opts: true,
@@ -82,6 +88,7 @@ impl PipelineOptions {
             scalar_replacement: false,
             frep: false,
             fuse_fill: false,
+            fuse_elementwise: false,
             unroll_and_jam: false,
             unroll_factor: None,
             stream_pattern_opts: true,
@@ -226,6 +233,9 @@ pub fn build_pipeline(flow: Flow, clang_unroll: bool) -> PassManager {
             pm.add(ConvertLinalgToMemrefStream);
             if opts.fuse_fill {
                 pm.add(MemrefStreamFuseFill);
+            }
+            if opts.fuse_elementwise {
+                pm.add(MemrefStreamFuseElementwise);
             }
             if opts.cores > 1 {
                 pm.add(DistributeToCores { cores: opts.cores, dim_override: opts.shard_dim });

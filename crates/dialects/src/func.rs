@@ -11,6 +11,12 @@ use mlb_ir::{
 pub const FUNC: &str = "func.func";
 /// `func.return`: terminator returning the function results.
 pub const RETURN: &str = "func.return";
+/// Optional `func.func` attribute: a dense list of argument indices
+/// whose buffers are scratch temporaries. The caller promises never to
+/// read them after the call, so passes may elide writes to them (the
+/// element-wise fusion pass relies on this to erase a producer whose
+/// only consumer is fused away).
+pub const TEMP_ARGS: &str = "temp_args";
 
 /// Registers the `func` dialect.
 pub fn register(registry: &mut DialectRegistry) {
@@ -99,6 +105,22 @@ pub fn build_return(ctx: &mut Context, block: BlockId, values: Vec<ValueId>) -> 
 /// The symbol name of a `func.func` (or compatible) operation.
 pub fn symbol_name(ctx: &Context, func: OpId) -> Option<&str> {
     ctx.op(func).attr("sym_name")?.as_symbol()
+}
+
+/// Marks the arguments at `indices` as scratch temporaries (see
+/// [`TEMP_ARGS`]).
+pub fn set_temp_args(ctx: &mut Context, func: OpId, indices: &[usize]) {
+    let dense = indices.iter().map(|&i| i as i64).collect();
+    ctx.op_mut(func).attrs.insert(TEMP_ARGS.to_string(), Attribute::DenseI64(dense));
+}
+
+/// The scratch-temporary argument indices of `func`, empty when the
+/// [`TEMP_ARGS`] attribute is absent.
+pub fn temp_args(ctx: &Context, func: OpId) -> Vec<usize> {
+    match ctx.op(func).attr(TEMP_ARGS) {
+        Some(Attribute::DenseI64(v)) => v.iter().map(|&i| i as usize).collect(),
+        _ => Vec::new(),
+    }
 }
 
 /// The entry block of a function-like operation with one region.

@@ -309,8 +309,8 @@ fn run_stage(
 }
 
 /// Finds the kernel function (`func.func` or `rv_func.func`) named
-/// `symbol` under `module`.
-fn find_kernel(ctx: &Context, module: OpId, symbol: &str) -> Option<OpId> {
+/// `symbol` under `module`. Shared with the graph-level difftest.
+pub(crate) fn find_kernel(ctx: &Context, module: OpId, symbol: &str) -> Option<OpId> {
     for func in ctx.walk_named(module, mlb_dialects::func::FUNC) {
         if mlb_dialects::func::symbol_name(ctx, func) == Some(symbol) {
             return Some(func);

@@ -9,6 +9,7 @@ use std::fmt;
 use mlb_core::{Flow, PipelineOptions};
 
 use crate::difftest::difftest_instance;
+use crate::graph::{graph_difftest, Layer, LayerGraph};
 use crate::suite::{Instance, Kind, Precision, Shape};
 
 /// The splitmix64 generator: tiny, fast, and statistically solid for
@@ -185,9 +186,61 @@ pub fn fuzz(seed: u64, count: usize) -> Result<usize, Box<FuzzFailure>> {
     Ok(count)
 }
 
+/// Generates one random 2–4 layer chain with small shapes.
+fn random_graph(case: usize, rng: &mut SplitMix64) -> LayerGraph {
+    let n_layers = rng.in_range(2, 4) as usize;
+    let r = *rng.pick(&[2i64, 4]);
+    let c = *rng.pick(&[2i64, 4, 8]);
+    let layers: Vec<Layer> = (0..n_layers)
+        .map(|_| match rng.in_range(0, 2) {
+            0 => Layer::Sum,
+            1 => Layer::Relu,
+            _ => Layer::MatMulT { width: *rng.pick(&[2i64, 4]) },
+        })
+        .collect();
+    LayerGraph::new(format!("fuzz{case}"), (r, c), layers)
+        .expect("generated graphs are structurally valid")
+}
+
+/// Runs `count` randomized layer-chain differential tests derived from
+/// `seed`: each case runs the graph-level difftest both fused and
+/// unfused (at a random core count) and checks the two final outputs
+/// agree bit-for-bit — fusion only reorders where intermediates live,
+/// never the arithmetic.
+///
+/// # Errors
+///
+/// A message naming the failing case, its graph, and the divergence.
+pub fn fuzz_graphs(seed: u64, count: usize) -> Result<usize, String> {
+    let mut rng = SplitMix64::new(seed);
+    for case in 0..count {
+        let graph = random_graph(case, &mut rng);
+        let cores = *rng.pick(&[1usize, 2]);
+        let case_seed = rng.next_u64();
+        let fused = graph_difftest(&graph, true, cores, case_seed)
+            .map_err(|e| format!("case {case} ({graph}, {cores} cores): fused: {e}"))?;
+        let unfused = graph_difftest(&graph, false, cores, case_seed)
+            .map_err(|e| format!("case {case} ({graph}, {cores} cores): unfused: {e}"))?;
+        let a: Vec<u64> = fused.outputs.iter().map(|v| v.to_bits()).collect();
+        let b: Vec<u64> = unfused.outputs.iter().map(|v| v.to_bits()).collect();
+        if a != b {
+            return Err(format!(
+                "case {case} ({graph}, {cores} cores): fused and unfused graph outputs \
+                 disagree (seed {case_seed})"
+            ));
+        }
+    }
+    Ok(count)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn graph_fuzz_smoke_is_clean() {
+        assert_eq!(fuzz_graphs(0xBEEF, 3).unwrap_or_else(|e| panic!("{e}")), 3);
+    }
 
     #[test]
     fn splitmix_is_deterministic_and_spread() {

@@ -1,0 +1,1089 @@
+//! Layer graphs: chains of kernel layers compiled as a pipeline of
+//! stages (one compiled artifact per stage), with adjacent element-wise
+//! layers fused into one `memref_stream.generic`, intermediate buffers
+//! placed in the TCDM by interval liveness ([`mlb_core::bufplace`]),
+//! and a batched-inference cluster runner that reports end-to-end
+//! cycles per request.
+//!
+//! This is the graph-of-kernels level sitting above the single-kernel
+//! suite of Table 1: an NSNet2-like feed-forward block is a
+//! `MatMulT → Sum(bias) → ReLU` chain repeated per layer, and the win
+//! of the multi-level backend compounds when the element-wise tail is
+//! fused into the producer's streamed loop nest instead of round-
+//! tripping every intermediate through the TCDM.
+
+use std::fmt;
+
+use mlb_core::{compile, compile_with_stages, place, BufRequest, Flow, PipelineOptions, Stage};
+use mlb_dialects::{arith, builtin, func, linalg};
+use mlb_ir::{
+    AffineMap, Context, ExecRegistry, Flow as ExecFlow, Interpreter, IteratorType, OpId, Type,
+    Value,
+};
+use mlb_isa::{TCDM_BASE, TCDM_SIZE};
+use mlb_sim::{pipeline_estimate, Cluster, Engine, ExecProgram, PipelineEstimate};
+
+use crate::difftest::{exec_registry, find_kernel};
+use crate::harness::{predecode, random_inputs_f64, FILL_VALUE};
+use crate::reference::{reference_with, FmaMode};
+use crate::suite::{Instance, Kind, Precision, Shape};
+
+/// One layer of a [`LayerGraph`] (all layers are f64).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Layer {
+    /// Element-wise sum with a per-layer external operand (a bias of the
+    /// same shape as the flowing value).
+    Sum,
+    /// Element-wise rectified linear unit.
+    Relu,
+    /// Matrix multiplication with transposed external weights
+    /// `W(width × k)`: maps a flowing `(rows × k)` value to
+    /// `(rows × width)`.
+    MatMulT {
+        /// Output columns (the layer's neuron count).
+        width: i64,
+    },
+}
+
+impl Layer {
+    /// Whether the layer is element-wise (fusable into a neighbour).
+    pub fn is_elementwise(self) -> bool {
+        matches!(self, Layer::Sum | Layer::Relu)
+    }
+
+    /// Shape of the layer's output for a `(rows, cols)` input.
+    pub fn out_shape(self, input: (i64, i64)) -> (i64, i64) {
+        match self {
+            Layer::Sum | Layer::Relu => input,
+            Layer::MatMulT { width } => (input.0, width),
+        }
+    }
+
+    /// Element count of the layer's external operand (bias or weights),
+    /// `None` for layers without one.
+    pub fn external_elems(self, input: (i64, i64)) -> Option<usize> {
+        match self {
+            Layer::Sum => Some((input.0 * input.1) as usize),
+            Layer::Relu => None,
+            Layer::MatMulT { width } => Some((width * input.1) as usize),
+        }
+    }
+
+    /// The suite [`Instance`] computing this layer on a `(rows, cols)`
+    /// input.
+    pub fn instance(self, input: (i64, i64)) -> Instance {
+        let (r, c) = input;
+        match self {
+            Layer::Sum => Instance::new(Kind::Sum, Shape::nm(r, c), Precision::F64),
+            Layer::Relu => Instance::new(Kind::Relu, Shape::nm(r, c), Precision::F64),
+            // matmult computes C(n×m) = A(n×k) · B(m×k): the flowing
+            // value is A(r×c), the weights are B(width×c).
+            Layer::MatMulT { width } => {
+                Instance::new(Kind::MatMulT, Shape::nmk(r, width, c), Precision::F64)
+            }
+        }
+    }
+}
+
+impl fmt::Display for Layer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Layer::Sum => f.write_str("sum"),
+            Layer::Relu => f.write_str("relu"),
+            Layer::MatMulT { width } => write!(f, "matmult{width}"),
+        }
+    }
+}
+
+/// A linear graph of layers: one flowing value enters at `input` shape
+/// and passes through `layers` in order. External operands (biases,
+/// weights) are per-layer constants, written to the TCDM once per
+/// batch.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct LayerGraph {
+    /// Graph name (used in bench scenario names and error messages).
+    pub name: String,
+    /// Shape `(rows, cols)` of the graph input.
+    pub input: (i64, i64),
+    /// The layer chain, in execution order.
+    pub layers: Vec<Layer>,
+}
+
+impl LayerGraph {
+    /// Creates a validated graph.
+    ///
+    /// # Errors
+    ///
+    /// When the graph is empty or any dimension is non-positive.
+    pub fn new(
+        name: impl Into<String>,
+        input: (i64, i64),
+        layers: Vec<Layer>,
+    ) -> Result<LayerGraph, String> {
+        if layers.is_empty() {
+            return Err("a layer graph needs at least one layer".into());
+        }
+        if input.0 < 1 || input.1 < 1 {
+            return Err(format!("graph input shape {}x{} is degenerate", input.0, input.1));
+        }
+        for (i, layer) in layers.iter().enumerate() {
+            if let Layer::MatMulT { width } = layer {
+                if *width < 1 {
+                    return Err(format!("layer {i} has degenerate width {width}"));
+                }
+            }
+        }
+        Ok(LayerGraph { name: name.into(), input, layers })
+    }
+
+    /// Shapes of the values flowing between layers: entry `i` is the
+    /// input of layer `i`, the last entry is the graph output.
+    pub fn value_shapes(&self) -> Vec<(i64, i64)> {
+        let mut shapes = Vec::with_capacity(self.layers.len() + 1);
+        let mut cur = self.input;
+        shapes.push(cur);
+        for layer in &self.layers {
+            cur = layer.out_shape(cur);
+            shapes.push(cur);
+        }
+        shapes
+    }
+
+    /// Plans the graph: groups layers into stages (fusing maximal runs
+    /// of adjacent element-wise layers when `fused`), and places every
+    /// buffer in the TCDM with interval-liveness reuse.
+    ///
+    /// # Errors
+    ///
+    /// When the working set does not fit in the TCDM.
+    pub fn plan(&self, fused: bool, double_buffer: bool) -> Result<GraphPlan, String> {
+        GraphPlan::build(self, fused, double_buffer)
+    }
+}
+
+impl fmt::Display for LayerGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({}x{})", self.name, self.input.0, self.input.1)?;
+        for layer in &self.layers {
+            write!(f, " -> {layer}")?;
+        }
+        Ok(())
+    }
+}
+
+/// One compiled stage of a planned graph: either a single layer or a
+/// fused run of adjacent element-wise layers.
+#[derive(Debug, Clone)]
+pub struct GraphStage {
+    /// Index of the stage's first layer in the graph.
+    pub first_layer: usize,
+    /// The layers this stage computes (more than one only for fused
+    /// element-wise runs).
+    pub layers: Vec<Layer>,
+    /// Shape of the stage input.
+    pub input_shape: (i64, i64),
+    /// Kernel symbol of the stage's compiled artifact.
+    pub symbol: String,
+}
+
+impl GraphStage {
+    /// Whether the stage is a fused element-wise run.
+    pub fn is_fused(&self) -> bool {
+        self.layers.len() > 1
+    }
+
+    /// Shape of the stage output.
+    pub fn output_shape(&self) -> (i64, i64) {
+        let mut cur = self.input_shape;
+        for layer in &self.layers {
+            cur = layer.out_shape(cur);
+        }
+        cur
+    }
+
+    /// Element counts of the stage's external operands, in layer order.
+    pub fn external_sizes(&self) -> Vec<usize> {
+        let mut sizes = Vec::new();
+        let mut shape = self.input_shape;
+        for layer in &self.layers {
+            if let Some(elems) = layer.external_elems(shape) {
+                sizes.push(elems);
+            }
+            shape = layer.out_shape(shape);
+        }
+        sizes
+    }
+
+    /// Builds the stage's `linalg`-level module. Single-layer stages
+    /// reuse the suite builder (so the compile service shares cached
+    /// artifacts with plain kernel jobs); fused stages chain one
+    /// generic per layer through scratch temporaries marked with
+    /// [`func::TEMP_ARGS`], which the `memref-stream-fuse-elementwise`
+    /// pass then collapses into a single generic.
+    pub fn build_module(&self, ctx: &mut Context) -> OpId {
+        if !self.is_fused() {
+            return self.layers[0].instance(self.input_shape).build_module(ctx);
+        }
+        let (module, top) = builtin::build_module(ctx);
+        let (r, c) = self.input_shape;
+        let buf = Type::memref(vec![r, c], Type::F64);
+        let n_ext = self.external_sizes().len();
+        let n_temp = self.layers.len() - 1;
+        let arg_tys = vec![buf; 1 + n_ext + n_temp + 1];
+        let (f, entry) = func::build_func(ctx, top, &self.symbol, arg_tys, vec![]);
+        let args = ctx.block_args(entry).to_vec();
+        let temp_base = 1 + n_ext;
+        let temp_indices: Vec<usize> = (temp_base..temp_base + n_temp).collect();
+        func::set_temp_args(ctx, f, &temp_indices);
+        let out = args[temp_base + n_temp];
+        let mut cur = args[0];
+        let mut next_ext = 1;
+        let id = AffineMap::identity(2);
+        for (j, layer) in self.layers.clone().into_iter().enumerate() {
+            let target = if j + 1 == self.layers.len() { out } else { args[temp_base + j] };
+            match layer {
+                Layer::Sum => {
+                    let y = args[next_ext];
+                    next_ext += 1;
+                    linalg::build_generic(
+                        ctx,
+                        entry,
+                        vec![cur, y],
+                        vec![target],
+                        vec![id.clone(), id.clone(), id.clone()],
+                        vec![IteratorType::Parallel, IteratorType::Parallel],
+                        None,
+                        |ctx, body, a| vec![arith::binary(ctx, body, arith::ADDF, a[0], a[1])],
+                    );
+                }
+                Layer::Relu => {
+                    let zero = arith::constant_float(ctx, entry, 0.0, Type::F64);
+                    linalg::build_generic(
+                        ctx,
+                        entry,
+                        vec![cur],
+                        vec![target],
+                        vec![id.clone(), id.clone()],
+                        vec![IteratorType::Parallel, IteratorType::Parallel],
+                        None,
+                        |ctx, body, a| vec![arith::binary(ctx, body, arith::MAXIMUMF, a[0], zero)],
+                    );
+                }
+                Layer::MatMulT { .. } => unreachable!("fused stages are element-wise only"),
+            }
+            cur = target;
+        }
+        func::build_return(ctx, entry, vec![]);
+        module
+    }
+
+    /// The host reference of this stage for one request, chaining the
+    /// per-layer suite references.
+    pub fn reference(&self, input: &[f64], externals: &[Vec<f64>], mode: FmaMode) -> Vec<f64> {
+        let mut cur = input.to_vec();
+        let mut shape = self.input_shape;
+        let mut next_ext = 0;
+        for layer in &self.layers {
+            let inst = layer.instance(shape);
+            let inputs: Vec<Vec<f64>> = match layer {
+                Layer::Relu => vec![cur.clone()],
+                _ => {
+                    let e = externals[next_ext].clone();
+                    next_ext += 1;
+                    vec![cur.clone(), e]
+                }
+            };
+            cur = reference_with(&inst, &inputs, FILL_VALUE, mode);
+            shape = layer.out_shape(shape);
+        }
+        cur
+    }
+}
+
+impl fmt::Display for GraphStage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[", self.symbol)?;
+        for (i, layer) in self.layers.iter().enumerate() {
+            if i > 0 {
+                f.write_str("+")?;
+            }
+            write!(f, "{layer}")?;
+        }
+        f.write_str("]")
+    }
+}
+
+/// A planned graph: the stage grouping plus the TCDM placement of every
+/// flowing value, external operand, and fused-stage temporary.
+#[derive(Debug, Clone)]
+pub struct GraphPlan {
+    /// The graph this plan was built from.
+    pub graph: LayerGraph,
+    /// The stages, in execution order.
+    pub stages: Vec<GraphStage>,
+    /// Whether flowing values are double-buffered (two copies, one per
+    /// batch parity) so a pipelined cluster can overlap adjacent
+    /// requests.
+    pub double_buffered: bool,
+    /// Total TCDM bytes of the placement.
+    pub total_bytes: u64,
+    /// Element counts of the flowing values (stage boundaries):
+    /// entry `s` is the input of stage `s`.
+    pub value_elems: Vec<usize>,
+    value_addrs: Vec<[u32; 2]>,
+    external_addrs: Vec<Vec<u32>>,
+    temp_addrs: Vec<Vec<u32>>,
+}
+
+impl GraphPlan {
+    fn build(graph: &LayerGraph, fused: bool, double_buffer: bool) -> Result<GraphPlan, String> {
+        // Stage grouping: maximal runs of adjacent element-wise layers
+        // become one fused stage; everything else is a single-layer
+        // stage.
+        let mut stages: Vec<GraphStage> = Vec::new();
+        let mut shape = graph.input;
+        let mut i = 0;
+        while i < graph.layers.len() {
+            let run_end = if fused && graph.layers[i].is_elementwise() {
+                let mut j = i + 1;
+                while j < graph.layers.len() && graph.layers[j].is_elementwise() {
+                    j += 1;
+                }
+                j
+            } else {
+                i + 1
+            };
+            let layers: Vec<Layer> = graph.layers[i..run_end].to_vec();
+            let symbol = if layers.len() > 1 {
+                let names: Vec<String> = layers.iter().map(|l| l.to_string()).collect();
+                format!("fused_{}", names.join("_"))
+            } else {
+                layers[0].instance(shape).symbol()
+            };
+            let stage = GraphStage { first_layer: i, layers, input_shape: shape, symbol };
+            shape = stage.output_shape();
+            stages.push(stage);
+            i = run_end;
+        }
+
+        let num_stages = stages.len();
+        let copies = if double_buffer { 2 } else { 1 };
+        // In double-buffered mode adjacent requests are skewed by one
+        // stage, so every lifetime is widened by one stage to stay
+        // disjoint from the overlapping request's working set.
+        let widen = u32::from(double_buffer);
+
+        // Value v is written during stage v-1 and read during stage v
+        // (v = 0 is the graph input, v = num_stages the output, which
+        // stays live one step past its producer for readback).
+        let mut value_elems = Vec::with_capacity(num_stages + 1);
+        let mut cur = graph.input;
+        value_elems.push((cur.0 * cur.1) as usize);
+        for stage in &stages {
+            cur = stage.output_shape();
+            value_elems.push((cur.0 * cur.1) as usize);
+        }
+
+        let mut requests: Vec<BufRequest> = Vec::new();
+        for (v, &elems) in value_elems.iter().enumerate() {
+            let start = (v as u32).saturating_sub(1);
+            let end = v as u32 + 1 + widen;
+            for _ in 0..copies {
+                requests.push(BufRequest::new(elems as u64 * 8, start, end));
+            }
+        }
+        // Externals are written once before the batch and read by every
+        // request: live for the whole schedule.
+        for stage in &stages {
+            for elems in stage.external_sizes() {
+                requests.push(BufRequest::new(elems as u64 * 8, 0, num_stages as u32 + 1));
+            }
+        }
+        // Fused-stage temporaries are scratch within their stage; after
+        // fusion the compiled kernel never touches them, but the
+        // unfused interpreter snapshots and the legality fallback do,
+        // so they get real (stage-local) storage.
+        for (s, stage) in stages.iter().enumerate() {
+            if stage.is_fused() {
+                let (r, c) = stage.input_shape;
+                for _ in 0..stage.layers.len() - 1 {
+                    requests.push(BufRequest::new(
+                        (r * c) as u64 * 8,
+                        s as u32,
+                        s as u32 + 1 + widen,
+                    ));
+                }
+            }
+        }
+
+        let placement = place(&requests);
+        if placement.total_bytes > TCDM_SIZE as u64 {
+            return Err(format!(
+                "graph `{}` needs {} TCDM bytes but the cluster has {}",
+                graph.name, placement.total_bytes, TCDM_SIZE
+            ));
+        }
+        let addr = |offset: u64| TCDM_BASE + offset as u32;
+
+        let mut offsets = placement.offsets.into_iter();
+        let mut value_addrs = Vec::with_capacity(num_stages + 1);
+        for _ in 0..=num_stages {
+            let a = addr(offsets.next().unwrap());
+            let b = if copies == 2 { addr(offsets.next().unwrap()) } else { a };
+            value_addrs.push([a, b]);
+        }
+        let mut external_addrs = Vec::with_capacity(num_stages);
+        for stage in &stages {
+            external_addrs.push(
+                stage.external_sizes().iter().map(|_| addr(offsets.next().unwrap())).collect(),
+            );
+        }
+        let mut temp_addrs = Vec::with_capacity(num_stages);
+        for stage in &stages {
+            let n_temp = if stage.is_fused() { stage.layers.len() - 1 } else { 0 };
+            temp_addrs.push((0..n_temp).map(|_| addr(offsets.next().unwrap())).collect());
+        }
+
+        Ok(GraphPlan {
+            graph: graph.clone(),
+            stages,
+            double_buffered: double_buffer,
+            total_bytes: placement.total_bytes,
+            value_elems,
+            value_addrs,
+            external_addrs,
+            temp_addrs,
+        })
+    }
+
+    /// TCDM address of the graph input for batch parity `parity`.
+    pub fn input_addr(&self, parity: usize) -> u32 {
+        self.value_addrs[0][parity & 1]
+    }
+
+    /// TCDM address of the graph output for batch parity `parity`.
+    pub fn output_addr(&self, parity: usize) -> u32 {
+        self.value_addrs[self.stages.len()][parity & 1]
+    }
+
+    /// TCDM addresses of stage `stage`'s external operands.
+    pub fn external_addrs(&self, stage: usize) -> &[u32] {
+        &self.external_addrs[stage]
+    }
+
+    /// The kernel argument addresses of stage `stage` for batch parity
+    /// `parity`, in the stage module's argument order: flowing input,
+    /// externals, fused temporaries, flowing output.
+    pub fn stage_args(&self, stage: usize, parity: usize) -> Vec<u32> {
+        let p = parity & 1;
+        let mut args = vec![self.value_addrs[stage][p]];
+        args.extend_from_slice(&self.external_addrs[stage]);
+        args.extend_from_slice(&self.temp_addrs[stage]);
+        args.push(self.value_addrs[stage + 1][p]);
+        args
+    }
+}
+
+/// Configuration of a batched graph run.
+#[derive(Debug, Clone, Copy)]
+pub struct GraphRunConfig {
+    /// Fuse adjacent element-wise layers into single stages.
+    pub fused: bool,
+    /// Number of requests to run back to back.
+    pub batch: usize,
+    /// Cluster width each stage is compiled for.
+    pub cores: usize,
+    /// Operand seed (inputs and externals derive from it).
+    pub seed: u64,
+    /// Simulator engine override (`None` = process default).
+    pub engine: Option<Engine>,
+}
+
+/// Everything measured in one verified batched graph run.
+#[derive(Debug)]
+pub struct GraphRunOutcome {
+    /// Stage symbols, in execution order.
+    pub stage_symbols: Vec<String>,
+    /// Cycles per stage, summed over the whole batch.
+    pub stage_cycles: Vec<u64>,
+    /// End-to-end cycles of the batch (sum over stages and requests).
+    pub total_cycles: u64,
+    /// `total_cycles / batch`.
+    pub cycles_per_request: f64,
+    /// Pipeline-overlap model over the mean per-request stage cycles.
+    pub estimate: PipelineEstimate,
+    /// Verified graph outputs, one per request.
+    pub outputs: Vec<Vec<f64>>,
+    /// TCDM bytes of the buffer placement.
+    pub tcdm_bytes: u64,
+    /// Whether flowing values were double-buffered.
+    pub double_buffered: bool,
+}
+
+/// Runs `graph` for a batch of requests on one cluster, verifying every
+/// stage of every request bit-for-bit against the chained host
+/// reference (accepting either multiply-accumulate rounding for
+/// reduction stages, like the kernel difftest).
+///
+/// Stages are compiled once and re-invoked per request; flowing values
+/// are double-buffered when both `batch > 1` and `cores > 1`.
+///
+/// # Errors
+///
+/// Any planning, compilation, simulation or verification failure.
+pub fn run_graph(graph: &LayerGraph, cfg: &GraphRunConfig) -> Result<GraphRunOutcome, String> {
+    if cfg.batch == 0 {
+        return Err("batch must be at least 1".into());
+    }
+    if cfg.cores == 0 {
+        return Err("cores must be at least 1".into());
+    }
+    let double = cfg.batch > 1 && cfg.cores > 1;
+    let plan = graph.plan(cfg.fused, double)?;
+
+    let mut execs = Vec::with_capacity(plan.stages.len());
+    for stage in &plan.stages {
+        let mut ctx = Context::new();
+        let module = stage.build_module(&mut ctx);
+        let compilation = compile(&mut ctx, module, Flow::Ours(stage_options(stage, cfg.cores)))
+            .map_err(|e| format!("stage `{}`: compile: {e}", stage.symbol))?;
+        let exec = predecode(&compilation).map_err(|e| format!("stage `{}`: {e}", stage.symbol))?;
+        execs.push(exec);
+    }
+    let refs: Vec<&ExecProgram> = execs.iter().collect();
+    run_planned(&plan, cfg, &refs)
+}
+
+/// The pipeline options a graph stage is compiled with at cluster width
+/// `cores`: the full pipeline, plus element-wise fusion exactly when
+/// the stage is a fused run (single-layer stages keep the default
+/// options so their artifacts are shared with plain kernel jobs).
+pub fn stage_options(stage: &GraphStage, cores: usize) -> PipelineOptions {
+    let mut opts = PipelineOptions::full();
+    opts.cores = cores;
+    opts.fuse_elementwise = stage.is_fused();
+    opts
+}
+
+/// Runs an already-planned graph over already-compiled stage programs
+/// (one per plan stage, in order). This is the execution half of
+/// [`run_graph`]; the compile service calls it directly with execs
+/// fetched from its content-addressed caches.
+///
+/// # Errors
+///
+/// Any configuration, simulation or verification failure.
+pub fn run_planned(
+    plan: &GraphPlan,
+    cfg: &GraphRunConfig,
+    execs: &[&ExecProgram],
+) -> Result<GraphRunOutcome, String> {
+    if cfg.batch == 0 {
+        return Err("batch must be at least 1".into());
+    }
+    if cfg.cores == 0 {
+        return Err("cores must be at least 1".into());
+    }
+    let double = cfg.batch > 1 && cfg.cores > 1;
+    if double != plan.double_buffered {
+        return Err(format!(
+            "plan double-buffering ({}) does not match the run configuration ({})",
+            plan.double_buffered, double
+        ));
+    }
+    if execs.len() != plan.stages.len() {
+        return Err(format!(
+            "{} stage programs supplied for a {}-stage plan",
+            execs.len(),
+            plan.stages.len()
+        ));
+    }
+
+    let mut cluster = Cluster::new(cfg.cores);
+    if let Some(engine) = cfg.engine {
+        cluster.set_engine(engine);
+    }
+
+    // Externals once per batch; inputs per request.
+    let externals = graph_externals(plan, cfg.seed);
+    for (s, stage_ext) in externals.iter().enumerate() {
+        for (data, &addr) in stage_ext.iter().zip(plan.external_addrs(s)) {
+            cluster.write_f64_slice(addr, data).map_err(|e| format!("write externals: {e}"))?;
+        }
+    }
+
+    let mut stage_cycles = vec![0u64; plan.stages.len()];
+    let mut outputs = Vec::with_capacity(cfg.batch);
+    for b in 0..cfg.batch {
+        let parity = if double { b % 2 } else { 0 };
+        let input = graph_input(plan, cfg.seed, b);
+        cluster
+            .write_f64_slice(plan.input_addr(parity), &input)
+            .map_err(|e| format!("request {b}: write input: {e}"))?;
+        let mut cur = input;
+        for (s, stage) in plan.stages.iter().enumerate() {
+            let addrs = plan.stage_args(s, parity);
+            let counters = cluster
+                .call_predecoded(execs[s], &stage.symbol, &addrs)
+                .map_err(|e| format!("request {b} stage `{}`: {e}", stage.symbol))?;
+            stage_cycles[s] += counters.aggregate.cycles;
+            let out_elems = plan.value_elems[s + 1];
+            let actual = cluster
+                .read_f64_slice(plan.value_addrs[s + 1][parity], out_elems)
+                .map_err(|e| format!("request {b} stage `{}`: read output: {e}", stage.symbol))?;
+            verify_stage_output(stage, &cur, &externals[s], &actual)
+                .map_err(|e| format!("request {b}: {e}"))?;
+            cur = actual;
+        }
+        outputs.push(cur);
+    }
+
+    let total_cycles: u64 = stage_cycles.iter().sum();
+    let per_request: Vec<u64> = stage_cycles.iter().map(|&c| c / cfg.batch as u64).collect();
+    Ok(GraphRunOutcome {
+        stage_symbols: plan.stages.iter().map(|s| s.symbol.clone()).collect(),
+        stage_cycles,
+        total_cycles,
+        cycles_per_request: total_cycles as f64 / cfg.batch as f64,
+        estimate: pipeline_estimate(&per_request, cfg.batch as u64),
+        outputs,
+        tcdm_bytes: plan.total_bytes,
+        double_buffered: double,
+    })
+}
+
+/// Deterministic external operands for every stage of `plan`, grouped
+/// per stage but seeded per *graph layer* — so fused and unfused plans
+/// of the same graph see identical biases and weights.
+fn graph_externals(plan: &GraphPlan, seed: u64) -> Vec<Vec<Vec<f64>>> {
+    plan.stages
+        .iter()
+        .map(|stage| {
+            let mut shape = stage.input_shape;
+            let mut data = Vec::new();
+            for (offset, layer) in stage.layers.iter().enumerate() {
+                if let Some(elems) = layer.external_elems(shape) {
+                    let layer_index = stage.first_layer + offset;
+                    let layer_seed = seed.wrapping_add(
+                        0x9E37_79B9_7F4A_7C15u64.wrapping_mul(layer_index as u64 + 1),
+                    );
+                    data.push(random_inputs_f64(&[elems], layer_seed).remove(0));
+                }
+                shape = layer.out_shape(shape);
+            }
+            data
+        })
+        .collect()
+}
+
+/// Deterministic graph input for request `b` of a batch seeded with
+/// `seed`.
+fn graph_input(plan: &GraphPlan, seed: u64, b: usize) -> Vec<f64> {
+    let request_seed = seed ^ 0xB5AD_4ECE_DA1C_E2A9u64.wrapping_add(b as u64);
+    random_inputs_f64(&[plan.value_elems[0]], request_seed).remove(0)
+}
+
+/// Checks one stage output against the chained host reference, under
+/// either multiply-accumulate rounding.
+fn verify_stage_output(
+    stage: &GraphStage,
+    input: &[f64],
+    externals: &[Vec<f64>],
+    actual: &[f64],
+) -> Result<(), String> {
+    let fused_ref = stage.reference(input, externals, FmaMode::Fused);
+    let got: Vec<u64> = actual.iter().map(|v| v.to_bits()).collect();
+    let want_f: Vec<u64> = fused_ref.iter().map(|v| v.to_bits()).collect();
+    if got == want_f {
+        return Ok(());
+    }
+    let unfused_ref = stage.reference(input, externals, FmaMode::Unfused);
+    let want_u: Vec<u64> = unfused_ref.iter().map(|v| v.to_bits()).collect();
+    if got == want_u {
+        return Ok(());
+    }
+    let (index, _) = got.iter().enumerate().find(|&(i, &b)| b != want_f[i]).unwrap_or((0, &0));
+    Err(format!(
+        "stage `{}`: output mismatch at {index}: got {}, expected {}",
+        stage.symbol, actual[index], fused_ref[index]
+    ))
+}
+
+/// A clean graph-level differential run.
+#[derive(Debug)]
+pub struct GraphDifftestOutcome {
+    /// Number of graph stages checked.
+    pub graph_stages: usize,
+    /// Total pipeline snapshots interpreted across all stages.
+    pub pipeline_stages: usize,
+    /// The verified graph output.
+    pub outputs: Vec<f64>,
+}
+
+/// Graph-level differential test: compiles every stage of `graph` with
+/// the full pipeline (recording every pass snapshot), then advances ONE
+/// interpreter memory image across the stage chain — each stage's every
+/// snapshot is interpreted over a copy of the incoming image and must
+/// reproduce the chained host reference bit-for-bit before the last
+/// snapshot's image is committed as the next stage's input.
+///
+/// # Errors
+///
+/// A message naming the stage, snapshot, and first divergent element.
+pub fn graph_difftest(
+    graph: &LayerGraph,
+    fused: bool,
+    cores: usize,
+    seed: u64,
+) -> Result<GraphDifftestOutcome, String> {
+    if cores == 0 {
+        return Err("cores must be at least 1".into());
+    }
+    let plan = graph.plan(fused, false)?;
+    let reg = exec_registry();
+    let externals = graph_externals(&plan, seed);
+    let input = graph_input(&plan, seed, 0);
+
+    // Seed the shared image: graph input plus every external.
+    let mut image: Vec<u8> = Vec::new();
+    {
+        let mut it = Interpreter::new();
+        it.write_f64_slice(plan.input_addr(0), &input).map_err(|e| e.to_string())?;
+        for (s, stage_ext) in externals.iter().enumerate() {
+            for (data, &addr) in stage_ext.iter().zip(plan.external_addrs(s)) {
+                it.write_f64_slice(addr, data).map_err(|e| e.to_string())?;
+            }
+        }
+        it.swap_mem(&mut image);
+    }
+
+    let mut cur = input;
+    let mut pipeline_stages = 0;
+    for (s, stage) in plan.stages.iter().enumerate() {
+        let mut opts = PipelineOptions::full();
+        opts.cores = cores;
+        opts.fuse_elementwise = stage.is_fused();
+        let mut ctx = Context::new();
+        let module = stage.build_module(&mut ctx);
+        let (_compilation, stages) = compile_with_stages(&mut ctx, module, Flow::Ours(opts))
+            .map_err(|e| format!("stage `{}`: compile: {e}", stage.symbol))?;
+
+        let addrs = plan.stage_args(s, 0);
+        let out_addr = plan.value_addrs[s + 1][0];
+        let out_elems = plan.value_elems[s + 1];
+        let want_f: Vec<u64> = stage
+            .reference(&cur, &externals[s], FmaMode::Fused)
+            .iter()
+            .map(|v| v.to_bits())
+            .collect();
+        let want_u: Vec<u64> = stage
+            .reference(&cur, &externals[s], FmaMode::Unfused)
+            .iter()
+            .map(|v| v.to_bits())
+            .collect();
+
+        let mut committed: Option<Vec<u8>> = None;
+        for (snap_index, snap) in stages.iter().enumerate() {
+            let mut img = image.clone();
+            interpret_stage_module(&reg, snap, &stage.symbol, &addrs, &mut img, cores).map_err(
+                |e| {
+                    format!(
+                        "stage `{}` snapshot {snap_index} (after `{}`): {e}",
+                        stage.symbol, snap.pass
+                    )
+                },
+            )?;
+            let got = read_f64_bits(&mut img, out_addr, out_elems)?;
+            if got != want_f && got != want_u {
+                let (index, &bits) =
+                    got.iter().enumerate().find(|&(i, &b)| b != want_f[i]).unwrap_or((0, &0));
+                return Err(format!(
+                    "stage `{}` diverges after pass `{}` (snapshot {snap_index}/{}, seed \
+                     {seed}): output[{index}] = {}, reference {}",
+                    stage.symbol,
+                    snap.pass,
+                    stages.len() - 1,
+                    f64::from_bits(bits),
+                    f64::from_bits(want_f[index]),
+                ));
+            }
+            pipeline_stages += 1;
+            committed = Some(img);
+        }
+        image = committed.expect("a pipeline always produces at least the input snapshot");
+        cur = read_f64_bits(&mut image, out_addr, out_elems)?
+            .into_iter()
+            .map(f64::from_bits)
+            .collect();
+    }
+
+    Ok(GraphDifftestOutcome { graph_stages: plan.stages.len(), pipeline_stages, outputs: cur })
+}
+
+/// Interprets one pipeline snapshot of a graph stage over `image`
+/// (re-run once per hart iff the snapshot reads the hart id, exactly
+/// like the kernel difftest).
+fn interpret_stage_module(
+    reg: &ExecRegistry,
+    snap: &Stage,
+    symbol: &str,
+    addrs: &[u32],
+    image: &mut Vec<u8>,
+    cores: usize,
+) -> Result<(), String> {
+    let ctx = &snap.ctx;
+    let func_op = find_kernel(ctx, snap.module, symbol)
+        .ok_or_else(|| format!("no function `{symbol}` in the module"))?;
+    let harts =
+        if cores > 1 && !ctx.walk_named(snap.module, mlb_riscv::rv_snitch::HARTID).is_empty() {
+            cores
+        } else {
+            1
+        };
+    for hart in 0..harts {
+        let mut it = Interpreter::new();
+        it.hart = hart as i64;
+        it.swap_mem(image);
+        let entry =
+            *ctx.region_blocks(ctx.op(func_op).regions[0]).first().ok_or("empty function")?;
+        let mut next_addr = addrs.iter();
+        for arg in ctx.block_args(entry).to_vec() {
+            match ctx.value_type(arg) {
+                Type::MemRef(_) | Type::IntRegister(_) => {
+                    let &addr =
+                        next_addr.next().ok_or("more pointer arguments than planned buffers")?;
+                    it.set(ctx, arg, Value::Int(i64::from(addr)))?;
+                }
+                other => return Err(format!("unsupported graph stage argument type {other}")),
+            }
+        }
+        let region = ctx.op(func_op).regions[0];
+        let blocks = ctx.region_blocks(region).to_vec();
+        if blocks.len() == 1 {
+            match reg.run_block(&mut it, ctx, blocks[0]).map_err(|e| e.to_string())? {
+                ExecFlow::Return => {}
+                other => return Err(format!("function body ended with {other:?}, not a return")),
+            }
+        } else {
+            reg.run_cfg(&mut it, ctx, region).map_err(|e| e.to_string())?;
+        }
+        it.swap_mem(image);
+    }
+    Ok(())
+}
+
+/// Reads `len` f64 bit patterns at `addr` from a raw interpreter image.
+fn read_f64_bits(image: &mut Vec<u8>, addr: u32, len: usize) -> Result<Vec<u64>, String> {
+    let mut it = Interpreter::new();
+    it.swap_mem(image);
+    let mut out = Vec::with_capacity(len);
+    for i in 0..len {
+        out.push(u64::from_le_bytes(it.read_bytes::<8>(addr + 8 * i as u32)?));
+    }
+    it.swap_mem(image);
+    Ok(out)
+}
+
+/// Named graph presets used by the CLI, the compile service, and the
+/// bench suite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GraphPreset {
+    /// An NSNet2-like feed-forward block: two `MatMulT → Sum → ReLU`
+    /// layers (4 stages fused, 6 unfused).
+    Nsnet2,
+    /// A pure element-wise chain (`Sum → ReLU → Sum → ReLU`): fuses to
+    /// a single stage, the extreme case for intermediate elimination.
+    EltwiseChain,
+}
+
+impl GraphPreset {
+    /// All presets.
+    pub fn all() -> [GraphPreset; 2] {
+        [GraphPreset::Nsnet2, GraphPreset::EltwiseChain]
+    }
+
+    /// The preset's CLI/service name.
+    pub fn name(self) -> &'static str {
+        match self {
+            GraphPreset::Nsnet2 => "nsnet2",
+            GraphPreset::EltwiseChain => "eltwise-chain",
+        }
+    }
+
+    /// Parses a CLI/service name.
+    pub fn parse(name: &str) -> Option<GraphPreset> {
+        GraphPreset::all().into_iter().find(|p| p.name() == name)
+    }
+
+    /// Builds the preset's graph.
+    pub fn graph(self) -> LayerGraph {
+        match self {
+            GraphPreset::Nsnet2 => LayerGraph::new(
+                "nsnet2",
+                (4, 40),
+                vec![
+                    Layer::MatMulT { width: 32 },
+                    Layer::Sum,
+                    Layer::Relu,
+                    Layer::MatMulT { width: 16 },
+                    Layer::Sum,
+                    Layer::Relu,
+                ],
+            )
+            .expect("preset graphs are valid"),
+            GraphPreset::EltwiseChain => LayerGraph::new(
+                "eltwise-chain",
+                (8, 16),
+                vec![Layer::Sum, Layer::Relu, Layer::Sum, Layer::Relu],
+            )
+            .expect("preset graphs are valid"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fused_plan_groups_elementwise_runs() {
+        let graph = GraphPreset::Nsnet2.graph();
+        let fused = graph.plan(true, false).unwrap();
+        assert_eq!(fused.stages.len(), 4);
+        assert_eq!(fused.stages[1].symbol, "fused_sum_relu");
+        assert!(fused.stages[1].is_fused());
+        let unfused = graph.plan(false, false).unwrap();
+        assert_eq!(unfused.stages.len(), 6);
+        assert!(unfused.stages.iter().all(|s| !s.is_fused()));
+    }
+
+    #[test]
+    fn eltwise_chain_fuses_to_one_stage() {
+        let graph = GraphPreset::EltwiseChain.graph();
+        let plan = graph.plan(true, false).unwrap();
+        assert_eq!(plan.stages.len(), 1);
+        assert_eq!(plan.stages[0].layers.len(), 4);
+        assert_eq!(plan.stages[0].symbol, "fused_sum_relu_sum_relu");
+    }
+
+    #[test]
+    fn plan_reuses_tcdm_and_respects_double_buffering() {
+        let graph = GraphPreset::Nsnet2.graph();
+        let single = graph.plan(true, false).unwrap();
+        let double = graph.plan(true, true).unwrap();
+        assert!(single.total_bytes < TCDM_SIZE as u64);
+        assert!(double.total_bytes > single.total_bytes);
+        // Single-buffered plans alias both parities to one copy.
+        assert_eq!(single.input_addr(0), single.input_addr(1));
+        assert_ne!(double.input_addr(0), double.input_addr(1));
+        // Naive back-to-back placement of every value + external would
+        // cost more than the interval-reused plan.
+        let naive: u64 = single.value_elems.iter().map(|&e| e as u64 * 8).sum::<u64>()
+            + single
+                .stages
+                .iter()
+                .flat_map(|s| s.external_sizes())
+                .map(|e| e as u64 * 8)
+                .sum::<u64>();
+        assert!(single.total_bytes <= naive);
+    }
+
+    #[test]
+    fn stage_args_follow_module_argument_order() {
+        let graph = GraphPreset::Nsnet2.graph();
+        let plan = graph.plan(true, false).unwrap();
+        // Stage 0 is matmult: [input, weights, output].
+        let args = plan.stage_args(0, 0);
+        assert_eq!(args.len(), 3);
+        assert_eq!(args[0], plan.input_addr(0));
+        // Stage 1 is fused sum+relu: [in, bias, temp, out].
+        let args = plan.stage_args(1, 0);
+        assert_eq!(args.len(), 4);
+    }
+
+    #[test]
+    fn fused_stage_module_verifies_and_compiles_to_one_generic() {
+        let graph = GraphPreset::EltwiseChain.graph();
+        let plan = graph.plan(true, false).unwrap();
+        let mut ctx = Context::new();
+        let module = plan.stages[0].build_module(&mut ctx);
+        mlb_core::full_registry().verify(&ctx, module).unwrap();
+        let mut opts = PipelineOptions::full();
+        opts.fuse_elementwise = true;
+        let compilation = compile(&mut ctx, module, Flow::Ours(opts)).unwrap();
+        assert!(compilation.assembly.contains("fused_sum_relu_sum_relu"));
+    }
+
+    #[test]
+    fn batched_run_verifies_and_reports_per_request_cycles() {
+        let graph = GraphPreset::EltwiseChain.graph();
+        let cfg = GraphRunConfig { fused: true, batch: 3, cores: 1, seed: 7, engine: None };
+        let outcome = run_graph(&graph, &cfg).unwrap();
+        assert_eq!(outcome.outputs.len(), 3);
+        assert_eq!(outcome.stage_symbols.len(), 1);
+        assert!(outcome.total_cycles > 0);
+        assert!(outcome.cycles_per_request > 0.0);
+        assert!(!outcome.double_buffered);
+    }
+
+    #[test]
+    fn fused_run_beats_unfused_end_to_end() {
+        let graph = GraphPreset::EltwiseChain.graph();
+        let fused = run_graph(
+            &graph,
+            &GraphRunConfig { fused: true, batch: 2, cores: 1, seed: 3, engine: None },
+        )
+        .unwrap();
+        let unfused = run_graph(
+            &graph,
+            &GraphRunConfig { fused: false, batch: 2, cores: 1, seed: 3, engine: None },
+        )
+        .unwrap();
+        assert!(
+            fused.total_cycles < unfused.total_cycles,
+            "fused {} vs unfused {}",
+            fused.total_cycles,
+            unfused.total_cycles
+        );
+        // Same math, same rounding: outputs must agree bit for bit.
+        for (a, b) in fused.outputs.iter().zip(&unfused.outputs) {
+            let a: Vec<u64> = a.iter().map(|v| v.to_bits()).collect();
+            let b: Vec<u64> = b.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn graph_difftest_passes_fused_and_unfused() {
+        let graph = GraphPreset::EltwiseChain.graph();
+        let fused = graph_difftest(&graph, true, 1, 11).unwrap();
+        let unfused = graph_difftest(&graph, false, 1, 11).unwrap();
+        assert_eq!(fused.graph_stages, 1);
+        assert_eq!(unfused.graph_stages, 4);
+        assert!(fused.pipeline_stages > 5);
+        let a: Vec<u64> = fused.outputs.iter().map(|v| v.to_bits()).collect();
+        let b: Vec<u64> = unfused.outputs.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn presets_roundtrip_names() {
+        for preset in GraphPreset::all() {
+            assert_eq!(GraphPreset::parse(preset.name()), Some(preset));
+            preset.graph().plan(true, false).unwrap();
+        }
+        assert_eq!(GraphPreset::parse("nope"), None);
+    }
+
+    #[test]
+    fn degenerate_graphs_are_rejected() {
+        assert!(LayerGraph::new("empty", (4, 4), vec![]).is_err());
+        assert!(LayerGraph::new("bad", (0, 4), vec![Layer::Relu]).is_err());
+        assert!(LayerGraph::new("bad", (4, 4), vec![Layer::MatMulT { width: 0 }]).is_err());
+        assert!(run_graph(
+            &GraphPreset::EltwiseChain.graph(),
+            &GraphRunConfig { fused: true, batch: 0, cores: 1, seed: 1, engine: None },
+        )
+        .is_err());
+    }
+}

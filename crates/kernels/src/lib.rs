@@ -8,6 +8,7 @@
 pub mod builders;
 pub mod difftest;
 pub mod fuzz;
+pub mod graph;
 pub mod handwritten;
 pub mod harness;
 pub mod profile;
@@ -19,7 +20,11 @@ pub use difftest::{
     difftest_instance, difftest_instance_tweaked, exec_registry, DifftestError, DifftestOutcome,
     Divergence,
 };
-pub use fuzz::{fuzz, fuzz_corpus, FuzzFailure, SplitMix64};
+pub use fuzz::{fuzz, fuzz_corpus, fuzz_graphs, FuzzFailure, SplitMix64};
+pub use graph::{
+    graph_difftest, run_graph, run_planned, stage_options, GraphDifftestOutcome, GraphPlan,
+    GraphPreset, GraphRunConfig, GraphRunOutcome, GraphStage, Layer, LayerGraph,
+};
 pub use handwritten::{build_handwritten, run_handwritten};
 pub use harness::{
     compile_and_run, compile_and_run_on_cluster, predecode, run_compiled, run_compiled_on_cluster,

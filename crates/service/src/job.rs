@@ -13,7 +13,24 @@ use std::fmt;
 
 use mlb_core::Flow;
 use mlb_ir::DriverMode;
-use mlb_kernels::{Instance, TuneParams, SEARCH_SPACE_VERSION};
+use mlb_kernels::{GraphPreset, Instance, TuneParams, SEARCH_SPACE_VERSION};
+
+/// Parameters of a batched layer-graph job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GraphParams {
+    /// Which preset graph to run.
+    pub preset: GraphPreset,
+    /// Requests per batch.
+    pub batch: usize,
+    /// Whether adjacent element-wise layers are fused into one stage.
+    pub fused: bool,
+}
+
+impl Default for GraphParams {
+    fn default() -> GraphParams {
+        GraphParams { preset: GraphPreset::Nsnet2, batch: 1, fused: true }
+    }
+}
 
 /// What a job asks the service to do with its kernel instance.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -32,6 +49,19 @@ pub enum JobKind {
     /// Pareto front. The request's `flow` is the baseline the report
     /// compares against (its options seed the search space).
     Tune(TuneParams),
+    /// Batched layer-graph inference: fan out one compile job per graph
+    /// stage (warming the artifact and predecode caches in parallel),
+    /// then run the whole batch on one cluster and report per-stage and
+    /// per-request cycles. The request's `instance` is ignored — the
+    /// protocol pins it to a fixed placeholder so graph keys stay
+    /// injective; the cluster width comes from the flow's `cores`.
+    Graph(GraphParams),
+    /// Internal leaf of a graph fan-out: compile and predecode one
+    /// *fused* stage of the preset graph (single-layer stages fan out
+    /// as plain `Compile` jobs of their suite instance, sharing cached
+    /// artifacts with ordinary kernel jobs). Never parsed from the
+    /// wire; `run_batch`'s plan phase synthesizes these.
+    GraphStage(GraphParams, u8),
     /// Deliberately panics in the worker — the failure-injection job
     /// used to prove panic containment; never useful in production.
     DebugPanic,
@@ -46,6 +76,8 @@ impl JobKind {
             JobKind::Difftest => "difftest",
             JobKind::Profile => "profile",
             JobKind::Tune(_) => "tune",
+            JobKind::Graph(_) => "graph",
+            JobKind::GraphStage(..) => "graph-stage",
             JobKind::DebugPanic => "debug-panic",
         }
     }
@@ -64,6 +96,7 @@ impl JobKind {
             "difftest" => Ok(JobKind::Difftest),
             "profile" => Ok(JobKind::Profile),
             "tune" => Ok(JobKind::Tune(TuneParams::default())),
+            "graph" => Ok(JobKind::Graph(GraphParams::default())),
             "debug-panic" => Ok(JobKind::DebugPanic),
             other => Err(format!("unknown job kind `{other}`")),
         }
@@ -138,6 +171,23 @@ impl JobRequest {
                 self.seed,
                 self.compile_key()
             ),
+            JobKind::Graph(p) => format!(
+                "job=graph|graph={}|batch={}|fused={}|seed={}|{}",
+                p.preset.name(),
+                p.batch,
+                u8::from(p.fused),
+                self.seed,
+                self.compile_key()
+            ),
+            // Stage leaves are pure compiles: neither the batch size nor
+            // the operand seed changes the artifact, so both are left
+            // out of the key and every batch/seed shares the compile.
+            JobKind::GraphStage(p, stage) => format!(
+                "job=graph-stage|graph={}|fused={}|stage={stage}|{}",
+                p.preset.name(),
+                u8::from(p.fused),
+                self.compile_key()
+            ),
             _ => format!("job={}|seed={}|{}", self.kind.name(), self.seed, self.compile_key()),
         }
     }
@@ -172,11 +222,12 @@ pub fn parse_driver(name: &str) -> Result<DriverMode, String> {
 fn encode_flow(flow: Flow) -> String {
     match flow {
         Flow::Ours(o) => format!(
-            "flow=ours|streams={}|scalrep={}|frep={}|fusefill={}|uaj={}|ufac={}|spo={}|sdim={}|cores={}",
+            "flow=ours|streams={}|scalrep={}|frep={}|fusefill={}|fuseelt={}|uaj={}|ufac={}|spo={}|sdim={}|cores={}",
             u8::from(o.streams),
             u8::from(o.scalar_replacement),
             u8::from(o.frep),
             u8::from(o.fuse_fill),
+            u8::from(o.fuse_elementwise),
             u8::from(o.unroll_and_jam),
             o.unroll_factor.map_or_else(|| "auto".to_string(), |f| f.to_string()),
             u8::from(o.stream_pattern_opts),
@@ -244,9 +295,14 @@ mod tests {
         quad.cores = 4;
         let mut forced_shard = PipelineOptions::full();
         forced_shard.shard_dim = Some(1);
+        let mut fuse_elt = PipelineOptions::full();
+        fuse_elt.fuse_elementwise = true;
         let variants = vec![
             JobRequest { kind: JobKind::Profile, ..base },
             JobRequest { kind: JobKind::Tune(TuneParams::default()), ..base },
+            JobRequest { kind: JobKind::Graph(GraphParams::default()), ..base },
+            JobRequest { kind: JobKind::GraphStage(GraphParams::default(), 0), ..base },
+            JobRequest { flow: Flow::Ours(fuse_elt), ..base },
             JobRequest { seed: 8, ..base },
             JobRequest { flow: Flow::Ours(forced_shard), ..base },
             JobRequest {
@@ -287,6 +343,47 @@ mod tests {
             JobRequest { kind: JobKind::Tune(TuneParams { cores_max: 2, budget: 10 }), ..base };
         assert_ne!(tune.result_key(), wider.result_key());
         assert_ne!(tune.result_key(), bigger.result_key());
+    }
+
+    #[test]
+    fn graph_keys_spell_preset_batch_and_fusion() {
+        use mlb_kernels::GraphPreset;
+        let base = request();
+        let params = GraphParams { preset: GraphPreset::Nsnet2, batch: 8, fused: true };
+        let graph = JobRequest { kind: JobKind::Graph(params), ..base };
+        let key = graph.result_key();
+        for part in ["job=graph", "graph=nsnet2", "batch=8", "fused=1", "seed=7"] {
+            assert!(key.contains(part), "`{part}` missing from `{key}`");
+        }
+        let unfused =
+            JobRequest { kind: JobKind::Graph(GraphParams { fused: false, ..params }), ..base };
+        let other_preset = JobRequest {
+            kind: JobKind::Graph(GraphParams { preset: GraphPreset::EltwiseChain, ..params }),
+            ..base
+        };
+        let bigger =
+            JobRequest { kind: JobKind::Graph(GraphParams { batch: 16, ..params }), ..base };
+        for v in [&unfused, &other_preset, &bigger] {
+            assert_ne!(v.result_key(), key);
+        }
+        // Stage-compile leaves share across batch sizes and seeds: the
+        // artifact depends on neither.
+        let leaf = |batch, seed| JobRequest {
+            kind: JobKind::GraphStage(GraphParams { batch, ..params }, 1),
+            seed,
+            ..base
+        };
+        assert_eq!(leaf(8, 7).result_key(), leaf(16, 99).result_key());
+        assert_ne!(
+            leaf(8, 7).result_key(),
+            JobRequest { kind: JobKind::GraphStage(params, 2), ..base }.result_key()
+        );
+    }
+
+    #[test]
+    fn graph_stage_is_not_a_wire_kind() {
+        assert!(JobKind::parse("graph-stage").is_err());
+        assert_eq!(JobKind::parse("graph").unwrap(), JobKind::Graph(GraphParams::default()));
     }
 
     #[test]

@@ -20,10 +20,10 @@ pub mod protocol;
 pub mod service;
 
 pub use cache::{CacheStats, LruCache};
-pub use job::{driver_name, fnv1a128_hex, parse_driver, JobKind, JobRequest};
+pub use job::{driver_name, fnv1a128_hex, parse_driver, GraphParams, JobKind, JobRequest};
 pub use pool::{lock_unpoisoned, wait_unpoisoned, WorkerPool};
 pub use protocol::{
-    kind_name, parse_kind, parse_request, request_json, response_json, MAX_BUDGET, MAX_CORES,
-    MAX_DIM, MAX_SHARD_DIM, MAX_UNROLL,
+    graph_instance, kind_name, parse_kind, parse_request, request_json, response_json, MAX_BATCH,
+    MAX_BUDGET, MAX_CORES, MAX_DIM, MAX_SHARD_DIM, MAX_UNROLL,
 };
 pub use service::{CompileService, JobResponse, ServiceConfig};

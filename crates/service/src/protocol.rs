@@ -22,7 +22,7 @@
 //! ```
 
 use mlb_core::{Flow, PipelineOptions};
-use mlb_kernels::{Instance, Kind, Precision, Shape};
+use mlb_kernels::{GraphPreset, Instance, Kind, Precision, Shape};
 
 use crate::job::{driver_name, parse_driver, JobKind, JobRequest};
 use crate::json::Json;
@@ -70,6 +70,16 @@ pub const MAX_UNROLL: u64 = 64;
 pub const MAX_SHARD_DIM: u64 = 7;
 /// Largest accepted tune budget (variant evaluations per request).
 pub const MAX_BUDGET: u64 = 4096;
+/// Largest accepted graph batch (requests per batched-inference job).
+pub const MAX_BATCH: u64 = 256;
+
+/// The placeholder instance carried by graph requests — the graph's
+/// layers, not this instance, determine what is compiled, but
+/// [`JobRequest`] always carries one; pinning it keeps graph cache keys
+/// injective.
+pub fn graph_instance() -> Instance {
+    Instance::new(Kind::Fill, Shape::nm(1, 1), Precision::F64)
+}
 
 fn get_u64(doc: &Json, key: &str, default: u64) -> Result<u64, String> {
     match doc.get(key) {
@@ -120,6 +130,36 @@ pub fn parse_request(line: &str, default_id: u64) -> Result<JobRequest, String> 
         params.budget = get_range(&doc, "budget", params.budget as u64, 1, MAX_BUDGET)? as usize;
     } else if doc.get("cores_max").is_some() || doc.get("budget").is_some() {
         return Err("`cores_max`/`budget` apply only to tune jobs".to_string());
+    }
+    if let JobKind::Graph(params) = &mut kind {
+        let name = get_str(&doc, "graph", GraphPreset::Nsnet2.name())?;
+        params.preset =
+            GraphPreset::parse(name).ok_or_else(|| format!("unknown graph `{name}`"))?;
+        params.batch = get_range(&doc, "batch", 1, 1, MAX_BATCH)? as usize;
+        params.fused = get_bool(&doc, "fused", true)?;
+        // A graph job compiles its stages from the graph's own layers;
+        // kernel fields and pipeline option overrides are meaningless
+        // and rejected rather than silently dropped.
+        for key in ["kernel", "n", "m", "k", "precision", "opts"] {
+            if doc.get(key).is_some() {
+                return Err(format!("graph jobs take `graph`/`batch`/`fused`, not `{key}`"));
+            }
+        }
+        if get_str(&doc, "flow", "ours")? != "ours" {
+            return Err("graph jobs run only the `ours` flow".to_string());
+        }
+        let mut opts = PipelineOptions::full();
+        opts.cores = get_range(&doc, "cores", 1, 1, MAX_CORES)? as usize;
+        return Ok(JobRequest {
+            id: get_u64(&doc, "id", default_id)?,
+            kind,
+            instance: graph_instance(),
+            flow: Flow::Ours(opts),
+            driver: parse_driver(get_str(&doc, "driver", "worklist")?)?,
+            seed: get_u64(&doc, "seed", 0)?,
+        });
+    } else if ["graph", "batch", "fused"].iter().any(|k| doc.get(k).is_some()) {
+        return Err("`graph`/`batch`/`fused` apply only to graph jobs".to_string());
     }
     let kernel = parse_kind(
         doc.get("kernel").and_then(Json::as_str).ok_or("`kernel` is required (a string)")?,
@@ -188,6 +228,7 @@ fn parse_opts(opts: Option<&Json>) -> Result<PipelineOptions, String> {
     options.scalar_replacement = get_bool(doc, "scalar_replacement", options.scalar_replacement)?;
     options.frep = get_bool(doc, "frep", options.frep)?;
     options.fuse_fill = get_bool(doc, "fuse_fill", options.fuse_fill)?;
+    options.fuse_elementwise = get_bool(doc, "fuse_elementwise", options.fuse_elementwise)?;
     options.unroll_and_jam = get_bool(doc, "unroll_and_jam", options.unroll_and_jam)?;
     options.stream_pattern_opts =
         get_bool(doc, "stream_pattern_opts", options.stream_pattern_opts)?;
@@ -203,6 +244,21 @@ fn parse_opts(opts: Option<&Json>) -> Result<PipelineOptions, String> {
 /// Serializes a request back to its protocol line (used by the demo
 /// batch generator; `parse_request` inverts it).
 pub fn request_json(request: &JobRequest) -> Json {
+    if let JobKind::Graph(params) = request.kind {
+        let mut pairs = vec![
+            ("id", request.id.into()),
+            ("job", "graph".into()),
+            ("graph", params.preset.name().into()),
+            ("batch", params.batch.into()),
+            ("fused", params.fused.into()),
+        ];
+        if request.cores() != 1 {
+            pairs.push(("cores", request.cores().into()));
+        }
+        pairs.push(("driver", driver_name(request.driver).into()));
+        pairs.push(("seed", request.seed.into()));
+        return Json::obj(pairs);
+    }
     let mut pairs = vec![
         ("id", request.id.into()),
         ("job", request.kind.name().into()),
@@ -233,6 +289,9 @@ pub fn request_json(request: &JobRequest) -> Json {
             }
             if opts.fuse_fill != full.fuse_fill {
                 over.push(("fuse_fill", opts.fuse_fill.into()));
+            }
+            if opts.fuse_elementwise != full.fuse_elementwise {
+                over.push(("fuse_elementwise", opts.fuse_elementwise.into()));
             }
             if opts.unroll_and_jam != full.unroll_and_jam {
                 over.push(("unroll_and_jam", opts.unroll_and_jam.into()));
@@ -355,6 +414,74 @@ mod tests {
         let bare =
             parse_request(r#"{"job":"tune","kernel":"matmul","n":8,"m":16,"k":16}"#, 0).unwrap();
         assert_eq!(bare.kind, JobKind::Tune(mlb_kernels::TuneParams::default()));
+    }
+
+    #[test]
+    fn graph_request_roundtrips() {
+        use crate::job::GraphParams;
+        let mut opts = PipelineOptions::full();
+        opts.cores = 4;
+        let req = JobRequest {
+            id: 21,
+            kind: JobKind::Graph(GraphParams {
+                preset: GraphPreset::EltwiseChain,
+                batch: 8,
+                fused: false,
+            }),
+            instance: graph_instance(),
+            flow: Flow::Ours(opts),
+            driver: DriverMode::Worklist,
+            seed: 42,
+        };
+        let line = request_json(&req).to_string();
+        let parsed = parse_request(&line, 0).unwrap();
+        assert_eq!(parsed, req);
+        assert_eq!(parsed.result_key(), req.result_key());
+        // A bare graph job defaults to nsnet2, batch 1, fused.
+        let bare = parse_request(r#"{"job":"graph"}"#, 3).unwrap();
+        assert_eq!(bare.kind, JobKind::Graph(GraphParams::default()));
+        assert_eq!(bare.id, 3);
+        assert_eq!(bare.instance, graph_instance());
+    }
+
+    #[test]
+    fn fuse_elementwise_opt_parses_and_roundtrips() {
+        let req = parse_request(
+            r#"{"job":"compile","kernel":"sum","n":3,"m":4,"opts":{"fuse_elementwise":true}}"#,
+            0,
+        )
+        .unwrap();
+        let Flow::Ours(opts) = req.flow else { panic!("ours flow expected") };
+        assert!(opts.fuse_elementwise);
+        let parsed = parse_request(&request_json(&req).to_string(), 0).unwrap();
+        assert_eq!(parsed, req);
+        assert_ne!(
+            req.result_key(),
+            parse_request(r#"{"job":"compile","kernel":"sum","n":3,"m":4}"#, 0)
+                .unwrap()
+                .result_key(),
+            "the toggle must be spelled into the cache key"
+        );
+    }
+
+    #[test]
+    fn malformed_graph_requests_are_described() {
+        for (line, needle) in [
+            (r#"{"job":"graph","graph":"nope"}"#, "unknown graph"),
+            (r#"{"job":"graph","batch":0}"#, "`batch`"),
+            (r#"{"job":"graph","batch":257}"#, "`batch`"),
+            (r#"{"job":"graph","kernel":"sum"}"#, "not `kernel`"),
+            (r#"{"job":"graph","n":4}"#, "not `n`"),
+            (r#"{"job":"graph","opts":{}}"#, "not `opts`"),
+            (r#"{"job":"graph","flow":"mlir"}"#, "only the `ours` flow"),
+            (r#"{"job":"graph","fused":"yes"}"#, "`fused`"),
+            (r#"{"job":"graph","cores":65}"#, "`cores`"),
+            (r#"{"job":"compile","kernel":"sum","n":3,"m":4,"batch":2}"#, "only to graph"),
+            (r#"{"job":"simulate","kernel":"sum","n":3,"m":4,"fused":true}"#, "only to graph"),
+        ] {
+            let err = parse_request(line, 0).unwrap_err();
+            assert!(err.contains(needle), "`{line}`: `{err}` should mention `{needle}`");
+        }
     }
 
     #[test]

@@ -31,14 +31,15 @@ use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use mlb_core::{compile, Compilation, Flow};
 use mlb_ir::{parse_module_with_locations, print_op, Context};
 use mlb_kernels::{
-    best_point, difftest_instance, enumerate_schedules, pareto_front, predecode, run_predecoded,
-    run_predecoded_on_cluster, run_predecoded_traced, tcdm_footprint, Profile, ScheduleVariant,
-    TuneParams, TunePoint, SEARCH_SPACE_VERSION,
+    best_point, difftest_instance, enumerate_schedules, pareto_front, predecode, run_planned,
+    run_predecoded, run_predecoded_on_cluster, run_predecoded_traced, stage_options,
+    tcdm_footprint, GraphRunConfig, GraphStage, Profile, ScheduleVariant, TuneParams, TunePoint,
+    SEARCH_SPACE_VERSION,
 };
 use mlb_sim::{ExecProgram, PerfCounters, StallHistogram};
 
 use crate::cache::{CacheStats, LruCache};
-use crate::job::{fnv1a128_hex, JobKind, JobRequest};
+use crate::job::{fnv1a128_hex, GraphParams, JobKind, JobRequest};
 use crate::json::Json;
 use crate::pool::{lock_unpoisoned, wait_unpoisoned, WorkerPool};
 use crate::protocol::request_json;
@@ -138,10 +139,15 @@ impl CompileService {
         enum Plan {
             /// An ordinary job; its slot is filled by the wave.
             Direct,
-            /// Pre-answered (a tune report served from cache).
+            /// Pre-answered (a tune or graph report served from cache).
             Ready(JobResponse),
             /// A tune fan-out reduced from leaf slots after the wave.
             Fan(TuneParams, Vec<(ScheduleVariant, JobRequest)>),
+            /// A graph fan-out: per-stage compile leaves warm the
+            /// artifact and predecode caches in parallel during the
+            /// wave; the batched run itself happens in the reduce phase
+            /// on the calling thread, where every stage is a cache hit.
+            GraphFan,
         }
         let mut plans: Vec<Plan> = Vec::with_capacity(requests.len());
         let mut leaves: Vec<JobRequest> = Vec::new();
@@ -170,6 +176,27 @@ impl CompileService {
                     }
                     plans.push(Plan::Fan(params, pairs));
                 }
+                JobKind::Graph(params) => {
+                    let key = request.result_key();
+                    if let Some(payload) = lock(&self.caches).results.get(&key) {
+                        plans.push(Plan::Ready(JobResponse {
+                            id: request.id,
+                            digest: fnv1a128_hex(key.as_bytes()),
+                            cached: true,
+                            payload: Ok(payload.clone()),
+                        }));
+                        continue;
+                    }
+                    for leaf in graph_leaves(&request, params) {
+                        if let std::collections::hash_map::Entry::Vacant(slot) =
+                            leaf_index.entry(leaf.result_key())
+                        {
+                            slot.insert(leaves.len());
+                            leaves.push(leaf);
+                        }
+                    }
+                    plans.push(Plan::GraphFan);
+                }
                 _ => plans.push(Plan::Direct),
             }
         }
@@ -185,11 +212,11 @@ impl CompileService {
             initial.push(match plan {
                 Plan::Direct => None,
                 Plan::Ready(response) => Some(response.clone()),
-                Plan::Fan(..) => Some(JobResponse {
+                Plan::Fan(..) | Plan::GraphFan => Some(JobResponse {
                     id: request.id,
                     digest: request.digest(),
                     cached: false,
-                    payload: Err("tune fan-out pending".to_string()),
+                    payload: Err("fan-out pending".to_string()),
                 }),
             });
         }
@@ -232,6 +259,10 @@ impl CompileService {
             .enumerate()
             .map(|(index, (plan, &request))| match plan {
                 Plan::Direct | Plan::Ready(_) => filled[index].clone(),
+                // The leaves already warmed every stage artifact, so
+                // this recomputation is compile-free; it also memoizes
+                // the graph payload under the request's result key.
+                Plan::GraphFan => process(request, &self.caches),
                 Plan::Fan(params, pairs) => {
                     let payload_of = |pair: usize| {
                         let key = pairs[pair].1.result_key();
@@ -287,6 +318,103 @@ fn tune_leaves(request: &JobRequest, params: TuneParams) -> Vec<(ScheduleVariant
             (variant, leaf)
         })
         .collect()
+}
+
+/// The per-stage compile leaves of one graph request. Single-layer
+/// stages fan out as plain `Compile` jobs of their suite instance, so
+/// their artifacts share the cache with ordinary kernel jobs; fused
+/// stages fan out as internal `GraphStage` leaves. Planning failures
+/// (e.g. a TCDM overflow) yield no leaves — the reduce phase recomputes
+/// the plan and reports the error as the graph job's own failure.
+fn graph_leaves(request: &JobRequest, params: GraphParams) -> Vec<JobRequest> {
+    let graph = params.preset.graph();
+    let Ok(plan) = graph.plan(params.fused, false) else { return Vec::new() };
+    plan.stages
+        .iter()
+        .enumerate()
+        .map(|(index, stage)| {
+            if stage.is_fused() {
+                JobRequest { id: 0, kind: JobKind::GraphStage(params, index as u8), ..*request }
+            } else {
+                JobRequest {
+                    id: 0,
+                    kind: JobKind::Compile,
+                    instance: stage.layers[0].instance(stage.input_shape),
+                    flow: Flow::Ours(stage_options(stage, request.cores())),
+                    driver: request.driver,
+                    seed: 0,
+                }
+            }
+        })
+        .collect()
+}
+
+/// The artifact-cache key of one *fused* graph stage. Fused stage
+/// modules are built from the graph's layers rather than a suite
+/// instance, so they get their own key family; the embedded compile
+/// key spells the stage's actual pipeline options (fusion on, the
+/// request's cluster width) and driver.
+fn graph_stage_key(
+    params: GraphParams,
+    stage_index: usize,
+    stage: &GraphStage,
+    request: &JobRequest,
+) -> String {
+    let probe = JobRequest { flow: Flow::Ours(stage_options(stage, request.cores())), ..*request };
+    format!(
+        "graphstage|graph={}|fused={}|stage={stage_index}|{}",
+        params.preset.name(),
+        u8::from(params.fused),
+        probe.compile_key()
+    )
+}
+
+/// Fetches (or compiles, predecodes and caches) the artifact and dense
+/// execution program of one graph stage.
+fn graph_stage_exec(
+    params: GraphParams,
+    stage_index: usize,
+    stage: &GraphStage,
+    request: &JobRequest,
+    caches: &Arc<Mutex<Caches>>,
+) -> Result<(Arc<Compilation>, Arc<ExecProgram>), String> {
+    let (key, compiled) = if stage.is_fused() {
+        let key = graph_stage_key(params, stage_index, stage, request);
+        // Probe with the guard confined to its own statement: an if-let
+        // scrutinee's guard would live through the miss branch and
+        // self-deadlock on the insert below.
+        let hit = lock(caches).artifacts.get(&key).map(Arc::clone);
+        let compiled = if let Some(hit) = hit {
+            hit
+        } else {
+            let mut ctx = Context::new();
+            ctx.set_driver_mode(request.driver);
+            let module = stage.build_module(&mut ctx);
+            let flow = Flow::Ours(stage_options(stage, request.cores()));
+            let compiled = Arc::new(
+                compile(&mut ctx, module, flow)
+                    .map_err(|e| format!("stage `{}`: compile: {e}", stage.symbol))?,
+            );
+            lock(caches).artifacts.insert(key.clone(), Arc::clone(&compiled));
+            compiled
+        };
+        (key, compiled)
+    } else {
+        let leaf = JobRequest {
+            id: 0,
+            kind: JobKind::Compile,
+            instance: stage.layers[0].instance(stage.input_shape),
+            flow: Flow::Ours(stage_options(stage, request.cores())),
+            driver: request.driver,
+            seed: 0,
+        };
+        let compiled =
+            artifact(&leaf, caches).map_err(|e| format!("stage `{}`: {e}", stage.symbol))?;
+        (leaf.compile_key(), compiled)
+    };
+    let exec = predecoded_exec(&key, &compiled, caches)
+        .map_err(|e| format!("stage `{}`: {e}", stage.symbol))?;
+    Ok((compiled, exec))
 }
 
 /// The fitness read out of a simulate leaf payload: aggregate cluster
@@ -530,6 +658,65 @@ fn compute(request: JobRequest, caches: &Arc<Mutex<Caches>>) -> Result<Json, Str
         JobKind::Compile => {
             let artifact = artifact(&request, caches)?;
             Ok(compilation_json(&artifact))
+        }
+        JobKind::Graph(params) => {
+            let graph = params.preset.graph();
+            let cfg = GraphRunConfig {
+                fused: params.fused,
+                batch: params.batch,
+                cores: request.cores(),
+                seed: request.seed,
+                engine: None,
+            };
+            let double = cfg.batch > 1 && cfg.cores > 1;
+            let plan = graph.plan(params.fused, double).map_err(|e| format!("graph plan: {e}"))?;
+            let mut execs = Vec::with_capacity(plan.stages.len());
+            for (index, stage) in plan.stages.iter().enumerate() {
+                let (_, exec) = graph_stage_exec(params, index, stage, &request, caches)?;
+                execs.push(exec);
+            }
+            let refs: Vec<&ExecProgram> = execs.iter().map(Arc::as_ref).collect();
+            let outcome = run_planned(&plan, &cfg, &refs).map_err(|e| format!("graph run: {e}"))?;
+            let stages = outcome
+                .stage_symbols
+                .iter()
+                .zip(&outcome.stage_cycles)
+                .map(|(symbol, &cycles)| {
+                    Json::obj(vec![("symbol", symbol.as_str().into()), ("cycles", cycles.into())])
+                })
+                .collect();
+            let flat: Vec<f64> = outcome.outputs.iter().flatten().copied().collect();
+            Ok(Json::obj(vec![
+                ("graph", params.preset.name().into()),
+                ("fused", params.fused.into()),
+                ("batch", params.batch.into()),
+                ("cores", cfg.cores.into()),
+                ("stages", Json::Arr(stages)),
+                ("total_cycles", outcome.total_cycles.into()),
+                ("cycles_per_request", outcome.cycles_per_request.into()),
+                ("double_buffered", outcome.double_buffered.into()),
+                ("tcdm_bytes", outcome.tcdm_bytes.into()),
+                (
+                    "pipeline",
+                    Json::obj(vec![
+                        ("fill_cycles", outcome.estimate.fill_cycles.into()),
+                        ("bottleneck_cycles", outcome.estimate.bottleneck_cycles.into()),
+                        ("sequential_cycles", outcome.estimate.sequential_cycles.into()),
+                        ("pipelined_cycles", outcome.estimate.pipelined_cycles.into()),
+                    ]),
+                ),
+                ("output_digest", output_digest(&flat).into()),
+            ]))
+        }
+        JobKind::GraphStage(params, stage_index) => {
+            let graph = params.preset.graph();
+            let plan = graph.plan(params.fused, false).map_err(|e| format!("graph plan: {e}"))?;
+            let stage = plan.stages.get(stage_index as usize).ok_or_else(|| {
+                format!("graph `{}` has no stage {stage_index}", params.preset.name())
+            })?;
+            let (compiled, _) =
+                graph_stage_exec(params, stage_index as usize, stage, &request, caches)?;
+            Ok(compilation_json(&compiled))
         }
         JobKind::Simulate => {
             let artifact = artifact(&request, caches)?;

@@ -36,6 +36,7 @@ pub mod cluster;
 pub mod counters;
 pub mod instr;
 pub mod machine;
+pub mod pipeline;
 pub mod ssr;
 pub mod trace;
 
@@ -44,4 +45,5 @@ pub use cluster::{Cluster, ClusterCounters};
 pub use counters::{OccupancySummary, PerfCounters, StallHistogram};
 pub use instr::{Instr, Program};
 pub use machine::{Engine, ExecProgram, Machine, SimError};
+pub use pipeline::{pipeline_estimate, PipelineEstimate};
 pub use trace::{StallReason, TraceEntry};

@@ -1,0 +1,101 @@
+//! Deterministic cluster-pipelining estimate for batched layer graphs.
+//!
+//! A batched inference run executes the same stage chain once per
+//! request. On a cluster with double-buffered intermediates, request
+//! `b+1` can enter stage `s` while request `b` occupies stage `s+1`, so
+//! the steady-state makespan is bounded by the slowest stage rather
+//! than the whole chain. This module turns measured per-stage cycle
+//! counts into that classic pipeline model:
+//!
+//! `pipelined = sum(stages) + (batch - 1) * max(stages)`
+//!
+//! The numbers are a model, not a measurement — the simulator executes
+//! stages back to back — but they are deterministic functions of
+//! measured counters, so the bench gate can regress on them.
+
+/// Pipelining estimate derived from per-stage cycle measurements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PipelineEstimate {
+    /// Cycles for one request through every stage (sum of stages).
+    pub fill_cycles: u64,
+    /// Cycles of the slowest stage (the steady-state initiation
+    /// interval).
+    pub bottleneck_cycles: u64,
+    /// Back-to-back execution of the whole batch (no overlap).
+    pub sequential_cycles: u64,
+    /// Overlapped makespan: fill the pipeline once, then one request
+    /// completes every bottleneck interval.
+    pub pipelined_cycles: u64,
+}
+
+impl PipelineEstimate {
+    /// Sequential-over-pipelined speedup (1.0 when nothing overlaps).
+    pub fn overlap_speedup(&self) -> f64 {
+        if self.pipelined_cycles == 0 {
+            return 1.0;
+        }
+        self.sequential_cycles as f64 / self.pipelined_cycles as f64
+    }
+}
+
+/// Computes the pipeline model for `batch` requests over stages with
+/// the given per-request cycle counts. Empty stages or a zero batch
+/// yield an all-zero estimate.
+pub fn pipeline_estimate(stage_cycles: &[u64], batch: u64) -> PipelineEstimate {
+    let fill: u64 = stage_cycles.iter().sum();
+    let bottleneck = stage_cycles.iter().copied().max().unwrap_or(0);
+    if batch == 0 {
+        return PipelineEstimate {
+            fill_cycles: fill,
+            bottleneck_cycles: bottleneck,
+            sequential_cycles: 0,
+            pipelined_cycles: 0,
+        };
+    }
+    PipelineEstimate {
+        fill_cycles: fill,
+        bottleneck_cycles: bottleneck,
+        sequential_cycles: fill * batch,
+        pipelined_cycles: fill + (batch - 1) * bottleneck,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_request_has_no_overlap() {
+        let e = pipeline_estimate(&[100, 300, 200], 1);
+        assert_eq!(e.fill_cycles, 600);
+        assert_eq!(e.bottleneck_cycles, 300);
+        assert_eq!(e.sequential_cycles, 600);
+        assert_eq!(e.pipelined_cycles, 600);
+        assert_eq!(e.overlap_speedup(), 1.0);
+    }
+
+    #[test]
+    fn batch_amortizes_to_the_bottleneck() {
+        let e = pipeline_estimate(&[100, 300, 200], 8);
+        assert_eq!(e.sequential_cycles, 4800);
+        assert_eq!(e.pipelined_cycles, 600 + 7 * 300);
+        assert!(e.overlap_speedup() > 1.7, "{}", e.overlap_speedup());
+    }
+
+    #[test]
+    fn degenerate_inputs_are_total() {
+        let e = pipeline_estimate(&[], 4);
+        assert_eq!(e.pipelined_cycles, 0);
+        assert_eq!(e.overlap_speedup(), 1.0);
+        let e = pipeline_estimate(&[10], 0);
+        assert_eq!(e.sequential_cycles, 0);
+        assert_eq!(e.fill_cycles, 10);
+    }
+
+    #[test]
+    fn balanced_stages_approach_stage_count_speedup() {
+        let e = pipeline_estimate(&[100, 100, 100, 100], 64);
+        // 4 stages, large batch: speedup tends to 4.
+        assert!(e.overlap_speedup() > 3.5, "{}", e.overlap_speedup());
+    }
+}

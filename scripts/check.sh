@@ -37,6 +37,22 @@ run ./target/release/mlbc difftest --seeds 2 --flows ours --cores 2
 # BENCH_compiler_perf.json.
 run ./target/release/mlbc bench-json --check BENCH_compiler_perf.json \
     --out target/BENCH_compiler_perf.json
+# Layer-graph smoke: the chained-interpreter graph difftest plus a
+# batched fused-vs-unfused bench, each under both simulator engines
+# (the bench-json gate above already fails on a >10% fused-cycle
+# regression of the graph scenarios), and a service-backed run that
+# schedules the per-stage compiles over the worker pool.
+run ./target/release/mlbc graph difftest --graph nsnet2 --cores 2
+run ./target/release/mlbc graph difftest --graph eltwise-chain
+echo "==> MLB_SIM_ENGINE=checked mlbc graph difftest --graph nsnet2 --cores 2"
+MLB_SIM_ENGINE=checked ./target/release/mlbc graph difftest --graph nsnet2 --cores 2
+run ./target/release/mlbc graph bench --graph nsnet2 --batch 8 --cores 2 \
+    --graph-json target/graph-nsnet2-bench.json
+test -s target/graph-nsnet2-bench.json
+echo "==> MLB_SIM_ENGINE=checked mlbc graph bench --graph eltwise-chain --batch 8 --cores 2"
+MLB_SIM_ENGINE=checked ./target/release/mlbc graph bench --graph eltwise-chain \
+    --batch 8 --cores 2
+run ./target/release/mlbc graph run --graph nsnet2 --batch 4 --cores 2 --workers 4
 # Profiler smoke: the source-attributed profile must emit valid JSON
 # (validated by the in-tree parser via tests, re-checked here on the
 # release binary), and a 2-core run must export a Chrome trace.

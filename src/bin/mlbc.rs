@@ -39,6 +39,7 @@ usage: mlbc <input.mlir | -> [options]
        mlbc bench-json [bench options]
        mlbc serve [serve options]
        mlbc tune <kernel> [tune options]
+       mlbc graph <run|difftest|bench> [graph options]
 
 options:
   --emit asm|ir       output assembly (default) or the parsed IR
@@ -136,6 +137,27 @@ kind-NxM[xK][-f32], e.g. matmul-8x16x16 or relu-3x4-f32):
                       must be served from the tune cache byte-identically
                       (the warm re-tune gate; default 1)
   --tune-json FILE    the raw tune report as JSON (`-` for stdout)
+
+graph options (batched layer-graph inference over a preset graph:
+`run` schedules the per-stage compiles over the compile service's
+worker pool and executes one verified batch on the cluster; `difftest`
+chains the reference interpreter across every stage's pipeline
+snapshots, fused and unfused; `bench` races the fused plan against the
+unfused one and reports the cycles/request improvement):
+  --graph NAME        preset graph: nsnet2 | eltwise-chain
+                      (default nsnet2)
+  --batch N           requests per batch (default 1; bench default 8;
+                      not a difftest option — the difftest chains one
+                      request)
+  --cores N           cluster width each stage is compiled for
+                      (default 1; flowing values are double-buffered
+                      when batch > 1 and cores > 1)
+  --seed S            operand seed (default 0)
+  --unfused           keep every layer its own stage (run only;
+                      difftest and bench always exercise both plans)
+  --workers N         service worker threads compiling the stages in
+                      parallel (run only; default 4)
+  --graph-json FILE   the raw report as JSON (`-` for stdout)
 ";
 
 fn main() -> ExitCode {
@@ -175,6 +197,9 @@ fn run(args: Vec<String>) -> Result<String, String> {
     }
     if args.first().map(String::as_str) == Some("tune") {
         return run_tune(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("graph") {
+        return run_graph_cmd(&args[1..]);
     }
     let mut input: Option<String> = None;
     let mut emit_ir = false;
@@ -754,6 +779,265 @@ fn render_tune_report(instance: &mlb_kernels::Instance, payload: &Json) -> Strin
     out
 }
 
+/// The `mlbc graph` subcommand: batched layer-graph inference over the
+/// preset graphs (see USAGE). `run` goes through the compile service so
+/// the per-stage compiles land on the worker pool in parallel and warm
+/// the shared artifact/predecode caches; `difftest` and `bench` drive
+/// the kernels crate directly.
+fn run_graph_cmd(args: &[String]) -> Result<String, String> {
+    use mlb_kernels::{graph_difftest, run_graph, GraphPreset, GraphRunConfig};
+
+    let mode = match args.first().map(String::as_str) {
+        Some(mode @ ("run" | "difftest" | "bench")) => mode,
+        Some("--help" | "-h") => return Ok(USAGE.to_string()),
+        Some(other) => {
+            return Err(format!("unknown graph mode `{other}`: need run, difftest or bench"));
+        }
+        None => return Err(format!("graph needs a mode: run, difftest or bench\n{USAGE}")),
+    };
+
+    let mut preset = GraphPreset::Nsnet2;
+    let mut batch: Option<usize> = None;
+    let mut cores = 1usize;
+    let mut seed = 0u64;
+    let mut fused = true;
+    let mut workers = 4usize;
+    let mut graph_json: Option<String> = None;
+    let mut iter = args[1..].iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--help" | "-h" => return Ok(USAGE.to_string()),
+            "--graph" => {
+                let name = iter.next().ok_or("--graph needs a preset name")?;
+                preset = GraphPreset::parse(name).ok_or_else(|| {
+                    let known: Vec<&str> =
+                        GraphPreset::all().into_iter().map(GraphPreset::name).collect();
+                    format!("unknown graph `{name}`: presets are {}", known.join(", "))
+                })?;
+            }
+            "--batch" => {
+                let n = iter.next().ok_or("--batch needs a value")?;
+                if mode == "difftest" {
+                    return Err("--batch does not apply to graph difftest (one request \
+                                flows through the interpreter chain)"
+                        .into());
+                }
+                batch = Some(
+                    n.parse::<usize>()
+                        .ok()
+                        .filter(|&b| b >= 1)
+                        .ok_or(format!("invalid --batch `{n}`: need a positive count"))?,
+                );
+            }
+            "--cores" => cores = parse_cores(iter.next().ok_or("--cores needs a value")?)?,
+            "--seed" => {
+                let n = iter.next().ok_or("--seed needs a value")?;
+                seed = n.parse::<u64>().map_err(|_| format!("invalid --seed `{n}`"))?;
+            }
+            "--unfused" => {
+                if mode != "run" {
+                    return Err(format!(
+                        "--unfused only applies to graph run (graph {mode} always \
+                         exercises both the fused and the unfused plan)"
+                    ));
+                }
+                fused = false;
+            }
+            "--workers" => {
+                let n = iter.next().ok_or("--workers needs a value")?;
+                if mode != "run" {
+                    return Err(format!("--workers only applies to graph run, not {mode}"));
+                }
+                workers = n
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&w| w >= 1)
+                    .ok_or(format!("invalid --workers `{n}`: need a positive count"))?;
+            }
+            "--graph-json" => {
+                graph_json = Some(iter.next().ok_or("--graph-json needs a value")?.clone());
+            }
+            other => return Err(format!("unknown graph option `{other}`\n{USAGE}")),
+        }
+    }
+    let batch = batch.unwrap_or(if mode == "bench" { 8 } else { 1 });
+
+    let emit = |payload: &Json, rendered: String| -> Result<String, String> {
+        if let Some(path) = &graph_json {
+            let text = payload.pretty() + "\n";
+            if path == "-" {
+                return Ok(text);
+            }
+            std::fs::write(path, text).map_err(|e| format!("{path}: {e}"))?;
+            eprintln!("wrote {path}");
+        }
+        Ok(rendered)
+    };
+
+    match mode {
+        "run" => {
+            use mlbe::service::{CompileService, GraphParams, JobKind, JobRequest, ServiceConfig};
+            let mut options = PipelineOptions::full();
+            options.cores = cores;
+            let request = JobRequest {
+                id: 1,
+                kind: JobKind::Graph(GraphParams { preset, batch, fused }),
+                instance: mlb_kernels::Instance::new(
+                    mlb_kernels::Kind::MatMul,
+                    mlb_kernels::Shape::nmk(1, 1, 1),
+                    mlb_kernels::Precision::F64,
+                ),
+                flow: Flow::Ours(options),
+                driver: DriverMode::Worklist,
+                seed,
+            };
+            let service = CompileService::new(ServiceConfig { workers, cache_capacity: 256 });
+            let started = std::time::Instant::now();
+            let payload =
+                service.run_one(request).payload.map_err(|e| format!("graph run failed: {e}"))?;
+            eprintln!(
+                "mlbc graph: ran {} batch={batch} over {workers} workers in {:?}",
+                preset.name(),
+                started.elapsed(),
+            );
+            emit(&payload, render_graph_report(&payload))
+        }
+        "difftest" => {
+            // Chain the interpreter across every stage's pipeline
+            // snapshots for both plans; the fused plan must land on the
+            // unfused plan's bits (fusion touches only exact
+            // element-wise stages, so there is no rounding escape).
+            let mut arms = Vec::new();
+            for fused in [true, false] {
+                let outcome = graph_difftest(&preset.graph(), fused, cores, seed)
+                    .map_err(|e| format!("graph difftest (fused={fused}): {e}"))?;
+                eprintln!(
+                    "mlbc graph: difftest {} fused={fused}: {} stages, {} pipeline \
+                     snapshots interpreted clean",
+                    preset.name(),
+                    outcome.graph_stages,
+                    outcome.pipeline_stages,
+                );
+                arms.push((fused, outcome));
+            }
+            let bits =
+                |outputs: &[f64]| -> Vec<u64> { outputs.iter().map(|v| v.to_bits()).collect() };
+            if bits(&arms[0].1.outputs) != bits(&arms[1].1.outputs) {
+                return Err(format!(
+                    "graph difftest: fused and unfused outputs of `{}` diverge",
+                    preset.name()
+                ));
+            }
+            let arm_json = |fused: bool, o: &mlb_kernels::GraphDifftestOutcome| {
+                Json::obj(vec![
+                    ("fused", fused.into()),
+                    ("graph_stages", (o.graph_stages as u64).into()),
+                    ("pipeline_stages", (o.pipeline_stages as u64).into()),
+                ])
+            };
+            let payload = Json::obj(vec![
+                ("graph", preset.name().into()),
+                ("cores", (cores as u64).into()),
+                ("seed", seed.into()),
+                ("fused_matches_unfused", true.into()),
+                ("arms", Json::Arr(arms.iter().map(|(f, o)| arm_json(*f, o)).collect())),
+            ]);
+            let rendered = format!(
+                "graph difftest {}: {} fused stages / {} unfused stages, {} pipeline \
+                 snapshots, outputs bit-identical\n",
+                preset.name(),
+                arms[0].1.graph_stages,
+                arms[1].1.graph_stages,
+                arms[0].1.pipeline_stages + arms[1].1.pipeline_stages,
+            );
+            emit(&payload, rendered)
+        }
+        _ => {
+            // bench: race the fused plan against the unfused one.
+            let graph = preset.graph();
+            let run = |fused: bool| {
+                run_graph(&graph, &GraphRunConfig { fused, batch, cores, seed, engine: None })
+                    .map_err(|e| format!("graph bench (fused={fused}): {e}"))
+            };
+            let fused_run = run(true)?;
+            let unfused_run = run(false)?;
+            let speedup = unfused_run.cycles_per_request / fused_run.cycles_per_request.max(1.0);
+            let arm_json = |o: &mlb_kernels::GraphRunOutcome| {
+                Json::obj(vec![
+                    ("stages", (o.stage_symbols.len() as u64).into()),
+                    ("total_cycles", o.total_cycles.into()),
+                    ("cycles_per_request", o.cycles_per_request.into()),
+                    ("tcdm_bytes", o.tcdm_bytes.into()),
+                    ("double_buffered", o.double_buffered.into()),
+                ])
+            };
+            let payload = Json::obj(vec![
+                ("graph", preset.name().into()),
+                ("batch", (batch as u64).into()),
+                ("cores", (cores as u64).into()),
+                ("seed", seed.into()),
+                ("fused", arm_json(&fused_run)),
+                ("unfused", arm_json(&unfused_run)),
+                ("fused_speedup", speedup.into()),
+            ]);
+            let rendered = format!(
+                "graph bench {} batch={batch} cores={cores}:\n  fused    {:>4} stages  \
+                 {:>10.1} cycles/request\n  unfused  {:>4} stages  {:>10.1} \
+                 cycles/request\n  fused speedup {speedup:.2}x\n",
+                preset.name(),
+                fused_run.stage_symbols.len(),
+                fused_run.cycles_per_request,
+                unfused_run.stage_symbols.len(),
+                unfused_run.cycles_per_request,
+            );
+            emit(&payload, rendered)
+        }
+    }
+}
+
+/// Renders the human-readable report of a service graph payload:
+/// per-stage cycle breakdown plus batch totals and the
+/// pipeline-overlap estimate.
+fn render_graph_report(payload: &Json) -> String {
+    let u = |doc: &Json, key: &str| doc.get(key).and_then(Json::as_u64).unwrap_or(0);
+    let mut out = format!(
+        "graph {} fused={} batch={} cores={} ({})\n",
+        payload.get("graph").and_then(Json::as_str).unwrap_or("?"),
+        payload.get("fused").and_then(Json::as_bool).unwrap_or(false),
+        u(payload, "batch"),
+        u(payload, "cores"),
+        if payload.get("double_buffered").and_then(Json::as_bool).unwrap_or(false) {
+            "double-buffered"
+        } else {
+            "single-buffered"
+        },
+    );
+    if let Some(Json::Arr(stages)) = payload.get("stages") {
+        for stage in stages {
+            out.push_str(&format!(
+                "  {:<28} {:>10} cycles\n",
+                stage.get("symbol").and_then(Json::as_str).unwrap_or("?"),
+                u(stage, "cycles"),
+            ));
+        }
+    }
+    out.push_str(&format!(
+        "  total {} cycles, {:.1} cycles/request, {} TCDM bytes\n",
+        u(payload, "total_cycles"),
+        payload.get("cycles_per_request").and_then(Json::as_f64).unwrap_or(0.0),
+        u(payload, "tcdm_bytes"),
+    ));
+    if let Some(pipeline) = payload.get("pipeline") {
+        out.push_str(&format!(
+            "  pipelined estimate: {} cycles vs {} sequential (bottleneck {} cycles)\n",
+            u(pipeline, "pipelined_cycles"),
+            u(pipeline, "sequential_cycles"),
+            u(pipeline, "bottleneck_cycles"),
+        ));
+    }
+    out
+}
+
 /// Parses a `--cores` value (a positive core count).
 fn parse_cores(n: &str) -> Result<usize, String> {
     match n.parse::<usize>() {
@@ -1152,7 +1436,13 @@ fn chrome_events(
             events.push(span("ssr stream", hart, s, last_complete.max(s), None));
         }
         for (k, &(arrival, release)) in ivs.iter().enumerate() {
-            events.push(span("barrier wait", hart, arrival, release, Some(k)));
+            // The last hart to arrive is released immediately (arrival
+            // == release); the 1-cycle floor on span widths would turn
+            // that into a fabricated wait, so zero-width intervals are
+            // dropped instead of clamped.
+            if release > arrival {
+                events.push(span("barrier wait", hart, arrival, release, Some(k)));
+            }
         }
     }
 }
@@ -1485,6 +1775,71 @@ fn run_bench_json(args: &[String]) -> Result<String, String> {
     }
     let tune_speedup = tune_default as f64 / tune_best.max(1) as f64;
 
+    // Batched layer-graph scenarios: fused vs unfused inference of the
+    // preset graphs at batch 8 on a 2-core cluster (so double-buffering
+    // is live). Counters are deterministic; both engines must agree,
+    // and the fused plan must beat the unfused one per request.
+    let graph_scenario = |preset: mlb_kernels::GraphPreset| -> Result<Json, String> {
+        use mlb_kernels::{run_graph, GraphRunConfig};
+        let graph = preset.graph();
+        let run = |fused: bool,
+                   engine: Engine|
+         -> Result<(mlb_kernels::GraphRunOutcome, u64), String> {
+            let cfg = GraphRunConfig { fused, batch: 8, cores: 2, seed: 1, engine: Some(engine) };
+            let start = Instant::now();
+            let outcome = run_graph(&graph, &cfg)
+                .map_err(|e| format!("bench-json: graph {} fused={fused}: {e}", preset.name()))?;
+            Ok((outcome, start.elapsed().as_nanos() as u64))
+        };
+        let (fused, fused_nanos) = run(true, Engine::Superblock)?;
+        let (fused_checked, _) = run(true, Engine::Checked)?;
+        if fused.total_cycles != fused_checked.total_cycles {
+            return Err(format!(
+                "bench-json: graph {} superblock cycles diverge from the checked engine",
+                preset.name()
+            ));
+        }
+        let (unfused, _) = run(false, Engine::Superblock)?;
+        if fused.cycles_per_request >= unfused.cycles_per_request {
+            return Err(format!(
+                "bench-json: fused graph {} ({:.1} cycles/request) does not beat the \
+                 unfused plan ({:.1} cycles/request)",
+                preset.name(),
+                fused.cycles_per_request,
+                unfused.cycles_per_request,
+            ));
+        }
+        let fused_speedup = unfused.cycles_per_request / fused.cycles_per_request.max(1.0);
+        eprintln!(
+            "bench graph-{}-batch8: {:.1} cycles/request fused ({} stages) vs {:.1} \
+             unfused ({} stages), speedup {fused_speedup:.2}x",
+            preset.name(),
+            fused.cycles_per_request,
+            fused.stage_symbols.len(),
+            unfused.cycles_per_request,
+            unfused.stage_symbols.len(),
+        );
+        let arm = |o: &mlb_kernels::GraphRunOutcome| {
+            Json::obj(vec![
+                ("stages", Json::from(o.stage_symbols.len() as u64)),
+                ("total_cycles", Json::from(o.total_cycles)),
+                ("cycles_per_request", Json::from(o.cycles_per_request)),
+                ("tcdm_bytes", Json::from(o.tcdm_bytes)),
+            ])
+        };
+        Ok(Json::obj(vec![
+            ("batch", Json::from(8u64)),
+            ("cores", Json::from(2u64)),
+            ("wall_nanos", Json::from(fused_nanos)),
+            ("double_buffered", Json::from(fused.double_buffered)),
+            ("fused", arm(&fused)),
+            ("unfused", arm(&unfused)),
+            ("fused_speedup", Json::from(fused_speedup)),
+        ]))
+    };
+    let graph_nsnet2 = graph_scenario(mlb_kernels::GraphPreset::Nsnet2)?;
+    let graph_eltwise = graph_scenario(mlb_kernels::GraphPreset::EltwiseChain)?;
+
     let mode_json = |s: &RewriteStats, nanos: u64| {
         Json::obj(vec![
             ("wall_nanos", Json::from(nanos)),
@@ -1584,6 +1939,8 @@ fn run_bench_json(args: &[String]) -> Result<String, String> {
                 ("tune_speedup", Json::from(tune_speedup)),
             ]),
         ),
+        ("graph-nsnet2-batch8", graph_nsnet2),
+        ("graph-eltwise-chain-batch8", graph_eltwise),
     ]);
 
     // Human-readable progress goes to stderr: stdout is reserved for the
@@ -1644,6 +2001,36 @@ fn run_bench_json(args: &[String]) -> Result<String, String> {
                 ));
             }
             eprintln!("check {key}: {current} within 10% of baseline {base}");
+        }
+        // Graph scenarios gate on the fused batch's cycle counters:
+        // deterministic simulation, so anything past 10% is a real
+        // fusion/placement regression, not noise.
+        let graph_cycles = |scenario: &Json| {
+            scenario
+                .get("fused")
+                .and_then(|f| f.get("total_cycles"))
+                .and_then(Json::as_u64)
+                .unwrap_or(0)
+        };
+        for (name, scenario) in [
+            ("graph-nsnet2-batch8", report.get("graph-nsnet2-batch8")),
+            ("graph-eltwise-chain-batch8", report.get("graph-eltwise-chain-batch8")),
+        ] {
+            let current = graph_cycles(scenario.ok_or("graph scenario missing from report")?);
+            let base = baseline
+                .get(name)
+                .and_then(|b| b.get("fused"))
+                .and_then(|b| b.get("total_cycles"))
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("{path}: missing `{name}` fused cycles in baseline"))?;
+            let limit = base + base / 10;
+            if current > limit {
+                return Err(format!(
+                    "bench-json: {name} fused cycles regressed >10%: {current} vs \
+                     baseline {base} (limit {limit})"
+                ));
+            }
+            eprintln!("check {name}: {current} fused cycles within 10% of baseline {base}");
         }
     }
     let text = report.pretty() + "\n";

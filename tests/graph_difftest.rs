@@ -1,0 +1,119 @@
+//! Graph-level differential tests: every preset and a sweep of ad-hoc
+//! 2–4 layer chains must produce bit-identical outputs fused vs
+//! unfused, across 1/2/4 cores, with the interpreter chained across
+//! stages agreeing with the cycle-accurate batched run.
+
+use mlb_kernels::{
+    fuzz_graphs, graph_difftest, run_graph, GraphPreset, GraphRunConfig, Layer, LayerGraph,
+};
+
+fn chain(name: &str, input: (i64, i64), layers: Vec<Layer>) -> LayerGraph {
+    LayerGraph::new(name, input, layers).expect("test graphs are valid")
+}
+
+fn run_cfg(fused: bool, batch: usize, cores: usize) -> GraphRunConfig {
+    GraphRunConfig { fused, batch, cores, seed: 7, engine: None }
+}
+
+/// Output bit patterns of a batched run (the runner itself verifies
+/// every stage against the chained host reference).
+fn output_bits(graph: &LayerGraph, fused: bool, batch: usize, cores: usize) -> Vec<Vec<u64>> {
+    let outcome = run_graph(graph, &run_cfg(fused, batch, cores))
+        .unwrap_or_else(|e| panic!("{} fused={fused} cores={cores}: {e}", graph.name));
+    outcome.outputs.iter().map(|o| o.iter().map(|v| v.to_bits()).collect()).collect()
+}
+
+#[test]
+fn presets_are_bit_identical_fused_vs_unfused_across_core_counts() {
+    for preset in GraphPreset::all() {
+        let graph = preset.graph();
+        for cores in [1usize, 2, 4] {
+            let fused = output_bits(&graph, true, 2, cores);
+            let unfused = output_bits(&graph, false, 2, cores);
+            assert_eq!(
+                fused, unfused,
+                "{} must not change outputs under fusion at {cores} cores",
+                graph.name
+            );
+        }
+    }
+}
+
+#[test]
+fn preset_difftests_chain_the_interpreter_across_stages() {
+    for preset in GraphPreset::all() {
+        let graph = preset.graph();
+        for fused in [true, false] {
+            let outcome = graph_difftest(&graph, fused, 1, 7)
+                .unwrap_or_else(|e| panic!("{} fused={fused}: {e}", graph.name));
+            assert!(outcome.graph_stages >= 1);
+            assert!(outcome.pipeline_stages > outcome.graph_stages);
+            // The interpreter chain must land on the simulator's output
+            // — bit-for-bit when no multiply-accumulate is involved
+            // (both runs verify against the same chained reference), and
+            // within rounding when matmul stages may legally pick either
+            // fused or unfused FMA rounding per backend.
+            let sim = run_graph(&graph, &run_cfg(fused, 1, 1)).expect("sim run");
+            let fma_free = !graph.layers.iter().any(|l| matches!(l, Layer::MatMulT { .. }));
+            if fma_free {
+                let sim_bits: Vec<u64> = sim.outputs[0].iter().map(|v| v.to_bits()).collect();
+                let interp: Vec<u64> = outcome.outputs.iter().map(|v| v.to_bits()).collect();
+                assert_eq!(sim_bits, interp, "{} fused={fused}", graph.name);
+            } else {
+                for (a, b) in sim.outputs[0].iter().zip(&outcome.outputs) {
+                    assert!(
+                        (a - b).abs() <= 1e-9 * a.abs().max(1.0),
+                        "{} fused={fused}: sim {a} vs interpreter {b}",
+                        graph.name
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn short_chains_survive_fusion_at_every_boundary() {
+    // 2–4 layer chains hitting each fusion boundary: eltwise head,
+    // eltwise tail, eltwise sandwiched between matmuls, and a pure
+    // eltwise run longer than the fusion capacity.
+    let graphs = [
+        chain("head", (4, 8), vec![Layer::Sum, Layer::MatMulT { width: 4 }]),
+        chain("tail", (4, 8), vec![Layer::MatMulT { width: 4 }, Layer::Sum, Layer::Relu]),
+        chain(
+            "sandwich",
+            (2, 6),
+            vec![Layer::MatMulT { width: 8 }, Layer::Relu, Layer::MatMulT { width: 4 }, Layer::Sum],
+        ),
+        chain("pure", (4, 4), vec![Layer::Sum, Layer::Relu, Layer::Sum, Layer::Relu]),
+    ];
+    for graph in &graphs {
+        for cores in [1usize, 2] {
+            let fused = output_bits(graph, true, 1, cores);
+            let unfused = output_bits(graph, false, 1, cores);
+            assert_eq!(fused, unfused, "{} at {cores} cores", graph.name);
+        }
+        graph_difftest(graph, true, 1, 9).unwrap_or_else(|e| panic!("{}: {e}", graph.name));
+    }
+}
+
+#[test]
+fn fuzzed_chains_run_clean_fused_and_unfused() {
+    let report = fuzz_graphs(0xF00D, 6);
+    assert!(report.is_ok(), "{}", report.unwrap_err());
+}
+
+#[test]
+fn batched_nsnet2_improves_cycles_per_request_when_fused() {
+    let graph = GraphPreset::Nsnet2.graph();
+    let fused = run_graph(&graph, &run_cfg(true, 4, 1)).expect("fused batch");
+    let unfused = run_graph(&graph, &run_cfg(false, 4, 1)).expect("unfused batch");
+    assert!(
+        fused.cycles_per_request < unfused.cycles_per_request,
+        "fused {} vs unfused {}",
+        fused.cycles_per_request,
+        unfused.cycles_per_request
+    );
+    assert_eq!(fused.stage_symbols.len(), 4);
+    assert_eq!(unfused.stage_symbols.len(), 6);
+}

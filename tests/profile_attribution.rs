@@ -132,13 +132,16 @@ fn profile_json_is_valid_and_fully_attributed() {
 
 #[test]
 fn cluster_chrome_trace_has_per_hart_spans_and_barrier_waits() {
+    // 3 cores over 8 matmul rows shard unevenly, so the lightly-loaded
+    // harts genuinely wait at the final barrier while the last-arriving
+    // hart is released immediately.
     let dir = scratch("chrome");
     let trace_path = dir.join("trace.json");
     run_ok(mlbc().current_dir(env!("CARGO_MANIFEST_DIR")).args([
         "profile",
         MATMUL_PATH,
         "--cores",
-        "4",
+        "3",
         "--chrome-trace",
         trace_path.to_str().unwrap(),
     ]));
@@ -148,19 +151,66 @@ fn cluster_chrome_trace_has_per_hart_spans_and_barrier_waits() {
     assert!(!events.is_empty());
     let spans: Vec<&Json> =
         events.iter().filter(|e| e.get("ph").and_then(Json::as_str) == Some("X")).collect();
-    // Every hart of the 4-core cluster contributes spans.
+    // Every hart of the 3-core cluster contributes spans.
     let tids: std::collections::BTreeSet<u64> =
         spans.iter().filter_map(|e| e.get("tid").and_then(Json::as_u64)).collect();
-    assert_eq!(tids, (0..4).collect());
-    // Barrier-wait intervals are exported per hart.
+    assert_eq!(tids, (0..3).collect());
+    // Barrier-wait intervals are exported per waiting hart. The last
+    // hart to arrive is released immediately and must NOT contribute a
+    // fabricated zero-cycle wait, so only the two early harts show one.
     let barrier_waits = spans
         .iter()
         .filter(|e| e.get("name").and_then(Json::as_str) == Some("barrier wait"))
         .count();
-    assert_eq!(barrier_waits, 4, "one barrier-wait span per hart");
+    assert_eq!(barrier_waits, 2, "one barrier-wait span per hart that actually waited");
     for span in &spans {
         assert!(span.get("dur").and_then(Json::as_u64).unwrap() >= 1);
         let _ts = span.get("ts").and_then(Json::as_u64).expect("spans carry a timestamp");
     }
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Regression: a single-core profile has no barriers to wait on, so its
+/// chrome trace must not fabricate zero-cycle `barrier wait` rows out
+/// of the cluster merge path's empty intervals.
+#[test]
+fn single_core_chrome_trace_has_no_barrier_waits() {
+    let dir = scratch("chrome-1core");
+    let trace_path = dir.join("trace.json");
+    run_ok(mlbc().current_dir(env!("CARGO_MANIFEST_DIR")).args([
+        "profile",
+        MATMUL_PATH,
+        "--cores",
+        "1",
+        "--chrome-trace",
+        trace_path.to_str().unwrap(),
+    ]));
+    let text = std::fs::read_to_string(&trace_path).unwrap();
+    let doc = Json::parse(&text).expect("chrome trace JSON must parse");
+    let events = doc.get("traceEvents").and_then(Json::as_array).unwrap();
+    let barrier_waits = events
+        .iter()
+        .filter(|e| e.get("name").and_then(Json::as_str) == Some("barrier wait"))
+        .count();
+    assert_eq!(barrier_waits, 0, "single-core runs never wait on a barrier");
+    // The trace still carries real compute spans with positive widths.
+    assert!(events.iter().any(|e| e.get("name").and_then(Json::as_str) == Some("compute")));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Regression: a zero budget is a CLI error up front, not an empty
+/// schedule enumeration that panics picking a best candidate.
+#[test]
+fn tune_budget_zero_is_rejected_upfront() {
+    let out = mlbc()
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .args(["tune", "matmul-4x4x4", "--budget", "0"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success(), "--budget 0 must fail");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("--budget") && stderr.contains("positive"),
+        "error must name the flag and the constraint: {stderr}"
+    );
 }

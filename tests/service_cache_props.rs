@@ -24,7 +24,7 @@ fn request_from(
     k: i64,
     f32p: bool,
     flow_sel: usize,
-    toggles: [bool; 6],
+    toggles: [bool; 7],
     cores_sel: usize,
     driver_legacy: bool,
     seed: u64,
@@ -46,6 +46,7 @@ fn request_from(
             opts.fuse_fill = toggles[3];
             opts.unroll_and_jam = toggles[4];
             opts.stream_pattern_opts = toggles[5];
+            opts.fuse_elementwise = toggles[6];
             opts.cores = [1, 2, 4, 8][cores_sel % 4];
             Flow::Ours(opts)
         }
@@ -72,7 +73,7 @@ proptest! {
         (nn, mm, kk) in (1i64..6, 1i64..6, 1i64..6),
         (f32p, driver_legacy) in (any::<bool>(), any::<bool>()),
         toggles in [any::<bool>(), any::<bool>(), any::<bool>(), any::<bool>(),
-                    any::<bool>(), any::<bool>()],
+                    any::<bool>(), any::<bool>(), any::<bool>()],
         seed in 0u64..1000,
         flip in 0usize..11,
     ) {
@@ -95,7 +96,7 @@ proptest! {
                               toggles, cores_sel, driver_legacy, seed),
             6 => {
                 let mut t = toggles;
-                t[seed as usize % 6] = !t[seed as usize % 6];
+                t[seed as usize % 7] = !t[seed as usize % 7];
                 request_from(kind_sel, kernel_sel, nn, mm, kk, f32p, flow_sel, t,
                              cores_sel, driver_legacy, seed)
             }
@@ -137,7 +138,7 @@ proptest! {
         kernel_sel in 0usize..8,
         f32p in any::<bool>(),
         toggles in [any::<bool>(), any::<bool>(), any::<bool>(), any::<bool>(),
-                    any::<bool>(), any::<bool>()],
+                    any::<bool>(), any::<bool>(), any::<bool>()],
         driver_legacy in any::<bool>(),
         seed in 0u64..100,
     ) {
@@ -196,5 +197,55 @@ proptest! {
         }
         let stats = cache.stats();
         prop_assert_eq!(stats.hits + stats.misses, lookups);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Re-inserting a key that is already live in a cache AT capacity
+    /// must update that entry in place: no unrelated entry may be
+    /// displaced, the eviction counter must not move, and the
+    /// re-inserted key becomes most-recently-used. (Regression shape:
+    /// an eviction scan that runs before the key-presence check throws
+    /// out an unrelated entry on every warm artifact re-submit.)
+    #[test]
+    fn at_capacity_reinsert_updates_in_place(
+        capacity in 1usize..6,
+        reinsert_sel in 0usize..6,
+        values in prop::collection::vec(any::<u64>(), 2),
+    ) {
+        let mut cache: LruCache<u64> = LruCache::new(capacity);
+        for i in 0..capacity {
+            cache.insert(format!("key-{i}"), i as u64);
+        }
+        prop_assert_eq!(cache.len(), capacity);
+        let evictions_before = cache.stats().evictions;
+
+        // Overwrite one live key, twice, while full.
+        let target = format!("key-{}", reinsert_sel % capacity);
+        for &value in &values {
+            cache.insert(target.clone(), value);
+            prop_assert_eq!(cache.len(), capacity);
+            prop_assert_eq!(cache.stats().evictions, evictions_before,
+                            "re-insert of live `{}` displaced an entry", &target);
+            // Every original key is still resident with its value.
+            for i in 0..capacity {
+                let key = format!("key-{i}");
+                let expect = if key == target { value } else { i as u64 };
+                prop_assert_eq!(cache.get(&key).copied(), Some(expect), "lost `{}`", &key);
+            }
+        }
+
+        // The re-inserted key is most-recently-used: inserting one new
+        // key evicts some other entry, never the target.
+        cache.insert(target.clone(), 99);
+        cache.insert("fresh".to_string(), 100);
+        prop_assert_eq!(cache.stats().evictions, evictions_before + 1);
+        if capacity > 1 {
+            prop_assert_eq!(cache.get(&target).copied(), Some(99),
+                            "re-insert did not refresh recency of `{}`", &target);
+        }
+        prop_assert_eq!(cache.get("fresh").copied(), Some(100));
     }
 }

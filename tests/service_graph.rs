@@ -1,0 +1,144 @@
+//! Acceptance suite for the service's batched layer-graph jobs.
+//!
+//! The graph contract: a graph job fans its per-stage compiles out over
+//! the worker pool and reduces to a batched, bit-verified inference
+//! run; the payload is byte-identical no matter how many workers raced
+//! the stage compiles; a warm resubmit is pure result-cache lookup; and
+//! the fused plan of a graph is never slower end-to-end than the
+//! unfused plan of the same graph at the same seed.
+
+use mlb_core::Flow;
+use mlb_ir::DriverMode;
+use mlb_kernels::GraphPreset;
+use mlbe::json::Json;
+use mlbe::service::protocol::graph_instance;
+use mlbe::service::{CompileService, GraphParams, JobKind, JobRequest, ServiceConfig};
+
+fn graph_request(
+    id: u64,
+    preset: GraphPreset,
+    batch: usize,
+    fused: bool,
+    cores: usize,
+) -> JobRequest {
+    let mut opts = mlb_core::PipelineOptions::full();
+    opts.cores = cores;
+    JobRequest {
+        id,
+        kind: JobKind::Graph(GraphParams { preset, batch, fused }),
+        instance: graph_instance(),
+        flow: Flow::Ours(opts),
+        driver: DriverMode::Worklist,
+        seed: 11,
+    }
+}
+
+#[test]
+fn graph_payload_is_identical_across_worker_counts() {
+    let request = graph_request(5, GraphPreset::Nsnet2, 4, true, 1);
+    let solo = CompileService::new(ServiceConfig { workers: 1, cache_capacity: 128 });
+    let racing = CompileService::new(ServiceConfig { workers: 8, cache_capacity: 128 });
+    let reference = solo.run_one(request);
+    let raced = racing.run_batch(&[request]).remove(0);
+    assert!(reference.payload.is_ok(), "{}", reference.payload.as_ref().unwrap_err());
+    assert_eq!(reference.payload_text(), raced.payload_text());
+    assert_eq!(reference.digest, raced.digest);
+    assert_eq!(raced.id, 5);
+}
+
+#[test]
+fn fused_graph_beats_unfused_and_outputs_agree() {
+    let service = CompileService::new(ServiceConfig { workers: 4, cache_capacity: 256 });
+    let fused = service
+        .run_batch(&[graph_request(1, GraphPreset::Nsnet2, 2, true, 1)])
+        .remove(0)
+        .payload
+        .expect("fused graph run succeeds");
+    let unfused = service
+        .run_batch(&[graph_request(2, GraphPreset::Nsnet2, 2, false, 1)])
+        .remove(0)
+        .payload
+        .expect("unfused graph run succeeds");
+    let cycles = |p: &Json| p.get("total_cycles").and_then(Json::as_u64).expect("total_cycles");
+    assert!(
+        cycles(&fused) < cycles(&unfused),
+        "fused {} vs unfused {}",
+        cycles(&fused),
+        cycles(&unfused)
+    );
+    // Fusion relocates intermediates; it must not change the math.
+    assert_eq!(
+        fused.get("output_digest").and_then(Json::as_str),
+        unfused.get("output_digest").and_then(Json::as_str),
+    );
+    // The fused plan has fewer stages (element-wise runs collapse).
+    let stages = |p: &Json| match p.get("stages") {
+        Some(Json::Arr(items)) => items.len(),
+        _ => 0,
+    };
+    assert_eq!(stages(&fused), 4);
+    assert_eq!(stages(&unfused), 6);
+}
+
+#[test]
+fn warm_graph_resubmit_is_a_result_cache_hit() {
+    let service = CompileService::new(ServiceConfig { workers: 2, cache_capacity: 128 });
+    let request = graph_request(9, GraphPreset::EltwiseChain, 3, true, 1);
+    let cold = service.run_batch(&[request]).remove(0);
+    assert!(!cold.cached);
+    assert!(cold.payload.is_ok(), "{}", cold.payload.as_ref().unwrap_err());
+    let warm = service.run_batch(&[request]).remove(0);
+    assert!(warm.cached, "second submission must be served from the result cache");
+    assert_eq!(warm.payload_text(), cold.payload_text());
+}
+
+#[test]
+fn graph_stage_compiles_share_the_artifact_cache_with_kernel_jobs() {
+    use mlb_kernels::{Instance, Kind, Precision, Shape};
+    let service = CompileService::new(ServiceConfig { workers: 2, cache_capacity: 128 });
+    // Pre-compile the first unfused nsnet2 stage (matmult 4x32x40) as a
+    // plain kernel job...
+    let compile = JobRequest {
+        id: 1,
+        kind: JobKind::Compile,
+        instance: Instance::new(Kind::MatMulT, Shape::nmk(4, 32, 40), Precision::F64),
+        flow: Flow::Ours(mlb_core::PipelineOptions::full()),
+        driver: DriverMode::Worklist,
+        seed: 0,
+    };
+    assert!(service.run_one(compile).payload.is_ok());
+    let (artifacts_before, _, _) = service.cache_stats();
+    // ...then run the graph: its matmult stages must hit that artifact
+    // rather than recompile it.
+    let response =
+        service.run_batch(&[graph_request(2, GraphPreset::Nsnet2, 1, true, 1)]).remove(0);
+    assert!(response.payload.is_ok(), "{}", response.payload.as_ref().unwrap_err());
+    let (artifacts_after, _, _) = service.cache_stats();
+    assert!(
+        artifacts_after.hits > artifacts_before.hits,
+        "graph stages must reuse plain kernel artifacts ({artifacts_before:?} -> {artifacts_after:?})"
+    );
+}
+
+#[test]
+fn graph_jobs_ride_mixed_batches_in_request_order() {
+    use mlb_kernels::{Instance, Kind, Precision, Shape};
+    let service = CompileService::new(ServiceConfig { workers: 4, cache_capacity: 128 });
+    let simulate = JobRequest {
+        id: 1,
+        kind: JobKind::Simulate,
+        instance: Instance::new(Kind::Sum, Shape::nm(4, 4), Precision::F64),
+        flow: Flow::Ours(mlb_core::PipelineOptions::full()),
+        driver: DriverMode::Worklist,
+        seed: 2,
+    };
+    let graph = graph_request(2, GraphPreset::EltwiseChain, 2, true, 2);
+    let responses = service.run_batch(&[simulate, graph, JobRequest { id: 3, ..simulate }]);
+    assert_eq!(responses.iter().map(|r| r.id).collect::<Vec<_>>(), vec![1, 2, 3]);
+    for response in &responses {
+        assert!(response.payload.is_ok(), "{}", response.payload.as_ref().unwrap_err());
+    }
+    // Batch 2 on 2 cores double-buffers the flowing values.
+    let payload = responses[1].payload.as_ref().unwrap();
+    assert_eq!(payload.get("double_buffered").and_then(Json::as_bool), Some(true));
+}
