@@ -6,6 +6,11 @@
 //! digest behaves. Recency is tracked with a monotone tick instead of a
 //! linked list — capacities in this service are small enough that the
 //! `O(len)` eviction scan is noise next to a single compile.
+//!
+//! Each cache can carry a *sizer* estimating a value's resident bytes;
+//! the running total is maintained across insertions, overwrites and
+//! evictions so the telemetry layer can report how much memory each
+//! layer holds without walking the entries.
 
 use std::collections::HashMap;
 
@@ -20,12 +25,20 @@ pub struct CacheStats {
     pub insertions: u64,
     /// Entries displaced to respect the capacity bound.
     pub evictions: u64,
+    /// Estimated bytes held by live entries (0 without a sizer).
+    pub resident_bytes: u64,
 }
 
 impl CacheStats {
+    /// Total lookups: by construction always `hits + misses`, so the
+    /// per-layer counters reconcile exactly with the lookup total.
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+
     /// Hit fraction in percent (0 when nothing was looked up yet).
     pub fn hit_rate(&self) -> f64 {
-        let total = self.hits + self.misses;
+        let total = self.lookups();
         if total == 0 {
             0.0
         } else {
@@ -38,7 +51,7 @@ impl CacheStats {
     /// (`hits/total ≥ p/100  ⟺  hits·100 ≥ total·p`). Zero lookups
     /// never meet a positive threshold — "no data" is not "100% hits".
     pub fn meets_hit_rate(&self, min_percent: u64) -> bool {
-        let total = self.hits + self.misses;
+        let total = self.lookups();
         if total == 0 {
             return min_percent == 0;
         }
@@ -50,16 +63,32 @@ impl CacheStats {
 #[derive(Debug)]
 pub struct LruCache<V> {
     capacity: usize,
-    entries: HashMap<String, (V, u64)>,
+    entries: HashMap<String, Entry<V>>,
     tick: u64,
     stats: CacheStats,
+    sizer: fn(&V) -> usize,
+}
+
+#[derive(Debug)]
+struct Entry<V> {
+    value: V,
+    used: u64,
+    bytes: u64,
 }
 
 impl<V> LruCache<V> {
     /// Creates a cache holding at most `capacity` entries (a capacity of
-    /// zero disables storage entirely: every lookup misses).
+    /// zero disables storage entirely: every lookup misses). Resident
+    /// bytes stay 0; use [`LruCache::with_sizer`] to track them.
     pub fn new(capacity: usize) -> LruCache<V> {
-        LruCache { capacity, entries: HashMap::new(), tick: 0, stats: CacheStats::default() }
+        LruCache::with_sizer(capacity, |_| 0)
+    }
+
+    /// Creates a cache that estimates each value's resident bytes with
+    /// `sizer`, keeping [`CacheStats::resident_bytes`] current across
+    /// insertions, overwrites and evictions.
+    pub fn with_sizer(capacity: usize, sizer: fn(&V) -> usize) -> LruCache<V> {
+        LruCache { capacity, entries: HashMap::new(), tick: 0, stats: CacheStats::default(), sizer }
     }
 
     /// The number of live entries.
@@ -82,10 +111,10 @@ impl<V> LruCache<V> {
     pub fn get(&mut self, key: &str) -> Option<&V> {
         self.tick += 1;
         match self.entries.get_mut(key) {
-            Some((value, used)) => {
-                *used = self.tick;
+            Some(entry) => {
+                entry.used = self.tick;
                 self.stats.hits += 1;
-                Some(&*value)
+                Some(&entry.value)
             }
             None => {
                 self.stats.misses += 1;
@@ -104,13 +133,20 @@ impl<V> LruCache<V> {
         self.stats.insertions += 1;
         if !self.entries.contains_key(&key) && self.entries.len() >= self.capacity {
             if let Some(oldest) =
-                self.entries.iter().min_by_key(|(_, (_, used))| *used).map(|(k, _)| k.clone())
+                self.entries.iter().min_by_key(|(_, entry)| entry.used).map(|(k, _)| k.clone())
             {
-                self.entries.remove(&oldest);
+                if let Some(evicted) = self.entries.remove(&oldest) {
+                    self.stats.resident_bytes =
+                        self.stats.resident_bytes.saturating_sub(evicted.bytes);
+                }
                 self.stats.evictions += 1;
             }
         }
-        self.entries.insert(key, (value, self.tick));
+        let bytes = (self.sizer)(&value) as u64;
+        if let Some(replaced) = self.entries.insert(key, Entry { value, used: self.tick, bytes }) {
+            self.stats.resident_bytes = self.stats.resident_bytes.saturating_sub(replaced.bytes);
+        }
+        self.stats.resident_bytes += bytes;
     }
 }
 
@@ -149,6 +185,7 @@ mod tests {
         cache.insert("a".into(), 1);
         assert_eq!(cache.get("a"), None);
         assert!(cache.is_empty());
+        assert_eq!(cache.stats().resident_bytes, 0);
     }
 
     #[test]
@@ -160,6 +197,27 @@ mod tests {
         cache.get("a");
         cache.get("x");
         assert!((cache.stats().hit_rate() - 200.0 / 3.0).abs() < 1e-9);
+        assert_eq!(cache.stats().lookups(), 3);
+        assert_eq!(cache.stats().lookups(), cache.stats().hits + cache.stats().misses);
+    }
+
+    #[test]
+    fn resident_bytes_track_insert_overwrite_and_evict() {
+        let mut cache: LruCache<String> = LruCache::with_sizer(2, |v: &String| v.len());
+        assert_eq!(cache.stats().resident_bytes, 0);
+        cache.insert("a".into(), "xxxx".into()); // 4 bytes
+        cache.insert("b".into(), "yy".into()); // +2 = 6
+        assert_eq!(cache.stats().resident_bytes, 6);
+        cache.insert("a".into(), "z".into()); // overwrite: 6 - 4 + 1 = 3
+        assert_eq!(cache.stats().resident_bytes, 3);
+        assert_eq!(cache.len(), 2);
+        cache.insert("c".into(), "wwwwwwww".into()); // evicts b: 3 - 2 + 8 = 9
+        assert_eq!(cache.stats().evictions, 1);
+        assert_eq!(cache.stats().resident_bytes, 9);
+        // Without a sizer the byte estimate stays 0 by design.
+        let mut untracked: LruCache<String> = LruCache::new(2);
+        untracked.insert("a".into(), "xxxx".into());
+        assert_eq!(untracked.stats().resident_bytes, 0);
     }
 
     #[test]

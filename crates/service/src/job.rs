@@ -62,6 +62,12 @@ pub enum JobKind {
     /// artifacts with ordinary kernel jobs). Never parsed from the
     /// wire; `run_batch`'s plan phase synthesizes these.
     GraphStage(GraphParams, u8),
+    /// In-band service interrogation: report the telemetry summary and
+    /// per-layer cache counters of the *running* service. The kernel
+    /// fields are pinned to the same placeholder the protocol uses for
+    /// graph jobs; the response is never cached (a stats payload
+    /// describes a moment, not a computation).
+    Stats,
     /// Deliberately panics in the worker — the failure-injection job
     /// used to prove panic containment; never useful in production.
     DebugPanic,
@@ -78,6 +84,7 @@ impl JobKind {
             JobKind::Tune(_) => "tune",
             JobKind::Graph(_) => "graph",
             JobKind::GraphStage(..) => "graph-stage",
+            JobKind::Stats => "stats",
             JobKind::DebugPanic => "debug-panic",
         }
     }
@@ -97,6 +104,7 @@ impl JobKind {
             "profile" => Ok(JobKind::Profile),
             "tune" => Ok(JobKind::Tune(TuneParams::default())),
             "graph" => Ok(JobKind::Graph(GraphParams::default())),
+            "stats" => Ok(JobKind::Stats),
             "debug-panic" => Ok(JobKind::DebugPanic),
             other => Err(format!("unknown job kind `{other}`")),
         }
@@ -299,6 +307,7 @@ mod tests {
         fuse_elt.fuse_elementwise = true;
         let variants = vec![
             JobRequest { kind: JobKind::Profile, ..base },
+            JobRequest { kind: JobKind::Stats, ..base },
             JobRequest { kind: JobKind::Tune(TuneParams::default()), ..base },
             JobRequest { kind: JobKind::Graph(GraphParams::default()), ..base },
             JobRequest { kind: JobKind::GraphStage(GraphParams::default(), 0), ..base },

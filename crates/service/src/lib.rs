@@ -18,12 +18,18 @@ pub mod json;
 pub mod pool;
 pub mod protocol;
 pub mod service;
+pub mod sync;
+pub mod telemetry;
+pub mod trace;
 
 pub use cache::{CacheStats, LruCache};
 pub use job::{driver_name, fnv1a128_hex, parse_driver, GraphParams, JobKind, JobRequest};
-pub use pool::{lock_unpoisoned, wait_unpoisoned, WorkerPool};
+pub use pool::{current_dequeued_us, current_worker, WorkerPool};
 pub use protocol::{
     graph_instance, kind_name, parse_kind, parse_request, request_json, response_json, MAX_BATCH,
     MAX_BUDGET, MAX_CORES, MAX_DIM, MAX_SHARD_DIM, MAX_UNROLL,
 };
-pub use service::{CompileService, JobResponse, ServiceConfig};
+pub use service::{cache_stats_json, CompileService, JobResponse, ServiceConfig};
+pub use sync::{lock_unpoisoned, wait_unpoisoned};
+pub use telemetry::{percentile, CacheLayer, JobRecord, Phase, Telemetry};
+pub use trace::TraceWriter;

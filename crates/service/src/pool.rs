@@ -8,37 +8,43 @@
 //! delivery and panic *reporting* are the submitting side's business —
 //! the service wraps each job so that its panic is converted into an
 //! error response before the pool ever sees it unwinding.
+//!
+//! When built with a [`Telemetry`] recorder, the pool publishes each
+//! thread's worker index through [`current_worker`] and the dequeue
+//! timestamp of the in-flight job through [`current_dequeued_us`], so
+//! code running inside a job can attribute its records to the right
+//! track and stamp its own busy span (dequeue → complete) *before* it
+//! signals completion — if the pool recorded the span after the job
+//! returned, a caller woken by the job could snapshot telemetry that
+//! does not yet contain it.
 
+use std::cell::Cell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
-/// Locks `mutex`, recovering from poisoning.
-///
-/// Every mutex in the service guards data that is only mutated *outside*
-/// job bodies (queue handoff, counter bumps, cache bookkeeping), so a
-/// panic that poisons one leaves the protected state consistent — the
-/// poison flag is pure collateral of `catch_unwind` and is safe to
-/// clear. Without this, a single panicking job could wedge every thread
-/// that later touches the same lock, defeating the pool's containment.
-pub fn lock_unpoisoned<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
-    match mutex.lock() {
-        Ok(guard) => guard,
-        Err(poisoned) => poisoned.into_inner(),
-    }
-}
-
-/// Waits on `condvar`, recovering the guard from poisoning (same
-/// reasoning as [`lock_unpoisoned`]).
-pub fn wait_unpoisoned<'a, T>(condvar: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
-    match condvar.wait(guard) {
-        Ok(guard) => guard,
-        Err(poisoned) => poisoned.into_inner(),
-    }
-}
+use crate::sync::lock_unpoisoned;
+use crate::telemetry::Telemetry;
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
+
+thread_local! {
+    static WORKER_INDEX: Cell<Option<usize>> = const { Cell::new(None) };
+    static DEQUEUED_US: Cell<Option<u64>> = const { Cell::new(None) };
+}
+
+/// The pool worker index of the current thread, if it is a pool worker
+/// (`None` on caller/submitter threads).
+pub fn current_worker() -> Option<usize> {
+    WORKER_INDEX.with(Cell::get)
+}
+
+/// The telemetry timestamp at which the current thread's in-flight job
+/// was dequeued (`None` off-pool or when the pool has no recorder).
+pub fn current_dequeued_us() -> Option<u64> {
+    DEQUEUED_US.with(Cell::get)
+}
 
 /// A pool of worker threads executing submitted closures.
 #[derive(Debug)]
@@ -50,15 +56,22 @@ pub struct WorkerPool {
 impl WorkerPool {
     /// Spawns `workers` threads (at least one) waiting for jobs.
     pub fn new(workers: usize) -> WorkerPool {
+        WorkerPool::with_telemetry(workers, None)
+    }
+
+    /// Spawns `workers` threads that stamp a busy span per executed job
+    /// into `telemetry` (when given).
+    pub fn with_telemetry(workers: usize, telemetry: Option<Arc<Telemetry>>) -> WorkerPool {
         let workers = workers.max(1);
         let (sender, receiver) = channel::<Job>();
         let receiver = Arc::new(Mutex::new(receiver));
         let handles = (0..workers)
             .map(|index| {
                 let receiver = Arc::clone(&receiver);
+                let telemetry = telemetry.clone();
                 std::thread::Builder::new()
                     .name(format!("mlb-service-worker-{index}"))
-                    .spawn(move || worker_loop(&receiver))
+                    .spawn(move || worker_loop(index, &receiver, telemetry.as_deref()))
                     .expect("spawn service worker")
             })
             .collect();
@@ -80,14 +93,17 @@ impl WorkerPool {
     }
 }
 
-fn worker_loop(receiver: &Arc<Mutex<Receiver<Job>>>) {
+fn worker_loop(index: usize, receiver: &Arc<Mutex<Receiver<Job>>>, telemetry: Option<&Telemetry>) {
+    WORKER_INDEX.with(|cell| cell.set(Some(index)));
     loop {
         // Holding the lock only while receiving lets other workers pull
         // jobs concurrently with this one executing.
         let job = lock_unpoisoned(receiver).recv();
         match job {
             Ok(job) => {
+                DEQUEUED_US.with(|cell| cell.set(telemetry.map(Telemetry::now_us)));
                 let _ = catch_unwind(AssertUnwindSafe(job));
+                DEQUEUED_US.with(|cell| cell.set(None));
             }
             Err(_) => return, // all senders dropped: orderly shutdown
         }
@@ -106,6 +122,7 @@ impl Drop for WorkerPool {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::sync::wait_unpoisoned;
     use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::Condvar;
 
@@ -166,35 +183,6 @@ mod tests {
     }
 
     #[test]
-    fn helpers_recover_from_a_poisoned_counter() {
-        let pair = Arc::new((Mutex::new(0usize), Condvar::new()));
-        let hook = std::panic::take_hook();
-        std::panic::set_hook(Box::new(|_| {})); // silence the expected panic
-        let p = Arc::clone(&pair);
-        let _ = std::thread::spawn(move || {
-            let _guard = p.0.lock().unwrap();
-            panic!("poison the counter mid-update");
-        })
-        .join();
-        std::panic::set_hook(hook);
-        assert!(pair.0.is_poisoned(), "the panicking thread must poison the mutex");
-        // Both helpers must see through the poison: the data is still
-        // consistent, only the flag is set.
-        *lock_unpoisoned(&pair.0) = 7;
-        let p = Arc::clone(&pair);
-        let notifier = std::thread::spawn(move || {
-            *lock_unpoisoned(&p.0) = 8;
-            p.1.notify_all();
-        });
-        let mut guard = lock_unpoisoned(&pair.0);
-        while *guard != 8 {
-            guard = wait_unpoisoned(&pair.1, guard);
-        }
-        drop(guard);
-        notifier.join().unwrap();
-    }
-
-    #[test]
     fn pool_completion_tracking_survives_a_panicking_job() {
         let pool = WorkerPool::new(2);
         let hook = std::panic::take_hook();
@@ -230,5 +218,36 @@ mod tests {
             c.fetch_add(1, Ordering::SeqCst);
         });
         assert_eq!(counter.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn telemetry_pool_publishes_worker_identity_and_dequeue_time() {
+        let telemetry = Arc::new(Telemetry::new(2));
+        let pool = WorkerPool::with_telemetry(2, Some(Arc::clone(&telemetry)));
+        assert_eq!(current_worker(), None, "submitter threads have no worker index");
+        assert_eq!(current_dequeued_us(), None, "no in-flight job off-pool");
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let s = Arc::clone(&seen);
+        run_all(&pool, 16, move |_| {
+            s.lock().unwrap().push((current_worker(), current_dequeued_us()));
+        });
+        let seen = seen.lock().unwrap();
+        assert_eq!(seen.len(), 16);
+        for (worker, dequeued) in seen.iter() {
+            assert!(matches!(worker, Some(0 | 1)), "jobs run on pool threads");
+            let dequeued = dequeued.expect("dequeue time published while a job runs");
+            assert!(dequeued <= telemetry.now_us());
+        }
+    }
+
+    #[test]
+    fn untracked_pool_publishes_no_dequeue_time() {
+        let pool = WorkerPool::new(1);
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let s = Arc::clone(&seen);
+        run_all(&pool, 4, move |_| {
+            s.lock().unwrap().push(current_dequeued_us());
+        });
+        assert!(seen.lock().unwrap().iter().all(Option::is_none));
     }
 }

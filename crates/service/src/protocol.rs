@@ -131,6 +131,40 @@ pub fn parse_request(line: &str, default_id: u64) -> Result<JobRequest, String> 
     } else if doc.get("cores_max").is_some() || doc.get("budget").is_some() {
         return Err("`cores_max`/`budget` apply only to tune jobs".to_string());
     }
+    if kind == JobKind::Stats {
+        // A stats job interrogates the running service; it describes no
+        // kernel, so kernel/flow/graph fields are rejected rather than
+        // silently dropped. The placeholder instance and pinned
+        // flow/driver/seed keep the request's cache key injective even
+        // though a stats payload is never cached.
+        for key in [
+            "kernel",
+            "n",
+            "m",
+            "k",
+            "precision",
+            "opts",
+            "flow",
+            "cores",
+            "driver",
+            "seed",
+            "graph",
+            "batch",
+            "fused",
+        ] {
+            if doc.get(key).is_some() {
+                return Err(format!("stats jobs take only `id`, not `{key}`"));
+            }
+        }
+        return Ok(JobRequest {
+            id: get_u64(&doc, "id", default_id)?,
+            kind,
+            instance: graph_instance(),
+            flow: Flow::Ours(PipelineOptions::full()),
+            driver: parse_driver("worklist")?,
+            seed: 0,
+        });
+    }
     if let JobKind::Graph(params) = &mut kind {
         let name = get_str(&doc, "graph", GraphPreset::Nsnet2.name())?;
         params.preset =
@@ -244,6 +278,9 @@ fn parse_opts(opts: Option<&Json>) -> Result<PipelineOptions, String> {
 /// Serializes a request back to its protocol line (used by the demo
 /// batch generator; `parse_request` inverts it).
 pub fn request_json(request: &JobRequest) -> Json {
+    if request.kind == JobKind::Stats {
+        return Json::obj(vec![("id", request.id.into()), ("job", "stats".into())]);
+    }
     if let JobKind::Graph(params) = request.kind {
         let mut pairs = vec![
             ("id", request.id.into()),
@@ -442,6 +479,29 @@ mod tests {
         assert_eq!(bare.kind, JobKind::Graph(GraphParams::default()));
         assert_eq!(bare.id, 3);
         assert_eq!(bare.instance, graph_instance());
+    }
+
+    #[test]
+    fn stats_request_roundtrips_and_rejects_kernel_fields() {
+        let bare = parse_request(r#"{"job":"stats"}"#, 11).unwrap();
+        assert_eq!(bare.kind, JobKind::Stats);
+        assert_eq!(bare.id, 11);
+        assert_eq!(bare.instance, graph_instance());
+        assert_eq!(bare.seed, 0);
+        let line = request_json(&bare).to_string();
+        let parsed = parse_request(&line, 0).unwrap();
+        assert_eq!(parsed, bare);
+        for (line, needle) in [
+            (r#"{"job":"stats","kernel":"sum"}"#, "not `kernel`"),
+            (r#"{"job":"stats","n":4}"#, "not `n`"),
+            (r#"{"job":"stats","cores":2}"#, "not `cores`"),
+            (r#"{"job":"stats","seed":1}"#, "not `seed`"),
+            (r#"{"job":"stats","graph":"nsnet2"}"#, "not `graph`"),
+            (r#"{"job":"stats","budget":5}"#, "only to tune"),
+        ] {
+            let err = parse_request(line, 0).unwrap_err();
+            assert!(err.contains(needle), "`{line}`: `{err}` should mention `{needle}`");
+        }
     }
 
     #[test]

@@ -41,8 +41,10 @@ use mlb_sim::{ExecProgram, PerfCounters, StallHistogram};
 use crate::cache::{CacheStats, LruCache};
 use crate::job::{fnv1a128_hex, GraphParams, JobKind, JobRequest};
 use crate::json::Json;
-use crate::pool::{lock_unpoisoned, wait_unpoisoned, WorkerPool};
+use crate::pool::{current_dequeued_us, current_worker, WorkerPool};
 use crate::protocol::request_json;
+use crate::sync::{lock_unpoisoned, wait_unpoisoned};
+use crate::telemetry::{CacheLayer, JobCtx, JobToken, Phase, Telemetry};
 
 /// Sizing knobs of a [`CompileService`].
 #[derive(Debug, Clone, Copy)]
@@ -51,11 +53,16 @@ pub struct ServiceConfig {
     pub workers: usize,
     /// Capacity of each cache layer, in entries.
     pub cache_capacity: usize,
+    /// Whether to record telemetry (job lifecycle spans, cache events,
+    /// worker busy timelines). Telemetry observes execution but never
+    /// touches payloads, so responses are byte-identical either way;
+    /// the cost is a short mutex-guarded append per recorded event.
+    pub telemetry: bool,
 }
 
 impl Default for ServiceConfig {
     fn default() -> ServiceConfig {
-        ServiceConfig { workers: 4, cache_capacity: 256 }
+        ServiceConfig { workers: 4, cache_capacity: 256, telemetry: true }
     }
 }
 
@@ -93,23 +100,60 @@ struct Caches {
     results: LruCache<Json>,
 }
 
+/// State every job path can reach: the cache layers and the (optional)
+/// telemetry recorder. One `Arc` of this is shared between the service
+/// handle and every worker closure.
+#[derive(Debug)]
+struct Shared {
+    caches: Mutex<Caches>,
+    telemetry: Option<Arc<Telemetry>>,
+}
+
+impl Shared {
+    fn caches(&self) -> MutexGuard<'_, Caches> {
+        // A worker can only panic *outside* the lock (job bodies run
+        // before insertion, and insertion itself doesn't run job code),
+        // so a poisoned mutex still guards consistent data; recover it.
+        lock_unpoisoned(&self.caches)
+    }
+
+    /// Records one cache-layer lookup outcome, attributed to the
+    /// current thread's worker track. Called exactly once per
+    /// `LruCache::get`, so telemetry's event counts reconcile with the
+    /// caches' own hit/miss counters.
+    fn note_cache(&self, layer: CacheLayer, hit: bool) {
+        if let Some(telemetry) = &self.telemetry {
+            telemetry.cache_access(layer, hit, current_worker());
+        }
+    }
+
+    fn stats_snapshot(&self) -> (CacheStats, CacheStats, CacheStats) {
+        let caches = self.caches();
+        (caches.artifacts.stats(), caches.execs.stats(), caches.results.stats())
+    }
+}
+
 /// A long-lived, re-entrant compile/simulate/difftest/profile service.
 #[derive(Debug)]
 pub struct CompileService {
     pool: WorkerPool,
-    caches: Arc<Mutex<Caches>>,
+    shared: Arc<Shared>,
 }
 
 impl CompileService {
     /// Builds a service with `config.workers` threads and empty caches.
     pub fn new(config: ServiceConfig) -> CompileService {
+        let telemetry = config.telemetry.then(|| Arc::new(Telemetry::new(config.workers.max(1))));
         CompileService {
-            pool: WorkerPool::new(config.workers),
-            caches: Arc::new(Mutex::new(Caches {
-                artifacts: LruCache::new(config.cache_capacity),
-                execs: LruCache::new(config.cache_capacity),
-                results: LruCache::new(config.cache_capacity),
-            })),
+            pool: WorkerPool::with_telemetry(config.workers, telemetry.clone()),
+            shared: Arc::new(Shared {
+                caches: Mutex::new(Caches {
+                    artifacts: LruCache::with_sizer(config.cache_capacity, compilation_bytes),
+                    execs: LruCache::with_sizer(config.cache_capacity, exec_bytes),
+                    results: LruCache::with_sizer(config.cache_capacity, json_bytes),
+                }),
+                telemetry,
+            }),
         }
     }
 
@@ -118,11 +162,15 @@ impl CompileService {
         self.pool.workers()
     }
 
+    /// The telemetry recorder, when [`ServiceConfig::telemetry`] is on.
+    pub fn telemetry(&self) -> Option<&Telemetry> {
+        self.shared.telemetry.as_deref()
+    }
+
     /// Lifetime statistics of the (artifact, predecode, result) cache
     /// layers.
     pub fn cache_stats(&self) -> (CacheStats, CacheStats, CacheStats) {
-        let caches = lock(&self.caches);
-        (caches.artifacts.stats(), caches.execs.stats(), caches.results.stats())
+        self.shared.stats_snapshot()
     }
 
     /// Runs every request over the worker pool and returns the
@@ -149,28 +197,47 @@ impl CompileService {
             /// on the calling thread, where every stage is a cache hit.
             GraphFan,
         }
+        let telemetry = self.shared.telemetry.as_deref();
+        let tokens: Vec<Option<JobToken>> = requests
+            .iter()
+            .map(|request| telemetry.map(|t| t.job_submitted(request.id, request.kind.name())))
+            .collect();
         let mut plans: Vec<Plan> = Vec::with_capacity(requests.len());
         let mut leaves: Vec<JobRequest> = Vec::new();
+        let mut leaf_tokens: Vec<Option<JobToken>> = Vec::new();
         let mut leaf_index: HashMap<String, usize> = HashMap::new();
-        for &request in requests {
+        for (&request, &token) in requests.iter().zip(&tokens) {
             match request.kind {
                 JobKind::Tune(params) => {
                     let key = request.result_key();
-                    if let Some(payload) = lock(&self.caches).results.get(&key) {
+                    let hit = self.shared.caches().results.get(&key).cloned();
+                    self.shared.note_cache(CacheLayer::Result, hit.is_some());
+                    if let Some(payload) = hit {
+                        finish(telemetry, token, true, true);
                         plans.push(Plan::Ready(JobResponse {
                             id: request.id,
                             digest: fnv1a128_hex(key.as_bytes()),
                             cached: true,
-                            payload: Ok(payload.clone()),
+                            payload: Ok(payload),
                         }));
                         continue;
                     }
-                    let pairs = tune_leaves(&request, params);
+                    // Fan-out parents live on the calling thread from
+                    // planning through reduction; their exec span opens
+                    // here so the expand/reduce phases nest inside it.
+                    start(telemetry, token);
+                    let job_ctx = ctx_for(telemetry, token);
+                    let pairs = {
+                        let _expand = job_ctx.phase(Phase::Expand);
+                        tune_leaves(&request, params)
+                    };
                     for (_, leaf) in &pairs {
                         if let std::collections::hash_map::Entry::Vacant(slot) =
                             leaf_index.entry(leaf.result_key())
                         {
                             slot.insert(leaves.len());
+                            leaf_tokens
+                                .push(telemetry.map(|t| t.job_submitted(0, leaf.kind.name())));
                             leaves.push(*leaf);
                         }
                     }
@@ -178,20 +245,31 @@ impl CompileService {
                 }
                 JobKind::Graph(params) => {
                     let key = request.result_key();
-                    if let Some(payload) = lock(&self.caches).results.get(&key) {
+                    let hit = self.shared.caches().results.get(&key).cloned();
+                    self.shared.note_cache(CacheLayer::Result, hit.is_some());
+                    if let Some(payload) = hit {
+                        finish(telemetry, token, true, true);
                         plans.push(Plan::Ready(JobResponse {
                             id: request.id,
                             digest: fnv1a128_hex(key.as_bytes()),
                             cached: true,
-                            payload: Ok(payload.clone()),
+                            payload: Ok(payload),
                         }));
                         continue;
                     }
-                    for leaf in graph_leaves(&request, params) {
+                    start(telemetry, token);
+                    let job_ctx = ctx_for(telemetry, token);
+                    let stage_leaves = {
+                        let _expand = job_ctx.phase(Phase::Expand);
+                        graph_leaves(&request, params)
+                    };
+                    for leaf in stage_leaves {
                         if let std::collections::hash_map::Entry::Vacant(slot) =
                             leaf_index.entry(leaf.result_key())
                         {
                             slot.insert(leaves.len());
+                            leaf_tokens
+                                .push(telemetry.map(|t| t.job_submitted(0, leaf.kind.name())));
                             leaves.push(leaf);
                         }
                     }
@@ -223,11 +301,11 @@ impl CompileService {
         initial.resize(total, None);
         let slots: Arc<(Mutex<Vec<Option<JobResponse>>>, Condvar)> =
             Arc::new((Mutex::new(initial), Condvar::new()));
-        let submit = |index: usize, request: JobRequest| {
+        let submit = |index: usize, request: JobRequest, token: Option<JobToken>| {
             let slots = Arc::clone(&slots);
-            let caches = Arc::clone(&self.caches);
+            let shared = Arc::clone(&self.shared);
             self.pool.execute(move || {
-                let response = process(request, &caches);
+                let response = process_job(request, &shared, token);
                 let (results, signal) = &*slots;
                 lock_unpoisoned(results)[index] = Some(response);
                 signal.notify_all();
@@ -235,11 +313,11 @@ impl CompileService {
         };
         for (index, (plan, &request)) in plans.iter().zip(requests).enumerate() {
             if matches!(plan, Plan::Direct) {
-                submit(index, request);
+                submit(index, request, tokens[index]);
             }
         }
         for (offset, &leaf) in leaves.iter().enumerate() {
-            submit(requests.len() + offset, leaf);
+            submit(requests.len() + offset, leaf, leaf_tokens[offset]);
         }
         let (results, signal) = &*slots;
         let mut guard = lock_unpoisoned(results);
@@ -262,13 +340,18 @@ impl CompileService {
                 // The leaves already warmed every stage artifact, so
                 // this recomputation is compile-free; it also memoizes
                 // the graph payload under the request's result key.
-                Plan::GraphFan => process(request, &self.caches),
+                Plan::GraphFan => process_job(request, &self.shared, tokens[index]),
                 Plan::Fan(params, pairs) => {
                     let payload_of = |pair: usize| {
                         let key = pairs[pair].1.result_key();
                         filled[requests.len() + leaf_index[&key]].payload.clone()
                     };
-                    let payload = reduce_tune(&request, *params, pairs, &payload_of, &self.caches);
+                    let job_ctx = ctx_for(telemetry, tokens[index]);
+                    let payload = {
+                        let _reduce = job_ctx.phase(Phase::Reduce);
+                        reduce_tune(&request, *params, pairs, &payload_of, &self.shared)
+                    };
+                    finish(telemetry, tokens[index], false, payload.is_ok());
                     JobResponse { id: request.id, digest: request.digest(), cached: false, payload }
                 }
             })
@@ -278,25 +361,69 @@ impl CompileService {
     /// Convenience for tests and the CLI: a single job, inline. Tune
     /// requests fan out sequentially on the calling thread.
     pub fn run_one(&self, request: JobRequest) -> JobResponse {
+        let telemetry = self.shared.telemetry.as_deref();
+        let token = telemetry.map(|t| t.job_submitted(request.id, request.kind.name()));
         if let JobKind::Tune(params) = request.kind {
             let key = request.result_key();
             let digest = fnv1a128_hex(key.as_bytes());
-            if let Some(payload) = lock(&self.caches).results.get(&key) {
-                return JobResponse {
-                    id: request.id,
-                    digest,
-                    cached: true,
-                    payload: Ok(payload.clone()),
-                };
+            let hit = self.shared.caches().results.get(&key).cloned();
+            self.shared.note_cache(CacheLayer::Result, hit.is_some());
+            if let Some(payload) = hit {
+                finish(telemetry, token, true, true);
+                return JobResponse { id: request.id, digest, cached: true, payload: Ok(payload) };
             }
-            let pairs = tune_leaves(&request, params);
-            let payloads: Vec<Result<Json, String>> =
-                pairs.iter().map(|(_, leaf)| process(*leaf, &self.caches).payload).collect();
-            let payload =
-                reduce_tune(&request, params, &pairs, &|pair| payloads[pair].clone(), &self.caches);
+            start(telemetry, token);
+            let job_ctx = ctx_for(telemetry, token);
+            let pairs = {
+                let _expand = job_ctx.phase(Phase::Expand);
+                tune_leaves(&request, params)
+            };
+            let payloads: Vec<Result<Json, String>> = pairs
+                .iter()
+                .map(|(_, leaf)| {
+                    let leaf_token = telemetry.map(|t| t.job_submitted(0, leaf.kind.name()));
+                    process_job(*leaf, &self.shared, leaf_token).payload
+                })
+                .collect();
+            let payload = {
+                let _reduce = job_ctx.phase(Phase::Reduce);
+                reduce_tune(&request, params, &pairs, &|pair| payloads[pair].clone(), &self.shared)
+            };
+            finish(telemetry, token, false, payload.is_ok());
             return JobResponse { id: request.id, digest, cached: false, payload };
         }
-        process(request, &self.caches)
+        process_job(request, &self.shared, token)
+    }
+}
+
+/// The [`JobCtx`] for a (possibly absent) recorder/token pair.
+fn ctx_for<'a>(telemetry: Option<&'a Telemetry>, token: Option<JobToken>) -> JobCtx<'a> {
+    match (telemetry, token) {
+        (Some(telemetry), Some(token)) => JobCtx::new(telemetry, token),
+        _ => JobCtx::disabled(),
+    }
+}
+
+/// Opens a job's exec span on the current thread (no-op without a
+/// recorder). Idempotent: the first call wins, so a fan-out parent
+/// started at planning time is not restarted by its reduce-phase run.
+fn start(telemetry: Option<&Telemetry>, token: Option<JobToken>) {
+    if let (Some(telemetry), Some(token)) = (telemetry, token) {
+        telemetry.job_started(token, current_worker());
+    }
+}
+
+/// Closes a job's lifecycle (no-op without a recorder). When the job
+/// ran on a pool worker, this also stamps the worker's busy span
+/// (dequeue → now) — it must happen here, on the worker, before the
+/// job's completion is signalled: a caller woken by that signal may
+/// snapshot telemetry immediately, and the span has to already be in it.
+fn finish(telemetry: Option<&Telemetry>, token: Option<JobToken>, cached: bool, ok: bool) {
+    if let (Some(telemetry), Some(token)) = (telemetry, token) {
+        telemetry.job_finished(token, cached, ok);
+        if let (Some(worker), Some(dequeued_us)) = (current_worker(), current_dequeued_us()) {
+            telemetry.worker_busy_span(worker, dequeued_us, telemetry.now_us());
+        }
     }
 }
 
@@ -376,17 +503,20 @@ fn graph_stage_exec(
     stage_index: usize,
     stage: &GraphStage,
     request: &JobRequest,
-    caches: &Arc<Mutex<Caches>>,
+    shared: &Shared,
+    job_ctx: JobCtx<'_>,
 ) -> Result<(Arc<Compilation>, Arc<ExecProgram>), String> {
     let (key, compiled) = if stage.is_fused() {
         let key = graph_stage_key(params, stage_index, stage, request);
         // Probe with the guard confined to its own statement: an if-let
         // scrutinee's guard would live through the miss branch and
         // self-deadlock on the insert below.
-        let hit = lock(caches).artifacts.get(&key).map(Arc::clone);
+        let hit = shared.caches().artifacts.get(&key).map(Arc::clone);
+        shared.note_cache(CacheLayer::Artifact, hit.is_some());
         let compiled = if let Some(hit) = hit {
             hit
         } else {
+            let _compile = job_ctx.phase(Phase::Compile);
             let mut ctx = Context::new();
             ctx.set_driver_mode(request.driver);
             let module = stage.build_module(&mut ctx);
@@ -395,7 +525,7 @@ fn graph_stage_exec(
                 compile(&mut ctx, module, flow)
                     .map_err(|e| format!("stage `{}`: compile: {e}", stage.symbol))?,
             );
-            lock(caches).artifacts.insert(key.clone(), Arc::clone(&compiled));
+            shared.caches().artifacts.insert(key.clone(), Arc::clone(&compiled));
             compiled
         };
         (key, compiled)
@@ -408,11 +538,11 @@ fn graph_stage_exec(
             driver: request.driver,
             seed: 0,
         };
-        let compiled =
-            artifact(&leaf, caches).map_err(|e| format!("stage `{}`: {e}", stage.symbol))?;
+        let compiled = artifact(&leaf, shared, job_ctx)
+            .map_err(|e| format!("stage `{}`: {e}", stage.symbol))?;
         (leaf.compile_key(), compiled)
     };
-    let exec = predecoded_exec(&key, &compiled, caches)
+    let exec = predecoded_exec(&key, &compiled, shared, job_ctx)
         .map_err(|e| format!("stage `{}`: {e}", stage.symbol))?;
     Ok((compiled, exec))
 }
@@ -447,7 +577,7 @@ fn reduce_tune(
     params: TuneParams,
     pairs: &[(ScheduleVariant, JobRequest)],
     payload_of: &dyn Fn(usize) -> Result<Json, String>,
-    caches: &Arc<Mutex<Caches>>,
+    shared: &Shared,
 ) -> Result<Json, String> {
     let footprint = tcdm_footprint(&request.instance);
     let mut points: Vec<TunePoint> = Vec::new();
@@ -485,7 +615,7 @@ fn reduce_tune(
         .find(|(variant, _)| variant.label == best.label)
         .map(|(_, leaf)| *leaf)
         .expect("the best point names an enumerated variant");
-    let why = winner_profile(&best_leaf, caches);
+    let why = winner_profile(&best_leaf, shared);
     let payload = Json::obj(vec![
         ("space_version", u64::from(SEARCH_SPACE_VERSION).into()),
         ("cores_max", params.cores_max.into()),
@@ -509,7 +639,7 @@ fn reduce_tune(
         ("variants", Json::Arr(variants)),
         ("why", why),
     ]);
-    lock(caches).results.insert(request.result_key(), payload.clone());
+    shared.caches().results.insert(request.result_key(), payload.clone());
     Ok(payload)
 }
 
@@ -518,7 +648,7 @@ fn reduce_tune(
 /// width 1 with automatic sharding — the stall structure of the kernel
 /// body, which is what the schedule changes, is per-core). Failures
 /// degrade to `null` rather than failing the tune.
-fn winner_profile(best_leaf: &JobRequest, caches: &Arc<Mutex<Caches>>) -> Json {
+fn winner_profile(best_leaf: &JobRequest, shared: &Shared) -> Json {
     let flow = match best_leaf.flow {
         Flow::Ours(mut opts) => {
             opts.cores = 1;
@@ -528,29 +658,36 @@ fn winner_profile(best_leaf: &JobRequest, caches: &Arc<Mutex<Caches>>) -> Json {
         other => other,
     };
     let probe = JobRequest { id: 0, kind: JobKind::Profile, flow, ..*best_leaf };
-    match process(probe, caches).payload {
+    match process_job(probe, shared, None).payload {
         Ok(profile) => profile,
         Err(_) => Json::Null,
     }
 }
 
-fn lock(caches: &Arc<Mutex<Caches>>) -> MutexGuard<'_, Caches> {
-    // A worker can only panic *outside* the lock (job bodies run before
-    // insertion, and insertion itself doesn't run job code), so a
-    // poisoned mutex still guards consistent data; recover it.
-    lock_unpoisoned(caches)
-}
-
-fn process(request: JobRequest, caches: &Arc<Mutex<Caches>>) -> JobResponse {
+fn process_job(request: JobRequest, shared: &Shared, token: Option<JobToken>) -> JobResponse {
+    let telemetry = shared.telemetry.as_deref();
+    start(telemetry, token);
+    let job_ctx = ctx_for(telemetry, token);
     let result_key = request.result_key();
     let digest = fnv1a128_hex(result_key.as_bytes());
-    if let Some(payload) = lock(caches).results.get(&result_key) {
-        return JobResponse { id: request.id, digest, cached: true, payload: Ok(payload.clone()) };
+    // A stats payload describes the service's current moment, not a
+    // computation; caching one would freeze it, so stats jobs bypass
+    // the result layer in both directions.
+    let cacheable = !matches!(request.kind, JobKind::Stats);
+    if cacheable {
+        let hit = shared.caches().results.get(&result_key).cloned();
+        shared.note_cache(CacheLayer::Result, hit.is_some());
+        if let Some(payload) = hit {
+            finish(telemetry, token, true, true);
+            return JobResponse { id: request.id, digest, cached: true, payload: Ok(payload) };
+        }
     }
-    let outcome = catch_unwind(AssertUnwindSafe(|| compute(request, caches)));
+    let outcome = catch_unwind(AssertUnwindSafe(|| compute(request, shared, job_ctx)));
     let payload = match outcome {
         Ok(Ok(json)) => {
-            lock(caches).results.insert(result_key, json.clone());
+            if cacheable {
+                shared.caches().results.insert(result_key, json.clone());
+            }
             Ok(json)
         }
         Ok(Err(message)) => Err(message),
@@ -558,6 +695,7 @@ fn process(request: JobRequest, caches: &Arc<Mutex<Caches>>) -> JobResponse {
         // would coerce the `Box` itself to `&dyn Any` and never downcast.
         Err(panic) => Err(format!("panic: {}", panic_message(panic.as_ref()))),
     };
+    finish(telemetry, token, false, payload.is_ok());
     JobResponse { id: request.id, digest, cached: false, payload }
 }
 
@@ -572,19 +710,26 @@ fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
 }
 
 /// Fetches (or compiles and caches) the request's compilation artifact.
-fn artifact(request: &JobRequest, caches: &Arc<Mutex<Caches>>) -> Result<Arc<Compilation>, String> {
+fn artifact(
+    request: &JobRequest,
+    shared: &Shared,
+    job_ctx: JobCtx<'_>,
+) -> Result<Arc<Compilation>, String> {
     let compile_key = request.compile_key();
-    if let Some(hit) = lock(caches).artifacts.get(&compile_key) {
-        return Ok(Arc::clone(hit));
+    let hit = shared.caches().artifacts.get(&compile_key).map(Arc::clone);
+    shared.note_cache(CacheLayer::Artifact, hit.is_some());
+    if let Some(hit) = hit {
+        return Ok(hit);
     }
     // Compile outside the lock: concurrent duplicate misses waste a
     // compile but keep the caches responsive and are idempotent.
+    let _compile = job_ctx.phase(Phase::Compile);
     let mut ctx = Context::new();
     ctx.set_driver_mode(request.driver);
     let module = request.instance.build_module(&mut ctx);
     let compilation =
         Arc::new(compile(&mut ctx, module, request.flow).map_err(|e| format!("compile: {e}"))?);
-    lock(caches).artifacts.insert(compile_key, Arc::clone(&compilation));
+    shared.caches().artifacts.insert(compile_key, Arc::clone(&compilation));
     Ok(compilation)
 }
 
@@ -597,12 +742,16 @@ fn artifact(request: &JobRequest, caches: &Arc<Mutex<Caches>>) -> Result<Arc<Com
 /// flavours must never alias a cache slot.
 fn located_artifact(
     request: &JobRequest,
-    caches: &Arc<Mutex<Caches>>,
+    shared: &Shared,
+    job_ctx: JobCtx<'_>,
 ) -> Result<Arc<Compilation>, String> {
     let compile_key = format!("withlocs|{}", request.compile_key());
-    if let Some(hit) = lock(caches).artifacts.get(&compile_key) {
-        return Ok(Arc::clone(hit));
+    let hit = shared.caches().artifacts.get(&compile_key).map(Arc::clone);
+    shared.note_cache(CacheLayer::Artifact, hit.is_some());
+    if let Some(hit) = hit {
+        return Ok(hit);
     }
+    let _compile = job_ctx.phase(Phase::Compile);
     let source = {
         let mut ctx = Context::new();
         let module = request.instance.build_module(&mut ctx);
@@ -615,7 +764,7 @@ fn located_artifact(
         .map_err(|e| format!("reparse for profile: {e}"))?;
     let compilation =
         Arc::new(compile(&mut ctx, module, request.flow).map_err(|e| format!("compile: {e}"))?);
-    lock(caches).artifacts.insert(compile_key, Arc::clone(&compilation));
+    shared.caches().artifacts.insert(compile_key, Arc::clone(&compilation));
     Ok(compilation)
 }
 
@@ -627,20 +776,24 @@ fn located_artifact(
 fn predecoded_exec(
     artifact_key: &str,
     artifact: &Compilation,
-    caches: &Arc<Mutex<Caches>>,
+    shared: &Shared,
+    job_ctx: JobCtx<'_>,
 ) -> Result<Arc<ExecProgram>, String> {
     let exec_key = format!("predecode|{artifact_key}");
-    if let Some(hit) = lock(caches).execs.get(&exec_key) {
-        return Ok(Arc::clone(hit));
+    let hit = shared.caches().execs.get(&exec_key).map(Arc::clone);
+    shared.note_cache(CacheLayer::Predecode, hit.is_some());
+    if let Some(hit) = hit {
+        return Ok(hit);
     }
     // Predecode outside the lock, mirroring `artifact`: duplicate
     // concurrent misses waste a predecode but stay idempotent.
+    let _predecode = job_ctx.phase(Phase::Predecode);
     let exec = Arc::new(predecode(artifact).map_err(|e| format!("predecode: {e}"))?);
-    lock(caches).execs.insert(exec_key, Arc::clone(&exec));
+    shared.caches().execs.insert(exec_key, Arc::clone(&exec));
     Ok(exec)
 }
 
-fn compute(request: JobRequest, caches: &Arc<Mutex<Caches>>) -> Result<Json, String> {
+fn compute(request: JobRequest, shared: &Shared, job_ctx: JobCtx<'_>) -> Result<Json, String> {
     if let Flow::Ours(opts) = request.flow {
         if opts.cores == 0 {
             return Err("cores must be at least 1".to_string());
@@ -656,8 +809,24 @@ fn compute(request: JobRequest, caches: &Arc<Mutex<Caches>>) -> Result<Json, Str
             Err("tune jobs fan out in run_batch/run_one; not directly computable".to_string())
         }
         JobKind::Compile => {
-            let artifact = artifact(&request, caches)?;
+            let artifact = artifact(&request, shared, job_ctx)?;
             Ok(compilation_json(&artifact))
+        }
+        JobKind::Stats => {
+            let (artifacts, execs, results) = shared.stats_snapshot();
+            let mut fields = vec![(
+                "caches",
+                Json::obj(vec![
+                    ("artifact", cache_stats_json(&artifacts)),
+                    ("predecode", cache_stats_json(&execs)),
+                    ("result", cache_stats_json(&results)),
+                ]),
+            )];
+            match &shared.telemetry {
+                Some(telemetry) => fields.push(("telemetry", telemetry.summary_json())),
+                None => fields.push(("telemetry", Json::Bool(false))),
+            }
+            Ok(Json::obj(fields))
         }
         JobKind::Graph(params) => {
             let graph = params.preset.graph();
@@ -672,11 +841,14 @@ fn compute(request: JobRequest, caches: &Arc<Mutex<Caches>>) -> Result<Json, Str
             let plan = graph.plan(params.fused, double).map_err(|e| format!("graph plan: {e}"))?;
             let mut execs = Vec::with_capacity(plan.stages.len());
             for (index, stage) in plan.stages.iter().enumerate() {
-                let (_, exec) = graph_stage_exec(params, index, stage, &request, caches)?;
+                let (_, exec) = graph_stage_exec(params, index, stage, &request, shared, job_ctx)?;
                 execs.push(exec);
             }
             let refs: Vec<&ExecProgram> = execs.iter().map(Arc::as_ref).collect();
-            let outcome = run_planned(&plan, &cfg, &refs).map_err(|e| format!("graph run: {e}"))?;
+            let outcome = {
+                let _simulate = job_ctx.phase(Phase::Simulate);
+                run_planned(&plan, &cfg, &refs).map_err(|e| format!("graph run: {e}"))?
+            };
             let stages = outcome
                 .stage_symbols
                 .iter()
@@ -715,17 +887,19 @@ fn compute(request: JobRequest, caches: &Arc<Mutex<Caches>>) -> Result<Json, Str
                 format!("graph `{}` has no stage {stage_index}", params.preset.name())
             })?;
             let (compiled, _) =
-                graph_stage_exec(params, stage_index as usize, stage, &request, caches)?;
+                graph_stage_exec(params, stage_index as usize, stage, &request, shared, job_ctx)?;
             Ok(compilation_json(&compiled))
         }
         JobKind::Simulate => {
-            let artifact = artifact(&request, caches)?;
-            let exec = predecoded_exec(&request.compile_key(), &artifact, caches)?;
+            let artifact = artifact(&request, shared, job_ctx)?;
+            let exec = predecoded_exec(&request.compile_key(), &artifact, shared, job_ctx)?;
             let cores = request.cores();
             if cores > 1 {
-                let outcome =
+                let outcome = {
+                    let _simulate = job_ctx.phase(Phase::Simulate);
                     run_predecoded_on_cluster(&request.instance, &exec, request.seed, cores)
-                        .map_err(|e| format!("cluster run: {e}"))?;
+                        .map_err(|e| format!("cluster run: {e}"))?
+                };
                 Ok(Json::obj(vec![
                     ("cores", cores.into()),
                     ("aggregate", counters_json(&outcome.counters.aggregate)),
@@ -739,8 +913,11 @@ fn compute(request: JobRequest, caches: &Arc<Mutex<Caches>>) -> Result<Json, Str
                     ("output_digest", output_digest(&outcome.output).into()),
                 ]))
             } else {
-                let outcome = run_predecoded(&request.instance, &exec, request.seed)
-                    .map_err(|e| format!("run: {e}"))?;
+                let outcome = {
+                    let _simulate = job_ctx.phase(Phase::Simulate);
+                    run_predecoded(&request.instance, &exec, request.seed)
+                        .map_err(|e| format!("run: {e}"))?
+                };
                 Ok(Json::obj(vec![
                     ("cores", 1u64.into()),
                     ("counters", counters_json(&outcome.counters)),
@@ -749,8 +926,11 @@ fn compute(request: JobRequest, caches: &Arc<Mutex<Caches>>) -> Result<Json, Str
             }
         }
         JobKind::Difftest => {
-            let outcome = difftest_instance(&request.instance, request.flow, request.seed)
-                .map_err(|e| format!("difftest: {e}"))?;
+            let outcome = {
+                let _simulate = job_ctx.phase(Phase::Simulate);
+                difftest_instance(&request.instance, request.flow, request.seed)
+                    .map_err(|e| format!("difftest: {e}"))?
+            };
             Ok(Json::obj(vec![
                 ("stages", Json::Arr(outcome.stages.iter().map(|&s| s.into()).collect())),
                 ("num_stages", outcome.stages.len().into()),
@@ -760,11 +940,18 @@ fn compute(request: JobRequest, caches: &Arc<Mutex<Caches>>) -> Result<Json, Str
             if request.cores() > 1 {
                 return Err("profile jobs run single-core; drop `cores`".to_string());
             }
-            let artifact = located_artifact(&request, caches)?;
-            let exec =
-                predecoded_exec(&format!("withlocs|{}", request.compile_key()), &artifact, caches)?;
-            let (outcome, trace) = run_predecoded_traced(&request.instance, &exec, request.seed)
-                .map_err(|e| format!("run: {e}"))?;
+            let artifact = located_artifact(&request, shared, job_ctx)?;
+            let exec = predecoded_exec(
+                &format!("withlocs|{}", request.compile_key()),
+                &artifact,
+                shared,
+                job_ctx,
+            )?;
+            let (outcome, trace) = {
+                let _simulate = job_ctx.phase(Phase::Simulate);
+                run_predecoded_traced(&request.instance, &exec, request.seed)
+                    .map_err(|e| format!("run: {e}"))?
+            };
             let profile = Profile::from_trace(&trace, &artifact.source_map);
             Ok(Json::obj(vec![
                 ("total_cycles", profile.total_cycles.into()),
@@ -791,6 +978,59 @@ fn compute(request: JobRequest, caches: &Arc<Mutex<Caches>>) -> Result<Json, Str
             ]))
         }
     }
+}
+
+/// Estimated resident bytes of a cached compilation artifact: the
+/// assembly text plus the per-function register tables and the
+/// source-map/pass vectors. An estimate, not an allocator census — the
+/// telemetry counters only need relative magnitude.
+fn compilation_bytes(compilation: &Arc<Compilation>) -> usize {
+    let functions: usize = compilation
+        .functions
+        .iter()
+        .map(|(name, stats)| name.len() + std::mem::size_of_val(stats))
+        .sum();
+    compilation.assembly.len()
+        + functions
+        + std::mem::size_of_val(compilation.passes.as_slice())
+        + std::mem::size_of_val(compilation.source_map.as_slice())
+}
+
+/// Estimated resident bytes of a predecoded program. The predecode
+/// tables (step plan, frep classes, tail weights) are parallel to the
+/// instruction stream, so four machine-word-sized rows per instruction
+/// is a close, cheap bound.
+fn exec_bytes(exec: &Arc<ExecProgram>) -> usize {
+    let program = exec.program();
+    let symbols: usize =
+        program.symbols.keys().map(|name| name.len() + std::mem::size_of::<usize>()).sum();
+    std::mem::size_of_val(program.instrs.as_slice()) * 4 + symbols
+}
+
+/// Estimated resident bytes of a cached result payload: string content
+/// plus a small per-node overhead.
+fn json_bytes(json: &Json) -> usize {
+    match json {
+        Json::Null | Json::Bool(_) | Json::Num(_) => 8,
+        Json::Str(text) => text.len() + 8,
+        Json::Arr(items) => 8 + items.iter().map(json_bytes).sum::<usize>(),
+        Json::Obj(fields) => {
+            8 + fields.iter().map(|(key, value)| key.len() + json_bytes(value)).sum::<usize>()
+        }
+    }
+}
+
+/// Serializes one cache layer's [`CacheStats`] counters, as reported by
+/// the `stats` job and `mlbc serve --metrics-json`.
+pub fn cache_stats_json(stats: &CacheStats) -> Json {
+    Json::obj(vec![
+        ("lookups", stats.lookups().into()),
+        ("hits", stats.hits.into()),
+        ("misses", stats.misses.into()),
+        ("insertions", stats.insertions.into()),
+        ("evictions", stats.evictions.into()),
+        ("resident_bytes", stats.resident_bytes.into()),
+    ])
 }
 
 fn compilation_json(compilation: &Compilation) -> Json {

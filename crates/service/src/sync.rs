@@ -1,0 +1,64 @@
+//! Mutex-poisoning recovery helpers shared by the pool, the caches and
+//! the telemetry recorder.
+//!
+//! Every mutex in the service guards data that is only mutated *outside*
+//! job bodies (queue handoff, counter bumps, cache bookkeeping, span
+//! records), so a panic that poisons one leaves the protected state
+//! consistent — the poison flag is pure collateral of `catch_unwind`
+//! and is safe to clear. Without this, a single panicking job could
+//! wedge every thread that later touches the same lock, defeating the
+//! pool's containment.
+
+use std::sync::{Condvar, Mutex, MutexGuard};
+
+/// Locks `mutex`, recovering from poisoning.
+pub fn lock_unpoisoned<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    match mutex.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Waits on `condvar`, recovering the guard from poisoning (same
+/// reasoning as [`lock_unpoisoned`]).
+pub fn wait_unpoisoned<'a, T>(condvar: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    match condvar.wait(guard) {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn helpers_recover_from_a_poisoned_counter() {
+        let pair = Arc::new((Mutex::new(0usize), Condvar::new()));
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {})); // silence the expected panic
+        let p = Arc::clone(&pair);
+        let _ = std::thread::spawn(move || {
+            let _guard = p.0.lock().unwrap();
+            panic!("poison the counter mid-update");
+        })
+        .join();
+        std::panic::set_hook(hook);
+        assert!(pair.0.is_poisoned(), "the panicking thread must poison the mutex");
+        // Both helpers must see through the poison: the data is still
+        // consistent, only the flag is set.
+        *lock_unpoisoned(&pair.0) = 7;
+        let p = Arc::clone(&pair);
+        let notifier = std::thread::spawn(move || {
+            *lock_unpoisoned(&p.0) = 8;
+            p.1.notify_all();
+        });
+        let mut guard = lock_unpoisoned(&pair.0);
+        while *guard != 8 {
+            guard = wait_unpoisoned(&pair.1, guard);
+        }
+        drop(guard);
+        notifier.join().unwrap();
+    }
+}

@@ -1,0 +1,210 @@
+//! A shared Chrome trace-event writer.
+//!
+//! Both trace exports in the tree — the per-hart simulator timeline
+//! behind `mlbc profile --chrome-trace` and the service-run timeline
+//! behind `mlbc serve --trace-out` — emit the same trace-event JSON
+//! flavour understood by `chrome://tracing` and Perfetto. This writer
+//! centralizes that emission (and, through [`crate::json::Json`], the
+//! one string-escaping implementation) so the two exports stay
+//! byte-compatible and can be merged into a single timeline by
+//! concatenating their event lists with [`TraceWriter::extend`].
+//!
+//! Only the event phases the tree actually uses are modelled: complete
+//! spans (`"X"`), instant events (`"i"`) and thread/process metadata
+//! (`"M"`). Timestamps and durations are interpreted by the viewer in
+//! microseconds; the profiler maps simulator cycles onto that axis
+//! 1:1, the service uses real microseconds since service start.
+
+use crate::json::Json;
+
+/// Accumulates Chrome trace events and renders them as one JSON
+/// document (`{"traceEvents": [...], "displayTimeUnit": "ms"}`).
+#[derive(Debug, Default)]
+pub struct TraceWriter {
+    events: Vec<Json>,
+}
+
+impl TraceWriter {
+    /// Creates an empty writer.
+    pub fn new() -> TraceWriter {
+        TraceWriter::default()
+    }
+
+    /// The number of events recorded so far.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether no events were recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Names the process `pid` in the viewer's track list.
+    pub fn process_name(&mut self, pid: u64, name: &str) {
+        self.metadata(pid, None, "process_name", name);
+    }
+
+    /// Names thread `tid` of process `pid` in the viewer's track list.
+    pub fn thread_name(&mut self, pid: u64, tid: u64, name: &str) {
+        self.metadata(pid, Some(tid), "thread_name", name);
+    }
+
+    fn metadata(&mut self, pid: u64, tid: Option<u64>, kind: &str, name: &str) {
+        let mut fields = vec![
+            ("name".to_string(), Json::Str(kind.to_string())),
+            ("ph".to_string(), Json::Str("M".to_string())),
+            ("pid".to_string(), Json::Num(pid as f64)),
+        ];
+        if let Some(tid) = tid {
+            fields.push(("tid".to_string(), Json::Num(tid as f64)));
+        }
+        fields.push((
+            "args".to_string(),
+            Json::Obj(vec![("name".to_string(), Json::Str(name.to_string()))]),
+        ));
+        self.events.push(Json::Obj(fields));
+    }
+
+    /// Records a complete span (`ph: "X"`) on track `(pid, tid)`.
+    pub fn span(&mut self, pid: u64, tid: u64, name: &str, cat: &str, ts: u64, dur: u64) {
+        self.span_event(pid, tid, name, cat, ts, dur, None);
+    }
+
+    /// Records a complete span carrying an `args` object.
+    #[allow(clippy::too_many_arguments)]
+    pub fn span_with_args(
+        &mut self,
+        pid: u64,
+        tid: u64,
+        name: &str,
+        cat: &str,
+        ts: u64,
+        dur: u64,
+        args: Json,
+    ) {
+        self.span_event(pid, tid, name, cat, ts, dur, Some(args));
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn span_event(
+        &mut self,
+        pid: u64,
+        tid: u64,
+        name: &str,
+        cat: &str,
+        ts: u64,
+        dur: u64,
+        args: Option<Json>,
+    ) {
+        let mut fields = vec![
+            ("name".to_string(), Json::Str(name.to_string())),
+            ("cat".to_string(), Json::Str(cat.to_string())),
+            ("ph".to_string(), Json::Str("X".to_string())),
+            ("ts".to_string(), Json::Num(ts as f64)),
+            ("dur".to_string(), Json::Num(dur as f64)),
+            ("pid".to_string(), Json::Num(pid as f64)),
+            ("tid".to_string(), Json::Num(tid as f64)),
+        ];
+        if let Some(args) = args {
+            fields.push(("args".to_string(), args));
+        }
+        self.events.push(Json::Obj(fields));
+    }
+
+    /// Records an instant event (`ph: "i"`, thread scope) on track
+    /// `(pid, tid)`.
+    pub fn instant(&mut self, pid: u64, tid: u64, name: &str, cat: &str, ts: u64) {
+        self.instant_with_args(pid, tid, name, cat, ts, None);
+    }
+
+    /// Records an instant event carrying an optional `args` object.
+    pub fn instant_with_args(
+        &mut self,
+        pid: u64,
+        tid: u64,
+        name: &str,
+        cat: &str,
+        ts: u64,
+        args: Option<Json>,
+    ) {
+        let mut fields = vec![
+            ("name".to_string(), Json::Str(name.to_string())),
+            ("cat".to_string(), Json::Str(cat.to_string())),
+            ("ph".to_string(), Json::Str("i".to_string())),
+            ("s".to_string(), Json::Str("t".to_string())),
+            ("ts".to_string(), Json::Num(ts as f64)),
+            ("pid".to_string(), Json::Num(pid as f64)),
+            ("tid".to_string(), Json::Num(tid as f64)),
+        ];
+        if let Some(args) = args {
+            fields.push(("args".to_string(), args));
+        }
+        self.events.push(Json::Obj(fields));
+    }
+
+    /// Appends every event of `other`, preserving order. Merging a
+    /// profiler trace into a service trace (distinct `pid`s) yields one
+    /// combined timeline.
+    pub fn extend(&mut self, other: TraceWriter) {
+        self.events.extend(other.events);
+    }
+
+    /// Renders the accumulated events as the trace-file JSON document.
+    pub fn into_json(self) -> Json {
+        Json::Obj(vec![
+            ("traceEvents".to_string(), Json::Arr(self.events)),
+            ("displayTimeUnit".to_string(), Json::Str("ms".to_string())),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_round_trips_through_the_json_parser() {
+        let mut writer = TraceWriter::new();
+        writer.process_name(1, "svc \"quoted\"");
+        writer.thread_name(1, 2, "worker 1");
+        writer.span(1, 2, "compile #7", "job", 10, 25);
+        writer.span_with_args(
+            1,
+            2,
+            "simulate",
+            "phase",
+            12,
+            8,
+            Json::Obj(vec![("cores".to_string(), Json::Num(4.0))]),
+        );
+        writer.instant(1, 2, "artifact hit", "cache", 11);
+        assert_eq!(writer.len(), 5);
+        assert!(!writer.is_empty());
+        let text = writer.into_json().to_string();
+        let parsed = Json::parse(&text).expect("trace output must be valid Json");
+        let events = parsed.get("traceEvents").and_then(Json::as_array).expect("traceEvents");
+        assert_eq!(events.len(), 5);
+        for event in events {
+            let ph = event.get("ph").and_then(Json::as_str).expect("every event has ph");
+            if ph == "X" {
+                assert!(event.get("dur").and_then(Json::as_u64).is_some(), "span dur >= 0");
+            }
+        }
+        assert_eq!(
+            parsed.get("displayTimeUnit").and_then(Json::as_str),
+            Some("ms"),
+            "viewer unit hint"
+        );
+    }
+
+    #[test]
+    fn extend_concatenates_event_lists() {
+        let mut service = TraceWriter::new();
+        service.span(1, 0, "job", "job", 0, 5);
+        let mut sim = TraceWriter::new();
+        sim.span(2, 0, "hart", "sim", 0, 9);
+        service.extend(sim);
+        assert_eq!(service.len(), 2);
+    }
+}

@@ -65,11 +65,23 @@ test -s target/matmul-trace.json
 # `mlbc serve` on 4 workers, run twice against the same service. Every
 # job must succeed and the second round must be served (at least) 90%
 # from the content-addressed cache; the serve exit code enforces both.
-echo "==> mlbc serve smoke (64-job batch, 4 workers, warm repeat)"
+# The run also exports the telemetry artifacts: the metrics JSON must
+# record a met hit-rate gate and no failed jobs, and the Chrome trace
+# must be non-empty (CI uploads it as an artifact).
+echo "==> mlbc serve smoke (64-job batch, 4 workers, warm repeat, telemetry)"
 ./target/release/mlbc serve --emit-demo-batch 64 > target/serve-batch.jsonl
 run ./target/release/mlbc serve --batch target/serve-batch.jsonl \
-    --workers 4 --repeat 2 --min-hit-rate 90 > target/serve-responses.jsonl
+    --workers 4 --repeat 2 --min-hit-rate 90 \
+    --metrics-json target/serve-metrics.json \
+    --trace-out target/serve-trace.json > target/serve-responses.jsonl
 test -s target/serve-responses.jsonl
+test -s target/serve-trace.json
+# The hit-rate verdict in the metrics file comes from the telemetry
+# counters; the smoke run above already exited 0, so the recorded gate
+# must agree that it was met and the failure list must be empty.
+grep -q '"met":true' target/serve-metrics.json
+grep -q '"failed_ids":\[\]' target/serve-metrics.json
+grep -q '"traceEvents"' target/serve-trace.json
 # Autotuner smoke: a small-budget schedule search over 2 workers, run
 # twice against the same service. The second round must be a pure
 # tune-cache hit with byte-identical output (the tune exit code

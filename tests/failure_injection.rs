@@ -172,7 +172,8 @@ fn service_isolates_failing_jobs() {
         ..good
     };
 
-    let service = CompileService::new(ServiceConfig { workers: 2, cache_capacity: 32 });
+    let service =
+        CompileService::new(ServiceConfig { workers: 2, cache_capacity: 32, telemetry: true });
     let batch = [good, panicking, invalid, oversized, JobRequest { id: 4, seed: 2, ..good }];
     let responses = service.run_batch(&batch);
 
@@ -204,7 +205,8 @@ fn failed_jobs_never_poison_the_cache() {
 
     silence_injected_panics();
 
-    let service = CompileService::new(ServiceConfig { workers: 1, cache_capacity: 32 });
+    let service =
+        CompileService::new(ServiceConfig { workers: 1, cache_capacity: 32, telemetry: true });
     let failing = JobRequest {
         id: 7,
         kind: JobKind::Simulate,
@@ -257,8 +259,10 @@ fn panics_do_not_corrupt_concurrent_results() {
         let kind = if i % 3 == 1 { JobKind::DebugPanic } else { JobKind::Compile };
         batch.push(JobRequest { id: i, kind, seed: i / 3, ..template });
     }
-    let noisy = CompileService::new(ServiceConfig { workers: 4, cache_capacity: 32 });
-    let quiet = CompileService::new(ServiceConfig { workers: 1, cache_capacity: 32 });
+    let noisy =
+        CompileService::new(ServiceConfig { workers: 4, cache_capacity: 32, telemetry: true });
+    let quiet =
+        CompileService::new(ServiceConfig { workers: 1, cache_capacity: 32, telemetry: true });
     let noisy_responses = noisy.run_batch(&batch);
     for (request, response) in batch.iter().zip(&noisy_responses) {
         if request.kind == JobKind::DebugPanic {

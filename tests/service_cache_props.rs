@@ -146,7 +146,7 @@ proptest! {
             0, // Compile jobs: the artifact exercises the whole pipeline
             kernel_sel, 3, 4, 2, f32p, 2, toggles, 0, driver_legacy, seed,
         );
-        let service = CompileService::new(ServiceConfig { workers: 1, cache_capacity: 16 });
+        let service = CompileService::new(ServiceConfig { workers: 1, cache_capacity: 16, telemetry: true });
         let cold = service.run_one(request);
         let warm = service.run_one(request);
         prop_assert!(!cold.cached);
@@ -154,7 +154,7 @@ proptest! {
         prop_assert_eq!(cold.payload_text(), warm.payload_text());
         prop_assert_eq!(&cold.digest, &warm.digest);
 
-        let fresh = CompileService::new(ServiceConfig { workers: 1, cache_capacity: 16 });
+        let fresh = CompileService::new(ServiceConfig { workers: 1, cache_capacity: 16, telemetry: true });
         let other = fresh.run_one(request);
         prop_assert!(!other.cached);
         prop_assert_eq!(cold.payload_text(), other.payload_text(),

@@ -59,7 +59,8 @@ fn mixed_batch(n: usize) -> Vec<JobRequest> {
 fn concurrent_batch_matches_sequential_byte_for_byte() {
     let requests = mixed_batch(64);
 
-    let sequential = CompileService::new(ServiceConfig { workers: 1, cache_capacity: 256 });
+    let sequential =
+        CompileService::new(ServiceConfig { workers: 1, cache_capacity: 256, telemetry: true });
     let reference = sequential.run_batch(&requests);
     for (request, response) in requests.iter().zip(&reference) {
         assert!(
@@ -72,7 +73,8 @@ fn concurrent_batch_matches_sequential_byte_for_byte() {
         );
     }
 
-    let concurrent = CompileService::new(ServiceConfig { workers: 8, cache_capacity: 256 });
+    let concurrent =
+        CompileService::new(ServiceConfig { workers: 8, cache_capacity: 256, telemetry: true });
     assert_eq!(concurrent.workers(), 8);
     let cold = concurrent.run_batch(&requests);
     assert_eq!(cold.len(), reference.len());
@@ -123,7 +125,8 @@ fn response_order_is_request_order_not_completion_order() {
             seed: i,
         });
     }
-    let service = CompileService::new(ServiceConfig { workers: 4, cache_capacity: 64 });
+    let service =
+        CompileService::new(ServiceConfig { workers: 4, cache_capacity: 64, telemetry: true });
     let responses = service.run_batch(&requests);
     let got: Vec<u64> = responses.iter().map(|r| r.id).collect();
     let want: Vec<u64> = requests.iter().map(|r| r.id).collect();
@@ -135,7 +138,8 @@ fn response_order_is_request_order_not_completion_order() {
 /// the same artifact.
 #[test]
 fn simulate_reuses_the_compile_jobs_artifact() {
-    let service = CompileService::new(ServiceConfig { workers: 1, cache_capacity: 64 });
+    let service =
+        CompileService::new(ServiceConfig { workers: 1, cache_capacity: 64, telemetry: true });
     let instance = Instance::new(Kind::Sum, Shape::nm(4, 8), Precision::F64);
     let base = JobRequest {
         id: 1,
@@ -165,7 +169,8 @@ fn simulate_reuses_the_compile_jobs_artifact() {
 /// assembly under either key.
 #[test]
 fn drivers_are_separate_keys_with_equal_artifacts() {
-    let service = CompileService::new(ServiceConfig { workers: 2, cache_capacity: 64 });
+    let service =
+        CompileService::new(ServiceConfig { workers: 2, cache_capacity: 64, telemetry: true });
     let base = JobRequest {
         id: 1,
         kind: JobKind::Compile,

@@ -36,8 +36,10 @@ fn graph_request(
 #[test]
 fn graph_payload_is_identical_across_worker_counts() {
     let request = graph_request(5, GraphPreset::Nsnet2, 4, true, 1);
-    let solo = CompileService::new(ServiceConfig { workers: 1, cache_capacity: 128 });
-    let racing = CompileService::new(ServiceConfig { workers: 8, cache_capacity: 128 });
+    let solo =
+        CompileService::new(ServiceConfig { workers: 1, cache_capacity: 128, telemetry: true });
+    let racing =
+        CompileService::new(ServiceConfig { workers: 8, cache_capacity: 128, telemetry: true });
     let reference = solo.run_one(request);
     let raced = racing.run_batch(&[request]).remove(0);
     assert!(reference.payload.is_ok(), "{}", reference.payload.as_ref().unwrap_err());
@@ -48,7 +50,8 @@ fn graph_payload_is_identical_across_worker_counts() {
 
 #[test]
 fn fused_graph_beats_unfused_and_outputs_agree() {
-    let service = CompileService::new(ServiceConfig { workers: 4, cache_capacity: 256 });
+    let service =
+        CompileService::new(ServiceConfig { workers: 4, cache_capacity: 256, telemetry: true });
     let fused = service
         .run_batch(&[graph_request(1, GraphPreset::Nsnet2, 2, true, 1)])
         .remove(0)
@@ -82,7 +85,8 @@ fn fused_graph_beats_unfused_and_outputs_agree() {
 
 #[test]
 fn warm_graph_resubmit_is_a_result_cache_hit() {
-    let service = CompileService::new(ServiceConfig { workers: 2, cache_capacity: 128 });
+    let service =
+        CompileService::new(ServiceConfig { workers: 2, cache_capacity: 128, telemetry: true });
     let request = graph_request(9, GraphPreset::EltwiseChain, 3, true, 1);
     let cold = service.run_batch(&[request]).remove(0);
     assert!(!cold.cached);
@@ -95,7 +99,8 @@ fn warm_graph_resubmit_is_a_result_cache_hit() {
 #[test]
 fn graph_stage_compiles_share_the_artifact_cache_with_kernel_jobs() {
     use mlb_kernels::{Instance, Kind, Precision, Shape};
-    let service = CompileService::new(ServiceConfig { workers: 2, cache_capacity: 128 });
+    let service =
+        CompileService::new(ServiceConfig { workers: 2, cache_capacity: 128, telemetry: true });
     // Pre-compile the first unfused nsnet2 stage (matmult 4x32x40) as a
     // plain kernel job...
     let compile = JobRequest {
@@ -123,7 +128,8 @@ fn graph_stage_compiles_share_the_artifact_cache_with_kernel_jobs() {
 #[test]
 fn graph_jobs_ride_mixed_batches_in_request_order() {
     use mlb_kernels::{Instance, Kind, Precision, Shape};
-    let service = CompileService::new(ServiceConfig { workers: 4, cache_capacity: 128 });
+    let service =
+        CompileService::new(ServiceConfig { workers: 4, cache_capacity: 128, telemetry: true });
     let simulate = JobRequest {
         id: 1,
         kind: JobKind::Simulate,

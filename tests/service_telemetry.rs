@@ -1,0 +1,309 @@
+//! Telemetry suite for the compile service.
+//!
+//! The recorder's contract is that observation is invisible: responses
+//! are byte-identical with telemetry on or off, while the recorded
+//! counters reconcile exactly with the cache layers' own statistics and
+//! every lifecycle span nests (submitted ≤ started ≤ finished, worker
+//! busy intervals enclose the jobs they executed, the Chrome trace
+//! parses with the service's own JSON parser).
+
+use mlb_core::{Flow, PipelineOptions};
+use mlb_ir::DriverMode;
+use mlb_kernels::{Instance, Kind, Precision, Shape, TuneParams};
+use mlbe::json::Json;
+use mlbe::service::{CacheLayer, CompileService, JobKind, JobRequest, ServiceConfig};
+
+/// A deterministic batch of `n` mixed jobs over the four production job
+/// kinds (mirrors the concurrency suite's batch).
+fn mixed_batch(n: usize) -> Vec<JobRequest> {
+    let job_kinds = [JobKind::Compile, JobKind::Simulate, JobKind::Difftest, JobKind::Profile];
+    (0..n)
+        .map(|i| {
+            let kernel = Kind::all()[i % 8];
+            let shape = match kernel {
+                Kind::MatMul | Kind::MatMulT => Shape::nmk(2, 4, 3),
+                _ => Shape::nm(3, 4),
+            };
+            let precision = if (i / 8) % 2 == 0 { Precision::F64 } else { Precision::F32 };
+            let kind = job_kinds[(i + i / 8) % 4];
+            let driver = if i % 6 == 3 { DriverMode::LegacyRewalk } else { DriverMode::Worklist };
+            let flow = if kind == JobKind::Difftest && i % 5 == 0 {
+                Flow::MlirLike
+            } else if kind == JobKind::Difftest && i % 7 == 0 {
+                Flow::ClangLike
+            } else {
+                let mut opts =
+                    if i % 9 == 4 { PipelineOptions::baseline() } else { PipelineOptions::full() };
+                if kind == JobKind::Simulate {
+                    opts.cores = [1, 2, 4][(i / 4) % 3];
+                }
+                Flow::Ours(opts)
+            };
+            JobRequest {
+                id: (i + 1) as u64,
+                kind,
+                instance: Instance::new(kernel, shape, precision),
+                flow,
+                driver,
+                seed: (i % 3) as u64,
+            }
+        })
+        .collect()
+}
+
+/// Telemetry cache-event counts reconcile exactly with the cache
+/// layers' own hit/miss statistics across a cold+warm 64-job mixed
+/// batch, and every counter is monotone between the rounds.
+#[test]
+fn cache_events_reconcile_with_cache_stats_and_stay_monotone() {
+    let requests = mixed_batch(64);
+    let service =
+        CompileService::new(ServiceConfig { workers: 4, cache_capacity: 256, telemetry: true });
+
+    let cold = service.run_batch(&requests);
+    assert!(cold.iter().all(|r| r.payload.is_ok()), "cold round must succeed");
+    let (a1, e1, r1) = service.cache_stats();
+
+    let warm = service.run_batch(&requests);
+    assert!(warm.iter().all(|r| r.cached), "warm round must be all cache hits");
+    let (a2, e2, r2) = service.cache_stats();
+
+    // Monotonicity: a second round can only grow the counters.
+    for (first, second) in [(&a1, &a2), (&e1, &e2), (&r1, &r2)] {
+        assert!(second.hits >= first.hits);
+        assert!(second.misses >= first.misses);
+        assert!(second.insertions >= first.insertions);
+        assert!(second.evictions >= first.evictions);
+        assert_eq!(second.lookups(), second.hits + second.misses);
+        // Errors are never cached and nothing was evicted, so every
+        // miss inserted exactly one entry.
+        assert_eq!(second.evictions, 0);
+        assert_eq!(second.misses, second.insertions);
+        assert!(second.resident_bytes > 0, "sizers must report resident bytes");
+    }
+
+    // Telemetry's per-layer event stream counts the same lookups the
+    // caches counted themselves.
+    let telemetry = service.telemetry().expect("telemetry enabled");
+    let events = telemetry.cache_events();
+    for (layer, stats) in
+        [(CacheLayer::Artifact, &a2), (CacheLayer::Predecode, &e2), (CacheLayer::Result, &r2)]
+    {
+        let hits = events.iter().filter(|e| e.layer == layer && e.hit).count() as u64;
+        let misses = events.iter().filter(|e| e.layer == layer && !e.hit).count() as u64;
+        assert_eq!(hits, stats.hits, "{} hit events diverge from CacheStats", layer.name());
+        assert_eq!(misses, stats.misses, "{} miss events diverge from CacheStats", layer.name());
+    }
+
+    // Job totals: every submitted job finished, none failed, and the
+    // warm round's responses were all served from cache.
+    let jobs = telemetry.jobs();
+    assert_eq!(jobs.len(), 128, "two rounds of 64 jobs each");
+    assert!(jobs.iter().all(|j| j.ok), "no recorded job may be marked failed");
+    assert_eq!(jobs.iter().filter(|j| j.cached).count(), 64, "warm round served from cache");
+}
+
+/// Every job's lifecycle span nests: submitted ≤ started ≤ finished,
+/// queue wait and latency are consistent, and each worker's busy
+/// intervals both enclose the jobs it executed and are ≥95% accounted
+/// for by job execution time.
+#[test]
+fn lifecycle_spans_nest_and_busy_time_is_covered_by_jobs() {
+    let requests = mixed_batch(48);
+    let service =
+        CompileService::new(ServiceConfig { workers: 3, cache_capacity: 256, telemetry: true });
+    let responses = service.run_batch(&requests);
+    assert!(responses.iter().all(|r| r.payload.is_ok()));
+
+    let telemetry = service.telemetry().expect("telemetry enabled");
+    let jobs = telemetry.jobs();
+    let busy = telemetry.worker_busy();
+    assert_eq!(busy.len(), 3);
+
+    let mut executed_us = vec![0u64; busy.len()];
+    for job in &jobs {
+        let started = job.started_us.expect("batch jobs all start");
+        let finished = job.finished_us.expect("batch jobs all finish");
+        assert!(job.submitted_us <= started, "job {}: queued before submitted", job.id);
+        assert!(started <= finished, "job {}: finished before started", job.id);
+        assert_eq!(job.queue_wait_us(), Some(started - job.submitted_us));
+        assert_eq!(job.latency_us(), Some(finished - job.submitted_us));
+        for &(_, phase_start, phase_end) in &job.phases {
+            assert!(started <= phase_start && phase_end <= finished + 1, "phase escapes job span");
+        }
+        // Worker-executed jobs sit inside one of that worker's busy
+        // intervals (the busy span brackets dequeue → completion).
+        if let Some(worker) = job.worker {
+            assert!(
+                busy[worker].iter().any(|&(s, e)| s <= started && finished <= e),
+                "job {} not enclosed by any busy span of worker {worker}",
+                job.id
+            );
+            executed_us[worker] += finished - started;
+        }
+    }
+
+    // ≥95% of each worker's busy time is job execution, not recorder
+    // bookkeeping (the acceptance bound on telemetry's trace overhead).
+    for (worker, spans) in busy.iter().enumerate() {
+        let busy_us: u64 = spans.iter().map(|&(s, e)| e - s).sum();
+        if busy_us == 0 {
+            continue;
+        }
+        assert!(
+            executed_us[worker] * 100 >= busy_us * 95,
+            "worker {worker}: jobs cover {}/{busy_us}us of busy time",
+            executed_us[worker]
+        );
+    }
+}
+
+/// The exported Chrome trace parses with the service's own JSON parser
+/// and every complete event carries a non-negative duration and a
+/// plausible track.
+#[test]
+fn chrome_trace_round_trips_through_the_json_parser() {
+    let requests = mixed_batch(32);
+    let service =
+        CompileService::new(ServiceConfig { workers: 2, cache_capacity: 256, telemetry: true });
+    service.run_batch(&requests);
+    service.run_batch(&requests); // warm round: cache-hit instants
+
+    let telemetry = service.telemetry().expect("telemetry enabled");
+    let text = telemetry.chrome_trace().into_json().to_string();
+    let doc = Json::parse(&text).expect("trace must parse");
+    let Some(Json::Arr(events)) = doc.get("traceEvents") else {
+        panic!("trace has no traceEvents array")
+    };
+
+    let mut job_spans = 0usize;
+    let mut cache_instants = 0usize;
+    for event in events {
+        let ph = event.get("ph").and_then(Json::as_str).expect("event has ph");
+        match ph {
+            "X" => {
+                assert!(event.get("ts").and_then(Json::as_u64).is_some(), "span has integer ts");
+                assert!(event.get("dur").and_then(Json::as_u64).is_some(), "span has dur >= 0");
+                if event.get("cat").and_then(Json::as_str) == Some("job") {
+                    job_spans += 1;
+                }
+            }
+            "i" => {
+                if event.get("cat").and_then(Json::as_str) == Some("cache") {
+                    cache_instants += 1;
+                }
+            }
+            "M" => {}
+            other => panic!("unexpected event phase {other}"),
+        }
+    }
+    assert_eq!(job_spans, 64, "one job span per completed job");
+    assert!(cache_instants > 0, "warm round must leave cache-hit instants");
+}
+
+/// Responses are byte-identical with the recorder on or off — the
+/// telemetry-transparency half of the tentpole — including through the
+/// tune fan-out path.
+#[test]
+fn responses_are_byte_identical_with_telemetry_off() {
+    let mut requests = mixed_batch(24);
+    requests.push(JobRequest {
+        id: 99,
+        kind: JobKind::Tune(TuneParams { cores_max: 2, budget: 6 }),
+        instance: Instance::new(Kind::MatMul, Shape::nmk(2, 4, 3), Precision::F64),
+        flow: Flow::Ours(PipelineOptions::full()),
+        driver: DriverMode::Worklist,
+        seed: 0,
+    });
+
+    let on =
+        CompileService::new(ServiceConfig { workers: 4, cache_capacity: 128, telemetry: true });
+    let off =
+        CompileService::new(ServiceConfig { workers: 4, cache_capacity: 128, telemetry: false });
+    assert!(on.telemetry().is_some());
+    assert!(off.telemetry().is_none());
+
+    let with = on.run_batch(&requests);
+    let without = off.run_batch(&requests);
+    assert_eq!(with.len(), without.len());
+    for (request, (a, b)) in requests.iter().zip(with.iter().zip(&without)) {
+        assert_eq!(a.id, b.id);
+        assert_eq!(a.cached, b.cached, "job {}: cache flag diverged", request.id);
+        assert_eq!(a.digest, b.digest, "job {}: digest diverged", request.id);
+        assert_eq!(
+            a.payload_text(),
+            b.payload_text(),
+            "job {} ({:?}): payload diverged under telemetry",
+            request.id,
+            request.kind
+        );
+    }
+}
+
+/// The in-band `stats` job reports the same counters the service
+/// exposes out-of-band, and its response is never served from (or
+/// inserted into) the result cache.
+#[test]
+fn stats_job_reports_live_counters_and_bypasses_the_result_cache() {
+    let requests = mixed_batch(8);
+    let service =
+        CompileService::new(ServiceConfig { workers: 2, cache_capacity: 64, telemetry: true });
+    service.run_batch(&requests);
+
+    let stats_request = || JobRequest {
+        id: 500,
+        kind: JobKind::Stats,
+        instance: Instance::new(Kind::Fill, Shape::nm(2, 2), Precision::F64),
+        flow: Flow::Ours(PipelineOptions::full()),
+        driver: DriverMode::Worklist,
+        seed: 0,
+    };
+    let first = service.run_one(stats_request());
+    let payload = first.payload.as_ref().expect("stats job succeeds");
+    assert!(!first.cached, "stats must not be served from cache");
+
+    let (artifacts, execs, results) = service.cache_stats();
+    for (layer, stats) in [("artifact", artifacts), ("predecode", execs), ("result", results)] {
+        let reported = payload.get("caches").and_then(|c| c.get(layer)).expect("layer reported");
+        assert_eq!(reported.get("hits").and_then(Json::as_u64), Some(stats.hits), "{layer} hits");
+        assert_eq!(
+            reported.get("misses").and_then(Json::as_u64),
+            Some(stats.misses),
+            "{layer} misses"
+        );
+        assert_eq!(
+            reported.get("insertions").and_then(Json::as_u64),
+            Some(stats.insertions),
+            "{layer} insertions"
+        );
+        assert_eq!(
+            reported.get("lookups").and_then(Json::as_u64),
+            Some(stats.lookups()),
+            "{layer} lookups"
+        );
+    }
+    let summary = payload.get("telemetry").expect("telemetry summary present");
+    assert!(
+        summary.get("jobs").and_then(|j| j.get("submitted")).and_then(Json::as_u64).is_some(),
+        "summary carries job totals"
+    );
+
+    // A second stats job recomputes: the result cache saw no stats
+    // insertion, so it cannot come back as a hit.
+    let second = service.run_one(stats_request());
+    assert!(!second.cached, "stats responses must never be cached");
+    let (.., results_after) = service.cache_stats();
+    assert_eq!(
+        results_after.lookups(),
+        service
+            .run_one(stats_request())
+            .payload
+            .unwrap()
+            .get("caches")
+            .and_then(|c| c.get("result"))
+            .and_then(|r| r.get("lookups"))
+            .and_then(Json::as_u64)
+            .unwrap(),
+        "stats jobs must not probe the result cache"
+    );
+}

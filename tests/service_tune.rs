@@ -41,8 +41,10 @@ fn variant_cycles(payload: &Json, label: &str) -> Option<u64> {
 #[test]
 fn tune_report_is_identical_across_worker_counts() {
     let request = tune_request(7, TuneParams { cores_max: 2, budget: 10 });
-    let solo = CompileService::new(ServiceConfig { workers: 1, cache_capacity: 128 });
-    let racing = CompileService::new(ServiceConfig { workers: 8, cache_capacity: 128 });
+    let solo =
+        CompileService::new(ServiceConfig { workers: 1, cache_capacity: 128, telemetry: true });
+    let racing =
+        CompileService::new(ServiceConfig { workers: 8, cache_capacity: 128, telemetry: true });
     let reference = solo.run_one(request);
     let raced = racing.run_batch(&[request]).remove(0);
     assert_eq!(reference.id, 7);
@@ -57,7 +59,8 @@ fn tune_report_is_identical_across_worker_counts() {
 
     // And across repeated cold services: nothing in the payload depends
     // on wall clock or scheduling.
-    let again = CompileService::new(ServiceConfig { workers: 3, cache_capacity: 128 });
+    let again =
+        CompileService::new(ServiceConfig { workers: 3, cache_capacity: 128, telemetry: true });
     assert_eq!(again.run_one(request).payload_text(), reference.payload_text());
 }
 
@@ -67,7 +70,8 @@ fn tune_report_is_identical_across_worker_counts() {
 /// in the evaluated variants to prove the comparison happened.
 #[test]
 fn tuned_best_beats_or_matches_every_flow_default() {
-    let service = CompileService::new(ServiceConfig { workers: 4, cache_capacity: 256 });
+    let service =
+        CompileService::new(ServiceConfig { workers: 4, cache_capacity: 256, telemetry: true });
     let response = service.run_one(tune_request(1, TuneParams::default()));
     let payload = response.payload.expect("tune succeeds");
     let best = payload.get("best").expect("best schedule").clone();
@@ -97,7 +101,8 @@ fn tuned_best_beats_or_matches_every_flow_default() {
 /// no new cache insertions, identical bytes.
 #[test]
 fn warm_retune_performs_no_simulations() {
-    let service = CompileService::new(ServiceConfig { workers: 2, cache_capacity: 128 });
+    let service =
+        CompileService::new(ServiceConfig { workers: 2, cache_capacity: 128, telemetry: true });
     let request = tune_request(3, TuneParams { cores_max: 2, budget: 8 });
     let cold = service.run_one(request);
     assert!(cold.payload.is_ok(), "{}", cold.payload.as_ref().unwrap_err());
@@ -137,7 +142,8 @@ fn warm_retune_performs_no_simulations() {
 /// plain simulate job for the winning schedule is served warm.
 #[test]
 fn tune_leaves_seed_the_result_cache() {
-    let service = CompileService::new(ServiceConfig { workers: 2, cache_capacity: 128 });
+    let service =
+        CompileService::new(ServiceConfig { workers: 2, cache_capacity: 128, telemetry: true });
     let request = tune_request(1, TuneParams { cores_max: 2, budget: 8 });
     let payload = service.run_one(request).payload.expect("tune succeeds");
     // The report embeds the winner as a ready-to-submit protocol
@@ -171,8 +177,10 @@ fn mixed_batch_with_tune_jobs_keeps_order_and_determinism() {
     // identical payload.
     requests.push(tune_request(51, TuneParams { cores_max: 2, budget: 6 }));
 
-    let solo = CompileService::new(ServiceConfig { workers: 1, cache_capacity: 128 });
-    let racing = CompileService::new(ServiceConfig { workers: 8, cache_capacity: 128 });
+    let solo =
+        CompileService::new(ServiceConfig { workers: 1, cache_capacity: 128, telemetry: true });
+    let racing =
+        CompileService::new(ServiceConfig { workers: 8, cache_capacity: 128, telemetry: true });
     let reference = solo.run_batch(&requests);
     let raced = racing.run_batch(&requests);
     let got: Vec<u64> = raced.iter().map(|r| r.id).collect();
